@@ -1,0 +1,57 @@
+//===- bench/BenchUtil.h - Shared helpers for the figure benches -*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure bench binaries: cycle formatting in
+/// the paper's 10^8-cycle unit and simple argument handling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_BENCH_BENCHUTIL_H
+#define BAMBOO_BENCH_BENCHUTIL_H
+
+#include "machine/MachineConfig.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace bamboo::bench {
+
+/// Formats cycles in the paper's unit of 10^8 cycles ("405.2").
+inline std::string cyc8(machine::Cycles C) {
+  return formatString("%.4f", static_cast<double>(C) / 1e8);
+}
+
+/// Formats a relative error in percent, signed like Figure 9.
+inline std::string errPct(machine::Cycles Estimated, machine::Cycles Real) {
+  double E = (static_cast<double>(Estimated) - static_cast<double>(Real)) /
+             static_cast<double>(Real) * 100.0;
+  return formatString("%+.1f%%", E);
+}
+
+/// Parses "--name=value" integer flags; returns Default when absent.
+inline long flagValue(int Argc, char **Argv, const char *Name,
+                      long Default) {
+  std::string Prefix = std::string("--") + Name + "=";
+  for (int I = 1; I < Argc; ++I)
+    if (std::strncmp(Argv[I], Prefix.c_str(), Prefix.size()) == 0)
+      return std::strtol(Argv[I] + Prefix.size(), nullptr, 10);
+  return Default;
+}
+
+inline bool hasFlag(int Argc, char **Argv, const char *Name) {
+  std::string Flag = std::string("--") + Name;
+  for (int I = 1; I < Argc; ++I)
+    if (Flag == Argv[I])
+      return true;
+  return false;
+}
+
+} // namespace bamboo::bench
+
+#endif // BAMBOO_BENCH_BENCHUTIL_H

@@ -1,0 +1,68 @@
+//===- bench/fig07_speedup.cpp - Figure 7: benchmark speedups --------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 7 of the paper: for each of the six benchmarks, the
+/// clock cycles of the 1-core C version, the 1-core Bamboo version, and
+/// the 62-core Bamboo version synthesized by the full pipeline, plus the
+/// speedups against both 1-core versions and the Bamboo overhead
+/// (Section 5.5).
+///
+/// Paper reference values (TILEPro64): speedups 26.2x (Tracking) to 61.6x
+/// (Fractal); overheads 0.1% - 10.6%.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/App.h"
+#include "bench/BenchUtil.h"
+#include "driver/Pipeline.h"
+
+#include <cstdio>
+
+using namespace bamboo;
+using namespace bamboo::bench;
+
+int main(int Argc, char **Argv) {
+  int Cores = static_cast<int>(flagValue(Argc, Argv, "cores", 62));
+  std::printf("Figure 7: speedups of the benchmarks on %d cores\n\n", Cores);
+
+  std::vector<std::vector<std::string>> Rows;
+  Rows.push_back({"Benchmark", "1-Core C", "1-Core Bamboo",
+                  formatString("%d-Core Bamboo", Cores), "Speedup/Bamboo",
+                  "Speedup/C", "Overhead"});
+
+  for (const auto &App : apps::allApps()) {
+    apps::BaselineResult Base = App->runBaseline(1);
+    runtime::BoundProgram BP = App->makeBound(1);
+    driver::PipelineOptions Opts;
+    Opts.Target = machine::MachineConfig::tilePro64();
+    Opts.Target.NumCores = Cores;
+    Opts.Dsa.Seed = 2010;
+    driver::PipelineResult R = driver::runPipeline(BP, Opts);
+
+    double SpeedupBamboo = static_cast<double>(R.Real1Core) /
+                           static_cast<double>(R.RealNCore);
+    double SpeedupC = static_cast<double>(Base.MeteredCycles) /
+                      static_cast<double>(R.RealNCore);
+    double Overhead =
+        (static_cast<double>(R.Real1Core) -
+         static_cast<double>(Base.MeteredCycles)) /
+        static_cast<double>(Base.MeteredCycles) * 100.0;
+
+    Rows.push_back({App->name(), cyc8(Base.MeteredCycles),
+                    cyc8(R.Real1Core), cyc8(R.RealNCore),
+                    formatString("%.1f", SpeedupBamboo),
+                    formatString("%.1f", SpeedupC),
+                    formatString("%.1f%%", Overhead)});
+  }
+
+  std::printf("%s\n", renderTable(Rows).c_str());
+  std::printf("Cycle columns are in units of 10^8 virtual cycles, matching "
+              "the paper's table.\n");
+  std::printf("Paper (62 cores): speedups 26.2x-61.6x, overheads "
+              "0.1%%-10.6%%.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+//===- bench/fig10_dsa_efficiency.cpp - Figure 10: DSA efficiency ----------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 10 (Section 5.3): for each benchmark on 16 cores,
+/// the distribution of estimated execution times over the candidate
+/// implementation space, against the distribution of the layouts produced
+/// by directed simulated annealing started from random candidates. The
+/// paper's finding: good layouts are rare in the raw space, while DSA
+/// reaches the best layout from more than 98% of random starting points.
+///
+/// Substitution note: the paper enumerates all candidates exhaustively
+/// (except Tracking, where even 16 cores is prohibitive); the candidate
+/// space here is sampled uniformly (default 2000 non-isomorphic layouts),
+/// which preserves the distribution the figure reports. Also reports the
+/// Section-5.1 DSA optimization wall time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/App.h"
+#include "bench/BenchUtil.h"
+#include "driver/Pipeline.h"
+#include "support/Stats.h"
+#include "synthesis/MappingSearch.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+using namespace bamboo;
+using namespace bamboo::bench;
+
+int main(int Argc, char **Argv) {
+  int Cores = static_cast<int>(flagValue(Argc, Argv, "cores", 16));
+  size_t NumCandidates =
+      static_cast<size_t>(flagValue(Argc, Argv, "candidates", 1000));
+  size_t NumStarts = static_cast<size_t>(
+      flagValue(Argc, Argv, "starts", hasFlag(Argc, Argv, "full") ? 1000
+                                                                  : 100));
+
+  std::printf("Figure 10: efficiency of directed simulated annealing "
+              "(%d cores, %zu sampled candidates, %zu DSA starts)\n\n",
+              Cores, NumCandidates, NumStarts);
+
+  machine::MachineConfig Target = machine::MachineConfig::tilePro64();
+  Target.NumCores = Cores;
+
+  for (const auto &App : apps::allApps()) {
+    runtime::BoundProgram BP = App->makeBound(1);
+    analysis::Cstg Graph = analysis::buildCstg(BP.program());
+    profile::Profile Prof =
+        driver::profileOneCore(BP, Graph, runtime::ExecOptions{});
+    synthesis::GroupPlan Plan =
+        synthesis::buildGroupPlan(BP.program(), Graph, Prof, Cores);
+
+    // Candidate-space distribution.
+    Rng R(0xF16 + 7);
+    std::vector<machine::Layout> Candidates = synthesis::randomLayouts(
+        Plan, BP.program(), Cores, NumCandidates, R);
+    std::vector<double> CandTimes;
+    for (const machine::Layout &L : Candidates) {
+      schedsim::SimResult Sim = schedsim::simulateLayout(
+          BP.program(), Graph, Prof, BP.hints(), Target, L);
+      CandTimes.push_back(static_cast<double>(Sim.EstimatedCycles));
+    }
+
+    // DSA distribution: one annealing run per random starting point.
+    std::vector<double> DsaTimes;
+    double DsaSeconds = 0.0;
+    for (size_t S = 0; S < NumStarts; ++S) {
+      std::vector<machine::Layout> Start{
+          synthesis::randomLayout(Plan, Cores, R)};
+      optimize::DsaOptions Opts;
+      Opts.Seed = 0xD5A + S;
+      Opts.MaxIterations = 25;
+      Opts.NeighborsPerCandidate = 6;
+      auto T0 = std::chrono::steady_clock::now();
+      optimize::DsaResult Dsa =
+          optimize::runDsa(BP.program(), Graph, Prof, BP.hints(), Target,
+                           Plan, Opts, &Start);
+      auto T1 = std::chrono::steady_clock::now();
+      DsaSeconds += std::chrono::duration<double>(T1 - T0).count();
+      DsaTimes.push_back(static_cast<double>(Dsa.BestEstimate));
+    }
+
+    double Best = *std::min_element(DsaTimes.begin(), DsaTimes.end());
+    Best = std::min(Best,
+                    *std::min_element(CandTimes.begin(), CandTimes.end()));
+    double Worst =
+        *std::max_element(CandTimes.begin(), CandTimes.end());
+
+    Histogram CandHist(Best, Worst + 1, 24);
+    for (double T : CandTimes)
+      CandHist.add(T);
+    Histogram DsaHist(Best, Worst + 1, 24);
+    for (double T : DsaTimes)
+      DsaHist.add(T);
+
+    // Fraction of DSA runs reaching (near) the best implementation.
+    size_t AtBest = 0;
+    for (double T : DsaTimes)
+      if (T <= Best * 1.05)
+        ++AtBest;
+
+    std::printf("=== %s ===\n", App->name().c_str());
+    std::printf("%s",
+                CandHist
+                    .renderAscii(formatString(
+                        "candidate implementations (n=%zu), estimated "
+                        "cycles:",
+                        CandTimes.size()))
+                    .c_str());
+    std::printf("%s",
+                DsaHist
+                    .renderAscii(formatString(
+                        "DSA results from %zu random starts:", NumStarts))
+                    .c_str());
+    std::printf("DSA reached within 5%% of the best implementation in "
+                "%.1f%% of runs; mean DSA time %.2fs per run\n\n",
+                100.0 * static_cast<double>(AtBest) /
+                    static_cast<double>(DsaTimes.size()),
+                DsaSeconds / static_cast<double>(NumStarts));
+  }
+
+  std::printf("Paper: >=98%% of DSA runs reach the best implementation; "
+              "optimization takes 1.3 min (Tracking), 10 s (KMeans), "
+              "<0.2 s (others).\n");
+  return 0;
+}

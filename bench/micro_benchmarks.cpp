@@ -1,0 +1,164 @@
+//===- bench/micro_benchmarks.cpp - Component microbenchmarks --------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Google-benchmark microbenchmarks of the pipeline's components:
+/// frontend throughput, dependence and disjointness analysis, scheduling
+/// simulation, directed simulated annealing, and the discrete-event
+/// executor's dispatch throughput. These quantify compilation/synthesis
+/// cost (the Section-5.1 "the directed-simulated annealing algorithm took
+/// ... seconds" measurements) rather than application performance.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Disjoint.h"
+#include "apps/App.h"
+#include "driver/KeywordExample.h"
+#include "driver/Pipeline.h"
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+#include "synthesis/MappingSearch.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace bamboo;
+
+static void BM_FrontendCompile(benchmark::State &State) {
+  for (auto _ : State) {
+    frontend::DiagnosticEngine Diags;
+    auto CM = frontend::compileString(driver::KeywordCountSource, "bench",
+                                      Diags);
+    benchmark::DoNotOptimize(CM);
+  }
+}
+BENCHMARK(BM_FrontendCompile);
+
+static void BM_DisjointnessAnalysis(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    frontend::DiagnosticEngine Diags;
+    auto CM = frontend::compileString(driver::KeywordCountSource, "bench",
+                                      Diags);
+    State.ResumeTiming();
+    auto Result = analysis::analyzeDisjointness(*CM);
+    benchmark::DoNotOptimize(Result);
+  }
+}
+BENCHMARK(BM_DisjointnessAnalysis);
+
+static void BM_CstgBuild(benchmark::State &State) {
+  auto App = apps::makeApp("Tracking");
+  runtime::BoundProgram BP = App->makeBound(1);
+  for (auto _ : State) {
+    analysis::Cstg Graph = analysis::buildCstg(BP.program());
+    benchmark::DoNotOptimize(Graph.Nodes.size());
+  }
+}
+BENCHMARK(BM_CstgBuild);
+
+static void BM_SchedSimKeyword(benchmark::State &State) {
+  frontend::DiagnosticEngine Diags;
+  auto CM = frontend::compileString(driver::KeywordCountSource, "bench",
+                                    Diags);
+  analysis::analyzeDisjointness(*CM);
+  interp::InterpProgram IP(std::move(*CM));
+  analysis::Cstg Graph = analysis::buildCstg(IP.bound().program());
+  runtime::ExecOptions Exec;
+  Exec.Args = {"the cat and the dog and the bird and the fish"};
+  profile::Profile Prof = driver::profileOneCore(IP.bound(), Graph, Exec);
+  machine::MachineConfig M = machine::MachineConfig::singleCore();
+  machine::Layout L = machine::Layout::allOnOneCore(IP.bound().program());
+  for (auto _ : State) {
+    auto Sim = schedsim::simulateLayout(IP.bound().program(), Graph, Prof,
+                                        IP.bound().hints(), M, L);
+    benchmark::DoNotOptimize(Sim.EstimatedCycles);
+  }
+}
+BENCHMARK(BM_SchedSimKeyword);
+
+static void BM_SchedSimApp(benchmark::State &State) {
+  auto Apps = apps::allApps();
+  auto &App = Apps[static_cast<size_t>(State.range(0))];
+  runtime::BoundProgram BP = App->makeBound(1);
+  analysis::Cstg Graph = analysis::buildCstg(BP.program());
+  profile::Profile Prof =
+      driver::profileOneCore(BP, Graph, runtime::ExecOptions{});
+  machine::MachineConfig M = machine::MachineConfig::tilePro64();
+  synthesis::GroupPlan Plan =
+      synthesis::buildGroupPlan(BP.program(), Graph, Prof, M.NumCores);
+  machine::Layout L = synthesis::spreadLayout(Plan, M.NumCores);
+  for (auto _ : State) {
+    auto Sim = schedsim::simulateLayout(BP.program(), Graph, Prof,
+                                        BP.hints(), M, L);
+    benchmark::DoNotOptimize(Sim.EstimatedCycles);
+  }
+  State.SetLabel(App->name());
+}
+BENCHMARK(BM_SchedSimApp)->DenseRange(0, 5);
+
+static void BM_DsaFullRun(benchmark::State &State) {
+  auto Apps = apps::allApps();
+  auto &App = Apps[static_cast<size_t>(State.range(0))];
+  runtime::BoundProgram BP = App->makeBound(1);
+  analysis::Cstg Graph = analysis::buildCstg(BP.program());
+  profile::Profile Prof =
+      driver::profileOneCore(BP, Graph, runtime::ExecOptions{});
+  machine::MachineConfig M = machine::MachineConfig::tilePro64();
+  synthesis::GroupPlan Plan =
+      synthesis::buildGroupPlan(BP.program(), Graph, Prof, M.NumCores);
+  uint64_t Seed = 1;
+  for (auto _ : State) {
+    optimize::DsaOptions Opts;
+    Opts.Seed = Seed++;
+    auto R = optimize::runDsa(BP.program(), Graph, Prof, BP.hints(), M,
+                              Plan, Opts);
+    benchmark::DoNotOptimize(R.BestEstimate);
+  }
+  State.SetLabel(App->name());
+}
+BENCHMARK(BM_DsaFullRun)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+static void BM_ExecutorDispatch(benchmark::State &State) {
+  // Host-time throughput of the discrete-event executor on a dispatch-
+  // dominated workload (many tiny tasks).
+  auto App = apps::makeApp("FilterBank");
+  runtime::BoundProgram BP = App->makeBound(1);
+  analysis::Cstg Graph = analysis::buildCstg(BP.program());
+  machine::MachineConfig M = machine::MachineConfig::tilePro64();
+  profile::Profile Prof =
+      driver::profileOneCore(BP, Graph, runtime::ExecOptions{});
+  synthesis::GroupPlan Plan =
+      synthesis::buildGroupPlan(BP.program(), Graph, Prof, M.NumCores);
+  machine::Layout L = synthesis::spreadLayout(Plan, M.NumCores);
+  runtime::TileExecutor Exec(BP, Graph, M, L);
+  for (auto _ : State) {
+    auto R = Exec.run(runtime::ExecOptions{});
+    benchmark::DoNotOptimize(R.TotalCycles);
+    State.counters["invocations"] =
+        static_cast<double>(R.TaskInvocations);
+  }
+  State.SetLabel("FilterBank/62c");
+}
+BENCHMARK(BM_ExecutorDispatch)->Unit(benchmark::kMillisecond);
+
+static void BM_MappingEnumeration(benchmark::State &State) {
+  auto App = apps::makeApp("MonteCarlo");
+  runtime::BoundProgram BP = App->makeBound(1);
+  analysis::Cstg Graph = analysis::buildCstg(BP.program());
+  profile::Profile Prof =
+      driver::profileOneCore(BP, Graph, runtime::ExecOptions{});
+  synthesis::GroupPlan Plan =
+      synthesis::buildGroupPlan(BP.program(), Graph, Prof, 4);
+  for (auto _ : State) {
+    synthesis::SearchOptions Opts;
+    Opts.MaxLayouts = 500;
+    auto All = synthesis::enumerateMappings(Plan, BP.program(), 4, Opts);
+    benchmark::DoNotOptimize(All.size());
+  }
+}
+BENCHMARK(BM_MappingEnumeration);
+
+BENCHMARK_MAIN();

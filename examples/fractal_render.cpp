@@ -1,0 +1,85 @@
+//===- examples/fractal_render.cpp - Mandelbrot on the many-core VM --------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the Fractal benchmark application (Mandelbrot) through the full
+/// pipeline on the 62-core virtual machine, prints per-core utilization,
+/// and renders a small ASCII view of the computed set — demonstrating
+/// that task bodies really compute their results while the discrete-event
+/// machine accounts their cost.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/App.h"
+#include "apps/Fractal.h"
+#include "driver/Pipeline.h"
+
+#include <cstdio>
+
+using namespace bamboo;
+
+namespace {
+
+/// A tiny stand-alone ASCII rendering (independent of the benchmark's
+/// parameters, just for show).
+void renderAscii() {
+  const int W = 72, H = 24, MaxIter = 48;
+  const char *Shades = " .:-=+*#%@";
+  for (int Row = 0; Row < H; ++Row) {
+    for (int Col = 0; Col < W; ++Col) {
+      double Cx = -2.2 + 3.2 * Col / W;
+      double Cy = -1.2 + 2.4 * Row / H;
+      double X = 0, Y = 0;
+      int It = 0;
+      while (X * X + Y * Y <= 4.0 && It < MaxIter) {
+        double Xn = X * X - Y * Y + Cx;
+        Y = 2 * X * Y + Cy;
+        X = Xn;
+        ++It;
+      }
+      std::putchar(Shades[(It * 9) / MaxIter]);
+    }
+    std::putchar('\n');
+  }
+}
+
+} // namespace
+
+int main() {
+  renderAscii();
+
+  auto App = apps::makeApp("Fractal");
+  apps::BaselineResult Base = App->runBaseline(1);
+  runtime::BoundProgram BP = App->makeBound(1);
+
+  driver::PipelineOptions Opts;
+  Opts.Target = machine::MachineConfig::tilePro64();
+  driver::PipelineResult R = driver::runPipeline(BP, Opts);
+
+  std::printf("\nFractal benchmark on the 62-core virtual TILEPro64:\n");
+  std::printf("  1-core C baseline: %llu cycles\n",
+              static_cast<unsigned long long>(Base.MeteredCycles));
+  std::printf("  1-core Bamboo:     %llu cycles\n",
+              static_cast<unsigned long long>(R.Real1Core));
+  std::printf("  62-core Bamboo:    %llu cycles (speedup %.1fx)\n",
+              static_cast<unsigned long long>(R.RealNCore),
+              R.speedupVsOneCore());
+
+  // Utilization of the measured run.
+  runtime::TileExecutor Exec(BP, R.Graph, Opts.Target, R.BestLayout);
+  runtime::ExecResult Run = Exec.run(runtime::ExecOptions{});
+  std::printf("  checksum matches baseline: %s\n",
+              App->checksumFromHeap(Exec.heap()) == Base.Checksum ? "yes"
+                                                                  : "NO");
+  std::printf("\nper-core busy fraction (one char per core, 0-9):\n  ");
+  for (machine::Cycles Busy : Run.CoreBusy) {
+    int Digit = static_cast<int>(10.0 * static_cast<double>(Busy) /
+                                 static_cast<double>(Run.TotalCycles));
+    std::putchar(static_cast<char>('0' + (Digit > 9 ? 9 : Digit)));
+  }
+  std::putchar('\n');
+  return 0;
+}

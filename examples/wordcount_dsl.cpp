@@ -1,0 +1,76 @@
+//===- examples/wordcount_dsl.cpp - The DSL path end to end ----------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The same keyword-counting application as examples/quickstart.cpp, but
+/// written in the Bamboo *language* and pushed through the whole compiler:
+/// lexer, parser, semantic analysis, disjointness analysis, dependence
+/// analysis (printed as the Figure-3 CSTG), lock planning, implementation
+/// synthesis, and execution via the task-body interpreter.
+///
+/// Run:
+///   ./build/examples/wordcount_dsl "text to scan"
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Disjoint.h"
+#include "driver/KeywordExample.h"
+#include "driver/Pipeline.h"
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+
+#include <cstdio>
+
+using namespace bamboo;
+
+int main(int Argc, char **Argv) {
+  std::string Input = Argc > 1
+                          ? Argv[1]
+                          : "the cat sat on the mat and the dog slept by "
+                            "the door of the old house";
+
+  // ---- Frontend: source text to typed AST + task-level IR. ----
+  frontend::DiagnosticEngine Diags;
+  auto CM = frontend::compileString(driver::KeywordCountSource,
+                                    "keywordcount.bb", Diags);
+  if (!CM) {
+    std::fprintf(stderr, "%s", Diags.render("keywordcount.bb").c_str());
+    return 1;
+  }
+  std::printf("--- task-level IR ---\n%s\n", CM->Prog.str().c_str());
+
+  // ---- Disjointness analysis: lock plans for transactional tasks. ----
+  analysis::analyzeDisjointness(*CM);
+  auto Locks = analysis::buildLockPlans(CM->Prog);
+  std::printf("--- lock plans ---\n%s\n",
+              analysis::lockPlanSummary(CM->Prog, Locks).c_str());
+
+  // ---- Dependence analysis: the combined state transition graph. ----
+  analysis::Cstg Graph = analysis::buildCstg(CM->Prog);
+  std::printf("--- CSTG (Figure 3; render with `dot -Tpng`) ---\n%s\n",
+              Graph.toDot(CM->Prog).c_str());
+
+  // ---- Bind the interpreter and run the full synthesis pipeline. ----
+  interp::InterpProgram IP(std::move(*CM));
+  driver::PipelineOptions Opts;
+  Opts.Target = machine::MachineConfig::tilePro64();
+  Opts.Target.NumCores = 4;
+  Opts.Exec.Args = {Input};
+  driver::PipelineResult R = driver::runPipeline(IP.bound(), Opts);
+
+  std::printf("--- synthesized quad-core layout (Figure 4) ---\n%s\n",
+              R.BestLayout.str(IP.bound().program()).c_str());
+
+  IP.clearOutput();
+  runtime::TileExecutor Exec(IP.bound(), R.Graph, Opts.Target, R.BestLayout);
+  Exec.run(Opts.Exec);
+  std::printf("--- program output ---\n%s\n", IP.output().c_str());
+  std::printf("1 core: %llu cycles; 4 cores: %llu cycles (speedup %.2fx)\n",
+              static_cast<unsigned long long>(R.Real1Core),
+              static_cast<unsigned long long>(R.RealNCore),
+              R.speedupVsOneCore());
+  return IP.hadError() ? 1 : 0;
+}

@@ -1,0 +1,195 @@
+//===- analysis/Astg.cpp - Abstract state transition graphs ---------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Astg.h"
+
+#include "support/Dot.h"
+#include "support/Format.h"
+
+#include <cassert>
+#include <deque>
+
+using namespace bamboo;
+using namespace bamboo::analysis;
+
+std::string
+AbstractState::str(const ir::ClassDecl &Class,
+                   const std::vector<ir::TagTypeDecl> &TagTypes) const {
+  std::vector<std::string> Parts;
+  for (size_t F = 0; F < Class.FlagNames.size(); ++F)
+    if ((Flags >> F) & 1)
+      Parts.push_back(Class.FlagNames[F]);
+  if (Parts.empty())
+    Parts.push_back("-");
+  std::string Out = join(Parts, " ");
+  for (size_t T = 0; T < TagCounts.size(); ++T) {
+    if (TagCounts[T] == TagCount::Zero)
+      continue;
+    Out += formatString(" [%s:%s]", TagTypes[T].Name.c_str(),
+                        TagCounts[T] == TagCount::One ? "1" : "1+");
+  }
+  return Out;
+}
+
+int Astg::findNode(const AbstractState &State) const {
+  for (size_t I = 0; I < Nodes.size(); ++I)
+    if (Nodes[I].State == State)
+      return static_cast<int>(I);
+  return -1;
+}
+
+bool bamboo::analysis::guardAdmits(const ir::TaskParam &Param,
+                                   const AbstractState &State) {
+  if (!Param.Guard->evaluate(State.Flags))
+    return false;
+  for (const ir::TagConstraint &TC : Param.Tags) {
+    assert(static_cast<size_t>(TC.Type) < State.TagCounts.size() &&
+           "tag count vector too small");
+    if (State.TagCounts[static_cast<size_t>(TC.Type)] == TagCount::Zero)
+      return false;
+  }
+  return true;
+}
+
+AbstractState
+bamboo::analysis::applyEffect(const AbstractState &State,
+                              const ir::ParamExitEffect &Effect) {
+  AbstractState Next = State;
+  Next.Flags |= Effect.Set;
+  Next.Flags &= ~Effect.Clear;
+  for (const ir::ExitTagAction &Action : Effect.TagActions) {
+    TagCount &Count = Next.TagCounts[static_cast<size_t>(Action.Type)];
+    if (Action.IsAdd) {
+      Count = Count == TagCount::Zero ? TagCount::One : TagCount::Many;
+    } else {
+      // 1-limited abstraction: clearing one instance from Many may leave
+      // one or more behind, so Many conservatively stays Many.
+      if (Count == TagCount::One)
+        Count = TagCount::Zero;
+    }
+  }
+  return Next;
+}
+
+std::vector<std::pair<ir::TaskId, ir::ParamId>>
+Astg::enabledAt(int Node, const ir::Program &Prog) const {
+  std::vector<std::pair<ir::TaskId, ir::ParamId>> Enabled;
+  const AbstractState &State = Nodes[static_cast<size_t>(Node)].State;
+  for (size_t T = 0; T < Prog.tasks().size(); ++T) {
+    const ir::TaskDecl &Task = Prog.tasks()[T];
+    for (size_t P = 0; P < Task.Params.size(); ++P) {
+      if (Task.Params[P].Class != Class)
+        continue;
+      if (guardAdmits(Task.Params[P], State))
+        Enabled.emplace_back(static_cast<ir::TaskId>(T),
+                             static_cast<ir::ParamId>(P));
+    }
+  }
+  return Enabled;
+}
+
+std::vector<Astg> bamboo::analysis::buildAstgs(const ir::Program &Prog) {
+  const size_t NumClasses = Prog.classes().size();
+  const size_t NumTagTypes = Prog.tagTypes().size();
+  std::vector<Astg> Graphs(NumClasses);
+  for (size_t C = 0; C < NumClasses; ++C)
+    Graphs[C].Class = static_cast<ir::ClassId>(C);
+
+  // Worklist of (class, node index) whose outgoing transitions still need
+  // to be explored.
+  std::deque<std::pair<ir::ClassId, int>> Worklist;
+
+  auto InternNode = [&](ir::ClassId Class, const AbstractState &State,
+                        bool Allocatable) {
+    Astg &G = Graphs[static_cast<size_t>(Class)];
+    int Node = G.findNode(State);
+    if (Node < 0) {
+      G.Nodes.push_back(AstgNode{State, Allocatable});
+      Node = static_cast<int>(G.Nodes.size() - 1);
+      Worklist.emplace_back(Class, Node);
+    } else if (Allocatable) {
+      G.Nodes[static_cast<size_t>(Node)].Allocatable = true;
+    }
+    return Node;
+  };
+
+  // Seed: the startup state and every allocation site's initial state.
+  {
+    AbstractState Startup;
+    Startup.Flags = ir::FlagMask(1) << Prog.startupFlag();
+    Startup.TagCounts.assign(NumTagTypes, TagCount::Zero);
+    InternNode(Prog.startupClass(), Startup, /*Allocatable=*/true);
+  }
+  for (const ir::AllocSite &Site : Prog.sites()) {
+    AbstractState Init;
+    Init.Flags = Site.InitialFlags;
+    Init.TagCounts.assign(NumTagTypes, TagCount::Zero);
+    for (ir::TagTypeId TT : Site.BoundTags) {
+      TagCount &Count = Init.TagCounts[static_cast<size_t>(TT)];
+      Count = Count == TagCount::Zero ? TagCount::One : TagCount::Many;
+    }
+    InternNode(Site.Class, Init, /*Allocatable=*/true);
+  }
+
+  // Fixed point: apply every admissible (task, param, exit) transition.
+  while (!Worklist.empty()) {
+    auto [Class, Node] = Worklist.front();
+    Worklist.pop_front();
+    Astg &G = Graphs[static_cast<size_t>(Class)];
+    // Copy the state: InternNode may grow the node vector.
+    AbstractState State = G.Nodes[static_cast<size_t>(Node)].State;
+
+    for (size_t T = 0; T < Prog.tasks().size(); ++T) {
+      const ir::TaskDecl &Task = Prog.tasks()[T];
+      for (size_t P = 0; P < Task.Params.size(); ++P) {
+        if (Task.Params[P].Class != Class)
+          continue;
+        if (!guardAdmits(Task.Params[P], State))
+          continue;
+        for (size_t E = 0; E < Task.Exits.size(); ++E) {
+          AbstractState Next =
+              applyEffect(State, Task.Exits[E].Effects[P]);
+          int ToNode = InternNode(Class, Next, /*Allocatable=*/false);
+          AstgEdge Edge;
+          Edge.From = Node;
+          Edge.To = ToNode;
+          Edge.Task = static_cast<ir::TaskId>(T);
+          Edge.Exit = static_cast<ir::ExitId>(E);
+          Edge.Param = static_cast<ir::ParamId>(P);
+          // Deduplicate: the same transition can be rediscovered.
+          bool Exists = false;
+          for (const AstgEdge &Existing : G.Edges)
+            if (Existing.From == Edge.From && Existing.To == Edge.To &&
+                Existing.Task == Edge.Task && Existing.Exit == Edge.Exit &&
+                Existing.Param == Edge.Param)
+              Exists = true;
+          if (!Exists)
+            G.Edges.push_back(Edge);
+        }
+      }
+    }
+  }
+  return Graphs;
+}
+
+std::string Astg::toDot(const ir::Program &Prog) const {
+  const ir::ClassDecl &C = Prog.classOf(Class);
+  DotWriter Dot("astg_" + C.Name);
+  for (size_t I = 0; I < Nodes.size(); ++I) {
+    std::string Extra = "shape=ellipse";
+    if (Nodes[I].Allocatable)
+      Extra += ", peripheries=2";
+    Dot.addNode(formatString("n%zu", I),
+                Nodes[I].State.str(C, Prog.tagTypes()), Extra);
+  }
+  for (const AstgEdge &E : Edges) {
+    const ir::TaskDecl &Task = Prog.taskOf(E.Task);
+    Dot.addEdge(formatString("n%d", E.From), formatString("n%d", E.To),
+                Task.Name + ":" + Task.Exits[static_cast<size_t>(E.Exit)]
+                                      .Label);
+  }
+  return Dot.str();
+}

@@ -1,0 +1,102 @@
+//===- analysis/Astg.h - Abstract state transition graphs -------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dependence analysis (Section 4.1 of the paper): per-class abstract state
+/// transition graphs. An abstract state node captures the full flag
+/// valuation of an object plus a 1-limited count (zero / one / many) of the
+/// bound tag instances of each tag type. Edges abstract the effect of task
+/// exits on objects; the graphs are computed to a fixed point from the
+/// allocation sites (and the startup state).
+///
+/// The ASTGs feed three consumers: the CSTG used by synthesis, the
+/// task-dispatch FSMs used by the runtime to decide where a transitioned
+/// object can go next, and the C code emitter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_ANALYSIS_ASTG_H
+#define BAMBOO_ANALYSIS_ASTG_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bamboo::analysis {
+
+/// 1-limited tag-instance count.
+enum class TagCount : uint8_t { Zero = 0, One = 1, Many = 2 };
+
+/// An abstract object state: flag valuation plus per-tag-type counts.
+struct AbstractState {
+  ir::FlagMask Flags = 0;
+  /// One count per tag type of the program (indexed by TagTypeId).
+  std::vector<TagCount> TagCounts;
+
+  bool operator==(const AbstractState &O) const {
+    return Flags == O.Flags && TagCounts == O.TagCounts;
+  }
+
+  /// Renders as "flagA flagB [tagT:1]" using the class's flag names.
+  std::string str(const ir::ClassDecl &Class,
+                  const std::vector<ir::TagTypeDecl> &TagTypes) const;
+};
+
+/// One node of an ASTG.
+struct AstgNode {
+  AbstractState State;
+  /// True if some allocation site (or the startup event) creates objects in
+  /// this state — rendered with concentric ellipses in the paper's figures.
+  bool Allocatable = false;
+};
+
+/// One edge: task \p Task taking exit \p Exit moves an object bound to
+/// parameter \p Param from node \p From to node \p To.
+struct AstgEdge {
+  int From = -1;
+  int To = -1;
+  ir::TaskId Task = ir::InvalidId;
+  ir::ExitId Exit = ir::InvalidId;
+  ir::ParamId Param = ir::InvalidId;
+};
+
+/// The abstract state transition graph of one class.
+class Astg {
+public:
+  ir::ClassId Class = ir::InvalidId;
+  std::vector<AstgNode> Nodes;
+  std::vector<AstgEdge> Edges;
+
+  /// Returns the node index holding \p State, or -1.
+  int findNode(const AbstractState &State) const;
+
+  /// All (task, param) pairs whose guard (flags and tag constraints) is
+  /// satisfied at node \p Node.
+  std::vector<std::pair<ir::TaskId, ir::ParamId>>
+  enabledAt(int Node, const ir::Program &Prog) const;
+
+  /// Emits the graph in DOT format.
+  std::string toDot(const ir::Program &Prog) const;
+};
+
+/// Builds the ASTG of every class of \p Prog (indexed by ClassId). Classes
+/// never allocated with abstract state get an empty graph.
+std::vector<Astg> buildAstgs(const ir::Program &Prog);
+
+/// True if \p Param's guard and tag constraints admit \p State.
+bool guardAdmits(const ir::TaskParam &Param, const AbstractState &State);
+
+/// Applies the flag/tag effects of \p Effect to \p State (the abstract
+/// transfer function: tag adds saturate at Many; clears conservatively keep
+/// Many at Many since the analysis cannot count instances).
+AbstractState applyEffect(const AbstractState &State,
+                          const ir::ParamExitEffect &Effect);
+
+} // namespace bamboo::analysis
+
+#endif // BAMBOO_ANALYSIS_ASTG_H

@@ -1,0 +1,180 @@
+//===- analysis/Cstg.cpp - Combined state transition graph ----------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cstg.h"
+
+#include "support/Dot.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bamboo;
+using namespace bamboo::analysis;
+
+int Cstg::nodeIndex(ir::ClassId Class, int AstgNode) const {
+  for (size_t I = 0; I < Nodes.size(); ++I)
+    if (Nodes[I].Class == Class && Nodes[I].AstgNode == AstgNode)
+      return static_cast<int>(I);
+  return -1;
+}
+
+int Cstg::findNode(ir::ClassId Class, const AbstractState &State) const {
+  int Local = Astgs[static_cast<size_t>(Class)].findNode(State);
+  if (Local < 0)
+    return -1;
+  return nodeIndex(Class, Local);
+}
+
+const AbstractState &Cstg::stateOf(int Node) const {
+  const CstgNode &N = Nodes[static_cast<size_t>(Node)];
+  return Astgs[static_cast<size_t>(N.Class)]
+      .Nodes[static_cast<size_t>(N.AstgNode)]
+      .State;
+}
+
+Cstg bamboo::analysis::buildCstg(const ir::Program &Prog) {
+  Cstg G;
+  G.Astgs = buildAstgs(Prog);
+
+  // Global node table, per class in class order.
+  for (size_t C = 0; C < G.Astgs.size(); ++C)
+    for (size_t N = 0; N < G.Astgs[C].Nodes.size(); ++N)
+      G.Nodes.push_back(
+          CstgNode{static_cast<ir::ClassId>(C), static_cast<int>(N)});
+
+  // Solid transition edges.
+  for (const Astg &A : G.Astgs) {
+    for (const AstgEdge &E : A.Edges) {
+      CstgTransition T;
+      T.From = G.nodeIndex(A.Class, E.From);
+      T.To = G.nodeIndex(A.Class, E.To);
+      T.Task = E.Task;
+      T.Exit = E.Exit;
+      T.Param = E.Param;
+      G.Transitions.push_back(T);
+    }
+  }
+
+  // Dashed new-object edges.
+  G.SiteNodes.assign(Prog.sites().size(), -1);
+  for (const ir::AllocSite &Site : Prog.sites()) {
+    AbstractState Init;
+    Init.Flags = Site.InitialFlags;
+    Init.TagCounts.assign(Prog.tagTypes().size(), TagCount::Zero);
+    for (ir::TagTypeId TT : Site.BoundTags) {
+      TagCount &Count = Init.TagCounts[static_cast<size_t>(TT)];
+      Count = Count == TagCount::Zero ? TagCount::One : TagCount::Many;
+    }
+    int ToNode = G.findNode(Site.Class, Init);
+    assert(ToNode >= 0 && "site initial state must be an ASTG node");
+    G.SiteNodes[static_cast<size_t>(Site.Id)] = ToNode;
+    G.NewEdges.push_back(CstgNewEdge{Site.Owner, Site.Id, ToNode});
+  }
+
+  // Startup node.
+  {
+    AbstractState Startup;
+    Startup.Flags = ir::FlagMask(1) << Prog.startupFlag();
+    Startup.TagCounts.assign(Prog.tagTypes().size(), TagCount::Zero);
+    G.StartupNode = G.findNode(Prog.startupClass(), Startup);
+    assert(G.StartupNode >= 0 && "startup state must exist");
+  }
+
+  // Dispatch tables.
+  G.Enabled.resize(G.Nodes.size());
+  for (size_t N = 0; N < G.Nodes.size(); ++N) {
+    const CstgNode &Node = G.Nodes[N];
+    G.Enabled[N] = G.Astgs[static_cast<size_t>(Node.Class)].enabledAt(
+        Node.AstgNode, Prog);
+  }
+  return G;
+}
+
+std::string Cstg::toDot(
+    const ir::Program &Prog,
+    const std::function<std::string(int)> &NodeAnnot,
+    const std::function<std::string(const CstgTransition &)> &EdgeAnnot,
+    const std::function<std::string(const CstgNewEdge &)> &NewAnnot) const {
+  DotWriter Dot("cstg_" + Prog.name());
+
+  // Group nodes per class, as the Figure-3 rectangles do.
+  for (size_t C = 0; C < Astgs.size(); ++C) {
+    if (Astgs[C].Nodes.empty())
+      continue;
+    const ir::ClassDecl &Class = Prog.classOf(static_cast<ir::ClassId>(C));
+    Dot.beginCluster(Class.Name, "Class " + Class.Name);
+    for (size_t N = 0; N < Astgs[C].Nodes.size(); ++N) {
+      int Global = nodeIndex(static_cast<ir::ClassId>(C),
+                             static_cast<int>(N));
+      std::string Label =
+          Astgs[C].Nodes[N].State.str(Class, Prog.tagTypes());
+      if (NodeAnnot)
+        Label += NodeAnnot(Global);
+      std::string Extra = "shape=ellipse";
+      if (Astgs[C].Nodes[N].Allocatable)
+        Extra += ", peripheries=2";
+      Dot.addNode(formatString("n%d", Global), Label, Extra);
+    }
+    Dot.endCluster();
+  }
+
+  for (const CstgTransition &T : Transitions) {
+    const ir::TaskDecl &Task = Prog.taskOf(T.Task);
+    std::string Label =
+        Task.Name + ":" + Task.Exits[static_cast<size_t>(T.Exit)].Label;
+    if (EdgeAnnot)
+      Label += EdgeAnnot(T);
+    Dot.addEdge(formatString("n%d", T.From), formatString("n%d", T.To),
+                Label);
+  }
+
+  // New-object edges: drawn dashed from every source node of the creating
+  // task to the created state.
+  for (const CstgNewEdge &E : NewEdges) {
+    std::string Label = "new";
+    if (NewAnnot)
+      Label += NewAnnot(E);
+    std::vector<int> Sources;
+    for (const CstgTransition &T : Transitions)
+      if (T.Task == E.Task)
+        Sources.push_back(T.From);
+    std::sort(Sources.begin(), Sources.end());
+    Sources.erase(std::unique(Sources.begin(), Sources.end()),
+                  Sources.end());
+    for (int From : Sources)
+      Dot.addEdge(formatString("n%d", From), formatString("n%d", E.ToNode),
+                  Label, "style=dashed");
+  }
+  return Dot.str();
+}
+
+std::string bamboo::analysis::taskFlowDot(const ir::Program &Prog,
+                                          const Cstg &Graph) {
+  DotWriter Dot("taskflow_" + Prog.name());
+  for (size_t T = 0; T < Prog.tasks().size(); ++T)
+    Dot.addNode(formatString("t%zu", T), Prog.tasks()[T].Name, "shape=box");
+
+  // Task A feeds task B if A transitions or creates an object into a state
+  // where B's guard admits it.
+  std::vector<std::pair<int, int>> Edges;
+  auto AddEdges = [&](ir::TaskId Producer, int Node) {
+    for (auto [Consumer, Param] : Graph.enabledAt(Node)) {
+      (void)Param;
+      Edges.emplace_back(Producer, Consumer);
+    }
+  };
+  for (const CstgTransition &T : Graph.Transitions)
+    AddEdges(T.Task, T.To);
+  for (const CstgNewEdge &E : Graph.NewEdges)
+    AddEdges(E.Task, E.ToNode);
+
+  std::sort(Edges.begin(), Edges.end());
+  Edges.erase(std::unique(Edges.begin(), Edges.end()), Edges.end());
+  for (auto [From, To] : Edges)
+    Dot.addEdge(formatString("t%d", From), formatString("t%d", To));
+  return Dot.str();
+}

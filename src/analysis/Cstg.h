@@ -1,0 +1,114 @@
+//===- analysis/Cstg.h - Combined state transition graph --------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The combined state transition graph (CSTG, Sections 2.4 and 4.3.1): the
+/// per-class ASTGs merged into one graph whose solid edges are task
+/// transitions and whose dashed edges are new-object edges from allocating
+/// tasks to the abstract state of the objects they create. Synthesis
+/// transforms this graph; the runtime uses its dispatch tables to route
+/// transitioned objects to candidate next tasks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_ANALYSIS_CSTG_H
+#define BAMBOO_ANALYSIS_CSTG_H
+
+#include "analysis/Astg.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bamboo::analysis {
+
+/// One node of the CSTG: an abstract state of one class.
+struct CstgNode {
+  ir::ClassId Class = ir::InvalidId;
+  int AstgNode = -1; // Index in the class's Astg.
+};
+
+/// A solid task-transition edge between two global node indices.
+struct CstgTransition {
+  int From = -1;
+  int To = -1;
+  ir::TaskId Task = ir::InvalidId;
+  ir::ExitId Exit = ir::InvalidId;
+  ir::ParamId Param = ir::InvalidId;
+};
+
+/// A dashed new-object edge: task \p Task (via site \p Site) creates
+/// objects whose initial abstract state is node \p ToNode.
+struct CstgNewEdge {
+  ir::TaskId Task = ir::InvalidId;
+  ir::SiteId Site = ir::InvalidId;
+  int ToNode = -1;
+};
+
+/// The combined graph, plus the per-node dispatch information the runtime
+/// needs.
+class Cstg {
+public:
+  std::vector<Astg> Astgs; // Indexed by ClassId.
+  std::vector<CstgNode> Nodes;
+  std::vector<CstgTransition> Transitions;
+  std::vector<CstgNewEdge> NewEdges;
+
+  /// Global node index for (class, astg node), or -1.
+  int nodeIndex(ir::ClassId Class, int AstgNode) const;
+
+  /// Global node index whose abstract state equals \p State, or -1.
+  int findNode(ir::ClassId Class, const AbstractState &State) const;
+
+  const AbstractState &stateOf(int Node) const;
+
+  /// (task, param) pairs whose guards admit objects at \p Node
+  /// (precomputed at build time).
+  const std::vector<std::pair<ir::TaskId, ir::ParamId>> &
+  enabledAt(int Node) const {
+    return Enabled[static_cast<size_t>(Node)];
+  }
+
+  /// The global node index of the startup object's initial state.
+  int startupNode() const { return StartupNode; }
+
+  /// The global node index of the initial state of objects allocated at
+  /// \p Site.
+  int siteNode(ir::SiteId Site) const {
+    return SiteNodes[static_cast<size_t>(Site)];
+  }
+
+  /// Renders the graph in DOT, grouped per class like Figure 3.
+  /// \p NodeAnnot and \p EdgeAnnot (both optional) append profile text to
+  /// node and edge labels — the profile module supplies them so that the
+  /// Figure-3 dump shows `task:<time, probability>` annotations.
+  std::string
+  toDot(const ir::Program &Prog,
+        const std::function<std::string(int /*Node*/)> &NodeAnnot = {},
+        const std::function<std::string(const CstgTransition &)> &EdgeAnnot =
+            {},
+        const std::function<std::string(const CstgNewEdge &)> &NewAnnot = {})
+      const;
+
+private:
+  friend Cstg buildCstg(const ir::Program &Prog);
+
+  std::vector<std::vector<std::pair<ir::TaskId, ir::ParamId>>> Enabled;
+  std::vector<int> SiteNodes; // Indexed by SiteId.
+  int StartupNode = -1;
+};
+
+/// Builds the ASTGs and combines them.
+Cstg buildCstg(const ir::Program &Prog);
+
+/// Builds the task-flow graph of Figure 8 in DOT: nodes are tasks, edges
+/// connect producers to the tasks that can consume the produced or
+/// transitioned objects.
+std::string taskFlowDot(const ir::Program &Prog, const Cstg &Graph);
+
+} // namespace bamboo::analysis
+
+#endif // BAMBOO_ANALYSIS_CSTG_H

@@ -1,0 +1,526 @@
+//===- analysis/Disjoint.cpp - Disjointness (reachability) analysis -------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Disjoint.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace bamboo;
+using namespace bamboo::analysis;
+using namespace bamboo::frontend;
+using namespace bamboo::frontend::ast;
+
+namespace {
+
+/// An abstract origin: either the region rooted at a parameter/placeholder
+/// (Kind::Region) or the objects created by one allocation expression
+/// (Kind::Alloc). Origins are interned per analyzed body.
+struct Origin {
+  enum class Kind { Region, Alloc } K = Kind::Region;
+  int Index = 0; // Parameter/placeholder index, or allocation number.
+
+  bool operator<(const Origin &O) const {
+    if (K != O.K)
+      return K < O.K;
+    return Index < O.Index;
+  }
+  bool operator==(const Origin &O) const {
+    return K == O.K && Index == O.Index;
+  }
+};
+
+using OriginSet = std::set<Origin>;
+
+/// Bottom-up summary of one method's heap effects, phrased over its
+/// placeholders (0 = receiver, 1..N = parameters).
+struct MethodSummary {
+  int NumPlaceholders = 0;
+  /// (i, j): calling the method may make an object of region j reachable
+  /// from region i.
+  std::set<std::pair<int, int>> Merges;
+  /// Placeholders whose region may contain the returned value.
+  std::set<int> ReturnRegions;
+  /// True if the method may return a freshly allocated object.
+  bool ReturnsFresh = false;
+  /// Placeholders reachable from returned fresh objects.
+  std::set<int> FreshReach;
+};
+
+/// Analyzes one body (task or method) over the origin domain.
+class BodyAnalyzer {
+public:
+  BodyAnalyzer(const Module &M,
+               const std::map<std::pair<int, int>, MethodSummary> &Summaries,
+               int NumRoots, int NumSlots)
+      : M(M), Summaries(Summaries), NumRoots(NumRoots) {
+    LocalPts.resize(static_cast<size_t>(NumSlots));
+  }
+
+  /// Binds slot \p Slot to region root \p Root (task parameters and method
+  /// receivers/parameters).
+  void bindRootSlot(int Slot, int Root) {
+    LocalPts[static_cast<size_t>(Slot)].insert(
+        Origin{Origin::Kind::Region, Root});
+  }
+
+  /// Runs the body to a fixed point.
+  void run(const BlockStmt *Body) {
+    bool Changed = true;
+    // The domain is finite and all transfer functions are monotone, so this
+    // terminates; the guard bounds pathological cases.
+    for (int Iter = 0; Changed && Iter < 64; ++Iter) {
+      Changed = false;
+      Snapshot = false;
+      execStmt(Body);
+      Changed = Snapshot;
+    }
+  }
+
+  /// Parameter pairs (i < j) such that some origin carries both roots.
+  std::vector<std::pair<int, int>> aliasPairs() const {
+    std::map<Origin, std::set<int>> Roots = computeRoots();
+    std::set<std::pair<int, int>> Pairs;
+    for (const auto &[O, Rs] : Roots) {
+      (void)O;
+      for (int A : Rs)
+        for (int B : Rs)
+          if (A < B)
+            Pairs.insert({A, B});
+    }
+    return {Pairs.begin(), Pairs.end()};
+  }
+
+  /// Summary-building accessors (for method analysis).
+  std::set<std::pair<int, int>> regionMerges() const {
+    std::set<std::pair<int, int>> Out;
+    std::map<Origin, std::set<int>> Roots = computeRoots();
+    // Region j reachable from region i: origin Region_j has root i.
+    for (const auto &[O, Rs] : Roots) {
+      if (O.K != Origin::Kind::Region)
+        continue;
+      for (int R : Rs)
+        if (R != O.Index)
+          Out.insert({R, O.Index});
+    }
+    // Also surface transitive containment through allocations: if Alloc_k
+    // has roots {i} and references Region_j, j is reachable from i. That is
+    // already covered because Region_j then inherits root i in
+    // computeRoots.
+    return Out;
+  }
+
+  const OriginSet &returnSet() const { return ReturnPts; }
+
+private:
+  const Module &M;
+  const std::map<std::pair<int, int>, MethodSummary> &Summaries;
+  int NumRoots;
+
+  std::vector<OriginSet> LocalPts;
+  std::map<Origin, OriginSet> Contents;
+  OriginSet ReturnPts;
+  int NextAlloc = 0;
+  std::map<const Expr *, int> AllocIds;
+  bool Snapshot = false; // Set when any set grows this pass.
+
+  void noteGrowth(bool Grew) { Snapshot = Snapshot || Grew; }
+
+  bool insertAll(OriginSet &Dst, const OriginSet &Src) {
+    size_t Before = Dst.size();
+    Dst.insert(Src.begin(), Src.end());
+    return Dst.size() != Before;
+  }
+
+  int allocId(const Expr *E) {
+    auto [It, Inserted] = AllocIds.emplace(E, NextAlloc);
+    if (Inserted)
+      ++NextAlloc;
+    return It->second;
+  }
+
+  /// Returns the set of origins a load from origin \p O yields.
+  OriginSet loadFrom(const Origin &O) {
+    OriginSet Out;
+    if (O.K == Origin::Kind::Region) {
+      // Region summaries are closed under pre-existing reachability: a
+      // member of region i is itself abstracted by region i.
+      Out.insert(O);
+    }
+    auto It = Contents.find(O);
+    if (It != Contents.end())
+      Out.insert(It->second.begin(), It->second.end());
+    return Out;
+  }
+
+  void storeInto(const OriginSet &Targets, const OriginSet &Values) {
+    for (const Origin &T : Targets)
+      noteGrowth(insertAll(Contents[T], Values));
+  }
+
+  std::map<Origin, std::set<int>> computeRoots() const {
+    std::map<Origin, std::set<int>> Roots;
+    for (int R = 0; R < NumRoots; ++R)
+      Roots[Origin{Origin::Kind::Region, R}].insert(R);
+    // Propagate roots along Contents edges to a fixed point.
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const auto &[From, Tos] : Contents) {
+        auto FromIt = Roots.find(From);
+        if (FromIt == Roots.end())
+          continue;
+        for (const Origin &To : Tos) {
+          std::set<int> &ToRoots = Roots[To];
+          size_t Before = ToRoots.size();
+          ToRoots.insert(FromIt->second.begin(), FromIt->second.end());
+          if (ToRoots.size() != Before)
+            Changed = true;
+        }
+      }
+    }
+    return Roots;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Transfer functions
+  //===--------------------------------------------------------------------===//
+
+  OriginSet evalExpr(const Expr *E) {
+    if (!E)
+      return {};
+    switch (E->K) {
+    case ExprKind::IntLit:
+    case ExprKind::DoubleLit:
+    case ExprKind::BoolLit:
+    case ExprKind::StringLit:
+    case ExprKind::NullLit:
+      return {};
+    case ExprKind::VarRef: {
+      const auto *V = static_cast<const VarRefExpr *>(E);
+      if (V->Bind == VarRefExpr::Binding::LocalSlot && V->Slot >= 0)
+        return LocalPts[static_cast<size_t>(V->Slot)];
+      if (V->Bind == VarRefExpr::Binding::SelfField) {
+        // Implicit this: placeholder 0.
+        OriginSet Out;
+        for (const Origin &O : loadFrom(Origin{Origin::Kind::Region, 0}))
+          Out.insert(O);
+        return Out;
+      }
+      return {};
+    }
+    case ExprKind::FieldAccess: {
+      const auto *F = static_cast<const FieldAccessExpr *>(E);
+      OriginSet BaseSet = evalExpr(F->Base.get());
+      if (F->IsArrayLength)
+        return {};
+      OriginSet Out;
+      for (const Origin &O : BaseSet)
+        insertAll(Out, loadFrom(O));
+      return Out;
+    }
+    case ExprKind::Index: {
+      const auto *I = static_cast<const IndexExpr *>(E);
+      OriginSet BaseSet = evalExpr(I->Base.get());
+      evalExpr(I->Index.get());
+      OriginSet Out;
+      for (const Origin &O : BaseSet)
+        insertAll(Out, loadFrom(O));
+      return Out;
+    }
+    case ExprKind::Call:
+      return evalCall(static_cast<const CallExpr *>(E));
+    case ExprKind::NewObject: {
+      const auto *N = static_cast<const NewObjectExpr *>(E);
+      Origin Fresh{Origin::Kind::Alloc, allocId(E)};
+      // Constructor effects: the receiver is the fresh object.
+      if (N->CtorIndex >= 0 && N->Class != ir::InvalidId) {
+        std::vector<OriginSet> Actuals;
+        Actuals.push_back({Fresh});
+        for (const ExprPtr &Arg : N->Args)
+          Actuals.push_back(evalExpr(Arg.get()));
+        applySummary(N->Class, N->CtorIndex, Actuals, nullptr);
+      } else {
+        for (const ExprPtr &Arg : N->Args)
+          evalExpr(Arg.get());
+      }
+      return {Fresh};
+    }
+    case ExprKind::NewArray: {
+      const auto *N = static_cast<const NewArrayExpr *>(E);
+      for (const ExprPtr &Dim : N->Dims)
+        evalExpr(Dim.get());
+      return {Origin{Origin::Kind::Alloc, allocId(E)}};
+    }
+    case ExprKind::Unary: {
+      const auto *U = static_cast<const UnaryExpr *>(E);
+      evalExpr(U->Operand.get());
+      return {};
+    }
+    case ExprKind::Binary: {
+      const auto *B = static_cast<const BinaryExpr *>(E);
+      evalExpr(B->Lhs.get());
+      evalExpr(B->Rhs.get());
+      return {};
+    }
+    case ExprKind::Assign:
+      return evalAssign(static_cast<const AssignExpr *>(E));
+    }
+    BAMBOO_UNREACHABLE("covered switch");
+  }
+
+  OriginSet evalAssign(const AssignExpr *A) {
+    OriginSet Values = evalExpr(A->Value.get());
+    switch (A->Target->K) {
+    case ExprKind::VarRef: {
+      const auto *V = static_cast<const VarRefExpr *>(A->Target.get());
+      if (V->Bind == VarRefExpr::Binding::LocalSlot && V->Slot >= 0) {
+        noteGrowth(insertAll(LocalPts[static_cast<size_t>(V->Slot)], Values));
+      } else if (V->Bind == VarRefExpr::Binding::SelfField) {
+        storeInto({Origin{Origin::Kind::Region, 0}}, Values);
+      }
+      return Values;
+    }
+    case ExprKind::FieldAccess: {
+      const auto *F = static_cast<const FieldAccessExpr *>(A->Target.get());
+      OriginSet Targets = evalExpr(F->Base.get());
+      storeInto(Targets, Values);
+      return Values;
+    }
+    case ExprKind::Index: {
+      const auto *I = static_cast<const IndexExpr *>(A->Target.get());
+      OriginSet Targets = evalExpr(I->Base.get());
+      evalExpr(I->Index.get());
+      storeInto(Targets, Values);
+      return Values;
+    }
+    default:
+      return Values;
+    }
+  }
+
+  /// Applies a callee summary at a call site. \p Actuals[i] is the origin
+  /// set of placeholder i. On return, \p ReturnOut (if nonnull) receives
+  /// the origins of the call result.
+  void applySummary(ir::ClassId Class, int MethodIdx,
+                    const std::vector<OriginSet> &Actuals,
+                    OriginSet *ReturnOut) {
+    auto It = Summaries.find({Class, MethodIdx});
+    if (It == Summaries.end()) {
+      // No summary yet (first interprocedural iteration): be conservative
+      // only about the return value, not about merges — the fixed point
+      // will revisit this call once the summary exists.
+      return;
+    }
+    const MethodSummary &S = It->second;
+    auto ActualsOf = [&](int Placeholder) -> OriginSet {
+      if (Placeholder >= 0 &&
+          static_cast<size_t>(Placeholder) < Actuals.size())
+        return Actuals[static_cast<size_t>(Placeholder)];
+      return {};
+    };
+    for (auto [I, J] : S.Merges)
+      storeInto(ActualsOf(I), ActualsOf(J));
+    if (ReturnOut) {
+      for (int R : S.ReturnRegions)
+        for (const Origin &O : ActualsOf(R))
+          insertAll(*ReturnOut, loadFrom(O));
+      if (S.ReturnsFresh) {
+        // Model the returned fresh object as an allocation at the call
+        // site whose contents cover the reachable placeholders.
+        // The call-expression pointer serves as the site key.
+        Origin Fresh{Origin::Kind::Alloc, allocId(CurrentCall)};
+        ReturnOut->insert(Fresh);
+        for (int R : S.FreshReach)
+          storeInto({Fresh}, ActualsOf(R));
+      }
+    }
+  }
+
+  const Expr *CurrentCall = nullptr;
+
+  OriginSet evalCall(const CallExpr *C) {
+    OriginSet ReceiverSet;
+    if (C->Base)
+      ReceiverSet = evalExpr(C->Base.get());
+    else
+      ReceiverSet = {Origin{Origin::Kind::Region, 0}}; // Implicit this.
+
+    std::vector<OriginSet> Actuals;
+    Actuals.push_back(ReceiverSet);
+    for (const ExprPtr &Arg : C->Args)
+      Actuals.push_back(evalExpr(Arg.get()));
+
+    if (C->Builtin != BuiltinId::None)
+      return {}; // Builtins have no heap effects on class objects.
+
+    if (C->TargetClass == ir::InvalidId || C->MethodIndex < 0)
+      return {};
+
+    OriginSet Ret;
+    const Expr *Saved = CurrentCall;
+    CurrentCall = C;
+    applySummary(C->TargetClass, C->MethodIndex, Actuals, &Ret);
+    CurrentCall = Saved;
+    return Ret;
+  }
+
+  void execStmt(const Stmt *S) {
+    if (!S)
+      return;
+    switch (S->K) {
+    case StmtKind::Block:
+      for (const StmtPtr &Child : static_cast<const BlockStmt *>(S)->Stmts)
+        execStmt(Child.get());
+      return;
+    case StmtKind::VarDecl: {
+      const auto *D = static_cast<const VarDeclStmt *>(S);
+      if (D->Init) {
+        OriginSet Values = evalExpr(D->Init.get());
+        if (D->Slot >= 0)
+          noteGrowth(insertAll(LocalPts[static_cast<size_t>(D->Slot)],
+                               Values));
+      }
+      return;
+    }
+    case StmtKind::TagDecl:
+      return;
+    case StmtKind::Expr:
+      evalExpr(static_cast<const ExprStmt *>(S)->E.get());
+      return;
+    case StmtKind::If: {
+      const auto *I = static_cast<const IfStmt *>(S);
+      evalExpr(I->Cond.get());
+      execStmt(I->Then.get());
+      execStmt(I->Else.get());
+      return;
+    }
+    case StmtKind::While: {
+      const auto *W = static_cast<const WhileStmt *>(S);
+      evalExpr(W->Cond.get());
+      execStmt(W->Body.get());
+      return;
+    }
+    case StmtKind::For: {
+      const auto *F = static_cast<const ForStmt *>(S);
+      execStmt(F->Init.get());
+      if (F->Cond)
+        evalExpr(F->Cond.get());
+      if (F->Step)
+        evalExpr(F->Step.get());
+      execStmt(F->Body.get());
+      return;
+    }
+    case StmtKind::Return: {
+      const auto *R = static_cast<const ReturnStmt *>(S);
+      if (R->Value)
+        noteGrowth(insertAll(ReturnPts, evalExpr(R->Value.get())));
+      return;
+    }
+    case StmtKind::Break:
+    case StmtKind::Continue:
+      return;
+    case StmtKind::TaskExit:
+      return;
+    }
+    BAMBOO_UNREACHABLE("covered switch");
+  }
+};
+
+/// Computes method summaries bottom-up to an interprocedural fixed point.
+std::map<std::pair<int, int>, MethodSummary>
+computeSummaries(const Module &M) {
+  std::map<std::pair<int, int>, MethodSummary> Summaries;
+  bool Changed = true;
+  // Monotone finite domain; the bound protects against bugs only.
+  for (int Iter = 0; Changed && Iter < 32; ++Iter) {
+    Changed = false;
+    for (const ClassDeclAst &C : M.Classes) {
+      for (size_t MI = 0; MI < C.Methods.size(); ++MI) {
+        const MethodDecl &Method = C.Methods[MI];
+        int NumPlaceholders = static_cast<int>(Method.Params.size()) + 1;
+        BodyAnalyzer Analyzer(M, Summaries, NumPlaceholders,
+                              Method.NumSlots);
+        // Placeholder 0 = this; parameters follow in slot order.
+        for (size_t P = 0; P < Method.Params.size(); ++P)
+          Analyzer.bindRootSlot(static_cast<int>(P),
+                                static_cast<int>(P) + 1);
+        Analyzer.run(Method.Body.get());
+
+        MethodSummary S;
+        S.NumPlaceholders = NumPlaceholders;
+        for (auto [I, J] : Analyzer.regionMerges())
+          S.Merges.insert({I, J});
+        for (const Origin &O : Analyzer.returnSet()) {
+          if (O.K == Origin::Kind::Region)
+            S.ReturnRegions.insert(O.Index);
+          else
+            S.ReturnsFresh = true;
+        }
+        if (S.ReturnsFresh) {
+          // Anything a returned allocation may reference.
+          for (const Origin &O : Analyzer.returnSet()) {
+            if (O.K != Origin::Kind::Alloc)
+              continue;
+            // Conservative: fresh returns may reach every merged region.
+            for (auto [I, J] : S.Merges) {
+              S.FreshReach.insert(I);
+              S.FreshReach.insert(J);
+            }
+          }
+        }
+
+        auto Key = std::make_pair(static_cast<int>(C.Id),
+                                  static_cast<int>(MI));
+        auto It = Summaries.find(Key);
+        if (It == Summaries.end()) {
+          Summaries.emplace(Key, std::move(S));
+          Changed = true;
+          continue;
+        }
+        if (It->second.Merges != S.Merges ||
+            It->second.ReturnRegions != S.ReturnRegions ||
+            It->second.ReturnsFresh != S.ReturnsFresh ||
+            It->second.FreshReach != S.FreshReach) {
+          It->second = std::move(S);
+          Changed = true;
+        }
+      }
+    }
+  }
+  return Summaries;
+}
+
+} // namespace
+
+std::vector<TaskDisjointness>
+bamboo::analysis::analyzeDisjointness(CompiledModule &CM) {
+  std::map<std::pair<int, int>, MethodSummary> Summaries =
+      computeSummaries(CM.Ast);
+
+  std::vector<TaskDisjointness> Results;
+  for (const TaskDeclAst &Task : CM.Ast.Tasks) {
+    if (Task.Id == ir::InvalidId)
+      continue;
+    int NumParams = static_cast<int>(Task.Params.size());
+    BodyAnalyzer Analyzer(CM.Ast, Summaries, NumParams, Task.NumSlots);
+    for (int P = 0; P < NumParams; ++P)
+      Analyzer.bindRootSlot(P, P);
+    Analyzer.run(Task.Body.get());
+
+    TaskDisjointness R;
+    R.Task = Task.Id;
+    for (auto [A, B] : Analyzer.aliasPairs())
+      R.MayAliasPairs.emplace_back(A, B);
+    CM.Prog.setMayAliasPairs(Task.Id, R.MayAliasPairs);
+    Results.push_back(std::move(R));
+  }
+  return Results;
+}

@@ -1,0 +1,78 @@
+//===- analysis/LockPlan.cpp - Lock planning from disjointness ------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LockPlan.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <numeric>
+
+using namespace bamboo;
+using namespace bamboo::analysis;
+
+std::vector<TaskLockPlan>
+bamboo::analysis::buildLockPlans(const ir::Program &Prog) {
+  std::vector<TaskLockPlan> Plans;
+  Plans.reserve(Prog.tasks().size());
+
+  for (size_t T = 0; T < Prog.tasks().size(); ++T) {
+    const ir::TaskDecl &Task = Prog.tasks()[T];
+    size_t N = Task.Params.size();
+
+    // Union-find over parameters.
+    std::vector<int> Parent(N);
+    std::iota(Parent.begin(), Parent.end(), 0);
+    auto Find = [&](int X) {
+      while (Parent[static_cast<size_t>(X)] != X)
+        X = Parent[static_cast<size_t>(X)] =
+            Parent[static_cast<size_t>(Parent[static_cast<size_t>(X)])];
+      return X;
+    };
+    for (auto [A, B] : Task.MayAliasPairs) {
+      int RA = Find(A), RB = Find(B);
+      if (RA != RB)
+        Parent[static_cast<size_t>(RB)] = RA;
+    }
+
+    TaskLockPlan Plan;
+    Plan.Task = static_cast<ir::TaskId>(T);
+    Plan.GroupOfParam.assign(N, -1);
+    for (size_t P = 0; P < N; ++P) {
+      int Root = Find(static_cast<int>(P));
+      if (Plan.GroupOfParam[static_cast<size_t>(Root)] < 0)
+        Plan.GroupOfParam[static_cast<size_t>(Root)] = Plan.NumGroups++;
+      Plan.GroupOfParam[P] = Plan.GroupOfParam[static_cast<size_t>(Root)];
+    }
+    Plans.push_back(std::move(Plan));
+  }
+  return Plans;
+}
+
+std::string
+bamboo::analysis::lockPlanSummary(const ir::Program &Prog,
+                                  const std::vector<TaskLockPlan> &Plans) {
+  std::string Out;
+  for (const TaskLockPlan &Plan : Plans) {
+    const ir::TaskDecl &Task = Prog.taskOf(Plan.Task);
+    Out += "task " + Task.Name + ":";
+    for (int G = 0; G < Plan.NumGroups; ++G) {
+      Out += " {";
+      bool First = true;
+      for (size_t P = 0; P < Plan.GroupOfParam.size(); ++P) {
+        if (Plan.GroupOfParam[P] != G)
+          continue;
+        if (!First)
+          Out += " ";
+        Out += Task.Params[P].Name;
+        First = false;
+      }
+      Out += "}";
+    }
+    Out += "\n";
+  }
+  return Out;
+}

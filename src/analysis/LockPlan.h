@@ -1,0 +1,50 @@
+//===- analysis/LockPlan.h - Lock planning from disjointness -----*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns per-task may-alias pairs into lock plans (Section 4.2): parameters
+/// that may come to share reachable heap are placed in one lock group and
+/// protected by a single shared lock; all other parameters get their own
+/// lock. At invocation the runtime locks one lock per group, in group
+/// order, releasing everything and retrying a different invocation if any
+/// lock is unavailable (tasks never abort — Section 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_ANALYSIS_LOCKPLAN_H
+#define BAMBOO_ANALYSIS_LOCKPLAN_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace bamboo::analysis {
+
+/// The lock plan of one task.
+struct TaskLockPlan {
+  ir::TaskId Task = ir::InvalidId;
+  /// Lock group index of each parameter; groups are numbered 0..NumGroups-1
+  /// in order of their first member.
+  std::vector<int> GroupOfParam;
+  int NumGroups = 0;
+
+  /// True when every parameter has its own lock (fully disjoint task).
+  bool isFullyDisjoint() const {
+    return NumGroups == static_cast<int>(GroupOfParam.size());
+  }
+};
+
+/// Builds lock plans for every task from TaskDecl::MayAliasPairs.
+std::vector<TaskLockPlan> buildLockPlans(const ir::Program &Prog);
+
+/// Renders a human-readable summary ("task foo: {a} {b c}").
+std::string lockPlanSummary(const ir::Program &Prog,
+                            const std::vector<TaskLockPlan> &Plans);
+
+} // namespace bamboo::analysis
+
+#endif // BAMBOO_ANALYSIS_LOCKPLAN_H

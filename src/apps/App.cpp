@@ -1,0 +1,37 @@
+//===- apps/App.cpp - Benchmark application registry ------------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/App.h"
+
+#include "apps/FilterBank.h"
+#include "apps/Fractal.h"
+#include "apps/KMeans.h"
+#include "apps/MonteCarlo.h"
+#include "apps/Series.h"
+#include "apps/Tracking.h"
+
+using namespace bamboo;
+using namespace bamboo::apps;
+
+App::~App() = default;
+
+std::vector<std::unique_ptr<App>> bamboo::apps::allApps() {
+  std::vector<std::unique_ptr<App>> Apps;
+  Apps.push_back(std::make_unique<TrackingApp>());
+  Apps.push_back(std::make_unique<KMeansApp>());
+  Apps.push_back(std::make_unique<MonteCarloApp>());
+  Apps.push_back(std::make_unique<FilterBankApp>());
+  Apps.push_back(std::make_unique<FractalApp>());
+  Apps.push_back(std::make_unique<SeriesApp>());
+  return Apps;
+}
+
+std::unique_ptr<App> bamboo::apps::makeApp(const std::string &Name) {
+  for (std::unique_ptr<App> &A : allApps())
+    if (A->name() == Name)
+      return std::move(A);
+  return nullptr;
+}

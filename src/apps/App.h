@@ -1,0 +1,72 @@
+//===- apps/App.h - Benchmark application interface -------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The six benchmark applications of the paper's evaluation (Section 5):
+/// Tracking, KMeans, MonteCarlo, FilterBank, Fractal, and Series. Each app
+/// provides
+///
+///  - an embedded Bamboo program (tasks + guards + bodies) over a
+///    deterministic synthetic workload, and
+///  - a sequential C++ baseline (the paper's "1-core C version") that runs
+///    the *identical* computational kernels under the *identical* work
+///    meter,
+///
+/// so "1-core Bamboo vs 1-core C" isolates runtime dispatch overhead
+/// (Section 5.5) and checksums verify that parallel executions compute
+/// the same results as the baseline.
+///
+/// Workloads are parameterized by an integer scale: scale 1 is the
+/// Input_original of the paper, scale 2 the Input_double of Section 5.4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_APPS_APP_H
+#define BAMBOO_APPS_APP_H
+
+#include "runtime/BoundProgram.h"
+#include "runtime/TileExecutor.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bamboo::apps {
+
+/// Result of a sequential baseline run.
+struct BaselineResult {
+  machine::Cycles MeteredCycles = 0;
+  uint64_t Checksum = 0;
+};
+
+/// One benchmark application.
+class App {
+public:
+  virtual ~App();
+
+  virtual std::string name() const = 0;
+
+  /// Builds the Bamboo version for the given workload scale.
+  virtual runtime::BoundProgram makeBound(int Scale) const = 0;
+
+  /// Runs the sequential C baseline for the same workload.
+  virtual BaselineResult runBaseline(int Scale) const = 0;
+
+  /// Extracts the result checksum from a finished execution's heap; must
+  /// equal the baseline checksum for the same scale.
+  virtual uint64_t checksumFromHeap(runtime::Heap &H) const = 0;
+};
+
+/// All six benchmarks, in the paper's order: Tracking, KMeans, MonteCarlo,
+/// FilterBank, Fractal, Series.
+std::vector<std::unique_ptr<App>> allApps();
+
+/// Lookup by name; null when unknown.
+std::unique_ptr<App> makeApp(const std::string &Name);
+
+} // namespace bamboo::apps
+
+#endif // BAMBOO_APPS_APP_H

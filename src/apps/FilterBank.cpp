@@ -1,0 +1,181 @@
+//===- apps/FilterBank.cpp - Multi-channel filter bank benchmark ------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/FilterBank.h"
+
+#include "ir/ProgramBuilder.h"
+#include "runtime/TaskContext.h"
+
+#include <cmath>
+#include <vector>
+
+using namespace bamboo;
+using namespace bamboo::apps;
+using namespace bamboo::runtime;
+
+namespace {
+
+/// The shared input signal (deterministic synthetic waveform).
+std::vector<double> makeSignal(const FilterBankParams &P) {
+  std::vector<double> S(static_cast<size_t>(P.SignalLength));
+  for (int I = 0; I < P.SignalLength; ++I)
+    S[static_cast<size_t>(I)] =
+        std::sin(0.02 * I) + 0.5 * std::sin(0.11 * I + 0.3);
+  return S;
+}
+
+/// Per-channel FIR coefficients.
+std::vector<double> makeTaps(const FilterBankParams &P, int Channel) {
+  std::vector<double> T(static_cast<size_t>(P.Taps));
+  for (int I = 0; I < P.Taps; ++I)
+    T[static_cast<size_t>(I)] =
+        std::cos(0.05 * (Channel + 1) * I) / static_cast<double>(P.Taps);
+  return T;
+}
+
+/// Down-sample + filter, then up-sample + filter; returns the channel's
+/// output energy. Shared by tasks and baseline.
+double processChannel(const FilterBankParams &P,
+                      const std::vector<double> &Signal,
+                      const std::vector<double> &Taps) {
+  int DownLen = P.SignalLength / P.DownFactor;
+  std::vector<double> Down(static_cast<size_t>(DownLen), 0.0);
+  for (int I = 0; I < DownLen; ++I) {
+    double Acc = 0.0;
+    for (int T = 0; T < P.Taps; ++T) {
+      int Idx = I * P.DownFactor - T;
+      if (Idx >= 0)
+        Acc += Signal[static_cast<size_t>(Idx)] *
+               Taps[static_cast<size_t>(T)];
+    }
+    Down[static_cast<size_t>(I)] = Acc;
+  }
+  double Energy = 0.0;
+  for (int I = 0; I < P.SignalLength; ++I) {
+    double Acc = 0.0;
+    for (int T = 0; T < P.Taps; ++T) {
+      int Idx = I - T;
+      if (Idx >= 0 && Idx % P.DownFactor == 0)
+        Acc += Down[static_cast<size_t>(Idx / P.DownFactor)] *
+               Taps[static_cast<size_t>(T)];
+    }
+    Energy += Acc * Acc;
+  }
+  return Energy;
+}
+
+machine::Cycles channelCost(const FilterBankParams &P) {
+  // Down-sample MACs + up-sample MACs (one virtual cycle per MAC).
+  return static_cast<machine::Cycles>(P.SignalLength / P.DownFactor) *
+             static_cast<machine::Cycles>(P.Taps) +
+         static_cast<machine::Cycles>(P.SignalLength) *
+             static_cast<machine::Cycles>(P.Taps);
+}
+
+uint64_t quantize(double D) {
+  return static_cast<uint64_t>(static_cast<int64_t>(D * 1e6));
+}
+
+struct ChannelData : ObjectData {
+  int Channel = 0;
+  double Energy = 0.0;
+};
+
+struct CombinerData : ObjectData {
+  int Expected = 0;
+  int Merged = 0;
+  uint64_t Checksum = 0;
+};
+
+} // namespace
+
+runtime::BoundProgram FilterBankApp::makeBound(int Scale) const {
+  FilterBankParams P = FilterBankParams::forScale(Scale);
+
+  ir::ProgramBuilder PB("filterbank");
+  ir::ClassId Startup = PB.addClass("StartupObject", {"initialstate"});
+  ir::ClassId Channel = PB.addClass("Channel", {"process", "combine"});
+  ir::ClassId Combiner = PB.addClass("Combiner", {"finished"});
+
+  ir::TaskId Boot = PB.addTask("startup");
+  PB.addParam(Boot, "s", Startup, PB.flagRef(Startup, "initialstate"));
+  ir::ExitId B0 = PB.addExit(Boot, "done");
+  PB.setFlagEffect(Boot, B0, 0, "initialstate", false);
+  ir::SiteId ChannelSite = PB.addSite(Boot, Channel, {"process"}, {},
+                                      "channels");
+  ir::SiteId CombinerSite = PB.addSite(Boot, Combiner, {}, {}, "combiner");
+
+  ir::TaskId Process = PB.addTask("processChannel");
+  PB.addParam(Process, "ch", Channel, PB.flagRef(Channel, "process"));
+  ir::ExitId P0 = PB.addExit(Process, "done");
+  PB.setFlagEffect(Process, P0, 0, "process", false);
+  PB.setFlagEffect(Process, P0, 0, "combine", true);
+
+  ir::TaskId Combine = PB.addTask("combineChannel");
+  PB.addParam(Combine, "cb", Combiner, PB.notFlag(Combiner, "finished"));
+  PB.addParam(Combine, "ch", Channel, PB.flagRef(Channel, "combine"));
+  ir::ExitId C0 = PB.addExit(Combine, "more");
+  PB.setFlagEffect(Combine, C0, 1, "combine", false);
+  ir::ExitId C1 = PB.addExit(Combine, "all");
+  PB.setFlagEffect(Combine, C1, 0, "finished", true);
+  PB.setFlagEffect(Combine, C1, 1, "combine", false);
+
+  PB.setStartup(Startup, "initialstate");
+  runtime::BoundProgram BP(PB.take());
+
+  BP.bind(Boot, [P, ChannelSite, CombinerSite](TaskContext &Ctx) {
+    for (int C = 0; C < P.Channels; ++C) {
+      auto Data = std::make_unique<ChannelData>();
+      Data->Channel = C;
+      Ctx.allocate(ChannelSite, std::move(Data));
+      Ctx.charge(6);
+    }
+    auto Data = std::make_unique<CombinerData>();
+    Data->Expected = P.Channels;
+    Ctx.allocate(CombinerSite, std::move(Data));
+    Ctx.exitWith(0);
+  });
+
+  BP.bind(Process, [P](TaskContext &Ctx) {
+    auto &Data = Ctx.paramData<ChannelData>(0);
+    Data.Energy =
+        processChannel(P, makeSignal(P), makeTaps(P, Data.Channel));
+    Ctx.charge(channelCost(P));
+    Ctx.exitWith(0);
+  });
+
+  BP.bind(Combine, [](TaskContext &Ctx) {
+    auto &Combiner = Ctx.paramData<CombinerData>(0);
+    auto &Channel = Ctx.paramData<ChannelData>(1);
+    Combiner.Checksum += quantize(Channel.Energy);
+    ++Combiner.Merged;
+    Ctx.charge(16);
+    Ctx.exitWith(Combiner.Merged == Combiner.Expected ? 1 : 0);
+  });
+  BP.hintPerObjectExits(Combine);
+  return BP;
+}
+
+BaselineResult FilterBankApp::runBaseline(int Scale) const {
+  FilterBankParams P = FilterBankParams::forScale(Scale);
+  BaselineResult R;
+  R.MeteredCycles += 6u * static_cast<machine::Cycles>(P.Channels);
+  std::vector<double> Signal = makeSignal(P);
+  for (int C = 0; C < P.Channels; ++C) {
+    double Energy = processChannel(P, Signal, makeTaps(P, C));
+    R.MeteredCycles += channelCost(P) + 16;
+    R.Checksum += quantize(Energy);
+  }
+  return R;
+}
+
+uint64_t FilterBankApp::checksumFromHeap(runtime::Heap &H) const {
+  for (size_t I = 0; I < H.numObjects(); ++I)
+    if (auto *Combiner =
+            dynamic_cast<CombinerData *>(H.objectAt(I)->Data.get()))
+      return Combiner->Checksum;
+  return 0;
+}

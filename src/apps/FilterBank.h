@@ -1,0 +1,46 @@
+//===- apps/FilterBank.h - Multi-channel filter bank benchmark --*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FilterBank: the StreamIt multi-channel filter bank for multirate signal
+/// processing. Each Channel object carries the shared input signal and a
+/// per-channel FIR coefficient set; the process task performs a
+/// down-sample + filter followed by an up-sample + filter, and a Combiner
+/// object sums the channel outputs. The paper reports 37.5x on 62 cores.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_APPS_FILTERBANK_H
+#define BAMBOO_APPS_FILTERBANK_H
+
+#include "apps/App.h"
+
+namespace bamboo::apps {
+
+struct FilterBankParams {
+  int Channels = 124;
+  int SignalLength = 256;
+  int Taps = 32;
+  int DownFactor = 4;
+
+  static FilterBankParams forScale(int Scale) {
+    FilterBankParams P;
+    P.Channels *= Scale;
+    return P;
+  }
+};
+
+class FilterBankApp : public App {
+public:
+  std::string name() const override { return "FilterBank"; }
+  runtime::BoundProgram makeBound(int Scale) const override;
+  BaselineResult runBaseline(int Scale) const override;
+  uint64_t checksumFromHeap(runtime::Heap &H) const override;
+};
+
+} // namespace bamboo::apps
+
+#endif // BAMBOO_APPS_FILTERBANK_H

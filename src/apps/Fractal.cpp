@@ -1,0 +1,142 @@
+//===- apps/Fractal.cpp - Mandelbrot set benchmark -------------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Fractal.h"
+
+#include "ir/ProgramBuilder.h"
+#include "runtime/TaskContext.h"
+
+using namespace bamboo;
+using namespace bamboo::apps;
+using namespace bamboo::runtime;
+
+namespace {
+
+/// Escape iterations for one pixel. Shared by the Bamboo tasks and the C
+/// baseline so both compute bit-identical results.
+int mandelPixel(double Cx, double Cy, int MaxIter) {
+  double X = 0.0, Y = 0.0;
+  int Iter = 0;
+  while (X * X + Y * Y <= 4.0 && Iter < MaxIter) {
+    double Xn = X * X - Y * Y + Cx;
+    Y = 2.0 * X * Y + Cy;
+    X = Xn;
+    ++Iter;
+  }
+  return Iter;
+}
+
+/// Renders one row; returns the summed iteration count, which doubles as
+/// the row's work-meter charge (one cycle per inner iteration) and as its
+/// checksum contribution.
+uint64_t mandelRow(const FractalParams &P, int Row) {
+  double Cy = P.YMin + (P.YMax - P.YMin) * static_cast<double>(Row) /
+                           static_cast<double>(P.Rows);
+  uint64_t Total = 0;
+  for (int Col = 0; Col < P.Width; ++Col) {
+    double Cx = P.XMin + (P.XMax - P.XMin) * static_cast<double>(Col) /
+                             static_cast<double>(P.Width);
+    Total += static_cast<uint64_t>(mandelPixel(Cx, Cy, P.MaxIter));
+  }
+  return Total;
+}
+
+struct RowData : ObjectData {
+  int Row = 0;
+  uint64_t Iterations = 0;
+};
+
+struct CanvasData : ObjectData {
+  int Expected = 0;
+  int Merged = 0;
+  uint64_t Checksum = 0;
+};
+
+} // namespace
+
+runtime::BoundProgram FractalApp::makeBound(int Scale) const {
+  FractalParams P = FractalParams::forScale(Scale);
+
+  ir::ProgramBuilder PB("fractal");
+  ir::ClassId Startup = PB.addClass("StartupObject", {"initialstate"});
+  ir::ClassId Row = PB.addClass("Row", {"render", "merge"});
+  ir::ClassId Canvas = PB.addClass("Canvas", {"finished"});
+
+  ir::TaskId Boot = PB.addTask("startup");
+  PB.addParam(Boot, "s", Startup, PB.flagRef(Startup, "initialstate"));
+  ir::ExitId B0 = PB.addExit(Boot, "done");
+  PB.setFlagEffect(Boot, B0, 0, "initialstate", false);
+  ir::SiteId RowSite = PB.addSite(Boot, Row, {"render"}, {}, "rows");
+  ir::SiteId CanvasSite = PB.addSite(Boot, Canvas, {}, {}, "canvas");
+
+  ir::TaskId Render = PB.addTask("renderRow");
+  PB.addParam(Render, "r", Row, PB.flagRef(Row, "render"));
+  ir::ExitId R0 = PB.addExit(Render, "done");
+  PB.setFlagEffect(Render, R0, 0, "render", false);
+  PB.setFlagEffect(Render, R0, 0, "merge", true);
+
+  ir::TaskId Merge = PB.addTask("mergeRow");
+  PB.addParam(Merge, "c", Canvas, PB.notFlag(Canvas, "finished"));
+  PB.addParam(Merge, "r", Row, PB.flagRef(Row, "merge"));
+  ir::ExitId M0 = PB.addExit(Merge, "more");
+  PB.setFlagEffect(Merge, M0, 1, "merge", false);
+  ir::ExitId M1 = PB.addExit(Merge, "all");
+  PB.setFlagEffect(Merge, M1, 0, "finished", true);
+  PB.setFlagEffect(Merge, M1, 1, "merge", false);
+
+  PB.setStartup(Startup, "initialstate");
+  runtime::BoundProgram BP(PB.take());
+
+  BP.bind(Boot, [P, RowSite, CanvasSite](TaskContext &Ctx) {
+    for (int R = 0; R < P.Rows; ++R) {
+      auto Data = std::make_unique<RowData>();
+      Data->Row = R;
+      Ctx.allocate(RowSite, std::move(Data));
+      Ctx.charge(4);
+    }
+    auto Data = std::make_unique<CanvasData>();
+    Data->Expected = P.Rows;
+    Ctx.allocate(CanvasSite, std::move(Data));
+    Ctx.exitWith(0);
+  });
+
+  BP.bind(Render, [P](TaskContext &Ctx) {
+    auto &Data = Ctx.paramData<RowData>(0);
+    Data.Iterations = mandelRow(P, Data.Row);
+    Ctx.charge(Data.Iterations); // One virtual cycle per escape iteration.
+    Ctx.exitWith(0);
+  });
+
+  BP.bind(Merge, [](TaskContext &Ctx) {
+    auto &Canvas = Ctx.paramData<CanvasData>(0);
+    auto &Row = Ctx.paramData<RowData>(1);
+    Canvas.Checksum += Row.Iterations * 2654435761u;
+    ++Canvas.Merged;
+    Ctx.charge(8);
+    Ctx.exitWith(Canvas.Merged == Canvas.Expected ? 1 : 0);
+  });
+  BP.hintPerObjectExits(Merge);
+  return BP;
+}
+
+BaselineResult FractalApp::runBaseline(int Scale) const {
+  FractalParams P = FractalParams::forScale(Scale);
+  BaselineResult R;
+  R.MeteredCycles += 4u * static_cast<machine::Cycles>(P.Rows); // Setup.
+  for (int Row = 0; Row < P.Rows; ++Row) {
+    uint64_t Iters = mandelRow(P, Row);
+    R.MeteredCycles += Iters + 8;
+    R.Checksum += Iters * 2654435761u;
+  }
+  return R;
+}
+
+uint64_t FractalApp::checksumFromHeap(runtime::Heap &H) const {
+  for (size_t I = 0; I < H.numObjects(); ++I)
+    if (auto *Canvas = dynamic_cast<CanvasData *>(H.objectAt(I)->Data.get()))
+      return Canvas->Checksum;
+  return 0;
+}

@@ -1,0 +1,49 @@
+//===- apps/Fractal.h - Mandelbrot set benchmark ----------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fractal: a Mandelbrot set computation (Section 5.1). The image is
+/// rendered row by row: the startup task creates one Row object per image
+/// row in the `render` state plus a Canvas collector; renderRow computes
+/// the escape iterations of every pixel in the row (the real computation —
+/// work varies strongly across rows); mergeRow folds each row's histogram
+/// into the canvas. The paper reports a 61.6x speedup on 62 cores — near
+/// linear, as rendering dominates and rows are independent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_APPS_FRACTAL_H
+#define BAMBOO_APPS_FRACTAL_H
+
+#include "apps/App.h"
+
+namespace bamboo::apps {
+
+struct FractalParams {
+  int Width = 768;
+  int Rows = 496;
+  int MaxIter = 375;
+  double XMin = -2.2, XMax = 1.0;
+  double YMin = -1.4, YMax = 1.4;
+
+  static FractalParams forScale(int Scale) {
+    FractalParams P;
+    P.Rows *= Scale;
+    return P;
+  }
+};
+
+class FractalApp : public App {
+public:
+  std::string name() const override { return "Fractal"; }
+  runtime::BoundProgram makeBound(int Scale) const override;
+  BaselineResult runBaseline(int Scale) const override;
+  uint64_t checksumFromHeap(runtime::Heap &H) const override;
+};
+
+} // namespace bamboo::apps
+
+#endif // BAMBOO_APPS_FRACTAL_H

@@ -1,0 +1,293 @@
+//===- apps/KMeans.cpp - K-means clustering benchmark -----------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/KMeans.h"
+
+#include "ir/ProgramBuilder.h"
+#include "runtime/TaskContext.h"
+#include "support/Rng.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace bamboo;
+using namespace bamboo::apps;
+using namespace bamboo::runtime;
+
+namespace {
+
+/// Deterministic synthetic points: clustered around K planted centers.
+std::vector<double> makeBlockPoints(const KMeansParams &P, int Block) {
+  Rng R(P.Seed + static_cast<uint64_t>(Block) * 0x9e3779b97f4a7c15ULL);
+  std::vector<double> Points(
+      static_cast<size_t>(P.PointsPerBlock * P.Dims));
+  for (int I = 0; I < P.PointsPerBlock; ++I) {
+    int Center = static_cast<int>(R.nextBelow(
+        static_cast<uint64_t>(P.Clusters)));
+    for (int D = 0; D < P.Dims; ++D)
+      Points[static_cast<size_t>(I * P.Dims + D)] =
+          static_cast<double>(Center * 10 + D) + R.nextDouble();
+  }
+  return Points;
+}
+
+std::vector<double> initialCentroids(const KMeansParams &P) {
+  std::vector<double> C(static_cast<size_t>(P.Clusters * P.Dims));
+  for (int K = 0; K < P.Clusters; ++K)
+    for (int D = 0; D < P.Dims; ++D)
+      C[static_cast<size_t>(K * P.Dims + D)] =
+          static_cast<double>(K * 10) + 0.5;
+  return C;
+}
+
+/// Assignment kernel: accumulates per-cluster sums/counts for one block.
+/// Returns the metered cost (distance computations).
+machine::Cycles assignBlock(const KMeansParams &P,
+                            const std::vector<double> &Points,
+                            const std::vector<double> &Centroids,
+                            std::vector<double> &Sums,
+                            std::vector<int64_t> &Counts) {
+  Sums.assign(static_cast<size_t>(P.Clusters * P.Dims), 0.0);
+  Counts.assign(static_cast<size_t>(P.Clusters), 0);
+  for (int I = 0; I < P.PointsPerBlock; ++I) {
+    int Best = 0;
+    double BestDist = 1e300;
+    for (int K = 0; K < P.Clusters; ++K) {
+      double Dist = 0.0;
+      for (int D = 0; D < P.Dims; ++D) {
+        double Diff = Points[static_cast<size_t>(I * P.Dims + D)] -
+                      Centroids[static_cast<size_t>(K * P.Dims + D)];
+        Dist += Diff * Diff;
+      }
+      if (Dist < BestDist) {
+        BestDist = Dist;
+        Best = K;
+      }
+    }
+    for (int D = 0; D < P.Dims; ++D)
+      Sums[static_cast<size_t>(Best * P.Dims + D)] +=
+          Points[static_cast<size_t>(I * P.Dims + D)];
+    ++Counts[static_cast<size_t>(Best)];
+  }
+  return static_cast<machine::Cycles>(P.PointsPerBlock) *
+         static_cast<machine::Cycles>(P.Clusters) *
+         static_cast<machine::Cycles>(P.Dims);
+}
+
+/// Centroid update from accumulated sums; returns metered cost.
+machine::Cycles updateCentroids(const KMeansParams &P,
+                                const std::vector<double> &Sums,
+                                const std::vector<int64_t> &Counts,
+                                std::vector<double> &Centroids) {
+  for (int K = 0; K < P.Clusters; ++K) {
+    if (Counts[static_cast<size_t>(K)] == 0)
+      continue;
+    for (int D = 0; D < P.Dims; ++D)
+      Centroids[static_cast<size_t>(K * P.Dims + D)] =
+          Sums[static_cast<size_t>(K * P.Dims + D)] /
+          static_cast<double>(Counts[static_cast<size_t>(K)]);
+  }
+  return static_cast<machine::Cycles>(P.Clusters * P.Dims) * 2;
+}
+
+uint64_t centroidChecksum(const std::vector<double> &Centroids) {
+  uint64_t Sum = 0;
+  for (double C : Centroids)
+    Sum = Sum * 31 + static_cast<uint64_t>(static_cast<int64_t>(C * 1e4));
+  return Sum;
+}
+
+struct BlockData : ObjectData {
+  int Block = 0;
+  std::vector<double> Points;
+  std::vector<double> LocalCentroids;
+  std::vector<double> PartialSums;
+  std::vector<int64_t> PartialCounts;
+};
+
+struct ModelData : ObjectData {
+  KMeansParams Params;
+  std::vector<double> Centroids;
+  std::vector<double> SumAcc;
+  std::vector<int64_t> CountAcc;
+  int Collected = 0;
+  int Redistributed = 0;
+  int Iteration = 0;
+  uint64_t Checksum = 0;
+
+  void resetAccumulators() {
+    SumAcc.assign(static_cast<size_t>(Params.Clusters * Params.Dims), 0.0);
+    CountAcc.assign(static_cast<size_t>(Params.Clusters), 0);
+    Collected = 0;
+  }
+};
+
+} // namespace
+
+runtime::BoundProgram KMeansApp::makeBound(int Scale) const {
+  KMeansParams P = KMeansParams::forScale(Scale);
+
+  ir::ProgramBuilder PB("kmeans");
+  ir::ClassId Startup = PB.addClass("StartupObject", {"initialstate"});
+  ir::ClassId Block = PB.addClass("Block", {"assign", "submit"});
+  ir::ClassId Model = PB.addClass("Model", {"distributing", "finished"});
+
+  ir::TaskId Boot = PB.addTask("startup");
+  PB.addParam(Boot, "s", Startup, PB.flagRef(Startup, "initialstate"));
+  ir::ExitId B0 = PB.addExit(Boot, "done");
+  PB.setFlagEffect(Boot, B0, 0, "initialstate", false);
+  ir::SiteId BlockSite = PB.addSite(Boot, Block, {"assign"}, {}, "blocks");
+  ir::SiteId ModelSite = PB.addSite(Boot, Model, {}, {}, "model");
+
+  ir::TaskId Assign = PB.addTask("assignBlock");
+  PB.addParam(Assign, "b", Block, PB.flagRef(Block, "assign"));
+  ir::ExitId A0 = PB.addExit(Assign, "done");
+  PB.setFlagEffect(Assign, A0, 0, "assign", false);
+  PB.setFlagEffect(Assign, A0, 0, "submit", true);
+
+  // collect(Model in !distributing and !finished, Block in submit).
+  ir::TaskId Collect = PB.addTask("collect");
+  PB.addParam(Collect, "m", Model,
+              ir::FlagExpr::makeAnd(PB.notFlag(Model, "distributing"),
+                                    PB.notFlag(Model, "finished")));
+  PB.addParam(Collect, "b", Block, PB.flagRef(Block, "submit"));
+  ir::ExitId C0 = PB.addExit(Collect, "more");
+  PB.setFlagEffect(Collect, C0, 1, "submit", false);
+  ir::ExitId C1 = PB.addExit(Collect, "nextiter");
+  PB.setFlagEffect(Collect, C1, 0, "distributing", true);
+  PB.setFlagEffect(Collect, C1, 1, "submit", false);
+  ir::ExitId C2 = PB.addExit(Collect, "finish");
+  PB.setFlagEffect(Collect, C2, 0, "finished", true);
+  PB.setFlagEffect(Collect, C2, 1, "submit", false);
+
+  // redistribute(Model in distributing, Block in !assign and !submit).
+  ir::TaskId Redistribute = PB.addTask("redistribute");
+  PB.addParam(Redistribute, "m", Model, PB.flagRef(Model, "distributing"));
+  PB.addParam(Redistribute, "b", Block,
+              ir::FlagExpr::makeAnd(PB.notFlag(Block, "assign"),
+                                    PB.notFlag(Block, "submit")));
+  ir::ExitId R0 = PB.addExit(Redistribute, "more");
+  PB.setFlagEffect(Redistribute, R0, 1, "assign", true);
+  ir::ExitId R1 = PB.addExit(Redistribute, "last");
+  PB.setFlagEffect(Redistribute, R1, 0, "distributing", false);
+  PB.setFlagEffect(Redistribute, R1, 1, "assign", true);
+
+  PB.setStartup(Startup, "initialstate");
+  runtime::BoundProgram BP(PB.take());
+
+  BP.bind(Boot, [P, BlockSite, ModelSite](TaskContext &Ctx) {
+    std::vector<double> Init = initialCentroids(P);
+    for (int B = 0; B < P.Blocks; ++B) {
+      auto Data = std::make_unique<BlockData>();
+      Data->Block = B;
+      Data->Points = makeBlockPoints(P, B);
+      Data->LocalCentroids = Init;
+      Ctx.allocate(BlockSite, std::move(Data));
+      Ctx.charge(static_cast<machine::Cycles>(P.Clusters * P.Dims));
+    }
+    auto Data = std::make_unique<ModelData>();
+    Data->Params = P;
+    Data->Centroids = Init;
+    Data->resetAccumulators();
+    Ctx.allocate(ModelSite, std::move(Data));
+    Ctx.exitWith(0);
+  });
+
+  BP.bind(Assign, [P](TaskContext &Ctx) {
+    auto &Block = Ctx.paramData<BlockData>(0);
+    machine::Cycles Cost =
+        assignBlock(P, Block.Points, Block.LocalCentroids,
+                    Block.PartialSums, Block.PartialCounts);
+    Ctx.charge(Cost);
+    Ctx.exitWith(0);
+  });
+
+  BP.bind(Collect, [P](TaskContext &Ctx) {
+    auto &Model = Ctx.paramData<ModelData>(0);
+    auto &Block = Ctx.paramData<BlockData>(1);
+    for (size_t I = 0; I < Model.SumAcc.size(); ++I)
+      Model.SumAcc[I] += Block.PartialSums[I];
+    for (size_t I = 0; I < Model.CountAcc.size(); ++I)
+      Model.CountAcc[I] += Block.PartialCounts[I];
+    ++Model.Collected;
+    machine::Cycles Cost =
+        static_cast<machine::Cycles>(P.Clusters * P.Dims);
+    if (Model.Collected < P.Blocks) {
+      Ctx.charge(Cost);
+      Ctx.exitWith(0);
+      return;
+    }
+    // Last block of the iteration: update the centroids.
+    Cost += updateCentroids(P, Model.SumAcc, Model.CountAcc,
+                            Model.Centroids);
+    ++Model.Iteration;
+    Model.resetAccumulators();
+    Ctx.charge(Cost);
+    if (Model.Iteration >= P.Iterations) {
+      Model.Checksum = centroidChecksum(Model.Centroids);
+      Ctx.exitWith(2);
+      return;
+    }
+    Model.Redistributed = 0;
+    Ctx.exitWith(1);
+  });
+  BP.hintPerObjectExits(Collect);
+
+  BP.bind(Redistribute, [P](TaskContext &Ctx) {
+    auto &Model = Ctx.paramData<ModelData>(0);
+    auto &Block = Ctx.paramData<BlockData>(1);
+    Block.LocalCentroids = Model.Centroids;
+    ++Model.Redistributed;
+    Ctx.charge(static_cast<machine::Cycles>(P.Clusters * P.Dims));
+    Ctx.exitWith(Model.Redistributed == P.Blocks ? 1 : 0);
+  });
+  BP.hintPerObjectExits(Redistribute);
+  return BP;
+}
+
+BaselineResult KMeansApp::runBaseline(int Scale) const {
+  KMeansParams P = KMeansParams::forScale(Scale);
+  BaselineResult R;
+
+  std::vector<std::vector<double>> Blocks;
+  for (int B = 0; B < P.Blocks; ++B)
+    Blocks.push_back(makeBlockPoints(P, B));
+  std::vector<double> Centroids = initialCentroids(P);
+  R.MeteredCycles += static_cast<machine::Cycles>(P.Blocks) *
+                     static_cast<machine::Cycles>(P.Clusters * P.Dims);
+
+  std::vector<double> Sums, SumAcc;
+  std::vector<int64_t> Counts, CountAcc;
+  for (int Iter = 0; Iter < P.Iterations; ++Iter) {
+    SumAcc.assign(static_cast<size_t>(P.Clusters * P.Dims), 0.0);
+    CountAcc.assign(static_cast<size_t>(P.Clusters), 0);
+    for (int B = 0; B < P.Blocks; ++B) {
+      R.MeteredCycles += assignBlock(P, Blocks[static_cast<size_t>(B)],
+                                     Centroids, Sums, Counts);
+      for (size_t I = 0; I < SumAcc.size(); ++I)
+        SumAcc[I] += Sums[I];
+      for (size_t I = 0; I < CountAcc.size(); ++I)
+        CountAcc[I] += Counts[I];
+      R.MeteredCycles +=
+          static_cast<machine::Cycles>(P.Clusters * P.Dims);
+    }
+    R.MeteredCycles += updateCentroids(P, SumAcc, CountAcc, Centroids);
+    // Redistribution cost: the Bamboo version copies the centroids into
+    // every block at the start of the next iteration.
+    if (Iter + 1 < P.Iterations)
+      R.MeteredCycles += static_cast<machine::Cycles>(P.Blocks) *
+                         static_cast<machine::Cycles>(P.Clusters * P.Dims);
+  }
+  R.Checksum = centroidChecksum(Centroids);
+  return R;
+}
+
+uint64_t KMeansApp::checksumFromHeap(runtime::Heap &H) const {
+  for (size_t I = 0; I < H.numObjects(); ++I)
+    if (auto *Model = dynamic_cast<ModelData *>(H.objectAt(I)->Data.get()))
+      return Model->Checksum;
+  return 0;
+}

@@ -1,0 +1,60 @@
+//===- apps/KMeans.h - K-means clustering benchmark -------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// KMeans: K-means clustering ported from STAMP, restructured the way the
+/// paper describes (Section 5.1): instead of transactions on a shared
+/// structure, one core runs the model-update task and the other cores send
+/// partial results to it. Each iteration
+///
+///   1. assign: every Block (holding a slice of the points and a private
+///      copy of the centroids) computes per-cluster partial sums — fully
+///      parallel;
+///   2. collect: the Model folds each block's partials; when the last
+///      arrives it recomputes the centroids and either finishes or enters
+///      the distributing state;
+///   3. redistribute: the Model copies the new centroids into each idle
+///      block and flips it back to assign.
+///
+/// The abstract states cycle Block: assign -> submit -> idle -> assign,
+/// which is exactly the kind of mutation-with-reuse that pure dataflow
+/// models cannot express (Section 1). The paper reports 38.9x on 62 cores.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_APPS_KMEANS_H
+#define BAMBOO_APPS_KMEANS_H
+
+#include "apps/App.h"
+
+namespace bamboo::apps {
+
+struct KMeansParams {
+  int Blocks = 124;
+  int PointsPerBlock = 400;
+  int Clusters = 8;
+  int Dims = 4;
+  int Iterations = 5;
+  uint64_t Seed = 0xC1;
+
+  static KMeansParams forScale(int Scale) {
+    KMeansParams P;
+    P.Blocks *= Scale;
+    return P;
+  }
+};
+
+class KMeansApp : public App {
+public:
+  std::string name() const override { return "KMeans"; }
+  runtime::BoundProgram makeBound(int Scale) const override;
+  BaselineResult runBaseline(int Scale) const override;
+  uint64_t checksumFromHeap(runtime::Heap &H) const override;
+};
+
+} // namespace bamboo::apps
+
+#endif // BAMBOO_APPS_KMEANS_H

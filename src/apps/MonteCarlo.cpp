@@ -1,0 +1,145 @@
+//===- apps/MonteCarlo.cpp - Monte Carlo simulation benchmark --------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/MonteCarlo.h"
+
+#include "ir/ProgramBuilder.h"
+#include "runtime/TaskContext.h"
+#include "support/Rng.h"
+
+#include <cmath>
+
+using namespace bamboo;
+using namespace bamboo::apps;
+using namespace bamboo::runtime;
+
+namespace {
+
+/// Simulates one price path: a geometric random walk seeded per sample so
+/// results are independent of execution order and layout.
+double simulatePath(const MonteCarloParams &P, int Sample) {
+  Rng R(P.Seed + static_cast<uint64_t>(Sample) * 0x9e3779b97f4a7c15ULL);
+  double Price = 100.0;
+  const double Drift = 0.0001, Vol = 0.01;
+  for (int T = 0; T < P.TimeSteps; ++T) {
+    // Cheap uniform-to-gaussian-ish shock (sum of two uniforms, centered).
+    double Shock = R.nextDouble() + R.nextDouble() - 1.0;
+    Price *= 1.0 + Drift + Vol * Shock;
+  }
+  return Price;
+}
+
+machine::Cycles pathCost(const MonteCarloParams &P) {
+  return static_cast<machine::Cycles>(P.TimeSteps);
+}
+
+uint64_t quantize(double D) {
+  return static_cast<uint64_t>(static_cast<int64_t>(D * 1e3));
+}
+
+struct SampleData : ObjectData {
+  int Sample = 0;
+  double Result = 0.0;
+};
+
+struct AggregatorData : ObjectData {
+  int Expected = 0;
+  int Merged = 0;
+  double Sum = 0.0;
+  double SumSq = 0.0;
+  uint64_t Checksum = 0;
+};
+
+} // namespace
+
+runtime::BoundProgram MonteCarloApp::makeBound(int Scale) const {
+  MonteCarloParams P = MonteCarloParams::forScale(Scale);
+
+  ir::ProgramBuilder PB("montecarlo");
+  ir::ClassId Startup = PB.addClass("StartupObject", {"initialstate"});
+  ir::ClassId Sample = PB.addClass("Sample", {"simulate", "aggregate"});
+  ir::ClassId Agg = PB.addClass("Aggregator", {"finished"});
+
+  ir::TaskId Boot = PB.addTask("startup");
+  PB.addParam(Boot, "s", Startup, PB.flagRef(Startup, "initialstate"));
+  ir::ExitId B0 = PB.addExit(Boot, "done");
+  PB.setFlagEffect(Boot, B0, 0, "initialstate", false);
+  ir::SiteId SampleSite = PB.addSite(Boot, Sample, {"simulate"}, {},
+                                     "samples");
+  ir::SiteId AggSite = PB.addSite(Boot, Agg, {}, {}, "aggregator");
+
+  ir::TaskId Simulate = PB.addTask("simulate");
+  PB.addParam(Simulate, "sm", Sample, PB.flagRef(Sample, "simulate"));
+  ir::ExitId S0 = PB.addExit(Simulate, "done");
+  PB.setFlagEffect(Simulate, S0, 0, "simulate", false);
+  PB.setFlagEffect(Simulate, S0, 0, "aggregate", true);
+
+  ir::TaskId Aggregate = PB.addTask("aggregate");
+  PB.addParam(Aggregate, "a", Agg, PB.notFlag(Agg, "finished"));
+  PB.addParam(Aggregate, "sm", Sample, PB.flagRef(Sample, "aggregate"));
+  ir::ExitId A0 = PB.addExit(Aggregate, "more");
+  PB.setFlagEffect(Aggregate, A0, 1, "aggregate", false);
+  ir::ExitId A1 = PB.addExit(Aggregate, "all");
+  PB.setFlagEffect(Aggregate, A1, 0, "finished", true);
+  PB.setFlagEffect(Aggregate, A1, 1, "aggregate", false);
+
+  PB.setStartup(Startup, "initialstate");
+  runtime::BoundProgram BP(PB.take());
+
+  BP.bind(Boot, [P, SampleSite, AggSite](TaskContext &Ctx) {
+    for (int S = 0; S < P.Samples; ++S) {
+      auto Data = std::make_unique<SampleData>();
+      Data->Sample = S;
+      Ctx.allocate(SampleSite, std::move(Data));
+      Ctx.charge(3);
+    }
+    auto Data = std::make_unique<AggregatorData>();
+    Data->Expected = P.Samples;
+    Ctx.allocate(AggSite, std::move(Data));
+    Ctx.exitWith(0);
+  });
+
+  BP.bind(Simulate, [P](TaskContext &Ctx) {
+    auto &Data = Ctx.paramData<SampleData>(0);
+    Data.Result = simulatePath(P, Data.Sample);
+    Ctx.charge(pathCost(P));
+    Ctx.exitWith(0);
+  });
+
+  BP.bind(Aggregate, [P](TaskContext &Ctx) {
+    auto &Agg = Ctx.paramData<AggregatorData>(0);
+    auto &Sample = Ctx.paramData<SampleData>(1);
+    Agg.Sum += Sample.Result;
+    Agg.SumSq += Sample.Result * Sample.Result;
+    Agg.Checksum += quantize(Sample.Result);
+    ++Agg.Merged;
+    Ctx.charge(static_cast<machine::Cycles>(P.AggregateCost));
+    Ctx.exitWith(Agg.Merged == Agg.Expected ? 1 : 0);
+  });
+  BP.hintPerObjectExits(Aggregate);
+  return BP;
+}
+
+BaselineResult MonteCarloApp::runBaseline(int Scale) const {
+  MonteCarloParams P = MonteCarloParams::forScale(Scale);
+  BaselineResult R;
+  R.MeteredCycles += 3u * static_cast<machine::Cycles>(P.Samples);
+  for (int S = 0; S < P.Samples; ++S) {
+    double V = simulatePath(P, S);
+    R.MeteredCycles += pathCost(P) +
+                       static_cast<machine::Cycles>(P.AggregateCost);
+    R.Checksum += quantize(V);
+  }
+  return R;
+}
+
+uint64_t MonteCarloApp::checksumFromHeap(runtime::Heap &H) const {
+  for (size_t I = 0; I < H.numObjects(); ++I)
+    if (auto *Agg =
+            dynamic_cast<AggregatorData *>(H.objectAt(I)->Data.get()))
+      return Agg->Checksum;
+  return 0;
+}

@@ -1,0 +1,161 @@
+//===- apps/Series.cpp - Fourier series benchmark ---------------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Series.h"
+
+#include "ir/ProgramBuilder.h"
+#include "runtime/TaskContext.h"
+
+#include <cmath>
+
+using namespace bamboo;
+using namespace bamboo::apps;
+using namespace bamboo::runtime;
+
+namespace {
+
+double seriesFunc(double X, int N, bool Cosine) {
+  double F = std::pow(X + 1.0, X);
+  if (N == 0)
+    return F;
+  double Omega = 3.1415926535897931 * static_cast<double>(N) * X;
+  return F * (Cosine ? std::cos(Omega) : std::sin(Omega));
+}
+
+/// Trapezoidal integration of one coefficient pair. Returns (a_n, b_n);
+/// the metered cost is proportional to the step count.
+struct CoefValue {
+  double A = 0.0;
+  double B = 0.0;
+};
+
+CoefValue integrateCoefficient(const SeriesParams &P, int N) {
+  const double Lo = 0.0, Hi = 2.0;
+  double Dx = (Hi - Lo) / static_cast<double>(P.IntegrationSteps);
+  CoefValue V;
+  double Xa = seriesFunc(Lo, N, true), Xb = seriesFunc(Lo, N, false);
+  for (int S = 1; S <= P.IntegrationSteps; ++S) {
+    double X = Lo + static_cast<double>(S) * Dx;
+    double Ya = seriesFunc(X, N, true), Yb = seriesFunc(X, N, false);
+    V.A += 0.5 * (Xa + Ya) * Dx;
+    V.B += 0.5 * (Xb + Yb) * Dx;
+    Xa = Ya;
+    Xb = Yb;
+  }
+  V.A /= (N == 0 ? 2.0 : 1.0);
+  return V;
+}
+
+/// Virtual cycles for one coefficient (two transcendental evaluations per
+/// step at roughly 16 cycles each in the cost model).
+machine::Cycles coefficientCost(const SeriesParams &P) {
+  return static_cast<machine::Cycles>(P.IntegrationSteps) * 32;
+}
+
+uint64_t coefChecksum(const CoefValue &V) {
+  // Quantized checksum: stable across summation orders.
+  auto Q = [](double D) {
+    return static_cast<uint64_t>(static_cast<int64_t>(D * 1e6));
+  };
+  return Q(V.A) * 31 + Q(V.B);
+}
+
+struct CoefData : ObjectData {
+  int N = 0;
+  CoefValue Value;
+};
+
+struct ResultData : ObjectData {
+  int Expected = 0;
+  int Merged = 0;
+  uint64_t Checksum = 0;
+};
+
+} // namespace
+
+runtime::BoundProgram SeriesApp::makeBound(int Scale) const {
+  SeriesParams P = SeriesParams::forScale(Scale);
+
+  ir::ProgramBuilder PB("series");
+  ir::ClassId Startup = PB.addClass("StartupObject", {"initialstate"});
+  ir::ClassId Coef = PB.addClass("Coefficient", {"compute", "merge"});
+  ir::ClassId Res = PB.addClass("Result", {"finished"});
+
+  ir::TaskId Boot = PB.addTask("startup");
+  PB.addParam(Boot, "s", Startup, PB.flagRef(Startup, "initialstate"));
+  ir::ExitId B0 = PB.addExit(Boot, "done");
+  PB.setFlagEffect(Boot, B0, 0, "initialstate", false);
+  ir::SiteId CoefSite = PB.addSite(Boot, Coef, {"compute"}, {}, "coefs");
+  ir::SiteId ResSite = PB.addSite(Boot, Res, {}, {}, "result");
+
+  ir::TaskId Compute = PB.addTask("computeCoefficient");
+  PB.addParam(Compute, "c", Coef, PB.flagRef(Coef, "compute"));
+  ir::ExitId C0 = PB.addExit(Compute, "done");
+  PB.setFlagEffect(Compute, C0, 0, "compute", false);
+  PB.setFlagEffect(Compute, C0, 0, "merge", true);
+
+  ir::TaskId Merge = PB.addTask("mergeCoefficient");
+  PB.addParam(Merge, "r", Res, PB.notFlag(Res, "finished"));
+  PB.addParam(Merge, "c", Coef, PB.flagRef(Coef, "merge"));
+  ir::ExitId M0 = PB.addExit(Merge, "more");
+  PB.setFlagEffect(Merge, M0, 1, "merge", false);
+  ir::ExitId M1 = PB.addExit(Merge, "all");
+  PB.setFlagEffect(Merge, M1, 0, "finished", true);
+  PB.setFlagEffect(Merge, M1, 1, "merge", false);
+
+  PB.setStartup(Startup, "initialstate");
+  runtime::BoundProgram BP(PB.take());
+
+  BP.bind(Boot, [P, CoefSite, ResSite](TaskContext &Ctx) {
+    for (int N = 0; N < P.Coefficients; ++N) {
+      auto Data = std::make_unique<CoefData>();
+      Data->N = N;
+      Ctx.allocate(CoefSite, std::move(Data));
+      Ctx.charge(4);
+    }
+    auto Data = std::make_unique<ResultData>();
+    Data->Expected = P.Coefficients;
+    Ctx.allocate(ResSite, std::move(Data));
+    Ctx.exitWith(0);
+  });
+
+  BP.bind(Compute, [P](TaskContext &Ctx) {
+    auto &Data = Ctx.paramData<CoefData>(0);
+    Data.Value = integrateCoefficient(P, Data.N);
+    Ctx.charge(coefficientCost(P));
+    Ctx.exitWith(0);
+  });
+
+  BP.bind(Merge, [](TaskContext &Ctx) {
+    auto &Res = Ctx.paramData<ResultData>(0);
+    auto &Coef = Ctx.paramData<CoefData>(1);
+    Res.Checksum += coefChecksum(Coef.Value);
+    ++Res.Merged;
+    Ctx.charge(6);
+    Ctx.exitWith(Res.Merged == Res.Expected ? 1 : 0);
+  });
+  BP.hintPerObjectExits(Merge);
+  return BP;
+}
+
+BaselineResult SeriesApp::runBaseline(int Scale) const {
+  SeriesParams P = SeriesParams::forScale(Scale);
+  BaselineResult R;
+  R.MeteredCycles += 4u * static_cast<machine::Cycles>(P.Coefficients);
+  for (int N = 0; N < P.Coefficients; ++N) {
+    CoefValue V = integrateCoefficient(P, N);
+    R.MeteredCycles += coefficientCost(P) + 6;
+    R.Checksum += coefChecksum(V);
+  }
+  return R;
+}
+
+uint64_t SeriesApp::checksumFromHeap(runtime::Heap &H) const {
+  for (size_t I = 0; I < H.numObjects(); ++I)
+    if (auto *Res = dynamic_cast<ResultData *>(H.objectAt(I)->Data.get()))
+      return Res->Checksum;
+  return 0;
+}

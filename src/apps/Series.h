@@ -1,0 +1,44 @@
+//===- apps/Series.h - Fourier series benchmark -----------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Series: the Java Grande Fourier coefficient benchmark. The first N
+/// Fourier coefficient pairs (a_n, b_n) of f(x) = (x+1)^x on [0, 2] are
+/// computed by trapezoidal integration — one Coefficient object per pair,
+/// each integrating independently; a Result object folds them. The paper
+/// reports 61.2x on 62 cores (near linear: integration dominates).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_APPS_SERIES_H
+#define BAMBOO_APPS_SERIES_H
+
+#include "apps/App.h"
+
+namespace bamboo::apps {
+
+struct SeriesParams {
+  int Coefficients = 248;
+  int IntegrationSteps = 2000;
+
+  static SeriesParams forScale(int Scale) {
+    SeriesParams P;
+    P.Coefficients *= Scale;
+    return P;
+  }
+};
+
+class SeriesApp : public App {
+public:
+  std::string name() const override { return "Series"; }
+  runtime::BoundProgram makeBound(int Scale) const override;
+  BaselineResult runBaseline(int Scale) const override;
+  uint64_t checksumFromHeap(runtime::Heap &H) const override;
+};
+
+} // namespace bamboo::apps
+
+#endif // BAMBOO_APPS_SERIES_H

@@ -1,0 +1,306 @@
+//===- apps/Tracking.cpp - Feature tracking benchmark ------------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Tracking.h"
+
+#include "ir/ProgramBuilder.h"
+#include "runtime/TaskContext.h"
+#include "support/Rng.h"
+
+#include <cmath>
+#include <vector>
+
+using namespace bamboo;
+using namespace bamboo::apps;
+using namespace bamboo::runtime;
+
+namespace {
+
+/// Synthetic image piece (one strip of the frame).
+std::vector<double> makePiece(const TrackingParams &P, int Piece) {
+  Rng R(P.Seed + static_cast<uint64_t>(Piece) * 0x9e3779b97f4a7c15ULL);
+  std::vector<double> Data(static_cast<size_t>(P.PieceLen));
+  for (int I = 0; I < P.PieceLen; ++I)
+    Data[static_cast<size_t>(I)] =
+        std::sin(0.07 * I + Piece) + 0.2 * R.nextDouble();
+  return Data;
+}
+
+/// 1-D convolution blur; returns the metered MAC count.
+machine::Cycles blurPass(const TrackingParams &P, std::vector<double> &Data) {
+  std::vector<double> Out(Data.size(), 0.0);
+  for (size_t I = 0; I < Data.size(); ++I) {
+    double Acc = 0.0;
+    for (int T = 0; T < P.BlurTaps; ++T) {
+      size_t Idx = I >= static_cast<size_t>(T) ? I - static_cast<size_t>(T)
+                                               : 0;
+      Acc += Data[Idx] / static_cast<double>(P.BlurTaps);
+    }
+    Out[I] = Acc;
+  }
+  Data = std::move(Out);
+  return static_cast<machine::Cycles>(Data.size()) *
+         static_cast<machine::Cycles>(P.BlurTaps);
+}
+
+/// Central-difference gradient magnitude; metered at 4 ops per sample.
+machine::Cycles gradientPass(std::vector<double> &Data) {
+  std::vector<double> Out(Data.size(), 0.0);
+  for (size_t I = 1; I + 1 < Data.size(); ++I) {
+    double G = 0.5 * (Data[I + 1] - Data[I - 1]);
+    Out[I] = G * G;
+  }
+  Data = std::move(Out);
+  return static_cast<machine::Cycles>(Data.size()) * 4;
+}
+
+/// Corner-like response: windowed energy maxima; metered at 12 ops per
+/// sample. Returns the piece's best response (its "feature").
+struct Feature {
+  double Response = 0.0;
+  int Position = 0;
+};
+
+Feature extractFeature(std::vector<double> &Data, machine::Cycles &Cost) {
+  Feature Best;
+  const int Window = 8;
+  for (size_t I = 0; I + Window < Data.size(); ++I) {
+    double Energy = 0.0;
+    for (int W = 0; W < Window; ++W)
+      Energy += Data[I + static_cast<size_t>(W)];
+    if (Energy > Best.Response) {
+      Best.Response = Energy;
+      Best.Position = static_cast<int>(I);
+    }
+  }
+  Cost += static_cast<machine::Cycles>(Data.size()) * 12;
+  return Best;
+}
+
+/// Tracks one feature batch: a simulated window search whose result is a
+/// deterministic displacement.
+double trackBatch(const TrackingParams &P, int Batch, double SeedResponse) {
+  Rng R(P.Seed * 7 + static_cast<uint64_t>(Batch));
+  double Best = -1e300;
+  int Steps = P.TrackWindow / 10;
+  double X = SeedResponse;
+  for (int S = 0; S < Steps; ++S) {
+    X = X * 0.97 + R.nextDouble();
+    if (X > Best)
+      Best = X;
+  }
+  return Best;
+}
+
+uint64_t quantize(double D) {
+  return static_cast<uint64_t>(static_cast<int64_t>(D * 1e4));
+}
+
+struct PieceData : ObjectData {
+  int Piece = 0;
+  std::vector<double> Data;
+  Feature Extracted;
+};
+
+struct FrameData : ObjectData {
+  TrackingParams Params;
+  int CollectedPieces = 0;
+  int MergedBatches = 0;
+  double FeatureSum = 0.0;
+  uint64_t Checksum = 0;
+};
+
+struct BatchData : ObjectData {
+  int Batch = 0;
+  double SeedResponse = 0.0;
+  double Result = 0.0;
+};
+
+} // namespace
+
+runtime::BoundProgram TrackingApp::makeBound(int Scale) const {
+  TrackingParams P = TrackingParams::forScale(Scale);
+
+  ir::ProgramBuilder PB("tracking");
+  ir::ClassId Startup = PB.addClass("StartupObject", {"initialstate"});
+  ir::ClassId Piece =
+      PB.addClass("Piece", {"blurx", "blury", "grad", "extract", "submitf"});
+  ir::ClassId Frame = PB.addClass("Frame", {"spawn", "track", "finished"});
+  ir::ClassId Batch = PB.addClass("Batch", {"run", "submit"});
+
+  ir::TaskId Boot = PB.addTask("startup");
+  PB.addParam(Boot, "s", Startup, PB.flagRef(Startup, "initialstate"));
+  ir::ExitId B0 = PB.addExit(Boot, "done");
+  PB.setFlagEffect(Boot, B0, 0, "initialstate", false);
+  ir::SiteId PieceSite = PB.addSite(Boot, Piece, {"blurx"}, {}, "pieces");
+  ir::SiteId FrameSite = PB.addSite(Boot, Frame, {}, {}, "frame");
+
+  auto SimpleStage = [&](const char *Name, const char *From,
+                         const char *To) {
+    ir::TaskId T = PB.addTask(Name);
+    PB.addParam(T, "p", Piece, PB.flagRef(Piece, From));
+    ir::ExitId E = PB.addExit(T, "done");
+    PB.setFlagEffect(T, E, 0, From, false);
+    PB.setFlagEffect(T, E, 0, To, true);
+    return T;
+  };
+  ir::TaskId BlurX = SimpleStage("blurX", "blurx", "blury");
+  ir::TaskId BlurY = SimpleStage("blurY", "blury", "grad");
+  ir::TaskId Grad = SimpleStage("gradient", "grad", "extract");
+  ir::TaskId Extract = SimpleStage("extractFeatures", "extract", "submitf");
+
+  // mergeFeatures(Frame in !spawn and !track and !finished,
+  //               Piece in submitf)
+  ir::TaskId MergeF = PB.addTask("mergeFeatures");
+  PB.addParam(MergeF, "f", Frame,
+              ir::FlagExpr::makeAnd(
+                  PB.notFlag(Frame, "spawn"),
+                  ir::FlagExpr::makeAnd(PB.notFlag(Frame, "track"),
+                                        PB.notFlag(Frame, "finished"))));
+  PB.addParam(MergeF, "p", Piece, PB.flagRef(Piece, "submitf"));
+  ir::ExitId MF0 = PB.addExit(MergeF, "more");
+  PB.setFlagEffect(MergeF, MF0, 1, "submitf", false);
+  ir::ExitId MF1 = PB.addExit(MergeF, "all");
+  PB.setFlagEffect(MergeF, MF1, 0, "spawn", true);
+  PB.setFlagEffect(MergeF, MF1, 1, "submitf", false);
+
+  // spawnTracks(Frame in spawn): the serial respawn point.
+  ir::TaskId Spawn = PB.addTask("startTrackingLoop");
+  PB.addParam(Spawn, "f", Frame, PB.flagRef(Frame, "spawn"));
+  ir::ExitId SP0 = PB.addExit(Spawn, "done");
+  PB.setFlagEffect(Spawn, SP0, 0, "spawn", false);
+  PB.setFlagEffect(Spawn, SP0, 0, "track", true);
+  ir::SiteId BatchSite = PB.addSite(Spawn, Batch, {"run"}, {}, "batches");
+
+  ir::TaskId Track = PB.addTask("calcTrack");
+  PB.addParam(Track, "b", Batch, PB.flagRef(Batch, "run"));
+  ir::ExitId T0 = PB.addExit(Track, "done");
+  PB.setFlagEffect(Track, T0, 0, "run", false);
+  PB.setFlagEffect(Track, T0, 0, "submit", true);
+
+  ir::TaskId MergeT = PB.addTask("mergeTracks");
+  PB.addParam(MergeT, "f", Frame, PB.flagRef(Frame, "track"));
+  PB.addParam(MergeT, "b", Batch, PB.flagRef(Batch, "submit"));
+  ir::ExitId MT0 = PB.addExit(MergeT, "more");
+  PB.setFlagEffect(MergeT, MT0, 1, "submit", false);
+  ir::ExitId MT1 = PB.addExit(MergeT, "all");
+  PB.setFlagEffect(MergeT, MT1, 0, "track", false);
+  PB.setFlagEffect(MergeT, MT1, 0, "finished", true);
+  PB.setFlagEffect(MergeT, MT1, 1, "submit", false);
+
+  PB.setStartup(Startup, "initialstate");
+  runtime::BoundProgram BP(PB.take());
+
+  BP.bind(Boot, [P, PieceSite, FrameSite](TaskContext &Ctx) {
+    for (int I = 0; I < P.Pieces; ++I) {
+      auto Data = std::make_unique<PieceData>();
+      Data->Piece = I;
+      Data->Data = makePiece(P, I);
+      Ctx.allocate(PieceSite, std::move(Data));
+      Ctx.charge(20);
+    }
+    auto Data = std::make_unique<FrameData>();
+    Data->Params = P;
+    Ctx.allocate(FrameSite, std::move(Data));
+    Ctx.exitWith(0);
+  });
+
+  BP.bind(BlurX, [P](TaskContext &Ctx) {
+    Ctx.charge(blurPass(P, Ctx.paramData<PieceData>(0).Data));
+    Ctx.exitWith(0);
+  });
+  BP.bind(BlurY, [P](TaskContext &Ctx) {
+    Ctx.charge(blurPass(P, Ctx.paramData<PieceData>(0).Data));
+    Ctx.exitWith(0);
+  });
+  BP.bind(Grad, [](TaskContext &Ctx) {
+    Ctx.charge(gradientPass(Ctx.paramData<PieceData>(0).Data));
+    Ctx.exitWith(0);
+  });
+  BP.bind(Extract, [](TaskContext &Ctx) {
+    auto &Piece = Ctx.paramData<PieceData>(0);
+    machine::Cycles Cost = 0;
+    Piece.Extracted = extractFeature(Piece.Data, Cost);
+    Ctx.charge(Cost);
+    Ctx.exitWith(0);
+  });
+
+  BP.bind(MergeF, [P](TaskContext &Ctx) {
+    auto &Frame = Ctx.paramData<FrameData>(0);
+    auto &Piece = Ctx.paramData<PieceData>(1);
+    Frame.FeatureSum += Piece.Extracted.Response;
+    Frame.Checksum += quantize(Piece.Extracted.Response) +
+                      static_cast<uint64_t>(Piece.Extracted.Position);
+    ++Frame.CollectedPieces;
+    Ctx.charge(90);
+    Ctx.exitWith(Frame.CollectedPieces == P.Pieces ? 1 : 0);
+  });
+  BP.hintPerObjectExits(MergeF);
+
+  BP.bind(Spawn, [P, BatchSite](TaskContext &Ctx) {
+    auto &Frame = Ctx.paramData<FrameData>(0);
+    for (int B = 0; B < P.TrackBatches; ++B) {
+      auto Data = std::make_unique<BatchData>();
+      Data->Batch = B;
+      Data->SeedResponse =
+          Frame.FeatureSum / static_cast<double>(P.Pieces);
+      Ctx.allocate(BatchSite, std::move(Data));
+      Ctx.charge(400); // Copying the feature subset into the batch.
+    }
+    Ctx.exitWith(0);
+  });
+
+  BP.bind(Track, [P](TaskContext &Ctx) {
+    auto &Batch = Ctx.paramData<BatchData>(0);
+    Batch.Result = trackBatch(P, Batch.Batch, Batch.SeedResponse);
+    Ctx.charge(static_cast<machine::Cycles>(P.TrackWindow));
+    Ctx.exitWith(0);
+  });
+
+  BP.bind(MergeT, [P](TaskContext &Ctx) {
+    auto &Frame = Ctx.paramData<FrameData>(0);
+    auto &Batch = Ctx.paramData<BatchData>(1);
+    Frame.Checksum += quantize(Batch.Result);
+    ++Frame.MergedBatches;
+    Ctx.charge(90);
+    Ctx.exitWith(Frame.MergedBatches == P.TrackBatches ? 1 : 0);
+  });
+  BP.hintPerObjectExits(MergeT);
+  return BP;
+}
+
+BaselineResult TrackingApp::runBaseline(int Scale) const {
+  TrackingParams P = TrackingParams::forScale(Scale);
+  BaselineResult R;
+  double FeatureSum = 0.0;
+  R.MeteredCycles += 20u * static_cast<machine::Cycles>(P.Pieces);
+  for (int I = 0; I < P.Pieces; ++I) {
+    std::vector<double> Data = makePiece(P, I);
+    R.MeteredCycles += blurPass(P, Data);
+    R.MeteredCycles += blurPass(P, Data);
+    R.MeteredCycles += gradientPass(Data);
+    machine::Cycles Cost = 0;
+    Feature F = extractFeature(Data, Cost);
+    R.MeteredCycles += Cost + 90;
+    FeatureSum += F.Response;
+    R.Checksum += quantize(F.Response) + static_cast<uint64_t>(F.Position);
+  }
+  R.MeteredCycles += 400u * static_cast<machine::Cycles>(P.TrackBatches);
+  for (int B = 0; B < P.TrackBatches; ++B) {
+    double T = trackBatch(P, B,
+                          FeatureSum / static_cast<double>(P.Pieces));
+    R.MeteredCycles += static_cast<machine::Cycles>(P.TrackWindow) + 90;
+    R.Checksum += quantize(T);
+  }
+  return R;
+}
+
+uint64_t TrackingApp::checksumFromHeap(runtime::Heap &H) const {
+  for (size_t I = 0; I < H.numObjects(); ++I)
+    if (auto *Frame = dynamic_cast<FrameData *>(H.objectAt(I)->Data.get()))
+      return Frame->Checksum;
+  return 0;
+}

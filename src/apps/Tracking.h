@@ -1,0 +1,53 @@
+//===- apps/Tracking.h - Feature tracking benchmark -------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tracking: a KLT-style feature tracking pipeline ported (structurally)
+/// from the San Diego Vision Benchmark Suite, following the task flow of
+/// Figure 8: an image-processing phase (two blur passes and a gradient
+/// pass over image pieces), a feature-extraction phase (corner responses
+/// per piece, merged into the frame), and a feature-tracking phase (the
+/// frame spawns track batches whose displacements are solved
+/// independently and merged back). The phase barriers and the serial
+/// spawn/merge sections make this the benchmark with the paper's lowest
+/// speedup (26.2x on 62 cores).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_APPS_TRACKING_H
+#define BAMBOO_APPS_TRACKING_H
+
+#include "apps/App.h"
+
+namespace bamboo::apps {
+
+struct TrackingParams {
+  int Pieces = 124;       ///< Image pieces per frame.
+  int PieceLen = 500;     ///< Samples per piece.
+  int BlurTaps = 16;      ///< Convolution kernel width.
+  int TrackBatches = 124; ///< Feature batches in the tracking phase.
+  int TrackWindow = 5000; ///< Search work per batch (virtual cycles).
+  uint64_t Seed = 0x7AC;
+
+  static TrackingParams forScale(int Scale) {
+    TrackingParams P;
+    P.Pieces *= Scale;
+    P.TrackBatches *= Scale;
+    return P;
+  }
+};
+
+class TrackingApp : public App {
+public:
+  std::string name() const override { return "Tracking"; }
+  runtime::BoundProgram makeBound(int Scale) const override;
+  BaselineResult runBaseline(int Scale) const override;
+  uint64_t checksumFromHeap(runtime::Heap &H) const override;
+};
+
+} // namespace bamboo::apps
+
+#endif // BAMBOO_APPS_TRACKING_H

@@ -1,0 +1,45 @@
+//===- cgen/CEmitter.h - C code generation ----------------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The C backend: translates a compiled Bamboo module into a single
+/// self-contained C file, mirroring the paper's compiler, which emitted C
+/// for the TILEPro64 toolchain. The emitted file contains
+///
+///  - one struct per class (fields plus a flag word),
+///  - one function per method (explicit `self` receiver),
+///  - one function per task (parameter objects in, exit id out),
+///  - generated guard predicates from the task declarations, and
+///  - a small embedded single-core runtime: heap, parameter matching by
+///    guard scan, and a scheduler loop that repeatedly dispatches any
+///    enabled task until no work remains (the distributed scheduler of
+///    the paper degenerates to this on one core).
+///
+/// The output compiles with any C11 compiler and, for programs without
+/// tags, reproduces the interpreter's observable behaviour (System.print*
+/// output). Programs using tags are rejected with a diagnostic — the
+/// embedded C runtime does not implement tag matching.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_CGEN_CEMITTER_H
+#define BAMBOO_CGEN_CEMITTER_H
+
+#include "frontend/Sema.h"
+
+#include <optional>
+#include <string>
+
+namespace bamboo::cgen {
+
+/// Emits C source for \p CM. Returns std::nullopt and sets \p Error when
+/// the module uses unsupported features (tags).
+std::optional<std::string> emitC(const frontend::CompiledModule &CM,
+                                 std::string &Error);
+
+} // namespace bamboo::cgen
+
+#endif // BAMBOO_CGEN_CEMITTER_H

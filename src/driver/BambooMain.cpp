@@ -1,0 +1,181 @@
+//===- driver/BambooMain.cpp - The bamboo command line tool -----------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `bamboo` tool: compiles a Bamboo source file and, depending on
+/// flags, dumps analyses, emits C, or synthesizes a layout and executes
+/// the program on the virtual many-core machine.
+///
+///   bamboo prog.bb --run [--cores=N] [--arg=STRING]
+///   bamboo prog.bb --dump-cstg | --dump-astg | --dump-taskflow
+///   bamboo prog.bb --dump-locks | --dump-ir | --dump-layout
+///   bamboo prog.bb --emit-c
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Disjoint.h"
+#include "cgen/CEmitter.h"
+#include "driver/Pipeline.h"
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace bamboo;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: bamboo <source.bb> [options]\n"
+      "  --run             synthesize a layout and execute (default)\n"
+      "  --cores=N         target core count (default 62)\n"
+      "  --arg=S           program argument (repeatable)\n"
+      "  --seed=N          synthesis seed\n"
+      "  --dump-ir         print the task-level IR\n"
+      "  --dump-astg       print per-class state graphs (DOT)\n"
+      "  --dump-cstg       print the combined state graph (DOT)\n"
+      "  --dump-taskflow   print the task flow graph (DOT)\n"
+      "  --dump-locks      print the lock plans\n"
+      "  --dump-layout     print the synthesized layout\n"
+      "  --emit-c          print generated C code\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    usage();
+    return 2;
+  }
+  std::string SourcePath = Argv[1];
+  int Cores = 62;
+  uint64_t Seed = 1;
+  std::vector<std::string> Args;
+  bool DumpIr = false, DumpAstg = false, DumpCstg = false,
+       DumpTaskflow = false, DumpLocks = false, DumpLayout = false,
+       EmitCCode = false, Run = false;
+
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--cores=", 0) == 0)
+      Cores = std::atoi(Arg.c_str() + 8);
+    else if (Arg.rfind("--arg=", 0) == 0)
+      Args.push_back(Arg.substr(6));
+    else if (Arg.rfind("--seed=", 0) == 0)
+      Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
+    else if (Arg == "--run")
+      Run = true;
+    else if (Arg == "--dump-ir")
+      DumpIr = true;
+    else if (Arg == "--dump-astg")
+      DumpAstg = true;
+    else if (Arg == "--dump-cstg")
+      DumpCstg = true;
+    else if (Arg == "--dump-taskflow")
+      DumpTaskflow = true;
+    else if (Arg == "--dump-locks")
+      DumpLocks = true;
+    else if (Arg == "--dump-layout")
+      DumpLayout = true;
+    else if (Arg == "--emit-c")
+      EmitCCode = true;
+    else {
+      std::fprintf(stderr, "unknown option %s\n", Arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (!DumpIr && !DumpAstg && !DumpCstg && !DumpTaskflow && !DumpLocks &&
+      !DumpLayout && !EmitCCode)
+    Run = true;
+
+  std::ifstream In(SourcePath);
+  if (!In) {
+    std::fprintf(stderr, "bamboo: cannot open %s\n", SourcePath.c_str());
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  frontend::DiagnosticEngine Diags;
+  auto CM = frontend::compileString(Buffer.str(), SourcePath, Diags);
+  if (!CM) {
+    std::fprintf(stderr, "%s", Diags.render(SourcePath).c_str());
+    return 1;
+  }
+  analysis::analyzeDisjointness(*CM);
+
+  if (DumpIr)
+    std::printf("%s", CM->Prog.str().c_str());
+  if (DumpLocks) {
+    auto Plans = analysis::buildLockPlans(CM->Prog);
+    std::printf("%s", analysis::lockPlanSummary(CM->Prog, Plans).c_str());
+  }
+  if (DumpAstg) {
+    auto Graphs = analysis::buildAstgs(CM->Prog);
+    for (const analysis::Astg &G : Graphs)
+      if (!G.Nodes.empty())
+        std::printf("%s\n", G.toDot(CM->Prog).c_str());
+  }
+  if (DumpCstg) {
+    analysis::Cstg Graph = analysis::buildCstg(CM->Prog);
+    std::printf("%s", Graph.toDot(CM->Prog).c_str());
+  }
+  if (DumpTaskflow) {
+    analysis::Cstg Graph = analysis::buildCstg(CM->Prog);
+    std::printf("%s", analysis::taskFlowDot(CM->Prog, Graph).c_str());
+  }
+  if (EmitCCode) {
+    std::string Error;
+    auto C = cgen::emitC(*CM, Error);
+    if (!C) {
+      std::fprintf(stderr, "bamboo: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("%s", C->c_str());
+  }
+  if (!Run && !DumpLayout)
+    return 0;
+
+  interp::InterpProgram IP(std::move(*CM));
+  driver::PipelineOptions Opts;
+  Opts.Target = machine::MachineConfig::tilePro64();
+  Opts.Target.NumCores = Cores;
+  Opts.Dsa.Seed = Seed;
+  Opts.Exec.Args = Args;
+  Opts.Exec.Seed = Seed;
+  driver::PipelineResult R = driver::runPipeline(IP.bound(), Opts);
+
+  if (DumpLayout)
+    std::printf("%s", R.BestLayout.str(IP.bound().program()).c_str());
+  if (Run) {
+    // The pipeline ran the program for profiling and measurement; re-run
+    // the chosen layout once for clean program output.
+    IP.clearOutput();
+    IP.clearError();
+    runtime::TileExecutor Exec(IP.bound(), R.Graph, Opts.Target,
+                               R.BestLayout);
+    Exec.run(Opts.Exec);
+    std::printf("%s", IP.output().c_str());
+    if (IP.hadError())
+      std::fprintf(stderr, "bamboo: runtime error: %s\n",
+                   IP.error().c_str());
+    std::fprintf(stderr,
+                 "bamboo: 1-core %llu cycles; %d-core %llu cycles "
+                 "(speedup %.2fx, %llu DSA evaluations, %.2fs synthesis)\n",
+                 static_cast<unsigned long long>(R.Real1Core), Cores,
+                 static_cast<unsigned long long>(R.RealNCore),
+                 R.speedupVsOneCore(),
+                 static_cast<unsigned long long>(R.DsaEvaluations),
+                 R.DsaSeconds);
+  }
+  return IP.hadError() ? 1 : 0;
+}

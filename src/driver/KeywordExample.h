@@ -1,0 +1,124 @@
+//===- driver/KeywordExample.h - The Section-2 example program --*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The keyword-counting example of Section 2 of the paper, in the Bamboo
+/// DSL, shared by the figure benches and the examples. The startup task
+/// partitions the input text, processText counts keyword occurrences per
+/// section, and mergeIntermediateResult folds the per-section counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_DRIVER_KEYWORDEXAMPLE_H
+#define BAMBOO_DRIVER_KEYWORDEXAMPLE_H
+
+namespace bamboo::driver {
+
+inline const char *KeywordCountSource = R"(
+// Keyword counting, the running example of the Bamboo paper (Section 2).
+
+class Partitioner {
+  String text;
+  int sections;
+  int count;
+
+  Partitioner(String t, int n) {
+    text = t;
+    sections = n;
+    count = 0;
+  }
+
+  boolean morePartitions() {
+    return count < sections;
+  }
+
+  String nextPartition() {
+    int len = text.length();
+    int start = count * len / sections;
+    int end = (count + 1) * len / sections;
+    count = count + 1;
+    return text.substring(start, end);
+  }
+
+  int sectionNum() {
+    return sections;
+  }
+}
+
+class Text {
+  flag process;
+  flag submit;
+  String section;
+  int hits;
+
+  Text(String s) {
+    section = s;
+    hits = 0;
+  }
+
+  void countWord(String w) {
+    int i = 0;
+    int n = section.length();
+    while (i < n) {
+      int j = section.indexOf(w, i);
+      if (j < 0) {
+        i = n;
+      } else {
+        hits = hits + 1;
+        i = j + 1;
+      }
+    }
+    Bamboo.charge(n * 4);
+  }
+}
+
+class Results {
+  flag finished;
+  int expected;
+  int merged;
+  int total;
+
+  Results(int n) {
+    expected = n;
+    merged = 0;
+    total = 0;
+  }
+
+  boolean mergeResult(Text t) {
+    total = total + t.hits;
+    merged = merged + 1;
+    return merged == expected;
+  }
+}
+
+task startup(StartupObject s in initialstate) {
+  Partitioner p = new Partitioner(s.args[0], 4);
+  while (p.morePartitions()) {
+    String section = p.nextPartition();
+    Text tp = new Text(section) { process := true };
+  }
+  Results rp = new Results(p.sectionNum()) { finished := false };
+  taskexit(s: initialstate := false);
+}
+
+task processText(Text tp in process) {
+  tp.countWord("the");
+  taskexit(tp: process := false, submit := true);
+}
+
+task mergeIntermediateResult(Results rp in !finished, Text tp in submit) {
+  boolean allprocessed = rp.mergeResult(tp);
+  if (allprocessed) {
+    System.printString("total=" + rp.total);
+    taskexit(rp: finished := true; tp: submit := false);
+  }
+  taskexit(tp: submit := false);
+}
+)";
+
+} // namespace bamboo::driver
+
+#endif // BAMBOO_DRIVER_KEYWORDEXAMPLE_H

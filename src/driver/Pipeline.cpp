@@ -1,0 +1,88 @@
+//===- driver/Pipeline.cpp - Whole-compiler pipeline driver ---------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace bamboo;
+using namespace bamboo::driver;
+
+profile::Profile
+bamboo::driver::profileOneCore(const runtime::BoundProgram &BP,
+                               const analysis::Cstg &Graph,
+                               const runtime::ExecOptions &Exec) {
+  machine::MachineConfig One = machine::MachineConfig::singleCore();
+  machine::Layout L = machine::Layout::allOnOneCore(BP.program());
+  runtime::TileExecutor Executor(BP, Graph, One, L);
+  runtime::ExecOptions Opts = Exec;
+  Opts.CollectProfile = true;
+  runtime::ExecResult R = Executor.run(Opts);
+  assert(R.CollectedProfile && "profiling run must collect a profile");
+  return std::move(*R.CollectedProfile);
+}
+
+PipelineResult bamboo::driver::runPipeline(const runtime::BoundProgram &BP,
+                                           const PipelineOptions &Opts) {
+  PipelineResult Result;
+  const ir::Program &Prog = BP.program();
+
+  // 1. Dependence analysis.
+  Result.Graph = analysis::buildCstg(Prog);
+
+  // 2. Single-core profiling bootstrap (also the Real1Core measurement:
+  //    the same binary on one core).
+  {
+    machine::MachineConfig One = machine::MachineConfig::singleCore();
+    Result.OneCoreLayout = machine::Layout::allOnOneCore(Prog);
+    runtime::TileExecutor Executor(BP, Result.Graph, One,
+                                   Result.OneCoreLayout);
+    runtime::ExecOptions ProfOpts = Opts.Exec;
+    ProfOpts.CollectProfile = true;
+    runtime::ExecResult R = Executor.run(ProfOpts);
+    Result.Real1Core = R.TotalCycles;
+    Result.Prof = std::move(*R.CollectedProfile);
+  }
+
+  // Scheduling-simulator estimate of the 1-core layout (Figure 9, left).
+  {
+    machine::MachineConfig One = machine::MachineConfig::singleCore();
+    schedsim::SimResult Sim = schedsim::simulateLayout(
+        Prog, Result.Graph, *Result.Prof, BP.hints(), One,
+        Result.OneCoreLayout);
+    Result.Estimated1Core = Sim.EstimatedCycles;
+  }
+
+  // 3. Candidate implementation generation.
+  Result.Plan = synthesis::buildGroupPlan(Prog, Result.Graph, *Result.Prof,
+                                          Opts.Target.NumCores);
+
+  // 4. Directed simulated annealing.
+  {
+    auto T0 = std::chrono::steady_clock::now();
+    optimize::DsaResult Dsa =
+        optimize::runDsa(Prog, Result.Graph, *Result.Prof, BP.hints(),
+                         Opts.Target, Result.Plan, Opts.Dsa);
+    auto T1 = std::chrono::steady_clock::now();
+    Result.DsaSeconds =
+        std::chrono::duration<double>(T1 - T0).count();
+    Result.BestLayout = std::move(Dsa.Best);
+    Result.EstimatedNCore = Dsa.BestEstimate;
+    Result.DsaEvaluations = Dsa.Evaluations;
+  }
+
+  // 5. Real N-core execution of the chosen layout (Figure 9, right; the
+  //    headline Figure-7 measurement).
+  if (!Opts.SkipRealRun) {
+    runtime::TileExecutor Executor(BP, Result.Graph, Opts.Target,
+                                   Result.BestLayout);
+    runtime::ExecResult R = Executor.run(Opts.Exec);
+    Result.RealNCore = R.TotalCycles;
+    Result.RealRunCompleted = R.Completed;
+  }
+  return Result;
+}

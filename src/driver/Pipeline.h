@@ -1,0 +1,82 @@
+//===- driver/Pipeline.h - Whole-compiler pipeline driver -------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end flow of Section 4, packaged for benches, examples, and
+/// tests:
+///
+///   1. build the CSTG (dependence analysis);
+///   2. run the program once on a single-core machine with profiling (the
+///      paper's single-core profiling bootstrap);
+///   3. build the group plan (candidate implementation generation);
+///   4. optimize with directed simulated annealing on the scheduling
+///      simulator;
+///   5. estimate and really execute both the 1-core layout and the
+///      optimized N-core layout.
+///
+/// The result carries everything Figures 7, 9, and 11 report: real and
+/// estimated cycles for 1 and N cores, plus the chosen layout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_DRIVER_PIPELINE_H
+#define BAMBOO_DRIVER_PIPELINE_H
+
+#include "analysis/Cstg.h"
+#include "optimize/Dsa.h"
+#include "runtime/TileExecutor.h"
+#include "schedsim/SchedSim.h"
+#include "synthesis/CoreGroups.h"
+
+#include <functional>
+#include <optional>
+
+namespace bamboo::driver {
+
+struct PipelineOptions {
+  machine::MachineConfig Target = machine::MachineConfig::tilePro64();
+  runtime::ExecOptions Exec;
+  optimize::DsaOptions Dsa;
+  /// Skip the real N-core execution (estimation-only studies).
+  bool SkipRealRun = false;
+};
+
+struct PipelineResult {
+  analysis::Cstg Graph;
+  std::optional<profile::Profile> Prof;
+  synthesis::GroupPlan Plan;
+  machine::Layout OneCoreLayout;
+  machine::Layout BestLayout;
+
+  machine::Cycles Estimated1Core = 0;
+  machine::Cycles Real1Core = 0;
+  machine::Cycles EstimatedNCore = 0;
+  machine::Cycles RealNCore = 0;
+  bool RealRunCompleted = false;
+  uint64_t DsaEvaluations = 0;
+  /// Wall-clock seconds spent inside the DSA optimizer (reported in
+  /// Section 5.1 of the paper).
+  double DsaSeconds = 0.0;
+
+  double speedupVsOneCore() const {
+    return RealNCore ? static_cast<double>(Real1Core) /
+                           static_cast<double>(RealNCore)
+                     : 0.0;
+  }
+};
+
+/// Runs the full pipeline for \p BP.
+PipelineResult runPipeline(const runtime::BoundProgram &BP,
+                           const PipelineOptions &Opts);
+
+/// Convenience: a profiling run of \p BP on one core.
+profile::Profile profileOneCore(const runtime::BoundProgram &BP,
+                                const analysis::Cstg &Graph,
+                                const runtime::ExecOptions &Exec);
+
+} // namespace bamboo::driver
+
+#endif // BAMBOO_DRIVER_PIPELINE_H

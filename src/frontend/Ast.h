@@ -1,0 +1,581 @@
+//===- frontend/Ast.h - Bamboo abstract syntax trees ------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node definitions for the Bamboo language: the task-declaration
+/// grammar of Figure 5 (flags, tags, guards, taskexit) plus the Java-like
+/// imperative subset used in task and method bodies.
+///
+/// Nodes carry `Resolved*` fields that semantic analysis fills in (local
+/// slots, field indices, class ids, types); the interpreter and the
+/// disjointness analysis rely on those annotations. Dispatch is kind-based
+/// (no RTTI), following LLVM conventions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_FRONTEND_AST_H
+#define BAMBOO_FRONTEND_AST_H
+
+#include "frontend/SourceLoc.h"
+#include "ir/Ids.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bamboo::frontend::ast {
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+/// The base kinds a value can have after resolution. Arrays are represented
+/// as a base kind plus a dimension count (Depth > 0).
+enum class BaseKind {
+  Invalid,
+  Void,
+  Int,
+  Double,
+  Bool,
+  String,
+  Null,  // The type of the `null` literal; assignable to any reference.
+  Class, // A user class; see RType::Cls.
+  Tag,   // A tag instance (only locals declared via `tag t = new tag(...)`).
+};
+
+/// A resolved type: base kind, class id when Base == Class, and array depth.
+struct RType {
+  BaseKind Base = BaseKind::Invalid;
+  ir::ClassId Cls = ir::InvalidId;
+  int Depth = 0;
+
+  bool isInvalid() const { return Base == BaseKind::Invalid; }
+  bool isArray() const { return Depth > 0; }
+  bool isReference() const {
+    return isArray() || Base == BaseKind::Class || Base == BaseKind::String ||
+           Base == BaseKind::Null;
+  }
+  bool isNumeric() const {
+    return Depth == 0 && (Base == BaseKind::Int || Base == BaseKind::Double);
+  }
+
+  /// Element type of an array (one dimension stripped).
+  RType element() const { return RType{Base, Cls, Depth - 1}; }
+
+  static RType invalid() { return RType{}; }
+  static RType voidTy() { return RType{BaseKind::Void, ir::InvalidId, 0}; }
+  static RType intTy() { return RType{BaseKind::Int, ir::InvalidId, 0}; }
+  static RType doubleTy() { return RType{BaseKind::Double, ir::InvalidId, 0}; }
+  static RType boolTy() { return RType{BaseKind::Bool, ir::InvalidId, 0}; }
+  static RType stringTy() { return RType{BaseKind::String, ir::InvalidId, 0}; }
+  static RType nullTy() { return RType{BaseKind::Null, ir::InvalidId, 0}; }
+  static RType classTy(ir::ClassId C) {
+    return RType{BaseKind::Class, C, 0};
+  }
+  static RType tagTy() { return RType{BaseKind::Tag, ir::InvalidId, 0}; }
+
+  bool operator==(const RType &O) const {
+    return Base == O.Base && Cls == O.Cls && Depth == O.Depth;
+  }
+};
+
+/// A syntactic type reference, resolved by Sema into an RType.
+struct TypeRef {
+  enum class Kind { Void, Int, Double, Bool, String, Class } K = Kind::Void;
+  std::string ClassName; // For Kind::Class.
+  int ArrayDepth = 0;
+  SourceLoc Loc;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind {
+  IntLit,
+  DoubleLit,
+  BoolLit,
+  StringLit,
+  NullLit,
+  VarRef,
+  FieldAccess,
+  Index,
+  Call,
+  NewObject,
+  NewArray,
+  Unary,
+  Binary,
+  Assign,
+};
+
+/// Built-in functions callable from task/method bodies. `System`, `Math`,
+/// and `Bamboo` act as receiver namespaces; string builtins are methods on
+/// String values.
+enum class BuiltinId {
+  None,
+  SystemPrintString,
+  SystemPrintInt,
+  SystemPrintDouble,
+  MathSqrt,
+  MathAbs,
+  MathFabs,
+  MathSin,
+  MathCos,
+  MathExp,
+  MathLog,
+  MathPow,
+  MathFloor,
+  MathMax,
+  MathMin,
+  BambooCharge,   // Bamboo.charge(cycles): add virtual work (see machine/).
+  BambooRand,     // Bamboo.rand(bound): deterministic runtime PRNG.
+  StringLength,
+  StringCharAt,   // returns the character code as int
+  StringSubstring,
+  StringIndexOf,
+  StringEquals,
+};
+
+struct Expr {
+  explicit Expr(ExprKind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+  virtual ~Expr() = default;
+
+  Expr(const Expr &) = delete;
+  Expr &operator=(const Expr &) = delete;
+
+  const ExprKind K;
+  SourceLoc Loc;
+  /// Filled by Sema.
+  RType Ty;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr : Expr {
+  IntLitExpr(int64_t V, SourceLoc L) : Expr(ExprKind::IntLit, L), Value(V) {}
+  int64_t Value;
+};
+
+struct DoubleLitExpr : Expr {
+  DoubleLitExpr(double V, SourceLoc L)
+      : Expr(ExprKind::DoubleLit, L), Value(V) {}
+  double Value;
+};
+
+struct BoolLitExpr : Expr {
+  BoolLitExpr(bool V, SourceLoc L) : Expr(ExprKind::BoolLit, L), Value(V) {}
+  bool Value;
+};
+
+struct StringLitExpr : Expr {
+  StringLitExpr(std::string V, SourceLoc L)
+      : Expr(ExprKind::StringLit, L), Value(std::move(V)) {}
+  std::string Value;
+};
+
+struct NullLitExpr : Expr {
+  explicit NullLitExpr(SourceLoc L) : Expr(ExprKind::NullLit, L) {}
+};
+
+/// A name reference. Sema classifies it as a local/parameter slot, an
+/// implicit-this field, or a builtin namespace (System/Math/Bamboo).
+struct VarRefExpr : Expr {
+  VarRefExpr(std::string Name, SourceLoc L)
+      : Expr(ExprKind::VarRef, L), Name(std::move(Name)) {}
+  std::string Name;
+
+  enum class Binding { Unresolved, LocalSlot, SelfField, Namespace };
+  Binding Bind = Binding::Unresolved;
+  int Slot = -1;       // For LocalSlot (params occupy the first slots).
+  int FieldIndex = -1; // For SelfField (methods only).
+};
+
+struct FieldAccessExpr : Expr {
+  FieldAccessExpr(ExprPtr Base, std::string Field, SourceLoc L)
+      : Expr(ExprKind::FieldAccess, L), Base(std::move(Base)),
+        Field(std::move(Field)) {}
+  ExprPtr Base;
+  std::string Field;
+
+  int FieldIndex = -1;    // Resolved field index in the class.
+  bool IsArrayLength = false; // `arr.length`.
+};
+
+struct IndexExpr : Expr {
+  IndexExpr(ExprPtr Base, ExprPtr Idx, SourceLoc L)
+      : Expr(ExprKind::Index, L), Base(std::move(Base)),
+        Index(std::move(Idx)) {}
+  ExprPtr Base;
+  ExprPtr Index;
+};
+
+struct CallExpr : Expr {
+  CallExpr(ExprPtr Base, std::string Method, std::vector<ExprPtr> Args,
+           SourceLoc L)
+      : Expr(ExprKind::Call, L), Base(std::move(Base)),
+        Method(std::move(Method)), Args(std::move(Args)) {}
+  /// Receiver; null for receiverless calls to methods of the enclosing
+  /// class.
+  ExprPtr Base;
+  std::string Method;
+  std::vector<ExprPtr> Args;
+
+  BuiltinId Builtin = BuiltinId::None;
+  ir::ClassId TargetClass = ir::InvalidId; // Class owning the method.
+  int MethodIndex = -1;                    // Index into that class's methods.
+};
+
+/// One `flagname := bool` initializer in a `new C(...) { ... }` expression.
+struct FlagInit {
+  std::string Flag;
+  bool Value = true;
+  SourceLoc Loc;
+};
+
+/// One `add tagvar` initializer in a `new C(...) { ... }` expression.
+struct TagInit {
+  std::string TagVar;
+  SourceLoc Loc;
+
+  int Slot = -1;                       // Resolved local slot of the tag var.
+  ir::TagTypeId Type = ir::InvalidId;  // Resolved tag type.
+};
+
+struct NewObjectExpr : Expr {
+  NewObjectExpr(std::string ClassName, std::vector<ExprPtr> Args,
+                std::vector<FlagInit> Flags, std::vector<TagInit> Tags,
+                SourceLoc L)
+      : Expr(ExprKind::NewObject, L), ClassName(std::move(ClassName)),
+        Args(std::move(Args)), Flags(std::move(Flags)),
+        Tags(std::move(Tags)) {}
+  std::string ClassName;
+  std::vector<ExprPtr> Args;
+  std::vector<FlagInit> Flags;
+  std::vector<TagInit> Tags;
+
+  ir::ClassId Class = ir::InvalidId;
+  /// Allocation-site id (only for sites inside task bodies with flag
+  /// initializers; plain helper allocations get InvalidId).
+  ir::SiteId Site = ir::InvalidId;
+  /// Constructor method index in the class (-1 when the class has none and
+  /// positional args initialize the first fields).
+  int CtorIndex = -1;
+};
+
+struct NewArrayExpr : Expr {
+  NewArrayExpr(TypeRef Elem, std::vector<ExprPtr> Dims, SourceLoc L)
+      : Expr(ExprKind::NewArray, L), Elem(std::move(Elem)),
+        Dims(std::move(Dims)) {}
+  TypeRef Elem;
+  std::vector<ExprPtr> Dims;
+};
+
+enum class UnaryOp { Neg, Not };
+
+struct UnaryExpr : Expr {
+  UnaryExpr(UnaryOp Op, ExprPtr Operand, SourceLoc L)
+      : Expr(ExprKind::Unary, L), Op(Op), Operand(std::move(Operand)) {}
+  UnaryOp Op;
+  ExprPtr Operand;
+};
+
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or,
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr(BinaryOp Op, ExprPtr Lhs, ExprPtr Rhs, SourceLoc L)
+      : Expr(ExprKind::Binary, L), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+  BinaryOp Op;
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+};
+
+struct AssignExpr : Expr {
+  AssignExpr(ExprPtr Target, ExprPtr Value, SourceLoc L)
+      : Expr(ExprKind::Assign, L), Target(std::move(Target)),
+        Value(std::move(Value)) {}
+  ExprPtr Target; // VarRef, FieldAccess, or Index.
+  ExprPtr Value;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind {
+  Block,
+  VarDecl,
+  TagDecl,
+  Expr,
+  If,
+  While,
+  For,
+  Return,
+  Break,
+  Continue,
+  TaskExit,
+};
+
+struct Stmt {
+  explicit Stmt(StmtKind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+  virtual ~Stmt() = default;
+
+  Stmt(const Stmt &) = delete;
+  Stmt &operator=(const Stmt &) = delete;
+
+  const StmtKind K;
+  SourceLoc Loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct BlockStmt : Stmt {
+  BlockStmt(std::vector<StmtPtr> Stmts, SourceLoc L)
+      : Stmt(StmtKind::Block, L), Stmts(std::move(Stmts)) {}
+  std::vector<StmtPtr> Stmts;
+};
+
+struct VarDeclStmt : Stmt {
+  VarDeclStmt(TypeRef Ty, std::string Name, ExprPtr Init, SourceLoc L)
+      : Stmt(StmtKind::VarDecl, L), DeclType(std::move(Ty)),
+        Name(std::move(Name)), Init(std::move(Init)) {}
+  TypeRef DeclType;
+  std::string Name;
+  ExprPtr Init; // May be null.
+
+  int Slot = -1;
+  RType Resolved;
+};
+
+/// `tag t = new tag(tagtype);`
+struct TagDeclStmt : Stmt {
+  TagDeclStmt(std::string Name, std::string TagTypeName, SourceLoc L)
+      : Stmt(StmtKind::TagDecl, L), Name(std::move(Name)),
+        TagTypeName(std::move(TagTypeName)) {}
+  std::string Name;
+  std::string TagTypeName;
+
+  int Slot = -1;
+  ir::TagTypeId TagType = ir::InvalidId;
+};
+
+struct ExprStmt : Stmt {
+  ExprStmt(ExprPtr E, SourceLoc L) : Stmt(StmtKind::Expr, L), E(std::move(E)) {}
+  ExprPtr E;
+};
+
+struct IfStmt : Stmt {
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else, SourceLoc L)
+      : Stmt(StmtKind::If, L), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; // May be null.
+};
+
+struct WhileStmt : Stmt {
+  WhileStmt(ExprPtr Cond, StmtPtr Body, SourceLoc L)
+      : Stmt(StmtKind::While, L), Cond(std::move(Cond)),
+        Body(std::move(Body)) {}
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+struct ForStmt : Stmt {
+  ForStmt(StmtPtr Init, ExprPtr Cond, ExprPtr Step, StmtPtr Body, SourceLoc L)
+      : Stmt(StmtKind::For, L), Init(std::move(Init)), Cond(std::move(Cond)),
+        Step(std::move(Step)), Body(std::move(Body)) {}
+  StmtPtr Init; // VarDecl or Expr statement; may be null.
+  ExprPtr Cond; // May be null (infinite loop).
+  ExprPtr Step; // May be null.
+  StmtPtr Body;
+};
+
+struct ReturnStmt : Stmt {
+  ReturnStmt(ExprPtr Value, SourceLoc L)
+      : Stmt(StmtKind::Return, L), Value(std::move(Value)) {}
+  ExprPtr Value; // May be null for void returns.
+};
+
+struct BreakStmt : Stmt {
+  explicit BreakStmt(SourceLoc L) : Stmt(StmtKind::Break, L) {}
+};
+
+struct ContinueStmt : Stmt {
+  explicit ContinueStmt(SourceLoc L) : Stmt(StmtKind::Continue, L) {}
+};
+
+/// One flag assignment inside a taskexit action: `flag := bool`.
+struct ExitFlagAssign {
+  std::string Flag;
+  bool Value = false;
+  SourceLoc Loc;
+};
+
+/// One tag action inside a taskexit action: `add t` / `clear t`.
+struct ExitTagActionAst {
+  bool IsAdd = true;
+  std::string TagVar;
+  SourceLoc Loc;
+
+  int Slot = -1;                      // Resolved local slot of the tag var.
+  ir::TagTypeId Type = ir::InvalidId; // Resolved tag type.
+};
+
+/// Actions for one parameter: `param: flag := v, add t, ...`.
+struct ExitParamAction {
+  std::string ParamName;
+  std::vector<ExitFlagAssign> Flags;
+  std::vector<ExitTagActionAst> Tags;
+  SourceLoc Loc;
+
+  int ParamIndex = -1; // Resolved.
+};
+
+/// `taskexit(p1: a := true; p2: b := false);`
+struct TaskExitStmt : Stmt {
+  TaskExitStmt(std::vector<ExitParamAction> Actions, SourceLoc L)
+      : Stmt(StmtKind::TaskExit, L), Actions(std::move(Actions)) {}
+  std::vector<ExitParamAction> Actions;
+
+  ir::ExitId Exit = ir::InvalidId; // Resolved exit index.
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct ParamDecl {
+  TypeRef DeclType;
+  std::string Name;
+  SourceLoc Loc;
+
+  RType Resolved;
+};
+
+struct MethodDecl {
+  TypeRef ReturnType;
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  std::unique_ptr<BlockStmt> Body;
+  SourceLoc Loc;
+  bool IsConstructor = false;
+
+  RType ResolvedReturn;
+  int NumSlots = 0; // Locals + params (params occupy the first slots).
+};
+
+struct FieldDecl {
+  TypeRef DeclType;
+  std::string Name;
+  SourceLoc Loc;
+
+  RType Resolved;
+};
+
+struct ClassDeclAst {
+  std::string Name;
+  std::vector<std::string> Flags;
+  std::vector<FieldDecl> Fields;
+  std::vector<MethodDecl> Methods;
+  SourceLoc Loc;
+
+  ir::ClassId Id = ir::InvalidId;
+
+  int fieldIndex(const std::string &FieldName) const {
+    for (size_t I = 0; I < Fields.size(); ++I)
+      if (Fields[I].Name == FieldName)
+        return static_cast<int>(I);
+    return -1;
+  }
+  int methodIndex(const std::string &MethodName) const {
+    for (size_t I = 0; I < Methods.size(); ++I)
+      if (Methods[I].Name == MethodName)
+        return static_cast<int>(I);
+    return -1;
+  }
+};
+
+struct TagTypeDeclAst {
+  std::string Name;
+  SourceLoc Loc;
+
+  ir::TagTypeId Id = ir::InvalidId;
+};
+
+/// Guard expression with unresolved flag names (mirrors ir::FlagExpr).
+struct GuardExprAst {
+  enum class Kind { True, False, Flag, Not, And, Or } K = Kind::True;
+  std::string FlagName;
+  std::unique_ptr<GuardExprAst> Lhs;
+  std::unique_ptr<GuardExprAst> Rhs;
+  SourceLoc Loc;
+};
+
+struct TagConstraintAst {
+  std::string TagTypeName;
+  std::string Var;
+  SourceLoc Loc;
+
+  int Slot = -1; // Local slot of the tag variable in the task body.
+};
+
+struct TaskParamAst {
+  std::string ClassName;
+  std::string Name;
+  std::unique_ptr<GuardExprAst> Guard;
+  std::vector<TagConstraintAst> Tags;
+  SourceLoc Loc;
+
+  ir::ClassId Class = ir::InvalidId;
+};
+
+struct TaskDeclAst {
+  std::string Name;
+  std::vector<TaskParamAst> Params;
+  std::unique_ptr<BlockStmt> Body;
+  SourceLoc Loc;
+
+  ir::TaskId Id = ir::InvalidId;
+  int NumSlots = 0;
+};
+
+/// A parsed compilation unit.
+struct Module {
+  std::string Name;
+  std::vector<ClassDeclAst> Classes;
+  std::vector<TagTypeDeclAst> TagTypes;
+  std::vector<TaskDeclAst> Tasks;
+
+  ClassDeclAst *findClass(const std::string &ClassName) {
+    for (ClassDeclAst &C : Classes)
+      if (C.Name == ClassName)
+        return &C;
+    return nullptr;
+  }
+  const ClassDeclAst *findClass(const std::string &ClassName) const {
+    return const_cast<Module *>(this)->findClass(ClassName);
+  }
+};
+
+} // namespace bamboo::frontend::ast
+
+#endif // BAMBOO_FRONTEND_AST_H

@@ -1,0 +1,20 @@
+//===- frontend/Diagnostics.cpp - Diagnostic collection -------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Diagnostics.h"
+
+#include "support/Format.h"
+
+using namespace bamboo;
+using namespace bamboo::frontend;
+
+std::string DiagnosticEngine::render(const std::string &FileName) const {
+  std::string Out;
+  for (const Diagnostic &D : Diags)
+    Out += formatString("%s:%d:%d: error: %s\n", FileName.c_str(), D.Loc.Line,
+                        D.Loc.Col, D.Message.c_str());
+  return Out;
+}

@@ -1,0 +1,50 @@
+//===- frontend/Diagnostics.h - Diagnostic collection -----------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine. The lexer, parser, and semantic analysis
+/// report errors here instead of aborting; drivers render the collected
+/// diagnostics. Messages follow the LLVM style: lowercase first word, no
+/// trailing period.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_FRONTEND_DIAGNOSTICS_H
+#define BAMBOO_FRONTEND_DIAGNOSTICS_H
+
+#include "frontend/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace bamboo::frontend {
+
+/// One reported problem.
+struct Diagnostic {
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics for one compilation.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back(Diagnostic{Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return !Diags.empty(); }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics, one per line, as "<file>:line:col: error: msg".
+  std::string render(const std::string &FileName) const;
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace bamboo::frontend
+
+#endif // BAMBOO_FRONTEND_DIAGNOSTICS_H

@@ -1,0 +1,28 @@
+//===- frontend/Frontend.cpp - One-call compilation entry -----------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+
+using namespace bamboo;
+using namespace bamboo::frontend;
+
+std::optional<CompiledModule>
+bamboo::frontend::compileString(const std::string &Source,
+                                const std::string &ModuleName,
+                                DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  if (Diags.hasErrors())
+    return std::nullopt;
+  Parser P(std::move(Tokens), Diags);
+  ast::Module M = P.parseModule(ModuleName);
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return analyzeModule(std::move(M), Diags);
+}

@@ -1,0 +1,27 @@
+//===- frontend/Frontend.h - One-call compilation entry ---------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience entry point: source text in, CompiledModule out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_FRONTEND_FRONTEND_H
+#define BAMBOO_FRONTEND_FRONTEND_H
+
+#include "frontend/Sema.h"
+
+namespace bamboo::frontend {
+
+/// Lexes, parses, and analyzes \p Source. Returns std::nullopt and fills
+/// \p Diags on any error.
+std::optional<CompiledModule> compileString(const std::string &Source,
+                                            const std::string &ModuleName,
+                                            DiagnosticEngine &Diags);
+
+} // namespace bamboo::frontend
+
+#endif // BAMBOO_FRONTEND_FRONTEND_H

@@ -1,0 +1,325 @@
+//===- frontend/Lexer.cpp - Bamboo lexer ----------------------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/Format.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace bamboo;
+using namespace bamboo::frontend;
+
+const char *bamboo::frontend::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Eof: return "end of file";
+  case TokenKind::Identifier: return "identifier";
+  case TokenKind::IntLiteral: return "integer literal";
+  case TokenKind::DoubleLiteral: return "floating-point literal";
+  case TokenKind::StringLiteral: return "string literal";
+  case TokenKind::KwClass: return "'class'";
+  case TokenKind::KwFlag: return "'flag'";
+  case TokenKind::KwTag: return "'tag'";
+  case TokenKind::KwTagType: return "'tagtype'";
+  case TokenKind::KwTask: return "'task'";
+  case TokenKind::KwTaskExit: return "'taskexit'";
+  case TokenKind::KwIn: return "'in'";
+  case TokenKind::KwWith: return "'with'";
+  case TokenKind::KwAnd: return "'and'";
+  case TokenKind::KwOr: return "'or'";
+  case TokenKind::KwNew: return "'new'";
+  case TokenKind::KwAdd: return "'add'";
+  case TokenKind::KwClear: return "'clear'";
+  case TokenKind::KwTrue: return "'true'";
+  case TokenKind::KwFalse: return "'false'";
+  case TokenKind::KwNull: return "'null'";
+  case TokenKind::KwIf: return "'if'";
+  case TokenKind::KwElse: return "'else'";
+  case TokenKind::KwWhile: return "'while'";
+  case TokenKind::KwFor: return "'for'";
+  case TokenKind::KwReturn: return "'return'";
+  case TokenKind::KwBreak: return "'break'";
+  case TokenKind::KwContinue: return "'continue'";
+  case TokenKind::KwInt: return "'int'";
+  case TokenKind::KwDouble: return "'double'";
+  case TokenKind::KwBoolean: return "'boolean'";
+  case TokenKind::KwString: return "'String'";
+  case TokenKind::KwVoid: return "'void'";
+  case TokenKind::LParen: return "'('";
+  case TokenKind::RParen: return "')'";
+  case TokenKind::LBrace: return "'{'";
+  case TokenKind::RBrace: return "'}'";
+  case TokenKind::LBracket: return "'['";
+  case TokenKind::RBracket: return "']'";
+  case TokenKind::Semi: return "';'";
+  case TokenKind::Comma: return "','";
+  case TokenKind::Colon: return "':'";
+  case TokenKind::Dot: return "'.'";
+  case TokenKind::Assign: return "'='";
+  case TokenKind::ColonAssign: return "':='";
+  case TokenKind::Plus: return "'+'";
+  case TokenKind::Minus: return "'-'";
+  case TokenKind::Star: return "'*'";
+  case TokenKind::Slash: return "'/'";
+  case TokenKind::Percent: return "'%'";
+  case TokenKind::Bang: return "'!'";
+  case TokenKind::EqEq: return "'=='";
+  case TokenKind::NotEq: return "'!='";
+  case TokenKind::Less: return "'<'";
+  case TokenKind::LessEq: return "'<='";
+  case TokenKind::Greater: return "'>'";
+  case TokenKind::GreaterEq: return "'>='";
+  case TokenKind::AmpAmp: return "'&&'";
+  case TokenKind::PipePipe: return "'||'";
+  }
+  return "token";
+}
+
+Lexer::Lexer(std::string Source, DiagnosticEngine &Diags)
+    : Buffer(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(size_t Ahead) const {
+  size_t P = Pos + Ahead;
+  return P < Buffer.size() ? Buffer[P] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Buffer[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+Token Lexer::make(TokenKind K, SourceLoc L) const {
+  Token T;
+  T.Kind = K;
+  T.Loc = L;
+  return T;
+}
+
+void Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = loc();
+      advance();
+      advance();
+      bool Closed = false;
+      while (!atEnd()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed)
+        Diags.error(Start, "unterminated block comment");
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::lexNumber() {
+  SourceLoc Start = loc();
+  std::string Digits;
+  bool IsDouble = false;
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    Digits.push_back(advance());
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsDouble = true;
+    Digits.push_back(advance());
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Digits.push_back(advance());
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    size_t Look = 1;
+    if (peek(Look) == '+' || peek(Look) == '-')
+      ++Look;
+    if (std::isdigit(static_cast<unsigned char>(peek(Look)))) {
+      IsDouble = true;
+      Digits.push_back(advance()); // e
+      if (peek() == '+' || peek() == '-')
+        Digits.push_back(advance());
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Digits.push_back(advance());
+    }
+  }
+  Token T = make(IsDouble ? TokenKind::DoubleLiteral : TokenKind::IntLiteral,
+                 Start);
+  if (IsDouble)
+    T.DoubleValue = std::strtod(Digits.c_str(), nullptr);
+  else
+    T.IntValue = std::strtoll(Digits.c_str(), nullptr, 10);
+  T.Text = Digits;
+  return T;
+}
+
+Token Lexer::lexIdentifier() {
+  static const std::unordered_map<std::string, TokenKind> Keywords = {
+      {"class", TokenKind::KwClass},       {"flag", TokenKind::KwFlag},
+      {"tag", TokenKind::KwTag},           {"tagtype", TokenKind::KwTagType},
+      {"task", TokenKind::KwTask},         {"taskexit", TokenKind::KwTaskExit},
+      {"in", TokenKind::KwIn},             {"with", TokenKind::KwWith},
+      {"and", TokenKind::KwAnd},           {"or", TokenKind::KwOr},
+      {"new", TokenKind::KwNew},           {"add", TokenKind::KwAdd},
+      {"clear", TokenKind::KwClear},       {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},       {"null", TokenKind::KwNull},
+      {"if", TokenKind::KwIf},             {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},       {"for", TokenKind::KwFor},
+      {"return", TokenKind::KwReturn},     {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue}, {"int", TokenKind::KwInt},
+      {"double", TokenKind::KwDouble},     {"boolean", TokenKind::KwBoolean},
+      {"String", TokenKind::KwString},     {"void", TokenKind::KwVoid},
+  };
+
+  SourceLoc Start = loc();
+  std::string Name;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    Name.push_back(advance());
+  auto It = Keywords.find(Name);
+  Token T = make(It != Keywords.end() ? It->second : TokenKind::Identifier,
+                 Start);
+  T.Text = std::move(Name);
+  return T;
+}
+
+Token Lexer::lexString() {
+  SourceLoc Start = loc();
+  advance(); // opening quote
+  std::string Value;
+  while (!atEnd() && peek() != '"' && peek() != '\n') {
+    char C = advance();
+    if (C == '\\' && !atEnd()) {
+      char E = advance();
+      switch (E) {
+      case 'n': Value.push_back('\n'); break;
+      case 't': Value.push_back('\t'); break;
+      case '\\': Value.push_back('\\'); break;
+      case '"': Value.push_back('"'); break;
+      default:
+        Diags.error(loc(), formatString("unknown escape sequence '\\%c'", E));
+        Value.push_back(E);
+      }
+      continue;
+    }
+    Value.push_back(C);
+  }
+  if (atEnd() || peek() != '"')
+    Diags.error(Start, "unterminated string literal");
+  else
+    advance(); // closing quote
+  Token T = make(TokenKind::StringLiteral, Start);
+  T.Text = std::move(Value);
+  return T;
+}
+
+Token Lexer::lexToken() {
+  skipTrivia();
+  SourceLoc Start = loc();
+  if (atEnd())
+    return make(TokenKind::Eof, Start);
+
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifier();
+  if (C == '"')
+    return lexString();
+
+  advance();
+  switch (C) {
+  case '(': return make(TokenKind::LParen, Start);
+  case ')': return make(TokenKind::RParen, Start);
+  case '{': return make(TokenKind::LBrace, Start);
+  case '}': return make(TokenKind::RBrace, Start);
+  case '[': return make(TokenKind::LBracket, Start);
+  case ']': return make(TokenKind::RBracket, Start);
+  case ';': return make(TokenKind::Semi, Start);
+  case ',': return make(TokenKind::Comma, Start);
+  case '.': return make(TokenKind::Dot, Start);
+  case '+': return make(TokenKind::Plus, Start);
+  case '-': return make(TokenKind::Minus, Start);
+  case '*': return make(TokenKind::Star, Start);
+  case '/': return make(TokenKind::Slash, Start);
+  case '%': return make(TokenKind::Percent, Start);
+  case ':':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::ColonAssign, Start);
+    }
+    return make(TokenKind::Colon, Start);
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::EqEq, Start);
+    }
+    return make(TokenKind::Assign, Start);
+  case '!':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::NotEq, Start);
+    }
+    return make(TokenKind::Bang, Start);
+  case '<':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::LessEq, Start);
+    }
+    return make(TokenKind::Less, Start);
+  case '>':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::GreaterEq, Start);
+    }
+    return make(TokenKind::Greater, Start);
+  case '&':
+    if (peek() == '&') {
+      advance();
+      return make(TokenKind::AmpAmp, Start);
+    }
+    break;
+  case '|':
+    if (peek() == '|') {
+      advance();
+      return make(TokenKind::PipePipe, Start);
+    }
+    break;
+  default:
+    break;
+  }
+  Diags.error(Start, formatString("unexpected character '%c'", C));
+  return lexToken();
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token T = lexToken();
+    bool IsEof = T.is(TokenKind::Eof);
+    Tokens.push_back(std::move(T));
+    if (IsEof)
+      return Tokens;
+  }
+}

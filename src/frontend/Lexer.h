@@ -1,0 +1,57 @@
+//===- frontend/Lexer.h - Bamboo lexer --------------------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the Bamboo language. Supports `//` and `/* */`
+/// comments, decimal integer and floating-point literals, and double-quoted
+/// string literals with the usual escapes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_FRONTEND_LEXER_H
+#define BAMBOO_FRONTEND_LEXER_H
+
+#include "frontend/Diagnostics.h"
+#include "frontend/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace bamboo::frontend {
+
+/// Tokenizes a whole buffer up front. Errors are reported to the diagnostic
+/// engine and a best-effort token stream is still produced.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes the entire buffer; the last token is always Eof.
+  std::vector<Token> lexAll();
+
+private:
+  std::string Buffer;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+
+  char peek(size_t Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Buffer.size(); }
+  SourceLoc loc() const { return SourceLoc{Line, Col}; }
+
+  void skipTrivia();
+  Token lexToken();
+  Token lexNumber();
+  Token lexIdentifier();
+  Token lexString();
+
+  Token make(TokenKind K, SourceLoc L) const;
+};
+
+} // namespace bamboo::frontend
+
+#endif // BAMBOO_FRONTEND_LEXER_H

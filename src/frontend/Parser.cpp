@@ -1,0 +1,847 @@
+//===- frontend/Parser.cpp - Bamboo parser --------------------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace bamboo;
+using namespace bamboo::frontend;
+using namespace bamboo::frontend::ast;
+
+Parser::Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+    : Tokens(std::move(Tokens)), Diags(Diags) {
+  assert(!this->Tokens.empty() && this->Tokens.back().is(TokenKind::Eof) &&
+         "token stream must end with Eof");
+}
+
+const Token &Parser::peek(size_t Ahead) const {
+  size_t P = Pos + Ahead;
+  if (P >= Tokens.size())
+    P = Tokens.size() - 1; // Eof.
+  return Tokens[P];
+}
+
+Token Parser::advance() {
+  Token T = Tokens[Pos];
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::match(TokenKind K) {
+  if (!check(K))
+    return false;
+  advance();
+  return true;
+}
+
+Token Parser::expect(TokenKind K, const char *Context) {
+  if (check(K))
+    return advance();
+  Diags.error(current().Loc,
+              formatString("expected %s %s, found %s", tokenKindName(K),
+                           Context, tokenKindName(current().Kind)));
+  Token Dummy;
+  Dummy.Kind = K;
+  Dummy.Loc = current().Loc;
+  return Dummy;
+}
+
+void Parser::error(const char *Context) {
+  Diags.error(current().Loc,
+              formatString("unexpected %s %s", tokenKindName(current().Kind),
+                           Context));
+}
+
+void Parser::syncToDeclBoundary() {
+  while (!check(TokenKind::Eof) && !check(TokenKind::KwClass) &&
+         !check(TokenKind::KwTask) && !check(TokenKind::KwTagType))
+    advance();
+}
+
+void Parser::syncToStmtBoundary() {
+  while (!check(TokenKind::Eof)) {
+    if (match(TokenKind::Semi))
+      return;
+    if (check(TokenKind::RBrace))
+      return;
+    advance();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+Module Parser::parseModule(const std::string &ModuleName) {
+  Module M;
+  M.Name = ModuleName;
+  while (!check(TokenKind::Eof)) {
+    if (check(TokenKind::KwClass)) {
+      parseClassDecl(M);
+      continue;
+    }
+    if (check(TokenKind::KwTagType)) {
+      parseTagTypeDecl(M);
+      continue;
+    }
+    if (check(TokenKind::KwTask)) {
+      parseTaskDecl(M);
+      continue;
+    }
+    error("at top level; expected 'class', 'task', or 'tagtype'");
+    advance();
+    syncToDeclBoundary();
+  }
+  return M;
+}
+
+void Parser::parseClassDecl(Module &M) {
+  SourceLoc Loc = current().Loc;
+  expect(TokenKind::KwClass, "to begin class declaration");
+  Token Name = expect(TokenKind::Identifier, "for class name");
+
+  ClassDeclAst C;
+  C.Name = Name.Text;
+  C.Loc = Loc;
+
+  expect(TokenKind::LBrace, "to open class body");
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    if (match(TokenKind::KwFlag)) {
+      Token FlagName = expect(TokenKind::Identifier, "for flag name");
+      expect(TokenKind::Semi, "after flag declaration");
+      C.Flags.push_back(FlagName.Text);
+      continue;
+    }
+
+    // Constructor: `ClassName(params) { ... }`.
+    if (check(TokenKind::Identifier) && current().Text == C.Name &&
+        peek(1).is(TokenKind::LParen)) {
+      SourceLoc CtorLoc = current().Loc;
+      advance();
+      TypeRef VoidTy;
+      VoidTy.K = TypeRef::Kind::Void;
+      VoidTy.Loc = CtorLoc;
+      C.Methods.push_back(parseMethodDecl(VoidTy, C.Name, CtorLoc,
+                                          /*IsConstructor=*/true));
+      continue;
+    }
+
+    if (!startsType()) {
+      error("in class body; expected flag, field, or method declaration");
+      advance();
+      syncToStmtBoundary();
+      continue;
+    }
+
+    TypeRef Ty = parseTypeRef();
+    Token MemberName = expect(TokenKind::Identifier, "for member name");
+    if (check(TokenKind::LParen)) {
+      C.Methods.push_back(parseMethodDecl(Ty, MemberName.Text, MemberName.Loc,
+                                          /*IsConstructor=*/false));
+      continue;
+    }
+    expect(TokenKind::Semi, "after field declaration");
+    FieldDecl F;
+    F.DeclType = Ty;
+    F.Name = MemberName.Text;
+    F.Loc = MemberName.Loc;
+    C.Fields.push_back(std::move(F));
+  }
+  expect(TokenKind::RBrace, "to close class body");
+  M.Classes.push_back(std::move(C));
+}
+
+MethodDecl Parser::parseMethodDecl(TypeRef ReturnType, std::string Name,
+                                   SourceLoc Loc, bool IsConstructor) {
+  MethodDecl Method;
+  Method.ReturnType = std::move(ReturnType);
+  Method.Name = std::move(Name);
+  Method.Loc = Loc;
+  Method.IsConstructor = IsConstructor;
+
+  expect(TokenKind::LParen, "to open parameter list");
+  if (!check(TokenKind::RParen)) {
+    do {
+      ParamDecl P;
+      P.DeclType = parseTypeRef();
+      Token PName = expect(TokenKind::Identifier, "for parameter name");
+      P.Name = PName.Text;
+      P.Loc = PName.Loc;
+      Method.Params.push_back(std::move(P));
+    } while (match(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to close parameter list");
+  Method.Body = parseBlock();
+  return Method;
+}
+
+void Parser::parseTagTypeDecl(Module &M) {
+  SourceLoc Loc = current().Loc;
+  expect(TokenKind::KwTagType, "to begin tag type declaration");
+  Token Name = expect(TokenKind::Identifier, "for tag type name");
+  expect(TokenKind::Semi, "after tag type declaration");
+  TagTypeDeclAst T;
+  T.Name = Name.Text;
+  T.Loc = Loc;
+  M.TagTypes.push_back(std::move(T));
+}
+
+void Parser::parseTaskDecl(Module &M) {
+  SourceLoc Loc = current().Loc;
+  expect(TokenKind::KwTask, "to begin task declaration");
+  Token Name = expect(TokenKind::Identifier, "for task name");
+
+  TaskDeclAst T;
+  T.Name = Name.Text;
+  T.Loc = Loc;
+
+  expect(TokenKind::LParen, "to open task parameter list");
+  if (!check(TokenKind::RParen)) {
+    do {
+      T.Params.push_back(parseTaskParam());
+    } while (match(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to close task parameter list");
+  T.Body = parseBlock();
+  M.Tasks.push_back(std::move(T));
+}
+
+TaskParamAst Parser::parseTaskParam() {
+  TaskParamAst P;
+  Token ClassName = expect(TokenKind::Identifier, "for parameter class");
+  Token ParamName = expect(TokenKind::Identifier, "for parameter name");
+  P.ClassName = ClassName.Text;
+  P.Name = ParamName.Text;
+  P.Loc = ClassName.Loc;
+  expect(TokenKind::KwIn, "before parameter guard");
+  P.Guard = parseGuardOr();
+  if (match(TokenKind::KwWith)) {
+    do {
+      TagConstraintAst TC;
+      Token TagTy = expect(TokenKind::Identifier, "for tag type");
+      Token TagVar = expect(TokenKind::Identifier, "for tag variable");
+      TC.TagTypeName = TagTy.Text;
+      TC.Var = TagVar.Text;
+      TC.Loc = TagTy.Loc;
+      P.Tags.push_back(std::move(TC));
+    } while (match(TokenKind::KwAnd));
+  }
+  return P;
+}
+
+std::unique_ptr<GuardExprAst> Parser::parseGuardOr() {
+  auto Lhs = parseGuardAnd();
+  while (check(TokenKind::KwOr)) {
+    SourceLoc Loc = advance().Loc;
+    auto Node = std::make_unique<GuardExprAst>();
+    Node->K = GuardExprAst::Kind::Or;
+    Node->Loc = Loc;
+    Node->Lhs = std::move(Lhs);
+    Node->Rhs = parseGuardAnd();
+    Lhs = std::move(Node);
+  }
+  return Lhs;
+}
+
+std::unique_ptr<GuardExprAst> Parser::parseGuardAnd() {
+  auto Lhs = parseGuardUnary();
+  while (check(TokenKind::KwAnd)) {
+    SourceLoc Loc = advance().Loc;
+    auto Node = std::make_unique<GuardExprAst>();
+    Node->K = GuardExprAst::Kind::And;
+    Node->Loc = Loc;
+    Node->Lhs = std::move(Lhs);
+    Node->Rhs = parseGuardUnary();
+    Lhs = std::move(Node);
+  }
+  return Lhs;
+}
+
+std::unique_ptr<GuardExprAst> Parser::parseGuardUnary() {
+  auto Node = std::make_unique<GuardExprAst>();
+  Node->Loc = current().Loc;
+  if (match(TokenKind::Bang)) {
+    Node->K = GuardExprAst::Kind::Not;
+    Node->Lhs = parseGuardUnary();
+    return Node;
+  }
+  if (match(TokenKind::LParen)) {
+    Node = parseGuardOr();
+    expect(TokenKind::RParen, "to close guard expression");
+    return Node;
+  }
+  if (match(TokenKind::KwTrue)) {
+    Node->K = GuardExprAst::Kind::True;
+    return Node;
+  }
+  if (match(TokenKind::KwFalse)) {
+    Node->K = GuardExprAst::Kind::False;
+    return Node;
+  }
+  Token FlagName = expect(TokenKind::Identifier, "for flag in guard");
+  Node->K = GuardExprAst::Kind::Flag;
+  Node->FlagName = FlagName.Text;
+  return Node;
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+bool Parser::startsType() const {
+  switch (current().Kind) {
+  case TokenKind::KwVoid:
+  case TokenKind::KwInt:
+  case TokenKind::KwDouble:
+  case TokenKind::KwBoolean:
+  case TokenKind::KwString:
+  case TokenKind::Identifier:
+    return true;
+  default:
+    return false;
+  }
+}
+
+TypeRef Parser::parseTypeRef() {
+  TypeRef Ty;
+  Ty.Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::KwVoid:
+    Ty.K = TypeRef::Kind::Void;
+    advance();
+    break;
+  case TokenKind::KwInt:
+    Ty.K = TypeRef::Kind::Int;
+    advance();
+    break;
+  case TokenKind::KwDouble:
+    Ty.K = TypeRef::Kind::Double;
+    advance();
+    break;
+  case TokenKind::KwBoolean:
+    Ty.K = TypeRef::Kind::Bool;
+    advance();
+    break;
+  case TokenKind::KwString:
+    Ty.K = TypeRef::Kind::String;
+    advance();
+    break;
+  case TokenKind::Identifier:
+    Ty.K = TypeRef::Kind::Class;
+    Ty.ClassName = advance().Text;
+    break;
+  default:
+    error("while parsing a type");
+    advance();
+    break;
+  }
+  while (check(TokenKind::LBracket) && peek(1).is(TokenKind::RBracket)) {
+    advance();
+    advance();
+    ++Ty.ArrayDepth;
+  }
+  return Ty;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<BlockStmt> Parser::parseBlock() {
+  SourceLoc Loc = current().Loc;
+  expect(TokenKind::LBrace, "to open block");
+  std::vector<StmtPtr> Stmts;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    size_t Before = Pos;
+    StmtPtr S = parseStatement();
+    if (S)
+      Stmts.push_back(std::move(S));
+    if (Pos == Before) {
+      // No progress; avoid infinite loops on malformed input.
+      advance();
+      syncToStmtBoundary();
+    }
+  }
+  expect(TokenKind::RBrace, "to close block");
+  return std::make_unique<BlockStmt>(std::move(Stmts), Loc);
+}
+
+StmtPtr Parser::parseStatement() {
+  switch (current().Kind) {
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::KwTag:
+    return parseTagDeclStatement();
+  case TokenKind::KwTaskExit:
+    return parseTaskExitStatement();
+  case TokenKind::KwIf:
+    return parseIfStatement();
+  case TokenKind::KwWhile:
+    return parseWhileStatement();
+  case TokenKind::KwFor:
+    return parseForStatement();
+  case TokenKind::KwReturn: {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Value;
+    if (!check(TokenKind::Semi))
+      Value = parseExpression();
+    expect(TokenKind::Semi, "after return statement");
+    return std::make_unique<ReturnStmt>(std::move(Value), Loc);
+  }
+  case TokenKind::KwBreak: {
+    SourceLoc Loc = advance().Loc;
+    expect(TokenKind::Semi, "after break");
+    return std::make_unique<BreakStmt>(Loc);
+  }
+  case TokenKind::KwContinue: {
+    SourceLoc Loc = advance().Loc;
+    expect(TokenKind::Semi, "after continue");
+    return std::make_unique<ContinueStmt>(Loc);
+  }
+  default:
+    return parseVarDeclOrExprStatement();
+  }
+}
+
+bool Parser::looksLikeVarDecl() const {
+  switch (current().Kind) {
+  case TokenKind::KwInt:
+  case TokenKind::KwDouble:
+  case TokenKind::KwBoolean:
+  case TokenKind::KwString:
+    return true;
+  case TokenKind::Identifier:
+    // `Foo x ...` or `Foo[] x ...`.
+    if (peek(1).is(TokenKind::Identifier))
+      return true;
+    if (peek(1).is(TokenKind::LBracket) && peek(2).is(TokenKind::RBracket))
+      return true;
+    return false;
+  default:
+    return false;
+  }
+}
+
+StmtPtr Parser::parseVarDeclOrExprStatement() {
+  if (looksLikeVarDecl()) {
+    TypeRef Ty = parseTypeRef();
+    Token Name = expect(TokenKind::Identifier, "for variable name");
+    ExprPtr Init;
+    if (match(TokenKind::Assign))
+      Init = parseExpression();
+    expect(TokenKind::Semi, "after variable declaration");
+    return std::make_unique<VarDeclStmt>(std::move(Ty), Name.Text,
+                                         std::move(Init), Name.Loc);
+  }
+  SourceLoc Loc = current().Loc;
+  ExprPtr E = parseExpression();
+  expect(TokenKind::Semi, "after expression statement");
+  if (!E)
+    return nullptr;
+  return std::make_unique<ExprStmt>(std::move(E), Loc);
+}
+
+StmtPtr Parser::parseTagDeclStatement() {
+  SourceLoc Loc = current().Loc;
+  expect(TokenKind::KwTag, "to begin tag declaration");
+  Token Name = expect(TokenKind::Identifier, "for tag variable");
+  expect(TokenKind::Assign, "in tag declaration");
+  expect(TokenKind::KwNew, "in tag declaration");
+  expect(TokenKind::KwTag, "in tag declaration");
+  expect(TokenKind::LParen, "in tag declaration");
+  Token TagTypeName = expect(TokenKind::Identifier, "for tag type");
+  expect(TokenKind::RParen, "in tag declaration");
+  expect(TokenKind::Semi, "after tag declaration");
+  return std::make_unique<TagDeclStmt>(Name.Text, TagTypeName.Text, Loc);
+}
+
+StmtPtr Parser::parseTaskExitStatement() {
+  SourceLoc Loc = current().Loc;
+  expect(TokenKind::KwTaskExit, "to begin taskexit");
+  expect(TokenKind::LParen, "after taskexit");
+  std::vector<ExitParamAction> Actions;
+  if (!check(TokenKind::RParen)) {
+    do {
+      ExitParamAction Action;
+      Token ParamName = expect(TokenKind::Identifier, "for parameter name");
+      Action.ParamName = ParamName.Text;
+      Action.Loc = ParamName.Loc;
+      expect(TokenKind::Colon, "after taskexit parameter name");
+      do {
+        if (match(TokenKind::KwAdd)) {
+          Token Var = expect(TokenKind::Identifier, "for tag variable");
+          Action.Tags.push_back(ExitTagActionAst{true, Var.Text, Var.Loc});
+          continue;
+        }
+        if (match(TokenKind::KwClear)) {
+          Token Var = expect(TokenKind::Identifier, "for tag variable");
+          Action.Tags.push_back(ExitTagActionAst{false, Var.Text, Var.Loc});
+          continue;
+        }
+        Token FlagName = expect(TokenKind::Identifier, "for flag name");
+        expect(TokenKind::ColonAssign, "in flag assignment");
+        bool Value;
+        if (match(TokenKind::KwTrue)) {
+          Value = true;
+        } else {
+          expect(TokenKind::KwFalse, "for flag value");
+          Value = false;
+        }
+        Action.Flags.push_back(ExitFlagAssign{FlagName.Text, Value,
+                                              FlagName.Loc});
+      } while (match(TokenKind::Comma));
+      Actions.push_back(std::move(Action));
+    } while (match(TokenKind::Semi));
+  }
+  expect(TokenKind::RParen, "to close taskexit");
+  expect(TokenKind::Semi, "after taskexit");
+  return std::make_unique<TaskExitStmt>(std::move(Actions), Loc);
+}
+
+StmtPtr Parser::parseIfStatement() {
+  SourceLoc Loc = current().Loc;
+  expect(TokenKind::KwIf, "to begin if statement");
+  expect(TokenKind::LParen, "after 'if'");
+  ExprPtr Cond = parseExpression();
+  expect(TokenKind::RParen, "to close if condition");
+  StmtPtr Then = parseStatement();
+  StmtPtr Else;
+  if (match(TokenKind::KwElse))
+    Else = parseStatement();
+  return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                  std::move(Else), Loc);
+}
+
+StmtPtr Parser::parseWhileStatement() {
+  SourceLoc Loc = current().Loc;
+  expect(TokenKind::KwWhile, "to begin while statement");
+  expect(TokenKind::LParen, "after 'while'");
+  ExprPtr Cond = parseExpression();
+  expect(TokenKind::RParen, "to close while condition");
+  StmtPtr Body = parseStatement();
+  return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body), Loc);
+}
+
+StmtPtr Parser::parseForStatement() {
+  SourceLoc Loc = current().Loc;
+  expect(TokenKind::KwFor, "to begin for statement");
+  expect(TokenKind::LParen, "after 'for'");
+
+  StmtPtr Init;
+  if (!match(TokenKind::Semi)) {
+    if (looksLikeVarDecl()) {
+      TypeRef Ty = parseTypeRef();
+      Token Name = expect(TokenKind::Identifier, "for variable name");
+      ExprPtr InitExpr;
+      if (match(TokenKind::Assign))
+        InitExpr = parseExpression();
+      Init = std::make_unique<VarDeclStmt>(std::move(Ty), Name.Text,
+                                           std::move(InitExpr), Name.Loc);
+    } else {
+      ExprPtr E = parseExpression();
+      if (E)
+        Init = std::make_unique<ExprStmt>(std::move(E), Loc);
+    }
+    expect(TokenKind::Semi, "after for initializer");
+  }
+
+  ExprPtr Cond;
+  if (!check(TokenKind::Semi))
+    Cond = parseExpression();
+  expect(TokenKind::Semi, "after for condition");
+
+  ExprPtr Step;
+  if (!check(TokenKind::RParen))
+    Step = parseExpression();
+  expect(TokenKind::RParen, "to close for header");
+
+  StmtPtr Body = parseStatement();
+  return std::make_unique<ForStmt>(std::move(Init), std::move(Cond),
+                                   std::move(Step), std::move(Body), Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpression() {
+  ExprPtr Lhs = parseLogicalOr();
+  if (!Lhs)
+    return nullptr;
+  if (check(TokenKind::Assign)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Rhs = parseExpression(); // Right-associative.
+    return std::make_unique<AssignExpr>(std::move(Lhs), std::move(Rhs), Loc);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseLogicalOr() {
+  ExprPtr Lhs = parseLogicalAnd();
+  while (check(TokenKind::PipePipe)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Rhs = parseLogicalAnd();
+    Lhs = std::make_unique<BinaryExpr>(BinaryOp::Or, std::move(Lhs),
+                                       std::move(Rhs), Loc);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseLogicalAnd() {
+  ExprPtr Lhs = parseEquality();
+  while (check(TokenKind::AmpAmp)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Rhs = parseEquality();
+    Lhs = std::make_unique<BinaryExpr>(BinaryOp::And, std::move(Lhs),
+                                       std::move(Rhs), Loc);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseEquality() {
+  ExprPtr Lhs = parseRelational();
+  for (;;) {
+    BinaryOp Op;
+    if (check(TokenKind::EqEq))
+      Op = BinaryOp::Eq;
+    else if (check(TokenKind::NotEq))
+      Op = BinaryOp::Ne;
+    else
+      return Lhs;
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Rhs = parseRelational();
+    Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                       Loc);
+  }
+}
+
+ExprPtr Parser::parseRelational() {
+  ExprPtr Lhs = parseAdditive();
+  for (;;) {
+    BinaryOp Op;
+    if (check(TokenKind::Less))
+      Op = BinaryOp::Lt;
+    else if (check(TokenKind::LessEq))
+      Op = BinaryOp::Le;
+    else if (check(TokenKind::Greater))
+      Op = BinaryOp::Gt;
+    else if (check(TokenKind::GreaterEq))
+      Op = BinaryOp::Ge;
+    else
+      return Lhs;
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Rhs = parseAdditive();
+    Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                       Loc);
+  }
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr Lhs = parseMultiplicative();
+  for (;;) {
+    BinaryOp Op;
+    if (check(TokenKind::Plus))
+      Op = BinaryOp::Add;
+    else if (check(TokenKind::Minus))
+      Op = BinaryOp::Sub;
+    else
+      return Lhs;
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Rhs = parseMultiplicative();
+    Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                       Loc);
+  }
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr Lhs = parseUnary();
+  for (;;) {
+    BinaryOp Op;
+    if (check(TokenKind::Star))
+      Op = BinaryOp::Mul;
+    else if (check(TokenKind::Slash))
+      Op = BinaryOp::Div;
+    else if (check(TokenKind::Percent))
+      Op = BinaryOp::Rem;
+    else
+      return Lhs;
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Rhs = parseUnary();
+    Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                       Loc);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  if (check(TokenKind::Minus)) {
+    SourceLoc Loc = advance().Loc;
+    return std::make_unique<UnaryExpr>(UnaryOp::Neg, parseUnary(), Loc);
+  }
+  if (check(TokenKind::Bang)) {
+    SourceLoc Loc = advance().Loc;
+    return std::make_unique<UnaryExpr>(UnaryOp::Not, parseUnary(), Loc);
+  }
+  return parsePostfix();
+}
+
+std::vector<ExprPtr> Parser::parseCallArgs() {
+  std::vector<ExprPtr> Args;
+  expect(TokenKind::LParen, "to open argument list");
+  if (!check(TokenKind::RParen)) {
+    do {
+      Args.push_back(parseExpression());
+    } while (match(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to close argument list");
+  return Args;
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  for (;;) {
+    if (check(TokenKind::Dot)) {
+      advance();
+      Token Member = expect(TokenKind::Identifier, "after '.'");
+      if (check(TokenKind::LParen)) {
+        std::vector<ExprPtr> Args = parseCallArgs();
+        E = std::make_unique<CallExpr>(std::move(E), Member.Text,
+                                       std::move(Args), Member.Loc);
+      } else {
+        E = std::make_unique<FieldAccessExpr>(std::move(E), Member.Text,
+                                              Member.Loc);
+      }
+      continue;
+    }
+    if (check(TokenKind::LBracket)) {
+      SourceLoc Loc = advance().Loc;
+      ExprPtr Index = parseExpression();
+      expect(TokenKind::RBracket, "to close index expression");
+      E = std::make_unique<IndexExpr>(std::move(E), std::move(Index), Loc);
+      continue;
+    }
+    return E;
+  }
+}
+
+ExprPtr Parser::parseNewExpression() {
+  SourceLoc Loc = current().Loc;
+  expect(TokenKind::KwNew, "to begin allocation");
+
+  // Array of a primitive type: `new int[n]`, `new double[n][m]`.
+  if (check(TokenKind::KwInt) || check(TokenKind::KwDouble) ||
+      check(TokenKind::KwBoolean) || check(TokenKind::KwString) ||
+      (check(TokenKind::Identifier) && peek(1).is(TokenKind::LBracket))) {
+    TypeRef Elem;
+    Elem.Loc = current().Loc;
+    switch (current().Kind) {
+    case TokenKind::KwInt: Elem.K = TypeRef::Kind::Int; break;
+    case TokenKind::KwDouble: Elem.K = TypeRef::Kind::Double; break;
+    case TokenKind::KwBoolean: Elem.K = TypeRef::Kind::Bool; break;
+    case TokenKind::KwString: Elem.K = TypeRef::Kind::String; break;
+    default:
+      Elem.K = TypeRef::Kind::Class;
+      Elem.ClassName = current().Text;
+      break;
+    }
+    advance();
+    std::vector<ExprPtr> Dims;
+    while (check(TokenKind::LBracket)) {
+      advance();
+      Dims.push_back(parseExpression());
+      expect(TokenKind::RBracket, "to close array dimension");
+    }
+    if (Dims.empty())
+      Diags.error(Loc, "array allocation requires at least one dimension");
+    return std::make_unique<NewArrayExpr>(std::move(Elem), std::move(Dims),
+                                          Loc);
+  }
+
+  // Object allocation: `new C(args) { flag := true, add t }`.
+  Token ClassName = expect(TokenKind::Identifier, "for class in allocation");
+  std::vector<ExprPtr> Args;
+  if (check(TokenKind::LParen))
+    Args = parseCallArgs();
+  std::vector<FlagInit> Flags;
+  std::vector<TagInit> Tags;
+  if (match(TokenKind::LBrace)) {
+    if (!check(TokenKind::RBrace)) {
+      do {
+        if (match(TokenKind::KwAdd)) {
+          Token Var = expect(TokenKind::Identifier, "for tag variable");
+          Tags.push_back(TagInit{Var.Text, Var.Loc});
+          continue;
+        }
+        Token FlagName = expect(TokenKind::Identifier, "for flag name");
+        expect(TokenKind::ColonAssign, "in flag initializer");
+        bool Value;
+        if (match(TokenKind::KwTrue)) {
+          Value = true;
+        } else {
+          expect(TokenKind::KwFalse, "for flag value");
+          Value = false;
+        }
+        Flags.push_back(FlagInit{FlagName.Text, Value, FlagName.Loc});
+      } while (match(TokenKind::Comma));
+    }
+    expect(TokenKind::RBrace, "to close flag initializers");
+  }
+  return std::make_unique<NewObjectExpr>(ClassName.Text, std::move(Args),
+                                         std::move(Flags), std::move(Tags),
+                                         Loc);
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::IntLiteral: {
+    Token T = advance();
+    return std::make_unique<IntLitExpr>(T.IntValue, Loc);
+  }
+  case TokenKind::DoubleLiteral: {
+    Token T = advance();
+    return std::make_unique<DoubleLitExpr>(T.DoubleValue, Loc);
+  }
+  case TokenKind::StringLiteral: {
+    Token T = advance();
+    return std::make_unique<StringLitExpr>(T.Text, Loc);
+  }
+  case TokenKind::KwTrue:
+    advance();
+    return std::make_unique<BoolLitExpr>(true, Loc);
+  case TokenKind::KwFalse:
+    advance();
+    return std::make_unique<BoolLitExpr>(false, Loc);
+  case TokenKind::KwNull:
+    advance();
+    return std::make_unique<NullLitExpr>(Loc);
+  case TokenKind::KwNew:
+    return parseNewExpression();
+  case TokenKind::LParen: {
+    advance();
+    ExprPtr E = parseExpression();
+    expect(TokenKind::RParen, "to close parenthesized expression");
+    return E;
+  }
+  case TokenKind::Identifier: {
+    Token T = advance();
+    if (check(TokenKind::LParen)) {
+      // Receiverless call to a method of the enclosing class.
+      std::vector<ExprPtr> Args = parseCallArgs();
+      return std::make_unique<CallExpr>(nullptr, T.Text, std::move(Args),
+                                        Loc);
+    }
+    return std::make_unique<VarRefExpr>(T.Text, Loc);
+  }
+  default:
+    error("while parsing an expression");
+    advance();
+    return nullptr;
+  }
+}

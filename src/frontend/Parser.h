@@ -1,0 +1,100 @@
+//===- frontend/Parser.h - Bamboo parser ------------------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the Bamboo language. Produces an ast::Module
+/// from a token stream; errors are reported to the DiagnosticEngine and the
+/// parser recovers at statement/declaration boundaries so that multiple
+/// errors can be reported in one pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_FRONTEND_PARSER_H
+#define BAMBOO_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+#include "frontend/Diagnostics.h"
+#include "frontend/Token.h"
+
+#include <vector>
+
+namespace bamboo::frontend {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags);
+
+  /// Parses a whole module. Always returns a module; check
+  /// Diags.hasErrors() before using it.
+  ast::Module parseModule(const std::string &ModuleName);
+
+private:
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+
+  // Token-stream helpers.
+  const Token &peek(size_t Ahead = 0) const;
+  const Token &current() const { return peek(0); }
+  Token advance();
+  bool check(TokenKind K) const { return current().is(K); }
+  bool match(TokenKind K);
+  /// Consumes a token of kind \p K or reports an error (returning a
+  /// best-effort token without consuming).
+  Token expect(TokenKind K, const char *Context);
+  void error(const char *Context);
+  void syncToDeclBoundary();
+  void syncToStmtBoundary();
+
+  // Declarations.
+  void parseClassDecl(ast::Module &M);
+  void parseTagTypeDecl(ast::Module &M);
+  void parseTaskDecl(ast::Module &M);
+  ast::MethodDecl parseMethodDecl(ast::TypeRef ReturnType, std::string Name,
+                                  SourceLoc Loc, bool IsConstructor);
+
+  // Task declaration pieces.
+  ast::TaskParamAst parseTaskParam();
+  std::unique_ptr<ast::GuardExprAst> parseGuardOr();
+  std::unique_ptr<ast::GuardExprAst> parseGuardAnd();
+  std::unique_ptr<ast::GuardExprAst> parseGuardUnary();
+
+  // Types.
+  bool startsType() const;
+  ast::TypeRef parseTypeRef();
+
+  // Statements.
+  std::unique_ptr<ast::BlockStmt> parseBlock();
+  ast::StmtPtr parseStatement();
+  ast::StmtPtr parseVarDeclOrExprStatement();
+  ast::StmtPtr parseTagDeclStatement();
+  ast::StmtPtr parseTaskExitStatement();
+  ast::StmtPtr parseIfStatement();
+  ast::StmtPtr parseWhileStatement();
+  ast::StmtPtr parseForStatement();
+
+  /// True when the upcoming tokens begin a local variable declaration
+  /// rather than an expression statement.
+  bool looksLikeVarDecl() const;
+
+  // Expressions.
+  ast::ExprPtr parseExpression(); // Assignment level.
+  ast::ExprPtr parseLogicalOr();
+  ast::ExprPtr parseLogicalAnd();
+  ast::ExprPtr parseEquality();
+  ast::ExprPtr parseRelational();
+  ast::ExprPtr parseAdditive();
+  ast::ExprPtr parseMultiplicative();
+  ast::ExprPtr parseUnary();
+  ast::ExprPtr parsePostfix();
+  ast::ExprPtr parsePrimary();
+  ast::ExprPtr parseNewExpression();
+  std::vector<ast::ExprPtr> parseCallArgs();
+};
+
+} // namespace bamboo::frontend
+
+#endif // BAMBOO_FRONTEND_PARSER_H

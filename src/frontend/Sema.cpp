@@ -1,0 +1,1111 @@
+//===- frontend/Sema.cpp - Bamboo semantic analysis -----------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Sema.h"
+
+#include "support/Debug.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bamboo;
+using namespace bamboo::frontend;
+using namespace bamboo::frontend::ast;
+using detail::Sema;
+
+std::optional<CompiledModule>
+bamboo::frontend::analyzeModule(ast::Module M, DiagnosticEngine &Diags) {
+  Sema S(M, Diags);
+  if (!S.run())
+    return std::nullopt;
+  return CompiledModule(std::move(M), S.takeProgram());
+}
+
+Sema::Sema(ast::Module &M, DiagnosticEngine &Diags)
+    : M(M), Diags(Diags), PB(M.Name) {}
+
+void Sema::err(SourceLoc Loc, std::string Msg) {
+  Diags.error(Loc, std::move(Msg));
+  Failed = true;
+}
+
+bool Sema::run() {
+  registerDeclarations();
+  if (Failed)
+    return false;
+  resolveSignatures();
+  if (Failed)
+    return false;
+  checkAllBodies();
+  return !Failed;
+}
+
+ir::Program Sema::takeProgram() { return PB.take(); }
+
+//===----------------------------------------------------------------------===//
+// Pass 1: declarations
+//===----------------------------------------------------------------------===//
+
+void Sema::registerDeclarations() {
+  // Inject the implicit StartupObject class if the module does not declare
+  // one. Its creation (with initialstate set) boots the program; `args`
+  // carries the command line, as in the Section-2 example.
+  if (!M.findClass("StartupObject")) {
+    ClassDeclAst Startup;
+    Startup.Name = "StartupObject";
+    Startup.Flags.push_back("initialstate");
+    FieldDecl Args;
+    Args.DeclType.K = TypeRef::Kind::String;
+    Args.DeclType.ArrayDepth = 1;
+    Args.Name = "args";
+    Startup.Fields.push_back(std::move(Args));
+    M.Classes.push_back(std::move(Startup));
+  }
+
+  for (size_t I = 0; I < M.Classes.size(); ++I) {
+    ClassDeclAst &C = M.Classes[I];
+    for (size_t J = 0; J < I; ++J)
+      if (M.Classes[J].Name == C.Name) {
+        err(C.Loc, formatString("duplicate class %s", C.Name.c_str()));
+        return;
+      }
+    for (size_t F = 0; F < C.Flags.size(); ++F)
+      for (size_t G = F + 1; G < C.Flags.size(); ++G)
+        if (C.Flags[F] == C.Flags[G])
+          err(C.Loc, formatString("class %s declares duplicate flag %s",
+                                  C.Name.c_str(), C.Flags[F].c_str()));
+    if (C.Flags.size() > ir::MaxFlagsPerClass)
+      err(C.Loc, formatString("class %s declares too many flags",
+                              C.Name.c_str()));
+    if (Failed)
+      return;
+    C.Id = PB.addClass(C.Name, C.Flags);
+    assert(C.Id == static_cast<ir::ClassId>(I) && "class ids must be dense");
+  }
+
+  for (size_t I = 0; I < M.TagTypes.size(); ++I) {
+    TagTypeDeclAst &T = M.TagTypes[I];
+    for (size_t J = 0; J < I; ++J)
+      if (M.TagTypes[J].Name == T.Name) {
+        err(T.Loc, formatString("duplicate tag type %s", T.Name.c_str()));
+        return;
+      }
+    if (M.findClass(T.Name))
+      err(T.Loc, formatString("tag type %s collides with a class name",
+                              T.Name.c_str()));
+    T.Id = PB.addTagType(T.Name);
+  }
+
+  for (size_t I = 0; I < M.Tasks.size(); ++I) {
+    TaskDeclAst &T = M.Tasks[I];
+    for (size_t J = 0; J < I; ++J)
+      if (M.Tasks[J].Name == T.Name) {
+        err(T.Loc, formatString("duplicate task %s", T.Name.c_str()));
+        return;
+      }
+    if (T.Params.empty()) {
+      err(T.Loc, formatString("task %s must declare at least one parameter",
+                              T.Name.c_str()));
+      continue;
+    }
+    T.Id = PB.addTask(T.Name);
+
+    for (TaskParamAst &P : T.Params) {
+      ClassDeclAst *C = M.findClass(P.ClassName);
+      if (!C) {
+        err(P.Loc, formatString("unknown class %s in task %s parameter",
+                                P.ClassName.c_str(), T.Name.c_str()));
+        continue;
+      }
+      P.Class = C->Id;
+      std::unique_ptr<ir::FlagExpr> Guard = lowerGuard(P.Guard.get(), C->Id);
+      if (!Guard)
+        continue;
+      std::vector<ir::TagConstraint> Tags;
+      for (const TagConstraintAst &TC : P.Tags) {
+        ir::TagTypeId TT = PB.peek().findTagType(TC.TagTypeName);
+        if (TT == ir::InvalidId) {
+          err(TC.Loc, formatString("unknown tag type %s",
+                                   TC.TagTypeName.c_str()));
+          continue;
+        }
+        Tags.push_back(ir::TagConstraint{TT, TC.Var});
+      }
+      PB.addParam(T.Id, P.Name, C->Id, std::move(Guard), std::move(Tags));
+    }
+  }
+
+  ClassDeclAst *Startup = M.findClass("StartupObject");
+  assert(Startup && "StartupObject must exist by now");
+  if (std::find(Startup->Flags.begin(), Startup->Flags.end(),
+                "initialstate") == Startup->Flags.end()) {
+    err(Startup->Loc, "class StartupObject must declare flag initialstate");
+    return;
+  }
+  PB.setStartup(Startup->Id, "initialstate");
+}
+
+std::unique_ptr<ir::FlagExpr> Sema::lowerGuard(const GuardExprAst *G,
+                                               ir::ClassId Class) {
+  switch (G->K) {
+  case GuardExprAst::Kind::True:
+    return ir::FlagExpr::makeTrue();
+  case GuardExprAst::Kind::False:
+    return ir::FlagExpr::makeFalse();
+  case GuardExprAst::Kind::Flag: {
+    ir::FlagId F = PB.peek().classOf(Class).flagIndex(G->FlagName);
+    if (F == ir::InvalidId) {
+      err(G->Loc, formatString("class %s has no flag %s",
+                               PB.peek().classOf(Class).Name.c_str(),
+                               G->FlagName.c_str()));
+      return nullptr;
+    }
+    return ir::FlagExpr::makeFlag(F);
+  }
+  case GuardExprAst::Kind::Not: {
+    auto L = lowerGuard(G->Lhs.get(), Class);
+    return L ? ir::FlagExpr::makeNot(std::move(L)) : nullptr;
+  }
+  case GuardExprAst::Kind::And:
+  case GuardExprAst::Kind::Or: {
+    auto L = lowerGuard(G->Lhs.get(), Class);
+    auto R = lowerGuard(G->Rhs.get(), Class);
+    if (!L || !R)
+      return nullptr;
+    return G->K == GuardExprAst::Kind::And
+               ? ir::FlagExpr::makeAnd(std::move(L), std::move(R))
+               : ir::FlagExpr::makeOr(std::move(L), std::move(R));
+  }
+  }
+  BAMBOO_UNREACHABLE("covered switch");
+}
+
+RType Sema::resolveTypeRef(const TypeRef &Ty) {
+  RType Base;
+  switch (Ty.K) {
+  case TypeRef::Kind::Void:
+    Base = RType::voidTy();
+    break;
+  case TypeRef::Kind::Int:
+    Base = RType::intTy();
+    break;
+  case TypeRef::Kind::Double:
+    Base = RType::doubleTy();
+    break;
+  case TypeRef::Kind::Bool:
+    Base = RType::boolTy();
+    break;
+  case TypeRef::Kind::String:
+    Base = RType::stringTy();
+    break;
+  case TypeRef::Kind::Class: {
+    ClassDeclAst *C = M.findClass(Ty.ClassName);
+    if (!C) {
+      err(Ty.Loc, formatString("unknown type %s", Ty.ClassName.c_str()));
+      return RType::invalid();
+    }
+    Base = RType::classTy(C->Id);
+    break;
+  }
+  }
+  if (Ty.ArrayDepth > 0 && Base.Base == BaseKind::Void) {
+    err(Ty.Loc, "cannot form an array of void");
+    return RType::invalid();
+  }
+  Base.Depth = Ty.ArrayDepth;
+  return Base;
+}
+
+void Sema::resolveSignatures() {
+  for (ClassDeclAst &C : M.Classes) {
+    for (size_t I = 0; I < C.Fields.size(); ++I) {
+      FieldDecl &F = C.Fields[I];
+      for (size_t J = 0; J < I; ++J)
+        if (C.Fields[J].Name == F.Name)
+          err(F.Loc, formatString("duplicate field %s in class %s",
+                                  F.Name.c_str(), C.Name.c_str()));
+      F.Resolved = resolveTypeRef(F.DeclType);
+      if (F.Resolved.Base == BaseKind::Void)
+        err(F.Loc, "fields may not have type void");
+    }
+    for (size_t I = 0; I < C.Methods.size(); ++I) {
+      MethodDecl &Method = C.Methods[I];
+      for (size_t J = 0; J < I; ++J)
+        if (C.Methods[J].Name == Method.Name)
+          err(Method.Loc,
+              formatString("duplicate method %s in class %s (overloading is "
+                           "not supported)",
+                           Method.Name.c_str(), C.Name.c_str()));
+      Method.ResolvedReturn = resolveTypeRef(Method.ReturnType);
+      for (ParamDecl &P : Method.Params) {
+        P.Resolved = resolveTypeRef(P.DeclType);
+        if (P.Resolved.Base == BaseKind::Void)
+          err(P.Loc, "parameters may not have type void");
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Scope handling
+//===----------------------------------------------------------------------===//
+
+Sema::LocalVar *Sema::lookupLocal(BodyContext &Ctx, const std::string &Name) {
+  for (auto It = Ctx.Scopes.rbegin(); It != Ctx.Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return &Found->second;
+  }
+  return nullptr;
+}
+
+bool Sema::declareLocal(BodyContext &Ctx, const std::string &Name,
+                        LocalVar Var, SourceLoc Loc) {
+  assert(!Ctx.Scopes.empty() && "no open scope");
+  auto [It, Inserted] = Ctx.Scopes.back().emplace(Name, Var);
+  (void)It;
+  if (!Inserted) {
+    err(Loc, formatString("redeclaration of %s", Name.c_str()));
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Pass 2: bodies
+//===----------------------------------------------------------------------===//
+
+void Sema::checkAllBodies() {
+  for (ClassDeclAst &C : M.Classes)
+    for (MethodDecl &Method : C.Methods)
+      checkMethodBody(C, Method);
+  for (TaskDeclAst &T : M.Tasks) {
+    if (T.Id == ir::InvalidId)
+      continue;
+    checkTaskBody(T);
+  }
+}
+
+void Sema::checkMethodBody(ClassDeclAst &C, MethodDecl &Method) {
+  BodyContext Ctx;
+  Ctx.EnclosingClass = &C;
+  Ctx.ReturnType = Method.ResolvedReturn;
+  pushScope(Ctx);
+  for (ParamDecl &P : Method.Params) {
+    LocalVar Var;
+    Var.Ty = P.Resolved;
+    Var.Slot = Ctx.NextSlot++;
+    declareLocal(Ctx, P.Name, Var, P.Loc);
+  }
+  checkStmt(Ctx, Method.Body.get());
+  popScope(Ctx);
+  Method.NumSlots = Ctx.NextSlot;
+}
+
+void Sema::checkTaskBody(TaskDeclAst &Task) {
+  BodyContext Ctx;
+  Ctx.EnclosingTask = &Task;
+  pushScope(Ctx);
+
+  // Parameters occupy the first slots.
+  for (TaskParamAst &P : Task.Params) {
+    if (P.Class == ir::InvalidId)
+      return;
+    LocalVar Var;
+    Var.Ty = RType::classTy(P.Class);
+    Var.Slot = Ctx.NextSlot++;
+    declareLocal(Ctx, P.Name, Var, P.Loc);
+  }
+
+  // Tag variables from `with` constraints are in scope in the body; the
+  // same variable on several parameters denotes one shared tag instance
+  // and gets one slot.
+  for (TaskParamAst &P : Task.Params) {
+    for (TagConstraintAst &TC : P.Tags) {
+      if (LocalVar *Existing = lookupLocal(Ctx, TC.Var)) {
+        TC.Slot = Existing->Slot;
+        continue;
+      }
+      LocalVar Var;
+      Var.Ty = RType::tagTy();
+      Var.Slot = Ctx.NextSlot++;
+      Var.TagType = PB.peek().findTagType(TC.TagTypeName);
+      TC.Slot = Var.Slot;
+      declareLocal(Ctx, TC.Var, Var, TC.Loc);
+    }
+  }
+
+  checkStmt(Ctx, Task.Body.get());
+  popScope(Ctx);
+  Task.NumSlots = Ctx.NextSlot;
+
+  // Implicit fall-through exit: no flag or tag effects. The interpreter and
+  // the embedded runtime use the last exit when a body completes without
+  // executing a taskexit.
+  PB.addExit(Task.Id, "fallthrough");
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void Sema::checkStmt(BodyContext &Ctx, Stmt *S) {
+  if (!S)
+    return;
+  switch (S->K) {
+  case StmtKind::Block: {
+    auto *B = static_cast<BlockStmt *>(S);
+    pushScope(Ctx);
+    for (StmtPtr &Child : B->Stmts)
+      checkStmt(Ctx, Child.get());
+    popScope(Ctx);
+    return;
+  }
+  case StmtKind::VarDecl: {
+    auto *D = static_cast<VarDeclStmt *>(S);
+    D->Resolved = resolveTypeRef(D->DeclType);
+    if (D->Resolved.Base == BaseKind::Void) {
+      err(D->Loc, "variables may not have type void");
+      return;
+    }
+    if (D->Init) {
+      RType InitTy = checkExpr(Ctx, D->Init.get());
+      if (!InitTy.isInvalid() && !isAssignable(D->Resolved, InitTy))
+        err(D->Loc, formatString("cannot initialize %s with %s",
+                                 typeName(D->Resolved).c_str(),
+                                 typeName(InitTy).c_str()));
+    }
+    LocalVar Var;
+    Var.Ty = D->Resolved;
+    Var.Slot = Ctx.NextSlot++;
+    D->Slot = Var.Slot;
+    declareLocal(Ctx, D->Name, Var, D->Loc);
+    return;
+  }
+  case StmtKind::TagDecl: {
+    auto *D = static_cast<TagDeclStmt *>(S);
+    if (!Ctx.EnclosingTask) {
+      err(D->Loc, "tag instances may only be created inside tasks");
+      return;
+    }
+    D->TagType = PB.peek().findTagType(D->TagTypeName);
+    if (D->TagType == ir::InvalidId) {
+      err(D->Loc,
+          formatString("unknown tag type %s", D->TagTypeName.c_str()));
+      return;
+    }
+    LocalVar Var;
+    Var.Ty = RType::tagTy();
+    Var.Slot = Ctx.NextSlot++;
+    Var.TagType = D->TagType;
+    D->Slot = Var.Slot;
+    declareLocal(Ctx, D->Name, Var, D->Loc);
+    return;
+  }
+  case StmtKind::Expr: {
+    auto *E = static_cast<ExprStmt *>(S);
+    checkExpr(Ctx, E->E.get());
+    return;
+  }
+  case StmtKind::If: {
+    auto *I = static_cast<IfStmt *>(S);
+    RType CondTy = checkExpr(Ctx, I->Cond.get());
+    if (!CondTy.isInvalid() && CondTy != RType::boolTy())
+      err(I->Loc, "if condition must be boolean");
+    checkStmt(Ctx, I->Then.get());
+    checkStmt(Ctx, I->Else.get());
+    return;
+  }
+  case StmtKind::While: {
+    auto *W = static_cast<WhileStmt *>(S);
+    RType CondTy = checkExpr(Ctx, W->Cond.get());
+    if (!CondTy.isInvalid() && CondTy != RType::boolTy())
+      err(W->Loc, "while condition must be boolean");
+    ++Ctx.LoopDepth;
+    checkStmt(Ctx, W->Body.get());
+    --Ctx.LoopDepth;
+    return;
+  }
+  case StmtKind::For: {
+    auto *F = static_cast<ForStmt *>(S);
+    pushScope(Ctx);
+    checkStmt(Ctx, F->Init.get());
+    if (F->Cond) {
+      RType CondTy = checkExpr(Ctx, F->Cond.get());
+      if (!CondTy.isInvalid() && CondTy != RType::boolTy())
+        err(F->Loc, "for condition must be boolean");
+    }
+    if (F->Step)
+      checkExpr(Ctx, F->Step.get());
+    ++Ctx.LoopDepth;
+    checkStmt(Ctx, F->Body.get());
+    --Ctx.LoopDepth;
+    popScope(Ctx);
+    return;
+  }
+  case StmtKind::Return: {
+    auto *R = static_cast<ReturnStmt *>(S);
+    if (Ctx.EnclosingTask) {
+      if (R->Value)
+        err(R->Loc, "tasks may not return a value; use taskexit");
+      return;
+    }
+    if (R->Value) {
+      RType ValueTy = checkExpr(Ctx, R->Value.get());
+      if (!ValueTy.isInvalid() && !isAssignable(Ctx.ReturnType, ValueTy))
+        err(R->Loc, formatString("cannot return %s from a method returning %s",
+                                 typeName(ValueTy).c_str(),
+                                 typeName(Ctx.ReturnType).c_str()));
+    } else if (Ctx.ReturnType.Base != BaseKind::Void) {
+      err(R->Loc, "non-void method must return a value");
+    }
+    return;
+  }
+  case StmtKind::Break:
+  case StmtKind::Continue:
+    if (Ctx.LoopDepth == 0)
+      err(S->Loc, "break/continue outside of a loop");
+    return;
+  case StmtKind::TaskExit:
+    checkTaskExit(Ctx, static_cast<TaskExitStmt *>(S));
+    return;
+  }
+  BAMBOO_UNREACHABLE("covered switch");
+}
+
+void Sema::checkTaskExit(BodyContext &Ctx, TaskExitStmt *S) {
+  if (!Ctx.EnclosingTask) {
+    err(S->Loc, "taskexit may only appear inside a task body");
+    return;
+  }
+  TaskDeclAst &Task = *Ctx.EnclosingTask;
+  ir::ExitId Exit = PB.addExit(
+      Task.Id, formatString("exit%zu",
+                            PB.peek().taskOf(Task.Id).Exits.size()));
+  S->Exit = Exit;
+
+  for (ExitParamAction &Action : S->Actions) {
+    Action.ParamIndex = -1;
+    for (size_t PI = 0; PI < Task.Params.size(); ++PI)
+      if (Task.Params[PI].Name == Action.ParamName)
+        Action.ParamIndex = static_cast<int>(PI);
+    if (Action.ParamIndex < 0) {
+      err(Action.Loc, formatString("taskexit names unknown parameter %s",
+                                   Action.ParamName.c_str()));
+      continue;
+    }
+    ir::ClassId Class = Task.Params[static_cast<size_t>(Action.ParamIndex)]
+                            .Class;
+    for (ExitFlagAssign &FA : Action.Flags) {
+      if (PB.peek().classOf(Class).flagIndex(FA.Flag) == ir::InvalidId) {
+        err(FA.Loc, formatString("class %s has no flag %s",
+                                 PB.peek().classOf(Class).Name.c_str(),
+                                 FA.Flag.c_str()));
+        continue;
+      }
+      PB.setFlagEffect(Task.Id, Exit, Action.ParamIndex, FA.Flag, FA.Value);
+    }
+    for (ExitTagActionAst &TA : Action.Tags) {
+      LocalVar *Var = lookupLocal(Ctx, TA.TagVar);
+      if (!Var || Var->Ty.Base != BaseKind::Tag) {
+        err(TA.Loc, formatString("%s is not a tag variable",
+                                 TA.TagVar.c_str()));
+        continue;
+      }
+      TA.Slot = Var->Slot;
+      TA.Type = Var->TagType;
+      PB.addTagEffect(Task.Id, Exit, Action.ParamIndex, TA.IsAdd, Var->TagType,
+                      TA.TagVar);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+RType Sema::checkExpr(BodyContext &Ctx, Expr *E) {
+  if (!E)
+    return RType::invalid();
+  RType Ty;
+  switch (E->K) {
+  case ExprKind::IntLit:
+    Ty = RType::intTy();
+    break;
+  case ExprKind::DoubleLit:
+    Ty = RType::doubleTy();
+    break;
+  case ExprKind::BoolLit:
+    Ty = RType::boolTy();
+    break;
+  case ExprKind::StringLit:
+    Ty = RType::stringTy();
+    break;
+  case ExprKind::NullLit:
+    Ty = RType::nullTy();
+    break;
+  case ExprKind::VarRef:
+    Ty = checkVarRef(Ctx, static_cast<VarRefExpr *>(E));
+    break;
+  case ExprKind::FieldAccess:
+    Ty = checkFieldAccess(Ctx, static_cast<FieldAccessExpr *>(E));
+    break;
+  case ExprKind::Index:
+    Ty = checkIndex(Ctx, static_cast<IndexExpr *>(E));
+    break;
+  case ExprKind::Call:
+    Ty = checkCall(Ctx, static_cast<CallExpr *>(E));
+    break;
+  case ExprKind::NewObject:
+    Ty = checkNewObject(Ctx, static_cast<NewObjectExpr *>(E));
+    break;
+  case ExprKind::NewArray:
+    Ty = checkNewArray(Ctx, static_cast<NewArrayExpr *>(E));
+    break;
+  case ExprKind::Unary:
+    Ty = checkUnary(Ctx, static_cast<UnaryExpr *>(E));
+    break;
+  case ExprKind::Binary:
+    Ty = checkBinary(Ctx, static_cast<BinaryExpr *>(E));
+    break;
+  case ExprKind::Assign:
+    Ty = checkAssign(Ctx, static_cast<AssignExpr *>(E));
+    break;
+  }
+  E->Ty = Ty;
+  return Ty;
+}
+
+RType Sema::checkVarRef(BodyContext &Ctx, VarRefExpr *E) {
+  if (LocalVar *Var = lookupLocal(Ctx, E->Name)) {
+    E->Bind = VarRefExpr::Binding::LocalSlot;
+    E->Slot = Var->Slot;
+    return Var->Ty;
+  }
+  if (Ctx.EnclosingClass) {
+    int FieldIdx = Ctx.EnclosingClass->fieldIndex(E->Name);
+    if (FieldIdx >= 0) {
+      E->Bind = VarRefExpr::Binding::SelfField;
+      E->FieldIndex = FieldIdx;
+      return Ctx.EnclosingClass->Fields[static_cast<size_t>(FieldIdx)]
+          .Resolved;
+    }
+  }
+  err(E->Loc, formatString("unknown variable %s", E->Name.c_str()));
+  return RType::invalid();
+}
+
+RType Sema::checkFieldAccess(BodyContext &Ctx, FieldAccessExpr *E) {
+  RType BaseTy = checkExpr(Ctx, E->Base.get());
+  if (BaseTy.isInvalid())
+    return RType::invalid();
+  if (BaseTy.isArray()) {
+    if (E->Field == "length") {
+      E->IsArrayLength = true;
+      return RType::intTy();
+    }
+    err(E->Loc, formatString("arrays have no field %s", E->Field.c_str()));
+    return RType::invalid();
+  }
+  if (BaseTy.Base != BaseKind::Class) {
+    err(E->Loc, formatString("%s has no fields", typeName(BaseTy).c_str()));
+    return RType::invalid();
+  }
+  ClassDeclAst &C = M.Classes[static_cast<size_t>(BaseTy.Cls)];
+  int FieldIdx = C.fieldIndex(E->Field);
+  if (FieldIdx < 0) {
+    err(E->Loc, formatString("class %s has no field %s", C.Name.c_str(),
+                             E->Field.c_str()));
+    return RType::invalid();
+  }
+  E->FieldIndex = FieldIdx;
+  return C.Fields[static_cast<size_t>(FieldIdx)].Resolved;
+}
+
+RType Sema::checkIndex(BodyContext &Ctx, IndexExpr *E) {
+  RType BaseTy = checkExpr(Ctx, E->Base.get());
+  RType IdxTy = checkExpr(Ctx, E->Index.get());
+  if (!IdxTy.isInvalid() && IdxTy != RType::intTy())
+    err(E->Loc, "array index must be an int");
+  if (BaseTy.isInvalid())
+    return RType::invalid();
+  if (!BaseTy.isArray()) {
+    err(E->Loc, formatString("cannot index %s", typeName(BaseTy).c_str()));
+    return RType::invalid();
+  }
+  return BaseTy.element();
+}
+
+BuiltinId Sema::resolveBuiltin(const std::string &Namespace,
+                               const std::string &Method) const {
+  struct Entry {
+    const char *Namespace;
+    const char *Method;
+    BuiltinId Id;
+  };
+  static const Entry Table[] = {
+      {"System", "printString", BuiltinId::SystemPrintString},
+      {"System", "printInt", BuiltinId::SystemPrintInt},
+      {"System", "printDouble", BuiltinId::SystemPrintDouble},
+      {"Math", "sqrt", BuiltinId::MathSqrt},
+      {"Math", "abs", BuiltinId::MathAbs},
+      {"Math", "fabs", BuiltinId::MathFabs},
+      {"Math", "sin", BuiltinId::MathSin},
+      {"Math", "cos", BuiltinId::MathCos},
+      {"Math", "exp", BuiltinId::MathExp},
+      {"Math", "log", BuiltinId::MathLog},
+      {"Math", "pow", BuiltinId::MathPow},
+      {"Math", "floor", BuiltinId::MathFloor},
+      {"Math", "max", BuiltinId::MathMax},
+      {"Math", "min", BuiltinId::MathMin},
+      {"Bamboo", "charge", BuiltinId::BambooCharge},
+      {"Bamboo", "rand", BuiltinId::BambooRand},
+  };
+  for (const Entry &Row : Table)
+    if (Namespace == Row.Namespace && Method == Row.Method)
+      return Row.Id;
+  return BuiltinId::None;
+}
+
+RType Sema::checkBuiltinCall(BodyContext &Ctx, CallExpr *E,
+                             RType ReceiverTy) {
+  auto CheckArgs = [&](std::vector<RType> Expected, RType Ret) {
+    if (E->Args.size() != Expected.size()) {
+      err(E->Loc, formatString("%s expects %zu arguments, got %zu",
+                               E->Method.c_str(), Expected.size(),
+                               E->Args.size()));
+      return Ret;
+    }
+    for (size_t I = 0; I < Expected.size(); ++I) {
+      RType ArgTy = checkExpr(Ctx, E->Args[I].get());
+      if (!ArgTy.isInvalid() && !isAssignable(Expected[I], ArgTy))
+        err(E->Args[I]->Loc,
+            formatString("argument %zu of %s must be %s, got %s", I + 1,
+                         E->Method.c_str(), typeName(Expected[I]).c_str(),
+                         typeName(ArgTy).c_str()));
+    }
+    return Ret;
+  };
+
+  switch (E->Builtin) {
+  case BuiltinId::SystemPrintString:
+    return CheckArgs({RType::stringTy()}, RType::voidTy());
+  case BuiltinId::SystemPrintInt:
+    return CheckArgs({RType::intTy()}, RType::voidTy());
+  case BuiltinId::SystemPrintDouble:
+    return CheckArgs({RType::doubleTy()}, RType::voidTy());
+  case BuiltinId::MathSqrt:
+  case BuiltinId::MathFabs:
+  case BuiltinId::MathSin:
+  case BuiltinId::MathCos:
+  case BuiltinId::MathExp:
+  case BuiltinId::MathLog:
+  case BuiltinId::MathFloor:
+    return CheckArgs({RType::doubleTy()}, RType::doubleTy());
+  case BuiltinId::MathPow:
+  case BuiltinId::MathMax:
+  case BuiltinId::MathMin:
+    return CheckArgs({RType::doubleTy(), RType::doubleTy()},
+                     RType::doubleTy());
+  case BuiltinId::MathAbs: {
+    if (E->Args.size() == 1) {
+      RType ArgTy = checkExpr(Ctx, E->Args[0].get());
+      if (ArgTy == RType::intTy())
+        return RType::intTy();
+      if (ArgTy == RType::doubleTy())
+        return RType::doubleTy();
+      if (!ArgTy.isInvalid())
+        err(E->Loc, "Math.abs requires a numeric argument");
+      return RType::invalid();
+    }
+    err(E->Loc, "Math.abs expects one argument");
+    return RType::invalid();
+  }
+  case BuiltinId::BambooCharge:
+    return CheckArgs({RType::intTy()}, RType::voidTy());
+  case BuiltinId::BambooRand:
+    return CheckArgs({RType::intTy()}, RType::intTy());
+  case BuiltinId::StringLength:
+    (void)ReceiverTy;
+    return CheckArgs({}, RType::intTy());
+  case BuiltinId::StringCharAt:
+    return CheckArgs({RType::intTy()}, RType::intTy());
+  case BuiltinId::StringSubstring:
+    return CheckArgs({RType::intTy(), RType::intTy()}, RType::stringTy());
+  case BuiltinId::StringIndexOf:
+    return CheckArgs({RType::stringTy(), RType::intTy()}, RType::intTy());
+  case BuiltinId::StringEquals:
+    return CheckArgs({RType::stringTy()}, RType::boolTy());
+  case BuiltinId::None:
+    break;
+  }
+  BAMBOO_UNREACHABLE("not a builtin");
+}
+
+RType Sema::checkCall(BodyContext &Ctx, CallExpr *E) {
+  // Receiverless call: a method of the enclosing class.
+  if (!E->Base) {
+    if (!Ctx.EnclosingClass) {
+      err(E->Loc, "tasks have no receiver; call methods on an object");
+      return RType::invalid();
+    }
+    int MethodIdx = Ctx.EnclosingClass->methodIndex(E->Method);
+    if (MethodIdx < 0 ||
+        Ctx.EnclosingClass->Methods[static_cast<size_t>(MethodIdx)]
+            .IsConstructor) {
+      err(E->Loc, formatString("class %s has no method %s",
+                               Ctx.EnclosingClass->Name.c_str(),
+                               E->Method.c_str()));
+      return RType::invalid();
+    }
+    E->TargetClass = Ctx.EnclosingClass->Id;
+    E->MethodIndex = MethodIdx;
+    MethodDecl &Method =
+        Ctx.EnclosingClass->Methods[static_cast<size_t>(MethodIdx)];
+    if (E->Args.size() != Method.Params.size()) {
+      err(E->Loc, formatString("method %s expects %zu arguments, got %zu",
+                               E->Method.c_str(), Method.Params.size(),
+                               E->Args.size()));
+      return Method.ResolvedReturn;
+    }
+    for (size_t I = 0; I < E->Args.size(); ++I) {
+      RType ArgTy = checkExpr(Ctx, E->Args[I].get());
+      if (!ArgTy.isInvalid() &&
+          !isAssignable(Method.Params[I].Resolved, ArgTy))
+        err(E->Args[I]->Loc,
+            formatString("argument %zu of %s has type %s, expected %s", I + 1,
+                         E->Method.c_str(), typeName(ArgTy).c_str(),
+                         typeName(Method.Params[I].Resolved).c_str()));
+    }
+    return Method.ResolvedReturn;
+  }
+
+  // Builtin namespace receiver (System/Math/Bamboo), unless shadowed by a
+  // local variable.
+  if (E->Base->K == ExprKind::VarRef) {
+    auto *Base = static_cast<VarRefExpr *>(E->Base.get());
+    if (!lookupLocal(Ctx, Base->Name) &&
+        (!Ctx.EnclosingClass ||
+         Ctx.EnclosingClass->fieldIndex(Base->Name) < 0)) {
+      BuiltinId Builtin = resolveBuiltin(Base->Name, E->Method);
+      if (Builtin != BuiltinId::None) {
+        Base->Bind = VarRefExpr::Binding::Namespace;
+        E->Builtin = Builtin;
+        return checkBuiltinCall(Ctx, E, RType::invalid());
+      }
+    }
+  }
+
+  RType BaseTy = checkExpr(Ctx, E->Base.get());
+  if (BaseTy.isInvalid())
+    return RType::invalid();
+
+  // String builtin methods.
+  if (BaseTy == RType::stringTy()) {
+    static const struct {
+      const char *Name;
+      BuiltinId Id;
+    } StringMethods[] = {
+        {"length", BuiltinId::StringLength},
+        {"charAt", BuiltinId::StringCharAt},
+        {"substring", BuiltinId::StringSubstring},
+        {"indexOf", BuiltinId::StringIndexOf},
+        {"equals", BuiltinId::StringEquals},
+    };
+    for (const auto &Row : StringMethods) {
+      if (E->Method == Row.Name) {
+        E->Builtin = Row.Id;
+        return checkBuiltinCall(Ctx, E, BaseTy);
+      }
+    }
+    err(E->Loc, formatString("String has no method %s", E->Method.c_str()));
+    return RType::invalid();
+  }
+
+  if (BaseTy.Base != BaseKind::Class || BaseTy.isArray()) {
+    err(E->Loc, formatString("%s has no methods", typeName(BaseTy).c_str()));
+    return RType::invalid();
+  }
+
+  ClassDeclAst &C = M.Classes[static_cast<size_t>(BaseTy.Cls)];
+  int MethodIdx = C.methodIndex(E->Method);
+  if (MethodIdx < 0 ||
+      C.Methods[static_cast<size_t>(MethodIdx)].IsConstructor) {
+    err(E->Loc, formatString("class %s has no method %s", C.Name.c_str(),
+                             E->Method.c_str()));
+    return RType::invalid();
+  }
+  E->TargetClass = C.Id;
+  E->MethodIndex = MethodIdx;
+  MethodDecl &Method = C.Methods[static_cast<size_t>(MethodIdx)];
+  if (E->Args.size() != Method.Params.size()) {
+    err(E->Loc, formatString("method %s expects %zu arguments, got %zu",
+                             E->Method.c_str(), Method.Params.size(),
+                             E->Args.size()));
+    return Method.ResolvedReturn;
+  }
+  for (size_t I = 0; I < E->Args.size(); ++I) {
+    RType ArgTy = checkExpr(Ctx, E->Args[I].get());
+    if (!ArgTy.isInvalid() && !isAssignable(Method.Params[I].Resolved, ArgTy))
+      err(E->Args[I]->Loc,
+          formatString("argument %zu of %s has type %s, expected %s", I + 1,
+                       E->Method.c_str(), typeName(ArgTy).c_str(),
+                       typeName(Method.Params[I].Resolved).c_str()));
+  }
+  return Method.ResolvedReturn;
+}
+
+RType Sema::checkNewObject(BodyContext &Ctx, NewObjectExpr *E) {
+  ClassDeclAst *C = M.findClass(E->ClassName);
+  if (!C) {
+    err(E->Loc, formatString("unknown class %s", E->ClassName.c_str()));
+    return RType::invalid();
+  }
+  E->Class = C->Id;
+
+  // Constructor resolution.
+  int CtorIdx = -1;
+  for (size_t I = 0; I < C->Methods.size(); ++I)
+    if (C->Methods[I].IsConstructor)
+      CtorIdx = static_cast<int>(I);
+  E->CtorIndex = CtorIdx;
+  if (CtorIdx >= 0) {
+    MethodDecl &Ctor = C->Methods[static_cast<size_t>(CtorIdx)];
+    if (E->Args.size() != Ctor.Params.size()) {
+      err(E->Loc,
+          formatString("constructor of %s expects %zu arguments, got %zu",
+                       C->Name.c_str(), Ctor.Params.size(), E->Args.size()));
+    } else {
+      for (size_t I = 0; I < E->Args.size(); ++I) {
+        RType ArgTy = checkExpr(Ctx, E->Args[I].get());
+        if (!ArgTy.isInvalid() &&
+            !isAssignable(Ctor.Params[I].Resolved, ArgTy))
+          err(E->Args[I]->Loc,
+              formatString("constructor argument %zu has type %s, expected %s",
+                           I + 1, typeName(ArgTy).c_str(),
+                           typeName(Ctor.Params[I].Resolved).c_str()));
+      }
+    }
+  } else if (!E->Args.empty()) {
+    err(E->Loc, formatString("class %s has no constructor", C->Name.c_str()));
+    for (ExprPtr &Arg : E->Args)
+      checkExpr(Ctx, Arg.get());
+  }
+
+  // Flag/tag initializers make this an allocation site; those are only
+  // meaningful where the dependence analysis can attribute them to a task.
+  if (!E->Flags.empty() || !E->Tags.empty()) {
+    if (!Ctx.EnclosingTask) {
+      err(E->Loc,
+          "allocations with flag or tag initializers may only appear in "
+          "task bodies");
+      return RType::classTy(C->Id);
+    }
+    std::vector<std::string> FlagNames;
+    for (FlagInit &FI : E->Flags) {
+      if (C->Id != ir::InvalidId &&
+          PB.peek().classOf(C->Id).flagIndex(FI.Flag) == ir::InvalidId) {
+        err(FI.Loc, formatString("class %s has no flag %s", C->Name.c_str(),
+                                 FI.Flag.c_str()));
+        continue;
+      }
+      if (FI.Value)
+        FlagNames.push_back(FI.Flag);
+    }
+    std::vector<ir::TagTypeId> BoundTags;
+    for (TagInit &TI : E->Tags) {
+      LocalVar *Var = lookupLocal(Ctx, TI.TagVar);
+      if (!Var || Var->Ty.Base != BaseKind::Tag) {
+        err(TI.Loc,
+            formatString("%s is not a tag variable", TI.TagVar.c_str()));
+        continue;
+      }
+      TI.Slot = Var->Slot;
+      TI.Type = Var->TagType;
+      BoundTags.push_back(Var->TagType);
+    }
+    E->Site = PB.addSite(Ctx.EnclosingTask->Id, C->Id, FlagNames,
+                         std::move(BoundTags),
+                         formatString("line%d", E->Loc.Line));
+  }
+  return RType::classTy(C->Id);
+}
+
+RType Sema::checkNewArray(BodyContext &Ctx, NewArrayExpr *E) {
+  RType Elem = resolveTypeRef(E->Elem);
+  if (Elem.isInvalid())
+    return RType::invalid();
+  for (ExprPtr &Dim : E->Dims) {
+    RType DimTy = checkExpr(Ctx, Dim.get());
+    if (!DimTy.isInvalid() && DimTy != RType::intTy())
+      err(Dim->Loc, "array dimension must be an int");
+  }
+  Elem.Depth += static_cast<int>(E->Dims.size());
+  return Elem;
+}
+
+RType Sema::checkUnary(BodyContext &Ctx, UnaryExpr *E) {
+  RType Ty = checkExpr(Ctx, E->Operand.get());
+  if (Ty.isInvalid())
+    return Ty;
+  if (E->Op == UnaryOp::Neg) {
+    if (!Ty.isNumeric()) {
+      err(E->Loc, "unary '-' requires a numeric operand");
+      return RType::invalid();
+    }
+    return Ty;
+  }
+  if (Ty != RType::boolTy()) {
+    err(E->Loc, "unary '!' requires a boolean operand");
+    return RType::invalid();
+  }
+  return Ty;
+}
+
+RType Sema::checkBinary(BodyContext &Ctx, BinaryExpr *E) {
+  RType L = checkExpr(Ctx, E->Lhs.get());
+  RType R = checkExpr(Ctx, E->Rhs.get());
+  if (L.isInvalid() || R.isInvalid())
+    return RType::invalid();
+
+  auto NumericResult = [&]() {
+    return (L == RType::doubleTy() || R == RType::doubleTy())
+               ? RType::doubleTy()
+               : RType::intTy();
+  };
+
+  switch (E->Op) {
+  case BinaryOp::Add:
+    // String concatenation accepts any printable operand on either side.
+    if (L == RType::stringTy() || R == RType::stringTy()) {
+      auto Printable = [](const RType &Ty) {
+        return Ty == RType::stringTy() || Ty.isNumeric() ||
+               Ty == RType::boolTy();
+      };
+      if (Printable(L) && Printable(R))
+        return RType::stringTy();
+      err(E->Loc, "invalid operands to string concatenation");
+      return RType::invalid();
+    }
+    [[fallthrough]];
+  case BinaryOp::Sub:
+  case BinaryOp::Mul:
+  case BinaryOp::Div:
+    if (!L.isNumeric() || !R.isNumeric()) {
+      err(E->Loc, "arithmetic requires numeric operands");
+      return RType::invalid();
+    }
+    return NumericResult();
+  case BinaryOp::Rem:
+    if (L != RType::intTy() || R != RType::intTy()) {
+      err(E->Loc, "'%' requires int operands");
+      return RType::invalid();
+    }
+    return RType::intTy();
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge:
+    if (!L.isNumeric() || !R.isNumeric()) {
+      err(E->Loc, "comparison requires numeric operands");
+      return RType::invalid();
+    }
+    return RType::boolTy();
+  case BinaryOp::Eq:
+  case BinaryOp::Ne: {
+    bool Ok = (L.isNumeric() && R.isNumeric()) ||
+              (L == RType::boolTy() && R == RType::boolTy()) ||
+              (L == RType::stringTy() && R == RType::stringTy()) ||
+              (L.isReference() && R.isReference() &&
+               (L == R || L.Base == BaseKind::Null ||
+                R.Base == BaseKind::Null));
+    if (!Ok) {
+      err(E->Loc, formatString("cannot compare %s with %s",
+                               typeName(L).c_str(), typeName(R).c_str()));
+      return RType::invalid();
+    }
+    return RType::boolTy();
+  }
+  case BinaryOp::And:
+  case BinaryOp::Or:
+    if (L != RType::boolTy() || R != RType::boolTy()) {
+      err(E->Loc, "logical operators require boolean operands");
+      return RType::invalid();
+    }
+    return RType::boolTy();
+  }
+  BAMBOO_UNREACHABLE("covered switch");
+}
+
+RType Sema::checkAssign(BodyContext &Ctx, AssignExpr *E) {
+  RType TargetTy = checkExpr(Ctx, E->Target.get());
+  RType ValueTy = checkExpr(Ctx, E->Value.get());
+
+  switch (E->Target->K) {
+  case ExprKind::VarRef: {
+    auto *Var = static_cast<VarRefExpr *>(E->Target.get());
+    if (Var->Bind == VarRefExpr::Binding::LocalSlot &&
+        TargetTy.Base == BaseKind::Tag) {
+      err(E->Loc, "tag variables cannot be reassigned");
+      return RType::invalid();
+    }
+    break;
+  }
+  case ExprKind::FieldAccess: {
+    auto *Field = static_cast<FieldAccessExpr *>(E->Target.get());
+    if (Field->IsArrayLength) {
+      err(E->Loc, "array length is read-only");
+      return RType::invalid();
+    }
+    break;
+  }
+  case ExprKind::Index:
+    break;
+  default:
+    err(E->Loc, "invalid assignment target");
+    return RType::invalid();
+  }
+
+  if (!TargetTy.isInvalid() && !ValueTy.isInvalid() &&
+      !isAssignable(TargetTy, ValueTy))
+    err(E->Loc, formatString("cannot assign %s to %s",
+                             typeName(ValueTy).c_str(),
+                             typeName(TargetTy).c_str()));
+  return TargetTy;
+}
+
+bool Sema::isAssignable(const RType &Dst, const RType &Src) {
+  if (Dst == Src)
+    return true;
+  if (Dst == RType::doubleTy() && Src == RType::intTy())
+    return true;
+  if (Src.Base == BaseKind::Null && Src.Depth == 0 && Dst.isReference())
+    return true;
+  return false;
+}
+
+std::string Sema::typeName(const RType &Ty) const {
+  std::string Base;
+  switch (Ty.Base) {
+  case BaseKind::Invalid: Base = "<error>"; break;
+  case BaseKind::Void: Base = "void"; break;
+  case BaseKind::Int: Base = "int"; break;
+  case BaseKind::Double: Base = "double"; break;
+  case BaseKind::Bool: Base = "boolean"; break;
+  case BaseKind::String: Base = "String"; break;
+  case BaseKind::Null: Base = "null"; break;
+  case BaseKind::Tag: Base = "tag"; break;
+  case BaseKind::Class:
+    Base = Ty.Cls >= 0 && static_cast<size_t>(Ty.Cls) < M.Classes.size()
+               ? M.Classes[static_cast<size_t>(Ty.Cls)].Name
+               : "<class>";
+    break;
+  }
+  for (int I = 0; I < Ty.Depth; ++I)
+    Base += "[]";
+  return Base;
+}

@@ -1,0 +1,150 @@
+//===- frontend/Sema.h - Bamboo semantic analysis ---------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for parsed Bamboo modules: resolves class/flag/tag
+/// names, type-checks method and task bodies, assigns local slots for the
+/// interpreter, registers allocation sites and task exits, and lowers the
+/// task declarations into an ir::Program.
+///
+/// Conventions enforced here (Section 3 of the paper):
+///  - tasks have no receiver and may only touch parameters and objects
+///    reachable from them (no globals exist in the language);
+///  - `taskexit` may appear only in task bodies, and each syntactic
+///    `taskexit` becomes one ir exit (an implicit no-effect exit is appended
+///    for bodies that fall off the end);
+///  - allocations with flag or tag initializers are allocation *sites* and
+///    may appear only directly in task bodies, where the dependence
+///    analysis can attribute them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_FRONTEND_SEMA_H
+#define BAMBOO_FRONTEND_SEMA_H
+
+#include "frontend/Ast.h"
+#include "frontend/Diagnostics.h"
+#include "ir/Program.h"
+#include "ir/ProgramBuilder.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bamboo::frontend {
+
+/// The result of a successful frontend run: the annotated AST (consumed by
+/// the interpreter and the disjointness analysis) plus the lowered task
+/// program (consumed by everything else). Task, class, and tag-type ids in
+/// the program are the indices of the corresponding AST declarations.
+struct CompiledModule {
+  ast::Module Ast;
+  ir::Program Prog;
+
+  CompiledModule(ast::Module Ast, ir::Program Prog)
+      : Ast(std::move(Ast)), Prog(std::move(Prog)) {}
+};
+
+/// Runs semantic analysis over \p M. On success returns the compiled
+/// module; on failure returns std::nullopt with diagnostics in \p Diags.
+/// \p M is consumed either way.
+std::optional<CompiledModule> analyzeModule(ast::Module M,
+                                            DiagnosticEngine &Diags);
+
+namespace detail {
+
+/// Implementation class behind analyzeModule; exposed for unit tests that
+/// want to poke at intermediate state.
+class Sema {
+public:
+  Sema(ast::Module &M, DiagnosticEngine &Diags);
+
+  /// Returns true on success; the module is annotated in place and the
+  /// program can be taken with takeProgram().
+  bool run();
+
+  ir::Program takeProgram();
+
+private:
+  ast::Module &M;
+  DiagnosticEngine &Diags;
+  ir::ProgramBuilder PB;
+  bool Failed = false;
+
+  /// One local variable binding (parameters, locals, tag variables).
+  struct LocalVar {
+    ast::RType Ty;
+    int Slot = -1;
+    ir::TagTypeId TagType = ir::InvalidId; // For Tag-typed locals.
+  };
+
+  /// Checking context for one body.
+  struct BodyContext {
+    ast::ClassDeclAst *EnclosingClass = nullptr; // Methods only.
+    ast::TaskDeclAst *EnclosingTask = nullptr;   // Tasks only.
+    ast::RType ReturnType = ast::RType::voidTy();
+    int NextSlot = 0;
+    int LoopDepth = 0;
+    std::vector<std::unordered_map<std::string, LocalVar>> Scopes;
+  };
+
+  void err(SourceLoc Loc, std::string Msg);
+
+  // Pass 1: declarations.
+  void registerDeclarations();
+  void resolveSignatures();
+  ast::RType resolveTypeRef(const ast::TypeRef &Ty);
+
+  // Pass 2: bodies.
+  void checkAllBodies();
+  void checkMethodBody(ast::ClassDeclAst &C, ast::MethodDecl &Method);
+  void checkTaskBody(ast::TaskDeclAst &Task);
+
+  // Scope handling.
+  void pushScope(BodyContext &Ctx) { Ctx.Scopes.emplace_back(); }
+  void popScope(BodyContext &Ctx) { Ctx.Scopes.pop_back(); }
+  LocalVar *lookupLocal(BodyContext &Ctx, const std::string &Name);
+  bool declareLocal(BodyContext &Ctx, const std::string &Name, LocalVar Var,
+                    SourceLoc Loc);
+
+  // Statements and expressions.
+  void checkStmt(BodyContext &Ctx, ast::Stmt *S);
+  ast::RType checkExpr(BodyContext &Ctx, ast::Expr *E);
+  ast::RType checkVarRef(BodyContext &Ctx, ast::VarRefExpr *E);
+  ast::RType checkFieldAccess(BodyContext &Ctx, ast::FieldAccessExpr *E);
+  ast::RType checkIndex(BodyContext &Ctx, ast::IndexExpr *E);
+  ast::RType checkCall(BodyContext &Ctx, ast::CallExpr *E);
+  ast::RType checkNewObject(BodyContext &Ctx, ast::NewObjectExpr *E);
+  ast::RType checkNewArray(BodyContext &Ctx, ast::NewArrayExpr *E);
+  ast::RType checkUnary(BodyContext &Ctx, ast::UnaryExpr *E);
+  ast::RType checkBinary(BodyContext &Ctx, ast::BinaryExpr *E);
+  ast::RType checkAssign(BodyContext &Ctx, ast::AssignExpr *E);
+  void checkTaskExit(BodyContext &Ctx, ast::TaskExitStmt *S);
+
+  /// Resolves a (namespace, name) or (String receiver, name) builtin call;
+  /// returns BuiltinId::None if there is no such builtin.
+  ast::BuiltinId resolveBuiltin(const std::string &Namespace,
+                                const std::string &Method) const;
+  ast::RType checkBuiltinCall(BodyContext &Ctx, ast::CallExpr *E,
+                              ast::RType ReceiverTy);
+
+  /// True if a value of type \p Src can initialize/assign a slot of type
+  /// \p Dst (identity, int-to-double widening, or null-to-reference).
+  static bool isAssignable(const ast::RType &Dst, const ast::RType &Src);
+
+  std::string typeName(const ast::RType &Ty) const;
+
+  /// Lowers a guard AST to an ir::FlagExpr against \p Class.
+  std::unique_ptr<ir::FlagExpr> lowerGuard(const ast::GuardExprAst *G,
+                                           ir::ClassId Class);
+};
+
+} // namespace detail
+
+} // namespace bamboo::frontend
+
+#endif // BAMBOO_FRONTEND_SEMA_H

@@ -1,0 +1,28 @@
+//===- frontend/SourceLoc.h - Source locations -----------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column source locations attached to tokens, AST nodes, and
+/// diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_FRONTEND_SOURCELOC_H
+#define BAMBOO_FRONTEND_SOURCELOC_H
+
+namespace bamboo::frontend {
+
+/// A 1-based line/column position. Line 0 denotes an unknown location.
+struct SourceLoc {
+  int Line = 0;
+  int Col = 0;
+
+  bool isValid() const { return Line > 0; }
+};
+
+} // namespace bamboo::frontend
+
+#endif // BAMBOO_FRONTEND_SOURCELOC_H

@@ -1,0 +1,104 @@
+//===- frontend/Token.h - Token definitions ---------------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for the Bamboo language: the Figure-5 task grammar keywords
+/// plus a Java-like imperative subset for task and method bodies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_FRONTEND_TOKEN_H
+#define BAMBOO_FRONTEND_TOKEN_H
+
+#include "frontend/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace bamboo::frontend {
+
+enum class TokenKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+  DoubleLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwClass,
+  KwFlag,
+  KwTag,
+  KwTagType,
+  KwTask,
+  KwTaskExit,
+  KwIn,
+  KwWith,
+  KwAnd,
+  KwOr,
+  KwNew,
+  KwAdd,
+  KwClear,
+  KwTrue,
+  KwFalse,
+  KwNull,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwInt,
+  KwDouble,
+  KwBoolean,
+  KwString,
+  KwVoid,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Colon,
+  Dot,
+  Assign,       // =
+  ColonAssign,  // :=
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Bang,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  AmpAmp,
+  PipePipe,
+};
+
+/// Returns a human-readable spelling for diagnostics ("';'", "identifier").
+const char *tokenKindName(TokenKind K);
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;     // Identifier or string literal contents.
+  int64_t IntValue = 0; // For IntLiteral.
+  double DoubleValue = 0.0; // For DoubleLiteral.
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace bamboo::frontend
+
+#endif // BAMBOO_FRONTEND_TOKEN_H

@@ -1,0 +1,830 @@
+//===- interp/Interp.cpp - DSL task-body interpreter ----------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+
+#include "runtime/TaskContext.h"
+#include "support/Debug.h"
+#include "support/Format.h"
+
+#include <cassert>
+#include <cmath>
+#include <memory>
+#include <variant>
+
+using namespace bamboo;
+using namespace bamboo::interp;
+using namespace bamboo::frontend;
+using namespace bamboo::frontend::ast;
+
+namespace {
+
+struct ArrayValue;
+
+/// A runtime value of the interpreted language.
+using Value = std::variant<std::monostate, int64_t, double, bool,
+                           std::string, runtime::Object *,
+                           std::shared_ptr<ArrayValue>,
+                           runtime::TagInstance *>;
+
+struct ArrayValue {
+  std::vector<Value> Elems;
+};
+
+/// Field storage attached to runtime objects for interpreted classes.
+struct InterpObjectData : runtime::ObjectData {
+  const ClassDeclAst *Class = nullptr;
+  std::vector<Value> Fields;
+};
+
+Value defaultValue(const RType &Ty) {
+  if (Ty.isArray() || Ty.Base == BaseKind::Class ||
+      Ty.Base == BaseKind::Null)
+    return std::monostate{};
+  switch (Ty.Base) {
+  case BaseKind::Int:
+    return int64_t{0};
+  case BaseKind::Double:
+    return 0.0;
+  case BaseKind::Bool:
+    return false;
+  case BaseKind::String:
+    return std::string();
+  default:
+    return std::monostate{};
+  }
+}
+
+bool isNull(const Value &V) {
+  return std::holds_alternative<std::monostate>(V);
+}
+
+} // namespace
+
+namespace bamboo::interp {
+
+/// Walks annotated ASTs for one task invocation (and the methods it
+/// calls). A fresh Evaluator is created per invocation; frames are local
+/// slot vectors.
+class Evaluator {
+public:
+  Evaluator(InterpProgram &IP, runtime::TaskContext &Ctx)
+      : IP(IP), Ctx(Ctx) {}
+
+  void runTask(const TaskDeclAst &Task) {
+    std::vector<Value> Slots(static_cast<size_t>(Task.NumSlots));
+    for (size_t P = 0; P < Task.Params.size(); ++P)
+      Slots[P] = &Ctx.param(static_cast<int>(P));
+    for (const TaskParamAst &Param : Task.Params)
+      for (const TagConstraintAst &TC : Param.Tags)
+        if (TC.Slot >= 0)
+          Slots[static_cast<size_t>(TC.Slot)] = Ctx.tagVar(TC.Var);
+    Frame F{Slots, /*Self=*/nullptr};
+    exec(F, Task.Body.get());
+    Ctx.charge(Ops);
+  }
+
+private:
+  struct Frame {
+    std::vector<Value> Slots;
+    runtime::Object *Self = nullptr;
+  };
+
+  enum class Flow { Normal, Break, Continue, Return, Exit, Trap };
+
+  InterpProgram &IP;
+  runtime::TaskContext &Ctx;
+  machine::Cycles Ops = 0;
+  Value ReturnValue;
+
+  Flow trap(SourceLoc Loc, const std::string &Msg) {
+    IP.reportError(Loc, Msg);
+    return Flow::Trap;
+  }
+
+  InterpObjectData &dataOf(runtime::Object *Obj) {
+    return Obj->dataAs<InterpObjectData>();
+  }
+
+  static double asDouble(const Value &V) {
+    if (const auto *I = std::get_if<int64_t>(&V))
+      return static_cast<double>(*I);
+    return std::get<double>(V);
+  }
+
+  static Value coerce(Value V, const RType &Target) {
+    if (Target.Base == BaseKind::Double && Target.Depth == 0)
+      if (const auto *I = std::get_if<int64_t>(&V))
+        return static_cast<double>(*I);
+    return V;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  Flow exec(Frame &F, const Stmt *S) {
+    if (!S)
+      return Flow::Normal;
+    switch (S->K) {
+    case StmtKind::Block: {
+      for (const StmtPtr &Child : static_cast<const BlockStmt *>(S)->Stmts) {
+        Flow Fl = exec(F, Child.get());
+        if (Fl != Flow::Normal)
+          return Fl;
+      }
+      return Flow::Normal;
+    }
+    case StmtKind::VarDecl: {
+      const auto *D = static_cast<const VarDeclStmt *>(S);
+      Value V = defaultValue(D->Resolved);
+      if (D->Init) {
+        Flow Fl = eval(F, D->Init.get(), V);
+        if (Fl != Flow::Normal)
+          return Fl;
+        V = coerce(std::move(V), D->Resolved);
+      }
+      F.Slots[static_cast<size_t>(D->Slot)] = std::move(V);
+      return Flow::Normal;
+    }
+    case StmtKind::TagDecl: {
+      const auto *D = static_cast<const TagDeclStmt *>(S);
+      runtime::TagInstance *Inst = Ctx.newTag(D->TagType);
+      F.Slots[static_cast<size_t>(D->Slot)] = Inst;
+      Ctx.bindTagVar(D->Name, Inst);
+      return Flow::Normal;
+    }
+    case StmtKind::Expr: {
+      Value Ignored;
+      return eval(F, static_cast<const ExprStmt *>(S)->E.get(), Ignored);
+    }
+    case StmtKind::If: {
+      const auto *I = static_cast<const IfStmt *>(S);
+      Value Cond;
+      Flow Fl = eval(F, I->Cond.get(), Cond);
+      if (Fl != Flow::Normal)
+        return Fl;
+      if (std::get<bool>(Cond))
+        return exec(F, I->Then.get());
+      return exec(F, I->Else.get());
+    }
+    case StmtKind::While: {
+      const auto *W = static_cast<const WhileStmt *>(S);
+      for (;;) {
+        Value Cond;
+        Flow Fl = eval(F, W->Cond.get(), Cond);
+        if (Fl != Flow::Normal)
+          return Fl;
+        if (!std::get<bool>(Cond))
+          return Flow::Normal;
+        Fl = exec(F, W->Body.get());
+        if (Fl == Flow::Break)
+          return Flow::Normal;
+        if (Fl != Flow::Normal && Fl != Flow::Continue)
+          return Fl;
+      }
+    }
+    case StmtKind::For: {
+      const auto *Loop = static_cast<const ForStmt *>(S);
+      Flow Fl = exec(F, Loop->Init.get());
+      if (Fl != Flow::Normal)
+        return Fl;
+      for (;;) {
+        if (Loop->Cond) {
+          Value Cond;
+          Fl = eval(F, Loop->Cond.get(), Cond);
+          if (Fl != Flow::Normal)
+            return Fl;
+          if (!std::get<bool>(Cond))
+            return Flow::Normal;
+        }
+        Fl = exec(F, Loop->Body.get());
+        if (Fl == Flow::Break)
+          return Flow::Normal;
+        if (Fl != Flow::Normal && Fl != Flow::Continue)
+          return Fl;
+        if (Loop->Step) {
+          Value Ignored;
+          Fl = eval(F, Loop->Step.get(), Ignored);
+          if (Fl != Flow::Normal)
+            return Fl;
+        }
+      }
+    }
+    case StmtKind::Return: {
+      const auto *R = static_cast<const ReturnStmt *>(S);
+      ReturnValue = std::monostate{};
+      if (R->Value) {
+        Flow Fl = eval(F, R->Value.get(), ReturnValue);
+        if (Fl != Flow::Normal)
+          return Fl;
+      }
+      return Flow::Return;
+    }
+    case StmtKind::Break:
+      return Flow::Break;
+    case StmtKind::Continue:
+      return Flow::Continue;
+    case StmtKind::TaskExit: {
+      const auto *T = static_cast<const TaskExitStmt *>(S);
+      Ctx.exitWith(T->Exit);
+      for (const ExitParamAction &Action : T->Actions) {
+        for (const ExitTagActionAst &TA : Action.Tags) {
+          if (TA.Slot < 0)
+            continue;
+          auto *Inst = std::get<runtime::TagInstance *>(
+              F.Slots[static_cast<size_t>(TA.Slot)]);
+          Ctx.bindTagVar(TA.TagVar, Inst);
+        }
+      }
+      return Flow::Exit;
+    }
+    }
+    BAMBOO_UNREACHABLE("covered switch");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  Flow eval(Frame &F, const Expr *E, Value &Out) {
+    ++Ops; // Automatic work metering: one cycle per expression node.
+    switch (E->K) {
+    case ExprKind::IntLit:
+      Out = static_cast<const IntLitExpr *>(E)->Value;
+      return Flow::Normal;
+    case ExprKind::DoubleLit:
+      Out = static_cast<const DoubleLitExpr *>(E)->Value;
+      return Flow::Normal;
+    case ExprKind::BoolLit:
+      Out = static_cast<const BoolLitExpr *>(E)->Value;
+      return Flow::Normal;
+    case ExprKind::StringLit:
+      Out = static_cast<const StringLitExpr *>(E)->Value;
+      return Flow::Normal;
+    case ExprKind::NullLit:
+      Out = std::monostate{};
+      return Flow::Normal;
+    case ExprKind::VarRef: {
+      const auto *V = static_cast<const VarRefExpr *>(E);
+      if (V->Bind == VarRefExpr::Binding::LocalSlot) {
+        Out = F.Slots[static_cast<size_t>(V->Slot)];
+        return Flow::Normal;
+      }
+      if (V->Bind == VarRefExpr::Binding::SelfField) {
+        Out = dataOf(F.Self).Fields[static_cast<size_t>(V->FieldIndex)];
+        return Flow::Normal;
+      }
+      return trap(V->Loc, "unbound variable " + V->Name);
+    }
+    case ExprKind::FieldAccess: {
+      const auto *FA = static_cast<const FieldAccessExpr *>(E);
+      Value Base;
+      Flow Fl = eval(F, FA->Base.get(), Base);
+      if (Fl != Flow::Normal)
+        return Fl;
+      if (FA->IsArrayLength) {
+        if (isNull(Base))
+          return trap(FA->Loc, "null dereference reading length");
+        Out = static_cast<int64_t>(
+            std::get<std::shared_ptr<ArrayValue>>(Base)->Elems.size());
+        return Flow::Normal;
+      }
+      if (isNull(Base))
+        return trap(FA->Loc, "null dereference reading field " + FA->Field);
+      Out = dataOf(std::get<runtime::Object *>(Base))
+                .Fields[static_cast<size_t>(FA->FieldIndex)];
+      return Flow::Normal;
+    }
+    case ExprKind::Index: {
+      const auto *I = static_cast<const IndexExpr *>(E);
+      Value Base, Idx;
+      Flow Fl = eval(F, I->Base.get(), Base);
+      if (Fl != Flow::Normal)
+        return Fl;
+      Fl = eval(F, I->Index.get(), Idx);
+      if (Fl != Flow::Normal)
+        return Fl;
+      if (isNull(Base))
+        return trap(I->Loc, "null dereference indexing array");
+      auto &Arr = *std::get<std::shared_ptr<ArrayValue>>(Base);
+      int64_t N = std::get<int64_t>(Idx);
+      if (N < 0 || static_cast<size_t>(N) >= Arr.Elems.size())
+        return trap(I->Loc,
+                    formatString("array index %lld out of bounds for "
+                                 "length %zu",
+                                 static_cast<long long>(N),
+                                 Arr.Elems.size()));
+      Out = Arr.Elems[static_cast<size_t>(N)];
+      return Flow::Normal;
+    }
+    case ExprKind::Call:
+      return evalCall(F, static_cast<const CallExpr *>(E), Out);
+    case ExprKind::NewObject:
+      return evalNewObject(F, static_cast<const NewObjectExpr *>(E), Out);
+    case ExprKind::NewArray:
+      return evalNewArray(F, static_cast<const NewArrayExpr *>(E), Out, 0);
+    case ExprKind::Unary: {
+      const auto *U = static_cast<const UnaryExpr *>(E);
+      Value V;
+      Flow Fl = eval(F, U->Operand.get(), V);
+      if (Fl != Flow::Normal)
+        return Fl;
+      if (U->Op == UnaryOp::Not) {
+        Out = !std::get<bool>(V);
+      } else if (const auto *I = std::get_if<int64_t>(&V)) {
+        Out = -*I;
+      } else {
+        Out = -std::get<double>(V);
+      }
+      return Flow::Normal;
+    }
+    case ExprKind::Binary:
+      return evalBinary(F, static_cast<const BinaryExpr *>(E), Out);
+    case ExprKind::Assign:
+      return evalAssign(F, static_cast<const AssignExpr *>(E), Out);
+    }
+    BAMBOO_UNREACHABLE("covered switch");
+  }
+
+  Flow evalBinary(Frame &F, const BinaryExpr *B, Value &Out) {
+    // Short-circuit logic first.
+    if (B->Op == BinaryOp::And || B->Op == BinaryOp::Or) {
+      Value L;
+      Flow Fl = eval(F, B->Lhs.get(), L);
+      if (Fl != Flow::Normal)
+        return Fl;
+      bool Lb = std::get<bool>(L);
+      if (B->Op == BinaryOp::And && !Lb) {
+        Out = false;
+        return Flow::Normal;
+      }
+      if (B->Op == BinaryOp::Or && Lb) {
+        Out = true;
+        return Flow::Normal;
+      }
+      Value R;
+      Fl = eval(F, B->Rhs.get(), R);
+      if (Fl != Flow::Normal)
+        return Fl;
+      Out = std::get<bool>(R);
+      return Flow::Normal;
+    }
+
+    Value L, R;
+    Flow Fl = eval(F, B->Lhs.get(), L);
+    if (Fl != Flow::Normal)
+      return Fl;
+    Fl = eval(F, B->Rhs.get(), R);
+    if (Fl != Flow::Normal)
+      return Fl;
+
+    auto BothInts = [&]() {
+      return std::holds_alternative<int64_t>(L) &&
+             std::holds_alternative<int64_t>(R);
+    };
+
+    switch (B->Op) {
+    case BinaryOp::Add: {
+      if (std::holds_alternative<std::string>(L) ||
+          std::holds_alternative<std::string>(R)) {
+        auto Render = [](const Value &V) -> std::string {
+          if (const auto *S = std::get_if<std::string>(&V))
+            return *S;
+          if (const auto *I = std::get_if<int64_t>(&V))
+            return formatString("%lld", static_cast<long long>(*I));
+          if (const auto *D = std::get_if<double>(&V))
+            return formatString("%g", *D);
+          if (const auto *Bo = std::get_if<bool>(&V))
+            return *Bo ? "true" : "false";
+          return "null";
+        };
+        Out = Render(L) + Render(R);
+        return Flow::Normal;
+      }
+      if (BothInts())
+        Out = std::get<int64_t>(L) + std::get<int64_t>(R);
+      else
+        Out = asDouble(L) + asDouble(R);
+      return Flow::Normal;
+    }
+    case BinaryOp::Sub:
+      if (BothInts())
+        Out = std::get<int64_t>(L) - std::get<int64_t>(R);
+      else
+        Out = asDouble(L) - asDouble(R);
+      return Flow::Normal;
+    case BinaryOp::Mul:
+      if (BothInts())
+        Out = std::get<int64_t>(L) * std::get<int64_t>(R);
+      else
+        Out = asDouble(L) * asDouble(R);
+      return Flow::Normal;
+    case BinaryOp::Div:
+      if (BothInts()) {
+        if (std::get<int64_t>(R) == 0)
+          return trap(B->Loc, "division by zero");
+        Out = std::get<int64_t>(L) / std::get<int64_t>(R);
+      } else {
+        Out = asDouble(L) / asDouble(R);
+      }
+      return Flow::Normal;
+    case BinaryOp::Rem: {
+      int64_t Rv = std::get<int64_t>(R);
+      if (Rv == 0)
+        return trap(B->Loc, "remainder by zero");
+      Out = std::get<int64_t>(L) % Rv;
+      return Flow::Normal;
+    }
+    case BinaryOp::Lt:
+      Out = asDouble(L) < asDouble(R);
+      return Flow::Normal;
+    case BinaryOp::Le:
+      Out = asDouble(L) <= asDouble(R);
+      return Flow::Normal;
+    case BinaryOp::Gt:
+      Out = asDouble(L) > asDouble(R);
+      return Flow::Normal;
+    case BinaryOp::Ge:
+      Out = asDouble(L) >= asDouble(R);
+      return Flow::Normal;
+    case BinaryOp::Eq:
+    case BinaryOp::Ne: {
+      bool Equal;
+      if (std::holds_alternative<std::string>(L) &&
+          std::holds_alternative<std::string>(R)) {
+        Equal = std::get<std::string>(L) == std::get<std::string>(R);
+      } else if ((std::holds_alternative<int64_t>(L) ||
+                  std::holds_alternative<double>(L)) &&
+                 (std::holds_alternative<int64_t>(R) ||
+                  std::holds_alternative<double>(R))) {
+        Equal = asDouble(L) == asDouble(R);
+      } else if (std::holds_alternative<bool>(L) &&
+                 std::holds_alternative<bool>(R)) {
+        Equal = std::get<bool>(L) == std::get<bool>(R);
+      } else {
+        // Reference identity (null-aware).
+        Equal = L == R;
+      }
+      Out = B->Op == BinaryOp::Eq ? Equal : !Equal;
+      return Flow::Normal;
+    }
+    case BinaryOp::And:
+    case BinaryOp::Or:
+      break; // Handled above.
+    }
+    BAMBOO_UNREACHABLE("covered switch");
+  }
+
+  Flow evalAssign(Frame &F, const AssignExpr *A, Value &Out) {
+    Value V;
+    Flow Fl = eval(F, A->Value.get(), V);
+    if (Fl != Flow::Normal)
+      return Fl;
+    V = coerce(std::move(V), A->Target->Ty);
+
+    switch (A->Target->K) {
+    case ExprKind::VarRef: {
+      const auto *T = static_cast<const VarRefExpr *>(A->Target.get());
+      if (T->Bind == VarRefExpr::Binding::LocalSlot)
+        F.Slots[static_cast<size_t>(T->Slot)] = V;
+      else
+        dataOf(F.Self).Fields[static_cast<size_t>(T->FieldIndex)] = V;
+      Out = std::move(V);
+      return Flow::Normal;
+    }
+    case ExprKind::FieldAccess: {
+      const auto *T = static_cast<const FieldAccessExpr *>(A->Target.get());
+      Value Base;
+      Fl = eval(F, T->Base.get(), Base);
+      if (Fl != Flow::Normal)
+        return Fl;
+      if (isNull(Base))
+        return trap(T->Loc, "null dereference writing field " + T->Field);
+      dataOf(std::get<runtime::Object *>(Base))
+          .Fields[static_cast<size_t>(T->FieldIndex)] = V;
+      Out = std::move(V);
+      return Flow::Normal;
+    }
+    case ExprKind::Index: {
+      const auto *T = static_cast<const IndexExpr *>(A->Target.get());
+      Value Base, Idx;
+      Fl = eval(F, T->Base.get(), Base);
+      if (Fl != Flow::Normal)
+        return Fl;
+      Fl = eval(F, T->Index.get(), Idx);
+      if (Fl != Flow::Normal)
+        return Fl;
+      if (isNull(Base))
+        return trap(T->Loc, "null dereference writing array element");
+      auto &Arr = *std::get<std::shared_ptr<ArrayValue>>(Base);
+      int64_t N = std::get<int64_t>(Idx);
+      if (N < 0 || static_cast<size_t>(N) >= Arr.Elems.size())
+        return trap(T->Loc, "array store out of bounds");
+      Arr.Elems[static_cast<size_t>(N)] = V;
+      Out = std::move(V);
+      return Flow::Normal;
+    }
+    default:
+      return trap(A->Loc, "invalid assignment target");
+    }
+  }
+
+  Flow evalNewArray(Frame &F, const NewArrayExpr *N, Value &Out,
+                    size_t Dim) {
+    Value DimV;
+    Flow Fl = eval(F, N->Dims[Dim].get(), DimV);
+    if (Fl != Flow::Normal)
+      return Fl;
+    int64_t Len = std::get<int64_t>(DimV);
+    if (Len < 0)
+      return trap(N->Loc, "negative array length");
+
+    auto Arr = std::make_shared<ArrayValue>();
+    Arr->Elems.resize(static_cast<size_t>(Len));
+    if (Dim + 1 < N->Dims.size()) {
+      for (Value &Elem : Arr->Elems) {
+        Fl = evalNewArray(F, N, Elem, Dim + 1);
+        if (Fl != Flow::Normal)
+          return Fl;
+      }
+    } else {
+      // Element default from the static type with inner dims stripped.
+      RType Elem = N->Ty;
+      Elem.Depth -= static_cast<int>(N->Dims.size());
+      for (Value &E : Arr->Elems)
+        E = defaultValue(Elem);
+    }
+    Out = std::move(Arr);
+    return Flow::Normal;
+  }
+
+  Flow evalNewObject(Frame &F, const NewObjectExpr *N, Value &Out) {
+    const ClassDeclAst &Class =
+        IP.Ast.Classes[static_cast<size_t>(N->Class)];
+    auto Data = std::make_unique<InterpObjectData>();
+    Data->Class = &Class;
+    Data->Fields.reserve(Class.Fields.size());
+    for (const FieldDecl &Field : Class.Fields)
+      Data->Fields.push_back(defaultValue(Field.Resolved));
+
+    runtime::Object *Obj;
+    if (N->Site != ir::InvalidId) {
+      std::vector<runtime::TagInstance *> Tags;
+      for (const TagInit &TI : N->Tags)
+        if (TI.Slot >= 0)
+          Tags.push_back(std::get<runtime::TagInstance *>(
+              F.Slots[static_cast<size_t>(TI.Slot)]));
+      Obj = Ctx.allocate(N->Site, std::move(Data), Tags);
+    } else {
+      Obj = Ctx.heap().allocate(N->Class, /*Flags=*/0, std::move(Data));
+    }
+
+    if (N->CtorIndex >= 0) {
+      std::vector<Value> Args;
+      const MethodDecl &Ctor =
+          Class.Methods[static_cast<size_t>(N->CtorIndex)];
+      for (size_t I = 0; I < N->Args.size(); ++I) {
+        Value A;
+        Flow Fl = eval(F, N->Args[I].get(), A);
+        if (Fl != Flow::Normal)
+          return Fl;
+        Args.push_back(coerce(std::move(A), Ctor.Params[I].Resolved));
+      }
+      Flow Fl = callMethod(Obj, Ctor, std::move(Args), N->Loc);
+      if (Fl == Flow::Trap)
+        return Fl;
+    }
+    Out = Obj;
+    return Flow::Normal;
+  }
+
+  Flow callMethod(runtime::Object *Receiver, const MethodDecl &Method,
+                  std::vector<Value> Args, SourceLoc Loc) {
+    if (Depth > 256)
+      return trap(Loc, "method recursion too deep");
+    ++Depth;
+    Frame Callee{std::vector<Value>(static_cast<size_t>(Method.NumSlots)),
+                 Receiver};
+    for (size_t I = 0; I < Args.size(); ++I)
+      Callee.Slots[I] = std::move(Args[I]);
+    ReturnValue = std::monostate{};
+    Flow Fl = exec(Callee, Method.Body.get());
+    --Depth;
+    if (Fl == Flow::Trap)
+      return Flow::Trap;
+    return Flow::Normal; // Return/Normal both end the call.
+  }
+
+  int Depth = 0;
+
+  Flow evalCall(Frame &F, const CallExpr *C, Value &Out) {
+    if (C->Builtin != BuiltinId::None)
+      return evalBuiltin(F, C, Out);
+
+    // Resolve receiver.
+    runtime::Object *Receiver;
+    if (C->Base) {
+      Value Base;
+      Flow Fl = eval(F, C->Base.get(), Base);
+      if (Fl != Flow::Normal)
+        return Fl;
+      if (isNull(Base))
+        return trap(C->Loc, "null dereference calling " + C->Method);
+      Receiver = std::get<runtime::Object *>(Base);
+    } else {
+      Receiver = F.Self;
+    }
+
+    const ClassDeclAst &Class =
+        IP.Ast.Classes[static_cast<size_t>(C->TargetClass)];
+    const MethodDecl &Method =
+        Class.Methods[static_cast<size_t>(C->MethodIndex)];
+    std::vector<Value> Args;
+    for (size_t I = 0; I < C->Args.size(); ++I) {
+      Value A;
+      Flow Fl = eval(F, C->Args[I].get(), A);
+      if (Fl != Flow::Normal)
+        return Fl;
+      Args.push_back(coerce(std::move(A), Method.Params[I].Resolved));
+    }
+    Flow Fl = callMethod(Receiver, Method, std::move(Args), C->Loc);
+    if (Fl == Flow::Trap)
+      return Fl;
+    Out = coerce(ReturnValue, Method.ResolvedReturn);
+    return Flow::Normal;
+  }
+
+  Flow evalBuiltin(Frame &F, const CallExpr *C, Value &Out) {
+    // Evaluate receiver (string builtins) and arguments.
+    Value Base;
+    if (C->Base && C->Builtin >= BuiltinId::StringLength) {
+      Flow Fl = eval(F, C->Base.get(), Base);
+      if (Fl != Flow::Normal)
+        return Fl;
+    }
+    std::vector<Value> Args;
+    for (const ExprPtr &Arg : C->Args) {
+      Value A;
+      Flow Fl = eval(F, Arg.get(), A);
+      if (Fl != Flow::Normal)
+        return Fl;
+      Args.push_back(std::move(A));
+    }
+    auto ArgD = [&](size_t I) { return asDouble(Args[I]); };
+
+    switch (C->Builtin) {
+    case BuiltinId::SystemPrintString:
+      IP.Output += std::get<std::string>(Args[0]);
+      Out = std::monostate{};
+      return Flow::Normal;
+    case BuiltinId::SystemPrintInt:
+      IP.Output += formatString(
+          "%lld", static_cast<long long>(std::get<int64_t>(Args[0])));
+      Out = std::monostate{};
+      return Flow::Normal;
+    case BuiltinId::SystemPrintDouble:
+      IP.Output += formatString("%g", ArgD(0));
+      Out = std::monostate{};
+      return Flow::Normal;
+    case BuiltinId::MathSqrt:
+      Out = std::sqrt(ArgD(0));
+      return Flow::Normal;
+    case BuiltinId::MathFabs:
+      Out = std::fabs(ArgD(0));
+      return Flow::Normal;
+    case BuiltinId::MathAbs:
+      if (const auto *I = std::get_if<int64_t>(&Args[0]))
+        Out = *I < 0 ? -*I : *I;
+      else
+        Out = std::fabs(ArgD(0));
+      return Flow::Normal;
+    case BuiltinId::MathSin:
+      Out = std::sin(ArgD(0));
+      return Flow::Normal;
+    case BuiltinId::MathCos:
+      Out = std::cos(ArgD(0));
+      return Flow::Normal;
+    case BuiltinId::MathExp:
+      Out = std::exp(ArgD(0));
+      return Flow::Normal;
+    case BuiltinId::MathLog:
+      Out = std::log(ArgD(0));
+      return Flow::Normal;
+    case BuiltinId::MathFloor:
+      Out = std::floor(ArgD(0));
+      return Flow::Normal;
+    case BuiltinId::MathPow:
+      Out = std::pow(ArgD(0), ArgD(1));
+      return Flow::Normal;
+    case BuiltinId::MathMax:
+      Out = std::fmax(ArgD(0), ArgD(1));
+      return Flow::Normal;
+    case BuiltinId::MathMin:
+      Out = std::fmin(ArgD(0), ArgD(1));
+      return Flow::Normal;
+    case BuiltinId::BambooCharge:
+      Ctx.charge(static_cast<machine::Cycles>(
+          std::max<int64_t>(0, std::get<int64_t>(Args[0]))));
+      Out = std::monostate{};
+      return Flow::Normal;
+    case BuiltinId::BambooRand: {
+      int64_t Bound = std::get<int64_t>(Args[0]);
+      if (Bound <= 0)
+        return trap(C->Loc, "Bamboo.rand requires a positive bound");
+      Out = static_cast<int64_t>(
+          Ctx.rng().nextBelow(static_cast<uint64_t>(Bound)));
+      return Flow::Normal;
+    }
+    case BuiltinId::StringLength:
+      Out = static_cast<int64_t>(std::get<std::string>(Base).size());
+      return Flow::Normal;
+    case BuiltinId::StringCharAt: {
+      const std::string &S = std::get<std::string>(Base);
+      int64_t I = std::get<int64_t>(Args[0]);
+      if (I < 0 || static_cast<size_t>(I) >= S.size())
+        return trap(C->Loc, "charAt index out of bounds");
+      Out = static_cast<int64_t>(
+          static_cast<unsigned char>(S[static_cast<size_t>(I)]));
+      return Flow::Normal;
+    }
+    case BuiltinId::StringSubstring: {
+      const std::string &S = std::get<std::string>(Base);
+      int64_t Lo = std::get<int64_t>(Args[0]);
+      int64_t Hi = std::get<int64_t>(Args[1]);
+      if (Lo < 0 || Hi < Lo || static_cast<size_t>(Hi) > S.size())
+        return trap(C->Loc, "substring bounds invalid");
+      Out = S.substr(static_cast<size_t>(Lo),
+                     static_cast<size_t>(Hi - Lo));
+      return Flow::Normal;
+    }
+    case BuiltinId::StringIndexOf: {
+      const std::string &S = std::get<std::string>(Base);
+      const std::string &Needle = std::get<std::string>(Args[0]);
+      int64_t From = std::get<int64_t>(Args[1]);
+      if (From < 0)
+        From = 0;
+      if (static_cast<size_t>(From) > S.size()) {
+        Out = int64_t{-1};
+        return Flow::Normal;
+      }
+      size_t Pos = S.find(Needle, static_cast<size_t>(From));
+      Out = Pos == std::string::npos ? int64_t{-1}
+                                     : static_cast<int64_t>(Pos);
+      return Flow::Normal;
+    }
+    case BuiltinId::StringEquals:
+      Out = std::get<std::string>(Base) == std::get<std::string>(Args[0]);
+      return Flow::Normal;
+    case BuiltinId::None:
+      break;
+    }
+    BAMBOO_UNREACHABLE("not a builtin");
+  }
+};
+
+} // namespace bamboo::interp
+
+void InterpProgram::reportError(SourceLoc Loc, const std::string &Msg) {
+  if (!Error.empty())
+    return; // Keep the first error.
+  Error = formatString("%d:%d: %s", Loc.Line, Loc.Col, Msg.c_str());
+}
+
+InterpProgram::InterpProgram(frontend::CompiledModule CM)
+    : Ast(std::move(CM.Ast)), BP(std::move(CM.Prog)) {
+  // Bind every task to an interpreter closure over its AST.
+  for (TaskDeclAst &Task : Ast.Tasks) {
+    if (Task.Id == ir::InvalidId)
+      continue;
+    const TaskDeclAst *TaskPtr = &Task;
+    BP.bind(Task.Id, [this, TaskPtr](runtime::TaskContext &Ctx) {
+      Evaluator E(*this, Ctx);
+      E.runTask(*TaskPtr);
+    });
+  }
+
+  // Startup payload: an InterpObjectData for StartupObject whose `args`
+  // field (if declared) carries the run arguments.
+  const ClassDeclAst *Startup = Ast.findClass("StartupObject");
+  assert(Startup && "frontend always provides StartupObject");
+  BP.setStartupFactory(
+      [Startup](const std::vector<std::string> &Args)
+          -> std::unique_ptr<runtime::ObjectData> {
+        auto Data = std::make_unique<InterpObjectData>();
+        Data->Class = Startup;
+        for (const FieldDecl &Field : Startup->Fields)
+          Data->Fields.push_back(defaultValue(Field.Resolved));
+        int ArgsIdx = Startup->fieldIndex("args");
+        if (ArgsIdx >= 0) {
+          auto Arr = std::make_shared<ArrayValue>();
+          for (const std::string &A : Args)
+            Arr->Elems.emplace_back(A);
+          Data->Fields[static_cast<size_t>(ArgsIdx)] = std::move(Arr);
+        }
+        return Data;
+      });
+}

@@ -1,0 +1,72 @@
+//===- interp/Interp.h - DSL task-body interpreter --------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes Bamboo-DSL programs on the runtime: each task of a compiled
+/// module is bound to a tree-walking interpreter closure over its annotated
+/// AST. Objects allocated by DSL code live on the runtime heap (sites route
+/// through the CSTG dispatch machinery; plain helper objects do not), so
+/// DSL programs run under exactly the same schedulers, layouts, and cost
+/// model as embedded C++ programs.
+///
+/// The interpreter meters work automatically: every expression evaluation
+/// charges one virtual cycle, and `Bamboo.charge(n)` adds explicit cost.
+/// Runtime errors in DSL code (null dereference, division by zero, index
+/// out of bounds) are recorded on the InterpProgram and end the offending
+/// task body via its fall-through exit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_INTERP_INTERP_H
+#define BAMBOO_INTERP_INTERP_H
+
+#include "frontend/Sema.h"
+#include "runtime/BoundProgram.h"
+
+#include <memory>
+#include <string>
+
+namespace bamboo::interp {
+
+/// A compiled DSL module bound to interpreter bodies, ready for execution.
+/// Owns the AST the closures walk and accumulates program output.
+class InterpProgram {
+public:
+  /// Consumes \p CM and binds every task. Call
+  /// analysis::analyzeDisjointness before this if lock plans should
+  /// reflect the imperative code.
+  explicit InterpProgram(frontend::CompiledModule CM);
+
+  InterpProgram(const InterpProgram &) = delete;
+  InterpProgram &operator=(const InterpProgram &) = delete;
+
+  runtime::BoundProgram &bound() { return BP; }
+  const runtime::BoundProgram &bound() const { return BP; }
+  const frontend::ast::Module &ast() const { return Ast; }
+
+  /// Text printed via System.print* so far.
+  const std::string &output() const { return Output; }
+  void clearOutput() { Output.clear(); }
+
+  /// First runtime error, if any ("null dereference at 12:3").
+  const std::string &error() const { return Error; }
+  bool hadError() const { return !Error.empty(); }
+  void clearError() { Error.clear(); }
+
+private:
+  friend class Evaluator;
+
+  frontend::ast::Module Ast;
+  runtime::BoundProgram BP;
+  std::string Output;
+  std::string Error;
+
+  void reportError(frontend::SourceLoc Loc, const std::string &Msg);
+};
+
+} // namespace bamboo::interp
+
+#endif // BAMBOO_INTERP_INTERP_H

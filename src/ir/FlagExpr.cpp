@@ -1,0 +1,134 @@
+//===- ir/FlagExpr.cpp - Boolean guards over abstract object states -------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/FlagExpr.h"
+
+#include "support/Debug.h"
+
+#include <cassert>
+
+using namespace bamboo;
+using namespace bamboo::ir;
+
+bool FlagExpr::evaluate(FlagMask Bits) const {
+  switch (K) {
+  case Kind::True:
+    return true;
+  case Kind::False:
+    return false;
+  case Kind::Flag:
+    return (Bits >> FlagIndex) & 1;
+  case Kind::Not:
+    return !Lhs->evaluate(Bits);
+  case Kind::And:
+    return Lhs->evaluate(Bits) && Rhs->evaluate(Bits);
+  case Kind::Or:
+    return Lhs->evaluate(Bits) || Rhs->evaluate(Bits);
+  }
+  BAMBOO_UNREACHABLE("covered switch");
+}
+
+void FlagExpr::collectFlags(std::vector<FlagId> &Out) const {
+  switch (K) {
+  case Kind::True:
+  case Kind::False:
+    return;
+  case Kind::Flag:
+    Out.push_back(FlagIndex);
+    return;
+  case Kind::Not:
+    Lhs->collectFlags(Out);
+    return;
+  case Kind::And:
+  case Kind::Or:
+    Lhs->collectFlags(Out);
+    Rhs->collectFlags(Out);
+    return;
+  }
+  BAMBOO_UNREACHABLE("covered switch");
+}
+
+std::string FlagExpr::str(const std::vector<std::string> &FlagNames) const {
+  switch (K) {
+  case Kind::True:
+    return "true";
+  case Kind::False:
+    return "false";
+  case Kind::Flag:
+    assert(FlagIndex >= 0 &&
+           static_cast<size_t>(FlagIndex) < FlagNames.size() &&
+           "flag index out of range");
+    return FlagNames[static_cast<size_t>(FlagIndex)];
+  case Kind::Not:
+    return "!" + (Lhs->K == Kind::Flag || Lhs->K == Kind::True ||
+                          Lhs->K == Kind::False
+                      ? Lhs->str(FlagNames)
+                      : "(" + Lhs->str(FlagNames) + ")");
+  case Kind::And:
+    return "(" + Lhs->str(FlagNames) + " and " + Rhs->str(FlagNames) + ")";
+  case Kind::Or:
+    return "(" + Lhs->str(FlagNames) + " or " + Rhs->str(FlagNames) + ")";
+  }
+  BAMBOO_UNREACHABLE("covered switch");
+}
+
+std::unique_ptr<FlagExpr> FlagExpr::clone() const {
+  switch (K) {
+  case Kind::True:
+    return makeTrue();
+  case Kind::False:
+    return makeFalse();
+  case Kind::Flag:
+    return makeFlag(FlagIndex);
+  case Kind::Not:
+    return makeNot(Lhs->clone());
+  case Kind::And:
+    return makeAnd(Lhs->clone(), Rhs->clone());
+  case Kind::Or:
+    return makeOr(Lhs->clone(), Rhs->clone());
+  }
+  BAMBOO_UNREACHABLE("covered switch");
+}
+
+std::unique_ptr<FlagExpr> FlagExpr::makeTrue() {
+  return std::unique_ptr<FlagExpr>(new FlagExpr(Kind::True));
+}
+
+std::unique_ptr<FlagExpr> FlagExpr::makeFalse() {
+  return std::unique_ptr<FlagExpr>(new FlagExpr(Kind::False));
+}
+
+std::unique_ptr<FlagExpr> FlagExpr::makeFlag(FlagId F) {
+  assert(F >= 0 && "invalid flag id");
+  auto E = std::unique_ptr<FlagExpr>(new FlagExpr(Kind::Flag));
+  E->FlagIndex = F;
+  return E;
+}
+
+std::unique_ptr<FlagExpr> FlagExpr::makeNot(std::unique_ptr<FlagExpr> E) {
+  assert(E && "null operand");
+  auto N = std::unique_ptr<FlagExpr>(new FlagExpr(Kind::Not));
+  N->Lhs = std::move(E);
+  return N;
+}
+
+std::unique_ptr<FlagExpr> FlagExpr::makeAnd(std::unique_ptr<FlagExpr> L,
+                                            std::unique_ptr<FlagExpr> R) {
+  assert(L && R && "null operand");
+  auto N = std::unique_ptr<FlagExpr>(new FlagExpr(Kind::And));
+  N->Lhs = std::move(L);
+  N->Rhs = std::move(R);
+  return N;
+}
+
+std::unique_ptr<FlagExpr> FlagExpr::makeOr(std::unique_ptr<FlagExpr> L,
+                                           std::unique_ptr<FlagExpr> R) {
+  assert(L && R && "null operand");
+  auto N = std::unique_ptr<FlagExpr>(new FlagExpr(Kind::Or));
+  N->Lhs = std::move(L);
+  N->Rhs = std::move(R);
+  return N;
+}

@@ -1,0 +1,71 @@
+//===- ir/FlagExpr.h - Boolean guards over abstract object states -*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Boolean expressions over the flags of a single parameter class. These
+/// implement the `flagexp` production of the task grammar (Figure 5 of the
+/// paper): conjunction, disjunction, negation, literals, and flag references.
+/// A task parameter's guard is a FlagExpr evaluated against the candidate
+/// object's current flag valuation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_IR_FLAGEXPR_H
+#define BAMBOO_IR_FLAGEXPR_H
+
+#include "ir/Ids.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bamboo::ir {
+
+/// An immutable boolean expression tree over class flags.
+class FlagExpr {
+public:
+  enum class Kind { True, False, Flag, Not, And, Or };
+
+  Kind kind() const { return K; }
+  FlagId flag() const { return FlagIndex; }
+  const FlagExpr *lhs() const { return Lhs.get(); }
+  const FlagExpr *rhs() const { return Rhs.get(); }
+
+  /// Evaluates the expression against flag valuation \p Bits (bit F set iff
+  /// flag F is true).
+  bool evaluate(FlagMask Bits) const;
+
+  /// Collects the set of flags mentioned anywhere in the expression.
+  void collectFlags(std::vector<FlagId> &Out) const;
+
+  /// Renders the expression using the given flag-name resolver.
+  std::string str(const std::vector<std::string> &FlagNames) const;
+
+  /// Structural deep copy.
+  std::unique_ptr<FlagExpr> clone() const;
+
+  // Factories.
+  static std::unique_ptr<FlagExpr> makeTrue();
+  static std::unique_ptr<FlagExpr> makeFalse();
+  static std::unique_ptr<FlagExpr> makeFlag(FlagId F);
+  static std::unique_ptr<FlagExpr> makeNot(std::unique_ptr<FlagExpr> E);
+  static std::unique_ptr<FlagExpr> makeAnd(std::unique_ptr<FlagExpr> L,
+                                           std::unique_ptr<FlagExpr> R);
+  static std::unique_ptr<FlagExpr> makeOr(std::unique_ptr<FlagExpr> L,
+                                          std::unique_ptr<FlagExpr> R);
+
+private:
+  FlagExpr(Kind K) : K(K) {}
+
+  Kind K;
+  FlagId FlagIndex = InvalidId;
+  std::unique_ptr<FlagExpr> Lhs;
+  std::unique_ptr<FlagExpr> Rhs;
+};
+
+} // namespace bamboo::ir
+
+#endif // BAMBOO_IR_FLAGEXPR_H

@@ -1,0 +1,44 @@
+//===- ir/Ids.h - Identifier types for the Bamboo IR ------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small integer identifier types used throughout the IR and the analyses.
+/// All identifiers are dense indices into the owning ir::Program tables, so
+/// analyses can use plain vectors as maps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_IR_IDS_H
+#define BAMBOO_IR_IDS_H
+
+#include <cstdint>
+
+namespace bamboo::ir {
+
+/// Index into Program::Classes.
+using ClassId = int;
+/// Index into ClassDecl::FlagNames (per class).
+using FlagId = int;
+/// Index into Program::TagTypes.
+using TagTypeId = int;
+/// Index into Program::Tasks.
+using TaskId = int;
+/// Index into TaskDecl::Params (per task).
+using ParamId = int;
+/// Index into TaskDecl::Exits (per task).
+using ExitId = int;
+/// Global allocation-site index (see Program::Sites).
+using SiteId = int;
+
+constexpr int InvalidId = -1;
+
+/// Flag valuations are stored as bit masks; classes are limited to 64 flags.
+using FlagMask = uint64_t;
+constexpr unsigned MaxFlagsPerClass = 64;
+
+} // namespace bamboo::ir
+
+#endif // BAMBOO_IR_IDS_H

@@ -1,0 +1,238 @@
+//===- ir/Program.cpp - Task-level intermediate representation ------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace bamboo;
+using namespace bamboo::ir;
+
+FlagId ClassDecl::flagIndex(const std::string &FlagName) const {
+  for (size_t I = 0; I < FlagNames.size(); ++I)
+    if (FlagNames[I] == FlagName)
+      return static_cast<FlagId>(I);
+  return InvalidId;
+}
+
+ClassId Program::findClass(const std::string &ClassName) const {
+  for (size_t I = 0; I < Classes.size(); ++I)
+    if (Classes[I].Name == ClassName)
+      return static_cast<ClassId>(I);
+  return InvalidId;
+}
+
+TaskId Program::findTask(const std::string &TaskName) const {
+  for (size_t I = 0; I < Tasks.size(); ++I)
+    if (Tasks[I].Name == TaskName)
+      return static_cast<TaskId>(I);
+  return InvalidId;
+}
+
+TagTypeId Program::findTagType(const std::string &TagName) const {
+  for (size_t I = 0; I < TagTypes.size(); ++I)
+    if (TagTypes[I].Name == TagName)
+      return static_cast<TagTypeId>(I);
+  return InvalidId;
+}
+
+std::optional<std::string> Program::verify() const {
+  auto Err = [](std::string Msg) { return std::optional<std::string>(Msg); };
+
+  for (size_t I = 0; I < Classes.size(); ++I) {
+    const ClassDecl &C = Classes[I];
+    if (C.Name.empty())
+      return Err(formatString("class %zu has an empty name", I));
+    if (C.FlagNames.size() > MaxFlagsPerClass)
+      return Err(formatString("class %s declares %zu flags; the limit is %u",
+                              C.Name.c_str(), C.FlagNames.size(),
+                              MaxFlagsPerClass));
+    for (size_t J = I + 1; J < Classes.size(); ++J)
+      if (Classes[J].Name == C.Name)
+        return Err(formatString("duplicate class name %s", C.Name.c_str()));
+    for (size_t F = 0; F < C.FlagNames.size(); ++F)
+      for (size_t G = F + 1; G < C.FlagNames.size(); ++G)
+        if (C.FlagNames[F] == C.FlagNames[G])
+          return Err(formatString("class %s declares duplicate flag %s",
+                                  C.Name.c_str(), C.FlagNames[F].c_str()));
+  }
+
+  auto CheckMask = [&](FlagMask Mask, ClassId C) {
+    unsigned NumFlags = static_cast<unsigned>(Classes[C].FlagNames.size());
+    FlagMask Valid = NumFlags >= 64 ? ~FlagMask(0)
+                                    : ((FlagMask(1) << NumFlags) - 1);
+    return (Mask & ~Valid) == 0;
+  };
+
+  for (size_t TI = 0; TI < Tasks.size(); ++TI) {
+    const TaskDecl &T = Tasks[TI];
+    if (T.Name.empty())
+      return Err(formatString("task %zu has an empty name", TI));
+    for (size_t TJ = TI + 1; TJ < Tasks.size(); ++TJ)
+      if (Tasks[TJ].Name == T.Name)
+        return Err(formatString("duplicate task name %s", T.Name.c_str()));
+    if (T.Params.empty())
+      return Err(formatString("task %s has no parameters", T.Name.c_str()));
+    if (T.Exits.empty())
+      return Err(formatString("task %s has no exits", T.Name.c_str()));
+
+    for (const TaskParam &P : T.Params) {
+      if (P.Class < 0 || static_cast<size_t>(P.Class) >= Classes.size())
+        return Err(formatString("task %s parameter %s has invalid class",
+                                T.Name.c_str(), P.Name.c_str()));
+      if (!P.Guard)
+        return Err(formatString("task %s parameter %s has no guard",
+                                T.Name.c_str(), P.Name.c_str()));
+      std::vector<FlagId> Used;
+      P.Guard->collectFlags(Used);
+      for (FlagId F : Used)
+        if (F < 0 ||
+            static_cast<size_t>(F) >= Classes[P.Class].FlagNames.size())
+          return Err(formatString(
+              "task %s parameter %s guard references invalid flag %d",
+              T.Name.c_str(), P.Name.c_str(), F));
+      for (const TagConstraint &TC : P.Tags)
+        if (TC.Type < 0 || static_cast<size_t>(TC.Type) >= TagTypes.size())
+          return Err(formatString(
+              "task %s parameter %s has invalid tag type", T.Name.c_str(),
+              P.Name.c_str()));
+    }
+
+    for (const TaskExit &E : T.Exits) {
+      if (E.Effects.size() != T.Params.size())
+        return Err(formatString(
+            "task %s exit %s has %zu effects for %zu parameters",
+            T.Name.c_str(), E.Label.c_str(), E.Effects.size(),
+            T.Params.size()));
+      for (size_t PI = 0; PI < E.Effects.size(); ++PI) {
+        const ParamExitEffect &Eff = E.Effects[PI];
+        ClassId C = T.Params[PI].Class;
+        if (!CheckMask(Eff.Set, C) || !CheckMask(Eff.Clear, C))
+          return Err(formatString(
+              "task %s exit %s updates undeclared flags of parameter %zu",
+              T.Name.c_str(), E.Label.c_str(), PI));
+        if ((Eff.Set & Eff.Clear) != 0)
+          return Err(formatString(
+              "task %s exit %s both sets and clears a flag of parameter %zu",
+              T.Name.c_str(), E.Label.c_str(), PI));
+        for (const ExitTagAction &A : Eff.TagActions)
+          if (A.Type < 0 || static_cast<size_t>(A.Type) >= TagTypes.size())
+            return Err(formatString(
+                "task %s exit %s has a tag action with invalid type",
+                T.Name.c_str(), E.Label.c_str()));
+      }
+    }
+
+    for (auto [A, B] : T.MayAliasPairs)
+      if (A < 0 || B < 0 || static_cast<size_t>(A) >= T.Params.size() ||
+          static_cast<size_t>(B) >= T.Params.size())
+        return Err(formatString("task %s has an invalid may-alias pair",
+                                T.Name.c_str()));
+
+    for (SiteId S : T.Sites) {
+      if (S < 0 || static_cast<size_t>(S) >= Sites.size())
+        return Err(
+            formatString("task %s has an invalid site id", T.Name.c_str()));
+      if (Sites[S].Owner != static_cast<TaskId>(TI))
+        return Err(formatString("site %d is not owned by task %s", S,
+                                T.Name.c_str()));
+    }
+  }
+
+  for (size_t SI = 0; SI < Sites.size(); ++SI) {
+    const AllocSite &S = Sites[SI];
+    if (S.Id != static_cast<SiteId>(SI))
+      return Err(formatString("site %zu has mismatched id %d", SI, S.Id));
+    if (S.Class < 0 || static_cast<size_t>(S.Class) >= Classes.size())
+      return Err(formatString("site %zu has an invalid class", SI));
+    if (S.Owner < 0 || static_cast<size_t>(S.Owner) >= Tasks.size())
+      return Err(formatString("site %zu has an invalid owner task", SI));
+    if (!CheckMask(S.InitialFlags, S.Class))
+      return Err(formatString("site %zu sets undeclared flags", SI));
+    for (TagTypeId TT : S.BoundTags)
+      if (TT < 0 || static_cast<size_t>(TT) >= TagTypes.size())
+        return Err(formatString("site %zu binds an invalid tag type", SI));
+  }
+
+  if (Startup == InvalidId)
+    return Err("program has no startup class");
+  if (static_cast<size_t>(Startup) >= Classes.size())
+    return Err("startup class id is invalid");
+  if (StartupFlagIndex < 0 ||
+      static_cast<size_t>(StartupFlagIndex) >=
+          Classes[Startup].FlagNames.size())
+    return Err("startup flag id is invalid");
+
+  return std::nullopt;
+}
+
+static std::string describeMask(FlagMask Mask, const ClassDecl &C,
+                                const char *Value) {
+  std::vector<std::string> Parts;
+  for (size_t F = 0; F < C.FlagNames.size(); ++F)
+    if ((Mask >> F) & 1)
+      Parts.push_back(C.FlagNames[F] + " := " + Value);
+  return join(Parts, ", ");
+}
+
+std::string Program::str() const {
+  std::string Out = "program " + Name + "\n";
+  for (const ClassDecl &C : Classes) {
+    Out += "class " + C.Name + " {";
+    for (const std::string &F : C.FlagNames)
+      Out += " flag " + F + ";";
+    Out += " }\n";
+  }
+  for (const TagTypeDecl &TT : TagTypes)
+    Out += "tagtype " + TT.Name + ";\n";
+  for (const TaskDecl &T : Tasks) {
+    Out += "task " + T.Name + "(";
+    std::vector<std::string> Params;
+    for (const TaskParam &P : T.Params) {
+      std::string S = Classes[P.Class].Name + " " + P.Name + " in " +
+                      P.Guard->str(Classes[P.Class].FlagNames);
+      for (const TagConstraint &TC : P.Tags)
+        S += " with " + TagTypes[TC.Type].Name + " " + TC.Var;
+      Params.push_back(S);
+    }
+    Out += join(Params, ", ") + ")\n";
+    for (const TaskExit &E : T.Exits) {
+      Out += "  exit " + E.Label + ": ";
+      std::vector<std::string> Effects;
+      for (size_t PI = 0; PI < E.Effects.size(); ++PI) {
+        const ParamExitEffect &Eff = E.Effects[PI];
+        const ClassDecl &C = Classes[T.Params[PI].Class];
+        std::vector<std::string> Acts;
+        std::string SetStr = describeMask(Eff.Set, C, "true");
+        std::string ClearStr = describeMask(Eff.Clear, C, "false");
+        if (!SetStr.empty())
+          Acts.push_back(SetStr);
+        if (!ClearStr.empty())
+          Acts.push_back(ClearStr);
+        for (const ExitTagAction &A : Eff.TagActions)
+          Acts.push_back(std::string(A.IsAdd ? "add " : "clear ") + A.Var);
+        if (!Acts.empty())
+          Effects.push_back(T.Params[PI].Name + ": " + join(Acts, ", "));
+      }
+      Out += join(Effects, "; ") + "\n";
+    }
+    for (SiteId S : T.Sites) {
+      const AllocSite &Site = Sites[S];
+      Out += "  new " + Classes[Site.Class].Name + " {" +
+             describeMask(Site.InitialFlags, Classes[Site.Class], "true") +
+             "}";
+      if (!Site.Label.empty())
+        Out += "  // " + Site.Label;
+      Out += "\n";
+    }
+  }
+  Out += "startup " + Classes[Startup].Name + " in " +
+         Classes[Startup].FlagNames[static_cast<size_t>(StartupFlagIndex)] +
+         "\n";
+  return Out;
+}

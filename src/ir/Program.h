@@ -1,0 +1,175 @@
+//===- ir/Program.h - Task-level intermediate representation ----*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The task-level intermediate representation shared by every stage of the
+/// pipeline. A Program records the declarations of Section 3 of the paper:
+/// classes with abstract-state flags, tag types, and tasks with parameter
+/// guards, task exits (flag/tag updates), and allocation sites. Programs
+/// arrive here either from the DSL frontend or from the embedded C++ API;
+/// the dependence analysis, disjointness analysis, synthesis, scheduling
+/// simulator, and runtime all consume this single representation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_IR_PROGRAM_H
+#define BAMBOO_IR_PROGRAM_H
+
+#include "ir/FlagExpr.h"
+#include "ir/Ids.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bamboo::ir {
+
+/// A class declaration: a name plus its abstract-state flag names
+/// (`flag f;` declarations in the source language).
+struct ClassDecl {
+  std::string Name;
+  std::vector<std::string> FlagNames;
+
+  /// Returns the flag index for \p Name, or InvalidId.
+  FlagId flagIndex(const std::string &FlagName) const;
+};
+
+/// A tag type declaration (`tagtype name;`).
+struct TagTypeDecl {
+  std::string Name;
+};
+
+/// One `with tagtype var` constraint on a task parameter. Parameters of the
+/// same task whose constraints share \p Var must be bound to the same tag
+/// instance at dispatch time.
+struct TagConstraint {
+  TagTypeId Type = InvalidId;
+  std::string Var;
+};
+
+/// A task parameter: `type name in flagexp with tagexp`.
+struct TaskParam {
+  std::string Name;
+  ClassId Class = InvalidId;
+  std::unique_ptr<FlagExpr> Guard;
+  std::vector<TagConstraint> Tags;
+};
+
+/// A tag action taken on a parameter object at a task exit
+/// (`add var` / `clear var`).
+struct ExitTagAction {
+  bool IsAdd = true;
+  TagTypeId Type = InvalidId;
+  std::string Var;
+};
+
+/// The effect of one task exit on one parameter object: flags to set, flags
+/// to clear, and tag bindings to add or remove.
+struct ParamExitEffect {
+  FlagMask Set = 0;
+  FlagMask Clear = 0;
+  std::vector<ExitTagAction> TagActions;
+};
+
+/// One `taskexit(...)` point. A task may have several exits; the profile
+/// records which exit each invocation took, and the Markov model of
+/// Section 4.4 is keyed on (task, exit).
+struct TaskExit {
+  std::string Label;
+  /// One entry per task parameter, aligned with TaskDecl::Params.
+  std::vector<ParamExitEffect> Effects;
+};
+
+/// An object allocation site inside a task body
+/// (`new C(...) {flag := true, ...}`). Sites drive the dashed "new object"
+/// edges of the CSTG and the allocation counts of the profile.
+struct AllocSite {
+  SiteId Id = InvalidId;
+  TaskId Owner = InvalidId;
+  ClassId Class = InvalidId;
+  FlagMask InitialFlags = 0;
+  /// Tag types bound to the object when it is allocated.
+  std::vector<TagTypeId> BoundTags;
+  /// Optional human-readable label for diagnostics and dumps.
+  std::string Label;
+};
+
+/// A task declaration: name, guarded parameters, exits, and allocation
+/// sites. Imperative bodies are attached separately (interpreted AST or an
+/// embedded C++ callable) when the program is bound to the runtime.
+struct TaskDecl {
+  std::string Name;
+  std::vector<TaskParam> Params;
+  std::vector<TaskExit> Exits;
+  /// Global site ids of the allocation sites inside this task's body.
+  std::vector<SiteId> Sites;
+  /// Parameter pairs that the task body may cause to share reachable heap.
+  /// The frontend fills this from the disjointness analysis; embedded
+  /// programs declare it directly. The lock planner turns each pair into a
+  /// shared lock (Section 4.2).
+  std::vector<std::pair<ParamId, ParamId>> MayAliasPairs;
+};
+
+/// A complete task-level program.
+class Program {
+public:
+  explicit Program(std::string Name) : Name(std::move(Name)) {}
+
+  Program(Program &&) = default;
+  Program &operator=(Program &&) = default;
+
+  const std::string &name() const { return Name; }
+
+  const std::vector<ClassDecl> &classes() const { return Classes; }
+  const std::vector<TagTypeDecl> &tagTypes() const { return TagTypes; }
+  const std::vector<TaskDecl> &tasks() const { return Tasks; }
+  const std::vector<AllocSite> &sites() const { return Sites; }
+
+  const ClassDecl &classOf(ClassId C) const { return Classes[C]; }
+  const TaskDecl &taskOf(TaskId T) const { return Tasks[T]; }
+  const AllocSite &siteOf(SiteId S) const { return Sites[S]; }
+
+  ClassId findClass(const std::string &ClassName) const;
+  TaskId findTask(const std::string &TaskName) const;
+  TagTypeId findTagType(const std::string &TagName) const;
+
+  /// The class whose allocation boots the program (StartupObject in the
+  /// paper) and the flag it starts with (initialstate).
+  ClassId startupClass() const { return Startup; }
+  FlagId startupFlag() const { return StartupFlagIndex; }
+
+  /// Replaces the may-alias pairs of \p Task (the disjointness analysis
+  /// writes its result back through this).
+  void setMayAliasPairs(TaskId Task,
+                        std::vector<std::pair<ParamId, ParamId>> Pairs) {
+    Tasks[Task].MayAliasPairs = std::move(Pairs);
+  }
+
+  /// Checks structural well-formedness. Returns an error message on
+  /// failure, std::nullopt on success. The analyses assume a verified
+  /// program and assert rather than re-checking.
+  std::optional<std::string> verify() const;
+
+  /// Renders the task declarations in a stable, human-readable form (used
+  /// by golden tests and dumps).
+  std::string str() const;
+
+private:
+  friend class ProgramBuilder;
+
+  std::string Name;
+  std::vector<ClassDecl> Classes;
+  std::vector<TagTypeDecl> TagTypes;
+  std::vector<TaskDecl> Tasks;
+  std::vector<AllocSite> Sites;
+  ClassId Startup = InvalidId;
+  FlagId StartupFlagIndex = 0;
+};
+
+} // namespace bamboo::ir
+
+#endif // BAMBOO_IR_PROGRAM_H

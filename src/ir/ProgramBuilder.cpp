@@ -1,0 +1,141 @@
+//===- ir/ProgramBuilder.cpp - Convenience builder for Programs -----------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ProgramBuilder.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace bamboo;
+using namespace bamboo::ir;
+
+ClassId ProgramBuilder::addClass(const std::string &Name,
+                                 const std::vector<std::string> &FlagNames) {
+  assert(P.findClass(Name) == InvalidId && "duplicate class");
+  assert(FlagNames.size() <= MaxFlagsPerClass && "too many flags");
+  ClassDecl C;
+  C.Name = Name;
+  C.FlagNames = FlagNames;
+  P.Classes.push_back(std::move(C));
+  return static_cast<ClassId>(P.Classes.size() - 1);
+}
+
+TagTypeId ProgramBuilder::addTagType(const std::string &Name) {
+  assert(P.findTagType(Name) == InvalidId && "duplicate tag type");
+  P.TagTypes.push_back(TagTypeDecl{Name});
+  return static_cast<TagTypeId>(P.TagTypes.size() - 1);
+}
+
+TaskId ProgramBuilder::addTask(const std::string &Name) {
+  assert(P.findTask(Name) == InvalidId && "duplicate task");
+  TaskDecl T;
+  T.Name = Name;
+  P.Tasks.push_back(std::move(T));
+  return static_cast<TaskId>(P.Tasks.size() - 1);
+}
+
+ParamId ProgramBuilder::addParam(TaskId Task, const std::string &Name,
+                                 ClassId Class,
+                                 std::unique_ptr<FlagExpr> Guard,
+                                 std::vector<TagConstraint> Tags) {
+  TaskDecl &T = P.Tasks[Task];
+  assert(T.Exits.empty() && "add all parameters before any exit");
+  assert(Guard && "parameter needs a guard");
+  TaskParam Param;
+  Param.Name = Name;
+  Param.Class = Class;
+  Param.Guard = std::move(Guard);
+  Param.Tags = std::move(Tags);
+  T.Params.push_back(std::move(Param));
+  return static_cast<ParamId>(T.Params.size() - 1);
+}
+
+ExitId ProgramBuilder::addExit(TaskId Task, const std::string &Label) {
+  TaskDecl &T = P.Tasks[Task];
+  TaskExit E;
+  E.Label = Label;
+  E.Effects.resize(T.Params.size());
+  T.Exits.push_back(std::move(E));
+  return static_cast<ExitId>(T.Exits.size() - 1);
+}
+
+void ProgramBuilder::setFlagEffect(TaskId Task, ExitId Exit, ParamId Param,
+                                   const std::string &FlagName, bool Value) {
+  TaskDecl &T = P.Tasks[Task];
+  ParamExitEffect &Eff = T.Exits[Exit].Effects[Param];
+  ClassId C = T.Params[Param].Class;
+  FlagId F = P.Classes[C].flagIndex(FlagName);
+  assert(F != InvalidId && "unknown flag in exit effect");
+  FlagMask Bit = FlagMask(1) << F;
+  if (Value) {
+    Eff.Set |= Bit;
+    Eff.Clear &= ~Bit;
+  } else {
+    Eff.Clear |= Bit;
+    Eff.Set &= ~Bit;
+  }
+}
+
+void ProgramBuilder::addTagEffect(TaskId Task, ExitId Exit, ParamId Param,
+                                  bool IsAdd, TagTypeId Type,
+                                  const std::string &Var) {
+  TaskDecl &T = P.Tasks[Task];
+  ParamExitEffect &Eff = T.Exits[Exit].Effects[Param];
+  Eff.TagActions.push_back(ExitTagAction{IsAdd, Type, Var});
+}
+
+SiteId ProgramBuilder::addSite(TaskId Task, ClassId Class,
+                               const std::vector<std::string> &InitialFlagNames,
+                               std::vector<TagTypeId> BoundTags,
+                               const std::string &Label) {
+  AllocSite Site;
+  Site.Id = static_cast<SiteId>(P.Sites.size());
+  Site.Owner = Task;
+  Site.Class = Class;
+  for (const std::string &FlagName : InitialFlagNames) {
+    FlagId F = P.Classes[Class].flagIndex(FlagName);
+    assert(F != InvalidId && "unknown flag in allocation site");
+    Site.InitialFlags |= FlagMask(1) << F;
+  }
+  Site.BoundTags = std::move(BoundTags);
+  Site.Label = Label;
+  P.Tasks[Task].Sites.push_back(Site.Id);
+  P.Sites.push_back(std::move(Site));
+  return static_cast<SiteId>(P.Sites.size() - 1);
+}
+
+void ProgramBuilder::addMayAlias(TaskId Task, ParamId A, ParamId B) {
+  P.Tasks[Task].MayAliasPairs.emplace_back(A, B);
+}
+
+void ProgramBuilder::setStartup(ClassId Class, const std::string &FlagName) {
+  P.Startup = Class;
+  FlagId F = P.Classes[Class].flagIndex(FlagName);
+  assert(F != InvalidId && "unknown startup flag");
+  P.StartupFlagIndex = F;
+}
+
+std::unique_ptr<FlagExpr>
+ProgramBuilder::flagRef(ClassId Class, const std::string &FlagName) const {
+  FlagId F = P.Classes[Class].flagIndex(FlagName);
+  assert(F != InvalidId && "unknown flag");
+  return FlagExpr::makeFlag(F);
+}
+
+std::unique_ptr<FlagExpr>
+ProgramBuilder::notFlag(ClassId Class, const std::string &FlagName) const {
+  return FlagExpr::makeNot(flagRef(Class, FlagName));
+}
+
+Program ProgramBuilder::take() {
+  if (auto Error = P.verify()) {
+    std::fprintf(stderr, "malformed program %s: %s\n", P.name().c_str(),
+                 Error->c_str());
+    std::abort();
+  }
+  return std::move(P);
+}

@@ -1,0 +1,92 @@
+//===- ir/ProgramBuilder.h - Convenience builder for Programs ---*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fluent builder over ir::Program. Both the DSL frontend (after semantic
+/// analysis) and the embedded C++ API construct programs through this
+/// builder, which keeps the invariants (dense ids, aligned exit effects) in
+/// one place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_IR_PROGRAMBUILDER_H
+#define BAMBOO_IR_PROGRAMBUILDER_H
+
+#include "ir/Program.h"
+
+namespace bamboo::ir {
+
+/// Builds a Program incrementally. All name-based lookups assert on failure;
+/// the frontend performs its own diagnosed resolution before calling in.
+class ProgramBuilder {
+public:
+  explicit ProgramBuilder(std::string Name) : P(std::move(Name)) {}
+
+  /// Declares a class with the given flags. Returns its id.
+  ClassId addClass(const std::string &Name,
+                   const std::vector<std::string> &FlagNames);
+
+  /// Declares a tag type. Returns its id.
+  TagTypeId addTagType(const std::string &Name);
+
+  /// Declares a task with no parameters or exits yet. Returns its id.
+  TaskId addTask(const std::string &Name);
+
+  /// Appends a guarded parameter to \p Task. Must be called before addExit.
+  ParamId addParam(TaskId Task, const std::string &Name, ClassId Class,
+                   std::unique_ptr<FlagExpr> Guard,
+                   std::vector<TagConstraint> Tags = {});
+
+  /// Appends an exit to \p Task with empty effects for every parameter;
+  /// use setFlagEffect / addTagEffect to fill them in.
+  ExitId addExit(TaskId Task, const std::string &Label);
+
+  /// Records that exit \p Exit of \p Task sets/clears flags of parameter
+  /// \p Param. Flags are named; masks are accumulated.
+  void setFlagEffect(TaskId Task, ExitId Exit, ParamId Param,
+                     const std::string &FlagName, bool Value);
+
+  /// Records a tag add/clear action on parameter \p Param at exit \p Exit.
+  void addTagEffect(TaskId Task, ExitId Exit, ParamId Param, bool IsAdd,
+                    TagTypeId Type, const std::string &Var);
+
+  /// Declares an allocation site inside \p Task allocating class \p Class.
+  /// \p InitialFlagNames lists the flags set to true at allocation.
+  SiteId addSite(TaskId Task, ClassId Class,
+                 const std::vector<std::string> &InitialFlagNames,
+                 std::vector<TagTypeId> BoundTags = {},
+                 const std::string &Label = "");
+
+  /// Declares that \p Task's body may introduce sharing between parameters
+  /// \p A and \p B (consumed by the lock planner).
+  void addMayAlias(TaskId Task, ParamId A, ParamId B);
+
+  /// Sets the startup class/flag (the object whose creation boots the
+  /// program).
+  void setStartup(ClassId Class, const std::string &FlagName);
+
+  /// Builds a flag-reference guard expression by name.
+  std::unique_ptr<FlagExpr> flagRef(ClassId Class,
+                                    const std::string &FlagName) const;
+
+  /// Builds a negated flag-reference guard expression by name.
+  std::unique_ptr<FlagExpr> notFlag(ClassId Class,
+                                    const std::string &FlagName) const;
+
+  /// Read-only access to the program under construction (for analyses that
+  /// want to peek mid-build in tests).
+  const Program &peek() const { return P; }
+
+  /// Finalizes and returns the program. Asserts that verify() passes.
+  Program take();
+
+private:
+  Program P;
+};
+
+} // namespace bamboo::ir
+
+#endif // BAMBOO_IR_PROGRAMBUILDER_H

@@ -1,0 +1,85 @@
+//===- machine/Layout.cpp - Task-to-core placements -----------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/Layout.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace bamboo;
+using namespace bamboo::machine;
+
+std::vector<int> Layout::instancesOf(ir::TaskId Task) const {
+  std::vector<int> Out;
+  for (size_t I = 0; I < Instances.size(); ++I)
+    if (Instances[I].Task == Task)
+      Out.push_back(static_cast<int>(I));
+  return Out;
+}
+
+bool Layout::covers(const ir::Program &Prog) const {
+  std::vector<bool> Seen(Prog.tasks().size(), false);
+  for (const TaskInstance &Inst : Instances) {
+    if (Inst.Core < 0 || Inst.Core >= NumCores)
+      return false;
+    if (Inst.Task < 0 ||
+        static_cast<size_t>(Inst.Task) >= Prog.tasks().size())
+      return false;
+    Seen[static_cast<size_t>(Inst.Task)] = true;
+  }
+  return std::all_of(Seen.begin(), Seen.end(), [](bool B) { return B; });
+}
+
+std::vector<int> Layout::usedCores() const {
+  std::vector<int> Cores;
+  for (const TaskInstance &Inst : Instances)
+    Cores.push_back(Inst.Core);
+  std::sort(Cores.begin(), Cores.end());
+  Cores.erase(std::unique(Cores.begin(), Cores.end()), Cores.end());
+  return Cores;
+}
+
+std::string Layout::isoKey(const ir::Program &Prog) const {
+  // Group tasks per core, canonicalize each core's multiset of task names,
+  // then sort the per-core strings: any renumbering of cores yields the
+  // same key.
+  std::map<int, std::vector<std::string>> PerCore;
+  for (const TaskInstance &Inst : Instances)
+    PerCore[Inst.Core].push_back(Prog.taskOf(Inst.Task).Name);
+  std::vector<std::string> CoreKeys;
+  for (auto &[Core, Names] : PerCore) {
+    (void)Core;
+    std::sort(Names.begin(), Names.end());
+    CoreKeys.push_back(join(Names, "+"));
+  }
+  std::sort(CoreKeys.begin(), CoreKeys.end());
+  return formatString("%d|", NumCores) + join(CoreKeys, "/");
+}
+
+std::string Layout::str(const ir::Program &Prog) const {
+  std::string Out = formatString("layout on %d cores\n", NumCores);
+  for (int Core = 0; Core < NumCores; ++Core) {
+    std::vector<std::string> Names;
+    for (const TaskInstance &Inst : Instances)
+      if (Inst.Core == Core)
+        Names.push_back(Prog.taskOf(Inst.Task).Name);
+    if (Names.empty())
+      continue;
+    Out += formatString("  core %d: %s\n", Core, join(Names, ", ").c_str());
+  }
+  return Out;
+}
+
+Layout Layout::allOnOneCore(const ir::Program &Prog) {
+  Layout L;
+  L.NumCores = 1;
+  for (size_t T = 0; T < Prog.tasks().size(); ++T)
+    L.Instances.push_back(
+        TaskInstance{static_cast<ir::TaskId>(T), /*Core=*/0});
+  return L;
+}

@@ -1,0 +1,69 @@
+//===- machine/Layout.h - Task-to-core placements ---------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Layout assigns task instantiations to cores (Figure 4 of the paper).
+/// A task may have several instantiations (produced by the data
+/// parallelization and rate matching rules of Section 4.3.3); objects that
+/// can trigger such a task are distributed over its instances round-robin,
+/// or by tag hash when the task's parameters are tag-linked.
+///
+/// Layouts are produced by the synthesis search, evaluated by the
+/// scheduling simulator, mutated by the directed-simulated-annealing
+/// optimizer, and finally executed by the runtime — this type is the
+/// common currency among those stages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_MACHINE_LAYOUT_H
+#define BAMBOO_MACHINE_LAYOUT_H
+
+#include "ir/Program.h"
+#include "machine/MachineConfig.h"
+
+#include <string>
+#include <vector>
+
+namespace bamboo::machine {
+
+/// One placed instantiation of a task.
+struct TaskInstance {
+  ir::TaskId Task = ir::InvalidId;
+  int Core = 0;
+};
+
+/// A complete placement of the application on a machine.
+struct Layout {
+  int NumCores = 1;
+  std::vector<TaskInstance> Instances;
+
+  /// Indices (into Instances) of the instantiations of \p Task, in stable
+  /// order.
+  std::vector<int> instancesOf(ir::TaskId Task) const;
+
+  /// True if every task of \p Prog has at least one instantiation and all
+  /// cores are within range.
+  bool covers(const ir::Program &Prog) const;
+
+  /// Cores that host at least one instance.
+  std::vector<int> usedCores() const;
+
+  /// A canonical string key treating the layout as a mapping for
+  /// isomorphism-duplicate detection in the search (two layouts that
+  /// differ only by a core renumbering produce the same key).
+  std::string isoKey(const ir::Program &Prog) const;
+
+  /// A human-readable multi-line description (Figure-4 style).
+  std::string str(const ir::Program &Prog) const;
+
+  /// Every task once, all on core 0 of a single-core machine (profiling
+  /// and 1-core baseline runs).
+  static Layout allOnOneCore(const ir::Program &Prog);
+};
+
+} // namespace bamboo::machine
+
+#endif // BAMBOO_MACHINE_LAYOUT_H

@@ -1,0 +1,49 @@
+//===- machine/MachineConfig.cpp - Virtual many-core machine model --------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/MachineConfig.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+using namespace bamboo::machine;
+
+int MachineConfig::meshWidth() const {
+  if (MeshWidth > 0)
+    return MeshWidth;
+  int W = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(NumCores))));
+  return W > 0 ? W : 1;
+}
+
+int MachineConfig::hopDistance(int CoreA, int CoreB) const {
+  assert(CoreA >= 0 && CoreA < NumCores && "core out of range");
+  assert(CoreB >= 0 && CoreB < NumCores && "core out of range");
+  int W = meshWidth();
+  int Ax = CoreA % W, Ay = CoreA / W;
+  int Bx = CoreB % W, By = CoreB / W;
+  return std::abs(Ax - Bx) + std::abs(Ay - By);
+}
+
+Cycles MachineConfig::transferLatency(int FromCore, int ToCore) const {
+  if (FromCore == ToCore)
+    return 0;
+  return MsgBaseLatency +
+         MsgPerHop * static_cast<Cycles>(hopDistance(FromCore, ToCore));
+}
+
+MachineConfig MachineConfig::singleCore() {
+  MachineConfig C;
+  C.NumCores = 1;
+  return C;
+}
+
+MachineConfig MachineConfig::tilePro64() {
+  MachineConfig C;
+  C.NumCores = 62;
+  C.MeshWidth = 8;
+  return C;
+}

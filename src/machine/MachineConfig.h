@@ -1,0 +1,91 @@
+//===- machine/MachineConfig.h - Virtual many-core machine model -*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The virtual many-core machine that stands in for the paper's TILEPro64.
+/// It models exactly the factors the Bamboo pipeline depends on:
+///
+///  - a number of usable cores (the paper uses 62 of 64, reserving two for
+///    the PCI bus);
+///  - an on-chip mesh network: objects transferred between cores pay a
+///    base latency plus a per-hop cost over the Manhattan distance of the
+///    cores' mesh coordinates;
+///  - fixed per-invocation runtime overheads (dispatch and locking), which
+///    produce the small 1-core Bamboo-vs-C overheads of Section 5.5.
+///
+/// Task bodies execute for real on the host; their *cost* in virtual
+/// cycles comes from explicit work metering (TaskContext::charge), which
+/// both the Bamboo versions and the sequential C baselines share, so
+/// speedups are directly comparable — see DESIGN.md, substitution table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_MACHINE_MACHINECONFIG_H
+#define BAMBOO_MACHINE_MACHINECONFIG_H
+
+#include <cstdint>
+
+namespace bamboo::machine {
+
+/// Virtual cycle count.
+using Cycles = uint64_t;
+
+/// Static description of the target processor.
+struct MachineConfig {
+  /// Usable cores.
+  int NumCores = 62;
+
+  /// Mesh width used for Manhattan-distance routing; 0 means "derive a
+  /// near-square mesh from NumCores".
+  int MeshWidth = 0;
+
+  /// Fixed cost of transferring one object reference between two distinct
+  /// cores, before the per-hop component.
+  Cycles MsgBaseLatency = 60;
+
+  /// Additional latency per mesh hop.
+  Cycles MsgPerHop = 8;
+
+  /// Per-invocation scheduling cost paid by the executing core (dequeue,
+  /// guard re-check, dispatch).
+  Cycles DispatchOverhead = 40;
+
+  /// Cost of acquiring/releasing one lock group.
+  Cycles LockOverhead = 12;
+
+  /// Cost of enqueueing an outgoing object on the sender core.
+  Cycles SendOverhead = 10;
+
+  /// Memory-system contention: task bodies slow down by up to this
+  /// fraction when every other core is busy (linear in the active-core
+  /// fraction). Only the real machine exhibits it — the high-level
+  /// scheduling simulator does not model it, which reproduces the paper's
+  /// observation that 62-core estimates run a few percent low because
+  /// "the execution of individual tasks slowed down" under load
+  /// (Section 5.2).
+  double LoadSlowdown = 0.06;
+
+  /// Returns the effective mesh width.
+  int meshWidth() const;
+
+  /// Manhattan distance between two cores in the mesh.
+  int hopDistance(int CoreA, int CoreB) const;
+
+  /// Transfer latency for one object between cores (zero for the same
+  /// core: objects stay in the core's local memory).
+  Cycles transferLatency(int FromCore, int ToCore) const;
+
+  /// A machine with a single core and no network (used for profiling runs
+  /// and 1-core measurements).
+  static MachineConfig singleCore();
+
+  /// The evaluation machine of the paper: 62 usable cores on an 8x8 mesh.
+  static MachineConfig tilePro64();
+};
+
+} // namespace bamboo::machine
+
+#endif // BAMBOO_MACHINE_MACHINECONFIG_H

@@ -1,0 +1,120 @@
+//===- optimize/CriticalPath.cpp - Trace critical path analysis -----------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "optimize/CriticalPath.h"
+
+#include "support/Dot.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace bamboo;
+using namespace bamboo::optimize;
+using machine::Cycles;
+
+std::vector<int> CriticalPathResult::resourceDelayed() const {
+  std::vector<int> Out;
+  for (const PathStep &S : Steps)
+    if (S.Wait == WaitKind::Resource)
+      Out.push_back(S.TraceId);
+  return Out;
+}
+
+CriticalPathResult bamboo::optimize::computeCriticalPath(
+    const std::vector<schedsim::TraceTask> &Trace) {
+  CriticalPathResult Result;
+  if (Trace.empty())
+    return Result;
+
+  // Predecessor of each task on its own core (the previous completion).
+  // Trace ids are assigned in start order, so a linear scan suffices.
+  std::map<int, int> LastOnCore; // core -> trace id
+  std::vector<int> CorePred(Trace.size(), -1);
+  for (const schedsim::TraceTask &T : Trace) {
+    auto It = LastOnCore.find(T.Core);
+    if (It != LastOnCore.end())
+      CorePred[static_cast<size_t>(T.Id)] = It->second;
+    LastOnCore[T.Core] = T.Id;
+  }
+
+  // The critical predecessor of task T:
+  //  - if T.Start > T.Ready, T waited for the core: the previous task on
+  //    the core is the binding constraint (resource edge);
+  //  - otherwise the data dependence that arrived last binds (scheduling
+  //    edge), unless T started the whole computation.
+  auto FindEnd = [&]() {
+    int Best = 0;
+    for (const schedsim::TraceTask &T : Trace)
+      if (T.End > Trace[static_cast<size_t>(Best)].End)
+        Best = T.Id;
+    return Best;
+  };
+
+  std::vector<PathStep> Reversed;
+  int Cur = FindEnd();
+  Result.Length = Trace[static_cast<size_t>(Cur)].End;
+  while (Cur >= 0) {
+    const schedsim::TraceTask &T = Trace[static_cast<size_t>(Cur)];
+    PathStep Step;
+    Step.TraceId = Cur;
+    int Next = -1;
+    if (T.Start > T.Ready && CorePred[static_cast<size_t>(Cur)] >= 0) {
+      Step.Wait = WaitKind::Resource;
+      Next = CorePred[static_cast<size_t>(Cur)];
+    } else {
+      Step.Wait = WaitKind::None;
+      // Latest-arriving data dependence.
+      Cycles BestArrival = 0;
+      for (size_t D = 0; D < T.DepIds.size(); ++D) {
+        if (T.DepIds[D] < 0)
+          continue;
+        if (T.DepArrivals[D] >= BestArrival) {
+          BestArrival = T.DepArrivals[D];
+          Next = T.DepIds[D];
+        }
+      }
+    }
+    Reversed.push_back(Step);
+    Cur = Next;
+    // Defensive: traces are acyclic by construction (producers complete
+    // strictly before consumers start), so this loop terminates.
+    if (Reversed.size() > Trace.size())
+      break;
+  }
+  Result.Steps.assign(Reversed.rbegin(), Reversed.rend());
+  return Result;
+}
+
+std::string bamboo::optimize::traceToDot(
+    const ir::Program &Prog, const std::vector<schedsim::TraceTask> &Trace,
+    const CriticalPathResult &Path) {
+  DotWriter Dot("trace");
+  std::vector<bool> OnPath(Trace.size(), false);
+  for (const PathStep &S : Path.Steps)
+    OnPath[static_cast<size_t>(S.TraceId)] = true;
+
+  for (const schedsim::TraceTask &T : Trace) {
+    std::string Label = formatString(
+        "%s\\ncore %d  [%llu, %llu]", Prog.taskOf(T.Task).Name.c_str(),
+        T.Core, static_cast<unsigned long long>(T.Start),
+        static_cast<unsigned long long>(T.End));
+    std::string Extra = "shape=box";
+    if (OnPath[static_cast<size_t>(T.Id)])
+      Extra += ", style=dashed";
+    Dot.addNode(formatString("t%d", T.Id), Label, Extra);
+  }
+  for (const schedsim::TraceTask &T : Trace)
+    for (size_t D = 0; D < T.DepIds.size(); ++D)
+      if (T.DepIds[D] >= 0)
+        Dot.addEdge(formatString("t%d", T.DepIds[D]),
+                    formatString("t%d", T.Id),
+                    formatString("%llu",
+                                 static_cast<unsigned long long>(
+                                     T.DepArrivals[D])));
+  return Dot.str();
+}

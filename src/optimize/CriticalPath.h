@@ -1,0 +1,62 @@
+//===- optimize/CriticalPath.h - Trace critical path analysis ---*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Critical path analysis over simulated execution traces (Section 4.5.1,
+/// Figure 6). The trace graph has an edge from a producer invocation to
+/// each consumer that waited for its data (weighted by the transfer), and
+/// an edge between consecutive invocations on one core when the second
+/// waited for the first to release the core. The critical path is the
+/// heaviest start-to-end path under both resource and scheduling
+/// constraints; the directed-simulated-annealing optimizer derives its
+/// migration moves from it (Section 4.5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_OPTIMIZE_CRITICALPATH_H
+#define BAMBOO_OPTIMIZE_CRITICALPATH_H
+
+#include "schedsim/SchedSim.h"
+
+#include <string>
+#include <vector>
+
+namespace bamboo::optimize {
+
+/// Why a trace task started when it did.
+enum class WaitKind {
+  None,     ///< Started the moment its data was ready.
+  Resource, ///< Data was ready earlier; it waited for the core.
+};
+
+/// One step of the critical path, in execution order.
+struct PathStep {
+  int TraceId = -1;
+  WaitKind Wait = WaitKind::None;
+};
+
+struct CriticalPathResult {
+  std::vector<PathStep> Steps;
+  machine::Cycles Length = 0;
+
+  /// Trace ids of steps that waited for their core (candidates for
+  /// migration).
+  std::vector<int> resourceDelayed() const;
+};
+
+/// Computes the critical path of \p Trace (must be a trace recorded by the
+/// scheduling simulator).
+CriticalPathResult
+computeCriticalPath(const std::vector<schedsim::TraceTask> &Trace);
+
+/// Renders the trace and its critical path like Figure 6 (DOT).
+std::string traceToDot(const ir::Program &Prog,
+                       const std::vector<schedsim::TraceTask> &Trace,
+                       const CriticalPathResult &Path);
+
+} // namespace bamboo::optimize
+
+#endif // BAMBOO_OPTIMIZE_CRITICALPATH_H

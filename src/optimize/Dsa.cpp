@@ -1,0 +1,255 @@
+//===- optimize/Dsa.cpp - Directed simulated annealing --------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "optimize/Dsa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace bamboo;
+using namespace bamboo::optimize;
+using machine::Cycles;
+using machine::Layout;
+
+namespace {
+
+struct Candidate {
+  Layout L;
+  schedsim::SimResult Sim;
+};
+
+/// True if core \p Core has no execution overlapping [Lo, Hi) in the
+/// trace.
+bool coreIdleDuring(const std::vector<schedsim::TraceTask> &Trace, int Core,
+                    Cycles Lo, Cycles Hi) {
+  for (const schedsim::TraceTask &T : Trace) {
+    if (T.Core != Core)
+      continue;
+    if (T.Start < Hi && T.End > Lo)
+      return false;
+  }
+  return true;
+}
+
+/// Generates migration moves for one candidate, directed by its critical
+/// path (Section 4.5.2).
+std::vector<Layout> directedMoves(const Candidate &C, int NumCores, Rng &R,
+                                  int MaxMoves) {
+  std::vector<Layout> Moves;
+  const std::vector<schedsim::TraceTask> &Trace = C.Sim.Trace;
+  if (Trace.empty())
+    return Moves;
+  CriticalPathResult Path = computeCriticalPath(Trace);
+  if (Path.Steps.empty())
+    return Moves;
+
+  // Key tasks: critical tasks whose produced data the next critical task
+  // consumes (linked by a scheduling edge).
+  std::set<int> KeyTasks;
+  for (size_t S = 0; S + 1 < Path.Steps.size(); ++S)
+    if (Path.Steps[S + 1].Wait == WaitKind::None)
+      KeyTasks.insert(Path.Steps[S].TraceId);
+
+  // Group resource-delayed critical tasks by the time their data
+  // dependences resolved; pick one group at random to attack.
+  std::map<Cycles, std::vector<int>> ByReady;
+  for (int Id : Path.resourceDelayed())
+    ByReady[Trace[static_cast<size_t>(Id)].Ready].push_back(Id);
+  if (ByReady.empty())
+    return Moves;
+  size_t GroupPick = R.pickIndex(ByReady.size());
+  auto GroupIt = ByReady.begin();
+  std::advance(GroupIt, static_cast<long>(GroupPick));
+
+  for (int Id : GroupIt->second) {
+    if (static_cast<int>(Moves.size()) >= MaxMoves)
+      break;
+    const schedsim::TraceTask &T = Trace[static_cast<size_t>(Id)];
+    if (T.InstanceIdx < 0)
+      continue;
+
+    // Spare-core move: any core idle over the delay window.
+    bool MovedToSpare = false;
+    for (int Core = 0; Core < NumCores; ++Core) {
+      if (Core == T.Core)
+        continue;
+      if (!coreIdleDuring(Trace, Core, T.Ready, T.Start))
+        continue;
+      Layout Mutated = C.L;
+      Mutated.Instances[static_cast<size_t>(T.InstanceIdx)].Core = Core;
+      Moves.push_back(std::move(Mutated));
+      MovedToSpare = true;
+      break;
+    }
+    if (MovedToSpare)
+      continue;
+
+    // No spare core: if this delayed task is a *key* task, try to push the
+    // non-key work occupying its core elsewhere.
+    for (const PathStep &S : Path.Steps) {
+      const schedsim::TraceTask &Other =
+          Trace[static_cast<size_t>(S.TraceId)];
+      if (Other.Core != T.Core || KeyTasks.count(S.TraceId) ||
+          Other.InstanceIdx < 0 || Other.InstanceIdx == T.InstanceIdx)
+        continue;
+      Layout Mutated = C.L;
+      int Target = static_cast<int>(R.nextBelow(
+          static_cast<uint64_t>(NumCores)));
+      if (Target == Other.Core)
+        Target = (Target + 1) % NumCores;
+      Mutated.Instances[static_cast<size_t>(Other.InstanceIdx)].Core =
+          Target;
+      Moves.push_back(std::move(Mutated));
+      break;
+    }
+  }
+  return Moves;
+}
+
+/// A load-rebalancing move: shift one instance from the busiest core to
+/// the least busy core of the simulated execution. Complements the
+/// critical-path moves, which only see delays on the single heaviest
+/// path.
+Layout rebalanceMove(const Candidate &C, int NumCores, Rng &R) {
+  Layout Mutated = C.L;
+  if (C.Sim.CoreBusy.empty() || Mutated.Instances.empty())
+    return Mutated;
+  int Busiest = 0, Idlest = 0;
+  for (size_t Core = 0; Core < C.Sim.CoreBusy.size(); ++Core) {
+    if (C.Sim.CoreBusy[Core] > C.Sim.CoreBusy[static_cast<size_t>(Busiest)])
+      Busiest = static_cast<int>(Core);
+    if (C.Sim.CoreBusy[Core] < C.Sim.CoreBusy[static_cast<size_t>(Idlest)])
+      Idlest = static_cast<int>(Core);
+  }
+  // Cores beyond the simulated vector (never used) are idle too.
+  if (static_cast<int>(C.Sim.CoreBusy.size()) < NumCores)
+    Idlest = static_cast<int>(C.Sim.CoreBusy.size());
+  std::vector<size_t> OnBusiest;
+  for (size_t I = 0; I < Mutated.Instances.size(); ++I)
+    if (Mutated.Instances[I].Core == Busiest)
+      OnBusiest.push_back(I);
+  if (OnBusiest.empty() || Busiest == Idlest)
+    return Mutated;
+  Mutated.Instances[OnBusiest[R.pickIndex(OnBusiest.size())]].Core = Idlest;
+  return Mutated;
+}
+
+/// A random perturbation: move one placed instance to a random core.
+Layout randomMove(const Layout &L, int NumCores, Rng &R) {
+  Layout Mutated = L;
+  if (Mutated.Instances.empty())
+    return Mutated;
+  size_t Pick = R.pickIndex(Mutated.Instances.size());
+  Mutated.Instances[Pick].Core =
+      static_cast<int>(R.nextBelow(static_cast<uint64_t>(NumCores)));
+  return Mutated;
+}
+
+} // namespace
+
+DsaResult bamboo::optimize::runDsa(
+    const ir::Program &Prog, const analysis::Cstg &Graph,
+    const profile::Profile &Prof, const profile::SimHints &Hints,
+    const machine::MachineConfig &Machine, const synthesis::GroupPlan &Plan,
+    const DsaOptions &Opts, const std::vector<Layout> *Starts) {
+  Rng R(Opts.Seed);
+  DsaResult Result;
+
+  schedsim::SimOptions SimOpts;
+  SimOpts.RecordTrace = true;
+
+  auto Evaluate = [&](Layout L) {
+    Candidate C;
+    C.L = std::move(L);
+    C.Sim = schedsim::simulateLayout(Prog, Graph, Prof, Hints, Machine, C.L,
+                                     SimOpts);
+    ++Result.Evaluations;
+    return C;
+  };
+
+  // Seed the pool.
+  std::vector<Candidate> Pool;
+  std::set<std::string> SeenKeys;
+  auto AddIfNew = [&](Layout L) {
+    std::string Key = L.isoKey(Prog);
+    if (!SeenKeys.insert(Key).second)
+      return false;
+    Pool.push_back(Evaluate(std::move(L)));
+    return true;
+  };
+
+  if (Starts && !Starts->empty()) {
+    for (const Layout &L : *Starts)
+      AddIfNew(L);
+  } else {
+    // The round-robin spread realizes the parallelization rules' intent
+    // (one replica per core) and anchors the otherwise random seed pool.
+    AddIfNew(synthesis::spreadLayout(Plan, Machine.NumCores));
+    for (Layout &L : synthesis::randomLayouts(Plan, Prog, Machine.NumCores,
+                                              Opts.InitialCandidates, R))
+      AddIfNew(std::move(L));
+  }
+  if (Pool.empty())
+    AddIfNew(synthesis::randomLayout(Plan, Machine.NumCores, R));
+
+  auto ByEstimate = [](const Candidate &A, const Candidate &B) {
+    return A.Sim.EstimatedCycles < B.Sim.EstimatedCycles;
+  };
+  std::sort(Pool.begin(), Pool.end(), ByEstimate);
+  Result.Best = Pool.front().L;
+  Result.BestEstimate = Pool.front().Sim.EstimatedCycles;
+
+  for (int Iter = 0; Iter < Opts.MaxIterations; ++Iter) {
+    ++Result.Iterations;
+
+    // Probabilistic pruning: good candidates survive with high
+    // probability, poor ones with low probability; the best always stays.
+    std::vector<Candidate> Survivors;
+    for (size_t I = 0; I < Pool.size(); ++I) {
+      bool GoodHalf = I < (Pool.size() + 1) / 2;
+      double P = GoodHalf ? Opts.KeepBestProb : Opts.KeepPoorProb;
+      if (I == 0 || R.nextBool(P))
+        Survivors.push_back(std::move(Pool[I]));
+    }
+    Pool = std::move(Survivors);
+
+    // Directed + random neighbor generation.
+    std::vector<Layout> Fresh;
+    for (const Candidate &C : Pool) {
+      if (Opts.UseDirectedMoves) {
+        std::vector<Layout> Directed = directedMoves(
+            C, Machine.NumCores, R, Opts.NeighborsPerCandidate);
+        for (Layout &L : Directed)
+          Fresh.push_back(std::move(L));
+      }
+      if (Opts.UseRebalanceMoves)
+        Fresh.push_back(rebalanceMove(C, Machine.NumCores, R));
+      // Keep exploring even when the critical path offers nothing.
+      Fresh.push_back(randomMove(C.L, Machine.NumCores, R));
+    }
+
+    Cycles PrevBest = Result.BestEstimate;
+    for (Layout &L : Fresh)
+      AddIfNew(std::move(L));
+
+    std::sort(Pool.begin(), Pool.end(), ByEstimate);
+    if (Pool.size() > Opts.MaxPool)
+      Pool.resize(Opts.MaxPool);
+
+    if (Pool.front().Sim.EstimatedCycles < Result.BestEstimate) {
+      Result.BestEstimate = Pool.front().Sim.EstimatedCycles;
+      Result.Best = Pool.front().L;
+    }
+
+    // Stop when the iteration brought no improvement, except for a
+    // probabilistic escape from local maxima.
+    if (Result.BestEstimate >= PrevBest && !R.nextBool(Opts.ContinueProb))
+      break;
+  }
+  return Result;
+}

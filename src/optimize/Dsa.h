@@ -1,0 +1,80 @@
+//===- optimize/Dsa.h - Directed simulated annealing ------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Directed simulated annealing (Section 4.5): iteratively improves a set
+/// of candidate layouts. Each iteration simulates the candidates, prunes
+/// them probabilistically (good layouts survive with high probability,
+/// poor ones with low probability), and generates new candidates directed
+/// by the critical path analysis of the best simulations:
+///
+///  - a critical task that started later than its data was ready was
+///    delayed by a resource conflict; if some core was idle over that
+///    window, migrate the task's placed instance there;
+///  - when no core is spare, migrate *non-key* critical tasks (those whose
+///    output the next critical task does not consume) away from the cores
+///    where they delay key tasks.
+///
+/// The loop ends when an iteration fails to improve the best estimate,
+/// subject to a probabilistic restart (local-maximum escape), exactly as
+/// described in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_OPTIMIZE_DSA_H
+#define BAMBOO_OPTIMIZE_DSA_H
+
+#include "optimize/CriticalPath.h"
+#include "schedsim/SchedSim.h"
+#include "synthesis/CoreGroups.h"
+#include "synthesis/MappingSearch.h"
+
+#include <optional>
+#include <vector>
+
+namespace bamboo::optimize {
+
+struct DsaOptions {
+  /// Random starting candidates when none are supplied.
+  size_t InitialCandidates = 8;
+  /// Hard iteration cap (the probabilistic stop usually fires earlier).
+  int MaxIterations = 40;
+  /// Directed + random moves generated per surviving candidate.
+  int NeighborsPerCandidate = 8;
+  /// Survival probability of the better half of candidates.
+  double KeepBestProb = 0.95;
+  /// Survival probability of the poorer half.
+  double KeepPoorProb = 0.15;
+  /// Probability of continuing after a non-improving iteration.
+  double ContinueProb = 0.85;
+  /// Candidate-pool cap per iteration (best retained).
+  size_t MaxPool = 16;
+  uint64_t Seed = 12345;
+  /// Ablation switches: critical-path-directed migration moves and
+  /// busiest-to-idlest rebalancing moves (random perturbation always on).
+  bool UseDirectedMoves = true;
+  bool UseRebalanceMoves = true;
+};
+
+struct DsaResult {
+  machine::Layout Best;
+  machine::Cycles BestEstimate = 0;
+  int Iterations = 0;
+  uint64_t Evaluations = 0;
+};
+
+/// Runs DSA for \p Plan on \p Machine. When \p Starts is provided those
+/// layouts seed the search; otherwise random mappings do.
+DsaResult runDsa(const ir::Program &Prog, const analysis::Cstg &Graph,
+                 const profile::Profile &Prof,
+                 const profile::SimHints &Hints,
+                 const machine::MachineConfig &Machine,
+                 const synthesis::GroupPlan &Plan, const DsaOptions &Opts,
+                 const std::vector<machine::Layout> *Starts = nullptr);
+
+} // namespace bamboo::optimize
+
+#endif // BAMBOO_OPTIMIZE_DSA_H

@@ -1,0 +1,126 @@
+//===- profile/Profile.cpp - Execution profiles and Markov model ----------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Profile.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace bamboo;
+using namespace bamboo::profile;
+
+Profile::Profile(const ir::Program &Prog) : Prog(&Prog) {
+  Tasks.resize(Prog.tasks().size());
+  for (size_t T = 0; T < Tasks.size(); ++T)
+    Tasks[T].PerExit.resize(Prog.tasks()[T].Exits.size());
+}
+
+void Profile::recordInvocation(ir::TaskId Task, ir::ExitId Exit,
+                               machine::Cycles BodyCycles,
+                               const std::map<ir::SiteId, uint64_t> &SiteAllocs) {
+  ExitStats &Stats =
+      Tasks[static_cast<size_t>(Task)].PerExit[static_cast<size_t>(Exit)];
+  ++Stats.Count;
+  Stats.Cycles.add(static_cast<double>(BodyCycles));
+  // Record a sample for every site of the task, including zero counts, so
+  // means reflect per-invocation expectations.
+  for (ir::SiteId Site : Prog->taskOf(Task).Sites) {
+    auto It = SiteAllocs.find(Site);
+    uint64_t N = It == SiteAllocs.end() ? 0 : It->second;
+    Stats.Allocs[Site].add(static_cast<double>(N));
+  }
+}
+
+uint64_t Profile::exitCount(ir::TaskId Task, ir::ExitId Exit) const {
+  return Tasks[static_cast<size_t>(Task)]
+      .PerExit[static_cast<size_t>(Exit)]
+      .Count;
+}
+
+double Profile::exitProbability(ir::TaskId Task, ir::ExitId Exit) const {
+  const TaskStats &TS = Tasks[static_cast<size_t>(Task)];
+  uint64_t Total = TS.invocations();
+  if (Total == 0)
+    return 0.0;
+  return static_cast<double>(TS.PerExit[static_cast<size_t>(Exit)].Count) /
+         static_cast<double>(Total);
+}
+
+double Profile::meanCycles(ir::TaskId Task, ir::ExitId Exit,
+                           double Fallback) const {
+  const TaskStats &TS = Tasks[static_cast<size_t>(Task)];
+  const ExitStats &ES = TS.PerExit[static_cast<size_t>(Exit)];
+  if (ES.Count > 0)
+    return ES.Cycles.mean();
+  // Exit never observed: use the task-wide mean if any exit was.
+  double Sum = 0.0;
+  uint64_t N = 0;
+  for (const ExitStats &Other : TS.PerExit) {
+    Sum += Other.Cycles.total();
+    N += Other.Count;
+  }
+  if (N > 0)
+    return Sum / static_cast<double>(N);
+  return Fallback;
+}
+
+double Profile::meanAllocs(ir::TaskId Task, ir::ExitId Exit,
+                           ir::SiteId Site) const {
+  const ExitStats &ES =
+      Tasks[static_cast<size_t>(Task)].PerExit[static_cast<size_t>(Exit)];
+  auto It = ES.Allocs.find(Site);
+  if (It == ES.Allocs.end())
+    return 0.0;
+  return It->second.mean();
+}
+
+double Profile::expectedAllocsPerInvocation(ir::SiteId Site) const {
+  const ir::AllocSite &S = Prog->siteOf(Site);
+  const TaskStats &TS = Tasks[static_cast<size_t>(S.Owner)];
+  uint64_t Total = TS.invocations();
+  if (Total == 0)
+    return 0.0;
+  double Expected = 0.0;
+  for (size_t E = 0; E < TS.PerExit.size(); ++E) {
+    double P = exitProbability(S.Owner, static_cast<ir::ExitId>(E));
+    Expected += P * meanAllocs(S.Owner, static_cast<ir::ExitId>(E), Site);
+  }
+  return Expected;
+}
+
+double Profile::expectedCycles(ir::TaskId Task, double Fallback) const {
+  const TaskStats &TS = Tasks[static_cast<size_t>(Task)];
+  if (TS.invocations() == 0)
+    return Fallback;
+  double Expected = 0.0;
+  for (size_t E = 0; E < TS.PerExit.size(); ++E)
+    Expected += exitProbability(Task, static_cast<ir::ExitId>(E)) *
+                meanCycles(Task, static_cast<ir::ExitId>(E), Fallback);
+  return Expected;
+}
+
+std::string Profile::str(const ir::Program &ProgRef) const {
+  std::vector<std::vector<std::string>> Rows;
+  Rows.push_back({"task", "exit", "count", "p", "mean cycles"});
+  for (size_t T = 0; T < Tasks.size(); ++T) {
+    for (size_t E = 0; E < Tasks[T].PerExit.size(); ++E) {
+      const ExitStats &ES = Tasks[T].PerExit[E];
+      if (ES.Count == 0)
+        continue;
+      Rows.push_back(
+          {ProgRef.taskOf(static_cast<ir::TaskId>(T)).Name,
+           ProgRef.taskOf(static_cast<ir::TaskId>(T))
+               .Exits[E]
+               .Label,
+           formatString("%llu", static_cast<unsigned long long>(ES.Count)),
+           formatString("%.3f", exitProbability(static_cast<ir::TaskId>(T),
+                                                static_cast<ir::ExitId>(E))),
+           formatString("%.1f", ES.Cycles.mean())});
+    }
+  }
+  return renderTable(Rows);
+}

@@ -1,0 +1,120 @@
+//===- profile/Profile.h - Execution profiles and Markov model --*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Execution profiles (Section 4.3.1): per-(task, exit) invocation counts,
+/// cycle statistics, and per-allocation-site object counts. A profile
+/// combined with the CSTG forms the Markov model the scheduling simulator
+/// uses to predict destination exits, task durations, and allocation
+/// fan-outs. Profiles are gathered by running the program on a single-core
+/// machine with a ProfileCollector attached (the paper's single-core
+/// profiling bootstrap), or on many cores for re-profiling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_PROFILE_PROFILE_H
+#define BAMBOO_PROFILE_PROFILE_H
+
+#include "ir/Program.h"
+#include "machine/MachineConfig.h"
+#include "support/Stats.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bamboo::profile {
+
+/// Statistics for one (task, exit) pair.
+struct ExitStats {
+  uint64_t Count = 0;
+  /// Cycles charged by invocations that took this exit (body work only,
+  /// excluding runtime overheads).
+  RunningStat Cycles;
+  /// Objects allocated per invocation taking this exit, per site.
+  std::map<ir::SiteId, RunningStat> Allocs;
+};
+
+/// Statistics for one task.
+struct TaskStats {
+  std::vector<ExitStats> PerExit;
+  uint64_t invocations() const {
+    uint64_t N = 0;
+    for (const ExitStats &E : PerExit)
+      N += E.Count;
+    return N;
+  }
+};
+
+/// A complete profile of one run.
+class Profile {
+public:
+  explicit Profile(const ir::Program &Prog);
+
+  /// Records one task invocation: the exit taken, the body cycles charged,
+  /// and the number of objects allocated at each site.
+  void recordInvocation(ir::TaskId Task, ir::ExitId Exit,
+                        machine::Cycles BodyCycles,
+                        const std::map<ir::SiteId, uint64_t> &SiteAllocs);
+
+  /// Marks whether the profiled run drained all work (the paper's
+  /// simulator distinguishes terminating profiles).
+  void setTerminated(bool T) { Terminated = T; }
+  bool terminated() const { return Terminated; }
+
+  const TaskStats &taskStats(ir::TaskId Task) const {
+    return Tasks[static_cast<size_t>(Task)];
+  }
+
+  uint64_t exitCount(ir::TaskId Task, ir::ExitId Exit) const;
+
+  /// P(task takes this exit | task invoked); 0 when never invoked.
+  double exitProbability(ir::TaskId Task, ir::ExitId Exit) const;
+
+  /// Mean body cycles for invocations taking this exit. Falls back to the
+  /// task-wide mean, then to \p Fallback, when the exit was never taken.
+  double meanCycles(ir::TaskId Task, ir::ExitId Exit,
+                    double Fallback = 1000.0) const;
+
+  /// Mean number of objects allocated at \p Site per invocation taking
+  /// \p Exit (0 when never taken).
+  double meanAllocs(ir::TaskId Task, ir::ExitId Exit, ir::SiteId Site) const;
+
+  /// Expected objects allocated at \p Site per invocation of its owner
+  /// task, across all exits (the `m` of the parallelization rules).
+  double expectedAllocsPerInvocation(ir::SiteId Site) const;
+
+  /// Expected body cycles of one invocation of \p Task across exits.
+  double expectedCycles(ir::TaskId Task, double Fallback = 1000.0) const;
+
+  /// Human-readable summary table.
+  std::string str(const ir::Program &Prog) const;
+
+private:
+  const ir::Program *Prog;
+  std::vector<TaskStats> Tasks;
+  bool Terminated = false;
+};
+
+/// Developer hints for the scheduling simulator's exit-count matching
+/// (Section 4.4): counts can be matched per task (default) or per primary
+/// parameter object (for tasks like result merging whose exit choice is a
+/// function of the object's history).
+enum class ExitCountHint { PerTask, PerObject };
+
+struct SimHints {
+  std::vector<ExitCountHint> PerTask; // Indexed by TaskId; may be empty.
+
+  ExitCountHint hintFor(ir::TaskId Task) const {
+    if (static_cast<size_t>(Task) < PerTask.size())
+      return PerTask[static_cast<size_t>(Task)];
+    return ExitCountHint::PerTask;
+  }
+};
+
+} // namespace bamboo::profile
+
+#endif // BAMBOO_PROFILE_PROFILE_H

@@ -1,0 +1,89 @@
+//===- runtime/BoundProgram.h - Programs bound to executable bodies -*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A BoundProgram pairs a task-level ir::Program with an executable body
+/// per task. Bodies are std::function callables over a TaskContext —
+/// embedded C++ applications register lambdas, and the DSL interpreter
+/// registers closures that evaluate the parsed task ASTs. The executors
+/// only ever see BoundPrograms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_RUNTIME_BOUNDPROGRAM_H
+#define BAMBOO_RUNTIME_BOUNDPROGRAM_H
+
+#include "ir/Program.h"
+#include "profile/Profile.h"
+#include "runtime/Object.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace bamboo::runtime {
+
+class TaskContext;
+
+/// An executable task body.
+using TaskBody = std::function<void(TaskContext &)>;
+
+/// Creates the payload of the startup object from the run's arguments.
+using StartupFactory =
+    std::function<std::unique_ptr<ObjectData>(const std::vector<std::string> &)>;
+
+/// A program plus its executable bodies and simulator hints.
+class BoundProgram {
+public:
+  explicit BoundProgram(ir::Program Prog)
+      : Prog(std::move(Prog)) {
+    Bodies.resize(this->Prog.tasks().size());
+  }
+
+  const ir::Program &program() const { return Prog; }
+
+  void bind(ir::TaskId Task, TaskBody Body) {
+    Bodies[static_cast<size_t>(Task)] = std::move(Body);
+  }
+
+  const TaskBody &bodyOf(ir::TaskId Task) const {
+    return Bodies[static_cast<size_t>(Task)];
+  }
+
+  /// True when every task has a body.
+  bool fullyBound() const {
+    for (const TaskBody &B : Bodies)
+      if (!B)
+        return false;
+    return true;
+  }
+
+  void setStartupFactory(StartupFactory F) { MakeStartup = std::move(F); }
+  const StartupFactory &startupFactory() const { return MakeStartup; }
+
+  profile::SimHints &hints() { return Hints; }
+  const profile::SimHints &hints() const { return Hints; }
+
+  /// Marks \p Task's exit counts as tracked per primary parameter object in
+  /// the scheduling simulator (Section 4.4's developer hint).
+  void hintPerObjectExits(ir::TaskId Task) {
+    if (Hints.PerTask.size() < Prog.tasks().size())
+      Hints.PerTask.resize(Prog.tasks().size(),
+                           profile::ExitCountHint::PerTask);
+    Hints.PerTask[static_cast<size_t>(Task)] =
+        profile::ExitCountHint::PerObject;
+  }
+
+private:
+  ir::Program Prog;
+  std::vector<TaskBody> Bodies;
+  StartupFactory MakeStartup;
+  profile::SimHints Hints;
+};
+
+} // namespace bamboo::runtime
+
+#endif // BAMBOO_RUNTIME_BOUNDPROGRAM_H

@@ -1,0 +1,170 @@
+//===- runtime/Object.h - Runtime objects, tags, and the heap ---*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime object model: heap objects carrying their class, current
+/// flag valuation, and tag bindings; tag instances with back references to
+/// the objects they are bound to (Section 4.7 — the runtime uses the back
+/// references to prune tag-constrained task invocations); and the heap that
+/// owns them.
+///
+/// Application payloads hang off Object::Data as ObjectData subclasses
+/// (embedded programs define their own; the DSL interpreter stores field
+/// vectors). The runtime never interprets payloads — abstract state lives
+/// entirely in the flag word and tag bindings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_RUNTIME_OBJECT_H
+#define BAMBOO_RUNTIME_OBJECT_H
+
+#include "ir/Program.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace bamboo::runtime {
+
+class Object;
+
+/// Base class for application data attached to runtime objects.
+struct ObjectData {
+  virtual ~ObjectData() = default;
+};
+
+/// A tag instance. Binding is symmetric: the object lists its instances and
+/// the instance lists its objects.
+struct TagInstance {
+  ir::TagTypeId Type = ir::InvalidId;
+  uint64_t Id = 0;
+  std::vector<Object *> Bound;
+};
+
+/// One heap object.
+class Object {
+public:
+  Object(uint64_t Id, ir::ClassId Class, ir::FlagMask Flags)
+      : Id(Id), Class(Class), FlagBits(Flags) {}
+
+  const uint64_t Id;
+  const ir::ClassId Class;
+  std::vector<TagInstance *> Tags;
+  std::unique_ptr<ObjectData> Data;
+
+  /// Current flag valuation. Reads outside the object's lock are advisory
+  /// (guard pre-checks); authoritative checks re-run under the lock.
+  ir::FlagMask flags() const {
+    return FlagBits.load(std::memory_order_acquire);
+  }
+
+  /// Applies a task exit's flag effect. Callers hold the object's lock,
+  /// so a plain read-modify-store suffices.
+  void updateFlags(ir::FlagMask Set, ir::FlagMask Clear) {
+    FlagBits.store((FlagBits.load(std::memory_order_relaxed) | Set) & ~Clear,
+                   std::memory_order_release);
+  }
+
+  /// All-or-nothing lock protocol (Section 4.7): acquire with tryLock,
+  /// release everything on any failure, never block.
+  bool tryLock() {
+    bool Expected = false;
+    return LockBit.compare_exchange_strong(Expected, true,
+                                           std::memory_order_acquire);
+  }
+  void unlock() { LockBit.store(false, std::memory_order_release); }
+  bool locked() const { return LockBit.load(std::memory_order_acquire); }
+
+  /// First bound tag instance of \p Type, or null.
+  TagInstance *tagOfType(ir::TagTypeId Type) const {
+    for (TagInstance *T : Tags)
+      if (T->Type == Type)
+        return T;
+    return nullptr;
+  }
+
+  /// All bound instances of \p Type.
+  std::vector<TagInstance *> tagsOfType(ir::TagTypeId Type) const {
+    std::vector<TagInstance *> Out;
+    for (TagInstance *T : Tags)
+      if (T->Type == Type)
+        Out.push_back(T);
+    return Out;
+  }
+
+  void bindTag(TagInstance *T) {
+    if (std::find(Tags.begin(), Tags.end(), T) != Tags.end())
+      return;
+    Tags.push_back(T);
+    T->Bound.push_back(this);
+  }
+
+  void unbindTag(TagInstance *T) {
+    Tags.erase(std::remove(Tags.begin(), Tags.end(), T), Tags.end());
+    T->Bound.erase(std::remove(T->Bound.begin(), T->Bound.end(), this),
+                   T->Bound.end());
+  }
+
+  template <typename T> T &dataAs() {
+    assert(Data && "object has no payload");
+    return static_cast<T &>(*Data);
+  }
+
+private:
+  std::atomic<ir::FlagMask> FlagBits;
+  std::atomic<bool> LockBit{false};
+};
+
+/// Owns all objects and tag instances of one execution.
+class Heap {
+public:
+  Object *allocate(ir::ClassId Class, ir::FlagMask Flags,
+                   std::unique_ptr<ObjectData> Data) {
+    std::lock_guard<std::mutex> Guard(M);
+    auto Obj = std::make_unique<Object>(NextObjectId++, Class, Flags);
+    Obj->Data = std::move(Data);
+    Objects.push_back(std::move(Obj));
+    return Objects.back().get();
+  }
+
+  TagInstance *newTag(ir::TagTypeId Type) {
+    std::lock_guard<std::mutex> Guard(M);
+    auto Tag = std::make_unique<TagInstance>();
+    Tag->Type = Type;
+    Tag->Id = NextTagId++;
+    TagInstances.push_back(std::move(Tag));
+    return TagInstances.back().get();
+  }
+
+  /// Drops all objects and tag instances (start of a fresh run).
+  void clear() {
+    std::lock_guard<std::mutex> Guard(M);
+    Objects.clear();
+    TagInstances.clear();
+    NextObjectId = 0;
+    NextTagId = 0;
+  }
+
+  size_t numObjects() const { return Objects.size(); }
+  size_t numTags() const { return TagInstances.size(); }
+
+  Object *objectAt(size_t I) { return Objects[I].get(); }
+
+private:
+  std::mutex M;
+  std::vector<std::unique_ptr<Object>> Objects;
+  std::vector<std::unique_ptr<TagInstance>> TagInstances;
+  uint64_t NextObjectId = 0;
+  uint64_t NextTagId = 0;
+};
+
+} // namespace bamboo::runtime
+
+#endif // BAMBOO_RUNTIME_OBJECT_H

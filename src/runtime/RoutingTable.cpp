@@ -1,0 +1,70 @@
+//===- runtime/RoutingTable.cpp - Object routing from layouts -------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RoutingTable.h"
+
+#include <cassert>
+
+using namespace bamboo;
+using namespace bamboo::runtime;
+
+RoutingTable::RoutingTable(const ir::Program &Prog,
+                           const analysis::Cstg &Graph,
+                           const machine::Layout &L)
+    : Prog(Prog), Graph(Graph), L(L) {
+  PerNode.resize(Graph.Nodes.size());
+  for (size_t Node = 0; Node < Graph.Nodes.size(); ++Node) {
+    for (auto [Task, Param] : Graph.enabledAt(static_cast<int>(Node))) {
+      RouteDest Dest;
+      Dest.Task = Task;
+      Dest.Param = Param;
+      for (int InstIdx : L.instancesOf(Task))
+        Dest.Instances.emplace_back(
+            InstIdx, L.Instances[static_cast<size_t>(InstIdx)].Core);
+      assert(!Dest.Instances.empty() &&
+             "layout must instantiate every task");
+
+      if (Dest.Instances.size() == 1) {
+        Dest.Kind = DistributionKind::Single;
+      } else {
+        const ir::TaskParam &P =
+            Prog.taskOf(Task).Params[static_cast<size_t>(Param)];
+        if (Prog.taskOf(Task).Params.size() > 1) {
+          // Replicated multi-parameter tasks must be tag-linked
+          // (Section 4.3.4); hash the constrained tag type so linked
+          // objects meet on one core.
+          assert(!P.Tags.empty() &&
+                 "replicated multi-parameter task without tag link");
+          Dest.Kind = DistributionKind::TagHash;
+          Dest.HashTagType = P.Tags.front().Type;
+        } else {
+          Dest.Kind = DistributionKind::RoundRobin;
+        }
+      }
+      PerNode[Node].push_back(std::move(Dest));
+    }
+  }
+}
+
+int RoutingTable::nodeOf(const Object &Obj) const {
+  analysis::AbstractState State;
+  State.Flags = Obj.flags();
+  State.TagCounts.assign(Prog.tagTypes().size(), analysis::TagCount::Zero);
+  for (const TagInstance *T : Obj.Tags) {
+    analysis::TagCount &C =
+        State.TagCounts[static_cast<size_t>(T->Type)];
+    C = C == analysis::TagCount::Zero ? analysis::TagCount::One
+                                      : analysis::TagCount::Many;
+  }
+  int Node = Graph.findNode(Obj.Class, State);
+  // With exact 1-limited counts, "many" is imprecise: an object with two
+  // or more instances matches Many. If the exact state is missing (an
+  // object holding N>=2 instances where the analysis saturated), retry
+  // with saturation already applied — findNode above covers it because we
+  // saturate identically. A miss therefore indicates a real divergence.
+  assert(Node >= 0 && "live object reached a state outside the analysis");
+  return Node;
+}

@@ -1,0 +1,73 @@
+//===- runtime/RoutingTable.h - Object routing from layouts -----*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-layout routing tables of Section 4.3.4: for every abstract
+/// state an object can reach, the set of (task, param) consumers and the
+/// placed instances that host them. When a task instantiation is
+/// replicated, objects are distributed round-robin; when the consumer's
+/// parameters are linked by a tag, the tag instance is hashed so that all
+/// objects carrying one tag instance meet at the same core.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_RUNTIME_ROUTINGTABLE_H
+#define BAMBOO_RUNTIME_ROUTINGTABLE_H
+
+#include "analysis/Cstg.h"
+#include "machine/Layout.h"
+#include "runtime/Object.h"
+
+#include <vector>
+
+namespace bamboo::runtime {
+
+/// How a destination picks among multiple instances.
+enum class DistributionKind {
+  Single,     // Exactly one instance.
+  RoundRobin, // Distribute arrivals over instances.
+  TagHash,    // Hash the bound tag instance of HashTagType.
+};
+
+/// One (task, param) consumer reachable from an abstract state.
+struct RouteDest {
+  ir::TaskId Task = ir::InvalidId;
+  ir::ParamId Param = ir::InvalidId;
+  DistributionKind Kind = DistributionKind::Single;
+  ir::TagTypeId HashTagType = ir::InvalidId;
+  /// (instance index in the layout, core) pairs, in stable order.
+  std::vector<std::pair<int, int>> Instances;
+};
+
+/// Routing tables for one (CSTG, layout) pair.
+class RoutingTable {
+public:
+  RoutingTable(const ir::Program &Prog, const analysis::Cstg &Graph,
+               const machine::Layout &L);
+
+  /// Destinations for objects sitting at CSTG node \p Node.
+  const std::vector<RouteDest> &destsAt(int Node) const {
+    return PerNode[static_cast<size_t>(Node)];
+  }
+
+  /// Resolves the CSTG node of a live object (its class + current flags +
+  /// tag counts); -1 when the state was not in the analysis (cannot happen
+  /// for verified programs — asserted in debug builds).
+  int nodeOf(const Object &Obj) const;
+
+  const machine::Layout &layout() const { return L; }
+  const analysis::Cstg &cstg() const { return Graph; }
+
+private:
+  const ir::Program &Prog;
+  const analysis::Cstg &Graph;
+  machine::Layout L;
+  std::vector<std::vector<RouteDest>> PerNode;
+};
+
+} // namespace bamboo::runtime
+
+#endif // BAMBOO_RUNTIME_ROUTINGTABLE_H

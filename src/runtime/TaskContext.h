@@ -1,0 +1,140 @@
+//===- runtime/TaskContext.h - Per-invocation task context ------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface a running task body sees: its locked parameter objects,
+/// allocation of new objects at declared sites, tag creation and binding,
+/// work metering (virtual cycles), exit selection, and a deterministic
+/// per-invocation PRNG. The executor owns the context; after the body
+/// returns, the executor applies the chosen exit's flag/tag effects and
+/// routes the transitioned and newly created objects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_RUNTIME_TASKCONTEXT_H
+#define BAMBOO_RUNTIME_TASKCONTEXT_H
+
+#include "machine/MachineConfig.h"
+#include "runtime/BoundProgram.h"
+#include "runtime/Object.h"
+#include "support/Rng.h"
+
+#include <cassert>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bamboo::runtime {
+
+/// Context handed to a task body for one invocation.
+class TaskContext {
+public:
+  TaskContext(const BoundProgram &BP, Heap &TheHeap, ir::TaskId Task,
+              std::vector<Object *> Params,
+              std::map<std::string, TagInstance *> ConstraintTags,
+              const std::vector<std::string> &Args, uint64_t RngSeed)
+      : BP(BP), TheHeap(TheHeap), Task(Task), Params(std::move(Params)),
+        TagVars(std::move(ConstraintTags)), Args(Args), Prng(RngSeed) {
+    const ir::TaskDecl &Decl = BP.program().taskOf(Task);
+    assert(this->Params.size() == Decl.Params.size() &&
+           "parameter count mismatch");
+    ChosenExit = static_cast<ir::ExitId>(Decl.Exits.size() - 1); // Fallthrough.
+  }
+
+  const ir::Program &program() const { return BP.program(); }
+  ir::TaskId task() const { return Task; }
+
+  /// The \p I-th locked parameter object.
+  Object &param(int I) { return *Params[static_cast<size_t>(I)]; }
+
+  /// The payload of parameter \p I, downcast to the app's type.
+  template <typename T> T &paramData(int I) {
+    return param(I).dataAs<T>();
+  }
+
+  /// Allocates an object at site \p Site: its class and initial flags come
+  /// from the site declaration; tags bound at the site are resolved from
+  /// the context's tag variables (bindTagVar / constraint vars), or can be
+  /// passed explicitly.
+  Object *allocate(ir::SiteId Site, std::unique_ptr<ObjectData> Data,
+                   const std::vector<TagInstance *> &Tags = {}) {
+    const ir::AllocSite &S = program().siteOf(Site);
+    assert(S.Owner == Task && "allocating at another task's site");
+    Object *Obj = TheHeap.allocate(S.Class, S.InitialFlags, std::move(Data));
+    for (TagInstance *T : Tags)
+      Obj->bindTag(T);
+    NewObjects.emplace_back(Site, Obj);
+    return Obj;
+  }
+
+  /// Creates a fresh tag instance.
+  TagInstance *newTag(ir::TagTypeId Type) { return TheHeap.newTag(Type); }
+
+  /// Direct heap access for allocations that are *not* allocation sites
+  /// (plain helper objects with no abstract state). Such objects are never
+  /// routed; they are ordinary data reachable from the parameters.
+  Heap &heap() { return TheHeap; }
+
+  /// The tag instance bound to variable \p Var (from the parameter `with`
+  /// constraints, a bindTagVar call, or a tag the body created). Null if
+  /// unbound.
+  TagInstance *tagVar(const std::string &Var) const {
+    auto It = TagVars.find(Var);
+    return It == TagVars.end() ? nullptr : It->second;
+  }
+
+  /// Binds \p Var for exit tag actions and site bindings.
+  void bindTagVar(const std::string &Var, TagInstance *Inst) {
+    TagVars[Var] = Inst;
+  }
+
+  /// Adds \p C virtual cycles of work to this invocation.
+  void charge(machine::Cycles C) { Charged += C; }
+
+  /// Selects the exit whose effects the runtime applies when the body
+  /// returns. Convention: call exitWith and then return.
+  void exitWith(ir::ExitId E) {
+    assert(E >= 0 &&
+           static_cast<size_t>(E) < program().taskOf(Task).Exits.size() &&
+           "exit out of range");
+    ChosenExit = E;
+  }
+
+  /// Deterministic per-invocation PRNG (seeded from the run seed, the
+  /// task, and the primary parameter's identity, so results do not depend
+  /// on the layout).
+  Rng &rng() { return Prng; }
+
+  /// Command-line style arguments of the run.
+  const std::vector<std::string> &args() const { return Args; }
+
+  // Executor-facing accessors.
+  machine::Cycles chargedCycles() const { return Charged; }
+  ir::ExitId chosenExit() const { return ChosenExit; }
+  const std::vector<std::pair<ir::SiteId, Object *>> &newObjects() const {
+    return NewObjects;
+  }
+  const std::map<std::string, TagInstance *> &tagVars() const {
+    return TagVars;
+  }
+
+private:
+  const BoundProgram &BP;
+  Heap &TheHeap;
+  ir::TaskId Task;
+  std::vector<Object *> Params;
+  std::map<std::string, TagInstance *> TagVars;
+  const std::vector<std::string> &Args;
+  Rng Prng;
+
+  machine::Cycles Charged = 0;
+  ir::ExitId ChosenExit = 0;
+  std::vector<std::pair<ir::SiteId, Object *>> NewObjects;
+};
+
+} // namespace bamboo::runtime
+
+#endif // BAMBOO_RUNTIME_TASKCONTEXT_H

@@ -1,0 +1,381 @@
+//===- runtime/ThreadExecutor.cpp - Real-thread parallel executor ----------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ThreadExecutor.h"
+
+#include "runtime/TaskContext.h"
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+
+using namespace bamboo;
+using namespace bamboo::runtime;
+
+namespace {
+
+struct Invocation {
+  ir::TaskId Task = ir::InvalidId;
+  int InstanceIdx = -1;
+  std::vector<Object *> Params;
+  std::map<std::string, TagInstance *> ConstraintTags;
+};
+
+struct Delivery {
+  Object *Obj = nullptr;
+  int InstanceIdx = -1;
+  ir::ParamId Param = 0;
+};
+
+} // namespace
+
+struct ThreadExecutor::Impl {
+  const BoundProgram &BP;
+  const ir::Program &Prog;
+  const RoutingTable &Routes;
+  const machine::Layout &L;
+  Heap &TheHeap;
+  const ThreadExecOptions &Opts;
+
+  struct Core {
+    std::mutex InboxMutex;
+    std::deque<Delivery> Inbox;
+    // Owned exclusively by the core's worker thread.
+    std::deque<Invocation> Ready;
+    std::vector<std::vector<Object *>> *ParamSets = nullptr;
+    std::map<ir::TaskId, size_t> RoundRobin;
+  };
+
+  std::vector<Core> Cores;
+  /// One parameter-set table per placed instance (touched only by the
+  /// hosting core's thread).
+  std::vector<std::vector<std::vector<Object *>>> InstanceSets;
+  /// Outstanding work: in-flight deliveries + enqueued invocations +
+  /// executing bodies. Zero means quiescent.
+  std::atomic<int64_t> Outstanding{0};
+  std::atomic<bool> Done{false};
+  /// Exit effects and tag mutations are serialized: they touch shared tag
+  /// instances. Body execution (the expensive part) stays parallel.
+  std::mutex ExitMutex;
+
+  std::atomic<uint64_t> Invocations{0};
+  std::atomic<uint64_t> Allocated{0};
+  std::atomic<uint64_t> LockRetries{0};
+
+  Impl(const BoundProgram &BP, const RoutingTable &Routes,
+       const machine::Layout &L, Heap &TheHeap,
+       const ThreadExecOptions &Opts)
+      : BP(BP), Prog(BP.program()), Routes(Routes), L(L), TheHeap(TheHeap),
+        Opts(Opts), Cores(static_cast<size_t>(L.NumCores)) {
+    InstanceSets.resize(L.Instances.size());
+    for (size_t I = 0; I < L.Instances.size(); ++I)
+      InstanceSets[I].resize(
+          Prog.taskOf(L.Instances[I].Task).Params.size());
+  }
+
+  bool guardAdmits(const ir::TaskParam &Param, const Object &Obj) const {
+    if (Obj.Class != Param.Class || !Param.Guard->evaluate(Obj.flags()))
+      return false;
+    for (const ir::TagConstraint &TC : Param.Tags)
+      if (!Obj.tagOfType(TC.Type))
+        return false;
+    return true;
+  }
+
+  void send(Object *Obj, int FromCore) {
+    int Node = Routes.nodeOf(*Obj);
+    for (const RouteDest &Dest : Routes.destsAt(Node)) {
+      size_t Pick = 0;
+      switch (Dest.Kind) {
+      case DistributionKind::Single:
+        break;
+      case DistributionKind::RoundRobin: {
+        Core &From = Cores[static_cast<size_t>(
+            FromCore >= 0 ? FromCore : 0)];
+        auto [It, Inserted] = From.RoundRobin.try_emplace(
+            Dest.Task, FromCore >= 0 ? static_cast<size_t>(FromCore) : 0);
+        (void)Inserted;
+        Pick = It->second++ % Dest.Instances.size();
+        break;
+      }
+      case DistributionKind::TagHash: {
+        TagInstance *Inst = Obj->tagOfType(Dest.HashTagType);
+        Pick = Inst ? static_cast<size_t>(Inst->Id) % Dest.Instances.size()
+                    : 0;
+        break;
+      }
+      }
+      auto [InstanceIdx, CoreIdx] = Dest.Instances[Pick];
+      Outstanding.fetch_add(1, std::memory_order_acq_rel);
+      Core &To = Cores[static_cast<size_t>(CoreIdx)];
+      std::lock_guard<std::mutex> Guard(To.InboxMutex);
+      To.Inbox.push_back(Delivery{Obj, InstanceIdx, Dest.Param});
+    }
+  }
+
+  void matchParams(Core &C, int InstanceIdx, const ir::TaskDecl &Task,
+                   size_t Next, Invocation &Partial, ir::ParamId FixedParam,
+                   Object *FixedObj) {
+    if (Next == Task.Params.size()) {
+      Outstanding.fetch_add(1, std::memory_order_acq_rel);
+      C.Ready.push_back(Partial);
+      return;
+    }
+    std::vector<Object *> Candidates;
+    if (static_cast<ir::ParamId>(Next) == FixedParam)
+      Candidates.push_back(FixedObj);
+    else
+      Candidates = InstanceSets[static_cast<size_t>(InstanceIdx)][Next];
+    for (Object *Obj : Candidates) {
+      bool Dup = false;
+      for (Object *Used : Partial.Params)
+        Dup = Dup || Used == Obj;
+      if (Dup || !guardAdmits(Task.Params[Next], *Obj))
+        continue;
+      auto Saved = Partial.ConstraintTags;
+      bool TagsOk = true;
+      for (const ir::TagConstraint &TC : Task.Params[Next].Tags) {
+        auto Bound = Partial.ConstraintTags.find(TC.Var);
+        TagInstance *Inst = Obj->tagOfType(TC.Type);
+        if (Bound != Partial.ConstraintTags.end()) {
+          if (std::find(Obj->Tags.begin(), Obj->Tags.end(),
+                        Bound->second) == Obj->Tags.end())
+            TagsOk = false;
+        } else if (Inst) {
+          Partial.ConstraintTags.emplace(TC.Var, Inst);
+        } else {
+          TagsOk = false;
+        }
+        if (!TagsOk)
+          break;
+      }
+      if (!TagsOk) {
+        Partial.ConstraintTags = std::move(Saved);
+        continue;
+      }
+      Partial.Params.push_back(Obj);
+      matchParams(C, InstanceIdx, Task, Next + 1, Partial, FixedParam,
+                  FixedObj);
+      Partial.Params.pop_back();
+      Partial.ConstraintTags = std::move(Saved);
+    }
+  }
+
+  void drainInbox(int CoreIdx) {
+    Core &C = Cores[static_cast<size_t>(CoreIdx)];
+    std::deque<Delivery> Batch;
+    {
+      std::lock_guard<std::mutex> Guard(C.InboxMutex);
+      Batch.swap(C.Inbox);
+    }
+    for (const Delivery &D : Batch) {
+      auto &Set = InstanceSets[static_cast<size_t>(D.InstanceIdx)]
+                              [static_cast<size_t>(D.Param)];
+      bool Present =
+          std::find(Set.begin(), Set.end(), D.Obj) != Set.end();
+      if (!Present) {
+        Set.push_back(D.Obj);
+        ir::TaskId TaskId =
+            L.Instances[static_cast<size_t>(D.InstanceIdx)].Task;
+        const ir::TaskDecl &Task = Prog.taskOf(TaskId);
+        if (guardAdmits(Task.Params[static_cast<size_t>(D.Param)],
+                        *D.Obj)) {
+          Invocation Partial;
+          Partial.Task = TaskId;
+          Partial.InstanceIdx = D.InstanceIdx;
+          matchParams(C, D.InstanceIdx, Task, 0, Partial, D.Param, D.Obj);
+        }
+      }
+      Outstanding.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
+  bool stillValid(const Invocation &Inv) const {
+    const ir::TaskDecl &Task = Prog.taskOf(Inv.Task);
+    for (size_t P = 0; P < Inv.Params.size(); ++P) {
+      if (!guardAdmits(Task.Params[P], *Inv.Params[P]))
+        return false;
+      for (const ir::TagConstraint &TC : Task.Params[P].Tags) {
+        auto It = Inv.ConstraintTags.find(TC.Var);
+        if (It == Inv.ConstraintTags.end() ||
+            std::find(Inv.Params[P]->Tags.begin(),
+                      Inv.Params[P]->Tags.end(),
+                      It->second) == Inv.Params[P]->Tags.end())
+          return false;
+      }
+    }
+    return true;
+  }
+
+  /// Attempts one invocation from the core's ready queue; returns true if
+  /// progress was made (an invocation ran or was dropped).
+  bool step(int CoreIdx) {
+    Core &C = Cores[static_cast<size_t>(CoreIdx)];
+    size_t Attempts = C.Ready.size();
+    while (Attempts-- > 0) {
+      Invocation Inv = std::move(C.Ready.front());
+      C.Ready.pop_front();
+      if (!stillValid(Inv)) {
+        Outstanding.fetch_sub(1, std::memory_order_acq_rel);
+        return true;
+      }
+      // All-or-nothing try-lock; release and retry on any conflict.
+      size_t Acquired = 0;
+      while (Acquired < Inv.Params.size() &&
+             Inv.Params[Acquired]->tryLock())
+        ++Acquired;
+      if (Acquired < Inv.Params.size()) {
+        for (size_t U = 0; U < Acquired; ++U)
+          Inv.Params[U]->unlock();
+        LockRetries.fetch_add(1, std::memory_order_relaxed);
+        C.Ready.push_back(std::move(Inv));
+        continue;
+      }
+      // Re-validate under the locks (flags may have changed since the
+      // advisory check).
+      if (!stillValid(Inv)) {
+        for (Object *Obj : Inv.Params)
+          Obj->unlock();
+        Outstanding.fetch_sub(1, std::memory_order_acq_rel);
+        return true;
+      }
+
+      // Consume from the parameter sets, run the body, apply the exit.
+      auto &Sets = InstanceSets[static_cast<size_t>(Inv.InstanceIdx)];
+      for (size_t P = 0; P < Inv.Params.size(); ++P)
+        Sets[P].erase(
+            std::remove(Sets[P].begin(), Sets[P].end(), Inv.Params[P]),
+            Sets[P].end());
+
+      uint64_t RngSeed = Opts.Seed;
+      RngSeed = RngSeed * 0x9e3779b97f4a7c15ULL +
+                static_cast<uint64_t>(Inv.Task + 1);
+      RngSeed = RngSeed * 0xff51afd7ed558ccdULL + (Inv.Params[0]->Id + 1);
+      TaskContext Ctx(BP, TheHeap, Inv.Task, Inv.Params,
+                      Inv.ConstraintTags, Opts.Args, RngSeed);
+      BP.bodyOf(Inv.Task)(Ctx);
+      Invocations.fetch_add(1, std::memory_order_relaxed);
+      Allocated.fetch_add(Ctx.newObjects().size(),
+                          std::memory_order_relaxed);
+
+      {
+        std::lock_guard<std::mutex> Guard(ExitMutex);
+        const ir::TaskExit &Exit =
+            Prog.taskOf(Inv.Task)
+                .Exits[static_cast<size_t>(Ctx.chosenExit())];
+        for (size_t P = 0; P < Inv.Params.size(); ++P) {
+          const ir::ParamExitEffect &Eff = Exit.Effects[P];
+          Inv.Params[P]->updateFlags(Eff.Set, Eff.Clear);
+          for (const ir::ExitTagAction &Action : Eff.TagActions) {
+            TagInstance *Inst = Ctx.tagVar(Action.Var);
+            if (!Inst)
+              continue;
+            if (Action.IsAdd)
+              Inv.Params[P]->bindTag(Inst);
+            else
+              Inv.Params[P]->unbindTag(Inst);
+          }
+        }
+      }
+      for (Object *Obj : Inv.Params)
+        Obj->unlock();
+
+      for (const auto &[Site, Obj] : Ctx.newObjects()) {
+        (void)Site;
+        send(Obj, CoreIdx);
+      }
+      for (Object *Obj : Inv.Params)
+        send(Obj, CoreIdx);
+      Outstanding.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+    return false;
+  }
+
+  void worker(int CoreIdx) {
+    int IdleSpins = 0;
+    while (!Done.load(std::memory_order_acquire)) {
+      drainInbox(CoreIdx);
+      if (step(CoreIdx)) {
+        IdleSpins = 0;
+        continue;
+      }
+      if (Outstanding.load(std::memory_order_acquire) == 0) {
+        Done.store(true, std::memory_order_release);
+        return;
+      }
+      if (++IdleSpins > 64) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+};
+
+ThreadExecutor::ThreadExecutor(const BoundProgram &BP,
+                               const analysis::Cstg &Graph,
+                               const machine::Layout &L)
+    : BP(BP), Graph(Graph), L(L), Routes(BP.program(), Graph, L),
+      TheHeap(std::make_unique<Heap>()) {
+  assert(BP.fullyBound() && "every task needs a body");
+  assert(L.covers(BP.program()) && "layout must instantiate every task");
+}
+
+ThreadExecutor::~ThreadExecutor() = default;
+
+ThreadExecResult ThreadExecutor::run(const ThreadExecOptions &Opts) {
+  TheHeap->clear();
+  Impl State(BP, Routes, L, *TheHeap, Opts);
+
+  // Boot.
+  {
+    const ir::Program &Prog = BP.program();
+    std::unique_ptr<ObjectData> Data;
+    if (BP.startupFactory())
+      Data = BP.startupFactory()(Opts.Args);
+    Object *Startup = TheHeap->allocate(
+        Prog.startupClass(), ir::FlagMask(1) << Prog.startupFlag(),
+        std::move(Data));
+    State.send(Startup, /*FromCore=*/-1);
+  }
+
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  Threads.reserve(static_cast<size_t>(L.NumCores));
+  for (int C = 0; C < L.NumCores; ++C)
+    Threads.emplace_back([&State, C] { State.worker(C); });
+
+  // Watchdog: enforce the timeout.
+  for (;;) {
+    if (State.Done.load(std::memory_order_acquire))
+      break;
+    auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+    if (Elapsed > Opts.TimeoutMs) {
+      State.Done.store(true, std::memory_order_release);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  auto T1 = std::chrono::steady_clock::now();
+
+  ThreadExecResult Result;
+  Result.Completed =
+      State.Outstanding.load(std::memory_order_acquire) == 0;
+  Result.TaskInvocations = State.Invocations.load();
+  Result.ObjectsAllocated = State.Allocated.load();
+  Result.LockRetries = State.LockRetries.load();
+  Result.WallSeconds = std::chrono::duration<double>(T1 - T0).count();
+  return Result;
+}

@@ -1,0 +1,78 @@
+//===- runtime/ThreadExecutor.h - Real-thread parallel executor -*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A host-parallel executor: runs a BoundProgram under a layout with one
+/// OS thread per (used) core, following the same distributed-scheduler
+/// design as the discrete-event TileExecutor — per-core parameter sets and
+/// ready queues, mailbox message passing for object transfers, and
+/// all-or-nothing try-locking of parameter objects with release-and-retry.
+///
+/// Where TileExecutor measures deterministic virtual cycles on the modeled
+/// machine, ThreadExecutor executes with genuine concurrency on the host:
+/// it exists (a) to validate that the runtime protocol (locking, guard
+/// re-checks, routing) is correct under real races, and (b) as the
+/// "periodically re-optimize in the field" deployment story the paper's
+/// conclusion sketches. Task bodies must therefore be thread-safe with
+/// respect to everything except their locked parameters — which Bamboo's
+/// model guarantees for well-formed programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_RUNTIME_THREADEXECUTOR_H
+#define BAMBOO_RUNTIME_THREADEXECUTOR_H
+
+#include "analysis/Cstg.h"
+#include "machine/Layout.h"
+#include "runtime/BoundProgram.h"
+#include "runtime/RoutingTable.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bamboo::runtime {
+
+struct ThreadExecOptions {
+  std::vector<std::string> Args;
+  uint64_t Seed = 1;
+  /// Give up (Completed=false) after this many milliseconds.
+  int64_t TimeoutMs = 30000;
+};
+
+struct ThreadExecResult {
+  bool Completed = false;
+  uint64_t TaskInvocations = 0;
+  uint64_t ObjectsAllocated = 0;
+  uint64_t LockRetries = 0;
+  double WallSeconds = 0.0;
+};
+
+/// Executes \p BP under \p L with one worker thread per core.
+class ThreadExecutor {
+public:
+  ThreadExecutor(const BoundProgram &BP, const analysis::Cstg &Graph,
+                 const machine::Layout &L);
+  ~ThreadExecutor();
+
+  ThreadExecResult run(const ThreadExecOptions &Opts);
+
+  /// Heap of the most recent run (valid until the next run).
+  Heap &heap() { return *TheHeap; }
+
+private:
+  struct Impl;
+  const BoundProgram &BP;
+  const analysis::Cstg &Graph;
+  machine::Layout L;
+  RoutingTable Routes;
+  std::unique_ptr<Heap> TheHeap;
+};
+
+} // namespace bamboo::runtime
+
+#endif // BAMBOO_RUNTIME_THREADEXECUTOR_H

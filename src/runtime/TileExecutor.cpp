@@ -1,0 +1,436 @@
+//===- runtime/TileExecutor.cpp - Discrete-event many-core executor -------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TileExecutor.h"
+
+#include "runtime/TaskContext.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bamboo;
+using namespace bamboo::runtime;
+using machine::Cycles;
+
+TileExecutor::TileExecutor(const BoundProgram &BP,
+                           const analysis::Cstg &Graph,
+                           const machine::MachineConfig &Machine,
+                           const machine::Layout &L)
+    : BP(BP), Prog(BP.program()), Graph(Graph), Machine(Machine), L(L),
+      Routes(Prog, Graph, L), LockPlans(analysis::buildLockPlans(Prog)) {
+  assert(BP.fullyBound() && "every task needs a body");
+  assert(L.covers(Prog) && "layout must instantiate every task");
+  assert(L.NumCores <= Machine.NumCores && "layout exceeds the machine");
+}
+
+void TileExecutor::push(Event E) {
+  E.Seq = NextSeq++;
+  Queue.push(std::move(E));
+}
+
+bool TileExecutor::guardAdmitsObject(const ir::TaskParam &Param,
+                                     const Object &Obj) const {
+  if (Obj.Class != Param.Class)
+    return false;
+  if (!Param.Guard->evaluate(Obj.flags()))
+    return false;
+  for (const ir::TagConstraint &TC : Param.Tags)
+    if (!Obj.tagOfType(TC.Type))
+      return false;
+  return true;
+}
+
+bool TileExecutor::bindParamTags(const ir::TaskParam &Param, Object *Obj,
+                                 Invocation &Partial) const {
+  for (const ir::TagConstraint &TC : Param.Tags) {
+    auto Bound = Partial.ConstraintTags.find(TC.Var);
+    if (Bound != Partial.ConstraintTags.end()) {
+      // Variable already fixed by an earlier parameter: this object must
+      // carry the same instance.
+      if (std::find(Obj->Tags.begin(), Obj->Tags.end(), Bound->second) ==
+          Obj->Tags.end())
+        return false;
+      continue;
+    }
+    // Bind the object's instance of this type. Objects in this runtime
+    // carry at most a handful of instances per type; when several exist,
+    // the first is chosen — later parameters constrained by the same
+    // variable re-validate against it, and mismatching combinations are
+    // simply produced by other deliveries.
+    TagInstance *Inst = Obj->tagOfType(TC.Type);
+    if (!Inst)
+      return false;
+    Partial.ConstraintTags.emplace(TC.Var, Inst);
+  }
+  return true;
+}
+
+void TileExecutor::matchParams(int Core, int InstanceIdx,
+                               const ir::TaskDecl &Task, size_t NextParam,
+                               Invocation &Partial, ir::ParamId FixedParam,
+                               Object *FixedObj) {
+  if (NextParam == Task.Params.size()) {
+    Cores[static_cast<size_t>(Core)].Ready.push_back(Partial);
+    return;
+  }
+  const ir::TaskParam &Param = Task.Params[NextParam];
+  InstanceState &Inst = Instances[static_cast<size_t>(InstanceIdx)];
+
+  std::vector<Object *> Candidates;
+  if (static_cast<ir::ParamId>(NextParam) == FixedParam)
+    Candidates.push_back(FixedObj);
+  else
+    Candidates = Inst.ParamSets[NextParam];
+
+  for (Object *Obj : Candidates) {
+    // One object cannot serve two parameters of the same invocation: the
+    // all-or-nothing lock step would self-conflict.
+    if (std::find(Partial.Params.begin(), Partial.Params.end(), Obj) !=
+        Partial.Params.end())
+      continue;
+    if (!guardAdmitsObject(Param, *Obj))
+      continue;
+    auto SavedTags = Partial.ConstraintTags;
+    if (!bindParamTags(Param, Obj, Partial)) {
+      Partial.ConstraintTags = std::move(SavedTags);
+      continue;
+    }
+    Partial.Params.push_back(Obj);
+    matchParams(Core, InstanceIdx, Task, NextParam + 1, Partial, FixedParam,
+                FixedObj);
+    Partial.Params.pop_back();
+    Partial.ConstraintTags = std::move(SavedTags);
+  }
+}
+
+void TileExecutor::enumerateInvocations(int Core, int InstanceIdx,
+                                        ir::ParamId Param, Object *Obj) {
+  ir::TaskId TaskId = L.Instances[static_cast<size_t>(InstanceIdx)].Task;
+  const ir::TaskDecl &Task = Prog.taskOf(TaskId);
+  if (!guardAdmitsObject(Task.Params[static_cast<size_t>(Param)], *Obj))
+    return;
+  Invocation Partial;
+  Partial.Task = TaskId;
+  Partial.InstanceIdx = InstanceIdx;
+  matchParams(Core, InstanceIdx, Task, 0, Partial, Param, Obj);
+}
+
+bool TileExecutor::stillValid(const Invocation &Inv) const {
+  const ir::TaskDecl &Task = Prog.taskOf(Inv.Task);
+  for (size_t P = 0; P < Inv.Params.size(); ++P)
+    if (!guardAdmitsObject(Task.Params[P], *Inv.Params[P]))
+      return false;
+  // Tag constraints: the bound instances must still link the objects.
+  for (size_t P = 0; P < Inv.Params.size(); ++P) {
+    for (const ir::TagConstraint &TC : Task.Params[P].Tags) {
+      auto It = Inv.ConstraintTags.find(TC.Var);
+      if (It == Inv.ConstraintTags.end())
+        return false;
+      Object *Obj = Inv.Params[P];
+      if (std::find(Obj->Tags.begin(), Obj->Tags.end(), It->second) ==
+          Obj->Tags.end())
+        return false;
+    }
+  }
+  return true;
+}
+
+void TileExecutor::deliver(const Event &E) {
+  InstanceState &Inst = Instances[static_cast<size_t>(E.InstanceIdx)];
+  std::vector<Object *> &Set =
+      Inst.ParamSets[static_cast<size_t>(E.Param)];
+  if (std::find(Set.begin(), Set.end(), E.Obj) != Set.end())
+    return; // Already enqueued for this parameter.
+  Set.push_back(E.Obj);
+  enumerateInvocations(E.Core, E.InstanceIdx, E.Param, E.Obj);
+  if (!Cores[static_cast<size_t>(E.Core)].Executing)
+    tryStart(E.Core, std::max(E.Time,
+                              Cores[static_cast<size_t>(E.Core)].BusyUntil));
+}
+
+void TileExecutor::routeObject(Object *Obj, int FromCore, Cycles Now) {
+  int Node = Routes.nodeOf(*Obj);
+  for (const RouteDest &Dest : Routes.destsAt(Node)) {
+    size_t Pick = 0;
+    switch (Dest.Kind) {
+    case DistributionKind::Single:
+      break;
+    case DistributionKind::RoundRobin: {
+      // Per-sender counters, seeded with the sender core: senders start
+      // their round-robin walk at "their own" replica, so concurrent
+      // producers spread over all instances instead of all hammering
+      // instance 0 (and a core whose own replica hosts the next task
+      // tends to keep the object local — the data locality rule).
+      auto [It, Inserted] = RoundRobin.try_emplace(
+          {FromCore, Dest.Task},
+          FromCore >= 0 ? static_cast<size_t>(FromCore) : 0);
+      Pick = It->second++ % Dest.Instances.size();
+      (void)Inserted;
+      break;
+    }
+    case DistributionKind::TagHash: {
+      TagInstance *Inst = Obj->tagOfType(Dest.HashTagType);
+      Pick = Inst ? static_cast<size_t>(Inst->Id) % Dest.Instances.size()
+                  : 0;
+      break;
+    }
+    }
+    auto [InstanceIdx, Core] = Dest.Instances[Pick];
+    Cycles Latency = 0;
+    if (FromCore >= 0 && FromCore != Core) {
+      Latency = Machine.SendOverhead + Machine.transferLatency(FromCore, Core);
+      ++Result.MessagesSent;
+    }
+    Event Arrival;
+    Arrival.Kind = EventKind::Delivery;
+    Arrival.Time = Now + Latency;
+    Arrival.Core = Core;
+    Arrival.Obj = Obj;
+    Arrival.InstanceIdx = InstanceIdx;
+    Arrival.Param = Dest.Param;
+    push(std::move(Arrival));
+  }
+}
+
+void TileExecutor::tryStart(int CoreIdx, Cycles Now) {
+  CoreState &Core = Cores[static_cast<size_t>(CoreIdx)];
+  if (Core.Executing)
+    return;
+  size_t Attempts = Core.Ready.size();
+  while (Attempts-- > 0) {
+    Invocation Inv = std::move(Core.Ready.front());
+    Core.Ready.pop_front();
+    if (!stillValid(Inv))
+      continue; // Stale: some parameter transitioned away.
+
+    // All-or-nothing locking (Section 4.7): if any parameter is locked,
+    // release everything, put the invocation back, and try another one.
+    size_t Acquired = 0;
+    while (Acquired < Inv.Params.size() &&
+           Inv.Params[Acquired]->tryLock())
+      ++Acquired;
+    if (Acquired < Inv.Params.size()) {
+      for (size_t U = 0; U < Acquired; ++U)
+        Inv.Params[U]->unlock();
+      ++Result.LockRetries;
+      Core.Ready.push_back(std::move(Inv));
+      continue;
+    }
+
+    // Consume the parameter objects from this instance's parameter sets so
+    // no further combinations are built with them; the exit routing will
+    // re-deliver any that remain eligible.
+    InstanceState &Inst = Instances[static_cast<size_t>(Inv.InstanceIdx)];
+    for (size_t P = 0; P < Inv.Params.size(); ++P) {
+      auto &Set = Inst.ParamSets[P];
+      Set.erase(std::remove(Set.begin(), Set.end(), Inv.Params[P]),
+                Set.end());
+    }
+
+    // Run the body now (host time); effects become visible to the rest of
+    // the virtual machine at completion time, and the locks exclude every
+    // other observer in between.
+    uint64_t RngSeed = Opts->Seed;
+    RngSeed = RngSeed * 0x9e3779b97f4a7c15ULL +
+              static_cast<uint64_t>(Inv.Task + 1);
+    RngSeed = RngSeed * 0xff51afd7ed558ccdULL + (Inv.Params[0]->Id + 1);
+    auto Ctx = std::make_unique<TaskContext>(BP, TheHeap, Inv.Task,
+                                             Inv.Params, Inv.ConstraintTags,
+                                             Opts->Args, RngSeed);
+    BP.bodyOf(Inv.Task)(*Ctx);
+
+    const analysis::TaskLockPlan &Plan =
+        LockPlans[static_cast<size_t>(Inv.Task)];
+    // Contention: body work stretches with the fraction of other cores
+    // currently busy (see MachineConfig::LoadSlowdown).
+    Cycles Charged = Ctx->chargedCycles();
+    if (Machine.LoadSlowdown > 0.0 && Cores.size() > 1) {
+      int OthersBusy = 0;
+      for (const CoreState &Other : Cores)
+        OthersBusy += Other.Executing ? 1 : 0;
+      double Fraction = static_cast<double>(OthersBusy) /
+                        static_cast<double>(Cores.size() - 1);
+      Charged = static_cast<Cycles>(
+          static_cast<double>(Charged) *
+          (1.0 + Machine.LoadSlowdown * Fraction));
+    }
+    Cycles Duration = Machine.DispatchOverhead +
+                      Machine.LockOverhead *
+                          static_cast<Cycles>(Plan.NumGroups) +
+                      Charged;
+    Core.Executing = true;
+    Core.BusyUntil = Now + Duration;
+    Core.BusyTotal += Duration;
+    ++Result.TaskInvocations;
+
+    int FlightIdx;
+    if (!FreeFlightSlots.empty()) {
+      FlightIdx = FreeFlightSlots.back();
+      FreeFlightSlots.pop_back();
+      InFlights[static_cast<size_t>(FlightIdx)] = {std::move(Inv),
+                                                   std::move(Ctx)};
+    } else {
+      FlightIdx = static_cast<int>(InFlights.size());
+      InFlights.push_back({std::move(Inv), std::move(Ctx)});
+    }
+
+    Event Done;
+    Done.Kind = EventKind::Completion;
+    Done.Time = Core.BusyUntil;
+    Done.Core = CoreIdx;
+    Done.FlightIdx = FlightIdx;
+    push(std::move(Done));
+    return;
+  }
+}
+
+void TileExecutor::complete(const Event &E) {
+  InFlight &Flight = InFlights[static_cast<size_t>(E.FlightIdx)];
+  TaskContext &Ctx = *Flight.Ctx;
+  const ir::TaskDecl &Task = Prog.taskOf(Flight.Inv.Task);
+  const ir::TaskExit &Exit =
+      Task.Exits[static_cast<size_t>(Ctx.chosenExit())];
+
+  // Apply the exit's flag and tag effects to the parameter objects.
+  for (size_t P = 0; P < Flight.Inv.Params.size(); ++P) {
+    Object *Obj = Flight.Inv.Params[P];
+    const ir::ParamExitEffect &Eff = Exit.Effects[P];
+    Obj->updateFlags(Eff.Set, Eff.Clear);
+    for (const ir::ExitTagAction &Action : Eff.TagActions) {
+      TagInstance *Inst = Ctx.tagVar(Action.Var);
+      assert(Inst && "exit tag action references an unbound tag variable");
+      if (!Inst)
+        continue;
+      if (Action.IsAdd)
+        Obj->bindTag(Inst);
+      else
+        Obj->unbindTag(Inst);
+    }
+  }
+
+  // Profile collection.
+  if (Result.CollectedProfile) {
+    std::map<ir::SiteId, uint64_t> SiteCounts;
+    for (const auto &[Site, Obj] : Ctx.newObjects()) {
+      (void)Obj;
+      ++SiteCounts[Site];
+    }
+    Result.CollectedProfile->recordInvocation(Flight.Inv.Task,
+                                              Ctx.chosenExit(),
+                                              Ctx.chargedCycles(),
+                                              SiteCounts);
+  }
+
+  // Unlock before routing so re-deliveries can immediately dispatch.
+  for (Object *Obj : Flight.Inv.Params)
+    Obj->unlock();
+  Cores[static_cast<size_t>(E.Core)].Executing = false;
+
+  Result.ObjectsAllocated += Ctx.newObjects().size();
+  for (const auto &[Site, Obj] : Ctx.newObjects()) {
+    (void)Site;
+    routeObject(Obj, E.Core, E.Time);
+  }
+  for (Object *Obj : Flight.Inv.Params)
+    routeObject(Obj, E.Core, E.Time);
+
+  // Recycle the flight slot.
+  Flight.Ctx.reset();
+  Flight.Inv = Invocation();
+  FreeFlightSlots.push_back(E.FlightIdx);
+
+  tryStart(E.Core, E.Time);
+
+  // Lock releases may unblock other cores' queued invocations.
+  for (size_t C = 0; C < Cores.size(); ++C) {
+    if (static_cast<int>(C) == E.Core)
+      continue;
+    if (!Cores[C].Executing && !Cores[C].Ready.empty()) {
+      Event Wake;
+      Wake.Kind = EventKind::Wake;
+      Wake.Time = E.Time;
+      Wake.Core = static_cast<int>(C);
+      push(std::move(Wake));
+    }
+  }
+}
+
+ExecResult TileExecutor::run(const ExecOptions &Options) {
+  Opts = &Options;
+  Result = ExecResult();
+  TheHeap.clear();
+  Cores.assign(static_cast<size_t>(L.NumCores), CoreState());
+  Instances.clear();
+  Instances.resize(L.Instances.size());
+  for (size_t I = 0; I < L.Instances.size(); ++I)
+    Instances[I].ParamSets.resize(
+        Prog.taskOf(L.Instances[I].Task).Params.size());
+  InFlights.clear();
+  FreeFlightSlots.clear();
+  RoundRobin.clear();
+  NextSeq = 0;
+  while (!Queue.empty())
+    Queue.pop();
+  if (Options.CollectProfile)
+    Result.CollectedProfile.emplace(Prog);
+
+  // Boot: create the startup object and deliver it (no transfer cost — it
+  // is created wherever the startup task lives).
+  {
+    std::unique_ptr<ObjectData> Data;
+    if (BP.startupFactory())
+      Data = BP.startupFactory()(Options.Args);
+    Object *Startup =
+        TheHeap.allocate(Prog.startupClass(),
+                         ir::FlagMask(1) << Prog.startupFlag(),
+                         std::move(Data));
+    routeObject(Startup, /*FromCore=*/-1, /*Now=*/0);
+  }
+
+  Cycles LastTime = 0;
+  uint64_t Events = 0;
+  while (!Queue.empty()) {
+    if (++Events > Options.MaxEvents) {
+      Result.Completed = false;
+      Result.TotalCycles = LastTime;
+      return Result;
+    }
+    Event E = Queue.top();
+    Queue.pop();
+    LastTime = std::max(LastTime, E.Time);
+    switch (E.Kind) {
+    case EventKind::Delivery:
+      deliver(E);
+      break;
+    case EventKind::Completion:
+      complete(E);
+      break;
+    case EventKind::Wake:
+      tryStart(E.Core, E.Time);
+      break;
+    }
+  }
+
+  bool AllDrained = true;
+  for (CoreState &Core : Cores) {
+    // Purge stale leftovers so drained-ness reflects real pending work.
+    while (!Core.Ready.empty()) {
+      if (stillValid(Core.Ready.front()))
+        break;
+      Core.Ready.pop_front();
+    }
+    AllDrained = AllDrained && Core.Ready.empty() && !Core.Executing;
+  }
+  Result.Completed = AllDrained;
+  Result.TotalCycles = LastTime;
+  Result.CoreBusy.clear();
+  for (const CoreState &Core : Cores)
+    Result.CoreBusy.push_back(Core.BusyTotal);
+  if (Result.CollectedProfile)
+    Result.CollectedProfile->setTerminated(Result.Completed);
+  return Result;
+}

@@ -1,0 +1,192 @@
+//===- runtime/TileExecutor.h - Discrete-event many-core executor -*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a BoundProgram on the virtual many-core machine under a given
+/// layout, following the distributed runtime of Section 4.7:
+///
+///  - each core runs a lightweight scheduler with one parameter set per
+///    placed (task instance, parameter);
+///  - object arrivals enqueue the task invocations they newly enable;
+///  - before running an invocation, the core re-checks guards and
+///    try-locks all parameter objects — on failure it releases everything
+///    and tries a different invocation (tasks never abort);
+///  - on task exit, the runtime applies the chosen exit's flag/tag effects
+///    and sends the transitioned and newly created objects directly to the
+///    cores hosting their candidate next tasks (FSM-driven routing).
+///
+/// Execution is a deterministic discrete-event simulation over virtual
+/// cycles: task bodies run for real on the host (computing real results)
+/// while their cost comes from TaskContext::charge plus the machine's
+/// dispatch/lock/transfer overheads. A single-core run of the same program
+/// gives the paper's "1-core Bamboo" measurements; attaching a
+/// ProfileCollector gives the profiling runs of Section 4.3.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_RUNTIME_TILEEXECUTOR_H
+#define BAMBOO_RUNTIME_TILEEXECUTOR_H
+
+#include "analysis/Cstg.h"
+#include "analysis/LockPlan.h"
+#include "machine/Layout.h"
+#include "machine/MachineConfig.h"
+#include "profile/Profile.h"
+#include "runtime/BoundProgram.h"
+#include "runtime/RoutingTable.h"
+#include "runtime/TaskContext.h"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace bamboo::runtime {
+
+/// Options for one execution.
+struct ExecOptions {
+  std::vector<std::string> Args;
+  uint64_t Seed = 1;
+  /// Attach a profile collector.
+  bool CollectProfile = false;
+  /// Safety valve: abort the run (Completed=false) after this many events.
+  uint64_t MaxEvents = 200'000'000;
+};
+
+/// Result of one execution.
+struct ExecResult {
+  machine::Cycles TotalCycles = 0;
+  bool Completed = false;
+  uint64_t TaskInvocations = 0;
+  uint64_t ObjectsAllocated = 0;
+  uint64_t MessagesSent = 0;
+  uint64_t LockRetries = 0;
+  /// Busy cycles per core (for utilization reporting).
+  std::vector<machine::Cycles> CoreBusy;
+  /// Collected profile (present when ExecOptions::CollectProfile).
+  std::optional<profile::Profile> CollectedProfile;
+};
+
+/// The discrete-event executor.
+class TileExecutor {
+public:
+  /// All references must outlive the executor. The layout must cover the
+  /// program and fit the machine.
+  TileExecutor(const BoundProgram &BP, const analysis::Cstg &Graph,
+               const machine::MachineConfig &Machine,
+               const machine::Layout &L);
+
+  /// Runs the program to completion (or until the event cap).
+  ExecResult run(const ExecOptions &Opts);
+
+  /// The heap of the most recent run (valid until the next run call);
+  /// tests and result-extraction code inspect final object states here.
+  Heap &heap() { return TheHeap; }
+
+private:
+  struct Invocation {
+    ir::TaskId Task = ir::InvalidId;
+    int InstanceIdx = -1;
+    std::vector<Object *> Params;
+    std::map<std::string, TagInstance *> ConstraintTags;
+  };
+
+  struct InFlight {
+    Invocation Inv;
+    std::unique_ptr<TaskContext> Ctx;
+  };
+
+  enum class EventKind { Delivery, Completion, Wake };
+
+  struct Event {
+    machine::Cycles Time = 0;
+    uint64_t Seq = 0;
+    EventKind Kind = EventKind::Wake;
+    int Core = 0;
+    // Delivery payload.
+    Object *Obj = nullptr;
+    int InstanceIdx = -1;
+    ir::ParamId Param = ir::InvalidId;
+    // Completion payload index into InFlights.
+    int FlightIdx = -1;
+
+    bool operator>(const Event &O) const {
+      if (Time != O.Time)
+        return Time > O.Time;
+      return Seq > O.Seq;
+    }
+  };
+
+  struct CoreState {
+    bool Executing = false;
+    machine::Cycles BusyUntil = 0;
+    machine::Cycles BusyTotal = 0;
+    std::deque<Invocation> Ready;
+  };
+
+  /// One placed task instance's dispatch state.
+  struct InstanceState {
+    /// Parameter sets: objects that arrived for each parameter.
+    std::vector<std::vector<Object *>> ParamSets;
+  };
+
+  const BoundProgram &BP;
+  const ir::Program &Prog;
+  const analysis::Cstg &Graph;
+  machine::MachineConfig Machine;
+  machine::Layout L;
+  RoutingTable Routes;
+  std::vector<analysis::TaskLockPlan> LockPlans;
+
+  // Per-run state.
+  Heap TheHeap;
+  std::vector<CoreState> Cores;
+  std::vector<InstanceState> Instances;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> Queue;
+  std::vector<InFlight> InFlights;
+  std::vector<int> FreeFlightSlots;
+  uint64_t NextSeq = 0;
+  std::map<std::pair<int, ir::TaskId>, size_t> RoundRobin;
+  ExecResult Result;
+  const ExecOptions *Opts = nullptr;
+
+  void push(Event E);
+  void deliver(const Event &E);
+  void complete(const Event &E);
+  void tryStart(int Core, machine::Cycles Now);
+
+  /// Enumerates the invocations newly enabled by \p Obj arriving for
+  /// (\p InstanceIdx, \p Param) and appends them to the core's ready queue.
+  void enumerateInvocations(int Core, int InstanceIdx, ir::ParamId Param,
+                            Object *Obj);
+
+  /// Checks that every parameter object still satisfies its guard and the
+  /// tag constraints still match.
+  bool stillValid(const Invocation &Inv) const;
+
+  /// Routes \p Obj (at its current abstract state) to all candidate next
+  /// tasks from core \p FromCore at time \p Now.
+  void routeObject(Object *Obj, int FromCore, machine::Cycles Now);
+
+  /// Recursively matches tag constraints, emitting complete invocations.
+  void matchParams(int Core, int InstanceIdx, const ir::TaskDecl &Task,
+                   size_t NextParam, Invocation &Partial,
+                   ir::ParamId FixedParam, Object *FixedObj);
+
+  bool guardAdmitsObject(const ir::TaskParam &Param, const Object &Obj) const;
+
+  /// Binds tag constraint variables of \p Param for \p Obj into
+  /// \p Partial; returns false when impossible.
+  bool bindParamTags(const ir::TaskParam &Param, Object *Obj,
+                     Invocation &Partial) const;
+};
+
+} // namespace bamboo::runtime
+
+#endif // BAMBOO_RUNTIME_TILEEXECUTOR_H

@@ -1,0 +1,598 @@
+//===- schedsim/SchedSim.cpp - High-level scheduling simulator ------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "schedsim/SchedSim.h"
+
+#include "analysis/LockPlan.h"
+#include "runtime/RoutingTable.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <queue>
+
+using namespace bamboo;
+using namespace bamboo::schedsim;
+using machine::Cycles;
+
+namespace {
+
+/// An abstract object token: class + abstract state + concrete tag ids for
+/// pairing tag-linked parameters.
+struct Token {
+  uint64_t Id = 0;
+  ir::ClassId Class = ir::InvalidId;
+  analysis::AbstractState State;
+  /// One representative instance id per bound tag type (the 1-limited
+  /// abstraction of the simulator).
+  std::map<ir::TagTypeId, uint64_t> TagIds;
+  bool Busy = false;
+  /// Trace id of the invocation that last produced/transitioned it.
+  int ProducerTrace = -1;
+};
+
+struct Arrival {
+  Token *Tok = nullptr;
+  int Producer = -1;
+  Cycles Time = 0;
+};
+
+struct Invocation {
+  ir::TaskId Task = ir::InvalidId;
+  int InstanceIdx = -1;
+  std::vector<Arrival> Params;
+  std::map<std::string, uint64_t> ConstraintTagIds;
+};
+
+class Simulator {
+public:
+  Simulator(const ir::Program &Prog, const analysis::Cstg &Graph,
+            const profile::Profile &Prof, const profile::SimHints &Hints,
+            const machine::MachineConfig &Machine, const machine::Layout &L,
+            const SimOptions &Opts)
+      : Prog(Prog), Graph(Graph), Prof(Prof), Hints(Hints), Machine(Machine),
+        L(L), Routes(Prog, Graph, L),
+        LockPlans(analysis::buildLockPlans(Prog)), Opts(Opts) {}
+
+  SimResult run();
+
+private:
+  const ir::Program &Prog;
+  const analysis::Cstg &Graph;
+  const profile::Profile &Prof;
+  const profile::SimHints &Hints;
+  const machine::MachineConfig &Machine;
+  const machine::Layout &L;
+  runtime::RoutingTable Routes;
+  std::vector<analysis::TaskLockPlan> LockPlans;
+  SimOptions Opts;
+
+  enum class EventKind { Delivery, Completion, Wake };
+  struct Event {
+    Cycles Time = 0;
+    uint64_t Seq = 0;
+    EventKind Kind = EventKind::Wake;
+    int Core = 0;
+    Arrival Arr;           // Delivery.
+    int InstanceIdx = -1;  // Delivery.
+    ir::ParamId Param = 0; // Delivery.
+    int FlightIdx = -1;    // Completion.
+    bool operator>(const Event &O) const {
+      if (Time != O.Time)
+        return Time > O.Time;
+      return Seq > O.Seq;
+    }
+  };
+
+  struct CoreState {
+    bool Executing = false;
+    Cycles BusyTotal = 0;
+    std::deque<Invocation> Ready;
+  };
+
+  struct InstanceState {
+    std::vector<std::vector<Arrival>> ParamSets;
+  };
+
+  struct Flight {
+    Invocation Inv;
+    ir::ExitId Exit = 0;
+    int TraceId = -1;
+    std::map<ir::TagTypeId, uint64_t> FreshTags;
+  };
+
+  std::vector<std::unique_ptr<Token>> Tokens;
+  uint64_t NextTokenId = 0;
+  uint64_t NextTagId = 1;
+  std::vector<CoreState> Cores;
+  std::vector<InstanceState> Instances;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> Queue;
+  std::vector<Flight> Flights;
+  std::vector<int> FreeFlights;
+  uint64_t NextSeq = 0;
+  std::map<std::pair<int, ir::TaskId>, size_t> RoundRobin;
+  // Exit-count matching state.
+  std::vector<std::vector<uint64_t>> TaskExitCounts;
+  std::map<std::pair<ir::TaskId, uint64_t>, std::vector<uint64_t>>
+      ObjectExitCounts;
+  // Deterministic fractional allocation remainders, per site.
+  std::vector<double> AllocRemainder;
+
+  SimResult Result;
+
+  Token *makeToken(ir::ClassId Class, analysis::AbstractState State) {
+    auto T = std::make_unique<Token>();
+    T->Id = NextTokenId++;
+    T->Class = Class;
+    T->State = std::move(State);
+    Tokens.push_back(std::move(T));
+    return Tokens.back().get();
+  }
+
+  void push(Event E) {
+    E.Seq = NextSeq++;
+    Queue.push(std::move(E));
+  }
+
+  bool guardAdmitsToken(const ir::TaskParam &Param, const Token &Tok) const {
+    return Tok.Class == Param.Class &&
+           analysis::guardAdmits(Param, Tok.State);
+  }
+
+  bool bindParamTags(const ir::TaskParam &Param, const Token &Tok,
+                     Invocation &Partial) const {
+    for (const ir::TagConstraint &TC : Param.Tags) {
+      auto TokTag = Tok.TagIds.find(TC.Type);
+      if (TokTag == Tok.TagIds.end())
+        return false;
+      auto Bound = Partial.ConstraintTagIds.find(TC.Var);
+      if (Bound != Partial.ConstraintTagIds.end()) {
+        if (Bound->second != TokTag->second)
+          return false;
+        continue;
+      }
+      Partial.ConstraintTagIds.emplace(TC.Var, TokTag->second);
+    }
+    return true;
+  }
+
+  void matchParams(int Core, int InstanceIdx, const ir::TaskDecl &Task,
+                   size_t NextParam, Invocation &Partial,
+                   ir::ParamId FixedParam, const Arrival &Fixed) {
+    if (NextParam == Task.Params.size()) {
+      Cores[static_cast<size_t>(Core)].Ready.push_back(Partial);
+      return;
+    }
+    const ir::TaskParam &Param = Task.Params[NextParam];
+    InstanceState &Inst = Instances[static_cast<size_t>(InstanceIdx)];
+    std::vector<Arrival> Candidates;
+    if (static_cast<ir::ParamId>(NextParam) == FixedParam)
+      Candidates.push_back(Fixed);
+    else
+      Candidates = Inst.ParamSets[NextParam];
+
+    for (const Arrival &A : Candidates) {
+      bool Duplicate = false;
+      for (const Arrival &Used : Partial.Params)
+        Duplicate = Duplicate || Used.Tok == A.Tok;
+      if (Duplicate || !guardAdmitsToken(Param, *A.Tok))
+        continue;
+      auto Saved = Partial.ConstraintTagIds;
+      if (!bindParamTags(Param, *A.Tok, Partial)) {
+        Partial.ConstraintTagIds = std::move(Saved);
+        continue;
+      }
+      Partial.Params.push_back(A);
+      matchParams(Core, InstanceIdx, Task, NextParam + 1, Partial,
+                  FixedParam, Fixed);
+      Partial.Params.pop_back();
+      Partial.ConstraintTagIds = std::move(Saved);
+    }
+  }
+
+  bool stillValid(const Invocation &Inv) const {
+    const ir::TaskDecl &Task = Prog.taskOf(Inv.Task);
+    for (size_t P = 0; P < Inv.Params.size(); ++P) {
+      const Token &Tok = *Inv.Params[P].Tok;
+      if (Tok.Busy || !guardAdmitsToken(Task.Params[P], Tok))
+        return false;
+      for (const ir::TagConstraint &TC : Task.Params[P].Tags) {
+        auto It = Inv.ConstraintTagIds.find(TC.Var);
+        auto TokTag = Tok.TagIds.find(TC.Type);
+        if (It == Inv.ConstraintTagIds.end() ||
+            TokTag == Tok.TagIds.end() || TokTag->second != It->second)
+          return false;
+      }
+    }
+    return true;
+  }
+
+  /// Markov exit choice: keep observed exit counts proportional to the
+  /// profiled probabilities (deterministic deficit maximization).
+  ir::ExitId chooseExit(ir::TaskId Task, uint64_t PrimaryTokenId) {
+    size_t NumExits = Prog.taskOf(Task).Exits.size();
+    std::vector<uint64_t> *Counts;
+    if (Hints.hintFor(Task) == profile::ExitCountHint::PerObject) {
+      auto &Vec = ObjectExitCounts[{Task, PrimaryTokenId}];
+      if (Vec.empty())
+        Vec.assign(NumExits, 0);
+      Counts = &Vec;
+    } else {
+      Counts = &TaskExitCounts[static_cast<size_t>(Task)];
+    }
+    uint64_t Total = 0;
+    for (uint64_t C : *Counts)
+      Total += C;
+
+    // Deterministic count matching (Section 4.4), structured around the
+    // dominant exit: most Bamboo tasks take one common exit and one or
+    // more *phase-boundary* exits (the last merge of a round, the final
+    // iteration). The combined rare probability 1 - p_dom gives the
+    // boundary cadence; at each boundary the rare exits compete by floor
+    // deficit of their relative probabilities, so e.g. four "next
+    // iteration" exits precede one "finish" exit. This keeps long-run
+    // frequencies equal to the profiled probabilities while firing
+    // boundary exits exactly when a round's worth of invocations has
+    // accumulated.
+    bool Profiled = Prof.taskStats(Task).invocations() > 0;
+    auto ProbOf = [&](size_t E) {
+      return Profiled
+                 ? Prof.exitProbability(Task, static_cast<ir::ExitId>(E))
+                 : 1.0 / static_cast<double>(NumExits);
+    };
+    size_t Dominant = 0;
+    double DomProb = -1.0;
+    for (size_t E = 0; E < NumExits; ++E)
+      if (ProbOf(E) > DomProb) {
+        DomProb = ProbOf(E);
+        Dominant = E;
+      }
+
+    double RareProb = 1.0 - DomProb;
+    size_t Best = Dominant;
+    if (RareProb > 1e-12) {
+      // A boundary is due when the cumulative rare expectation crosses an
+      // integer at this invocation.
+      double Before = std::floor(RareProb * static_cast<double>(Total) +
+                                 1e-9);
+      double After = std::floor(RareProb * static_cast<double>(Total + 1) +
+                                1e-9);
+      if (After > Before) {
+        // Pick the most-underfired rare exit (floor deficit of relative
+        // probability); ties break toward the more probable rare exit.
+        double BestDeficit = -1e300;
+        double BestProb = -1.0;
+        for (size_t E = 0; E < NumExits; ++E) {
+          if (E == Dominant)
+            continue;
+          double Rel = ProbOf(E) / RareProb;
+          double Expected =
+              std::floor(Rel * (After + 1e-9)) -
+              static_cast<double>((*Counts)[E]);
+          if (Expected > BestDeficit + 1e-12 ||
+              (Expected > BestDeficit - 1e-12 && ProbOf(E) > BestProb)) {
+            BestDeficit = Expected;
+            BestProb = ProbOf(E);
+            Best = E;
+          }
+        }
+      }
+    }
+    ++(*Counts)[Best];
+    return static_cast<ir::ExitId>(Best);
+  }
+
+  int tokenNode(const Token &Tok) const {
+    return Graph.findNode(Tok.Class, Tok.State);
+  }
+
+  void routeToken(Token *Tok, int FromCore, Cycles Now, int ProducerTrace) {
+    Tok->ProducerTrace = ProducerTrace;
+    int Node = tokenNode(*Tok);
+    assert(Node >= 0 && "token state outside the analysis");
+    for (const runtime::RouteDest &Dest : Routes.destsAt(Node)) {
+      size_t Pick = 0;
+      switch (Dest.Kind) {
+      case runtime::DistributionKind::Single:
+        break;
+      case runtime::DistributionKind::RoundRobin: {
+        // Mirrors the runtime: per-sender counters seeded by sender core.
+        auto [It, Inserted] = RoundRobin.try_emplace(
+            {FromCore, Dest.Task},
+            FromCore >= 0 ? static_cast<size_t>(FromCore) : 0);
+        Pick = It->second++ % Dest.Instances.size();
+        (void)Inserted;
+        break;
+      }
+      case runtime::DistributionKind::TagHash: {
+        auto It = Tok->TagIds.find(Dest.HashTagType);
+        Pick = It != Tok->TagIds.end()
+                   ? static_cast<size_t>(It->second) % Dest.Instances.size()
+                   : 0;
+        break;
+      }
+      }
+      auto [InstanceIdx, Core] = Dest.Instances[Pick];
+      Cycles Latency = 0;
+      if (FromCore >= 0 && FromCore != Core)
+        Latency =
+            Machine.SendOverhead + Machine.transferLatency(FromCore, Core);
+      Event E;
+      E.Kind = EventKind::Delivery;
+      E.Time = Now + Latency;
+      E.Core = Core;
+      E.Arr = Arrival{Tok, ProducerTrace, Now + Latency};
+      E.InstanceIdx = InstanceIdx;
+      E.Param = Dest.Param;
+      push(std::move(E));
+    }
+  }
+
+  void deliver(const Event &E) {
+    InstanceState &Inst = Instances[static_cast<size_t>(E.InstanceIdx)];
+    auto &Set = Inst.ParamSets[static_cast<size_t>(E.Param)];
+    for (const Arrival &A : Set)
+      if (A.Tok == E.Arr.Tok)
+        return;
+    Set.push_back(E.Arr);
+    ir::TaskId TaskId = L.Instances[static_cast<size_t>(E.InstanceIdx)].Task;
+    const ir::TaskDecl &Task = Prog.taskOf(TaskId);
+    if (guardAdmitsToken(Task.Params[static_cast<size_t>(E.Param)],
+                         *E.Arr.Tok)) {
+      Invocation Partial;
+      Partial.Task = TaskId;
+      Partial.InstanceIdx = E.InstanceIdx;
+      matchParams(E.Core, E.InstanceIdx, Task, 0, Partial, E.Param, E.Arr);
+    }
+    if (!Cores[static_cast<size_t>(E.Core)].Executing)
+      tryStart(E.Core, E.Time);
+  }
+
+  void tryStart(int CoreIdx, Cycles Now) {
+    CoreState &Core = Cores[static_cast<size_t>(CoreIdx)];
+    if (Core.Executing)
+      return;
+    size_t Attempts = Core.Ready.size();
+    while (Attempts-- > 0) {
+      Invocation Inv = std::move(Core.Ready.front());
+      Core.Ready.pop_front();
+      // Busy tokens model in-flight invocations elsewhere; requeue.
+      bool AnyBusy = false;
+      for (const Arrival &A : Inv.Params)
+        AnyBusy = AnyBusy || A.Tok->Busy;
+      if (AnyBusy) {
+        Core.Ready.push_back(std::move(Inv));
+        continue;
+      }
+      if (!stillValid(Inv))
+        continue;
+
+      for (const Arrival &A : Inv.Params)
+        A.Tok->Busy = true;
+      InstanceState &Inst = Instances[static_cast<size_t>(Inv.InstanceIdx)];
+      for (size_t P = 0; P < Inv.Params.size(); ++P) {
+        auto &Set = Inst.ParamSets[P];
+        Set.erase(std::remove_if(Set.begin(), Set.end(),
+                                 [&](const Arrival &A) {
+                                   return A.Tok == Inv.Params[P].Tok;
+                                 }),
+                  Set.end());
+      }
+
+      ir::ExitId Exit = chooseExit(Inv.Task, Inv.Params[0].Tok->Id);
+      double Mean = Prof.meanCycles(Inv.Task, Exit);
+      const analysis::TaskLockPlan &Plan =
+          LockPlans[static_cast<size_t>(Inv.Task)];
+      Cycles Duration =
+          Machine.DispatchOverhead +
+          Machine.LockOverhead * static_cast<Cycles>(Plan.NumGroups) +
+          static_cast<Cycles>(std::llround(std::max(0.0, Mean)));
+
+      Core.Executing = true;
+      Core.BusyTotal += Duration;
+      ++Result.Invocations;
+
+      Flight F;
+      F.Inv = std::move(Inv);
+      F.Exit = Exit;
+      if (Opts.RecordTrace) {
+        TraceTask T;
+        T.Id = static_cast<int>(Result.Trace.size());
+        T.Task = F.Inv.Task;
+        T.Exit = Exit;
+        T.Core = CoreIdx;
+        T.InstanceIdx = F.Inv.InstanceIdx;
+        Cycles Ready = 0;
+        for (const Arrival &A : F.Inv.Params) {
+          T.DepIds.push_back(A.Producer);
+          T.DepArrivals.push_back(A.Time);
+          Ready = std::max(Ready, A.Time);
+        }
+        T.Ready = Ready;
+        T.Start = Now;
+        T.End = Now + Duration;
+        F.TraceId = T.Id;
+        Result.Trace.push_back(std::move(T));
+      }
+
+      int FlightIdx;
+      if (!FreeFlights.empty()) {
+        FlightIdx = FreeFlights.back();
+        FreeFlights.pop_back();
+        Flights[static_cast<size_t>(FlightIdx)] = std::move(F);
+      } else {
+        FlightIdx = static_cast<int>(Flights.size());
+        Flights.push_back(std::move(F));
+      }
+      Event Done;
+      Done.Kind = EventKind::Completion;
+      Done.Time = Now + Duration;
+      Done.Core = CoreIdx;
+      Done.FlightIdx = FlightIdx;
+      push(std::move(Done));
+      return;
+    }
+  }
+
+  uint64_t freshTag(Flight &F, ir::TagTypeId Type) {
+    auto [It, Inserted] = F.FreshTags.emplace(Type, 0);
+    if (Inserted)
+      It->second = NextTagId++;
+    return It->second;
+  }
+
+  void complete(const Event &E) {
+    Flight &F = Flights[static_cast<size_t>(E.FlightIdx)];
+    const ir::TaskDecl &Task = Prog.taskOf(F.Inv.Task);
+    const ir::TaskExit &Exit = Task.Exits[static_cast<size_t>(F.Exit)];
+
+    // Apply exit effects to tokens.
+    for (size_t P = 0; P < F.Inv.Params.size(); ++P) {
+      Token *Tok = F.Inv.Params[P].Tok;
+      const ir::ParamExitEffect &Eff = Exit.Effects[P];
+      Tok->State.Flags |= Eff.Set;
+      Tok->State.Flags &= ~Eff.Clear;
+      for (const ir::ExitTagAction &Action : Eff.TagActions) {
+        analysis::TagCount &Count =
+            Tok->State.TagCounts[static_cast<size_t>(Action.Type)];
+        if (Action.IsAdd) {
+          Count = Count == analysis::TagCount::Zero
+                      ? analysis::TagCount::One
+                      : analysis::TagCount::Many;
+          auto Bound = F.Inv.ConstraintTagIds.find(Action.Var);
+          Tok->TagIds[Action.Type] = Bound != F.Inv.ConstraintTagIds.end()
+                                         ? Bound->second
+                                         : freshTag(F, Action.Type);
+        } else {
+          if (Count == analysis::TagCount::One) {
+            Count = analysis::TagCount::Zero;
+            Tok->TagIds.erase(Action.Type);
+          }
+        }
+      }
+      Tok->Busy = false;
+    }
+    Cores[static_cast<size_t>(E.Core)].Executing = false;
+
+    // Allocate predicted new tokens (deterministic remainder rounding).
+    for (ir::SiteId Site : Task.Sites) {
+      double Mean = Prof.meanAllocs(F.Inv.Task, F.Exit, Site);
+      double &Acc = AllocRemainder[static_cast<size_t>(Site)];
+      Acc += Mean;
+      auto N = static_cast<uint64_t>(Acc);
+      Acc -= static_cast<double>(N);
+      const ir::AllocSite &S = Prog.siteOf(Site);
+      for (uint64_t I = 0; I < N; ++I) {
+        analysis::AbstractState Init;
+        Init.Flags = S.InitialFlags;
+        Init.TagCounts.assign(Prog.tagTypes().size(),
+                              analysis::TagCount::Zero);
+        Token *Tok = makeToken(S.Class, std::move(Init));
+        for (ir::TagTypeId TT : S.BoundTags) {
+          analysis::TagCount &Count =
+              Tok->State.TagCounts[static_cast<size_t>(TT)];
+          Count = Count == analysis::TagCount::Zero
+                      ? analysis::TagCount::One
+                      : analysis::TagCount::Many;
+          Tok->TagIds[TT] = freshTag(F, TT);
+        }
+        routeToken(Tok, E.Core, E.Time, F.TraceId);
+      }
+    }
+
+    for (const Arrival &A : F.Inv.Params)
+      routeToken(A.Tok, E.Core, E.Time, F.TraceId);
+
+    int Slot = E.FlightIdx;
+    Flights[static_cast<size_t>(Slot)] = Flight();
+    FreeFlights.push_back(Slot);
+
+    tryStart(E.Core, E.Time);
+    for (size_t C = 0; C < Cores.size(); ++C)
+      if (static_cast<int>(C) != E.Core && !Cores[C].Executing &&
+          !Cores[C].Ready.empty()) {
+        Event Wake;
+        Wake.Kind = EventKind::Wake;
+        Wake.Time = E.Time;
+        Wake.Core = static_cast<int>(C);
+        push(std::move(Wake));
+      }
+  }
+};
+
+SimResult Simulator::run() {
+  Result = SimResult();
+  Cores.assign(static_cast<size_t>(L.NumCores), CoreState());
+  Instances.resize(L.Instances.size());
+  for (size_t I = 0; I < L.Instances.size(); ++I)
+    Instances[I].ParamSets.resize(
+        Prog.taskOf(L.Instances[I].Task).Params.size());
+  TaskExitCounts.resize(Prog.tasks().size());
+  for (size_t T = 0; T < Prog.tasks().size(); ++T)
+    TaskExitCounts[T].assign(Prog.tasks()[T].Exits.size(), 0);
+  AllocRemainder.assign(Prog.sites().size(), 0.0);
+
+  // Boot token.
+  {
+    analysis::AbstractState Startup;
+    Startup.Flags = ir::FlagMask(1) << Prog.startupFlag();
+    Startup.TagCounts.assign(Prog.tagTypes().size(),
+                             analysis::TagCount::Zero);
+    Token *Tok = makeToken(Prog.startupClass(), std::move(Startup));
+    routeToken(Tok, /*FromCore=*/-1, /*Now=*/0, /*ProducerTrace=*/-1);
+  }
+
+  Cycles LastTime = 0;
+  bool CutOff = false;
+  while (!Queue.empty()) {
+    Event E = Queue.top();
+    Queue.pop();
+    LastTime = std::max(LastTime, E.Time);
+    switch (E.Kind) {
+    case EventKind::Delivery:
+      deliver(E);
+      break;
+    case EventKind::Completion:
+      complete(E);
+      break;
+    case EventKind::Wake:
+      tryStart(E.Core, E.Time);
+      break;
+    }
+    if (Result.Invocations >= Opts.MaxInvocations) {
+      CutOff = true;
+      break;
+    }
+  }
+
+  Result.EstimatedCycles = LastTime;
+  Result.Terminated = !CutOff;
+  Result.CoreBusy.clear();
+  Cycles BusySum = 0;
+  for (const CoreState &Core : Cores) {
+    Result.CoreBusy.push_back(Core.BusyTotal);
+    BusySum += Core.BusyTotal;
+  }
+  if (LastTime > 0)
+    Result.UsefulFraction =
+        static_cast<double>(BusySum) /
+        (static_cast<double>(LastTime) * static_cast<double>(L.NumCores));
+  return Result;
+}
+
+} // namespace
+
+SimResult bamboo::schedsim::simulateLayout(
+    const ir::Program &Prog, const analysis::Cstg &Graph,
+    const profile::Profile &Prof, const profile::SimHints &Hints,
+    const machine::MachineConfig &Machine, const machine::Layout &L,
+    const SimOptions &Opts) {
+  Simulator Sim(Prog, Graph, Prof, Hints, Machine, L, Opts);
+  return Sim.run();
+}

@@ -1,0 +1,93 @@
+//===- schedsim/SchedSim.h - High-level scheduling simulator ----*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The high-level discrete-event scheduling simulator of Section 4.4. It
+/// does **not** execute the application: objects are abstract tokens
+/// whose states walk the CSTG, and a Markov model built from the profile
+/// predicts, for each simulated task invocation,
+///
+///  (1) the destination exit — chosen to keep the per-task (or, under a
+///      developer hint, per-object) exit counts closest to the profiled
+///      exit probabilities (deterministic count matching);
+///  (2) the invocation's duration — the profiled mean cycles of that exit
+///      plus the machine's dispatch/lock overheads;
+///  (3) the number of objects allocated at each site — deterministic
+///      remainder-tracked rounding of the profiled means.
+///
+/// The simulator reuses the runtime's routing-table and mesh-latency
+/// models, so its estimates are directly comparable to real executions
+/// (Figure 9 of the paper evaluates exactly this). It optionally records
+/// an execution trace (Figure 6) for the critical path analysis that
+/// directs simulated annealing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_SCHEDSIM_SCHEDSIM_H
+#define BAMBOO_SCHEDSIM_SCHEDSIM_H
+
+#include "analysis/Cstg.h"
+#include "machine/Layout.h"
+#include "machine/MachineConfig.h"
+#include "profile/Profile.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace bamboo::schedsim {
+
+struct SimOptions {
+  /// Record the execution trace (needed by the critical path analysis).
+  bool RecordTrace = false;
+  /// Safety cap on simulated task invocations; exceeding it marks the
+  /// result non-terminated and reports useful-work fraction instead.
+  uint64_t MaxInvocations = 2'000'000;
+};
+
+/// One simulated task invocation in the trace.
+struct TraceTask {
+  int Id = -1;
+  ir::TaskId Task = ir::InvalidId;
+  ir::ExitId Exit = ir::InvalidId;
+  int Core = 0;
+  /// Index of the executing placed instance in the layout (the unit the
+  /// optimizer can migrate).
+  int InstanceIdx = -1;
+  machine::Cycles Ready = 0; ///< When all inputs had arrived at the core.
+  machine::Cycles Start = 0;
+  machine::Cycles End = 0;
+  /// Trace ids of the invocations that produced this invocation's inputs
+  /// (-1 for the boot injection), aligned with arrival times.
+  std::vector<int> DepIds;
+  std::vector<machine::Cycles> DepArrivals;
+};
+
+struct SimResult {
+  machine::Cycles EstimatedCycles = 0;
+  bool Terminated = false;
+  uint64_t Invocations = 0;
+  /// Busy cycles per core.
+  std::vector<machine::Cycles> CoreBusy;
+  /// Fraction of core-cycles doing task work (reported for runs cut off
+  /// by the invocation cap, as the paper does for non-terminating
+  /// profiles).
+  double UsefulFraction = 0.0;
+  std::vector<TraceTask> Trace;
+};
+
+/// Simulates \p L under \p Prof. \p Hints selects per-task or per-object
+/// exit-count matching.
+SimResult simulateLayout(const ir::Program &Prog,
+                         const analysis::Cstg &Graph,
+                         const profile::Profile &Prof,
+                         const profile::SimHints &Hints,
+                         const machine::MachineConfig &Machine,
+                         const machine::Layout &L,
+                         const SimOptions &Opts = SimOptions());
+
+} // namespace bamboo::schedsim
+
+#endif // BAMBOO_SCHEDSIM_SCHEDSIM_H

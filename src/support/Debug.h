@@ -1,0 +1,30 @@
+//===- support/Debug.h - Assertion and unreachable helpers -----*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small assertion helpers shared across the library. The library follows
+/// LLVM conventions: programmatic errors abort via assertions, recoverable
+/// errors travel as values (see support/Format.h for diagnostics helpers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_SUPPORT_DEBUG_H
+#define BAMBOO_SUPPORT_DEBUG_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+/// Marks a point in the code that must never be reached. Always aborts, even
+/// in release builds, so that impossible states are loud instead of silent.
+#define BAMBOO_UNREACHABLE(msg)                                                \
+  do {                                                                         \
+    std::fprintf(stderr, "UNREACHABLE executed at %s:%d: %s\n", __FILE__,      \
+                 __LINE__, msg);                                               \
+    std::abort();                                                              \
+  } while (false)
+
+#endif // BAMBOO_SUPPORT_DEBUG_H

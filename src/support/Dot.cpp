@@ -1,0 +1,84 @@
+//===- support/Dot.cpp - Graphviz DOT emission ----------------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Dot.h"
+
+#include <cassert>
+
+using namespace bamboo;
+
+DotWriter::DotWriter(std::string GraphName) : Name(std::move(GraphName)) {}
+
+std::string DotWriter::indent() const {
+  return std::string(static_cast<size_t>(ClusterDepth + 1) * 2, ' ');
+}
+
+std::string DotWriter::escape(const std::string &Raw) {
+  std::string Out;
+  Out.reserve(Raw.size());
+  for (char C : Raw) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+void DotWriter::addNode(const std::string &Id, const std::string &Label,
+                        const std::string &ExtraAttrs) {
+  std::string Line = indent() + "\"" + escape(Id) + "\" [label=\"" +
+                     escape(Label) + "\"";
+  if (!ExtraAttrs.empty())
+    Line += ", " + ExtraAttrs;
+  Line += "];";
+  Lines.push_back(std::move(Line));
+}
+
+void DotWriter::addEdge(const std::string &From, const std::string &To,
+                        const std::string &Label,
+                        const std::string &ExtraAttrs) {
+  std::string Line = indent() + "\"" + escape(From) + "\" -> \"" + escape(To) +
+                     "\"";
+  bool HasAttrs = !Label.empty() || !ExtraAttrs.empty();
+  if (HasAttrs) {
+    Line += " [";
+    if (!Label.empty()) {
+      Line += "label=\"" + escape(Label) + "\"";
+      if (!ExtraAttrs.empty())
+        Line += ", ";
+    }
+    Line += ExtraAttrs + "]";
+  }
+  Line += ";";
+  Lines.push_back(std::move(Line));
+}
+
+void DotWriter::beginCluster(const std::string &Id, const std::string &Label) {
+  Lines.push_back(indent() + "subgraph \"cluster_" + escape(Id) + "\" {");
+  ++ClusterDepth;
+  Lines.push_back(indent() + "label=\"" + escape(Label) + "\";");
+}
+
+void DotWriter::endCluster() {
+  assert(ClusterDepth > 0 && "endCluster without beginCluster");
+  --ClusterDepth;
+  Lines.push_back(indent() + "}");
+}
+
+std::string DotWriter::str() const {
+  assert(ClusterDepth == 0 && "unterminated cluster");
+  std::string Out = "digraph \"" + escape(Name) + "\" {\n";
+  for (const std::string &Line : Lines) {
+    Out += Line;
+    Out += '\n';
+  }
+  Out += "}\n";
+  return Out;
+}

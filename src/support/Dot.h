@@ -1,0 +1,60 @@
+//===- support/Dot.h - Graphviz DOT emission --------------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal Graphviz DOT writer used to dump abstract state transition
+/// graphs, combined state transition graphs (Figure 3), task-flow diagrams
+/// (Figure 8), and execution traces (Figure 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_SUPPORT_DOT_H
+#define BAMBOO_SUPPORT_DOT_H
+
+#include <string>
+#include <vector>
+
+namespace bamboo {
+
+/// Incrementally builds a DOT digraph. Node and edge attributes are passed
+/// as preformatted key=value pairs; string values are escaped by the writer.
+class DotWriter {
+public:
+  explicit DotWriter(std::string GraphName);
+
+  /// Adds a node with the given identifier and display label. Extra
+  /// attributes are appended verbatim (e.g. "shape=box").
+  void addNode(const std::string &Id, const std::string &Label,
+               const std::string &ExtraAttrs = "");
+
+  /// Adds a directed edge. Extra attributes are appended verbatim
+  /// (e.g. "style=dashed").
+  void addEdge(const std::string &From, const std::string &To,
+               const std::string &Label = "",
+               const std::string &ExtraAttrs = "");
+
+  /// Opens a labeled cluster subgraph; nodes added until the matching
+  /// endCluster belong to it.
+  void beginCluster(const std::string &Id, const std::string &Label);
+  void endCluster();
+
+  /// Renders the accumulated graph as DOT text.
+  std::string str() const;
+
+  /// Escapes a string for use inside a double-quoted DOT attribute.
+  static std::string escape(const std::string &Raw);
+
+private:
+  std::string Name;
+  std::vector<std::string> Lines;
+  int ClusterDepth = 0;
+
+  std::string indent() const;
+};
+
+} // namespace bamboo
+
+#endif // BAMBOO_SUPPORT_DOT_H

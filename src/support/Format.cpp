@@ -1,0 +1,76 @@
+//===- support/Format.cpp - String formatting helpers ---------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace bamboo;
+
+std::string bamboo::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Needed < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::string Out(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Out;
+}
+
+std::string bamboo::join(const std::vector<std::string> &Parts,
+                         const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string
+bamboo::renderTable(const std::vector<std::vector<std::string>> &Rows) {
+  if (Rows.empty())
+    return std::string();
+  size_t Cols = 0;
+  for (const auto &Row : Rows)
+    Cols = std::max(Cols, Row.size());
+  std::vector<size_t> Widths(Cols, 0);
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t C = 0; C < Cols; ++C) {
+      std::string Cell = C < Row.size() ? Row[C] : std::string();
+      Line += Cell;
+      if (C + 1 != Cols)
+        Line += std::string(Widths[C] - Cell.size() + 2, ' ');
+    }
+    // Trim trailing spaces.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    return Line;
+  };
+
+  std::string Out = RenderRow(Rows[0]) + "\n";
+  size_t RuleWidth = 0;
+  for (size_t C = 0; C < Cols; ++C)
+    RuleWidth += Widths[C] + (C + 1 != Cols ? 2 : 0);
+  Out += std::string(RuleWidth, '-') + "\n";
+  for (size_t R = 1; R < Rows.size(); ++R)
+    Out += RenderRow(Rows[R]) + "\n";
+  return Out;
+}

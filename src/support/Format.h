@@ -1,0 +1,36 @@
+//===- support/Format.h - String formatting helpers -------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style std::string formatting, joining, and fixed-width table
+/// rendering used by the bench harnesses to print the paper's tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_SUPPORT_FORMAT_H
+#define BAMBOO_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace bamboo {
+
+/// Formats like printf into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Renders rows of cells as an aligned text table; the first row is treated
+/// as the header and separated by a dashed rule.
+std::string renderTable(const std::vector<std::vector<std::string>> &Rows);
+
+} // namespace bamboo
+
+#endif // BAMBOO_SUPPORT_FORMAT_H

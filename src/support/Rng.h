@@ -1,0 +1,75 @@
+//===- support/Rng.h - Deterministic random number generation --*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (xoshiro256**, seeded through splitmix64).
+///
+/// Every randomized component of the pipeline — candidate-layout search,
+/// directed simulated annealing, workload generation — draws from an Rng it
+/// is handed explicitly, so whole-pipeline runs are reproducible from a
+/// single seed. std::mt19937 is avoided because its state is large and its
+/// distributions are not specified bit-for-bit across standard libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_SUPPORT_RNG_H
+#define BAMBOO_SUPPORT_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace bamboo {
+
+/// Deterministic xoshiro256** generator with convenience distributions.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via splitmix64.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniformly distributed integer in the inclusive range
+  /// [Lo, Hi].
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble();
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P);
+
+  /// Returns a fresh generator seeded from this one; useful for handing
+  /// independent streams to parallel components.
+  Rng split();
+
+  /// Fisher-Yates shuffles \p Items in place.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    for (size_t I = Items.size(); I > 1; --I) {
+      size_t J = static_cast<size_t>(nextBelow(I));
+      std::swap(Items[I - 1], Items[J]);
+    }
+  }
+
+  /// Picks a uniformly random element index for a container of \p Size
+  /// elements. \p Size must be nonzero.
+  size_t pickIndex(size_t Size) { return static_cast<size_t>(nextBelow(Size)); }
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace bamboo
+
+#endif // BAMBOO_SUPPORT_RNG_H

@@ -1,0 +1,99 @@
+//===- support/Scc.cpp - Strongly connected components --------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Scc.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bamboo;
+
+SccResult bamboo::computeSccs(const std::vector<std::vector<int>> &Adj) {
+  const int N = static_cast<int>(Adj.size());
+  SccResult Result;
+  Result.ComponentOf.assign(N, -1);
+
+  std::vector<int> Index(N, -1);
+  std::vector<int> LowLink(N, 0);
+  std::vector<bool> OnStack(N, false);
+  std::vector<int> Stack;
+  int NextIndex = 0;
+
+  // Explicit DFS frames: (node, next child position).
+  struct Frame {
+    int Node;
+    size_t Child;
+  };
+  std::vector<Frame> Frames;
+
+  for (int Root = 0; Root < N; ++Root) {
+    if (Index[Root] != -1)
+      continue;
+    Frames.push_back({Root, 0});
+    Index[Root] = LowLink[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = true;
+
+    while (!Frames.empty()) {
+      Frame &Top = Frames.back();
+      int V = Top.Node;
+      if (Top.Child < Adj[V].size()) {
+        int W = Adj[V][Top.Child++];
+        assert(W >= 0 && W < N && "edge target out of range");
+        if (Index[W] == -1) {
+          Index[W] = LowLink[W] = NextIndex++;
+          Stack.push_back(W);
+          OnStack[W] = true;
+          Frames.push_back({W, 0});
+        } else if (OnStack[W]) {
+          LowLink[V] = std::min(LowLink[V], Index[W]);
+        }
+        continue;
+      }
+
+      // All children visited: close the frame.
+      if (LowLink[V] == Index[V]) {
+        std::vector<int> Members;
+        for (;;) {
+          int W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          Members.push_back(W);
+          Result.ComponentOf[W] = static_cast<int>(Result.Components.size());
+          if (W == V)
+            break;
+        }
+        std::sort(Members.begin(), Members.end());
+        Result.Components.push_back(std::move(Members));
+      }
+      Frames.pop_back();
+      if (!Frames.empty()) {
+        int Parent = Frames.back().Node;
+        LowLink[Parent] = std::min(LowLink[Parent], LowLink[V]);
+      }
+    }
+  }
+  return Result;
+}
+
+std::vector<std::vector<int>>
+bamboo::buildCondensation(const std::vector<std::vector<int>> &Adj,
+                          const SccResult &Sccs) {
+  std::vector<std::vector<int>> Dag(Sccs.numComponents());
+  for (size_t V = 0; V < Adj.size(); ++V) {
+    int CV = Sccs.ComponentOf[V];
+    for (int W : Adj[V]) {
+      int CW = Sccs.ComponentOf[W];
+      if (CV != CW)
+        Dag[CV].push_back(CW);
+    }
+  }
+  for (auto &Out : Dag) {
+    std::sort(Out.begin(), Out.end());
+    Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  }
+  return Dag;
+}

@@ -1,0 +1,50 @@
+//===- support/Scc.h - Strongly connected components ------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tarjan strongly-connected-components decomposition over a dense adjacency
+/// representation. The synthesis pipeline (Section 4.3.2 of the paper) uses
+/// SCCs of the combined state transition graph to build the tree of core
+/// groups that the parallelization rules replicate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_SUPPORT_SCC_H
+#define BAMBOO_SUPPORT_SCC_H
+
+#include <cstddef>
+#include <vector>
+
+namespace bamboo {
+
+/// Result of an SCC decomposition.
+struct SccResult {
+  /// Component index for each node; components are numbered in reverse
+  /// topological order of the condensation (Tarjan's natural output), i.e.
+  /// if there is an edge from component A to component B (A != B) then
+  /// ComponentOf[a] > ComponentOf[b] for members a of A and b of B.
+  std::vector<int> ComponentOf;
+
+  /// The members of each component.
+  std::vector<std::vector<int>> Components;
+
+  size_t numComponents() const { return Components.size(); }
+};
+
+/// Computes the strongly connected components of a directed graph given as
+/// an adjacency list \p Adj (Adj[N] lists the successor node ids of N).
+/// Iterative implementation; safe on deep graphs.
+SccResult computeSccs(const std::vector<std::vector<int>> &Adj);
+
+/// Builds the condensation (component DAG) of \p Adj under \p Sccs: edges
+/// between distinct components, deduplicated.
+std::vector<std::vector<int>>
+buildCondensation(const std::vector<std::vector<int>> &Adj,
+                  const SccResult &Sccs);
+
+} // namespace bamboo
+
+#endif // BAMBOO_SUPPORT_SCC_H

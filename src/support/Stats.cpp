@@ -1,0 +1,78 @@
+//===- support/Stats.cpp - Running statistics and histograms --------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace bamboo;
+
+void RunningStat::add(double X) {
+  if (N == 0) {
+    Min = Max = X;
+  } else {
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+  ++N;
+  Sum += X;
+  double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double Lo, double Hi, size_t Bins)
+    : Lo(Lo), Hi(Hi), Counts(Bins, 0) {
+  assert(Bins > 0 && "histogram needs at least one bin");
+  assert(Lo < Hi && "histogram range must be nonempty");
+}
+
+void Histogram::add(double X) {
+  double T = (X - Lo) / (Hi - Lo);
+  auto Bin = static_cast<long>(T * static_cast<double>(Counts.size()));
+  Bin = std::clamp(Bin, 0L, static_cast<long>(Counts.size()) - 1);
+  ++Counts[static_cast<size_t>(Bin)];
+  ++Total;
+}
+
+double Histogram::binCenter(size_t Bin) const {
+  double Width = (Hi - Lo) / static_cast<double>(Counts.size());
+  return Lo + (static_cast<double>(Bin) + 0.5) * Width;
+}
+
+double Histogram::binFraction(size_t Bin) const {
+  if (Total == 0)
+    return 0.0;
+  return static_cast<double>(Counts[Bin]) / static_cast<double>(Total);
+}
+
+std::string Histogram::renderAscii(const std::string &Title,
+                                   size_t MaxBarWidth) const {
+  std::string Out = Title + "\n";
+  uint64_t Peak = 0;
+  for (uint64_t C : Counts)
+    Peak = std::max(Peak, C);
+  if (Peak == 0)
+    return Out + "  (no samples)\n";
+  for (size_t Bin = 0; Bin < Counts.size(); ++Bin) {
+    if (Counts[Bin] == 0)
+      continue;
+    size_t Bar = static_cast<size_t>(
+        static_cast<double>(Counts[Bin]) / static_cast<double>(Peak) *
+        static_cast<double>(MaxBarWidth));
+    Bar = std::max<size_t>(Bar, 1);
+    Out += formatString("  %12.4g  %6.2f%%  %s\n", binCenter(Bin),
+                        binFraction(Bin) * 100.0,
+                        std::string(Bar, '#').c_str());
+  }
+  return Out;
+}

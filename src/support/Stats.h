@@ -1,0 +1,77 @@
+//===- support/Stats.h - Running statistics and histograms ------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming mean/variance accumulation (Welford) and fixed-bin histograms.
+/// The profile subsystem uses RunningStat for per-exit task timing; the
+/// Figure-10 bench uses Histogram to reproduce the candidate-implementation
+/// performance distributions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_SUPPORT_STATS_H
+#define BAMBOO_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bamboo {
+
+/// Numerically stable streaming mean and variance.
+class RunningStat {
+public:
+  void add(double X);
+
+  uint64_t count() const { return N; }
+  double mean() const { return N ? Mean : 0.0; }
+  double variance() const { return N > 1 ? M2 / static_cast<double>(N - 1) : 0.0; }
+  double stddev() const;
+  double min() const { return N ? Min : 0.0; }
+  double max() const { return N ? Max : 0.0; }
+  double total() const { return Sum; }
+
+private:
+  uint64_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+  double Sum = 0.0;
+};
+
+/// Equal-width histogram over a closed range; samples outside the range are
+/// clamped into the first/last bin.
+class Histogram {
+public:
+  Histogram(double Lo, double Hi, size_t Bins);
+
+  void add(double X);
+
+  size_t numBins() const { return Counts.size(); }
+  uint64_t binCount(size_t Bin) const { return Counts[Bin]; }
+  uint64_t totalCount() const { return Total; }
+
+  /// Center of bin \p Bin.
+  double binCenter(size_t Bin) const;
+
+  /// Fraction of all samples in bin \p Bin (0 if empty histogram).
+  double binFraction(size_t Bin) const;
+
+  /// Renders an ASCII bar chart, one line per nonempty bin, suitable for the
+  /// Figure-10 style distribution plots.
+  std::string renderAscii(const std::string &Title, size_t MaxBarWidth = 50)
+      const;
+
+private:
+  double Lo, Hi;
+  std::vector<uint64_t> Counts;
+  uint64_t Total = 0;
+};
+
+} // namespace bamboo
+
+#endif // BAMBOO_SUPPORT_STATS_H

@@ -1,0 +1,166 @@
+//===- synthesis/CoreGroups.cpp - Core groups and parallelization ---------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synthesis/CoreGroups.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <set>
+
+using namespace bamboo;
+using namespace bamboo::synthesis;
+
+std::vector<GroupPlan::GroupInstance> GroupPlan::instances() const {
+  std::vector<GroupInstance> Out;
+  for (size_t G = 0; G < Groups.size(); ++G)
+    for (int R = 0; R < Groups[G].Replicas; ++R)
+      Out.push_back(GroupInstance{static_cast<int>(G), R});
+  return Out;
+}
+
+machine::Layout GroupPlan::materialize(const std::vector<int> &CoreOf,
+                                       int NumCores) const {
+  std::vector<GroupInstance> Insts = instances();
+  assert(CoreOf.size() == Insts.size() && "one core per group instance");
+  machine::Layout L;
+  L.NumCores = NumCores;
+  for (size_t I = 0; I < Insts.size(); ++I) {
+    const CoreGroup &G = Groups[static_cast<size_t>(Insts[I].Group)];
+    for (ir::TaskId Task : G.Tasks) {
+      if (Insts[I].Replica > 0 && G.isPinned(Task))
+        continue;
+      L.Instances.push_back(machine::TaskInstance{Task, CoreOf[I]});
+    }
+  }
+  return L;
+}
+
+size_t GroupPlan::totalTaskInstances() const {
+  size_t N = 0;
+  for (const CoreGroup &G : Groups)
+    N += G.Tasks.size() +
+         static_cast<size_t>(G.Replicas - 1) *
+             (G.Tasks.size() - G.Pinned.size());
+  return N;
+}
+
+std::string GroupPlan::str(const ir::Program &Prog) const {
+  std::string Out;
+  for (const CoreGroup &G : Groups) {
+    Out += formatString("group %s x%d:",
+                        Prog.classOf(G.PrimaryClass).Name.c_str(),
+                        G.Replicas);
+    for (ir::TaskId T : G.Tasks) {
+      Out += " " + Prog.taskOf(T).Name;
+      if (G.isPinned(T))
+        Out += "(pinned)";
+    }
+    Out += "\n";
+  }
+  return Out;
+}
+
+/// True when all parameters of \p Task are linked by one common tag
+/// variable (the Section-4.3.4 condition for replicating a multi-parameter
+/// task).
+static bool allParamsTagLinked(const ir::TaskDecl &Task) {
+  if (Task.Params.size() <= 1)
+    return true;
+  std::set<std::string> Common;
+  for (const ir::TagConstraint &TC : Task.Params[0].Tags)
+    Common.insert(TC.Var);
+  for (size_t P = 1; P < Task.Params.size() && !Common.empty(); ++P) {
+    std::set<std::string> Here;
+    for (const ir::TagConstraint &TC : Task.Params[P].Tags)
+      if (Common.count(TC.Var))
+        Here.insert(TC.Var);
+    Common = std::move(Here);
+  }
+  return !Common.empty();
+}
+
+GroupPlan bamboo::synthesis::buildGroupPlan(const ir::Program &Prog,
+                                            const analysis::Cstg &Graph,
+                                            const profile::Profile &Prof,
+                                            int NumCores) {
+  (void)Graph;
+  GroupPlan Plan;
+
+  // Anchor each task to the class of its first parameter.
+  std::map<ir::ClassId, int> GroupOf;
+  for (size_t T = 0; T < Prog.tasks().size(); ++T) {
+    ir::ClassId Anchor = Prog.tasks()[T].Params[0].Class;
+    auto [It, Inserted] = GroupOf.emplace(
+        Anchor, static_cast<int>(Plan.Groups.size()));
+    if (Inserted) {
+      CoreGroup G;
+      G.PrimaryClass = Anchor;
+      Plan.Groups.push_back(std::move(G));
+    }
+    CoreGroup &G = Plan.Groups[static_cast<size_t>(It->second)];
+    G.Tasks.push_back(static_cast<ir::TaskId>(T));
+    const ir::TaskDecl &Decl = Prog.tasks()[T];
+    if (Decl.Params.size() > 1 && !allParamsTagLinked(Decl))
+      G.Pinned.push_back(static_cast<ir::TaskId>(T));
+  }
+
+  // Replication rules per group.
+  for (CoreGroup &G : Plan.Groups) {
+    // Groups whose every task is pinned cannot be replicated at all.
+    if (G.Pinned.size() == G.Tasks.size()) {
+      G.Replicas = 1;
+      continue;
+    }
+    // Never replicate the startup group: exactly one startup object ever
+    // exists.
+    if (G.PrimaryClass == Prog.startupClass()) {
+      G.Replicas = 1;
+      continue;
+    }
+
+    // Expected per-object processing cost of this group's replicable
+    // tasks (an object typically flows through each anchored task once).
+    double ProcessCycles = 0.0;
+    for (ir::TaskId T : G.Tasks)
+      if (!G.isPinned(T))
+        ProcessCycles += Prof.expectedCycles(T);
+
+    // One term per allocation site of the primary class; distinct sources
+    // (the degenerate SCC-tree duplication) contribute additively.
+    double Replicas = 0.0;
+    for (const ir::AllocSite &Site : Prog.sites()) {
+      if (Site.Class != G.PrimaryClass)
+        continue;
+      double M = Prof.expectedAllocsPerInvocation(Site.Id);
+      if (M <= 0.0)
+        continue;
+
+      // Data parallelization rule: m copies absorb the allocation fan-out
+      // of one producer invocation.
+      double DataParallel = std::ceil(M);
+
+      // Rate matching rule (only across groups: a producer feeding its own
+      // group is one SCC and the rule does not apply).
+      double RateMatch = 1.0;
+      ir::ClassId ProducerAnchor =
+          Prog.tasks()[static_cast<size_t>(Site.Owner)].Params[0].Class;
+      if (ProducerAnchor != G.PrimaryClass) {
+        double CycleTime = std::max(1.0, Prof.expectedCycles(Site.Owner));
+        RateMatch = std::ceil(M * ProcessCycles / CycleTime);
+      }
+      Replicas += std::max({1.0, DataParallel, RateMatch});
+    }
+    if (Replicas < 1.0)
+      Replicas = 1.0;
+    G.Replicas = static_cast<int>(
+        std::min<double>(Replicas, static_cast<double>(NumCores)));
+  }
+  return Plan;
+}

@@ -1,0 +1,98 @@
+//===- synthesis/CoreGroups.h - Core groups and parallelization -*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Candidate implementation generation, steps 1-3 of Section 4.3: the CSTG
+/// is carved into *core groups* (the solid rectangles of Figure 3 — one
+/// group per class that anchors tasks, where a task is anchored to the
+/// class of its first parameter), the preprocessing and parallelization
+/// rules decide how many copies of each group to create, and the mapping
+/// search assigns group instances to cores.
+///
+/// Parallelization rules (Section 4.3.3):
+///  - data locality (default): tasks of a group stay together;
+///  - data parallelization: a group consuming objects of a class allocated
+///    with per-invocation fan-out m is replicated into m copies;
+///  - rate matching: when a producing cycle emits objects faster than one
+///    consumer group drains them, the consumer is replicated into
+///    n = ceil(m * t_process / t_cycle) copies.
+/// The larger applicable rule wins; counts are clamped to the machine.
+///
+/// The paper's SCC-tree preprocessing (Section 4.3.2) duplicates groups
+/// with several disjoint work sources; under round-robin object
+/// distribution this degenerates to additional replica multiplicity, which
+/// is how it is realized here (see buildGroupPlan).
+///
+/// Tasks with several parameters that are not linked by a common tag
+/// cannot be replicated (their parameter objects could be enqueued at
+/// different instantiations and never meet — Section 4.3.4); such tasks
+/// are pinned to replica 0 of their group.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_SYNTHESIS_COREGROUPS_H
+#define BAMBOO_SYNTHESIS_COREGROUPS_H
+
+#include "analysis/Cstg.h"
+#include "machine/Layout.h"
+#include "profile/Profile.h"
+#include "support/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace bamboo::synthesis {
+
+/// One core group: the tasks anchored to a primary class, plus the
+/// replication decision.
+struct CoreGroup {
+  ir::ClassId PrimaryClass = ir::InvalidId;
+  std::vector<ir::TaskId> Tasks;
+  /// Tasks that exist only in replica 0 (multi-parameter, not tag-linked).
+  std::vector<ir::TaskId> Pinned;
+  int Replicas = 1;
+
+  bool isPinned(ir::TaskId Task) const {
+    for (ir::TaskId T : Pinned)
+      if (T == Task)
+        return true;
+    return false;
+  }
+};
+
+/// The replication plan: groups plus the flattened instance list the
+/// mapping search places.
+class GroupPlan {
+public:
+  std::vector<CoreGroup> Groups;
+
+  struct GroupInstance {
+    int Group = 0;
+    int Replica = 0;
+  };
+
+  /// Flattened (group, replica) instances in stable order.
+  std::vector<GroupInstance> instances() const;
+
+  /// Builds a Layout placing instance i on core CoreOf[i].
+  machine::Layout materialize(const std::vector<int> &CoreOf,
+                              int NumCores) const;
+
+  /// Total placed task instances over all groups.
+  size_t totalTaskInstances() const;
+
+  std::string str(const ir::Program &Prog) const;
+};
+
+/// Builds the group plan for \p Prog on a machine with \p NumCores cores
+/// using profile \p Prof (Sections 4.3.2-4.3.3).
+GroupPlan buildGroupPlan(const ir::Program &Prog,
+                         const analysis::Cstg &Graph,
+                         const profile::Profile &Prof, int NumCores);
+
+} // namespace bamboo::synthesis
+
+#endif // BAMBOO_SYNTHESIS_COREGROUPS_H

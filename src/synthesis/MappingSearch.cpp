@@ -1,0 +1,121 @@
+//===- synthesis/MappingSearch.cpp - Group-to-core mapping search ---------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synthesis/MappingSearch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace bamboo;
+using namespace bamboo::machine;
+using namespace bamboo::synthesis;
+
+namespace {
+
+/// Recursive canonical set-partition enumeration with branch skipping.
+class Enumerator {
+public:
+  Enumerator(const GroupPlan &Plan, const ir::Program &Prog, int NumCores,
+             const SearchOptions &Opts)
+      : Plan(Plan), Prog(Prog), NumCores(NumCores), Opts(Opts),
+        NumInstances(Plan.instances().size()) {}
+
+  std::vector<Layout> run() {
+    std::vector<int> CoreOf(NumInstances, 0);
+    recurse(CoreOf, 0, 0);
+    // Random skipping can prune everything; always provide the canonical
+    // spread layout so callers have at least one candidate.
+    if (Layouts.empty() && NumInstances > 0) {
+      std::vector<int> Spread(NumInstances);
+      for (size_t I = 0; I < NumInstances; ++I)
+        Spread[I] = static_cast<int>(I % static_cast<size_t>(NumCores));
+      Layouts.push_back(Plan.materialize(Spread, NumCores));
+    }
+    return std::move(Layouts);
+  }
+
+private:
+  const GroupPlan &Plan;
+  const ir::Program &Prog;
+  int NumCores;
+  const SearchOptions &Opts;
+  size_t NumInstances;
+  std::vector<Layout> Layouts;
+  std::set<std::string> Seen;
+
+  void recurse(std::vector<int> &CoreOf, size_t Next, int MaxUsed) {
+    if (Layouts.size() >= Opts.MaxLayouts)
+      return;
+    if (Next == NumInstances) {
+      // Replicas of one group are interchangeable: distinct instance
+      // partitions can induce isomorphic layouts. Deduplicate by key.
+      machine::Layout L = Plan.materialize(CoreOf, NumCores);
+      if (Seen.insert(L.isoKey(Prog)).second)
+        Layouts.push_back(std::move(L));
+      return;
+    }
+    int Limit = std::min(MaxUsed, NumCores - 1);
+    for (int Core = 0; Core <= Limit; ++Core) {
+      if (Opts.SkipProbability > 0.0 && Opts.R &&
+          Opts.R->nextBool(Opts.SkipProbability))
+        continue;
+      CoreOf[Next] = Core;
+      recurse(CoreOf, Next + 1,
+              std::max(MaxUsed, Core + 1));
+      if (Layouts.size() >= Opts.MaxLayouts)
+        return;
+    }
+  }
+};
+
+} // namespace
+
+std::vector<Layout>
+bamboo::synthesis::enumerateMappings(const GroupPlan &Plan,
+                                     const ir::Program &Prog, int NumCores,
+                                     const SearchOptions &Opts) {
+  assert(NumCores > 0 && "need at least one core");
+  assert((Opts.SkipProbability == 0.0 || Opts.R) &&
+         "random skipping requires an Rng");
+  Enumerator E(Plan, Prog, NumCores, Opts);
+  return E.run();
+}
+
+Layout bamboo::synthesis::randomLayout(const GroupPlan &Plan, int NumCores,
+                                       Rng &R) {
+  size_t N = Plan.instances().size();
+  std::vector<int> CoreOf(N);
+  // Uniform placement over all cores. (A canonical used-cores-plus-one
+  // scheme would concentrate instances on few cores, starving the machine
+  // before the optimizer can spread the work.)
+  for (size_t I = 0; I < N; ++I)
+    CoreOf[I] = static_cast<int>(R.nextBelow(static_cast<uint64_t>(NumCores)));
+  return Plan.materialize(CoreOf, NumCores);
+}
+
+Layout bamboo::synthesis::spreadLayout(const GroupPlan &Plan, int NumCores) {
+  size_t N = Plan.instances().size();
+  std::vector<int> CoreOf(N);
+  for (size_t I = 0; I < N; ++I)
+    CoreOf[I] = static_cast<int>(I % static_cast<size_t>(NumCores));
+  return Plan.materialize(CoreOf, NumCores);
+}
+
+std::vector<Layout>
+bamboo::synthesis::randomLayouts(const GroupPlan &Plan,
+                                 const ir::Program &Prog, int NumCores,
+                                 size_t N, Rng &R) {
+  std::vector<Layout> Out;
+  std::set<std::string> Seen;
+  // Oversample: duplicates (by isomorphism key) are discarded.
+  for (size_t Attempt = 0; Attempt < N * 8 && Out.size() < N; ++Attempt) {
+    Layout L = randomLayout(Plan, NumCores, R);
+    if (Seen.insert(L.isoKey(Prog)).second)
+      Out.push_back(std::move(L));
+  }
+  return Out;
+}

@@ -1,0 +1,61 @@
+//===- synthesis/MappingSearch.h - Group-to-core mapping search -*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Step 4.3.4: mapping the transformed CSTG (a GroupPlan's instances) onto
+/// physical cores. The backtracking enumeration produces non-isomorphic
+/// mappings by canonical set-partition numbering (an instance may open a
+/// new core only in first-use order), extended with random subspace
+/// skipping so a random sample of the space can be drawn — the paper uses
+/// exactly this to seed directed simulated annealing, and exhaustively for
+/// the Figure-10 study on 16 cores.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_SYNTHESIS_MAPPINGSEARCH_H
+#define BAMBOO_SYNTHESIS_MAPPINGSEARCH_H
+
+#include "machine/Layout.h"
+#include "support/Rng.h"
+#include "synthesis/CoreGroups.h"
+
+#include <vector>
+
+namespace bamboo::synthesis {
+
+struct SearchOptions {
+  /// Stop after producing this many layouts.
+  size_t MaxLayouts = 100000;
+  /// Probability of skipping each enumeration branch (0 = exhaustive).
+  double SkipProbability = 0.0;
+  /// Required when SkipProbability > 0.
+  Rng *R = nullptr;
+};
+
+/// Enumerates (a subset of) the non-isomorphic mappings of the plan's
+/// group instances onto at most \p NumCores cores. With SkipProbability 0
+/// and a large MaxLayouts this is the exhaustive candidate set.
+std::vector<machine::Layout> enumerateMappings(const GroupPlan &Plan,
+                                               const ir::Program &Prog,
+                                               int NumCores,
+                                               const SearchOptions &Opts);
+
+/// One uniformly random mapping.
+machine::Layout randomLayout(const GroupPlan &Plan, int NumCores, Rng &R);
+
+/// The canonical round-robin mapping: replica i of the plan goes to core
+/// i mod NumCores. This realizes the intent of the parallelization rules
+/// (each replica on its own core) and seeds the annealing search.
+machine::Layout spreadLayout(const GroupPlan &Plan, int NumCores);
+
+/// \p N random canonical mappings, de-duplicated by isomorphism key.
+std::vector<machine::Layout> randomLayouts(const GroupPlan &Plan,
+                                           const ir::Program &Prog,
+                                           int NumCores, size_t N, Rng &R);
+
+} // namespace bamboo::synthesis
+
+#endif // BAMBOO_SYNTHESIS_MAPPINGSEARCH_H

@@ -1,0 +1,332 @@
+//===- tests/AnalysisTest.cpp - Tests for dependence/disjointness analyses -===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Astg.h"
+#include "analysis/Cstg.h"
+#include "analysis/Disjoint.h"
+#include "analysis/LockPlan.h"
+#include "frontend/Frontend.h"
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace bamboo;
+using namespace bamboo::analysis;
+using namespace bamboo::frontend;
+using namespace bamboo::tests;
+
+namespace {
+
+CompiledModule compileOrDie(const char *Src) {
+  DiagnosticEngine Diags;
+  auto CM = compileString(Src, "test", Diags);
+  if (!CM) {
+    ADD_FAILURE() << Diags.render("test");
+    abort();
+  }
+  return std::move(*CM);
+}
+
+AbstractState makeState(const ir::Program &P, ir::ClassId C,
+                        std::initializer_list<const char *> Flags) {
+  AbstractState S;
+  S.TagCounts.assign(P.tagTypes().size(), TagCount::Zero);
+  for (const char *F : Flags)
+    S.Flags |= ir::FlagMask(1) << P.classOf(C).flagIndex(F);
+  return S;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ASTG (dependence analysis)
+//===----------------------------------------------------------------------===//
+
+TEST(AstgTest, KeywordTextStates) {
+  CompiledModule CM = compileOrDie(KeywordCountSource);
+  const ir::Program &P = CM.Prog;
+  std::vector<Astg> Graphs = buildAstgs(P);
+
+  ir::ClassId TextId = P.findClass("Text");
+  const Astg &Text = Graphs[static_cast<size_t>(TextId)];
+  // Reachable Text states: {process} (allocated), {submit}, {}.
+  EXPECT_EQ(Text.Nodes.size(), 3u);
+  int ProcessNode = Text.findNode(makeState(P, TextId, {"process"}));
+  int SubmitNode = Text.findNode(makeState(P, TextId, {"submit"}));
+  int DoneNode = Text.findNode(makeState(P, TextId, {}));
+  ASSERT_GE(ProcessNode, 0);
+  ASSERT_GE(SubmitNode, 0);
+  ASSERT_GE(DoneNode, 0);
+  EXPECT_TRUE(Text.Nodes[static_cast<size_t>(ProcessNode)].Allocatable);
+  EXPECT_FALSE(Text.Nodes[static_cast<size_t>(SubmitNode)].Allocatable);
+
+  // processText moves process -> submit on its explicit exit.
+  bool FoundTransition = false;
+  for (const AstgEdge &E : Text.Edges)
+    if (E.From == ProcessNode && E.To == SubmitNode &&
+        E.Task == P.findTask("processText"))
+      FoundTransition = true;
+  EXPECT_TRUE(FoundTransition);
+}
+
+TEST(AstgTest, StartupStateTransitions) {
+  CompiledModule CM = compileOrDie(KeywordCountSource);
+  const ir::Program &P = CM.Prog;
+  std::vector<Astg> Graphs = buildAstgs(P);
+  ir::ClassId SC = P.startupClass();
+  const Astg &Startup = Graphs[static_cast<size_t>(SC)];
+  // {initialstate} and {} after the startup task clears it.
+  EXPECT_EQ(Startup.Nodes.size(), 2u);
+}
+
+TEST(AstgTest, EnabledAtRespectsGuards) {
+  CompiledModule CM = compileOrDie(KeywordCountSource);
+  const ir::Program &P = CM.Prog;
+  std::vector<Astg> Graphs = buildAstgs(P);
+  ir::ClassId TextId = P.findClass("Text");
+  const Astg &Text = Graphs[static_cast<size_t>(TextId)];
+
+  int ProcessNode = Text.findNode(makeState(P, TextId, {"process"}));
+  auto EnabledProcess = Text.enabledAt(ProcessNode, P);
+  ASSERT_EQ(EnabledProcess.size(), 1u);
+  EXPECT_EQ(EnabledProcess[0].first, P.findTask("processText"));
+
+  int SubmitNode = Text.findNode(makeState(P, TextId, {"submit"}));
+  auto EnabledSubmit = Text.enabledAt(SubmitNode, P);
+  ASSERT_EQ(EnabledSubmit.size(), 1u);
+  EXPECT_EQ(EnabledSubmit[0].first, P.findTask("mergeIntermediateResult"));
+  EXPECT_EQ(EnabledSubmit[0].second, 1); // Second parameter.
+
+  int DoneNode = Text.findNode(makeState(P, TextId, {}));
+  EXPECT_TRUE(Text.enabledAt(DoneNode, P).empty());
+}
+
+TEST(AstgTest, TagCountsAreOneLimited) {
+  CompiledModule CM = compileOrDie(TagPipelineSource);
+  const ir::Program &P = CM.Prog;
+  std::vector<Astg> Graphs = buildAstgs(P);
+  ir::ClassId ImageId = P.findClass("Image");
+  const Astg &Image = Graphs[static_cast<size_t>(ImageId)];
+  // The Image site binds one savesession tag; states must carry count One.
+  bool SawTaggedState = false;
+  for (const AstgNode &N : Image.Nodes)
+    for (TagCount C : N.State.TagCounts)
+      if (C == TagCount::One)
+        SawTaggedState = true;
+  EXPECT_TRUE(SawTaggedState);
+}
+
+TEST(AstgTest, ApplyEffectTagSaturation) {
+  AbstractState S;
+  S.TagCounts.assign(1, TagCount::Zero);
+  ir::ParamExitEffect Add;
+  Add.TagActions.push_back(ir::ExitTagAction{true, 0, "t"});
+  AbstractState One = applyEffect(S, Add);
+  EXPECT_EQ(One.TagCounts[0], TagCount::One);
+  AbstractState Many = applyEffect(One, Add);
+  EXPECT_EQ(Many.TagCounts[0], TagCount::Many);
+  // Many saturates.
+  EXPECT_EQ(applyEffect(Many, Add).TagCounts[0], TagCount::Many);
+
+  ir::ParamExitEffect Clear;
+  Clear.TagActions.push_back(ir::ExitTagAction{false, 0, "t"});
+  EXPECT_EQ(applyEffect(One, Clear).TagCounts[0], TagCount::Zero);
+  // Conservative: clearing from Many stays Many.
+  EXPECT_EQ(applyEffect(Many, Clear).TagCounts[0], TagCount::Many);
+}
+
+//===----------------------------------------------------------------------===//
+// CSTG
+//===----------------------------------------------------------------------===//
+
+TEST(CstgTest, KeywordGraphStructure) {
+  CompiledModule CM = compileOrDie(KeywordCountSource);
+  const ir::Program &P = CM.Prog;
+  Cstg G = buildCstg(P);
+
+  // Startup node exists and enables the startup task.
+  ASSERT_GE(G.startupNode(), 0);
+  auto Enabled = G.enabledAt(G.startupNode());
+  ASSERT_EQ(Enabled.size(), 1u);
+  EXPECT_EQ(Enabled[0].first, P.findTask("startup"));
+
+  // Two allocation sites -> two new-object edges.
+  EXPECT_EQ(G.NewEdges.size(), 2u);
+  for (const CstgNewEdge &E : G.NewEdges)
+    EXPECT_GE(E.ToNode, 0);
+
+  // The Text site's node is the {process} state.
+  const ir::TaskDecl &Startup = P.taskOf(P.findTask("startup"));
+  int TextNode = G.siteNode(Startup.Sites[0]);
+  ir::ClassId TextId = P.findClass("Text");
+  EXPECT_EQ(G.Nodes[static_cast<size_t>(TextNode)].Class, TextId);
+}
+
+TEST(CstgTest, DotContainsClassClusters) {
+  CompiledModule CM = compileOrDie(KeywordCountSource);
+  Cstg G = buildCstg(CM.Prog);
+  std::string Dot = G.toDot(CM.Prog);
+  EXPECT_NE(Dot.find("Class Text"), std::string::npos);
+  EXPECT_NE(Dot.find("Class Results"), std::string::npos);
+  EXPECT_NE(Dot.find("processText"), std::string::npos);
+  EXPECT_NE(Dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(CstgTest, TaskFlowEdges) {
+  CompiledModule CM = compileOrDie(KeywordCountSource);
+  Cstg G = buildCstg(CM.Prog);
+  std::string Dot = taskFlowDot(CM.Prog, G);
+  // startup feeds processText (t0 -> t1) and processText feeds merge
+  // (t1 -> t2).
+  EXPECT_NE(Dot.find("\"t0\" -> \"t1\""), std::string::npos);
+  EXPECT_NE(Dot.find("\"t1\" -> \"t2\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Disjointness + lock plan
+//===----------------------------------------------------------------------===//
+
+TEST(DisjointTest, KeywordTasksAreDisjoint) {
+  CompiledModule CM = compileOrDie(KeywordCountSource);
+  auto Results = analyzeDisjointness(CM);
+  // mergeIntermediateResult reads Text state into Results but stores no
+  // references: every task must be fully disjoint.
+  for (const TaskDisjointness &R : Results)
+    EXPECT_TRUE(R.MayAliasPairs.empty())
+        << CM.Prog.taskOf(R.Task).Name << " wrongly flagged";
+}
+
+TEST(DisjointTest, CrossLinkDetected) {
+  CompiledModule CM = compileOrDie(CrossLinkSource);
+  auto Results = analyzeDisjointness(CM);
+  const ir::TaskId LinkId = CM.Prog.findTask("link");
+  bool Found = false;
+  for (const TaskDisjointness &R : Results) {
+    if (R.Task != LinkId)
+      continue;
+    ASSERT_EQ(R.MayAliasPairs.size(), 1u);
+    EXPECT_EQ(R.MayAliasPairs[0], std::make_pair(0, 1));
+    Found = true;
+  }
+  EXPECT_TRUE(Found);
+  // The result is also written back into the program.
+  EXPECT_EQ(CM.Prog.taskOf(LinkId).MayAliasPairs.size(), 1u);
+}
+
+TEST(DisjointTest, IndirectLinkThroughMethodDetected) {
+  const char *Src = R"(
+class Node {
+  flag ready;
+  Node next;
+  Node() { }
+  void attach(Node other) { next = other; }
+}
+task startup(StartupObject s in initialstate) {
+  Node a = new Node() { ready := true };
+  taskexit(s: initialstate := false);
+}
+task link(Node p in ready, Node q in ready) {
+  p.attach(q);
+  taskexit(p: ready := false; q: ready := false);
+}
+)";
+  CompiledModule CM = compileOrDie(Src);
+  auto Results = analyzeDisjointness(CM);
+  const ir::TaskId LinkId = CM.Prog.findTask("link");
+  for (const TaskDisjointness &R : Results)
+    if (R.Task == LinkId) {
+      EXPECT_EQ(R.MayAliasPairs.size(), 1u);
+    }
+}
+
+TEST(DisjointTest, FreshObjectBridgeDetected) {
+  // Storing the same fresh object into both parameters shares heap.
+  const char *Src = R"(
+class Box {
+  flag ready;
+  Payload item;
+  Box() { }
+}
+class Payload {
+  Payload() { }
+}
+task startup(StartupObject s in initialstate) {
+  Box a = new Box() { ready := true };
+  taskexit(s: initialstate := false);
+}
+task share(Box p in ready, Box q in ready) {
+  Payload shared = new Payload();
+  p.item = shared;
+  q.item = shared;
+  taskexit(p: ready := false; q: ready := false);
+}
+)";
+  CompiledModule CM = compileOrDie(Src);
+  auto Results = analyzeDisjointness(CM);
+  const ir::TaskId ShareId = CM.Prog.findTask("share");
+  for (const TaskDisjointness &R : Results)
+    if (R.Task == ShareId) {
+      EXPECT_EQ(R.MayAliasPairs.size(), 1u);
+    }
+}
+
+TEST(DisjointTest, SeparateFreshObjectsDoNotAlias) {
+  const char *Src = R"(
+class Box {
+  flag ready;
+  Payload item;
+  Box() { }
+}
+class Payload {
+  Payload() { }
+}
+task startup(StartupObject s in initialstate) {
+  Box a = new Box() { ready := true };
+  taskexit(s: initialstate := false);
+}
+task fill(Box p in ready, Box q in ready) {
+  p.item = new Payload();
+  q.item = new Payload();
+  taskexit(p: ready := false; q: ready := false);
+}
+)";
+  CompiledModule CM = compileOrDie(Src);
+  auto Results = analyzeDisjointness(CM);
+  const ir::TaskId FillId = CM.Prog.findTask("fill");
+  for (const TaskDisjointness &R : Results)
+    if (R.Task == FillId) {
+      EXPECT_TRUE(R.MayAliasPairs.empty());
+    }
+}
+
+TEST(LockPlanTest, DisjointTaskGetsPerParamLocks) {
+  CompiledModule CM = compileOrDie(KeywordCountSource);
+  analyzeDisjointness(CM);
+  auto Plans = buildLockPlans(CM.Prog);
+  const ir::TaskId MergeId = CM.Prog.findTask("mergeIntermediateResult");
+  const TaskLockPlan &Merge = Plans[static_cast<size_t>(MergeId)];
+  EXPECT_EQ(Merge.NumGroups, 2);
+  EXPECT_TRUE(Merge.isFullyDisjoint());
+}
+
+TEST(LockPlanTest, AliasedParamsShareLock) {
+  CompiledModule CM = compileOrDie(CrossLinkSource);
+  analyzeDisjointness(CM);
+  auto Plans = buildLockPlans(CM.Prog);
+  const ir::TaskId LinkId = CM.Prog.findTask("link");
+  const TaskLockPlan &Link = Plans[static_cast<size_t>(LinkId)];
+  EXPECT_EQ(Link.NumGroups, 1);
+  EXPECT_FALSE(Link.isFullyDisjoint());
+  EXPECT_EQ(Link.GroupOfParam[0], Link.GroupOfParam[1]);
+}
+
+TEST(LockPlanTest, SummaryRendering) {
+  CompiledModule CM = compileOrDie(CrossLinkSource);
+  analyzeDisjointness(CM);
+  auto Plans = buildLockPlans(CM.Prog);
+  std::string Out = lockPlanSummary(CM.Prog, Plans);
+  EXPECT_NE(Out.find("task link: {p q}"), std::string::npos);
+}

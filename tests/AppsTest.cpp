@@ -1,0 +1,121 @@
+//===- tests/AppsTest.cpp - Benchmark application tests --------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// For every benchmark app: the Bamboo version must run to completion on
+/// one core AND on many cores, produce exactly the baseline's checksum,
+/// and keep the 1-core dispatch overhead modest. Parameterized over the
+/// six apps of the paper's evaluation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/App.h"
+#include "driver/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace bamboo;
+using namespace bamboo::apps;
+using namespace bamboo::machine;
+using namespace bamboo::runtime;
+
+namespace {
+
+struct AppCase {
+  const char *Name;
+};
+
+class AppParamTest : public ::testing::TestWithParam<AppCase> {};
+
+} // namespace
+
+TEST_P(AppParamTest, BaselineIsDeterministic) {
+  auto A = makeApp(GetParam().Name);
+  ASSERT_NE(A, nullptr);
+  BaselineResult R1 = A->runBaseline(1);
+  BaselineResult R2 = A->runBaseline(1);
+  EXPECT_EQ(R1.MeteredCycles, R2.MeteredCycles);
+  EXPECT_EQ(R1.Checksum, R2.Checksum);
+  EXPECT_GT(R1.MeteredCycles, 100000u) << "workload suspiciously small";
+  EXPECT_NE(R1.Checksum, 0u);
+}
+
+TEST_P(AppParamTest, SingleCoreMatchesBaselineChecksum) {
+  auto A = makeApp(GetParam().Name);
+  ASSERT_NE(A, nullptr);
+  BoundProgram BP = A->makeBound(1);
+  ASSERT_TRUE(BP.fullyBound());
+  analysis::Cstg G = analysis::buildCstg(BP.program());
+  MachineConfig One = MachineConfig::singleCore();
+  Layout L = Layout::allOnOneCore(BP.program());
+  TileExecutor Exec(BP, G, One, L);
+  ExecResult R = Exec.run(ExecOptions{});
+  ASSERT_TRUE(R.Completed) << A->name() << " did not drain";
+
+  BaselineResult Base = A->runBaseline(1);
+  EXPECT_EQ(A->checksumFromHeap(Exec.heap()), Base.Checksum);
+
+  // Single-core Bamboo pays dispatch/locking on top of the metered work:
+  // it must be slower than the C baseline but within a small overhead
+  // (the paper's Section 5.5 band is 0.1% - 10.6%; allow up to 20%).
+  EXPECT_GT(R.TotalCycles, Base.MeteredCycles);
+  double Overhead = static_cast<double>(R.TotalCycles - Base.MeteredCycles) /
+                    static_cast<double>(Base.MeteredCycles);
+  EXPECT_LT(Overhead, 0.20) << "overhead " << Overhead * 100 << "%";
+}
+
+TEST_P(AppParamTest, ManyCoreSpeedupAndSameResult) {
+  auto A = makeApp(GetParam().Name);
+  ASSERT_NE(A, nullptr);
+  BoundProgram BP = A->makeBound(1);
+
+  driver::PipelineOptions Opts;
+  Opts.Target = MachineConfig::tilePro64();
+  Opts.Dsa.Seed = 17;
+  // Keep DSA cheap in unit tests; the benches run the full budget.
+  Opts.Dsa.InitialCandidates = 4;
+  Opts.Dsa.MaxIterations = 10;
+  driver::PipelineResult R = driver::runPipeline(BP, Opts);
+  ASSERT_TRUE(R.RealRunCompleted) << A->name();
+
+  // Meaningful speedup on 62 cores for every benchmark.
+  EXPECT_GT(R.speedupVsOneCore(), 10.0) << A->name();
+  EXPECT_LT(R.speedupVsOneCore(), 62.5) << A->name();
+
+  // Re-execute the best layout to validate the checksum on many cores.
+  TileExecutor Exec(BP, R.Graph, Opts.Target, R.BestLayout);
+  ExecResult Run = Exec.run(ExecOptions{});
+  ASSERT_TRUE(Run.Completed);
+  EXPECT_EQ(A->checksumFromHeap(Exec.heap()),
+            A->runBaseline(1).Checksum);
+}
+
+TEST_P(AppParamTest, DoubleScaleGrowsWork) {
+  auto A = makeApp(GetParam().Name);
+  ASSERT_NE(A, nullptr);
+  BaselineResult R1 = A->runBaseline(1);
+  BaselineResult R2 = A->runBaseline(2);
+  EXPECT_GT(R2.MeteredCycles, R1.MeteredCycles * 3 / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppParamTest,
+                         ::testing::Values(AppCase{"Tracking"},
+                                           AppCase{"KMeans"},
+                                           AppCase{"MonteCarlo"},
+                                           AppCase{"FilterBank"},
+                                           AppCase{"Fractal"},
+                                           AppCase{"Series"}),
+                         [](const ::testing::TestParamInfo<AppCase> &Info) {
+                           return Info.param.Name;
+                         });
+
+TEST(AppRegistryTest, AllSixAppsPresent) {
+  auto Apps = allApps();
+  ASSERT_EQ(Apps.size(), 6u);
+  EXPECT_EQ(Apps[0]->name(), "Tracking");
+  EXPECT_EQ(Apps[5]->name(), "Series");
+  EXPECT_EQ(makeApp("NoSuchApp"), nullptr);
+}

@@ -1,0 +1,185 @@
+//===- tests/CgenTest.cpp - C backend tests ---------------------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the C backend: structural golden checks on the emitted code,
+/// and — where a host C compiler is available — an end-to-end check that
+/// the generated C compiles and produces the same program output as the
+/// interpreter running on the virtual machine.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Disjoint.h"
+#include "cgen/CEmitter.h"
+#include "driver/KeywordExample.h"
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+#include "runtime/TileExecutor.h"
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace bamboo;
+
+namespace {
+
+frontend::CompiledModule compileOrDie(const char *Src) {
+  frontend::DiagnosticEngine Diags;
+  auto CM = frontend::compileString(Src, "test", Diags);
+  if (!CM) {
+    ADD_FAILURE() << Diags.render("test");
+    abort();
+  }
+  analysis::analyzeDisjointness(*CM);
+  return std::move(*CM);
+}
+
+std::string emitOrDie(const char *Src) {
+  frontend::CompiledModule CM = compileOrDie(Src);
+  std::string Error;
+  auto C = cgen::emitC(CM, Error);
+  EXPECT_TRUE(C.has_value()) << Error;
+  return C.value_or("");
+}
+
+bool hostCcAvailable() {
+  return std::system("cc --version > /dev/null 2>&1") == 0;
+}
+
+/// Compiles \p CSource with the host cc and runs it with \p Arg; returns
+/// stdout, or std::nullopt if the toolchain is unavailable.
+std::optional<std::string> compileAndRun(const std::string &CSource,
+                                         const std::string &Arg) {
+  if (!hostCcAvailable())
+    return std::nullopt;
+  std::string Dir = ::testing::TempDir();
+  std::string CPath = Dir + "/bamboo_cgen_test.c";
+  std::string BinPath = Dir + "/bamboo_cgen_test";
+  std::string OutPath = Dir + "/bamboo_cgen_test.out";
+  {
+    std::ofstream Out(CPath);
+    Out << CSource;
+  }
+  std::string Compile =
+      "cc -std=c11 -O1 -o " + BinPath + " " + CPath + " -lm 2> " + OutPath;
+  if (std::system(Compile.c_str()) != 0) {
+    std::ifstream Log(OutPath);
+    std::stringstream SS;
+    SS << Log.rdbuf();
+    ADD_FAILURE() << "generated C failed to compile:\n" << SS.str();
+    return std::string();
+  }
+  std::string Run = BinPath + " '" + Arg + "' > " + OutPath + " 2>/dev/null";
+  EXPECT_EQ(std::system(Run.c_str()), 0);
+  std::ifstream Out(OutPath);
+  std::stringstream SS;
+  SS << Out.rdbuf();
+  return SS.str();
+}
+
+} // namespace
+
+TEST(CgenTest, EmitsStructsGuardsTasksAndScheduler) {
+  std::string C = emitOrDie(driver::KeywordCountSource);
+  // Classes become structs with flag headers.
+  EXPECT_NE(C.find("typedef struct C_Text"), std::string::npos);
+  EXPECT_NE(C.find("BObjHeader H;"), std::string::npos);
+  // Guards compile flag expressions to bit tests.
+  EXPECT_NE(C.find("guard_processText_0"), std::string::npos);
+  EXPECT_NE(C.find("((flags >> 0) & 1)"), std::string::npos);
+  // Tasks return exit ids; the merge task's !finished guard negates.
+  EXPECT_NE(C.find("static int T_mergeIntermediateResult("),
+            std::string::npos);
+  EXPECT_NE(C.find("guard_mergeIntermediateResult_0"), std::string::npos);
+  // The scheduler scans and dispatches.
+  EXPECT_NE(C.find("int main(int argc, char **argv)"), std::string::npos);
+  EXPECT_NE(C.find("b_endscan:"), std::string::npos);
+}
+
+TEST(CgenTest, MethodsGetExplicitReceivers) {
+  std::string C = emitOrDie(driver::KeywordCountSource);
+  EXPECT_NE(C.find("M_Partitioner_nextPartition(C_Partitioner *self)"),
+            std::string::npos);
+  EXPECT_NE(C.find("M_Results_mergeResult(C_Results *self, "
+                   "struct C_Text * v_t)"),
+            std::string::npos);
+}
+
+TEST(CgenTest, ExitEffectsUpdateFlagWords) {
+  std::string C = emitOrDie(driver::KeywordCountSource);
+  // processText: clear process (bit 0), set submit (bit 1).
+  EXPECT_NE(C.find("v_tp->H.Flags = (v_tp->H.Flags & ~1ULL) | 2ULL;"),
+            std::string::npos);
+}
+
+TEST(CgenTest, RejectsTagPrograms) {
+  frontend::CompiledModule CM = compileOrDie(tests::TagPipelineSource);
+  std::string Error;
+  auto C = cgen::emitC(CM, Error);
+  EXPECT_FALSE(C.has_value());
+  EXPECT_NE(Error.find("tag"), std::string::npos);
+}
+
+TEST(CgenTest, GeneratedCMatchesInterpreterOutput) {
+  std::string Input = "the cat and the dog saw the bird by the sea";
+  std::string C = emitOrDie(driver::KeywordCountSource);
+  auto COutput = compileAndRun(C, Input);
+  if (!COutput.has_value())
+    GTEST_SKIP() << "no host C compiler";
+
+  // Reference: interpreter on the single-core virtual machine.
+  frontend::CompiledModule CM = compileOrDie(driver::KeywordCountSource);
+  interp::InterpProgram IP(std::move(CM));
+  analysis::Cstg Graph = analysis::buildCstg(IP.bound().program());
+  machine::MachineConfig One = machine::MachineConfig::singleCore();
+  machine::Layout L = machine::Layout::allOnOneCore(IP.bound().program());
+  runtime::TileExecutor Exec(IP.bound(), Graph, One, L);
+  runtime::ExecOptions Opts;
+  Opts.Args = {Input};
+  runtime::ExecResult R = Exec.run(Opts);
+  ASSERT_TRUE(R.Completed);
+
+  EXPECT_EQ(*COutput, IP.output());
+  EXPECT_NE(COutput->find("total="), std::string::npos);
+}
+
+TEST(CgenTest, GeneratedArithmeticProgramRuns) {
+  const char *Src = R"(
+class Calc {
+  flag go;
+  Calc() { }
+  int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+  }
+}
+task startup(StartupObject s in initialstate) {
+  Calc c = new Calc() { go := true };
+  taskexit(s: initialstate := false);
+}
+task run(Calc c in go) {
+  System.printString("fib=" + c.fib(15));
+  double x = Math.sqrt(144.0) + Math.pow(2.0, 5.0);
+  System.printString(" x=" + x);
+  int[] a = new int[8];
+  for (int i = 0; i < a.length; i = i + 1) a[i] = i * i;
+  int sum = 0;
+  for (int i = 0; i < a.length; i = i + 1) sum = sum + a[i];
+  System.printString(" sum=" + sum);
+  taskexit(c: go := false);
+}
+)";
+  std::string C = emitOrDie(Src);
+  auto Output = compileAndRun(C, "");
+  if (!Output.has_value())
+    GTEST_SKIP() << "no host C compiler";
+  EXPECT_EQ(*Output, "fib=610 x=44 sum=140");
+}

@@ -1,0 +1,121 @@
+//===- tests/CliTest.cpp - bamboo CLI end-to-end tests ---------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the `bamboo` command-line tool as a subprocess: compile+run a
+/// DSL program, dump analyses, emit C, and report diagnostics for broken
+/// input. BAMBOO_BIN is injected by CMake.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/KeywordExample.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return ::testing::TempDir() + "/" + Name;
+}
+
+void writeFile(const std::string &Path, const std::string &Contents) {
+  std::ofstream Out(Path);
+  Out << Contents;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Runs the tool; returns {exit status, stdout contents}.
+std::pair<int, std::string> runBamboo(const std::string &Args) {
+  std::string Out = tempPath("cli_stdout.txt");
+  std::string Cmd = std::string(BAMBOO_BIN) + " " + Args + " > " + Out +
+                    " 2>" + tempPath("cli_stderr.txt");
+  int Status = std::system(Cmd.c_str());
+  return {Status, readFile(Out)};
+}
+
+std::string keywordFile() {
+  std::string Path = tempPath("kw.bb");
+  writeFile(Path, bamboo::driver::KeywordCountSource);
+  return Path;
+}
+
+} // namespace
+
+TEST(CliTest, RunExecutesProgram) {
+  auto [Status, Out] = runBamboo(keywordFile() +
+                                 " --run --cores=4 --arg='the cat the dog'");
+  EXPECT_EQ(Status, 0);
+  EXPECT_NE(Out.find("total=2"), std::string::npos);
+}
+
+TEST(CliTest, DumpIrShowsTasks) {
+  auto [Status, Out] = runBamboo(keywordFile() + " --dump-ir");
+  EXPECT_EQ(Status, 0);
+  EXPECT_NE(Out.find("task processText(Text tp in process)"),
+            std::string::npos);
+}
+
+TEST(CliTest, DumpCstgIsDot) {
+  auto [Status, Out] = runBamboo(keywordFile() + " --dump-cstg");
+  EXPECT_EQ(Status, 0);
+  EXPECT_NE(Out.find("digraph"), std::string::npos);
+  EXPECT_NE(Out.find("Class Text"), std::string::npos);
+}
+
+TEST(CliTest, DumpLocksShowsPlans) {
+  auto [Status, Out] = runBamboo(keywordFile() + " --dump-locks");
+  EXPECT_EQ(Status, 0);
+  EXPECT_NE(Out.find("task mergeIntermediateResult: {rp} {tp}"),
+            std::string::npos);
+}
+
+TEST(CliTest, EmitCProducesCompilableSource) {
+  auto [Status, Out] = runBamboo(keywordFile() + " --emit-c");
+  EXPECT_EQ(Status, 0);
+  EXPECT_NE(Out.find("int main(int argc, char **argv)"), std::string::npos);
+}
+
+TEST(CliTest, DiagnosticsOnBrokenInput) {
+  std::string Path = tempPath("broken.bb");
+  writeFile(Path, "task t(Missing x in f) { }\n");
+  auto [Status, Out] = runBamboo(Path + " --dump-ir");
+  EXPECT_NE(Status, 0);
+  (void)Out;
+}
+
+TEST(CliTest, MissingFileFails) {
+  auto [Status, Out] = runBamboo(tempPath("nope.bb") + " --run");
+  EXPECT_NE(Status, 0);
+  (void)Out;
+}
+
+TEST(CliTest, DumpAstgAndTaskflow) {
+  auto [Status, Out] = runBamboo(keywordFile() + " --dump-astg");
+  EXPECT_EQ(Status, 0);
+  EXPECT_NE(Out.find("astg_Text"), std::string::npos);
+  auto [Status2, Out2] = runBamboo(keywordFile() + " --dump-taskflow");
+  EXPECT_EQ(Status2, 0);
+  EXPECT_NE(Out2.find("digraph"), std::string::npos);
+}
+
+TEST(CliTest, DumpLayoutSynthesizes) {
+  auto [Status, Out] =
+      runBamboo(keywordFile() + " --dump-layout --cores=4 --arg='the cat'");
+  EXPECT_EQ(Status, 0);
+  EXPECT_NE(Out.find("layout on 4 cores"), std::string::npos);
+  EXPECT_NE(Out.find("processText"), std::string::npos);
+}

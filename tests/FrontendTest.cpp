@@ -1,0 +1,387 @@
+//===- tests/FrontendTest.cpp - Tests for lexer/parser/sema ---------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace bamboo;
+using namespace bamboo::frontend;
+using namespace bamboo::tests;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Src, DiagnosticEngine &Diags) {
+  Lexer L(Src, Diags);
+  return L.lexAll();
+}
+
+std::optional<CompiledModule> compile(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto CM = compileString(Src, "test", Diags);
+  if (!CM)
+    ADD_FAILURE() << Diags.render("test");
+  return CM;
+}
+
+/// Compiles a source expected to fail; returns rendered diagnostics.
+std::string compileExpectError(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto CM = compileString(Src, "test", Diags);
+  EXPECT_FALSE(CM.has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+  return Diags.render("test");
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(LexerTest, Keywords) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("task flag tag tagtype taskexit in with and or", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  ASSERT_EQ(Tokens.size(), 10u); // 9 keywords + Eof.
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwTask);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::KwFlag);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::KwTaskExit);
+  EXPECT_EQ(Tokens[8].Kind, TokenKind::KwOr);
+  EXPECT_EQ(Tokens[9].Kind, TokenKind::Eof);
+}
+
+TEST(LexerTest, NumbersAndOperators) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("42 3.5 1e3 x := == != <= >= && ||", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Tokens[0].IntValue, 42);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::DoubleLiteral);
+  EXPECT_DOUBLE_EQ(Tokens[1].DoubleValue, 3.5);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::DoubleLiteral);
+  EXPECT_DOUBLE_EQ(Tokens[2].DoubleValue, 1000.0);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::ColonAssign);
+  EXPECT_EQ(Tokens[5].Kind, TokenKind::EqEq);
+  EXPECT_EQ(Tokens[6].Kind, TokenKind::NotEq);
+  EXPECT_EQ(Tokens[7].Kind, TokenKind::LessEq);
+  EXPECT_EQ(Tokens[8].Kind, TokenKind::GreaterEq);
+  EXPECT_EQ(Tokens[9].Kind, TokenKind::AmpAmp);
+  EXPECT_EQ(Tokens[10].Kind, TokenKind::PipePipe);
+}
+
+TEST(LexerTest, StringsAndEscapes) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex(R"("hello\nworld" "q\"q")", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Tokens[0].Text, "hello\nworld");
+  EXPECT_EQ(Tokens[1].Text, "q\"q");
+}
+
+TEST(LexerTest, Comments) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("a // line comment\n/* block\ncomment */ b", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+  EXPECT_EQ(Tokens[1].Loc.Line, 3);
+}
+
+TEST(LexerTest, UnterminatedStringReported) {
+  DiagnosticEngine Diags;
+  lex("\"abc", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, UnknownCharacterReported) {
+  DiagnosticEngine Diags;
+  lex("a @ b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("a\n  b", Diags);
+  EXPECT_EQ(Tokens[0].Loc.Line, 1);
+  EXPECT_EQ(Tokens[0].Loc.Col, 1);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2);
+  EXPECT_EQ(Tokens[1].Loc.Col, 3);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser (via full compiles where convenient)
+//===----------------------------------------------------------------------===//
+
+TEST(ParserTest, KeywordExampleParses) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex(KeywordCountSource, Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  Parser P(std::move(Tokens), Diags);
+  ast::Module M = P.parseModule("keycount");
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.render("keycount");
+  EXPECT_EQ(M.Classes.size(), 3u);
+  EXPECT_EQ(M.Tasks.size(), 3u);
+  EXPECT_EQ(M.Tasks[2].Params.size(), 2u);
+}
+
+TEST(ParserTest, GuardPrecedence) {
+  // "a or b and !c" must parse as a or (b and (!c)).
+  const char *Src = R"(
+class C { flag a; flag b; flag c; }
+task t(C x in a or b and !c) { taskexit(x: a := false); }
+)";
+  DiagnosticEngine Diags;
+  auto Tokens = lex(Src, Diags);
+  Parser P(std::move(Tokens), Diags);
+  ast::Module M = P.parseModule("m");
+  ASSERT_FALSE(Diags.hasErrors());
+  const auto &G = M.Tasks[0].Params[0].Guard;
+  ASSERT_EQ(G->K, ast::GuardExprAst::Kind::Or);
+  EXPECT_EQ(G->Lhs->K, ast::GuardExprAst::Kind::Flag);
+  EXPECT_EQ(G->Rhs->K, ast::GuardExprAst::Kind::And);
+  EXPECT_EQ(G->Rhs->Rhs->K, ast::GuardExprAst::Kind::Not);
+}
+
+TEST(ParserTest, SyntaxErrorReportsAndRecovers) {
+  const char *Src = R"(
+class C { flag f; int x }
+class D { flag g; }
+)";
+  DiagnosticEngine Diags;
+  auto Tokens = lex(Src, Diags);
+  Parser P(std::move(Tokens), Diags);
+  ast::Module M = P.parseModule("m");
+  EXPECT_TRUE(Diags.hasErrors());
+  // Recovery must still see class D.
+  EXPECT_NE(M.findClass("D"), nullptr);
+}
+
+TEST(ParserTest, ArrayTypesAndIndexing) {
+  const char *Src = R"(
+class C {
+  flag f;
+  int[] data;
+  C(int n) { data = new int[n]; data[0] = 7; }
+  int get(int i) { return data[i]; }
+}
+task t(C x in f) { taskexit(x: f := false); }
+)";
+  EXPECT_TRUE(compile(Src).has_value());
+}
+
+TEST(ParserTest, ForLoopsAndBreakContinue) {
+  const char *Src = R"(
+class C {
+  flag f;
+  int sum;
+  C() { sum = 0; }
+  void run() {
+    for (int i = 0; i < 10; i = i + 1) {
+      if (i == 3) continue;
+      if (i == 8) break;
+      sum = sum + i;
+    }
+  }
+}
+task t(C x in f) { x.run(); taskexit(x: f := false); }
+)";
+  EXPECT_TRUE(compile(Src).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Sema: success paths
+//===----------------------------------------------------------------------===//
+
+TEST(SemaTest, KeywordExampleCompiles) {
+  auto CM = compile(KeywordCountSource);
+  ASSERT_TRUE(CM.has_value());
+  const ir::Program &P = CM->Prog;
+  // Partitioner, Text, Results + injected StartupObject.
+  EXPECT_EQ(P.classes().size(), 4u);
+  EXPECT_EQ(P.tasks().size(), 3u);
+  EXPECT_NE(P.findClass("StartupObject"), ir::InvalidId);
+  EXPECT_FALSE(P.verify().has_value());
+
+  // startup: explicit exit + implicit fallthrough.
+  const ir::TaskDecl &Startup = P.taskOf(P.findTask("startup"));
+  EXPECT_EQ(Startup.Exits.size(), 2u);
+  // Its two allocation sites: Text{process} and Results{}.
+  EXPECT_EQ(Startup.Sites.size(), 2u);
+  const ir::AllocSite &TextSite = P.siteOf(Startup.Sites[0]);
+  EXPECT_EQ(TextSite.Class, P.findClass("Text"));
+  EXPECT_EQ(TextSite.InitialFlags, ir::FlagMask(1) << 0);
+  const ir::AllocSite &ResultsSite = P.siteOf(Startup.Sites[1]);
+  EXPECT_EQ(ResultsSite.InitialFlags, 0u);
+
+  // mergeIntermediateResult has three exits (two explicit + fallthrough).
+  const ir::TaskDecl &Merge = P.taskOf(P.findTask("mergeIntermediateResult"));
+  EXPECT_EQ(Merge.Exits.size(), 3u);
+  EXPECT_EQ(Merge.Params.size(), 2u);
+  // !finished guard.
+  EXPECT_FALSE(Merge.Params[0].Guard->evaluate(1));
+  EXPECT_TRUE(Merge.Params[0].Guard->evaluate(0));
+}
+
+TEST(SemaTest, TagPipelineCompiles) {
+  auto CM = compile(TagPipelineSource);
+  ASSERT_TRUE(CM.has_value());
+  const ir::Program &P = CM->Prog;
+  EXPECT_EQ(P.tagTypes().size(), 1u);
+  const ir::TaskDecl &Finish = P.taskOf(P.findTask("finishsave"));
+  ASSERT_EQ(Finish.Params.size(), 2u);
+  ASSERT_EQ(Finish.Params[0].Tags.size(), 1u);
+  ASSERT_EQ(Finish.Params[1].Tags.size(), 1u);
+  // Both constraints use the same variable: dispatch must pair instances.
+  EXPECT_EQ(Finish.Params[0].Tags[0].Var, Finish.Params[1].Tags[0].Var);
+
+  // startsave's Image site binds the savesession tag.
+  const ir::TaskDecl &StartSave = P.taskOf(P.findTask("startsave"));
+  ASSERT_EQ(StartSave.Sites.size(), 1u);
+  EXPECT_EQ(P.siteOf(StartSave.Sites[0]).BoundTags.size(), 1u);
+}
+
+TEST(SemaTest, StartupObjectInjectedWithArgsField) {
+  auto CM = compile(KeywordCountSource);
+  ASSERT_TRUE(CM.has_value());
+  const ast::ClassDeclAst *Startup = CM->Ast.findClass("StartupObject");
+  ASSERT_NE(Startup, nullptr);
+  EXPECT_GE(Startup->fieldIndex("args"), 0);
+}
+
+TEST(SemaTest, IntToDoubleWidening) {
+  const char *Src = R"(
+class C {
+  flag f;
+  double x;
+  C() { x = 3; }
+  double half(double v) { return v / 2; }
+  void go() { x = half(5); }
+}
+task t(C c in f) { taskexit(c: f := false); }
+)";
+  EXPECT_TRUE(compile(Src).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Sema: diagnosed errors
+//===----------------------------------------------------------------------===//
+
+TEST(SemaErrorTest, UnknownFlagInGuard) {
+  std::string Out = compileExpectError(R"(
+class C { flag f; }
+task t(C x in nosuch) { taskexit(x: f := false); }
+)");
+  EXPECT_NE(Out.find("no flag nosuch"), std::string::npos);
+}
+
+TEST(SemaErrorTest, UnknownClassInTaskParam) {
+  std::string Out = compileExpectError(R"(
+task t(Missing x in f) { }
+)");
+  EXPECT_NE(Out.find("unknown class Missing"), std::string::npos);
+}
+
+TEST(SemaErrorTest, TaskExitNamesUnknownParameter) {
+  std::string Out = compileExpectError(R"(
+class C { flag f; }
+task t(C x in f) { taskexit(y: f := false); }
+)");
+  EXPECT_NE(Out.find("unknown parameter y"), std::string::npos);
+}
+
+TEST(SemaErrorTest, TaskExitOutsideTask) {
+  std::string Out = compileExpectError(R"(
+class C {
+  flag f;
+  void m() { taskexit(x: f := false); }
+}
+task t(C x in f) { taskexit(x: f := false); }
+)");
+  EXPECT_NE(Out.find("taskexit may only appear inside a task body"),
+            std::string::npos);
+}
+
+TEST(SemaErrorTest, FlagInitOutsideTask) {
+  std::string Out = compileExpectError(R"(
+class C {
+  flag f;
+  C make() { return new C() { f := true }; }
+}
+task t(C x in f) { taskexit(x: f := false); }
+)");
+  EXPECT_NE(Out.find("may only appear in task bodies"), std::string::npos);
+}
+
+TEST(SemaErrorTest, TypeMismatch) {
+  std::string Out = compileExpectError(R"(
+class C {
+  flag f;
+  int x;
+  C() { x = "hello"; }
+}
+task t(C c in f) { taskexit(c: f := false); }
+)");
+  EXPECT_NE(Out.find("cannot assign"), std::string::npos);
+}
+
+TEST(SemaErrorTest, BooleanConditionRequired) {
+  std::string Out = compileExpectError(R"(
+class C {
+  flag f;
+  void m() { if (1) { } }
+}
+task t(C c in f) { taskexit(c: f := false); }
+)");
+  EXPECT_NE(Out.find("must be boolean"), std::string::npos);
+}
+
+TEST(SemaErrorTest, TasksNeedParameters) {
+  std::string Out = compileExpectError(R"(
+class C { flag f; }
+task t() { }
+)");
+  EXPECT_NE(Out.find("at least one parameter"), std::string::npos);
+}
+
+TEST(SemaErrorTest, UnknownVariable) {
+  std::string Out = compileExpectError(R"(
+class C { flag f; }
+task t(C c in f) { bogus = 3; taskexit(c: f := false); }
+)");
+  EXPECT_NE(Out.find("unknown variable bogus"), std::string::npos);
+}
+
+TEST(SemaErrorTest, BreakOutsideLoop) {
+  std::string Out = compileExpectError(R"(
+class C { flag f; }
+task t(C c in f) { break; }
+)");
+  EXPECT_NE(Out.find("outside of a loop"), std::string::npos);
+}
+
+TEST(SemaErrorTest, MethodReturnTypeChecked) {
+  std::string Out = compileExpectError(R"(
+class C {
+  flag f;
+  int m() { return "nope"; }
+}
+task t(C c in f) { taskexit(c: f := false); }
+)");
+  EXPECT_NE(Out.find("cannot return"), std::string::npos);
+}
+
+TEST(SemaErrorTest, DuplicateTask) {
+  std::string Out = compileExpectError(R"(
+class C { flag f; }
+task t(C c in f) { }
+task t(C c in f) { }
+)");
+  EXPECT_NE(Out.find("duplicate task"), std::string::npos);
+}

@@ -1,0 +1,207 @@
+//===- tests/IrTest.cpp - Tests for the task-level IR ---------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/FlagExpr.h"
+#include "ir/Program.h"
+#include "ir/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace bamboo;
+using namespace bamboo::ir;
+
+//===----------------------------------------------------------------------===//
+// FlagExpr
+//===----------------------------------------------------------------------===//
+
+TEST(FlagExprTest, Literals) {
+  EXPECT_TRUE(FlagExpr::makeTrue()->evaluate(0));
+  EXPECT_FALSE(FlagExpr::makeFalse()->evaluate(~FlagMask(0)));
+}
+
+TEST(FlagExprTest, FlagReference) {
+  auto E = FlagExpr::makeFlag(3);
+  EXPECT_TRUE(E->evaluate(FlagMask(1) << 3));
+  EXPECT_FALSE(E->evaluate(FlagMask(1) << 2));
+}
+
+TEST(FlagExprTest, Connectives) {
+  // (f0 and !f1) or f2
+  auto E = FlagExpr::makeOr(
+      FlagExpr::makeAnd(FlagExpr::makeFlag(0),
+                        FlagExpr::makeNot(FlagExpr::makeFlag(1))),
+      FlagExpr::makeFlag(2));
+  EXPECT_TRUE(E->evaluate(0b001));  // f0
+  EXPECT_FALSE(E->evaluate(0b011)); // f0, f1
+  EXPECT_TRUE(E->evaluate(0b111));  // f2 saves it
+  EXPECT_FALSE(E->evaluate(0b000));
+}
+
+TEST(FlagExprTest, EvaluateAllValuationsOfXor) {
+  // Exhaustive truth-table check of f0 xor f1 encoded with and/or/not.
+  auto Xor = FlagExpr::makeOr(
+      FlagExpr::makeAnd(FlagExpr::makeFlag(0),
+                        FlagExpr::makeNot(FlagExpr::makeFlag(1))),
+      FlagExpr::makeAnd(FlagExpr::makeNot(FlagExpr::makeFlag(0)),
+                        FlagExpr::makeFlag(1)));
+  for (FlagMask M = 0; M < 4; ++M)
+    EXPECT_EQ(Xor->evaluate(M), ((M & 1) != 0) != ((M & 2) != 0));
+}
+
+TEST(FlagExprTest, CollectFlags) {
+  auto E = FlagExpr::makeAnd(FlagExpr::makeFlag(5),
+                             FlagExpr::makeNot(FlagExpr::makeFlag(1)));
+  std::vector<FlagId> Flags;
+  E->collectFlags(Flags);
+  ASSERT_EQ(Flags.size(), 2u);
+  EXPECT_EQ(Flags[0], 5);
+  EXPECT_EQ(Flags[1], 1);
+}
+
+TEST(FlagExprTest, CloneIsDeepAndEquivalent) {
+  auto E = FlagExpr::makeOr(FlagExpr::makeFlag(0),
+                            FlagExpr::makeNot(FlagExpr::makeFlag(1)));
+  auto C = E->clone();
+  for (FlagMask M = 0; M < 4; ++M)
+    EXPECT_EQ(E->evaluate(M), C->evaluate(M));
+  EXPECT_NE(E.get(), C.get());
+}
+
+TEST(FlagExprTest, Rendering) {
+  std::vector<std::string> Names{"a", "b"};
+  auto E = FlagExpr::makeAnd(FlagExpr::makeNot(FlagExpr::makeFlag(0)),
+                             FlagExpr::makeFlag(1));
+  EXPECT_EQ(E->str(Names), "(!a and b)");
+}
+
+//===----------------------------------------------------------------------===//
+// ProgramBuilder + Program::verify
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds the keyword-counting program of Section 2 through the builder.
+Program buildKeywordProgram() {
+  ProgramBuilder PB("keycount");
+  ClassId Startup = PB.addClass("StartupObject", {"initialstate"});
+  ClassId Text = PB.addClass("Text", {"process", "submit"});
+  ClassId Results = PB.addClass("Results", {"finished"});
+
+  TaskId StartupTask = PB.addTask("startup");
+  PB.addParam(StartupTask, "s", Startup, PB.flagRef(Startup, "initialstate"));
+  ExitId E0 = PB.addExit(StartupTask, "done");
+  PB.setFlagEffect(StartupTask, E0, 0, "initialstate", false);
+  PB.addSite(StartupTask, Text, {"process"}, {}, "texts");
+  PB.addSite(StartupTask, Results, {}, {}, "results");
+
+  TaskId Process = PB.addTask("processText");
+  PB.addParam(Process, "tp", Text, PB.flagRef(Text, "process"));
+  ExitId P0 = PB.addExit(Process, "done");
+  PB.setFlagEffect(Process, P0, 0, "process", false);
+  PB.setFlagEffect(Process, P0, 0, "submit", true);
+
+  TaskId Merge = PB.addTask("mergeIntermediateResult");
+  PB.addParam(Merge, "rp", Results, PB.notFlag(Results, "finished"));
+  PB.addParam(Merge, "tp", Text, PB.flagRef(Text, "submit"));
+  ExitId M0 = PB.addExit(Merge, "all");
+  PB.setFlagEffect(Merge, M0, 0, "finished", true);
+  PB.setFlagEffect(Merge, M0, 1, "submit", false);
+  ExitId M1 = PB.addExit(Merge, "more");
+  PB.setFlagEffect(Merge, M1, 1, "submit", false);
+
+  PB.setStartup(Startup, "initialstate");
+  return PB.take();
+}
+
+} // namespace
+
+TEST(ProgramTest, BuildAndVerifyKeywordProgram) {
+  Program P = buildKeywordProgram();
+  EXPECT_EQ(P.classes().size(), 3u);
+  EXPECT_EQ(P.tasks().size(), 3u);
+  EXPECT_EQ(P.sites().size(), 2u);
+  EXPECT_EQ(P.findClass("Text"), 1);
+  EXPECT_EQ(P.findTask("processText"), 1);
+  EXPECT_EQ(P.findTask("nosuch"), InvalidId);
+  EXPECT_FALSE(P.verify().has_value());
+}
+
+TEST(ProgramTest, LookupHelpers) {
+  Program P = buildKeywordProgram();
+  const ClassDecl &Text = P.classOf(P.findClass("Text"));
+  EXPECT_EQ(Text.flagIndex("process"), 0);
+  EXPECT_EQ(Text.flagIndex("submit"), 1);
+  EXPECT_EQ(Text.flagIndex("bogus"), InvalidId);
+}
+
+TEST(ProgramTest, ExitEffectsEncodeSetAndClearMasks) {
+  Program P = buildKeywordProgram();
+  const TaskDecl &Process = P.taskOf(P.findTask("processText"));
+  ASSERT_EQ(Process.Exits.size(), 1u);
+  const ParamExitEffect &Eff = Process.Exits[0].Effects[0];
+  EXPECT_EQ(Eff.Clear, FlagMask(1) << 0); // process := false
+  EXPECT_EQ(Eff.Set, FlagMask(1) << 1);   // submit := true
+}
+
+TEST(ProgramTest, StrDumpsContainDeclarations) {
+  Program P = buildKeywordProgram();
+  std::string S = P.str();
+  EXPECT_NE(S.find("task processText(Text tp in process)"),
+            std::string::npos);
+  EXPECT_NE(S.find("startup StartupObject in initialstate"),
+            std::string::npos);
+  EXPECT_NE(S.find("!finished"), std::string::npos);
+}
+
+TEST(ProgramVerifyTest, BuilderProducesAlignedEffects) {
+  // The builder must size exit effect vectors to the parameter count, so
+  // verify() accepts the program even when no effects were set.
+  ProgramBuilder PB("aligned");
+  ClassId C = PB.addClass("C", {"f"});
+  TaskId T = PB.addTask("t");
+  PB.addParam(T, "p", C, PB.flagRef(C, "f"));
+  PB.addParam(T, "q", C, PB.flagRef(C, "f"));
+  PB.addExit(T, "e");
+  PB.setStartup(C, "f");
+  Program P = PB.take();
+  EXPECT_EQ(P.taskOf(T).Exits[0].Effects.size(), 2u);
+  EXPECT_FALSE(P.verify().has_value());
+}
+
+TEST(ProgramVerifyTest, LastFlagWriteWins) {
+  ProgramBuilder PB("conflict");
+  ClassId C = PB.addClass("C", {"f"});
+  TaskId T = PB.addTask("t");
+  PB.addParam(T, "p", C, PB.flagRef(C, "f"));
+  ExitId E = PB.addExit(T, "e");
+  PB.setStartup(C, "f");
+  // The builder keeps set/clear disjoint by construction; flipping twice
+  // must end with the final value only.
+  PB.setFlagEffect(T, E, 0, "f", true);
+  PB.setFlagEffect(T, E, 0, "f", false);
+  Program P = PB.take();
+  const ParamExitEffect &Eff = P.taskOf(T).Exits[0].Effects[0];
+  EXPECT_EQ(Eff.Set, 0u);
+  EXPECT_EQ(Eff.Clear, 1u);
+}
+
+TEST(ProgramVerifyTest, TagConstraintsSurviveBuild) {
+  ProgramBuilder PB("tags");
+  ClassId C = PB.addClass("C", {"f"});
+  TagTypeId TT = PB.addTagType("session");
+  TaskId T = PB.addTask("t");
+  PB.addParam(T, "p", C, PB.flagRef(C, "f"),
+              {TagConstraint{TT, "t1"}});
+  ExitId E = PB.addExit(T, "e");
+  PB.addTagEffect(T, E, 0, /*IsAdd=*/false, TT, "t1");
+  PB.setStartup(C, "f");
+  Program P = PB.take();
+  const TaskDecl &Task = P.taskOf(T);
+  ASSERT_EQ(Task.Params[0].Tags.size(), 1u);
+  EXPECT_EQ(Task.Params[0].Tags[0].Type, TT);
+  ASSERT_EQ(Task.Exits[0].Effects[0].TagActions.size(), 1u);
+  EXPECT_FALSE(Task.Exits[0].Effects[0].TagActions[0].IsAdd);
+}

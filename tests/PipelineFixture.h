@@ -1,0 +1,123 @@
+//===- tests/PipelineFixture.h - Shared embedded test program ---*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small embedded producer/worker/folder pipeline used by the runtime,
+/// scheduling-simulator, synthesis, and optimizer tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_TESTS_PIPELINEFIXTURE_H
+#define BAMBOO_TESTS_PIPELINEFIXTURE_H
+
+#include "ir/ProgramBuilder.h"
+#include "runtime/BoundProgram.h"
+#include "runtime/TaskContext.h"
+
+namespace bamboo::tests {
+
+inline ir::Program makePipelineProgram() {
+  // Producer -> worker pipeline: boot creates N items, work processes
+  // each, fold merges them into the sink.
+  ir::ProgramBuilder PB("pipeline");
+  ir::ClassId Startup = PB.addClass("StartupObject", {"initialstate"});
+  ir::ClassId Item = PB.addClass("Item", {"fresh", "done"});
+  ir::ClassId Sink = PB.addClass("Sink", {"finished"});
+
+  ir::TaskId Boot = PB.addTask("boot");
+  PB.addParam(Boot, "s", Startup, PB.flagRef(Startup, "initialstate"));
+  ir::ExitId B0 = PB.addExit(Boot, "done");
+  PB.setFlagEffect(Boot, B0, 0, "initialstate", false);
+  PB.addSite(Boot, Item, {"fresh"}, {}, "items");
+  PB.addSite(Boot, Sink, {}, {}, "sink");
+
+  ir::TaskId Work = PB.addTask("work");
+  PB.addParam(Work, "it", Item, PB.flagRef(Item, "fresh"));
+  ir::ExitId W0 = PB.addExit(Work, "done");
+  PB.setFlagEffect(Work, W0, 0, "fresh", false);
+  PB.setFlagEffect(Work, W0, 0, "done", true);
+
+  ir::TaskId Fold = PB.addTask("fold");
+  PB.addParam(Fold, "sk", Sink, PB.notFlag(Sink, "finished"));
+  PB.addParam(Fold, "it", Item, PB.flagRef(Item, "done"));
+  ir::ExitId F0 = PB.addExit(Fold, "more");
+  PB.setFlagEffect(Fold, F0, 1, "done", false);
+  ir::ExitId F1 = PB.addExit(Fold, "all");
+  PB.setFlagEffect(Fold, F1, 0, "finished", true);
+  PB.setFlagEffect(Fold, F1, 1, "done", false);
+
+  PB.setStartup(Startup, "initialstate");
+  return PB.take();
+}
+
+struct ItemData : runtime::ObjectData {
+  int Index = 0;
+  int64_t Result = 0;
+};
+
+struct SinkData : runtime::ObjectData {
+  int Expected = 0;
+  int Merged = 0;
+  int64_t Total = 0;
+};
+
+/// Builds an executable pipeline over \p NumItems items, each charging
+/// \p WorkCycles in the work task.
+inline runtime::BoundProgram makePipelineBound(int NumItems,
+                                               machine::Cycles WorkCycles) {
+  runtime::BoundProgram BP(makePipelineProgram());
+  const ir::Program &P = BP.program();
+  ir::TaskId Boot = P.findTask("boot");
+  ir::TaskId Work = P.findTask("work");
+  ir::TaskId Fold = P.findTask("fold");
+  ir::SiteId ItemSite = P.taskOf(Boot).Sites[0];
+  ir::SiteId SinkSite = P.taskOf(Boot).Sites[1];
+
+  BP.bind(Boot, [=](runtime::TaskContext &Ctx) {
+    for (int I = 0; I < NumItems; ++I) {
+      auto Data = std::make_unique<ItemData>();
+      Data->Index = I;
+      Ctx.allocate(ItemSite, std::move(Data));
+      Ctx.charge(5);
+    }
+    auto Sink = std::make_unique<SinkData>();
+    Sink->Expected = NumItems;
+    Ctx.allocate(SinkSite, std::move(Sink));
+    Ctx.exitWith(0);
+  });
+  BP.bind(Work, [=](runtime::TaskContext &Ctx) {
+    auto &Item = Ctx.paramData<ItemData>(0);
+    Item.Result = static_cast<int64_t>(Item.Index) * 2 + 1;
+    Ctx.charge(WorkCycles);
+    Ctx.exitWith(0);
+  });
+  BP.bind(Fold, [=](runtime::TaskContext &Ctx) {
+    auto &Sink = Ctx.paramData<SinkData>(0);
+    auto &Item = Ctx.paramData<ItemData>(1);
+    Sink.Total += Item.Result;
+    ++Sink.Merged;
+    Ctx.charge(3);
+    Ctx.exitWith(Sink.Merged == Sink.Expected ? 1 : 0);
+  });
+  BP.hintPerObjectExits(Fold);
+  return BP;
+}
+
+/// Sum of work results for N items: sum of (2i+1) = N^2.
+inline int64_t pipelineExpectedTotal(int N) {
+  return static_cast<int64_t>(N) * N;
+}
+
+inline const SinkData *findPipelineSink(runtime::Heap &H) {
+  for (size_t I = 0; I < H.numObjects(); ++I)
+    if (auto *D = dynamic_cast<SinkData *>(H.objectAt(I)->Data.get()))
+      return D;
+  return nullptr;
+}
+
+} // namespace bamboo::tests
+
+#endif // BAMBOO_TESTS_PIPELINEFIXTURE_H

@@ -1,0 +1,174 @@
+//===- tests/ProfileRoutingTest.cpp - Profile math and routing tables ------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Profile.h"
+#include "runtime/RoutingTable.h"
+#include "PipelineFixture.h"
+
+#include <gtest/gtest.h>
+
+using namespace bamboo;
+using namespace bamboo::profile;
+using namespace bamboo::runtime;
+using namespace bamboo::tests;
+
+//===----------------------------------------------------------------------===//
+// Profile
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct ProfileFixture : ::testing::Test {
+  ir::Program P = makePipelineProgram();
+  Profile Prof{P};
+  ir::TaskId Boot = P.findTask("boot");
+  ir::TaskId Work = P.findTask("work");
+  ir::TaskId Fold = P.findTask("fold");
+};
+
+} // namespace
+
+TEST_F(ProfileFixture, EmptyProfileDefaults) {
+  EXPECT_EQ(Prof.exitCount(Work, 0), 0u);
+  EXPECT_DOUBLE_EQ(Prof.exitProbability(Work, 0), 0.0);
+  // Unprofiled tasks fall back to the provided default cost.
+  EXPECT_DOUBLE_EQ(Prof.meanCycles(Work, 0, 123.0), 123.0);
+  EXPECT_DOUBLE_EQ(Prof.expectedCycles(Work, 77.0), 77.0);
+  EXPECT_FALSE(Prof.terminated());
+}
+
+TEST_F(ProfileFixture, ExitProbabilitiesAndMeans) {
+  // 3 invocations of exit 0 at cycles 100/200/300, 1 of exit 1 at 1000.
+  Prof.recordInvocation(Fold, 0, 100, {});
+  Prof.recordInvocation(Fold, 0, 200, {});
+  Prof.recordInvocation(Fold, 0, 300, {});
+  Prof.recordInvocation(Fold, 1, 1000, {});
+  EXPECT_DOUBLE_EQ(Prof.exitProbability(Fold, 0), 0.75);
+  EXPECT_DOUBLE_EQ(Prof.exitProbability(Fold, 1), 0.25);
+  EXPECT_DOUBLE_EQ(Prof.meanCycles(Fold, 0), 200.0);
+  EXPECT_DOUBLE_EQ(Prof.meanCycles(Fold, 1), 1000.0);
+  // Expected cycles across exits: 0.75*200 + 0.25*1000 = 400.
+  EXPECT_DOUBLE_EQ(Prof.expectedCycles(Fold), 400.0);
+  // Never-taken exit falls back to the task-wide mean (4 samples: 400).
+  EXPECT_DOUBLE_EQ(Prof.meanCycles(Fold, 2), 400.0);
+}
+
+TEST_F(ProfileFixture, AllocationExpectations) {
+  ir::SiteId ItemSite = P.taskOf(Boot).Sites[0];
+  ir::SiteId SinkSite = P.taskOf(Boot).Sites[1];
+  Prof.recordInvocation(Boot, 0, 50, {{ItemSite, 8}, {SinkSite, 1}});
+  EXPECT_DOUBLE_EQ(Prof.meanAllocs(Boot, 0, ItemSite), 8.0);
+  EXPECT_DOUBLE_EQ(Prof.expectedAllocsPerInvocation(ItemSite), 8.0);
+  EXPECT_DOUBLE_EQ(Prof.expectedAllocsPerInvocation(SinkSite), 1.0);
+
+  // A second invocation allocating nothing halves the expectation; the
+  // zero sample must be recorded for the task's sites.
+  Prof.recordInvocation(Boot, 0, 50, {});
+  EXPECT_DOUBLE_EQ(Prof.expectedAllocsPerInvocation(ItemSite), 4.0);
+}
+
+TEST_F(ProfileFixture, SummaryRendering) {
+  Prof.recordInvocation(Work, 0, 500, {});
+  std::string S = Prof.str(P);
+  EXPECT_NE(S.find("work"), std::string::npos);
+  EXPECT_NE(S.find("500.0"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// RoutingTable
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct RoutingFixture : ::testing::Test {
+  ir::Program P = makePipelineProgram();
+  analysis::Cstg G = analysis::buildCstg(P);
+};
+
+} // namespace
+
+TEST_F(RoutingFixture, SingleInstanceDestinations) {
+  machine::Layout L = machine::Layout::allOnOneCore(P);
+  RoutingTable Routes(P, G, L);
+  // Startup node routes to the boot task only.
+  const auto &Dests = Routes.destsAt(G.startupNode());
+  ASSERT_EQ(Dests.size(), 1u);
+  EXPECT_EQ(Dests[0].Task, P.findTask("boot"));
+  EXPECT_EQ(Dests[0].Kind, DistributionKind::Single);
+  ASSERT_EQ(Dests[0].Instances.size(), 1u);
+  EXPECT_EQ(Dests[0].Instances[0].second, 0);
+}
+
+TEST_F(RoutingFixture, ReplicatedSingleParamTaskIsRoundRobin) {
+  machine::Layout L;
+  L.NumCores = 4;
+  L.Instances = {{P.findTask("boot"), 0}, {P.findTask("fold"), 0}};
+  for (int C = 0; C < 4; ++C)
+    L.Instances.push_back({P.findTask("work"), C});
+  RoutingTable Routes(P, G, L);
+
+  // The Item{fresh} state is the boot site's target; work is replicated.
+  const ir::TaskDecl &Boot = P.taskOf(P.findTask("boot"));
+  int FreshNode = G.siteNode(Boot.Sites[0]);
+  const auto &Dests = Routes.destsAt(FreshNode);
+  ASSERT_EQ(Dests.size(), 1u);
+  EXPECT_EQ(Dests[0].Task, P.findTask("work"));
+  EXPECT_EQ(Dests[0].Kind, DistributionKind::RoundRobin);
+  EXPECT_EQ(Dests[0].Instances.size(), 4u);
+}
+
+TEST_F(RoutingFixture, NodeOfTracksLiveObjectState) {
+  machine::Layout L = machine::Layout::allOnOneCore(P);
+  RoutingTable Routes(P, G, L);
+  Heap H;
+  ir::ClassId Item = P.findClass("Item");
+  // fresh = flag 0.
+  Object *Obj = H.allocate(Item, ir::FlagMask(1) << 0, nullptr);
+  int FreshNode = Routes.nodeOf(*Obj);
+  EXPECT_EQ(G.Nodes[static_cast<size_t>(FreshNode)].Class, Item);
+
+  // Transition to done (flag 1): a different node.
+  Obj->updateFlags(/*Set=*/ir::FlagMask(1) << 1,
+                   /*Clear=*/ir::FlagMask(1) << 0);
+  int DoneNode = Routes.nodeOf(*Obj);
+  EXPECT_NE(DoneNode, FreshNode);
+  // Done enables fold's second parameter.
+  bool FoldListed = false;
+  for (const RouteDest &D : Routes.destsAt(DoneNode))
+    FoldListed = FoldListed ||
+                 (D.Task == P.findTask("fold") && D.Param == 1);
+  EXPECT_TRUE(FoldListed);
+}
+
+TEST_F(RoutingFixture, ObjectLockProtocol) {
+  Heap H;
+  Object *Obj = H.allocate(0, 0, nullptr);
+  EXPECT_FALSE(Obj->locked());
+  EXPECT_TRUE(Obj->tryLock());
+  EXPECT_TRUE(Obj->locked());
+  EXPECT_FALSE(Obj->tryLock()); // Second acquire fails.
+  Obj->unlock();
+  EXPECT_TRUE(Obj->tryLock());
+  Obj->unlock();
+}
+
+TEST_F(RoutingFixture, TagBindingSymmetry) {
+  Heap H;
+  Object *A = H.allocate(0, 0, nullptr);
+  Object *B = H.allocate(0, 0, nullptr);
+  TagInstance *T = H.newTag(0);
+  A->bindTag(T);
+  B->bindTag(T);
+  EXPECT_EQ(T->Bound.size(), 2u);
+  EXPECT_EQ(A->tagOfType(0), T);
+  // Rebinding is idempotent.
+  A->bindTag(T);
+  EXPECT_EQ(A->Tags.size(), 1u);
+  A->unbindTag(T);
+  EXPECT_EQ(A->tagOfType(0), nullptr);
+  ASSERT_EQ(T->Bound.size(), 1u);
+  EXPECT_EQ(T->Bound[0], B);
+}

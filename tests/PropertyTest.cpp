@@ -1,0 +1,361 @@
+//===- tests/PropertyTest.cpp - Property and invariant sweeps --------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-based tests over randomized inputs:
+///  - ASTG closure: applying any admissible task effect to any reachable
+///    abstract state lands on a state the analysis discovered;
+///  - FlagExpr evaluation matches a reference evaluator on random trees;
+///  - lock plans respect the may-alias relation (transitively);
+///  - executor/simulator agreement and conservation laws across a
+///    parameter sweep of pipeline configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Astg.h"
+#include "analysis/Cstg.h"
+#include "analysis/LockPlan.h"
+#include "driver/Pipeline.h"
+#include "ir/ProgramBuilder.h"
+#include "runtime/TileExecutor.h"
+#include "support/Format.h"
+#include "support/Rng.h"
+#include "PipelineFixture.h"
+
+#include <gtest/gtest.h>
+
+using namespace bamboo;
+using namespace bamboo::analysis;
+using namespace bamboo::machine;
+using namespace bamboo::runtime;
+
+//===----------------------------------------------------------------------===//
+// Random program generation for analysis properties
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds a random but well-formed program: a handful of classes with a
+/// few flags each, tasks with random single-flag guards and random exit
+/// effects, and allocation sites with random initial states.
+ir::Program makeRandomProgram(uint64_t Seed) {
+  Rng R(Seed);
+  ir::ProgramBuilder PB("random");
+  ir::ClassId Startup = PB.addClass("StartupObject", {"initialstate"});
+
+  int NumClasses = 2 + static_cast<int>(R.nextBelow(3));
+  std::vector<ir::ClassId> Classes;
+  std::vector<std::vector<std::string>> FlagNames;
+  for (int C = 0; C < NumClasses; ++C) {
+    std::vector<std::string> Flags;
+    int NumFlags = 1 + static_cast<int>(R.nextBelow(3));
+    for (int F = 0; F < NumFlags; ++F)
+      Flags.push_back(formatString("f%d", F));
+    Classes.push_back(
+        PB.addClass(formatString("Cls%d", C), Flags));
+    FlagNames.push_back(Flags);
+  }
+
+  // Boot task allocating random objects.
+  ir::TaskId Boot = PB.addTask("boot");
+  PB.addParam(Boot, "s", Startup, PB.flagRef(Startup, "initialstate"));
+  ir::ExitId B0 = PB.addExit(Boot, "done");
+  PB.setFlagEffect(Boot, B0, 0, "initialstate", false);
+  for (int C = 0; C < NumClasses; ++C) {
+    if (R.nextBool(0.7)) {
+      std::vector<std::string> Initial;
+      for (const std::string &F : FlagNames[static_cast<size_t>(C)])
+        if (R.nextBool(0.5))
+          Initial.push_back(F);
+      PB.addSite(Boot, Classes[static_cast<size_t>(C)], Initial);
+    }
+  }
+
+  // Random worker tasks.
+  int NumTasks = 2 + static_cast<int>(R.nextBelow(4));
+  for (int T = 0; T < NumTasks; ++T) {
+    int C = static_cast<int>(R.nextBelow(static_cast<uint64_t>(NumClasses)));
+    const auto &Flags = FlagNames[static_cast<size_t>(C)];
+    ir::TaskId Task = PB.addTask(formatString("task%d", T));
+    size_t GuardFlag = R.pickIndex(Flags.size());
+    std::unique_ptr<ir::FlagExpr> Guard =
+        R.nextBool(0.5)
+            ? PB.flagRef(Classes[static_cast<size_t>(C)], Flags[GuardFlag])
+            : PB.notFlag(Classes[static_cast<size_t>(C)], Flags[GuardFlag]);
+    PB.addParam(Task, "p", Classes[static_cast<size_t>(C)],
+                std::move(Guard));
+    int NumExits = 1 + static_cast<int>(R.nextBelow(2));
+    for (int E = 0; E < NumExits; ++E) {
+      ir::ExitId Exit = PB.addExit(Task, formatString("e%d", E));
+      for (const std::string &F : Flags)
+        if (R.nextBool(0.4))
+          PB.setFlagEffect(Task, Exit, 0, F, R.nextBool(0.5));
+    }
+  }
+  PB.setStartup(Startup, "initialstate");
+  return PB.take();
+}
+
+} // namespace
+
+class AstgPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AstgPropertyTest, GraphIsClosedUnderAdmissibleEffects) {
+  ir::Program P = makeRandomProgram(GetParam());
+  std::vector<Astg> Graphs = buildAstgs(P);
+  for (const Astg &G : Graphs) {
+    for (const AstgNode &Node : G.Nodes) {
+      for (size_t T = 0; T < P.tasks().size(); ++T) {
+        const ir::TaskDecl &Task = P.tasks()[T];
+        for (size_t Pa = 0; Pa < Task.Params.size(); ++Pa) {
+          if (Task.Params[Pa].Class != G.Class)
+            continue;
+          if (!guardAdmits(Task.Params[Pa], Node.State))
+            continue;
+          for (const ir::TaskExit &Exit : Task.Exits) {
+            AbstractState Next = applyEffect(Node.State, Exit.Effects[Pa]);
+            EXPECT_GE(G.findNode(Next), 0)
+                << "state reachable by " << Task.Name
+                << " missing from the ASTG (seed " << GetParam() << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(AstgPropertyTest, EdgesConnectValidNodesAndMatchEffects) {
+  ir::Program P = makeRandomProgram(GetParam());
+  std::vector<Astg> Graphs = buildAstgs(P);
+  for (const Astg &G : Graphs) {
+    for (const AstgEdge &E : G.Edges) {
+      ASSERT_GE(E.From, 0);
+      ASSERT_LT(static_cast<size_t>(E.From), G.Nodes.size());
+      ASSERT_GE(E.To, 0);
+      ASSERT_LT(static_cast<size_t>(E.To), G.Nodes.size());
+      const ir::TaskDecl &Task = P.taskOf(E.Task);
+      // The edge must correspond to applying the declared effect.
+      AbstractState Expect = applyEffect(
+          G.Nodes[static_cast<size_t>(E.From)].State,
+          Task.Exits[static_cast<size_t>(E.Exit)]
+              .Effects[static_cast<size_t>(E.Param)]);
+      EXPECT_TRUE(G.Nodes[static_cast<size_t>(E.To)].State == Expect);
+      // And the guard must admit the source state.
+      EXPECT_TRUE(guardAdmits(Task.Params[static_cast<size_t>(E.Param)],
+                              G.Nodes[static_cast<size_t>(E.From)].State));
+    }
+  }
+}
+
+TEST_P(AstgPropertyTest, CstgDispatchTablesAgreeWithGuards) {
+  ir::Program P = makeRandomProgram(GetParam());
+  Cstg G = buildCstg(P);
+  for (size_t N = 0; N < G.Nodes.size(); ++N) {
+    const AbstractState &State = G.stateOf(static_cast<int>(N));
+    ir::ClassId Class = G.Nodes[N].Class;
+    for (size_t T = 0; T < P.tasks().size(); ++T) {
+      for (size_t Pa = 0; Pa < P.tasks()[T].Params.size(); ++Pa) {
+        const ir::TaskParam &Param = P.tasks()[T].Params[Pa];
+        bool Expected =
+            Param.Class == Class && guardAdmits(Param, State);
+        bool Listed = false;
+        for (auto [Task, ParamIdx] : G.enabledAt(static_cast<int>(N)))
+          Listed = Listed || (Task == static_cast<ir::TaskId>(T) &&
+                              ParamIdx == static_cast<ir::ParamId>(Pa));
+        EXPECT_EQ(Listed, Expected);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, AstgPropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+//===----------------------------------------------------------------------===//
+// FlagExpr reference-evaluator sweep
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A reference evaluator built independently of FlagExpr::evaluate.
+struct RefExpr {
+  int Kind = 0; // 0 true, 1 false, 2 flag, 3 not, 4 and, 5 or.
+  int Flag = 0;
+  std::unique_ptr<RefExpr> L, R;
+
+  bool eval(ir::FlagMask Bits) const {
+    switch (Kind) {
+    case 0: return true;
+    case 1: return false;
+    case 2: return (Bits & (ir::FlagMask(1) << Flag)) != 0;
+    case 3: return !L->eval(Bits);
+    case 4: return L->eval(Bits) && R->eval(Bits);
+    default: return L->eval(Bits) || R->eval(Bits);
+    }
+  }
+};
+
+std::pair<std::unique_ptr<ir::FlagExpr>, std::unique_ptr<RefExpr>>
+makeRandomExpr(Rng &R, int Depth) {
+  auto Ref = std::make_unique<RefExpr>();
+  if (Depth == 0 || R.nextBool(0.3)) {
+    int Pick = static_cast<int>(R.nextBelow(3));
+    if (Pick == 0) {
+      Ref->Kind = 0;
+      return {ir::FlagExpr::makeTrue(), std::move(Ref)};
+    }
+    if (Pick == 1) {
+      Ref->Kind = 1;
+      return {ir::FlagExpr::makeFalse(), std::move(Ref)};
+    }
+    Ref->Kind = 2;
+    Ref->Flag = static_cast<int>(R.nextBelow(6));
+    return {ir::FlagExpr::makeFlag(Ref->Flag), std::move(Ref)};
+  }
+  int Op = static_cast<int>(R.nextBelow(3));
+  auto [L1, L2] = makeRandomExpr(R, Depth - 1);
+  if (Op == 0) {
+    Ref->Kind = 3;
+    Ref->L = std::move(L2);
+    return {ir::FlagExpr::makeNot(std::move(L1)), std::move(Ref)};
+  }
+  auto [R1, R2] = makeRandomExpr(R, Depth - 1);
+  Ref->Kind = Op == 1 ? 4 : 5;
+  Ref->L = std::move(L2);
+  Ref->R = std::move(R2);
+  auto E = Op == 1 ? ir::FlagExpr::makeAnd(std::move(L1), std::move(R1))
+                   : ir::FlagExpr::makeOr(std::move(L1), std::move(R1));
+  return {std::move(E), std::move(Ref)};
+}
+
+} // namespace
+
+TEST(FlagExprPropertyTest, RandomTreesMatchReferenceEvaluator) {
+  Rng R(0xF1A6);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    auto [Expr, Ref] = makeRandomExpr(R, 4);
+    for (ir::FlagMask Bits = 0; Bits < 64; ++Bits)
+      ASSERT_EQ(Expr->evaluate(Bits), Ref->eval(Bits))
+          << "trial " << Trial << " bits " << Bits;
+    // Clones must agree too.
+    auto Clone = Expr->clone();
+    for (ir::FlagMask Bits = 0; Bits < 64; ++Bits)
+      ASSERT_EQ(Clone->evaluate(Bits), Expr->evaluate(Bits));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Lock plan properties
+//===----------------------------------------------------------------------===//
+
+TEST(LockPlanPropertyTest, AliasClosureRespected) {
+  Rng R(0x10CC);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    // Random task with N params and random alias pairs.
+    ir::ProgramBuilder PB("locks");
+    ir::ClassId C = PB.addClass("C", {"f"});
+    ir::TaskId T = PB.addTask("t");
+    int N = 2 + static_cast<int>(R.nextBelow(5));
+    for (int P = 0; P < N; ++P)
+      PB.addParam(T, formatString("p%d", P), C, PB.flagRef(C, "f"));
+    PB.addExit(T, "e");
+    std::vector<std::pair<int, int>> Pairs;
+    for (int A = 0; A < N; ++A)
+      for (int B = A + 1; B < N; ++B)
+        if (R.nextBool(0.3)) {
+          PB.addMayAlias(T, A, B);
+          Pairs.emplace_back(A, B);
+        }
+    PB.setStartup(C, "f");
+    ir::Program P = PB.take();
+    auto Plans = analysis::buildLockPlans(P);
+    const analysis::TaskLockPlan &Plan = Plans[static_cast<size_t>(T)];
+
+    // Directly aliased parameters share a group.
+    for (auto [A, B] : Pairs)
+      EXPECT_EQ(Plan.GroupOfParam[static_cast<size_t>(A)],
+                Plan.GroupOfParam[static_cast<size_t>(B)]);
+    // Group count consistent: groups = N - merged edges (spanning).
+    EXPECT_GE(Plan.NumGroups, 1);
+    EXPECT_LE(Plan.NumGroups, N);
+    // Every parameter has a valid group.
+    for (int G : Plan.GroupOfParam) {
+      EXPECT_GE(G, 0);
+      EXPECT_LT(G, Plan.NumGroups);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Executor/simulator sweep over pipeline configurations
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct SweepCase {
+  int Items;
+  machine::Cycles Work;
+  int Cores;
+};
+
+class ExecSimSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+} // namespace
+
+TEST_P(ExecSimSweepTest, SimulatorTracksExecutor) {
+  auto [Items, Work, CoreCount] = GetParam();
+  BoundProgram BP = tests::makePipelineBound(Items, Work);
+  analysis::Cstg G = analysis::buildCstg(BP.program());
+  profile::Profile Prof =
+      driver::profileOneCore(BP, G, ExecOptions{});
+
+  MachineConfig M = MachineConfig::tilePro64();
+  M.NumCores = CoreCount;
+  M.LoadSlowdown = 0.0; // Isolate scheduling agreement from contention.
+  Layout L;
+  L.NumCores = CoreCount;
+  const ir::Program &P = BP.program();
+  L.Instances = {{P.findTask("boot"), 0}, {P.findTask("fold"), 0}};
+  for (int C = 0; C < CoreCount; ++C)
+    L.Instances.push_back({P.findTask("work"), C});
+
+  TileExecutor Exec(BP, G, M, L);
+  ExecResult Real = Exec.run(ExecOptions{});
+  ASSERT_TRUE(Real.Completed);
+
+  schedsim::SimResult Sim =
+      schedsim::simulateLayout(P, G, Prof, BP.hints(), M, L);
+  ASSERT_TRUE(Sim.Terminated);
+  EXPECT_EQ(Sim.Invocations, Real.TaskInvocations);
+  double Err = std::abs(static_cast<double>(Sim.EstimatedCycles) -
+                        static_cast<double>(Real.TotalCycles)) /
+               static_cast<double>(Real.TotalCycles);
+  EXPECT_LT(Err, 0.05) << "items=" << Items << " work=" << Work
+                       << " cores=" << CoreCount;
+
+  // Conservation laws.
+  EXPECT_EQ(Real.TaskInvocations,
+            1u + 2u * static_cast<uint64_t>(Items));
+  EXPECT_EQ(Real.ObjectsAllocated, static_cast<uint64_t>(Items) + 1u);
+  machine::Cycles BusySum = 0;
+  for (machine::Cycles B : Real.CoreBusy) {
+    EXPECT_LE(B, Real.TotalCycles);
+    BusySum += B;
+  }
+  EXPECT_GE(BusySum, Real.TotalCycles); // Work >= makespan on >=1 cores.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExecSimSweepTest,
+    ::testing::Values(SweepCase{4, 200, 2}, SweepCase{16, 500, 4},
+                      SweepCase{33, 1000, 8}, SweepCase{64, 250, 16},
+                      SweepCase{100, 2000, 32}, SweepCase{128, 750, 62},
+                      SweepCase{7, 10000, 3}, SweepCase{250, 100, 62}),
+    [](const ::testing::TestParamInfo<SweepCase> &Info) {
+      return formatString("items%d_work%llu_cores%d", Info.param.Items,
+                          static_cast<unsigned long long>(Info.param.Work),
+                          Info.param.Cores);
+    });

@@ -1,0 +1,259 @@
+//===- tests/RuntimeTest.cpp - Tests for machine model and executor -------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cstg.h"
+#include "ir/ProgramBuilder.h"
+#include "machine/Layout.h"
+#include "machine/MachineConfig.h"
+#include "runtime/TaskContext.h"
+#include "runtime/TileExecutor.h"
+#include "PipelineFixture.h"
+
+#include <gtest/gtest.h>
+
+using namespace bamboo;
+using namespace bamboo::machine;
+using namespace bamboo::runtime;
+
+//===----------------------------------------------------------------------===//
+// MachineConfig
+//===----------------------------------------------------------------------===//
+
+TEST(MachineConfigTest, MeshDistances) {
+  MachineConfig M = MachineConfig::tilePro64();
+  EXPECT_EQ(M.meshWidth(), 8);
+  EXPECT_EQ(M.hopDistance(0, 0), 0);
+  EXPECT_EQ(M.hopDistance(0, 7), 7);  // Same row.
+  EXPECT_EQ(M.hopDistance(0, 8), 1);  // One row down.
+  EXPECT_EQ(M.hopDistance(0, 9), 2);  // Diagonal neighbor.
+}
+
+TEST(MachineConfigTest, TransferLatency) {
+  MachineConfig M = MachineConfig::tilePro64();
+  EXPECT_EQ(M.transferLatency(3, 3), 0u);
+  EXPECT_EQ(M.transferLatency(0, 1), M.MsgBaseLatency + M.MsgPerHop);
+  EXPECT_GT(M.transferLatency(0, 61), M.transferLatency(0, 1));
+}
+
+TEST(MachineConfigTest, DerivedMeshWidth) {
+  MachineConfig M;
+  M.NumCores = 16;
+  EXPECT_EQ(M.meshWidth(), 4);
+  M.NumCores = 1;
+  EXPECT_EQ(M.meshWidth(), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Layout
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using tests::ItemData;
+using tests::SinkData;
+using tests::makePipelineProgram;
+using tests::makePipelineBound;
+
+int64_t expectedTotal(int N) { return tests::pipelineExpectedTotal(N); }
+
+const SinkData *findSink(Heap &H) { return tests::findPipelineSink(H); }
+
+} // namespace
+
+TEST(LayoutTest, AllOnOneCore) {
+  ir::Program P = makePipelineProgram();
+  Layout L = Layout::allOnOneCore(P);
+  EXPECT_TRUE(L.covers(P));
+  EXPECT_EQ(L.NumCores, 1);
+  EXPECT_EQ(L.Instances.size(), P.tasks().size());
+  EXPECT_EQ(L.usedCores(), std::vector<int>{0});
+}
+
+TEST(LayoutTest, IsoKeyIgnoresCoreNumbering) {
+  ir::Program P = makePipelineProgram();
+  Layout A, B;
+  A.NumCores = B.NumCores = 4;
+  A.Instances = {{0, 0}, {1, 1}, {2, 2}};
+  B.Instances = {{0, 3}, {1, 0}, {2, 1}};
+  EXPECT_EQ(A.isoKey(P), B.isoKey(P));
+
+  Layout C;
+  C.NumCores = 4;
+  C.Instances = {{0, 0}, {1, 0}, {2, 1}}; // Different grouping.
+  EXPECT_NE(A.isoKey(P), C.isoKey(P));
+}
+
+TEST(LayoutTest, CoversRejectsMissingTask) {
+  ir::Program P = makePipelineProgram();
+  Layout L;
+  L.NumCores = 2;
+  L.Instances = {{0, 0}, {1, 1}}; // Task 2 missing.
+  EXPECT_FALSE(L.covers(P));
+}
+
+//===----------------------------------------------------------------------===//
+// TileExecutor: single core
+//===----------------------------------------------------------------------===//
+
+TEST(TileExecutorTest, PipelineRunsToCompletionSingleCore) {
+  BoundProgram BP = makePipelineBound(8, 100);
+  analysis::Cstg G = analysis::buildCstg(BP.program());
+  MachineConfig M = MachineConfig::singleCore();
+  Layout L = Layout::allOnOneCore(BP.program());
+  TileExecutor Exec(BP, G, M, L);
+  ExecResult R = Exec.run(ExecOptions{});
+
+  EXPECT_TRUE(R.Completed);
+  // 1 boot + 8 work + 8 fold.
+  EXPECT_EQ(R.TaskInvocations, 17u);
+  // 1 startup + 8 items + 1 sink.
+  EXPECT_EQ(R.ObjectsAllocated, 9u); // Items + sink (startup not counted).
+  EXPECT_EQ(R.MessagesSent, 0u);     // Single core: no transfers.
+
+  const SinkData *Sink = findSink(Exec.heap());
+  ASSERT_NE(Sink, nullptr);
+  EXPECT_EQ(Sink->Merged, 8);
+  EXPECT_EQ(Sink->Total, expectedTotal(8));
+}
+
+TEST(TileExecutorTest, CyclesAccountForWorkAndOverheads) {
+  BoundProgram BP = makePipelineBound(4, 1000);
+  analysis::Cstg G = analysis::buildCstg(BP.program());
+  MachineConfig M = MachineConfig::singleCore();
+  Layout L = Layout::allOnOneCore(BP.program());
+  TileExecutor Exec(BP, G, M, L);
+  ExecResult R = Exec.run(ExecOptions{});
+
+  // Work alone: boot 4*5 + 4*1000 + 4*3 = 4032. Overheads: 9 invocations
+  // of dispatch+locks on top.
+  Cycles WorkOnly = 4 * 5 + 4 * 1000 + 4 * 3;
+  EXPECT_GT(R.TotalCycles, WorkOnly);
+  Cycles MaxOverhead = 9 * (M.DispatchOverhead + 2 * M.LockOverhead);
+  EXPECT_LE(R.TotalCycles, WorkOnly + MaxOverhead);
+}
+
+TEST(TileExecutorTest, DeterministicAcrossRuns) {
+  BoundProgram BP = makePipelineBound(16, 250);
+  analysis::Cstg G = analysis::buildCstg(BP.program());
+  MachineConfig M = MachineConfig::tilePro64();
+  Layout L;
+  L.NumCores = 8;
+  const ir::Program &P = BP.program();
+  L.Instances = {{P.findTask("boot"), 0}, {P.findTask("fold"), 0}};
+  for (int C = 0; C < 8; ++C)
+    L.Instances.push_back({P.findTask("work"), C});
+  TileExecutor Exec(BP, G, M, L);
+  ExecResult A = Exec.run(ExecOptions{});
+  ExecResult B = Exec.run(ExecOptions{});
+  EXPECT_EQ(A.TotalCycles, B.TotalCycles);
+  EXPECT_EQ(A.TaskInvocations, B.TaskInvocations);
+  EXPECT_EQ(A.MessagesSent, B.MessagesSent);
+}
+
+//===----------------------------------------------------------------------===//
+// TileExecutor: parallel execution
+//===----------------------------------------------------------------------===//
+
+TEST(TileExecutorTest, ParallelLayoutIsFasterAndCorrect) {
+  const int Items = 32;
+  BoundProgram BP = makePipelineBound(Items, 2000);
+  analysis::Cstg G = analysis::buildCstg(BP.program());
+  const ir::Program &P = BP.program();
+
+  MachineConfig M1 = MachineConfig::singleCore();
+  Layout L1 = Layout::allOnOneCore(P);
+  TileExecutor Exec1(BP, G, M1, L1);
+  ExecResult R1 = Exec1.run(ExecOptions{});
+  ASSERT_TRUE(R1.Completed);
+  const SinkData *Sink1 = findSink(Exec1.heap());
+  ASSERT_NE(Sink1, nullptr);
+
+  MachineConfig M8 = MachineConfig::tilePro64();
+  M8.NumCores = 8;
+  Layout L8;
+  L8.NumCores = 8;
+  L8.Instances = {{P.findTask("boot"), 0}, {P.findTask("fold"), 0}};
+  for (int C = 0; C < 8; ++C)
+    L8.Instances.push_back({P.findTask("work"), C});
+  TileExecutor Exec8(BP, G, M8, L8);
+  ExecResult R8 = Exec8.run(ExecOptions{});
+  ASSERT_TRUE(R8.Completed);
+
+  // Same results.
+  const SinkData *Sink8 = findSink(Exec8.heap());
+  ASSERT_NE(Sink8, nullptr);
+  EXPECT_EQ(Sink8->Total, Sink1->Total);
+  EXPECT_EQ(Sink8->Total, expectedTotal(Items));
+
+  // Parallel run must show real speedup on this work-dominated pipeline.
+  EXPECT_LT(R8.TotalCycles * 3, R1.TotalCycles);
+  EXPECT_GT(R8.MessagesSent, 0u);
+}
+
+TEST(TileExecutorTest, RoundRobinSpreadsWorkAcrossInstances) {
+  const int Items = 24;
+  BoundProgram BP = makePipelineBound(Items, 500);
+  analysis::Cstg G = analysis::buildCstg(BP.program());
+  const ir::Program &P = BP.program();
+
+  MachineConfig M = MachineConfig::tilePro64();
+  M.NumCores = 4;
+  Layout L;
+  L.NumCores = 4;
+  L.Instances = {{P.findTask("boot"), 0}, {P.findTask("fold"), 0}};
+  for (int C = 1; C < 4; ++C)
+    L.Instances.push_back({P.findTask("work"), C});
+  TileExecutor Exec(BP, G, M, L);
+  ExecResult R = Exec.run(ExecOptions{});
+  ASSERT_TRUE(R.Completed);
+  // Every worker core must have been busy.
+  for (int C = 1; C < 4; ++C)
+    EXPECT_GT(R.CoreBusy[static_cast<size_t>(C)], 0u)
+        << "core " << C << " never ran";
+}
+
+TEST(TileExecutorTest, ProfileCollection) {
+  BoundProgram BP = makePipelineBound(10, 700);
+  analysis::Cstg G = analysis::buildCstg(BP.program());
+  MachineConfig M = MachineConfig::singleCore();
+  Layout L = Layout::allOnOneCore(BP.program());
+  TileExecutor Exec(BP, G, M, L);
+  ExecOptions Opts;
+  Opts.CollectProfile = true;
+  ExecResult R = Exec.run(Opts);
+  ASSERT_TRUE(R.CollectedProfile.has_value());
+  const profile::Profile &Prof = *R.CollectedProfile;
+  EXPECT_TRUE(Prof.terminated());
+
+  const ir::Program &P = BP.program();
+  ir::TaskId Work = P.findTask("work");
+  EXPECT_EQ(Prof.taskStats(Work).invocations(), 10u);
+  EXPECT_DOUBLE_EQ(Prof.exitProbability(Work, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Prof.meanCycles(Work, 0), 700.0);
+
+  // Fold: 9 "more" exits and 1 "all" exit.
+  ir::TaskId Fold = P.findTask("fold");
+  EXPECT_EQ(Prof.exitCount(Fold, 0), 9u);
+  EXPECT_EQ(Prof.exitCount(Fold, 1), 1u);
+  EXPECT_NEAR(Prof.exitProbability(Fold, 0), 0.9, 1e-9);
+
+  // Boot allocated 10 items at its first site.
+  ir::SiteId ItemSite = P.taskOf(P.findTask("boot")).Sites[0];
+  EXPECT_DOUBLE_EQ(Prof.expectedAllocsPerInvocation(ItemSite), 10.0);
+}
+
+TEST(TileExecutorTest, PerCoreBusyTotalsConsistent) {
+  BoundProgram BP = makePipelineBound(12, 300);
+  analysis::Cstg G = analysis::buildCstg(BP.program());
+  MachineConfig M = MachineConfig::singleCore();
+  Layout L = Layout::allOnOneCore(BP.program());
+  TileExecutor Exec(BP, G, M, L);
+  ExecResult R = Exec.run(ExecOptions{});
+  ASSERT_EQ(R.CoreBusy.size(), 1u);
+  // On one core, busy time equals total time (no idle gaps possible after
+  // the first event at t=0).
+  EXPECT_EQ(R.CoreBusy[0], R.TotalCycles);
+}

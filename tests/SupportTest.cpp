@@ -1,0 +1,278 @@
+//===- tests/SupportTest.cpp - Tests for the support library --------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Dot.h"
+#include "support/Format.h"
+#include "support/Rng.h"
+#include "support/Scc.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+using namespace bamboo;
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_LT(Same, 4);
+}
+
+TEST(RngTest, NextBelowIsInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng R(11);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 500; ++I)
+    Seen.insert(R.nextBelow(7));
+  EXPECT_EQ(Seen.size(), 7u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng R(3);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.nextInRange(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    SawLo |= V == -2;
+    SawHi |= V == 2;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng R(5);
+  double Sum = 0;
+  for (int I = 0; I < 10000; ++I) {
+    double D = R.nextDouble();
+    ASSERT_GE(D, 0.0);
+    ASSERT_LT(D, 1.0);
+    Sum += D;
+  }
+  // Mean of U[0,1) over 10k samples should be near 0.5.
+  EXPECT_NEAR(Sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng R(9);
+  int Hits = 0;
+  for (int I = 0; I < 10000; ++I)
+    Hits += R.nextBool(0.25) ? 1 : 0;
+  EXPECT_NEAR(Hits / 10000.0, 0.25, 0.03);
+  EXPECT_FALSE(R.nextBool(0.0));
+  EXPECT_TRUE(R.nextBool(1.0));
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng A(42);
+  Rng B = A.split();
+  // The split stream must not mirror the parent.
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_LT(Same, 4);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng R(13);
+  std::vector<int> V{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Orig = V;
+  R.shuffle(V);
+  std::vector<int> Sorted = V;
+  std::sort(Sorted.begin(), Sorted.end());
+  EXPECT_EQ(Sorted, Orig);
+}
+
+//===----------------------------------------------------------------------===//
+// Scc
+//===----------------------------------------------------------------------===//
+
+TEST(SccTest, SingleNodeNoEdge) {
+  SccResult R = computeSccs({{}});
+  EXPECT_EQ(R.numComponents(), 1u);
+  EXPECT_EQ(R.ComponentOf[0], 0);
+}
+
+TEST(SccTest, SimpleCycle) {
+  // 0 -> 1 -> 2 -> 0.
+  SccResult R = computeSccs({{1}, {2}, {0}});
+  EXPECT_EQ(R.numComponents(), 1u);
+}
+
+TEST(SccTest, TwoComponentsChain) {
+  // Cycle {0,1} feeding node 2.
+  SccResult R = computeSccs({{1}, {0, 2}, {}});
+  EXPECT_EQ(R.numComponents(), 2u);
+  EXPECT_EQ(R.ComponentOf[0], R.ComponentOf[1]);
+  EXPECT_NE(R.ComponentOf[0], R.ComponentOf[2]);
+  // Tarjan numbers components in reverse topological order: the sink
+  // component (node 2) gets the smaller index.
+  EXPECT_LT(R.ComponentOf[2], R.ComponentOf[0]);
+}
+
+TEST(SccTest, SelfLoop) {
+  SccResult R = computeSccs({{0}});
+  EXPECT_EQ(R.numComponents(), 1u);
+}
+
+TEST(SccTest, DisconnectedNodes) {
+  SccResult R = computeSccs({{}, {}, {}});
+  EXPECT_EQ(R.numComponents(), 3u);
+}
+
+TEST(SccTest, DeepChainDoesNotOverflow) {
+  // 100k-node chain; the iterative implementation must handle it.
+  const int N = 100000;
+  std::vector<std::vector<int>> Adj(N);
+  for (int I = 0; I + 1 < N; ++I)
+    Adj[static_cast<size_t>(I)].push_back(I + 1);
+  SccResult R = computeSccs(Adj);
+  EXPECT_EQ(R.numComponents(), static_cast<size_t>(N));
+}
+
+TEST(SccTest, CondensationEdges) {
+  // {0,1} cycle -> 2 -> 3, plus 2 -> 3 duplicate via another path.
+  std::vector<std::vector<int>> Adj{{1}, {0, 2}, {3}, {}};
+  SccResult R = computeSccs(Adj);
+  auto Dag = buildCondensation(Adj, R);
+  ASSERT_EQ(Dag.size(), 3u);
+  int CycleComp = R.ComponentOf[0];
+  int MidComp = R.ComponentOf[2];
+  int SinkComp = R.ComponentOf[3];
+  EXPECT_EQ(Dag[static_cast<size_t>(CycleComp)],
+            std::vector<int>{MidComp});
+  EXPECT_EQ(Dag[static_cast<size_t>(MidComp)], std::vector<int>{SinkComp});
+  EXPECT_TRUE(Dag[static_cast<size_t>(SinkComp)].empty());
+}
+
+//===----------------------------------------------------------------------===//
+// DotWriter
+//===----------------------------------------------------------------------===//
+
+TEST(DotTest, BasicGraph) {
+  DotWriter Dot("g");
+  Dot.addNode("a", "Node A");
+  Dot.addNode("b", "Node B", "shape=box");
+  Dot.addEdge("a", "b", "go", "style=dashed");
+  std::string Out = Dot.str();
+  EXPECT_NE(Out.find("digraph \"g\""), std::string::npos);
+  EXPECT_NE(Out.find("\"a\" [label=\"Node A\"];"), std::string::npos);
+  EXPECT_NE(Out.find("shape=box"), std::string::npos);
+  EXPECT_NE(Out.find("\"a\" -> \"b\" [label=\"go\", style=dashed];"),
+            std::string::npos);
+}
+
+TEST(DotTest, EscapesQuotesAndNewlines) {
+  EXPECT_EQ(DotWriter::escape("a\"b\nc\\d"), "a\\\"b\\nc\\\\d");
+}
+
+TEST(DotTest, Clusters) {
+  DotWriter Dot("g");
+  Dot.beginCluster("c1", "Cluster One");
+  Dot.addNode("x", "X");
+  Dot.endCluster();
+  std::string Out = Dot.str();
+  EXPECT_NE(Out.find("subgraph \"cluster_c1\""), std::string::npos);
+  EXPECT_NE(Out.find("label=\"Cluster One\";"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Format
+//===----------------------------------------------------------------------===//
+
+TEST(FormatTest, FormatString) {
+  EXPECT_EQ(formatString("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(formatString("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(formatString("%s", "hello"), "hello");
+}
+
+TEST(FormatTest, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(FormatTest, RenderTableAligns) {
+  std::string Out = renderTable({{"Name", "Value"}, {"x", "1"},
+                                 {"longer", "22"}});
+  EXPECT_NE(Out.find("Name"), std::string::npos);
+  EXPECT_NE(Out.find("------"), std::string::npos);
+  // Every data row appears.
+  EXPECT_NE(Out.find("longer"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Stats
+//===----------------------------------------------------------------------===//
+
+TEST(StatsTest, RunningStatBasics) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(X);
+  EXPECT_EQ(S.count(), 8u);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+  EXPECT_DOUBLE_EQ(S.total(), 40.0);
+  // Sample stddev of this classic dataset is ~2.138.
+  EXPECT_NEAR(S.stddev(), 2.138, 0.001);
+}
+
+TEST(StatsTest, RunningStatSingleSample) {
+  RunningStat S;
+  S.add(3.5);
+  EXPECT_DOUBLE_EQ(S.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+}
+
+TEST(StatsTest, HistogramBinning) {
+  Histogram H(0.0, 10.0, 10);
+  H.add(0.5);  // bin 0
+  H.add(9.5);  // bin 9
+  H.add(5.0);  // bin 5
+  H.add(-3.0); // clamped to bin 0
+  H.add(42.0); // clamped to bin 9
+  EXPECT_EQ(H.totalCount(), 5u);
+  EXPECT_EQ(H.binCount(0), 2u);
+  EXPECT_EQ(H.binCount(5), 1u);
+  EXPECT_EQ(H.binCount(9), 2u);
+  EXPECT_DOUBLE_EQ(H.binCenter(0), 0.5);
+  EXPECT_DOUBLE_EQ(H.binFraction(0), 0.4);
+}
+
+TEST(StatsTest, HistogramAscii) {
+  Histogram H(0.0, 1.0, 4);
+  H.add(0.1);
+  H.add(0.1);
+  std::string Out = H.renderAscii("title");
+  EXPECT_NE(Out.find("title"), std::string::npos);
+  EXPECT_NE(Out.find("#"), std::string::npos);
+}

@@ -1,0 +1,365 @@
+//===- tests/SynthesisTest.cpp - Synthesis, schedsim, DSA, pipeline -------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "optimize/CriticalPath.h"
+#include "optimize/Dsa.h"
+#include "schedsim/SchedSim.h"
+#include "synthesis/CoreGroups.h"
+#include "synthesis/MappingSearch.h"
+#include "PipelineFixture.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace bamboo;
+using namespace bamboo::machine;
+using namespace bamboo::runtime;
+using namespace bamboo::synthesis;
+using namespace bamboo::tests;
+
+namespace {
+
+/// Profiles the shared pipeline fixture on one core.
+struct ProfiledPipeline {
+  BoundProgram BP;
+  analysis::Cstg Graph;
+  profile::Profile Prof;
+
+  explicit ProfiledPipeline(int Items, Cycles Work)
+      : BP(makePipelineBound(Items, Work)),
+        Graph(analysis::buildCstg(BP.program())),
+        Prof(driver::profileOneCore(BP, Graph, ExecOptions{})) {}
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Scheduling simulator
+//===----------------------------------------------------------------------===//
+
+TEST(SchedSimTest, OneCoreEstimateMatchesRealRun) {
+  ProfiledPipeline P(16, 800);
+  MachineConfig One = MachineConfig::singleCore();
+  Layout L = Layout::allOnOneCore(P.BP.program());
+
+  TileExecutor Exec(P.BP, P.Graph, One, L);
+  ExecResult Real = Exec.run(ExecOptions{});
+
+  schedsim::SimResult Sim = schedsim::simulateLayout(
+      P.BP.program(), P.Graph, P.Prof, P.BP.hints(), One, L);
+  ASSERT_TRUE(Sim.Terminated);
+  EXPECT_EQ(Sim.Invocations, Real.TaskInvocations);
+  // With a deterministic workload the Markov model should be near-exact.
+  double Err = std::abs(static_cast<double>(Sim.EstimatedCycles) -
+                        static_cast<double>(Real.TotalCycles)) /
+               static_cast<double>(Real.TotalCycles);
+  EXPECT_LT(Err, 0.02) << "sim " << Sim.EstimatedCycles << " real "
+                       << Real.TotalCycles;
+}
+
+TEST(SchedSimTest, ParallelEstimateMatchesRealRun) {
+  ProfiledPipeline P(32, 1500);
+  const ir::Program &Prog = P.BP.program();
+  MachineConfig M = MachineConfig::tilePro64();
+  M.NumCores = 8;
+  Layout L;
+  L.NumCores = 8;
+  L.Instances = {{Prog.findTask("boot"), 0}, {Prog.findTask("fold"), 0}};
+  for (int C = 0; C < 8; ++C)
+    L.Instances.push_back({Prog.findTask("work"), C});
+
+  TileExecutor Exec(P.BP, P.Graph, M, L);
+  ExecResult Real = Exec.run(ExecOptions{});
+  ASSERT_TRUE(Real.Completed);
+
+  schedsim::SimResult Sim =
+      schedsim::simulateLayout(Prog, P.Graph, P.Prof, P.BP.hints(), M, L);
+  ASSERT_TRUE(Sim.Terminated);
+  double Err = std::abs(static_cast<double>(Sim.EstimatedCycles) -
+                        static_cast<double>(Real.TotalCycles)) /
+               static_cast<double>(Real.TotalCycles);
+  EXPECT_LT(Err, 0.10) << "sim " << Sim.EstimatedCycles << " real "
+                       << Real.TotalCycles;
+}
+
+TEST(SchedSimTest, TraceRecordsDependences) {
+  ProfiledPipeline P(4, 300);
+  MachineConfig One = MachineConfig::singleCore();
+  Layout L = Layout::allOnOneCore(P.BP.program());
+  schedsim::SimOptions Opts;
+  Opts.RecordTrace = true;
+  schedsim::SimResult Sim = schedsim::simulateLayout(
+      P.BP.program(), P.Graph, P.Prof, P.BP.hints(), One, L, Opts);
+  // 1 boot + 4 work + 4 fold.
+  ASSERT_EQ(Sim.Trace.size(), 9u);
+  // The boot invocation has the injected startup token as its only dep.
+  EXPECT_EQ(Sim.Trace[0].DepIds, std::vector<int>{-1});
+  // Everything else depends directly or transitively on invocation 0.
+  for (size_t T = 1; T < Sim.Trace.size(); ++T)
+    for (int Dep : Sim.Trace[T].DepIds)
+      EXPECT_GE(Dep, 0);
+}
+
+TEST(SchedSimTest, DeterministicEstimates) {
+  ProfiledPipeline P(12, 400);
+  MachineConfig One = MachineConfig::singleCore();
+  Layout L = Layout::allOnOneCore(P.BP.program());
+  auto A = schedsim::simulateLayout(P.BP.program(), P.Graph, P.Prof,
+                                    P.BP.hints(), One, L);
+  auto B = schedsim::simulateLayout(P.BP.program(), P.Graph, P.Prof,
+                                    P.BP.hints(), One, L);
+  EXPECT_EQ(A.EstimatedCycles, B.EstimatedCycles);
+  EXPECT_EQ(A.Invocations, B.Invocations);
+}
+
+//===----------------------------------------------------------------------===//
+// Core groups and parallelization rules
+//===----------------------------------------------------------------------===//
+
+TEST(CoreGroupsTest, AnchoringAndReplication) {
+  ProfiledPipeline P(16, 800);
+  GroupPlan Plan =
+      buildGroupPlan(P.BP.program(), P.Graph, P.Prof, /*NumCores=*/8);
+
+  // Three groups: StartupObject{boot}, Item{work}, Sink{fold}.
+  ASSERT_EQ(Plan.Groups.size(), 3u);
+  const ir::Program &Prog = P.BP.program();
+
+  for (const CoreGroup &G : Plan.Groups) {
+    if (G.PrimaryClass == Prog.startupClass()) {
+      EXPECT_EQ(G.Replicas, 1);
+    } else if (G.PrimaryClass == Prog.findClass("Item")) {
+      // Boot allocates 16 items per invocation: the data parallelization
+      // rule wants 16 copies, clamped to the 8-core machine.
+      EXPECT_EQ(G.Replicas, 8);
+    } else {
+      // fold is multi-parameter without tag links: pinned, unreplicable.
+      EXPECT_EQ(G.PrimaryClass, Prog.findClass("Sink"));
+      EXPECT_EQ(G.Replicas, 1);
+      ASSERT_EQ(G.Pinned.size(), 1u);
+      EXPECT_EQ(G.Pinned[0], Prog.findTask("fold"));
+    }
+  }
+}
+
+TEST(CoreGroupsTest, MaterializePlacesPinnedOnceOnly) {
+  ProfiledPipeline P(16, 800);
+  GroupPlan Plan =
+      buildGroupPlan(P.BP.program(), P.Graph, P.Prof, /*NumCores=*/4);
+  std::vector<GroupPlan::GroupInstance> Insts = Plan.instances();
+  std::vector<int> CoreOf(Insts.size());
+  for (size_t I = 0; I < CoreOf.size(); ++I)
+    CoreOf[I] = static_cast<int>(I % 4);
+  Layout L = Plan.materialize(CoreOf, 4);
+  EXPECT_TRUE(L.covers(P.BP.program()));
+  // fold appears exactly once.
+  EXPECT_EQ(L.instancesOf(P.BP.program().findTask("fold")).size(), 1u);
+  // work appears once per Item replica.
+  EXPECT_GE(L.instancesOf(P.BP.program().findTask("work")).size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Mapping search
+//===----------------------------------------------------------------------===//
+
+TEST(MappingSearchTest, ExhaustiveEnumerationIsNonIsomorphic) {
+  ProfiledPipeline P(4, 100);
+  GroupPlan Plan =
+      buildGroupPlan(P.BP.program(), P.Graph, P.Prof, /*NumCores=*/3);
+  SearchOptions Opts;
+  std::vector<Layout> All = enumerateMappings(Plan, P.BP.program(), 3, Opts);
+  ASSERT_FALSE(All.empty());
+  std::set<std::string> Keys;
+  for (const Layout &L : All) {
+    EXPECT_TRUE(L.covers(P.BP.program()));
+    EXPECT_TRUE(Keys.insert(L.isoKey(P.BP.program())).second)
+        << "duplicate isomorphic layout";
+  }
+  // boot + interchangeable item replicas (clamped to the machine) + sink
+  // into at most 3 unlabeled cores: strictly fewer than the raw set
+  // partitions, still a meaningful space.
+  size_t N = Plan.instances().size();
+  ASSERT_EQ(N, 5u); // 1 + min(rate-matching, 3 cores) + 1.
+  EXPECT_GT(All.size(), 10u);
+  EXPECT_LT(All.size(), 52u); // Bell-style bound for 5 labeled items.
+}
+
+TEST(MappingSearchTest, SkippingSamplesSubset) {
+  ProfiledPipeline P(4, 100);
+  GroupPlan Plan =
+      buildGroupPlan(P.BP.program(), P.Graph, P.Prof, /*NumCores=*/3);
+  SearchOptions Exhaustive;
+  size_t Total = enumerateMappings(Plan, P.BP.program(), 3, Exhaustive).size();
+
+  Rng R(99);
+  SearchOptions Sampled;
+  Sampled.SkipProbability = 0.5;
+  Sampled.R = &R;
+  size_t SampledCount = enumerateMappings(Plan, P.BP.program(), 3, Sampled).size();
+  EXPECT_LT(SampledCount, Total);
+  EXPECT_GT(SampledCount, 0u);
+}
+
+TEST(MappingSearchTest, RandomLayoutsAreValidAndDistinct) {
+  ProfiledPipeline P(16, 100);
+  GroupPlan Plan =
+      buildGroupPlan(P.BP.program(), P.Graph, P.Prof, /*NumCores=*/8);
+  Rng R(7);
+  std::vector<Layout> Ls =
+      randomLayouts(Plan, P.BP.program(), 8, 20, R);
+  EXPECT_GE(Ls.size(), 5u);
+  std::set<std::string> Keys;
+  for (const Layout &L : Ls) {
+    EXPECT_TRUE(L.covers(P.BP.program()));
+    EXPECT_TRUE(Keys.insert(L.isoKey(P.BP.program())).second);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Critical path
+//===----------------------------------------------------------------------===//
+
+TEST(CriticalPathTest, SingleCorePathCoversWholeRun) {
+  ProfiledPipeline P(6, 500);
+  MachineConfig One = MachineConfig::singleCore();
+  Layout L = Layout::allOnOneCore(P.BP.program());
+  schedsim::SimOptions Opts;
+  Opts.RecordTrace = true;
+  schedsim::SimResult Sim = schedsim::simulateLayout(
+      P.BP.program(), P.Graph, P.Prof, P.BP.hints(), One, L, Opts);
+  auto Path = optimize::computeCriticalPath(Sim.Trace);
+  ASSERT_FALSE(Path.Steps.empty());
+  EXPECT_EQ(Path.Length, Sim.EstimatedCycles);
+  // On one core every invocation is on the critical path.
+  EXPECT_EQ(Path.Steps.size(), Sim.Trace.size());
+  // The path starts with boot.
+  EXPECT_EQ(Sim.Trace[static_cast<size_t>(Path.Steps[0].TraceId)].Task,
+            P.BP.program().findTask("boot"));
+}
+
+TEST(CriticalPathTest, ParallelPathShorterThanTotalWork) {
+  ProfiledPipeline P(16, 1000);
+  const ir::Program &Prog = P.BP.program();
+  MachineConfig M = MachineConfig::tilePro64();
+  M.NumCores = 4;
+  Layout L;
+  L.NumCores = 4;
+  L.Instances = {{Prog.findTask("boot"), 0}, {Prog.findTask("fold"), 0}};
+  for (int C = 1; C < 4; ++C)
+    L.Instances.push_back({Prog.findTask("work"), C});
+  schedsim::SimOptions Opts;
+  Opts.RecordTrace = true;
+  schedsim::SimResult Sim = schedsim::simulateLayout(
+      Prog, P.Graph, P.Prof, P.BP.hints(), M, L, Opts);
+  auto Path = optimize::computeCriticalPath(Sim.Trace);
+  EXPECT_EQ(Path.Length, Sim.EstimatedCycles);
+  EXPECT_LT(Path.Steps.size(), Sim.Trace.size());
+  // Some critical tasks were resource-delayed (3 workers, 16 items).
+  EXPECT_FALSE(Path.resourceDelayed().empty());
+}
+
+TEST(CriticalPathTest, TraceDotRendering) {
+  ProfiledPipeline P(3, 200);
+  MachineConfig One = MachineConfig::singleCore();
+  Layout L = Layout::allOnOneCore(P.BP.program());
+  schedsim::SimOptions Opts;
+  Opts.RecordTrace = true;
+  schedsim::SimResult Sim = schedsim::simulateLayout(
+      P.BP.program(), P.Graph, P.Prof, P.BP.hints(), One, L, Opts);
+  auto Path = optimize::computeCriticalPath(Sim.Trace);
+  std::string Dot = optimize::traceToDot(P.BP.program(), Sim.Trace, Path);
+  EXPECT_NE(Dot.find("boot"), std::string::npos);
+  EXPECT_NE(Dot.find("style=dashed"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Directed simulated annealing
+//===----------------------------------------------------------------------===//
+
+TEST(DsaTest, ImprovesOverWorstRandomLayout) {
+  ProfiledPipeline P(32, 2000);
+  const ir::Program &Prog = P.BP.program();
+  MachineConfig M = MachineConfig::tilePro64();
+  M.NumCores = 8;
+  GroupPlan Plan = buildGroupPlan(Prog, P.Graph, P.Prof, M.NumCores);
+
+  // Baseline: the all-on-core-0 mapping (worst case).
+  std::vector<int> AllZero(Plan.instances().size(), 0);
+  Layout Worst = Plan.materialize(AllZero, M.NumCores);
+  schedsim::SimResult WorstSim = schedsim::simulateLayout(
+      Prog, P.Graph, P.Prof, P.BP.hints(), M, Worst);
+
+  optimize::DsaOptions Opts;
+  Opts.Seed = 5;
+  optimize::DsaResult R = optimize::runDsa(Prog, P.Graph, P.Prof,
+                                           P.BP.hints(), M, Plan, Opts);
+  EXPECT_GT(R.Evaluations, 0u);
+  // DSA must beat the serial mapping by a wide margin on 8 cores.
+  EXPECT_LT(R.BestEstimate * 3, WorstSim.EstimatedCycles);
+  EXPECT_TRUE(R.Best.covers(Prog));
+}
+
+TEST(DsaTest, DeterministicForSeed) {
+  ProfiledPipeline P(16, 800);
+  MachineConfig M = MachineConfig::tilePro64();
+  M.NumCores = 4;
+  GroupPlan Plan =
+      buildGroupPlan(P.BP.program(), P.Graph, P.Prof, M.NumCores);
+  optimize::DsaOptions Opts;
+  Opts.Seed = 42;
+  auto A = optimize::runDsa(P.BP.program(), P.Graph, P.Prof, P.BP.hints(),
+                            M, Plan, Opts);
+  auto B = optimize::runDsa(P.BP.program(), P.Graph, P.Prof, P.BP.hints(),
+                            M, Plan, Opts);
+  EXPECT_EQ(A.BestEstimate, B.BestEstimate);
+}
+
+TEST(DsaTest, StartingPointsAreHonored) {
+  ProfiledPipeline P(16, 800);
+  MachineConfig M = MachineConfig::tilePro64();
+  M.NumCores = 4;
+  GroupPlan Plan =
+      buildGroupPlan(P.BP.program(), P.Graph, P.Prof, M.NumCores);
+  std::vector<int> AllZero(Plan.instances().size(), 0);
+  std::vector<Layout> Starts{Plan.materialize(AllZero, M.NumCores)};
+  optimize::DsaOptions Opts;
+  Opts.Seed = 9;
+  auto R = optimize::runDsa(P.BP.program(), P.Graph, P.Prof, P.BP.hints(),
+                            M, Plan, Opts, &Starts);
+  schedsim::SimResult StartSim = schedsim::simulateLayout(
+      P.BP.program(), P.Graph, P.Prof, P.BP.hints(), M, Starts[0]);
+  // From the serial start, directed moves must find a better layout.
+  EXPECT_LT(R.BestEstimate, StartSim.EstimatedCycles);
+}
+
+//===----------------------------------------------------------------------===//
+// Whole pipeline
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineTest, EndToEndSpeedupAndAccuracy) {
+  BoundProgram BP = makePipelineBound(64, 3000);
+  driver::PipelineOptions Opts;
+  Opts.Target = MachineConfig::tilePro64();
+  Opts.Target.NumCores = 16;
+  Opts.Dsa.Seed = 3;
+  driver::PipelineResult R = driver::runPipeline(BP, Opts);
+
+  ASSERT_TRUE(R.RealRunCompleted);
+  // Real speedup on 16 cores for this embarrassingly parallel pipeline.
+  EXPECT_GT(R.speedupVsOneCore(), 4.0);
+
+  // Estimation accuracy within 10% for both layouts (Figure 9's bands).
+  double Err1 = std::abs(static_cast<double>(R.Estimated1Core) -
+                         static_cast<double>(R.Real1Core)) /
+                static_cast<double>(R.Real1Core);
+  EXPECT_LT(Err1, 0.05);
+  double ErrN = std::abs(static_cast<double>(R.EstimatedNCore) -
+                         static_cast<double>(R.RealNCore)) /
+                static_cast<double>(R.RealNCore);
+  EXPECT_LT(ErrN, 0.15);
+}

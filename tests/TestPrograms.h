@@ -1,0 +1,192 @@
+//===- tests/TestPrograms.h - Shared fixture programs -----------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bamboo source programs shared by the test suites, most importantly the
+/// keyword-counting example of Section 2 of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_TESTS_TESTPROGRAMS_H
+#define BAMBOO_TESTS_TESTPROGRAMS_H
+
+namespace bamboo::tests {
+
+/// The Section-2 keyword counting example, written in the Bamboo DSL. The
+/// startup task partitions the input text into `sections` pieces, each
+/// processText invocation counts occurrences of the keyword, and
+/// mergeIntermediateResult folds the per-section counts into the final
+/// Results object.
+inline const char *KeywordCountSource = R"(
+class Partitioner {
+  String text;
+  int sections;
+  int count;
+
+  Partitioner(String t, int n) {
+    text = t;
+    sections = n;
+    count = 0;
+  }
+
+  boolean morePartitions() {
+    return count < sections;
+  }
+
+  String nextPartition() {
+    int len = text.length();
+    int start = count * len / sections;
+    int end = (count + 1) * len / sections;
+    count = count + 1;
+    return text.substring(start, end);
+  }
+
+  int sectionNum() {
+    return sections;
+  }
+}
+
+class Text {
+  flag process;
+  flag submit;
+  String section;
+  int hits;
+
+  Text(String s) {
+    section = s;
+    hits = 0;
+  }
+
+  void countWord(String w) {
+    int i = 0;
+    int n = section.length();
+    while (i < n) {
+      int j = section.indexOf(w, i);
+      if (j < 0) {
+        i = n;
+      } else {
+        hits = hits + 1;
+        i = j + 1;
+      }
+    }
+  }
+}
+
+class Results {
+  flag finished;
+  int expected;
+  int merged;
+  int total;
+
+  Results(int n) {
+    expected = n;
+    merged = 0;
+    total = 0;
+  }
+
+  boolean mergeResult(Text t) {
+    total = total + t.hits;
+    merged = merged + 1;
+    return merged == expected;
+  }
+}
+
+task startup(StartupObject s in initialstate) {
+  Partitioner p = new Partitioner(s.args[0], 4);
+  while (p.morePartitions()) {
+    String section = p.nextPartition();
+    Text tp = new Text(section) { process := true };
+  }
+  Results rp = new Results(p.sectionNum()) { finished := false };
+  taskexit(s: initialstate := false);
+}
+
+task processText(Text tp in process) {
+  tp.countWord("the");
+  taskexit(tp: process := false, submit := true);
+}
+
+task mergeIntermediateResult(Results rp in !finished, Text tp in submit) {
+  boolean allprocessed = rp.mergeResult(tp);
+  if (allprocessed) {
+    taskexit(rp: finished := true; tp: submit := false);
+  }
+  taskexit(tp: submit := false);
+}
+)";
+
+/// A task that genuinely links two parameter regions together: the
+/// disjointness analysis must report p and q as may-alias.
+inline const char *CrossLinkSource = R"(
+class Node {
+  flag ready;
+  Node next;
+
+  Node() {
+  }
+}
+
+task startup(StartupObject s in initialstate) {
+  Node a = new Node() { ready := true };
+  Node b = new Node() { ready := true };
+  taskexit(s: initialstate := false);
+}
+
+task link(Node p in ready, Node q in ready) {
+  p.next = q;
+  taskexit(p: ready := false; q: ready := false);
+}
+)";
+
+/// A program exercising tags: a save pipeline where a Drawing and the
+/// Image created for it are linked by a tag instance so finishsave pairs
+/// the right objects (the Section-3 example).
+inline const char *TagPipelineSource = R"(
+tagtype savesession;
+
+class Drawing {
+  flag dirty;
+  flag saving;
+  flag saved;
+
+  Drawing() {
+  }
+}
+
+class Image {
+  flag uncompressed;
+  flag compressed;
+
+  Image() {
+  }
+}
+
+task startup(StartupObject s in initialstate) {
+  Drawing d = new Drawing() { dirty := true };
+  Drawing d2 = new Drawing() { dirty := true };
+  taskexit(s: initialstate := false);
+}
+
+task startsave(Drawing d in dirty) {
+  tag t = new tag(savesession);
+  Image img = new Image() { uncompressed := true, add t };
+  taskexit(d: dirty := false, saving := true, add t);
+}
+
+task compress(Image img in uncompressed) {
+  taskexit(img: uncompressed := false, compressed := true);
+}
+
+task finishsave(Drawing d in saving with savesession t,
+                Image img in compressed with savesession t) {
+  taskexit(d: saving := false, saved := true, clear t;
+           img: compressed := false, clear t);
+}
+)";
+
+} // namespace bamboo::tests
+
+#endif // BAMBOO_TESTS_TESTPROGRAMS_H
