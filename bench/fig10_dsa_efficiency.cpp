@@ -16,7 +16,10 @@
 /// (except Tracking, where even 16 cores is prohibitive); the candidate
 /// space here is sampled uniformly (default 2000 non-isomorphic layouts),
 /// which preserves the distribution the figure reports. Also reports the
-/// Section-5.1 DSA optimization wall time.
+/// Section-5.1 DSA optimization wall time, and a synthesis-throughput
+/// column: DSA evaluations/second serial vs. --jobs=N workers plus the
+/// evaluation count under memoization, emitted as machine-readable JSON
+/// lines (one per app, prefixed "BENCH_JSON ") for trajectory tracking.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +27,7 @@
 #include "bench/BenchUtil.h"
 #include "driver/Pipeline.h"
 #include "support/Stats.h"
+#include "support/ThreadPool.h"
 #include "synthesis/MappingSearch.h"
 
 #include <algorithm>
@@ -33,8 +37,19 @@
 using namespace bamboo;
 using namespace bamboo::bench;
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point T0) {
+  return std::chrono::duration<double>(Clock::now() - T0).count();
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
   int Cores = static_cast<int>(flagValue(Argc, Argv, "cores", 16));
+  int Jobs = static_cast<int>(flagValue(Argc, Argv, "jobs", 4));
   size_t NumCandidates =
       static_cast<size_t>(flagValue(Argc, Argv, "candidates", 1000));
   size_t NumStarts = static_cast<size_t>(
@@ -42,8 +57,9 @@ int main(int Argc, char **Argv) {
                                                                   : 100));
 
   std::printf("Figure 10: efficiency of directed simulated annealing "
-              "(%d cores, %zu sampled candidates, %zu DSA starts)\n\n",
-              Cores, NumCandidates, NumStarts);
+              "(%d cores, %zu sampled candidates, %zu DSA starts, "
+              "%d evaluation jobs)\n\n",
+              Cores, NumCandidates, NumStarts, Jobs);
 
   machine::MachineConfig Target = machine::MachineConfig::tilePro64();
   Target.NumCores = Cores;
@@ -56,35 +72,68 @@ int main(int Argc, char **Argv) {
     synthesis::GroupPlan Plan =
         synthesis::buildGroupPlan(BP.program(), Graph, Prof, Cores);
 
-    // Candidate-space distribution.
+    // Candidate-space distribution, fanned out over the worker pool
+    // (order-preserving, so the histogram is identical to a serial
+    // sweep).
     Rng R(0xF16 + 7);
     std::vector<machine::Layout> Candidates = synthesis::randomLayouts(
         Plan, BP.program(), Cores, NumCandidates, R);
-    std::vector<double> CandTimes;
-    for (const machine::Layout &L : Candidates) {
-      schedsim::SimResult Sim = schedsim::simulateLayout(
-          BP.program(), Graph, Prof, BP.hints(), Target, L);
-      CandTimes.push_back(static_cast<double>(Sim.EstimatedCycles));
-    }
+    support::ThreadPool Pool(Jobs > 1 ? static_cast<unsigned>(Jobs) : 0u);
+    std::vector<double> CandTimes =
+        Pool.map(Candidates.size(), [&](size_t I) {
+          schedsim::SimResult Sim = schedsim::simulateLayout(
+              BP.program(), Graph, Prof, BP.hints(), Target, Candidates[I]);
+          return static_cast<double>(Sim.EstimatedCycles);
+        });
 
     // DSA distribution: one annealing run per random starting point.
-    std::vector<double> DsaTimes;
-    double DsaSeconds = 0.0;
-    for (size_t S = 0; S < NumStarts; ++S) {
-      std::vector<machine::Layout> Start{
-          synthesis::randomLayout(Plan, Cores, R)};
-      optimize::DsaOptions Opts;
-      Opts.Seed = 0xD5A + S;
-      Opts.MaxIterations = 25;
-      Opts.NeighborsPerCandidate = 6;
-      auto T0 = std::chrono::steady_clock::now();
-      optimize::DsaResult Dsa =
-          optimize::runDsa(BP.program(), Graph, Prof, BP.hints(), Target,
-                           Plan, Opts, &Start);
-      auto T1 = std::chrono::steady_clock::now();
-      DsaSeconds += std::chrono::duration<double>(T1 - T0).count();
-      DsaTimes.push_back(static_cast<double>(Dsa.BestEstimate));
-    }
+    // This serial sweep is the throughput baseline for the JSON report.
+    std::vector<machine::Layout> StartPoints;
+    for (size_t S = 0; S < NumStarts; ++S)
+      StartPoints.push_back(synthesis::randomLayout(Plan, Cores, R));
+    auto RunAll = [&](int RunJobs, optimize::DsaMemo *Memo,
+                      uint64_t &TotalEvals) {
+      std::vector<double> Times;
+      TotalEvals = 0;
+      for (size_t S = 0; S < NumStarts; ++S) {
+        std::vector<machine::Layout> Start{StartPoints[S]};
+        optimize::DsaOptions Opts;
+        Opts.Seed = 0xD5A + S;
+        Opts.MaxIterations = 25;
+        Opts.NeighborsPerCandidate = 6;
+        Opts.Jobs = RunJobs;
+        optimize::DsaResult Dsa =
+            optimize::runDsa(BP.program(), Graph, Prof, BP.hints(), Target,
+                             Plan, Opts, &Start, Memo);
+        TotalEvals += Dsa.Evaluations;
+        Times.push_back(static_cast<double>(Dsa.BestEstimate));
+      }
+      return Times;
+    };
+
+    uint64_t SerialEvals = 0;
+    auto TSerial = Clock::now();
+    std::vector<double> DsaTimes = RunAll(1, nullptr, SerialEvals);
+    double DsaSeconds = secondsSince(TSerial);
+
+    // The same starts with parallel evaluation: results must be
+    // bit-identical, only the wall clock may move.
+    uint64_t ParallelEvals = 0;
+    auto TParallel = Clock::now();
+    std::vector<double> ParallelTimes = RunAll(Jobs, nullptr, ParallelEvals);
+    double ParallelSeconds = secondsSince(TParallel);
+    if (ParallelTimes != DsaTimes || ParallelEvals != SerialEvals)
+      std::fprintf(stderr,
+                   "fig10: WARNING: --jobs=%d changed DSA results\n", Jobs);
+
+    // And once more sharing a memoization cache across the starts:
+    // layouts re-generated by different annealing runs skip simulation.
+    optimize::DsaMemo Memo;
+    Memo.MaxEntries = 1 << 20;
+    uint64_t MemoEvals = 0;
+    auto TMemo = Clock::now();
+    RunAll(1, &Memo, MemoEvals);
+    double MemoSeconds = secondsSince(TMemo);
 
     double Best = *std::min_element(DsaTimes.begin(), DsaTimes.end());
     Best = std::min(Best,
@@ -119,10 +168,40 @@ int main(int Argc, char **Argv) {
                         "DSA results from %zu random starts:", NumStarts))
                     .c_str());
     std::printf("DSA reached within 5%% of the best implementation in "
-                "%.1f%% of runs; mean DSA time %.2fs per run\n\n",
+                "%.1f%% of runs; mean DSA time %.2fs per run\n",
                 100.0 * static_cast<double>(AtBest) /
                     static_cast<double>(DsaTimes.size()),
                 DsaSeconds / static_cast<double>(NumStarts));
+    std::printf("synthesis throughput: serial %.0f evals/s, --jobs=%d "
+                "%.0f evals/s (%.2fx); memoized %llu evals vs %llu "
+                "(%llu cache hits)\n\n",
+                static_cast<double>(SerialEvals) / DsaSeconds, Jobs,
+                static_cast<double>(ParallelEvals) / ParallelSeconds,
+                DsaSeconds / ParallelSeconds,
+                static_cast<unsigned long long>(MemoEvals),
+                static_cast<unsigned long long>(SerialEvals),
+                static_cast<unsigned long long>(Memo.Hits));
+    // Machine-readable trajectory line (BENCH_*.json consumers).
+    // host_cores bounds the achievable --jobs speedup: on a single
+    // hardware core the parallel sweep measures pure fan-out overhead.
+    std::printf("BENCH_JSON {\"bench\":\"fig10\",\"app\":\"%s\","
+                "\"host_cores\":%u,"
+                "\"cores\":%d,\"starts\":%zu,\"jobs\":%d,"
+                "\"serial_seconds\":%.3f,\"serial_evals\":%llu,"
+                "\"serial_evals_per_sec\":%.1f,"
+                "\"parallel_seconds\":%.3f,"
+                "\"parallel_evals_per_sec\":%.1f,\"speedup\":%.2f,"
+                "\"memo_seconds\":%.3f,\"memo_evals\":%llu,"
+                "\"memo_hits\":%llu}\n\n",
+                App->name().c_str(), support::ThreadPool::defaultWorkers(),
+                Cores, NumStarts, Jobs, DsaSeconds,
+                static_cast<unsigned long long>(SerialEvals),
+                static_cast<double>(SerialEvals) / DsaSeconds,
+                ParallelSeconds,
+                static_cast<double>(ParallelEvals) / ParallelSeconds,
+                DsaSeconds / ParallelSeconds, MemoSeconds,
+                static_cast<unsigned long long>(MemoEvals),
+                static_cast<unsigned long long>(Memo.Hits));
   }
 
   std::printf("Paper: >=98%% of DSA runs reach the best implementation; "

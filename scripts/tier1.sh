@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard build + full test suite, followed by
+# the concurrency-sensitive tests (support::ThreadPool and the parallel
+# DSA candidate evaluation) rebuilt and re-run under ThreadSanitizer so
+# data races in the evaluation fan-out are caught automatically.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: standard build + full ctest =="
+cmake -B build -S .
+cmake --build build -j"${JOBS}"
+(cd build && ctest --output-on-failure -j"${JOBS}")
+
+echo "== tier-1: ThreadSanitizer stage (ThreadPool + parallel DSA) =="
+cmake -B build-tsan -S . -DBAMBOO_SANITIZE=thread
+cmake --build build-tsan -j"${JOBS}" --target test_support test_synthesis
+(cd build-tsan && ctest --output-on-failure -j"${JOBS}" \
+  -R 'ThreadPool|Dsa')
+
+echo "tier-1 OK"

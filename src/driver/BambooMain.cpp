@@ -39,6 +39,9 @@ void usage() {
       "  --cores=N         target core count (default 62)\n"
       "  --arg=S           program argument (repeatable)\n"
       "  --seed=N          synthesis seed\n"
+      "  --jobs=N          worker threads for synthesis candidate\n"
+      "                    evaluation (default 1; result is independent\n"
+      "                    of N)\n"
       "  --dump-ir         print the task-level IR\n"
       "  --dump-astg       print per-class state graphs (DOT)\n"
       "  --dump-cstg       print the combined state graph (DOT)\n"
@@ -57,6 +60,7 @@ int main(int Argc, char **Argv) {
   }
   std::string SourcePath = Argv[1];
   int Cores = 62;
+  int Jobs = 1;
   uint64_t Seed = 1;
   std::vector<std::string> Args;
   bool DumpIr = false, DumpAstg = false, DumpCstg = false,
@@ -71,6 +75,8 @@ int main(int Argc, char **Argv) {
       Args.push_back(Arg.substr(6));
     else if (Arg.rfind("--seed=", 0) == 0)
       Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
+    else if (Arg.rfind("--jobs=", 0) == 0)
+      Jobs = std::atoi(Arg.c_str() + 7);
     else if (Arg == "--run")
       Run = true;
     else if (Arg == "--dump-ir")
@@ -150,6 +156,7 @@ int main(int Argc, char **Argv) {
   Opts.Target = machine::MachineConfig::tilePro64();
   Opts.Target.NumCores = Cores;
   Opts.Dsa.Seed = Seed;
+  Opts.Dsa.Jobs = Jobs;
   Opts.Exec.Args = Args;
   Opts.Exec.Seed = Seed;
   driver::PipelineResult R = driver::runPipeline(IP.bound(), Opts);

@@ -6,9 +6,12 @@
 
 #include "optimize/Dsa.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <optional>
 #include <set>
 
 using namespace bamboo;
@@ -20,31 +23,66 @@ namespace {
 
 struct Candidate {
   Layout L;
-  schedsim::SimResult Sim;
+  std::shared_ptr<const DsaEvaluation> Eval;
+
+  const schedsim::SimResult &sim() const { return Eval->Sim; }
 };
 
-/// True if core \p Core has no execution overlapping [Lo, Hi) in the
-/// trace.
-bool coreIdleDuring(const std::vector<schedsim::TraceTask> &Trace, int Core,
-                    Cycles Lo, Cycles Hi) {
-  for (const schedsim::TraceTask &T : Trace) {
-    if (T.Core != Core)
-      continue;
-    if (T.Start < Hi && T.End > Lo)
-      return false;
+/// Per-core busy-interval index over a trace, answering "was core C idle
+/// over [Lo, Hi)?" in O(log T) instead of a full trace walk per query.
+/// Intervals are sorted by start with a running prefix-maximum of ends, so
+/// a core is idle over the window iff no interval starting before Hi
+/// extends past Lo.
+class CoreIdleIndex {
+public:
+  CoreIdleIndex(const std::vector<schedsim::TraceTask> &Trace, int NumCores)
+      : Starts(static_cast<size_t>(NumCores)),
+        PrefixMaxEnd(static_cast<size_t>(NumCores)) {
+    std::vector<std::vector<std::pair<Cycles, Cycles>>> PerCore(
+        static_cast<size_t>(NumCores));
+    for (const schedsim::TraceTask &T : Trace)
+      if (T.Core >= 0 && T.Core < NumCores)
+        PerCore[static_cast<size_t>(T.Core)].emplace_back(T.Start, T.End);
+    for (size_t Core = 0; Core < PerCore.size(); ++Core) {
+      auto &Ivals = PerCore[Core];
+      std::sort(Ivals.begin(), Ivals.end());
+      Starts[Core].reserve(Ivals.size());
+      PrefixMaxEnd[Core].reserve(Ivals.size());
+      Cycles MaxEnd = 0;
+      for (const auto &[Start, End] : Ivals) {
+        MaxEnd = std::max(MaxEnd, End);
+        Starts[Core].push_back(Start);
+        PrefixMaxEnd[Core].push_back(MaxEnd);
+      }
+    }
   }
-  return true;
-}
+
+  /// True if core \p Core has no execution overlapping [Lo, Hi). Matches
+  /// the predicate "exists T on Core with T.Start < Hi and T.End > Lo".
+  bool idleDuring(int Core, Cycles Lo, Cycles Hi) const {
+    const std::vector<Cycles> &S = Starts[static_cast<size_t>(Core)];
+    auto It = std::lower_bound(S.begin(), S.end(), Hi);
+    if (It == S.begin())
+      return true;
+    size_t Last = static_cast<size_t>(It - S.begin()) - 1;
+    return PrefixMaxEnd[static_cast<size_t>(Core)][Last] <= Lo;
+  }
+
+private:
+  std::vector<std::vector<Cycles>> Starts;
+  std::vector<std::vector<Cycles>> PrefixMaxEnd;
+};
 
 /// Generates migration moves for one candidate, directed by its critical
-/// path (Section 4.5.2).
+/// path (Section 4.5.2). The critical path is precomputed with the
+/// simulation; only the random choices draw from \p R.
 std::vector<Layout> directedMoves(const Candidate &C, int NumCores, Rng &R,
                                   int MaxMoves) {
   std::vector<Layout> Moves;
-  const std::vector<schedsim::TraceTask> &Trace = C.Sim.Trace;
+  const std::vector<schedsim::TraceTask> &Trace = C.sim().Trace;
   if (Trace.empty())
     return Moves;
-  CriticalPathResult Path = computeCriticalPath(Trace);
+  const CriticalPathResult &Path = C.Eval->Path;
   if (Path.Steps.empty())
     return Moves;
 
@@ -66,6 +104,8 @@ std::vector<Layout> directedMoves(const Candidate &C, int NumCores, Rng &R,
   auto GroupIt = ByReady.begin();
   std::advance(GroupIt, static_cast<long>(GroupPick));
 
+  CoreIdleIndex Idle(Trace, NumCores);
+
   for (int Id : GroupIt->second) {
     if (static_cast<int>(Moves.size()) >= MaxMoves)
       break;
@@ -78,7 +118,7 @@ std::vector<Layout> directedMoves(const Candidate &C, int NumCores, Rng &R,
     for (int Core = 0; Core < NumCores; ++Core) {
       if (Core == T.Core)
         continue;
-      if (!coreIdleDuring(Trace, Core, T.Ready, T.Start))
+      if (!Idle.idleDuring(Core, T.Ready, T.Start))
         continue;
       Layout Mutated = C.L;
       Mutated.Instances[static_cast<size_t>(T.InstanceIdx)].Core = Core;
@@ -114,27 +154,37 @@ std::vector<Layout> directedMoves(const Candidate &C, int NumCores, Rng &R,
 /// A load-rebalancing move: shift one instance from the busiest core to
 /// the least busy core of the simulated execution. Complements the
 /// critical-path moves, which only see delays on the single heaviest
-/// path.
-Layout rebalanceMove(const Candidate &C, int NumCores, Rng &R) {
-  Layout Mutated = C.L;
-  if (C.Sim.CoreBusy.empty() || Mutated.Instances.empty())
-    return Mutated;
-  int Busiest = 0, Idlest = 0;
-  for (size_t Core = 0; Core < C.Sim.CoreBusy.size(); ++Core) {
-    if (C.Sim.CoreBusy[Core] > C.Sim.CoreBusy[static_cast<size_t>(Busiest)])
+/// path. Returns nothing when no instance can usefully move (all cores
+/// equally busy and none spare) instead of wasting a candidate slot on a
+/// no-op copy of the layout.
+std::optional<Layout> rebalanceMove(const Candidate &C, int NumCores,
+                                    Rng &R) {
+  const std::vector<Cycles> &CoreBusy = C.sim().CoreBusy;
+  if (CoreBusy.empty() || C.L.Instances.empty())
+    return std::nullopt;
+  int Busiest = 0;
+  for (size_t Core = 0; Core < CoreBusy.size(); ++Core)
+    if (CoreBusy[Core] > CoreBusy[static_cast<size_t>(Busiest)])
       Busiest = static_cast<int>(Core);
-    if (C.Sim.CoreBusy[Core] < C.Sim.CoreBusy[static_cast<size_t>(Idlest)])
-      Idlest = static_cast<int>(Core);
+  // Prefer a genuinely unused core when one exists (cores beyond the
+  // simulated vector never ran anything); otherwise the least busy
+  // simulated core.
+  int Idlest;
+  if (static_cast<int>(CoreBusy.size()) < NumCores) {
+    Idlest = static_cast<int>(CoreBusy.size());
+  } else {
+    Idlest = 0;
+    for (size_t Core = 0; Core < CoreBusy.size(); ++Core)
+      if (CoreBusy[Core] < CoreBusy[static_cast<size_t>(Idlest)])
+        Idlest = static_cast<int>(Core);
   }
-  // Cores beyond the simulated vector (never used) are idle too.
-  if (static_cast<int>(C.Sim.CoreBusy.size()) < NumCores)
-    Idlest = static_cast<int>(C.Sim.CoreBusy.size());
   std::vector<size_t> OnBusiest;
-  for (size_t I = 0; I < Mutated.Instances.size(); ++I)
-    if (Mutated.Instances[I].Core == Busiest)
+  for (size_t I = 0; I < C.L.Instances.size(); ++I)
+    if (C.L.Instances[I].Core == Busiest)
       OnBusiest.push_back(I);
   if (OnBusiest.empty() || Busiest == Idlest)
-    return Mutated;
+    return std::nullopt;
+  Layout Mutated = C.L;
   Mutated.Instances[OnBusiest[R.pickIndex(OnBusiest.size())]].Core = Idlest;
   return Mutated;
 }
@@ -156,53 +206,111 @@ DsaResult bamboo::optimize::runDsa(
     const ir::Program &Prog, const analysis::Cstg &Graph,
     const profile::Profile &Prof, const profile::SimHints &Hints,
     const machine::MachineConfig &Machine, const synthesis::GroupPlan &Plan,
-    const DsaOptions &Opts, const std::vector<Layout> *Starts) {
+    const DsaOptions &Opts, const std::vector<Layout> *Starts,
+    DsaMemo *Memo) {
   Rng R(Opts.Seed);
   DsaResult Result;
 
   schedsim::SimOptions SimOpts;
   SimOpts.RecordTrace = true;
 
-  auto Evaluate = [&](Layout L) {
-    Candidate C;
-    C.L = std::move(L);
-    C.Sim = schedsim::simulateLayout(Prog, Graph, Prof, Hints, Machine, C.L,
-                                     SimOpts);
-    ++Result.Evaluations;
-    return C;
-  };
+  // Evaluation fan-out. The pool only ever runs the pure
+  // simulate-and-analyze job below; layout generation, the RNG, the
+  // memoization cache, and every pool/result mutation stay on this
+  // thread. Jobs <= 1 constructs a zero-worker pool, which runs jobs
+  // inline — the serial and parallel drivers are the same code path.
+  support::ThreadPool Workers(
+      Opts.Jobs > 1 ? static_cast<unsigned>(Opts.Jobs) : 0u);
 
-  // Seed the pool.
   std::vector<Candidate> Pool;
   std::set<std::string> SeenKeys;
-  auto AddIfNew = [&](Layout L) {
-    std::string Key = L.isoKey(Prog);
-    if (!SeenKeys.insert(Key).second)
+
+  // Layouts admitted this round, waiting for batch evaluation. Admission
+  // (isomorphism dedup against everything ever pooled) is decided at
+  // collect time; evaluation is deferred so a whole round fans out at
+  // once.
+  std::vector<synthesis::KeyedLayout> Batch;
+
+  auto Collect = [&](synthesis::KeyedLayout KL) {
+    if (!SeenKeys.insert(KL.Key).second)
       return false;
-    Pool.push_back(Evaluate(std::move(L)));
+    Batch.push_back(std::move(KL));
     return true;
   };
+  // The isomorphism key is built exactly once per layout and shared by
+  // admission dedup and the memoization cache.
+  auto CollectLayout = [&](Layout L) {
+    std::string Key = L.isoKey(Prog);
+    return Collect(synthesis::KeyedLayout{std::move(L), std::move(Key)});
+  };
 
+  // Simulates every batched layout (memo hits excepted) with one parallel
+  // map and appends the candidates to the pool in submission order, so
+  // pool contents are independent of worker scheduling.
+  auto EvaluateBatch = [&]() {
+    std::vector<std::shared_ptr<const DsaEvaluation>> Evals(Batch.size());
+    std::vector<size_t> ToSim;
+    ToSim.reserve(Batch.size());
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      if (Memo) {
+        auto It = Memo->Results.find(Batch[I].Key);
+        if (It != Memo->Results.end()) {
+          Evals[I] = It->second;
+          ++Memo->Hits;
+          continue;
+        }
+      }
+      ToSim.push_back(I);
+    }
+
+    std::vector<std::shared_ptr<const DsaEvaluation>> Simulated =
+        Workers.map(ToSim.size(), [&](size_t J) {
+          auto E = std::make_shared<DsaEvaluation>();
+          E->Sim = schedsim::simulateLayout(Prog, Graph, Prof, Hints,
+                                            Machine, Batch[ToSim[J]].L,
+                                            SimOpts);
+          E->Path = computeCriticalPath(E->Sim.Trace);
+          return std::shared_ptr<const DsaEvaluation>(std::move(E));
+        });
+    Result.Evaluations += ToSim.size();
+    for (size_t J = 0; J < ToSim.size(); ++J) {
+      Evals[ToSim[J]] = Simulated[J];
+      if (Memo) {
+        ++Memo->Misses;
+        if (Memo->Results.size() < Memo->MaxEntries)
+          Memo->Results.emplace(Batch[ToSim[J]].Key, Simulated[J]);
+      }
+    }
+
+    for (size_t I = 0; I < Batch.size(); ++I)
+      Pool.push_back(Candidate{std::move(Batch[I].L), std::move(Evals[I])});
+    Batch.clear();
+  };
+
+  // Seed the pool with one batched evaluation.
   if (Starts && !Starts->empty()) {
     for (const Layout &L : *Starts)
-      AddIfNew(L);
+      CollectLayout(L);
   } else {
     // The round-robin spread realizes the parallelization rules' intent
     // (one replica per core) and anchors the otherwise random seed pool.
-    AddIfNew(synthesis::spreadLayout(Plan, Machine.NumCores));
-    for (Layout &L : synthesis::randomLayouts(Plan, Prog, Machine.NumCores,
-                                              Opts.InitialCandidates, R))
-      AddIfNew(std::move(L));
+    CollectLayout(synthesis::spreadLayout(Plan, Machine.NumCores));
+    for (synthesis::KeyedLayout &KL : synthesis::randomKeyedLayouts(
+             Plan, Prog, Machine.NumCores, Opts.InitialCandidates, R))
+      Collect(std::move(KL));
   }
-  if (Pool.empty())
-    AddIfNew(synthesis::randomLayout(Plan, Machine.NumCores, R));
+  EvaluateBatch();
+  if (Pool.empty()) {
+    CollectLayout(synthesis::randomLayout(Plan, Machine.NumCores, R));
+    EvaluateBatch();
+  }
 
   auto ByEstimate = [](const Candidate &A, const Candidate &B) {
-    return A.Sim.EstimatedCycles < B.Sim.EstimatedCycles;
+    return A.sim().EstimatedCycles < B.sim().EstimatedCycles;
   };
   std::sort(Pool.begin(), Pool.end(), ByEstimate);
   Result.Best = Pool.front().L;
-  Result.BestEstimate = Pool.front().Sim.EstimatedCycles;
+  Result.BestEstimate = Pool.front().sim().EstimatedCycles;
 
   for (int Iter = 0; Iter < Opts.MaxIterations; ++Iter) {
     ++Result.Iterations;
@@ -218,7 +326,9 @@ DsaResult bamboo::optimize::runDsa(
     }
     Pool = std::move(Survivors);
 
-    // Directed + random neighbor generation.
+    // Directed + random neighbor generation (driver thread: this is where
+    // the RNG draws happen), then one parallel evaluation of the fresh
+    // batch.
     std::vector<Layout> Fresh;
     for (const Candidate &C : Pool) {
       if (Opts.UseDirectedMoves) {
@@ -228,21 +338,24 @@ DsaResult bamboo::optimize::runDsa(
           Fresh.push_back(std::move(L));
       }
       if (Opts.UseRebalanceMoves)
-        Fresh.push_back(rebalanceMove(C, Machine.NumCores, R));
+        if (std::optional<Layout> Move =
+                rebalanceMove(C, Machine.NumCores, R))
+          Fresh.push_back(std::move(*Move));
       // Keep exploring even when the critical path offers nothing.
       Fresh.push_back(randomMove(C.L, Machine.NumCores, R));
     }
 
     Cycles PrevBest = Result.BestEstimate;
     for (Layout &L : Fresh)
-      AddIfNew(std::move(L));
+      CollectLayout(std::move(L));
+    EvaluateBatch();
 
     std::sort(Pool.begin(), Pool.end(), ByEstimate);
     if (Pool.size() > Opts.MaxPool)
       Pool.resize(Opts.MaxPool);
 
-    if (Pool.front().Sim.EstimatedCycles < Result.BestEstimate) {
-      Result.BestEstimate = Pool.front().Sim.EstimatedCycles;
+    if (Pool.front().sim().EstimatedCycles < Result.BestEstimate) {
+      Result.BestEstimate = Pool.front().sim().EstimatedCycles;
       Result.Best = Pool.front().L;
     }
 

@@ -22,6 +22,12 @@
 /// subject to a probabilistic restart (local-maximum escape), exactly as
 /// described in the paper.
 ///
+/// Candidate evaluation (scheduling simulation + critical path) is pure
+/// and dominates the search cost, so it fans out over a ThreadPool when
+/// DsaOptions::Jobs > 1. All layout generation and every random draw stay
+/// on the calling thread and evaluation results are merged in submission
+/// order, so the DsaResult is bit-identical for every Jobs value.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BAMBOO_OPTIMIZE_DSA_H
@@ -32,7 +38,10 @@
 #include "synthesis/CoreGroups.h"
 #include "synthesis/MappingSearch.h"
 
+#include <memory>
 #include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace bamboo::optimize {
@@ -57,6 +66,9 @@ struct DsaOptions {
   /// busiest-to-idlest rebalancing moves (random perturbation always on).
   bool UseDirectedMoves = true;
   bool UseRebalanceMoves = true;
+  /// Worker threads for candidate evaluation; <= 1 evaluates serially on
+  /// the calling thread. The search result does not depend on this value.
+  int Jobs = 1;
 };
 
 struct DsaResult {
@@ -66,14 +78,43 @@ struct DsaResult {
   uint64_t Evaluations = 0;
 };
 
+/// One evaluated layout: the scheduling simulation and the critical path
+/// derived from its trace. Shared (never copied) between the candidate
+/// pool and the memoization cache, because the trace is large.
+struct DsaEvaluation {
+  schedsim::SimResult Sim;
+  CriticalPathResult Path;
+};
+
+/// Cross-run memoization cache for candidate evaluations, keyed by
+/// Layout::isoKey — the same isomorphism key the search already uses to
+/// dedupe pool admission, so two layouts that differ only by a core
+/// renumbering share one simulation. Pass the same DsaMemo to successive
+/// runDsa calls (e.g. multi-start studies like Figure 10) and re-generated
+/// layouts are not re-simulated. Single-threaded use only: runDsa touches
+/// the cache exclusively from the calling thread.
+struct DsaMemo {
+  std::unordered_map<std::string, std::shared_ptr<const DsaEvaluation>>
+      Results;
+  /// Cache statistics across all runs sharing this memo.
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  /// Entries hold full traces, so growth is bounded: once Results reaches
+  /// this size, new evaluations are no longer inserted (lookups still
+  /// hit).
+  size_t MaxEntries = 4096;
+};
+
 /// Runs DSA for \p Plan on \p Machine. When \p Starts is provided those
-/// layouts seed the search; otherwise random mappings do.
+/// layouts seed the search; otherwise random mappings do. \p Memo, when
+/// non-null, memoizes evaluations across calls (see DsaMemo).
 DsaResult runDsa(const ir::Program &Prog, const analysis::Cstg &Graph,
                  const profile::Profile &Prof,
                  const profile::SimHints &Hints,
                  const machine::MachineConfig &Machine,
                  const synthesis::GroupPlan &Plan, const DsaOptions &Opts,
-                 const std::vector<machine::Layout> *Starts = nullptr);
+                 const std::vector<machine::Layout> *Starts = nullptr,
+                 DsaMemo *Memo = nullptr);
 
 } // namespace bamboo::optimize
 

@@ -1,0 +1,50 @@
+//===- support/ThreadPool.cpp - Fixed-size worker thread pool -------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace bamboo::support;
+
+ThreadPool::ThreadPool(unsigned NumWorkers) {
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I < NumWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> Job) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Job));
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      // Drain the queue before honoring shutdown so that every submitted
+      // job's future becomes ready (map relies on this).
+      if (Queue.empty())
+        return;
+      Job = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Job();
+  }
+}

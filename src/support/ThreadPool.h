@@ -1,0 +1,117 @@
+//===- support/ThreadPool.h - Fixed-size worker thread pool -----*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool with futures-based submission and an
+/// order-preserving parallel map. The pool exists so that *drivers* of the
+/// deterministic components (candidate evaluation in the synthesis search,
+/// bench sweeps) can fan work out across host cores without perturbing
+/// results: `map` returns results in submission order regardless of the
+/// order workers finish in, and a pool constructed with zero workers runs
+/// every job inline on the calling thread, so serial and parallel
+/// executions traverse identical code paths.
+///
+/// Jobs must not submit new jobs to the same pool from a worker thread
+/// (no nested submission); all randomness stays with the caller.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_SUPPORT_THREADPOOL_H
+#define BAMBOO_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace bamboo::support {
+
+/// Fixed worker-count thread pool. Zero workers means "run inline": every
+/// submitted job executes synchronously on the submitting thread, which
+/// makes `ThreadPool(0)` a drop-in serial mode for parallel drivers.
+class ThreadPool {
+public:
+  /// Spawns \p Workers worker threads (0 = inline execution).
+  explicit ThreadPool(unsigned Workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned workerCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// A sensible default worker count for CPU-bound fan-out.
+  static unsigned defaultWorkers() {
+    unsigned N = std::thread::hardware_concurrency();
+    return N ? N : 1;
+  }
+
+  /// Submits \p F for execution and returns a future for its result. With
+  /// zero workers the job runs inline before submit returns.
+  template <typename Fn>
+  auto submit(Fn F) -> std::future<std::invoke_result_t<Fn &>> {
+    using R = std::invoke_result_t<Fn &>;
+    auto Task = std::make_shared<std::packaged_task<R()>>(std::move(F));
+    std::future<R> Fut = Task->get_future();
+    if (Workers.empty())
+      (*Task)();
+    else
+      enqueue([Task] { (*Task)(); });
+    return Fut;
+  }
+
+  /// Applies \p F to every index in [0, N) and returns the results in
+  /// index (= submission) order, independent of worker completion order.
+  /// If any job throws, map waits for every job to finish and rethrows
+  /// the exception of the lowest-index failing job.
+  template <typename Fn>
+  auto map(size_t N, Fn F) -> std::vector<std::invoke_result_t<Fn &, size_t>> {
+    using R = std::invoke_result_t<Fn &, size_t>;
+    static_assert(!std::is_void_v<R>, "map jobs must return a value");
+    std::vector<std::future<R>> Futures;
+    Futures.reserve(N);
+    for (size_t I = 0; I < N; ++I)
+      Futures.push_back(submit([&F, I] { return F(I); }));
+    std::vector<R> Out;
+    Out.reserve(N);
+    std::exception_ptr FirstError;
+    // Drain every future even after a failure: jobs capture F by
+    // reference and must not outlive this frame.
+    for (std::future<R> &Fut : Futures) {
+      try {
+        Out.push_back(Fut.get());
+      } catch (...) {
+        if (!FirstError)
+          FirstError = std::current_exception();
+      }
+    }
+    if (FirstError)
+      std::rethrow_exception(FirstError);
+    return Out;
+  }
+
+private:
+  void enqueue(std::function<void()> Job);
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::deque<std::function<void()>> Queue;
+  bool Stopping = false;
+};
+
+} // namespace bamboo::support
+
+#endif // BAMBOO_SUPPORT_THREADPOOL_H

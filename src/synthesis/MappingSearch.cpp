@@ -110,12 +110,23 @@ bamboo::synthesis::randomLayouts(const GroupPlan &Plan,
                                  const ir::Program &Prog, int NumCores,
                                  size_t N, Rng &R) {
   std::vector<Layout> Out;
+  for (KeyedLayout &KL : randomKeyedLayouts(Plan, Prog, NumCores, N, R))
+    Out.push_back(std::move(KL.L));
+  return Out;
+}
+
+std::vector<KeyedLayout>
+bamboo::synthesis::randomKeyedLayouts(const GroupPlan &Plan,
+                                      const ir::Program &Prog, int NumCores,
+                                      size_t N, Rng &R) {
+  std::vector<KeyedLayout> Out;
   std::set<std::string> Seen;
   // Oversample: duplicates (by isomorphism key) are discarded.
   for (size_t Attempt = 0; Attempt < N * 8 && Out.size() < N; ++Attempt) {
     Layout L = randomLayout(Plan, NumCores, R);
-    if (Seen.insert(L.isoKey(Prog)).second)
-      Out.push_back(std::move(L));
+    std::string Key = L.isoKey(Prog);
+    if (Seen.insert(Key).second)
+      Out.push_back(KeyedLayout{std::move(L), std::move(Key)});
   }
   return Out;
 }

@@ -56,6 +56,21 @@ std::vector<machine::Layout> randomLayouts(const GroupPlan &Plan,
                                            const ir::Program &Prog,
                                            int NumCores, size_t N, Rng &R);
 
+/// A layout paired with its isomorphism key. The key is a string build
+/// (Layout::isoKey); producers that must dedupe anyway hand it to callers
+/// so batch evaluators (DSA seed pools, the memoization cache) never
+/// recompute it.
+struct KeyedLayout {
+  machine::Layout L;
+  std::string Key;
+};
+
+/// Like randomLayouts, but returns each layout together with the
+/// isomorphism key computed during deduplication.
+std::vector<KeyedLayout> randomKeyedLayouts(const GroupPlan &Plan,
+                                            const ir::Program &Prog,
+                                            int NumCores, size_t N, Rng &R);
+
 } // namespace bamboo::synthesis
 
 #endif // BAMBOO_SYNTHESIS_MAPPINGSEARCH_H

@@ -9,12 +9,17 @@
 #include "support/Rng.h"
 #include "support/Scc.h"
 #include "support/Stats.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <thread>
 
 using namespace bamboo;
 
@@ -107,6 +112,108 @@ TEST(RngTest, ShufflePermutes) {
   std::vector<int> Sorted = V;
   std::sort(Sorted.begin(), Sorted.end());
   EXPECT_EQ(Sorted, Orig);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  support::ThreadPool Pool(0);
+  EXPECT_EQ(Pool.workerCount(), 0u);
+  std::thread::id Caller = std::this_thread::get_id();
+  std::future<bool> F =
+      Pool.submit([Caller] { return std::this_thread::get_id() == Caller; });
+  EXPECT_TRUE(F.get());
+}
+
+TEST(ThreadPoolTest, ZeroWorkersMapStillOrdered) {
+  support::ThreadPool Pool(0);
+  std::vector<int> Out =
+      Pool.map(8, [](size_t I) { return static_cast<int>(I) * 3; });
+  ASSERT_EQ(Out.size(), 8u);
+  for (size_t I = 0; I < Out.size(); ++I)
+    EXPECT_EQ(Out[I], static_cast<int>(I) * 3);
+}
+
+TEST(ThreadPoolTest, SingleWorkerProcessesEverything) {
+  support::ThreadPool Pool(1);
+  EXPECT_EQ(Pool.workerCount(), 1u);
+  std::atomic<int> Ran{0};
+  std::vector<int> Out = Pool.map(100, [&Ran](size_t I) {
+    Ran.fetch_add(1);
+    return static_cast<int>(I);
+  });
+  EXPECT_EQ(Ran.load(), 100);
+  ASSERT_EQ(Out.size(), 100u);
+  for (size_t I = 0; I < Out.size(); ++I)
+    EXPECT_EQ(Out[I], static_cast<int>(I));
+}
+
+TEST(ThreadPoolTest, MapPreservesSubmissionOrder) {
+  support::ThreadPool Pool(4);
+  // Early submissions sleep longest, so workers finish in roughly reverse
+  // order; results must still come back in submission order.
+  std::vector<int> Out = Pool.map(16, [](size_t I) {
+    std::this_thread::sleep_for(std::chrono::microseconds((16 - I) * 100));
+    return static_cast<int>(I * I);
+  });
+  ASSERT_EQ(Out.size(), 16u);
+  for (size_t I = 0; I < Out.size(); ++I)
+    EXPECT_EQ(Out[I], static_cast<int>(I * I));
+}
+
+TEST(ThreadPoolTest, MapPropagatesException) {
+  support::ThreadPool Pool(2);
+  EXPECT_THROW(Pool.map(8,
+                        [](size_t I) -> int {
+                          if (I == 3)
+                            throw std::runtime_error("boom");
+                          return 0;
+                        }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, MapRethrowsLowestIndexFailure) {
+  support::ThreadPool Pool(4);
+  try {
+    Pool.map(8, [](size_t I) -> int {
+      if (I == 2 || I == 6)
+        throw std::runtime_error(I == 2 ? "first" : "second");
+      return 0;
+    });
+    FAIL() << "map must rethrow";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "first");
+  }
+}
+
+TEST(ThreadPoolTest, MapDrainsAllJobsDespiteFailure) {
+  support::ThreadPool Pool(3);
+  std::atomic<int> Ran{0};
+  EXPECT_THROW(Pool.map(50,
+                        [&Ran](size_t I) -> int {
+                          Ran.fetch_add(1);
+                          if (I == 0)
+                            throw std::runtime_error("early");
+                          return 0;
+                        }),
+               std::runtime_error);
+  // No queued job may be abandoned: the failing map still waits for all.
+  EXPECT_EQ(Ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, ManyConcurrentJobs) {
+  support::ThreadPool Pool(support::ThreadPool::defaultWorkers());
+  std::atomic<long> Sum{0};
+  std::vector<long> Out = Pool.map(1000, [&Sum](size_t I) {
+    long V = static_cast<long>(I);
+    Sum.fetch_add(V);
+    return V;
+  });
+  EXPECT_EQ(Sum.load(), 999L * 1000 / 2);
+  ASSERT_EQ(Out.size(), 1000u);
+  EXPECT_EQ(Out[999], 999L);
 }
 
 //===----------------------------------------------------------------------===//

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "apps/App.h"
 #include "driver/Pipeline.h"
 #include "optimize/CriticalPath.h"
 #include "optimize/Dsa.h"
@@ -335,6 +336,135 @@ TEST(DsaTest, StartingPointsAreHonored) {
       P.BP.program(), P.Graph, P.Prof, P.BP.hints(), M, Starts[0]);
   // From the serial start, directed moves must find a better layout.
   EXPECT_LT(R.BestEstimate, StartSim.EstimatedCycles);
+}
+
+namespace {
+
+/// Search-outcome equality of two DSA results, layout included (the
+/// determinism contract is bit-identical output, not just equal
+/// estimates). Evaluations is checked separately: a memoized run finds
+/// the same result with fewer simulations.
+void expectSameDsaOutcome(const optimize::DsaResult &A,
+                          const optimize::DsaResult &B) {
+  EXPECT_EQ(A.BestEstimate, B.BestEstimate);
+  EXPECT_EQ(A.Iterations, B.Iterations);
+  EXPECT_EQ(A.Best.NumCores, B.Best.NumCores);
+  ASSERT_EQ(A.Best.Instances.size(), B.Best.Instances.size());
+  for (size_t I = 0; I < A.Best.Instances.size(); ++I) {
+    EXPECT_EQ(A.Best.Instances[I].Task, B.Best.Instances[I].Task);
+    EXPECT_EQ(A.Best.Instances[I].Core, B.Best.Instances[I].Core);
+  }
+}
+
+/// Full equality including the evaluation count (parallel evaluation
+/// with no cache must not change how many simulations run).
+void expectSameDsaResult(const optimize::DsaResult &A,
+                         const optimize::DsaResult &B) {
+  expectSameDsaOutcome(A, B);
+  EXPECT_EQ(A.Evaluations, B.Evaluations);
+}
+
+} // namespace
+
+TEST(DsaTest, ParallelMatchesSerial) {
+  ProfiledPipeline P(24, 1200);
+  MachineConfig M = MachineConfig::tilePro64();
+  M.NumCores = 6;
+  GroupPlan Plan =
+      buildGroupPlan(P.BP.program(), P.Graph, P.Prof, M.NumCores);
+  optimize::DsaOptions Serial;
+  Serial.Seed = 1234;
+  auto A = optimize::runDsa(P.BP.program(), P.Graph, P.Prof, P.BP.hints(),
+                            M, Plan, Serial);
+  for (int Jobs : {2, 4, 8}) {
+    optimize::DsaOptions Parallel = Serial;
+    Parallel.Jobs = Jobs;
+    auto B = optimize::runDsa(P.BP.program(), P.Graph, P.Prof,
+                              P.BP.hints(), M, Plan, Parallel);
+    expectSameDsaResult(A, B);
+  }
+}
+
+TEST(DsaTest, ParallelMatchesSerialOnBenchmarkApps) {
+  // The real benchmark programs exercise replication, pinning, and tag
+  // routing that the synthetic fixture does not.
+  for (const char *Name : {"Series", "KMeans"}) {
+    std::unique_ptr<apps::App> A = apps::makeApp(Name);
+    ASSERT_TRUE(A) << Name;
+    BoundProgram BP = A->makeBound(1);
+    analysis::Cstg Graph = analysis::buildCstg(BP.program());
+    profile::Profile Prof =
+        driver::profileOneCore(BP, Graph, ExecOptions{});
+    MachineConfig M = MachineConfig::tilePro64();
+    M.NumCores = 8;
+    GroupPlan Plan = buildGroupPlan(BP.program(), Graph, Prof, M.NumCores);
+    optimize::DsaOptions Opts;
+    Opts.Seed = 77;
+    Opts.MaxIterations = 8;
+    auto Serial = optimize::runDsa(BP.program(), Graph, Prof, BP.hints(),
+                                   M, Plan, Opts);
+    Opts.Jobs = 4;
+    auto Parallel = optimize::runDsa(BP.program(), Graph, Prof, BP.hints(),
+                                     M, Plan, Opts);
+    SCOPED_TRACE(Name);
+    expectSameDsaResult(Serial, Parallel);
+  }
+}
+
+TEST(DsaTest, MemoizationReducesEvaluations) {
+  ProfiledPipeline P(16, 800);
+  MachineConfig M = MachineConfig::tilePro64();
+  M.NumCores = 4;
+  GroupPlan Plan =
+      buildGroupPlan(P.BP.program(), P.Graph, P.Prof, M.NumCores);
+  optimize::DsaOptions Opts;
+  Opts.Seed = 42;
+
+  auto Plain = optimize::runDsa(P.BP.program(), P.Graph, P.Prof,
+                                P.BP.hints(), M, Plan, Opts);
+
+  // A duplicate-heavy search: the same run twice against one shared
+  // cache. The second run re-generates only already-seen layouts, so its
+  // evaluation count must collapse while its result stays identical.
+  optimize::DsaMemo Memo;
+  auto First = optimize::runDsa(P.BP.program(), P.Graph, P.Prof,
+                                P.BP.hints(), M, Plan, Opts, nullptr,
+                                &Memo);
+  expectSameDsaOutcome(Plain, First);
+  EXPECT_EQ(First.Evaluations, Plain.Evaluations);
+  EXPECT_EQ(Memo.Misses, First.Evaluations);
+  EXPECT_EQ(Memo.Hits, 0u);
+
+  auto Second = optimize::runDsa(P.BP.program(), P.Graph, P.Prof,
+                                 P.BP.hints(), M, Plan, Opts, nullptr,
+                                 &Memo);
+  expectSameDsaOutcome(Plain, Second);
+  EXPECT_LT(Second.Evaluations, First.Evaluations);
+  EXPECT_EQ(Second.Evaluations, 0u);
+  EXPECT_GT(Memo.Hits, 0u);
+}
+
+TEST(DsaTest, MemoizationMatchesParallel) {
+  // Memoized and parallel evaluation compose: Jobs > 1 with a warm cache
+  // still reproduces the serial result.
+  ProfiledPipeline P(16, 800);
+  MachineConfig M = MachineConfig::tilePro64();
+  M.NumCores = 4;
+  GroupPlan Plan =
+      buildGroupPlan(P.BP.program(), P.Graph, P.Prof, M.NumCores);
+  optimize::DsaOptions Opts;
+  Opts.Seed = 314;
+  auto Plain = optimize::runDsa(P.BP.program(), P.Graph, P.Prof,
+                                P.BP.hints(), M, Plan, Opts);
+  optimize::DsaMemo Memo;
+  Opts.Jobs = 4;
+  auto Cold = optimize::runDsa(P.BP.program(), P.Graph, P.Prof,
+                               P.BP.hints(), M, Plan, Opts, nullptr, &Memo);
+  auto Warm = optimize::runDsa(P.BP.program(), P.Graph, P.Prof,
+                               P.BP.hints(), M, Plan, Opts, nullptr, &Memo);
+  expectSameDsaOutcome(Plain, Cold);
+  expectSameDsaOutcome(Plain, Warm);
+  EXPECT_EQ(Warm.Evaluations, 0u);
 }
 
 //===----------------------------------------------------------------------===//
