@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the standard build + full test suite, followed by
-# the concurrency-sensitive tests (support::ThreadPool and the parallel
-# DSA candidate evaluation) rebuilt and re-run under ThreadSanitizer so
-# data races in the evaluation fan-out are caught automatically.
+# Tier-1 verification: the standard build + full test suite, a trace
+# validation pass over the CLI's --trace output (well-formed Chrome-trace
+# JSON, monotone timestamps, deterministic across synthesis --jobs), and
+# the concurrency-sensitive tests (support::ThreadPool, the parallel DSA
+# candidate evaluation, and the thread-backed executor incl. its tracing
+# path) rebuilt and re-run under ThreadSanitizer so data races are caught
+# automatically.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,10 +16,36 @@ cmake -B build -S .
 cmake --build build -j"${JOBS}"
 (cd build && ctest --output-on-failure -j"${JOBS}")
 
-echo "== tier-1: ThreadSanitizer stage (ThreadPool + parallel DSA) =="
+echo "== tier-1: trace validation (--trace JSON, monotone ts, --jobs determinism) =="
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "${TRACE_DIR}"' EXIT
+# NOTE: always pass --arg; with no program arguments the example program
+# degenerates (Partitioner reads s.args[0]) and the run does not terminate.
+KW=examples/dsl/keywordcount.bb
+./build/src/driver/bamboo "${KW}" --cores=8 --arg='the quick brown fox the lazy dog' \
+  --jobs=1 --trace="${TRACE_DIR}/trace1.json" --metrics 2> "${TRACE_DIR}/metrics.txt"
+./build/src/driver/bamboo "${KW}" --cores=8 --arg='the quick brown fox the lazy dog' \
+  --jobs=3 --trace="${TRACE_DIR}/trace2.json" 2> /dev/null
+python3 - "${TRACE_DIR}/trace1.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+evs = doc["traceEvents"]
+assert evs, "trace must contain events"
+ts = [e["ts"] for e in evs]
+assert ts == sorted(ts), "timestamps must be monotone in file order"
+assert all(e["ph"] in ("B", "E", "i", "X") for e in evs), "unexpected phase"
+print("trace OK: %d events, monotone ts" % len(evs))
+PYEOF
+cmp "${TRACE_DIR}/trace1.json" "${TRACE_DIR}/trace2.json" \
+  || { echo "trace differs across --jobs values" >&2; exit 1; }
+grep -q 'busy' "${TRACE_DIR}/metrics.txt" \
+  || { echo "--metrics produced no rollup table" >&2; exit 1; }
+
+echo "== tier-1: ThreadSanitizer stage (ThreadPool + parallel DSA + executors) =="
 cmake -B build-tsan -S . -DBAMBOO_SANITIZE=thread
-cmake --build build-tsan -j"${JOBS}" --target test_support test_synthesis
+cmake --build build-tsan -j"${JOBS}" --target test_support test_synthesis \
+  test_runtime test_threadexec
 (cd build-tsan && ctest --output-on-failure -j"${JOBS}" \
-  -R 'ThreadPool|Dsa')
+  -R 'ThreadPool|Dsa|ThreadExecutor|TileExecutor|TraceTest')
 
 echo "tier-1 OK"

@@ -21,6 +21,7 @@
 #include "driver/Pipeline.h"
 #include "frontend/Frontend.h"
 #include "interp/Interp.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstring>
@@ -42,6 +43,13 @@ void usage() {
       "  --jobs=N          worker threads for synthesis candidate\n"
       "                    evaluation (default 1; result is independent\n"
       "                    of N)\n"
+      "  --trace=FILE      record the final run's execution trace as\n"
+      "                    Chrome trace-format JSON (about:tracing /\n"
+      "                    Perfetto); deterministic for a given program,\n"
+      "                    seed and core count\n"
+      "  --metrics         print a per-core/per-task metrics rollup of\n"
+      "                    the final run (busy%%, queue depth, lock\n"
+      "                    retries, message bytes/hops)\n"
       "  --dump-ir         print the task-level IR\n"
       "  --dump-astg       print per-class state graphs (DOT)\n"
       "  --dump-cstg       print the combined state graph (DOT)\n"
@@ -63,6 +71,8 @@ int main(int Argc, char **Argv) {
   int Jobs = 1;
   uint64_t Seed = 1;
   std::vector<std::string> Args;
+  std::string TracePath;
+  bool Metrics = false;
   bool DumpIr = false, DumpAstg = false, DumpCstg = false,
        DumpTaskflow = false, DumpLocks = false, DumpLayout = false,
        EmitCCode = false, Run = false;
@@ -77,6 +87,10 @@ int main(int Argc, char **Argv) {
       Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
     else if (Arg.rfind("--jobs=", 0) == 0)
       Jobs = std::atoi(Arg.c_str() + 7);
+    else if (Arg.rfind("--trace=", 0) == 0)
+      TracePath = Arg.substr(8);
+    else if (Arg == "--metrics")
+      Metrics = true;
     else if (Arg == "--run")
       Run = true;
     else if (Arg == "--dump-ir")
@@ -99,6 +113,9 @@ int main(int Argc, char **Argv) {
       return 2;
     }
   }
+  // --trace/--metrics observe an execution, so they imply --run.
+  if (!TracePath.empty() || Metrics)
+    Run = true;
   if (!DumpIr && !DumpAstg && !DumpCstg && !DumpTaskflow && !DumpLocks &&
       !DumpLayout && !EmitCCode)
     Run = true;
@@ -165,13 +182,31 @@ int main(int Argc, char **Argv) {
     std::printf("%s", R.BestLayout.str(IP.bound().program()).c_str());
   if (Run) {
     // The pipeline ran the program for profiling and measurement; re-run
-    // the chosen layout once for clean program output.
+    // the chosen layout once for clean program output (and, when
+    // requested, the execution trace / metrics of exactly that run).
     IP.clearOutput();
     IP.clearError();
+    support::Trace Trace;
+    if (!TracePath.empty() || Metrics)
+      Opts.Exec.Trace = &Trace;
     runtime::TileExecutor Exec(IP.bound(), R.Graph, Opts.Target,
                                R.BestLayout);
     Exec.run(Opts.Exec);
     std::printf("%s", IP.output().c_str());
+    if (!TracePath.empty()) {
+      std::ofstream Out(TracePath, std::ios::binary);
+      if (!Out) {
+        std::fprintf(stderr, "bamboo: cannot write %s\n",
+                     TracePath.c_str());
+        return 1;
+      }
+      Out << Trace.toChromeJson();
+      std::fprintf(stderr, "bamboo: wrote %zu trace events to %s\n",
+                   Trace.size(), TracePath.c_str());
+    }
+    if (Metrics)
+      std::fprintf(stderr, "%s",
+                   Trace.metrics().str(Trace.taskNames()).c_str());
     if (IP.hadError())
       std::fprintf(stderr, "bamboo: runtime error: %s\n",
                    IP.error().c_str());

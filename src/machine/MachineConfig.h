@@ -59,6 +59,11 @@ struct MachineConfig {
   /// Cost of enqueueing an outgoing object on the sender core.
   Cycles SendOverhead = 10;
 
+  /// Payload bytes charged per object message (a reference plus header on
+  /// the mesh). Used by the tracing/metrics layer to report message-byte
+  /// volume; it does not affect latency.
+  uint32_t MsgBytesPerObject = 64;
+
   /// Memory-system contention: task bodies slow down by up to this
   /// fraction when every other core is busy (linear in the active-core
   /// fraction). Only the real machine exhibits it — the high-level

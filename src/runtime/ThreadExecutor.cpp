@@ -51,6 +51,9 @@ struct ThreadExecutor::Impl {
     std::deque<Invocation> Ready;
     std::vector<std::vector<Object *>> *ParamSets = nullptr;
     std::map<ir::TaskId, size_t> RoundRobin;
+    /// End timestamp (ns) of the last completed invocation, for idle-span
+    /// tracing. Owned by the core's worker thread.
+    uint64_t LastEnd = 0;
   };
 
   std::vector<Core> Cores;
@@ -68,6 +71,16 @@ struct ThreadExecutor::Impl {
   std::atomic<uint64_t> Invocations{0};
   std::atomic<uint64_t> Allocated{0};
   std::atomic<uint64_t> LockRetries{0};
+
+  /// Trace clock base: run() start. Timestamps are ns since this point.
+  std::chrono::steady_clock::time_point TraceT0;
+
+  uint64_t nowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - TraceT0)
+            .count());
+  }
 
   Impl(const BoundProgram &BP, const RoutingTable &Routes,
        const machine::Layout &L, Heap &TheHeap,
@@ -114,6 +127,12 @@ struct ThreadExecutor::Impl {
       }
       auto [InstanceIdx, CoreIdx] = Dest.Instances[Pick];
       Outstanding.fetch_add(1, std::memory_order_acq_rel);
+      // Cross-core transfers only, mirroring the virtual machine's notion
+      // of a message; the host has no mesh, so hops/bytes are zero.
+      if (Opts.Trace && FromCore >= 0 && FromCore != CoreIdx)
+        Opts.Trace->send(nowNs(), FromCore, CoreIdx,
+                         static_cast<int64_t>(Obj->Id), /*Hops=*/0,
+                         /*Bytes=*/0);
       Core &To = Cores[static_cast<size_t>(CoreIdx)];
       std::lock_guard<std::mutex> Guard(To.InboxMutex);
       To.Inbox.push_back(Delivery{Obj, InstanceIdx, Dest.Param});
@@ -122,8 +141,17 @@ struct ThreadExecutor::Impl {
 
   void matchParams(Core &C, int InstanceIdx, const ir::TaskDecl &Task,
                    size_t Next, Invocation &Partial, ir::ParamId FixedParam,
-                   Object *FixedObj) {
+                   Object *FixedObj, bool DedupeReady) {
     if (Next == Task.Params.size()) {
+      if (DedupeReady) {
+        // Re-delivery path: skip combinations already pending, so
+        // re-enumeration never double-builds (and never double-counts
+        // Outstanding). Ready is owned by this core's thread.
+        for (const Invocation &Pending : C.Ready)
+          if (Pending.InstanceIdx == Partial.InstanceIdx &&
+              Pending.Params == Partial.Params)
+            return;
+      }
       Outstanding.fetch_add(1, std::memory_order_acq_rel);
       C.Ready.push_back(Partial);
       return;
@@ -162,7 +190,7 @@ struct ThreadExecutor::Impl {
       }
       Partial.Params.push_back(Obj);
       matchParams(C, InstanceIdx, Task, Next + 1, Partial, FixedParam,
-                  FixedObj);
+                  FixedObj, DedupeReady);
       Partial.Params.pop_back();
       Partial.ConstraintTags = std::move(Saved);
     }
@@ -178,20 +206,26 @@ struct ThreadExecutor::Impl {
     for (const Delivery &D : Batch) {
       auto &Set = InstanceSets[static_cast<size_t>(D.InstanceIdx)]
                               [static_cast<size_t>(D.Param)];
+      // Same re-delivery semantics as TileExecutor::deliver: an object
+      // already in the parameter set re-arrives after a flag/tag
+      // transition, so re-enumerate (deduplicating against pending
+      // invocations) instead of skipping enumeration entirely.
       bool Present =
           std::find(Set.begin(), Set.end(), D.Obj) != Set.end();
-      if (!Present) {
+      if (!Present)
         Set.push_back(D.Obj);
-        ir::TaskId TaskId =
-            L.Instances[static_cast<size_t>(D.InstanceIdx)].Task;
-        const ir::TaskDecl &Task = Prog.taskOf(TaskId);
-        if (guardAdmits(Task.Params[static_cast<size_t>(D.Param)],
-                        *D.Obj)) {
-          Invocation Partial;
-          Partial.Task = TaskId;
-          Partial.InstanceIdx = D.InstanceIdx;
-          matchParams(C, D.InstanceIdx, Task, 0, Partial, D.Param, D.Obj);
-        }
+      if (Opts.Trace)
+        Opts.Trace->deliver(nowNs(), CoreIdx,
+                            static_cast<int64_t>(D.Obj->Id));
+      ir::TaskId TaskId =
+          L.Instances[static_cast<size_t>(D.InstanceIdx)].Task;
+      const ir::TaskDecl &Task = Prog.taskOf(TaskId);
+      if (guardAdmits(Task.Params[static_cast<size_t>(D.Param)], *D.Obj)) {
+        Invocation Partial;
+        Partial.Task = TaskId;
+        Partial.InstanceIdx = D.InstanceIdx;
+        matchParams(C, D.InstanceIdx, Task, 0, Partial, D.Param, D.Obj,
+                    /*DedupeReady=*/Present);
       }
       Outstanding.fetch_sub(1, std::memory_order_acq_rel);
     }
@@ -234,7 +268,11 @@ struct ThreadExecutor::Impl {
       if (Acquired < Inv.Params.size()) {
         for (size_t U = 0; U < Acquired; ++U)
           Inv.Params[U]->unlock();
+        // Unified retry semantics: one count per failed all-or-nothing
+        // sweep (see ThreadExecResult::LockRetries).
         LockRetries.fetch_add(1, std::memory_order_relaxed);
+        if (Opts.Trace)
+          Opts.Trace->lockRetry(nowNs(), CoreIdx, Inv.Task);
         C.Ready.push_back(std::move(Inv));
         continue;
       }
@@ -245,6 +283,16 @@ struct ThreadExecutor::Impl {
           Obj->unlock();
         Outstanding.fetch_sub(1, std::memory_order_acq_rel);
         return true;
+      }
+
+      uint64_t BeginNs = 0;
+      if (Opts.Trace) {
+        BeginNs = nowNs();
+        Opts.Trace->lockAcquire(BeginNs, CoreIdx, Inv.Task,
+                                Inv.Params.size());
+        // The gap since the last completion on this core was idle time.
+        Opts.Trace->idle(C.LastEnd, BeginNs, CoreIdx);
+        Opts.Trace->taskBegin(BeginNs, CoreIdx, Inv.Task, C.Ready.size());
       }
 
       // Consume from the parameter sets, run the body, apply the exit.
@@ -286,6 +334,11 @@ struct ThreadExecutor::Impl {
       }
       for (Object *Obj : Inv.Params)
         Obj->unlock();
+      if (Opts.Trace) {
+        uint64_t EndNs = nowNs();
+        C.LastEnd = EndNs;
+        Opts.Trace->taskEnd(EndNs, CoreIdx, Inv.Task, Ctx.chosenExit());
+      }
 
       for (const auto &[Site, Obj] : Ctx.newObjects()) {
         (void)Site;
@@ -334,6 +387,14 @@ ThreadExecutor::~ThreadExecutor() = default;
 ThreadExecResult ThreadExecutor::run(const ThreadExecOptions &Opts) {
   TheHeap->clear();
   Impl State(BP, Routes, L, *TheHeap, Opts);
+  State.TraceT0 = std::chrono::steady_clock::now();
+  if (Opts.Trace) {
+    std::vector<std::string> Names;
+    Names.reserve(BP.program().tasks().size());
+    for (const ir::TaskDecl &T : BP.program().tasks())
+      Names.push_back(T.Name);
+    Opts.Trace->setTaskNames(std::move(Names));
+  }
 
   // Boot.
   {

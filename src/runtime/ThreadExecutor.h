@@ -29,6 +29,7 @@
 #include "machine/Layout.h"
 #include "runtime/BoundProgram.h"
 #include "runtime/RoutingTable.h"
+#include "support/Trace.h"
 
 #include <atomic>
 #include <cstdint>
@@ -42,12 +43,24 @@ struct ThreadExecOptions {
   uint64_t Seed = 1;
   /// Give up (Completed=false) after this many milliseconds.
   int64_t TimeoutMs = 30000;
+  /// When non-null, workers record the shared event vocabulary (task
+  /// begin/end, sends/delivers, lock acquire/retry, idle spans) into this
+  /// recorder. Timestamps are host nanoseconds since run() start; unlike
+  /// the discrete-event engines the interleaving is whatever the host
+  /// scheduler produced, so traces are not run-to-run deterministic.
+  /// Not owned; must outlive run().
+  support::Trace *Trace = nullptr;
 };
 
 struct ThreadExecResult {
   bool Completed = false;
   uint64_t TaskInvocations = 0;
   uint64_t ObjectsAllocated = 0;
+  /// Failed all-or-nothing lock acquisition sweeps: incremented once per
+  /// attempt in which any parameter's tryLock failed and the invocation
+  /// was requeued — NOT once per locked object encountered. Same unified
+  /// definition as ExecResult::LockRetries (TileExecutor), so retry rates
+  /// are directly comparable between the two executors.
   uint64_t LockRetries = 0;
   double WallSeconds = 0.0;
 };

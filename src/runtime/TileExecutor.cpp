@@ -72,8 +72,19 @@ bool TileExecutor::bindParamTags(const ir::TaskParam &Param, Object *Obj,
 void TileExecutor::matchParams(int Core, int InstanceIdx,
                                const ir::TaskDecl &Task, size_t NextParam,
                                Invocation &Partial, ir::ParamId FixedParam,
-                               Object *FixedObj) {
+                               Object *FixedObj, bool DedupeReady) {
   if (NextParam == Task.Params.size()) {
+    if (DedupeReady) {
+      // Re-enumeration after a re-delivery: the same combination may
+      // already be pending from the original arrivals. Enqueueing it
+      // twice would execute the task twice once the objects' guards
+      // hold, so skip exact duplicates.
+      for (const Invocation &Pending :
+           Cores[static_cast<size_t>(Core)].Ready)
+        if (Pending.InstanceIdx == Partial.InstanceIdx &&
+            Pending.Params == Partial.Params)
+          return;
+    }
     Cores[static_cast<size_t>(Core)].Ready.push_back(Partial);
     return;
   }
@@ -101,14 +112,15 @@ void TileExecutor::matchParams(int Core, int InstanceIdx,
     }
     Partial.Params.push_back(Obj);
     matchParams(Core, InstanceIdx, Task, NextParam + 1, Partial, FixedParam,
-                FixedObj);
+                FixedObj, DedupeReady);
     Partial.Params.pop_back();
     Partial.ConstraintTags = std::move(SavedTags);
   }
 }
 
 void TileExecutor::enumerateInvocations(int Core, int InstanceIdx,
-                                        ir::ParamId Param, Object *Obj) {
+                                        ir::ParamId Param, Object *Obj,
+                                        bool DedupeReady) {
   ir::TaskId TaskId = L.Instances[static_cast<size_t>(InstanceIdx)].Task;
   const ir::TaskDecl &Task = Prog.taskOf(TaskId);
   if (!guardAdmitsObject(Task.Params[static_cast<size_t>(Param)], *Obj))
@@ -116,7 +128,7 @@ void TileExecutor::enumerateInvocations(int Core, int InstanceIdx,
   Invocation Partial;
   Partial.Task = TaskId;
   Partial.InstanceIdx = InstanceIdx;
-  matchParams(Core, InstanceIdx, Task, 0, Partial, Param, Obj);
+  matchParams(Core, InstanceIdx, Task, 0, Partial, Param, Obj, DedupeReady);
 }
 
 bool TileExecutor::stillValid(const Invocation &Inv) const {
@@ -143,10 +155,19 @@ void TileExecutor::deliver(const Event &E) {
   InstanceState &Inst = Instances[static_cast<size_t>(E.InstanceIdx)];
   std::vector<Object *> &Set =
       Inst.ParamSets[static_cast<size_t>(E.Param)];
-  if (std::find(Set.begin(), Set.end(), E.Obj) != Set.end())
-    return; // Already enqueued for this parameter.
-  Set.push_back(E.Obj);
-  enumerateInvocations(E.Core, E.InstanceIdx, E.Param, E.Obj);
+  // A re-delivery of an object already sitting in the parameter set is
+  // NOT a no-op: the object is only re-routed after a task transitioned
+  // its flags/tags, so combinations with objects that arrived while it
+  // was inadmissible may be newly enabled. Re-enumerate (deduplicating
+  // against already-pending invocations) instead of returning early.
+  bool Known = std::find(Set.begin(), Set.end(), E.Obj) != Set.end();
+  if (!Known)
+    Set.push_back(E.Obj);
+  if (Opts->Trace)
+    Opts->Trace->deliver(E.Time, E.Core,
+                         static_cast<int64_t>(E.Obj->Id));
+  enumerateInvocations(E.Core, E.InstanceIdx, E.Param, E.Obj,
+                       /*DedupeReady=*/Known);
   if (!Cores[static_cast<size_t>(E.Core)].Executing)
     tryStart(E.Core, std::max(E.Time,
                               Cores[static_cast<size_t>(E.Core)].BusyUntil));
@@ -184,6 +205,13 @@ void TileExecutor::routeObject(Object *Obj, int FromCore, Cycles Now) {
     if (FromCore >= 0 && FromCore != Core) {
       Latency = Machine.SendOverhead + Machine.transferLatency(FromCore, Core);
       ++Result.MessagesSent;
+      uint32_t Hops =
+          static_cast<uint32_t>(Machine.hopDistance(FromCore, Core));
+      Result.MessageHops += Hops;
+      if (Opts->Trace)
+        Opts->Trace->send(Now, FromCore, Core,
+                          static_cast<int64_t>(Obj->Id), Hops,
+                          Machine.MsgBytesPerObject);
     }
     Event Arrival;
     Arrival.Kind = EventKind::Delivery;
@@ -216,10 +244,16 @@ void TileExecutor::tryStart(int CoreIdx, Cycles Now) {
     if (Acquired < Inv.Params.size()) {
       for (size_t U = 0; U < Acquired; ++U)
         Inv.Params[U]->unlock();
+      // Unified retry semantics: one count per failed all-or-nothing
+      // sweep (see ExecResult::LockRetries).
       ++Result.LockRetries;
+      if (Opts->Trace)
+        Opts->Trace->lockRetry(Now, CoreIdx, Inv.Task);
       Core.Ready.push_back(std::move(Inv));
       continue;
     }
+    if (Opts->Trace)
+      Opts->Trace->lockAcquire(Now, CoreIdx, Inv.Task, Inv.Params.size());
 
     // Consume the parameter objects from this instance's parameter sets so
     // no further combinations are built with them; the exit routing will
@@ -266,6 +300,11 @@ void TileExecutor::tryStart(int CoreIdx, Cycles Now) {
     Core.BusyUntil = Now + Duration;
     Core.BusyTotal += Duration;
     ++Result.TaskInvocations;
+    if (Opts->Trace) {
+      // The gap since the last completion on this core was idle time.
+      Opts->Trace->idle(Core.LastEnd, Now, CoreIdx);
+      Opts->Trace->taskBegin(Now, CoreIdx, Inv.Task, Core.Ready.size());
+    }
 
     int FlightIdx;
     if (!FreeFlightSlots.empty()) {
@@ -329,6 +368,10 @@ void TileExecutor::complete(const Event &E) {
   for (Object *Obj : Flight.Inv.Params)
     Obj->unlock();
   Cores[static_cast<size_t>(E.Core)].Executing = false;
+  Cores[static_cast<size_t>(E.Core)].LastEnd = E.Time;
+  if (Opts->Trace)
+    Opts->Trace->taskEnd(E.Time, E.Core, Flight.Inv.Task,
+                         Ctx.chosenExit());
 
   Result.ObjectsAllocated += Ctx.newObjects().size();
   for (const auto &[Site, Obj] : Ctx.newObjects()) {
@@ -361,6 +404,12 @@ void TileExecutor::complete(const Event &E) {
 
 ExecResult TileExecutor::run(const ExecOptions &Options) {
   Opts = &Options;
+  if (Options.Trace) {
+    std::vector<std::string> Names;
+    for (const ir::TaskDecl &T : Prog.tasks())
+      Names.push_back(T.Name);
+    Options.Trace->setTaskNames(std::move(Names));
+  }
   Result = ExecResult();
   TheHeap.clear();
   Cores.assign(static_cast<size_t>(L.NumCores), CoreState());
@@ -393,11 +442,11 @@ ExecResult TileExecutor::run(const ExecOptions &Options) {
 
   Cycles LastTime = 0;
   uint64_t Events = 0;
+  bool Aborted = false;
   while (!Queue.empty()) {
     if (++Events > Options.MaxEvents) {
-      Result.Completed = false;
-      Result.TotalCycles = LastTime;
-      return Result;
+      Aborted = true;
+      break;
     }
     Event E = Queue.top();
     Queue.pop();
@@ -414,8 +463,14 @@ ExecResult TileExecutor::run(const ExecOptions &Options) {
       break;
     }
   }
+  return finishRun(LastTime, Aborted);
+}
 
-  bool AllDrained = true;
+ExecResult &TileExecutor::finishRun(Cycles LastTime, bool Aborted) {
+  // Single epilogue for both the drained and the MaxEvents-aborted exit:
+  // aborted runs must still report per-core utilization and a profile
+  // marked non-terminated (the early return used to skip both).
+  bool AllDrained = !Aborted;
   for (CoreState &Core : Cores) {
     // Purge stale leftovers so drained-ness reflects real pending work.
     while (!Core.Ready.empty()) {

@@ -38,6 +38,7 @@
 #include "runtime/BoundProgram.h"
 #include "runtime/RoutingTable.h"
 #include "runtime/TaskContext.h"
+#include "support/Trace.h"
 
 #include <deque>
 #include <map>
@@ -57,6 +58,12 @@ struct ExecOptions {
   bool CollectProfile = false;
   /// Safety valve: abort the run (Completed=false) after this many events.
   uint64_t MaxEvents = 200'000'000;
+  /// When non-null, the executor records task begin/end, object
+  /// send/deliver, lock acquire/retry, and core idle-span events into
+  /// this recorder (support::Trace). Timestamps are virtual cycles; the
+  /// recording is deterministic (identical runs produce byte-identical
+  /// exports). Not owned; must outlive run().
+  support::Trace *Trace = nullptr;
 };
 
 /// Result of one execution.
@@ -66,8 +73,17 @@ struct ExecResult {
   uint64_t TaskInvocations = 0;
   uint64_t ObjectsAllocated = 0;
   uint64_t MessagesSent = 0;
+  /// Total mesh hops traversed by the messages in MessagesSent (the
+  /// Manhattan distance sum; same-core handoffs contribute zero).
+  uint64_t MessageHops = 0;
+  /// Failed all-or-nothing lock acquisition sweeps: incremented once per
+  /// attempt in which any parameter's tryLock failed and the invocation
+  /// was requeued — NOT once per locked object encountered. This is the
+  /// unified definition shared with ThreadExecResult::LockRetries, so
+  /// fig07/fig09 compare like with like across the two executors.
   uint64_t LockRetries = 0;
-  /// Busy cycles per core (for utilization reporting).
+  /// Busy cycles per core (for utilization reporting). Populated for
+  /// aborted (MaxEvents) runs too.
   std::vector<machine::Cycles> CoreBusy;
   /// Collected profile (present when ExecOptions::CollectProfile).
   std::optional<profile::Profile> CollectedProfile;
@@ -127,6 +143,8 @@ private:
     bool Executing = false;
     machine::Cycles BusyUntil = 0;
     machine::Cycles BusyTotal = 0;
+    /// End time of the last completed invocation (for idle-span tracing).
+    machine::Cycles LastEnd = 0;
     std::deque<Invocation> Ready;
   };
 
@@ -162,9 +180,13 @@ private:
   void tryStart(int Core, machine::Cycles Now);
 
   /// Enumerates the invocations newly enabled by \p Obj arriving for
-  /// (\p InstanceIdx, \p Param) and appends them to the core's ready queue.
+  /// (\p InstanceIdx, \p Param) and appends them to the core's ready
+  /// queue. \p DedupeReady is set on re-deliveries (the object was
+  /// already in the parameter set): combinations that are already
+  /// pending in the ready queue are then skipped, so re-enumeration
+  /// after a flag/tag transition never double-builds an invocation.
   void enumerateInvocations(int Core, int InstanceIdx, ir::ParamId Param,
-                            Object *Obj);
+                            Object *Obj, bool DedupeReady);
 
   /// Checks that every parameter object still satisfies its guard and the
   /// tag constraints still match.
@@ -177,7 +199,13 @@ private:
   /// Recursively matches tag constraints, emitting complete invocations.
   void matchParams(int Core, int InstanceIdx, const ir::TaskDecl &Task,
                    size_t NextParam, Invocation &Partial,
-                   ir::ParamId FixedParam, Object *FixedObj);
+                   ir::ParamId FixedParam, Object *FixedObj,
+                   bool DedupeReady);
+
+  /// Shared run() epilogue: fills in CoreBusy, Completed, TotalCycles,
+  /// and the profile's terminated bit for both the drained and the
+  /// MaxEvents-aborted exit.
+  ExecResult &finishRun(machine::Cycles LastTime, bool Aborted);
 
   bool guardAdmitsObject(const ir::TaskParam &Param, const Object &Obj) const;
 

@@ -93,6 +93,8 @@ private:
   struct CoreState {
     bool Executing = false;
     Cycles BusyTotal = 0;
+    /// End time of the last completed invocation (for idle-span tracing).
+    Cycles LastEnd = 0;
     std::deque<Invocation> Ready;
   };
 
@@ -164,8 +166,23 @@ private:
 
   void matchParams(int Core, int InstanceIdx, const ir::TaskDecl &Task,
                    size_t NextParam, Invocation &Partial,
-                   ir::ParamId FixedParam, const Arrival &Fixed) {
+                   ir::ParamId FixedParam, const Arrival &Fixed,
+                   bool DedupeReady) {
     if (NextParam == Task.Params.size()) {
+      if (DedupeReady) {
+        auto SameCombo = [&Partial](const Invocation &Pending) {
+          if (Pending.InstanceIdx != Partial.InstanceIdx ||
+              Pending.Params.size() != Partial.Params.size())
+            return false;
+          for (size_t P = 0; P < Pending.Params.size(); ++P)
+            if (Pending.Params[P].Tok != Partial.Params[P].Tok)
+              return false;
+          return true;
+        };
+        for (const Invocation &Pending : Cores[static_cast<size_t>(Core)].Ready)
+          if (SameCombo(Pending))
+            return;
+      }
       Cores[static_cast<size_t>(Core)].Ready.push_back(Partial);
       return;
     }
@@ -190,7 +207,7 @@ private:
       }
       Partial.Params.push_back(A);
       matchParams(Core, InstanceIdx, Task, NextParam + 1, Partial,
-                  FixedParam, Fixed);
+                  FixedParam, Fixed, DedupeReady);
       Partial.Params.pop_back();
       Partial.ConstraintTagIds = std::move(Saved);
     }
@@ -320,9 +337,15 @@ private:
       }
       auto [InstanceIdx, Core] = Dest.Instances[Pick];
       Cycles Latency = 0;
-      if (FromCore >= 0 && FromCore != Core)
+      if (FromCore >= 0 && FromCore != Core) {
         Latency =
             Machine.SendOverhead + Machine.transferLatency(FromCore, Core);
+        if (Opts.Trace)
+          Opts.Trace->send(
+              Now, FromCore, Core, static_cast<int64_t>(Tok->Id),
+              static_cast<uint32_t>(Machine.hopDistance(FromCore, Core)),
+              Machine.MsgBytesPerObject);
+      }
       Event E;
       E.Kind = EventKind::Delivery;
       E.Time = Now + Latency;
@@ -337,10 +360,19 @@ private:
   void deliver(const Event &E) {
     InstanceState &Inst = Instances[static_cast<size_t>(E.InstanceIdx)];
     auto &Set = Inst.ParamSets[static_cast<size_t>(E.Param)];
+    // Mirror of the runtime's re-delivery semantics (TileExecutor): a
+    // token already sitting in the parameter set may arrive again after a
+    // flag/tag transition, newly enabling combinations with tokens that
+    // arrived while it was inadmissible. Re-enumerate (deduplicating
+    // against already-pending invocations) instead of returning early.
+    bool Known = false;
     for (const Arrival &A : Set)
-      if (A.Tok == E.Arr.Tok)
-        return;
-    Set.push_back(E.Arr);
+      Known = Known || A.Tok == E.Arr.Tok;
+    if (!Known)
+      Set.push_back(E.Arr);
+    if (Opts.Trace)
+      Opts.Trace->deliver(E.Time, E.Core,
+                          static_cast<int64_t>(E.Arr.Tok->Id));
     ir::TaskId TaskId = L.Instances[static_cast<size_t>(E.InstanceIdx)].Task;
     const ir::TaskDecl &Task = Prog.taskOf(TaskId);
     if (guardAdmitsToken(Task.Params[static_cast<size_t>(E.Param)],
@@ -348,7 +380,8 @@ private:
       Invocation Partial;
       Partial.Task = TaskId;
       Partial.InstanceIdx = E.InstanceIdx;
-      matchParams(E.Core, E.InstanceIdx, Task, 0, Partial, E.Param, E.Arr);
+      matchParams(E.Core, E.InstanceIdx, Task, 0, Partial, E.Param, E.Arr,
+                  /*DedupeReady=*/Known);
     }
     if (!Cores[static_cast<size_t>(E.Core)].Executing)
       tryStart(E.Core, E.Time);
@@ -397,6 +430,14 @@ private:
       Core.Executing = true;
       Core.BusyTotal += Duration;
       ++Result.Invocations;
+      if (Opts.Trace) {
+        // The simulator's all-or-nothing locking never fails (busy tokens
+        // requeue before the acquire), so no lock-retry events here.
+        Opts.Trace->lockAcquire(Now, CoreIdx, Inv.Task, Inv.Params.size());
+        // The gap since the last completion on this core was idle time.
+        Opts.Trace->idle(Core.LastEnd, Now, CoreIdx);
+        Opts.Trace->taskBegin(Now, CoreIdx, Inv.Task, Core.Ready.size());
+      }
 
       Flight F;
       F.Inv = std::move(Inv);
@@ -479,6 +520,9 @@ private:
       Tok->Busy = false;
     }
     Cores[static_cast<size_t>(E.Core)].Executing = false;
+    Cores[static_cast<size_t>(E.Core)].LastEnd = E.Time;
+    if (Opts.Trace)
+      Opts.Trace->taskEnd(E.Time, E.Core, F.Inv.Task, F.Exit);
 
     // Allocate predicted new tokens (deterministic remainder rounding).
     for (ir::SiteId Site : Task.Sites) {
@@ -537,6 +581,13 @@ SimResult Simulator::run() {
   for (size_t T = 0; T < Prog.tasks().size(); ++T)
     TaskExitCounts[T].assign(Prog.tasks()[T].Exits.size(), 0);
   AllocRemainder.assign(Prog.sites().size(), 0.0);
+  if (Opts.Trace) {
+    std::vector<std::string> Names;
+    Names.reserve(Prog.tasks().size());
+    for (const ir::TaskDecl &T : Prog.tasks())
+      Names.push_back(T.Name);
+    Opts.Trace->setTaskNames(std::move(Names));
+  }
 
   // Boot token.
   {

@@ -33,6 +33,7 @@
 #include "machine/Layout.h"
 #include "machine/MachineConfig.h"
 #include "profile/Profile.h"
+#include "support/Trace.h"
 
 #include <cstdint>
 #include <vector>
@@ -45,25 +46,18 @@ struct SimOptions {
   /// Safety cap on simulated task invocations; exceeding it marks the
   /// result non-terminated and reports useful-work fraction instead.
   uint64_t MaxInvocations = 2'000'000;
+  /// When non-null, the simulator additionally records the shared event
+  /// vocabulary (task begin/end, token send/deliver, core idle spans)
+  /// into this recorder, in the same format the real executors emit —
+  /// the basis of the fig09 sim-vs-real trace diff. Not owned.
+  support::Trace *Trace = nullptr;
 };
 
-/// One simulated task invocation in the trace.
-struct TraceTask {
-  int Id = -1;
-  ir::TaskId Task = ir::InvalidId;
-  ir::ExitId Exit = ir::InvalidId;
-  int Core = 0;
-  /// Index of the executing placed instance in the layout (the unit the
-  /// optimizer can migrate).
-  int InstanceIdx = -1;
-  machine::Cycles Ready = 0; ///< When all inputs had arrived at the core.
-  machine::Cycles Start = 0;
-  machine::Cycles End = 0;
-  /// Trace ids of the invocations that produced this invocation's inputs
-  /// (-1 for the boot injection), aligned with arrival times.
-  std::vector<int> DepIds;
-  std::vector<machine::Cycles> DepArrivals;
-};
+/// One simulated task invocation in the trace. This is the shared
+/// support::TraceTask record (see support/Trace.h): the critical-path
+/// analysis and any engine producing invocation-level traces use the
+/// same model.
+using TraceTask = support::TraceTask;
 
 struct SimResult {
   machine::Cycles EstimatedCycles = 0;

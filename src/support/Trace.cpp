@@ -1,0 +1,478 @@
+//===- support/Trace.cpp - Unified execution tracing & metrics ------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace bamboo;
+using namespace bamboo::support;
+
+//===----------------------------------------------------------------------===//
+// Recording
+//===----------------------------------------------------------------------===//
+
+void Trace::clear() {
+  std::lock_guard<std::mutex> Guard(M);
+  Events.clear();
+}
+
+void Trace::reserve(size_t N) {
+  std::lock_guard<std::mutex> Guard(M);
+  Events.reserve(N);
+}
+
+void Trace::setTaskNames(std::vector<std::string> Names) {
+  std::lock_guard<std::mutex> Guard(M);
+  TaskNames = std::move(Names);
+}
+
+void Trace::record(const TraceEvent &E) {
+  std::lock_guard<std::mutex> Guard(M);
+  Events.push_back(E);
+}
+
+void Trace::taskBegin(uint64_t Time, int Core, int Task,
+                      uint64_t QueueDepth) {
+  TraceEvent E;
+  E.Kind = TraceEventKind::TaskBegin;
+  E.Time = Time;
+  E.Core = Core;
+  E.Task = Task;
+  E.Aux = QueueDepth;
+  record(E);
+}
+
+void Trace::taskEnd(uint64_t Time, int Core, int Task, int Exit) {
+  TraceEvent E;
+  E.Kind = TraceEventKind::TaskEnd;
+  E.Time = Time;
+  E.Core = Core;
+  E.Task = Task;
+  E.Exit = Exit;
+  record(E);
+}
+
+void Trace::send(uint64_t Time, int FromCore, int ToCore, int64_t ObjectId,
+                 uint32_t Hops, uint32_t Bytes) {
+  TraceEvent E;
+  E.Kind = TraceEventKind::Send;
+  E.Time = Time;
+  E.Core = FromCore;
+  E.Peer = ToCore;
+  E.Object = ObjectId;
+  E.Hops = Hops;
+  E.Bytes = Bytes;
+  record(E);
+}
+
+void Trace::deliver(uint64_t Time, int Core, int64_t ObjectId) {
+  TraceEvent E;
+  E.Kind = TraceEventKind::Deliver;
+  E.Time = Time;
+  E.Core = Core;
+  E.Object = ObjectId;
+  record(E);
+}
+
+void Trace::lockAcquire(uint64_t Time, int Core, int Task,
+                        uint64_t NumLocks) {
+  TraceEvent E;
+  E.Kind = TraceEventKind::LockAcquire;
+  E.Time = Time;
+  E.Core = Core;
+  E.Task = Task;
+  E.Aux = NumLocks;
+  record(E);
+}
+
+void Trace::lockRetry(uint64_t Time, int Core, int Task) {
+  TraceEvent E;
+  E.Kind = TraceEventKind::LockRetry;
+  E.Time = Time;
+  E.Core = Core;
+  E.Task = Task;
+  record(E);
+}
+
+void Trace::idle(uint64_t Start, uint64_t End, int Core) {
+  if (End <= Start)
+    return;
+  TraceEvent E;
+  E.Kind = TraceEventKind::Idle;
+  E.Time = Start;
+  E.Core = Core;
+  E.Aux = End;
+  record(E);
+}
+
+//===----------------------------------------------------------------------===//
+// Chrome trace export
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Minimal JSON string escaping (task names are identifiers, but the
+/// exporter must never produce invalid JSON).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatString("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string taskName(const std::vector<std::string> &Names, int Task) {
+  if (Task >= 0 && static_cast<size_t>(Task) < Names.size())
+    return jsonEscape(Names[static_cast<size_t>(Task)]);
+  return formatString("task%d", Task);
+}
+
+} // namespace
+
+std::string Trace::toChromeJson() const {
+  std::vector<TraceEvent> Sorted;
+  std::vector<std::string> Names;
+  {
+    std::lock_guard<std::mutex> Guard(M);
+    Sorted = Events;
+    Names = TaskNames;
+  }
+  // Stable order by timestamp: recording order breaks ties, so identical
+  // runs serialize identically and timestamps are monotone in the file.
+  std::stable_sort(Sorted.begin(), Sorted.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     return A.Time < B.Time;
+                   });
+
+  std::string Out;
+  Out.reserve(Sorted.size() * 96 + 64);
+  Out += "{\"traceEvents\":[";
+  bool First = true;
+  for (const TraceEvent &E : Sorted) {
+    if (!First)
+      Out += ",\n";
+    First = false;
+    unsigned long long Ts = E.Time;
+    int Tid = E.Core;
+    switch (E.Kind) {
+    case TraceEventKind::TaskBegin:
+      Out += formatString("{\"name\":\"%s\",\"cat\":\"task\",\"ph\":\"B\","
+                          "\"pid\":0,\"tid\":%d,\"ts\":%llu,"
+                          "\"args\":{\"queue\":%llu}}",
+                          taskName(Names, E.Task).c_str(), Tid, Ts,
+                          static_cast<unsigned long long>(E.Aux));
+      break;
+    case TraceEventKind::TaskEnd:
+      Out += formatString("{\"name\":\"%s\",\"cat\":\"task\",\"ph\":\"E\","
+                          "\"pid\":0,\"tid\":%d,\"ts\":%llu,"
+                          "\"args\":{\"exit\":%d}}",
+                          taskName(Names, E.Task).c_str(), Tid, Ts, E.Exit);
+      break;
+    case TraceEventKind::Send:
+      Out += formatString("{\"name\":\"send\",\"cat\":\"msg\",\"ph\":\"i\","
+                          "\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%llu,"
+                          "\"args\":{\"obj\":%lld,\"to\":%d,\"hops\":%u,"
+                          "\"bytes\":%u}}",
+                          Tid, Ts, static_cast<long long>(E.Object), E.Peer,
+                          E.Hops, E.Bytes);
+      break;
+    case TraceEventKind::Deliver:
+      Out += formatString("{\"name\":\"deliver\",\"cat\":\"msg\","
+                          "\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,"
+                          "\"ts\":%llu,\"args\":{\"obj\":%lld}}",
+                          Tid, Ts, static_cast<long long>(E.Object));
+      break;
+    case TraceEventKind::LockAcquire:
+      Out += formatString("{\"name\":\"lock\",\"cat\":\"lock\","
+                          "\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,"
+                          "\"ts\":%llu,\"args\":{\"task\":\"%s\","
+                          "\"locks\":%llu}}",
+                          Tid, Ts, taskName(Names, E.Task).c_str(),
+                          static_cast<unsigned long long>(E.Aux));
+      break;
+    case TraceEventKind::LockRetry:
+      Out += formatString("{\"name\":\"lock-retry\",\"cat\":\"lock\","
+                          "\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,"
+                          "\"ts\":%llu,\"args\":{\"task\":\"%s\"}}",
+                          Tid, Ts, taskName(Names, E.Task).c_str());
+      break;
+    case TraceEventKind::Idle:
+      Out += formatString("{\"name\":\"idle\",\"cat\":\"core\","
+                          "\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%llu,"
+                          "\"dur\":%llu,\"args\":{}}",
+                          Tid, Ts,
+                          static_cast<unsigned long long>(E.Aux - E.Time));
+      break;
+    }
+  }
+  Out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics rollup
+//===----------------------------------------------------------------------===//
+
+uint64_t TraceMetrics::totalTasks() const {
+  return std::accumulate(Cores.begin(), Cores.end(), uint64_t{0},
+                         [](uint64_t S, const CoreMetrics &C) {
+                           return S + C.Tasks;
+                         });
+}
+
+uint64_t TraceMetrics::totalSends() const {
+  return std::accumulate(Cores.begin(), Cores.end(), uint64_t{0},
+                         [](uint64_t S, const CoreMetrics &C) {
+                           return S + C.Sends;
+                         });
+}
+
+uint64_t TraceMetrics::totalLockRetries() const {
+  return std::accumulate(Cores.begin(), Cores.end(), uint64_t{0},
+                         [](uint64_t S, const CoreMetrics &C) {
+                           return S + C.LockRetries;
+                         });
+}
+
+uint64_t TraceMetrics::totalMsgBytes() const {
+  return std::accumulate(Cores.begin(), Cores.end(), uint64_t{0},
+                         [](uint64_t S, const CoreMetrics &C) {
+                           return S + C.MsgBytes;
+                         });
+}
+
+uint64_t TraceMetrics::totalMsgHops() const {
+  return std::accumulate(Cores.begin(), Cores.end(), uint64_t{0},
+                         [](uint64_t S, const CoreMetrics &C) {
+                           return S + C.MsgHops;
+                         });
+}
+
+double TraceMetrics::busyFraction() const {
+  if (TotalTicks == 0 || Cores.empty())
+    return 0.0;
+  uint64_t Busy = 0;
+  for (const CoreMetrics &C : Cores)
+    Busy += C.BusyTicks;
+  return static_cast<double>(Busy) /
+         (static_cast<double>(TotalTicks) *
+          static_cast<double>(Cores.size()));
+}
+
+double TraceMetrics::lockRetryRate() const {
+  uint64_t Retries = totalLockRetries();
+  uint64_t Attempts = Retries + totalTasks();
+  return Attempts ? static_cast<double>(Retries) /
+                        static_cast<double>(Attempts)
+                  : 0.0;
+}
+
+std::string
+TraceMetrics::str(const std::vector<std::string> &TaskNames) const {
+  std::string Out;
+  Out += formatString("trace metrics: %llu ticks, %llu tasks, %llu sends "
+                      "(%llu bytes, %llu hops), busy %.1f%%, lock-retry "
+                      "rate %.3f\n",
+                      static_cast<unsigned long long>(TotalTicks),
+                      static_cast<unsigned long long>(totalTasks()),
+                      static_cast<unsigned long long>(totalSends()),
+                      static_cast<unsigned long long>(totalMsgBytes()),
+                      static_cast<unsigned long long>(totalMsgHops()),
+                      busyFraction() * 100.0, lockRetryRate());
+  std::vector<std::vector<std::string>> Rows;
+  Rows.push_back({"core", "busy%", "tasks", "sends", "delivers", "retries",
+                  "maxqueue", "bytes", "hops"});
+  for (size_t C = 0; C < Cores.size(); ++C) {
+    const CoreMetrics &CM = Cores[C];
+    if (CM.Tasks == 0 && CM.Sends == 0 && CM.Delivers == 0)
+      continue;
+    double BusyPct =
+        TotalTicks ? 100.0 * static_cast<double>(CM.BusyTicks) /
+                         static_cast<double>(TotalTicks)
+                   : 0.0;
+    Rows.push_back(
+        {formatString("%zu", C), formatString("%.1f", BusyPct),
+         formatString("%llu", static_cast<unsigned long long>(CM.Tasks)),
+         formatString("%llu", static_cast<unsigned long long>(CM.Sends)),
+         formatString("%llu", static_cast<unsigned long long>(CM.Delivers)),
+         formatString("%llu",
+                      static_cast<unsigned long long>(CM.LockRetries)),
+         formatString("%llu",
+                      static_cast<unsigned long long>(CM.MaxQueueDepth)),
+         formatString("%llu", static_cast<unsigned long long>(CM.MsgBytes)),
+         formatString("%llu",
+                      static_cast<unsigned long long>(CM.MsgHops))});
+  }
+  Out += renderTable(Rows);
+  Rows.clear();
+  Rows.push_back({"task", "invocations", "busy ticks"});
+  for (size_t T = 0; T < Tasks.size(); ++T) {
+    if (Tasks[T].Invocations == 0)
+      continue;
+    std::string Name = T < TaskNames.size() ? TaskNames[T]
+                                            : formatString("task%zu", T);
+    Rows.push_back(
+        {Name,
+         formatString("%llu",
+                      static_cast<unsigned long long>(Tasks[T].Invocations)),
+         formatString("%llu",
+                      static_cast<unsigned long long>(Tasks[T].BusyTicks))});
+  }
+  if (Rows.size() > 1)
+    Out += renderTable(Rows);
+  return Out;
+}
+
+TraceMetrics Trace::metrics() const {
+  std::vector<TraceEvent> Snapshot;
+  {
+    std::lock_guard<std::mutex> Guard(M);
+    Snapshot = Events;
+  }
+  TraceMetrics Out;
+  auto CoreOf = [&Out](int Core) -> CoreMetrics & {
+    size_t Idx = Core >= 0 ? static_cast<size_t>(Core) : 0;
+    if (Out.Cores.size() <= Idx)
+      Out.Cores.resize(Idx + 1);
+    return Out.Cores[Idx];
+  };
+  auto TaskOf = [&Out](int Task) -> TaskRollup & {
+    size_t Idx = Task >= 0 ? static_cast<size_t>(Task) : 0;
+    if (Out.Tasks.size() <= Idx)
+      Out.Tasks.resize(Idx + 1);
+    return Out.Tasks[Idx];
+  };
+  // Open TaskBegin per core, for pairing with the matching TaskEnd. The
+  // engines run one task at a time per core, so a single slot suffices.
+  std::vector<uint64_t> OpenBegin;
+  auto OpenOf = [&OpenBegin](int Core) -> uint64_t & {
+    size_t Idx = Core >= 0 ? static_cast<size_t>(Core) : 0;
+    if (OpenBegin.size() <= Idx)
+      OpenBegin.resize(Idx + 1, UINT64_MAX);
+    return OpenBegin[Idx];
+  };
+
+  for (const TraceEvent &E : Snapshot) {
+    Out.TotalTicks = std::max(
+        Out.TotalTicks,
+        E.Kind == TraceEventKind::Idle ? E.Aux : E.Time);
+    CoreMetrics &CM = CoreOf(E.Core);
+    switch (E.Kind) {
+    case TraceEventKind::TaskBegin:
+      ++CM.Tasks;
+      CM.MaxQueueDepth = std::max(CM.MaxQueueDepth, E.Aux);
+      OpenOf(E.Core) = E.Time;
+      ++TaskOf(E.Task).Invocations;
+      break;
+    case TraceEventKind::TaskEnd: {
+      uint64_t &Open = OpenOf(E.Core);
+      if (Open != UINT64_MAX && E.Time >= Open) {
+        CM.BusyTicks += E.Time - Open;
+        TaskOf(E.Task).BusyTicks += E.Time - Open;
+        Open = UINT64_MAX;
+      }
+      break;
+    }
+    case TraceEventKind::Send:
+      ++CM.Sends;
+      CM.MsgBytes += E.Bytes;
+      CM.MsgHops += E.Hops;
+      break;
+    case TraceEventKind::Deliver:
+      ++CM.Delivers;
+      break;
+    case TraceEventKind::LockAcquire:
+      ++CM.LockAcquires;
+      break;
+    case TraceEventKind::LockRetry:
+      ++CM.LockRetries;
+      break;
+    case TraceEventKind::Idle:
+      CM.IdleTicks += E.Aux - E.Time;
+      break;
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Trace alignment (sim vs real)
+//===----------------------------------------------------------------------===//
+
+TraceDiff bamboo::support::diffTaskOrder(const Trace &A, const Trace &B) {
+  auto Begins = [](const Trace &T) {
+    std::vector<const TraceEvent *> Out;
+    for (const TraceEvent &E : T.events())
+      if (E.Kind == TraceEventKind::TaskBegin)
+        Out.push_back(&E);
+    return Out;
+  };
+  std::vector<const TraceEvent *> EA = Begins(A), EB = Begins(B);
+
+  TraceDiff D;
+  D.CountA = EA.size();
+  D.CountB = EB.size();
+  size_t N = std::min(EA.size(), EB.size());
+  size_t I = 0;
+  while (I < N && EA[I]->Task == EB[I]->Task && EA[I]->Core == EB[I]->Core)
+    ++I;
+  D.CommonPrefix = I;
+  D.PreDivergenceMismatches = 0; // By construction of the common prefix.
+  D.Identical = I == EA.size() && I == EB.size();
+  if (!D.Identical) {
+    if (I < EA.size()) {
+      D.TaskA = EA[I]->Task;
+      D.CoreA = EA[I]->Core;
+      D.TimeA = EA[I]->Time;
+    }
+    if (I < EB.size()) {
+      D.TaskB = EB[I]->Task;
+      D.CoreB = EB[I]->Core;
+      D.TimeB = EB[I]->Time;
+    }
+  }
+  return D;
+}
+
+std::string
+TraceDiff::str(const std::vector<std::string> &TaskNames) const {
+  auto Name = [&TaskNames](int32_t T) -> std::string {
+    if (T >= 0 && static_cast<size_t>(T) < TaskNames.size())
+      return TaskNames[static_cast<size_t>(T)];
+    return T < 0 ? std::string("<end>") : formatString("task%d", T);
+  };
+  if (Identical)
+    return formatString("identical (%zu dispatches)", CountA);
+  return formatString(
+      "diverges at dispatch %zu/%zu|%zu (0 pre-divergence mismatches): "
+      "A ran %s on core %d @%llu, B ran %s on core %d @%llu",
+      CommonPrefix, CountA, CountB, Name(TaskA).c_str(), CoreA,
+      static_cast<unsigned long long>(TimeA), Name(TaskB).c_str(), CoreB,
+      static_cast<unsigned long long>(TimeB));
+}

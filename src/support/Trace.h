@@ -1,0 +1,222 @@
+//===- support/Trace.h - Unified execution tracing & metrics ----*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, low-overhead execution-event recorder shared by every
+/// engine that "runs" a Bamboo program: the discrete-event TileExecutor,
+/// the host-thread ThreadExecutor, and the high-level scheduling simulator
+/// (SchedSim). All three emit the same event vocabulary —
+///
+///   - task begin / end (with exit and ready-queue depth),
+///   - object send / deliver (with mesh hops and payload bytes),
+///   - lock acquire / retry (the all-or-nothing protocol of Section 4.7),
+///   - core idle spans,
+///
+/// so a simulated run and a real run of the same layout can be aligned
+/// event-for-event. That alignment is the measurement behind the paper's
+/// Figure 9 claim (the simulator tracks real execution within a few
+/// percent): `diffTaskOrder` reports the first point where the simulated
+/// task schedule diverges from the real one, instead of forcing the
+/// comparison through aggregate cycle counts.
+///
+/// Exports:
+///   - Chrome trace-format JSON (load in about:tracing / Perfetto). The
+///     export is byte-deterministic: identical runs produce identical
+///     files, which the test suite asserts.
+///   - A per-core / per-task metrics rollup (busy %, max ready-queue
+///     depth, lock-retry rate, message bytes and hops).
+///
+/// The shared TraceTask record (one row per simulated task invocation,
+/// with dependence arcs) also lives here; the scheduling simulator's
+/// critical-path extraction consumes it. Timestamps are engine-defined
+/// ticks: virtual cycles for TileExecutor/SchedSim, nanoseconds for
+/// ThreadExecutor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_SUPPORT_TRACE_H
+#define BAMBOO_SUPPORT_TRACE_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bamboo::support {
+
+/// One simulated/executed task invocation with dependence arcs. This is
+/// the record the critical-path analysis (optimize/CriticalPath) walks;
+/// SchedSim builds it, and it is engine-neutral so other engines can too.
+struct TraceTask {
+  int Id = -1;
+  /// ir::TaskId of the invoked task (plain int: support does not depend
+  /// on the IR; ids are dense indices in both worlds).
+  int Task = -1;
+  /// ir::ExitId of the taken/predicted exit.
+  int Exit = -1;
+  int Core = 0;
+  /// Index of the executing placed instance in the layout (the unit the
+  /// optimizer can migrate).
+  int InstanceIdx = -1;
+  uint64_t Ready = 0; ///< When all inputs had arrived at the core.
+  uint64_t Start = 0;
+  uint64_t End = 0;
+  /// Trace ids of the invocations that produced this invocation's inputs
+  /// (-1 for the boot injection), aligned with arrival times.
+  std::vector<int> DepIds;
+  std::vector<uint64_t> DepArrivals;
+};
+
+enum class TraceEventKind : uint8_t {
+  TaskBegin,
+  TaskEnd,
+  Send,
+  Deliver,
+  LockAcquire,
+  LockRetry,
+  Idle,
+};
+
+/// One recorded event. Fixed-size POD so recording is a vector push.
+struct TraceEvent {
+  TraceEventKind Kind = TraceEventKind::TaskBegin;
+  uint64_t Time = 0; ///< Engine ticks (cycles or ns).
+  int32_t Core = -1;
+  int32_t Task = -1;   ///< TaskBegin/End, LockAcquire/Retry.
+  int32_t Exit = -1;   ///< TaskEnd only.
+  int64_t Object = -1; ///< Send/Deliver: object or token id.
+  int32_t Peer = -1;   ///< Send: destination core.
+  uint32_t Hops = 0;   ///< Send: mesh hops traversed.
+  uint32_t Bytes = 0;  ///< Send: payload bytes.
+  /// TaskBegin: ready-queue depth behind the dispatched invocation.
+  /// LockAcquire: number of parameter locks taken. Idle: span end time
+  /// (Time holds the span start).
+  uint64_t Aux = 0;
+};
+
+/// Per-core rollup over one trace.
+struct CoreMetrics {
+  uint64_t BusyTicks = 0;
+  uint64_t IdleTicks = 0;
+  uint64_t Tasks = 0;
+  uint64_t Sends = 0;
+  uint64_t Delivers = 0;
+  uint64_t LockAcquires = 0;
+  uint64_t LockRetries = 0;
+  uint64_t MsgBytes = 0;
+  uint64_t MsgHops = 0;
+  uint64_t MaxQueueDepth = 0;
+};
+
+/// Per-task rollup over one trace.
+struct TaskRollup {
+  uint64_t Invocations = 0;
+  uint64_t BusyTicks = 0;
+};
+
+/// Whole-trace rollup: per-core and per-task aggregates plus totals.
+struct TraceMetrics {
+  uint64_t TotalTicks = 0; ///< Largest event timestamp.
+  std::vector<CoreMetrics> Cores;  ///< Indexed by core id.
+  std::vector<TaskRollup> Tasks;   ///< Indexed by task id.
+
+  uint64_t totalTasks() const;
+  uint64_t totalSends() const;
+  uint64_t totalLockRetries() const;
+  uint64_t totalMsgBytes() const;
+  uint64_t totalMsgHops() const;
+  /// Busy fraction of (TotalTicks * cores), in [0, 1].
+  double busyFraction() const;
+  /// Failed acquisition sweeps per dispatch attempt:
+  /// retries / (retries + tasks); 0 when idle.
+  double lockRetryRate() const;
+
+  /// Human-readable table; \p TaskNames (indexed by task id) may be empty.
+  std::string str(const std::vector<std::string> &TaskNames = {}) const;
+};
+
+/// Result of aligning two traces' task schedules (e.g. simulated vs real).
+struct TraceDiff {
+  size_t CountA = 0; ///< TaskBegin events in A.
+  size_t CountB = 0; ///< TaskBegin events in B.
+  /// Length of the longest common (task, core) prefix of the two
+  /// dispatch sequences.
+  size_t CommonPrefix = 0;
+  /// Mismatches strictly before the divergence point — zero by
+  /// construction; reported so callers can assert the alignment is real.
+  size_t PreDivergenceMismatches = 0;
+  bool Identical = false;
+  /// At the first divergence (valid when !Identical and the index is in
+  /// range for the respective trace): what each side dispatched.
+  int32_t TaskA = -1, CoreA = -1;
+  int32_t TaskB = -1, CoreB = -1;
+  uint64_t TimeA = 0, TimeB = 0;
+
+  std::string str(const std::vector<std::string> &TaskNames = {}) const;
+};
+
+/// The event recorder. Recording is guarded by a mutex so the
+/// ThreadExecutor's workers can share one trace; the discrete-event
+/// engines pay one uncontended lock per event. Determinism comes from
+/// the engines: the discrete-event executors record in event-queue order,
+/// and the exporter orders output by (timestamp, recording order).
+class Trace {
+public:
+  Trace() = default;
+
+  /// Non-copyable (events can be large; moves are fine).
+  Trace(const Trace &) = delete;
+  Trace &operator=(const Trace &) = delete;
+
+  void clear();
+  void reserve(size_t N);
+
+  /// Task names indexed by task id, used by the JSON export and the
+  /// metrics table. Optional; unnamed tasks print as "task<N>".
+  void setTaskNames(std::vector<std::string> Names);
+  const std::vector<std::string> &taskNames() const { return TaskNames; }
+
+  // Recording. All record in O(1) amortized.
+  void taskBegin(uint64_t Time, int Core, int Task, uint64_t QueueDepth);
+  void taskEnd(uint64_t Time, int Core, int Task, int Exit);
+  void send(uint64_t Time, int FromCore, int ToCore, int64_t ObjectId,
+            uint32_t Hops, uint32_t Bytes);
+  void deliver(uint64_t Time, int Core, int64_t ObjectId);
+  void lockAcquire(uint64_t Time, int Core, int Task, uint64_t NumLocks);
+  void lockRetry(uint64_t Time, int Core, int Task);
+  /// Records that \p Core sat idle over [Start, End).
+  void idle(uint64_t Start, uint64_t End, int Core);
+
+  /// Snapshot of the recorded events, in recording order.
+  const std::vector<TraceEvent> &events() const { return Events; }
+  size_t size() const { return Events.size(); }
+  bool empty() const { return Events.empty(); }
+
+  /// Chrome trace-format JSON ({"traceEvents": [...]}), byte-deterministic
+  /// for a given event sequence: events are emitted in stable (timestamp,
+  /// recording order) order so timestamps are monotone in the file.
+  std::string toChromeJson() const;
+
+  /// Computes the per-core / per-task rollup.
+  TraceMetrics metrics() const;
+
+private:
+  mutable std::mutex M;
+  std::vector<TraceEvent> Events;
+  std::vector<std::string> TaskNames;
+
+  void record(const TraceEvent &E);
+};
+
+/// Aligns the task-dispatch sequences (TaskBegin events) of \p A and \p B
+/// and reports the first divergence. Two dispatches match when they agree
+/// on (task, core); timestamps are not compared (the engines' clocks
+/// differ by design).
+TraceDiff diffTaskOrder(const Trace &A, const Trace &B);
+
+} // namespace bamboo::support
+
+#endif // BAMBOO_SUPPORT_TRACE_H

@@ -26,6 +26,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <unistd.h>
 
 using namespace bamboo;
 
@@ -60,10 +61,13 @@ std::optional<std::string> compileAndRun(const std::string &CSource,
                                          const std::string &Arg) {
   if (!hostCcAvailable())
     return std::nullopt;
-  std::string Dir = ::testing::TempDir();
-  std::string CPath = Dir + "/bamboo_cgen_test.c";
-  std::string BinPath = Dir + "/bamboo_cgen_test";
-  std::string OutPath = Dir + "/bamboo_cgen_test.out";
+  // Unique per test process: ctest runs CgenTest cases in parallel and
+  // they share TempDir, so fixed names would race.
+  std::string Base =
+      ::testing::TempDir() + "/bamboo_cgen_" + std::to_string(::getpid());
+  std::string CPath = Base + ".c";
+  std::string BinPath = Base + ".bin";
+  std::string OutPath = Base + ".out";
   {
     std::ofstream Out(CPath);
     Out << CSource;

@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <unistd.h>
 
 namespace {
 
@@ -38,17 +39,24 @@ std::string readFile(const std::string &Path) {
   return SS.str();
 }
 
+/// Capture files, unique per test process: ctest runs CliTest cases in
+/// parallel and they share TempDir, so fixed names would race.
+std::string capturePath(const char *Stream) {
+  return tempPath("cli_" + std::to_string(::getpid()) + "_" + Stream +
+                  ".txt");
+}
+
 /// Runs the tool; returns {exit status, stdout contents}.
 std::pair<int, std::string> runBamboo(const std::string &Args) {
-  std::string Out = tempPath("cli_stdout.txt");
+  std::string Out = capturePath("stdout");
   std::string Cmd = std::string(BAMBOO_BIN) + " " + Args + " > " + Out +
-                    " 2>" + tempPath("cli_stderr.txt");
+                    " 2>" + capturePath("stderr");
   int Status = std::system(Cmd.c_str());
   return {Status, readFile(Out)};
 }
 
 std::string keywordFile() {
-  std::string Path = tempPath("kw.bb");
+  std::string Path = tempPath("kw_" + std::to_string(::getpid()) + ".bb");
   writeFile(Path, bamboo::driver::KeywordCountSource);
   return Path;
 }
@@ -110,6 +118,42 @@ TEST(CliTest, DumpAstgAndTaskflow) {
   auto [Status2, Out2] = runBamboo(keywordFile() + " --dump-taskflow");
   EXPECT_EQ(Status2, 0);
   EXPECT_NE(Out2.find("digraph"), std::string::npos);
+}
+
+TEST(CliTest, TraceAndMetricsRoundTrip) {
+  std::string TracePath = tempPath("cli_trace.json");
+  auto [Status, Out] = runBamboo(keywordFile() + " --run --cores=4" +
+                                 " --arg='the cat the dog' --trace=" +
+                                 TracePath + " --metrics");
+  EXPECT_EQ(Status, 0);
+  EXPECT_NE(Out.find("total=2"), std::string::npos);
+
+  std::string Json = readFile(TracePath);
+  ASSERT_FALSE(Json.empty()) << "--trace must write the file";
+  EXPECT_EQ(Json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(Json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(Json.find("processText"), std::string::npos);
+
+  // --metrics prints the rollup table on stderr.
+  std::string Err = readFile(capturePath("stderr"));
+  EXPECT_NE(Err.find("busy"), std::string::npos);
+  EXPECT_NE(Err.find("processText"), std::string::npos);
+}
+
+TEST(CliTest, TraceByteIdenticalAcrossRunsAndJobs) {
+  // The deterministic executor must produce bit-identical traces no
+  // matter how many synthesis worker threads explored the layout space.
+  std::string A = tempPath("cli_trace_a.json");
+  std::string B = tempPath("cli_trace_b.json");
+  std::string Common =
+      keywordFile() + " --cores=4 --arg='the cat the dog' ";
+  auto [StatusA, OutA] = runBamboo(Common + "--jobs=1 --trace=" + A);
+  auto [StatusB, OutB] = runBamboo(Common + "--jobs=3 --trace=" + B);
+  EXPECT_EQ(StatusA, 0);
+  EXPECT_EQ(StatusB, 0);
+  std::string JsonA = readFile(A), JsonB = readFile(B);
+  ASSERT_FALSE(JsonA.empty());
+  EXPECT_EQ(JsonA, JsonB);
 }
 
 TEST(CliTest, DumpLayoutSynthesizes) {

@@ -10,6 +10,7 @@
 #include "machine/MachineConfig.h"
 #include "runtime/TaskContext.h"
 #include "runtime/TileExecutor.h"
+#include "support/Trace.h"
 #include "PipelineFixture.h"
 
 #include <gtest/gtest.h>
@@ -256,4 +257,201 @@ TEST(TileExecutorTest, PerCoreBusyTotalsConsistent) {
   // On one core, busy time equals total time (no idle gaps possible after
   // the first event at t=0).
   EXPECT_EQ(R.CoreBusy[0], R.TotalCycles);
+}
+
+//===----------------------------------------------------------------------===//
+// TileExecutor: result/dispatch regressions
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Layout spreadPipeline(const ir::Program &P, int Cores) {
+  Layout L;
+  L.NumCores = Cores;
+  L.Instances = {{P.findTask("boot"), 0}, {P.findTask("fold"), 0}};
+  for (int C = 0; C < Cores; ++C)
+    L.Instances.push_back({P.findTask("work"), C});
+  return L;
+}
+
+/// Gate/Item program reproducing the re-delivery enumeration bug. The
+/// gate object enters join's parameter set while open, a separate task
+/// shuts it (creating the item while the gate is inadmissible), and a
+/// third task reopens it. The (gate, item) join combination is only
+/// discoverable when the reopened gate is *re*-delivered to a parameter
+/// set that already contains it — exactly the case the old deliver()
+/// early-return skipped.
+ir::Program makeGateProgram() {
+  ir::ProgramBuilder PB("gate");
+  ir::ClassId S = PB.addClass("S", {"boot"});
+  ir::ClassId Gate = PB.addClass("Gate", {"open", "f1", "f2"});
+  ir::ClassId Item = PB.addClass("Item", {"avail"});
+
+  ir::TaskId Boot = PB.addTask("boot");
+  PB.addParam(Boot, "s", S, PB.flagRef(S, "boot"));
+  ir::ExitId B0 = PB.addExit(Boot, "done");
+  PB.setFlagEffect(Boot, B0, 0, "boot", false);
+  PB.addSite(Boot, Gate, {"open", "f1"}, {}, "gate");
+
+  ir::TaskId Shut = PB.addTask("shut");
+  PB.addParam(Shut, "g", Gate, PB.flagRef(Gate, "f1"));
+  ir::ExitId S0 = PB.addExit(Shut, "done");
+  PB.setFlagEffect(Shut, S0, 0, "f1", false);
+  PB.setFlagEffect(Shut, S0, 0, "open", false);
+  PB.setFlagEffect(Shut, S0, 0, "f2", true);
+  PB.addSite(Shut, Item, {"avail"}, {}, "item");
+
+  ir::TaskId Reopen = PB.addTask("reopen");
+  PB.addParam(Reopen, "g", Gate, PB.flagRef(Gate, "f2"));
+  ir::ExitId R0 = PB.addExit(Reopen, "done");
+  PB.setFlagEffect(Reopen, R0, 0, "f2", false);
+  PB.setFlagEffect(Reopen, R0, 0, "open", true);
+
+  ir::TaskId Join = PB.addTask("join");
+  PB.addParam(Join, "g", Gate, PB.flagRef(Gate, "open"));
+  PB.addParam(Join, "i", Item, PB.flagRef(Item, "avail"));
+  ir::ExitId J0 = PB.addExit(Join, "done");
+  PB.setFlagEffect(Join, J0, 0, "open", false);
+  PB.setFlagEffect(Join, J0, 1, "avail", false);
+
+  PB.setStartup(S, "boot");
+  return PB.take();
+}
+
+runtime::BoundProgram makeGateBound() {
+  runtime::BoundProgram BP(makeGateProgram());
+  const ir::Program &P = BP.program();
+  ir::TaskId Boot = P.findTask("boot");
+  ir::TaskId Shut = P.findTask("shut");
+  ir::SiteId GateSite = P.taskOf(Boot).Sites[0];
+  ir::SiteId ItemSite = P.taskOf(Shut).Sites[0];
+
+  BP.bind(Boot, [=](runtime::TaskContext &Ctx) {
+    Ctx.allocate(GateSite, std::make_unique<runtime::ObjectData>());
+    Ctx.charge(5);
+    Ctx.exitWith(0);
+  });
+  BP.bind(Shut, [=](runtime::TaskContext &Ctx) {
+    Ctx.allocate(ItemSite, std::make_unique<runtime::ObjectData>());
+    Ctx.charge(5);
+    Ctx.exitWith(0);
+  });
+  BP.bind(P.findTask("reopen"), [](runtime::TaskContext &Ctx) {
+    Ctx.charge(5);
+    Ctx.exitWith(0);
+  });
+  BP.bind(P.findTask("join"), [](runtime::TaskContext &Ctx) {
+    Ctx.charge(5);
+    Ctx.exitWith(0);
+  });
+  return BP;
+}
+
+} // namespace
+
+TEST(TileExecutorTest, MaxEventsAbortStillReportsUtilization) {
+  BoundProgram BP = makePipelineBound(16, 250);
+  analysis::Cstg G = analysis::buildCstg(BP.program());
+  MachineConfig M = MachineConfig::tilePro64();
+  M.NumCores = 4;
+  Layout L = spreadPipeline(BP.program(), 4);
+  TileExecutor Exec(BP, G, M, L);
+  ExecOptions Opts;
+  Opts.MaxEvents = 8; // Far fewer events than the run needs.
+  Opts.CollectProfile = true;
+  ExecResult R = Exec.run(Opts);
+
+  EXPECT_FALSE(R.Completed);
+  // The aborted exit must still report per-core utilization and the last
+  // simulated time (it used to return early with both unset).
+  ASSERT_EQ(R.CoreBusy.size(), 4u);
+  EXPECT_GT(R.TotalCycles, 0u);
+  EXPECT_GT(R.CoreBusy[0], 0u);
+  // And the collected profile must say the run did not terminate.
+  ASSERT_TRUE(R.CollectedProfile.has_value());
+  EXPECT_FALSE(R.CollectedProfile->terminated());
+}
+
+TEST(TileExecutorTest, RedeliveryEnablesNewCombinations) {
+  BoundProgram BP = makeGateBound();
+  analysis::Cstg G = analysis::buildCstg(BP.program());
+  MachineConfig M = MachineConfig::singleCore();
+  Layout L = Layout::allOnOneCore(BP.program());
+  TileExecutor Exec(BP, G, M, L);
+  ExecOptions Opts;
+  Opts.CollectProfile = true;
+  ExecResult R = Exec.run(Opts);
+
+  ASSERT_TRUE(R.Completed);
+  // boot, shut, reopen, and — only with correct re-delivery handling —
+  // the final join of the reopened gate with the item that arrived while
+  // the gate was shut.
+  EXPECT_EQ(R.TaskInvocations, 4u);
+  ASSERT_TRUE(R.CollectedProfile.has_value());
+  EXPECT_EQ(
+      R.CollectedProfile->taskStats(BP.program().findTask("join"))
+          .invocations(),
+      1u);
+}
+
+TEST(TileExecutorTest, RedeliveryDoesNotDoubleDispatch) {
+  // The re-enumeration must deduplicate against pending invocations:
+  // the pipeline re-delivers the sink to fold after every merge, and a
+  // duplicate (sink, item) combination would fold an item twice.
+  const int Items = 8;
+  BoundProgram BP = makePipelineBound(Items, 100);
+  analysis::Cstg G = analysis::buildCstg(BP.program());
+  MachineConfig M = MachineConfig::singleCore();
+  Layout L = Layout::allOnOneCore(BP.program());
+  TileExecutor Exec(BP, G, M, L);
+  ExecResult R = Exec.run(ExecOptions{});
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(R.TaskInvocations, 1u + 2u * Items);
+  const SinkData *Sink = findSink(Exec.heap());
+  ASSERT_NE(Sink, nullptr);
+  EXPECT_EQ(Sink->Merged, Items);
+  EXPECT_EQ(Sink->Total, expectedTotal(Items));
+}
+
+//===----------------------------------------------------------------------===//
+// TileExecutor: execution tracing
+//===----------------------------------------------------------------------===//
+
+TEST(TileExecutorTest, TraceIsDeterministicAndMatchesResult) {
+  BoundProgram BP = makePipelineBound(12, 300);
+  analysis::Cstg G = analysis::buildCstg(BP.program());
+  MachineConfig M = MachineConfig::tilePro64();
+  M.NumCores = 4;
+  Layout L = spreadPipeline(BP.program(), 4);
+  TileExecutor Exec(BP, G, M, L);
+
+  support::Trace T1, T2;
+  ExecOptions O1;
+  O1.Trace = &T1;
+  ExecResult R1 = Exec.run(O1);
+  ExecOptions O2;
+  O2.Trace = &T2;
+  ExecResult R2 = Exec.run(O2);
+  ASSERT_TRUE(R1.Completed);
+  ASSERT_TRUE(R2.Completed);
+
+  // Byte-identical export across identical runs.
+  EXPECT_EQ(T1.toChromeJson(), T2.toChromeJson());
+  EXPECT_TRUE(support::diffTaskOrder(T1, T2).Identical);
+
+  // The rollup must agree with the executor's own counters.
+  support::TraceMetrics TM = T1.metrics();
+  EXPECT_EQ(TM.totalTasks(), R1.TaskInvocations);
+  EXPECT_EQ(TM.totalSends(), R1.MessagesSent);
+  EXPECT_EQ(TM.totalMsgHops(), R1.MessageHops);
+  EXPECT_EQ(TM.totalLockRetries(), R1.LockRetries);
+  EXPECT_EQ(TM.totalMsgBytes(), R1.MessagesSent * M.MsgBytesPerObject);
+  EXPECT_EQ(TM.TotalTicks, R1.TotalCycles);
+  ASSERT_LE(TM.Cores.size(), R1.CoreBusy.size());
+  for (size_t C = 0; C < TM.Cores.size(); ++C)
+    EXPECT_EQ(TM.Cores[C].BusyTicks, R1.CoreBusy[C]) << "core " << C;
+
+  // Every cross-core message traverses at least one hop.
+  EXPECT_GE(R1.MessageHops, R1.MessagesSent);
+  EXPECT_GT(R1.MessagesSent, 0u);
 }

@@ -10,6 +10,7 @@
 #include "support/Scc.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <gtest/gtest.h>
 
@@ -382,4 +383,133 @@ TEST(StatsTest, HistogramAscii) {
   std::string Out = H.renderAscii("title");
   EXPECT_NE(Out.find("title"), std::string::npos);
   EXPECT_NE(Out.find("#"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Two cores, two tasks, one cross-core send, one retry, one idle span.
+/// All the rollup arithmetic below is checkable by hand against this.
+void recordSampleTrace(support::Trace &T) {
+  T.setTaskNames({"boot", "work"});
+  T.lockAcquire(/*Time=*/0, /*Core=*/0, /*Task=*/0, /*NumLocks=*/1);
+  T.taskBegin(/*Time=*/0, /*Core=*/0, /*Task=*/0, /*QueueDepth=*/0);
+  T.taskEnd(/*Time=*/10, /*Core=*/0, /*Task=*/0, /*Exit=*/0);
+  T.send(/*Time=*/10, /*FromCore=*/0, /*ToCore=*/1, /*ObjectId=*/7,
+         /*Hops=*/2, /*Bytes=*/64);
+  T.deliver(/*Time=*/12, /*Core=*/1, /*ObjectId=*/7);
+  T.lockRetry(/*Time=*/12, /*Core=*/1, /*Task=*/1);
+  T.lockAcquire(/*Time=*/14, /*Core=*/1, /*Task=*/1, /*NumLocks=*/2);
+  T.idle(/*Start=*/0, /*End=*/14, /*Core=*/1);
+  T.taskBegin(/*Time=*/14, /*Core=*/1, /*Task=*/1, /*QueueDepth=*/3);
+  T.taskEnd(/*Time=*/20, /*Core=*/1, /*Task=*/1, /*Exit=*/1);
+}
+
+} // namespace
+
+TEST(TraceTest, MetricsRollupArithmetic) {
+  support::Trace T;
+  recordSampleTrace(T);
+  support::TraceMetrics M = T.metrics();
+
+  EXPECT_EQ(M.TotalTicks, 20u);
+  ASSERT_EQ(M.Cores.size(), 2u);
+  EXPECT_EQ(M.Cores[0].BusyTicks, 10u); // boot: [0, 10)
+  EXPECT_EQ(M.Cores[1].BusyTicks, 6u);  // work: [14, 20)
+  EXPECT_EQ(M.Cores[1].IdleTicks, 14u);
+  EXPECT_EQ(M.Cores[0].Sends, 1u);
+  EXPECT_EQ(M.Cores[1].Delivers, 1u);
+  EXPECT_EQ(M.Cores[1].LockRetries, 1u);
+  EXPECT_EQ(M.Cores[1].MaxQueueDepth, 3u);
+  EXPECT_EQ(M.totalTasks(), 2u);
+  EXPECT_EQ(M.totalSends(), 1u);
+  EXPECT_EQ(M.totalLockRetries(), 1u);
+  EXPECT_EQ(M.totalMsgBytes(), 64u);
+  EXPECT_EQ(M.totalMsgHops(), 2u);
+  // 16 busy ticks over 2 cores * 20 ticks.
+  EXPECT_DOUBLE_EQ(M.busyFraction(), 16.0 / 40.0);
+  // 1 retry over (1 retry + 2 dispatches).
+  EXPECT_DOUBLE_EQ(M.lockRetryRate(), 1.0 / 3.0);
+
+  ASSERT_EQ(M.Tasks.size(), 2u);
+  EXPECT_EQ(M.Tasks[0].Invocations, 1u);
+  EXPECT_EQ(M.Tasks[1].BusyTicks, 6u);
+
+  // The human-readable table mentions the named tasks.
+  std::string S = M.str(T.taskNames());
+  EXPECT_NE(S.find("boot"), std::string::npos);
+  EXPECT_NE(S.find("work"), std::string::npos);
+}
+
+TEST(TraceTest, ChromeJsonDeterministicAndOrdered) {
+  support::Trace T;
+  // Record out of timestamp order: the exporter must stable-sort.
+  T.setTaskNames({"a\"quote"}); // name requiring JSON escaping
+  T.taskBegin(5, 0, 0, 0);
+  T.taskEnd(9, 0, 0, 0);
+  T.deliver(1, 0, 42);
+  T.idle(0, 5, 0);
+
+  std::string J1 = T.toChromeJson();
+  std::string J2 = T.toChromeJson();
+  EXPECT_EQ(J1, J2) << "export must be byte-deterministic";
+
+  EXPECT_EQ(J1.rfind("{\"traceEvents\":[", 0), 0u)
+      << "must start with the Chrome trace envelope";
+  EXPECT_NE(J1.find("\"a\\\"quote\""), std::string::npos)
+      << "task names must be JSON-escaped";
+
+  // Timestamps must be monotone in file order.
+  uint64_t Last = 0;
+  size_t Pos = 0, Count = 0;
+  while ((Pos = J1.find("\"ts\":", Pos)) != std::string::npos) {
+    Pos += 5;
+    uint64_t Ts = std::stoull(J1.substr(Pos));
+    EXPECT_GE(Ts, Last);
+    Last = Ts;
+    ++Count;
+  }
+  EXPECT_EQ(Count, T.size());
+}
+
+TEST(TraceTest, IdleSpanIgnoredWhenEmpty) {
+  support::Trace T;
+  T.idle(7, 7, 0); // zero-length: must not record
+  T.idle(9, 5, 0); // backwards: must not record
+  EXPECT_TRUE(T.empty());
+  T.idle(5, 9, 0);
+  EXPECT_EQ(T.size(), 1u);
+  EXPECT_EQ(T.metrics().Cores.at(0).IdleTicks, 4u);
+}
+
+TEST(TraceTest, DiffTaskOrderIdenticalAndDivergent) {
+  support::Trace A, B;
+  recordSampleTrace(A);
+  recordSampleTrace(B);
+  support::TraceDiff Same = support::diffTaskOrder(A, B);
+  EXPECT_TRUE(Same.Identical);
+  EXPECT_EQ(Same.CountA, 2u);
+  EXPECT_EQ(Same.CommonPrefix, 2u);
+  EXPECT_EQ(Same.PreDivergenceMismatches, 0u);
+  EXPECT_NE(Same.str().find("identical"), std::string::npos);
+
+  // B dispatches a third task that A never runs: diverges at index 2.
+  B.taskBegin(30, 0, /*Task=*/0, 0);
+  support::TraceDiff D = support::diffTaskOrder(A, B);
+  EXPECT_FALSE(D.Identical);
+  EXPECT_EQ(D.CommonPrefix, 2u);
+  EXPECT_EQ(D.CountB, 3u);
+  EXPECT_EQ(D.PreDivergenceMismatches, 0u);
+  EXPECT_EQ(D.TaskB, 0);
+
+  // Different core for the same task also counts as divergence.
+  support::Trace C;
+  C.taskBegin(0, /*Core=*/1, /*Task=*/0, 0); // A ran task 0 on core 0
+  C.taskBegin(14, 1, 1, 3);
+  support::TraceDiff D2 = support::diffTaskOrder(A, C);
+  EXPECT_FALSE(D2.Identical);
+  EXPECT_EQ(D2.CommonPrefix, 0u);
 }

@@ -107,6 +107,29 @@ TEST(ThreadExecutorTest, AppChecksumsMatchBaseline) {
   }
 }
 
+TEST(ThreadExecutorTest, TraceMatchesResultCounters) {
+  const int Items = 24;
+  BoundProgram BP = makePipelineBound(Items, 50);
+  analysis::Cstg G = analysis::buildCstg(BP.program());
+  Layout L = spreadWorkers(BP.program(), 4);
+  ThreadExecutor Exec(BP, G, L);
+  support::Trace T;
+  ThreadExecOptions Opts;
+  Opts.Trace = &T;
+  ThreadExecResult R = Exec.run(Opts);
+  ASSERT_TRUE(R.Completed);
+
+  // The interleaving is host-dependent, but the rollup must agree with
+  // the executor's own counters and the export must be well-formed.
+  support::TraceMetrics M = T.metrics();
+  EXPECT_EQ(M.totalTasks(), R.TaskInvocations);
+  EXPECT_EQ(M.totalLockRetries(), R.LockRetries);
+  ASSERT_FALSE(M.Tasks.empty());
+  std::string Json = T.toChromeJson();
+  EXPECT_EQ(Json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(Json.find("\"ph\":\"B\""), std::string::npos);
+}
+
 namespace {
 
 /// A program with two competing consumers: taskA and taskB both accept
