@@ -41,11 +41,40 @@ cmp "${TRACE_DIR}/trace1.json" "${TRACE_DIR}/trace2.json" \
 grep -q 'busy' "${TRACE_DIR}/metrics.txt" \
   || { echo "--metrics produced no rollup table" >&2; exit 1; }
 
+echo "== tier-1: resilience stage (seeded chaos + --faults determinism) =="
+# The chaos matrix (all six apps x fault kind x rate x seed, recovery on)
+# runs in the standard ctest pass above; here we additionally check the
+# CLI fault path end to end: a faulted run still answers correctly, its
+# report reconciles, and the faulted trace is byte-identical across
+# synthesis --jobs values (fault decisions are keyed by --fault-seed,
+# never by threading).
+FAULTS='drop~0.1,dup~0.05,stall~0.05,stallwidth=512,fail@2000:1'
+./build/src/driver/bamboo "${KW}" --cores=8 --arg='the quick brown fox the lazy dog' \
+  --jobs=1 --faults="${FAULTS}" --fault-seed=7 \
+  --trace="${TRACE_DIR}/ftrace1.json" > "${TRACE_DIR}/fout1.txt" 2> "${TRACE_DIR}/ferr1.txt"
+./build/src/driver/bamboo "${KW}" --cores=8 --arg='the quick brown fox the lazy dog' \
+  --jobs=3 --faults="${FAULTS}" --fault-seed=7 \
+  --trace="${TRACE_DIR}/ftrace2.json" > "${TRACE_DIR}/fout2.txt" 2> /dev/null
+cmp "${TRACE_DIR}/ftrace1.json" "${TRACE_DIR}/ftrace2.json" \
+  || { echo "faulted trace differs across --jobs values" >&2; exit 1; }
+cmp "${TRACE_DIR}/fout1.txt" "${TRACE_DIR}/fout2.txt" \
+  || { echo "faulted program output differs across --jobs values" >&2; exit 1; }
+grep -q 'total=2' "${TRACE_DIR}/fout1.txt" \
+  || { echo "recovered run produced the wrong answer" >&2; exit 1; }
+grep -q 'faults injected=' "${TRACE_DIR}/ferr1.txt" \
+  || { echo "faulted run printed no recovery report" >&2; exit 1; }
+grep -q 'UNRECONCILED' "${TRACE_DIR}/ferr1.txt" \
+  && { echo "recovery report does not reconcile" >&2; exit 1; }
+
 echo "== tier-1: ThreadSanitizer stage (ThreadPool + parallel DSA + executors) =="
 cmake -B build-tsan -S . -DBAMBOO_SANITIZE=thread
 cmake --build build-tsan -j"${JOBS}" --target test_support test_synthesis \
-  test_runtime test_threadexec
+  test_runtime test_threadexec test_resilience
+# ChaosMatrix is correctness-heavy but single-threaded per engine run;
+# exclude it under TSan to keep the stage fast. ThreadFaultTest is the
+# part that exercises injection under real races.
 (cd build-tsan && ctest --output-on-failure -j"${JOBS}" \
-  -R 'ThreadPool|Dsa|ThreadExecutor|TileExecutor|TraceTest')
+  -R 'ThreadPool|Dsa|ThreadExecutor|TileExecutor|TraceTest|ThreadFaultTest|FaultInjector' \
+  -E 'ChaosMatrix')
 
 echo "tier-1 OK"

@@ -21,25 +21,27 @@
 #include "driver/Pipeline.h"
 #include "frontend/Frontend.h"
 #include "interp/Interp.h"
+#include "resilience/FaultPlan.h"
 #include "support/Trace.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 using namespace bamboo;
 
 namespace {
 
-void usage() {
+void usage(std::FILE *Out) {
   std::fprintf(
-      stderr,
+      Out,
       "usage: bamboo <source.bb> [options]\n"
       "  --run             synthesize a layout and execute (default)\n"
       "  --cores=N         target core count (default 62)\n"
       "  --arg=S           program argument (repeatable)\n"
-      "  --seed=N          synthesis seed\n"
+      "  --seed=N          synthesis and execution seed (default 1)\n"
       "  --jobs=N          worker threads for synthesis candidate\n"
       "                    evaluation (default 1; result is independent\n"
       "                    of N)\n"
@@ -50,26 +52,47 @@ void usage() {
       "  --metrics         print a per-core/per-task metrics rollup of\n"
       "                    the final run (busy%%, queue depth, lock\n"
       "                    retries, message bytes/hops)\n"
+      "  --faults=SPEC     inject faults into the final run (synthesis\n"
+      "                    and profiling stay fault-free). SPEC is a\n"
+      "                    comma list of KIND@CYCLE[:CORE|:FROM-TO][xN]\n"
+      "                    scheduled faults and KIND~RATE seeded rates;\n"
+      "                    kinds: drop dup delay stall fail lock.\n"
+      "                    e.g. --faults=drop~0.05,fail@20000:3\n"
+      "  --fault-seed=N    seed for the fault decision stream (default\n"
+      "                    1); same plan + seed => identical faults\n"
+      "  --recovery=MODE   on (default): absorb injected faults via\n"
+      "                    retransmission and core failover; off: let\n"
+      "                    faults take raw effect (the run then reports\n"
+      "                    failure instead of recovering)\n"
       "  --dump-ir         print the task-level IR\n"
       "  --dump-astg       print per-class state graphs (DOT)\n"
       "  --dump-cstg       print the combined state graph (DOT)\n"
       "  --dump-taskflow   print the task flow graph (DOT)\n"
       "  --dump-locks      print the lock plans\n"
       "  --dump-layout     print the synthesized layout\n"
-      "  --emit-c          print generated C code\n");
+      "  --emit-c          print generated C code\n"
+      "  --help            print this help\n");
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--help") == 0) {
+      usage(stdout);
+      return 0;
+    }
   if (Argc < 2) {
-    usage();
+    usage(stderr);
     return 2;
   }
   std::string SourcePath = Argv[1];
   int Cores = 62;
   int Jobs = 1;
   uint64_t Seed = 1;
+  uint64_t FaultSeed = 1;
+  bool Recovery = true;
+  std::optional<resilience::FaultPlan> Faults;
   std::vector<std::string> Args;
   std::string TracePath;
   bool Metrics = false;
@@ -89,7 +112,29 @@ int main(int Argc, char **Argv) {
       Jobs = std::atoi(Arg.c_str() + 7);
     else if (Arg.rfind("--trace=", 0) == 0)
       TracePath = Arg.substr(8);
-    else if (Arg == "--metrics")
+    else if (Arg.rfind("--faults=", 0) == 0) {
+      std::string Error;
+      Faults = resilience::FaultPlan::parse(Arg.substr(9), Error);
+      if (!Faults) {
+        std::fprintf(stderr, "bamboo: bad --faults spec: %s\n",
+                     Error.c_str());
+        return 2;
+      }
+    } else if (Arg.rfind("--fault-seed=", 0) == 0)
+      FaultSeed = std::strtoull(Arg.c_str() + 13, nullptr, 10);
+    else if (Arg.rfind("--recovery=", 0) == 0) {
+      std::string Mode = Arg.substr(11);
+      if (Mode == "on")
+        Recovery = true;
+      else if (Mode == "off")
+        Recovery = false;
+      else {
+        std::fprintf(stderr,
+                     "bamboo: --recovery expects 'on' or 'off', got '%s'\n",
+                     Mode.c_str());
+        return 2;
+      }
+    } else if (Arg == "--metrics")
       Metrics = true;
     else if (Arg == "--run")
       Run = true;
@@ -109,12 +154,13 @@ int main(int Argc, char **Argv) {
       EmitCCode = true;
     else {
       std::fprintf(stderr, "unknown option %s\n", Arg.c_str());
-      usage();
+      usage(stderr);
       return 2;
     }
   }
-  // --trace/--metrics observe an execution, so they imply --run.
-  if (!TracePath.empty() || Metrics)
+  // --trace/--metrics/--faults observe or perturb an execution, so they
+  // imply --run.
+  if (!TracePath.empty() || Metrics || Faults)
     Run = true;
   if (!DumpIr && !DumpAstg && !DumpCstg && !DumpTaskflow && !DumpLocks &&
       !DumpLayout && !EmitCCode)
@@ -189,10 +235,20 @@ int main(int Argc, char **Argv) {
     support::Trace Trace;
     if (!TracePath.empty() || Metrics)
       Opts.Exec.Trace = &Trace;
+    // Faults perturb only this final run; the synthesis search above
+    // measured the fault-free machine.
+    if (Faults) {
+      Opts.Exec.Faults = &*Faults;
+      Opts.Exec.FaultSeed = FaultSeed;
+      Opts.Exec.Recovery = Recovery;
+    }
     runtime::TileExecutor Exec(IP.bound(), R.Graph, Opts.Target,
                                R.BestLayout);
-    Exec.run(Opts.Exec);
+    runtime::ExecResult FinalRun = Exec.run(Opts.Exec);
     std::printf("%s", IP.output().c_str());
+    if (Faults)
+      std::fprintf(stderr, "bamboo: %s%s\n", FinalRun.Recovery.str().c_str(),
+                   FinalRun.Completed ? "" : " [RUN FAILED]");
     if (!TracePath.empty()) {
       std::ofstream Out(TracePath, std::ios::binary);
       if (!Out) {

@@ -64,6 +64,15 @@ struct MachineConfig {
   /// volume; it does not affect latency.
   uint32_t MsgBytesPerObject = 64;
 
+  /// Resilience protocol timings (used when a FaultPlan is active; see
+  /// src/resilience). A dropped transfer is detected after AckTimeout
+  /// cycles and retransmitted with exponential backoff
+  /// (RetryBackoffBase << attempt); after MaxSendRetries failed attempts
+  /// the sender escalates to the slow verified channel.
+  Cycles AckTimeout = 300;
+  Cycles RetryBackoffBase = 100;
+  int MaxSendRetries = 8;
+
   /// Memory-system contention: task bodies slow down by up to this
   /// fraction when every other core is busy (linear in the active-core
   /// fraction). Only the real machine exhibits it — the high-level

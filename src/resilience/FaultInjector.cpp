@@ -1,0 +1,152 @@
+//===- resilience/FaultInjector.cpp - Deterministic fault decisions --------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "resilience/FaultInjector.h"
+
+#include <algorithm>
+
+namespace bamboo::resilience {
+
+namespace {
+
+/// splitmix64 finalizer: the same avalanche mix support::Rng seeds with,
+/// reimplemented here as a pure keyed hash (no stream state).
+uint64_t mix(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Uniform [0,1) from a hash (top 53 bits).
+double toUnit(uint64_t H) { return static_cast<double>(H >> 11) * 0x1.0p-53; }
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultPlan *Plan, uint64_t Seed)
+    : Plan(Plan), Seed(Seed) {
+  if (Plan && !Plan->Scheduled.empty()) {
+    Remaining = std::make_unique<std::atomic<int>[]>(Plan->Scheduled.size());
+    for (size_t I = 0; I < Plan->Scheduled.size(); ++I)
+      Remaining[I].store(Plan->Scheduled[I].Count, std::memory_order_relaxed);
+  }
+}
+
+bool FaultInjector::draw(FaultKind K, uint64_t A, uint64_t B, uint64_t C,
+                         double Rate) const {
+  if (Rate <= 0.0)
+    return false;
+  uint64_t H = mix(Seed ^ (static_cast<uint64_t>(K) + 1));
+  H = mix(H ^ A);
+  H = mix(H ^ B);
+  H = mix(H ^ C);
+  return toUnit(H) < Rate;
+}
+
+bool FaultInjector::consumeScheduled(FaultKind K, machine::Cycles Now,
+                                     int Core, int From, int To) {
+  if (!Remaining)
+    return false;
+  for (size_t I = 0; I < Plan->Scheduled.size(); ++I) {
+    const ScheduledFault &F = Plan->Scheduled[I];
+    if (F.Kind != K || Now < F.Cycle)
+      continue;
+    if (F.From >= 0) {
+      if (F.From != From || F.To != To)
+        continue;
+    } else if (F.Core >= 0) {
+      if (F.Core != Core)
+        continue;
+    }
+    // Claim one firing; retry the CAS only while budget remains.
+    int Cur = Remaining[I].load(std::memory_order_relaxed);
+    while (Cur > 0) {
+      if (Remaining[I].compare_exchange_weak(Cur, Cur - 1,
+                                             std::memory_order_relaxed))
+        return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector::SendDecision FaultInjector::onSend(machine::Cycles Now,
+                                                  int From, int To,
+                                                  uint64_t ObjId,
+                                                  int Attempt) {
+  SendDecision D;
+  if (!active())
+    return D;
+  uint64_t Edge = (static_cast<uint64_t>(static_cast<uint32_t>(From)) << 32) |
+                  static_cast<uint32_t>(To);
+  if (consumeScheduled(FaultKind::MsgDrop, Now, From, From, To) ||
+      draw(FaultKind::MsgDrop, ObjId, Edge, static_cast<uint64_t>(Attempt),
+           Plan->DropRate)) {
+    D.Drop = true;
+    return D;
+  }
+  if (consumeScheduled(FaultKind::MsgDup, Now, From, From, To) ||
+      draw(FaultKind::MsgDup, ObjId, Edge, static_cast<uint64_t>(Attempt),
+           Plan->DupRate))
+    D.Duplicate = true;
+  if (consumeScheduled(FaultKind::MsgDelay, Now, From, From, To) ||
+      draw(FaultKind::MsgDelay, ObjId, Edge, static_cast<uint64_t>(Attempt),
+           Plan->DelayRate))
+    D.Delay = Plan->DelayCycles;
+  return D;
+}
+
+machine::Cycles FaultInjector::windowUntil(FaultKind K, machine::Cycles Now,
+                                           int Core, machine::Cycles Width,
+                                           double Rate) {
+  if (!active())
+    return 0;
+  if (consumeScheduled(K, Now, Core, -1, -1))
+    return Now + Width;
+  // Rate windows are quantized: one draw decides the whole window
+  // [W*Width, (W+1)*Width), so re-queries inside it agree.
+  uint64_t Window = Now / Width;
+  if (draw(K, static_cast<uint64_t>(Core), Window, 0, Rate))
+    return (Window + 1) * Width;
+  return 0;
+}
+
+machine::Cycles FaultInjector::stallUntil(machine::Cycles Now, int Core) {
+  return windowUntil(FaultKind::CoreStall, Now, Core, Plan ? Plan->StallWidth : 1,
+                     Plan ? Plan->StallRate : 0.0);
+}
+
+machine::Cycles FaultInjector::lockFaultUntil(machine::Cycles Now, int Core) {
+  return windowUntil(FaultKind::LockSweep, Now, Core, Plan ? Plan->LockWidth : 1,
+                     Plan ? Plan->LockRate : 0.0);
+}
+
+bool FaultInjector::lockSweepFault(int Core, uint64_t ObjId,
+                                   uint64_t Attempt) {
+  if (!active())
+    return false;
+  if (consumeScheduled(FaultKind::LockSweep, 0, Core, -1, -1))
+    return true;
+  return draw(FaultKind::LockSweep, static_cast<uint64_t>(Core) ^ ObjId,
+              Attempt, 1, Plan->LockRate);
+}
+
+std::vector<ScheduledFault> FaultInjector::coreFailures() const {
+  std::vector<ScheduledFault> Fails;
+  if (!Plan)
+    return Fails;
+  for (const ScheduledFault &F : Plan->Scheduled)
+    if (F.Kind == FaultKind::CoreFail)
+      Fails.push_back(F);
+  std::stable_sort(Fails.begin(), Fails.end(),
+                   [](const ScheduledFault &A, const ScheduledFault &B) {
+                     if (A.Cycle != B.Cycle)
+                       return A.Cycle < B.Cycle;
+                     return A.Core < B.Core;
+                   });
+  return Fails;
+}
+
+} // namespace bamboo::resilience

@@ -1,0 +1,111 @@
+//===- resilience/FaultInjector.h - Deterministic fault decisions -*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The FaultInjector turns a FaultPlan into concrete per-site decisions.
+/// Executors consult it at their send / dispatch / lock sites; it answers
+/// "does this site fault, and how".
+///
+/// Determinism: rate-based decisions are drawn from a *counter-based*
+/// stream — a splitmix-style hash of (fault seed, fault kind, site
+/// identity, attempt) mapped to [0,1) — not from a stateful PRNG. The
+/// decision for a given site is therefore a pure function of the plan and
+/// seed, independent of the order in which sites are visited. That is what
+/// lets the thread-backed executor (whose visit order is scheduler-
+/// dependent) inject the *same set* of faults as the discrete-event
+/// executors, and what makes `--faults` runs byte-identical across
+/// `--jobs` values.
+///
+/// Scheduled faults carry a firing budget; consumption is atomic so worker
+/// threads can race on the same entry safely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_RESILIENCE_FAULTINJECTOR_H
+#define BAMBOO_RESILIENCE_FAULTINJECTOR_H
+
+#include "resilience/FaultPlan.h"
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+namespace bamboo::resilience {
+
+class FaultInjector {
+public:
+  /// Inactive injector: every query answers "no fault".
+  FaultInjector() = default;
+
+  /// \p Plan may be null (inactive) and is not owned; it must outlive the
+  /// injector.
+  FaultInjector(const FaultPlan *Plan, uint64_t Seed);
+
+  FaultInjector(FaultInjector &&) = default;
+  FaultInjector &operator=(FaultInjector &&) = default;
+
+  bool active() const { return Plan != nullptr && !Plan->empty(); }
+
+  /// What happens to one cross-core transfer attempt. Drop excludes the
+  /// other effects for that attempt (a dropped message can't also arrive
+  /// twice).
+  struct SendDecision {
+    bool Drop = false;
+    bool Duplicate = false;
+    machine::Cycles Delay = 0;
+  };
+
+  /// Decision for transfer attempt \p Attempt (0 = first transmission) of
+  /// object \p ObjId over edge \p From -> \p To at virtual time \p Now.
+  /// Executors without a virtual clock pass Now=0 (only cycle-0 scheduled
+  /// faults and rates apply there).
+  SendDecision onSend(machine::Cycles Now, int From, int To, uint64_t ObjId,
+                      int Attempt);
+
+  /// If a stall window opens for \p Core at \p Now, returns the cycle at
+  /// which it ends; 0 otherwise. The caller tracks the open window and
+  /// must not re-query inside it (re-querying a rate window is idempotent,
+  /// but a scheduled stall is consumed per call).
+  machine::Cycles stallUntil(machine::Cycles Now, int Core);
+
+  /// Same contract for lock-sweep livelock windows.
+  machine::Cycles lockFaultUntil(machine::Cycles Now, int Core);
+
+  /// One-off lock-sweep failure draw for engines without a virtual clock
+  /// (the thread-backed executor): true with probability LockRate, keyed
+  /// by the sweep's identity. Also consumes cycle-0 scheduled lock
+  /// faults.
+  bool lockSweepFault(int Core, uint64_t ObjId, uint64_t Attempt);
+
+  /// Scheduled permanent core failures, sorted by (cycle, core).
+  std::vector<ScheduledFault> coreFailures() const;
+
+  const FaultPlan *plan() const { return Plan; }
+  uint64_t seed() const { return Seed; }
+
+private:
+  const FaultPlan *Plan = nullptr;
+  uint64_t Seed = 0;
+  /// Remaining firing budget per Plan->Scheduled entry (parallel array).
+  std::unique_ptr<std::atomic<int>[]> Remaining;
+
+  /// True with probability \p Rate, as a pure function of the key.
+  bool draw(FaultKind K, uint64_t A, uint64_t B, uint64_t C,
+            double Rate) const;
+
+  /// Atomically consumes one firing of a matching scheduled fault of kind
+  /// \p K. Core kinds match on (Now, Core); message kinds additionally
+  /// match an edge.
+  bool consumeScheduled(FaultKind K, machine::Cycles Now, int Core, int From,
+                        int To);
+
+  machine::Cycles windowUntil(FaultKind K, machine::Cycles Now, int Core,
+                              machine::Cycles Width, double Rate);
+};
+
+} // namespace bamboo::resilience
+
+#endif // BAMBOO_RESILIENCE_FAULTINJECTOR_H

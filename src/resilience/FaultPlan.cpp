@@ -1,0 +1,269 @@
+//===- resilience/FaultPlan.cpp - Fault plan spec parsing ------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "resilience/FaultPlan.h"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace bamboo::resilience {
+
+namespace {
+
+constexpr std::array<const char *, 6> KindNames = {
+    "drop", "dup", "delay", "stall", "fail", "lock"};
+
+std::optional<FaultKind> kindFromName(const std::string &Name) {
+  for (size_t I = 0; I < KindNames.size(); ++I)
+    if (Name == KindNames[I])
+      return static_cast<FaultKind>(I);
+  return std::nullopt;
+}
+
+/// Splits on a separator; no empty-field collapsing.
+std::vector<std::string> split(const std::string &S, char Sep) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : S) {
+    if (C == Sep) {
+      Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur.push_back(C);
+    }
+  }
+  Out.push_back(Cur);
+  return Out;
+}
+
+bool parseU64(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long V = std::strtoull(S.c_str(), &End, 10);
+  if (errno != 0 || End != S.c_str() + S.size())
+    return false;
+  Out = V;
+  return true;
+}
+
+bool parseRate(const std::string &S, double &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  double V = std::strtod(S.c_str(), &End);
+  if (errno != 0 || End != S.c_str() + S.size() || V < 0.0 || V > 1.0)
+    return false;
+  Out = V;
+  return true;
+}
+
+/// Shortest %g-style form that still round-trips typical CLI rates.
+std::string rateStr(double R) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%g", R);
+  return Buf;
+}
+
+} // namespace
+
+const char *faultKindName(FaultKind K) {
+  return KindNames[static_cast<size_t>(K)];
+}
+
+bool FaultPlan::empty() const {
+  return Scheduled.empty() && DropRate == 0.0 && DupRate == 0.0 &&
+         DelayRate == 0.0 && StallRate == 0.0 && LockRate == 0.0;
+}
+
+std::string FaultPlan::str() const {
+  std::ostringstream OS;
+  bool First = true;
+  auto Sep = [&] {
+    if (!First)
+      OS << ",";
+    First = false;
+  };
+  for (const ScheduledFault &F : Scheduled) {
+    Sep();
+    OS << faultKindName(F.Kind) << "@" << F.Cycle;
+    if (F.From >= 0)
+      OS << ":" << F.From << "-" << F.To;
+    else if (F.Core >= 0)
+      OS << ":" << F.Core;
+    if (F.Count != 1)
+      OS << "x" << F.Count;
+  }
+  const std::pair<const char *, double> Rates[] = {
+      {"drop", DropRate}, {"dup", DupRate},   {"delay", DelayRate},
+      {"stall", StallRate}, {"lock", LockRate}};
+  for (auto [Name, Rate] : Rates)
+    if (Rate > 0.0) {
+      Sep();
+      OS << Name << "~" << rateStr(Rate);
+    }
+  FaultPlan Defaults;
+  if (StallWidth != Defaults.StallWidth) {
+    Sep();
+    OS << "stallwidth=" << StallWidth;
+  }
+  if (DelayCycles != Defaults.DelayCycles) {
+    Sep();
+    OS << "delaycycles=" << DelayCycles;
+  }
+  if (LockWidth != Defaults.LockWidth) {
+    Sep();
+    OS << "lockwidth=" << LockWidth;
+  }
+  return OS.str();
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string &Spec,
+                                          std::string &Error) {
+  FaultPlan Plan;
+  for (const std::string &Entry : split(Spec, ',')) {
+    if (Entry.empty()) {
+      Error = "empty fault entry";
+      return std::nullopt;
+    }
+
+    // PARAM=VALUE magnitudes.
+    if (size_t Eq = Entry.find('='); Eq != std::string::npos) {
+      std::string Name = Entry.substr(0, Eq);
+      uint64_t Value = 0;
+      if (!parseU64(Entry.substr(Eq + 1), Value) || Value == 0) {
+        Error = "bad value in fault entry '" + Entry + "'";
+        return std::nullopt;
+      }
+      if (Name == "stallwidth")
+        Plan.StallWidth = Value;
+      else if (Name == "delaycycles")
+        Plan.DelayCycles = Value;
+      else if (Name == "lockwidth")
+        Plan.LockWidth = Value;
+      else {
+        Error = "unknown fault parameter '" + Name + "'";
+        return std::nullopt;
+      }
+      continue;
+    }
+
+    // KIND~RATE seeded rates.
+    if (size_t Tilde = Entry.find('~'); Tilde != std::string::npos) {
+      std::string Name = Entry.substr(0, Tilde);
+      auto Kind = kindFromName(Name);
+      if (!Kind) {
+        Error = "unknown fault kind '" + Name + "'";
+        return std::nullopt;
+      }
+      if (*Kind == FaultKind::CoreFail) {
+        Error = "'fail' is schedule-only (use fail@CYCLE:CORE); a failure "
+                "rate would not be a reproducible experiment";
+        return std::nullopt;
+      }
+      double Rate = 0.0;
+      if (!parseRate(Entry.substr(Tilde + 1), Rate)) {
+        Error = "bad rate in fault entry '" + Entry + "' (want 0..1)";
+        return std::nullopt;
+      }
+      switch (*Kind) {
+      case FaultKind::MsgDrop:
+        Plan.DropRate = Rate;
+        break;
+      case FaultKind::MsgDup:
+        Plan.DupRate = Rate;
+        break;
+      case FaultKind::MsgDelay:
+        Plan.DelayRate = Rate;
+        break;
+      case FaultKind::CoreStall:
+        Plan.StallRate = Rate;
+        break;
+      case FaultKind::LockSweep:
+        Plan.LockRate = Rate;
+        break;
+      case FaultKind::CoreFail:
+        break; // unreachable; rejected above
+      }
+      continue;
+    }
+
+    // KIND@CYCLE[:TARGET][xCOUNT] scheduled faults.
+    size_t At = Entry.find('@');
+    if (At == std::string::npos) {
+      Error = "fault entry '" + Entry +
+              "' is neither kind@cycle, kind~rate, nor param=value";
+      return std::nullopt;
+    }
+    auto Kind = kindFromName(Entry.substr(0, At));
+    if (!Kind) {
+      Error = "unknown fault kind '" + Entry.substr(0, At) + "'";
+      return std::nullopt;
+    }
+    std::string Rest = Entry.substr(At + 1);
+
+    ScheduledFault F;
+    F.Kind = *Kind;
+    if (size_t X = Rest.rfind('x'); X != std::string::npos) {
+      uint64_t Count = 0;
+      if (!parseU64(Rest.substr(X + 1), Count) || Count == 0) {
+        Error = "bad repeat count in fault entry '" + Entry + "'";
+        return std::nullopt;
+      }
+      F.Count = static_cast<int>(Count);
+      Rest = Rest.substr(0, X);
+    }
+    std::string Target;
+    if (size_t Colon = Rest.find(':'); Colon != std::string::npos) {
+      Target = Rest.substr(Colon + 1);
+      Rest = Rest.substr(0, Colon);
+    }
+    uint64_t Cycle = 0;
+    if (!parseU64(Rest, Cycle)) {
+      Error = "bad cycle in fault entry '" + Entry + "'";
+      return std::nullopt;
+    }
+    F.Cycle = Cycle;
+
+    bool IsMsgKind = *Kind == FaultKind::MsgDrop || *Kind == FaultKind::MsgDup ||
+                     *Kind == FaultKind::MsgDelay;
+    if (!Target.empty()) {
+      if (size_t Dash = Target.find('-'); Dash != std::string::npos) {
+        if (!IsMsgKind) {
+          Error = "edge target in '" + Entry +
+                  "' only applies to message faults (drop/dup/delay)";
+          return std::nullopt;
+        }
+        uint64_t From = 0, To = 0;
+        if (!parseU64(Target.substr(0, Dash), From) ||
+            !parseU64(Target.substr(Dash + 1), To)) {
+          Error = "bad edge target in fault entry '" + Entry + "'";
+          return std::nullopt;
+        }
+        F.From = static_cast<int>(From);
+        F.To = static_cast<int>(To);
+      } else {
+        uint64_t Core = 0;
+        if (!parseU64(Target, Core)) {
+          Error = "bad core target in fault entry '" + Entry + "'";
+          return std::nullopt;
+        }
+        F.Core = static_cast<int>(Core);
+      }
+    } else if (*Kind == FaultKind::CoreFail) {
+      Error = "'fail' needs an explicit core target (fail@CYCLE:CORE)";
+      return std::nullopt;
+    }
+    Plan.Scheduled.push_back(F);
+  }
+  return Plan;
+}
+
+} // namespace bamboo::resilience

@@ -1,0 +1,108 @@
+//===- resilience/FaultPlan.h - Seeded, scheduled fault plans ---*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A FaultPlan describes which failures a run should experience, either as
+/// scheduled one-shot events (`kind@cycle[:core|:from-to][xN]`) or as a
+/// seeded per-site rate (`kind~rate`). Plans are pure data: parsing a spec
+/// string never touches the machine, and the same plan text always yields
+/// the same plan. All randomness is deferred to FaultInjector, which draws
+/// from a dedicated counter-based stream keyed by (plan, fault seed) so a
+/// run's fault pattern is a pure function of its inputs — never of wall
+/// clock, thread interleaving, or allocation order.
+///
+/// Supported kinds:
+///   drop   message dropped in flight (the receiver never sees it)
+///   dup    message duplicated (delivered twice)
+///   delay  message delayed by DelayCycles
+///   stall  transient core stall: the core dispatches nothing for
+///          StallWidth cycles
+///   fail   permanent core failure (schedule-only; a rate would make the
+///          whole run a coin flip, so `fail~` is a parse error)
+///   lock   lock-sweep livelock window: every all-or-nothing lock sweep on
+///          the core fails for LockWidth cycles
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_RESILIENCE_FAULTPLAN_H
+#define BAMBOO_RESILIENCE_FAULTPLAN_H
+
+#include "machine/MachineConfig.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bamboo::resilience {
+
+/// The failure categories a plan can inject.
+enum class FaultKind : uint8_t {
+  MsgDrop = 0,
+  MsgDup = 1,
+  MsgDelay = 2,
+  CoreStall = 3,
+  CoreFail = 4,
+  LockSweep = 5,
+};
+
+/// Printable lowercase name (matches the spec grammar keyword).
+const char *faultKindName(FaultKind K);
+
+/// One scheduled fault: fires at (or, for message kinds, on the first
+/// eligible site at-or-after) virtual cycle Cycle. Core restricts core
+/// kinds (stall/fail/lock) and, for message kinds, the sending core; a
+/// From-To pair restricts message kinds to one edge. Count > 1 arms the
+/// fault for that many firings.
+struct ScheduledFault {
+  FaultKind Kind = FaultKind::MsgDrop;
+  machine::Cycles Cycle = 0;
+  int Core = -1; // -1: any core.
+  int From = -1; // -1: any sender (message kinds with an edge target).
+  int To = -1;   // -1: any receiver.
+  int Count = 1;
+};
+
+/// A parsed fault plan. Value type; cheap to copy.
+class FaultPlan {
+public:
+  /// Scheduled one-shot (or xN) faults, in spec order.
+  std::vector<ScheduledFault> Scheduled;
+
+  /// Per-site probabilities in [0,1], drawn independently at every
+  /// eligible site from the injector's hash stream. Message rates are per
+  /// cross-core send attempt; StallRate/LockRate are per dispatch attempt
+  /// (quantized to windows so one draw covers a whole window).
+  double DropRate = 0.0;
+  double DupRate = 0.0;
+  double DelayRate = 0.0;
+  double StallRate = 0.0;
+  double LockRate = 0.0;
+
+  /// Tunable fault magnitudes (spec entries `stallwidth=N`, `delaycycles=N`,
+  /// `lockwidth=N`).
+  machine::Cycles StallWidth = 4096;
+  machine::Cycles DelayCycles = 500;
+  machine::Cycles LockWidth = 2048;
+
+  /// True when the plan injects nothing.
+  bool empty() const;
+
+  /// Canonical round-trippable text form (parse(str()) == *this).
+  std::string str() const;
+
+  /// Parses a spec: comma-separated entries, each one of
+  ///   KIND '@' CYCLE [':' CORE | ':' FROM '-' TO] ['x' COUNT]
+  ///   KIND '~' RATE
+  ///   PARAM '=' VALUE
+  /// Returns std::nullopt and fills \p Error on malformed input.
+  static std::optional<FaultPlan> parse(const std::string &Spec,
+                                        std::string &Error);
+};
+
+} // namespace bamboo::resilience
+
+#endif // BAMBOO_RESILIENCE_FAULTPLAN_H

@@ -1,0 +1,29 @@
+//===- resilience/Recovery.cpp - RecoveryReport formatting -----------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "resilience/Recovery.h"
+
+#include <sstream>
+
+namespace bamboo::resilience {
+
+std::string RecoveryReport::str() const {
+  std::ostringstream OS;
+  OS << "faults injected=" << totalInjected() << " (drop=" << Drops
+     << " dup=" << Dups << " delay=" << Delays << " stall=" << Stalls
+     << " lock=" << LockFaults << " fail=" << CoreFails << ")"
+     << " recovery=" << (RecoveryEnabled ? "on" : "off")
+     << " retransmits=" << Retransmits << " escalations=" << Escalations
+     << " lost=" << LostMessages << " blackholed=" << BlackholedDeliveries
+     << " redirected=" << RedirectedDeliveries
+     << " migrated=" << InstancesMigrated
+     << " redispatched=" << RedispatchedInvocations
+     << " addedCycles=" << AddedCycles
+     << (reconciles() ? "" : " [UNRECONCILED]");
+  return OS.str();
+}
+
+} // namespace bamboo::resilience

@@ -1,0 +1,98 @@
+//===- resilience/Recovery.h - Recovery policy and per-run report -*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recovery contract shared by TileExecutor, ThreadExecutor, and
+/// SchedSim, and the RecoveryReport each run returns.
+///
+/// With recovery ON, every injected fault is absorbed:
+///  - dropped transfers are detected by a (simulated) missing ack and
+///    retransmitted with exponential backoff (MachineConfig::AckTimeout +
+///    RetryBackoffBase << attempt), up to MachineConfig::MaxSendRetries;
+///    an exhausted retry budget escalates to the slow verified channel
+///    (the message still arrives — counted as an Escalation);
+///  - duplicated transfers are delivered twice and neutralized by the
+///    executors' idempotent re-delivery (dedupe against pending
+///    invocations);
+///  - a permanently failed core has its task instances migrated to
+///    sibling cores (RoutingTable::failoverOrder) and queued-but-unstarted
+///    invocations re-dispatched there; in-flight work finishes first
+///    (fail-stop at the dispatch boundary), so host side effects are never
+///    applied twice;
+///  - stall / lock-livelock windows end by construction; recovery just
+///    re-arms dispatch at the window boundary.
+///
+/// With recovery OFF, faults take effect raw: drops are lost messages,
+/// dead cores blackhole their deliveries, and the run is reported as
+/// failed/wedged (Completed=false with a fully populated result struct) —
+/// never a hang.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_RESILIENCE_RECOVERY_H
+#define BAMBOO_RESILIENCE_RECOVERY_H
+
+#include "machine/MachineConfig.h"
+
+#include <cstdint>
+#include <string>
+
+namespace bamboo::resilience {
+
+/// Per-run fault / recovery accounting, embedded in each executor's result
+/// struct. Injected-side counters say what the FaultInjector did; the
+/// recovery-side counters say how the runtime absorbed it. reconciles()
+/// checks the two sides against each other.
+struct RecoveryReport {
+  // --- injected ---
+  uint64_t Drops = 0;      ///< Messages dropped in flight.
+  uint64_t Dups = 0;       ///< Messages duplicated.
+  uint64_t Delays = 0;     ///< Messages delayed by DelayCycles.
+  uint64_t Stalls = 0;     ///< Core stall windows entered.
+  uint64_t LockFaults = 0; ///< Lock-livelock windows entered.
+  uint64_t CoreFails = 0;  ///< Permanent core failures applied.
+
+  // --- recovery ---
+  uint64_t Retransmits = 0;  ///< Dropped sends recovered by retransmission.
+  uint64_t Escalations = 0;  ///< Retry budget exhausted; verified channel.
+  uint64_t LostMessages = 0; ///< Transfers dropped for good (recovery off).
+  uint64_t BlackholedDeliveries = 0; ///< Deliveries a dead core swallowed
+                                     ///< (recovery off).
+  uint64_t RedirectedDeliveries = 0; ///< Deliveries re-routed off dead cores.
+  uint64_t InstancesMigrated = 0;    ///< Task instances moved on core failure.
+  uint64_t RedispatchedInvocations = 0; ///< Queued work moved off dead cores.
+
+  /// Extra virtual cycles attributable to faults (retry backoff, delay,
+  /// redirect hops) — the per-run "cost of resilience".
+  machine::Cycles AddedCycles = 0;
+
+  bool RecoveryEnabled = true;
+
+  uint64_t totalInjected() const {
+    return Drops + Dups + Delays + Stalls + LockFaults + CoreFails;
+  }
+
+  /// Every injected fault must be accounted for on the recovery side:
+  /// with recovery on every drop was retransmitted or escalated and
+  /// nothing was lost; with recovery off every drop is a lost message.
+  bool reconciles() const {
+    if (RecoveryEnabled)
+      return Drops == Retransmits + Escalations && LostMessages == 0 &&
+             BlackholedDeliveries == 0;
+    return Drops == LostMessages && Retransmits == 0 && Escalations == 0;
+  }
+
+  /// True when the run was actually damaged (only possible with recovery
+  /// off): work disappeared, so the result cannot be trusted complete.
+  bool damaged() const { return LostMessages + BlackholedDeliveries > 0; }
+
+  /// One-line human-readable summary.
+  std::string str() const;
+};
+
+} // namespace bamboo::resilience
+
+#endif // BAMBOO_RESILIENCE_RECOVERY_H

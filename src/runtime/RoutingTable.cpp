@@ -6,7 +6,9 @@
 
 #include "runtime/RoutingTable.h"
 
+#include <algorithm>
 #include <cassert>
+#include <set>
 
 using namespace bamboo;
 using namespace bamboo::runtime;
@@ -47,6 +49,48 @@ RoutingTable::RoutingTable(const ir::Program &Prog,
       PerNode[Node].push_back(std::move(Dest));
     }
   }
+}
+
+namespace {
+
+/// Ascending \p Cores rotated to start just after \p Pivot (wrap-around).
+/// The input set is already sorted and deduplicated.
+std::vector<int> rotateAfter(const std::set<int> &Cores, int Pivot) {
+  std::vector<int> Out;
+  Out.reserve(Cores.size());
+  for (auto It = Cores.upper_bound(Pivot); It != Cores.end(); ++It)
+    Out.push_back(*It);
+  for (auto It = Cores.begin();
+       It != Cores.end() && *It <= Pivot; ++It)
+    if (*It != Pivot)
+      Out.push_back(*It);
+  return Out;
+}
+
+} // namespace
+
+std::vector<int> RoutingTable::siblingsOf(int Core) const {
+  std::set<int> Group;
+  for (const machine::TaskInstance &Inst : L.Instances) {
+    if (Inst.Core != Core)
+      continue;
+    for (int Sib : L.instancesOf(Inst.Task))
+      Group.insert(L.Instances[static_cast<size_t>(Sib)].Core);
+  }
+  Group.erase(Core);
+  return rotateAfter(Group, Core);
+}
+
+std::vector<int> RoutingTable::failoverOrder(int Core) const {
+  std::vector<int> Order = siblingsOf(Core);
+  std::set<int> Rest;
+  for (int Used : L.usedCores())
+    if (Used != Core &&
+        std::find(Order.begin(), Order.end(), Used) == Order.end())
+      Rest.insert(Used);
+  for (int C : rotateAfter(Rest, Core))
+    Order.push_back(C);
+  return Order;
 }
 
 int RoutingTable::nodeOf(const Object &Obj) const {

@@ -58,6 +58,19 @@ public:
   /// for verified programs — asserted in debug builds).
   int nodeOf(const Object &Obj) const;
 
+  /// The cores in \p Core's core group: every other core hosting an
+  /// instance of some task that also has an instance on \p Core. Returned
+  /// in deterministic failover order — ascending core id, rotated to start
+  /// just after \p Core (so successive failures spread instead of piling
+  /// onto the lowest id); \p Core itself is excluded. Cores outside every
+  /// group (including unused cores) return an empty list.
+  std::vector<int> siblingsOf(int Core) const;
+
+  /// The order in which recovery tries replacement cores for \p Core:
+  /// siblingsOf(Core) first, then the remaining used cores in the same
+  /// rotated ascending order. Never contains \p Core.
+  std::vector<int> failoverOrder(int Core) const;
+
   const machine::Layout &layout() const { return L; }
   const analysis::Cstg &cstg() const { return Graph; }
 

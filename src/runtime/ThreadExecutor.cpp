@@ -6,7 +6,10 @@
 
 #include "runtime/ThreadExecutor.h"
 
+#include "resilience/FaultInjector.h"
 #include "runtime/TaskContext.h"
+
+#include <algorithm>
 
 #include <atomic>
 #include <cassert>
@@ -72,6 +75,21 @@ struct ThreadExecutor::Impl {
   std::atomic<uint64_t> Allocated{0};
   std::atomic<uint64_t> LockRetries{0};
 
+  // Resilience state. Scheduled permanent core failures apply from the
+  // start of a host run (no virtual clock to schedule them on): dead
+  // cores' workers exit immediately and — with recovery on — their
+  // instances are re-homed over the routing table's failover order.
+  resilience::FaultInjector Injector;
+  std::vector<char> CoreAlive;
+  /// Effective host core per placed instance (layout placement, rewritten
+  /// by failover re-homing). Immutable once workers start.
+  std::vector<int> InstanceCore;
+  std::atomic<uint64_t> Drops{0}, Dups{0}, Delays{0}, LockFaults{0};
+  std::atomic<uint64_t> Retransmits{0}, Escalations{0}, LostMessages{0};
+  uint64_t CoreFails = 0, InstancesMigrated = 0;
+  /// Per-core sweep counter keying the clock-free lock-fault draws.
+  std::atomic<uint64_t> SweepCounter{0};
+
   /// Trace clock base: run() start. Timestamps are ns since this point.
   std::chrono::steady_clock::time_point TraceT0;
 
@@ -125,17 +143,80 @@ struct ThreadExecutor::Impl {
         break;
       }
       }
-      auto [InstanceIdx, CoreIdx] = Dest.Instances[Pick];
-      Outstanding.fetch_add(1, std::memory_order_acq_rel);
-      // Cross-core transfers only, mirroring the virtual machine's notion
-      // of a message; the host has no mesh, so hops/bytes are zero.
-      if (Opts.Trace && FromCore >= 0 && FromCore != CoreIdx)
-        Opts.Trace->send(nowNs(), FromCore, CoreIdx,
-                         static_cast<int64_t>(Obj->Id), /*Hops=*/0,
-                         /*Bytes=*/0);
-      Core &To = Cores[static_cast<size_t>(CoreIdx)];
-      std::lock_guard<std::mutex> Guard(To.InboxMutex);
-      To.Inbox.push_back(Delivery{Obj, InstanceIdx, Dest.Param});
+      int InstanceIdx = Dest.Instances[Pick].first;
+      // Route to the instance's *effective* home — failover migration may
+      // have moved it off its layout placement.
+      int CoreIdx = InstanceCore[static_cast<size_t>(InstanceIdx)];
+      int Copies = 1;
+      if (Injector.active() && FromCore >= 0 && FromCore != CoreIdx) {
+        // The host has no virtual clock: the ack/retransmit exchange is
+        // resolved inline (Now=0; attempt numbers still vary the draws).
+        bool Lost = false;
+        for (int Attempt = 0;; ++Attempt) {
+          resilience::FaultInjector::SendDecision D =
+              Injector.onSend(0, FromCore, CoreIdx, Obj->Id, Attempt);
+          if (D.Drop) {
+            Drops.fetch_add(1, std::memory_order_relaxed);
+            if (Opts.Trace)
+              Opts.Trace->faultInject(
+                  nowNs(), FromCore,
+                  static_cast<int>(resilience::FaultKind::MsgDrop),
+                  static_cast<int64_t>(Obj->Id));
+            if (!Opts.Recovery) {
+              LostMessages.fetch_add(1, std::memory_order_relaxed);
+              Lost = true;
+              break;
+            }
+            if (Attempt >= machine::MachineConfig{}.MaxSendRetries) {
+              Escalations.fetch_add(1, std::memory_order_relaxed);
+              break;
+            }
+            Retransmits.fetch_add(1, std::memory_order_relaxed);
+            if (Opts.Trace)
+              Opts.Trace->retransmit(nowNs(), FromCore, CoreIdx,
+                                     static_cast<int64_t>(Obj->Id),
+                                     static_cast<uint64_t>(Attempt) + 1);
+            continue;
+          }
+          if (D.Duplicate) {
+            Dups.fetch_add(1, std::memory_order_relaxed);
+            ++Copies;
+            if (Opts.Trace)
+              Opts.Trace->faultInject(
+                  nowNs(), FromCore,
+                  static_cast<int>(resilience::FaultKind::MsgDup),
+                  static_cast<int64_t>(Obj->Id));
+          }
+          if (D.Delay) {
+            // Counted only: host messages have no modeled latency to add
+            // the delay to.
+            Delays.fetch_add(1, std::memory_order_relaxed);
+            if (Opts.Trace)
+              Opts.Trace->faultInject(
+                  nowNs(), FromCore,
+                  static_cast<int>(resilience::FaultKind::MsgDelay),
+                  static_cast<int64_t>(Obj->Id));
+          }
+          break;
+        }
+        // A lost transfer never enters Outstanding — quiescence is then
+        // reached with work missing, and run() reports the damage.
+        if (Lost)
+          continue;
+      }
+      for (int Copy = 0; Copy < Copies; ++Copy) {
+        Outstanding.fetch_add(1, std::memory_order_acq_rel);
+        // Cross-core transfers only, mirroring the virtual machine's
+        // notion of a message; the host has no mesh, so hops/bytes are
+        // zero.
+        if (Opts.Trace && FromCore >= 0 && FromCore != CoreIdx)
+          Opts.Trace->send(nowNs(), FromCore, CoreIdx,
+                           static_cast<int64_t>(Obj->Id), /*Hops=*/0,
+                           /*Bytes=*/0);
+        Core &To = Cores[static_cast<size_t>(CoreIdx)];
+        std::lock_guard<std::mutex> Guard(To.InboxMutex);
+        To.Inbox.push_back(Delivery{Obj, InstanceIdx, Dest.Param});
+      }
     }
   }
 
@@ -260,6 +341,27 @@ struct ThreadExecutor::Impl {
         Outstanding.fetch_sub(1, std::memory_order_acq_rel);
         return true;
       }
+      // An injected lock-sweep fault behaves exactly like a lost
+      // all-or-nothing sweep: count a retry and requeue. Keyed by a
+      // process-wide sweep counter, so the fault *rate* matches the plan
+      // even though which particular sweep faults depends on host
+      // interleaving (this engine's traces are nondeterministic anyway).
+      if (Injector.active() &&
+          Injector.lockSweepFault(
+              CoreIdx, Inv.Params[0]->Id,
+              SweepCounter.fetch_add(1, std::memory_order_relaxed))) {
+        LockFaults.fetch_add(1, std::memory_order_relaxed);
+        LockRetries.fetch_add(1, std::memory_order_relaxed);
+        if (Opts.Trace) {
+          Opts.Trace->faultInject(
+              nowNs(), CoreIdx,
+              static_cast<int>(resilience::FaultKind::LockSweep),
+              static_cast<int64_t>(Inv.Params[0]->Id));
+          Opts.Trace->lockRetry(nowNs(), CoreIdx, Inv.Task);
+        }
+        C.Ready.push_back(std::move(Inv));
+        continue;
+      }
       // All-or-nothing try-lock; release and retry on any conflict.
       size_t Acquired = 0;
       while (Acquired < Inv.Params.size() &&
@@ -353,6 +455,12 @@ struct ThreadExecutor::Impl {
   }
 
   void worker(int CoreIdx) {
+    // Fail-stop: a failed core never dispatches. With recovery on its
+    // instances were re-homed before boot, so nothing targets it; with
+    // recovery off, deliveries sent here sit in the inbox (blackholed)
+    // until the watchdog declares the run wedged.
+    if (!CoreAlive[static_cast<size_t>(CoreIdx)])
+      return;
     int IdleSpins = 0;
     while (!Done.load(std::memory_order_acquire)) {
       drainInbox(CoreIdx);
@@ -388,6 +496,48 @@ ThreadExecResult ThreadExecutor::run(const ThreadExecOptions &Opts) {
   TheHeap->clear();
   Impl State(BP, Routes, L, *TheHeap, Opts);
   State.TraceT0 = std::chrono::steady_clock::now();
+
+  // Resilience: scheduled permanent core failures apply from run start
+  // (there is no virtual clock to fire them later). Dead cores' instances
+  // are re-homed (recovery on) before any message is routed, so the
+  // rewritten InstanceCore table is immutable once workers launch.
+  State.Injector = resilience::FaultInjector(Opts.Faults, Opts.FaultSeed);
+  State.CoreAlive.assign(static_cast<size_t>(L.NumCores), 1);
+  State.InstanceCore.resize(L.Instances.size());
+  for (size_t I = 0; I < L.Instances.size(); ++I)
+    State.InstanceCore[I] = L.Instances[I].Core;
+  for (const resilience::ScheduledFault &F : State.Injector.coreFailures()) {
+    if (F.Core < 0 || F.Core >= L.NumCores ||
+        !State.CoreAlive[static_cast<size_t>(F.Core)])
+      continue;
+    State.CoreAlive[static_cast<size_t>(F.Core)] = 0;
+    ++State.CoreFails;
+    if (Opts.Trace)
+      Opts.Trace->faultInject(
+          0, F.Core, static_cast<int>(resilience::FaultKind::CoreFail), -1);
+    if (!Opts.Recovery)
+      continue;
+    std::vector<int> Targets;
+    for (int C : Routes.failoverOrder(F.Core))
+      if (State.CoreAlive[static_cast<size_t>(C)])
+        Targets.push_back(C);
+    if (Targets.empty())
+      for (int C = 0; C < L.NumCores; ++C)
+        if (State.CoreAlive[static_cast<size_t>(C)])
+          Targets.push_back(C);
+    if (Targets.empty())
+      continue; // Every core failed; nowhere to migrate.
+    size_t RR = 0;
+    for (size_t I = 0; I < L.Instances.size(); ++I) {
+      if (State.InstanceCore[I] != F.Core)
+        continue;
+      State.InstanceCore[I] = Targets[RR++ % Targets.size()];
+      ++State.InstancesMigrated;
+      if (Opts.Trace)
+        Opts.Trace->failover(0, F.Core, State.InstanceCore[I],
+                             static_cast<int64_t>(I));
+    }
+  }
   if (Opts.Trace) {
     std::vector<std::string> Names;
     Names.reserve(BP.program().tasks().size());
@@ -432,11 +582,32 @@ ThreadExecResult ThreadExecutor::run(const ThreadExecOptions &Opts) {
   auto T1 = std::chrono::steady_clock::now();
 
   ThreadExecResult Result;
-  Result.Completed =
-      State.Outstanding.load(std::memory_order_acquire) == 0;
   Result.TaskInvocations = State.Invocations.load();
   Result.ObjectsAllocated = State.Allocated.load();
   Result.LockRetries = State.LockRetries.load();
   Result.WallSeconds = std::chrono::duration<double>(T1 - T0).count();
+
+  resilience::RecoveryReport &R = Result.Recovery;
+  R.RecoveryEnabled = Opts.Recovery;
+  R.Drops = State.Drops.load();
+  R.Dups = State.Dups.load();
+  R.Delays = State.Delays.load();
+  R.LockFaults = State.LockFaults.load();
+  R.CoreFails = State.CoreFails;
+  R.Retransmits = State.Retransmits.load();
+  R.Escalations = State.Escalations.load();
+  R.LostMessages = State.LostMessages.load();
+  R.InstancesMigrated = State.InstancesMigrated;
+  // Anything still sitting in a dead core's inbox was swallowed for good
+  // (recovery off leaves dead placements reachable). Workers have joined,
+  // so the inboxes are stable here.
+  for (int C = 0; C < L.NumCores; ++C)
+    if (!State.CoreAlive[static_cast<size_t>(C)])
+      R.BlackholedDeliveries += State.Cores[static_cast<size_t>(C)].Inbox.size();
+
+  // Quiescence alone is not completion: a run that lost work can drain to
+  // zero with results missing. Damage always forces a failed report.
+  Result.Completed =
+      State.Outstanding.load(std::memory_order_acquire) == 0 && !R.damaged();
   return Result;
 }

@@ -27,6 +27,8 @@
 
 #include "analysis/Cstg.h"
 #include "machine/Layout.h"
+#include "resilience/FaultPlan.h"
+#include "resilience/Recovery.h"
 #include "runtime/BoundProgram.h"
 #include "runtime/RoutingTable.h"
 #include "support/Trace.h"
@@ -50,6 +52,21 @@ struct ThreadExecOptions {
   /// scheduler produced, so traces are not run-to-run deterministic.
   /// Not owned; must outlive run().
   support::Trace *Trace = nullptr;
+  /// Fault plan to inject (src/resilience); null runs fault-free. The
+  /// host executor has no virtual clock, so only the clock-free subset
+  /// applies: message drop/dup rates (and cycle-0 scheduled message
+  /// faults), lock-sweep fault rates, and scheduled permanent core
+  /// failures — which take effect from the start of the run. Message
+  /// delays and stall windows are counted but add no host latency.
+  /// Decisions are drawn from the same counter-based hash stream as the
+  /// discrete-event engines, so they do not depend on thread timing.
+  /// Not owned; must outlive run().
+  const resilience::FaultPlan *Faults = nullptr;
+  uint64_t FaultSeed = 1;
+  /// Absorb faults (retransmit, failover placement) when true; let them
+  /// take raw effect when false — a damaged run then reports
+  /// Completed=false, bounded by TimeoutMs (never a hang).
+  bool Recovery = true;
 };
 
 struct ThreadExecResult {
@@ -63,6 +80,8 @@ struct ThreadExecResult {
   /// are directly comparable between the two executors.
   uint64_t LockRetries = 0;
   double WallSeconds = 0.0;
+  /// Fault/recovery accounting for this run (all-zero when fault-free).
+  resilience::RecoveryReport Recovery;
 };
 
 /// Executes \p BP under \p L with one worker thread per core.

@@ -152,6 +152,28 @@ bool TileExecutor::stillValid(const Invocation &Inv) const {
 }
 
 void TileExecutor::deliver(const Event &E) {
+  if (!CoreAlive[static_cast<size_t>(E.Core)]) {
+    // In-flight delivery racing a permanent core failure.
+    resilience::RecoveryReport &Rep = Result.Recovery;
+    int Fwd = InstanceCore[static_cast<size_t>(E.InstanceIdx)];
+    if (!Opts->Recovery || Fwd == E.Core ||
+        !CoreAlive[static_cast<size_t>(Fwd)]) {
+      ++Rep.BlackholedDeliveries; // The dead core swallows it.
+      return;
+    }
+    // Recovery: forward to the instance's failover home.
+    Cycles Hop = Machine.SendOverhead + Machine.transferLatency(E.Core, Fwd);
+    ++Rep.RedirectedDeliveries;
+    Rep.AddedCycles += Hop;
+    if (Opts->Trace)
+      Opts->Trace->failover(E.Time, E.Core, Fwd,
+                            static_cast<int64_t>(E.Obj->Id));
+    Event Redirected = E;
+    Redirected.Time = E.Time + Hop;
+    Redirected.Core = Fwd;
+    push(std::move(Redirected));
+    return;
+  }
   InstanceState &Inst = Instances[static_cast<size_t>(E.InstanceIdx)];
   std::vector<Object *> &Set =
       Inst.ParamSets[static_cast<size_t>(E.Param)];
@@ -171,6 +193,63 @@ void TileExecutor::deliver(const Event &E) {
   if (!Cores[static_cast<size_t>(E.Core)].Executing)
     tryStart(E.Core, std::max(E.Time,
                               Cores[static_cast<size_t>(E.Core)].BusyUntil));
+}
+
+bool TileExecutor::resolveSend(Object *Obj, int FromCore, int ToCore,
+                               Cycles Now, Cycles &Penalty,
+                               int &Duplicates) {
+  resilience::RecoveryReport &Rep = Result.Recovery;
+  for (int Attempt = 0;; ++Attempt) {
+    auto D = Injector.onSend(Now, FromCore, ToCore,
+                             static_cast<uint64_t>(Obj->Id), Attempt);
+    if (D.Drop) {
+      ++Rep.Drops;
+      if (Opts->Trace)
+        Opts->Trace->faultInject(
+            Now + Penalty, FromCore,
+            static_cast<int>(resilience::FaultKind::MsgDrop),
+            static_cast<int64_t>(Obj->Id));
+      if (!Opts->Recovery) {
+        ++Rep.LostMessages;
+        return false;
+      }
+      if (Attempt >= Machine.MaxSendRetries) {
+        // Retry budget exhausted: escalate to the slow verified channel.
+        // The transfer still arrives — with the full backoff already paid.
+        ++Rep.Escalations;
+        return true;
+      }
+      // The missing ack is noticed AckTimeout cycles in; the retransmit
+      // waits out an exponential backoff on top.
+      ++Rep.Retransmits;
+      Penalty += Machine.AckTimeout +
+                 (Machine.RetryBackoffBase << std::min(Attempt, 16));
+      if (Opts->Trace)
+        Opts->Trace->retransmit(Now + Penalty, FromCore, ToCore,
+                                static_cast<int64_t>(Obj->Id),
+                                static_cast<uint64_t>(Attempt) + 1);
+      continue;
+    }
+    if (D.Duplicate) {
+      ++Rep.Dups;
+      ++Duplicates;
+      if (Opts->Trace)
+        Opts->Trace->faultInject(
+            Now + Penalty, FromCore,
+            static_cast<int>(resilience::FaultKind::MsgDup),
+            static_cast<int64_t>(Obj->Id));
+    }
+    if (D.Delay) {
+      ++Rep.Delays;
+      Penalty += D.Delay;
+      if (Opts->Trace)
+        Opts->Trace->faultInject(
+            Now + Penalty, FromCore,
+            static_cast<int>(resilience::FaultKind::MsgDelay),
+            static_cast<int64_t>(Obj->Id));
+    }
+    return true;
+  }
 }
 
 void TileExecutor::routeObject(Object *Obj, int FromCore, Cycles Now) {
@@ -200,8 +279,13 @@ void TileExecutor::routeObject(Object *Obj, int FromCore, Cycles Now) {
       break;
     }
     }
-    auto [InstanceIdx, Core] = Dest.Instances[Pick];
+    int InstanceIdx = Dest.Instances[Pick].first;
+    // The instance's *current* home: failover migration may have moved it
+    // off the layout's original core.
+    int Core = InstanceCore[static_cast<size_t>(InstanceIdx)];
     Cycles Latency = 0;
+    Cycles Penalty = 0;
+    int Duplicates = 0;
     if (FromCore >= 0 && FromCore != Core) {
       Latency = Machine.SendOverhead + Machine.transferLatency(FromCore, Core);
       ++Result.MessagesSent;
@@ -212,22 +296,88 @@ void TileExecutor::routeObject(Object *Obj, int FromCore, Cycles Now) {
         Opts->Trace->send(Now, FromCore, Core,
                           static_cast<int64_t>(Obj->Id), Hops,
                           Machine.MsgBytesPerObject);
+      if (Injector.active()) {
+        // The whole ack/retransmit exchange is resolved analytically at
+        // send time (every per-attempt decision is deterministic), so the
+        // event queue only ever sees the final arrival.
+        if (!resolveSend(Obj, FromCore, Core, Now, Penalty, Duplicates))
+          continue; // Lost for good (recovery off): no arrival.
+        Result.Recovery.AddedCycles += Penalty;
+      }
     }
     Event Arrival;
     Arrival.Kind = EventKind::Delivery;
-    Arrival.Time = Now + Latency;
+    Arrival.Time = Now + Latency + Penalty;
     Arrival.Core = Core;
     Arrival.Obj = Obj;
     Arrival.InstanceIdx = InstanceIdx;
     Arrival.Param = Dest.Param;
-    push(std::move(Arrival));
+    // A duplicated transfer arrives again; the executors' idempotent
+    // re-delivery (dedupe against pending invocations) absorbs it.
+    for (int Copy = 0; Copy < 1 + Duplicates; ++Copy)
+      push(Arrival);
   }
 }
 
 void TileExecutor::tryStart(int CoreIdx, Cycles Now) {
   CoreState &Core = Cores[static_cast<size_t>(CoreIdx)];
+  if (!CoreAlive[static_cast<size_t>(CoreIdx)])
+    return; // Fail-stop: a dead core never dispatches again.
   if (Core.Executing)
     return;
+  if (Core.Ready.empty())
+    return;
+  if (Injector.active()) {
+    resilience::RecoveryReport &Rep = Result.Recovery;
+    Cycles &Stall = StallEnd[static_cast<size_t>(CoreIdx)];
+    if (Now >= Stall) {
+      if (Cycles End = Injector.stallUntil(Now, CoreIdx); End > Stall) {
+        // A new stall window opens: the core dispatches nothing until it
+        // ends. Stalls are transient by definition, so the window closes
+        // regardless of the recovery setting.
+        Stall = End;
+        ++Rep.Stalls;
+        Rep.AddedCycles += End - Now;
+        if (Opts->Trace)
+          Opts->Trace->faultInject(
+              Now, CoreIdx, static_cast<int>(resilience::FaultKind::CoreStall),
+              -1);
+      }
+    }
+    if (Now < Stall) {
+      Event Wake;
+      Wake.Kind = EventKind::Wake;
+      Wake.Time = Stall;
+      Wake.Core = CoreIdx;
+      push(std::move(Wake));
+      return;
+    }
+    Cycles &Lock = LockEnd[static_cast<size_t>(CoreIdx)];
+    if (Now >= Lock) {
+      if (Cycles End = Injector.lockFaultUntil(Now, CoreIdx); End > Lock) {
+        Lock = End;
+        ++Rep.LockFaults;
+        Rep.AddedCycles += End - Now;
+        if (Opts->Trace)
+          Opts->Trace->faultInject(
+              Now, CoreIdx, static_cast<int>(resilience::FaultKind::LockSweep),
+              -1);
+      }
+    }
+    if (Now < Lock) {
+      // Livelock window: every all-or-nothing sweep on this core fails.
+      // Count it like any other failed sweep and retry at the window end.
+      ++Result.LockRetries;
+      if (Opts->Trace)
+        Opts->Trace->lockRetry(Now, CoreIdx, Core.Ready.front().Task);
+      Event Wake;
+      Wake.Kind = EventKind::Wake;
+      Wake.Time = Lock;
+      Wake.Core = CoreIdx;
+      push(std::move(Wake));
+      return;
+    }
+  }
   size_t Attempts = Core.Ready.size();
   while (Attempts-- > 0) {
     Invocation Inv = std::move(Core.Ready.front());
@@ -402,6 +552,67 @@ void TileExecutor::complete(const Event &E) {
   }
 }
 
+void TileExecutor::applyCoreFailure(int CoreIdx, Cycles Now) {
+  if (!CoreAlive[static_cast<size_t>(CoreIdx)])
+    return; // Already dead (duplicate schedule entry).
+  resilience::RecoveryReport &Rep = Result.Recovery;
+  CoreAlive[static_cast<size_t>(CoreIdx)] = 0;
+  ++Rep.CoreFails;
+  if (Opts->Trace)
+    Opts->Trace->faultInject(
+        Now, CoreIdx, static_cast<int>(resilience::FaultKind::CoreFail), -1);
+  // Fail-stop at the dispatch boundary: an invocation already in flight
+  // on this core finishes (its body ran; re-running it would double-apply
+  // host side effects) — the core just never dispatches again.
+  if (!Opts->Recovery)
+    return; // Queued work strands; deliveries blackhole; run wedges.
+
+  // Failover candidates: core-group siblings first, then the other used
+  // cores, skipping the dead.
+  std::vector<int> Alive;
+  for (int C : Routes.failoverOrder(CoreIdx))
+    if (CoreAlive[static_cast<size_t>(C)])
+      Alive.push_back(C);
+  if (Alive.empty())
+    for (int C = 0; C < L.NumCores; ++C)
+      if (CoreAlive[static_cast<size_t>(C)])
+        Alive.push_back(C);
+  if (Alive.empty())
+    return; // Every core failed: nothing left to migrate to.
+
+  // Migrate this core's placed instances round-robin over the candidates
+  // (their parameter sets travel with the InstanceState).
+  size_t Next = 0;
+  for (size_t I = 0; I < InstanceCore.size(); ++I) {
+    if (InstanceCore[I] != CoreIdx)
+      continue;
+    int NewCore = Alive[Next++ % Alive.size()];
+    InstanceCore[I] = NewCore;
+    ++Rep.InstancesMigrated;
+    if (Opts->Trace)
+      Opts->Trace->failover(Now, CoreIdx, NewCore, -1);
+  }
+
+  // Re-dispatch queued-but-unstarted invocations on their instances' new
+  // homes, charging one transfer per moved invocation.
+  CoreState &Dead = Cores[static_cast<size_t>(CoreIdx)];
+  while (!Dead.Ready.empty()) {
+    Invocation Inv = std::move(Dead.Ready.front());
+    Dead.Ready.pop_front();
+    int NewCore = InstanceCore[static_cast<size_t>(Inv.InstanceIdx)];
+    Cycles Hop = Machine.SendOverhead +
+                 Machine.transferLatency(CoreIdx, NewCore);
+    Rep.AddedCycles += Hop;
+    ++Rep.RedispatchedInvocations;
+    Cores[static_cast<size_t>(NewCore)].Ready.push_back(std::move(Inv));
+    Event Wake;
+    Wake.Kind = EventKind::Wake;
+    Wake.Time = Now + Hop;
+    Wake.Core = NewCore;
+    push(std::move(Wake));
+  }
+}
+
 ExecResult TileExecutor::run(const ExecOptions &Options) {
   Opts = &Options;
   if (Options.Trace) {
@@ -426,6 +637,25 @@ ExecResult TileExecutor::run(const ExecOptions &Options) {
     Queue.pop();
   if (Options.CollectProfile)
     Result.CollectedProfile.emplace(Prog);
+
+  // Resilience state.
+  Injector = resilience::FaultInjector(Options.Faults, Options.FaultSeed);
+  Result.Recovery.RecoveryEnabled = Options.Recovery;
+  CoreAlive.assign(static_cast<size_t>(L.NumCores), 1);
+  InstanceCore.clear();
+  for (const machine::TaskInstance &Inst : L.Instances)
+    InstanceCore.push_back(Inst.Core);
+  StallEnd.assign(static_cast<size_t>(L.NumCores), 0);
+  LockEnd.assign(static_cast<size_t>(L.NumCores), 0);
+  for (const resilience::ScheduledFault &F : Injector.coreFailures()) {
+    if (F.Core < 0 || F.Core >= L.NumCores)
+      continue;
+    Event Fail;
+    Fail.Kind = EventKind::Fault;
+    Fail.Time = F.Cycle;
+    Fail.Core = F.Core;
+    push(std::move(Fail));
+  }
 
   // Boot: create the startup object and deliver it (no transfer cost — it
   // is created wherever the startup task lives).
@@ -461,6 +691,9 @@ ExecResult TileExecutor::run(const ExecOptions &Options) {
     case EventKind::Wake:
       tryStart(E.Core, E.Time);
       break;
+    case EventKind::Fault:
+      applyCoreFailure(E.Core, E.Time);
+      break;
     }
   }
   return finishRun(LastTime, Aborted);
@@ -481,6 +714,11 @@ ExecResult &TileExecutor::finishRun(Cycles LastTime, bool Aborted) {
     AllDrained = AllDrained && Core.Ready.empty() && !Core.Executing;
   }
   Result.Completed = AllDrained;
+  // With recovery off, lost or blackholed messages mean work silently
+  // disappeared: the queues drain but the application did not finish, so
+  // the run must report failed (bounded abort, never a hang).
+  if (Result.Recovery.damaged())
+    Result.Completed = false;
   Result.TotalCycles = LastTime;
   Result.CoreBusy.clear();
   for (const CoreState &Core : Cores)

@@ -35,6 +35,9 @@
 #include "machine/Layout.h"
 #include "machine/MachineConfig.h"
 #include "profile/Profile.h"
+#include "resilience/FaultInjector.h"
+#include "resilience/FaultPlan.h"
+#include "resilience/Recovery.h"
 #include "runtime/BoundProgram.h"
 #include "runtime/RoutingTable.h"
 #include "runtime/TaskContext.h"
@@ -64,6 +67,18 @@ struct ExecOptions {
   /// recording is deterministic (identical runs produce byte-identical
   /// exports). Not owned; must outlive run().
   support::Trace *Trace = nullptr;
+  /// Fault plan to inject (src/resilience); null runs fault-free. Not
+  /// owned; must outlive run(). Fault decisions are drawn from a
+  /// dedicated counter-based stream keyed by FaultSeed, so the injected
+  /// pattern — and with it the whole run — is a pure function of
+  /// (program, layout, plan, FaultSeed).
+  const resilience::FaultPlan *Faults = nullptr;
+  uint64_t FaultSeed = 1;
+  /// When true (default), injected faults are absorbed: ack/retransmit
+  /// for drops, failover migration for core failures. When false, faults
+  /// take raw effect and a damaged run reports Completed=false (bounded
+  /// abort, never a hang).
+  bool Recovery = true;
 };
 
 /// Result of one execution.
@@ -87,6 +102,8 @@ struct ExecResult {
   std::vector<machine::Cycles> CoreBusy;
   /// Collected profile (present when ExecOptions::CollectProfile).
   std::optional<profile::Profile> CollectedProfile;
+  /// Fault/recovery accounting for this run (all-zero when fault-free).
+  resilience::RecoveryReport Recovery;
 };
 
 /// The discrete-event executor.
@@ -118,7 +135,7 @@ private:
     std::unique_ptr<TaskContext> Ctx;
   };
 
-  enum class EventKind { Delivery, Completion, Wake };
+  enum class EventKind { Delivery, Completion, Wake, Fault };
 
   struct Event {
     machine::Cycles Time = 0;
@@ -174,6 +191,19 @@ private:
   ExecResult Result;
   const ExecOptions *Opts = nullptr;
 
+  // Resilience state (reset per run).
+  resilience::FaultInjector Injector;
+  /// Liveness per core; cleared by a scheduled permanent failure.
+  std::vector<char> CoreAlive;
+  /// Effective host core per placed instance: starts as the layout's
+  /// placement and is rewritten by failover migration, so routing always
+  /// targets the instance's current home.
+  std::vector<int> InstanceCore;
+  /// End cycle of the currently known stall / lock-livelock window per
+  /// core (0: none). Injection is counted once per window.
+  std::vector<machine::Cycles> StallEnd;
+  std::vector<machine::Cycles> LockEnd;
+
   void push(Event E);
   void deliver(const Event &E);
   void complete(const Event &E);
@@ -195,6 +225,21 @@ private:
   /// Routes \p Obj (at its current abstract state) to all candidate next
   /// tasks from core \p FromCore at time \p Now.
   void routeObject(Object *Obj, int FromCore, machine::Cycles Now);
+
+  /// Resolves the injected fate of one cross-core transfer analytically
+  /// at send time: walks the retransmission attempts, accumulating the
+  /// backoff penalty into \p Penalty and duplicate arrivals into
+  /// \p Duplicates. Returns false when the message is lost for good
+  /// (recovery off). Legal because every per-attempt decision is a pure
+  /// function of (plan, seed, edge, object, attempt).
+  bool resolveSend(Object *Obj, int FromCore, int ToCore,
+                   machine::Cycles Now, machine::Cycles &Penalty,
+                   int &Duplicates);
+
+  /// Applies a scheduled permanent core failure: marks the core dead,
+  /// and — with recovery on — migrates its placed instances to failover
+  /// siblings and re-dispatches its queued invocations.
+  void applyCoreFailure(int Core, machine::Cycles Now);
 
   /// Recursively matches tag constraints, emitting complete invocations.
   void matchParams(int Core, int InstanceIdx, const ir::TaskDecl &Task,

@@ -7,6 +7,7 @@
 #include "schedsim/SchedSim.h"
 
 #include "analysis/LockPlan.h"
+#include "resilience/FaultInjector.h"
 #include "runtime/RoutingTable.h"
 #include "support/Debug.h"
 
@@ -73,7 +74,7 @@ private:
   std::vector<analysis::TaskLockPlan> LockPlans;
   SimOptions Opts;
 
-  enum class EventKind { Delivery, Completion, Wake };
+  enum class EventKind { Delivery, Completion, Wake, Fault };
   struct Event {
     Cycles Time = 0;
     uint64_t Seq = 0;
@@ -125,6 +126,13 @@ private:
       ObjectExitCounts;
   // Deterministic fractional allocation remainders, per site.
   std::vector<double> AllocRemainder;
+
+  // Resilience state (mirrors runtime::TileExecutor; see its comments).
+  resilience::FaultInjector Injector;
+  std::vector<char> CoreAlive;
+  std::vector<int> InstanceCore;
+  std::vector<Cycles> StallEnd;
+  std::vector<Cycles> LockEnd;
 
   SimResult Result;
 
@@ -309,6 +317,59 @@ private:
     return Graph.findNode(Tok.Class, Tok.State);
   }
 
+  /// Mirror of TileExecutor::resolveSend: the injected fate of one
+  /// cross-core token transfer, resolved analytically at send time.
+  bool resolveSend(uint64_t TokId, int FromCore, int ToCore, Cycles Now,
+                   Cycles &Penalty, int &Duplicates) {
+    resilience::RecoveryReport &Rep = Result.Recovery;
+    for (int Attempt = 0;; ++Attempt) {
+      auto D = Injector.onSend(Now, FromCore, ToCore, TokId, Attempt);
+      if (D.Drop) {
+        ++Rep.Drops;
+        if (Opts.Trace)
+          Opts.Trace->faultInject(
+              Now + Penalty, FromCore,
+              static_cast<int>(resilience::FaultKind::MsgDrop),
+              static_cast<int64_t>(TokId));
+        if (!Opts.Recovery) {
+          ++Rep.LostMessages;
+          return false;
+        }
+        if (Attempt >= Machine.MaxSendRetries) {
+          ++Rep.Escalations;
+          return true;
+        }
+        ++Rep.Retransmits;
+        Penalty += Machine.AckTimeout +
+                   (Machine.RetryBackoffBase << std::min(Attempt, 16));
+        if (Opts.Trace)
+          Opts.Trace->retransmit(Now + Penalty, FromCore, ToCore,
+                                 static_cast<int64_t>(TokId),
+                                 static_cast<uint64_t>(Attempt) + 1);
+        continue;
+      }
+      if (D.Duplicate) {
+        ++Rep.Dups;
+        ++Duplicates;
+        if (Opts.Trace)
+          Opts.Trace->faultInject(
+              Now + Penalty, FromCore,
+              static_cast<int>(resilience::FaultKind::MsgDup),
+              static_cast<int64_t>(TokId));
+      }
+      if (D.Delay) {
+        ++Rep.Delays;
+        Penalty += D.Delay;
+        if (Opts.Trace)
+          Opts.Trace->faultInject(
+              Now + Penalty, FromCore,
+              static_cast<int>(resilience::FaultKind::MsgDelay),
+              static_cast<int64_t>(TokId));
+      }
+      return true;
+    }
+  }
+
   void routeToken(Token *Tok, int FromCore, Cycles Now, int ProducerTrace) {
     Tok->ProducerTrace = ProducerTrace;
     int Node = tokenNode(*Tok);
@@ -335,8 +396,12 @@ private:
         break;
       }
       }
-      auto [InstanceIdx, Core] = Dest.Instances[Pick];
+      int InstanceIdx = Dest.Instances[Pick].first;
+      // Current home (failover migration may have moved the instance).
+      int Core = InstanceCore[static_cast<size_t>(InstanceIdx)];
       Cycles Latency = 0;
+      Cycles Penalty = 0;
+      int Duplicates = 0;
       if (FromCore >= 0 && FromCore != Core) {
         Latency =
             Machine.SendOverhead + Machine.transferLatency(FromCore, Core);
@@ -345,19 +410,49 @@ private:
               Now, FromCore, Core, static_cast<int64_t>(Tok->Id),
               static_cast<uint32_t>(Machine.hopDistance(FromCore, Core)),
               Machine.MsgBytesPerObject);
+        if (Injector.active()) {
+          if (!resolveSend(Tok->Id, FromCore, Core, Now, Penalty,
+                           Duplicates))
+            continue; // Lost for good (recovery off).
+          Result.Recovery.AddedCycles += Penalty;
+        }
       }
       Event E;
       E.Kind = EventKind::Delivery;
-      E.Time = Now + Latency;
+      E.Time = Now + Latency + Penalty;
       E.Core = Core;
-      E.Arr = Arrival{Tok, ProducerTrace, Now + Latency};
+      E.Arr = Arrival{Tok, ProducerTrace, Now + Latency + Penalty};
       E.InstanceIdx = InstanceIdx;
       E.Param = Dest.Param;
-      push(std::move(E));
+      for (int Copy = 0; Copy < 1 + Duplicates; ++Copy)
+        push(E);
     }
   }
 
   void deliver(const Event &E) {
+    if (!CoreAlive[static_cast<size_t>(E.Core)]) {
+      // In-flight delivery racing a permanent core failure (see
+      // TileExecutor::deliver for the recovery contract).
+      resilience::RecoveryReport &Rep = Result.Recovery;
+      int Fwd = InstanceCore[static_cast<size_t>(E.InstanceIdx)];
+      if (!Opts.Recovery || Fwd == E.Core ||
+          !CoreAlive[static_cast<size_t>(Fwd)]) {
+        ++Rep.BlackholedDeliveries;
+        return;
+      }
+      Cycles Hop = Machine.SendOverhead + Machine.transferLatency(E.Core, Fwd);
+      ++Rep.RedirectedDeliveries;
+      Rep.AddedCycles += Hop;
+      if (Opts.Trace)
+        Opts.Trace->failover(E.Time, E.Core, Fwd,
+                             static_cast<int64_t>(E.Arr.Tok->Id));
+      Event Redirected = E;
+      Redirected.Time = E.Time + Hop;
+      Redirected.Arr.Time = E.Time + Hop;
+      Redirected.Core = Fwd;
+      push(std::move(Redirected));
+      return;
+    }
     InstanceState &Inst = Instances[static_cast<size_t>(E.InstanceIdx)];
     auto &Set = Inst.ParamSets[static_cast<size_t>(E.Param)];
     // Mirror of the runtime's re-delivery semantics (TileExecutor): a
@@ -389,8 +484,51 @@ private:
 
   void tryStart(int CoreIdx, Cycles Now) {
     CoreState &Core = Cores[static_cast<size_t>(CoreIdx)];
+    if (!CoreAlive[static_cast<size_t>(CoreIdx)])
+      return; // Fail-stop: dead cores never dispatch.
     if (Core.Executing)
       return;
+    if (Core.Ready.empty())
+      return;
+    if (Injector.active()) {
+      resilience::RecoveryReport &Rep = Result.Recovery;
+      Cycles &Stall = StallEnd[static_cast<size_t>(CoreIdx)];
+      if (Now >= Stall) {
+        if (Cycles End = Injector.stallUntil(Now, CoreIdx); End > Stall) {
+          Stall = End;
+          ++Rep.Stalls;
+          Rep.AddedCycles += End - Now;
+          if (Opts.Trace)
+            Opts.Trace->faultInject(
+                Now, CoreIdx,
+                static_cast<int>(resilience::FaultKind::CoreStall), -1);
+        }
+      }
+      // The simulator's lock sweeps never fail (busy tokens requeue before
+      // the acquire), so a lock-livelock window degenerates to a stall of
+      // LockWidth: the dispatch attempts during it would all fail.
+      Cycles &Lock = LockEnd[static_cast<size_t>(CoreIdx)];
+      if (Now >= Lock) {
+        if (Cycles End = Injector.lockFaultUntil(Now, CoreIdx); End > Lock) {
+          Lock = End;
+          ++Rep.LockFaults;
+          Rep.AddedCycles += End - Now;
+          if (Opts.Trace)
+            Opts.Trace->faultInject(
+                Now, CoreIdx,
+                static_cast<int>(resilience::FaultKind::LockSweep), -1);
+        }
+      }
+      Cycles Blocked = std::max(Stall, Lock);
+      if (Now < Blocked) {
+        Event Wake;
+        Wake.Kind = EventKind::Wake;
+        Wake.Time = Blocked;
+        Wake.Core = CoreIdx;
+        push(std::move(Wake));
+        return;
+      }
+    }
     size_t Attempts = Core.Ready.size();
     while (Attempts-- > 0) {
       Invocation Inv = std::move(Core.Ready.front());
@@ -478,6 +616,59 @@ private:
       Done.FlightIdx = FlightIdx;
       push(std::move(Done));
       return;
+    }
+  }
+
+  /// Mirror of TileExecutor::applyCoreFailure: fail-stop at the dispatch
+  /// boundary, then (recovery on) migrate instances and re-dispatch
+  /// queued invocations over the routing table's failover order.
+  void applyCoreFailure(int CoreIdx, Cycles Now) {
+    if (!CoreAlive[static_cast<size_t>(CoreIdx)])
+      return;
+    resilience::RecoveryReport &Rep = Result.Recovery;
+    CoreAlive[static_cast<size_t>(CoreIdx)] = 0;
+    ++Rep.CoreFails;
+    if (Opts.Trace)
+      Opts.Trace->faultInject(
+          Now, CoreIdx, static_cast<int>(resilience::FaultKind::CoreFail),
+          -1);
+    if (!Opts.Recovery)
+      return;
+    std::vector<int> Alive;
+    for (int C : Routes.failoverOrder(CoreIdx))
+      if (CoreAlive[static_cast<size_t>(C)])
+        Alive.push_back(C);
+    if (Alive.empty())
+      for (int C = 0; C < L.NumCores; ++C)
+        if (CoreAlive[static_cast<size_t>(C)])
+          Alive.push_back(C);
+    if (Alive.empty())
+      return;
+    size_t Next = 0;
+    for (size_t I = 0; I < InstanceCore.size(); ++I) {
+      if (InstanceCore[I] != CoreIdx)
+        continue;
+      int NewCore = Alive[Next++ % Alive.size()];
+      InstanceCore[I] = NewCore;
+      ++Rep.InstancesMigrated;
+      if (Opts.Trace)
+        Opts.Trace->failover(Now, CoreIdx, NewCore, -1);
+    }
+    CoreState &Dead = Cores[static_cast<size_t>(CoreIdx)];
+    while (!Dead.Ready.empty()) {
+      Invocation Inv = std::move(Dead.Ready.front());
+      Dead.Ready.pop_front();
+      int NewCore = InstanceCore[static_cast<size_t>(Inv.InstanceIdx)];
+      Cycles Hop =
+          Machine.SendOverhead + Machine.transferLatency(CoreIdx, NewCore);
+      Rep.AddedCycles += Hop;
+      ++Rep.RedispatchedInvocations;
+      Cores[static_cast<size_t>(NewCore)].Ready.push_back(std::move(Inv));
+      Event Wake;
+      Wake.Kind = EventKind::Wake;
+      Wake.Time = Now + Hop;
+      Wake.Core = NewCore;
+      push(std::move(Wake));
     }
   }
 
@@ -581,6 +772,23 @@ SimResult Simulator::run() {
   for (size_t T = 0; T < Prog.tasks().size(); ++T)
     TaskExitCounts[T].assign(Prog.tasks()[T].Exits.size(), 0);
   AllocRemainder.assign(Prog.sites().size(), 0.0);
+  Injector = resilience::FaultInjector(Opts.Faults, Opts.FaultSeed);
+  Result.Recovery.RecoveryEnabled = Opts.Recovery;
+  CoreAlive.assign(static_cast<size_t>(L.NumCores), 1);
+  InstanceCore.clear();
+  for (const machine::TaskInstance &Inst : L.Instances)
+    InstanceCore.push_back(Inst.Core);
+  StallEnd.assign(static_cast<size_t>(L.NumCores), 0);
+  LockEnd.assign(static_cast<size_t>(L.NumCores), 0);
+  for (const resilience::ScheduledFault &F : Injector.coreFailures()) {
+    if (F.Core < 0 || F.Core >= L.NumCores)
+      continue;
+    Event Fail;
+    Fail.Kind = EventKind::Fault;
+    Fail.Time = F.Cycle;
+    Fail.Core = F.Core;
+    push(std::move(Fail));
+  }
   if (Opts.Trace) {
     std::vector<std::string> Names;
     Names.reserve(Prog.tasks().size());
@@ -615,6 +823,9 @@ SimResult Simulator::run() {
     case EventKind::Wake:
       tryStart(E.Core, E.Time);
       break;
+    case EventKind::Fault:
+      applyCoreFailure(E.Core, E.Time);
+      break;
     }
     if (Result.Invocations >= Opts.MaxInvocations) {
       CutOff = true;
@@ -624,6 +835,11 @@ SimResult Simulator::run() {
 
   Result.EstimatedCycles = LastTime;
   Result.Terminated = !CutOff;
+  // Lost or blackholed tokens (recovery off) mean the simulated
+  // application did not actually finish: the queues drained because work
+  // disappeared.
+  if (Result.Recovery.damaged())
+    Result.Terminated = false;
   Result.CoreBusy.clear();
   Cycles BusySum = 0;
   for (const CoreState &Core : Cores) {

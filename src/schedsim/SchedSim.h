@@ -33,6 +33,8 @@
 #include "machine/Layout.h"
 #include "machine/MachineConfig.h"
 #include "profile/Profile.h"
+#include "resilience/FaultPlan.h"
+#include "resilience/Recovery.h"
 #include "support/Trace.h"
 
 #include <cstdint>
@@ -51,6 +53,15 @@ struct SimOptions {
   /// into this recorder, in the same format the real executors emit —
   /// the basis of the fig09 sim-vs-real trace diff. Not owned.
   support::Trace *Trace = nullptr;
+  /// Fault plan to inject (src/resilience); null simulates fault-free.
+  /// The simulator mirrors the runtime's injection sites (token sends,
+  /// dispatch, lock sweeps, scheduled core failures) so fault behavior
+  /// can be explored at simulation speed. Not owned.
+  const resilience::FaultPlan *Faults = nullptr;
+  uint64_t FaultSeed = 1;
+  /// Absorb faults (retransmit/failover) when true; let them take raw
+  /// effect (and mark the result non-terminated) when false.
+  bool Recovery = true;
 };
 
 /// One simulated task invocation in the trace. This is the shared
@@ -70,6 +81,8 @@ struct SimResult {
   /// profiles).
   double UsefulFraction = 0.0;
   std::vector<TraceTask> Trace;
+  /// Fault/recovery accounting (all-zero when fault-free).
+  resilience::RecoveryReport Recovery;
 };
 
 /// Simulates \p L under \p Prof. \p Hints selects per-task or per-object

@@ -112,6 +112,40 @@ void Trace::idle(uint64_t Start, uint64_t End, int Core) {
   record(E);
 }
 
+void Trace::faultInject(uint64_t Time, int Core, int FaultKind,
+                        int64_t ObjectId) {
+  TraceEvent E;
+  E.Kind = TraceEventKind::FaultInject;
+  E.Time = Time;
+  E.Core = Core;
+  E.Object = ObjectId;
+  E.Aux = static_cast<uint64_t>(FaultKind);
+  record(E);
+}
+
+void Trace::retransmit(uint64_t Time, int FromCore, int ToCore,
+                       int64_t ObjectId, uint64_t Attempt) {
+  TraceEvent E;
+  E.Kind = TraceEventKind::Retransmit;
+  E.Time = Time;
+  E.Core = FromCore;
+  E.Peer = ToCore;
+  E.Object = ObjectId;
+  E.Aux = Attempt;
+  record(E);
+}
+
+void Trace::failover(uint64_t Time, int FromCore, int ToCore,
+                     int64_t ObjectId) {
+  TraceEvent E;
+  E.Kind = TraceEventKind::Failover;
+  E.Time = Time;
+  E.Core = FromCore;
+  E.Peer = ToCore;
+  E.Object = ObjectId;
+  record(E);
+}
+
 //===----------------------------------------------------------------------===//
 // Chrome trace export
 //===----------------------------------------------------------------------===//
@@ -151,6 +185,14 @@ std::string taskName(const std::vector<std::string> &Names, int Task) {
   if (Task >= 0 && static_cast<size_t>(Task) < Names.size())
     return jsonEscape(Names[static_cast<size_t>(Task)]);
   return formatString("task%d", Task);
+}
+
+/// Indexed by the resilience::FaultKind value carried in FaultInject's Aux
+/// (mirrors resilience/FaultPlan.h; support cannot depend on resilience).
+const char *faultName(uint64_t Kind) {
+  static const char *Names[] = {"drop", "dup", "delay", "stall", "fail",
+                                "lock"};
+  return Kind < sizeof(Names) / sizeof(Names[0]) ? Names[Kind] : "fault";
 }
 
 } // namespace
@@ -229,6 +271,27 @@ std::string Trace::toChromeJson() const {
                           Tid, Ts,
                           static_cast<unsigned long long>(E.Aux - E.Time));
       break;
+    case TraceEventKind::FaultInject:
+      Out += formatString("{\"name\":\"fault-%s\",\"cat\":\"fault\","
+                          "\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,"
+                          "\"ts\":%llu,\"args\":{\"obj\":%lld}}",
+                          faultName(E.Aux), Tid, Ts,
+                          static_cast<long long>(E.Object));
+      break;
+    case TraceEventKind::Retransmit:
+      Out += formatString("{\"name\":\"retransmit\",\"cat\":\"fault\","
+                          "\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,"
+                          "\"ts\":%llu,\"args\":{\"obj\":%lld,\"to\":%d,"
+                          "\"attempt\":%llu}}",
+                          Tid, Ts, static_cast<long long>(E.Object), E.Peer,
+                          static_cast<unsigned long long>(E.Aux));
+      break;
+    case TraceEventKind::Failover:
+      Out += formatString("{\"name\":\"failover\",\"cat\":\"fault\","
+                          "\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,"
+                          "\"ts\":%llu,\"args\":{\"obj\":%lld,\"to\":%d}}",
+                          Tid, Ts, static_cast<long long>(E.Object), E.Peer);
+      break;
     }
   }
   Out += "],\"displayTimeUnit\":\"ms\"}\n";
@@ -274,6 +337,27 @@ uint64_t TraceMetrics::totalMsgHops() const {
                          });
 }
 
+uint64_t TraceMetrics::totalFaults() const {
+  return std::accumulate(Cores.begin(), Cores.end(), uint64_t{0},
+                         [](uint64_t S, const CoreMetrics &C) {
+                           return S + C.Faults;
+                         });
+}
+
+uint64_t TraceMetrics::totalRetransmits() const {
+  return std::accumulate(Cores.begin(), Cores.end(), uint64_t{0},
+                         [](uint64_t S, const CoreMetrics &C) {
+                           return S + C.Retransmits;
+                         });
+}
+
+uint64_t TraceMetrics::totalFailovers() const {
+  return std::accumulate(Cores.begin(), Cores.end(), uint64_t{0},
+                         [](uint64_t S, const CoreMetrics &C) {
+                           return S + C.Failovers;
+                         });
+}
+
 double TraceMetrics::busyFraction() const {
   if (TotalTicks == 0 || Cores.empty())
     return 0.0;
@@ -305,6 +389,15 @@ TraceMetrics::str(const std::vector<std::string> &TaskNames) const {
                       static_cast<unsigned long long>(totalMsgBytes()),
                       static_cast<unsigned long long>(totalMsgHops()),
                       busyFraction() * 100.0, lockRetryRate());
+  // Only fault-injected runs grow the extra summary line, so fault-free
+  // metrics output stays byte-identical to earlier releases.
+  if (totalFaults() + totalRetransmits() + totalFailovers() > 0)
+    Out += formatString(
+        "resilience: %llu faults injected, %llu retransmits, %llu "
+        "failovers\n",
+        static_cast<unsigned long long>(totalFaults()),
+        static_cast<unsigned long long>(totalRetransmits()),
+        static_cast<unsigned long long>(totalFailovers()));
   std::vector<std::vector<std::string>> Rows;
   Rows.push_back({"core", "busy%", "tasks", "sends", "delivers", "retries",
                   "maxqueue", "bytes", "hops"});
@@ -415,6 +508,15 @@ TraceMetrics Trace::metrics() const {
       break;
     case TraceEventKind::Idle:
       CM.IdleTicks += E.Aux - E.Time;
+      break;
+    case TraceEventKind::FaultInject:
+      ++CM.Faults;
+      break;
+    case TraceEventKind::Retransmit:
+      ++CM.Retransmits;
+      break;
+    case TraceEventKind::Failover:
+      ++CM.Failovers;
       break;
     }
   }

@@ -78,6 +78,12 @@ enum class TraceEventKind : uint8_t {
   LockAcquire,
   LockRetry,
   Idle,
+  /// Resilience vocabulary (src/resilience): a fault taking effect, a
+  /// dropped transfer being retransmitted, and work moving to a sibling
+  /// core after a permanent core failure.
+  FaultInject,
+  Retransmit,
+  Failover,
 };
 
 /// One recorded event. Fixed-size POD so recording is a vector push.
@@ -93,7 +99,8 @@ struct TraceEvent {
   uint32_t Bytes = 0;  ///< Send: payload bytes.
   /// TaskBegin: ready-queue depth behind the dispatched invocation.
   /// LockAcquire: number of parameter locks taken. Idle: span end time
-  /// (Time holds the span start).
+  /// (Time holds the span start). FaultInject: resilience::FaultKind
+  /// index. Retransmit: attempt number.
   uint64_t Aux = 0;
 };
 
@@ -109,6 +116,9 @@ struct CoreMetrics {
   uint64_t MsgBytes = 0;
   uint64_t MsgHops = 0;
   uint64_t MaxQueueDepth = 0;
+  uint64_t Faults = 0;
+  uint64_t Retransmits = 0;
+  uint64_t Failovers = 0;
 };
 
 /// Per-task rollup over one trace.
@@ -128,6 +138,9 @@ struct TraceMetrics {
   uint64_t totalLockRetries() const;
   uint64_t totalMsgBytes() const;
   uint64_t totalMsgHops() const;
+  uint64_t totalFaults() const;
+  uint64_t totalRetransmits() const;
+  uint64_t totalFailovers() const;
   /// Busy fraction of (TotalTicks * cores), in [0, 1].
   double busyFraction() const;
   /// Failed acquisition sweeps per dispatch attempt:
@@ -189,6 +202,15 @@ public:
   void lockRetry(uint64_t Time, int Core, int Task);
   /// Records that \p Core sat idle over [Start, End).
   void idle(uint64_t Start, uint64_t End, int Core);
+  /// Records a fault of resilience::FaultKind index \p FaultKind taking
+  /// effect on \p Core (ObjectId -1 for core faults).
+  void faultInject(uint64_t Time, int Core, int FaultKind, int64_t ObjectId);
+  /// Records retransmission attempt \p Attempt of a dropped transfer.
+  void retransmit(uint64_t Time, int FromCore, int ToCore, int64_t ObjectId,
+                  uint64_t Attempt);
+  /// Records work (a delivery or migrated instance) moving from a failed
+  /// core to its failover sibling.
+  void failover(uint64_t Time, int FromCore, int ToCore, int64_t ObjectId);
 
   /// Snapshot of the recorded events, in recording order.
   const std::vector<TraceEvent> &events() const { return Events; }

@@ -156,6 +156,70 @@ TEST(CliTest, TraceByteIdenticalAcrossRunsAndJobs) {
   EXPECT_EQ(JsonA, JsonB);
 }
 
+TEST(CliTest, HelpListsEveryParsedFlag) {
+  auto [Status, Out] = runBamboo("--help");
+  EXPECT_EQ(Status, 0);
+  // The help text must cover every flag main() actually parses — a flag
+  // missing here is the documentation drift this test pins down.
+  for (const char *Flag :
+       {"--run", "--cores=", "--arg=", "--seed=", "--jobs=", "--trace=",
+        "--metrics", "--faults=", "--fault-seed=", "--recovery=",
+        "--dump-ir", "--dump-astg", "--dump-cstg", "--dump-taskflow",
+        "--dump-locks", "--dump-layout", "--emit-c", "--help"})
+    EXPECT_NE(Out.find(Flag), std::string::npos) << Flag;
+}
+
+TEST(CliTest, UnknownFlagIsAHardError) {
+  auto [Status, Out] = runBamboo(keywordFile() + " --no-such-flag");
+  EXPECT_NE(Status, 0);
+  (void)Out;
+}
+
+TEST(CliTest, FaultsRecoverToTheSameOutput) {
+  auto [Status, Out] =
+      runBamboo(keywordFile() + " --run --cores=4 --arg='the cat the dog'" +
+                " --faults=drop~0.05,fail@2000:1 --fault-seed=7");
+  EXPECT_EQ(Status, 0);
+  EXPECT_NE(Out.find("total=2"), std::string::npos)
+      << "recovered run must produce the fault-free answer";
+  std::string Err = readFile(capturePath("stderr"));
+  EXPECT_NE(Err.find("faults injected="), std::string::npos);
+  EXPECT_NE(Err.find("recovery=on"), std::string::npos);
+  EXPECT_EQ(Err.find("UNRECONCILED"), std::string::npos) << Err;
+}
+
+TEST(CliTest, BadFaultSpecAndBadRecoveryModeAreRejected) {
+  auto [Status, Out] =
+      runBamboo(keywordFile() + " --run --faults=explode~0.5");
+  EXPECT_NE(Status, 0);
+  auto [Status2, Out2] =
+      runBamboo(keywordFile() + " --run --recovery=maybe");
+  EXPECT_NE(Status2, 0);
+  (void)Out;
+  (void)Out2;
+}
+
+TEST(CliTest, FaultedTraceByteIdenticalAcrossJobs) {
+  // Determinism must survive fault injection: the fault stream is keyed
+  // by (plan, fault seed), not by synthesis threading.
+  std::string A = tempPath("cli_ftrace_a.json");
+  std::string B = tempPath("cli_ftrace_b.json");
+  // drop@0 is scheduled: the first eligible cross-core send is dropped
+  // (and retransmitted) no matter how small the run is.
+  std::string Common = keywordFile() +
+                       " --cores=4 --arg='the cat the dog'" +
+                       " --faults=drop@0,dup~0.05 --fault-seed=3 ";
+  auto [StatusA, OutA] = runBamboo(Common + "--jobs=1 --trace=" + A);
+  auto [StatusB, OutB] = runBamboo(Common + "--jobs=3 --trace=" + B);
+  EXPECT_EQ(StatusA, 0);
+  EXPECT_EQ(StatusB, 0);
+  std::string JsonA = readFile(A), JsonB = readFile(B);
+  ASSERT_FALSE(JsonA.empty());
+  EXPECT_EQ(JsonA, JsonB);
+  EXPECT_NE(JsonA.find("retransmit"), std::string::npos)
+      << "faulted trace should contain recovery events";
+}
+
 TEST(CliTest, DumpLayoutSynthesizes) {
   auto [Status, Out] =
       runBamboo(keywordFile() + " --dump-layout --cores=4 --arg='the cat'");
