@@ -66,6 +66,35 @@ grep -q 'faults injected=' "${TRACE_DIR}/ferr1.txt" \
 grep -q 'UNRECONCILED' "${TRACE_DIR}/ferr1.txt" \
   && { echo "recovery report does not reconcile" >&2; exit 1; }
 
+echo "== tier-1: checkpoint/restore stage (kill-and-restore equivalence) =="
+# A checkpointed run must match an uncheckpointed one byte for byte, and
+# a run restored from a mid-run checkpoint must produce the same final
+# output. The full six-app equivalence matrix runs in ctest
+# (CheckpointTest); here we pin the CLI path end to end.
+CKPT_DIR="${TRACE_DIR}/ckpts"
+./build/src/driver/bamboo "${KW}" --cores=8 --arg='the quick brown fox the lazy dog' \
+  --checkpoint-every=200 --checkpoint-dir="${CKPT_DIR}" \
+  --trace="${TRACE_DIR}/ctrace1.json" > "${TRACE_DIR}/cout1.txt" 2> /dev/null
+cmp "${TRACE_DIR}/trace1.json" "${TRACE_DIR}/ctrace1.json" \
+  || { echo "checkpointing perturbed the execution trace" >&2; exit 1; }
+LAST_CKPT="$(ls "${CKPT_DIR}"/ckpt-* | sort -t- -k2 -n | tail -1)"
+./build/src/driver/bamboo "${KW}" --cores=8 --arg='the quick brown fox the lazy dog' \
+  --restore="${LAST_CKPT}" > "${TRACE_DIR}/cout2.txt" 2> /dev/null
+cmp "${TRACE_DIR}/cout1.txt" "${TRACE_DIR}/cout2.txt" \
+  || { echo "restored run produced different output" >&2; exit 1; }
+if ./build/src/driver/bamboo "${KW}" --cores=4 --arg='the quick brown fox the lazy dog' \
+  --restore="${LAST_CKPT}" > /dev/null 2> /dev/null; then
+  echo "restore with a mismatched core count must fail" >&2; exit 1
+fi
+
+echo "== tier-1: ASan+UBSan stage (resilience + runtime + checkpoint suites) =="
+cmake -B build-asan -S . -DBAMBOO_SANITIZE=address,undefined
+cmake --build build-asan -j"${JOBS}" --target test_resilience test_runtime \
+  test_checkpoint
+(cd build-asan && ctest --output-on-failure -j"${JOBS}" \
+  -R 'Resilience|FaultPlan|FaultInjector|Recovery|Routing|Runtime|TileExecutor|Checkpoint|HeapSnapshot|Watchdog' \
+  -E 'ChaosMatrix')
+
 echo "== tier-1: ThreadSanitizer stage (ThreadPool + parallel DSA + executors) =="
 cmake -B build-tsan -S . -DBAMBOO_SANITIZE=thread
 cmake --build build-tsan -j"${JOBS}" --target test_support test_synthesis \

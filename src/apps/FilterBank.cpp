@@ -82,13 +82,51 @@ uint64_t quantize(double D) {
 struct ChannelData : ObjectData {
   int Channel = 0;
   double Energy = 0.0;
+  const char *checkpointKey() const override { return "filterbank.channel"; }
 };
 
 struct CombinerData : ObjectData {
   int Expected = 0;
   int Merged = 0;
   uint64_t Checksum = 0;
+  const char *checkpointKey() const override { return "filterbank.combiner"; }
 };
+
+void registerCodecs(runtime::BoundProgram &BP) {
+  runtime::ObjectCodec Ch;
+  Ch.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
+               runtime::CodecSaveCtx &) {
+    const auto &C = static_cast<const ChannelData &>(D);
+    W.i32(C.Channel);
+    W.f64(C.Energy);
+  };
+  Ch.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
+      -> std::unique_ptr<runtime::ObjectData> {
+    auto C = std::make_unique<ChannelData>();
+    C->Channel = R.i32();
+    C->Energy = R.f64();
+    return C;
+  };
+  BP.registerCodec("filterbank.channel", std::move(Ch));
+
+  runtime::ObjectCodec Cb;
+  Cb.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
+               runtime::CodecSaveCtx &) {
+    const auto &C = static_cast<const CombinerData &>(D);
+    W.i32(C.Expected);
+    W.i32(C.Merged);
+    W.u64(C.Checksum);
+  };
+  Cb.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
+      -> std::unique_ptr<runtime::ObjectData> {
+    auto C = std::make_unique<CombinerData>();
+    C->Expected = R.i32();
+    C->Merged = R.i32();
+    C->Checksum = R.u64();
+    return C;
+  };
+  BP.registerCodec("filterbank.combiner", std::move(Cb));
+}
 
 } // namespace
 
@@ -156,6 +194,7 @@ runtime::BoundProgram FilterBankApp::makeBound(int Scale) const {
     Ctx.exitWith(Combiner.Merged == Combiner.Expected ? 1 : 0);
   });
   BP.hintPerObjectExits(Combine);
+  registerCodecs(BP);
   return BP;
 }
 

@@ -47,13 +47,51 @@ uint64_t mandelRow(const FractalParams &P, int Row) {
 struct RowData : ObjectData {
   int Row = 0;
   uint64_t Iterations = 0;
+  const char *checkpointKey() const override { return "fractal.row"; }
 };
 
 struct CanvasData : ObjectData {
   int Expected = 0;
   int Merged = 0;
   uint64_t Checksum = 0;
+  const char *checkpointKey() const override { return "fractal.canvas"; }
 };
+
+void registerCodecs(runtime::BoundProgram &BP) {
+  runtime::ObjectCodec Row;
+  Row.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
+                runtime::CodecSaveCtx &) {
+    const auto &R = static_cast<const RowData &>(D);
+    W.i32(R.Row);
+    W.u64(R.Iterations);
+  };
+  Row.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
+      -> std::unique_ptr<runtime::ObjectData> {
+    auto D = std::make_unique<RowData>();
+    D->Row = R.i32();
+    D->Iterations = R.u64();
+    return D;
+  };
+  BP.registerCodec("fractal.row", std::move(Row));
+
+  runtime::ObjectCodec Canvas;
+  Canvas.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
+                   runtime::CodecSaveCtx &) {
+    const auto &C = static_cast<const CanvasData &>(D);
+    W.i32(C.Expected);
+    W.i32(C.Merged);
+    W.u64(C.Checksum);
+  };
+  Canvas.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
+      -> std::unique_ptr<runtime::ObjectData> {
+    auto D = std::make_unique<CanvasData>();
+    D->Expected = R.i32();
+    D->Merged = R.i32();
+    D->Checksum = R.u64();
+    return D;
+  };
+  BP.registerCodec("fractal.canvas", std::move(Canvas));
+}
 
 } // namespace
 
@@ -119,6 +157,7 @@ runtime::BoundProgram FractalApp::makeBound(int Scale) const {
     Ctx.exitWith(Canvas.Merged == Canvas.Expected ? 1 : 0);
   });
   BP.hintPerObjectExits(Merge);
+  registerCodecs(BP);
   return BP;
 }
 

@@ -43,6 +43,7 @@ uint64_t quantize(double D) {
 struct SampleData : ObjectData {
   int Sample = 0;
   double Result = 0.0;
+  const char *checkpointKey() const override { return "montecarlo.sample"; }
 };
 
 struct AggregatorData : ObjectData {
@@ -51,7 +52,48 @@ struct AggregatorData : ObjectData {
   double Sum = 0.0;
   double SumSq = 0.0;
   uint64_t Checksum = 0;
+  const char *checkpointKey() const override { return "montecarlo.agg"; }
 };
+
+void registerCodecs(runtime::BoundProgram &BP) {
+  runtime::ObjectCodec Sample;
+  Sample.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
+                   runtime::CodecSaveCtx &) {
+    const auto &S = static_cast<const SampleData &>(D);
+    W.i32(S.Sample);
+    W.f64(S.Result);
+  };
+  Sample.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
+      -> std::unique_ptr<runtime::ObjectData> {
+    auto S = std::make_unique<SampleData>();
+    S->Sample = R.i32();
+    S->Result = R.f64();
+    return S;
+  };
+  BP.registerCodec("montecarlo.sample", std::move(Sample));
+
+  runtime::ObjectCodec Agg;
+  Agg.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
+                runtime::CodecSaveCtx &) {
+    const auto &A = static_cast<const AggregatorData &>(D);
+    W.i32(A.Expected);
+    W.i32(A.Merged);
+    W.f64(A.Sum);
+    W.f64(A.SumSq);
+    W.u64(A.Checksum);
+  };
+  Agg.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
+      -> std::unique_ptr<runtime::ObjectData> {
+    auto A = std::make_unique<AggregatorData>();
+    A->Expected = R.i32();
+    A->Merged = R.i32();
+    A->Sum = R.f64();
+    A->SumSq = R.f64();
+    A->Checksum = R.u64();
+    return A;
+  };
+  BP.registerCodec("montecarlo.agg", std::move(Agg));
+}
 
 } // namespace
 
@@ -120,6 +162,7 @@ runtime::BoundProgram MonteCarloApp::makeBound(int Scale) const {
     Ctx.exitWith(Agg.Merged == Agg.Expected ? 1 : 0);
   });
   BP.hintPerObjectExits(Aggregate);
+  registerCodecs(BP);
   return BP;
 }
 

@@ -66,13 +66,53 @@ uint64_t coefChecksum(const CoefValue &V) {
 struct CoefData : ObjectData {
   int N = 0;
   CoefValue Value;
+  const char *checkpointKey() const override { return "series.coef"; }
 };
 
 struct ResultData : ObjectData {
   int Expected = 0;
   int Merged = 0;
   uint64_t Checksum = 0;
+  const char *checkpointKey() const override { return "series.result"; }
 };
+
+void registerCodecs(runtime::BoundProgram &BP) {
+  runtime::ObjectCodec Coef;
+  Coef.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
+                 runtime::CodecSaveCtx &) {
+    const auto &C = static_cast<const CoefData &>(D);
+    W.i32(C.N);
+    W.f64(C.Value.A);
+    W.f64(C.Value.B);
+  };
+  Coef.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
+      -> std::unique_ptr<runtime::ObjectData> {
+    auto C = std::make_unique<CoefData>();
+    C->N = R.i32();
+    C->Value.A = R.f64();
+    C->Value.B = R.f64();
+    return C;
+  };
+  BP.registerCodec("series.coef", std::move(Coef));
+
+  runtime::ObjectCodec Res;
+  Res.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
+                runtime::CodecSaveCtx &) {
+    const auto &Rs = static_cast<const ResultData &>(D);
+    W.i32(Rs.Expected);
+    W.i32(Rs.Merged);
+    W.u64(Rs.Checksum);
+  };
+  Res.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
+      -> std::unique_ptr<runtime::ObjectData> {
+    auto Rs = std::make_unique<ResultData>();
+    Rs->Expected = R.i32();
+    Rs->Merged = R.i32();
+    Rs->Checksum = R.u64();
+    return Rs;
+  };
+  BP.registerCodec("series.result", std::move(Res));
+}
 
 } // namespace
 
@@ -138,6 +178,7 @@ runtime::BoundProgram SeriesApp::makeBound(int Scale) const {
     Ctx.exitWith(Res.Merged == Res.Expected ? 1 : 0);
   });
   BP.hintPerObjectExits(Merge);
+  registerCodecs(BP);
   return BP;
 }
 

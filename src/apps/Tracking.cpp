@@ -103,6 +103,7 @@ struct PieceData : ObjectData {
   int Piece = 0;
   std::vector<double> Data;
   Feature Extracted;
+  const char *checkpointKey() const override { return "tracking.piece"; }
 };
 
 struct FrameData : ObjectData {
@@ -111,13 +112,91 @@ struct FrameData : ObjectData {
   int MergedBatches = 0;
   double FeatureSum = 0.0;
   uint64_t Checksum = 0;
+  const char *checkpointKey() const override { return "tracking.frame"; }
 };
 
 struct BatchData : ObjectData {
   int Batch = 0;
   double SeedResponse = 0.0;
   double Result = 0.0;
+  const char *checkpointKey() const override { return "tracking.batch"; }
 };
+
+void registerCodecs(runtime::BoundProgram &BP) {
+  runtime::ObjectCodec Piece;
+  Piece.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
+                  runtime::CodecSaveCtx &) {
+    const auto &P = static_cast<const PieceData &>(D);
+    W.i32(P.Piece);
+    W.u64(P.Data.size());
+    for (double V : P.Data)
+      W.f64(V);
+    W.f64(P.Extracted.Response);
+    W.i32(P.Extracted.Position);
+  };
+  Piece.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
+      -> std::unique_ptr<runtime::ObjectData> {
+    auto P = std::make_unique<PieceData>();
+    P->Piece = R.i32();
+    P->Data.resize(R.u64());
+    for (double &V : P->Data)
+      V = R.f64();
+    P->Extracted.Response = R.f64();
+    P->Extracted.Position = R.i32();
+    return P;
+  };
+  BP.registerCodec("tracking.piece", std::move(Piece));
+
+  runtime::ObjectCodec Frame;
+  Frame.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
+                  runtime::CodecSaveCtx &) {
+    const auto &F = static_cast<const FrameData &>(D);
+    W.i32(F.Params.Pieces);
+    W.i32(F.Params.PieceLen);
+    W.i32(F.Params.BlurTaps);
+    W.i32(F.Params.TrackBatches);
+    W.i32(F.Params.TrackWindow);
+    W.u64(F.Params.Seed);
+    W.i32(F.CollectedPieces);
+    W.i32(F.MergedBatches);
+    W.f64(F.FeatureSum);
+    W.u64(F.Checksum);
+  };
+  Frame.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
+      -> std::unique_ptr<runtime::ObjectData> {
+    auto F = std::make_unique<FrameData>();
+    F->Params.Pieces = R.i32();
+    F->Params.PieceLen = R.i32();
+    F->Params.BlurTaps = R.i32();
+    F->Params.TrackBatches = R.i32();
+    F->Params.TrackWindow = R.i32();
+    F->Params.Seed = R.u64();
+    F->CollectedPieces = R.i32();
+    F->MergedBatches = R.i32();
+    F->FeatureSum = R.f64();
+    F->Checksum = R.u64();
+    return F;
+  };
+  BP.registerCodec("tracking.frame", std::move(Frame));
+
+  runtime::ObjectCodec Batch;
+  Batch.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
+                  runtime::CodecSaveCtx &) {
+    const auto &B = static_cast<const BatchData &>(D);
+    W.i32(B.Batch);
+    W.f64(B.SeedResponse);
+    W.f64(B.Result);
+  };
+  Batch.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
+      -> std::unique_ptr<runtime::ObjectData> {
+    auto B = std::make_unique<BatchData>();
+    B->Batch = R.i32();
+    B->SeedResponse = R.f64();
+    B->Result = R.f64();
+    return B;
+  };
+  BP.registerCodec("tracking.batch", std::move(Batch));
+}
 
 } // namespace
 
@@ -269,6 +348,7 @@ runtime::BoundProgram TrackingApp::makeBound(int Scale) const {
     Ctx.exitWith(Frame.MergedBatches == P.TrackBatches ? 1 : 0);
   });
   BP.hintPerObjectExits(MergeT);
+  registerCodecs(BP);
   return BP;
 }
 

@@ -21,11 +21,13 @@
 #include "driver/Pipeline.h"
 #include "frontend/Frontend.h"
 #include "interp/Interp.h"
+#include "resilience/Checkpoint.h"
 #include "resilience/FaultPlan.h"
 #include "support/Trace.h"
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -63,7 +65,26 @@ void usage(std::FILE *Out) {
       "  --recovery=MODE   on (default): absorb injected faults via\n"
       "                    retransmission and core failover; off: let\n"
       "                    faults take raw effect (the run then reports\n"
-      "                    failure instead of recovering)\n"
+      "                    failure instead of recovering); restart: let\n"
+      "                    faults take raw effect but restart a failed\n"
+      "                    run from its most recent checkpoint (take\n"
+      "                    them with --checkpoint-every) with a bumped\n"
+      "                    fault seed, up to 5 attempts\n"
+      "  --checkpoint-every=N\n"
+      "                    snapshot the complete run state at each\n"
+      "                    N-cycle boundary; a checkpointed run is\n"
+      "                    byte-identical to an uncheckpointed one\n"
+      "  --checkpoint-dir=DIR\n"
+      "                    also write each snapshot to DIR/ckpt-<cycle>\n"
+      "                    (created if missing)\n"
+      "  --restore=FILE    resume execution from a checkpoint file\n"
+      "                    written by --checkpoint-dir; the program,\n"
+      "                    seed, args and layout must match (exit 4 on\n"
+      "                    mismatch or a corrupt file)\n"
+      "  --watchdog-cycles=N\n"
+      "                    abort when virtual time advances N cycles\n"
+      "                    with no dispatch or completion, printing a\n"
+      "                    diagnostic dump (exit 3); 0 disables\n"
       "  --dump-ir         print the task-level IR\n"
       "  --dump-astg       print per-class state graphs (DOT)\n"
       "  --dump-cstg       print the combined state graph (DOT)\n"
@@ -92,6 +113,11 @@ int main(int Argc, char **Argv) {
   uint64_t Seed = 1;
   uint64_t FaultSeed = 1;
   bool Recovery = true;
+  bool RestartPolicy = false;
+  uint64_t CheckpointEvery = 0;
+  std::string CheckpointDir;
+  std::string RestorePath;
+  uint64_t WatchdogCycles = 0;
   std::optional<resilience::FaultPlan> Faults;
   std::vector<std::string> Args;
   std::string TracePath;
@@ -124,17 +150,35 @@ int main(int Argc, char **Argv) {
       FaultSeed = std::strtoull(Arg.c_str() + 13, nullptr, 10);
     else if (Arg.rfind("--recovery=", 0) == 0) {
       std::string Mode = Arg.substr(11);
-      if (Mode == "on")
+      if (Mode == "on") {
         Recovery = true;
-      else if (Mode == "off")
+        RestartPolicy = false;
+      } else if (Mode == "off") {
         Recovery = false;
-      else {
-        std::fprintf(stderr,
-                     "bamboo: --recovery expects 'on' or 'off', got '%s'\n",
-                     Mode.c_str());
+        RestartPolicy = false;
+      } else if (Mode == "restart") {
+        // Faults take raw effect; a failed run restarts from its last
+        // checkpoint with a different fault stream instead of absorbing
+        // faults in place.
+        Recovery = false;
+        RestartPolicy = true;
+      } else {
+        std::fprintf(
+            stderr,
+            "bamboo: --recovery expects 'on', 'off' or 'restart', got "
+            "'%s'\n",
+            Mode.c_str());
         return 2;
       }
-    } else if (Arg == "--metrics")
+    } else if (Arg.rfind("--checkpoint-every=", 0) == 0)
+      CheckpointEvery = std::strtoull(Arg.c_str() + 19, nullptr, 10);
+    else if (Arg.rfind("--checkpoint-dir=", 0) == 0)
+      CheckpointDir = Arg.substr(17);
+    else if (Arg.rfind("--restore=", 0) == 0)
+      RestorePath = Arg.substr(10);
+    else if (Arg.rfind("--watchdog-cycles=", 0) == 0)
+      WatchdogCycles = std::strtoull(Arg.c_str() + 18, nullptr, 10);
+    else if (Arg == "--metrics")
       Metrics = true;
     else if (Arg == "--run")
       Run = true;
@@ -158,13 +202,34 @@ int main(int Argc, char **Argv) {
       return 2;
     }
   }
-  // --trace/--metrics/--faults observe or perturb an execution, so they
-  // imply --run.
-  if (!TracePath.empty() || Metrics || Faults)
+  // --trace/--metrics/--faults and the checkpoint/watchdog flags observe
+  // or perturb an execution, so they imply --run.
+  if (!TracePath.empty() || Metrics || Faults || CheckpointEvery > 0 ||
+      !RestorePath.empty() || WatchdogCycles > 0)
     Run = true;
   if (!DumpIr && !DumpAstg && !DumpCstg && !DumpTaskflow && !DumpLocks &&
       !DumpLayout && !EmitCCode)
     Run = true;
+
+  resilience::Checkpoint RestoreCkpt;
+  if (!RestorePath.empty()) {
+    std::string Err =
+        resilience::Checkpoint::loadFile(RestorePath, RestoreCkpt);
+    if (!Err.empty()) {
+      std::fprintf(stderr, "bamboo: cannot restore from %s: %s\n",
+                   RestorePath.c_str(), Err.c_str());
+      return 4;
+    }
+  }
+  if (!CheckpointDir.empty()) {
+    std::error_code Ec;
+    std::filesystem::create_directories(CheckpointDir, Ec);
+    if (Ec) {
+      std::fprintf(stderr, "bamboo: cannot create %s: %s\n",
+                   CheckpointDir.c_str(), Ec.message().c_str());
+      return 1;
+    }
+  }
 
   std::ifstream In(SourcePath);
   if (!In) {
@@ -230,8 +295,6 @@ int main(int Argc, char **Argv) {
     // The pipeline ran the program for profiling and measurement; re-run
     // the chosen layout once for clean program output (and, when
     // requested, the execution trace / metrics of exactly that run).
-    IP.clearOutput();
-    IP.clearError();
     support::Trace Trace;
     if (!TracePath.empty() || Metrics)
       Opts.Exec.Trace = &Trace;
@@ -242,9 +305,78 @@ int main(int Argc, char **Argv) {
       Opts.Exec.FaultSeed = FaultSeed;
       Opts.Exec.Recovery = Recovery;
     }
+    Opts.Exec.CheckpointEvery = CheckpointEvery;
+    Opts.Exec.WatchdogCycles = WatchdogCycles;
+    resilience::Checkpoint LastCkpt;
+    bool HaveCkpt = false;
+    if (CheckpointEvery > 0)
+      Opts.Exec.OnCheckpoint = [&](const resilience::Checkpoint &C) {
+        // A tainted snapshot already contains raw fault damage (e.g. a
+        // dropped message is simply gone); restarting from it could
+        // never converge, so the restart point only advances on clean
+        // snapshots. Files are still written — what to do with a
+        // damaged-run snapshot is the user's call.
+        if (!C.Tainted) {
+          LastCkpt = C;
+          HaveCkpt = true;
+        }
+        if (CheckpointDir.empty())
+          return;
+        std::string Path = CheckpointDir + "/ckpt-" +
+                           std::to_string(C.Cycle);
+        std::string Err = C.saveFile(Path);
+        if (!Err.empty())
+          std::fprintf(stderr, "bamboo: cannot write %s: %s\n",
+                       Path.c_str(), Err.c_str());
+      };
+    if (!RestorePath.empty())
+      Opts.Exec.Restore = &RestoreCkpt;
     runtime::TileExecutor Exec(IP.bound(), R.Graph, Opts.Target,
                                R.BestLayout);
-    runtime::ExecResult FinalRun = Exec.run(Opts.Exec);
+    // Under --recovery=restart a damaged run is retried from its most
+    // recent checkpoint (or from the start if none was taken yet) with a
+    // bumped fault seed, so the retry draws a different fault stream.
+    const int MaxRestarts = 5;
+    int Attempt = 0;
+    runtime::ExecResult FinalRun;
+    for (;;) {
+      IP.clearOutput();
+      IP.clearError();
+      FinalRun = Exec.run(Opts.Exec);
+      if (!FinalRun.RestoreError.empty()) {
+        std::fprintf(stderr, "bamboo: restore failed: %s\n",
+                     FinalRun.RestoreError.c_str());
+        return 4;
+      }
+      if (FinalRun.WatchdogFired) {
+        std::fprintf(stderr, "%s", FinalRun.WatchdogDump.c_str());
+        std::fprintf(stderr,
+                     "bamboo: watchdog abort — no progress for %llu "
+                     "cycles\n",
+                     static_cast<unsigned long long>(WatchdogCycles));
+        return 3;
+      }
+      if (!FinalRun.CheckpointError.empty())
+        std::fprintf(stderr, "bamboo: checkpoint failed: %s\n",
+                     FinalRun.CheckpointError.c_str());
+      if (FinalRun.Completed || !RestartPolicy || Attempt >= MaxRestarts)
+        break;
+      ++Attempt;
+      Opts.Exec.FaultSeed = FaultSeed + static_cast<uint64_t>(Attempt);
+      if (HaveCkpt) {
+        RestoreCkpt = LastCkpt;
+        Opts.Exec.Restore = &RestoreCkpt;
+      }
+      std::fprintf(
+          stderr,
+          "bamboo: run failed; restarting from %s (attempt %d/%d)\n",
+          HaveCkpt
+              ? ("checkpoint at cycle " + std::to_string(LastCkpt.Cycle))
+                    .c_str()
+              : "the start",
+          Attempt, MaxRestarts);
+      Trace.clear();
+    }
     std::printf("%s", IP.output().c_str());
     if (Faults)
       std::fprintf(stderr, "bamboo: %s%s\n", FinalRun.Recovery.str().c_str(),

@@ -38,7 +38,130 @@ struct ArrayValue {
 struct InterpObjectData : runtime::ObjectData {
   const ClassDeclAst *Class = nullptr;
   std::vector<Value> Fields;
+  const char *checkpointKey() const override { return "interp"; }
 };
+
+/// Checkpoint encoding of a Value: a tag byte equal to the variant index,
+/// then the payload. Objects and tag instances are encoded as heap ids
+/// (-1 for null); arrays by value with shared-structure preservation via
+/// the codec context, so aliased arrays stay aliased after a restore.
+void saveValue(const Value &V, resilience::ByteWriter &W,
+               runtime::CodecSaveCtx &Ctx) {
+  W.u8(static_cast<uint8_t>(V.index()));
+  switch (V.index()) {
+  case 0:
+    break;
+  case 1:
+    W.i64(std::get<int64_t>(V));
+    break;
+  case 2:
+    W.f64(std::get<double>(V));
+    break;
+  case 3:
+    W.u8(std::get<bool>(V) ? 1 : 0);
+    break;
+  case 4:
+    W.str(std::get<std::string>(V));
+    break;
+  case 5: {
+    const runtime::Object *Obj = std::get<runtime::Object *>(V);
+    W.i64(Obj ? static_cast<int64_t>(Obj->Id) : -1);
+    break;
+  }
+  case 6: {
+    const auto &Arr = std::get<std::shared_ptr<ArrayValue>>(V);
+    if (!Arr) {
+      W.u8(0);
+      break;
+    }
+    auto It = Ctx.SharedIds.find(Arr.get());
+    if (It != Ctx.SharedIds.end()) {
+      W.u8(1); // Back-reference to an already-written array.
+      W.u64(It->second);
+      break;
+    }
+    uint64_t Id = Ctx.NextSharedId++;
+    Ctx.SharedIds.emplace(Arr.get(), Id);
+    W.u8(2); // First occurrence: id then contents.
+    W.u64(Id);
+    W.u64(Arr->Elems.size());
+    for (const Value &E : Arr->Elems)
+      saveValue(E, W, Ctx);
+    break;
+  }
+  case 7: {
+    const runtime::TagInstance *TI = std::get<runtime::TagInstance *>(V);
+    W.i64(TI ? static_cast<int64_t>(TI->Id) : -1);
+    break;
+  }
+  default:
+    break;
+  }
+}
+
+Value loadValue(resilience::ByteReader &R, runtime::CodecLoadCtx &Ctx) {
+  switch (R.u8()) {
+  case 0:
+    return std::monostate{};
+  case 1:
+    return R.i64();
+  case 2:
+    return R.f64();
+  case 3:
+    return R.u8() != 0;
+  case 4:
+    return R.str();
+  case 5: {
+    int64_t Id = R.i64();
+    if (Id < 0)
+      return static_cast<runtime::Object *>(nullptr);
+    if (static_cast<uint64_t>(Id) >= Ctx.TheHeap->numObjects()) {
+      R.fail();
+      return std::monostate{};
+    }
+    return Ctx.TheHeap->objectAt(static_cast<size_t>(Id));
+  }
+  case 6: {
+    switch (R.u8()) {
+    case 0:
+      return std::shared_ptr<ArrayValue>();
+    case 1: {
+      auto It = Ctx.Shared.find(R.u64());
+      if (It == Ctx.Shared.end()) {
+        R.fail();
+        return std::monostate{};
+      }
+      return std::static_pointer_cast<ArrayValue>(It->second);
+    }
+    case 2: {
+      uint64_t Id = R.u64();
+      auto Arr = std::make_shared<ArrayValue>();
+      Ctx.Shared.emplace(Id, Arr);
+      uint64_t N = R.u64();
+      for (uint64_t I = 0; I < N && R.ok(); ++I)
+        Arr->Elems.push_back(loadValue(R, Ctx));
+      return Arr;
+    }
+    default:
+      R.fail();
+      return std::monostate{};
+    }
+  }
+  case 7: {
+    int64_t Id = R.i64();
+    if (Id < 0)
+      return static_cast<runtime::TagInstance *>(nullptr);
+    if (static_cast<uint64_t>(Id) >= Ctx.TheHeap->numTags()) {
+      R.fail();
+      return std::monostate{};
+    }
+    return Ctx.TheHeap->tagAt(static_cast<size_t>(Id));
+  }
+  default:
+    R.fail();
+    return std::monostate{};
+  }
+}
 
 Value defaultValue(const RType &Ty) {
   if (Ty.isArray() || Ty.Base == BaseKind::Class ||
@@ -827,4 +950,31 @@ InterpProgram::InterpProgram(frontend::CompiledModule CM)
         }
         return Data;
       });
+
+  // Checkpoint codec: class by name (resolved against this module's AST
+  // on load), then the field values.
+  runtime::ObjectCodec Codec;
+  Codec.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
+                  runtime::CodecSaveCtx &Ctx) {
+    const auto &Data = static_cast<const InterpObjectData &>(D);
+    W.str(Data.Class ? Data.Class->Name : std::string());
+    W.u64(Data.Fields.size());
+    for (const Value &V : Data.Fields)
+      saveValue(V, W, Ctx);
+  };
+  Codec.Load = [this](resilience::ByteReader &R, runtime::CodecLoadCtx &Ctx)
+      -> std::unique_ptr<runtime::ObjectData> {
+    auto Data = std::make_unique<InterpObjectData>();
+    std::string ClassName = R.str();
+    if (!ClassName.empty()) {
+      Data->Class = Ast.findClass(ClassName);
+      if (!Data->Class)
+        return nullptr;
+    }
+    uint64_t N = R.u64();
+    for (uint64_t I = 0; I < N && R.ok(); ++I)
+      Data->Fields.push_back(loadValue(R, Ctx));
+    return R.ok() ? std::move(Data) : nullptr;
+  };
+  BP.registerCodec("interp", std::move(Codec));
 }

@@ -1,0 +1,193 @@
+//===- resilience/Checkpoint.cpp - Versioned run-state snapshots ----------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "resilience/Checkpoint.h"
+
+#include "resilience/Recovery.h"
+#include "support/Format.h"
+
+#include <array>
+#include <fstream>
+
+namespace bamboo::resilience {
+
+namespace {
+
+std::array<uint32_t, 256> makeCrcTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t I = 0; I < 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K < 8; ++K)
+      C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+    Table[I] = C;
+  }
+  return Table;
+}
+
+} // namespace
+
+uint32_t crc32(const void *Data, size_t Len, uint32_t Seed) {
+  static const std::array<uint32_t, 256> Table = makeCrcTable();
+  uint32_t C = Seed ^ 0xFFFFFFFFu;
+  const auto *P = static_cast<const uint8_t *>(Data);
+  for (size_t I = 0; I < Len; ++I)
+    C = Table[(C ^ P[I]) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+const char *engineKindName(EngineKind K) {
+  switch (K) {
+  case EngineKind::Tile:
+    return "tile";
+  case EngineKind::Sched:
+    return "sched";
+  case EngineKind::Thread:
+    return "thread";
+  }
+  return "?";
+}
+
+std::string Checkpoint::serialize() const {
+  ByteWriter W;
+  W.u64(Magic);
+  W.u32(FormatVersion);
+  W.u32(static_cast<uint32_t>(Engine));
+  W.str(Program);
+  W.u64(Seed);
+  W.u64(FaultSeed);
+  W.u8(Recovery);
+  W.str(FaultSpec);
+  W.u64(Args.size());
+  for (const std::string &A : Args)
+    W.str(A);
+  W.str(LayoutKey);
+  W.u64(NumCores);
+  W.u64(Cycle);
+  W.str(Body);
+  std::string Out = W.take();
+  uint32_t Crc = crc32(Out.data(), Out.size());
+  ByteWriter Trailer;
+  Trailer.u32(Crc);
+  Out += Trailer.buffer();
+  return Out;
+}
+
+std::string Checkpoint::deserialize(const std::string &Bytes, Checkpoint &Out) {
+  // Validate the envelope before parsing any variable-length field: magic
+  // first (is this even a checkpoint?), then version, then the CRC over
+  // everything up to the trailer.
+  if (Bytes.size() < 16 + 4)
+    return "checkpoint: file too short to hold a header";
+  ByteReader Probe(Bytes);
+  if (Probe.u64() != Magic)
+    return "checkpoint: bad magic (not a Bamboo checkpoint file)";
+  uint32_t Version = Probe.u32();
+  if (Version != FormatVersion)
+    return formatString(
+        "checkpoint: unsupported format version %u (this build reads "
+        "version %u)",
+        Version, FormatVersion);
+  std::string Payload = Bytes.substr(0, Bytes.size() - 4);
+  uint32_t Stored = 0;
+  for (int I = 0; I < 4; ++I)
+    Stored |= static_cast<uint32_t>(
+                  static_cast<uint8_t>(Bytes[Bytes.size() - 4 + I]))
+              << (8 * I);
+  uint32_t Actual = crc32(Payload.data(), Payload.size());
+  if (Stored != Actual)
+    return formatString(
+        "checkpoint: CRC mismatch (stored %08x, computed %08x) — file is "
+        "corrupted or truncated",
+        Stored, Actual);
+
+  ByteReader R(Payload);
+  Checkpoint C;
+  (void)R.u64(); // Magic, already checked.
+  (void)R.u32(); // Version, already checked.
+  uint32_t Engine = R.u32();
+  if (Engine > static_cast<uint32_t>(EngineKind::Thread))
+    return formatString("checkpoint: unknown engine kind %u", Engine);
+  C.Engine = static_cast<EngineKind>(Engine);
+  C.Program = R.str();
+  C.Seed = R.u64();
+  C.FaultSeed = R.u64();
+  C.Recovery = R.u8();
+  C.FaultSpec = R.str();
+  uint64_t NumArgs = R.u64();
+  if (!R.ok() || NumArgs > Payload.size())
+    return "checkpoint: truncated header (argument count)";
+  for (uint64_t I = 0; I < NumArgs; ++I)
+    C.Args.push_back(R.str());
+  C.LayoutKey = R.str();
+  C.NumCores = R.u64();
+  C.Cycle = R.u64();
+  C.Body = R.str();
+  if (!R.ok())
+    return "checkpoint: truncated header or body";
+  if (!R.atEnd())
+    return "checkpoint: trailing bytes after body";
+  Out = std::move(C);
+  return {};
+}
+
+std::string Checkpoint::saveFile(const std::string &Path) const {
+  std::ofstream OutF(Path, std::ios::binary | std::ios::trunc);
+  if (!OutF)
+    return formatString("checkpoint: cannot open '%s' for writing",
+                                 Path.c_str());
+  std::string Bytes = serialize();
+  OutF.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  OutF.flush();
+  if (!OutF)
+    return formatString("checkpoint: write to '%s' failed",
+                                 Path.c_str());
+  return {};
+}
+
+void writeRecoveryReport(ByteWriter &W, const RecoveryReport &R) {
+  W.u64(R.Drops);
+  W.u64(R.Dups);
+  W.u64(R.Delays);
+  W.u64(R.Stalls);
+  W.u64(R.LockFaults);
+  W.u64(R.CoreFails);
+  W.u64(R.Retransmits);
+  W.u64(R.Escalations);
+  W.u64(R.LostMessages);
+  W.u64(R.BlackholedDeliveries);
+  W.u64(R.RedirectedDeliveries);
+  W.u64(R.InstancesMigrated);
+  W.u64(R.RedispatchedInvocations);
+  W.u64(R.AddedCycles);
+}
+
+void readRecoveryReport(ByteReader &R, RecoveryReport &Out) {
+  Out.Drops = R.u64();
+  Out.Dups = R.u64();
+  Out.Delays = R.u64();
+  Out.Stalls = R.u64();
+  Out.LockFaults = R.u64();
+  Out.CoreFails = R.u64();
+  Out.Retransmits = R.u64();
+  Out.Escalations = R.u64();
+  Out.LostMessages = R.u64();
+  Out.BlackholedDeliveries = R.u64();
+  Out.RedirectedDeliveries = R.u64();
+  Out.InstancesMigrated = R.u64();
+  Out.RedispatchedInvocations = R.u64();
+  Out.AddedCycles = R.u64();
+}
+
+std::string Checkpoint::loadFile(const std::string &Path, Checkpoint &Out) {
+  std::ifstream InF(Path, std::ios::binary);
+  if (!InF)
+    return formatString("checkpoint: cannot open '%s'", Path.c_str());
+  std::string Bytes((std::istreambuf_iterator<char>(InF)),
+                    std::istreambuf_iterator<char>());
+  return deserialize(Bytes, Out);
+}
+
+} // namespace bamboo::resilience

@@ -1,0 +1,202 @@
+//===- resilience/Checkpoint.h - Versioned run-state snapshots --*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checkpoint container: a versioned, byte-deterministic snapshot of a
+/// run's complete resumable state. The container layer owns the envelope —
+/// magic, format version, engine kind, run identity (program name, seed,
+/// fault seed/spec, recovery mode, program arguments, layout fingerprint),
+/// snapshot cycle, an engine-opaque body, and a CRC32 trailer — while each
+/// engine (TileExecutor, SchedSim, ThreadExecutor) serializes its own body
+/// through the little-endian ByteWriter/ByteReader below.
+///
+/// Determinism contract: serializing the same engine state twice yields the
+/// same bytes, and a run restored from a checkpoint continues to a final
+/// state byte-identical to the uninterrupted run (same heap contents, same
+/// counters, same trace suffix modulo the documented resume marker).
+///
+/// All load paths fail *cleanly*: a wrong-magic, wrong-version, truncated,
+/// or bit-flipped file produces a descriptive error string, never a crash
+/// or partial state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_RESILIENCE_CHECKPOINT_H
+#define BAMBOO_RESILIENCE_CHECKPOINT_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace bamboo::resilience {
+
+struct RecoveryReport;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). \p Seed chains partial
+/// computations: crc32(b, crc32(a)) == crc32(a+b).
+uint32_t crc32(const void *Data, size_t Len, uint32_t Seed = 0);
+
+/// Appends fixed-width little-endian fields to a byte buffer. Engines use
+/// this for checkpoint bodies so the on-disk format is host-independent.
+class ByteWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(static_cast<char>(V)); }
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+  }
+  void i32(int32_t V) { u32(static_cast<uint32_t>(V)); }
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+  /// Doubles are written as their IEEE-754 bit pattern, so checkpointed
+  /// floating-point state round-trips exactly.
+  void f64(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    u64(Bits);
+  }
+  void str(const std::string &S) {
+    u64(S.size());
+    Buf.append(S);
+  }
+  void bytes(const void *Data, size_t Len) {
+    Buf.append(static_cast<const char *>(Data), Len);
+  }
+
+  const std::string &buffer() const { return Buf; }
+  std::string take() { return std::move(Buf); }
+  size_t size() const { return Buf.size(); }
+
+private:
+  std::string Buf;
+};
+
+/// Reads fields written by ByteWriter. Underflow or an over-long string
+/// length sets a sticky failure flag and yields zero values; callers check
+/// ok() once at the end instead of after every field.
+class ByteReader {
+public:
+  explicit ByteReader(const std::string &Buf) : Buf(Buf) {}
+
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return static_cast<uint8_t>(Buf[Pos++]);
+  }
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(static_cast<uint8_t>(Buf[Pos++])) << (8 * I);
+    return V;
+  }
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(static_cast<uint8_t>(Buf[Pos++])) << (8 * I);
+    return V;
+  }
+  int32_t i32() { return static_cast<int32_t>(u32()); }
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+  double f64() {
+    uint64_t Bits = u64();
+    double V;
+    std::memcpy(&V, &Bits, sizeof(V));
+    return V;
+  }
+  std::string str() {
+    uint64_t Len = u64();
+    if (!OkFlag || Len > Buf.size() - Pos) {
+      OkFlag = false;
+      return {};
+    }
+    std::string S = Buf.substr(Pos, Len);
+    Pos += Len;
+    return S;
+  }
+
+  bool ok() const { return OkFlag; }
+  bool atEnd() const { return Pos == Buf.size(); }
+  size_t pos() const { return Pos; }
+  void fail() { OkFlag = false; }
+
+private:
+  bool need(size_t N) {
+    if (!OkFlag || Buf.size() - Pos < N) {
+      OkFlag = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::string &Buf;
+  size_t Pos = 0;
+  bool OkFlag = true;
+};
+
+/// Which engine wrote a checkpoint. Bodies are engine-specific; restoring
+/// into a different engine is rejected at header validation.
+enum class EngineKind : uint32_t {
+  Tile = 0,   ///< Discrete-event TileExecutor.
+  Sched = 1,  ///< Scheduling simulator (SchedSim).
+  Thread = 2, ///< Thread-backed executor.
+};
+
+const char *engineKindName(EngineKind K);
+
+/// One snapshot: the identity header plus an engine-opaque body.
+struct Checkpoint {
+  static constexpr uint64_t Magic = 0x54504B434F424D42ULL; // "BMBOCKPT"
+  static constexpr uint32_t FormatVersion = 1;
+
+  EngineKind Engine = EngineKind::Tile;
+  std::string Program;     ///< Program name (ir::Program::name()).
+  uint64_t Seed = 1;       ///< Run seed the snapshot was taken under.
+  uint64_t FaultSeed = 1;  ///< Fault-injection seed.
+  uint8_t Recovery = 1;    ///< Live-recovery flag at snapshot time.
+  std::string FaultSpec;   ///< FaultPlan::str(), empty when fault-free.
+  std::vector<std::string> Args; ///< Program arguments.
+  std::string LayoutKey;   ///< Layout fingerprint (Layout::isoKey).
+  uint64_t NumCores = 0;   ///< Machine width the layout targets.
+  uint64_t Cycle = 0;      ///< Virtual cycle the snapshot was taken at.
+  std::string Body;        ///< Engine-opaque serialized state.
+
+  /// Transient, NOT serialized: true when raw (recovery-off) fault
+  /// damage had already landed when the snapshot was taken. A restart
+  /// from a tainted snapshot can never undo the damage — e.g. a dropped
+  /// message is simply absent from the heap — so the restart policy must
+  /// roll back to an untainted snapshot (or the start) instead.
+  bool Tainted = false;
+
+  /// Byte-deterministic wire form: header + body + CRC32 trailer.
+  std::string serialize() const;
+
+  /// Parses \p Bytes into \p Out. Returns an empty string on success, a
+  /// descriptive error otherwise ("bad magic", "unsupported version",
+  /// "truncated", "CRC mismatch", ...). \p Out is untouched on error.
+  static std::string deserialize(const std::string &Bytes, Checkpoint &Out);
+
+  /// File round-trip; same error convention as serialize/deserialize.
+  std::string saveFile(const std::string &Path) const;
+  static std::string loadFile(const std::string &Path, Checkpoint &Out);
+};
+
+/// RecoveryReport serialization shared by the three engines' checkpoint
+/// bodies (RecoveryEnabled is NOT serialized — it is the restoring run's
+/// policy, not checkpointed state).
+void writeRecoveryReport(ByteWriter &W, const RecoveryReport &R);
+void readRecoveryReport(ByteReader &R, RecoveryReport &Out);
+
+} // namespace bamboo::resilience
+
+#endif // BAMBOO_RESILIENCE_CHECKPOINT_H

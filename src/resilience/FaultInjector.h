@@ -86,6 +86,23 @@ public:
   const FaultPlan *plan() const { return Plan; }
   uint64_t seed() const { return Seed; }
 
+  /// Checkpoint support. Rate draws are pure functions of (plan, seed,
+  /// site), so the injector's only mutable state is the per-entry
+  /// scheduled-fault firing budget — that is all a snapshot carries.
+  std::vector<int> remainingBudgets() const {
+    std::vector<int> Out;
+    if (Remaining && Plan)
+      for (size_t I = 0; I < Plan->Scheduled.size(); ++I)
+        Out.push_back(Remaining[I].load(std::memory_order_relaxed));
+    return Out;
+  }
+  void restoreBudgets(const std::vector<int> &B) {
+    if (!Remaining || !Plan)
+      return;
+    for (size_t I = 0; I < Plan->Scheduled.size() && I < B.size(); ++I)
+      Remaining[I].store(B[I], std::memory_order_relaxed);
+  }
+
 private:
   const FaultPlan *Plan = nullptr;
   uint64_t Seed = 0;

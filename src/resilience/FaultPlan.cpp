@@ -7,6 +7,8 @@
 #include "resilience/FaultPlan.h"
 
 #include <array>
+#include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -42,7 +44,10 @@ std::vector<std::string> split(const std::string &S, char Sep) {
 }
 
 bool parseU64(const std::string &S, uint64_t &Out) {
-  if (S.empty())
+  // strtoull alone would accept leading whitespace, '+', and even '-'
+  // (wrapping the negation into a huge value); require a plain digit
+  // string.
+  if (S.empty() || !std::isdigit(static_cast<unsigned char>(S[0])))
     return false;
   char *End = nullptr;
   errno = 0;
@@ -53,13 +58,29 @@ bool parseU64(const std::string &S, uint64_t &Out) {
   return true;
 }
 
+/// Largest repeat count / core index a spec may name. Far above any real
+/// machine, but small enough that downstream int casts and per-repeat
+/// loops cannot overflow or appear to hang.
+constexpr uint64_t MaxSpecValue = 1'000'000;
+
+bool parseBoundedInt(const std::string &S, int &Out) {
+  uint64_t V = 0;
+  if (!parseU64(S, V) || V > MaxSpecValue)
+    return false;
+  Out = static_cast<int>(V);
+  return true;
+}
+
 bool parseRate(const std::string &S, double &Out) {
+  // Reject NaN explicitly: NaN compares false to both bounds below and
+  // would otherwise slip through as a "valid" rate.
   if (S.empty())
     return false;
   char *End = nullptr;
   errno = 0;
   double V = std::strtod(S.c_str(), &End);
-  if (errno != 0 || End != S.c_str() + S.size() || V < 0.0 || V > 1.0)
+  if (errno != 0 || End != S.c_str() + S.size() || !std::isfinite(V) ||
+      V < 0.0 || V > 1.0)
     return false;
   Out = V;
   return true;
@@ -212,18 +233,23 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string &Spec,
     ScheduledFault F;
     F.Kind = *Kind;
     if (size_t X = Rest.rfind('x'); X != std::string::npos) {
-      uint64_t Count = 0;
-      if (!parseU64(Rest.substr(X + 1), Count) || Count == 0) {
+      int Count = 0;
+      if (!parseBoundedInt(Rest.substr(X + 1), Count) || Count == 0) {
         Error = "bad repeat count in fault entry '" + Entry + "'";
         return std::nullopt;
       }
-      F.Count = static_cast<int>(Count);
+      F.Count = Count;
       Rest = Rest.substr(0, X);
     }
     std::string Target;
     if (size_t Colon = Rest.find(':'); Colon != std::string::npos) {
       Target = Rest.substr(Colon + 1);
       Rest = Rest.substr(0, Colon);
+      if (Target.empty()) {
+        // A trailing ':' is a truncated spec, not an untargeted fault.
+        Error = "empty target in fault entry '" + Entry + "'";
+        return std::nullopt;
+      }
     }
     uint64_t Cycle = 0;
     if (!parseU64(Rest, Cycle)) {
@@ -241,21 +267,16 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string &Spec,
                   "' only applies to message faults (drop/dup/delay)";
           return std::nullopt;
         }
-        uint64_t From = 0, To = 0;
-        if (!parseU64(Target.substr(0, Dash), From) ||
-            !parseU64(Target.substr(Dash + 1), To)) {
+        if (!parseBoundedInt(Target.substr(0, Dash), F.From) ||
+            !parseBoundedInt(Target.substr(Dash + 1), F.To)) {
           Error = "bad edge target in fault entry '" + Entry + "'";
           return std::nullopt;
         }
-        F.From = static_cast<int>(From);
-        F.To = static_cast<int>(To);
       } else {
-        uint64_t Core = 0;
-        if (!parseU64(Target, Core)) {
+        if (!parseBoundedInt(Target, F.Core)) {
           Error = "bad core target in fault entry '" + Entry + "'";
           return std::nullopt;
         }
-        F.Core = static_cast<int>(Core);
       }
     } else if (*Kind == FaultKind::CoreFail) {
       Error = "'fail' needs an explicit core target (fail@CYCLE:CORE)";

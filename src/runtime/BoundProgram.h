@@ -18,10 +18,13 @@
 
 #include "ir/Program.h"
 #include "profile/Profile.h"
+#include "resilience/Checkpoint.h"
 #include "runtime/Object.h"
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace bamboo::runtime {
@@ -34,6 +37,37 @@ using TaskBody = std::function<void(TaskContext &)>;
 /// Creates the payload of the startup object from the run's arguments.
 using StartupFactory =
     std::function<std::unique_ptr<ObjectData>(const std::vector<std::string> &)>;
+
+/// Checkpoint-wide state threaded through payload codecs while saving.
+/// SharedIds lets codecs serialize aliased shared structures (e.g. the DSL
+/// interpreter's shared arrays) once: the first occurrence inlines the
+/// contents under a fresh id, later occurrences write only the id.
+struct CodecSaveCtx {
+  std::map<const void *, uint64_t> SharedIds;
+  uint64_t NextSharedId = 0;
+};
+
+/// Load-side counterpart: the heap being rebuilt (object/tag cross
+/// references in payloads are serialized as ids and resolved here — ids
+/// are dense indices, restored in order) and the shared structures decoded
+/// so far.
+struct CodecLoadCtx {
+  Heap *TheHeap = nullptr;
+  std::map<uint64_t, std::shared_ptr<void>> Shared;
+};
+
+/// A payload codec: serializes one ObjectData subclass into checkpoint
+/// bytes and back. Registered on the BoundProgram under the key the
+/// payload's ObjectData::checkpointKey() returns. Save and Load must be
+/// exactly symmetric (Load consumes precisely the bytes Save wrote).
+struct ObjectCodec {
+  std::function<void(const ObjectData &, resilience::ByteWriter &,
+                     CodecSaveCtx &)>
+      Save;
+  std::function<std::unique_ptr<ObjectData>(resilience::ByteReader &,
+                                            CodecLoadCtx &)>
+      Load;
+};
 
 /// A program plus its executable bodies and simulator hints.
 class BoundProgram {
@@ -64,6 +98,18 @@ public:
   void setStartupFactory(StartupFactory F) { MakeStartup = std::move(F); }
   const StartupFactory &startupFactory() const { return MakeStartup; }
 
+  /// Registers the payload codec for checkpointKey() == \p Key.
+  void registerCodec(const std::string &Key, ObjectCodec C) {
+    Codecs[Key] = std::move(C);
+  }
+
+  /// The codec registered under \p Key; null when unknown (the checkpoint
+  /// writer turns that into a clean "payload not checkpointable" error).
+  const ObjectCodec *codec(const std::string &Key) const {
+    auto It = Codecs.find(Key);
+    return It == Codecs.end() ? nullptr : &It->second;
+  }
+
   profile::SimHints &hints() { return Hints; }
   const profile::SimHints &hints() const { return Hints; }
 
@@ -82,6 +128,7 @@ private:
   std::vector<TaskBody> Bodies;
   StartupFactory MakeStartup;
   profile::SimHints Hints;
+  std::map<std::string, ObjectCodec> Codecs;
 };
 
 } // namespace bamboo::runtime

@@ -1,0 +1,164 @@
+//===- runtime/HeapSnapshot.cpp - Heap <-> checkpoint serialization -------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/HeapSnapshot.h"
+
+#include "support/Format.h"
+
+namespace bamboo::runtime {
+
+using resilience::ByteReader;
+using resilience::ByteWriter;
+
+std::string saveHeap(Heap &H, const BoundProgram &BP, ByteWriter &W,
+                     CodecSaveCtx &Ctx) {
+  // Tag instances first (objects reference them by id).
+  W.u64(H.numTags());
+  for (size_t I = 0; I < H.numTags(); ++I)
+    W.i32(H.tagAt(I)->Type);
+
+  // Object metadata: class, flags, lock bit, bound tag ids in binding
+  // order (Object::Tags order is program-visible via tagOfType).
+  W.u64(H.numObjects());
+  for (size_t I = 0; I < H.numObjects(); ++I) {
+    Object *Obj = H.objectAt(I);
+    W.i32(Obj->Class);
+    W.u64(Obj->flags());
+    W.u8(Obj->locked() ? 1 : 0);
+    W.u64(Obj->Tags.size());
+    for (TagInstance *T : Obj->Tags)
+      W.u64(T->Id);
+  }
+
+  // Payloads, each framed as a length-prefixed blob so the loader can
+  // validate that the codec consumed exactly what was written.
+  for (size_t I = 0; I < H.numObjects(); ++I) {
+    Object *Obj = H.objectAt(I);
+    if (!Obj->Data) {
+      W.u8(0);
+      continue;
+    }
+    const char *Key = Obj->Data->checkpointKey();
+    if (!Key)
+      return formatString(
+          "checkpoint: heap object %llu (class %d) has a payload with no "
+          "checkpoint codec key",
+          static_cast<unsigned long long>(Obj->Id), Obj->Class);
+    const ObjectCodec *Codec = BP.codec(Key);
+    if (!Codec)
+      return formatString(
+          "checkpoint: no codec registered for payload key '%s' (object "
+          "%llu)",
+          Key, static_cast<unsigned long long>(Obj->Id));
+    W.u8(1);
+    W.str(Key);
+    ByteWriter Sub;
+    Codec->Save(*Obj->Data, Sub, Ctx);
+    W.str(Sub.buffer());
+  }
+
+  // Tag bound lists (order = binding order; not derivable from the
+  // objects' tag lists, which interleave differently).
+  for (size_t I = 0; I < H.numTags(); ++I) {
+    TagInstance *T = H.tagAt(I);
+    W.u64(T->Bound.size());
+    for (Object *Obj : T->Bound)
+      W.u64(Obj->Id);
+  }
+  return {};
+}
+
+std::string loadHeap(ByteReader &R, const BoundProgram &BP, Heap &H,
+                     CodecLoadCtx &Ctx) {
+  if (H.numObjects() != 0 || H.numTags() != 0)
+    return "checkpoint: heap restore requires an empty heap";
+  Ctx.TheHeap = &H;
+
+  uint64_t NumTags = R.u64();
+  if (!R.ok() || NumTags > (uint64_t(1) << 32))
+    return "checkpoint: heap body truncated (tag count)";
+  for (uint64_t I = 0; I < NumTags; ++I) {
+    int32_t Type = R.i32();
+    if (!R.ok())
+      return "checkpoint: heap body truncated (tag types)";
+    H.newTag(Type);
+  }
+
+  uint64_t NumObjects = R.u64();
+  if (!R.ok() || NumObjects > (uint64_t(1) << 32))
+    return "checkpoint: heap body truncated (object count)";
+  std::vector<uint64_t> Locked;
+  for (uint64_t I = 0; I < NumObjects; ++I) {
+    int32_t Class = R.i32();
+    uint64_t Flags = R.u64();
+    uint8_t IsLocked = R.u8();
+    uint64_t NumBoundTags = R.u64();
+    if (!R.ok() || NumBoundTags > NumTags)
+      return "checkpoint: heap body truncated (object metadata)";
+    Object *Obj = H.allocate(Class, Flags, nullptr);
+    if (Obj->Id != I)
+      return "checkpoint: heap ids diverged during restore";
+    for (uint64_t K = 0; K < NumBoundTags; ++K) {
+      uint64_t TagId = R.u64();
+      if (!R.ok() || TagId >= NumTags)
+        return "checkpoint: heap body references an unknown tag instance";
+      Obj->Tags.push_back(H.tagAt(TagId));
+    }
+    if (IsLocked) {
+      Locked.push_back(I);
+    }
+  }
+  for (uint64_t I : Locked)
+    H.objectAt(I)->tryLock();
+
+  for (uint64_t I = 0; I < NumObjects; ++I) {
+    uint8_t HasData = R.u8();
+    if (!R.ok())
+      return "checkpoint: heap body truncated (payloads)";
+    if (!HasData)
+      continue;
+    std::string Key = R.str();
+    std::string Blob = R.str();
+    if (!R.ok())
+      return "checkpoint: heap body truncated (payload blob)";
+    const ObjectCodec *Codec = BP.codec(Key);
+    if (!Codec)
+      return formatString(
+          "checkpoint: no codec registered for payload key '%s' (object "
+          "%llu) — was the checkpoint written by a different program?",
+          Key.c_str(), static_cast<unsigned long long>(I));
+    ByteReader Sub(Blob);
+    std::unique_ptr<ObjectData> Data = Codec->Load(Sub, Ctx);
+    if (!Sub.ok() || !Data)
+      return formatString(
+          "checkpoint: payload codec '%s' failed on object %llu",
+          Key.c_str(), static_cast<unsigned long long>(I));
+    if (!Sub.atEnd())
+      return formatString(
+          "checkpoint: payload codec '%s' left %llu trailing bytes on "
+          "object %llu",
+          Key.c_str(),
+          static_cast<unsigned long long>(Blob.size() - Sub.pos()),
+          static_cast<unsigned long long>(I));
+    H.objectAt(I)->Data = std::move(Data);
+  }
+
+  for (uint64_t I = 0; I < NumTags; ++I) {
+    uint64_t NumBound = R.u64();
+    if (!R.ok() || NumBound > NumObjects)
+      return "checkpoint: heap body truncated (tag bound lists)";
+    TagInstance *T = H.tagAt(I);
+    for (uint64_t K = 0; K < NumBound; ++K) {
+      uint64_t ObjId = R.u64();
+      if (!R.ok() || ObjId >= NumObjects)
+        return "checkpoint: tag bound list references an unknown object";
+      T->Bound.push_back(H.objectAt(ObjId));
+    }
+  }
+  return {};
+}
+
+} // namespace bamboo::runtime

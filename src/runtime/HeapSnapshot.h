@@ -1,0 +1,42 @@
+//===- runtime/HeapSnapshot.h - Heap <-> checkpoint serialization -*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes a complete runtime heap — objects with class, flag word,
+/// lock bit, tag bindings and application payloads, plus tag instances
+/// with their bound lists — into a checkpoint body, and rebuilds it.
+///
+/// Identity preservation: heap ids are dense and never freed, so the
+/// loader re-allocates objects and tag instances in id order and the
+/// fresh ids match the serialized ones by construction. Payloads go
+/// through the BoundProgram's codec registry (ObjectData::checkpointKey);
+/// object/tag cross references inside payloads are serialized as ids and
+/// resolved against the rebuilt heap. Both directions fail with a clean
+/// error string when a payload has no codec.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_RUNTIME_HEAPSNAPSHOT_H
+#define BAMBOO_RUNTIME_HEAPSNAPSHOT_H
+
+#include "runtime/BoundProgram.h"
+
+#include <string>
+
+namespace bamboo::runtime {
+
+/// Appends the heap to \p W. Returns an empty string on success, a
+/// descriptive error otherwise (the writer's contents are then invalid).
+std::string saveHeap(Heap &H, const BoundProgram &BP,
+                     resilience::ByteWriter &W, CodecSaveCtx &Ctx);
+
+/// Rebuilds \p H (which must be empty) from \p R. Same error convention.
+std::string loadHeap(resilience::ByteReader &R, const BoundProgram &BP,
+                     Heap &H, CodecLoadCtx &Ctx);
+
+} // namespace bamboo::runtime
+
+#endif // BAMBOO_RUNTIME_HEAPSNAPSHOT_H

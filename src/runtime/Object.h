@@ -38,6 +38,12 @@ class Object;
 /// Base class for application data attached to runtime objects.
 struct ObjectData {
   virtual ~ObjectData() = default;
+
+  /// Key of the payload codec registered on the BoundProgram (see
+  /// BoundProgram::registerCodec) that can serialize this payload into a
+  /// checkpoint. Null means "not checkpointable" — taking a checkpoint of
+  /// a heap holding such a payload fails with a clean error.
+  virtual const char *checkpointKey() const { return nullptr; }
 };
 
 /// A tag instance. Binding is symmetric: the object lists its instances and
@@ -156,6 +162,7 @@ public:
   size_t numTags() const { return TagInstances.size(); }
 
   Object *objectAt(size_t I) { return Objects[I].get(); }
+  TagInstance *tagAt(size_t I) { return TagInstances[I].get(); }
 
 private:
   std::mutex M;

@@ -44,6 +44,27 @@ public:
     ChosenExit = static_cast<ir::ExitId>(Decl.Exits.size() - 1); // Fallthrough.
   }
 
+  /// Rebuilds a *post-body* context from a checkpoint: the body already
+  /// ran before the snapshot, so only the state the executor's completion
+  /// step consumes (charged cycles, chosen exit, new objects, tag vars) is
+  /// restored; the PRNG is irrelevant after the body returned.
+  static std::unique_ptr<TaskContext>
+  restore(const BoundProgram &BP, Heap &TheHeap, ir::TaskId Task,
+          std::vector<Object *> Params,
+          std::map<std::string, TagInstance *> TagVars,
+          const std::vector<std::string> &Args, machine::Cycles Charged,
+          ir::ExitId ChosenExit,
+          std::vector<std::pair<ir::SiteId, Object *>> NewObjects) {
+    auto Ctx = std::make_unique<TaskContext>(BP, TheHeap, Task,
+                                             std::move(Params),
+                                             std::move(TagVars), Args,
+                                             /*RngSeed=*/0);
+    Ctx->Charged = Charged;
+    Ctx->ChosenExit = ChosenExit;
+    Ctx->NewObjects = std::move(NewObjects);
+    return Ctx;
+  }
+
   const ir::Program &program() const { return BP.program(); }
   ir::TaskId task() const { return Task; }
 

@@ -7,7 +7,10 @@
 #include "runtime/ThreadExecutor.h"
 
 #include "resilience/FaultInjector.h"
+#include "runtime/HeapSnapshot.h"
 #include "runtime/TaskContext.h"
+#include "support/Format.h"
+#include "support/Watchdog.h"
 
 #include <algorithm>
 
@@ -89,6 +92,13 @@ struct ThreadExecutor::Impl {
   uint64_t CoreFails = 0, InstancesMigrated = 0;
   /// Per-core sweep counter keying the clock-free lock-fault draws.
   std::atomic<uint64_t> SweepCounter{0};
+
+  // Pause-the-world checkpoint protocol: the monitor requests a pause,
+  // every live worker parks at its next step boundary (holding no object
+  // locks, no body executing), the monitor snapshots alone, then releases.
+  std::atomic<bool> PauseRequested{false};
+  std::atomic<int> PausedWorkers{0};
+  std::atomic<int> LiveWorkers{0};
 
   /// Trace clock base: run() start. Timestamps are ns since this point.
   std::chrono::steady_clock::time_point TraceT0;
@@ -454,6 +464,40 @@ struct ThreadExecutor::Impl {
     return false;
   }
 
+  /// Worker side of the pause protocol: park until the monitor releases
+  /// the world (or the run ends). Called only at step boundaries, so a
+  /// parked worker holds no object locks and has no body in flight.
+  void maybePause() {
+    if (!PauseRequested.load(std::memory_order_acquire))
+      return;
+    PausedWorkers.fetch_add(1, std::memory_order_acq_rel);
+    while (PauseRequested.load(std::memory_order_acquire) &&
+           !Done.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    PausedWorkers.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  /// Monitor side: returns true once every live worker is parked; false
+  /// if the run finished first (the pause is then withdrawn).
+  bool pauseWorld() {
+    PauseRequested.store(true, std::memory_order_release);
+    while (PausedWorkers.load(std::memory_order_acquire) <
+           LiveWorkers.load(std::memory_order_acquire)) {
+      if (Done.load(std::memory_order_acquire)) {
+        PauseRequested.store(false, std::memory_order_release);
+        return false;
+      }
+      std::this_thread::yield();
+    }
+    return true;
+  }
+
+  void resumeWorld() {
+    PauseRequested.store(false, std::memory_order_release);
+    while (PausedWorkers.load(std::memory_order_acquire) > 0)
+      std::this_thread::yield();
+  }
+
   void worker(int CoreIdx) {
     // Fail-stop: a failed core never dispatches. With recovery on its
     // instances were re-homed before boot, so nothing targets it; with
@@ -461,8 +505,10 @@ struct ThreadExecutor::Impl {
     // until the watchdog declares the run wedged.
     if (!CoreAlive[static_cast<size_t>(CoreIdx)])
       return;
+    LiveWorkers.fetch_add(1, std::memory_order_acq_rel);
     int IdleSpins = 0;
     while (!Done.load(std::memory_order_acquire)) {
+      maybePause();
       drainInbox(CoreIdx);
       if (step(CoreIdx)) {
         IdleSpins = 0;
@@ -470,7 +516,7 @@ struct ThreadExecutor::Impl {
       }
       if (Outstanding.load(std::memory_order_acquire) == 0) {
         Done.store(true, std::memory_order_release);
-        return;
+        break;
       }
       if (++IdleSpins > 64) {
         std::this_thread::sleep_for(std::chrono::microseconds(50));
@@ -478,6 +524,306 @@ struct ThreadExecutor::Impl {
         std::this_thread::yield();
       }
     }
+    LiveWorkers.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Checkpoint / restore / watchdog. The world is paused (or not yet
+  // started) whenever these run, so plain reads of worker-owned state are
+  // safe.
+  //===--------------------------------------------------------------------===//
+
+  void saveInvocation(const Invocation &Inv,
+                      resilience::ByteWriter &W) const {
+    W.i32(Inv.Task);
+    W.i32(Inv.InstanceIdx);
+    W.u64(Inv.Params.size());
+    for (Object *Obj : Inv.Params)
+      W.u64(Obj->Id);
+    W.u64(Inv.ConstraintTags.size());
+    for (const auto &[Var, Tag] : Inv.ConstraintTags) {
+      W.str(Var);
+      W.u64(Tag->Id);
+    }
+  }
+
+  std::string loadInvocation(resilience::ByteReader &R, Invocation &Inv) {
+    Inv.Task = R.i32();
+    Inv.InstanceIdx = R.i32();
+    if (!R.ok() || Inv.Task < 0 ||
+        static_cast<size_t>(Inv.Task) >= Prog.tasks().size() ||
+        Inv.InstanceIdx < 0 ||
+        static_cast<size_t>(Inv.InstanceIdx) >= InstanceSets.size())
+      return "checkpoint: invocation references an unknown task instance";
+    uint64_t NumParams = R.u64();
+    if (!R.ok() || NumParams > TheHeap.numObjects())
+      return "checkpoint: truncated invocation record";
+    for (uint64_t I = 0; I < NumParams; ++I) {
+      uint64_t Id = R.u64();
+      if (!R.ok() || Id >= TheHeap.numObjects())
+        return "checkpoint: invocation references an unknown object";
+      Inv.Params.push_back(TheHeap.objectAt(Id));
+    }
+    uint64_t NumTags = R.u64();
+    if (!R.ok() || NumTags > TheHeap.numTags())
+      return "checkpoint: truncated invocation tag bindings";
+    for (uint64_t I = 0; I < NumTags; ++I) {
+      std::string Var = R.str();
+      uint64_t Id = R.u64();
+      if (!R.ok() || Id >= TheHeap.numTags())
+        return "checkpoint: invocation references an unknown tag instance";
+      Inv.ConstraintTags.emplace(std::move(Var), TheHeap.tagAt(Id));
+    }
+    return {};
+  }
+
+  std::string makeCheckpoint(resilience::Checkpoint &Out) {
+    resilience::Checkpoint C;
+    C.Engine = resilience::EngineKind::Thread;
+    C.Program = Prog.name();
+    C.Seed = Opts.Seed;
+    C.FaultSeed = Opts.FaultSeed;
+    C.Recovery = Opts.Recovery ? 1 : 0;
+    C.FaultSpec = Opts.Faults ? Opts.Faults->str() : std::string();
+    C.Args = Opts.Args;
+    C.LayoutKey = L.isoKey(Prog);
+    C.NumCores = static_cast<uint64_t>(L.NumCores);
+    // The host engine has no virtual clock; the snapshot "cycle" is the
+    // invocation count it was taken at.
+    C.Cycle = Invocations.load(std::memory_order_acquire);
+    // Raw (recovery-off) fault damage is irreversible once snapshotted;
+    // mark it so a restart policy rolls back further.
+    C.Tainted = !Opts.Recovery &&
+                (Drops.load() + Dups.load() + Delays.load() +
+                 LockFaults.load() + CoreFails) > 0;
+
+    resilience::ByteWriter W;
+    CodecSaveCtx Ctx;
+    if (std::string Err = saveHeap(TheHeap, BP, W, Ctx); !Err.empty())
+      return Err;
+
+    std::vector<int> Budgets = Injector.remainingBudgets();
+    W.u64(Budgets.size());
+    for (int B : Budgets)
+      W.i32(B);
+
+    W.u64(Invocations.load());
+    W.u64(Allocated.load());
+    W.u64(LockRetries.load());
+    W.u64(Drops.load());
+    W.u64(Dups.load());
+    W.u64(Delays.load());
+    W.u64(LockFaults.load());
+    W.u64(Retransmits.load());
+    W.u64(Escalations.load());
+    W.u64(LostMessages.load());
+    W.u64(CoreFails);
+    W.u64(InstancesMigrated);
+    W.u64(SweepCounter.load());
+    W.i64(Outstanding.load());
+
+    W.u64(CoreAlive.size());
+    for (char A : CoreAlive)
+      W.u8(static_cast<uint8_t>(A));
+    W.u64(InstanceCore.size());
+    for (int IC : InstanceCore)
+      W.i32(IC);
+
+    W.u64(Cores.size());
+    for (Core &C2 : Cores) {
+      W.u64(C2.RoundRobin.size());
+      for (const auto &[Task, Val] : C2.RoundRobin) {
+        W.i32(Task);
+        W.u64(Val);
+      }
+      W.u64(C2.Inbox.size());
+      for (const Delivery &D : C2.Inbox) {
+        W.u64(D.Obj->Id);
+        W.i32(D.InstanceIdx);
+        W.i32(D.Param);
+      }
+      W.u64(C2.Ready.size());
+      for (const Invocation &Inv : C2.Ready)
+        saveInvocation(Inv, W);
+    }
+
+    W.u64(InstanceSets.size());
+    for (const auto &Sets : InstanceSets) {
+      W.u64(Sets.size());
+      for (const std::vector<Object *> &Set : Sets) {
+        W.u64(Set.size());
+        for (Object *Obj : Set)
+          W.u64(Obj->Id);
+      }
+    }
+
+    C.Body = W.take();
+    Out = std::move(C);
+    return {};
+  }
+
+  std::string restoreFrom(const resilience::Checkpoint &C) {
+    if (C.Engine != resilience::EngineKind::Thread)
+      return formatString(
+          "checkpoint: engine mismatch (checkpoint is '%s', executor is "
+          "'thread')",
+          resilience::engineKindName(C.Engine));
+    if (C.Program != Prog.name())
+      return formatString(
+          "checkpoint: program mismatch (checkpoint is '%s', running '%s')",
+          C.Program.c_str(), Prog.name().c_str());
+    if (C.NumCores != static_cast<uint64_t>(L.NumCores))
+      return formatString(
+          "checkpoint: core-count mismatch (checkpoint %llu, layout %d)",
+          static_cast<unsigned long long>(C.NumCores), L.NumCores);
+    if (C.LayoutKey != L.isoKey(Prog))
+      return "checkpoint: layout mismatch (was the checkpoint taken under "
+             "a different synthesis seed or --jobs value?)";
+    if (C.Seed != Opts.Seed)
+      return formatString(
+          "checkpoint: run-seed mismatch (checkpoint %llu, --seed %llu)",
+          static_cast<unsigned long long>(C.Seed),
+          static_cast<unsigned long long>(Opts.Seed));
+    if (C.Args != Opts.Args)
+      return "checkpoint: program-argument mismatch";
+    if (C.FaultSpec != (Opts.Faults ? Opts.Faults->str() : std::string()))
+      return "checkpoint: fault-plan mismatch (pass the same --faults spec "
+             "the checkpoint was taken under)";
+
+    resilience::ByteReader R(C.Body);
+    CodecLoadCtx Ctx;
+    if (std::string Err = loadHeap(R, BP, TheHeap, Ctx); !Err.empty())
+      return Err;
+
+    uint64_t NumBudgets = R.u64();
+    if (!R.ok() || NumBudgets > C.Body.size())
+      return "checkpoint: truncated body (injector budgets)";
+    std::vector<int> Budgets;
+    for (uint64_t I = 0; I < NumBudgets; ++I)
+      Budgets.push_back(R.i32());
+    Injector.restoreBudgets(Budgets);
+
+    Invocations.store(R.u64());
+    Allocated.store(R.u64());
+    LockRetries.store(R.u64());
+    Drops.store(R.u64());
+    Dups.store(R.u64());
+    Delays.store(R.u64());
+    LockFaults.store(R.u64());
+    Retransmits.store(R.u64());
+    Escalations.store(R.u64());
+    LostMessages.store(R.u64());
+    CoreFails = R.u64();
+    InstancesMigrated = R.u64();
+    SweepCounter.store(R.u64());
+    Outstanding.store(R.i64());
+
+    uint64_t NumCores = R.u64();
+    if (!R.ok() || NumCores != CoreAlive.size())
+      return "checkpoint: body core count diverges from the layout";
+    for (size_t I = 0; I < CoreAlive.size(); ++I)
+      CoreAlive[I] = static_cast<char>(R.u8());
+    uint64_t NumInst = R.u64();
+    if (!R.ok() || NumInst != InstanceCore.size())
+      return "checkpoint: body instance count diverges from the layout";
+    for (size_t I = 0; I < InstanceCore.size(); ++I)
+      InstanceCore[I] = R.i32();
+
+    uint64_t NumCoreStates = R.u64();
+    if (!R.ok() || NumCoreStates != Cores.size())
+      return "checkpoint: truncated body (core states)";
+    for (Core &C2 : Cores) {
+      uint64_t NumRR = R.u64();
+      if (!R.ok() || NumRR > Prog.tasks().size())
+        return "checkpoint: truncated body (round-robin counters)";
+      for (uint64_t I = 0; I < NumRR; ++I) {
+        ir::TaskId Task = R.i32();
+        uint64_t Val = R.u64();
+        C2.RoundRobin[Task] = static_cast<size_t>(Val);
+      }
+      uint64_t NumInbox = R.u64();
+      if (!R.ok() || NumInbox > C.Body.size())
+        return "checkpoint: truncated body (inboxes)";
+      for (uint64_t I = 0; I < NumInbox; ++I) {
+        uint64_t Id = R.u64();
+        Delivery D;
+        D.InstanceIdx = R.i32();
+        D.Param = R.i32();
+        if (!R.ok() || Id >= TheHeap.numObjects() || D.InstanceIdx < 0 ||
+            static_cast<size_t>(D.InstanceIdx) >= InstanceSets.size())
+          return "checkpoint: inbox delivery references unknown state";
+        D.Obj = TheHeap.objectAt(Id);
+        C2.Inbox.push_back(D);
+      }
+      uint64_t NumReady = R.u64();
+      if (!R.ok() || NumReady > C.Body.size())
+        return "checkpoint: truncated body (ready queues)";
+      for (uint64_t I = 0; I < NumReady; ++I) {
+        Invocation Inv;
+        if (std::string Err = loadInvocation(R, Inv); !Err.empty())
+          return Err;
+        C2.Ready.push_back(std::move(Inv));
+      }
+    }
+
+    uint64_t NumInstSets = R.u64();
+    if (!R.ok() || NumInstSets != InstanceSets.size())
+      return "checkpoint: truncated body (instance states)";
+    for (auto &Sets : InstanceSets) {
+      uint64_t NumSets = R.u64();
+      if (!R.ok() || NumSets != Sets.size())
+        return "checkpoint: parameter-set shape diverges from the program";
+      for (std::vector<Object *> &Set : Sets) {
+        uint64_t Count = R.u64();
+        if (!R.ok() || Count > TheHeap.numObjects())
+          return "checkpoint: truncated body (parameter sets)";
+        for (uint64_t I = 0; I < Count; ++I) {
+          uint64_t Id = R.u64();
+          if (!R.ok() || Id >= TheHeap.numObjects())
+            return "checkpoint: parameter set references an unknown object";
+          Set.push_back(TheHeap.objectAt(Id));
+        }
+      }
+    }
+    if (!R.ok())
+      return "checkpoint: truncated body";
+    if (!R.atEnd())
+      return "checkpoint: trailing bytes after body";
+    return {};
+  }
+
+  /// Built after workers have joined, so worker-owned state is stable.
+  std::string watchdogDump(int64_t NowMs, int64_t LastProgressMs) const {
+    support::WatchdogReport Rep("thread", static_cast<uint64_t>(NowMs),
+                                static_cast<uint64_t>(LastProgressMs),
+                                static_cast<uint64_t>(Opts.WatchdogMs),
+                                "ms");
+    Rep.traceTail(Opts.Trace, 20);
+    Rep.section("per-core state");
+    for (size_t C = 0; C < Cores.size(); ++C)
+      Rep.line(formatString("core %zu: %s inbox=%zu ready=%zu", C,
+                            CoreAlive[C] ? "alive" : "DEAD",
+                            Cores[C].Inbox.size(), Cores[C].Ready.size()));
+    Rep.section("progress counters");
+    Rep.line(formatString(
+        "outstanding=%lld invocations=%llu lock-retries=%llu",
+        static_cast<long long>(Outstanding.load()),
+        static_cast<unsigned long long>(Invocations.load()),
+        static_cast<unsigned long long>(LockRetries.load())));
+    Rep.section("held locks");
+    size_t Held = 0;
+    for (size_t I = 0; I < TheHeap.numObjects(); ++I) {
+      const Object *Obj = TheHeap.objectAt(I);
+      if (Obj->locked()) {
+        ++Held;
+        Rep.line(formatString(
+            "object %llu (class %d)",
+            static_cast<unsigned long long>(Obj->Id), Obj->Class));
+      }
+    }
+    if (Held == 0)
+      Rep.line("(none)");
+    return Rep.str();
   }
 };
 
@@ -506,6 +852,25 @@ ThreadExecResult ThreadExecutor::run(const ThreadExecOptions &Opts) {
   State.InstanceCore.resize(L.Instances.size());
   for (size_t I = 0; I < L.Instances.size(); ++I)
     State.InstanceCore[I] = L.Instances[I].Core;
+  if (Opts.Restore) {
+    // Resuming: CoreAlive / InstanceCore / inboxes / ready queues /
+    // counters all come from the snapshot (scheduled core failures were
+    // already applied before it was taken), so the failure-application
+    // and boot blocks below are skipped entirely.
+    if (std::string Err = State.restoreFrom(*Opts.Restore); !Err.empty()) {
+      ThreadExecResult Failed;
+      Failed.RestoreError = Err;
+      return Failed;
+    }
+    if (Opts.Trace) {
+      std::vector<std::string> Names;
+      Names.reserve(BP.program().tasks().size());
+      for (const ir::TaskDecl &T : BP.program().tasks())
+        Names.push_back(T.Name);
+      Opts.Trace->setTaskNames(std::move(Names));
+      Opts.Trace->resume(0);
+    }
+  } else {
   for (const resilience::ScheduledFault &F : State.Injector.coreFailures()) {
     if (F.Core < 0 || F.Core >= L.NumCores ||
         !State.CoreAlive[static_cast<size_t>(F.Core)])
@@ -557,6 +922,7 @@ ThreadExecResult ThreadExecutor::run(const ThreadExecOptions &Opts) {
         std::move(Data));
     State.send(Startup, /*FromCore=*/-1);
   }
+  } // !Opts.Restore
 
   auto T0 = std::chrono::steady_clock::now();
   std::vector<std::thread> Threads;
@@ -564,16 +930,67 @@ ThreadExecResult ThreadExecutor::run(const ThreadExecOptions &Opts) {
   for (int C = 0; C < L.NumCores; ++C)
     Threads.emplace_back([&State, C] { State.worker(C); });
 
-  // Watchdog: enforce the timeout.
+  // Monitor loop: enforce the total timeout, fire the no-progress
+  // watchdog, and take pause-the-world checkpoints at invocation-count
+  // thresholds.
+  uint64_t NextCkpt = 0;
+  if (Opts.CheckpointEveryInvocations > 0)
+    NextCkpt = (State.Invocations.load() / Opts.CheckpointEveryInvocations +
+                1) *
+               Opts.CheckpointEveryInvocations;
+  uint64_t CkptWritten = 0;
+  std::string CkptError;
+  bool WatchdogTripped = false;
+  uint64_t LastInvCount = State.Invocations.load();
+  auto LastProgressT = T0;
+  int64_t TrippedAtMs = 0, TrippedLastMs = 0;
   for (;;) {
     if (State.Done.load(std::memory_order_acquire))
       break;
-    auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-                       std::chrono::steady_clock::now() - T0)
-                       .count();
+    auto Now = std::chrono::steady_clock::now();
+    auto Elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(Now - T0)
+            .count();
     if (Elapsed > Opts.TimeoutMs) {
       State.Done.store(true, std::memory_order_release);
       break;
+    }
+    uint64_t InvNow = State.Invocations.load(std::memory_order_acquire);
+    if (InvNow != LastInvCount) {
+      LastInvCount = InvNow;
+      LastProgressT = Now;
+    } else if (Opts.WatchdogMs > 0 &&
+               State.Outstanding.load(std::memory_order_acquire) != 0 &&
+               std::chrono::duration_cast<std::chrono::milliseconds>(
+                   Now - LastProgressT)
+                       .count() > Opts.WatchdogMs) {
+      WatchdogTripped = true;
+      TrippedAtMs = Elapsed;
+      TrippedLastMs =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              LastProgressT - T0)
+              .count();
+      State.Done.store(true, std::memory_order_release);
+      break;
+    }
+    if (Opts.CheckpointEveryInvocations > 0 && InvNow >= NextCkpt) {
+      if (State.pauseWorld()) {
+        resilience::Checkpoint C;
+        std::string Err = State.makeCheckpoint(C);
+        if (Err.empty()) {
+          ++CkptWritten;
+          if (Opts.OnCheckpoint)
+            Opts.OnCheckpoint(C);
+        }
+        while (NextCkpt <= State.Invocations.load())
+          NextCkpt += Opts.CheckpointEveryInvocations;
+        State.resumeWorld();
+        if (!Err.empty()) {
+          CkptError = Err;
+          State.Done.store(true, std::memory_order_release);
+          break;
+        }
+      }
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
@@ -582,6 +999,12 @@ ThreadExecResult ThreadExecutor::run(const ThreadExecOptions &Opts) {
   auto T1 = std::chrono::steady_clock::now();
 
   ThreadExecResult Result;
+  Result.CheckpointsWritten = CkptWritten;
+  Result.CheckpointError = CkptError;
+  if (WatchdogTripped) {
+    Result.WatchdogFired = true;
+    Result.WatchdogDump = State.watchdogDump(TrippedAtMs, TrippedLastMs);
+  }
   Result.TaskInvocations = State.Invocations.load();
   Result.ObjectsAllocated = State.Allocated.load();
   Result.LockRetries = State.LockRetries.load();
@@ -606,8 +1029,10 @@ ThreadExecResult ThreadExecutor::run(const ThreadExecOptions &Opts) {
       R.BlackholedDeliveries += State.Cores[static_cast<size_t>(C)].Inbox.size();
 
   // Quiescence alone is not completion: a run that lost work can drain to
-  // zero with results missing. Damage always forces a failed report.
+  // zero with results missing. Damage, a watchdog abort, or a failed
+  // snapshot always force a failed report.
   Result.Completed =
-      State.Outstanding.load(std::memory_order_acquire) == 0 && !R.damaged();
+      State.Outstanding.load(std::memory_order_acquire) == 0 &&
+      !R.damaged() && !Result.WatchdogFired && Result.CheckpointError.empty();
   return Result;
 }

@@ -27,6 +27,7 @@
 
 #include "analysis/Cstg.h"
 #include "machine/Layout.h"
+#include "resilience/Checkpoint.h"
 #include "resilience/FaultPlan.h"
 #include "resilience/Recovery.h"
 #include "runtime/BoundProgram.h"
@@ -35,6 +36,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -67,6 +69,25 @@ struct ThreadExecOptions {
   /// take raw effect when false — a damaged run then reports
   /// Completed=false, bounded by TimeoutMs (never a hang).
   bool Recovery = true;
+  /// Checkpointing: when > 0, the monitor thread pauses the world (all
+  /// workers park at a step boundary, holding no object locks) each time
+  /// the invocation count crosses a multiple of this value, snapshots the
+  /// complete run state, and resumes. The host engine is not
+  /// schedule-deterministic, so the restore-equivalence contract is
+  /// *checksum* equivalence: a restored run completes with the same final
+  /// application state (app checksums), not a byte-identical trace.
+  uint64_t CheckpointEveryInvocations = 0;
+  /// Receives every snapshot taken (see runtime::ExecOptions).
+  std::function<void(const resilience::Checkpoint &)> OnCheckpoint;
+  /// When non-null, resume from this snapshot instead of booting the
+  /// startup object. Identity mismatches set
+  /// ThreadExecResult::RestoreError. Not owned; must outlive run().
+  const resilience::Checkpoint *Restore = nullptr;
+  /// Watchdog: when > 0 and no task invocation completes for this many
+  /// milliseconds while work is still outstanding, the run aborts with
+  /// ThreadExecResult::WatchdogFired and a diagnostic dump (distinct from
+  /// TimeoutMs, which bounds the *total* wall time). 0 disables.
+  int64_t WatchdogMs = 0;
 };
 
 struct ThreadExecResult {
@@ -82,6 +103,16 @@ struct ThreadExecResult {
   double WallSeconds = 0.0;
   /// Fault/recovery accounting for this run (all-zero when fault-free).
   resilience::RecoveryReport Recovery;
+  /// Snapshots delivered to ThreadExecOptions::OnCheckpoint by this run.
+  uint64_t CheckpointsWritten = 0;
+  /// The watchdog aborted the run; WatchdogDump holds the report.
+  bool WatchdogFired = false;
+  std::string WatchdogDump;
+  /// Non-empty when ThreadExecOptions::Restore could not be applied; the
+  /// run did not execute.
+  std::string RestoreError;
+  /// Non-empty when taking a requested snapshot failed.
+  std::string CheckpointError;
 };
 
 /// Executes \p BP under \p L with one worker thread per core.

@@ -6,8 +6,11 @@
 
 #include "runtime/TileExecutor.h"
 
+#include "runtime/HeapSnapshot.h"
 #include "runtime/TaskContext.h"
 #include "support/Debug.h"
+#include "support/Format.h"
+#include "support/Watchdog.h"
 
 #include <algorithm>
 #include <cassert>
@@ -450,6 +453,7 @@ void TileExecutor::tryStart(int CoreIdx, Cycles Now) {
     Core.BusyUntil = Now + Duration;
     Core.BusyTotal += Duration;
     ++Result.TaskInvocations;
+    LastProgress = std::max(LastProgress, Now); // Watchdog: real progress.
     if (Opts->Trace) {
       // The gap since the last completion on this core was idle time.
       Opts->Trace->idle(Core.LastEnd, Now, CoreIdx);
@@ -519,6 +523,7 @@ void TileExecutor::complete(const Event &E) {
     Obj->unlock();
   Cores[static_cast<size_t>(E.Core)].Executing = false;
   Cores[static_cast<size_t>(E.Core)].LastEnd = E.Time;
+  LastProgress = std::max(LastProgress, E.Time); // Watchdog: real progress.
   if (Opts->Trace)
     Opts->Trace->taskEnd(E.Time, E.Core, Flight.Inv.Task,
                          Ctx.chosenExit());
@@ -647,19 +652,42 @@ ExecResult TileExecutor::run(const ExecOptions &Options) {
     InstanceCore.push_back(Inst.Core);
   StallEnd.assign(static_cast<size_t>(L.NumCores), 0);
   LockEnd.assign(static_cast<size_t>(L.NumCores), 0);
-  for (const resilience::ScheduledFault &F : Injector.coreFailures()) {
-    if (F.Core < 0 || F.Core >= L.NumCores)
-      continue;
-    Event Fail;
-    Fail.Kind = EventKind::Fault;
-    Fail.Time = F.Cycle;
-    Fail.Core = F.Core;
-    push(std::move(Fail));
-  }
+  LastProgress = 0;
 
-  // Boot: create the startup object and deliver it (no transfer cost — it
-  // is created wherever the startup task lives).
-  {
+  Cycles LastTime = 0;
+  uint64_t Events = 0;
+  if ((Options.CheckpointEvery > 0 || Options.Restore) &&
+      Options.CollectProfile) {
+    // Profiles are not serialized; a restored profiling run would be
+    // silently wrong, so the combination is rejected up front.
+    Result.RestoreError = "checkpointing is incompatible with profile "
+                          "collection (profiles are not serialized)";
+    return Result;
+  }
+  if (Options.Restore) {
+    if (std::string Err = restoreFrom(*Options.Restore, LastTime, Events);
+        !Err.empty()) {
+      ExecResult Failed;
+      Failed.RestoreError = Err;
+      Result = std::move(Failed);
+      return Result;
+    }
+    LastProgress = Options.Restore->Cycle;
+    if (Options.Trace)
+      Options.Trace->resume(Options.Restore->Cycle);
+  } else {
+    for (const resilience::ScheduledFault &F : Injector.coreFailures()) {
+      if (F.Core < 0 || F.Core >= L.NumCores)
+        continue;
+      Event Fail;
+      Fail.Kind = EventKind::Fault;
+      Fail.Time = F.Cycle;
+      Fail.Core = F.Core;
+      push(std::move(Fail));
+    }
+
+    // Boot: create the startup object and deliver it (no transfer cost —
+    // it is created wherever the startup task lives).
     std::unique_ptr<ObjectData> Data;
     if (BP.startupFactory())
       Data = BP.startupFactory()(Options.Args);
@@ -670,10 +698,33 @@ ExecResult TileExecutor::run(const ExecOptions &Options) {
     routeObject(Startup, /*FromCore=*/-1, /*Now=*/0);
   }
 
-  Cycles LastTime = 0;
-  uint64_t Events = 0;
+  // First checkpoint boundary past the current high-water time.
+  Cycles NextCkpt = 0;
+  if (Options.CheckpointEvery > 0)
+    NextCkpt =
+        (LastTime / Options.CheckpointEvery + 1) * Options.CheckpointEvery;
+
   bool Aborted = false;
   while (!Queue.empty()) {
+    // Snapshot at the quiescent point between events, the first time the
+    // next event would carry virtual time across a checkpoint boundary.
+    // Taking it here perturbs nothing: the snapshot captures the queue
+    // (including the event about to run), so the continuation replays the
+    // exact schedule.
+    if (Options.CheckpointEvery > 0 && Queue.top().Time >= NextCkpt) {
+      resilience::Checkpoint C;
+      if (std::string Err = makeCheckpoint(NextCkpt, Events, LastTime, C);
+          !Err.empty()) {
+        Result.CheckpointError = Err;
+        Aborted = true;
+        break;
+      }
+      ++Result.CheckpointsWritten;
+      if (Options.OnCheckpoint)
+        Options.OnCheckpoint(C);
+      while (NextCkpt <= Queue.top().Time)
+        NextCkpt += Options.CheckpointEvery;
+    }
     if (++Events > Options.MaxEvents) {
       Aborted = true;
       break;
@@ -681,6 +732,16 @@ ExecResult TileExecutor::run(const ExecOptions &Options) {
     Event E = Queue.top();
     Queue.pop();
     LastTime = std::max(LastTime, E.Time);
+    // Watchdog: virtual time ran away from the last dispatch/completion
+    // (e.g. an endlessly re-armed stall window). Abort with a diagnostic
+    // dump instead of spinning to MaxEvents.
+    if (Options.WatchdogCycles > 0 && E.Time > LastProgress &&
+        E.Time - LastProgress > Options.WatchdogCycles) {
+      Result.WatchdogFired = true;
+      Result.WatchdogDump = watchdogDump(E.Time);
+      Aborted = true;
+      break;
+    }
     switch (E.Kind) {
     case EventKind::Delivery:
       deliver(E);
@@ -726,4 +787,436 @@ ExecResult &TileExecutor::finishRun(Cycles LastTime, bool Aborted) {
   if (Result.CollectedProfile)
     Result.CollectedProfile->setTerminated(Result.Completed);
   return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint / restore / watchdog
+//===----------------------------------------------------------------------===//
+
+using resilience::ByteReader;
+using resilience::ByteWriter;
+
+void TileExecutor::saveInvocation(const Invocation &Inv,
+                                  ByteWriter &W) const {
+  W.i32(Inv.Task);
+  W.i32(Inv.InstanceIdx);
+  W.u64(Inv.Params.size());
+  for (Object *Obj : Inv.Params)
+    W.u64(Obj->Id);
+  W.u64(Inv.ConstraintTags.size());
+  for (const auto &[Var, Tag] : Inv.ConstraintTags) {
+    W.str(Var);
+    W.u64(Tag->Id);
+  }
+}
+
+std::string TileExecutor::loadInvocation(ByteReader &R, Invocation &Inv) {
+  Inv.Task = R.i32();
+  Inv.InstanceIdx = R.i32();
+  if (!R.ok() || Inv.Task < 0 ||
+      static_cast<size_t>(Inv.Task) >= Prog.tasks().size() ||
+      Inv.InstanceIdx < 0 ||
+      static_cast<size_t>(Inv.InstanceIdx) >= Instances.size())
+    return "checkpoint: invocation references an unknown task instance";
+  uint64_t NumParams = R.u64();
+  if (!R.ok() || NumParams > TheHeap.numObjects())
+    return "checkpoint: truncated invocation record";
+  for (uint64_t I = 0; I < NumParams; ++I) {
+    uint64_t Id = R.u64();
+    if (!R.ok() || Id >= TheHeap.numObjects())
+      return "checkpoint: invocation references an unknown object";
+    Inv.Params.push_back(TheHeap.objectAt(Id));
+  }
+  uint64_t NumTags = R.u64();
+  if (!R.ok() || NumTags > TheHeap.numTags())
+    return "checkpoint: truncated invocation tag bindings";
+  for (uint64_t I = 0; I < NumTags; ++I) {
+    std::string Var = R.str();
+    uint64_t Id = R.u64();
+    if (!R.ok() || Id >= TheHeap.numTags())
+      return "checkpoint: invocation references an unknown tag instance";
+    Inv.ConstraintTags.emplace(std::move(Var), TheHeap.tagAt(Id));
+  }
+  return {};
+}
+
+std::string TileExecutor::makeCheckpoint(Cycles AtCycle,
+                                         uint64_t EventsProcessed,
+                                         Cycles LastTime,
+                                         resilience::Checkpoint &Out) {
+  resilience::Checkpoint C;
+  C.Engine = resilience::EngineKind::Tile;
+  C.Program = Prog.name();
+  C.Seed = Opts->Seed;
+  C.FaultSeed = Opts->FaultSeed;
+  C.Recovery = Opts->Recovery ? 1 : 0;
+  C.FaultSpec = Opts->Faults ? Opts->Faults->str() : std::string();
+  C.Args = Opts->Args;
+  C.LayoutKey = L.isoKey(Prog);
+  C.NumCores = static_cast<uint64_t>(L.NumCores);
+  C.Cycle = AtCycle;
+  // With recovery off, any fault that has taken raw effect is damage the
+  // snapshot already contains; flag it so a restart policy rolls back
+  // further.
+  C.Tainted = !Opts->Recovery && Result.Recovery.totalInjected() > 0;
+
+  ByteWriter W;
+  CodecSaveCtx Ctx;
+  if (std::string Err = saveHeap(TheHeap, BP, W, Ctx); !Err.empty())
+    return Err;
+
+  std::vector<int> Budgets = Injector.remainingBudgets();
+  W.u64(Budgets.size());
+  for (int B : Budgets)
+    W.i32(B);
+
+  W.u64(NextSeq);
+  W.u64(EventsProcessed);
+  W.u64(LastTime);
+  W.u64(LastProgress);
+
+  W.u64(Result.TaskInvocations);
+  W.u64(Result.ObjectsAllocated);
+  W.u64(Result.MessagesSent);
+  W.u64(Result.MessageHops);
+  W.u64(Result.LockRetries);
+  resilience::writeRecoveryReport(W, Result.Recovery);
+
+  W.u64(CoreAlive.size());
+  for (char A : CoreAlive)
+    W.u8(static_cast<uint8_t>(A));
+  W.u64(InstanceCore.size());
+  for (int C2 : InstanceCore)
+    W.i32(C2);
+  for (Cycles S : StallEnd)
+    W.u64(S);
+  for (Cycles Lk : LockEnd)
+    W.u64(Lk);
+
+  W.u64(Cores.size());
+  for (const CoreState &Core : Cores) {
+    W.u8(Core.Executing ? 1 : 0);
+    W.u64(Core.BusyUntil);
+    W.u64(Core.BusyTotal);
+    W.u64(Core.LastEnd);
+    W.u64(Core.Ready.size());
+    for (const Invocation &Inv : Core.Ready)
+      saveInvocation(Inv, W);
+  }
+
+  W.u64(Instances.size());
+  for (const InstanceState &Inst : Instances) {
+    W.u64(Inst.ParamSets.size());
+    for (const std::vector<Object *> &Set : Inst.ParamSets) {
+      W.u64(Set.size());
+      for (Object *Obj : Set)
+        W.u64(Obj->Id);
+    }
+  }
+
+  W.u64(RoundRobin.size());
+  for (const auto &[Key, Val] : RoundRobin) {
+    W.i32(Key.first);
+    W.i32(Key.second);
+    W.u64(Val);
+  }
+
+  W.u64(InFlights.size());
+  for (const InFlight &Flight : InFlights) {
+    if (!Flight.Ctx) {
+      W.u8(0);
+      continue;
+    }
+    // The body already ran at dispatch time; the completion step only
+    // needs the post-body context (charged cycles, chosen exit, new
+    // objects, tag vars).
+    W.u8(1);
+    saveInvocation(Flight.Inv, W);
+    const auto &TagVars = Flight.Ctx->tagVars();
+    W.u64(TagVars.size());
+    for (const auto &[Var, Tag] : TagVars) {
+      W.str(Var);
+      W.u64(Tag->Id);
+    }
+    W.u64(Flight.Ctx->chargedCycles());
+    W.i32(Flight.Ctx->chosenExit());
+    const auto &NewObjs = Flight.Ctx->newObjects();
+    W.u64(NewObjs.size());
+    for (const auto &[Site, Obj] : NewObjs) {
+      W.i32(Site);
+      W.u64(Obj->Id);
+    }
+  }
+  W.u64(FreeFlightSlots.size());
+  for (int S : FreeFlightSlots)
+    W.i32(S);
+
+  // The event queue, in deterministic (Time, Seq) order: the
+  // priority_queue is copyable (payloads are ids and raw pointers), so a
+  // drained copy yields the exact pending schedule without disturbing it.
+  auto QCopy = Queue;
+  W.u64(QCopy.size());
+  while (!QCopy.empty()) {
+    const Event &E = QCopy.top();
+    W.u64(E.Time);
+    W.u64(E.Seq);
+    W.u8(static_cast<uint8_t>(E.Kind));
+    W.i32(E.Core);
+    W.i64(E.Obj ? static_cast<int64_t>(E.Obj->Id) : -1);
+    W.i32(E.InstanceIdx);
+    W.i32(E.Param);
+    W.i32(E.FlightIdx);
+    QCopy.pop();
+  }
+
+  C.Body = W.take();
+  Out = std::move(C);
+  return {};
+}
+
+std::string TileExecutor::restoreFrom(const resilience::Checkpoint &C,
+                                      Cycles &LastTime,
+                                      uint64_t &EventsProcessed) {
+  // Identity validation: a checkpoint resumes *this* run — same program,
+  // layout, machine width, seed, arguments, and fault plan. The fault
+  // seed and recovery mode may legitimately differ (the restart policy
+  // bumps the fault seed so a deterministic failure is not replayed).
+  if (C.Engine != resilience::EngineKind::Tile)
+    return formatString(
+        "checkpoint: engine mismatch (checkpoint is '%s', executor is "
+        "'tile')",
+        resilience::engineKindName(C.Engine));
+  if (C.Program != Prog.name())
+    return formatString(
+        "checkpoint: program mismatch (checkpoint is '%s', running '%s')",
+        C.Program.c_str(), Prog.name().c_str());
+  if (C.NumCores != static_cast<uint64_t>(L.NumCores))
+    return formatString(
+        "checkpoint: core-count mismatch (checkpoint %llu, layout %d)",
+        static_cast<unsigned long long>(C.NumCores), L.NumCores);
+  if (C.LayoutKey != L.isoKey(Prog))
+    return "checkpoint: layout mismatch (was the checkpoint taken under a "
+           "different synthesis seed or --jobs value?)";
+  if (C.Seed != Opts->Seed)
+    return formatString(
+        "checkpoint: run-seed mismatch (checkpoint %llu, --seed %llu)",
+        static_cast<unsigned long long>(C.Seed),
+        static_cast<unsigned long long>(Opts->Seed));
+  if (C.Args != Opts->Args)
+    return "checkpoint: program-argument mismatch";
+  if (C.FaultSpec != (Opts->Faults ? Opts->Faults->str() : std::string()))
+    return "checkpoint: fault-plan mismatch (pass the same --faults spec "
+           "the checkpoint was taken under)";
+
+  ByteReader R(C.Body);
+  CodecLoadCtx Ctx;
+  if (std::string Err = loadHeap(R, BP, TheHeap, Ctx); !Err.empty())
+    return Err;
+
+  uint64_t NumBudgets = R.u64();
+  if (!R.ok() || NumBudgets > C.Body.size())
+    return "checkpoint: truncated body (injector budgets)";
+  std::vector<int> Budgets;
+  for (uint64_t I = 0; I < NumBudgets; ++I)
+    Budgets.push_back(R.i32());
+  Injector.restoreBudgets(Budgets);
+
+  NextSeq = R.u64();
+  EventsProcessed = R.u64();
+  LastTime = R.u64();
+  LastProgress = R.u64();
+
+  Result.TaskInvocations = R.u64();
+  Result.ObjectsAllocated = R.u64();
+  Result.MessagesSent = R.u64();
+  Result.MessageHops = R.u64();
+  Result.LockRetries = R.u64();
+  resilience::readRecoveryReport(R, Result.Recovery);
+  Result.Recovery.RecoveryEnabled = Opts->Recovery;
+
+  uint64_t NumCores = R.u64();
+  if (!R.ok() || NumCores != CoreAlive.size())
+    return "checkpoint: body core count diverges from the layout";
+  for (size_t I = 0; I < CoreAlive.size(); ++I)
+    CoreAlive[I] = static_cast<char>(R.u8());
+  uint64_t NumInstances = R.u64();
+  if (!R.ok() || NumInstances != InstanceCore.size())
+    return "checkpoint: body instance count diverges from the layout";
+  for (size_t I = 0; I < InstanceCore.size(); ++I)
+    InstanceCore[I] = R.i32();
+  for (size_t I = 0; I < StallEnd.size(); ++I)
+    StallEnd[I] = R.u64();
+  for (size_t I = 0; I < LockEnd.size(); ++I)
+    LockEnd[I] = R.u64();
+
+  uint64_t NumCoreStates = R.u64();
+  if (!R.ok() || NumCoreStates != Cores.size())
+    return "checkpoint: truncated body (core states)";
+  for (CoreState &Core : Cores) {
+    Core.Executing = R.u8() != 0;
+    Core.BusyUntil = R.u64();
+    Core.BusyTotal = R.u64();
+    Core.LastEnd = R.u64();
+    uint64_t NumReady = R.u64();
+    if (!R.ok() || NumReady > C.Body.size())
+      return "checkpoint: truncated body (ready queues)";
+    for (uint64_t I = 0; I < NumReady; ++I) {
+      Invocation Inv;
+      if (std::string Err = loadInvocation(R, Inv); !Err.empty())
+        return Err;
+      Core.Ready.push_back(std::move(Inv));
+    }
+  }
+
+  uint64_t NumInstStates = R.u64();
+  if (!R.ok() || NumInstStates != Instances.size())
+    return "checkpoint: truncated body (instance states)";
+  for (InstanceState &Inst : Instances) {
+    uint64_t NumParams = R.u64();
+    if (!R.ok() || NumParams != Inst.ParamSets.size())
+      return "checkpoint: parameter-set shape diverges from the program";
+    for (std::vector<Object *> &Set : Inst.ParamSets) {
+      uint64_t Count = R.u64();
+      if (!R.ok() || Count > TheHeap.numObjects())
+        return "checkpoint: truncated body (parameter sets)";
+      for (uint64_t I = 0; I < Count; ++I) {
+        uint64_t Id = R.u64();
+        if (!R.ok() || Id >= TheHeap.numObjects())
+          return "checkpoint: parameter set references an unknown object";
+        Set.push_back(TheHeap.objectAt(Id));
+      }
+    }
+  }
+
+  uint64_t NumRR = R.u64();
+  if (!R.ok() || NumRR > C.Body.size())
+    return "checkpoint: truncated body (round-robin counters)";
+  for (uint64_t I = 0; I < NumRR; ++I) {
+    int CoreKey = R.i32();
+    ir::TaskId Task = R.i32();
+    uint64_t Val = R.u64();
+    RoundRobin[{CoreKey, Task}] = static_cast<size_t>(Val);
+  }
+
+  uint64_t NumFlights = R.u64();
+  if (!R.ok() || NumFlights > C.Body.size())
+    return "checkpoint: truncated body (in-flight invocations)";
+  for (uint64_t I = 0; I < NumFlights; ++I) {
+    uint8_t Occupied = R.u8();
+    if (!R.ok())
+      return "checkpoint: truncated body (in-flight slot)";
+    if (!Occupied) {
+      InFlights.push_back(InFlight());
+      continue;
+    }
+    Invocation Inv;
+    if (std::string Err = loadInvocation(R, Inv); !Err.empty())
+      return Err;
+    uint64_t NumVars = R.u64();
+    if (!R.ok() || NumVars > TheHeap.numTags() + 64)
+      return "checkpoint: truncated body (in-flight tag vars)";
+    std::map<std::string, TagInstance *> TagVars;
+    for (uint64_t V = 0; V < NumVars; ++V) {
+      std::string Var = R.str();
+      uint64_t Id = R.u64();
+      if (!R.ok() || Id >= TheHeap.numTags())
+        return "checkpoint: in-flight tag var references an unknown tag";
+      TagVars.emplace(std::move(Var), TheHeap.tagAt(Id));
+    }
+    Cycles Charged = R.u64();
+    ir::ExitId ChosenExit = R.i32();
+    uint64_t NumNew = R.u64();
+    if (!R.ok() || NumNew > TheHeap.numObjects())
+      return "checkpoint: truncated body (in-flight new objects)";
+    std::vector<std::pair<ir::SiteId, Object *>> NewObjects;
+    for (uint64_t N = 0; N < NumNew; ++N) {
+      ir::SiteId Site = R.i32();
+      uint64_t Id = R.u64();
+      if (!R.ok() || Id >= TheHeap.numObjects())
+        return "checkpoint: in-flight new object is unknown";
+      NewObjects.emplace_back(Site, TheHeap.objectAt(Id));
+    }
+    const ir::TaskDecl &Decl = Prog.taskOf(Inv.Task);
+    if (Inv.Params.size() != Decl.Params.size() || ChosenExit < 0 ||
+        static_cast<size_t>(ChosenExit) >= Decl.Exits.size())
+      return "checkpoint: in-flight invocation diverges from the program";
+    InFlight Flight;
+    Flight.Ctx = TaskContext::restore(BP, TheHeap, Inv.Task, Inv.Params,
+                                      std::move(TagVars), Opts->Args,
+                                      Charged, ChosenExit,
+                                      std::move(NewObjects));
+    Flight.Inv = std::move(Inv);
+    InFlights.push_back(std::move(Flight));
+  }
+  uint64_t NumFree = R.u64();
+  if (!R.ok() || NumFree > InFlights.size())
+    return "checkpoint: truncated body (free flight slots)";
+  for (uint64_t I = 0; I < NumFree; ++I)
+    FreeFlightSlots.push_back(R.i32());
+
+  uint64_t NumEvents = R.u64();
+  if (!R.ok() || NumEvents > C.Body.size())
+    return "checkpoint: truncated body (event queue)";
+  for (uint64_t I = 0; I < NumEvents; ++I) {
+    Event E;
+    E.Time = R.u64();
+    E.Seq = R.u64();
+    uint8_t Kind = R.u8();
+    if (!R.ok() || Kind > static_cast<uint8_t>(EventKind::Fault))
+      return "checkpoint: unknown event kind in queue";
+    E.Kind = static_cast<EventKind>(Kind);
+    E.Core = R.i32();
+    int64_t ObjId = R.i64();
+    if (ObjId >= 0) {
+      if (static_cast<uint64_t>(ObjId) >= TheHeap.numObjects())
+        return "checkpoint: queued event references an unknown object";
+      E.Obj = TheHeap.objectAt(static_cast<uint64_t>(ObjId));
+    }
+    E.InstanceIdx = R.i32();
+    E.Param = R.i32();
+    E.FlightIdx = R.i32();
+    if (E.Kind == EventKind::Completion &&
+        (E.FlightIdx < 0 ||
+         static_cast<size_t>(E.FlightIdx) >= InFlights.size() ||
+         !InFlights[static_cast<size_t>(E.FlightIdx)].Ctx))
+      return "checkpoint: completion event references an empty flight slot";
+    // Preserve the original sequence numbers: ordering ties must replay
+    // exactly, so events bypass push() (which would renumber them).
+    Queue.push(std::move(E));
+  }
+  if (!R.ok())
+    return "checkpoint: truncated body";
+  if (!R.atEnd())
+    return "checkpoint: trailing bytes after body";
+  return {};
+}
+
+std::string TileExecutor::watchdogDump(Cycles Now) {
+  support::WatchdogReport Rep("tile", Now, LastProgress,
+                              Opts->WatchdogCycles, "cycles");
+  Rep.traceTail(Opts->Trace, 20);
+  Rep.section("per-core state");
+  for (size_t C = 0; C < Cores.size(); ++C)
+    Rep.line(formatString(
+        "core %zu: %s%s ready=%zu busy-until=%llu stall-until=%llu "
+        "lock-until=%llu",
+        C, CoreAlive[C] ? "alive" : "DEAD",
+        Cores[C].Executing ? " executing" : "", Cores[C].Ready.size(),
+        static_cast<unsigned long long>(Cores[C].BusyUntil),
+        static_cast<unsigned long long>(StallEnd[C]),
+        static_cast<unsigned long long>(LockEnd[C])));
+  Rep.section("held locks");
+  size_t Held = 0;
+  for (size_t I = 0; I < TheHeap.numObjects(); ++I) {
+    Object *Obj = TheHeap.objectAt(I);
+    if (Obj->locked()) {
+      ++Held;
+      Rep.line(formatString("object %llu (class %d)",
+                                     static_cast<unsigned long long>(Obj->Id),
+                                     Obj->Class));
+    }
+  }
+  if (Held == 0)
+    Rep.line("(none)");
+  return Rep.str();
 }

@@ -35,6 +35,7 @@
 #include "machine/Layout.h"
 #include "machine/MachineConfig.h"
 #include "profile/Profile.h"
+#include "resilience/Checkpoint.h"
 #include "resilience/FaultInjector.h"
 #include "resilience/FaultPlan.h"
 #include "resilience/Recovery.h"
@@ -44,6 +45,7 @@
 #include "support/Trace.h"
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -79,6 +81,29 @@ struct ExecOptions {
   /// take raw effect and a damaged run reports Completed=false (bounded
   /// abort, never a hang).
   bool Recovery = true;
+  /// Checkpointing: when > 0, a snapshot of the complete resumable run
+  /// state is taken the first time virtual time crosses each
+  /// CheckpointEvery-cycle boundary, at the quiescent point between two
+  /// events (the snapshot does not perturb the schedule — a checkpointed
+  /// run is byte-identical to an uncheckpointed one). Incompatible with
+  /// CollectProfile (profiles are not serialized).
+  machine::Cycles CheckpointEvery = 0;
+  /// Receives every snapshot taken. The driver writes them to
+  /// --checkpoint-dir; tests and the restart policy keep them in memory.
+  std::function<void(const resilience::Checkpoint &)> OnCheckpoint;
+  /// When non-null, the run resumes from this snapshot instead of booting
+  /// the startup object. The checkpoint's program/layout/seed/args must
+  /// match the executor's (validated; mismatch sets
+  /// ExecResult::RestoreError). The restored run continues to a final
+  /// state byte-identical to the uninterrupted run and emits one Resume
+  /// trace marker at the restore cycle. Not owned; must outlive run().
+  const resilience::Checkpoint *Restore = nullptr;
+  /// Watchdog: when > 0 and virtual time advances more than this many
+  /// cycles past the last dispatch or completion (e.g. an adversarial
+  /// fault plan re-arming stall windows forever), the run aborts with
+  /// ExecResult::WatchdogFired and a diagnostic dump instead of spinning
+  /// to MaxEvents. 0 disables.
+  machine::Cycles WatchdogCycles = 0;
 };
 
 /// Result of one execution.
@@ -104,6 +129,20 @@ struct ExecResult {
   std::optional<profile::Profile> CollectedProfile;
   /// Fault/recovery accounting for this run (all-zero when fault-free).
   resilience::RecoveryReport Recovery;
+  /// Snapshots delivered to ExecOptions::OnCheckpoint by this run (not
+  /// counting anything restored).
+  uint64_t CheckpointsWritten = 0;
+  /// The watchdog aborted the run; WatchdogDump holds the diagnostic
+  /// report (last trace events, per-core queue depths, held locks).
+  bool WatchdogFired = false;
+  std::string WatchdogDump;
+  /// Non-empty when ExecOptions::Restore was set but could not be applied
+  /// (wrong program/layout/seed, corrupt body, missing codec, ...); the
+  /// run did not execute.
+  std::string RestoreError;
+  /// Non-empty when taking a requested snapshot failed (e.g. a payload
+  /// with no registered codec); the run aborted at the failed boundary.
+  std::string CheckpointError;
 };
 
 /// The discrete-event executor.
@@ -193,6 +232,9 @@ private:
 
   // Resilience state (reset per run).
   resilience::FaultInjector Injector;
+  /// Virtual time of the last real scheduler progress (a dispatch or a
+  /// completion); the watchdog measures stall length against it.
+  machine::Cycles LastProgress = 0;
   /// Liveness per core; cleared by a scheduled permanent failure.
   std::vector<char> CoreAlive;
   /// Effective host core per placed instance: starts as the layout's
@@ -258,6 +300,25 @@ private:
   /// \p Partial; returns false when impossible.
   bool bindParamTags(const ir::TaskParam &Param, Object *Obj,
                      Invocation &Partial) const;
+
+  // Checkpoint/restore (see resilience/Checkpoint.h for the container).
+  void saveInvocation(const Invocation &Inv,
+                      resilience::ByteWriter &W) const;
+  std::string loadInvocation(resilience::ByteReader &R, Invocation &Inv);
+  /// Serializes the complete per-run state into a checkpoint taken at
+  /// boundary \p AtCycle after \p EventsProcessed events, with the run's
+  /// high-water time \p LastTime. Returns an error string on failure.
+  std::string makeCheckpoint(machine::Cycles AtCycle, uint64_t EventsProcessed,
+                             machine::Cycles LastTime,
+                             resilience::Checkpoint &Out);
+  /// Validates \p C against this executor's run identity and rebuilds the
+  /// per-run state from its body. On success the run loop continues with
+  /// the restored \p LastTime / \p EventsProcessed.
+  std::string restoreFrom(const resilience::Checkpoint &C,
+                          machine::Cycles &LastTime,
+                          uint64_t &EventsProcessed);
+  /// Builds the watchdog diagnostic dump at stall time \p Now.
+  std::string watchdogDump(machine::Cycles Now);
 };
 
 } // namespace bamboo::runtime

@@ -10,6 +10,8 @@
 #include "resilience/FaultInjector.h"
 #include "runtime/RoutingTable.h"
 #include "support/Debug.h"
+#include "support/Format.h"
+#include "support/Watchdog.h"
 
 #include <algorithm>
 #include <cassert>
@@ -129,6 +131,9 @@ private:
 
   // Resilience state (mirrors runtime::TileExecutor; see its comments).
   resilience::FaultInjector Injector;
+  /// Virtual time of the last real scheduler progress (a dispatch or a
+  /// completion); the watchdog measures stall length against it.
+  Cycles LastProgress = 0;
   std::vector<char> CoreAlive;
   std::vector<int> InstanceCore;
   std::vector<Cycles> StallEnd;
@@ -568,6 +573,7 @@ private:
       Core.Executing = true;
       Core.BusyTotal += Duration;
       ++Result.Invocations;
+      LastProgress = std::max(LastProgress, Now);
       if (Opts.Trace) {
         // The simulator's all-or-nothing locking never fails (busy tokens
         // requeue before the acquire), so no lock-retry events here.
@@ -712,6 +718,7 @@ private:
     }
     Cores[static_cast<size_t>(E.Core)].Executing = false;
     Cores[static_cast<size_t>(E.Core)].LastEnd = E.Time;
+    LastProgress = std::max(LastProgress, E.Time);
     if (Opts.Trace)
       Opts.Trace->taskEnd(E.Time, E.Core, F.Inv.Task, F.Exit);
 
@@ -759,6 +766,517 @@ private:
         push(std::move(Wake));
       }
   }
+
+  //===--------------------------------------------------------------------===//
+  // Checkpoint / restore / watchdog (see resilience/Checkpoint.h)
+  //===--------------------------------------------------------------------===//
+
+  void saveArrival(const Arrival &A, resilience::ByteWriter &W) const {
+    W.i64(A.Tok ? static_cast<int64_t>(A.Tok->Id) : -1);
+    W.i32(A.Producer);
+    W.u64(A.Time);
+  }
+
+  std::string loadArrival(resilience::ByteReader &R, Arrival &A) {
+    int64_t Id = R.i64();
+    A.Producer = R.i32();
+    A.Time = R.u64();
+    if (!R.ok() || Id < -1 ||
+        (Id >= 0 && static_cast<uint64_t>(Id) >= Tokens.size()))
+      return "checkpoint: arrival references an unknown token";
+    A.Tok = Id >= 0 ? Tokens[static_cast<size_t>(Id)].get() : nullptr;
+    return {};
+  }
+
+  void saveInvocation(const Invocation &Inv,
+                      resilience::ByteWriter &W) const {
+    W.i32(Inv.Task);
+    W.i32(Inv.InstanceIdx);
+    W.u64(Inv.Params.size());
+    for (const Arrival &A : Inv.Params)
+      saveArrival(A, W);
+    W.u64(Inv.ConstraintTagIds.size());
+    for (const auto &[Var, Id] : Inv.ConstraintTagIds) {
+      W.str(Var);
+      W.u64(Id);
+    }
+  }
+
+  std::string loadInvocation(resilience::ByteReader &R, Invocation &Inv) {
+    Inv.Task = R.i32();
+    Inv.InstanceIdx = R.i32();
+    if (!R.ok() || Inv.Task < 0 ||
+        static_cast<size_t>(Inv.Task) >= Prog.tasks().size() ||
+        Inv.InstanceIdx < 0 ||
+        static_cast<size_t>(Inv.InstanceIdx) >= Instances.size())
+      return "checkpoint: invocation references an unknown task instance";
+    uint64_t NumParams = R.u64();
+    if (!R.ok() || NumParams > Tokens.size())
+      return "checkpoint: truncated invocation record";
+    for (uint64_t I = 0; I < NumParams; ++I) {
+      Arrival A;
+      if (std::string Err = loadArrival(R, A); !Err.empty())
+        return Err;
+      if (!A.Tok)
+        return "checkpoint: invocation parameter without a token";
+      Inv.Params.push_back(A);
+    }
+    uint64_t NumTags = R.u64();
+    if (!R.ok() || NumTags > NextTagId + 64)
+      return "checkpoint: truncated invocation tag bindings";
+    for (uint64_t I = 0; I < NumTags; ++I) {
+      std::string Var = R.str();
+      uint64_t Id = R.u64();
+      if (!R.ok())
+        return "checkpoint: truncated invocation tag bindings";
+      Inv.ConstraintTagIds.emplace(std::move(Var), Id);
+    }
+    return {};
+  }
+
+  std::string makeCheckpoint(Cycles AtCycle, Cycles LastTime,
+                             resilience::Checkpoint &Out) const {
+    resilience::Checkpoint C;
+    C.Engine = resilience::EngineKind::Sched;
+    C.Program = Prog.name();
+    C.Seed = 0; // The simulator has no run seed; fixed for the header.
+    C.FaultSeed = Opts.FaultSeed;
+    C.Recovery = Opts.Recovery ? 1 : 0;
+    C.FaultSpec = Opts.Faults ? Opts.Faults->str() : std::string();
+    C.LayoutKey = L.isoKey(Prog);
+    C.NumCores = static_cast<uint64_t>(L.NumCores);
+    C.Cycle = AtCycle;
+    // Raw (recovery-off) fault damage is already baked into the token
+    // state; a restart policy must not resume from such a snapshot.
+    C.Tainted = !Opts.Recovery && Result.Recovery.totalInjected() > 0;
+
+    resilience::ByteWriter W;
+    W.u64(Tokens.size());
+    for (const auto &Tok : Tokens) {
+      W.i32(Tok->Class);
+      W.u64(Tok->State.Flags);
+      W.u64(Tok->State.TagCounts.size());
+      for (analysis::TagCount TC : Tok->State.TagCounts)
+        W.u8(static_cast<uint8_t>(TC));
+      W.u64(Tok->TagIds.size());
+      for (const auto &[Type, Id] : Tok->TagIds) {
+        W.i32(Type);
+        W.u64(Id);
+      }
+      W.u8(Tok->Busy ? 1 : 0);
+      W.i32(Tok->ProducerTrace);
+    }
+    W.u64(NextTagId);
+    W.u64(NextSeq);
+
+    std::vector<int> Budgets = Injector.remainingBudgets();
+    W.u64(Budgets.size());
+    for (int B : Budgets)
+      W.i32(B);
+
+    W.u64(LastTime);
+    W.u64(LastProgress);
+    W.u64(Result.Invocations);
+    resilience::writeRecoveryReport(W, Result.Recovery);
+
+    W.u64(Result.Trace.size());
+    for (const TraceTask &T : Result.Trace) {
+      W.i32(T.Id);
+      W.i32(T.Task);
+      W.i32(T.Exit);
+      W.i32(T.Core);
+      W.i32(T.InstanceIdx);
+      W.u64(T.Ready);
+      W.u64(T.Start);
+      W.u64(T.End);
+      W.u64(T.DepIds.size());
+      for (size_t I = 0; I < T.DepIds.size(); ++I) {
+        W.i32(T.DepIds[I]);
+        W.u64(T.DepArrivals[I]);
+      }
+    }
+
+    W.u64(CoreAlive.size());
+    for (char A : CoreAlive)
+      W.u8(static_cast<uint8_t>(A));
+    W.u64(InstanceCore.size());
+    for (int IC : InstanceCore)
+      W.i32(IC);
+    for (Cycles S : StallEnd)
+      W.u64(S);
+    for (Cycles Lk : LockEnd)
+      W.u64(Lk);
+
+    W.u64(Cores.size());
+    for (const CoreState &Core : Cores) {
+      W.u8(Core.Executing ? 1 : 0);
+      W.u64(Core.BusyTotal);
+      W.u64(Core.LastEnd);
+      W.u64(Core.Ready.size());
+      for (const Invocation &Inv : Core.Ready)
+        saveInvocation(Inv, W);
+    }
+
+    W.u64(Instances.size());
+    for (const InstanceState &Inst : Instances) {
+      W.u64(Inst.ParamSets.size());
+      for (const std::vector<Arrival> &Set : Inst.ParamSets) {
+        W.u64(Set.size());
+        for (const Arrival &A : Set)
+          saveArrival(A, W);
+      }
+    }
+
+    W.u64(RoundRobin.size());
+    for (const auto &[Key, Val] : RoundRobin) {
+      W.i32(Key.first);
+      W.i32(Key.second);
+      W.u64(Val);
+    }
+
+    W.u64(TaskExitCounts.size());
+    for (const std::vector<uint64_t> &Counts : TaskExitCounts) {
+      W.u64(Counts.size());
+      for (uint64_t N : Counts)
+        W.u64(N);
+    }
+    W.u64(ObjectExitCounts.size());
+    for (const auto &[Key, Counts] : ObjectExitCounts) {
+      W.i32(Key.first);
+      W.u64(Key.second);
+      W.u64(Counts.size());
+      for (uint64_t N : Counts)
+        W.u64(N);
+    }
+    W.u64(AllocRemainder.size());
+    for (double D : AllocRemainder)
+      W.f64(D);
+
+    W.u64(Flights.size());
+    for (const Flight &F : Flights) {
+      if (F.Inv.Task == ir::InvalidId) {
+        W.u8(0);
+        continue;
+      }
+      W.u8(1);
+      saveInvocation(F.Inv, W);
+      W.i32(F.Exit);
+      W.i32(F.TraceId);
+      W.u64(F.FreshTags.size());
+      for (const auto &[Type, Id] : F.FreshTags) {
+        W.i32(Type);
+        W.u64(Id);
+      }
+    }
+    W.u64(FreeFlights.size());
+    for (int S : FreeFlights)
+      W.i32(S);
+
+    // The pending event schedule in deterministic (Time, Seq) order.
+    auto QCopy = Queue;
+    W.u64(QCopy.size());
+    while (!QCopy.empty()) {
+      const Event &E = QCopy.top();
+      W.u64(E.Time);
+      W.u64(E.Seq);
+      W.u8(static_cast<uint8_t>(E.Kind));
+      W.i32(E.Core);
+      saveArrival(E.Arr, W);
+      W.i32(E.InstanceIdx);
+      W.i32(E.Param);
+      W.i32(E.FlightIdx);
+      QCopy.pop();
+    }
+
+    C.Body = W.take();
+    Out = std::move(C);
+    return {};
+  }
+
+  std::string restoreFrom(const resilience::Checkpoint &C, Cycles &LastTime) {
+    if (C.Engine != resilience::EngineKind::Sched)
+      return formatString(
+          "checkpoint: engine mismatch (checkpoint is '%s', simulator is "
+          "'sched')",
+          resilience::engineKindName(C.Engine));
+    if (C.Program != Prog.name())
+      return formatString(
+          "checkpoint: program mismatch (checkpoint is '%s', simulating "
+          "'%s')",
+          C.Program.c_str(), Prog.name().c_str());
+    if (C.NumCores != static_cast<uint64_t>(L.NumCores))
+      return formatString(
+          "checkpoint: core-count mismatch (checkpoint %llu, layout %d)",
+          static_cast<unsigned long long>(C.NumCores), L.NumCores);
+    if (C.LayoutKey != L.isoKey(Prog))
+      return "checkpoint: layout mismatch (the snapshot was taken under a "
+             "different layout)";
+    if (C.FaultSpec != (Opts.Faults ? Opts.Faults->str() : std::string()))
+      return "checkpoint: fault-plan mismatch (pass the same --faults spec "
+             "the checkpoint was taken under)";
+
+    resilience::ByteReader R(C.Body);
+    uint64_t NumTokens = R.u64();
+    if (!R.ok() || NumTokens > C.Body.size())
+      return "checkpoint: truncated body (tokens)";
+    for (uint64_t I = 0; I < NumTokens; ++I) {
+      ir::ClassId Class = R.i32();
+      analysis::AbstractState State;
+      State.Flags = R.u64();
+      uint64_t NumCounts = R.u64();
+      if (!R.ok() || NumCounts != Prog.tagTypes().size())
+        return "checkpoint: token tag-count shape diverges from the program";
+      for (uint64_t K = 0; K < NumCounts; ++K) {
+        uint8_t TC = R.u8();
+        if (TC > static_cast<uint8_t>(analysis::TagCount::Many))
+          return "checkpoint: bad token tag count";
+        State.TagCounts.push_back(static_cast<analysis::TagCount>(TC));
+      }
+      Token *Tok = makeToken(Class, std::move(State));
+      uint64_t NumIds = R.u64();
+      if (!R.ok() || NumIds > NumCounts)
+        return "checkpoint: truncated body (token tag ids)";
+      for (uint64_t K = 0; K < NumIds; ++K) {
+        ir::TagTypeId Type = R.i32();
+        uint64_t Id = R.u64();
+        if (Type < 0 || static_cast<size_t>(Type) >= Prog.tagTypes().size())
+          return "checkpoint: token bound to an unknown tag type";
+        Tok->TagIds[Type] = Id;
+      }
+      Tok->Busy = R.u8() != 0;
+      Tok->ProducerTrace = R.i32();
+    }
+    NextTagId = R.u64();
+    NextSeq = R.u64();
+
+    uint64_t NumBudgets = R.u64();
+    if (!R.ok() || NumBudgets > C.Body.size())
+      return "checkpoint: truncated body (injector budgets)";
+    std::vector<int> Budgets;
+    for (uint64_t I = 0; I < NumBudgets; ++I)
+      Budgets.push_back(R.i32());
+    Injector.restoreBudgets(Budgets);
+
+    LastTime = R.u64();
+    LastProgress = R.u64();
+    Result.Invocations = R.u64();
+    resilience::readRecoveryReport(R, Result.Recovery);
+    Result.Recovery.RecoveryEnabled = Opts.Recovery;
+
+    uint64_t NumTrace = R.u64();
+    if (!R.ok() || NumTrace > C.Body.size())
+      return "checkpoint: truncated body (invocation trace)";
+    for (uint64_t I = 0; I < NumTrace; ++I) {
+      TraceTask T;
+      T.Id = R.i32();
+      T.Task = R.i32();
+      T.Exit = R.i32();
+      T.Core = R.i32();
+      T.InstanceIdx = R.i32();
+      T.Ready = R.u64();
+      T.Start = R.u64();
+      T.End = R.u64();
+      uint64_t NumDeps = R.u64();
+      if (!R.ok() || NumDeps > C.Body.size())
+        return "checkpoint: truncated body (trace dependencies)";
+      for (uint64_t D = 0; D < NumDeps; ++D) {
+        T.DepIds.push_back(R.i32());
+        T.DepArrivals.push_back(R.u64());
+      }
+      Result.Trace.push_back(std::move(T));
+    }
+
+    uint64_t NumCores = R.u64();
+    if (!R.ok() || NumCores != CoreAlive.size())
+      return "checkpoint: body core count diverges from the layout";
+    for (size_t I = 0; I < CoreAlive.size(); ++I)
+      CoreAlive[I] = static_cast<char>(R.u8());
+    uint64_t NumInstCores = R.u64();
+    if (!R.ok() || NumInstCores != InstanceCore.size())
+      return "checkpoint: body instance count diverges from the layout";
+    for (size_t I = 0; I < InstanceCore.size(); ++I)
+      InstanceCore[I] = R.i32();
+    for (size_t I = 0; I < StallEnd.size(); ++I)
+      StallEnd[I] = R.u64();
+    for (size_t I = 0; I < LockEnd.size(); ++I)
+      LockEnd[I] = R.u64();
+
+    uint64_t NumCoreStates = R.u64();
+    if (!R.ok() || NumCoreStates != Cores.size())
+      return "checkpoint: truncated body (core states)";
+    for (CoreState &Core : Cores) {
+      Core.Executing = R.u8() != 0;
+      Core.BusyTotal = R.u64();
+      Core.LastEnd = R.u64();
+      uint64_t NumReady = R.u64();
+      if (!R.ok() || NumReady > C.Body.size())
+        return "checkpoint: truncated body (ready queues)";
+      for (uint64_t I = 0; I < NumReady; ++I) {
+        Invocation Inv;
+        if (std::string Err = loadInvocation(R, Inv); !Err.empty())
+          return Err;
+        Core.Ready.push_back(std::move(Inv));
+      }
+    }
+
+    uint64_t NumInstStates = R.u64();
+    if (!R.ok() || NumInstStates != Instances.size())
+      return "checkpoint: truncated body (instance states)";
+    for (InstanceState &Inst : Instances) {
+      uint64_t NumSets = R.u64();
+      if (!R.ok() || NumSets != Inst.ParamSets.size())
+        return "checkpoint: parameter-set shape diverges from the program";
+      for (std::vector<Arrival> &Set : Inst.ParamSets) {
+        uint64_t Count = R.u64();
+        if (!R.ok() || Count > Tokens.size() * 4 + 64)
+          return "checkpoint: truncated body (parameter sets)";
+        for (uint64_t I = 0; I < Count; ++I) {
+          Arrival A;
+          if (std::string Err = loadArrival(R, A); !Err.empty())
+            return Err;
+          if (!A.Tok)
+            return "checkpoint: parameter set holds a null token";
+          Set.push_back(A);
+        }
+      }
+    }
+
+    uint64_t NumRR = R.u64();
+    if (!R.ok() || NumRR > C.Body.size())
+      return "checkpoint: truncated body (round-robin counters)";
+    for (uint64_t I = 0; I < NumRR; ++I) {
+      int CoreKey = R.i32();
+      ir::TaskId Task = R.i32();
+      uint64_t Val = R.u64();
+      RoundRobin[{CoreKey, Task}] = static_cast<size_t>(Val);
+    }
+
+    uint64_t NumTEC = R.u64();
+    if (!R.ok() || NumTEC != TaskExitCounts.size())
+      return "checkpoint: exit-count shape diverges from the program";
+    for (std::vector<uint64_t> &Counts : TaskExitCounts) {
+      uint64_t N = R.u64();
+      if (!R.ok() || N != Counts.size())
+        return "checkpoint: exit-count shape diverges from the program";
+      for (uint64_t &Slot : Counts)
+        Slot = R.u64();
+    }
+    uint64_t NumOEC = R.u64();
+    if (!R.ok() || NumOEC > C.Body.size())
+      return "checkpoint: truncated body (per-object exit counts)";
+    for (uint64_t I = 0; I < NumOEC; ++I) {
+      ir::TaskId Task = R.i32();
+      uint64_t TokId = R.u64();
+      uint64_t N = R.u64();
+      if (!R.ok() || Task < 0 ||
+          static_cast<size_t>(Task) >= Prog.tasks().size() ||
+          N != Prog.taskOf(Task).Exits.size())
+        return "checkpoint: per-object exit counts diverge from the program";
+      std::vector<uint64_t> Counts;
+      for (uint64_t K = 0; K < N; ++K)
+        Counts.push_back(R.u64());
+      ObjectExitCounts[{Task, TokId}] = std::move(Counts);
+    }
+    uint64_t NumRem = R.u64();
+    if (!R.ok() || NumRem != AllocRemainder.size())
+      return "checkpoint: allocation-remainder shape diverges";
+    for (double &D : AllocRemainder)
+      D = R.f64();
+
+    uint64_t NumFlights = R.u64();
+    if (!R.ok() || NumFlights > C.Body.size())
+      return "checkpoint: truncated body (in-flight invocations)";
+    for (uint64_t I = 0; I < NumFlights; ++I) {
+      uint8_t Occupied = R.u8();
+      if (!R.ok())
+        return "checkpoint: truncated body (in-flight slot)";
+      Flight F;
+      if (Occupied) {
+        if (std::string Err = loadInvocation(R, F.Inv); !Err.empty())
+          return Err;
+        F.Exit = R.i32();
+        F.TraceId = R.i32();
+        if (F.Exit < 0 ||
+            static_cast<size_t>(F.Exit) >=
+                Prog.taskOf(F.Inv.Task).Exits.size())
+          return "checkpoint: in-flight exit diverges from the program";
+        uint64_t NumFresh = R.u64();
+        if (!R.ok() || NumFresh > Prog.tagTypes().size())
+          return "checkpoint: truncated body (in-flight fresh tags)";
+        for (uint64_t K = 0; K < NumFresh; ++K) {
+          ir::TagTypeId Type = R.i32();
+          uint64_t Id = R.u64();
+          F.FreshTags[Type] = Id;
+        }
+      }
+      Flights.push_back(std::move(F));
+    }
+    uint64_t NumFree = R.u64();
+    if (!R.ok() || NumFree > Flights.size())
+      return "checkpoint: truncated body (free flight slots)";
+    for (uint64_t I = 0; I < NumFree; ++I)
+      FreeFlights.push_back(R.i32());
+
+    uint64_t NumEvents = R.u64();
+    if (!R.ok() || NumEvents > C.Body.size())
+      return "checkpoint: truncated body (event queue)";
+    for (uint64_t I = 0; I < NumEvents; ++I) {
+      Event E;
+      E.Time = R.u64();
+      E.Seq = R.u64();
+      uint8_t Kind = R.u8();
+      if (!R.ok() || Kind > static_cast<uint8_t>(EventKind::Fault))
+        return "checkpoint: unknown event kind in queue";
+      E.Kind = static_cast<EventKind>(Kind);
+      E.Core = R.i32();
+      if (std::string Err = loadArrival(R, E.Arr); !Err.empty())
+        return Err;
+      E.InstanceIdx = R.i32();
+      E.Param = R.i32();
+      E.FlightIdx = R.i32();
+      if (E.Kind == EventKind::Completion &&
+          (E.FlightIdx < 0 ||
+           static_cast<size_t>(E.FlightIdx) >= Flights.size() ||
+           Flights[static_cast<size_t>(E.FlightIdx)].Inv.Task ==
+               ir::InvalidId))
+        return "checkpoint: completion event references an empty flight "
+               "slot";
+      // Preserve original sequence numbers so ordering ties replay
+      // exactly: bypass push(), which would renumber.
+      Queue.push(std::move(E));
+    }
+    if (!R.ok())
+      return "checkpoint: truncated body";
+    if (!R.atEnd())
+      return "checkpoint: trailing bytes after body";
+    return {};
+  }
+
+  std::string watchdogDump(Cycles Now) const {
+    support::WatchdogReport Rep("sched", Now, LastProgress,
+                                Opts.WatchdogCycles, "cycles");
+    Rep.traceTail(Opts.Trace, 20);
+    Rep.section("per-core state");
+    for (size_t C = 0; C < Cores.size(); ++C)
+      Rep.line(formatString(
+          "core %zu: %s%s ready=%zu stall-until=%llu lock-until=%llu", C,
+          CoreAlive[C] ? "alive" : "DEAD",
+          Cores[C].Executing ? " executing" : "", Cores[C].Ready.size(),
+          static_cast<unsigned long long>(StallEnd[C]),
+          static_cast<unsigned long long>(LockEnd[C])));
+    Rep.section("busy tokens");
+    size_t Busy = 0;
+    for (const auto &Tok : Tokens)
+      if (Tok->Busy) {
+        ++Busy;
+        Rep.line(formatString("token %llu (class %d)",
+                              static_cast<unsigned long long>(Tok->Id),
+                              Tok->Class));
+      }
+    if (Busy == 0)
+      Rep.line("(none)");
+    return Rep.str();
+  }
 };
 
 SimResult Simulator::run() {
@@ -780,15 +1298,7 @@ SimResult Simulator::run() {
     InstanceCore.push_back(Inst.Core);
   StallEnd.assign(static_cast<size_t>(L.NumCores), 0);
   LockEnd.assign(static_cast<size_t>(L.NumCores), 0);
-  for (const resilience::ScheduledFault &F : Injector.coreFailures()) {
-    if (F.Core < 0 || F.Core >= L.NumCores)
-      continue;
-    Event Fail;
-    Fail.Kind = EventKind::Fault;
-    Fail.Time = F.Cycle;
-    Fail.Core = F.Core;
-    push(std::move(Fail));
-  }
+  LastProgress = 0;
   if (Opts.Trace) {
     std::vector<std::string> Names;
     Names.reserve(Prog.tasks().size());
@@ -797,8 +1307,31 @@ SimResult Simulator::run() {
     Opts.Trace->setTaskNames(std::move(Names));
   }
 
-  // Boot token.
-  {
+  Cycles LastTime = 0;
+  if (Opts.Restore) {
+    // Resuming: the checkpoint body carries the pending event schedule —
+    // including any still-scheduled core failures — so nothing is booted
+    // or re-armed here.
+    if (std::string Err = restoreFrom(*Opts.Restore, LastTime);
+        !Err.empty()) {
+      SimResult Failed;
+      Failed.RestoreError = Err;
+      Result = std::move(Failed);
+      return Result;
+    }
+    if (Opts.Trace)
+      Opts.Trace->resume(Opts.Restore->Cycle);
+  } else {
+    for (const resilience::ScheduledFault &F : Injector.coreFailures()) {
+      if (F.Core < 0 || F.Core >= L.NumCores)
+        continue;
+      Event Fail;
+      Fail.Kind = EventKind::Fault;
+      Fail.Time = F.Cycle;
+      Fail.Core = F.Core;
+      push(std::move(Fail));
+    }
+    // Boot token.
     analysis::AbstractState Startup;
     Startup.Flags = ir::FlagMask(1) << Prog.startupFlag();
     Startup.TagCounts.assign(Prog.tagTypes().size(),
@@ -807,12 +1340,39 @@ SimResult Simulator::run() {
     routeToken(Tok, /*FromCore=*/-1, /*Now=*/0, /*ProducerTrace=*/-1);
   }
 
-  Cycles LastTime = 0;
+  Cycles NextCkpt = 0;
+  if (Opts.CheckpointEvery > 0)
+    NextCkpt = (LastTime / Opts.CheckpointEvery + 1) * Opts.CheckpointEvery;
+
   bool CutOff = false;
   while (!Queue.empty()) {
+    // Quiescent checkpoint boundary: snapshot *before* popping the first
+    // event at or past the boundary, so the snapshot still contains it
+    // and the restored run replays the identical schedule.
+    if (Opts.CheckpointEvery > 0 && Queue.top().Time >= NextCkpt) {
+      resilience::Checkpoint C;
+      if (std::string Err = makeCheckpoint(NextCkpt, LastTime, C);
+          !Err.empty()) {
+        Result.CheckpointError = Err;
+        CutOff = true;
+        break;
+      }
+      ++Result.CheckpointsWritten;
+      if (Opts.OnCheckpoint)
+        Opts.OnCheckpoint(C);
+      while (NextCkpt <= Queue.top().Time)
+        NextCkpt += Opts.CheckpointEvery;
+    }
     Event E = Queue.top();
     Queue.pop();
     LastTime = std::max(LastTime, E.Time);
+    if (Opts.WatchdogCycles > 0 && E.Time > LastProgress &&
+        E.Time - LastProgress > Opts.WatchdogCycles) {
+      Result.WatchdogFired = true;
+      Result.WatchdogDump = watchdogDump(E.Time);
+      CutOff = true;
+      break;
+    }
     switch (E.Kind) {
     case EventKind::Delivery:
       deliver(E);

@@ -33,11 +33,14 @@
 #include "machine/Layout.h"
 #include "machine/MachineConfig.h"
 #include "profile/Profile.h"
+#include "resilience/Checkpoint.h"
 #include "resilience/FaultPlan.h"
 #include "resilience/Recovery.h"
 #include "support/Trace.h"
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 namespace bamboo::schedsim {
@@ -62,6 +65,21 @@ struct SimOptions {
   /// Absorb faults (retransmit/failover) when true; let them take raw
   /// effect (and mark the result non-terminated) when false.
   bool Recovery = true;
+  /// Checkpointing: when > 0, a snapshot of the complete simulator state
+  /// is taken the first time virtual time crosses each
+  /// CheckpointEvery-cycle boundary, between two events (a checkpointed
+  /// simulation is byte-identical to an uncheckpointed one).
+  machine::Cycles CheckpointEvery = 0;
+  /// Receives every snapshot taken (see runtime::ExecOptions).
+  std::function<void(const resilience::Checkpoint &)> OnCheckpoint;
+  /// When non-null, resume the simulation from this snapshot instead of
+  /// injecting the boot token. Identity mismatches set
+  /// SimResult::RestoreError. Not owned; must outlive simulateLayout.
+  const resilience::Checkpoint *Restore = nullptr;
+  /// Watchdog: abort with SimResult::WatchdogFired and a diagnostic dump
+  /// when virtual time advances more than this many cycles past the last
+  /// dispatch or completion. 0 disables.
+  machine::Cycles WatchdogCycles = 0;
 };
 
 /// One simulated task invocation in the trace. This is the shared
@@ -83,6 +101,16 @@ struct SimResult {
   std::vector<TraceTask> Trace;
   /// Fault/recovery accounting (all-zero when fault-free).
   resilience::RecoveryReport Recovery;
+  /// Snapshots delivered to SimOptions::OnCheckpoint by this run.
+  uint64_t CheckpointsWritten = 0;
+  /// The watchdog aborted the simulation; WatchdogDump holds the report.
+  bool WatchdogFired = false;
+  std::string WatchdogDump;
+  /// Non-empty when SimOptions::Restore could not be applied; the
+  /// simulation did not run.
+  std::string RestoreError;
+  /// Non-empty when taking a requested snapshot failed.
+  std::string CheckpointError;
 };
 
 /// Simulates \p L under \p Prof. \p Hints selects per-task or per-object

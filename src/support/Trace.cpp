@@ -146,6 +146,14 @@ void Trace::failover(uint64_t Time, int FromCore, int ToCore,
   record(E);
 }
 
+void Trace::resume(uint64_t Time) {
+  TraceEvent E;
+  E.Kind = TraceEventKind::Resume;
+  E.Time = Time;
+  E.Core = 0;
+  record(E);
+}
+
 //===----------------------------------------------------------------------===//
 // Chrome trace export
 //===----------------------------------------------------------------------===//
@@ -291,6 +299,12 @@ std::string Trace::toChromeJson() const {
                           "\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,"
                           "\"ts\":%llu,\"args\":{\"obj\":%lld,\"to\":%d}}",
                           Tid, Ts, static_cast<long long>(E.Object), E.Peer);
+      break;
+    case TraceEventKind::Resume:
+      Out += formatString("{\"name\":\"resume\",\"cat\":\"checkpoint\","
+                          "\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":%d,"
+                          "\"ts\":%llu,\"args\":{}}",
+                          Tid, Ts);
       break;
     }
   }
@@ -517,6 +531,8 @@ TraceMetrics Trace::metrics() const {
       break;
     case TraceEventKind::Failover:
       ++CM.Failovers;
+      break;
+    case TraceEventKind::Resume:
       break;
     }
   }

@@ -84,6 +84,11 @@ enum class TraceEventKind : uint8_t {
   FaultInject,
   Retransmit,
   Failover,
+  /// Checkpoint vocabulary: the single marker a restored run emits at the
+  /// restore cycle. Equivalence checks compare trace suffixes after
+  /// stripping this one event (it has no counterpart in an uninterrupted
+  /// run).
+  Resume,
 };
 
 /// One recorded event. Fixed-size POD so recording is a vector push.
@@ -211,6 +216,9 @@ public:
   /// Records work (a delivery or migrated instance) moving from a failed
   /// core to its failover sibling.
   void failover(uint64_t Time, int FromCore, int ToCore, int64_t ObjectId);
+  /// Records the resume marker of a run restored from a checkpoint taken
+  /// at virtual time \p Time. Exactly one per restored run, first event.
+  void resume(uint64_t Time);
 
   /// Snapshot of the recorded events, in recording order.
   const std::vector<TraceEvent> &events() const { return Events; }

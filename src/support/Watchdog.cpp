@@ -1,0 +1,86 @@
+//===- support/Watchdog.cpp - Scheduler-progress watchdog -----------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Watchdog.h"
+
+#include "support/Format.h"
+#include "support/Trace.h"
+
+namespace bamboo::support {
+
+namespace {
+
+const char *kindName(TraceEventKind K) {
+  switch (K) {
+  case TraceEventKind::TaskBegin:
+    return "task-begin";
+  case TraceEventKind::TaskEnd:
+    return "task-end";
+  case TraceEventKind::Send:
+    return "send";
+  case TraceEventKind::Deliver:
+    return "deliver";
+  case TraceEventKind::LockAcquire:
+    return "lock-acquire";
+  case TraceEventKind::LockRetry:
+    return "lock-retry";
+  case TraceEventKind::Idle:
+    return "idle";
+  case TraceEventKind::FaultInject:
+    return "fault-inject";
+  case TraceEventKind::Retransmit:
+    return "retransmit";
+  case TraceEventKind::Failover:
+    return "failover";
+  case TraceEventKind::Resume:
+    return "resume";
+  }
+  return "?";
+}
+
+} // namespace
+
+WatchdogReport::WatchdogReport(const std::string &Engine, uint64_t Now,
+                               uint64_t LastProgress, uint64_t Limit,
+                               const char *Unit) {
+  Text = formatString(
+      "WATCHDOG [%s]: no dispatch/completion progress for %llu %s "
+      "(limit %llu %s, last progress at %llu, now %llu)\n",
+      Engine.c_str(), static_cast<unsigned long long>(Now - LastProgress),
+      Unit, static_cast<unsigned long long>(Limit), Unit,
+      static_cast<unsigned long long>(LastProgress),
+      static_cast<unsigned long long>(Now));
+}
+
+void WatchdogReport::section(const std::string &Title) {
+  Text += "-- " + Title + " --\n";
+}
+
+void WatchdogReport::line(const std::string &L) { Text += "  " + L + "\n"; }
+
+void WatchdogReport::traceTail(const Trace *T, size_t MaxEvents) {
+  section("last trace events");
+  if (!T) {
+    line("(tracing disabled; re-run with --trace=FILE for event history)");
+    return;
+  }
+  const std::vector<TraceEvent> &Events = T->events();
+  if (Events.empty()) {
+    line("(trace is empty)");
+    return;
+  }
+  size_t Begin = Events.size() > MaxEvents ? Events.size() - MaxEvents : 0;
+  for (size_t I = Begin; I < Events.size(); ++I) {
+    const TraceEvent &E = Events[I];
+    line(formatString("t=%llu core=%d %s task=%d obj=%lld peer=%d aux=%llu",
+                      static_cast<unsigned long long>(E.Time), E.Core,
+                      kindName(E.Kind), E.Task,
+                      static_cast<long long>(E.Object), E.Peer,
+                      static_cast<unsigned long long>(E.Aux)));
+  }
+}
+
+} // namespace bamboo::support

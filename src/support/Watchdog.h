@@ -1,0 +1,88 @@
+//===- support/Watchdog.h - Scheduler-progress watchdog ---------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A progress watchdog shared by all three engines. The engine reports
+/// every unit of real scheduler progress (a dispatch or a completion) with
+/// progress(Now); the run loop asks stalled(Now) as virtual time advances.
+/// When time has moved more than the configured limit past the last
+/// progress point — e.g. an adversarial fault plan re-arming stall windows
+/// forever — the engine aborts the run with a diagnostic dump instead of
+/// hanging. The thread-backed executor uses the same class over
+/// millisecond timestamps.
+///
+/// WatchdogReport accumulates the dump: last trace events, per-core queue
+/// depths, held locks. It is plain text, printed to stderr by the driver
+/// before exiting with the dedicated watchdog exit code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_SUPPORT_WATCHDOG_H
+#define BAMBOO_SUPPORT_WATCHDOG_H
+
+#include <cstdint>
+#include <string>
+
+namespace bamboo::support {
+
+class Trace;
+
+/// Tracks the last point of real progress on a monotone clock (virtual
+/// cycles or wall milliseconds). Limit 0 disables the watchdog.
+class Watchdog {
+public:
+  Watchdog() = default;
+  explicit Watchdog(uint64_t Limit) : Limit(Limit) {}
+
+  bool enabled() const { return Limit > 0; }
+
+  /// Records real progress at time \p Now.
+  void progress(uint64_t Now) {
+    if (Now > Last)
+      Last = Now;
+  }
+
+  /// True when \p Now is more than the limit past the last progress.
+  bool stalled(uint64_t Now) const {
+    return enabled() && Now > Last && Now - Last > Limit;
+  }
+
+  uint64_t limit() const { return Limit; }
+  uint64_t lastProgress() const { return Last; }
+
+private:
+  uint64_t Limit = 0;
+  uint64_t Last = 0;
+};
+
+/// Builds the diagnostic dump emitted when a watchdog fires.
+class WatchdogReport {
+public:
+  /// Starts the report: what stalled, where, and for how long. \p Unit is
+  /// "cycles" or "ms".
+  WatchdogReport(const std::string &Engine, uint64_t Now, uint64_t LastProgress,
+                 uint64_t Limit, const char *Unit);
+
+  /// Begins a titled section ("per-core queue depths", "held locks", ...).
+  void section(const std::string &Title);
+
+  /// Appends one indented line to the current section.
+  void line(const std::string &L);
+
+  /// Renders the tail (last \p MaxEvents) of \p T as one line per event.
+  /// Null or empty traces add a placeholder line so the dump says why the
+  /// section is empty.
+  void traceTail(const Trace *T, size_t MaxEvents);
+
+  const std::string &str() const { return Text; }
+
+private:
+  std::string Text;
+};
+
+} // namespace bamboo::support
+
+#endif // BAMBOO_SUPPORT_WATCHDOG_H

@@ -1,0 +1,662 @@
+//===- tests/CheckpointTest.cpp - Checkpoint/restore + watchdog tests ------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The deterministic checkpoint/restart contract:
+///
+///  * the container format is byte-stable (pinned by a committed golden
+///    fixture) and rejects tampered, truncated, and wrong-version files;
+///  * a checkpointed TileExecutor run is byte-identical to an
+///    uncheckpointed one, and a run killed at a checkpoint and restored
+///    continues to the same final heap — for all six benchmark apps,
+///    under fault injection, with the same trace suffix modulo the
+///    resume marker;
+///  * SchedSim restores to identical estimates; ThreadExecutor restores
+///    to the same final application state (checksum equivalence — the
+///    host engine is not schedule-deterministic);
+///  * the watchdog turns a livelocked run into a prompt abort with a
+///    diagnostic dump instead of a hang.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cstg.h"
+#include "apps/App.h"
+#include "driver/Pipeline.h"
+#include "machine/MachineConfig.h"
+#include "resilience/Checkpoint.h"
+#include "resilience/FaultPlan.h"
+#include "runtime/HeapSnapshot.h"
+#include "runtime/ThreadExecutor.h"
+#include "runtime/TileExecutor.h"
+#include "schedsim/SchedSim.h"
+#include "support/Trace.h"
+#include "PipelineFixture.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace bamboo;
+using namespace bamboo::machine;
+using namespace bamboo::resilience;
+using namespace bamboo::runtime;
+using namespace bamboo::tests;
+
+namespace {
+
+FaultPlan mustParse(const std::string &Spec) {
+  std::string Error;
+  auto Plan = FaultPlan::parse(Spec, Error);
+  EXPECT_TRUE(Plan.has_value()) << Spec << ": " << Error;
+  return Plan.value_or(FaultPlan());
+}
+
+Layout spreadWorkers(const ir::Program &P, int Cores) {
+  Layout L;
+  L.NumCores = Cores;
+  L.Instances = {{P.findTask("boot"), 0}, {P.findTask("fold"), 0}};
+  for (int C = 0; C < Cores; ++C)
+    L.Instances.push_back({P.findTask("work"), C});
+  return L;
+}
+
+/// One instance of every task round-robin over \p Cores — works for any
+/// program, which the app matrix below needs.
+Layout spreadAllTasks(const ir::Program &P, int Cores) {
+  Layout L;
+  L.NumCores = Cores;
+  for (size_t T = 0; T < P.tasks().size(); ++T)
+    L.Instances.push_back(
+        {static_cast<ir::TaskId>(T), static_cast<int>(T) % Cores});
+  return L;
+}
+
+/// Byte-exact image of the heap (objects, flags, locks, tags, payloads)
+/// via the same serializer checkpoints use: two runs with equal
+/// fingerprints ended in the same final state.
+std::string heapFingerprint(Heap &H, const BoundProgram &BP) {
+  ByteWriter W;
+  CodecSaveCtx Ctx;
+  std::string Err = saveHeap(H, BP, W, Ctx);
+  EXPECT_TRUE(Err.empty()) << Err;
+  return W.take();
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+bool sameEvent(const support::TraceEvent &A, const support::TraceEvent &B) {
+  return A.Kind == B.Kind && A.Time == B.Time && A.Core == B.Core &&
+         A.Task == B.Task && A.Exit == B.Exit && A.Object == B.Object &&
+         A.Peer == B.Peer && A.Hops == B.Hops && A.Bytes == B.Bytes &&
+         A.Aux == B.Aux;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Container format
+//===----------------------------------------------------------------------===//
+
+TEST(CheckpointContainerTest, RoundTripsAllFields) {
+  Checkpoint C;
+  C.Engine = EngineKind::Sched;
+  C.Program = "pipeline";
+  C.Seed = 99;
+  C.FaultSeed = 3;
+  C.Recovery = 0;
+  C.FaultSpec = "drop~0.25,fail@100:2";
+  C.Args = {"one", "", "three"};
+  C.LayoutKey = "key-bytes";
+  C.NumCores = 62;
+  C.Cycle = 123456789;
+  C.Body = std::string("body\0with\0nuls", 14);
+
+  std::string Bytes = C.serialize();
+  Checkpoint Out;
+  ASSERT_EQ(Checkpoint::deserialize(Bytes, Out), "");
+  EXPECT_EQ(Out.Engine, C.Engine);
+  EXPECT_EQ(Out.Program, C.Program);
+  EXPECT_EQ(Out.Seed, C.Seed);
+  EXPECT_EQ(Out.FaultSeed, C.FaultSeed);
+  EXPECT_EQ(Out.Recovery, C.Recovery);
+  EXPECT_EQ(Out.FaultSpec, C.FaultSpec);
+  EXPECT_EQ(Out.Args, C.Args);
+  EXPECT_EQ(Out.LayoutKey, C.LayoutKey);
+  EXPECT_EQ(Out.NumCores, C.NumCores);
+  EXPECT_EQ(Out.Cycle, C.Cycle);
+  EXPECT_EQ(Out.Body, C.Body);
+  // Serialization is a pure function of the fields.
+  EXPECT_EQ(Out.serialize(), Bytes);
+}
+
+TEST(CheckpointContainerTest, GoldenFixtureIsByteStable) {
+  // The committed fixture pins FormatVersion 1 of the container: if this
+  // test fails after an intentional format change, bump FormatVersion
+  // and regenerate the fixture rather than silently breaking old files.
+  std::string Path = std::string(BAMBOO_GOLDEN_DIR) + "/checkpoint-v1.ckpt";
+  Checkpoint C;
+  ASSERT_EQ(Checkpoint::loadFile(Path, C), "");
+  EXPECT_EQ(C.Engine, EngineKind::Tile);
+  EXPECT_EQ(C.Program, "golden");
+  EXPECT_EQ(C.Seed, 42u);
+  EXPECT_EQ(C.FaultSeed, 7u);
+  EXPECT_EQ(C.Recovery, 1);
+  EXPECT_EQ(C.FaultSpec, "drop~0.1");
+  EXPECT_EQ(C.Args, (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(C.LayoutKey, "golden-layout-key");
+  EXPECT_EQ(C.NumCores, 8u);
+  EXPECT_EQ(C.Cycle, 4096u);
+  EXPECT_EQ(C.Body, "golden-body-bytes");
+  EXPECT_EQ(C.serialize(), readFile(Path))
+      << "serializer no longer reproduces the v1 wire format";
+}
+
+TEST(CheckpointContainerTest, RejectsTamperedCorruptedAndTruncatedFiles) {
+  Checkpoint C;
+  C.Program = "p";
+  C.Body = "some-body";
+  std::string Good = C.serialize();
+
+  Checkpoint Out;
+  // Truncations at every prefix length fail cleanly (never parse).
+  for (size_t Len = 0; Len < Good.size(); ++Len)
+    EXPECT_NE(Checkpoint::deserialize(Good.substr(0, Len), Out), "")
+        << "truncation at " << Len << " must be rejected";
+  // Any single flipped byte is caught (magic, version, field, or CRC).
+  for (size_t I = 0; I < Good.size(); ++I) {
+    std::string Bad = Good;
+    Bad[I] = static_cast<char>(Bad[I] ^ 0x5A);
+    EXPECT_NE(Checkpoint::deserialize(Bad, Out), "")
+        << "flipped byte at " << I << " must be rejected";
+  }
+  // Trailing garbage is not silently ignored.
+  EXPECT_NE(Checkpoint::deserialize(Good + "x", Out), "");
+
+  // Wrong version specifically reports a version error.
+  std::string Versioned = Good;
+  Versioned[8] = 2; // version u32 follows the 8-byte magic
+  std::string Err = Checkpoint::deserialize(Versioned, Out);
+  EXPECT_NE(Err.find("version"), std::string::npos) << Err;
+
+  // Wrong magic reports "not a checkpoint", not a CRC error.
+  std::string Magicked = Good;
+  Magicked[0] = 'X';
+  Err = Checkpoint::deserialize(Magicked, Out);
+  EXPECT_NE(Err.find("magic"), std::string::npos) << Err;
+
+  // Missing file.
+  EXPECT_NE(Checkpoint::loadFile("/nonexistent/no.ckpt", Out), "");
+}
+
+//===----------------------------------------------------------------------===//
+// TileExecutor: kill-and-restore across all six apps
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class AppCheckpointTest : public ::testing::TestWithParam<const char *> {};
+
+} // namespace
+
+TEST_P(AppCheckpointTest, KillAndRestoreReachesTheSameFinalState) {
+  auto A = apps::makeApp(GetParam());
+  ASSERT_NE(A, nullptr);
+  BoundProgram BP = A->makeBound(1);
+  ASSERT_TRUE(BP.fullyBound());
+  analysis::Cstg G = analysis::buildCstg(BP.program());
+  MachineConfig M = MachineConfig::tilePro64();
+  M.NumCores = 8;
+  Layout L = spreadAllTasks(BP.program(), 8);
+
+  // Uncheckpointed baseline.
+  TileExecutor Base(BP, G, M, L);
+  ExecOptions Opts;
+  ExecResult B = Base.run(Opts);
+  ASSERT_TRUE(B.Completed) << A->name();
+  std::string BaseFp = heapFingerprint(Base.heap(), BP);
+  uint64_t BaseChecksum = A->checksumFromHeap(Base.heap());
+
+  // Checkpointing must not perturb the run.
+  std::vector<Checkpoint> Ckpts;
+  Opts.CheckpointEvery = B.TotalCycles / 3 + 1;
+  Opts.OnCheckpoint = [&](const Checkpoint &C) { Ckpts.push_back(C); };
+  TileExecutor Ckptd(BP, G, M, L);
+  ExecResult CR = Ckptd.run(Opts);
+  ASSERT_TRUE(CR.Completed) << A->name();
+  EXPECT_EQ(CR.TotalCycles, B.TotalCycles) << A->name();
+  EXPECT_EQ(CR.TaskInvocations, B.TaskInvocations);
+  EXPECT_EQ(heapFingerprint(Ckptd.heap(), BP), BaseFp);
+  ASSERT_GE(Ckpts.size(), 2u) << A->name();
+  EXPECT_EQ(CR.CheckpointsWritten, Ckpts.size());
+
+  // Kill at the middle snapshot; a fresh executor must continue to a
+  // byte-identical final heap and the same totals.
+  const Checkpoint &Mid = Ckpts[Ckpts.size() / 2];
+  ExecOptions ROpts;
+  ROpts.Restore = &Mid;
+  TileExecutor Restored(BP, G, M, L);
+  ExecResult RR = Restored.run(ROpts);
+  ASSERT_TRUE(RR.RestoreError.empty()) << RR.RestoreError;
+  ASSERT_TRUE(RR.Completed) << A->name();
+  EXPECT_EQ(RR.TotalCycles, B.TotalCycles) << A->name();
+  EXPECT_EQ(RR.TaskInvocations, B.TaskInvocations);
+  EXPECT_EQ(heapFingerprint(Restored.heap(), BP), BaseFp) << A->name();
+  EXPECT_EQ(A->checksumFromHeap(Restored.heap()), BaseChecksum);
+
+  // The container itself file-round-trips the mid snapshot losslessly.
+  Checkpoint Reloaded;
+  ASSERT_EQ(Checkpoint::deserialize(Mid.serialize(), Reloaded), "");
+  EXPECT_EQ(Reloaded.Body, Mid.Body);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppCheckpointTest,
+                         ::testing::Values("Tracking", "KMeans",
+                                           "MonteCarlo", "FilterBank",
+                                           "Fractal", "Series"));
+
+//===----------------------------------------------------------------------===//
+// TileExecutor: fidelity under faults, trace suffix, validation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct PipelineHarness {
+  BoundProgram BP = makePipelineBound(48, 60);
+  analysis::Cstg G = analysis::buildCstg(BP.program());
+  MachineConfig M = MachineConfig::tilePro64();
+  Layout L;
+  PipelineHarness() {
+    M.NumCores = 8;
+    L = spreadWorkers(BP.program(), 8);
+  }
+};
+
+} // namespace
+
+TEST(TileCheckpointTest, RestoreIsExactUnderFaultInjection) {
+  PipelineHarness H;
+  FaultPlan Plan = mustParse("drop~0.1,dup~0.05,stall~0.05,stallwidth=512,"
+                             "fail@700:2");
+  ExecOptions Opts;
+  Opts.Faults = &Plan;
+  Opts.FaultSeed = 7;
+  Opts.Recovery = true;
+
+  TileExecutor Base(H.BP, H.G, H.M, H.L);
+  ExecResult B = Base.run(Opts);
+  ASSERT_TRUE(B.Completed);
+  ASSERT_GT(B.Recovery.totalInjected(), 0u);
+  std::string BaseFp = heapFingerprint(Base.heap(), H.BP);
+
+  std::vector<Checkpoint> Ckpts;
+  Opts.CheckpointEvery = B.TotalCycles / 4 + 1;
+  Opts.OnCheckpoint = [&](const Checkpoint &C) { Ckpts.push_back(C); };
+  TileExecutor Ckptd(H.BP, H.G, H.M, H.L);
+  ExecResult CR = Ckptd.run(Opts);
+  ASSERT_TRUE(CR.Completed);
+  EXPECT_EQ(CR.TotalCycles, B.TotalCycles);
+  ASSERT_GE(Ckpts.size(), 2u);
+
+  // Restore mid-run under the SAME plan and seed: the fault stream is
+  // positional (counter-based), so the continuation replays the tail of
+  // the baseline's faults exactly.
+  ExecOptions ROpts;
+  ROpts.Faults = &Plan;
+  ROpts.FaultSeed = 7;
+  ROpts.Recovery = true;
+  ROpts.Restore = &Ckpts[Ckpts.size() / 2];
+  TileExecutor Restored(H.BP, H.G, H.M, H.L);
+  ExecResult RR = Restored.run(ROpts);
+  ASSERT_TRUE(RR.RestoreError.empty()) << RR.RestoreError;
+  ASSERT_TRUE(RR.Completed);
+  EXPECT_EQ(RR.TotalCycles, B.TotalCycles);
+  EXPECT_EQ(heapFingerprint(Restored.heap(), H.BP), BaseFp);
+  EXPECT_EQ(RR.Recovery.Drops + RR.Recovery.Dups + RR.Recovery.Stalls,
+            B.Recovery.Drops + B.Recovery.Dups + B.Recovery.Stalls)
+      << "restored fault accounting must cover the whole run";
+  const SinkData *Sink = findPipelineSink(Restored.heap());
+  ASSERT_NE(Sink, nullptr);
+  EXPECT_EQ(Sink->Total, pipelineExpectedTotal(48));
+}
+
+TEST(TileCheckpointTest, RestoredTraceIsTheBaselineSuffixPlusResumeMark) {
+  PipelineHarness H;
+  support::Trace BaseTrace;
+  ExecOptions Opts;
+  Opts.Trace = &BaseTrace;
+  TileExecutor Base(H.BP, H.G, H.M, H.L);
+  ExecResult B = Base.run(Opts);
+  ASSERT_TRUE(B.Completed);
+
+  std::vector<Checkpoint> Ckpts;
+  ExecOptions COpts;
+  COpts.CheckpointEvery = B.TotalCycles / 3 + 1;
+  COpts.OnCheckpoint = [&](const Checkpoint &C) { Ckpts.push_back(C); };
+  TileExecutor Ckptd(H.BP, H.G, H.M, H.L);
+  ASSERT_TRUE(Ckptd.run(COpts).Completed);
+  ASSERT_GE(Ckpts.size(), 1u);
+
+  support::Trace RestTrace;
+  ExecOptions ROpts;
+  ROpts.Trace = &RestTrace;
+  ROpts.Restore = &Ckpts.front();
+  TileExecutor Restored(H.BP, H.G, H.M, H.L);
+  ExecResult RR = Restored.run(ROpts);
+  ASSERT_TRUE(RR.RestoreError.empty()) << RR.RestoreError;
+  ASSERT_TRUE(RR.Completed);
+
+  const auto &RE = RestTrace.events();
+  const auto &BE = BaseTrace.events();
+  ASSERT_FALSE(RE.empty());
+  EXPECT_EQ(RE[0].Kind, support::TraceEventKind::Resume);
+  EXPECT_EQ(RE[0].Time, Ckpts.front().Cycle);
+  ASSERT_GT(RE.size(), 1u);
+  ASSERT_LE(RE.size() - 1, BE.size());
+  for (size_t I = 1; I < RE.size(); ++I) {
+    const auto &Want = BE[BE.size() - (RE.size() - 1) + (I - 1)];
+    EXPECT_TRUE(sameEvent(RE[I], Want)) << "suffix diverges at " << I;
+  }
+}
+
+TEST(TileCheckpointTest, RestoreValidatesRunIdentity) {
+  PipelineHarness H;
+  std::vector<Checkpoint> Ckpts;
+  ExecOptions Opts;
+  Opts.CheckpointEvery = 500;
+  Opts.OnCheckpoint = [&](const Checkpoint &C) { Ckpts.push_back(C); };
+  TileExecutor Exec(H.BP, H.G, H.M, H.L);
+  ASSERT_TRUE(Exec.run(Opts).Completed);
+  ASSERT_FALSE(Ckpts.empty());
+
+  // Wrong machine width.
+  MachineConfig M4 = H.M;
+  M4.NumCores = 4;
+  Layout L4 = spreadWorkers(H.BP.program(), 4);
+  ExecOptions ROpts;
+  ROpts.Restore = &Ckpts.front();
+  TileExecutor Wrong(H.BP, H.G, M4, L4);
+  ExecResult RR = Wrong.run(ROpts);
+  EXPECT_FALSE(RR.Completed);
+  EXPECT_NE(RR.RestoreError.find("core-count"), std::string::npos)
+      << RR.RestoreError;
+
+  // Wrong seed.
+  ExecOptions SeedOpts;
+  SeedOpts.Seed = 2;
+  SeedOpts.Restore = &Ckpts.front();
+  TileExecutor WrongSeed(H.BP, H.G, H.M, H.L);
+  RR = WrongSeed.run(SeedOpts);
+  EXPECT_NE(RR.RestoreError.find("seed"), std::string::npos)
+      << RR.RestoreError;
+
+  // Wrong fault plan.
+  FaultPlan Plan = mustParse("drop~0.5");
+  ExecOptions FaultOpts;
+  FaultOpts.Faults = &Plan;
+  FaultOpts.Restore = &Ckpts.front();
+  TileExecutor WrongPlan(H.BP, H.G, H.M, H.L);
+  RR = WrongPlan.run(FaultOpts);
+  EXPECT_NE(RR.RestoreError.find("fault-plan"), std::string::npos)
+      << RR.RestoreError;
+
+  // Structurally corrupted body (file-level bit flips are already caught
+  // by the container CRC; the engine must still survive a malformed
+  // payload handed to it directly).
+  Checkpoint Bad = Ckpts.front();
+  Bad.Body.resize(Bad.Body.size() / 2);
+  ExecOptions BadOpts;
+  BadOpts.Restore = &Bad;
+  TileExecutor Corrupt(H.BP, H.G, H.M, H.L);
+  RR = Corrupt.run(BadOpts);
+  EXPECT_FALSE(RR.Completed);
+  EXPECT_FALSE(RR.RestoreError.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// SchedSim
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct SimHarness {
+  BoundProgram BP = makePipelineBound(48, 60);
+  analysis::Cstg G = analysis::buildCstg(BP.program());
+  profile::Profile Prof = driver::profileOneCore(BP, G, ExecOptions{});
+  MachineConfig M = MachineConfig::tilePro64();
+  Layout L;
+  SimHarness() {
+    M.NumCores = 8;
+    L = spreadWorkers(BP.program(), 8);
+  }
+  schedsim::SimResult run(const schedsim::SimOptions &Opts) {
+    return schedsim::simulateLayout(BP.program(), G, Prof, BP.hints(), M, L,
+                                    Opts);
+  }
+};
+
+void expectSameSim(const schedsim::SimResult &A,
+                   const schedsim::SimResult &B) {
+  EXPECT_EQ(A.EstimatedCycles, B.EstimatedCycles);
+  EXPECT_EQ(A.Terminated, B.Terminated);
+  EXPECT_EQ(A.Invocations, B.Invocations);
+  EXPECT_EQ(A.CoreBusy, B.CoreBusy);
+  ASSERT_EQ(A.Trace.size(), B.Trace.size());
+  for (size_t I = 0; I < A.Trace.size(); ++I) {
+    EXPECT_EQ(A.Trace[I].Task, B.Trace[I].Task) << I;
+    EXPECT_EQ(A.Trace[I].Exit, B.Trace[I].Exit) << I;
+    EXPECT_EQ(A.Trace[I].Core, B.Trace[I].Core) << I;
+    EXPECT_EQ(A.Trace[I].Start, B.Trace[I].Start) << I;
+    EXPECT_EQ(A.Trace[I].End, B.Trace[I].End) << I;
+    EXPECT_EQ(A.Trace[I].DepIds, B.Trace[I].DepIds) << I;
+  }
+}
+
+} // namespace
+
+TEST(SchedSimCheckpointTest, CheckpointedSimulationIsByteIdentical) {
+  SimHarness H;
+  schedsim::SimOptions Base;
+  Base.RecordTrace = true;
+  schedsim::SimResult B = H.run(Base);
+  ASSERT_TRUE(B.Terminated);
+
+  std::vector<Checkpoint> Ckpts;
+  schedsim::SimOptions Opts;
+  Opts.RecordTrace = true;
+  Opts.CheckpointEvery = B.EstimatedCycles / 3 + 1;
+  Opts.OnCheckpoint = [&](const Checkpoint &C) { Ckpts.push_back(C); };
+  schedsim::SimResult CR = H.run(Opts);
+  ASSERT_TRUE(CR.Terminated);
+  EXPECT_GE(Ckpts.size(), 2u);
+  EXPECT_EQ(CR.CheckpointsWritten, Ckpts.size());
+  expectSameSim(CR, B);
+
+  // Restore from the middle snapshot: identical estimates and trace
+  // tail (the restored trace carries the full task list, rebuilt from
+  // the snapshot, so the whole trace must match).
+  schedsim::SimOptions ROpts;
+  ROpts.RecordTrace = true;
+  ROpts.Restore = &Ckpts[Ckpts.size() / 2];
+  schedsim::SimResult RR = H.run(ROpts);
+  ASSERT_TRUE(RR.RestoreError.empty()) << RR.RestoreError;
+  expectSameSim(RR, B);
+}
+
+TEST(SchedSimCheckpointTest, RestoreIsExactUnderFaults) {
+  SimHarness H;
+  FaultPlan Plan = mustParse("drop~0.1,stall~0.1,stallwidth=512,fail@700:2");
+  schedsim::SimOptions Base;
+  Base.Faults = &Plan;
+  Base.FaultSeed = 5;
+  schedsim::SimResult B = H.run(Base);
+  ASSERT_TRUE(B.Terminated);
+  ASSERT_GT(B.Recovery.totalInjected(), 0u);
+
+  std::vector<Checkpoint> Ckpts;
+  schedsim::SimOptions Opts = Base;
+  Opts.CheckpointEvery = B.EstimatedCycles / 3 + 1;
+  Opts.OnCheckpoint = [&](const Checkpoint &C) { Ckpts.push_back(C); };
+  schedsim::SimResult CR = H.run(Opts);
+  ASSERT_GE(Ckpts.size(), 1u);
+  EXPECT_EQ(CR.EstimatedCycles, B.EstimatedCycles);
+
+  schedsim::SimOptions ROpts = Base;
+  ROpts.Restore = &Ckpts.back();
+  schedsim::SimResult RR = H.run(ROpts);
+  ASSERT_TRUE(RR.RestoreError.empty()) << RR.RestoreError;
+  EXPECT_EQ(RR.EstimatedCycles, B.EstimatedCycles);
+  EXPECT_EQ(RR.Invocations, B.Invocations);
+  EXPECT_EQ(RR.CoreBusy, B.CoreBusy);
+}
+
+TEST(SchedSimCheckpointTest, RestoreRejectsMismatchedIdentity) {
+  SimHarness H;
+  std::vector<Checkpoint> Ckpts;
+  schedsim::SimOptions Opts;
+  Opts.CheckpointEvery = 500;
+  Opts.OnCheckpoint = [&](const Checkpoint &C) { Ckpts.push_back(C); };
+  ASSERT_TRUE(H.run(Opts).Terminated);
+  ASSERT_FALSE(Ckpts.empty());
+  EXPECT_EQ(Ckpts.front().Engine, EngineKind::Sched);
+
+  // A sched snapshot does not restore into a different machine width.
+  SimHarness Wrong;
+  Wrong.M.NumCores = 4;
+  Wrong.L = spreadWorkers(Wrong.BP.program(), 4);
+  schedsim::SimOptions ROpts;
+  ROpts.Restore = &Ckpts.front();
+  schedsim::SimResult RR = Wrong.run(ROpts);
+  EXPECT_FALSE(RR.Terminated);
+  EXPECT_FALSE(RR.RestoreError.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadExecutor: checksum equivalence (host runs are not
+// schedule-deterministic, so the contract is same final application
+// state, not byte-identical traces)
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadCheckpointTest, RestoreReachesTheSameFinalSum) {
+  // Host checkpoints are taken by a monitor thread polling every 1ms, so
+  // the run has to span many ticks for snapshots to land: use a work
+  // list large enough that wall time is tens of milliseconds on any
+  // machine.
+  const int Items = 2000;
+  BoundProgram BP = makePipelineBound(Items, 100);
+  analysis::Cstg G = analysis::buildCstg(BP.program());
+  Layout L = spreadWorkers(BP.program(), 4);
+
+  std::vector<Checkpoint> Ckpts;
+  ThreadExecOptions Opts;
+  Opts.CheckpointEveryInvocations = 400;
+  Opts.OnCheckpoint = [&](const Checkpoint &C) { Ckpts.push_back(C); };
+  ThreadExecutor Exec(BP, G, L);
+  ThreadExecResult R = Exec.run(Opts);
+  ASSERT_TRUE(R.Completed) << R.CheckpointError;
+  ASSERT_GE(Ckpts.size(), 1u);
+  EXPECT_EQ(R.CheckpointsWritten, Ckpts.size());
+
+  // Restore the snapshots from different progress points; every
+  // continuation must finish with the exact sum.
+  for (size_t I : {size_t(0), Ckpts.size() / 2, Ckpts.size() - 1}) {
+    const Checkpoint &C = Ckpts[I];
+    EXPECT_EQ(C.Engine, EngineKind::Thread);
+    ThreadExecOptions ROpts;
+    ROpts.Restore = &C;
+    ThreadExecutor Restored(BP, G, L);
+    ThreadExecResult RR = Restored.run(ROpts);
+    ASSERT_TRUE(RR.RestoreError.empty()) << RR.RestoreError;
+    ASSERT_TRUE(RR.Completed);
+    EXPECT_EQ(RR.TaskInvocations, 1u + 2u * Items)
+        << "restored totals must cover the whole run";
+    const SinkData *Sink = findPipelineSink(Restored.heap());
+    ASSERT_NE(Sink, nullptr);
+    EXPECT_EQ(Sink->Merged, Items);
+    EXPECT_EQ(Sink->Total, pipelineExpectedTotal(Items));
+  }
+
+  // Identity validation, using a real snapshot: a host checkpoint does
+  // not restore into a differently-shaped layout.
+  Layout L8 = spreadWorkers(BP.program(), 8);
+  ThreadExecOptions WOpts;
+  WOpts.Restore = &Ckpts.front();
+  ThreadExecutor Wrong(BP, G, L8);
+  ThreadExecResult RR = Wrong.run(WOpts);
+  EXPECT_FALSE(RR.Completed);
+  EXPECT_FALSE(RR.RestoreError.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Watchdog: livelocked runs abort with a dump instead of hanging
+//===----------------------------------------------------------------------===//
+
+TEST(WatchdogTest, TileLivelockAbortsWithDiagnosticDump) {
+  PipelineHarness H;
+  // Every lock sweep faults and recovery is off: the run retries
+  // forever, advancing virtual time without ever dispatching — the
+  // shape of bug the watchdog exists for.
+  FaultPlan Plan = mustParse("lock~1");
+  ExecOptions Opts;
+  Opts.Faults = &Plan;
+  Opts.Recovery = false;
+  Opts.WatchdogCycles = 50000;
+  TileExecutor Exec(H.BP, H.G, H.M, H.L);
+  ExecResult R = Exec.run(Opts);
+  EXPECT_FALSE(R.Completed);
+  ASSERT_TRUE(R.WatchdogFired);
+  EXPECT_NE(R.WatchdogDump.find("WATCHDOG"), std::string::npos);
+  EXPECT_NE(R.WatchdogDump.find("per-core state"), std::string::npos);
+  EXPECT_NE(R.WatchdogDump.find("held locks"), std::string::npos)
+      << R.WatchdogDump;
+}
+
+TEST(WatchdogTest, TileHealthyRunNeverTrips) {
+  PipelineHarness H;
+  ExecOptions Opts;
+  Opts.WatchdogCycles = 2000; // far below the run length, yet quiet
+  TileExecutor Exec(H.BP, H.G, H.M, H.L);
+  ExecResult R = Exec.run(Opts);
+  EXPECT_TRUE(R.Completed);
+  EXPECT_FALSE(R.WatchdogFired);
+}
+
+TEST(WatchdogTest, SchedSimLivelockAborts) {
+  SimHarness H;
+  FaultPlan Plan = mustParse("lock~1");
+  schedsim::SimOptions Opts;
+  Opts.Faults = &Plan;
+  Opts.Recovery = false;
+  Opts.WatchdogCycles = 50000;
+  schedsim::SimResult R = H.run(Opts);
+  EXPECT_FALSE(R.Terminated);
+  ASSERT_TRUE(R.WatchdogFired);
+  EXPECT_NE(R.WatchdogDump.find("WATCHDOG"), std::string::npos);
+}
+
+TEST(WatchdogTest, ThreadStallAbortsWellBeforeTheTimeout) {
+  BoundProgram BP = makePipelineBound(16, 50);
+  analysis::Cstg G = analysis::buildCstg(BP.program());
+  Layout L = spreadWorkers(BP.program(), 4);
+  FaultPlan Plan = mustParse("lock~1");
+  ThreadExecOptions Opts;
+  Opts.Faults = &Plan;
+  Opts.Recovery = false;
+  Opts.WatchdogMs = 300;
+  Opts.TimeoutMs = 30000;
+  ThreadExecutor Exec(BP, G, L);
+  ThreadExecResult R = Exec.run(Opts);
+  EXPECT_FALSE(R.Completed);
+  ASSERT_TRUE(R.WatchdogFired);
+  EXPECT_NE(R.WatchdogDump.find("WATCHDOG"), std::string::npos);
+  EXPECT_LT(R.WallSeconds, 15.0)
+      << "watchdog must abort long before the run timeout";
+}

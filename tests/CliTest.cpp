@@ -17,8 +17,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <sys/wait.h>
 #include <unistd.h>
 
 namespace {
@@ -164,8 +166,10 @@ TEST(CliTest, HelpListsEveryParsedFlag) {
   for (const char *Flag :
        {"--run", "--cores=", "--arg=", "--seed=", "--jobs=", "--trace=",
         "--metrics", "--faults=", "--fault-seed=", "--recovery=",
-        "--dump-ir", "--dump-astg", "--dump-cstg", "--dump-taskflow",
-        "--dump-locks", "--dump-layout", "--emit-c", "--help"})
+        "--checkpoint-every=", "--checkpoint-dir=", "--restore=",
+        "--watchdog-cycles=", "--dump-ir", "--dump-astg", "--dump-cstg",
+        "--dump-taskflow", "--dump-locks", "--dump-layout", "--emit-c",
+        "--help"})
     EXPECT_NE(Out.find(Flag), std::string::npos) << Flag;
 }
 
@@ -218,6 +222,107 @@ TEST(CliTest, FaultedTraceByteIdenticalAcrossJobs) {
   EXPECT_EQ(JsonA, JsonB);
   EXPECT_NE(JsonA.find("retransmit"), std::string::npos)
       << "faulted trace should contain recovery events";
+}
+
+namespace {
+
+/// Exit code of a std::system status (the raw value is a wait status).
+int exitCode(int Status) {
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+/// Newest checkpoint file (highest cycle number) in \p Dir.
+std::string lastCheckpoint(const std::string &Dir) {
+  std::string Best;
+  uint64_t BestCycle = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir)) {
+    std::string Name = E.path().filename().string();
+    if (Name.rfind("ckpt-", 0) != 0)
+      continue;
+    uint64_t Cycle = std::strtoull(Name.c_str() + 5, nullptr, 10);
+    if (Best.empty() || Cycle > BestCycle) {
+      Best = E.path().string();
+      BestCycle = Cycle;
+    }
+  }
+  return Best;
+}
+
+} // namespace
+
+TEST(CliTest, RestoredRunMatchesAcrossJobsValues) {
+  // Synthesis threading must not leak into checkpoint identity: a
+  // snapshot written by a --jobs=1 run restores under --jobs=3 and
+  // produces the same answer (the layout search is deterministic, so
+  // both runs agree on the layout the snapshot is validated against).
+  std::string Dir = tempPath("cli_ckpts_" + std::to_string(::getpid()));
+  std::string Common = keywordFile() + " --cores=4 --arg='the cat the dog'";
+  auto [Status, Out] = runBamboo(Common + " --jobs=1 --checkpoint-every=150" +
+                                 " --checkpoint-dir=" + Dir);
+  EXPECT_EQ(exitCode(Status), 0);
+  EXPECT_NE(Out.find("total=2"), std::string::npos);
+  std::string Ckpt = lastCheckpoint(Dir);
+  ASSERT_FALSE(Ckpt.empty()) << "checkpoint run wrote no ckpt-* files";
+
+  auto [Status2, Out2] = runBamboo(Common + " --jobs=3 --restore=" + Ckpt);
+  EXPECT_EQ(exitCode(Status2), 0);
+  EXPECT_EQ(Out2, Out) << "restored output must match the original run";
+}
+
+TEST(CliTest, RestartPolicyRecoversADamagedRun) {
+  // --recovery=restart: raw faults damage the run, the driver rolls back
+  // to the latest in-memory snapshot with a reseeded fault stream and
+  // retries until the program completes undamaged.
+  std::string Dir = tempPath("cli_rckpts_" + std::to_string(::getpid()));
+  auto [Status, Out] = runBamboo(
+      keywordFile() + " --cores=4 --arg='the cat the dog'" +
+      " --faults=drop~0.4 --fault-seed=3 --recovery=restart" +
+      " --checkpoint-every=150 --checkpoint-dir=" + Dir);
+  EXPECT_EQ(exitCode(Status), 0);
+  EXPECT_NE(Out.find("total=2"), std::string::npos)
+      << "restarted run must converge to the fault-free answer";
+  std::string Err = readFile(capturePath("stderr"));
+  EXPECT_NE(Err.find("restarting from checkpoint"), std::string::npos) << Err;
+}
+
+TEST(CliTest, WatchdogAbortExitsWithCode3) {
+  // lock~1 with recovery off livelocks the deterministic engine; the
+  // watchdog must turn that into exit code 3 plus a diagnostic dump
+  // (distinct from generic failures) instead of a hang.
+  auto [Status, Out] = runBamboo(
+      keywordFile() + " --run --cores=4 --arg='the cat the dog'" +
+      " --faults=lock~1 --recovery=off --watchdog-cycles=50000");
+  EXPECT_EQ(exitCode(Status), 3);
+  std::string Err = readFile(capturePath("stderr"));
+  EXPECT_NE(Err.find("WATCHDOG"), std::string::npos) << Err;
+  (void)Out;
+}
+
+TEST(CliTest, RestoreErrorsExitWithCode4) {
+  // Unreadable/corrupt checkpoint file.
+  std::string Bad = tempPath("cli_bad_" + std::to_string(::getpid()) + ".ckpt");
+  writeFile(Bad, "this is not a checkpoint");
+  auto [Status, Out] = runBamboo(keywordFile() +
+                                 " --cores=4 --arg='the cat the dog'" +
+                                 " --restore=" + Bad);
+  EXPECT_EQ(exitCode(Status), 4);
+
+  // Valid file, wrong run identity (different core count).
+  std::string Dir = tempPath("cli_mckpts_" + std::to_string(::getpid()));
+  std::string Common = keywordFile() + " --arg='the cat the dog'";
+  auto [Status2, Out2] = runBamboo(Common + " --cores=4" +
+                                   " --checkpoint-every=150" +
+                                   " --checkpoint-dir=" + Dir);
+  ASSERT_EQ(exitCode(Status2), 0);
+  std::string Ckpt = lastCheckpoint(Dir);
+  ASSERT_FALSE(Ckpt.empty());
+  auto [Status3, Out3] = runBamboo(Common + " --cores=8 --restore=" + Ckpt);
+  EXPECT_EQ(exitCode(Status3), 4);
+  std::string Err = readFile(capturePath("stderr"));
+  EXPECT_NE(Err.find("core-count"), std::string::npos) << Err;
+  (void)Out;
+  (void)Out2;
+  (void)Out3;
 }
 
 TEST(CliTest, DumpLayoutSynthesizes) {

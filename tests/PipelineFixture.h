@@ -56,13 +56,51 @@ inline ir::Program makePipelineProgram() {
 struct ItemData : runtime::ObjectData {
   int Index = 0;
   int64_t Result = 0;
+  const char *checkpointKey() const override { return "pipeline.item"; }
 };
 
 struct SinkData : runtime::ObjectData {
   int Expected = 0;
   int Merged = 0;
   int64_t Total = 0;
+  const char *checkpointKey() const override { return "pipeline.sink"; }
 };
+
+inline void registerPipelineCodecs(runtime::BoundProgram &BP) {
+  runtime::ObjectCodec Item;
+  Item.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
+                 runtime::CodecSaveCtx &) {
+    const auto &I = static_cast<const ItemData &>(D);
+    W.i32(I.Index);
+    W.i64(I.Result);
+  };
+  Item.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
+      -> std::unique_ptr<runtime::ObjectData> {
+    auto I = std::make_unique<ItemData>();
+    I->Index = R.i32();
+    I->Result = R.i64();
+    return I;
+  };
+  BP.registerCodec("pipeline.item", std::move(Item));
+
+  runtime::ObjectCodec Sink;
+  Sink.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
+                 runtime::CodecSaveCtx &) {
+    const auto &S = static_cast<const SinkData &>(D);
+    W.i32(S.Expected);
+    W.i32(S.Merged);
+    W.i64(S.Total);
+  };
+  Sink.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
+      -> std::unique_ptr<runtime::ObjectData> {
+    auto S = std::make_unique<SinkData>();
+    S->Expected = R.i32();
+    S->Merged = R.i32();
+    S->Total = R.i64();
+    return S;
+  };
+  BP.registerCodec("pipeline.sink", std::move(Sink));
+}
 
 /// Builds an executable pipeline over \p NumItems items, each charging
 /// \p WorkCycles in the work task.
@@ -103,6 +141,7 @@ inline runtime::BoundProgram makePipelineBound(int NumItems,
     Ctx.exitWith(Sink.Merged == Sink.Expected ? 1 : 0);
   });
   BP.hintPerObjectExits(Fold);
+  registerPipelineCodecs(BP);
   return BP;
 }
 

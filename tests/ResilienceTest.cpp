@@ -119,6 +119,44 @@ TEST(FaultPlanTest, RejectsMalformedSpecs) {
   EXPECT_FALSE(FaultPlan::parse("", Error));
 }
 
+TEST(FaultPlanTest, HostileSpecsAreRejectedWithoutCrashing) {
+  // Table-driven negative corpus: truncated entries, huge counts, bad
+  // ranges, NaN/overflow rates. Every one must come back as a clean
+  // parse error (never UB, a wrapped value, or an accepted plan).
+  const char *Hostile[] = {
+      // Truncated / structurally broken entries.
+      "drop~", "drop@", "~0.1", "@100", "x5", "drop~0.1,", ",drop~0.1",
+      "drop~0.1,,dup~0.1", "fail@", "fail@:3", "fail@100:", "drop@100x",
+      "drop@100:", "drop@100:1-", "drop@100:-2", "stallwidth=",
+      "=4096", "drop@100:1-2-3",
+      // Values that overflow or wrap through strtoull/int casts.
+      "fail@100:99999999999999999999", "drop@100x18446744073709551615",
+      "drop@100x99999999999999999999", "fail@100:18446744073709551615",
+      "drop@100:4294967296-2", "stall@18446744073709551616",
+      "drop@100x1000001", "fail@100:1000001",
+      // Signs and whitespace strtoull would otherwise absorb.
+      "fail@100:-1", "drop@100x-3", "fail@ 100:1", "fail@100: 1",
+      "fail@+100:1", "drop@100x+2",
+      // NaN / infinity / out-of-range / junk rates.
+      "drop~nan", "drop~NAN", "drop~inf", "drop~-inf", "drop~1e999",
+      "drop~0x1p2", "drop~0.5junk", "drop~1.0000001", "drop~2",
+      // Huge magnitudes for PARAM=VALUE stay u64 but must not sign-wrap.
+      "stallwidth=-1", "delaycycles=+7", "lockwidth=1e3",
+  };
+  for (const char *Spec : Hostile) {
+    std::string Error;
+    EXPECT_FALSE(FaultPlan::parse(Spec, Error)) << "'" << Spec << "'";
+    EXPECT_FALSE(Error.empty()) << "'" << Spec << "'";
+  }
+  // Near-misses of the hostile cases above must still parse: the caps
+  // reject 1000001 but admit the documented maximum.
+  std::string Error;
+  EXPECT_TRUE(FaultPlan::parse("drop@100x1000000", Error)) << Error;
+  EXPECT_TRUE(FaultPlan::parse("fail@100:1000000", Error)) << Error;
+  EXPECT_TRUE(FaultPlan::parse("drop~1", Error)) << Error;
+  EXPECT_TRUE(FaultPlan::parse("drop~0", Error)) << Error;
+}
+
 TEST(FaultPlanTest, EmptyPlanInjectsNothing) {
   FaultPlan Plan;
   EXPECT_TRUE(Plan.empty());
