@@ -5,7 +5,9 @@
 # the concurrency-sensitive tests (support::ThreadPool, the parallel DSA
 # candidate evaluation, and the thread-backed executor incl. its tracing
 # path) rebuilt and re-run under ThreadSanitizer so data races are caught
-# automatically.
+# automatically. An engine-core stage additionally runs the cross-engine
+# differential suite plus a clang-format check over src/exec (skipped
+# when clang-format is not installed).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -85,6 +87,30 @@ cmp "${TRACE_DIR}/cout1.txt" "${TRACE_DIR}/cout2.txt" \
 if ./build/src/driver/bamboo "${KW}" --cores=4 --arg='the quick brown fox the lazy dog' \
   --restore="${LAST_CKPT}" > /dev/null 2> /dev/null; then
   echo "restore with a mismatched core count must fail" >&2; exit 1
+fi
+
+echo "== tier-1: engine-core stage (cross-engine diff + src/exec format) =="
+# The three engines are policies over one core (DESIGN.md §3f); the
+# differential suite pins equal dispatch counts, identical checksums, and
+# the 1-core task-order identity for every app x seed. The CLI side of
+# the same claim: --engine=thread computes the same answer, --engine=sim
+# replays without program output.
+(cd build && ctest --output-on-failure -j"${JOBS}" -R 'EngineDiff')
+./build/src/driver/bamboo "${KW}" --cores=8 --arg='the quick brown fox the lazy dog' \
+  --engine=thread > "${TRACE_DIR}/eout-thread.txt" 2> /dev/null
+grep -q 'total=2' "${TRACE_DIR}/eout-thread.txt" \
+  || { echo "--engine=thread produced the wrong answer" >&2; exit 1; }
+./build/src/driver/bamboo "${KW}" --cores=8 --arg='the quick brown fox the lazy dog' \
+  --engine=sim > "${TRACE_DIR}/eout-sim.txt" 2> "${TRACE_DIR}/eerr-sim.txt"
+grep -q 'bamboo: sim' "${TRACE_DIR}/eerr-sim.txt" \
+  || { echo "--engine=sim printed no simulation summary" >&2; exit 1; }
+grep -q 'total=2' "${TRACE_DIR}/eout-sim.txt" \
+  && { echo "--engine=sim must not produce program output" >&2; exit 1; }
+if command -v clang-format > /dev/null 2>&1; then
+  clang-format --dry-run -Werror src/exec/*.h \
+    || { echo "src/exec is not clang-format clean" >&2; exit 1; }
+else
+  echo "clang-format not installed; skipping src/exec format check"
 fi
 
 echo "== tier-1: ASan+UBSan stage (resilience + runtime + checkpoint suites) =="

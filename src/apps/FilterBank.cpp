@@ -7,6 +7,7 @@
 #include "apps/FilterBank.h"
 
 #include "ir/ProgramBuilder.h"
+#include "runtime/HeapSnapshot.h"
 #include "runtime/TaskContext.h"
 
 #include <cmath>
@@ -93,39 +94,12 @@ struct CombinerData : ObjectData {
 };
 
 void registerCodecs(runtime::BoundProgram &BP) {
-  runtime::ObjectCodec Ch;
-  Ch.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
-               runtime::CodecSaveCtx &) {
-    const auto &C = static_cast<const ChannelData &>(D);
-    W.i32(C.Channel);
-    W.f64(C.Energy);
-  };
-  Ch.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
-      -> std::unique_ptr<runtime::ObjectData> {
-    auto C = std::make_unique<ChannelData>();
-    C->Channel = R.i32();
-    C->Energy = R.f64();
-    return C;
-  };
-  BP.registerCodec("filterbank.channel", std::move(Ch));
-
-  runtime::ObjectCodec Cb;
-  Cb.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
-               runtime::CodecSaveCtx &) {
-    const auto &C = static_cast<const CombinerData &>(D);
-    W.i32(C.Expected);
-    W.i32(C.Merged);
-    W.u64(C.Checksum);
-  };
-  Cb.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
-      -> std::unique_ptr<runtime::ObjectData> {
-    auto C = std::make_unique<CombinerData>();
-    C->Expected = R.i32();
-    C->Merged = R.i32();
-    C->Checksum = R.u64();
-    return C;
-  };
-  BP.registerCodec("filterbank.combiner", std::move(Cb));
+  runtime::registerFieldCodec<ChannelData>(BP, "filterbank.channel",
+                                           &ChannelData::Channel,
+                                           &ChannelData::Energy);
+  runtime::registerFieldCodec<CombinerData>(
+      BP, "filterbank.combiner", &CombinerData::Expected,
+      &CombinerData::Merged, &CombinerData::Checksum);
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 #include "apps/Fractal.h"
 
 #include "ir/ProgramBuilder.h"
+#include "runtime/HeapSnapshot.h"
 #include "runtime/TaskContext.h"
 
 using namespace bamboo;
@@ -58,39 +59,11 @@ struct CanvasData : ObjectData {
 };
 
 void registerCodecs(runtime::BoundProgram &BP) {
-  runtime::ObjectCodec Row;
-  Row.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
-                runtime::CodecSaveCtx &) {
-    const auto &R = static_cast<const RowData &>(D);
-    W.i32(R.Row);
-    W.u64(R.Iterations);
-  };
-  Row.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
-      -> std::unique_ptr<runtime::ObjectData> {
-    auto D = std::make_unique<RowData>();
-    D->Row = R.i32();
-    D->Iterations = R.u64();
-    return D;
-  };
-  BP.registerCodec("fractal.row", std::move(Row));
-
-  runtime::ObjectCodec Canvas;
-  Canvas.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
-                   runtime::CodecSaveCtx &) {
-    const auto &C = static_cast<const CanvasData &>(D);
-    W.i32(C.Expected);
-    W.i32(C.Merged);
-    W.u64(C.Checksum);
-  };
-  Canvas.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
-      -> std::unique_ptr<runtime::ObjectData> {
-    auto D = std::make_unique<CanvasData>();
-    D->Expected = R.i32();
-    D->Merged = R.i32();
-    D->Checksum = R.u64();
-    return D;
-  };
-  BP.registerCodec("fractal.canvas", std::move(Canvas));
+  runtime::registerFieldCodec<RowData>(BP, "fractal.row", &RowData::Row,
+                                       &RowData::Iterations);
+  runtime::registerFieldCodec<CanvasData>(
+      BP, "fractal.canvas", &CanvasData::Expected, &CanvasData::Merged,
+      &CanvasData::Checksum);
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 #include "apps/KMeans.h"
 
 #include "ir/ProgramBuilder.h"
+#include "runtime/HeapSnapshot.h"
 #include "runtime/TaskContext.h"
 #include "support/Rng.h"
 
@@ -16,6 +17,31 @@
 using namespace bamboo;
 using namespace bamboo::apps;
 using namespace bamboo::runtime;
+
+namespace bamboo::apps {
+
+// Field codec for the nested parameter block inside kmeans.model
+// payloads; lives in the params struct's namespace so the field-list
+// helper finds it through argument-dependent lookup.
+void saveCodecField(resilience::ByteWriter &W, const KMeansParams &P) {
+  W.i32(P.Blocks);
+  W.i32(P.PointsPerBlock);
+  W.i32(P.Clusters);
+  W.i32(P.Dims);
+  W.i32(P.Iterations);
+  W.u64(P.Seed);
+}
+
+void loadCodecField(resilience::ByteReader &R, KMeansParams &P) {
+  P.Blocks = R.i32();
+  P.PointsPerBlock = R.i32();
+  P.Clusters = R.i32();
+  P.Dims = R.i32();
+  P.Iterations = R.i32();
+  P.Seed = R.u64();
+}
+
+} // namespace bamboo::apps
 
 namespace {
 
@@ -127,92 +153,16 @@ struct ModelData : ObjectData {
   const char *checkpointKey() const override { return "kmeans.model"; }
 };
 
-void saveDoubles(resilience::ByteWriter &W, const std::vector<double> &V) {
-  W.u64(V.size());
-  for (double D : V)
-    W.f64(D);
-}
-
-std::vector<double> loadDoubles(resilience::ByteReader &R) {
-  std::vector<double> V(R.u64());
-  for (double &D : V)
-    D = R.f64();
-  return V;
-}
-
-void saveInts(resilience::ByteWriter &W, const std::vector<int64_t> &V) {
-  W.u64(V.size());
-  for (int64_t I : V)
-    W.i64(I);
-}
-
-std::vector<int64_t> loadInts(resilience::ByteReader &R) {
-  std::vector<int64_t> V(R.u64());
-  for (int64_t &I : V)
-    I = R.i64();
-  return V;
-}
-
 void registerCodecs(runtime::BoundProgram &BP) {
-  runtime::ObjectCodec Block;
-  Block.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
-                  runtime::CodecSaveCtx &) {
-    const auto &B = static_cast<const BlockData &>(D);
-    W.i32(B.Block);
-    saveDoubles(W, B.Points);
-    saveDoubles(W, B.LocalCentroids);
-    saveDoubles(W, B.PartialSums);
-    saveInts(W, B.PartialCounts);
-  };
-  Block.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
-      -> std::unique_ptr<runtime::ObjectData> {
-    auto B = std::make_unique<BlockData>();
-    B->Block = R.i32();
-    B->Points = loadDoubles(R);
-    B->LocalCentroids = loadDoubles(R);
-    B->PartialSums = loadDoubles(R);
-    B->PartialCounts = loadInts(R);
-    return B;
-  };
-  BP.registerCodec("kmeans.block", std::move(Block));
-
-  runtime::ObjectCodec Model;
-  Model.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
-                  runtime::CodecSaveCtx &) {
-    const auto &M = static_cast<const ModelData &>(D);
-    W.i32(M.Params.Blocks);
-    W.i32(M.Params.PointsPerBlock);
-    W.i32(M.Params.Clusters);
-    W.i32(M.Params.Dims);
-    W.i32(M.Params.Iterations);
-    W.u64(M.Params.Seed);
-    saveDoubles(W, M.Centroids);
-    saveDoubles(W, M.SumAcc);
-    saveInts(W, M.CountAcc);
-    W.i32(M.Collected);
-    W.i32(M.Redistributed);
-    W.i32(M.Iteration);
-    W.u64(M.Checksum);
-  };
-  Model.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
-      -> std::unique_ptr<runtime::ObjectData> {
-    auto M = std::make_unique<ModelData>();
-    M->Params.Blocks = R.i32();
-    M->Params.PointsPerBlock = R.i32();
-    M->Params.Clusters = R.i32();
-    M->Params.Dims = R.i32();
-    M->Params.Iterations = R.i32();
-    M->Params.Seed = R.u64();
-    M->Centroids = loadDoubles(R);
-    M->SumAcc = loadDoubles(R);
-    M->CountAcc = loadInts(R);
-    M->Collected = R.i32();
-    M->Redistributed = R.i32();
-    M->Iteration = R.i32();
-    M->Checksum = R.u64();
-    return M;
-  };
-  BP.registerCodec("kmeans.model", std::move(Model));
+  runtime::registerFieldCodec<BlockData>(
+      BP, "kmeans.block", &BlockData::Block, &BlockData::Points,
+      &BlockData::LocalCentroids, &BlockData::PartialSums,
+      &BlockData::PartialCounts);
+  runtime::registerFieldCodec<ModelData>(
+      BP, "kmeans.model", &ModelData::Params, &ModelData::Centroids,
+      &ModelData::SumAcc, &ModelData::CountAcc, &ModelData::Collected,
+      &ModelData::Redistributed, &ModelData::Iteration,
+      &ModelData::Checksum);
 }
 
 } // namespace

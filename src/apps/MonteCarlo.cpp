@@ -7,6 +7,7 @@
 #include "apps/MonteCarlo.h"
 
 #include "ir/ProgramBuilder.h"
+#include "runtime/HeapSnapshot.h"
 #include "runtime/TaskContext.h"
 #include "support/Rng.h"
 
@@ -56,43 +57,13 @@ struct AggregatorData : ObjectData {
 };
 
 void registerCodecs(runtime::BoundProgram &BP) {
-  runtime::ObjectCodec Sample;
-  Sample.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
-                   runtime::CodecSaveCtx &) {
-    const auto &S = static_cast<const SampleData &>(D);
-    W.i32(S.Sample);
-    W.f64(S.Result);
-  };
-  Sample.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
-      -> std::unique_ptr<runtime::ObjectData> {
-    auto S = std::make_unique<SampleData>();
-    S->Sample = R.i32();
-    S->Result = R.f64();
-    return S;
-  };
-  BP.registerCodec("montecarlo.sample", std::move(Sample));
-
-  runtime::ObjectCodec Agg;
-  Agg.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
-                runtime::CodecSaveCtx &) {
-    const auto &A = static_cast<const AggregatorData &>(D);
-    W.i32(A.Expected);
-    W.i32(A.Merged);
-    W.f64(A.Sum);
-    W.f64(A.SumSq);
-    W.u64(A.Checksum);
-  };
-  Agg.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
-      -> std::unique_ptr<runtime::ObjectData> {
-    auto A = std::make_unique<AggregatorData>();
-    A->Expected = R.i32();
-    A->Merged = R.i32();
-    A->Sum = R.f64();
-    A->SumSq = R.f64();
-    A->Checksum = R.u64();
-    return A;
-  };
-  BP.registerCodec("montecarlo.agg", std::move(Agg));
+  runtime::registerFieldCodec<SampleData>(BP, "montecarlo.sample",
+                                          &SampleData::Sample,
+                                          &SampleData::Result);
+  runtime::registerFieldCodec<AggregatorData>(
+      BP, "montecarlo.agg", &AggregatorData::Expected,
+      &AggregatorData::Merged, &AggregatorData::Sum, &AggregatorData::SumSq,
+      &AggregatorData::Checksum);
 }
 
 } // namespace

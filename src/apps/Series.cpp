@@ -7,6 +7,7 @@
 #include "apps/Series.h"
 
 #include "ir/ProgramBuilder.h"
+#include "runtime/HeapSnapshot.h"
 #include "runtime/TaskContext.h"
 
 #include <cmath>
@@ -76,42 +77,23 @@ struct ResultData : ObjectData {
   const char *checkpointKey() const override { return "series.result"; }
 };
 
-void registerCodecs(runtime::BoundProgram &BP) {
-  runtime::ObjectCodec Coef;
-  Coef.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
-                 runtime::CodecSaveCtx &) {
-    const auto &C = static_cast<const CoefData &>(D);
-    W.i32(C.N);
-    W.f64(C.Value.A);
-    W.f64(C.Value.B);
-  };
-  Coef.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
-      -> std::unique_ptr<runtime::ObjectData> {
-    auto C = std::make_unique<CoefData>();
-    C->N = R.i32();
-    C->Value.A = R.f64();
-    C->Value.B = R.f64();
-    return C;
-  };
-  BP.registerCodec("series.coef", std::move(Coef));
+// Field codec for the nested coefficient pair (found by the field-list
+// helper through argument-dependent lookup).
+void saveCodecField(resilience::ByteWriter &W, const CoefValue &V) {
+  W.f64(V.A);
+  W.f64(V.B);
+}
+void loadCodecField(resilience::ByteReader &R, CoefValue &V) {
+  V.A = R.f64();
+  V.B = R.f64();
+}
 
-  runtime::ObjectCodec Res;
-  Res.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
-                runtime::CodecSaveCtx &) {
-    const auto &Rs = static_cast<const ResultData &>(D);
-    W.i32(Rs.Expected);
-    W.i32(Rs.Merged);
-    W.u64(Rs.Checksum);
-  };
-  Res.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
-      -> std::unique_ptr<runtime::ObjectData> {
-    auto Rs = std::make_unique<ResultData>();
-    Rs->Expected = R.i32();
-    Rs->Merged = R.i32();
-    Rs->Checksum = R.u64();
-    return Rs;
-  };
-  BP.registerCodec("series.result", std::move(Res));
+void registerCodecs(runtime::BoundProgram &BP) {
+  runtime::registerFieldCodec<CoefData>(BP, "series.coef", &CoefData::N,
+                                        &CoefData::Value);
+  runtime::registerFieldCodec<ResultData>(
+      BP, "series.result", &ResultData::Expected, &ResultData::Merged,
+      &ResultData::Checksum);
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 #include "apps/Tracking.h"
 
 #include "ir/ProgramBuilder.h"
+#include "runtime/HeapSnapshot.h"
 #include "runtime/TaskContext.h"
 #include "support/Rng.h"
 
@@ -16,6 +17,31 @@
 using namespace bamboo;
 using namespace bamboo::apps;
 using namespace bamboo::runtime;
+
+namespace bamboo::apps {
+
+// Field codec for the nested parameter block inside tracking.frame
+// payloads; lives in the params struct's namespace so the field-list
+// helper finds it through argument-dependent lookup.
+void saveCodecField(resilience::ByteWriter &W, const TrackingParams &P) {
+  W.i32(P.Pieces);
+  W.i32(P.PieceLen);
+  W.i32(P.BlurTaps);
+  W.i32(P.TrackBatches);
+  W.i32(P.TrackWindow);
+  W.u64(P.Seed);
+}
+
+void loadCodecField(resilience::ByteReader &R, TrackingParams &P) {
+  P.Pieces = R.i32();
+  P.PieceLen = R.i32();
+  P.BlurTaps = R.i32();
+  P.TrackBatches = R.i32();
+  P.TrackWindow = R.i32();
+  P.Seed = R.u64();
+}
+
+} // namespace bamboo::apps
 
 namespace {
 
@@ -122,80 +148,28 @@ struct BatchData : ObjectData {
   const char *checkpointKey() const override { return "tracking.batch"; }
 };
 
+// Field codec for the extracted feature record (found by the field-list
+// helper through argument-dependent lookup).
+void saveCodecField(resilience::ByteWriter &W, const Feature &F) {
+  W.f64(F.Response);
+  W.i32(F.Position);
+}
+void loadCodecField(resilience::ByteReader &R, Feature &F) {
+  F.Response = R.f64();
+  F.Position = R.i32();
+}
+
 void registerCodecs(runtime::BoundProgram &BP) {
-  runtime::ObjectCodec Piece;
-  Piece.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
-                  runtime::CodecSaveCtx &) {
-    const auto &P = static_cast<const PieceData &>(D);
-    W.i32(P.Piece);
-    W.u64(P.Data.size());
-    for (double V : P.Data)
-      W.f64(V);
-    W.f64(P.Extracted.Response);
-    W.i32(P.Extracted.Position);
-  };
-  Piece.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
-      -> std::unique_ptr<runtime::ObjectData> {
-    auto P = std::make_unique<PieceData>();
-    P->Piece = R.i32();
-    P->Data.resize(R.u64());
-    for (double &V : P->Data)
-      V = R.f64();
-    P->Extracted.Response = R.f64();
-    P->Extracted.Position = R.i32();
-    return P;
-  };
-  BP.registerCodec("tracking.piece", std::move(Piece));
-
-  runtime::ObjectCodec Frame;
-  Frame.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
-                  runtime::CodecSaveCtx &) {
-    const auto &F = static_cast<const FrameData &>(D);
-    W.i32(F.Params.Pieces);
-    W.i32(F.Params.PieceLen);
-    W.i32(F.Params.BlurTaps);
-    W.i32(F.Params.TrackBatches);
-    W.i32(F.Params.TrackWindow);
-    W.u64(F.Params.Seed);
-    W.i32(F.CollectedPieces);
-    W.i32(F.MergedBatches);
-    W.f64(F.FeatureSum);
-    W.u64(F.Checksum);
-  };
-  Frame.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
-      -> std::unique_ptr<runtime::ObjectData> {
-    auto F = std::make_unique<FrameData>();
-    F->Params.Pieces = R.i32();
-    F->Params.PieceLen = R.i32();
-    F->Params.BlurTaps = R.i32();
-    F->Params.TrackBatches = R.i32();
-    F->Params.TrackWindow = R.i32();
-    F->Params.Seed = R.u64();
-    F->CollectedPieces = R.i32();
-    F->MergedBatches = R.i32();
-    F->FeatureSum = R.f64();
-    F->Checksum = R.u64();
-    return F;
-  };
-  BP.registerCodec("tracking.frame", std::move(Frame));
-
-  runtime::ObjectCodec Batch;
-  Batch.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
-                  runtime::CodecSaveCtx &) {
-    const auto &B = static_cast<const BatchData &>(D);
-    W.i32(B.Batch);
-    W.f64(B.SeedResponse);
-    W.f64(B.Result);
-  };
-  Batch.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
-      -> std::unique_ptr<runtime::ObjectData> {
-    auto B = std::make_unique<BatchData>();
-    B->Batch = R.i32();
-    B->SeedResponse = R.f64();
-    B->Result = R.f64();
-    return B;
-  };
-  BP.registerCodec("tracking.batch", std::move(Batch));
+  runtime::registerFieldCodec<PieceData>(BP, "tracking.piece",
+                                         &PieceData::Piece, &PieceData::Data,
+                                         &PieceData::Extracted);
+  runtime::registerFieldCodec<FrameData>(
+      BP, "tracking.frame", &FrameData::Params, &FrameData::CollectedPieces,
+      &FrameData::MergedBatches, &FrameData::FeatureSum,
+      &FrameData::Checksum);
+  runtime::registerFieldCodec<BatchData>(
+      BP, "tracking.batch", &BatchData::Batch, &BatchData::SeedResponse,
+      &BatchData::Result);
 }
 
 } // namespace

@@ -23,6 +23,8 @@
 #include "interp/Interp.h"
 #include "resilience/Checkpoint.h"
 #include "resilience/FaultPlan.h"
+#include "runtime/ThreadExecutor.h"
+#include "schedsim/SchedSim.h"
 #include "support/Trace.h"
 
 #include <cstdio>
@@ -36,6 +38,10 @@ using namespace bamboo;
 
 namespace {
 
+/// Which engine --run executes on (engine choice used to be implicit:
+/// always the tile machine).
+enum class EngineKind { Tile, Sim, Thread };
+
 void usage(std::FILE *Out) {
   std::fprintf(
       Out,
@@ -47,6 +53,16 @@ void usage(std::FILE *Out) {
       "  --jobs=N          worker threads for synthesis candidate\n"
       "                    evaluation (default 1; result is independent\n"
       "                    of N)\n"
+      "  --engine=NAME     engine for the final run: 'tile' (default)\n"
+      "                    executes on the cycle-accounted virtual\n"
+      "                    machine; 'sim' replays the profile through\n"
+      "                    the scheduling simulator (token-level, no\n"
+      "                    program output); 'thread' runs one host\n"
+      "                    thread per core (wall-clock timing; the\n"
+      "                    --checkpoint-every value is an invocation\n"
+      "                    count and --watchdog-cycles is read as\n"
+      "                    milliseconds). --recovery=restart restarts\n"
+      "                    apply to the tile engine\n"
       "  --trace=FILE      record the final run's execution trace as\n"
       "                    Chrome trace-format JSON (about:tracing /\n"
       "                    Perfetto); deterministic for a given program,\n"
@@ -110,6 +126,7 @@ int main(int Argc, char **Argv) {
   std::string SourcePath = Argv[1];
   int Cores = 62;
   int Jobs = 1;
+  EngineKind Engine = EngineKind::Tile;
   uint64_t Seed = 1;
   uint64_t FaultSeed = 1;
   bool Recovery = true;
@@ -136,6 +153,23 @@ int main(int Argc, char **Argv) {
       Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
     else if (Arg.rfind("--jobs=", 0) == 0)
       Jobs = std::atoi(Arg.c_str() + 7);
+    else if (Arg.rfind("--engine=", 0) == 0) {
+      std::string Name = Arg.substr(9);
+      if (Name == "tile")
+        Engine = EngineKind::Tile;
+      else if (Name == "sim")
+        Engine = EngineKind::Sim;
+      else if (Name == "thread")
+        Engine = EngineKind::Thread;
+      else {
+        std::fprintf(
+            stderr,
+            "bamboo: --engine expects 'tile', 'sim' or 'thread', got "
+            "'%s'\n",
+            Name.c_str());
+        return 2;
+      }
+    }
     else if (Arg.rfind("--trace=", 0) == 0)
       TracePath = Arg.substr(8);
     else if (Arg.rfind("--faults=", 0) == 0) {
@@ -331,56 +365,141 @@ int main(int Argc, char **Argv) {
       };
     if (!RestorePath.empty())
       Opts.Exec.Restore = &RestoreCkpt;
-    runtime::TileExecutor Exec(IP.bound(), R.Graph, Opts.Target,
-                               R.BestLayout);
-    // Under --recovery=restart a damaged run is retried from its most
-    // recent checkpoint (or from the start if none was taken yet) with a
-    // bumped fault seed, so the retry draws a different fault stream.
-    const int MaxRestarts = 5;
-    int Attempt = 0;
-    runtime::ExecResult FinalRun;
-    for (;;) {
-      IP.clearOutput();
-      IP.clearError();
-      FinalRun = Exec.run(Opts.Exec);
-      if (!FinalRun.RestoreError.empty()) {
+    if (Engine == EngineKind::Sim) {
+      // The simulator replays the profiled run token by token: it
+      // reproduces scheduling behavior (cycles, trace, faults), not
+      // program output.
+      schedsim::SimOptions SimOpts;
+      SimOpts.Trace = Opts.Exec.Trace;
+      SimOpts.Faults = Opts.Exec.Faults;
+      SimOpts.FaultSeed = FaultSeed;
+      SimOpts.Recovery = Recovery;
+      SimOpts.CheckpointEvery = CheckpointEvery;
+      SimOpts.OnCheckpoint = Opts.Exec.OnCheckpoint;
+      SimOpts.Restore = Opts.Exec.Restore;
+      SimOpts.WatchdogCycles = WatchdogCycles;
+      schedsim::SimResult S = schedsim::simulateLayout(
+          IP.bound().program(), R.Graph, *R.Prof, IP.bound().hints(),
+          Opts.Target, R.BestLayout, SimOpts);
+      if (!S.RestoreError.empty()) {
         std::fprintf(stderr, "bamboo: restore failed: %s\n",
-                     FinalRun.RestoreError.c_str());
+                     S.RestoreError.c_str());
         return 4;
       }
-      if (FinalRun.WatchdogFired) {
-        std::fprintf(stderr, "%s", FinalRun.WatchdogDump.c_str());
+      if (S.WatchdogFired) {
+        std::fprintf(stderr, "%s", S.WatchdogDump.c_str());
         std::fprintf(stderr,
                      "bamboo: watchdog abort — no progress for %llu "
                      "cycles\n",
                      static_cast<unsigned long long>(WatchdogCycles));
         return 3;
       }
-      if (!FinalRun.CheckpointError.empty())
+      if (!S.CheckpointError.empty())
         std::fprintf(stderr, "bamboo: checkpoint failed: %s\n",
-                     FinalRun.CheckpointError.c_str());
-      if (FinalRun.Completed || !RestartPolicy || Attempt >= MaxRestarts)
-        break;
-      ++Attempt;
-      Opts.Exec.FaultSeed = FaultSeed + static_cast<uint64_t>(Attempt);
-      if (HaveCkpt) {
-        RestoreCkpt = LastCkpt;
-        Opts.Exec.Restore = &RestoreCkpt;
+                     S.CheckpointError.c_str());
+      if (Faults)
+        std::fprintf(stderr, "bamboo: %s%s\n", S.Recovery.str().c_str(),
+                     S.Terminated ? "" : " [RUN FAILED]");
+      std::fprintf(stderr,
+                   "bamboo: sim %d-core %llu cycles (%llu invocations)\n",
+                   Cores,
+                   static_cast<unsigned long long>(S.EstimatedCycles),
+                   static_cast<unsigned long long>(S.Invocations));
+    } else if (Engine == EngineKind::Thread) {
+      runtime::ThreadExecOptions TOpts;
+      TOpts.Args = Args;
+      TOpts.Seed = Seed;
+      TOpts.Trace = Opts.Exec.Trace;
+      TOpts.Faults = Opts.Exec.Faults;
+      TOpts.FaultSeed = FaultSeed;
+      TOpts.Recovery = Recovery;
+      // The host engine has no virtual clock: the checkpoint cadence is
+      // an invocation count and the watchdog threshold is milliseconds.
+      TOpts.CheckpointEveryInvocations = CheckpointEvery;
+      TOpts.OnCheckpoint = Opts.Exec.OnCheckpoint;
+      TOpts.Restore = Opts.Exec.Restore;
+      TOpts.WatchdogMs = static_cast<int64_t>(WatchdogCycles);
+      runtime::ThreadExecutor Exec(IP.bound(), R.Graph, R.BestLayout);
+      IP.clearOutput();
+      IP.clearError();
+      runtime::ThreadExecResult TR = Exec.run(TOpts);
+      if (!TR.RestoreError.empty()) {
+        std::fprintf(stderr, "bamboo: restore failed: %s\n",
+                     TR.RestoreError.c_str());
+        return 4;
       }
+      if (TR.WatchdogFired) {
+        std::fprintf(stderr, "%s", TR.WatchdogDump.c_str());
+        std::fprintf(stderr,
+                     "bamboo: watchdog abort — no progress for %llu ms\n",
+                     static_cast<unsigned long long>(WatchdogCycles));
+        return 3;
+      }
+      if (!TR.CheckpointError.empty())
+        std::fprintf(stderr, "bamboo: checkpoint failed: %s\n",
+                     TR.CheckpointError.c_str());
+      std::printf("%s", IP.output().c_str());
+      if (Faults)
+        std::fprintf(stderr, "bamboo: %s%s\n", TR.Recovery.str().c_str(),
+                     TR.Completed ? "" : " [RUN FAILED]");
       std::fprintf(
-          stderr,
-          "bamboo: run failed; restarting from %s (attempt %d/%d)\n",
-          HaveCkpt
-              ? ("checkpoint at cycle " + std::to_string(LastCkpt.Cycle))
-                    .c_str()
-              : "the start",
-          Attempt, MaxRestarts);
-      Trace.clear();
+          stderr, "bamboo: thread %d-core %.3fs wall (%llu invocations)\n",
+          Cores, TR.WallSeconds,
+          static_cast<unsigned long long>(TR.TaskInvocations));
+    } else {
+      runtime::TileExecutor Exec(IP.bound(), R.Graph, Opts.Target,
+                                 R.BestLayout);
+      // Under --recovery=restart a damaged run is retried from its most
+      // recent checkpoint (or from the start if none was taken yet) with
+      // a bumped fault seed, so the retry draws a different fault
+      // stream.
+      const int MaxRestarts = 5;
+      int Attempt = 0;
+      runtime::ExecResult FinalRun;
+      for (;;) {
+        IP.clearOutput();
+        IP.clearError();
+        FinalRun = Exec.run(Opts.Exec);
+        if (!FinalRun.RestoreError.empty()) {
+          std::fprintf(stderr, "bamboo: restore failed: %s\n",
+                       FinalRun.RestoreError.c_str());
+          return 4;
+        }
+        if (FinalRun.WatchdogFired) {
+          std::fprintf(stderr, "%s", FinalRun.WatchdogDump.c_str());
+          std::fprintf(stderr,
+                       "bamboo: watchdog abort — no progress for %llu "
+                       "cycles\n",
+                       static_cast<unsigned long long>(WatchdogCycles));
+          return 3;
+        }
+        if (!FinalRun.CheckpointError.empty())
+          std::fprintf(stderr, "bamboo: checkpoint failed: %s\n",
+                       FinalRun.CheckpointError.c_str());
+        if (FinalRun.Completed || !RestartPolicy || Attempt >= MaxRestarts)
+          break;
+        ++Attempt;
+        Opts.Exec.FaultSeed = FaultSeed + static_cast<uint64_t>(Attempt);
+        if (HaveCkpt) {
+          RestoreCkpt = LastCkpt;
+          Opts.Exec.Restore = &RestoreCkpt;
+        }
+        std::fprintf(
+            stderr,
+            "bamboo: run failed; restarting from %s (attempt %d/%d)\n",
+            HaveCkpt
+                ? ("checkpoint at cycle " + std::to_string(LastCkpt.Cycle))
+                      .c_str()
+                : "the start",
+            Attempt, MaxRestarts);
+        Trace.clear();
+      }
+      std::printf("%s", IP.output().c_str());
+      if (Faults)
+        std::fprintf(stderr, "bamboo: %s%s\n",
+                     FinalRun.Recovery.str().c_str(),
+                     FinalRun.Completed ? "" : " [RUN FAILED]");
     }
-    std::printf("%s", IP.output().c_str());
-    if (Faults)
-      std::fprintf(stderr, "bamboo: %s%s\n", FinalRun.Recovery.str().c_str(),
-                   FinalRun.Completed ? "" : " [RUN FAILED]");
     if (!TracePath.empty()) {
       std::ofstream Out(TracePath, std::ios::binary);
       if (!Out) {

@@ -1,0 +1,464 @@
+//===- exec/CheckpointChunks.h - Shared checkpoint body chunks --*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine-invariant pieces of checkpoint bodies: run-identity
+/// validation, injector budgets, liveness/failover state, scheduler core
+/// states, parameter sets, round-robin counters, and the event queue.
+///
+/// Byte formats are owned by the engines — each engine composes these
+/// chunks in its historical body order, and every chunk writes exactly
+/// the bytes the pre-refactor engines wrote, so existing checkpoints
+/// (including the golden v1 fixture) restore unchanged.
+///
+/// Load helpers return an empty string on success and a descriptive
+/// "checkpoint: ..." error otherwise; they never crash on corrupt input
+/// (the ByteReader's sticky failure flag turns truncation into zeros
+/// that the bounds checks below reject).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_EXEC_CHECKPOINTCHUNKS_H
+#define BAMBOO_EXEC_CHECKPOINTCHUNKS_H
+
+#include "exec/Dispatch.h"
+#include "exec/EnginePolicy.h"
+#include "machine/Layout.h"
+#include "resilience/Checkpoint.h"
+#include "resilience/FaultInjector.h"
+#include "resilience/FaultPlan.h"
+#include "support/Format.h"
+
+#include <map>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bamboo::exec {
+
+/// What a checkpoint must match to resume *this* run. The wording fields
+/// keep each engine's historical error messages byte-for-byte.
+struct RunIdentity {
+  resilience::EngineKind Engine = resilience::EngineKind::Tile;
+  /// Inserted into the engine-mismatch message, e.g. "executor is 'tile'".
+  const char *EngineSelf = "executor is 'tile'";
+  /// Verb for the program-mismatch message ("running" / "simulating").
+  const char *RunVerb = "running";
+  /// Full message returned on a layout-key mismatch.
+  const char *LayoutMismatch =
+      "checkpoint: layout mismatch (was the checkpoint taken under a "
+      "different synthesis seed or --jobs value?)";
+  /// When set, the run seed and program arguments are part of the
+  /// identity (the real executors; SchedSim does not execute bodies and
+  /// accepts any seed/args).
+  bool CheckSeedArgs = true;
+  uint64_t Seed = 1;
+  const std::vector<std::string> *Args = nullptr;
+  const resilience::FaultPlan *Faults = nullptr;
+};
+
+/// Identity validation shared by all three engines: a checkpoint resumes
+/// the same program, layout, machine width, and fault plan (and, for the
+/// real executors, seed and arguments). The fault seed and recovery mode
+/// may legitimately differ — the restart policy bumps the fault seed so a
+/// deterministic failure is not replayed.
+inline std::string validateRunIdentity(const resilience::Checkpoint &C,
+                                       const ir::Program &Prog,
+                                       const machine::Layout &L,
+                                       const RunIdentity &Id) {
+  if (C.Engine != Id.Engine)
+    return formatString(
+        "checkpoint: engine mismatch (checkpoint is '%s', %s)",
+        resilience::engineKindName(C.Engine), Id.EngineSelf);
+  if (C.Program != Prog.name())
+    return formatString(
+        "checkpoint: program mismatch (checkpoint is '%s', %s '%s')",
+        C.Program.c_str(), Id.RunVerb, Prog.name().c_str());
+  if (C.NumCores != static_cast<uint64_t>(L.NumCores))
+    return formatString(
+        "checkpoint: core-count mismatch (checkpoint %llu, layout %d)",
+        static_cast<unsigned long long>(C.NumCores), L.NumCores);
+  if (C.LayoutKey != L.isoKey(Prog))
+    return Id.LayoutMismatch;
+  if (Id.CheckSeedArgs) {
+    if (C.Seed != Id.Seed)
+      return formatString(
+          "checkpoint: run-seed mismatch (checkpoint %llu, --seed %llu)",
+          static_cast<unsigned long long>(C.Seed),
+          static_cast<unsigned long long>(Id.Seed));
+    if (Id.Args && C.Args != *Id.Args)
+      return "checkpoint: program-argument mismatch";
+  }
+  if (C.FaultSpec != (Id.Faults ? Id.Faults->str() : std::string()))
+    return "checkpoint: fault-plan mismatch (pass the same --faults spec "
+           "the checkpoint was taken under)";
+  return {};
+}
+
+/// The checkpoint header every engine writes: identity fields the resume
+/// validation above checks, plus the position (\p Cycle — virtual cycles
+/// for the event engines, the invocation count for the host engine) and
+/// the taint flag (raw recovery-off fault damage is already baked into
+/// the snapshot, so a restart policy must roll back further).
+inline resilience::Checkpoint makeCheckpointHeader(
+    resilience::EngineKind Engine, const ir::Program &Prog,
+    const machine::Layout &L, uint64_t Seed, uint64_t FaultSeed,
+    bool Recovery, const resilience::FaultPlan *Faults,
+    const std::vector<std::string> &Args, uint64_t Cycle, bool Tainted) {
+  resilience::Checkpoint C;
+  C.Engine = Engine;
+  C.Program = Prog.name();
+  C.Seed = Seed;
+  C.FaultSeed = FaultSeed;
+  C.Recovery = Recovery ? 1 : 0;
+  C.FaultSpec = Faults ? Faults->str() : std::string();
+  C.Args = Args;
+  C.LayoutKey = L.isoKey(Prog);
+  C.NumCores = static_cast<uint64_t>(L.NumCores);
+  C.Cycle = Cycle;
+  C.Tainted = Tainted;
+  return C;
+}
+
+/// Remaining fault-injection budgets (countdown plans keep injecting
+/// exactly as many faults after a restore as an uninterrupted run).
+inline void saveInjectorBudgets(resilience::ByteWriter &W,
+                                const resilience::FaultInjector &Injector) {
+  std::vector<int> Budgets = Injector.remainingBudgets();
+  W.u64(Budgets.size());
+  for (int B : Budgets)
+    W.i32(B);
+}
+
+inline std::string
+loadInjectorBudgets(resilience::ByteReader &R, size_t BodySize,
+                    resilience::FaultInjector &Injector) {
+  uint64_t NumBudgets = R.u64();
+  if (!R.ok() || NumBudgets > BodySize)
+    return "checkpoint: truncated body (injector budgets)";
+  std::vector<int> Budgets;
+  for (uint64_t I = 0; I < NumBudgets; ++I)
+    Budgets.push_back(R.i32());
+  Injector.restoreBudgets(Budgets);
+  return {};
+}
+
+/// Liveness and failover state: per-core alive bits, per-instance current
+/// homes, and the known stall / lock-livelock window ends.
+inline void saveResilienceState(resilience::ByteWriter &W,
+                                const std::vector<char> &CoreAlive,
+                                const std::vector<int> &InstanceCore,
+                                const std::vector<machine::Cycles> &StallEnd,
+                                const std::vector<machine::Cycles> &LockEnd) {
+  W.u64(CoreAlive.size());
+  for (char A : CoreAlive)
+    W.u8(static_cast<uint8_t>(A));
+  W.u64(InstanceCore.size());
+  for (int C : InstanceCore)
+    W.i32(C);
+  for (machine::Cycles S : StallEnd)
+    W.u64(S);
+  for (machine::Cycles Lk : LockEnd)
+    W.u64(Lk);
+}
+
+inline std::string
+loadResilienceState(resilience::ByteReader &R, std::vector<char> &CoreAlive,
+                    std::vector<int> &InstanceCore,
+                    std::vector<machine::Cycles> &StallEnd,
+                    std::vector<machine::Cycles> &LockEnd) {
+  uint64_t NumCores = R.u64();
+  if (!R.ok() || NumCores != CoreAlive.size())
+    return "checkpoint: body core count diverges from the layout";
+  for (size_t I = 0; I < CoreAlive.size(); ++I)
+    CoreAlive[I] = static_cast<char>(R.u8());
+  uint64_t NumInstances = R.u64();
+  if (!R.ok() || NumInstances != InstanceCore.size())
+    return "checkpoint: body instance count diverges from the layout";
+  for (size_t I = 0; I < InstanceCore.size(); ++I)
+    InstanceCore[I] = R.i32();
+  for (size_t I = 0; I < StallEnd.size(); ++I)
+    StallEnd[I] = R.u64();
+  for (size_t I = 0; I < LockEnd.size(); ++I)
+    LockEnd[I] = R.u64();
+  return {};
+}
+
+/// Per-core scheduler states. The invariant shape is
+///   u8 Executing, <engine extras>, u64 BusyTotal, u64 LastEnd, ready[]
+/// with \p ExtraSave/\p ExtraLoad supplying the engine extras (e.g.
+/// TileExecutor's BusyUntil) and \p InvSave/\p InvLoad the ready-queue
+/// invocation codec.
+template <typename CoreT, typename ExtraSave, typename InvSave>
+void saveCoreStates(resilience::ByteWriter &W,
+                    const std::vector<CoreT> &Cores, ExtraSave &&Extra,
+                    InvSave &&SaveInv) {
+  W.u64(Cores.size());
+  for (const CoreT &Core : Cores) {
+    W.u8(Core.Executing ? 1 : 0);
+    Extra(W, Core);
+    W.u64(Core.BusyTotal);
+    W.u64(Core.LastEnd);
+    W.u64(Core.Ready.size());
+    for (const auto &Inv : Core.Ready)
+      SaveInv(W, Inv);
+  }
+}
+
+template <typename CoreT, typename ExtraLoad, typename InvLoad>
+std::string loadCoreStates(resilience::ByteReader &R, size_t BodySize,
+                           std::vector<CoreT> &Cores, ExtraLoad &&Extra,
+                           InvLoad &&LoadInv) {
+  uint64_t NumCoreStates = R.u64();
+  if (!R.ok() || NumCoreStates != Cores.size())
+    return "checkpoint: truncated body (core states)";
+  for (CoreT &Core : Cores) {
+    Core.Executing = R.u8() != 0;
+    Extra(R, Core);
+    Core.BusyTotal = R.u64();
+    Core.LastEnd = R.u64();
+    uint64_t NumReady = R.u64();
+    if (!R.ok() || NumReady > BodySize)
+      return "checkpoint: truncated body (ready queues)";
+    for (uint64_t I = 0; I < NumReady; ++I) {
+      typename std::decay_t<decltype(Core.Ready)>::value_type Inv;
+      if (std::string Err = LoadInv(R, Inv); !Err.empty())
+        return Err;
+      Core.Ready.push_back(std::move(Inv));
+    }
+  }
+  return {};
+}
+
+/// Parameter sets of every placed instance. \p MaxItems bounds a single
+/// set's plausible size (corrupt counts fail cleanly instead of looping).
+template <typename ItemT, typename ItemSave>
+void saveParamSets(resilience::ByteWriter &W,
+                   const std::vector<EngineInstanceState<ItemT>> &Instances,
+                   ItemSave &&SaveItem) {
+  W.u64(Instances.size());
+  for (const EngineInstanceState<ItemT> &Inst : Instances) {
+    W.u64(Inst.ParamSets.size());
+    for (const std::vector<ItemT> &Set : Inst.ParamSets) {
+      W.u64(Set.size());
+      for (const ItemT &It : Set)
+        SaveItem(W, It);
+    }
+  }
+}
+
+template <typename ItemT, typename ItemLoad>
+std::string loadParamSets(resilience::ByteReader &R,
+                          std::vector<EngineInstanceState<ItemT>> &Instances,
+                          uint64_t MaxItems, ItemLoad &&LoadItem) {
+  uint64_t NumInstStates = R.u64();
+  if (!R.ok() || NumInstStates != Instances.size())
+    return "checkpoint: truncated body (instance states)";
+  for (EngineInstanceState<ItemT> &Inst : Instances) {
+    uint64_t NumParams = R.u64();
+    if (!R.ok() || NumParams != Inst.ParamSets.size())
+      return "checkpoint: parameter-set shape diverges from the program";
+    for (std::vector<ItemT> &Set : Inst.ParamSets) {
+      uint64_t Count = R.u64();
+      if (!R.ok() || Count > MaxItems)
+        return "checkpoint: truncated body (parameter sets)";
+      for (uint64_t I = 0; I < Count; ++I) {
+        ItemT It{};
+        if (std::string Err = LoadItem(R, It); !Err.empty())
+          return Err;
+        Set.push_back(std::move(It));
+      }
+    }
+  }
+  return {};
+}
+
+/// Round-robin distribution counters, keyed by (sender core, dest task).
+inline void
+saveRoundRobinCounters(resilience::ByteWriter &W,
+                       const std::map<std::pair<int, ir::TaskId>, size_t> &RR) {
+  W.u64(RR.size());
+  for (const auto &[Key, Val] : RR) {
+    W.i32(Key.first);
+    W.i32(Key.second);
+    W.u64(Val);
+  }
+}
+
+inline std::string
+loadRoundRobinCounters(resilience::ByteReader &R, size_t BodySize,
+                       std::map<std::pair<int, ir::TaskId>, size_t> &RR) {
+  uint64_t NumRR = R.u64();
+  if (!R.ok() || NumRR > BodySize)
+    return "checkpoint: truncated body (round-robin counters)";
+  for (uint64_t I = 0; I < NumRR; ++I) {
+    int CoreKey = R.i32();
+    ir::TaskId Task = R.i32();
+    uint64_t Val = R.u64();
+    RR[{CoreKey, Task}] = static_cast<size_t>(Val);
+  }
+  return {};
+}
+
+/// The pending event queue in deterministic (Time, Seq) order: the
+/// priority_queue is copyable (payloads are ids and raw pointers), so a
+/// drained copy yields the exact schedule without disturbing it.
+/// \p SavePayload writes the engine's Delivery/Completion payload fields.
+template <typename EventT, typename Compare, typename PayloadSave>
+void saveEventQueue(
+    resilience::ByteWriter &W,
+    std::priority_queue<EventT, std::vector<EventT>, Compare> QCopy,
+    PayloadSave &&SavePayload) {
+  W.u64(QCopy.size());
+  while (!QCopy.empty()) {
+    const EventT &E = QCopy.top();
+    W.u64(E.Time);
+    W.u64(E.Seq);
+    W.u8(static_cast<uint8_t>(E.Kind));
+    W.i32(E.Core);
+    SavePayload(W, E);
+    QCopy.pop();
+  }
+}
+
+template <typename EventT, typename Compare, typename PayloadLoad>
+std::string
+loadEventQueue(resilience::ByteReader &R, size_t BodySize,
+               std::priority_queue<EventT, std::vector<EventT>, Compare> &Q,
+               PayloadLoad &&LoadPayload) {
+  uint64_t NumEvents = R.u64();
+  if (!R.ok() || NumEvents > BodySize)
+    return "checkpoint: truncated body (event queue)";
+  for (uint64_t I = 0; I < NumEvents; ++I) {
+    EventT E;
+    E.Time = R.u64();
+    E.Seq = R.u64();
+    uint8_t Kind = R.u8();
+    if (!R.ok() || Kind > static_cast<uint8_t>(EventKind::Fault))
+      return "checkpoint: unknown event kind in queue";
+    E.Kind = static_cast<EventKind>(Kind);
+    E.Core = R.i32();
+    if (std::string Err = LoadPayload(R, E); !Err.empty())
+      return Err;
+    // Preserve the original sequence numbers: ordering ties must replay
+    // exactly, so restored events bypass the renumbering push().
+    Q.push(std::move(E));
+  }
+  return {};
+}
+
+/// In-flight slot tables with the u8-occupied-flag framing both
+/// discrete-event engines use (recycled slots persist as empties so
+/// completion events' indices stay stable), followed by the free-slot
+/// list. \p Occupied decides whether a slot holds a live flight;
+/// \p SaveFlight / \p LoadFlight own the engine's payload fields.
+template <typename FlightT, typename OccupiedFn, typename FlightSave>
+void saveFlightSlots(resilience::ByteWriter &W,
+                     const std::vector<FlightT> &Flights,
+                     const std::vector<int> &Free, OccupiedFn &&Occupied,
+                     FlightSave &&SaveFlight) {
+  W.u64(Flights.size());
+  for (const FlightT &F : Flights) {
+    if (!Occupied(F)) {
+      W.u8(0);
+      continue;
+    }
+    W.u8(1);
+    SaveFlight(W, F);
+  }
+  W.u64(Free.size());
+  for (int S : Free)
+    W.i32(S);
+}
+
+template <typename FlightT, typename FlightLoad>
+std::string loadFlightSlots(resilience::ByteReader &R, size_t BodySize,
+                            std::vector<FlightT> &Flights,
+                            std::vector<int> &Free, FlightLoad &&LoadFlight) {
+  uint64_t NumFlights = R.u64();
+  if (!R.ok() || NumFlights > BodySize)
+    return "checkpoint: truncated body (in-flight invocations)";
+  for (uint64_t I = 0; I < NumFlights; ++I) {
+    uint8_t Occupied = R.u8();
+    if (!R.ok())
+      return "checkpoint: truncated body (in-flight slot)";
+    FlightT F;
+    if (Occupied)
+      if (std::string Err = LoadFlight(R, F); !Err.empty())
+        return Err;
+    Flights.push_back(std::move(F));
+  }
+  uint64_t NumFree = R.u64();
+  if (!R.ok() || NumFree > Flights.size())
+    return "checkpoint: truncated body (free flight slots)";
+  for (uint64_t I = 0; I < NumFree; ++I)
+    Free.push_back(R.i32());
+  return {};
+}
+
+/// Shared body epilogue: every byte must have been consumed exactly.
+inline std::string finishBody(const resilience::ByteReader &R) {
+  if (!R.ok())
+    return "checkpoint: truncated body";
+  if (!R.atEnd())
+    return "checkpoint: trailing bytes after body";
+  return {};
+}
+
+/// The Object-based invocation codec shared by TileExecutor and
+/// ThreadExecutor (parameter objects and tag bindings by heap id).
+inline void saveObjectInvocation(resilience::ByteWriter &W,
+                                 const ObjectInvocation &Inv) {
+  W.i32(Inv.Task);
+  W.i32(Inv.InstanceIdx);
+  W.u64(Inv.Params.size());
+  for (runtime::Object *Obj : Inv.Params)
+    W.u64(Obj->Id);
+  W.u64(Inv.ConstraintTags.size());
+  for (const auto &[Var, Tag] : Inv.ConstraintTags) {
+    W.str(Var);
+    W.u64(Tag->Id);
+  }
+}
+
+inline std::string loadObjectInvocation(resilience::ByteReader &R,
+                                        const ir::Program &Prog,
+                                        runtime::Heap &Heap,
+                                        size_t NumInstances,
+                                        ObjectInvocation &Inv) {
+  Inv.Task = R.i32();
+  Inv.InstanceIdx = R.i32();
+  if (!R.ok() || Inv.Task < 0 ||
+      static_cast<size_t>(Inv.Task) >= Prog.tasks().size() ||
+      Inv.InstanceIdx < 0 ||
+      static_cast<size_t>(Inv.InstanceIdx) >= NumInstances)
+    return "checkpoint: invocation references an unknown task instance";
+  uint64_t NumParams = R.u64();
+  if (!R.ok() || NumParams > Heap.numObjects())
+    return "checkpoint: truncated invocation record";
+  for (uint64_t I = 0; I < NumParams; ++I) {
+    uint64_t Id = R.u64();
+    if (!R.ok() || Id >= Heap.numObjects())
+      return "checkpoint: invocation references an unknown object";
+    Inv.Params.push_back(Heap.objectAt(Id));
+  }
+  uint64_t NumTags = R.u64();
+  if (!R.ok() || NumTags > Heap.numTags())
+    return "checkpoint: truncated invocation tag bindings";
+  for (uint64_t I = 0; I < NumTags; ++I) {
+    std::string Var = R.str();
+    uint64_t Id = R.u64();
+    if (!R.ok() || Id >= Heap.numTags())
+      return "checkpoint: invocation references an unknown tag instance";
+    Inv.ConstraintTags.emplace(std::move(Var), Heap.tagAt(Id));
+  }
+  return {};
+}
+
+} // namespace bamboo::exec
+
+#endif // BAMBOO_EXEC_CHECKPOINTCHUNKS_H

@@ -1,0 +1,282 @@
+//===- exec/Dispatch.h - Shared dispatch machinery --------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Engine-invariant dispatch machinery shared by all three engines:
+///
+///  - combination enumeration over parameter sets with the re-delivery
+///    dedupe (one implementation of the PR 2 fix);
+///  - the Object-based invocation record (TileExecutor and
+///    ThreadExecutor dispatch the same heap objects) with its guard
+///    admission, tag binding, revalidation, and deterministic task RNG
+///    seed;
+///  - failover target ordering for permanent core failures;
+///  - in-flight slot recycling.
+///
+/// SchedSim shares the templates with its own token-based Item type.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_EXEC_DISPATCH_H
+#define BAMBOO_EXEC_DISPATCH_H
+
+#include "ir/Program.h"
+#include "runtime/Object.h"
+#include "runtime/RoutingTable.h"
+#include "support/Trace.h"
+#include "support/Watchdog.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bamboo::exec {
+
+/// Recursively matches tag constraints over the parameter sets, emitting
+/// every complete combination into \p Ready. Parameter \p FixedParam is
+/// pinned to \p Fixed (the just-delivered item) so each delivery only
+/// enumerates combinations it participates in.
+///
+/// \p DedupeReady is set on re-deliveries (the item was already in the
+/// parameter set): combinations already pending in the ready queue are
+/// then skipped, so re-enumeration after a flag/tag transition never
+/// double-builds an invocation.
+template <typename Inv, typename Item, typename AdmitsFn, typename BindFn,
+          typename SameFn, typename EnqueueFn>
+void matchParamCombos(const ir::TaskDecl &Task, size_t NextParam,
+                      Inv &Partial, ir::ParamId FixedParam, const Item &Fixed,
+                      const std::vector<std::vector<Item>> &ParamSets,
+                      std::deque<Inv> &Ready, bool DedupeReady,
+                      AdmitsFn &&Admits, BindFn &&Bind, SameFn &&Same,
+                      EnqueueFn &&OnEnqueue) {
+  if (NextParam == Task.Params.size()) {
+    if (DedupeReady) {
+      for (const Inv &Pending : Ready)
+        if (Pending.InstanceIdx == Partial.InstanceIdx &&
+            Pending.Params.size() == Partial.Params.size() &&
+            std::equal(Pending.Params.begin(), Pending.Params.end(),
+                       Partial.Params.begin(), Same))
+          return;
+    }
+    OnEnqueue();
+    Ready.push_back(Partial);
+    return;
+  }
+  const ir::TaskParam &Param = Task.Params[NextParam];
+
+  std::vector<Item> Candidates;
+  if (static_cast<ir::ParamId>(NextParam) == FixedParam)
+    Candidates.push_back(Fixed);
+  else
+    Candidates = ParamSets[NextParam];
+
+  for (const Item &It : Candidates) {
+    // One object cannot serve two parameters of the same invocation: the
+    // all-or-nothing lock step would self-conflict.
+    bool Used = false;
+    for (const Item &P : Partial.Params)
+      if (Same(P, It)) {
+        Used = true;
+        break;
+      }
+    if (Used)
+      continue;
+    if (!Admits(Param, It))
+      continue;
+    auto SavedTags = Partial.ConstraintTags;
+    if (!Bind(Param, It, Partial)) {
+      Partial.ConstraintTags = std::move(SavedTags);
+      continue;
+    }
+    Partial.Params.push_back(It);
+    matchParamCombos(Task, NextParam + 1, Partial, FixedParam, Fixed,
+                     ParamSets, Ready, DedupeReady, Admits, Bind, Same,
+                     OnEnqueue);
+    Partial.Params.pop_back();
+    Partial.ConstraintTags = std::move(SavedTags);
+  }
+}
+
+/// A matched combination of heap objects, shared by TileExecutor and
+/// ThreadExecutor (SchedSim has its own token-arrival flavour).
+struct ObjectInvocation {
+  ir::TaskId Task = ir::InvalidId;
+  int InstanceIdx = -1;
+  std::vector<runtime::Object *> Params;
+  std::map<std::string, runtime::TagInstance *> ConstraintTags;
+};
+
+/// Class + guard + tag-presence admission of \p Obj for \p Param.
+inline bool guardAdmitsObject(const ir::TaskParam &Param,
+                              const runtime::Object &Obj) {
+  if (Obj.Class != Param.Class)
+    return false;
+  if (!Param.Guard->evaluate(Obj.flags()))
+    return false;
+  for (const ir::TagConstraint &TC : Param.Tags)
+    if (!Obj.tagOfType(TC.Type))
+      return false;
+  return true;
+}
+
+/// Binds tag constraint variables of \p Param for \p Obj into \p Tags;
+/// returns false when impossible.
+inline bool
+bindObjectParamTags(const ir::TaskParam &Param, runtime::Object *Obj,
+                    std::map<std::string, runtime::TagInstance *> &Tags) {
+  for (const ir::TagConstraint &TC : Param.Tags) {
+    auto Bound = Tags.find(TC.Var);
+    if (Bound != Tags.end()) {
+      // Variable already fixed by an earlier parameter: this object must
+      // carry the same instance.
+      if (std::find(Obj->Tags.begin(), Obj->Tags.end(), Bound->second) ==
+          Obj->Tags.end())
+        return false;
+      continue;
+    }
+    // Bind the object's instance of this type. Objects in this runtime
+    // carry at most a handful of instances per type; when several exist,
+    // the first is chosen — later parameters constrained by the same
+    // variable re-validate against it, and mismatching combinations are
+    // simply produced by other deliveries.
+    runtime::TagInstance *Inst = Obj->tagOfType(TC.Type);
+    if (!Inst)
+      return false;
+    Tags.emplace(TC.Var, Inst);
+  }
+  return true;
+}
+
+/// Checks that every parameter object still satisfies its guard and the
+/// tag constraints still match (revalidation at dispatch time).
+inline bool objectInvocationStillValid(const ir::Program &Prog,
+                                       const ObjectInvocation &Inv) {
+  const ir::TaskDecl &Task = Prog.taskOf(Inv.Task);
+  for (size_t P = 0; P < Inv.Params.size(); ++P)
+    if (!guardAdmitsObject(Task.Params[P], *Inv.Params[P]))
+      return false;
+  // Tag constraints: the bound instances must still link the objects.
+  for (size_t P = 0; P < Inv.Params.size(); ++P) {
+    for (const ir::TagConstraint &TC : Task.Params[P].Tags) {
+      auto It = Inv.ConstraintTags.find(TC.Var);
+      if (It == Inv.ConstraintTags.end())
+        return false;
+      runtime::Object *Obj = Inv.Params[P];
+      if (std::find(Obj->Tags.begin(), Obj->Tags.end(), It->second) ==
+          Obj->Tags.end())
+        return false;
+    }
+  }
+  return true;
+}
+
+/// The deterministic per-invocation RNG seed both real executors feed to
+/// task bodies: a pure function of (run seed, task, first parameter), so
+/// the engines compute identical results for identical dispatches.
+inline uint64_t taskRngSeed(uint64_t Seed, ir::TaskId Task,
+                            uint64_t FirstParamId) {
+  uint64_t RngSeed = Seed;
+  RngSeed =
+      RngSeed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(Task + 1);
+  RngSeed = RngSeed * 0xff51afd7ed558ccdULL + (FirstParamId + 1);
+  return RngSeed;
+}
+
+/// Announces the program's task names to the trace recorder.
+inline void announceTaskNames(support::Trace *Trace,
+                              const ir::Program &Prog) {
+  if (!Trace)
+    return;
+  std::vector<std::string> Names;
+  for (const ir::TaskDecl &T : Prog.tasks())
+    Names.push_back(T.Name);
+  Trace->setTaskNames(std::move(Names));
+}
+
+/// Applies one exit's flag and tag effects to the parameter objects.
+/// \p TagVarOf resolves an exit action's tag variable (bound constraint
+/// vars plus body-created instances — TaskContext::tagVar in both real
+/// executors).
+template <typename TagVarFn>
+void applyObjectExitEffects(const ir::TaskExit &Exit,
+                            const std::vector<runtime::Object *> &Params,
+                            TagVarFn &&TagVarOf) {
+  for (size_t P = 0; P < Params.size(); ++P) {
+    const ir::ParamExitEffect &Eff = Exit.Effects[P];
+    Params[P]->updateFlags(Eff.Set, Eff.Clear);
+    for (const ir::ExitTagAction &Action : Eff.TagActions) {
+      runtime::TagInstance *Inst = TagVarOf(Action.Var);
+      assert(Inst && "exit tag action references an unbound tag variable");
+      if (!Inst)
+        continue;
+      if (Action.IsAdd)
+        Params[P]->bindTag(Inst);
+      else
+        Params[P]->unbindTag(Inst);
+    }
+  }
+}
+
+/// Failover candidates for a failed core: core-group siblings first, then
+/// the other used cores, skipping the dead. Empty when every core failed.
+inline std::vector<int> failoverTargets(const runtime::RoutingTable &Routes,
+                                        const std::vector<char> &CoreAlive,
+                                        int NumCores, int DeadCore) {
+  std::vector<int> Alive;
+  for (int C : Routes.failoverOrder(DeadCore))
+    if (CoreAlive[static_cast<size_t>(C)])
+      Alive.push_back(C);
+  if (Alive.empty())
+    for (int C = 0; C < NumCores; ++C)
+      if (CoreAlive[static_cast<size_t>(C)])
+        Alive.push_back(C);
+  return Alive;
+}
+
+/// Recycles an in-flight slot from \p Free, growing \p Flights when none
+/// is available; returns the slot index.
+template <typename FlightT>
+int allocFlightSlot(std::vector<FlightT> &Flights, std::vector<int> &Free,
+                    FlightT &&Flight) {
+  if (!Free.empty()) {
+    int Idx = Free.back();
+    Free.pop_back();
+    Flights[static_cast<size_t>(Idx)] = std::move(Flight);
+    return Idx;
+  }
+  int Idx = static_cast<int>(Flights.size());
+  Flights.push_back(std::move(Flight));
+  return Idx;
+}
+
+/// Appends the "held locks" watchdog-dump section shared by the two real
+/// executors (locks live on heap objects).
+inline void appendHeldLocks(support::WatchdogReport &Rep,
+                            runtime::Heap &Heap) {
+  Rep.section("held locks");
+  size_t Held = 0;
+  for (size_t I = 0; I < Heap.numObjects(); ++I) {
+    runtime::Object *Obj = Heap.objectAt(I);
+    if (Obj->locked()) {
+      ++Held;
+      Rep.line(formatString("object %llu (class %d)",
+                            static_cast<unsigned long long>(Obj->Id),
+                            Obj->Class));
+    }
+  }
+  if (Held == 0)
+    Rep.line("(none)");
+}
+
+} // namespace bamboo::exec
+
+#endif // BAMBOO_EXEC_DISPATCH_H

@@ -1,0 +1,563 @@
+//===- exec/EngineCore.h - Shared discrete-event engine core ----*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine-invariant half of Bamboo's discrete-event engines
+/// (TileExecutor and SchedSim): the deterministic (Time, Seq) event
+/// queue, parameter-set state, combination enumeration with re-delivery
+/// dedupe, FSM-driven routing with round-robin/tag-hash distribution,
+/// analytic send-fault resolution (ack/retransmit/escalation), dead-core
+/// delivery redirection, failover migration, stall / lock-livelock
+/// windows, the checkpoint/watchdog-aware main loop, and scheduled-fault
+/// seeding.
+///
+/// Everything timing- or transport-specific is delegated to the derived
+/// engine through the EnginePolicy hooks documented in EnginePolicy.h;
+/// the derived engine keeps sole ownership of its cost model, in-flight
+/// bookkeeping, exit semantics, and checkpoint body layout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_EXEC_ENGINECORE_H
+#define BAMBOO_EXEC_ENGINECORE_H
+
+#include "analysis/Cstg.h"
+#include "analysis/LockPlan.h"
+#include "exec/CheckpointChunks.h"
+#include "exec/Dispatch.h"
+#include "exec/EnginePolicy.h"
+#include "machine/Layout.h"
+#include "machine/MachineConfig.h"
+#include "resilience/FaultInjector.h"
+#include "resilience/FaultPlan.h"
+#include "resilience/Recovery.h"
+#include "runtime/RoutingTable.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bamboo::exec {
+
+/// CRTP base holding the engine-invariant machinery. \p DerivedT supplies
+/// the policy hooks; \p TraitsT the item/invocation/core-state types (see
+/// EnginePolicy.h for the full contract).
+template <typename DerivedT, typename TraitsT> class EngineCore {
+public:
+  using Traits = TraitsT;
+  using Item = typename Traits::Item;
+  using Routee = typename Traits::Routee;
+  using Invocation = typename Traits::Invocation;
+  using CoreState = typename Traits::CoreState;
+  using EventT = EngineEvent<Item>;
+  using InstanceState = EngineInstanceState<Item>;
+  using EventQueue =
+      std::priority_queue<EventT, std::vector<EventT>, std::greater<EventT>>;
+
+protected:
+  EngineCore(const ir::Program &Prog, const analysis::Cstg &Graph,
+             const machine::MachineConfig &Machine, const machine::Layout &L)
+      : Prog(Prog), Graph(Graph), Machine(Machine), L(L),
+        Routes(Prog, Graph, L), LockPlans(analysis::buildLockPlans(Prog)) {}
+
+  DerivedT &derived() { return static_cast<DerivedT &>(*this); }
+  const DerivedT &derived() const {
+    return static_cast<const DerivedT &>(*this);
+  }
+
+  // Engine-invariant configuration (shared by every run).
+  const ir::Program &Prog;
+  const analysis::Cstg &Graph;
+  machine::MachineConfig Machine;
+  machine::Layout L;
+  runtime::RoutingTable Routes;
+  std::vector<analysis::TaskLockPlan> LockPlans;
+
+  // Per-run scheduler state.
+  std::vector<CoreState> Cores;
+  std::vector<InstanceState> Instances;
+  EventQueue Queue;
+  uint64_t NextSeq = 0;
+  /// Round-robin distribution counters, keyed by (sender core, dest
+  /// task) and seeded with the sender core — see routeItem().
+  std::map<std::pair<int, ir::TaskId>, size_t> RoundRobin;
+
+  // Per-run resilience state.
+  resilience::FaultInjector Injector;
+  /// Virtual time of the last real scheduler progress (a dispatch or a
+  /// completion); the watchdog measures stall length against it.
+  machine::Cycles LastProgress = 0;
+  /// Liveness per core; cleared by a scheduled permanent failure.
+  std::vector<char> CoreAlive;
+  /// Effective host core per placed instance: starts as the layout's
+  /// placement and is rewritten by failover migration, so routing always
+  /// targets the instance's current home.
+  std::vector<int> InstanceCore;
+  /// End cycle of the currently known stall / lock-livelock window per
+  /// core (0: none). Injection is counted once per window.
+  std::vector<machine::Cycles> StallEnd;
+  std::vector<machine::Cycles> LockEnd;
+
+  // Per-run policy bindings (set by beginRun).
+  support::Trace *TraceP = nullptr;
+  bool RecoveryOn = true;
+  resilience::RecoveryReport *Rep = nullptr;
+
+  /// Resets the shared per-run state and binds this run's trace/recovery
+  /// policy. \p Report must outlive the run (it is the engine result's
+  /// recovery report).
+  void beginRun(const resilience::FaultPlan *Faults, uint64_t FaultSeed,
+                bool Recovery, support::Trace *Trace,
+                resilience::RecoveryReport *Report) {
+    TraceP = Trace;
+    RecoveryOn = Recovery;
+    Rep = Report;
+    Cores.assign(static_cast<size_t>(L.NumCores), CoreState());
+    Instances.clear();
+    Instances.resize(L.Instances.size());
+    for (size_t I = 0; I < L.Instances.size(); ++I)
+      Instances[I].ParamSets.resize(
+          Prog.taskOf(L.Instances[I].Task).Params.size());
+    RoundRobin.clear();
+    NextSeq = 0;
+    while (!Queue.empty())
+      Queue.pop();
+    Injector = resilience::FaultInjector(Faults, FaultSeed);
+    Rep->RecoveryEnabled = Recovery;
+    CoreAlive.assign(static_cast<size_t>(L.NumCores), 1);
+    InstanceCore.clear();
+    for (const machine::TaskInstance &Inst : L.Instances)
+      InstanceCore.push_back(Inst.Core);
+    StallEnd.assign(static_cast<size_t>(L.NumCores), 0);
+    LockEnd.assign(static_cast<size_t>(L.NumCores), 0);
+    LastProgress = 0;
+  }
+
+  /// Announces the program's task names to the trace recorder.
+  void announceTaskNames(support::Trace *Trace) const {
+    exec::announceTaskNames(Trace, Prog);
+  }
+
+  /// Schedules the fault plan's permanent core failures as Fault events.
+  void seedScheduledFailures() {
+    for (const resilience::ScheduledFault &F : Injector.coreFailures()) {
+      if (F.Core < 0 || F.Core >= L.NumCores)
+        continue;
+      EventT Fail;
+      Fail.Kind = EventKind::Fault;
+      Fail.Time = F.Cycle;
+      Fail.Core = F.Core;
+      push(std::move(Fail));
+    }
+  }
+
+  void push(EventT E) {
+    E.Seq = NextSeq++;
+    Queue.push(std::move(E));
+  }
+
+  void pushWake(int Core, machine::Cycles Time) {
+    EventT Wake;
+    Wake.Kind = EventKind::Wake;
+    Wake.Time = Time;
+    Wake.Core = Core;
+    push(std::move(Wake));
+  }
+
+  void pushCompletion(int Core, machine::Cycles Time, int FlightIdx) {
+    EventT Done;
+    Done.Kind = EventKind::Completion;
+    Done.Time = Time;
+    Done.Core = Core;
+    Done.FlightIdx = FlightIdx;
+    push(std::move(Done));
+  }
+
+  /// Enumerates the invocations newly enabled by \p It arriving for
+  /// (\p InstanceIdx, \p Param) and appends them to the core's ready
+  /// queue (see matchParamCombos for the \p DedupeReady contract).
+  void enumerateInvocations(int Core, int InstanceIdx, ir::ParamId Param,
+                            const Item &It, bool DedupeReady) {
+    ir::TaskId TaskId = L.Instances[static_cast<size_t>(InstanceIdx)].Task;
+    const ir::TaskDecl &Task = Prog.taskOf(TaskId);
+    if (!derived().admits(Task.Params[static_cast<size_t>(Param)], It))
+      return;
+    Invocation Partial;
+    Partial.Task = TaskId;
+    Partial.InstanceIdx = InstanceIdx;
+    matchParamCombos(
+        Task, 0, Partial, Param, It,
+        Instances[static_cast<size_t>(InstanceIdx)].ParamSets,
+        Cores[static_cast<size_t>(Core)].Ready, DedupeReady,
+        [this](const ir::TaskParam &P, const Item &Candidate) {
+          return derived().admits(P, Candidate);
+        },
+        [this](const ir::TaskParam &P, const Item &Candidate,
+               Invocation &Pt) { return derived().bindTags(P, Candidate, Pt); },
+        [](const Item &A, const Item &B) { return Traits::same(A, B); },
+        [this] { derived().onReadyEnqueued(); });
+  }
+
+  /// Delivers \p E into its target instance's parameter set, redirecting
+  /// around dead cores, and lets the engine decide when to try dispatch.
+  ///
+  /// A re-delivery of an item already sitting in the parameter set is
+  /// NOT a no-op: the object is only re-routed after a task transitioned
+  /// its flags/tags, so combinations with objects that arrived while it
+  /// was inadmissible may be newly enabled. Re-enumerate (deduplicating
+  /// against already-pending invocations) instead of returning early.
+  void deliver(const EventT &E) {
+    if (!CoreAlive[static_cast<size_t>(E.Core)]) {
+      // In-flight delivery racing a permanent core failure.
+      int Fwd = InstanceCore[static_cast<size_t>(E.InstanceIdx)];
+      if (!RecoveryOn || Fwd == E.Core ||
+          !CoreAlive[static_cast<size_t>(Fwd)]) {
+        ++Rep->BlackholedDeliveries; // The dead core swallows it.
+        return;
+      }
+      // Recovery: forward to the instance's failover home.
+      machine::Cycles Hop =
+          Machine.SendOverhead + Machine.transferLatency(E.Core, Fwd);
+      ++Rep->RedirectedDeliveries;
+      Rep->AddedCycles += Hop;
+      if (TraceP)
+        TraceP->failover(E.Time, E.Core, Fwd, derived().itemIdOf(E.Item));
+      EventT Redirected = E;
+      Redirected.Time = E.Time + Hop;
+      Redirected.Core = Fwd;
+      derived().retimeItem(Redirected.Item, Redirected.Time);
+      push(std::move(Redirected));
+      return;
+    }
+    std::vector<Item> &Set =
+        Instances[static_cast<size_t>(E.InstanceIdx)]
+            .ParamSets[static_cast<size_t>(E.Param)];
+    bool Known = false;
+    for (const Item &Existing : Set)
+      if (Traits::same(Existing, E.Item)) {
+        Known = true;
+        break;
+      }
+    if (!Known)
+      Set.push_back(E.Item);
+    if (TraceP)
+      TraceP->deliver(E.Time, E.Core, derived().itemIdOf(E.Item));
+    enumerateInvocations(E.Core, E.InstanceIdx, E.Param, E.Item,
+                         /*DedupeReady=*/Known);
+    if (!Cores[static_cast<size_t>(E.Core)].Executing)
+      derived().deliverKick(E.Core, E.Time);
+  }
+
+  /// Resolves the injected fate of one cross-core transfer analytically
+  /// at send time: walks the retransmission attempts, accumulating the
+  /// backoff penalty into \p Penalty and duplicate arrivals into
+  /// \p Duplicates. Returns false when the message is lost for good
+  /// (recovery off). Legal because every per-attempt decision is a pure
+  /// function of (plan, seed, edge, object, attempt).
+  bool resolveSend(uint64_t Id, int FromCore, int ToCore,
+                   machine::Cycles Now, machine::Cycles &Penalty,
+                   int &Duplicates) {
+    for (int Attempt = 0;; ++Attempt) {
+      auto D = Injector.onSend(Now, FromCore, ToCore, Id, Attempt);
+      if (D.Drop) {
+        ++Rep->Drops;
+        if (TraceP)
+          TraceP->faultInject(
+              Now + Penalty, FromCore,
+              static_cast<int>(resilience::FaultKind::MsgDrop),
+              static_cast<int64_t>(Id));
+        if (!RecoveryOn) {
+          ++Rep->LostMessages;
+          return false;
+        }
+        if (Attempt >= Machine.MaxSendRetries) {
+          // Retry budget exhausted: escalate to the slow verified channel.
+          // The transfer still arrives — with the full backoff already
+          // paid.
+          ++Rep->Escalations;
+          return true;
+        }
+        // The missing ack is noticed AckTimeout cycles in; the retransmit
+        // waits out an exponential backoff on top.
+        ++Rep->Retransmits;
+        Penalty += Machine.AckTimeout +
+                   (Machine.RetryBackoffBase << std::min(Attempt, 16));
+        if (TraceP)
+          TraceP->retransmit(Now + Penalty, FromCore, ToCore,
+                             static_cast<int64_t>(Id),
+                             static_cast<uint64_t>(Attempt) + 1);
+        continue;
+      }
+      if (D.Duplicate) {
+        ++Rep->Dups;
+        ++Duplicates;
+        if (TraceP)
+          TraceP->faultInject(
+              Now + Penalty, FromCore,
+              static_cast<int>(resilience::FaultKind::MsgDup),
+              static_cast<int64_t>(Id));
+      }
+      if (D.Delay) {
+        ++Rep->Delays;
+        Penalty += D.Delay;
+        if (TraceP)
+          TraceP->faultInject(
+              Now + Penalty, FromCore,
+              static_cast<int>(resilience::FaultKind::MsgDelay),
+              static_cast<int64_t>(Id));
+      }
+      return true;
+    }
+  }
+
+  /// Routes \p Rt (at its current abstract state) to all candidate next
+  /// tasks from core \p FromCore at time \p Now: resolves the CSTG
+  /// destinations, picks an instance per the distribution kind, charges
+  /// transfer latency, resolves injected send faults, and schedules the
+  /// Delivery events.
+  void routeItem(const Routee &Rt, int FromCore, machine::Cycles Now) {
+    int Node = derived().routeeNode(Rt);
+    for (const runtime::RouteDest &Dest : Routes.destsAt(Node)) {
+      size_t Pick = 0;
+      switch (Dest.Kind) {
+      case runtime::DistributionKind::Single:
+        break;
+      case runtime::DistributionKind::RoundRobin: {
+        // Per-sender counters, seeded with the sender core: senders start
+        // their round-robin walk at "their own" replica, so concurrent
+        // producers spread over all instances instead of all hammering
+        // instance 0 (and a core whose own replica hosts the next task
+        // tends to keep the object local — the data locality rule).
+        auto [It, Inserted] = RoundRobin.try_emplace(
+            {FromCore, Dest.Task},
+            FromCore >= 0 ? static_cast<size_t>(FromCore) : 0);
+        Pick = It->second++ % Dest.Instances.size();
+        (void)Inserted;
+        break;
+      }
+      case runtime::DistributionKind::TagHash:
+        Pick = derived().tagHashPick(Rt, Dest);
+        break;
+      }
+      int InstanceIdx = Dest.Instances[Pick].first;
+      // The instance's *current* home: failover migration may have moved
+      // it off the layout's original core.
+      int Core = InstanceCore[static_cast<size_t>(InstanceIdx)];
+      machine::Cycles Latency = 0;
+      machine::Cycles Penalty = 0;
+      int Duplicates = 0;
+      if (FromCore >= 0 && FromCore != Core) {
+        Latency =
+            Machine.SendOverhead + Machine.transferLatency(FromCore, Core);
+        derived().onCrossSend(Rt, FromCore, Core, Now);
+        if (Injector.active()) {
+          // The whole ack/retransmit exchange is resolved analytically at
+          // send time (every per-attempt decision is deterministic), so
+          // the event queue only ever sees the final arrival.
+          if (!resolveSend(derived().routeeId(Rt), FromCore, Core, Now,
+                           Penalty, Duplicates))
+            continue; // Lost for good (recovery off): no arrival.
+          Rep->AddedCycles += Penalty;
+        }
+      }
+      EventT Arrival;
+      Arrival.Kind = EventKind::Delivery;
+      Arrival.Time = Now + Latency + Penalty;
+      Arrival.Core = Core;
+      Arrival.Item = derived().makeItem(Rt, Arrival.Time);
+      Arrival.InstanceIdx = InstanceIdx;
+      Arrival.Param = Dest.Param;
+      // A duplicated transfer arrives again; the idempotent re-delivery
+      // (dedupe against pending invocations) absorbs it.
+      for (int Copy = 0; Copy < 1 + Duplicates; ++Copy)
+        push(Arrival);
+    }
+  }
+
+  /// Opens (or reports) the stall window on \p CoreIdx at \p Now,
+  /// counting each new window once. Stalls are transient by definition,
+  /// so the window closes regardless of the recovery setting.
+  machine::Cycles armStallWindow(int CoreIdx, machine::Cycles Now) {
+    machine::Cycles &Stall = StallEnd[static_cast<size_t>(CoreIdx)];
+    if (Now >= Stall) {
+      if (machine::Cycles End = Injector.stallUntil(Now, CoreIdx);
+          End > Stall) {
+        Stall = End;
+        ++Rep->Stalls;
+        Rep->AddedCycles += End - Now;
+        if (TraceP)
+          TraceP->faultInject(
+              Now, CoreIdx,
+              static_cast<int>(resilience::FaultKind::CoreStall), -1);
+      }
+    }
+    return Stall;
+  }
+
+  /// Same for the lock-livelock window (every all-or-nothing sweep on
+  /// the core fails until it ends).
+  machine::Cycles armLockWindow(int CoreIdx, machine::Cycles Now) {
+    machine::Cycles &Lock = LockEnd[static_cast<size_t>(CoreIdx)];
+    if (Now >= Lock) {
+      if (machine::Cycles End = Injector.lockFaultUntil(Now, CoreIdx);
+          End > Lock) {
+        Lock = End;
+        ++Rep->LockFaults;
+        Rep->AddedCycles += End - Now;
+        if (TraceP)
+          TraceP->faultInject(
+              Now, CoreIdx,
+              static_cast<int>(resilience::FaultKind::LockSweep), -1);
+      }
+    }
+    return Lock;
+  }
+
+  /// Applies a scheduled permanent core failure: marks the core dead,
+  /// and — with recovery on — migrates its placed instances to failover
+  /// siblings and re-dispatches its queued invocations.
+  void applyCoreFailure(int CoreIdx, machine::Cycles Now) {
+    if (!CoreAlive[static_cast<size_t>(CoreIdx)])
+      return; // Already dead (duplicate schedule entry).
+    CoreAlive[static_cast<size_t>(CoreIdx)] = 0;
+    ++Rep->CoreFails;
+    if (TraceP)
+      TraceP->faultInject(
+          Now, CoreIdx, static_cast<int>(resilience::FaultKind::CoreFail),
+          -1);
+    // Fail-stop at the dispatch boundary: an invocation already in flight
+    // on this core finishes (its body ran; re-running it would
+    // double-apply host side effects) — the core just never dispatches
+    // again.
+    if (!RecoveryOn)
+      return; // Queued work strands; deliveries blackhole; run wedges.
+
+    std::vector<int> Alive =
+        failoverTargets(Routes, CoreAlive, L.NumCores, CoreIdx);
+    if (Alive.empty())
+      return; // Every core failed: nothing left to migrate to.
+
+    // Migrate this core's placed instances round-robin over the
+    // candidates (their parameter sets travel with the InstanceState).
+    size_t Next = 0;
+    for (size_t I = 0; I < InstanceCore.size(); ++I) {
+      if (InstanceCore[I] != CoreIdx)
+        continue;
+      int NewCore = Alive[Next++ % Alive.size()];
+      InstanceCore[I] = NewCore;
+      ++Rep->InstancesMigrated;
+      if (TraceP)
+        TraceP->failover(Now, CoreIdx, NewCore, -1);
+    }
+
+    // Re-dispatch queued-but-unstarted invocations on their instances'
+    // new homes, charging one transfer per moved invocation.
+    CoreState &Dead = Cores[static_cast<size_t>(CoreIdx)];
+    while (!Dead.Ready.empty()) {
+      Invocation Inv = std::move(Dead.Ready.front());
+      Dead.Ready.pop_front();
+      int NewCore = InstanceCore[static_cast<size_t>(Inv.InstanceIdx)];
+      machine::Cycles Hop =
+          Machine.SendOverhead + Machine.transferLatency(CoreIdx, NewCore);
+      Rep->AddedCycles += Hop;
+      ++Rep->RedispatchedInvocations;
+      Cores[static_cast<size_t>(NewCore)].Ready.push_back(std::move(Inv));
+      pushWake(NewCore, Now + Hop);
+    }
+  }
+
+  /// Lock releases may unblock other cores' queued invocations: wake
+  /// every idle core with pending work (except \p ExceptCore, which the
+  /// completion path retries directly).
+  void wakeOtherCores(int ExceptCore, machine::Cycles Time) {
+    for (size_t C = 0; C < Cores.size(); ++C) {
+      if (static_cast<int>(C) == ExceptCore)
+        continue;
+      if (!Cores[C].Executing && !Cores[C].Ready.empty())
+        pushWake(static_cast<int>(C), Time);
+    }
+  }
+
+  /// The engine-invariant main loop: drains the event queue in
+  /// deterministic order, snapshotting at quiescent checkpoint
+  /// boundaries and aborting on watchdog stalls or an engine-imposed
+  /// budget.
+  ///
+  ///  - \p Ckpt(NextCkpt) takes one snapshot; returning false aborts.
+  ///  - \p Wd(Now) records the watchdog diagnosis; the loop then aborts.
+  ///  - \p Pre() runs before each event is popped (the Tile event
+  ///    budget); \p Post() after it is handled (the SchedSim invocation
+  ///    budget). Returning false aborts.
+  template <typename CkptFn, typename WdFn, typename PreFn, typename PostFn>
+  void runEventLoop(machine::Cycles &LastTime,
+                    machine::Cycles CheckpointEvery, CkptFn &&Ckpt,
+                    machine::Cycles WatchdogCycles, WdFn &&Wd, PreFn &&Pre,
+                    PostFn &&Post, bool &Aborted) {
+    // First checkpoint boundary past the current high-water time.
+    machine::Cycles NextCkpt = 0;
+    if (CheckpointEvery > 0)
+      NextCkpt = (LastTime / CheckpointEvery + 1) * CheckpointEvery;
+
+    while (!Queue.empty()) {
+      // Snapshot at the quiescent point between events, the first time
+      // the next event would carry virtual time across a checkpoint
+      // boundary. Taking it here perturbs nothing: the snapshot captures
+      // the queue (including the event about to run), so the
+      // continuation replays the exact schedule.
+      if (CheckpointEvery > 0 && Queue.top().Time >= NextCkpt) {
+        if (!Ckpt(NextCkpt)) {
+          Aborted = true;
+          break;
+        }
+        while (NextCkpt <= Queue.top().Time)
+          NextCkpt += CheckpointEvery;
+      }
+      if (!Pre()) {
+        Aborted = true;
+        break;
+      }
+      EventT E = Queue.top();
+      Queue.pop();
+      LastTime = std::max(LastTime, E.Time);
+      // Watchdog: virtual time ran away from the last
+      // dispatch/completion (e.g. an endlessly re-armed stall window).
+      // Abort with a diagnostic dump instead of spinning to the budget.
+      if (WatchdogCycles > 0 && E.Time > LastProgress &&
+          E.Time - LastProgress > WatchdogCycles) {
+        Wd(E.Time);
+        Aborted = true;
+        break;
+      }
+      switch (E.Kind) {
+      case EventKind::Delivery:
+        deliver(E);
+        break;
+      case EventKind::Completion:
+        derived().complete(E);
+        break;
+      case EventKind::Wake:
+        derived().tryStart(E.Core, E.Time);
+        break;
+      case EventKind::Fault:
+        applyCoreFailure(E.Core, E.Time);
+        break;
+      }
+      if (!Post()) {
+        Aborted = true;
+        break;
+      }
+    }
+  }
+};
+
+} // namespace bamboo::exec
+
+#endif // BAMBOO_EXEC_ENGINECORE_H

@@ -1,0 +1,100 @@
+//===- exec/EnginePolicy.h - Engine-invariant core vocabulary ---*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared vocabulary of the engine layer (src/exec): the event model
+/// and per-instance dispatch state used by every discrete-event engine,
+/// plus the documentation of the *EnginePolicy* — the small interface a
+/// concrete engine implements on top of exec::EngineCore.
+///
+/// The repo runs one program on three engines that must agree with each
+/// other (the paper's sim-vs-real claim): the cycle-accounted
+/// runtime::TileExecutor, the profile-driven schedsim::SchedSim, and the
+/// host-threaded runtime::ThreadExecutor. What is *invariant* across them
+/// — parameter-set state, combination enumeration with re-delivery
+/// dedupe, the all-or-nothing lock sweep accounting, fault-injection and
+/// recovery sites, checkpoint body chunks, trace emission, watchdog
+/// progress — lives once in this layer. What is *policy* — the
+/// timing/cost model, message transport and latency, the thread model,
+/// and event-queue ordering — stays in the engine.
+///
+/// EnginePolicy, as consumed by EngineCore<Derived, Traits>:
+///
+///   Traits (compile-time):
+///     Item        delivery payload in parameter sets and Delivery events
+///                 (Object* for Tile, Arrival for SchedSim)
+///     Routee      the thing exit routing distributes (Object* / Token*)
+///     Invocation  a matched combination: Task, InstanceIdx, Params
+///                 (std::vector<Item>), ConstraintTags (a map)
+///     CoreState   per-core scheduler state: Executing, BusyTotal,
+///                 LastEnd, Ready (std::deque<Invocation>) + any
+///                 engine-specific fields (e.g. Tile's BusyUntil)
+///     same(a, b)  identity of the underlying object behind two Items
+///
+///   Derived hooks (the policy proper):
+///     admits(Param, Item)          guard/class admission check
+///     bindTags(Param, Item, Inv)   tag-constraint variable binding
+///     stillValid(Inv)              revalidation at dispatch time
+///     itemIdOf(Item)               trace id of a delivery payload
+///     retimeItem(Item&, Cycles)    re-stamp a redirected delivery
+///     deliverKick(Core, Cycles)    when/where to try dispatch after a
+///                                  delivery (timing policy)
+///     onReadyEnqueued()            bookkeeping when a combination lands
+///                                  in a ready queue (thread model)
+///     routeeNode(Routee)           CSTG node for routing
+///     routeeId(Routee)             fault-stream id of a transfer
+///     tagHashPick(Routee, Dest)    TagHash distribution pick
+///     onCrossSend(Routee, ...)     cross-core send accounting/tracing
+///     makeItem(Routee, Cycles)     delivery payload for an arrival
+///     tryStart(Core, Cycles)       dispatch policy (cost model)
+///     complete(Event)              completion policy (exit effects)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_EXEC_ENGINEPOLICY_H
+#define BAMBOO_EXEC_ENGINEPOLICY_H
+
+#include "machine/MachineConfig.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace bamboo::exec {
+
+/// The four event kinds every discrete-event engine schedules. The
+/// numeric values are part of the checkpoint body format — do not reorder.
+enum class EventKind : uint8_t { Delivery, Completion, Wake, Fault };
+
+/// One scheduled event, ordered by (Time, Seq): ties replay in push
+/// order, which makes the whole simulation deterministic.
+template <typename ItemT> struct EngineEvent {
+  machine::Cycles Time = 0;
+  uint64_t Seq = 0;
+  EventKind Kind = EventKind::Wake;
+  int Core = 0;
+  /// Delivery payload.
+  ItemT Item{};
+  int InstanceIdx = -1;
+  int Param = -1;
+  /// Completion payload: index into the engine's in-flight table.
+  int FlightIdx = -1;
+
+  bool operator>(const EngineEvent &O) const {
+    if (Time != O.Time)
+      return Time > O.Time;
+    return Seq > O.Seq;
+  }
+};
+
+/// One placed task instance's dispatch state: the objects that arrived
+/// for each parameter (the parameter sets of Section 4.7).
+template <typename ItemT> struct EngineInstanceState {
+  std::vector<std::vector<ItemT>> ParamSets;
+};
+
+} // namespace bamboo::exec
+
+#endif // BAMBOO_EXEC_ENGINEPOLICY_H

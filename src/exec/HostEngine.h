@@ -1,0 +1,257 @@
+//===- exec/HostEngine.h - Shared host-thread engine machinery --*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Engine-invariant machinery for executors backed by real host threads
+/// (no virtual clock): the pause-the-world checkpoint protocol, the
+/// clock-free resolution of message-fault draws, boot-time application of
+/// scheduled core failures, and the monitor loop that enforces the wall
+/// timeout, the no-progress watchdog, and checkpoint pacing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_EXEC_HOSTENGINE_H
+#define BAMBOO_EXEC_HOSTENGINE_H
+
+#include "exec/Dispatch.h"
+#include "machine/MachineConfig.h"
+#include "resilience/FaultInjector.h"
+#include "runtime/RoutingTable.h"
+#include "support/Trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace bamboo::exec {
+
+/// Pause-the-world checkpoint protocol: the monitor requests a pause,
+/// every live worker parks at its next step boundary (holding no object
+/// locks, no body executing), the monitor snapshots alone, then releases.
+struct PauseWorld {
+  std::atomic<bool> PauseRequested{false};
+  std::atomic<int> PausedWorkers{0};
+  std::atomic<int> LiveWorkers{0};
+
+  void workerEnter() { LiveWorkers.fetch_add(1, std::memory_order_acq_rel); }
+  void workerExit() { LiveWorkers.fetch_sub(1, std::memory_order_acq_rel); }
+
+  /// Worker side: park until the monitor releases the world (or the run
+  /// ends). Called only at step boundaries, so a parked worker holds no
+  /// object locks and has no body in flight.
+  void maybePause(const std::atomic<bool> &Done) {
+    if (!PauseRequested.load(std::memory_order_acquire))
+      return;
+    PausedWorkers.fetch_add(1, std::memory_order_acq_rel);
+    while (PauseRequested.load(std::memory_order_acquire) &&
+           !Done.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    PausedWorkers.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  /// Monitor side: returns true once every live worker is parked; false
+  /// if the run finished first (the pause is then withdrawn).
+  bool pauseAll(const std::atomic<bool> &Done) {
+    PauseRequested.store(true, std::memory_order_release);
+    while (PausedWorkers.load(std::memory_order_acquire) <
+           LiveWorkers.load(std::memory_order_acquire)) {
+      if (Done.load(std::memory_order_acquire)) {
+        PauseRequested.store(false, std::memory_order_release);
+        return false;
+      }
+      std::this_thread::yield();
+    }
+    return true;
+  }
+
+  void resumeAll() {
+    PauseRequested.store(false, std::memory_order_release);
+    while (PausedWorkers.load(std::memory_order_acquire) > 0)
+      std::this_thread::yield();
+  }
+};
+
+/// Message-fault counters a host engine accumulates across worker
+/// threads (the lock-sweep counter lives with the dispatch loop, not
+/// here — sweeps are not messages).
+struct HostSendStats {
+  std::atomic<uint64_t> Drops{0}, Dups{0}, Delays{0};
+  std::atomic<uint64_t> Retransmits{0}, Escalations{0}, LostMessages{0};
+};
+
+/// Resolves the fault draws for one cross-core transfer on a host with no
+/// virtual clock: the ack/retransmit exchange collapses inline (Now=0;
+/// attempt numbers still vary the draws). Returns how many copies to
+/// deliver — 0 when the message was lost for good (recovery off), 2+ when
+/// duplication faults fired. Injected delays are counted only: host
+/// messages have no modeled latency to add them to.
+template <typename NowFn>
+int resolveHostSend(resilience::FaultInjector &Injector, bool Recovery,
+                    support::Trace *Trace, NowFn &&NowNs, uint64_t ObjId,
+                    int FromCore, int ToCore, HostSendStats &Stats) {
+  int Copies = 1;
+  for (int Attempt = 0;; ++Attempt) {
+    resilience::FaultInjector::SendDecision D =
+        Injector.onSend(0, FromCore, ToCore, ObjId, Attempt);
+    if (D.Drop) {
+      Stats.Drops.fetch_add(1, std::memory_order_relaxed);
+      if (Trace)
+        Trace->faultInject(NowNs(), FromCore,
+                           static_cast<int>(resilience::FaultKind::MsgDrop),
+                           static_cast<int64_t>(ObjId));
+      if (!Recovery) {
+        Stats.LostMessages.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+      }
+      if (Attempt >= machine::MachineConfig{}.MaxSendRetries) {
+        Stats.Escalations.fetch_add(1, std::memory_order_relaxed);
+        return Copies;
+      }
+      Stats.Retransmits.fetch_add(1, std::memory_order_relaxed);
+      if (Trace)
+        Trace->retransmit(NowNs(), FromCore, ToCore,
+                          static_cast<int64_t>(ObjId),
+                          static_cast<uint64_t>(Attempt) + 1);
+      continue;
+    }
+    if (D.Duplicate) {
+      Stats.Dups.fetch_add(1, std::memory_order_relaxed);
+      ++Copies;
+      if (Trace)
+        Trace->faultInject(NowNs(), FromCore,
+                           static_cast<int>(resilience::FaultKind::MsgDup),
+                           static_cast<int64_t>(ObjId));
+    }
+    if (D.Delay) {
+      Stats.Delays.fetch_add(1, std::memory_order_relaxed);
+      if (Trace)
+        Trace->faultInject(NowNs(), FromCore,
+                           static_cast<int>(resilience::FaultKind::MsgDelay),
+                           static_cast<int64_t>(ObjId));
+    }
+    return Copies;
+  }
+}
+
+/// Applies scheduled permanent core failures at run start (a host engine
+/// has no virtual clock to fire them later). Dead cores' instances are
+/// re-homed over the routing table's failover order (recovery on) before
+/// any message is routed, so \p InstanceCore is immutable once workers
+/// launch.
+inline void applyBootCoreFailures(const resilience::FaultInjector &Injector,
+                                  const runtime::RoutingTable &Routes,
+                                  int NumCores, bool Recovery,
+                                  support::Trace *Trace,
+                                  std::vector<char> &CoreAlive,
+                                  std::vector<int> &InstanceCore,
+                                  uint64_t &CoreFails,
+                                  uint64_t &InstancesMigrated) {
+  for (const resilience::ScheduledFault &F : Injector.coreFailures()) {
+    if (F.Core < 0 || F.Core >= NumCores ||
+        !CoreAlive[static_cast<size_t>(F.Core)])
+      continue;
+    CoreAlive[static_cast<size_t>(F.Core)] = 0;
+    ++CoreFails;
+    if (Trace)
+      Trace->faultInject(
+          0, F.Core, static_cast<int>(resilience::FaultKind::CoreFail), -1);
+    if (!Recovery)
+      continue;
+    std::vector<int> Targets =
+        failoverTargets(Routes, CoreAlive, NumCores, F.Core);
+    if (Targets.empty())
+      continue; // Every core failed; nowhere to migrate.
+    size_t RR = 0;
+    for (size_t I = 0; I < InstanceCore.size(); ++I) {
+      if (InstanceCore[I] != F.Core)
+        continue;
+      InstanceCore[I] = Targets[RR++ % Targets.size()];
+      ++InstancesMigrated;
+      if (Trace)
+        Trace->failover(0, F.Core, InstanceCore[I],
+                        static_cast<int64_t>(I));
+    }
+  }
+}
+
+/// What the host monitor loop observed by the time the run ended.
+struct HostMonitorOutcome {
+  bool WatchdogTripped = false;
+  /// Wall-clock positions (ms since run start) of the trip and of the
+  /// last observed progress, for the watchdog dump.
+  int64_t TrippedAtMs = 0, TrippedLastMs = 0;
+  uint64_t CheckpointsWritten = 0;
+  std::string CheckpointError;
+};
+
+/// Monitor loop for a host engine: enforces the total wall timeout, fires
+/// the no-progress watchdog (progress = the invocation counter moving),
+/// and paces pause-the-world checkpoints at invocation-count thresholds.
+///
+/// \p TryCheckpoint owns the pause/snapshot/resume exchange: it advances
+/// \p NextCkpt past the current invocation count, returns true when a
+/// snapshot was written, and reports failures through \p Err (which ends
+/// the run). Returning false with an empty \p Err means the world could
+/// not be paused because the run finished first.
+template <typename InvFn, typename OutstandingFn, typename CkptFn>
+HostMonitorOutcome
+hostMonitorLoop(std::atomic<bool> &Done,
+                std::chrono::steady_clock::time_point T0, int64_t TimeoutMs,
+                int64_t WatchdogMs, uint64_t CheckpointEvery, InvFn &&Inv,
+                OutstandingFn &&Outstanding, CkptFn &&TryCheckpoint) {
+  HostMonitorOutcome Out;
+  uint64_t NextCkpt = 0;
+  if (CheckpointEvery > 0)
+    NextCkpt = (Inv() / CheckpointEvery + 1) * CheckpointEvery;
+  uint64_t LastInvCount = Inv();
+  auto LastProgressT = T0;
+  for (;;) {
+    if (Done.load(std::memory_order_acquire))
+      break;
+    auto Now = std::chrono::steady_clock::now();
+    auto Elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(Now - T0)
+            .count();
+    if (Elapsed > TimeoutMs) {
+      Done.store(true, std::memory_order_release);
+      break;
+    }
+    uint64_t InvNow = Inv();
+    if (InvNow != LastInvCount) {
+      LastInvCount = InvNow;
+      LastProgressT = Now;
+    } else if (WatchdogMs > 0 && Outstanding() != 0 &&
+               std::chrono::duration_cast<std::chrono::milliseconds>(
+                   Now - LastProgressT)
+                       .count() > WatchdogMs) {
+      Out.WatchdogTripped = true;
+      Out.TrippedAtMs = Elapsed;
+      Out.TrippedLastMs =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              LastProgressT - T0)
+              .count();
+      Done.store(true, std::memory_order_release);
+      break;
+    }
+    if (CheckpointEvery > 0 && InvNow >= NextCkpt) {
+      std::string Err;
+      if (TryCheckpoint(NextCkpt, Err))
+        ++Out.CheckpointsWritten;
+      if (!Err.empty()) {
+        Out.CheckpointError = Err;
+        Done.store(true, std::memory_order_release);
+        break;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return Out;
+}
+
+} // namespace bamboo::exec
+
+#endif // BAMBOO_EXEC_HOSTENGINE_H

@@ -801,16 +801,16 @@ private:
 
     switch (C->Builtin) {
     case BuiltinId::SystemPrintString:
-      IP.Output += std::get<std::string>(Args[0]);
+      IP.appendOutput(std::get<std::string>(Args[0]));
       Out = std::monostate{};
       return Flow::Normal;
     case BuiltinId::SystemPrintInt:
-      IP.Output += formatString(
-          "%lld", static_cast<long long>(std::get<int64_t>(Args[0])));
+      IP.appendOutput(formatString(
+          "%lld", static_cast<long long>(std::get<int64_t>(Args[0]))));
       Out = std::monostate{};
       return Flow::Normal;
     case BuiltinId::SystemPrintDouble:
-      IP.Output += formatString("%g", ArgD(0));
+      IP.appendOutput(formatString("%g", ArgD(0)));
       Out = std::monostate{};
       return Flow::Normal;
     case BuiltinId::MathSqrt:
@@ -911,7 +911,13 @@ private:
 
 } // namespace bamboo::interp
 
+void InterpProgram::appendOutput(const std::string &Text) {
+  std::lock_guard<std::mutex> Guard(IoMutex);
+  Output += Text;
+}
+
 void InterpProgram::reportError(SourceLoc Loc, const std::string &Msg) {
+  std::lock_guard<std::mutex> Guard(IoMutex);
   if (!Error.empty())
     return; // Keep the first error.
   Error = formatString("%d:%d: %s", Loc.Line, Loc.Col, Msg.c_str());

@@ -27,6 +27,7 @@
 #include "runtime/BoundProgram.h"
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 namespace bamboo::interp {
@@ -61,9 +62,14 @@ private:
 
   frontend::ast::Module Ast;
   runtime::BoundProgram BP;
+  /// Guards Output/Error: task bodies print and trap concurrently when
+  /// the program runs on the host-thread engine. Readers (output(),
+  /// error()) are only called between runs, after workers have joined.
+  std::mutex IoMutex;
   std::string Output;
   std::string Error;
 
+  void appendOutput(const std::string &Text);
   void reportError(frontend::SourceLoc Loc, const std::string &Msg);
 };
 

@@ -17,6 +17,10 @@
 /// resolved against the rebuilt heap. Both directions fail with a clean
 /// error string when a payload has no codec.
 ///
+/// Also hosts the field-list codec helper: every application payload in
+/// this repo is a pure field list, so registerFieldCodec turns each
+/// hand-written save/load pair into one registration statement.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BAMBOO_RUNTIME_HEAPSNAPSHOT_H
@@ -24,7 +28,11 @@
 
 #include "runtime/BoundProgram.h"
 
+#include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace bamboo::runtime {
 
@@ -36,6 +44,98 @@ std::string saveHeap(Heap &H, const BoundProgram &BP,
 /// Rebuilds \p H (which must be empty) from \p R. Same error convention.
 std::string loadHeap(resilience::ByteReader &R, const BoundProgram &BP,
                      Heap &H, CodecLoadCtx &Ctx);
+
+//===----------------------------------------------------------------------===//
+// Field-list payload codecs
+//===----------------------------------------------------------------------===//
+//
+// Every application payload codec is the same shape: write the members
+// in declaration order, read them back in the same order, never touch
+// the codec contexts. registerFieldCodec captures that pattern in one
+// statement per class:
+//
+//   registerFieldCodec<RowData>(BP, "fractal.row", &RowData::Row,
+//                               &RowData::Iterations);
+//
+// The byte format is defined entirely by the member-pointer order, so a
+// hand-written save/load pair migrates onto the helper with its
+// checkpoint bytes unchanged (the golden-checkpoint fixtures hold this).
+//
+// Scalars map onto the ByteWriter primitives (int -> i32, int64_t ->
+// i64, uint64_t -> u64, double -> f64); vectors of those are
+// length-prefixed with a u64 count. A struct-valued member (a nested
+// parameter block, a feature record) is supported by overloading
+// saveCodecField/loadCodecField for the member's type in the namespace
+// where that type lives -- the helper finds the pair through
+// argument-dependent lookup at registration sites.
+
+inline void saveCodecField(resilience::ByteWriter &W, int V) { W.i32(V); }
+inline void saveCodecField(resilience::ByteWriter &W, int64_t V) {
+  W.i64(V);
+}
+inline void saveCodecField(resilience::ByteWriter &W, uint64_t V) {
+  W.u64(V);
+}
+inline void saveCodecField(resilience::ByteWriter &W, double V) {
+  W.f64(V);
+}
+inline void saveCodecField(resilience::ByteWriter &W,
+                           const std::vector<double> &V) {
+  W.u64(V.size());
+  for (double D : V)
+    W.f64(D);
+}
+inline void saveCodecField(resilience::ByteWriter &W,
+                           const std::vector<int64_t> &V) {
+  W.u64(V.size());
+  for (int64_t I : V)
+    W.i64(I);
+}
+
+inline void loadCodecField(resilience::ByteReader &R, int &V) {
+  V = R.i32();
+}
+inline void loadCodecField(resilience::ByteReader &R, int64_t &V) {
+  V = R.i64();
+}
+inline void loadCodecField(resilience::ByteReader &R, uint64_t &V) {
+  V = R.u64();
+}
+inline void loadCodecField(resilience::ByteReader &R, double &V) {
+  V = R.f64();
+}
+inline void loadCodecField(resilience::ByteReader &R,
+                           std::vector<double> &V) {
+  V.resize(R.u64());
+  for (double &D : V)
+    D = R.f64();
+}
+inline void loadCodecField(resilience::ByteReader &R,
+                           std::vector<int64_t> &V) {
+  V.resize(R.u64());
+  for (int64_t &I : V)
+    I = R.i64();
+}
+
+/// Registers a payload codec for \p T under \p Key serializing exactly
+/// the listed members, in the listed order.
+template <typename T, typename... MemberT>
+void registerFieldCodec(BoundProgram &BP, const char *Key,
+                        MemberT T::*...Fields) {
+  ObjectCodec C;
+  C.Save = [Fields...](const ObjectData &D, resilience::ByteWriter &W,
+                       CodecSaveCtx &) {
+    const T &Obj = static_cast<const T &>(D);
+    (saveCodecField(W, Obj.*Fields), ...);
+  };
+  C.Load = [Fields...](resilience::ByteReader &R,
+                       CodecLoadCtx &) -> std::unique_ptr<ObjectData> {
+    auto Obj = std::make_unique<T>();
+    (loadCodecField(R, (*Obj).*Fields), ...);
+    return Obj;
+  };
+  BP.registerCodec(Key, std::move(C));
+}
 
 } // namespace bamboo::runtime
 

@@ -3,17 +3,25 @@
 // Part of the Bamboo reproduction. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// Host-thread policy over the shared engine machinery (DESIGN.md §3f):
+// dispatch, checkpoint chunks, fault resolution, and the monitor loop
+// come from src/exec; this file owns what is genuinely host-specific —
+// the inbox/worker transport, the lock-sweep dispatch loop, and the
+// pause-the-world snapshot wiring.
+//
+//===----------------------------------------------------------------------===//
 
 #include "runtime/ThreadExecutor.h"
 
-#include "resilience/FaultInjector.h"
+#include "exec/CheckpointChunks.h"
+#include "exec/HostEngine.h"
 #include "runtime/HeapSnapshot.h"
 #include "runtime/TaskContext.h"
 #include "support/Format.h"
 #include "support/Watchdog.h"
 
 #include <algorithm>
-
 #include <atomic>
 #include <cassert>
 #include <chrono>
@@ -27,12 +35,7 @@ using namespace bamboo::runtime;
 
 namespace {
 
-struct Invocation {
-  ir::TaskId Task = ir::InvalidId;
-  int InstanceIdx = -1;
-  std::vector<Object *> Params;
-  std::map<std::string, TagInstance *> ConstraintTags;
-};
+using Invocation = exec::ObjectInvocation;
 
 struct Delivery {
   Object *Obj = nullptr;
@@ -55,7 +58,6 @@ struct ThreadExecutor::Impl {
     std::deque<Delivery> Inbox;
     // Owned exclusively by the core's worker thread.
     std::deque<Invocation> Ready;
-    std::vector<std::vector<Object *>> *ParamSets = nullptr;
     std::map<ir::TaskId, size_t> RoundRobin;
     /// End timestamp (ns) of the last completed invocation, for idle-span
     /// tracing. Owned by the core's worker thread.
@@ -65,7 +67,7 @@ struct ThreadExecutor::Impl {
   std::vector<Core> Cores;
   /// One parameter-set table per placed instance (touched only by the
   /// hosting core's thread).
-  std::vector<std::vector<std::vector<Object *>>> InstanceSets;
+  std::vector<exec::EngineInstanceState<Object *>> InstanceSets;
   /// Outstanding work: in-flight deliveries + enqueued invocations +
   /// executing bodies. Zero means quiescent.
   std::atomic<int64_t> Outstanding{0};
@@ -87,18 +89,13 @@ struct ThreadExecutor::Impl {
   /// Effective host core per placed instance (layout placement, rewritten
   /// by failover re-homing). Immutable once workers start.
   std::vector<int> InstanceCore;
-  std::atomic<uint64_t> Drops{0}, Dups{0}, Delays{0}, LockFaults{0};
-  std::atomic<uint64_t> Retransmits{0}, Escalations{0}, LostMessages{0};
+  exec::HostSendStats Send;
+  std::atomic<uint64_t> LockFaults{0};
   uint64_t CoreFails = 0, InstancesMigrated = 0;
   /// Per-core sweep counter keying the clock-free lock-fault draws.
   std::atomic<uint64_t> SweepCounter{0};
 
-  // Pause-the-world checkpoint protocol: the monitor requests a pause,
-  // every live worker parks at its next step boundary (holding no object
-  // locks, no body executing), the monitor snapshots alone, then releases.
-  std::atomic<bool> PauseRequested{false};
-  std::atomic<int> PausedWorkers{0};
-  std::atomic<int> LiveWorkers{0};
+  exec::PauseWorld Pause;
 
   /// Trace clock base: run() start. Timestamps are ns since this point.
   std::chrono::steady_clock::time_point TraceT0;
@@ -117,20 +114,11 @@ struct ThreadExecutor::Impl {
         Opts(Opts), Cores(static_cast<size_t>(L.NumCores)) {
     InstanceSets.resize(L.Instances.size());
     for (size_t I = 0; I < L.Instances.size(); ++I)
-      InstanceSets[I].resize(
+      InstanceSets[I].ParamSets.resize(
           Prog.taskOf(L.Instances[I].Task).Params.size());
   }
 
-  bool guardAdmits(const ir::TaskParam &Param, const Object &Obj) const {
-    if (Obj.Class != Param.Class || !Param.Guard->evaluate(Obj.flags()))
-      return false;
-    for (const ir::TagConstraint &TC : Param.Tags)
-      if (!Obj.tagOfType(TC.Type))
-        return false;
-    return true;
-  }
-
-  void send(Object *Obj, int FromCore) {
+  void sendObject(Object *Obj, int FromCore) {
     int Node = Routes.nodeOf(*Obj);
     for (const RouteDest &Dest : Routes.destsAt(Node)) {
       size_t Pick = 0;
@@ -138,8 +126,7 @@ struct ThreadExecutor::Impl {
       case DistributionKind::Single:
         break;
       case DistributionKind::RoundRobin: {
-        Core &From = Cores[static_cast<size_t>(
-            FromCore >= 0 ? FromCore : 0)];
+        Core &From = Cores[static_cast<size_t>(FromCore >= 0 ? FromCore : 0)];
         auto [It, Inserted] = From.RoundRobin.try_emplace(
             Dest.Task, FromCore >= 0 ? static_cast<size_t>(FromCore) : 0);
         (void)Inserted;
@@ -159,59 +146,12 @@ struct ThreadExecutor::Impl {
       int CoreIdx = InstanceCore[static_cast<size_t>(InstanceIdx)];
       int Copies = 1;
       if (Injector.active() && FromCore >= 0 && FromCore != CoreIdx) {
-        // The host has no virtual clock: the ack/retransmit exchange is
-        // resolved inline (Now=0; attempt numbers still vary the draws).
-        bool Lost = false;
-        for (int Attempt = 0;; ++Attempt) {
-          resilience::FaultInjector::SendDecision D =
-              Injector.onSend(0, FromCore, CoreIdx, Obj->Id, Attempt);
-          if (D.Drop) {
-            Drops.fetch_add(1, std::memory_order_relaxed);
-            if (Opts.Trace)
-              Opts.Trace->faultInject(
-                  nowNs(), FromCore,
-                  static_cast<int>(resilience::FaultKind::MsgDrop),
-                  static_cast<int64_t>(Obj->Id));
-            if (!Opts.Recovery) {
-              LostMessages.fetch_add(1, std::memory_order_relaxed);
-              Lost = true;
-              break;
-            }
-            if (Attempt >= machine::MachineConfig{}.MaxSendRetries) {
-              Escalations.fetch_add(1, std::memory_order_relaxed);
-              break;
-            }
-            Retransmits.fetch_add(1, std::memory_order_relaxed);
-            if (Opts.Trace)
-              Opts.Trace->retransmit(nowNs(), FromCore, CoreIdx,
-                                     static_cast<int64_t>(Obj->Id),
-                                     static_cast<uint64_t>(Attempt) + 1);
-            continue;
-          }
-          if (D.Duplicate) {
-            Dups.fetch_add(1, std::memory_order_relaxed);
-            ++Copies;
-            if (Opts.Trace)
-              Opts.Trace->faultInject(
-                  nowNs(), FromCore,
-                  static_cast<int>(resilience::FaultKind::MsgDup),
-                  static_cast<int64_t>(Obj->Id));
-          }
-          if (D.Delay) {
-            // Counted only: host messages have no modeled latency to add
-            // the delay to.
-            Delays.fetch_add(1, std::memory_order_relaxed);
-            if (Opts.Trace)
-              Opts.Trace->faultInject(
-                  nowNs(), FromCore,
-                  static_cast<int>(resilience::FaultKind::MsgDelay),
-                  static_cast<int64_t>(Obj->Id));
-          }
-          break;
-        }
+        Copies = exec::resolveHostSend(
+            Injector, Opts.Recovery, Opts.Trace, [this] { return nowNs(); },
+            Obj->Id, FromCore, CoreIdx, Send);
         // A lost transfer never enters Outstanding — quiescence is then
         // reached with work missing, and run() reports the damage.
-        if (Lost)
+        if (Copies == 0)
           continue;
       }
       for (int Copy = 0; Copy < Copies; ++Copy) {
@@ -231,60 +171,20 @@ struct ThreadExecutor::Impl {
   }
 
   void matchParams(Core &C, int InstanceIdx, const ir::TaskDecl &Task,
-                   size_t Next, Invocation &Partial, ir::ParamId FixedParam,
+                   Invocation &Partial, ir::ParamId FixedParam,
                    Object *FixedObj, bool DedupeReady) {
-    if (Next == Task.Params.size()) {
-      if (DedupeReady) {
-        // Re-delivery path: skip combinations already pending, so
-        // re-enumeration never double-builds (and never double-counts
-        // Outstanding). Ready is owned by this core's thread.
-        for (const Invocation &Pending : C.Ready)
-          if (Pending.InstanceIdx == Partial.InstanceIdx &&
-              Pending.Params == Partial.Params)
-            return;
-      }
-      Outstanding.fetch_add(1, std::memory_order_acq_rel);
-      C.Ready.push_back(Partial);
-      return;
-    }
-    std::vector<Object *> Candidates;
-    if (static_cast<ir::ParamId>(Next) == FixedParam)
-      Candidates.push_back(FixedObj);
-    else
-      Candidates = InstanceSets[static_cast<size_t>(InstanceIdx)][Next];
-    for (Object *Obj : Candidates) {
-      bool Dup = false;
-      for (Object *Used : Partial.Params)
-        Dup = Dup || Used == Obj;
-      if (Dup || !guardAdmits(Task.Params[Next], *Obj))
-        continue;
-      auto Saved = Partial.ConstraintTags;
-      bool TagsOk = true;
-      for (const ir::TagConstraint &TC : Task.Params[Next].Tags) {
-        auto Bound = Partial.ConstraintTags.find(TC.Var);
-        TagInstance *Inst = Obj->tagOfType(TC.Type);
-        if (Bound != Partial.ConstraintTags.end()) {
-          if (std::find(Obj->Tags.begin(), Obj->Tags.end(),
-                        Bound->second) == Obj->Tags.end())
-            TagsOk = false;
-        } else if (Inst) {
-          Partial.ConstraintTags.emplace(TC.Var, Inst);
-        } else {
-          TagsOk = false;
-        }
-        if (!TagsOk)
-          break;
-      }
-      if (!TagsOk) {
-        Partial.ConstraintTags = std::move(Saved);
-        continue;
-      }
-      Partial.Params.push_back(Obj);
-      matchParams(C, InstanceIdx, Task, Next + 1, Partial, FixedParam,
-                  FixedObj, DedupeReady);
-      Partial.Params.pop_back();
-      Partial.ConstraintTags = std::move(Saved);
-    }
+    exec::matchParamCombos(
+        Task, 0, Partial, FixedParam, FixedObj,
+        InstanceSets[static_cast<size_t>(InstanceIdx)].ParamSets, C.Ready,
+        DedupeReady,
+        [](const ir::TaskParam &Param, Object *Obj) {
+          return exec::guardAdmitsObject(Param, *Obj);
+        },
+        [](const ir::TaskParam &Param, Object *Obj, Invocation &Inv) {
+          return exec::bindObjectParamTags(Param, Obj, Inv.ConstraintTags);
+        },
+        [](Object *A, Object *B) { return A == B; },
+        [&] { Outstanding.fetch_add(1, std::memory_order_acq_rel); });
   }
 
   void drainInbox(int CoreIdx) {
@@ -296,13 +196,12 @@ struct ThreadExecutor::Impl {
     }
     for (const Delivery &D : Batch) {
       auto &Set = InstanceSets[static_cast<size_t>(D.InstanceIdx)]
-                              [static_cast<size_t>(D.Param)];
+                      .ParamSets[static_cast<size_t>(D.Param)];
       // Same re-delivery semantics as TileExecutor::deliver: an object
       // already in the parameter set re-arrives after a flag/tag
       // transition, so re-enumerate (deduplicating against pending
       // invocations) instead of skipping enumeration entirely.
-      bool Present =
-          std::find(Set.begin(), Set.end(), D.Obj) != Set.end();
+      bool Present = std::find(Set.begin(), Set.end(), D.Obj) != Set.end();
       if (!Present)
         Set.push_back(D.Obj);
       if (Opts.Trace)
@@ -311,32 +210,16 @@ struct ThreadExecutor::Impl {
       ir::TaskId TaskId =
           L.Instances[static_cast<size_t>(D.InstanceIdx)].Task;
       const ir::TaskDecl &Task = Prog.taskOf(TaskId);
-      if (guardAdmits(Task.Params[static_cast<size_t>(D.Param)], *D.Obj)) {
+      if (exec::guardAdmitsObject(Task.Params[static_cast<size_t>(D.Param)],
+                                  *D.Obj)) {
         Invocation Partial;
         Partial.Task = TaskId;
         Partial.InstanceIdx = D.InstanceIdx;
-        matchParams(C, D.InstanceIdx, Task, 0, Partial, D.Param, D.Obj,
+        matchParams(C, D.InstanceIdx, Task, Partial, D.Param, D.Obj,
                     /*DedupeReady=*/Present);
       }
       Outstanding.fetch_sub(1, std::memory_order_acq_rel);
     }
-  }
-
-  bool stillValid(const Invocation &Inv) const {
-    const ir::TaskDecl &Task = Prog.taskOf(Inv.Task);
-    for (size_t P = 0; P < Inv.Params.size(); ++P) {
-      if (!guardAdmits(Task.Params[P], *Inv.Params[P]))
-        return false;
-      for (const ir::TagConstraint &TC : Task.Params[P].Tags) {
-        auto It = Inv.ConstraintTags.find(TC.Var);
-        if (It == Inv.ConstraintTags.end() ||
-            std::find(Inv.Params[P]->Tags.begin(),
-                      Inv.Params[P]->Tags.end(),
-                      It->second) == Inv.Params[P]->Tags.end())
-          return false;
-      }
-    }
-    return true;
   }
 
   /// Attempts one invocation from the core's ready queue; returns true if
@@ -347,7 +230,7 @@ struct ThreadExecutor::Impl {
     while (Attempts-- > 0) {
       Invocation Inv = std::move(C.Ready.front());
       C.Ready.pop_front();
-      if (!stillValid(Inv)) {
+      if (!exec::objectInvocationStillValid(Prog, Inv)) {
         Outstanding.fetch_sub(1, std::memory_order_acq_rel);
         return true;
       }
@@ -390,7 +273,7 @@ struct ThreadExecutor::Impl {
       }
       // Re-validate under the locks (flags may have changed since the
       // advisory check).
-      if (!stillValid(Inv)) {
+      if (!exec::objectInvocationStillValid(Prog, Inv)) {
         for (Object *Obj : Inv.Params)
           Obj->unlock();
         Outstanding.fetch_sub(1, std::memory_order_acq_rel);
@@ -408,18 +291,17 @@ struct ThreadExecutor::Impl {
       }
 
       // Consume from the parameter sets, run the body, apply the exit.
-      auto &Sets = InstanceSets[static_cast<size_t>(Inv.InstanceIdx)];
+      auto &Sets = InstanceSets[static_cast<size_t>(Inv.InstanceIdx)]
+                       .ParamSets;
       for (size_t P = 0; P < Inv.Params.size(); ++P)
         Sets[P].erase(
             std::remove(Sets[P].begin(), Sets[P].end(), Inv.Params[P]),
             Sets[P].end());
 
-      uint64_t RngSeed = Opts.Seed;
-      RngSeed = RngSeed * 0x9e3779b97f4a7c15ULL +
-                static_cast<uint64_t>(Inv.Task + 1);
-      RngSeed = RngSeed * 0xff51afd7ed558ccdULL + (Inv.Params[0]->Id + 1);
-      TaskContext Ctx(BP, TheHeap, Inv.Task, Inv.Params,
-                      Inv.ConstraintTags, Opts.Args, RngSeed);
+      TaskContext Ctx(BP, TheHeap, Inv.Task, Inv.Params, Inv.ConstraintTags,
+                      Opts.Args,
+                      exec::taskRngSeed(Opts.Seed, Inv.Task,
+                                        Inv.Params[0]->Id));
       BP.bodyOf(Inv.Task)(Ctx);
       Invocations.fetch_add(1, std::memory_order_relaxed);
       Allocated.fetch_add(Ctx.newObjects().size(),
@@ -427,22 +309,11 @@ struct ThreadExecutor::Impl {
 
       {
         std::lock_guard<std::mutex> Guard(ExitMutex);
-        const ir::TaskExit &Exit =
+        exec::applyObjectExitEffects(
             Prog.taskOf(Inv.Task)
-                .Exits[static_cast<size_t>(Ctx.chosenExit())];
-        for (size_t P = 0; P < Inv.Params.size(); ++P) {
-          const ir::ParamExitEffect &Eff = Exit.Effects[P];
-          Inv.Params[P]->updateFlags(Eff.Set, Eff.Clear);
-          for (const ir::ExitTagAction &Action : Eff.TagActions) {
-            TagInstance *Inst = Ctx.tagVar(Action.Var);
-            if (!Inst)
-              continue;
-            if (Action.IsAdd)
-              Inv.Params[P]->bindTag(Inst);
-            else
-              Inv.Params[P]->unbindTag(Inst);
-          }
-        }
+                .Exits[static_cast<size_t>(Ctx.chosenExit())],
+            Inv.Params,
+            [&Ctx](const std::string &Var) { return Ctx.tagVar(Var); });
       }
       for (Object *Obj : Inv.Params)
         Obj->unlock();
@@ -454,48 +325,14 @@ struct ThreadExecutor::Impl {
 
       for (const auto &[Site, Obj] : Ctx.newObjects()) {
         (void)Site;
-        send(Obj, CoreIdx);
+        sendObject(Obj, CoreIdx);
       }
       for (Object *Obj : Inv.Params)
-        send(Obj, CoreIdx);
+        sendObject(Obj, CoreIdx);
       Outstanding.fetch_sub(1, std::memory_order_acq_rel);
       return true;
     }
     return false;
-  }
-
-  /// Worker side of the pause protocol: park until the monitor releases
-  /// the world (or the run ends). Called only at step boundaries, so a
-  /// parked worker holds no object locks and has no body in flight.
-  void maybePause() {
-    if (!PauseRequested.load(std::memory_order_acquire))
-      return;
-    PausedWorkers.fetch_add(1, std::memory_order_acq_rel);
-    while (PauseRequested.load(std::memory_order_acquire) &&
-           !Done.load(std::memory_order_acquire))
-      std::this_thread::yield();
-    PausedWorkers.fetch_sub(1, std::memory_order_acq_rel);
-  }
-
-  /// Monitor side: returns true once every live worker is parked; false
-  /// if the run finished first (the pause is then withdrawn).
-  bool pauseWorld() {
-    PauseRequested.store(true, std::memory_order_release);
-    while (PausedWorkers.load(std::memory_order_acquire) <
-           LiveWorkers.load(std::memory_order_acquire)) {
-      if (Done.load(std::memory_order_acquire)) {
-        PauseRequested.store(false, std::memory_order_release);
-        return false;
-      }
-      std::this_thread::yield();
-    }
-    return true;
-  }
-
-  void resumeWorld() {
-    PauseRequested.store(false, std::memory_order_release);
-    while (PausedWorkers.load(std::memory_order_acquire) > 0)
-      std::this_thread::yield();
   }
 
   void worker(int CoreIdx) {
@@ -505,10 +342,10 @@ struct ThreadExecutor::Impl {
     // until the watchdog declares the run wedged.
     if (!CoreAlive[static_cast<size_t>(CoreIdx)])
       return;
-    LiveWorkers.fetch_add(1, std::memory_order_acq_rel);
+    Pause.workerEnter();
     int IdleSpins = 0;
     while (!Done.load(std::memory_order_acquire)) {
-      maybePause();
+      Pause.maybePause(Done);
       drainInbox(CoreIdx);
       if (step(CoreIdx)) {
         IdleSpins = 0;
@@ -518,13 +355,12 @@ struct ThreadExecutor::Impl {
         Done.store(true, std::memory_order_release);
         break;
       }
-      if (++IdleSpins > 64) {
+      if (++IdleSpins > 64)
         std::this_thread::sleep_for(std::chrono::microseconds(50));
-      } else {
+      else
         std::this_thread::yield();
-      }
     }
-    LiveWorkers.fetch_sub(1, std::memory_order_acq_rel);
+    Pause.workerExit();
   }
 
   //===--------------------------------------------------------------------===//
@@ -533,101 +369,36 @@ struct ThreadExecutor::Impl {
   // safe.
   //===--------------------------------------------------------------------===//
 
-  void saveInvocation(const Invocation &Inv,
-                      resilience::ByteWriter &W) const {
-    W.i32(Inv.Task);
-    W.i32(Inv.InstanceIdx);
-    W.u64(Inv.Params.size());
-    for (Object *Obj : Inv.Params)
-      W.u64(Obj->Id);
-    W.u64(Inv.ConstraintTags.size());
-    for (const auto &[Var, Tag] : Inv.ConstraintTags) {
-      W.str(Var);
-      W.u64(Tag->Id);
-    }
-  }
-
-  std::string loadInvocation(resilience::ByteReader &R, Invocation &Inv) {
-    Inv.Task = R.i32();
-    Inv.InstanceIdx = R.i32();
-    if (!R.ok() || Inv.Task < 0 ||
-        static_cast<size_t>(Inv.Task) >= Prog.tasks().size() ||
-        Inv.InstanceIdx < 0 ||
-        static_cast<size_t>(Inv.InstanceIdx) >= InstanceSets.size())
-      return "checkpoint: invocation references an unknown task instance";
-    uint64_t NumParams = R.u64();
-    if (!R.ok() || NumParams > TheHeap.numObjects())
-      return "checkpoint: truncated invocation record";
-    for (uint64_t I = 0; I < NumParams; ++I) {
-      uint64_t Id = R.u64();
-      if (!R.ok() || Id >= TheHeap.numObjects())
-        return "checkpoint: invocation references an unknown object";
-      Inv.Params.push_back(TheHeap.objectAt(Id));
-    }
-    uint64_t NumTags = R.u64();
-    if (!R.ok() || NumTags > TheHeap.numTags())
-      return "checkpoint: truncated invocation tag bindings";
-    for (uint64_t I = 0; I < NumTags; ++I) {
-      std::string Var = R.str();
-      uint64_t Id = R.u64();
-      if (!R.ok() || Id >= TheHeap.numTags())
-        return "checkpoint: invocation references an unknown tag instance";
-      Inv.ConstraintTags.emplace(std::move(Var), TheHeap.tagAt(Id));
-    }
-    return {};
-  }
-
   std::string makeCheckpoint(resilience::Checkpoint &Out) {
-    resilience::Checkpoint C;
-    C.Engine = resilience::EngineKind::Thread;
-    C.Program = Prog.name();
-    C.Seed = Opts.Seed;
-    C.FaultSeed = Opts.FaultSeed;
-    C.Recovery = Opts.Recovery ? 1 : 0;
-    C.FaultSpec = Opts.Faults ? Opts.Faults->str() : std::string();
-    C.Args = Opts.Args;
-    C.LayoutKey = L.isoKey(Prog);
-    C.NumCores = static_cast<uint64_t>(L.NumCores);
     // The host engine has no virtual clock; the snapshot "cycle" is the
     // invocation count it was taken at.
-    C.Cycle = Invocations.load(std::memory_order_acquire);
-    // Raw (recovery-off) fault damage is irreversible once snapshotted;
-    // mark it so a restart policy rolls back further.
-    C.Tainted = !Opts.Recovery &&
-                (Drops.load() + Dups.load() + Delays.load() +
-                 LockFaults.load() + CoreFails) > 0;
+    resilience::Checkpoint C = exec::makeCheckpointHeader(
+        resilience::EngineKind::Thread, Prog, L, Opts.Seed, Opts.FaultSeed,
+        Opts.Recovery, Opts.Faults, Opts.Args,
+        Invocations.load(std::memory_order_acquire),
+        !Opts.Recovery &&
+            (Send.Drops.load() + Send.Dups.load() + Send.Delays.load() +
+             LockFaults.load() + CoreFails) > 0);
 
     resilience::ByteWriter W;
     CodecSaveCtx Ctx;
     if (std::string Err = saveHeap(TheHeap, BP, W, Ctx); !Err.empty())
       return Err;
 
-    std::vector<int> Budgets = Injector.remainingBudgets();
-    W.u64(Budgets.size());
-    for (int B : Budgets)
-      W.i32(B);
+    exec::saveInjectorBudgets(W, Injector);
 
-    W.u64(Invocations.load());
-    W.u64(Allocated.load());
-    W.u64(LockRetries.load());
-    W.u64(Drops.load());
-    W.u64(Dups.load());
-    W.u64(Delays.load());
-    W.u64(LockFaults.load());
-    W.u64(Retransmits.load());
-    W.u64(Escalations.load());
-    W.u64(LostMessages.load());
-    W.u64(CoreFails);
-    W.u64(InstancesMigrated);
-    W.u64(SweepCounter.load());
+    for (uint64_t V :
+         {Invocations.load(), Allocated.load(), LockRetries.load(),
+          Send.Drops.load(), Send.Dups.load(), Send.Delays.load(),
+          LockFaults.load(), Send.Retransmits.load(),
+          Send.Escalations.load(), Send.LostMessages.load(), CoreFails,
+          InstancesMigrated, SweepCounter.load()})
+      W.u64(V);
     W.i64(Outstanding.load());
 
-    W.u64(CoreAlive.size());
-    for (char A : CoreAlive)
-      W.u8(static_cast<uint8_t>(A));
-    W.u64(InstanceCore.size());
-    for (int IC : InstanceCore)
-      W.i32(IC);
+    // The host engine has no stall/lock windows (empty cycle arrays), so
+    // the shared resilience chunk is exactly CoreAlive + InstanceCore.
+    exec::saveResilienceState(W, CoreAlive, InstanceCore, {}, {});
 
     W.u64(Cores.size());
     for (Core &C2 : Cores) {
@@ -644,18 +415,12 @@ struct ThreadExecutor::Impl {
       }
       W.u64(C2.Ready.size());
       for (const Invocation &Inv : C2.Ready)
-        saveInvocation(Inv, W);
+        exec::saveObjectInvocation(W, Inv);
     }
 
-    W.u64(InstanceSets.size());
-    for (const auto &Sets : InstanceSets) {
-      W.u64(Sets.size());
-      for (const std::vector<Object *> &Set : Sets) {
-        W.u64(Set.size());
-        for (Object *Obj : Set)
-          W.u64(Obj->Id);
-      }
-    }
+    exec::saveParamSets<Object *>(
+        W, InstanceSets,
+        [](resilience::ByteWriter &W2, Object *Obj) { W2.u64(Obj->Id); });
 
     C.Body = W.take();
     Out = std::move(C);
@@ -663,71 +428,40 @@ struct ThreadExecutor::Impl {
   }
 
   std::string restoreFrom(const resilience::Checkpoint &C) {
-    if (C.Engine != resilience::EngineKind::Thread)
-      return formatString(
-          "checkpoint: engine mismatch (checkpoint is '%s', executor is "
-          "'thread')",
-          resilience::engineKindName(C.Engine));
-    if (C.Program != Prog.name())
-      return formatString(
-          "checkpoint: program mismatch (checkpoint is '%s', running '%s')",
-          C.Program.c_str(), Prog.name().c_str());
-    if (C.NumCores != static_cast<uint64_t>(L.NumCores))
-      return formatString(
-          "checkpoint: core-count mismatch (checkpoint %llu, layout %d)",
-          static_cast<unsigned long long>(C.NumCores), L.NumCores);
-    if (C.LayoutKey != L.isoKey(Prog))
-      return "checkpoint: layout mismatch (was the checkpoint taken under "
-             "a different synthesis seed or --jobs value?)";
-    if (C.Seed != Opts.Seed)
-      return formatString(
-          "checkpoint: run-seed mismatch (checkpoint %llu, --seed %llu)",
-          static_cast<unsigned long long>(C.Seed),
-          static_cast<unsigned long long>(Opts.Seed));
-    if (C.Args != Opts.Args)
-      return "checkpoint: program-argument mismatch";
-    if (C.FaultSpec != (Opts.Faults ? Opts.Faults->str() : std::string()))
-      return "checkpoint: fault-plan mismatch (pass the same --faults spec "
-             "the checkpoint was taken under)";
+    exec::RunIdentity Id;
+    Id.Engine = resilience::EngineKind::Thread;
+    Id.EngineSelf = "executor is 'thread'";
+    Id.Seed = Opts.Seed;
+    Id.Args = &Opts.Args;
+    Id.Faults = Opts.Faults;
+    if (std::string Err = exec::validateRunIdentity(C, Prog, L, Id);
+        !Err.empty())
+      return Err;
 
     resilience::ByteReader R(C.Body);
     CodecLoadCtx Ctx;
     if (std::string Err = loadHeap(R, BP, TheHeap, Ctx); !Err.empty())
       return Err;
+    if (std::string Err =
+            exec::loadInjectorBudgets(R, C.Body.size(), Injector);
+        !Err.empty())
+      return Err;
 
-    uint64_t NumBudgets = R.u64();
-    if (!R.ok() || NumBudgets > C.Body.size())
-      return "checkpoint: truncated body (injector budgets)";
-    std::vector<int> Budgets;
-    for (uint64_t I = 0; I < NumBudgets; ++I)
-      Budgets.push_back(R.i32());
-    Injector.restoreBudgets(Budgets);
-
-    Invocations.store(R.u64());
-    Allocated.store(R.u64());
-    LockRetries.store(R.u64());
-    Drops.store(R.u64());
-    Dups.store(R.u64());
-    Delays.store(R.u64());
-    LockFaults.store(R.u64());
-    Retransmits.store(R.u64());
-    Escalations.store(R.u64());
-    LostMessages.store(R.u64());
+    for (std::atomic<uint64_t> *Counter :
+         {&Invocations, &Allocated, &LockRetries, &Send.Drops, &Send.Dups,
+          &Send.Delays, &LockFaults, &Send.Retransmits, &Send.Escalations,
+          &Send.LostMessages})
+      Counter->store(R.u64());
     CoreFails = R.u64();
     InstancesMigrated = R.u64();
     SweepCounter.store(R.u64());
     Outstanding.store(R.i64());
 
-    uint64_t NumCores = R.u64();
-    if (!R.ok() || NumCores != CoreAlive.size())
-      return "checkpoint: body core count diverges from the layout";
-    for (size_t I = 0; I < CoreAlive.size(); ++I)
-      CoreAlive[I] = static_cast<char>(R.u8());
-    uint64_t NumInst = R.u64();
-    if (!R.ok() || NumInst != InstanceCore.size())
-      return "checkpoint: body instance count diverges from the layout";
-    for (size_t I = 0; I < InstanceCore.size(); ++I)
-      InstanceCore[I] = R.i32();
+    std::vector<machine::Cycles> NoWindows;
+    if (std::string Err = exec::loadResilienceState(
+            R, CoreAlive, InstanceCore, NoWindows, NoWindows);
+        !Err.empty())
+      return Err;
 
     uint64_t NumCoreStates = R.u64();
     if (!R.ok() || NumCoreStates != Cores.size())
@@ -745,14 +479,14 @@ struct ThreadExecutor::Impl {
       if (!R.ok() || NumInbox > C.Body.size())
         return "checkpoint: truncated body (inboxes)";
       for (uint64_t I = 0; I < NumInbox; ++I) {
-        uint64_t Id = R.u64();
+        uint64_t Id2 = R.u64();
         Delivery D;
         D.InstanceIdx = R.i32();
         D.Param = R.i32();
-        if (!R.ok() || Id >= TheHeap.numObjects() || D.InstanceIdx < 0 ||
+        if (!R.ok() || Id2 >= TheHeap.numObjects() || D.InstanceIdx < 0 ||
             static_cast<size_t>(D.InstanceIdx) >= InstanceSets.size())
           return "checkpoint: inbox delivery references unknown state";
-        D.Obj = TheHeap.objectAt(Id);
+        D.Obj = TheHeap.objectAt(Id2);
         C2.Inbox.push_back(D);
       }
       uint64_t NumReady = R.u64();
@@ -760,36 +494,27 @@ struct ThreadExecutor::Impl {
         return "checkpoint: truncated body (ready queues)";
       for (uint64_t I = 0; I < NumReady; ++I) {
         Invocation Inv;
-        if (std::string Err = loadInvocation(R, Inv); !Err.empty())
+        if (std::string Err = exec::loadObjectInvocation(
+                R, Prog, TheHeap, InstanceSets.size(), Inv);
+            !Err.empty())
           return Err;
         C2.Ready.push_back(std::move(Inv));
       }
     }
 
-    uint64_t NumInstSets = R.u64();
-    if (!R.ok() || NumInstSets != InstanceSets.size())
-      return "checkpoint: truncated body (instance states)";
-    for (auto &Sets : InstanceSets) {
-      uint64_t NumSets = R.u64();
-      if (!R.ok() || NumSets != Sets.size())
-        return "checkpoint: parameter-set shape diverges from the program";
-      for (std::vector<Object *> &Set : Sets) {
-        uint64_t Count = R.u64();
-        if (!R.ok() || Count > TheHeap.numObjects())
-          return "checkpoint: truncated body (parameter sets)";
-        for (uint64_t I = 0; I < Count; ++I) {
-          uint64_t Id = R.u64();
-          if (!R.ok() || Id >= TheHeap.numObjects())
-            return "checkpoint: parameter set references an unknown object";
-          Set.push_back(TheHeap.objectAt(Id));
-        }
-      }
-    }
-    if (!R.ok())
-      return "checkpoint: truncated body";
-    if (!R.atEnd())
-      return "checkpoint: trailing bytes after body";
-    return {};
+    if (std::string Err = exec::loadParamSets<Object *>(
+            R, InstanceSets, TheHeap.numObjects(),
+            [&](resilience::ByteReader &R2, Object *&Obj) -> std::string {
+              uint64_t Id2 = R2.u64();
+              if (!R2.ok() || Id2 >= TheHeap.numObjects())
+                return "checkpoint: parameter set references an unknown "
+                       "object";
+              Obj = TheHeap.objectAt(Id2);
+              return {};
+            });
+        !Err.empty())
+      return Err;
+    return exec::finishBody(R);
   }
 
   /// Built after workers have joined, so worker-owned state is stable.
@@ -810,19 +535,7 @@ struct ThreadExecutor::Impl {
         static_cast<long long>(Outstanding.load()),
         static_cast<unsigned long long>(Invocations.load()),
         static_cast<unsigned long long>(LockRetries.load())));
-    Rep.section("held locks");
-    size_t Held = 0;
-    for (size_t I = 0; I < TheHeap.numObjects(); ++I) {
-      const Object *Obj = TheHeap.objectAt(I);
-      if (Obj->locked()) {
-        ++Held;
-        Rep.line(formatString(
-            "object %llu (class %d)",
-            static_cast<unsigned long long>(Obj->Id), Obj->Class));
-      }
-    }
-    if (Held == 0)
-      Rep.line("(none)");
+    exec::appendHeldLocks(Rep, TheHeap);
     return Rep.str();
   }
 };
@@ -843,10 +556,6 @@ ThreadExecResult ThreadExecutor::run(const ThreadExecOptions &Opts) {
   Impl State(BP, Routes, L, *TheHeap, Opts);
   State.TraceT0 = std::chrono::steady_clock::now();
 
-  // Resilience: scheduled permanent core failures apply from run start
-  // (there is no virtual clock to fire them later). Dead cores' instances
-  // are re-homed (recovery on) before any message is routed, so the
-  // rewritten InstanceCore table is immutable once workers launch.
   State.Injector = resilience::FaultInjector(Opts.Faults, Opts.FaultSeed);
   State.CoreAlive.assign(static_cast<size_t>(L.NumCores), 1);
   State.InstanceCore.resize(L.Instances.size());
@@ -855,64 +564,24 @@ ThreadExecResult ThreadExecutor::run(const ThreadExecOptions &Opts) {
   if (Opts.Restore) {
     // Resuming: CoreAlive / InstanceCore / inboxes / ready queues /
     // counters all come from the snapshot (scheduled core failures were
-    // already applied before it was taken), so the failure-application
-    // and boot blocks below are skipped entirely.
+    // already applied before it was taken), so boot-time failure
+    // application and the startup object are skipped entirely.
     if (std::string Err = State.restoreFrom(*Opts.Restore); !Err.empty()) {
       ThreadExecResult Failed;
       Failed.RestoreError = Err;
       return Failed;
     }
-    if (Opts.Trace) {
-      std::vector<std::string> Names;
-      Names.reserve(BP.program().tasks().size());
-      for (const ir::TaskDecl &T : BP.program().tasks())
-        Names.push_back(T.Name);
-      Opts.Trace->setTaskNames(std::move(Names));
-      Opts.Trace->resume(0);
-    }
   } else {
-  for (const resilience::ScheduledFault &F : State.Injector.coreFailures()) {
-    if (F.Core < 0 || F.Core >= L.NumCores ||
-        !State.CoreAlive[static_cast<size_t>(F.Core)])
-      continue;
-    State.CoreAlive[static_cast<size_t>(F.Core)] = 0;
-    ++State.CoreFails;
-    if (Opts.Trace)
-      Opts.Trace->faultInject(
-          0, F.Core, static_cast<int>(resilience::FaultKind::CoreFail), -1);
-    if (!Opts.Recovery)
-      continue;
-    std::vector<int> Targets;
-    for (int C : Routes.failoverOrder(F.Core))
-      if (State.CoreAlive[static_cast<size_t>(C)])
-        Targets.push_back(C);
-    if (Targets.empty())
-      for (int C = 0; C < L.NumCores; ++C)
-        if (State.CoreAlive[static_cast<size_t>(C)])
-          Targets.push_back(C);
-    if (Targets.empty())
-      continue; // Every core failed; nowhere to migrate.
-    size_t RR = 0;
-    for (size_t I = 0; I < L.Instances.size(); ++I) {
-      if (State.InstanceCore[I] != F.Core)
-        continue;
-      State.InstanceCore[I] = Targets[RR++ % Targets.size()];
-      ++State.InstancesMigrated;
-      if (Opts.Trace)
-        Opts.Trace->failover(0, F.Core, State.InstanceCore[I],
-                             static_cast<int64_t>(I));
-    }
+    exec::applyBootCoreFailures(State.Injector, Routes, L.NumCores,
+                                Opts.Recovery, Opts.Trace, State.CoreAlive,
+                                State.InstanceCore, State.CoreFails,
+                                State.InstancesMigrated);
   }
-  if (Opts.Trace) {
-    std::vector<std::string> Names;
-    Names.reserve(BP.program().tasks().size());
-    for (const ir::TaskDecl &T : BP.program().tasks())
-      Names.push_back(T.Name);
-    Opts.Trace->setTaskNames(std::move(Names));
-  }
-
-  // Boot.
-  {
+  exec::announceTaskNames(Opts.Trace, BP.program());
+  if (Opts.Trace && Opts.Restore)
+    Opts.Trace->resume(0);
+  if (!Opts.Restore) {
+    // Boot.
     const ir::Program &Prog = BP.program();
     std::unique_ptr<ObjectData> Data;
     if (BP.startupFactory())
@@ -920,9 +589,8 @@ ThreadExecResult ThreadExecutor::run(const ThreadExecOptions &Opts) {
     Object *Startup = TheHeap->allocate(
         Prog.startupClass(), ir::FlagMask(1) << Prog.startupFlag(),
         std::move(Data));
-    State.send(Startup, /*FromCore=*/-1);
+    State.sendObject(Startup, /*FromCore=*/-1);
   }
-  } // !Opts.Restore
 
   auto T0 = std::chrono::steady_clock::now();
   std::vector<std::thread> Threads;
@@ -930,80 +598,34 @@ ThreadExecResult ThreadExecutor::run(const ThreadExecOptions &Opts) {
   for (int C = 0; C < L.NumCores; ++C)
     Threads.emplace_back([&State, C] { State.worker(C); });
 
-  // Monitor loop: enforce the total timeout, fire the no-progress
-  // watchdog, and take pause-the-world checkpoints at invocation-count
-  // thresholds.
-  uint64_t NextCkpt = 0;
-  if (Opts.CheckpointEveryInvocations > 0)
-    NextCkpt = (State.Invocations.load() / Opts.CheckpointEveryInvocations +
-                1) *
-               Opts.CheckpointEveryInvocations;
-  uint64_t CkptWritten = 0;
-  std::string CkptError;
-  bool WatchdogTripped = false;
-  uint64_t LastInvCount = State.Invocations.load();
-  auto LastProgressT = T0;
-  int64_t TrippedAtMs = 0, TrippedLastMs = 0;
-  for (;;) {
-    if (State.Done.load(std::memory_order_acquire))
-      break;
-    auto Now = std::chrono::steady_clock::now();
-    auto Elapsed =
-        std::chrono::duration_cast<std::chrono::milliseconds>(Now - T0)
-            .count();
-    if (Elapsed > Opts.TimeoutMs) {
-      State.Done.store(true, std::memory_order_release);
-      break;
-    }
-    uint64_t InvNow = State.Invocations.load(std::memory_order_acquire);
-    if (InvNow != LastInvCount) {
-      LastInvCount = InvNow;
-      LastProgressT = Now;
-    } else if (Opts.WatchdogMs > 0 &&
-               State.Outstanding.load(std::memory_order_acquire) != 0 &&
-               std::chrono::duration_cast<std::chrono::milliseconds>(
-                   Now - LastProgressT)
-                       .count() > Opts.WatchdogMs) {
-      WatchdogTripped = true;
-      TrippedAtMs = Elapsed;
-      TrippedLastMs =
-          std::chrono::duration_cast<std::chrono::milliseconds>(
-              LastProgressT - T0)
-              .count();
-      State.Done.store(true, std::memory_order_release);
-      break;
-    }
-    if (Opts.CheckpointEveryInvocations > 0 && InvNow >= NextCkpt) {
-      if (State.pauseWorld()) {
+  exec::HostMonitorOutcome Mon = exec::hostMonitorLoop(
+      State.Done, T0, Opts.TimeoutMs, Opts.WatchdogMs,
+      Opts.CheckpointEveryInvocations,
+      [&] { return State.Invocations.load(std::memory_order_acquire); },
+      [&] { return State.Outstanding.load(std::memory_order_acquire); },
+      [&](uint64_t &NextCkpt, std::string &Err) {
+        if (!State.Pause.pauseAll(State.Done))
+          return false;
         resilience::Checkpoint C;
-        std::string Err = State.makeCheckpoint(C);
-        if (Err.empty()) {
-          ++CkptWritten;
-          if (Opts.OnCheckpoint)
-            Opts.OnCheckpoint(C);
-        }
+        Err = State.makeCheckpoint(C);
+        if (Err.empty() && Opts.OnCheckpoint)
+          Opts.OnCheckpoint(C);
         while (NextCkpt <= State.Invocations.load())
           NextCkpt += Opts.CheckpointEveryInvocations;
-        State.resumeWorld();
-        if (!Err.empty()) {
-          CkptError = Err;
-          State.Done.store(true, std::memory_order_release);
-          break;
-        }
-      }
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
+        State.Pause.resumeAll();
+        return Err.empty();
+      });
   for (std::thread &T : Threads)
     T.join();
   auto T1 = std::chrono::steady_clock::now();
 
   ThreadExecResult Result;
-  Result.CheckpointsWritten = CkptWritten;
-  Result.CheckpointError = CkptError;
-  if (WatchdogTripped) {
+  Result.CheckpointsWritten = Mon.CheckpointsWritten;
+  Result.CheckpointError = Mon.CheckpointError;
+  if (Mon.WatchdogTripped) {
     Result.WatchdogFired = true;
-    Result.WatchdogDump = State.watchdogDump(TrippedAtMs, TrippedLastMs);
+    Result.WatchdogDump =
+        State.watchdogDump(Mon.TrippedAtMs, Mon.TrippedLastMs);
   }
   Result.TaskInvocations = State.Invocations.load();
   Result.ObjectsAllocated = State.Allocated.load();
@@ -1012,27 +634,29 @@ ThreadExecResult ThreadExecutor::run(const ThreadExecOptions &Opts) {
 
   resilience::RecoveryReport &R = Result.Recovery;
   R.RecoveryEnabled = Opts.Recovery;
-  R.Drops = State.Drops.load();
-  R.Dups = State.Dups.load();
-  R.Delays = State.Delays.load();
+  R.Drops = State.Send.Drops.load();
+  R.Dups = State.Send.Dups.load();
+  R.Delays = State.Send.Delays.load();
   R.LockFaults = State.LockFaults.load();
   R.CoreFails = State.CoreFails;
-  R.Retransmits = State.Retransmits.load();
-  R.Escalations = State.Escalations.load();
-  R.LostMessages = State.LostMessages.load();
+  R.Retransmits = State.Send.Retransmits.load();
+  R.Escalations = State.Send.Escalations.load();
+  R.LostMessages = State.Send.LostMessages.load();
   R.InstancesMigrated = State.InstancesMigrated;
   // Anything still sitting in a dead core's inbox was swallowed for good
   // (recovery off leaves dead placements reachable). Workers have joined,
   // so the inboxes are stable here.
   for (int C = 0; C < L.NumCores; ++C)
     if (!State.CoreAlive[static_cast<size_t>(C)])
-      R.BlackholedDeliveries += State.Cores[static_cast<size_t>(C)].Inbox.size();
+      R.BlackholedDeliveries +=
+          State.Cores[static_cast<size_t>(C)].Inbox.size();
 
   // Quiescence alone is not completion: a run that lost work can drain to
   // zero with results missing. Damage, a watchdog abort, or a failed
   // snapshot always force a failed report.
   Result.Completed =
       State.Outstanding.load(std::memory_order_acquire) == 0 &&
-      !R.damaged() && !Result.WatchdogFired && Result.CheckpointError.empty();
+      !R.damaged() && !Result.WatchdogFired &&
+      Result.CheckpointError.empty();
   return Result;
 }

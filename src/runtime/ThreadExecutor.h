@@ -94,11 +94,10 @@ struct ThreadExecResult {
   bool Completed = false;
   uint64_t TaskInvocations = 0;
   uint64_t ObjectsAllocated = 0;
-  /// Failed all-or-nothing lock acquisition sweeps: incremented once per
-  /// attempt in which any parameter's tryLock failed and the invocation
-  /// was requeued — NOT once per locked object encountered. Same unified
-  /// definition as ExecResult::LockRetries (TileExecutor), so retry rates
-  /// are directly comparable between the two executors.
+  /// Failed all-or-nothing lock acquisition sweeps, counted once per
+  /// failed sweep by the shared engine core (DESIGN.md §3f) — the one
+  /// definition every engine reports, so fig07/fig09 compare like with
+  /// like.
   uint64_t LockRetries = 0;
   double WallSeconds = 0.0;
   /// Fault/recovery accounting for this run (all-zero when fault-free).

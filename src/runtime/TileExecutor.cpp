@@ -23,303 +23,21 @@ TileExecutor::TileExecutor(const BoundProgram &BP,
                            const analysis::Cstg &Graph,
                            const machine::MachineConfig &Machine,
                            const machine::Layout &L)
-    : BP(BP), Prog(BP.program()), Graph(Graph), Machine(Machine), L(L),
-      Routes(Prog, Graph, L), LockPlans(analysis::buildLockPlans(Prog)) {
+    : Base(BP.program(), Graph, Machine, L), BP(BP) {
   assert(BP.fullyBound() && "every task needs a body");
   assert(L.covers(Prog) && "layout must instantiate every task");
   assert(L.NumCores <= Machine.NumCores && "layout exceeds the machine");
 }
 
-void TileExecutor::push(Event E) {
-  E.Seq = NextSeq++;
-  Queue.push(std::move(E));
-}
-
-bool TileExecutor::guardAdmitsObject(const ir::TaskParam &Param,
-                                     const Object &Obj) const {
-  if (Obj.Class != Param.Class)
-    return false;
-  if (!Param.Guard->evaluate(Obj.flags()))
-    return false;
-  for (const ir::TagConstraint &TC : Param.Tags)
-    if (!Obj.tagOfType(TC.Type))
-      return false;
-  return true;
-}
-
-bool TileExecutor::bindParamTags(const ir::TaskParam &Param, Object *Obj,
-                                 Invocation &Partial) const {
-  for (const ir::TagConstraint &TC : Param.Tags) {
-    auto Bound = Partial.ConstraintTags.find(TC.Var);
-    if (Bound != Partial.ConstraintTags.end()) {
-      // Variable already fixed by an earlier parameter: this object must
-      // carry the same instance.
-      if (std::find(Obj->Tags.begin(), Obj->Tags.end(), Bound->second) ==
-          Obj->Tags.end())
-        return false;
-      continue;
-    }
-    // Bind the object's instance of this type. Objects in this runtime
-    // carry at most a handful of instances per type; when several exist,
-    // the first is chosen — later parameters constrained by the same
-    // variable re-validate against it, and mismatching combinations are
-    // simply produced by other deliveries.
-    TagInstance *Inst = Obj->tagOfType(TC.Type);
-    if (!Inst)
-      return false;
-    Partial.ConstraintTags.emplace(TC.Var, Inst);
-  }
-  return true;
-}
-
-void TileExecutor::matchParams(int Core, int InstanceIdx,
-                               const ir::TaskDecl &Task, size_t NextParam,
-                               Invocation &Partial, ir::ParamId FixedParam,
-                               Object *FixedObj, bool DedupeReady) {
-  if (NextParam == Task.Params.size()) {
-    if (DedupeReady) {
-      // Re-enumeration after a re-delivery: the same combination may
-      // already be pending from the original arrivals. Enqueueing it
-      // twice would execute the task twice once the objects' guards
-      // hold, so skip exact duplicates.
-      for (const Invocation &Pending :
-           Cores[static_cast<size_t>(Core)].Ready)
-        if (Pending.InstanceIdx == Partial.InstanceIdx &&
-            Pending.Params == Partial.Params)
-          return;
-    }
-    Cores[static_cast<size_t>(Core)].Ready.push_back(Partial);
-    return;
-  }
-  const ir::TaskParam &Param = Task.Params[NextParam];
-  InstanceState &Inst = Instances[static_cast<size_t>(InstanceIdx)];
-
-  std::vector<Object *> Candidates;
-  if (static_cast<ir::ParamId>(NextParam) == FixedParam)
-    Candidates.push_back(FixedObj);
-  else
-    Candidates = Inst.ParamSets[NextParam];
-
-  for (Object *Obj : Candidates) {
-    // One object cannot serve two parameters of the same invocation: the
-    // all-or-nothing lock step would self-conflict.
-    if (std::find(Partial.Params.begin(), Partial.Params.end(), Obj) !=
-        Partial.Params.end())
-      continue;
-    if (!guardAdmitsObject(Param, *Obj))
-      continue;
-    auto SavedTags = Partial.ConstraintTags;
-    if (!bindParamTags(Param, Obj, Partial)) {
-      Partial.ConstraintTags = std::move(SavedTags);
-      continue;
-    }
-    Partial.Params.push_back(Obj);
-    matchParams(Core, InstanceIdx, Task, NextParam + 1, Partial, FixedParam,
-                FixedObj, DedupeReady);
-    Partial.Params.pop_back();
-    Partial.ConstraintTags = std::move(SavedTags);
-  }
-}
-
-void TileExecutor::enumerateInvocations(int Core, int InstanceIdx,
-                                        ir::ParamId Param, Object *Obj,
-                                        bool DedupeReady) {
-  ir::TaskId TaskId = L.Instances[static_cast<size_t>(InstanceIdx)].Task;
-  const ir::TaskDecl &Task = Prog.taskOf(TaskId);
-  if (!guardAdmitsObject(Task.Params[static_cast<size_t>(Param)], *Obj))
-    return;
-  Invocation Partial;
-  Partial.Task = TaskId;
-  Partial.InstanceIdx = InstanceIdx;
-  matchParams(Core, InstanceIdx, Task, 0, Partial, Param, Obj, DedupeReady);
-}
-
-bool TileExecutor::stillValid(const Invocation &Inv) const {
-  const ir::TaskDecl &Task = Prog.taskOf(Inv.Task);
-  for (size_t P = 0; P < Inv.Params.size(); ++P)
-    if (!guardAdmitsObject(Task.Params[P], *Inv.Params[P]))
-      return false;
-  // Tag constraints: the bound instances must still link the objects.
-  for (size_t P = 0; P < Inv.Params.size(); ++P) {
-    for (const ir::TagConstraint &TC : Task.Params[P].Tags) {
-      auto It = Inv.ConstraintTags.find(TC.Var);
-      if (It == Inv.ConstraintTags.end())
-        return false;
-      Object *Obj = Inv.Params[P];
-      if (std::find(Obj->Tags.begin(), Obj->Tags.end(), It->second) ==
-          Obj->Tags.end())
-        return false;
-    }
-  }
-  return true;
-}
-
-void TileExecutor::deliver(const Event &E) {
-  if (!CoreAlive[static_cast<size_t>(E.Core)]) {
-    // In-flight delivery racing a permanent core failure.
-    resilience::RecoveryReport &Rep = Result.Recovery;
-    int Fwd = InstanceCore[static_cast<size_t>(E.InstanceIdx)];
-    if (!Opts->Recovery || Fwd == E.Core ||
-        !CoreAlive[static_cast<size_t>(Fwd)]) {
-      ++Rep.BlackholedDeliveries; // The dead core swallows it.
-      return;
-    }
-    // Recovery: forward to the instance's failover home.
-    Cycles Hop = Machine.SendOverhead + Machine.transferLatency(E.Core, Fwd);
-    ++Rep.RedirectedDeliveries;
-    Rep.AddedCycles += Hop;
-    if (Opts->Trace)
-      Opts->Trace->failover(E.Time, E.Core, Fwd,
-                            static_cast<int64_t>(E.Obj->Id));
-    Event Redirected = E;
-    Redirected.Time = E.Time + Hop;
-    Redirected.Core = Fwd;
-    push(std::move(Redirected));
-    return;
-  }
-  InstanceState &Inst = Instances[static_cast<size_t>(E.InstanceIdx)];
-  std::vector<Object *> &Set =
-      Inst.ParamSets[static_cast<size_t>(E.Param)];
-  // A re-delivery of an object already sitting in the parameter set is
-  // NOT a no-op: the object is only re-routed after a task transitioned
-  // its flags/tags, so combinations with objects that arrived while it
-  // was inadmissible may be newly enabled. Re-enumerate (deduplicating
-  // against already-pending invocations) instead of returning early.
-  bool Known = std::find(Set.begin(), Set.end(), E.Obj) != Set.end();
-  if (!Known)
-    Set.push_back(E.Obj);
+void TileExecutor::onCrossSend(Object *Obj, int FromCore, int ToCore,
+                               Cycles Now) {
+  ++Result.MessagesSent;
+  uint32_t Hops =
+      static_cast<uint32_t>(Machine.hopDistance(FromCore, ToCore));
+  Result.MessageHops += Hops;
   if (Opts->Trace)
-    Opts->Trace->deliver(E.Time, E.Core,
-                         static_cast<int64_t>(E.Obj->Id));
-  enumerateInvocations(E.Core, E.InstanceIdx, E.Param, E.Obj,
-                       /*DedupeReady=*/Known);
-  if (!Cores[static_cast<size_t>(E.Core)].Executing)
-    tryStart(E.Core, std::max(E.Time,
-                              Cores[static_cast<size_t>(E.Core)].BusyUntil));
-}
-
-bool TileExecutor::resolveSend(Object *Obj, int FromCore, int ToCore,
-                               Cycles Now, Cycles &Penalty,
-                               int &Duplicates) {
-  resilience::RecoveryReport &Rep = Result.Recovery;
-  for (int Attempt = 0;; ++Attempt) {
-    auto D = Injector.onSend(Now, FromCore, ToCore,
-                             static_cast<uint64_t>(Obj->Id), Attempt);
-    if (D.Drop) {
-      ++Rep.Drops;
-      if (Opts->Trace)
-        Opts->Trace->faultInject(
-            Now + Penalty, FromCore,
-            static_cast<int>(resilience::FaultKind::MsgDrop),
-            static_cast<int64_t>(Obj->Id));
-      if (!Opts->Recovery) {
-        ++Rep.LostMessages;
-        return false;
-      }
-      if (Attempt >= Machine.MaxSendRetries) {
-        // Retry budget exhausted: escalate to the slow verified channel.
-        // The transfer still arrives — with the full backoff already paid.
-        ++Rep.Escalations;
-        return true;
-      }
-      // The missing ack is noticed AckTimeout cycles in; the retransmit
-      // waits out an exponential backoff on top.
-      ++Rep.Retransmits;
-      Penalty += Machine.AckTimeout +
-                 (Machine.RetryBackoffBase << std::min(Attempt, 16));
-      if (Opts->Trace)
-        Opts->Trace->retransmit(Now + Penalty, FromCore, ToCore,
-                                static_cast<int64_t>(Obj->Id),
-                                static_cast<uint64_t>(Attempt) + 1);
-      continue;
-    }
-    if (D.Duplicate) {
-      ++Rep.Dups;
-      ++Duplicates;
-      if (Opts->Trace)
-        Opts->Trace->faultInject(
-            Now + Penalty, FromCore,
-            static_cast<int>(resilience::FaultKind::MsgDup),
-            static_cast<int64_t>(Obj->Id));
-    }
-    if (D.Delay) {
-      ++Rep.Delays;
-      Penalty += D.Delay;
-      if (Opts->Trace)
-        Opts->Trace->faultInject(
-            Now + Penalty, FromCore,
-            static_cast<int>(resilience::FaultKind::MsgDelay),
-            static_cast<int64_t>(Obj->Id));
-    }
-    return true;
-  }
-}
-
-void TileExecutor::routeObject(Object *Obj, int FromCore, Cycles Now) {
-  int Node = Routes.nodeOf(*Obj);
-  for (const RouteDest &Dest : Routes.destsAt(Node)) {
-    size_t Pick = 0;
-    switch (Dest.Kind) {
-    case DistributionKind::Single:
-      break;
-    case DistributionKind::RoundRobin: {
-      // Per-sender counters, seeded with the sender core: senders start
-      // their round-robin walk at "their own" replica, so concurrent
-      // producers spread over all instances instead of all hammering
-      // instance 0 (and a core whose own replica hosts the next task
-      // tends to keep the object local — the data locality rule).
-      auto [It, Inserted] = RoundRobin.try_emplace(
-          {FromCore, Dest.Task},
-          FromCore >= 0 ? static_cast<size_t>(FromCore) : 0);
-      Pick = It->second++ % Dest.Instances.size();
-      (void)Inserted;
-      break;
-    }
-    case DistributionKind::TagHash: {
-      TagInstance *Inst = Obj->tagOfType(Dest.HashTagType);
-      Pick = Inst ? static_cast<size_t>(Inst->Id) % Dest.Instances.size()
-                  : 0;
-      break;
-    }
-    }
-    int InstanceIdx = Dest.Instances[Pick].first;
-    // The instance's *current* home: failover migration may have moved it
-    // off the layout's original core.
-    int Core = InstanceCore[static_cast<size_t>(InstanceIdx)];
-    Cycles Latency = 0;
-    Cycles Penalty = 0;
-    int Duplicates = 0;
-    if (FromCore >= 0 && FromCore != Core) {
-      Latency = Machine.SendOverhead + Machine.transferLatency(FromCore, Core);
-      ++Result.MessagesSent;
-      uint32_t Hops =
-          static_cast<uint32_t>(Machine.hopDistance(FromCore, Core));
-      Result.MessageHops += Hops;
-      if (Opts->Trace)
-        Opts->Trace->send(Now, FromCore, Core,
-                          static_cast<int64_t>(Obj->Id), Hops,
-                          Machine.MsgBytesPerObject);
-      if (Injector.active()) {
-        // The whole ack/retransmit exchange is resolved analytically at
-        // send time (every per-attempt decision is deterministic), so the
-        // event queue only ever sees the final arrival.
-        if (!resolveSend(Obj, FromCore, Core, Now, Penalty, Duplicates))
-          continue; // Lost for good (recovery off): no arrival.
-        Result.Recovery.AddedCycles += Penalty;
-      }
-    }
-    Event Arrival;
-    Arrival.Kind = EventKind::Delivery;
-    Arrival.Time = Now + Latency + Penalty;
-    Arrival.Core = Core;
-    Arrival.Obj = Obj;
-    Arrival.InstanceIdx = InstanceIdx;
-    Arrival.Param = Dest.Param;
-    // A duplicated transfer arrives again; the executors' idempotent
-    // re-delivery (dedupe against pending invocations) absorbs it.
-    for (int Copy = 0; Copy < 1 + Duplicates; ++Copy)
-      push(Arrival);
-  }
+    Opts->Trace->send(Now, FromCore, ToCore, static_cast<int64_t>(Obj->Id),
+                      Hops, Machine.MsgBytesPerObject);
 }
 
 void TileExecutor::tryStart(int CoreIdx, Cycles Now) {
@@ -331,53 +49,18 @@ void TileExecutor::tryStart(int CoreIdx, Cycles Now) {
   if (Core.Ready.empty())
     return;
   if (Injector.active()) {
-    resilience::RecoveryReport &Rep = Result.Recovery;
-    Cycles &Stall = StallEnd[static_cast<size_t>(CoreIdx)];
-    if (Now >= Stall) {
-      if (Cycles End = Injector.stallUntil(Now, CoreIdx); End > Stall) {
-        // A new stall window opens: the core dispatches nothing until it
-        // ends. Stalls are transient by definition, so the window closes
-        // regardless of the recovery setting.
-        Stall = End;
-        ++Rep.Stalls;
-        Rep.AddedCycles += End - Now;
-        if (Opts->Trace)
-          Opts->Trace->faultInject(
-              Now, CoreIdx, static_cast<int>(resilience::FaultKind::CoreStall),
-              -1);
-      }
-    }
-    if (Now < Stall) {
-      Event Wake;
-      Wake.Kind = EventKind::Wake;
-      Wake.Time = Stall;
-      Wake.Core = CoreIdx;
-      push(std::move(Wake));
+    // A stall window means the core dispatches nothing until it ends.
+    if (Cycles Stall = armStallWindow(CoreIdx, Now); Now < Stall) {
+      pushWake(CoreIdx, Stall);
       return;
     }
-    Cycles &Lock = LockEnd[static_cast<size_t>(CoreIdx)];
-    if (Now >= Lock) {
-      if (Cycles End = Injector.lockFaultUntil(Now, CoreIdx); End > Lock) {
-        Lock = End;
-        ++Rep.LockFaults;
-        Rep.AddedCycles += End - Now;
-        if (Opts->Trace)
-          Opts->Trace->faultInject(
-              Now, CoreIdx, static_cast<int>(resilience::FaultKind::LockSweep),
-              -1);
-      }
-    }
-    if (Now < Lock) {
+    if (Cycles Lock = armLockWindow(CoreIdx, Now); Now < Lock) {
       // Livelock window: every all-or-nothing sweep on this core fails.
       // Count it like any other failed sweep and retry at the window end.
       ++Result.LockRetries;
       if (Opts->Trace)
         Opts->Trace->lockRetry(Now, CoreIdx, Core.Ready.front().Task);
-      Event Wake;
-      Wake.Kind = EventKind::Wake;
-      Wake.Time = Lock;
-      Wake.Core = CoreIdx;
-      push(std::move(Wake));
+      pushWake(CoreIdx, Lock);
       return;
     }
   }
@@ -421,10 +104,8 @@ void TileExecutor::tryStart(int CoreIdx, Cycles Now) {
     // Run the body now (host time); effects become visible to the rest of
     // the virtual machine at completion time, and the locks exclude every
     // other observer in between.
-    uint64_t RngSeed = Opts->Seed;
-    RngSeed = RngSeed * 0x9e3779b97f4a7c15ULL +
-              static_cast<uint64_t>(Inv.Task + 1);
-    RngSeed = RngSeed * 0xff51afd7ed558ccdULL + (Inv.Params[0]->Id + 1);
+    uint64_t RngSeed =
+        exec::taskRngSeed(Opts->Seed, Inv.Task, Inv.Params[0]->Id);
     auto Ctx = std::make_unique<TaskContext>(BP, TheHeap, Inv.Task,
                                              Inv.Params, Inv.ConstraintTags,
                                              Opts->Args, RngSeed);
@@ -460,23 +141,9 @@ void TileExecutor::tryStart(int CoreIdx, Cycles Now) {
       Opts->Trace->taskBegin(Now, CoreIdx, Inv.Task, Core.Ready.size());
     }
 
-    int FlightIdx;
-    if (!FreeFlightSlots.empty()) {
-      FlightIdx = FreeFlightSlots.back();
-      FreeFlightSlots.pop_back();
-      InFlights[static_cast<size_t>(FlightIdx)] = {std::move(Inv),
-                                                   std::move(Ctx)};
-    } else {
-      FlightIdx = static_cast<int>(InFlights.size());
-      InFlights.push_back({std::move(Inv), std::move(Ctx)});
-    }
-
-    Event Done;
-    Done.Kind = EventKind::Completion;
-    Done.Time = Core.BusyUntil;
-    Done.Core = CoreIdx;
-    Done.FlightIdx = FlightIdx;
-    push(std::move(Done));
+    int FlightIdx = exec::allocFlightSlot(
+        InFlights, FreeFlightSlots, InFlight{std::move(Inv), std::move(Ctx)});
+    pushCompletion(CoreIdx, Core.BusyUntil, FlightIdx);
     return;
   }
 }
@@ -488,22 +155,9 @@ void TileExecutor::complete(const Event &E) {
   const ir::TaskExit &Exit =
       Task.Exits[static_cast<size_t>(Ctx.chosenExit())];
 
-  // Apply the exit's flag and tag effects to the parameter objects.
-  for (size_t P = 0; P < Flight.Inv.Params.size(); ++P) {
-    Object *Obj = Flight.Inv.Params[P];
-    const ir::ParamExitEffect &Eff = Exit.Effects[P];
-    Obj->updateFlags(Eff.Set, Eff.Clear);
-    for (const ir::ExitTagAction &Action : Eff.TagActions) {
-      TagInstance *Inst = Ctx.tagVar(Action.Var);
-      assert(Inst && "exit tag action references an unbound tag variable");
-      if (!Inst)
-        continue;
-      if (Action.IsAdd)
-        Obj->bindTag(Inst);
-      else
-        Obj->unbindTag(Inst);
-    }
-  }
+  exec::applyObjectExitEffects(
+      Exit, Flight.Inv.Params,
+      [&Ctx](const std::string &Var) { return Ctx.tagVar(Var); });
 
   // Profile collection.
   if (Result.CollectedProfile) {
@@ -531,10 +185,10 @@ void TileExecutor::complete(const Event &E) {
   Result.ObjectsAllocated += Ctx.newObjects().size();
   for (const auto &[Site, Obj] : Ctx.newObjects()) {
     (void)Site;
-    routeObject(Obj, E.Core, E.Time);
+    routeItem(Obj, E.Core, E.Time);
   }
   for (Object *Obj : Flight.Inv.Params)
-    routeObject(Obj, E.Core, E.Time);
+    routeItem(Obj, E.Core, E.Time);
 
   // Recycle the flight slot.
   Flight.Ctx.reset();
@@ -544,115 +198,20 @@ void TileExecutor::complete(const Event &E) {
   tryStart(E.Core, E.Time);
 
   // Lock releases may unblock other cores' queued invocations.
-  for (size_t C = 0; C < Cores.size(); ++C) {
-    if (static_cast<int>(C) == E.Core)
-      continue;
-    if (!Cores[C].Executing && !Cores[C].Ready.empty()) {
-      Event Wake;
-      Wake.Kind = EventKind::Wake;
-      Wake.Time = E.Time;
-      Wake.Core = static_cast<int>(C);
-      push(std::move(Wake));
-    }
-  }
-}
-
-void TileExecutor::applyCoreFailure(int CoreIdx, Cycles Now) {
-  if (!CoreAlive[static_cast<size_t>(CoreIdx)])
-    return; // Already dead (duplicate schedule entry).
-  resilience::RecoveryReport &Rep = Result.Recovery;
-  CoreAlive[static_cast<size_t>(CoreIdx)] = 0;
-  ++Rep.CoreFails;
-  if (Opts->Trace)
-    Opts->Trace->faultInject(
-        Now, CoreIdx, static_cast<int>(resilience::FaultKind::CoreFail), -1);
-  // Fail-stop at the dispatch boundary: an invocation already in flight
-  // on this core finishes (its body ran; re-running it would double-apply
-  // host side effects) — the core just never dispatches again.
-  if (!Opts->Recovery)
-    return; // Queued work strands; deliveries blackhole; run wedges.
-
-  // Failover candidates: core-group siblings first, then the other used
-  // cores, skipping the dead.
-  std::vector<int> Alive;
-  for (int C : Routes.failoverOrder(CoreIdx))
-    if (CoreAlive[static_cast<size_t>(C)])
-      Alive.push_back(C);
-  if (Alive.empty())
-    for (int C = 0; C < L.NumCores; ++C)
-      if (CoreAlive[static_cast<size_t>(C)])
-        Alive.push_back(C);
-  if (Alive.empty())
-    return; // Every core failed: nothing left to migrate to.
-
-  // Migrate this core's placed instances round-robin over the candidates
-  // (their parameter sets travel with the InstanceState).
-  size_t Next = 0;
-  for (size_t I = 0; I < InstanceCore.size(); ++I) {
-    if (InstanceCore[I] != CoreIdx)
-      continue;
-    int NewCore = Alive[Next++ % Alive.size()];
-    InstanceCore[I] = NewCore;
-    ++Rep.InstancesMigrated;
-    if (Opts->Trace)
-      Opts->Trace->failover(Now, CoreIdx, NewCore, -1);
-  }
-
-  // Re-dispatch queued-but-unstarted invocations on their instances' new
-  // homes, charging one transfer per moved invocation.
-  CoreState &Dead = Cores[static_cast<size_t>(CoreIdx)];
-  while (!Dead.Ready.empty()) {
-    Invocation Inv = std::move(Dead.Ready.front());
-    Dead.Ready.pop_front();
-    int NewCore = InstanceCore[static_cast<size_t>(Inv.InstanceIdx)];
-    Cycles Hop = Machine.SendOverhead +
-                 Machine.transferLatency(CoreIdx, NewCore);
-    Rep.AddedCycles += Hop;
-    ++Rep.RedispatchedInvocations;
-    Cores[static_cast<size_t>(NewCore)].Ready.push_back(std::move(Inv));
-    Event Wake;
-    Wake.Kind = EventKind::Wake;
-    Wake.Time = Now + Hop;
-    Wake.Core = NewCore;
-    push(std::move(Wake));
-  }
+  wakeOtherCores(E.Core, E.Time);
 }
 
 ExecResult TileExecutor::run(const ExecOptions &Options) {
   Opts = &Options;
-  if (Options.Trace) {
-    std::vector<std::string> Names;
-    for (const ir::TaskDecl &T : Prog.tasks())
-      Names.push_back(T.Name);
-    Options.Trace->setTaskNames(std::move(Names));
-  }
+  announceTaskNames(Options.Trace);
   Result = ExecResult();
   TheHeap.clear();
-  Cores.assign(static_cast<size_t>(L.NumCores), CoreState());
-  Instances.clear();
-  Instances.resize(L.Instances.size());
-  for (size_t I = 0; I < L.Instances.size(); ++I)
-    Instances[I].ParamSets.resize(
-        Prog.taskOf(L.Instances[I].Task).Params.size());
   InFlights.clear();
   FreeFlightSlots.clear();
-  RoundRobin.clear();
-  NextSeq = 0;
-  while (!Queue.empty())
-    Queue.pop();
+  beginRun(Options.Faults, Options.FaultSeed, Options.Recovery,
+           Options.Trace, &Result.Recovery);
   if (Options.CollectProfile)
     Result.CollectedProfile.emplace(Prog);
-
-  // Resilience state.
-  Injector = resilience::FaultInjector(Options.Faults, Options.FaultSeed);
-  Result.Recovery.RecoveryEnabled = Options.Recovery;
-  CoreAlive.assign(static_cast<size_t>(L.NumCores), 1);
-  InstanceCore.clear();
-  for (const machine::TaskInstance &Inst : L.Instances)
-    InstanceCore.push_back(Inst.Core);
-  StallEnd.assign(static_cast<size_t>(L.NumCores), 0);
-  LockEnd.assign(static_cast<size_t>(L.NumCores), 0);
-  LastProgress = 0;
 
   Cycles LastTime = 0;
   uint64_t Events = 0;
@@ -676,15 +235,7 @@ ExecResult TileExecutor::run(const ExecOptions &Options) {
     if (Options.Trace)
       Options.Trace->resume(Options.Restore->Cycle);
   } else {
-    for (const resilience::ScheduledFault &F : Injector.coreFailures()) {
-      if (F.Core < 0 || F.Core >= L.NumCores)
-        continue;
-      Event Fail;
-      Fail.Kind = EventKind::Fault;
-      Fail.Time = F.Cycle;
-      Fail.Core = F.Core;
-      push(std::move(Fail));
-    }
+    seedScheduledFailures();
 
     // Boot: create the startup object and deliver it (no transfer cost —
     // it is created wherever the startup task lives).
@@ -695,68 +246,31 @@ ExecResult TileExecutor::run(const ExecOptions &Options) {
         TheHeap.allocate(Prog.startupClass(),
                          ir::FlagMask(1) << Prog.startupFlag(),
                          std::move(Data));
-    routeObject(Startup, /*FromCore=*/-1, /*Now=*/0);
+    routeItem(Startup, /*FromCore=*/-1, /*Now=*/0);
   }
-
-  // First checkpoint boundary past the current high-water time.
-  Cycles NextCkpt = 0;
-  if (Options.CheckpointEvery > 0)
-    NextCkpt =
-        (LastTime / Options.CheckpointEvery + 1) * Options.CheckpointEvery;
 
   bool Aborted = false;
-  while (!Queue.empty()) {
-    // Snapshot at the quiescent point between events, the first time the
-    // next event would carry virtual time across a checkpoint boundary.
-    // Taking it here perturbs nothing: the snapshot captures the queue
-    // (including the event about to run), so the continuation replays the
-    // exact schedule.
-    if (Options.CheckpointEvery > 0 && Queue.top().Time >= NextCkpt) {
-      resilience::Checkpoint C;
-      if (std::string Err = makeCheckpoint(NextCkpt, Events, LastTime, C);
-          !Err.empty()) {
-        Result.CheckpointError = Err;
-        Aborted = true;
-        break;
-      }
-      ++Result.CheckpointsWritten;
-      if (Options.OnCheckpoint)
-        Options.OnCheckpoint(C);
-      while (NextCkpt <= Queue.top().Time)
-        NextCkpt += Options.CheckpointEvery;
-    }
-    if (++Events > Options.MaxEvents) {
-      Aborted = true;
-      break;
-    }
-    Event E = Queue.top();
-    Queue.pop();
-    LastTime = std::max(LastTime, E.Time);
-    // Watchdog: virtual time ran away from the last dispatch/completion
-    // (e.g. an endlessly re-armed stall window). Abort with a diagnostic
-    // dump instead of spinning to MaxEvents.
-    if (Options.WatchdogCycles > 0 && E.Time > LastProgress &&
-        E.Time - LastProgress > Options.WatchdogCycles) {
-      Result.WatchdogFired = true;
-      Result.WatchdogDump = watchdogDump(E.Time);
-      Aborted = true;
-      break;
-    }
-    switch (E.Kind) {
-    case EventKind::Delivery:
-      deliver(E);
-      break;
-    case EventKind::Completion:
-      complete(E);
-      break;
-    case EventKind::Wake:
-      tryStart(E.Core, E.Time);
-      break;
-    case EventKind::Fault:
-      applyCoreFailure(E.Core, E.Time);
-      break;
-    }
-  }
+  runEventLoop(
+      LastTime, Options.CheckpointEvery,
+      [&](Cycles NextCkpt) {
+        resilience::Checkpoint C;
+        if (std::string Err = makeCheckpoint(NextCkpt, Events, LastTime, C);
+            !Err.empty()) {
+          Result.CheckpointError = Err;
+          return false;
+        }
+        ++Result.CheckpointsWritten;
+        if (Options.OnCheckpoint)
+          Options.OnCheckpoint(C);
+        return true;
+      },
+      Options.WatchdogCycles,
+      [&](Cycles Now) {
+        Result.WatchdogFired = true;
+        Result.WatchdogDump = watchdogDump(Now);
+      },
+      [&] { return ++Events <= Options.MaxEvents; }, [] { return true; },
+      Aborted);
   return finishRun(LastTime, Aborted);
 }
 
@@ -796,79 +310,21 @@ ExecResult &TileExecutor::finishRun(Cycles LastTime, bool Aborted) {
 using resilience::ByteReader;
 using resilience::ByteWriter;
 
-void TileExecutor::saveInvocation(const Invocation &Inv,
-                                  ByteWriter &W) const {
-  W.i32(Inv.Task);
-  W.i32(Inv.InstanceIdx);
-  W.u64(Inv.Params.size());
-  for (Object *Obj : Inv.Params)
-    W.u64(Obj->Id);
-  W.u64(Inv.ConstraintTags.size());
-  for (const auto &[Var, Tag] : Inv.ConstraintTags) {
-    W.str(Var);
-    W.u64(Tag->Id);
-  }
-}
-
-std::string TileExecutor::loadInvocation(ByteReader &R, Invocation &Inv) {
-  Inv.Task = R.i32();
-  Inv.InstanceIdx = R.i32();
-  if (!R.ok() || Inv.Task < 0 ||
-      static_cast<size_t>(Inv.Task) >= Prog.tasks().size() ||
-      Inv.InstanceIdx < 0 ||
-      static_cast<size_t>(Inv.InstanceIdx) >= Instances.size())
-    return "checkpoint: invocation references an unknown task instance";
-  uint64_t NumParams = R.u64();
-  if (!R.ok() || NumParams > TheHeap.numObjects())
-    return "checkpoint: truncated invocation record";
-  for (uint64_t I = 0; I < NumParams; ++I) {
-    uint64_t Id = R.u64();
-    if (!R.ok() || Id >= TheHeap.numObjects())
-      return "checkpoint: invocation references an unknown object";
-    Inv.Params.push_back(TheHeap.objectAt(Id));
-  }
-  uint64_t NumTags = R.u64();
-  if (!R.ok() || NumTags > TheHeap.numTags())
-    return "checkpoint: truncated invocation tag bindings";
-  for (uint64_t I = 0; I < NumTags; ++I) {
-    std::string Var = R.str();
-    uint64_t Id = R.u64();
-    if (!R.ok() || Id >= TheHeap.numTags())
-      return "checkpoint: invocation references an unknown tag instance";
-    Inv.ConstraintTags.emplace(std::move(Var), TheHeap.tagAt(Id));
-  }
-  return {};
-}
-
 std::string TileExecutor::makeCheckpoint(Cycles AtCycle,
                                          uint64_t EventsProcessed,
                                          Cycles LastTime,
                                          resilience::Checkpoint &Out) {
-  resilience::Checkpoint C;
-  C.Engine = resilience::EngineKind::Tile;
-  C.Program = Prog.name();
-  C.Seed = Opts->Seed;
-  C.FaultSeed = Opts->FaultSeed;
-  C.Recovery = Opts->Recovery ? 1 : 0;
-  C.FaultSpec = Opts->Faults ? Opts->Faults->str() : std::string();
-  C.Args = Opts->Args;
-  C.LayoutKey = L.isoKey(Prog);
-  C.NumCores = static_cast<uint64_t>(L.NumCores);
-  C.Cycle = AtCycle;
-  // With recovery off, any fault that has taken raw effect is damage the
-  // snapshot already contains; flag it so a restart policy rolls back
-  // further.
-  C.Tainted = !Opts->Recovery && Result.Recovery.totalInjected() > 0;
+  resilience::Checkpoint C = exec::makeCheckpointHeader(
+      resilience::EngineKind::Tile, Prog, L, Opts->Seed, Opts->FaultSeed,
+      Opts->Recovery, Opts->Faults, Opts->Args, AtCycle,
+      !Opts->Recovery && Result.Recovery.totalInjected() > 0);
 
   ByteWriter W;
   CodecSaveCtx Ctx;
   if (std::string Err = saveHeap(TheHeap, BP, W, Ctx); !Err.empty())
     return Err;
 
-  std::vector<int> Budgets = Injector.remainingBudgets();
-  W.u64(Budgets.size());
-  for (int B : Budgets)
-    W.i32(B);
+  exec::saveInjectorBudgets(W, Injector);
 
   W.u64(NextSeq);
   W.u64(EventsProcessed);
@@ -882,92 +338,51 @@ std::string TileExecutor::makeCheckpoint(Cycles AtCycle,
   W.u64(Result.LockRetries);
   resilience::writeRecoveryReport(W, Result.Recovery);
 
-  W.u64(CoreAlive.size());
-  for (char A : CoreAlive)
-    W.u8(static_cast<uint8_t>(A));
-  W.u64(InstanceCore.size());
-  for (int C2 : InstanceCore)
-    W.i32(C2);
-  for (Cycles S : StallEnd)
-    W.u64(S);
-  for (Cycles Lk : LockEnd)
-    W.u64(Lk);
+  exec::saveResilienceState(W, CoreAlive, InstanceCore, StallEnd, LockEnd);
 
-  W.u64(Cores.size());
-  for (const CoreState &Core : Cores) {
-    W.u8(Core.Executing ? 1 : 0);
-    W.u64(Core.BusyUntil);
-    W.u64(Core.BusyTotal);
-    W.u64(Core.LastEnd);
-    W.u64(Core.Ready.size());
-    for (const Invocation &Inv : Core.Ready)
-      saveInvocation(Inv, W);
-  }
+  exec::saveCoreStates(
+      W, Cores,
+      [](ByteWriter &BW, const CoreState &Core) { BW.u64(Core.BusyUntil); },
+      [](ByteWriter &BW, const Invocation &Inv) {
+        exec::saveObjectInvocation(BW, Inv);
+      });
 
-  W.u64(Instances.size());
-  for (const InstanceState &Inst : Instances) {
-    W.u64(Inst.ParamSets.size());
-    for (const std::vector<Object *> &Set : Inst.ParamSets) {
-      W.u64(Set.size());
-      for (Object *Obj : Set)
-        W.u64(Obj->Id);
-    }
-  }
+  exec::saveParamSets<Object *>(
+      W, Instances,
+      [](ByteWriter &BW, Object *Obj) { BW.u64(Obj->Id); });
 
-  W.u64(RoundRobin.size());
-  for (const auto &[Key, Val] : RoundRobin) {
-    W.i32(Key.first);
-    W.i32(Key.second);
-    W.u64(Val);
-  }
+  exec::saveRoundRobinCounters(W, RoundRobin);
 
-  W.u64(InFlights.size());
-  for (const InFlight &Flight : InFlights) {
-    if (!Flight.Ctx) {
-      W.u8(0);
-      continue;
-    }
-    // The body already ran at dispatch time; the completion step only
-    // needs the post-body context (charged cycles, chosen exit, new
-    // objects, tag vars).
-    W.u8(1);
-    saveInvocation(Flight.Inv, W);
-    const auto &TagVars = Flight.Ctx->tagVars();
-    W.u64(TagVars.size());
-    for (const auto &[Var, Tag] : TagVars) {
-      W.str(Var);
-      W.u64(Tag->Id);
-    }
-    W.u64(Flight.Ctx->chargedCycles());
-    W.i32(Flight.Ctx->chosenExit());
-    const auto &NewObjs = Flight.Ctx->newObjects();
-    W.u64(NewObjs.size());
-    for (const auto &[Site, Obj] : NewObjs) {
-      W.i32(Site);
-      W.u64(Obj->Id);
-    }
-  }
-  W.u64(FreeFlightSlots.size());
-  for (int S : FreeFlightSlots)
-    W.i32(S);
+  // The body already ran at dispatch time; an occupied slot only needs
+  // the post-body context (charged cycles, chosen exit, new objects, tag
+  // vars) for the completion step.
+  exec::saveFlightSlots(
+      W, InFlights, FreeFlightSlots,
+      [](const InFlight &Flight) { return Flight.Ctx != nullptr; },
+      [](ByteWriter &BW, const InFlight &Flight) {
+        exec::saveObjectInvocation(BW, Flight.Inv);
+        const auto &TagVars = Flight.Ctx->tagVars();
+        BW.u64(TagVars.size());
+        for (const auto &[Var, Tag] : TagVars) {
+          BW.str(Var);
+          BW.u64(Tag->Id);
+        }
+        BW.u64(Flight.Ctx->chargedCycles());
+        BW.i32(Flight.Ctx->chosenExit());
+        const auto &NewObjs = Flight.Ctx->newObjects();
+        BW.u64(NewObjs.size());
+        for (const auto &[Site, Obj] : NewObjs) {
+          BW.i32(Site);
+          BW.u64(Obj->Id);
+        }
+      });
 
-  // The event queue, in deterministic (Time, Seq) order: the
-  // priority_queue is copyable (payloads are ids and raw pointers), so a
-  // drained copy yields the exact pending schedule without disturbing it.
-  auto QCopy = Queue;
-  W.u64(QCopy.size());
-  while (!QCopy.empty()) {
-    const Event &E = QCopy.top();
-    W.u64(E.Time);
-    W.u64(E.Seq);
-    W.u8(static_cast<uint8_t>(E.Kind));
-    W.i32(E.Core);
-    W.i64(E.Obj ? static_cast<int64_t>(E.Obj->Id) : -1);
-    W.i32(E.InstanceIdx);
-    W.i32(E.Param);
-    W.i32(E.FlightIdx);
-    QCopy.pop();
-  }
+  exec::saveEventQueue(W, Queue, [](ByteWriter &BW, const Event &E) {
+    BW.i64(E.Item ? static_cast<int64_t>(E.Item->Id) : -1);
+    BW.i32(E.InstanceIdx);
+    BW.i32(E.Param);
+    BW.i32(E.FlightIdx);
+  });
 
   C.Body = W.take();
   Out = std::move(C);
@@ -977,49 +392,22 @@ std::string TileExecutor::makeCheckpoint(Cycles AtCycle,
 std::string TileExecutor::restoreFrom(const resilience::Checkpoint &C,
                                       Cycles &LastTime,
                                       uint64_t &EventsProcessed) {
-  // Identity validation: a checkpoint resumes *this* run — same program,
-  // layout, machine width, seed, arguments, and fault plan. The fault
-  // seed and recovery mode may legitimately differ (the restart policy
-  // bumps the fault seed so a deterministic failure is not replayed).
-  if (C.Engine != resilience::EngineKind::Tile)
-    return formatString(
-        "checkpoint: engine mismatch (checkpoint is '%s', executor is "
-        "'tile')",
-        resilience::engineKindName(C.Engine));
-  if (C.Program != Prog.name())
-    return formatString(
-        "checkpoint: program mismatch (checkpoint is '%s', running '%s')",
-        C.Program.c_str(), Prog.name().c_str());
-  if (C.NumCores != static_cast<uint64_t>(L.NumCores))
-    return formatString(
-        "checkpoint: core-count mismatch (checkpoint %llu, layout %d)",
-        static_cast<unsigned long long>(C.NumCores), L.NumCores);
-  if (C.LayoutKey != L.isoKey(Prog))
-    return "checkpoint: layout mismatch (was the checkpoint taken under a "
-           "different synthesis seed or --jobs value?)";
-  if (C.Seed != Opts->Seed)
-    return formatString(
-        "checkpoint: run-seed mismatch (checkpoint %llu, --seed %llu)",
-        static_cast<unsigned long long>(C.Seed),
-        static_cast<unsigned long long>(Opts->Seed));
-  if (C.Args != Opts->Args)
-    return "checkpoint: program-argument mismatch";
-  if (C.FaultSpec != (Opts->Faults ? Opts->Faults->str() : std::string()))
-    return "checkpoint: fault-plan mismatch (pass the same --faults spec "
-           "the checkpoint was taken under)";
+  exec::RunIdentity Id;
+  Id.Seed = Opts->Seed;
+  Id.Args = &Opts->Args;
+  Id.Faults = Opts->Faults;
+  if (std::string Err = exec::validateRunIdentity(C, Prog, L, Id);
+      !Err.empty())
+    return Err;
 
   ByteReader R(C.Body);
   CodecLoadCtx Ctx;
   if (std::string Err = loadHeap(R, BP, TheHeap, Ctx); !Err.empty())
     return Err;
 
-  uint64_t NumBudgets = R.u64();
-  if (!R.ok() || NumBudgets > C.Body.size())
-    return "checkpoint: truncated body (injector budgets)";
-  std::vector<int> Budgets;
-  for (uint64_t I = 0; I < NumBudgets; ++I)
-    Budgets.push_back(R.i32());
-  Injector.restoreBudgets(Budgets);
+  if (std::string Err = exec::loadInjectorBudgets(R, C.Body.size(), Injector);
+      !Err.empty())
+    return Err;
 
   NextSeq = R.u64();
   EventsProcessed = R.u64();
@@ -1034,161 +422,112 @@ std::string TileExecutor::restoreFrom(const resilience::Checkpoint &C,
   resilience::readRecoveryReport(R, Result.Recovery);
   Result.Recovery.RecoveryEnabled = Opts->Recovery;
 
-  uint64_t NumCores = R.u64();
-  if (!R.ok() || NumCores != CoreAlive.size())
-    return "checkpoint: body core count diverges from the layout";
-  for (size_t I = 0; I < CoreAlive.size(); ++I)
-    CoreAlive[I] = static_cast<char>(R.u8());
-  uint64_t NumInstances = R.u64();
-  if (!R.ok() || NumInstances != InstanceCore.size())
-    return "checkpoint: body instance count diverges from the layout";
-  for (size_t I = 0; I < InstanceCore.size(); ++I)
-    InstanceCore[I] = R.i32();
-  for (size_t I = 0; I < StallEnd.size(); ++I)
-    StallEnd[I] = R.u64();
-  for (size_t I = 0; I < LockEnd.size(); ++I)
-    LockEnd[I] = R.u64();
+  if (std::string Err = exec::loadResilienceState(R, CoreAlive, InstanceCore,
+                                                  StallEnd, LockEnd);
+      !Err.empty())
+    return Err;
 
-  uint64_t NumCoreStates = R.u64();
-  if (!R.ok() || NumCoreStates != Cores.size())
-    return "checkpoint: truncated body (core states)";
-  for (CoreState &Core : Cores) {
-    Core.Executing = R.u8() != 0;
-    Core.BusyUntil = R.u64();
-    Core.BusyTotal = R.u64();
-    Core.LastEnd = R.u64();
-    uint64_t NumReady = R.u64();
-    if (!R.ok() || NumReady > C.Body.size())
-      return "checkpoint: truncated body (ready queues)";
-    for (uint64_t I = 0; I < NumReady; ++I) {
-      Invocation Inv;
-      if (std::string Err = loadInvocation(R, Inv); !Err.empty())
-        return Err;
-      Core.Ready.push_back(std::move(Inv));
-    }
-  }
+  if (std::string Err = exec::loadCoreStates(
+          R, C.Body.size(), Cores,
+          [](ByteReader &BR, CoreState &Core) {
+            Core.BusyUntil = BR.u64();
+          },
+          [this](ByteReader &BR, Invocation &Inv) {
+            return exec::loadObjectInvocation(BR, Prog, TheHeap,
+                                              Instances.size(), Inv);
+          });
+      !Err.empty())
+    return Err;
 
-  uint64_t NumInstStates = R.u64();
-  if (!R.ok() || NumInstStates != Instances.size())
-    return "checkpoint: truncated body (instance states)";
-  for (InstanceState &Inst : Instances) {
-    uint64_t NumParams = R.u64();
-    if (!R.ok() || NumParams != Inst.ParamSets.size())
-      return "checkpoint: parameter-set shape diverges from the program";
-    for (std::vector<Object *> &Set : Inst.ParamSets) {
-      uint64_t Count = R.u64();
-      if (!R.ok() || Count > TheHeap.numObjects())
-        return "checkpoint: truncated body (parameter sets)";
-      for (uint64_t I = 0; I < Count; ++I) {
-        uint64_t Id = R.u64();
-        if (!R.ok() || Id >= TheHeap.numObjects())
-          return "checkpoint: parameter set references an unknown object";
-        Set.push_back(TheHeap.objectAt(Id));
-      }
-    }
-  }
+  if (std::string Err = exec::loadParamSets<Object *>(
+          R, Instances, TheHeap.numObjects(),
+          [this](ByteReader &BR, Object *&Obj) -> std::string {
+            uint64_t Id2 = BR.u64();
+            if (!BR.ok() || Id2 >= TheHeap.numObjects())
+              return "checkpoint: parameter set references an unknown "
+                     "object";
+            Obj = TheHeap.objectAt(Id2);
+            return {};
+          });
+      !Err.empty())
+    return Err;
 
-  uint64_t NumRR = R.u64();
-  if (!R.ok() || NumRR > C.Body.size())
-    return "checkpoint: truncated body (round-robin counters)";
-  for (uint64_t I = 0; I < NumRR; ++I) {
-    int CoreKey = R.i32();
-    ir::TaskId Task = R.i32();
-    uint64_t Val = R.u64();
-    RoundRobin[{CoreKey, Task}] = static_cast<size_t>(Val);
-  }
+  if (std::string Err =
+          exec::loadRoundRobinCounters(R, C.Body.size(), RoundRobin);
+      !Err.empty())
+    return Err;
 
-  uint64_t NumFlights = R.u64();
-  if (!R.ok() || NumFlights > C.Body.size())
-    return "checkpoint: truncated body (in-flight invocations)";
-  for (uint64_t I = 0; I < NumFlights; ++I) {
-    uint8_t Occupied = R.u8();
-    if (!R.ok())
-      return "checkpoint: truncated body (in-flight slot)";
-    if (!Occupied) {
-      InFlights.push_back(InFlight());
-      continue;
-    }
-    Invocation Inv;
-    if (std::string Err = loadInvocation(R, Inv); !Err.empty())
-      return Err;
-    uint64_t NumVars = R.u64();
-    if (!R.ok() || NumVars > TheHeap.numTags() + 64)
-      return "checkpoint: truncated body (in-flight tag vars)";
-    std::map<std::string, TagInstance *> TagVars;
-    for (uint64_t V = 0; V < NumVars; ++V) {
-      std::string Var = R.str();
-      uint64_t Id = R.u64();
-      if (!R.ok() || Id >= TheHeap.numTags())
-        return "checkpoint: in-flight tag var references an unknown tag";
-      TagVars.emplace(std::move(Var), TheHeap.tagAt(Id));
-    }
-    Cycles Charged = R.u64();
-    ir::ExitId ChosenExit = R.i32();
-    uint64_t NumNew = R.u64();
-    if (!R.ok() || NumNew > TheHeap.numObjects())
-      return "checkpoint: truncated body (in-flight new objects)";
-    std::vector<std::pair<ir::SiteId, Object *>> NewObjects;
-    for (uint64_t N = 0; N < NumNew; ++N) {
-      ir::SiteId Site = R.i32();
-      uint64_t Id = R.u64();
-      if (!R.ok() || Id >= TheHeap.numObjects())
-        return "checkpoint: in-flight new object is unknown";
-      NewObjects.emplace_back(Site, TheHeap.objectAt(Id));
-    }
-    const ir::TaskDecl &Decl = Prog.taskOf(Inv.Task);
-    if (Inv.Params.size() != Decl.Params.size() || ChosenExit < 0 ||
-        static_cast<size_t>(ChosenExit) >= Decl.Exits.size())
-      return "checkpoint: in-flight invocation diverges from the program";
-    InFlight Flight;
-    Flight.Ctx = TaskContext::restore(BP, TheHeap, Inv.Task, Inv.Params,
-                                      std::move(TagVars), Opts->Args,
-                                      Charged, ChosenExit,
-                                      std::move(NewObjects));
-    Flight.Inv = std::move(Inv);
-    InFlights.push_back(std::move(Flight));
-  }
-  uint64_t NumFree = R.u64();
-  if (!R.ok() || NumFree > InFlights.size())
-    return "checkpoint: truncated body (free flight slots)";
-  for (uint64_t I = 0; I < NumFree; ++I)
-    FreeFlightSlots.push_back(R.i32());
+  if (std::string Err = exec::loadFlightSlots(
+          R, C.Body.size(), InFlights, FreeFlightSlots,
+          [this](ByteReader &BR, InFlight &Flight) -> std::string {
+            Invocation Inv;
+            if (std::string Err = exec::loadObjectInvocation(
+                    BR, Prog, TheHeap, Instances.size(), Inv);
+                !Err.empty())
+              return Err;
+            uint64_t NumVars = BR.u64();
+            if (!BR.ok() || NumVars > TheHeap.numTags() + 64)
+              return "checkpoint: truncated body (in-flight tag vars)";
+            std::map<std::string, TagInstance *> TagVars;
+            for (uint64_t V = 0; V < NumVars; ++V) {
+              std::string Var = BR.str();
+              uint64_t Id2 = BR.u64();
+              if (!BR.ok() || Id2 >= TheHeap.numTags())
+                return "checkpoint: in-flight tag var references an "
+                       "unknown tag";
+              TagVars.emplace(std::move(Var), TheHeap.tagAt(Id2));
+            }
+            Cycles Charged = BR.u64();
+            ir::ExitId ChosenExit = BR.i32();
+            uint64_t NumNew = BR.u64();
+            if (!BR.ok() || NumNew > TheHeap.numObjects())
+              return "checkpoint: truncated body (in-flight new objects)";
+            std::vector<std::pair<ir::SiteId, Object *>> NewObjects;
+            for (uint64_t N = 0; N < NumNew; ++N) {
+              ir::SiteId Site = BR.i32();
+              uint64_t Id2 = BR.u64();
+              if (!BR.ok() || Id2 >= TheHeap.numObjects())
+                return "checkpoint: in-flight new object is unknown";
+              NewObjects.emplace_back(Site, TheHeap.objectAt(Id2));
+            }
+            const ir::TaskDecl &Decl = Prog.taskOf(Inv.Task);
+            if (Inv.Params.size() != Decl.Params.size() || ChosenExit < 0 ||
+                static_cast<size_t>(ChosenExit) >= Decl.Exits.size())
+              return "checkpoint: in-flight invocation diverges from the "
+                     "program";
+            Flight.Ctx = TaskContext::restore(
+                BP, TheHeap, Inv.Task, Inv.Params, std::move(TagVars),
+                Opts->Args, Charged, ChosenExit, std::move(NewObjects));
+            Flight.Inv = std::move(Inv);
+            return {};
+          });
+      !Err.empty())
+    return Err;
 
-  uint64_t NumEvents = R.u64();
-  if (!R.ok() || NumEvents > C.Body.size())
-    return "checkpoint: truncated body (event queue)";
-  for (uint64_t I = 0; I < NumEvents; ++I) {
-    Event E;
-    E.Time = R.u64();
-    E.Seq = R.u64();
-    uint8_t Kind = R.u8();
-    if (!R.ok() || Kind > static_cast<uint8_t>(EventKind::Fault))
-      return "checkpoint: unknown event kind in queue";
-    E.Kind = static_cast<EventKind>(Kind);
-    E.Core = R.i32();
-    int64_t ObjId = R.i64();
-    if (ObjId >= 0) {
-      if (static_cast<uint64_t>(ObjId) >= TheHeap.numObjects())
-        return "checkpoint: queued event references an unknown object";
-      E.Obj = TheHeap.objectAt(static_cast<uint64_t>(ObjId));
-    }
-    E.InstanceIdx = R.i32();
-    E.Param = R.i32();
-    E.FlightIdx = R.i32();
-    if (E.Kind == EventKind::Completion &&
-        (E.FlightIdx < 0 ||
-         static_cast<size_t>(E.FlightIdx) >= InFlights.size() ||
-         !InFlights[static_cast<size_t>(E.FlightIdx)].Ctx))
-      return "checkpoint: completion event references an empty flight slot";
-    // Preserve the original sequence numbers: ordering ties must replay
-    // exactly, so events bypass push() (which would renumber them).
-    Queue.push(std::move(E));
-  }
-  if (!R.ok())
-    return "checkpoint: truncated body";
-  if (!R.atEnd())
-    return "checkpoint: trailing bytes after body";
-  return {};
+  if (std::string Err = exec::loadEventQueue(
+          R, C.Body.size(), Queue,
+          [this](ByteReader &BR, Event &E) -> std::string {
+            int64_t ObjId = BR.i64();
+            if (ObjId >= 0) {
+              if (static_cast<uint64_t>(ObjId) >= TheHeap.numObjects())
+                return "checkpoint: queued event references an unknown "
+                       "object";
+              E.Item = TheHeap.objectAt(static_cast<uint64_t>(ObjId));
+            }
+            E.InstanceIdx = BR.i32();
+            E.Param = BR.i32();
+            E.FlightIdx = BR.i32();
+            if (E.Kind == exec::EventKind::Completion &&
+                (E.FlightIdx < 0 ||
+                 static_cast<size_t>(E.FlightIdx) >= InFlights.size() ||
+                 !InFlights[static_cast<size_t>(E.FlightIdx)].Ctx))
+              return "checkpoint: completion event references an empty "
+                     "flight slot";
+            return {};
+          });
+      !Err.empty())
+    return Err;
+  return exec::finishBody(R);
 }
 
 std::string TileExecutor::watchdogDump(Cycles Now) {
@@ -1205,18 +544,6 @@ std::string TileExecutor::watchdogDump(Cycles Now) {
         static_cast<unsigned long long>(Cores[C].BusyUntil),
         static_cast<unsigned long long>(StallEnd[C]),
         static_cast<unsigned long long>(LockEnd[C])));
-  Rep.section("held locks");
-  size_t Held = 0;
-  for (size_t I = 0; I < TheHeap.numObjects(); ++I) {
-    Object *Obj = TheHeap.objectAt(I);
-    if (Obj->locked()) {
-      ++Held;
-      Rep.line(formatString("object %llu (class %d)",
-                                     static_cast<unsigned long long>(Obj->Id),
-                                     Obj->Class));
-    }
-  }
-  if (Held == 0)
-    Rep.line("(none)");
+  exec::appendHeldLocks(Rep, TheHeap);
   return Rep.str();
 }

@@ -25,18 +25,22 @@
 /// gives the paper's "1-core Bamboo" measurements; attaching a
 /// ProfileCollector gives the profiling runs of Section 4.3.1.
 ///
+/// The engine-invariant machinery (event queue, dispatch enumeration,
+/// resilience sites, checkpoint chunks) lives in exec::EngineCore; this
+/// class is the Tile *policy*: the cycle cost model, real task-body
+/// execution with in-flight TaskContexts, and the heap-object transport.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BAMBOO_RUNTIME_TILEEXECUTOR_H
 #define BAMBOO_RUNTIME_TILEEXECUTOR_H
 
 #include "analysis/Cstg.h"
-#include "analysis/LockPlan.h"
+#include "exec/EngineCore.h"
 #include "machine/Layout.h"
 #include "machine/MachineConfig.h"
 #include "profile/Profile.h"
 #include "resilience/Checkpoint.h"
-#include "resilience/FaultInjector.h"
 #include "resilience/FaultPlan.h"
 #include "resilience/Recovery.h"
 #include "runtime/BoundProgram.h"
@@ -44,12 +48,11 @@
 #include "runtime/TaskContext.h"
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -116,11 +119,10 @@ struct ExecResult {
   /// Total mesh hops traversed by the messages in MessagesSent (the
   /// Manhattan distance sum; same-core handoffs contribute zero).
   uint64_t MessageHops = 0;
-  /// Failed all-or-nothing lock acquisition sweeps: incremented once per
-  /// attempt in which any parameter's tryLock failed and the invocation
-  /// was requeued — NOT once per locked object encountered. This is the
-  /// unified definition shared with ThreadExecResult::LockRetries, so
-  /// fig07/fig09 compare like with like across the two executors.
+  /// Failed all-or-nothing lock acquisition sweeps, counted once per
+  /// failed sweep by the shared engine core (DESIGN.md §3f) — the one
+  /// definition every engine reports, so fig07/fig09 compare like with
+  /// like.
   uint64_t LockRetries = 0;
   /// Busy cycles per core (for utilization reporting). Populated for
   /// aborted (MaxEvents) runs too.
@@ -145,8 +147,36 @@ struct ExecResult {
   std::string CheckpointError;
 };
 
+namespace tile_detail {
+
+/// Per-core scheduler state (engine-invariant fields plus the Tile cost
+/// model's BusyUntil).
+struct TileCoreState {
+  bool Executing = false;
+  machine::Cycles BusyUntil = 0;
+  machine::Cycles BusyTotal = 0;
+  /// End time of the last completed invocation (for idle-span tracing).
+  machine::Cycles LastEnd = 0;
+  std::deque<exec::ObjectInvocation> Ready;
+};
+
+/// EnginePolicy traits: the Tile engine delivers and routes heap objects.
+struct TileTraits {
+  using Item = Object *;
+  using Routee = Object *;
+  using Invocation = exec::ObjectInvocation;
+  using CoreState = TileCoreState;
+  static bool same(Object *A, Object *B) { return A == B; }
+};
+
+} // namespace tile_detail
+
 /// The discrete-event executor.
-class TileExecutor {
+class TileExecutor
+    : public exec::EngineCore<TileExecutor, tile_detail::TileTraits> {
+  using Base = exec::EngineCore<TileExecutor, tile_detail::TileTraits>;
+  friend Base;
+
 public:
   /// All references must outlive the executor. The layout must cover the
   /// program and fit the machine.
@@ -162,149 +192,73 @@ public:
   Heap &heap() { return TheHeap; }
 
 private:
-  struct Invocation {
-    ir::TaskId Task = ir::InvalidId;
-    int InstanceIdx = -1;
-    std::vector<Object *> Params;
-    std::map<std::string, TagInstance *> ConstraintTags;
-  };
+  using Invocation = exec::ObjectInvocation;
+  using Event = Base::EventT;
 
+  /// An invocation whose body already ran, waiting for its completion
+  /// event (effects apply at completion time under the held locks).
   struct InFlight {
     Invocation Inv;
     std::unique_ptr<TaskContext> Ctx;
   };
 
-  enum class EventKind { Delivery, Completion, Wake, Fault };
-
-  struct Event {
-    machine::Cycles Time = 0;
-    uint64_t Seq = 0;
-    EventKind Kind = EventKind::Wake;
-    int Core = 0;
-    // Delivery payload.
-    Object *Obj = nullptr;
-    int InstanceIdx = -1;
-    ir::ParamId Param = ir::InvalidId;
-    // Completion payload index into InFlights.
-    int FlightIdx = -1;
-
-    bool operator>(const Event &O) const {
-      if (Time != O.Time)
-        return Time > O.Time;
-      return Seq > O.Seq;
-    }
-  };
-
-  struct CoreState {
-    bool Executing = false;
-    machine::Cycles BusyUntil = 0;
-    machine::Cycles BusyTotal = 0;
-    /// End time of the last completed invocation (for idle-span tracing).
-    machine::Cycles LastEnd = 0;
-    std::deque<Invocation> Ready;
-  };
-
-  /// One placed task instance's dispatch state.
-  struct InstanceState {
-    /// Parameter sets: objects that arrived for each parameter.
-    std::vector<std::vector<Object *>> ParamSets;
-  };
-
   const BoundProgram &BP;
-  const ir::Program &Prog;
-  const analysis::Cstg &Graph;
-  machine::MachineConfig Machine;
-  machine::Layout L;
-  RoutingTable Routes;
-  std::vector<analysis::TaskLockPlan> LockPlans;
 
-  // Per-run state.
+  // Per-run state beyond the engine core's.
   Heap TheHeap;
-  std::vector<CoreState> Cores;
-  std::vector<InstanceState> Instances;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> Queue;
   std::vector<InFlight> InFlights;
   std::vector<int> FreeFlightSlots;
-  uint64_t NextSeq = 0;
-  std::map<std::pair<int, ir::TaskId>, size_t> RoundRobin;
   ExecResult Result;
   const ExecOptions *Opts = nullptr;
 
-  // Resilience state (reset per run).
-  resilience::FaultInjector Injector;
-  /// Virtual time of the last real scheduler progress (a dispatch or a
-  /// completion); the watchdog measures stall length against it.
-  machine::Cycles LastProgress = 0;
-  /// Liveness per core; cleared by a scheduled permanent failure.
-  std::vector<char> CoreAlive;
-  /// Effective host core per placed instance: starts as the layout's
-  /// placement and is rewritten by failover migration, so routing always
-  /// targets the instance's current home.
-  std::vector<int> InstanceCore;
-  /// End cycle of the currently known stall / lock-livelock window per
-  /// core (0: none). Injection is counted once per window.
-  std::vector<machine::Cycles> StallEnd;
-  std::vector<machine::Cycles> LockEnd;
+  //===--------------------------------------------------------------------===//
+  // EnginePolicy hooks (called by exec::EngineCore)
+  //===--------------------------------------------------------------------===//
 
-  void push(Event E);
-  void deliver(const Event &E);
-  void complete(const Event &E);
+  bool admits(const ir::TaskParam &Param, Object *Obj) const {
+    return exec::guardAdmitsObject(Param, *Obj);
+  }
+  bool bindTags(const ir::TaskParam &Param, Object *Obj,
+                Invocation &Partial) const {
+    return exec::bindObjectParamTags(Param, Obj, Partial.ConstraintTags);
+  }
+  bool stillValid(const Invocation &Inv) const {
+    return exec::objectInvocationStillValid(Prog, Inv);
+  }
+  int64_t itemIdOf(Object *Obj) const {
+    return static_cast<int64_t>(Obj->Id);
+  }
+  void retimeItem(Object *&, machine::Cycles) const {}
+  void deliverKick(int Core, machine::Cycles Time) {
+    tryStart(Core,
+             std::max(Time, Cores[static_cast<size_t>(Core)].BusyUntil));
+  }
+  void onReadyEnqueued() {}
+  int routeeNode(Object *Obj) const { return Routes.nodeOf(*Obj); }
+  uint64_t routeeId(Object *Obj) const {
+    return static_cast<uint64_t>(Obj->Id);
+  }
+  size_t tagHashPick(Object *Obj, const RouteDest &Dest) const {
+    TagInstance *Inst = Obj->tagOfType(Dest.HashTagType);
+    return Inst ? static_cast<size_t>(Inst->Id) % Dest.Instances.size() : 0;
+  }
+  void onCrossSend(Object *Obj, int FromCore, int ToCore,
+                   machine::Cycles Now);
+  Object *makeItem(Object *Obj, machine::Cycles) const { return Obj; }
   void tryStart(int Core, machine::Cycles Now);
+  void complete(const Event &E);
 
-  /// Enumerates the invocations newly enabled by \p Obj arriving for
-  /// (\p InstanceIdx, \p Param) and appends them to the core's ready
-  /// queue. \p DedupeReady is set on re-deliveries (the object was
-  /// already in the parameter set): combinations that are already
-  /// pending in the ready queue are then skipped, so re-enumeration
-  /// after a flag/tag transition never double-builds an invocation.
-  void enumerateInvocations(int Core, int InstanceIdx, ir::ParamId Param,
-                            Object *Obj, bool DedupeReady);
-
-  /// Checks that every parameter object still satisfies its guard and the
-  /// tag constraints still match.
-  bool stillValid(const Invocation &Inv) const;
-
-  /// Routes \p Obj (at its current abstract state) to all candidate next
-  /// tasks from core \p FromCore at time \p Now.
-  void routeObject(Object *Obj, int FromCore, machine::Cycles Now);
-
-  /// Resolves the injected fate of one cross-core transfer analytically
-  /// at send time: walks the retransmission attempts, accumulating the
-  /// backoff penalty into \p Penalty and duplicate arrivals into
-  /// \p Duplicates. Returns false when the message is lost for good
-  /// (recovery off). Legal because every per-attempt decision is a pure
-  /// function of (plan, seed, edge, object, attempt).
-  bool resolveSend(Object *Obj, int FromCore, int ToCore,
-                   machine::Cycles Now, machine::Cycles &Penalty,
-                   int &Duplicates);
-
-  /// Applies a scheduled permanent core failure: marks the core dead,
-  /// and — with recovery on — migrates its placed instances to failover
-  /// siblings and re-dispatches its queued invocations.
-  void applyCoreFailure(int Core, machine::Cycles Now);
-
-  /// Recursively matches tag constraints, emitting complete invocations.
-  void matchParams(int Core, int InstanceIdx, const ir::TaskDecl &Task,
-                   size_t NextParam, Invocation &Partial,
-                   ir::ParamId FixedParam, Object *FixedObj,
-                   bool DedupeReady);
+  //===--------------------------------------------------------------------===//
+  // Tile policy internals
+  //===--------------------------------------------------------------------===//
 
   /// Shared run() epilogue: fills in CoreBusy, Completed, TotalCycles,
   /// and the profile's terminated bit for both the drained and the
   /// MaxEvents-aborted exit.
   ExecResult &finishRun(machine::Cycles LastTime, bool Aborted);
 
-  bool guardAdmitsObject(const ir::TaskParam &Param, const Object &Obj) const;
-
-  /// Binds tag constraint variables of \p Param for \p Obj into
-  /// \p Partial; returns false when impossible.
-  bool bindParamTags(const ir::TaskParam &Param, Object *Obj,
-                     Invocation &Partial) const;
-
-  // Checkpoint/restore (see resilience/Checkpoint.h for the container).
-  void saveInvocation(const Invocation &Inv,
-                      resilience::ByteWriter &W) const;
-  std::string loadInvocation(resilience::ByteReader &R, Invocation &Inv);
+  // Checkpoint/restore (see resilience/Checkpoint.h for the container and
+  // exec/CheckpointChunks.h for the shared body chunks).
   /// Serializes the complete per-run state into a checkpoint taken at
   /// boundary \p AtCycle after \p EventsProcessed events, with the run's
   /// high-water time \p LastTime. Returns an error string on failure.

@@ -3,10 +3,20 @@
 // Part of the Bamboo reproduction. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// The Sched engine is a policy adapter over exec::EngineCore: the shared
+// core owns the event queue, combination enumeration, routing, send-fault
+// resolution, failover, and the checkpoint body chunks, while this file
+// keeps what makes the simulator a *simulator* — abstract tokens instead
+// of heap objects, Markov exit choice and profiled durations instead of
+// real task bodies, and deterministic remainder-rounded allocation.
+//
+//===----------------------------------------------------------------------===//
 
 #include "schedsim/SchedSim.h"
 
 #include "analysis/LockPlan.h"
+#include "exec/EngineCore.h"
 #include "resilience/FaultInjector.h"
 #include "runtime/RoutingTable.h"
 #include "support/Debug.h"
@@ -50,60 +60,51 @@ struct Invocation {
   ir::TaskId Task = ir::InvalidId;
   int InstanceIdx = -1;
   std::vector<Arrival> Params;
-  std::map<std::string, uint64_t> ConstraintTagIds;
+  std::map<std::string, uint64_t> ConstraintTags;
 };
 
-class Simulator {
+/// Per-core scheduler state (the simulator has no BusyUntil — a core is
+/// busy exactly while a completion event is pending for it).
+struct SimCoreState {
+  bool Executing = false;
+  Cycles BusyTotal = 0;
+  /// End time of the last completed invocation (for idle-span tracing).
+  Cycles LastEnd = 0;
+  std::deque<Invocation> Ready;
+};
+
+/// EnginePolicy traits: the Sched engine delivers token arrivals and
+/// routes tokens.
+struct SimTraits {
+  using Item = Arrival;
+  using Routee = Token *;
+  using Invocation = ::Invocation;
+  using CoreState = SimCoreState;
+  static bool same(const Arrival &A, const Arrival &B) {
+    return A.Tok == B.Tok;
+  }
+};
+
+class Simulator : public exec::EngineCore<Simulator, SimTraits> {
+  using Base = exec::EngineCore<Simulator, SimTraits>;
+  friend Base;
+
 public:
   Simulator(const ir::Program &Prog, const analysis::Cstg &Graph,
             const profile::Profile &Prof, const profile::SimHints &Hints,
             const machine::MachineConfig &Machine, const machine::Layout &L,
             const SimOptions &Opts)
-      : Prog(Prog), Graph(Graph), Prof(Prof), Hints(Hints), Machine(Machine),
-        L(L), Routes(Prog, Graph, L),
-        LockPlans(analysis::buildLockPlans(Prog)), Opts(Opts) {}
+      : Base(Prog, Graph, Machine, L), Prof(Prof), Hints(Hints),
+        Opts(Opts) {}
 
   SimResult run();
 
 private:
-  const ir::Program &Prog;
-  const analysis::Cstg &Graph;
+  using Event = Base::EventT;
+
   const profile::Profile &Prof;
   const profile::SimHints &Hints;
-  const machine::MachineConfig &Machine;
-  const machine::Layout &L;
-  runtime::RoutingTable Routes;
-  std::vector<analysis::TaskLockPlan> LockPlans;
   SimOptions Opts;
-
-  enum class EventKind { Delivery, Completion, Wake, Fault };
-  struct Event {
-    Cycles Time = 0;
-    uint64_t Seq = 0;
-    EventKind Kind = EventKind::Wake;
-    int Core = 0;
-    Arrival Arr;           // Delivery.
-    int InstanceIdx = -1;  // Delivery.
-    ir::ParamId Param = 0; // Delivery.
-    int FlightIdx = -1;    // Completion.
-    bool operator>(const Event &O) const {
-      if (Time != O.Time)
-        return Time > O.Time;
-      return Seq > O.Seq;
-    }
-  };
-
-  struct CoreState {
-    bool Executing = false;
-    Cycles BusyTotal = 0;
-    /// End time of the last completed invocation (for idle-span tracing).
-    Cycles LastEnd = 0;
-    std::deque<Invocation> Ready;
-  };
-
-  struct InstanceState {
-    std::vector<std::vector<Arrival>> ParamSets;
-  };
 
   struct Flight {
     Invocation Inv;
@@ -115,29 +116,14 @@ private:
   std::vector<std::unique_ptr<Token>> Tokens;
   uint64_t NextTokenId = 0;
   uint64_t NextTagId = 1;
-  std::vector<CoreState> Cores;
-  std::vector<InstanceState> Instances;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> Queue;
   std::vector<Flight> Flights;
   std::vector<int> FreeFlights;
-  uint64_t NextSeq = 0;
-  std::map<std::pair<int, ir::TaskId>, size_t> RoundRobin;
   // Exit-count matching state.
   std::vector<std::vector<uint64_t>> TaskExitCounts;
   std::map<std::pair<ir::TaskId, uint64_t>, std::vector<uint64_t>>
       ObjectExitCounts;
   // Deterministic fractional allocation remainders, per site.
   std::vector<double> AllocRemainder;
-
-  // Resilience state (mirrors runtime::TileExecutor; see its comments).
-  resilience::FaultInjector Injector;
-  /// Virtual time of the last real scheduler progress (a dispatch or a
-  /// completion); the watchdog measures stall length against it.
-  Cycles LastProgress = 0;
-  std::vector<char> CoreAlive;
-  std::vector<int> InstanceCore;
-  std::vector<Cycles> StallEnd;
-  std::vector<Cycles> LockEnd;
 
   SimResult Result;
 
@@ -150,80 +136,35 @@ private:
     return Tokens.back().get();
   }
 
-  void push(Event E) {
-    E.Seq = NextSeq++;
-    Queue.push(std::move(E));
-  }
+  //===--------------------------------------------------------------------===//
+  // EnginePolicy hooks (called by exec::EngineCore)
+  //===--------------------------------------------------------------------===//
 
   bool guardAdmitsToken(const ir::TaskParam &Param, const Token &Tok) const {
     return Tok.Class == Param.Class &&
            analysis::guardAdmits(Param, Tok.State);
   }
 
-  bool bindParamTags(const ir::TaskParam &Param, const Token &Tok,
-                     Invocation &Partial) const {
+  bool admits(const ir::TaskParam &Param, const Arrival &A) const {
+    return guardAdmitsToken(Param, *A.Tok);
+  }
+
+  bool bindTags(const ir::TaskParam &Param, const Arrival &A,
+                Invocation &Partial) const {
+    const Token &Tok = *A.Tok;
     for (const ir::TagConstraint &TC : Param.Tags) {
       auto TokTag = Tok.TagIds.find(TC.Type);
       if (TokTag == Tok.TagIds.end())
         return false;
-      auto Bound = Partial.ConstraintTagIds.find(TC.Var);
-      if (Bound != Partial.ConstraintTagIds.end()) {
+      auto Bound = Partial.ConstraintTags.find(TC.Var);
+      if (Bound != Partial.ConstraintTags.end()) {
         if (Bound->second != TokTag->second)
           return false;
         continue;
       }
-      Partial.ConstraintTagIds.emplace(TC.Var, TokTag->second);
+      Partial.ConstraintTags.emplace(TC.Var, TokTag->second);
     }
     return true;
-  }
-
-  void matchParams(int Core, int InstanceIdx, const ir::TaskDecl &Task,
-                   size_t NextParam, Invocation &Partial,
-                   ir::ParamId FixedParam, const Arrival &Fixed,
-                   bool DedupeReady) {
-    if (NextParam == Task.Params.size()) {
-      if (DedupeReady) {
-        auto SameCombo = [&Partial](const Invocation &Pending) {
-          if (Pending.InstanceIdx != Partial.InstanceIdx ||
-              Pending.Params.size() != Partial.Params.size())
-            return false;
-          for (size_t P = 0; P < Pending.Params.size(); ++P)
-            if (Pending.Params[P].Tok != Partial.Params[P].Tok)
-              return false;
-          return true;
-        };
-        for (const Invocation &Pending : Cores[static_cast<size_t>(Core)].Ready)
-          if (SameCombo(Pending))
-            return;
-      }
-      Cores[static_cast<size_t>(Core)].Ready.push_back(Partial);
-      return;
-    }
-    const ir::TaskParam &Param = Task.Params[NextParam];
-    InstanceState &Inst = Instances[static_cast<size_t>(InstanceIdx)];
-    std::vector<Arrival> Candidates;
-    if (static_cast<ir::ParamId>(NextParam) == FixedParam)
-      Candidates.push_back(Fixed);
-    else
-      Candidates = Inst.ParamSets[NextParam];
-
-    for (const Arrival &A : Candidates) {
-      bool Duplicate = false;
-      for (const Arrival &Used : Partial.Params)
-        Duplicate = Duplicate || Used.Tok == A.Tok;
-      if (Duplicate || !guardAdmitsToken(Param, *A.Tok))
-        continue;
-      auto Saved = Partial.ConstraintTagIds;
-      if (!bindParamTags(Param, *A.Tok, Partial)) {
-        Partial.ConstraintTagIds = std::move(Saved);
-        continue;
-      }
-      Partial.Params.push_back(A);
-      matchParams(Core, InstanceIdx, Task, NextParam + 1, Partial,
-                  FixedParam, Fixed, DedupeReady);
-      Partial.Params.pop_back();
-      Partial.ConstraintTagIds = std::move(Saved);
-    }
   }
 
   bool stillValid(const Invocation &Inv) const {
@@ -233,15 +174,50 @@ private:
       if (Tok.Busy || !guardAdmitsToken(Task.Params[P], Tok))
         return false;
       for (const ir::TagConstraint &TC : Task.Params[P].Tags) {
-        auto It = Inv.ConstraintTagIds.find(TC.Var);
+        auto It = Inv.ConstraintTags.find(TC.Var);
         auto TokTag = Tok.TagIds.find(TC.Type);
-        if (It == Inv.ConstraintTagIds.end() ||
+        if (It == Inv.ConstraintTags.end() ||
             TokTag == Tok.TagIds.end() || TokTag->second != It->second)
           return false;
       }
     }
     return true;
   }
+
+  int64_t itemIdOf(const Arrival &A) const {
+    return static_cast<int64_t>(A.Tok->Id);
+  }
+  void retimeItem(Arrival &A, Cycles Time) const { A.Time = Time; }
+  void deliverKick(int Core, Cycles Time) { tryStart(Core, Time); }
+  void onReadyEnqueued() {}
+  int routeeNode(Token *Tok) const {
+    int Node = Graph.findNode(Tok->Class, Tok->State);
+    assert(Node >= 0 && "token state outside the analysis");
+    return Node;
+  }
+  uint64_t routeeId(Token *Tok) const { return Tok->Id; }
+  size_t tagHashPick(Token *Tok, const runtime::RouteDest &Dest) const {
+    auto It = Tok->TagIds.find(Dest.HashTagType);
+    return It != Tok->TagIds.end()
+               ? static_cast<size_t>(It->second) % Dest.Instances.size()
+               : 0;
+  }
+  void onCrossSend(Token *Tok, int FromCore, int ToCore, Cycles Now) {
+    if (Opts.Trace)
+      Opts.Trace->send(
+          Now, FromCore, ToCore, static_cast<int64_t>(Tok->Id),
+          static_cast<uint32_t>(Machine.hopDistance(FromCore, ToCore)),
+          Machine.MsgBytesPerObject);
+  }
+  Arrival makeItem(Token *Tok, Cycles ArriveTime) const {
+    return Arrival{Tok, Tok->ProducerTrace, ArriveTime};
+  }
+  void tryStart(int Core, Cycles Now);
+  void complete(const Event &E);
+
+  //===--------------------------------------------------------------------===//
+  // Sim policy internals
+  //===--------------------------------------------------------------------===//
 
   /// Markov exit choice: keep observed exit counts proportional to the
   /// profiled probabilities (deterministic deficit maximization).
@@ -318,364 +294,9 @@ private:
     return static_cast<ir::ExitId>(Best);
   }
 
-  int tokenNode(const Token &Tok) const {
-    return Graph.findNode(Tok.Class, Tok.State);
-  }
-
-  /// Mirror of TileExecutor::resolveSend: the injected fate of one
-  /// cross-core token transfer, resolved analytically at send time.
-  bool resolveSend(uint64_t TokId, int FromCore, int ToCore, Cycles Now,
-                   Cycles &Penalty, int &Duplicates) {
-    resilience::RecoveryReport &Rep = Result.Recovery;
-    for (int Attempt = 0;; ++Attempt) {
-      auto D = Injector.onSend(Now, FromCore, ToCore, TokId, Attempt);
-      if (D.Drop) {
-        ++Rep.Drops;
-        if (Opts.Trace)
-          Opts.Trace->faultInject(
-              Now + Penalty, FromCore,
-              static_cast<int>(resilience::FaultKind::MsgDrop),
-              static_cast<int64_t>(TokId));
-        if (!Opts.Recovery) {
-          ++Rep.LostMessages;
-          return false;
-        }
-        if (Attempt >= Machine.MaxSendRetries) {
-          ++Rep.Escalations;
-          return true;
-        }
-        ++Rep.Retransmits;
-        Penalty += Machine.AckTimeout +
-                   (Machine.RetryBackoffBase << std::min(Attempt, 16));
-        if (Opts.Trace)
-          Opts.Trace->retransmit(Now + Penalty, FromCore, ToCore,
-                                 static_cast<int64_t>(TokId),
-                                 static_cast<uint64_t>(Attempt) + 1);
-        continue;
-      }
-      if (D.Duplicate) {
-        ++Rep.Dups;
-        ++Duplicates;
-        if (Opts.Trace)
-          Opts.Trace->faultInject(
-              Now + Penalty, FromCore,
-              static_cast<int>(resilience::FaultKind::MsgDup),
-              static_cast<int64_t>(TokId));
-      }
-      if (D.Delay) {
-        ++Rep.Delays;
-        Penalty += D.Delay;
-        if (Opts.Trace)
-          Opts.Trace->faultInject(
-              Now + Penalty, FromCore,
-              static_cast<int>(resilience::FaultKind::MsgDelay),
-              static_cast<int64_t>(TokId));
-      }
-      return true;
-    }
-  }
-
   void routeToken(Token *Tok, int FromCore, Cycles Now, int ProducerTrace) {
     Tok->ProducerTrace = ProducerTrace;
-    int Node = tokenNode(*Tok);
-    assert(Node >= 0 && "token state outside the analysis");
-    for (const runtime::RouteDest &Dest : Routes.destsAt(Node)) {
-      size_t Pick = 0;
-      switch (Dest.Kind) {
-      case runtime::DistributionKind::Single:
-        break;
-      case runtime::DistributionKind::RoundRobin: {
-        // Mirrors the runtime: per-sender counters seeded by sender core.
-        auto [It, Inserted] = RoundRobin.try_emplace(
-            {FromCore, Dest.Task},
-            FromCore >= 0 ? static_cast<size_t>(FromCore) : 0);
-        Pick = It->second++ % Dest.Instances.size();
-        (void)Inserted;
-        break;
-      }
-      case runtime::DistributionKind::TagHash: {
-        auto It = Tok->TagIds.find(Dest.HashTagType);
-        Pick = It != Tok->TagIds.end()
-                   ? static_cast<size_t>(It->second) % Dest.Instances.size()
-                   : 0;
-        break;
-      }
-      }
-      int InstanceIdx = Dest.Instances[Pick].first;
-      // Current home (failover migration may have moved the instance).
-      int Core = InstanceCore[static_cast<size_t>(InstanceIdx)];
-      Cycles Latency = 0;
-      Cycles Penalty = 0;
-      int Duplicates = 0;
-      if (FromCore >= 0 && FromCore != Core) {
-        Latency =
-            Machine.SendOverhead + Machine.transferLatency(FromCore, Core);
-        if (Opts.Trace)
-          Opts.Trace->send(
-              Now, FromCore, Core, static_cast<int64_t>(Tok->Id),
-              static_cast<uint32_t>(Machine.hopDistance(FromCore, Core)),
-              Machine.MsgBytesPerObject);
-        if (Injector.active()) {
-          if (!resolveSend(Tok->Id, FromCore, Core, Now, Penalty,
-                           Duplicates))
-            continue; // Lost for good (recovery off).
-          Result.Recovery.AddedCycles += Penalty;
-        }
-      }
-      Event E;
-      E.Kind = EventKind::Delivery;
-      E.Time = Now + Latency + Penalty;
-      E.Core = Core;
-      E.Arr = Arrival{Tok, ProducerTrace, Now + Latency + Penalty};
-      E.InstanceIdx = InstanceIdx;
-      E.Param = Dest.Param;
-      for (int Copy = 0; Copy < 1 + Duplicates; ++Copy)
-        push(E);
-    }
-  }
-
-  void deliver(const Event &E) {
-    if (!CoreAlive[static_cast<size_t>(E.Core)]) {
-      // In-flight delivery racing a permanent core failure (see
-      // TileExecutor::deliver for the recovery contract).
-      resilience::RecoveryReport &Rep = Result.Recovery;
-      int Fwd = InstanceCore[static_cast<size_t>(E.InstanceIdx)];
-      if (!Opts.Recovery || Fwd == E.Core ||
-          !CoreAlive[static_cast<size_t>(Fwd)]) {
-        ++Rep.BlackholedDeliveries;
-        return;
-      }
-      Cycles Hop = Machine.SendOverhead + Machine.transferLatency(E.Core, Fwd);
-      ++Rep.RedirectedDeliveries;
-      Rep.AddedCycles += Hop;
-      if (Opts.Trace)
-        Opts.Trace->failover(E.Time, E.Core, Fwd,
-                             static_cast<int64_t>(E.Arr.Tok->Id));
-      Event Redirected = E;
-      Redirected.Time = E.Time + Hop;
-      Redirected.Arr.Time = E.Time + Hop;
-      Redirected.Core = Fwd;
-      push(std::move(Redirected));
-      return;
-    }
-    InstanceState &Inst = Instances[static_cast<size_t>(E.InstanceIdx)];
-    auto &Set = Inst.ParamSets[static_cast<size_t>(E.Param)];
-    // Mirror of the runtime's re-delivery semantics (TileExecutor): a
-    // token already sitting in the parameter set may arrive again after a
-    // flag/tag transition, newly enabling combinations with tokens that
-    // arrived while it was inadmissible. Re-enumerate (deduplicating
-    // against already-pending invocations) instead of returning early.
-    bool Known = false;
-    for (const Arrival &A : Set)
-      Known = Known || A.Tok == E.Arr.Tok;
-    if (!Known)
-      Set.push_back(E.Arr);
-    if (Opts.Trace)
-      Opts.Trace->deliver(E.Time, E.Core,
-                          static_cast<int64_t>(E.Arr.Tok->Id));
-    ir::TaskId TaskId = L.Instances[static_cast<size_t>(E.InstanceIdx)].Task;
-    const ir::TaskDecl &Task = Prog.taskOf(TaskId);
-    if (guardAdmitsToken(Task.Params[static_cast<size_t>(E.Param)],
-                         *E.Arr.Tok)) {
-      Invocation Partial;
-      Partial.Task = TaskId;
-      Partial.InstanceIdx = E.InstanceIdx;
-      matchParams(E.Core, E.InstanceIdx, Task, 0, Partial, E.Param, E.Arr,
-                  /*DedupeReady=*/Known);
-    }
-    if (!Cores[static_cast<size_t>(E.Core)].Executing)
-      tryStart(E.Core, E.Time);
-  }
-
-  void tryStart(int CoreIdx, Cycles Now) {
-    CoreState &Core = Cores[static_cast<size_t>(CoreIdx)];
-    if (!CoreAlive[static_cast<size_t>(CoreIdx)])
-      return; // Fail-stop: dead cores never dispatch.
-    if (Core.Executing)
-      return;
-    if (Core.Ready.empty())
-      return;
-    if (Injector.active()) {
-      resilience::RecoveryReport &Rep = Result.Recovery;
-      Cycles &Stall = StallEnd[static_cast<size_t>(CoreIdx)];
-      if (Now >= Stall) {
-        if (Cycles End = Injector.stallUntil(Now, CoreIdx); End > Stall) {
-          Stall = End;
-          ++Rep.Stalls;
-          Rep.AddedCycles += End - Now;
-          if (Opts.Trace)
-            Opts.Trace->faultInject(
-                Now, CoreIdx,
-                static_cast<int>(resilience::FaultKind::CoreStall), -1);
-        }
-      }
-      // The simulator's lock sweeps never fail (busy tokens requeue before
-      // the acquire), so a lock-livelock window degenerates to a stall of
-      // LockWidth: the dispatch attempts during it would all fail.
-      Cycles &Lock = LockEnd[static_cast<size_t>(CoreIdx)];
-      if (Now >= Lock) {
-        if (Cycles End = Injector.lockFaultUntil(Now, CoreIdx); End > Lock) {
-          Lock = End;
-          ++Rep.LockFaults;
-          Rep.AddedCycles += End - Now;
-          if (Opts.Trace)
-            Opts.Trace->faultInject(
-                Now, CoreIdx,
-                static_cast<int>(resilience::FaultKind::LockSweep), -1);
-        }
-      }
-      Cycles Blocked = std::max(Stall, Lock);
-      if (Now < Blocked) {
-        Event Wake;
-        Wake.Kind = EventKind::Wake;
-        Wake.Time = Blocked;
-        Wake.Core = CoreIdx;
-        push(std::move(Wake));
-        return;
-      }
-    }
-    size_t Attempts = Core.Ready.size();
-    while (Attempts-- > 0) {
-      Invocation Inv = std::move(Core.Ready.front());
-      Core.Ready.pop_front();
-      // Busy tokens model in-flight invocations elsewhere; requeue.
-      bool AnyBusy = false;
-      for (const Arrival &A : Inv.Params)
-        AnyBusy = AnyBusy || A.Tok->Busy;
-      if (AnyBusy) {
-        Core.Ready.push_back(std::move(Inv));
-        continue;
-      }
-      if (!stillValid(Inv))
-        continue;
-
-      for (const Arrival &A : Inv.Params)
-        A.Tok->Busy = true;
-      InstanceState &Inst = Instances[static_cast<size_t>(Inv.InstanceIdx)];
-      for (size_t P = 0; P < Inv.Params.size(); ++P) {
-        auto &Set = Inst.ParamSets[P];
-        Set.erase(std::remove_if(Set.begin(), Set.end(),
-                                 [&](const Arrival &A) {
-                                   return A.Tok == Inv.Params[P].Tok;
-                                 }),
-                  Set.end());
-      }
-
-      ir::ExitId Exit = chooseExit(Inv.Task, Inv.Params[0].Tok->Id);
-      double Mean = Prof.meanCycles(Inv.Task, Exit);
-      const analysis::TaskLockPlan &Plan =
-          LockPlans[static_cast<size_t>(Inv.Task)];
-      Cycles Duration =
-          Machine.DispatchOverhead +
-          Machine.LockOverhead * static_cast<Cycles>(Plan.NumGroups) +
-          static_cast<Cycles>(std::llround(std::max(0.0, Mean)));
-
-      Core.Executing = true;
-      Core.BusyTotal += Duration;
-      ++Result.Invocations;
-      LastProgress = std::max(LastProgress, Now);
-      if (Opts.Trace) {
-        // The simulator's all-or-nothing locking never fails (busy tokens
-        // requeue before the acquire), so no lock-retry events here.
-        Opts.Trace->lockAcquire(Now, CoreIdx, Inv.Task, Inv.Params.size());
-        // The gap since the last completion on this core was idle time.
-        Opts.Trace->idle(Core.LastEnd, Now, CoreIdx);
-        Opts.Trace->taskBegin(Now, CoreIdx, Inv.Task, Core.Ready.size());
-      }
-
-      Flight F;
-      F.Inv = std::move(Inv);
-      F.Exit = Exit;
-      if (Opts.RecordTrace) {
-        TraceTask T;
-        T.Id = static_cast<int>(Result.Trace.size());
-        T.Task = F.Inv.Task;
-        T.Exit = Exit;
-        T.Core = CoreIdx;
-        T.InstanceIdx = F.Inv.InstanceIdx;
-        Cycles Ready = 0;
-        for (const Arrival &A : F.Inv.Params) {
-          T.DepIds.push_back(A.Producer);
-          T.DepArrivals.push_back(A.Time);
-          Ready = std::max(Ready, A.Time);
-        }
-        T.Ready = Ready;
-        T.Start = Now;
-        T.End = Now + Duration;
-        F.TraceId = T.Id;
-        Result.Trace.push_back(std::move(T));
-      }
-
-      int FlightIdx;
-      if (!FreeFlights.empty()) {
-        FlightIdx = FreeFlights.back();
-        FreeFlights.pop_back();
-        Flights[static_cast<size_t>(FlightIdx)] = std::move(F);
-      } else {
-        FlightIdx = static_cast<int>(Flights.size());
-        Flights.push_back(std::move(F));
-      }
-      Event Done;
-      Done.Kind = EventKind::Completion;
-      Done.Time = Now + Duration;
-      Done.Core = CoreIdx;
-      Done.FlightIdx = FlightIdx;
-      push(std::move(Done));
-      return;
-    }
-  }
-
-  /// Mirror of TileExecutor::applyCoreFailure: fail-stop at the dispatch
-  /// boundary, then (recovery on) migrate instances and re-dispatch
-  /// queued invocations over the routing table's failover order.
-  void applyCoreFailure(int CoreIdx, Cycles Now) {
-    if (!CoreAlive[static_cast<size_t>(CoreIdx)])
-      return;
-    resilience::RecoveryReport &Rep = Result.Recovery;
-    CoreAlive[static_cast<size_t>(CoreIdx)] = 0;
-    ++Rep.CoreFails;
-    if (Opts.Trace)
-      Opts.Trace->faultInject(
-          Now, CoreIdx, static_cast<int>(resilience::FaultKind::CoreFail),
-          -1);
-    if (!Opts.Recovery)
-      return;
-    std::vector<int> Alive;
-    for (int C : Routes.failoverOrder(CoreIdx))
-      if (CoreAlive[static_cast<size_t>(C)])
-        Alive.push_back(C);
-    if (Alive.empty())
-      for (int C = 0; C < L.NumCores; ++C)
-        if (CoreAlive[static_cast<size_t>(C)])
-          Alive.push_back(C);
-    if (Alive.empty())
-      return;
-    size_t Next = 0;
-    for (size_t I = 0; I < InstanceCore.size(); ++I) {
-      if (InstanceCore[I] != CoreIdx)
-        continue;
-      int NewCore = Alive[Next++ % Alive.size()];
-      InstanceCore[I] = NewCore;
-      ++Rep.InstancesMigrated;
-      if (Opts.Trace)
-        Opts.Trace->failover(Now, CoreIdx, NewCore, -1);
-    }
-    CoreState &Dead = Cores[static_cast<size_t>(CoreIdx)];
-    while (!Dead.Ready.empty()) {
-      Invocation Inv = std::move(Dead.Ready.front());
-      Dead.Ready.pop_front();
-      int NewCore = InstanceCore[static_cast<size_t>(Inv.InstanceIdx)];
-      Cycles Hop =
-          Machine.SendOverhead + Machine.transferLatency(CoreIdx, NewCore);
-      Rep.AddedCycles += Hop;
-      ++Rep.RedispatchedInvocations;
-      Cores[static_cast<size_t>(NewCore)].Ready.push_back(std::move(Inv));
-      Event Wake;
-      Wake.Kind = EventKind::Wake;
-      Wake.Time = Now + Hop;
-      Wake.Core = NewCore;
-      push(std::move(Wake));
-    }
+    routeItem(Tok, FromCore, Now);
   }
 
   uint64_t freshTag(Flight &F, ir::TagTypeId Type) {
@@ -685,92 +306,8 @@ private:
     return It->second;
   }
 
-  void complete(const Event &E) {
-    Flight &F = Flights[static_cast<size_t>(E.FlightIdx)];
-    const ir::TaskDecl &Task = Prog.taskOf(F.Inv.Task);
-    const ir::TaskExit &Exit = Task.Exits[static_cast<size_t>(F.Exit)];
-
-    // Apply exit effects to tokens.
-    for (size_t P = 0; P < F.Inv.Params.size(); ++P) {
-      Token *Tok = F.Inv.Params[P].Tok;
-      const ir::ParamExitEffect &Eff = Exit.Effects[P];
-      Tok->State.Flags |= Eff.Set;
-      Tok->State.Flags &= ~Eff.Clear;
-      for (const ir::ExitTagAction &Action : Eff.TagActions) {
-        analysis::TagCount &Count =
-            Tok->State.TagCounts[static_cast<size_t>(Action.Type)];
-        if (Action.IsAdd) {
-          Count = Count == analysis::TagCount::Zero
-                      ? analysis::TagCount::One
-                      : analysis::TagCount::Many;
-          auto Bound = F.Inv.ConstraintTagIds.find(Action.Var);
-          Tok->TagIds[Action.Type] = Bound != F.Inv.ConstraintTagIds.end()
-                                         ? Bound->second
-                                         : freshTag(F, Action.Type);
-        } else {
-          if (Count == analysis::TagCount::One) {
-            Count = analysis::TagCount::Zero;
-            Tok->TagIds.erase(Action.Type);
-          }
-        }
-      }
-      Tok->Busy = false;
-    }
-    Cores[static_cast<size_t>(E.Core)].Executing = false;
-    Cores[static_cast<size_t>(E.Core)].LastEnd = E.Time;
-    LastProgress = std::max(LastProgress, E.Time);
-    if (Opts.Trace)
-      Opts.Trace->taskEnd(E.Time, E.Core, F.Inv.Task, F.Exit);
-
-    // Allocate predicted new tokens (deterministic remainder rounding).
-    for (ir::SiteId Site : Task.Sites) {
-      double Mean = Prof.meanAllocs(F.Inv.Task, F.Exit, Site);
-      double &Acc = AllocRemainder[static_cast<size_t>(Site)];
-      Acc += Mean;
-      auto N = static_cast<uint64_t>(Acc);
-      Acc -= static_cast<double>(N);
-      const ir::AllocSite &S = Prog.siteOf(Site);
-      for (uint64_t I = 0; I < N; ++I) {
-        analysis::AbstractState Init;
-        Init.Flags = S.InitialFlags;
-        Init.TagCounts.assign(Prog.tagTypes().size(),
-                              analysis::TagCount::Zero);
-        Token *Tok = makeToken(S.Class, std::move(Init));
-        for (ir::TagTypeId TT : S.BoundTags) {
-          analysis::TagCount &Count =
-              Tok->State.TagCounts[static_cast<size_t>(TT)];
-          Count = Count == analysis::TagCount::Zero
-                      ? analysis::TagCount::One
-                      : analysis::TagCount::Many;
-          Tok->TagIds[TT] = freshTag(F, TT);
-        }
-        routeToken(Tok, E.Core, E.Time, F.TraceId);
-      }
-    }
-
-    for (const Arrival &A : F.Inv.Params)
-      routeToken(A.Tok, E.Core, E.Time, F.TraceId);
-
-    int Slot = E.FlightIdx;
-    Flights[static_cast<size_t>(Slot)] = Flight();
-    FreeFlights.push_back(Slot);
-
-    tryStart(E.Core, E.Time);
-    for (size_t C = 0; C < Cores.size(); ++C)
-      if (static_cast<int>(C) != E.Core && !Cores[C].Executing &&
-          !Cores[C].Ready.empty()) {
-        Event Wake;
-        Wake.Kind = EventKind::Wake;
-        Wake.Time = E.Time;
-        Wake.Core = static_cast<int>(C);
-        push(std::move(Wake));
-      }
-  }
-
-  //===--------------------------------------------------------------------===//
-  // Checkpoint / restore / watchdog (see resilience/Checkpoint.h)
-  //===--------------------------------------------------------------------===//
-
+  // Checkpoint/restore (see resilience/Checkpoint.h for the container and
+  // exec/CheckpointChunks.h for the shared body chunks).
   void saveArrival(const Arrival &A, resilience::ByteWriter &W) const {
     W.i64(A.Tok ? static_cast<int64_t>(A.Tok->Id) : -1);
     W.i32(A.Producer);
@@ -795,8 +332,8 @@ private:
     W.u64(Inv.Params.size());
     for (const Arrival &A : Inv.Params)
       saveArrival(A, W);
-    W.u64(Inv.ConstraintTagIds.size());
-    for (const auto &[Var, Id] : Inv.ConstraintTagIds) {
+    W.u64(Inv.ConstraintTags.size());
+    for (const auto &[Var, Id] : Inv.ConstraintTags) {
       W.str(Var);
       W.u64(Id);
     }
@@ -829,483 +366,532 @@ private:
       uint64_t Id = R.u64();
       if (!R.ok())
         return "checkpoint: truncated invocation tag bindings";
-      Inv.ConstraintTagIds.emplace(std::move(Var), Id);
+      Inv.ConstraintTags.emplace(std::move(Var), Id);
     }
     return {};
   }
 
   std::string makeCheckpoint(Cycles AtCycle, Cycles LastTime,
-                             resilience::Checkpoint &Out) const {
-    resilience::Checkpoint C;
-    C.Engine = resilience::EngineKind::Sched;
-    C.Program = Prog.name();
-    C.Seed = 0; // The simulator has no run seed; fixed for the header.
-    C.FaultSeed = Opts.FaultSeed;
-    C.Recovery = Opts.Recovery ? 1 : 0;
-    C.FaultSpec = Opts.Faults ? Opts.Faults->str() : std::string();
-    C.LayoutKey = L.isoKey(Prog);
-    C.NumCores = static_cast<uint64_t>(L.NumCores);
-    C.Cycle = AtCycle;
-    // Raw (recovery-off) fault damage is already baked into the token
-    // state; a restart policy must not resume from such a snapshot.
-    C.Tainted = !Opts.Recovery && Result.Recovery.totalInjected() > 0;
+                             resilience::Checkpoint &Out) const;
+  std::string restoreFrom(const resilience::Checkpoint &C, Cycles &LastTime);
+  std::string watchdogDump(Cycles Now) const;
+};
 
-    resilience::ByteWriter W;
-    W.u64(Tokens.size());
-    for (const auto &Tok : Tokens) {
-      W.i32(Tok->Class);
-      W.u64(Tok->State.Flags);
-      W.u64(Tok->State.TagCounts.size());
-      for (analysis::TagCount TC : Tok->State.TagCounts)
-        W.u8(static_cast<uint8_t>(TC));
-      W.u64(Tok->TagIds.size());
-      for (const auto &[Type, Id] : Tok->TagIds) {
-        W.i32(Type);
-        W.u64(Id);
-      }
-      W.u8(Tok->Busy ? 1 : 0);
-      W.i32(Tok->ProducerTrace);
+void Simulator::tryStart(int CoreIdx, Cycles Now) {
+  CoreState &Core = Cores[static_cast<size_t>(CoreIdx)];
+  if (!CoreAlive[static_cast<size_t>(CoreIdx)])
+    return; // Fail-stop: dead cores never dispatch.
+  if (Core.Executing)
+    return;
+  if (Core.Ready.empty())
+    return;
+  if (Injector.active()) {
+    Cycles Stall = armStallWindow(CoreIdx, Now);
+    // The simulator's lock sweeps never fail (busy tokens requeue before
+    // the acquire), so a lock-livelock window degenerates to a stall of
+    // LockWidth: the dispatch attempts during it would all fail.
+    Cycles Lock = armLockWindow(CoreIdx, Now);
+    if (Cycles Blocked = std::max(Stall, Lock); Now < Blocked) {
+      pushWake(CoreIdx, Blocked);
+      return;
     }
-    W.u64(NextTagId);
-    W.u64(NextSeq);
-
-    std::vector<int> Budgets = Injector.remainingBudgets();
-    W.u64(Budgets.size());
-    for (int B : Budgets)
-      W.i32(B);
-
-    W.u64(LastTime);
-    W.u64(LastProgress);
-    W.u64(Result.Invocations);
-    resilience::writeRecoveryReport(W, Result.Recovery);
-
-    W.u64(Result.Trace.size());
-    for (const TraceTask &T : Result.Trace) {
-      W.i32(T.Id);
-      W.i32(T.Task);
-      W.i32(T.Exit);
-      W.i32(T.Core);
-      W.i32(T.InstanceIdx);
-      W.u64(T.Ready);
-      W.u64(T.Start);
-      W.u64(T.End);
-      W.u64(T.DepIds.size());
-      for (size_t I = 0; I < T.DepIds.size(); ++I) {
-        W.i32(T.DepIds[I]);
-        W.u64(T.DepArrivals[I]);
-      }
-    }
-
-    W.u64(CoreAlive.size());
-    for (char A : CoreAlive)
-      W.u8(static_cast<uint8_t>(A));
-    W.u64(InstanceCore.size());
-    for (int IC : InstanceCore)
-      W.i32(IC);
-    for (Cycles S : StallEnd)
-      W.u64(S);
-    for (Cycles Lk : LockEnd)
-      W.u64(Lk);
-
-    W.u64(Cores.size());
-    for (const CoreState &Core : Cores) {
-      W.u8(Core.Executing ? 1 : 0);
-      W.u64(Core.BusyTotal);
-      W.u64(Core.LastEnd);
-      W.u64(Core.Ready.size());
-      for (const Invocation &Inv : Core.Ready)
-        saveInvocation(Inv, W);
-    }
-
-    W.u64(Instances.size());
-    for (const InstanceState &Inst : Instances) {
-      W.u64(Inst.ParamSets.size());
-      for (const std::vector<Arrival> &Set : Inst.ParamSets) {
-        W.u64(Set.size());
-        for (const Arrival &A : Set)
-          saveArrival(A, W);
-      }
-    }
-
-    W.u64(RoundRobin.size());
-    for (const auto &[Key, Val] : RoundRobin) {
-      W.i32(Key.first);
-      W.i32(Key.second);
-      W.u64(Val);
-    }
-
-    W.u64(TaskExitCounts.size());
-    for (const std::vector<uint64_t> &Counts : TaskExitCounts) {
-      W.u64(Counts.size());
-      for (uint64_t N : Counts)
-        W.u64(N);
-    }
-    W.u64(ObjectExitCounts.size());
-    for (const auto &[Key, Counts] : ObjectExitCounts) {
-      W.i32(Key.first);
-      W.u64(Key.second);
-      W.u64(Counts.size());
-      for (uint64_t N : Counts)
-        W.u64(N);
-    }
-    W.u64(AllocRemainder.size());
-    for (double D : AllocRemainder)
-      W.f64(D);
-
-    W.u64(Flights.size());
-    for (const Flight &F : Flights) {
-      if (F.Inv.Task == ir::InvalidId) {
-        W.u8(0);
-        continue;
-      }
-      W.u8(1);
-      saveInvocation(F.Inv, W);
-      W.i32(F.Exit);
-      W.i32(F.TraceId);
-      W.u64(F.FreshTags.size());
-      for (const auto &[Type, Id] : F.FreshTags) {
-        W.i32(Type);
-        W.u64(Id);
-      }
-    }
-    W.u64(FreeFlights.size());
-    for (int S : FreeFlights)
-      W.i32(S);
-
-    // The pending event schedule in deterministic (Time, Seq) order.
-    auto QCopy = Queue;
-    W.u64(QCopy.size());
-    while (!QCopy.empty()) {
-      const Event &E = QCopy.top();
-      W.u64(E.Time);
-      W.u64(E.Seq);
-      W.u8(static_cast<uint8_t>(E.Kind));
-      W.i32(E.Core);
-      saveArrival(E.Arr, W);
-      W.i32(E.InstanceIdx);
-      W.i32(E.Param);
-      W.i32(E.FlightIdx);
-      QCopy.pop();
-    }
-
-    C.Body = W.take();
-    Out = std::move(C);
-    return {};
   }
-
-  std::string restoreFrom(const resilience::Checkpoint &C, Cycles &LastTime) {
-    if (C.Engine != resilience::EngineKind::Sched)
-      return formatString(
-          "checkpoint: engine mismatch (checkpoint is '%s', simulator is "
-          "'sched')",
-          resilience::engineKindName(C.Engine));
-    if (C.Program != Prog.name())
-      return formatString(
-          "checkpoint: program mismatch (checkpoint is '%s', simulating "
-          "'%s')",
-          C.Program.c_str(), Prog.name().c_str());
-    if (C.NumCores != static_cast<uint64_t>(L.NumCores))
-      return formatString(
-          "checkpoint: core-count mismatch (checkpoint %llu, layout %d)",
-          static_cast<unsigned long long>(C.NumCores), L.NumCores);
-    if (C.LayoutKey != L.isoKey(Prog))
-      return "checkpoint: layout mismatch (the snapshot was taken under a "
-             "different layout)";
-    if (C.FaultSpec != (Opts.Faults ? Opts.Faults->str() : std::string()))
-      return "checkpoint: fault-plan mismatch (pass the same --faults spec "
-             "the checkpoint was taken under)";
-
-    resilience::ByteReader R(C.Body);
-    uint64_t NumTokens = R.u64();
-    if (!R.ok() || NumTokens > C.Body.size())
-      return "checkpoint: truncated body (tokens)";
-    for (uint64_t I = 0; I < NumTokens; ++I) {
-      ir::ClassId Class = R.i32();
-      analysis::AbstractState State;
-      State.Flags = R.u64();
-      uint64_t NumCounts = R.u64();
-      if (!R.ok() || NumCounts != Prog.tagTypes().size())
-        return "checkpoint: token tag-count shape diverges from the program";
-      for (uint64_t K = 0; K < NumCounts; ++K) {
-        uint8_t TC = R.u8();
-        if (TC > static_cast<uint8_t>(analysis::TagCount::Many))
-          return "checkpoint: bad token tag count";
-        State.TagCounts.push_back(static_cast<analysis::TagCount>(TC));
-      }
-      Token *Tok = makeToken(Class, std::move(State));
-      uint64_t NumIds = R.u64();
-      if (!R.ok() || NumIds > NumCounts)
-        return "checkpoint: truncated body (token tag ids)";
-      for (uint64_t K = 0; K < NumIds; ++K) {
-        ir::TagTypeId Type = R.i32();
-        uint64_t Id = R.u64();
-        if (Type < 0 || static_cast<size_t>(Type) >= Prog.tagTypes().size())
-          return "checkpoint: token bound to an unknown tag type";
-        Tok->TagIds[Type] = Id;
-      }
-      Tok->Busy = R.u8() != 0;
-      Tok->ProducerTrace = R.i32();
+  size_t Attempts = Core.Ready.size();
+  while (Attempts-- > 0) {
+    Invocation Inv = std::move(Core.Ready.front());
+    Core.Ready.pop_front();
+    // Busy tokens model in-flight invocations elsewhere; requeue.
+    bool AnyBusy = false;
+    for (const Arrival &A : Inv.Params)
+      AnyBusy = AnyBusy || A.Tok->Busy;
+    if (AnyBusy) {
+      Core.Ready.push_back(std::move(Inv));
+      continue;
     }
-    NextTagId = R.u64();
-    NextSeq = R.u64();
+    if (!stillValid(Inv))
+      continue;
 
-    uint64_t NumBudgets = R.u64();
-    if (!R.ok() || NumBudgets > C.Body.size())
-      return "checkpoint: truncated body (injector budgets)";
-    std::vector<int> Budgets;
-    for (uint64_t I = 0; I < NumBudgets; ++I)
-      Budgets.push_back(R.i32());
-    Injector.restoreBudgets(Budgets);
+    for (const Arrival &A : Inv.Params)
+      A.Tok->Busy = true;
+    InstanceState &Inst = Instances[static_cast<size_t>(Inv.InstanceIdx)];
+    for (size_t P = 0; P < Inv.Params.size(); ++P) {
+      auto &Set = Inst.ParamSets[P];
+      Set.erase(std::remove_if(Set.begin(), Set.end(),
+                               [&](const Arrival &A) {
+                                 return A.Tok == Inv.Params[P].Tok;
+                               }),
+                Set.end());
+    }
 
-    LastTime = R.u64();
-    LastProgress = R.u64();
-    Result.Invocations = R.u64();
-    resilience::readRecoveryReport(R, Result.Recovery);
-    Result.Recovery.RecoveryEnabled = Opts.Recovery;
+    ir::ExitId Exit = chooseExit(Inv.Task, Inv.Params[0].Tok->Id);
+    double Mean = Prof.meanCycles(Inv.Task, Exit);
+    const analysis::TaskLockPlan &Plan =
+        LockPlans[static_cast<size_t>(Inv.Task)];
+    Cycles Duration =
+        Machine.DispatchOverhead +
+        Machine.LockOverhead * static_cast<Cycles>(Plan.NumGroups) +
+        static_cast<Cycles>(std::llround(std::max(0.0, Mean)));
 
-    uint64_t NumTrace = R.u64();
-    if (!R.ok() || NumTrace > C.Body.size())
-      return "checkpoint: truncated body (invocation trace)";
-    for (uint64_t I = 0; I < NumTrace; ++I) {
+    Core.Executing = true;
+    Core.BusyTotal += Duration;
+    ++Result.Invocations;
+    LastProgress = std::max(LastProgress, Now);
+    if (Opts.Trace) {
+      // The simulator's all-or-nothing locking never fails (busy tokens
+      // requeue before the acquire), so no lock-retry events here.
+      Opts.Trace->lockAcquire(Now, CoreIdx, Inv.Task, Inv.Params.size());
+      // The gap since the last completion on this core was idle time.
+      Opts.Trace->idle(Core.LastEnd, Now, CoreIdx);
+      Opts.Trace->taskBegin(Now, CoreIdx, Inv.Task, Core.Ready.size());
+    }
+
+    Flight F;
+    F.Inv = std::move(Inv);
+    F.Exit = Exit;
+    if (Opts.RecordTrace) {
       TraceTask T;
-      T.Id = R.i32();
-      T.Task = R.i32();
-      T.Exit = R.i32();
-      T.Core = R.i32();
-      T.InstanceIdx = R.i32();
-      T.Ready = R.u64();
-      T.Start = R.u64();
-      T.End = R.u64();
-      uint64_t NumDeps = R.u64();
-      if (!R.ok() || NumDeps > C.Body.size())
-        return "checkpoint: truncated body (trace dependencies)";
-      for (uint64_t D = 0; D < NumDeps; ++D) {
-        T.DepIds.push_back(R.i32());
-        T.DepArrivals.push_back(R.u64());
+      T.Id = static_cast<int>(Result.Trace.size());
+      T.Task = F.Inv.Task;
+      T.Exit = Exit;
+      T.Core = CoreIdx;
+      T.InstanceIdx = F.Inv.InstanceIdx;
+      Cycles Ready = 0;
+      for (const Arrival &A : F.Inv.Params) {
+        T.DepIds.push_back(A.Producer);
+        T.DepArrivals.push_back(A.Time);
+        Ready = std::max(Ready, A.Time);
       }
+      T.Ready = Ready;
+      T.Start = Now;
+      T.End = Now + Duration;
+      F.TraceId = T.Id;
       Result.Trace.push_back(std::move(T));
     }
 
-    uint64_t NumCores = R.u64();
-    if (!R.ok() || NumCores != CoreAlive.size())
-      return "checkpoint: body core count diverges from the layout";
-    for (size_t I = 0; I < CoreAlive.size(); ++I)
-      CoreAlive[I] = static_cast<char>(R.u8());
-    uint64_t NumInstCores = R.u64();
-    if (!R.ok() || NumInstCores != InstanceCore.size())
-      return "checkpoint: body instance count diverges from the layout";
-    for (size_t I = 0; I < InstanceCore.size(); ++I)
-      InstanceCore[I] = R.i32();
-    for (size_t I = 0; I < StallEnd.size(); ++I)
-      StallEnd[I] = R.u64();
-    for (size_t I = 0; I < LockEnd.size(); ++I)
-      LockEnd[I] = R.u64();
+    int FlightIdx = exec::allocFlightSlot(Flights, FreeFlights, std::move(F));
+    pushCompletion(CoreIdx, Now + Duration, FlightIdx);
+    return;
+  }
+}
 
-    uint64_t NumCoreStates = R.u64();
-    if (!R.ok() || NumCoreStates != Cores.size())
-      return "checkpoint: truncated body (core states)";
-    for (CoreState &Core : Cores) {
-      Core.Executing = R.u8() != 0;
-      Core.BusyTotal = R.u64();
-      Core.LastEnd = R.u64();
-      uint64_t NumReady = R.u64();
-      if (!R.ok() || NumReady > C.Body.size())
-        return "checkpoint: truncated body (ready queues)";
-      for (uint64_t I = 0; I < NumReady; ++I) {
-        Invocation Inv;
-        if (std::string Err = loadInvocation(R, Inv); !Err.empty())
-          return Err;
-        Core.Ready.push_back(std::move(Inv));
-      }
-    }
+void Simulator::complete(const Event &E) {
+  Flight &F = Flights[static_cast<size_t>(E.FlightIdx)];
+  const ir::TaskDecl &Task = Prog.taskOf(F.Inv.Task);
+  const ir::TaskExit &Exit = Task.Exits[static_cast<size_t>(F.Exit)];
 
-    uint64_t NumInstStates = R.u64();
-    if (!R.ok() || NumInstStates != Instances.size())
-      return "checkpoint: truncated body (instance states)";
-    for (InstanceState &Inst : Instances) {
-      uint64_t NumSets = R.u64();
-      if (!R.ok() || NumSets != Inst.ParamSets.size())
-        return "checkpoint: parameter-set shape diverges from the program";
-      for (std::vector<Arrival> &Set : Inst.ParamSets) {
-        uint64_t Count = R.u64();
-        if (!R.ok() || Count > Tokens.size() * 4 + 64)
-          return "checkpoint: truncated body (parameter sets)";
-        for (uint64_t I = 0; I < Count; ++I) {
-          Arrival A;
-          if (std::string Err = loadArrival(R, A); !Err.empty())
-            return Err;
-          if (!A.Tok)
-            return "checkpoint: parameter set holds a null token";
-          Set.push_back(A);
+  // Apply exit effects to tokens.
+  for (size_t P = 0; P < F.Inv.Params.size(); ++P) {
+    Token *Tok = F.Inv.Params[P].Tok;
+    const ir::ParamExitEffect &Eff = Exit.Effects[P];
+    Tok->State.Flags |= Eff.Set;
+    Tok->State.Flags &= ~Eff.Clear;
+    for (const ir::ExitTagAction &Action : Eff.TagActions) {
+      analysis::TagCount &Count =
+          Tok->State.TagCounts[static_cast<size_t>(Action.Type)];
+      if (Action.IsAdd) {
+        Count = Count == analysis::TagCount::Zero
+                    ? analysis::TagCount::One
+                    : analysis::TagCount::Many;
+        auto Bound = F.Inv.ConstraintTags.find(Action.Var);
+        Tok->TagIds[Action.Type] = Bound != F.Inv.ConstraintTags.end()
+                                       ? Bound->second
+                                       : freshTag(F, Action.Type);
+      } else {
+        if (Count == analysis::TagCount::One) {
+          Count = analysis::TagCount::Zero;
+          Tok->TagIds.erase(Action.Type);
         }
       }
     }
+    Tok->Busy = false;
+  }
+  Cores[static_cast<size_t>(E.Core)].Executing = false;
+  Cores[static_cast<size_t>(E.Core)].LastEnd = E.Time;
+  LastProgress = std::max(LastProgress, E.Time);
+  if (Opts.Trace)
+    Opts.Trace->taskEnd(E.Time, E.Core, F.Inv.Task, F.Exit);
 
-    uint64_t NumRR = R.u64();
-    if (!R.ok() || NumRR > C.Body.size())
-      return "checkpoint: truncated body (round-robin counters)";
-    for (uint64_t I = 0; I < NumRR; ++I) {
-      int CoreKey = R.i32();
-      ir::TaskId Task = R.i32();
-      uint64_t Val = R.u64();
-      RoundRobin[{CoreKey, Task}] = static_cast<size_t>(Val);
+  // Allocate predicted new tokens (deterministic remainder rounding).
+  for (ir::SiteId Site : Task.Sites) {
+    double Mean = Prof.meanAllocs(F.Inv.Task, F.Exit, Site);
+    double &Acc = AllocRemainder[static_cast<size_t>(Site)];
+    Acc += Mean;
+    auto N = static_cast<uint64_t>(Acc);
+    Acc -= static_cast<double>(N);
+    const ir::AllocSite &S = Prog.siteOf(Site);
+    for (uint64_t I = 0; I < N; ++I) {
+      analysis::AbstractState Init;
+      Init.Flags = S.InitialFlags;
+      Init.TagCounts.assign(Prog.tagTypes().size(),
+                            analysis::TagCount::Zero);
+      Token *Tok = makeToken(S.Class, std::move(Init));
+      for (ir::TagTypeId TT : S.BoundTags) {
+        analysis::TagCount &Count =
+            Tok->State.TagCounts[static_cast<size_t>(TT)];
+        Count = Count == analysis::TagCount::Zero
+                    ? analysis::TagCount::One
+                    : analysis::TagCount::Many;
+        Tok->TagIds[TT] = freshTag(F, TT);
+      }
+      routeToken(Tok, E.Core, E.Time, F.TraceId);
     }
+  }
 
-    uint64_t NumTEC = R.u64();
-    if (!R.ok() || NumTEC != TaskExitCounts.size())
+  for (const Arrival &A : F.Inv.Params)
+    routeToken(A.Tok, E.Core, E.Time, F.TraceId);
+
+  int Slot = E.FlightIdx;
+  Flights[static_cast<size_t>(Slot)] = Flight();
+  FreeFlights.push_back(Slot);
+
+  tryStart(E.Core, E.Time);
+  // Lock releases may unblock other cores' queued invocations.
+  wakeOtherCores(E.Core, E.Time);
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint / restore / watchdog (see resilience/Checkpoint.h)
+//===----------------------------------------------------------------------===//
+
+std::string Simulator::makeCheckpoint(Cycles AtCycle, Cycles LastTime,
+                                      resilience::Checkpoint &Out) const {
+  // The simulator has no run seed or program args; Seed=0 in the header.
+  resilience::Checkpoint C = exec::makeCheckpointHeader(
+      resilience::EngineKind::Sched, Prog, L, /*Seed=*/0, Opts.FaultSeed,
+      Opts.Recovery, Opts.Faults, /*Args=*/{}, AtCycle,
+      !Opts.Recovery && Result.Recovery.totalInjected() > 0);
+
+  resilience::ByteWriter W;
+  W.u64(Tokens.size());
+  for (const auto &Tok : Tokens) {
+    W.i32(Tok->Class);
+    W.u64(Tok->State.Flags);
+    W.u64(Tok->State.TagCounts.size());
+    for (analysis::TagCount TC : Tok->State.TagCounts)
+      W.u8(static_cast<uint8_t>(TC));
+    W.u64(Tok->TagIds.size());
+    for (const auto &[Type, Id] : Tok->TagIds) {
+      W.i32(Type);
+      W.u64(Id);
+    }
+    W.u8(Tok->Busy ? 1 : 0);
+    W.i32(Tok->ProducerTrace);
+  }
+  W.u64(NextTagId);
+  W.u64(NextSeq);
+
+  exec::saveInjectorBudgets(W, Injector);
+
+  W.u64(LastTime);
+  W.u64(LastProgress);
+  W.u64(Result.Invocations);
+  resilience::writeRecoveryReport(W, Result.Recovery);
+
+  W.u64(Result.Trace.size());
+  for (const TraceTask &T : Result.Trace) {
+    W.i32(T.Id);
+    W.i32(T.Task);
+    W.i32(T.Exit);
+    W.i32(T.Core);
+    W.i32(T.InstanceIdx);
+    W.u64(T.Ready);
+    W.u64(T.Start);
+    W.u64(T.End);
+    W.u64(T.DepIds.size());
+    for (size_t I = 0; I < T.DepIds.size(); ++I) {
+      W.i32(T.DepIds[I]);
+      W.u64(T.DepArrivals[I]);
+    }
+  }
+
+  exec::saveResilienceState(W, CoreAlive, InstanceCore, StallEnd, LockEnd);
+
+  exec::saveCoreStates(
+      W, Cores, [](resilience::ByteWriter &, const CoreState &) {},
+      [this](resilience::ByteWriter &BW, const Invocation &Inv) {
+        saveInvocation(Inv, BW);
+      });
+
+  exec::saveParamSets<Arrival>(
+      W, Instances,
+      [this](resilience::ByteWriter &BW, const Arrival &A) {
+        saveArrival(A, BW);
+      });
+
+  exec::saveRoundRobinCounters(W, RoundRobin);
+
+  W.u64(TaskExitCounts.size());
+  for (const std::vector<uint64_t> &Counts : TaskExitCounts) {
+    W.u64(Counts.size());
+    for (uint64_t N : Counts)
+      W.u64(N);
+  }
+  W.u64(ObjectExitCounts.size());
+  for (const auto &[Key, Counts] : ObjectExitCounts) {
+    W.i32(Key.first);
+    W.u64(Key.second);
+    W.u64(Counts.size());
+    for (uint64_t N : Counts)
+      W.u64(N);
+  }
+  W.u64(AllocRemainder.size());
+  for (double D : AllocRemainder)
+    W.f64(D);
+
+  exec::saveFlightSlots(
+      W, Flights, FreeFlights,
+      [](const Flight &F) { return F.Inv.Task != ir::InvalidId; },
+      [this](resilience::ByteWriter &BW, const Flight &F) {
+        saveInvocation(F.Inv, BW);
+        BW.i32(F.Exit);
+        BW.i32(F.TraceId);
+        BW.u64(F.FreshTags.size());
+        for (const auto &[Type, Id] : F.FreshTags) {
+          BW.i32(Type);
+          BW.u64(Id);
+        }
+      });
+
+  exec::saveEventQueue(W, Queue,
+                       [this](resilience::ByteWriter &BW, const Event &E) {
+                         saveArrival(E.Item, BW);
+                         BW.i32(E.InstanceIdx);
+                         BW.i32(E.Param);
+                         BW.i32(E.FlightIdx);
+                       });
+
+  C.Body = W.take();
+  Out = std::move(C);
+  return {};
+}
+
+std::string Simulator::restoreFrom(const resilience::Checkpoint &C,
+                                   Cycles &LastTime) {
+  exec::RunIdentity Id;
+  Id.Engine = resilience::EngineKind::Sched;
+  Id.EngineSelf = "simulator is 'sched'";
+  Id.RunVerb = "simulating";
+  Id.LayoutMismatch = "checkpoint: layout mismatch (the snapshot was taken "
+                      "under a different layout)";
+  // The simulator has no run seed or program arguments: any profile-driven
+  // resume of the same program/layout is legitimate.
+  Id.CheckSeedArgs = false;
+  Id.Faults = Opts.Faults;
+  if (std::string Err = exec::validateRunIdentity(C, Prog, L, Id);
+      !Err.empty())
+    return Err;
+
+  resilience::ByteReader R(C.Body);
+  uint64_t NumTokens = R.u64();
+  if (!R.ok() || NumTokens > C.Body.size())
+    return "checkpoint: truncated body (tokens)";
+  for (uint64_t I = 0; I < NumTokens; ++I) {
+    ir::ClassId Class = R.i32();
+    analysis::AbstractState State;
+    State.Flags = R.u64();
+    uint64_t NumCounts = R.u64();
+    if (!R.ok() || NumCounts != Prog.tagTypes().size())
+      return "checkpoint: token tag-count shape diverges from the program";
+    for (uint64_t K = 0; K < NumCounts; ++K) {
+      uint8_t TC = R.u8();
+      if (TC > static_cast<uint8_t>(analysis::TagCount::Many))
+        return "checkpoint: bad token tag count";
+      State.TagCounts.push_back(static_cast<analysis::TagCount>(TC));
+    }
+    Token *Tok = makeToken(Class, std::move(State));
+    uint64_t NumIds = R.u64();
+    if (!R.ok() || NumIds > NumCounts)
+      return "checkpoint: truncated body (token tag ids)";
+    for (uint64_t K = 0; K < NumIds; ++K) {
+      ir::TagTypeId Type = R.i32();
+      uint64_t TagId = R.u64();
+      if (Type < 0 || static_cast<size_t>(Type) >= Prog.tagTypes().size())
+        return "checkpoint: token bound to an unknown tag type";
+      Tok->TagIds[Type] = TagId;
+    }
+    Tok->Busy = R.u8() != 0;
+    Tok->ProducerTrace = R.i32();
+  }
+  NextTagId = R.u64();
+  NextSeq = R.u64();
+
+  if (std::string Err = exec::loadInjectorBudgets(R, C.Body.size(), Injector);
+      !Err.empty())
+    return Err;
+
+  LastTime = R.u64();
+  LastProgress = R.u64();
+  Result.Invocations = R.u64();
+  resilience::readRecoveryReport(R, Result.Recovery);
+  Result.Recovery.RecoveryEnabled = Opts.Recovery;
+
+  uint64_t NumTrace = R.u64();
+  if (!R.ok() || NumTrace > C.Body.size())
+    return "checkpoint: truncated body (invocation trace)";
+  for (uint64_t I = 0; I < NumTrace; ++I) {
+    TraceTask T;
+    T.Id = R.i32();
+    T.Task = R.i32();
+    T.Exit = R.i32();
+    T.Core = R.i32();
+    T.InstanceIdx = R.i32();
+    T.Ready = R.u64();
+    T.Start = R.u64();
+    T.End = R.u64();
+    uint64_t NumDeps = R.u64();
+    if (!R.ok() || NumDeps > C.Body.size())
+      return "checkpoint: truncated body (trace dependencies)";
+    for (uint64_t D = 0; D < NumDeps; ++D) {
+      T.DepIds.push_back(R.i32());
+      T.DepArrivals.push_back(R.u64());
+    }
+    Result.Trace.push_back(std::move(T));
+  }
+
+  if (std::string Err = exec::loadResilienceState(R, CoreAlive, InstanceCore,
+                                                  StallEnd, LockEnd);
+      !Err.empty())
+    return Err;
+
+  if (std::string Err = exec::loadCoreStates(
+          R, C.Body.size(), Cores,
+          [](resilience::ByteReader &, CoreState &) {},
+          [this](resilience::ByteReader &BR, Invocation &Inv) {
+            return loadInvocation(BR, Inv);
+          });
+      !Err.empty())
+    return Err;
+
+  if (std::string Err = exec::loadParamSets<Arrival>(
+          R, Instances, Tokens.size() * 4 + 64,
+          [this](resilience::ByteReader &BR, Arrival &A) -> std::string {
+            if (std::string Err2 = loadArrival(BR, A); !Err2.empty())
+              return Err2;
+            if (!A.Tok)
+              return "checkpoint: parameter set holds a null token";
+            return {};
+          });
+      !Err.empty())
+    return Err;
+
+  if (std::string Err =
+          exec::loadRoundRobinCounters(R, C.Body.size(), RoundRobin);
+      !Err.empty())
+    return Err;
+
+  uint64_t NumTEC = R.u64();
+  if (!R.ok() || NumTEC != TaskExitCounts.size())
+    return "checkpoint: exit-count shape diverges from the program";
+  for (std::vector<uint64_t> &Counts : TaskExitCounts) {
+    uint64_t N = R.u64();
+    if (!R.ok() || N != Counts.size())
       return "checkpoint: exit-count shape diverges from the program";
-    for (std::vector<uint64_t> &Counts : TaskExitCounts) {
-      uint64_t N = R.u64();
-      if (!R.ok() || N != Counts.size())
-        return "checkpoint: exit-count shape diverges from the program";
-      for (uint64_t &Slot : Counts)
-        Slot = R.u64();
-    }
-    uint64_t NumOEC = R.u64();
-    if (!R.ok() || NumOEC > C.Body.size())
-      return "checkpoint: truncated body (per-object exit counts)";
-    for (uint64_t I = 0; I < NumOEC; ++I) {
-      ir::TaskId Task = R.i32();
-      uint64_t TokId = R.u64();
-      uint64_t N = R.u64();
-      if (!R.ok() || Task < 0 ||
-          static_cast<size_t>(Task) >= Prog.tasks().size() ||
-          N != Prog.taskOf(Task).Exits.size())
-        return "checkpoint: per-object exit counts diverge from the program";
-      std::vector<uint64_t> Counts;
-      for (uint64_t K = 0; K < N; ++K)
-        Counts.push_back(R.u64());
-      ObjectExitCounts[{Task, TokId}] = std::move(Counts);
-    }
-    uint64_t NumRem = R.u64();
-    if (!R.ok() || NumRem != AllocRemainder.size())
-      return "checkpoint: allocation-remainder shape diverges";
-    for (double &D : AllocRemainder)
-      D = R.f64();
-
-    uint64_t NumFlights = R.u64();
-    if (!R.ok() || NumFlights > C.Body.size())
-      return "checkpoint: truncated body (in-flight invocations)";
-    for (uint64_t I = 0; I < NumFlights; ++I) {
-      uint8_t Occupied = R.u8();
-      if (!R.ok())
-        return "checkpoint: truncated body (in-flight slot)";
-      Flight F;
-      if (Occupied) {
-        if (std::string Err = loadInvocation(R, F.Inv); !Err.empty())
-          return Err;
-        F.Exit = R.i32();
-        F.TraceId = R.i32();
-        if (F.Exit < 0 ||
-            static_cast<size_t>(F.Exit) >=
-                Prog.taskOf(F.Inv.Task).Exits.size())
-          return "checkpoint: in-flight exit diverges from the program";
-        uint64_t NumFresh = R.u64();
-        if (!R.ok() || NumFresh > Prog.tagTypes().size())
-          return "checkpoint: truncated body (in-flight fresh tags)";
-        for (uint64_t K = 0; K < NumFresh; ++K) {
-          ir::TagTypeId Type = R.i32();
-          uint64_t Id = R.u64();
-          F.FreshTags[Type] = Id;
-        }
-      }
-      Flights.push_back(std::move(F));
-    }
-    uint64_t NumFree = R.u64();
-    if (!R.ok() || NumFree > Flights.size())
-      return "checkpoint: truncated body (free flight slots)";
-    for (uint64_t I = 0; I < NumFree; ++I)
-      FreeFlights.push_back(R.i32());
-
-    uint64_t NumEvents = R.u64();
-    if (!R.ok() || NumEvents > C.Body.size())
-      return "checkpoint: truncated body (event queue)";
-    for (uint64_t I = 0; I < NumEvents; ++I) {
-      Event E;
-      E.Time = R.u64();
-      E.Seq = R.u64();
-      uint8_t Kind = R.u8();
-      if (!R.ok() || Kind > static_cast<uint8_t>(EventKind::Fault))
-        return "checkpoint: unknown event kind in queue";
-      E.Kind = static_cast<EventKind>(Kind);
-      E.Core = R.i32();
-      if (std::string Err = loadArrival(R, E.Arr); !Err.empty())
-        return Err;
-      E.InstanceIdx = R.i32();
-      E.Param = R.i32();
-      E.FlightIdx = R.i32();
-      if (E.Kind == EventKind::Completion &&
-          (E.FlightIdx < 0 ||
-           static_cast<size_t>(E.FlightIdx) >= Flights.size() ||
-           Flights[static_cast<size_t>(E.FlightIdx)].Inv.Task ==
-               ir::InvalidId))
-        return "checkpoint: completion event references an empty flight "
-               "slot";
-      // Preserve original sequence numbers so ordering ties replay
-      // exactly: bypass push(), which would renumber.
-      Queue.push(std::move(E));
-    }
-    if (!R.ok())
-      return "checkpoint: truncated body";
-    if (!R.atEnd())
-      return "checkpoint: trailing bytes after body";
-    return {};
+    for (uint64_t &Slot : Counts)
+      Slot = R.u64();
   }
-
-  std::string watchdogDump(Cycles Now) const {
-    support::WatchdogReport Rep("sched", Now, LastProgress,
-                                Opts.WatchdogCycles, "cycles");
-    Rep.traceTail(Opts.Trace, 20);
-    Rep.section("per-core state");
-    for (size_t C = 0; C < Cores.size(); ++C)
-      Rep.line(formatString(
-          "core %zu: %s%s ready=%zu stall-until=%llu lock-until=%llu", C,
-          CoreAlive[C] ? "alive" : "DEAD",
-          Cores[C].Executing ? " executing" : "", Cores[C].Ready.size(),
-          static_cast<unsigned long long>(StallEnd[C]),
-          static_cast<unsigned long long>(LockEnd[C])));
-    Rep.section("busy tokens");
-    size_t Busy = 0;
-    for (const auto &Tok : Tokens)
-      if (Tok->Busy) {
-        ++Busy;
-        Rep.line(formatString("token %llu (class %d)",
-                              static_cast<unsigned long long>(Tok->Id),
-                              Tok->Class));
-      }
-    if (Busy == 0)
-      Rep.line("(none)");
-    return Rep.str();
+  uint64_t NumOEC = R.u64();
+  if (!R.ok() || NumOEC > C.Body.size())
+    return "checkpoint: truncated body (per-object exit counts)";
+  for (uint64_t I = 0; I < NumOEC; ++I) {
+    ir::TaskId Task = R.i32();
+    uint64_t TokId = R.u64();
+    uint64_t N = R.u64();
+    if (!R.ok() || Task < 0 ||
+        static_cast<size_t>(Task) >= Prog.tasks().size() ||
+        N != Prog.taskOf(Task).Exits.size())
+      return "checkpoint: per-object exit counts diverge from the program";
+    std::vector<uint64_t> Counts;
+    for (uint64_t K = 0; K < N; ++K)
+      Counts.push_back(R.u64());
+    ObjectExitCounts[{Task, TokId}] = std::move(Counts);
   }
-};
+  uint64_t NumRem = R.u64();
+  if (!R.ok() || NumRem != AllocRemainder.size())
+    return "checkpoint: allocation-remainder shape diverges";
+  for (double &D : AllocRemainder)
+    D = R.f64();
+
+  if (std::string Err = exec::loadFlightSlots(
+          R, C.Body.size(), Flights, FreeFlights,
+          [this](resilience::ByteReader &BR, Flight &F) -> std::string {
+            if (std::string Err = loadInvocation(BR, F.Inv); !Err.empty())
+              return Err;
+            F.Exit = BR.i32();
+            F.TraceId = BR.i32();
+            if (F.Exit < 0 ||
+                static_cast<size_t>(F.Exit) >=
+                    Prog.taskOf(F.Inv.Task).Exits.size())
+              return "checkpoint: in-flight exit diverges from the program";
+            uint64_t NumFresh = BR.u64();
+            if (!BR.ok() || NumFresh > Prog.tagTypes().size())
+              return "checkpoint: truncated body (in-flight fresh tags)";
+            for (uint64_t K = 0; K < NumFresh; ++K) {
+              ir::TagTypeId Type = BR.i32();
+              uint64_t TagId = BR.u64();
+              F.FreshTags[Type] = TagId;
+            }
+            return {};
+          });
+      !Err.empty())
+    return Err;
+
+  if (std::string Err = exec::loadEventQueue(
+          R, C.Body.size(), Queue,
+          [this](resilience::ByteReader &BR, Event &E) -> std::string {
+            if (std::string Err2 = loadArrival(BR, E.Item); !Err2.empty())
+              return Err2;
+            E.InstanceIdx = BR.i32();
+            E.Param = BR.i32();
+            E.FlightIdx = BR.i32();
+            if (E.Kind == exec::EventKind::Completion &&
+                (E.FlightIdx < 0 ||
+                 static_cast<size_t>(E.FlightIdx) >= Flights.size() ||
+                 Flights[static_cast<size_t>(E.FlightIdx)].Inv.Task ==
+                     ir::InvalidId))
+              return "checkpoint: completion event references an empty "
+                     "flight slot";
+            return {};
+          });
+      !Err.empty())
+    return Err;
+  return exec::finishBody(R);
+}
+
+std::string Simulator::watchdogDump(Cycles Now) const {
+  support::WatchdogReport Rep("sched", Now, LastProgress,
+                              Opts.WatchdogCycles, "cycles");
+  Rep.traceTail(Opts.Trace, 20);
+  Rep.section("per-core state");
+  for (size_t C = 0; C < Cores.size(); ++C)
+    Rep.line(formatString(
+        "core %zu: %s%s ready=%zu stall-until=%llu lock-until=%llu", C,
+        CoreAlive[C] ? "alive" : "DEAD",
+        Cores[C].Executing ? " executing" : "", Cores[C].Ready.size(),
+        static_cast<unsigned long long>(StallEnd[C]),
+        static_cast<unsigned long long>(LockEnd[C])));
+  Rep.section("busy tokens");
+  size_t Busy = 0;
+  for (const auto &Tok : Tokens)
+    if (Tok->Busy) {
+      ++Busy;
+      Rep.line(formatString("token %llu (class %d)",
+                            static_cast<unsigned long long>(Tok->Id),
+                            Tok->Class));
+    }
+  if (Busy == 0)
+    Rep.line("(none)");
+  return Rep.str();
+}
 
 SimResult Simulator::run() {
   Result = SimResult();
-  Cores.assign(static_cast<size_t>(L.NumCores), CoreState());
-  Instances.resize(L.Instances.size());
-  for (size_t I = 0; I < L.Instances.size(); ++I)
-    Instances[I].ParamSets.resize(
-        Prog.taskOf(L.Instances[I].Task).Params.size());
+  beginRun(Opts.Faults, Opts.FaultSeed, Opts.Recovery, Opts.Trace,
+           &Result.Recovery);
   TaskExitCounts.resize(Prog.tasks().size());
   for (size_t T = 0; T < Prog.tasks().size(); ++T)
     TaskExitCounts[T].assign(Prog.tasks()[T].Exits.size(), 0);
   AllocRemainder.assign(Prog.sites().size(), 0.0);
-  Injector = resilience::FaultInjector(Opts.Faults, Opts.FaultSeed);
-  Result.Recovery.RecoveryEnabled = Opts.Recovery;
-  CoreAlive.assign(static_cast<size_t>(L.NumCores), 1);
-  InstanceCore.clear();
-  for (const machine::TaskInstance &Inst : L.Instances)
-    InstanceCore.push_back(Inst.Core);
-  StallEnd.assign(static_cast<size_t>(L.NumCores), 0);
-  LockEnd.assign(static_cast<size_t>(L.NumCores), 0);
-  LastProgress = 0;
-  if (Opts.Trace) {
-    std::vector<std::string> Names;
-    Names.reserve(Prog.tasks().size());
-    for (const ir::TaskDecl &T : Prog.tasks())
-      Names.push_back(T.Name);
-    Opts.Trace->setTaskNames(std::move(Names));
-  }
+  announceTaskNames(Opts.Trace);
 
   Cycles LastTime = 0;
   if (Opts.Restore) {
@@ -1322,15 +908,7 @@ SimResult Simulator::run() {
     if (Opts.Trace)
       Opts.Trace->resume(Opts.Restore->Cycle);
   } else {
-    for (const resilience::ScheduledFault &F : Injector.coreFailures()) {
-      if (F.Core < 0 || F.Core >= L.NumCores)
-        continue;
-      Event Fail;
-      Fail.Kind = EventKind::Fault;
-      Fail.Time = F.Cycle;
-      Fail.Core = F.Core;
-      push(std::move(Fail));
-    }
+    seedScheduledFailures();
     // Boot token.
     analysis::AbstractState Startup;
     Startup.Flags = ir::FlagMask(1) << Prog.startupFlag();
@@ -1340,58 +918,28 @@ SimResult Simulator::run() {
     routeToken(Tok, /*FromCore=*/-1, /*Now=*/0, /*ProducerTrace=*/-1);
   }
 
-  Cycles NextCkpt = 0;
-  if (Opts.CheckpointEvery > 0)
-    NextCkpt = (LastTime / Opts.CheckpointEvery + 1) * Opts.CheckpointEvery;
-
   bool CutOff = false;
-  while (!Queue.empty()) {
-    // Quiescent checkpoint boundary: snapshot *before* popping the first
-    // event at or past the boundary, so the snapshot still contains it
-    // and the restored run replays the identical schedule.
-    if (Opts.CheckpointEvery > 0 && Queue.top().Time >= NextCkpt) {
-      resilience::Checkpoint C;
-      if (std::string Err = makeCheckpoint(NextCkpt, LastTime, C);
-          !Err.empty()) {
-        Result.CheckpointError = Err;
-        CutOff = true;
-        break;
-      }
-      ++Result.CheckpointsWritten;
-      if (Opts.OnCheckpoint)
-        Opts.OnCheckpoint(C);
-      while (NextCkpt <= Queue.top().Time)
-        NextCkpt += Opts.CheckpointEvery;
-    }
-    Event E = Queue.top();
-    Queue.pop();
-    LastTime = std::max(LastTime, E.Time);
-    if (Opts.WatchdogCycles > 0 && E.Time > LastProgress &&
-        E.Time - LastProgress > Opts.WatchdogCycles) {
-      Result.WatchdogFired = true;
-      Result.WatchdogDump = watchdogDump(E.Time);
-      CutOff = true;
-      break;
-    }
-    switch (E.Kind) {
-    case EventKind::Delivery:
-      deliver(E);
-      break;
-    case EventKind::Completion:
-      complete(E);
-      break;
-    case EventKind::Wake:
-      tryStart(E.Core, E.Time);
-      break;
-    case EventKind::Fault:
-      applyCoreFailure(E.Core, E.Time);
-      break;
-    }
-    if (Result.Invocations >= Opts.MaxInvocations) {
-      CutOff = true;
-      break;
-    }
-  }
+  runEventLoop(
+      LastTime, Opts.CheckpointEvery,
+      [&](Cycles NextCkpt) {
+        resilience::Checkpoint C;
+        if (std::string Err = makeCheckpoint(NextCkpt, LastTime, C);
+            !Err.empty()) {
+          Result.CheckpointError = Err;
+          return false;
+        }
+        ++Result.CheckpointsWritten;
+        if (Opts.OnCheckpoint)
+          Opts.OnCheckpoint(C);
+        return true;
+      },
+      Opts.WatchdogCycles,
+      [&](Cycles Now) {
+        Result.WatchdogFired = true;
+        Result.WatchdogDump = watchdogDump(Now);
+      },
+      [] { return true; },
+      [&] { return Result.Invocations < Opts.MaxInvocations; }, CutOff);
 
   Result.EstimatedCycles = LastTime;
   Result.Terminated = !CutOff;

@@ -164,8 +164,8 @@ TEST(CliTest, HelpListsEveryParsedFlag) {
   // The help text must cover every flag main() actually parses — a flag
   // missing here is the documentation drift this test pins down.
   for (const char *Flag :
-       {"--run", "--cores=", "--arg=", "--seed=", "--jobs=", "--trace=",
-        "--metrics", "--faults=", "--fault-seed=", "--recovery=",
+       {"--run", "--cores=", "--arg=", "--seed=", "--jobs=", "--engine=",
+        "--trace=", "--metrics", "--faults=", "--fault-seed=", "--recovery=",
         "--checkpoint-every=", "--checkpoint-dir=", "--restore=",
         "--watchdog-cycles=", "--dump-ir", "--dump-astg", "--dump-cstg",
         "--dump-taskflow", "--dump-locks", "--dump-layout", "--emit-c",
@@ -175,6 +175,32 @@ TEST(CliTest, HelpListsEveryParsedFlag) {
 
 TEST(CliTest, UnknownFlagIsAHardError) {
   auto [Status, Out] = runBamboo(keywordFile() + " --no-such-flag");
+  EXPECT_NE(Status, 0);
+  (void)Out;
+}
+
+TEST(CliTest, EngineSelection) {
+  // The final run executes on the selected engine: the two
+  // body-executing engines print the program's output, the scheduling
+  // simulator replays tokens and reports cycles on stderr instead.
+  auto [TStatus, TOut] = runBamboo(keywordFile() +
+                                   " --run --cores=4 --arg='the cat the "
+                                   "dog' --engine=thread");
+  EXPECT_EQ(TStatus, 0);
+  EXPECT_NE(TOut.find("total=2"), std::string::npos);
+
+  auto [SStatus, SOut] = runBamboo(keywordFile() +
+                                   " --run --cores=4 --arg='the cat the "
+                                   "dog' --engine=sim");
+  EXPECT_EQ(SStatus, 0);
+  EXPECT_EQ(SOut.find("total=2"), std::string::npos)
+      << "the simulator does not execute task bodies";
+  std::string Err = readFile(capturePath("stderr"));
+  EXPECT_NE(Err.find("bamboo: sim"), std::string::npos) << Err;
+}
+
+TEST(CliTest, BadEngineIsRejected) {
+  auto [Status, Out] = runBamboo(keywordFile() + " --run --engine=warp");
   EXPECT_NE(Status, 0);
   (void)Out;
 }

@@ -1,0 +1,102 @@
+//===- tests/EngineDiffTest.cpp - Cross-engine differential tests ----------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's claims rest on the three engines agreeing with each
+/// other: the cycle-accounted TileExecutor, the scheduling simulator,
+/// and the host-thread executor are thin policies over one engine core
+/// (DESIGN.md §3f), so for every app × seed they must dispatch the same
+/// number of invocations and compute identical checksums — and on one
+/// core, where the paper predicts identity (the fig09 sim-vs-real
+/// comparison), the simulator must replay the real execution's task
+/// order exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/App.h"
+#include "driver/Pipeline.h"
+#include "runtime/ThreadExecutor.h"
+#include "schedsim/SchedSim.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+using namespace bamboo;
+using namespace bamboo::apps;
+using namespace bamboo::machine;
+using namespace bamboo::runtime;
+
+namespace {
+
+struct DiffCase {
+  const char *App;
+  uint64_t Seed;
+};
+
+class EngineDiffTest : public ::testing::TestWithParam<DiffCase> {};
+
+} // namespace
+
+TEST_P(EngineDiffTest, EnginesAgreeOnOneCore) {
+  auto A = makeApp(GetParam().App);
+  ASSERT_NE(A, nullptr);
+  BoundProgram BP = A->makeBound(1);
+  ASSERT_TRUE(BP.fullyBound());
+  analysis::Cstg G = analysis::buildCstg(BP.program());
+  MachineConfig One = MachineConfig::singleCore();
+  Layout L = Layout::allOnOneCore(BP.program());
+
+  // Reference: the deterministic tile machine.
+  ExecOptions TileOpts;
+  TileOpts.Seed = GetParam().Seed;
+  support::Trace TileTrace;
+  TileOpts.Trace = &TileTrace;
+  TileExecutor Tile(BP, G, One, L);
+  ExecResult Real = Tile.run(TileOpts);
+  ASSERT_TRUE(Real.Completed) << A->name() << " did not drain";
+  uint64_t TileSum = A->checksumFromHeap(Tile.heap());
+
+  // Simulator: replays the 1-core profile. Same dispatch count, and on
+  // one core the identical task order.
+  ExecOptions ProfOpts;
+  ProfOpts.Seed = GetParam().Seed;
+  profile::Profile Prof = driver::profileOneCore(BP, G, ProfOpts);
+  schedsim::SimOptions SimOpts;
+  support::Trace SimTrace;
+  SimOpts.Trace = &SimTrace;
+  schedsim::SimResult Sim = schedsim::simulateLayout(
+      BP.program(), G, Prof, BP.hints(), One, L, SimOpts);
+  ASSERT_TRUE(Sim.Terminated) << A->name();
+  EXPECT_EQ(Sim.Invocations, Real.TaskInvocations) << A->name();
+  support::TraceDiff D = support::diffTaskOrder(TileTrace, SimTrace);
+  EXPECT_TRUE(D.Identical)
+      << A->name() << ": diverged after " << D.CommonPrefix << " of "
+      << D.CountA << "/" << D.CountB << " dispatches (real task " << D.TaskA
+      << " vs sim task " << D.TaskB << ")";
+
+  // Host threads: a single worker must dispatch the same invocations and
+  // land on the same application state.
+  ThreadExecOptions TOpts;
+  TOpts.Seed = GetParam().Seed;
+  ThreadExecutor Thread(BP, G, L);
+  ThreadExecResult TR = Thread.run(TOpts);
+  ASSERT_TRUE(TR.Completed) << A->name();
+  EXPECT_EQ(TR.TaskInvocations, Real.TaskInvocations) << A->name();
+  EXPECT_EQ(A->checksumFromHeap(Thread.heap()), TileSum) << A->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, EngineDiffTest,
+    ::testing::Values(DiffCase{"Tracking", 1}, DiffCase{"KMeans", 1},
+                      DiffCase{"MonteCarlo", 1}, DiffCase{"FilterBank", 1},
+                      DiffCase{"Fractal", 1}, DiffCase{"Series", 1},
+                      DiffCase{"Tracking", 42}, DiffCase{"KMeans", 42},
+                      DiffCase{"MonteCarlo", 42}, DiffCase{"FilterBank", 42},
+                      DiffCase{"Fractal", 42}, DiffCase{"Series", 42}),
+    [](const ::testing::TestParamInfo<DiffCase> &Info) {
+      return std::string(Info.param.App) + "_seed" +
+             std::to_string(Info.param.Seed);
+    });

@@ -15,6 +15,7 @@
 
 #include "ir/ProgramBuilder.h"
 #include "runtime/BoundProgram.h"
+#include "runtime/HeapSnapshot.h"
 #include "runtime/TaskContext.h"
 
 namespace bamboo::tests {
@@ -67,39 +68,11 @@ struct SinkData : runtime::ObjectData {
 };
 
 inline void registerPipelineCodecs(runtime::BoundProgram &BP) {
-  runtime::ObjectCodec Item;
-  Item.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
-                 runtime::CodecSaveCtx &) {
-    const auto &I = static_cast<const ItemData &>(D);
-    W.i32(I.Index);
-    W.i64(I.Result);
-  };
-  Item.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
-      -> std::unique_ptr<runtime::ObjectData> {
-    auto I = std::make_unique<ItemData>();
-    I->Index = R.i32();
-    I->Result = R.i64();
-    return I;
-  };
-  BP.registerCodec("pipeline.item", std::move(Item));
-
-  runtime::ObjectCodec Sink;
-  Sink.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
-                 runtime::CodecSaveCtx &) {
-    const auto &S = static_cast<const SinkData &>(D);
-    W.i32(S.Expected);
-    W.i32(S.Merged);
-    W.i64(S.Total);
-  };
-  Sink.Load = [](resilience::ByteReader &R, runtime::CodecLoadCtx &)
-      -> std::unique_ptr<runtime::ObjectData> {
-    auto S = std::make_unique<SinkData>();
-    S->Expected = R.i32();
-    S->Merged = R.i32();
-    S->Total = R.i64();
-    return S;
-  };
-  BP.registerCodec("pipeline.sink", std::move(Sink));
+  runtime::registerFieldCodec<ItemData>(BP, "pipeline.item",
+                                        &ItemData::Index, &ItemData::Result);
+  runtime::registerFieldCodec<SinkData>(BP, "pipeline.sink",
+                                        &SinkData::Expected,
+                                        &SinkData::Merged, &SinkData::Total);
 }
 
 /// Builds an executable pipeline over \p NumItems items, each charging
