@@ -1,0 +1,176 @@
+//===- bench/fig_vm.cpp - Interpreter-vs-VM throughput benchmark ----------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-times every DSL example app on the 1-core tile machine under
+/// both execution modes (tree-walking interpreter vs register-bytecode
+/// VM) and reports the task-body speedup. The virtual-cycle totals are
+/// asserted identical between the modes first — the VM is only allowed
+/// to be faster, never different.
+///
+/// Prints a human-readable table to stderr and a JSON document to
+/// stdout; scripts/bench.sh redirects stdout to BENCH_vm.json, which is
+/// committed as the regression baseline for the tier-1 gate (the gate
+/// compares the interp/vm speedup RATIO, not absolute times, so it is
+/// robust to host speed).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Disjoint.h"
+#include "bench/BenchUtil.h"
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+#include "runtime/TileExecutor.h"
+#include "vm/Vm.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace bamboo;
+using namespace bamboo::bench;
+using namespace bamboo::machine;
+using namespace bamboo::runtime;
+
+namespace {
+
+struct AppSpec {
+  const char *Name;
+  const char *File;
+  /// The apps scale their working-set size by the argument's length.
+  const char *Arg;
+};
+
+const AppSpec AppSpecs[] = {
+    {"Series", "series.bb", "12345678"},
+    {"MonteCarlo", "montecarlo.bb", "12345678"},
+    {"KMeans", "kmeans.bb", "12345678"},
+    {"FilterBank", "filterbank.bb", "12345678"},
+    {"Fractal", "fractal.bb", "12345678"},
+    {"Tracking", "tracking.bb", "12345678"},
+};
+
+std::unique_ptr<interp::DslProgram> makeProgram(const std::string &File,
+                                                bool Vm) {
+  std::ifstream In(std::string(BAMBOO_DSL_DIR) + "/" + File);
+  if (!In.good()) {
+    std::fprintf(stderr, "fig_vm: cannot open %s\n", File.c_str());
+    std::exit(1);
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  frontend::DiagnosticEngine Diags;
+  auto CM = frontend::compileString(Buf.str(), File, Diags);
+  if (!CM) {
+    std::fprintf(stderr, "%s", Diags.render(File).c_str());
+    std::exit(1);
+  }
+  analysis::analyzeDisjointness(*CM);
+  if (!Vm)
+    return std::make_unique<interp::InterpProgram>(std::move(*CM));
+  auto P = std::make_unique<vm::VmProgram>(std::move(*CM));
+  if (!P->usesBytecode()) {
+    std::fprintf(stderr, "fig_vm: %s fell back to the interpreter\n",
+                 File.c_str());
+    std::exit(1);
+  }
+  return P;
+}
+
+struct Measured {
+  double BestMs = 0.0;
+  uint64_t Cycles = 0;
+  uint64_t Invocations = 0;
+  std::string Output;
+};
+
+/// Best-of-N wall time of 1-core tile runs. A fresh executor per run
+/// gives a fresh heap; the bound program is reused.
+Measured measure(interp::DslProgram &P, const std::string &Arg, int Reps) {
+  analysis::Cstg G = analysis::buildCstg(P.bound().program());
+  Layout L = Layout::allOnOneCore(P.bound().program());
+  MachineConfig M = MachineConfig::singleCore();
+  ExecOptions Opts;
+  Opts.Args = {Arg};
+  Measured Out;
+  Out.BestMs = 1e100;
+  for (int R = 0; R <= Reps; ++R) {
+    P.clearOutput();
+    P.clearError();
+    TileExecutor Exec(P.bound(), G, M, L);
+    auto T0 = std::chrono::steady_clock::now();
+    ExecResult ER = Exec.run(Opts);
+    auto T1 = std::chrono::steady_clock::now();
+    if (!ER.Completed || P.hadError()) {
+      std::fprintf(stderr, "fig_vm: run failed (%s)\n", P.error().c_str());
+      std::exit(1);
+    }
+    double Ms = std::chrono::duration<double, std::milli>(T1 - T0).count();
+    if (R == 0)
+      continue; // warm-up
+    if (Ms < Out.BestMs)
+      Out.BestMs = Ms;
+    Out.Cycles = ER.TotalCycles;
+    Out.Invocations = ER.TaskInvocations;
+    Out.Output = P.output();
+  }
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  int Reps = static_cast<int>(flagValue(Argc, Argv, "reps", 5));
+
+  std::vector<std::vector<std::string>> Rows;
+  Rows.push_back({"App", "Interp ms", "VM ms", "Speedup", "Cycles"});
+  std::string Json = "{\n  \"schema\": \"bamboo-vm-bench-1\",\n";
+  Json += formatString("  \"reps\": %d,\n  \"apps\": [\n", Reps);
+
+  bool First = true;
+  for (const AppSpec &Spec : AppSpecs) {
+    auto IP = makeProgram(Spec.File, /*Vm=*/false);
+    auto VP = makeProgram(Spec.File, /*Vm=*/true);
+    Measured A = measure(*IP, Spec.Arg, Reps);
+    Measured B = measure(*VP, Spec.Arg, Reps);
+    if (A.Output != B.Output || A.Cycles != B.Cycles ||
+        A.Invocations != B.Invocations) {
+      std::fprintf(stderr,
+                   "fig_vm: %s diverged between modes (cycles %llu vs "
+                   "%llu)\n",
+                   Spec.Name, static_cast<unsigned long long>(A.Cycles),
+                   static_cast<unsigned long long>(B.Cycles));
+      return 1;
+    }
+    double Speedup = A.BestMs / B.BestMs;
+    Rows.push_back({Spec.Name, formatString("%.2f", A.BestMs),
+                    formatString("%.2f", B.BestMs),
+                    formatString("%.2fx", Speedup),
+                    formatString("%llu",
+                                 static_cast<unsigned long long>(A.Cycles))});
+    if (!First)
+      Json += ",\n";
+    First = false;
+    Json += formatString(
+        "    {\"name\": \"%s\", \"interp_ms\": %.3f, \"vm_ms\": %.3f, "
+        "\"speedup\": %.3f, \"cycles\": %llu, \"invocations\": %llu}",
+        Spec.Name, A.BestMs, B.BestMs, Speedup,
+        static_cast<unsigned long long>(A.Cycles),
+        static_cast<unsigned long long>(B.Invocations));
+  }
+  Json += "\n  ]\n}\n";
+
+  std::fprintf(stderr, "Interpreter vs bytecode VM, 1-core tile machine "
+                       "(best of %d)\n\n",
+               Reps);
+  std::fprintf(stderr, "%s\n", renderTable(Rows).c_str());
+  std::printf("%s", Json.c_str());
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Multirate filter bank: one shared input signal fans out to per-band
+// worker objects, each running a two-stage FIR cascade (convolve,
+// downsample, convolve) over its own coefficient matrix, and the sink
+// slots each band's output energy by band index so the report is
+// independent of completion order.
+//
+//   bamboo filterbank.bb --run --cores=8
+
+class Band {
+  flag filter;
+  flag done;
+  int index;
+  int taps;
+  int decim;
+  double[] signal;
+  double[][] coeff;
+  double energy;
+  double peak;
+
+  Band(int idx, double[] sig, int t) {
+    index = idx;
+    taps = t;
+    decim = 4;
+    signal = sig;
+    energy = 0.0;
+    peak = 0.0;
+    coeff = new double[2][t];
+    for (int stage = 0; stage < 2; stage = stage + 1) {
+      for (int j = 0; j < t; j = j + 1) {
+        coeff[stage][j] = Math.cos(0.3 * (idx + 1) * (stage + 1) * j) / t;
+      }
+    }
+  }
+
+  double convolveAt(int stage, double[] data, int at) {
+    double acc = 0.0;
+    for (int j = 0; j < taps; j = j + 1) {
+      int src = at - j;
+      if (src >= 0) {
+        acc = acc + coeff[stage][j] * data[src];
+      }
+    }
+    return acc;
+  }
+
+  void run() {
+    int n = signal.length;
+    int half = n / decim;
+    double[] mid = new double[half];
+    for (int i = 0; i < half; i = i + 1) {
+      mid[i] = convolveAt(0, signal, i * decim);
+    }
+    for (int i = 0; i < half; i = i + 1) {
+      double y = convolveAt(1, mid, i);
+      energy = energy + y * y;
+      peak = Math.max(peak, Math.min(y, 1000.0));
+    }
+    Bamboo.charge(half * taps * 2);
+  }
+}
+
+class Sink {
+  flag open;
+  int expected;
+  int merged;
+  double[] energies;
+  double[] peaks;
+
+  Sink(int n) {
+    expected = n;
+    merged = 0;
+    energies = new double[n];
+    peaks = new double[n];
+  }
+
+  boolean fold(Band b) {
+    energies[b.index] = b.energy;
+    peaks[b.index] = b.peak;
+    merged = merged + 1;
+    return merged == expected;
+  }
+
+  void report() {
+    System.printString("filterbank energies:");
+    for (int i = 0; i < expected; i = i + 1) {
+      System.printString(" ");
+      System.printDouble(energies[i]);
+      System.printString("/");
+      System.printDouble(peaks[i]);
+    }
+  }
+}
+
+task startup(StartupObject s in initialstate) {
+  int bands = 4;
+  int n = 128;
+  if (s.args.length > 0) {
+    n = n * s.args[0].length();
+  }
+  double[] signal = new double[n];
+  for (int i = 0; i < n; i = i + 1) {
+    signal[i] = Math.sin(0.02 * i) + 0.5 * Math.sin(0.11 * i);
+  }
+  for (int b = 0; b < bands; b = b + 1) {
+    Band bd = new Band(b, signal, 8) { filter := true };
+  }
+  Sink k = new Sink(bands) { open := true };
+  taskexit(s: initialstate := false);
+}
+
+task runBand(Band b in filter) {
+  b.run();
+  taskexit(b: filter := false, done := true);
+}
+
+task drain(Sink k in open, Band b in done) {
+  boolean all = k.fold(b);
+  if (all) {
+    k.report();
+    taskexit(k: open := false; b: done := false);
+  }
+  taskexit(b: done := false);
+}

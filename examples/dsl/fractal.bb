@@ -1,0 +1,98 @@
+// Mandelbrot fractal renderer: the image is split into row objects,
+// each escape-time loop uses break to bail out of the iteration and
+// continue to skip the interlaced columns, and the integer iteration
+// checksum merges exactly in any order.
+//
+//   bamboo fractal.bb --run --cores=8
+
+class Row {
+  flag render;
+  flag done;
+  int y;
+  int width;
+  int height;
+  int maxiter;
+  int checksum;
+
+  Row(int line, int w, int h) {
+    y = line;
+    width = w;
+    height = h;
+    maxiter = 64;
+    checksum = 0;
+  }
+
+  void renderLine() {
+    double ci = -1.2 + 2.4 * y / height;
+    for (int x = 0; x < width; x = x + 1) {
+      // Interlace: every fourth column is skipped (rendered by a
+      // cheaper pass in the real application).
+      if (x - (x / 4) * 4 == 3) {
+        continue;
+      }
+      double cr = -2.0 + 3.0 * x / width;
+      double zr = 0.0;
+      double zi = 0.0;
+      int iter = 0;
+      while (iter < maxiter) {
+        double zr2 = zr * zr;
+        double zi2 = zi * zi;
+        if (zr2 + zi2 > 4.0) {
+          break;
+        }
+        zi = 2.0 * zr * zi + ci;
+        zr = zr2 - zi2 + cr;
+        iter = iter + 1;
+      }
+      checksum = checksum + iter * (x + 1);
+    }
+    Bamboo.charge(width * 8);
+  }
+}
+
+class Canvas {
+  flag open;
+  int expected;
+  int merged;
+  int total;
+
+  Canvas(int rows) {
+    expected = rows;
+    merged = 0;
+    total = 0;
+  }
+
+  boolean fold(Row r) {
+    total = total + r.checksum;
+    merged = merged + 1;
+    return merged == expected;
+  }
+}
+
+task startup(StartupObject s in initialstate) {
+  int width = 48;
+  int height = 12;
+  if (s.args.length > 0) {
+    height = height * s.args[0].length();
+  }
+  for (int y = 0; y < height; y = y + 1) {
+    Row r = new Row(y, width, height) { render := true };
+  }
+  Canvas c = new Canvas(height) { open := true };
+  taskexit(s: initialstate := false);
+}
+
+task renderRow(Row r in render) {
+  r.renderLine();
+  taskexit(r: render := false, done := true);
+}
+
+task compose(Canvas c in open, Row r in done) {
+  boolean all = c.fold(r);
+  if (all) {
+    System.printString("fractal checksum: ");
+    System.printInt(c.total);
+    taskexit(c: open := false; r: done := false);
+  }
+  taskexit(r: done := false);
+}

@@ -1,0 +1,199 @@
+// K-means clustering over 2-D points, iterated through the flag state
+// machine: assign (per-chunk nearest-centroid pass, in parallel) ->
+// merge (fold per-chunk partial sums into per-chunk slots) -> rearm
+// (broadcast the recomputed centroids and start the next iteration).
+// Partial sums are slotted by chunk index and reduced in index order,
+// so the centroids are bit-identical on every engine and schedule.
+//
+//   bamboo kmeans.bb --run --cores=8
+
+class Chunk {
+  flag process;
+  flag submit;
+  flag parked;
+  int index;
+  int n;
+  int k;
+  double[] px;
+  double[] py;
+  double[] cx;
+  double[] cy;
+  double[] sumx;
+  double[] sumy;
+  int[] cnt;
+
+  Chunk(int idx, int points, int clusters) {
+    index = idx;
+    n = points;
+    k = clusters;
+    px = new double[points];
+    py = new double[points];
+    cx = new double[clusters];
+    cy = new double[clusters];
+    sumx = new double[clusters];
+    sumy = new double[clusters];
+    cnt = new int[clusters];
+    for (int i = 0; i < points; i = i + 1) {
+      px[i] = Bamboo.rand(1000) / 100.0;
+      py[i] = Bamboo.rand(1000) / 100.0;
+    }
+    for (int c = 0; c < clusters; c = c + 1) {
+      cx[c] = 1.0 + 3.0 * c;
+      cy[c] = 9.0 - 3.0 * c;
+    }
+  }
+
+  void assignPoints() {
+    for (int c = 0; c < k; c = c + 1) {
+      sumx[c] = 0.0;
+      sumy[c] = 0.0;
+      cnt[c] = 0;
+    }
+    for (int i = 0; i < n; i = i + 1) {
+      int best = 0;
+      double bestd = 1000000.0;
+      for (int c = 0; c < k; c = c + 1) {
+        double dx = px[i] - cx[c];
+        double dy = py[i] - cy[c];
+        double d = Math.sqrt(dx * dx + dy * dy);
+        if (d < bestd) {
+          bestd = d;
+          best = c;
+        }
+      }
+      sumx[best] = sumx[best] + px[i];
+      sumy[best] = sumy[best] + py[i];
+      cnt[best] = cnt[best] + 1;
+    }
+    Bamboo.charge(n * k * 4);
+  }
+}
+
+class Controller {
+  flag merging;
+  flag update;
+  int k;
+  int chunks;
+  int iter;
+  int maxiter;
+  int merged;
+  int armed;
+  double[] cx;
+  double[] cy;
+  double[][] slotx;
+  double[][] sloty;
+  int[][] slotn;
+
+  Controller(int clusters, int workers, int iterations) {
+    k = clusters;
+    chunks = workers;
+    iter = 0;
+    maxiter = iterations;
+    merged = 0;
+    armed = 0;
+    cx = new double[clusters];
+    cy = new double[clusters];
+    slotx = new double[clusters][workers];
+    sloty = new double[clusters][workers];
+    slotn = new int[clusters][workers];
+    for (int c = 0; c < clusters; c = c + 1) {
+      cx[c] = 1.0 + 3.0 * c;
+      cy[c] = 9.0 - 3.0 * c;
+    }
+  }
+
+  boolean fold(Chunk ch) {
+    for (int c = 0; c < k; c = c + 1) {
+      slotx[c][ch.index] = ch.sumx[c];
+      sloty[c][ch.index] = ch.sumy[c];
+      slotn[c][ch.index] = ch.cnt[c];
+    }
+    merged = merged + 1;
+    return merged == chunks;
+  }
+
+  void recompute() {
+    for (int c = 0; c < k; c = c + 1) {
+      double tx = 0.0;
+      double ty = 0.0;
+      int tn = 0;
+      for (int w = 0; w < chunks; w = w + 1) {
+        tx = tx + slotx[c][w];
+        ty = ty + sloty[c][w];
+        tn = tn + slotn[c][w];
+      }
+      if (tn > 0) {
+        cx[c] = tx / tn;
+        cy[c] = ty / tn;
+      }
+    }
+    iter = iter + 1;
+    armed = 0;
+  }
+
+  boolean armWorker(Chunk ch) {
+    for (int c = 0; c < k; c = c + 1) {
+      ch.cx[c] = cx[c];
+      ch.cy[c] = cy[c];
+    }
+    armed = armed + 1;
+    return armed == chunks;
+  }
+
+  void report() {
+    System.printString("kmeans centroids:");
+    for (int c = 0; c < k; c = c + 1) {
+      System.printString(" ");
+      System.printDouble(cx[c]);
+      System.printString(",");
+      System.printDouble(cy[c]);
+    }
+  }
+}
+
+task startup(StartupObject s in initialstate) {
+  int workers = 4;
+  int clusters = 3;
+  int points = 32;
+  if (s.args.length > 0) {
+    points = points * s.args[0].length();
+  }
+  for (int w = 0; w < workers; w = w + 1) {
+    Chunk ch = new Chunk(w, points, clusters) { process := true };
+  }
+  Controller c = new Controller(clusters, workers, 3) { merging := true };
+  taskexit(s: initialstate := false);
+}
+
+task assign(Chunk ch in process) {
+  ch.assignPoints();
+  taskexit(ch: process := false, submit := true);
+}
+
+task merge(Controller c in merging, Chunk ch in submit) {
+  boolean all = c.fold(ch);
+  if (all) {
+    c.recompute();
+    taskexit(c: merging := false, update := true;
+             ch: submit := false, parked := true);
+  }
+  taskexit(ch: submit := false, parked := true);
+}
+
+task rearm(Controller c in update, Chunk ch in parked) {
+  boolean last = c.armWorker(ch);
+  boolean more = c.iter < c.maxiter;
+  if (last) {
+    if (more) {
+      c.merged = 0;
+      taskexit(c: update := false, merging := true;
+               ch: parked := false, process := true);
+    }
+    c.report();
+    taskexit(c: update := false; ch: parked := false);
+  }
+  if (more) {
+    taskexit(ch: parked := false, process := true);
+  }
+  taskexit(ch: parked := false);
+}

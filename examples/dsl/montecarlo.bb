@@ -1,0 +1,107 @@
+// Monte-Carlo kernel: each Walker draws a seeded pseudo-random point
+// stream (Bamboo.rand is deterministic per task invocation), counts
+// hits inside the unit circle, and prices a toy log-normal payoff.
+// Integer hit counts merge exactly in any order; the per-walker payoff
+// means are slotted by walker index and reduced in index order, so the
+// printed results are identical on every engine and schedule.
+//
+//   bamboo montecarlo.bb --run --cores=8
+
+class Walker {
+  flag walk;
+  flag done;
+  int index;
+  int samples;
+  int hits;
+  double payoff;
+
+  Walker(int idx, int n) {
+    index = idx;
+    samples = n;
+    hits = 0;
+    payoff = 0.0;
+  }
+
+  void simulate() {
+    double acc = 0.0;
+    for (int i = 0; i < samples; i = i + 1) {
+      double x = Bamboo.rand(65536) / 65536.0;
+      double y = Bamboo.rand(65536) / 65536.0;
+      if (x * x + y * y <= 1.0) {
+        hits = hits + 1;
+      }
+      // Toy geometric-Brownian endpoint: exp of a drifted uniform,
+      // clipped into the log's domain.
+      double u = x + 0.0001;
+      double z = Math.exp(0.05 + 0.2 * Math.log(u));
+      acc = acc + Math.sqrt(z * z + y);
+    }
+    payoff = acc / samples;
+    Bamboo.charge(samples * 8);
+  }
+}
+
+class Pricer {
+  flag open;
+  int expected;
+  int merged;
+  int totalhits;
+  int totalsamples;
+  double[] means;
+
+  Pricer(int n) {
+    expected = n;
+    merged = 0;
+    totalhits = 0;
+    totalsamples = 0;
+    means = new double[n];
+  }
+
+  boolean fold(Walker w) {
+    totalhits = totalhits + w.hits;
+    totalsamples = totalsamples + w.samples;
+    means[w.index] = w.payoff;
+    merged = merged + 1;
+    return merged == expected;
+  }
+
+  double meanPayoff() {
+    double t = 0.0;
+    for (int i = 0; i < expected; i = i + 1) {
+      t = t + means[i];
+    }
+    return t / expected;
+  }
+}
+
+task startup(StartupObject s in initialstate) {
+  int walkers = 6;
+  int per = 200;
+  if (s.args.length > 0) {
+    per = per * s.args[0].length();
+  }
+  for (int w = 0; w < walkers; w = w + 1) {
+    Walker wk = new Walker(w, per) { walk := true };
+  }
+  Pricer p = new Pricer(walkers) { open := true };
+  taskexit(s: initialstate := false);
+}
+
+task simulate(Walker w in walk) {
+  w.simulate();
+  taskexit(w: walk := false, done := true);
+}
+
+task price(Pricer p in open, Walker w in done) {
+  boolean all = p.fold(w);
+  if (all) {
+    System.printString("mc hits: ");
+    System.printInt(p.totalhits);
+    System.printString(" of ");
+    System.printInt(p.totalsamples);
+    System.printString(" payoff: ");
+    System.printDouble(p.meanPayoff());
+    taskexit(p: open := false; w: done := false);
+  }
+  taskexit(w: done := false);
+}

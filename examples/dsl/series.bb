@@ -1,0 +1,118 @@
+// Fourier series coefficients (the Series kernel of the paper's
+// benchmark suite). The startup task splits the coefficient range over
+// Range worker objects; each computeRange invocation integrates its
+// slice by the trapezoid rule, and the collector folds the per-worker
+// partial sums in worker order so the printed checksum is independent
+// of merge order.
+//
+//   bamboo series.bb --run --cores=8
+
+class Range {
+  flag compute;
+  flag done;
+  int index;
+  int first;
+  int count;
+  double sum;
+
+  Range(int idx, int f, int n) {
+    index = idx;
+    first = f;
+    count = n;
+    sum = 0.0;
+  }
+
+  // 64-interval trapezoid rule for the k-th Fourier coefficient of
+  // f(x) = (x+1)^x over [0,2].
+  double integrate(int k, boolean cosine) {
+    int intervals = 64;
+    double width = 2.0 / intervals;
+    double total = 0.0;
+    for (int i = 0; i <= intervals; i = i + 1) {
+      double x = width * i;
+      double fx = Math.pow(x + 1.0, x);
+      if (k > 0) {
+        double omega = 3.141592653589793 * k * x;
+        if (cosine) {
+          fx = fx * Math.cos(omega);
+        } else {
+          fx = fx * Math.sin(omega);
+        }
+      }
+      if (i == 0 || i == intervals) {
+        fx = fx * 0.5;
+      }
+      total = total + fx;
+    }
+    return total * width;
+  }
+
+  void computeSlice() {
+    int stop = first + count;
+    for (int k = first; k < stop; k = k + 1) {
+      sum = sum + integrate(k, true);
+      if (k > 0) {
+        sum = sum + integrate(k, false);
+      }
+    }
+    Bamboo.charge(count * 16);
+  }
+}
+
+class Collector {
+  flag open;
+  int expected;
+  int merged;
+  double[] slices;
+
+  Collector(int n) {
+    expected = n;
+    merged = 0;
+    slices = new double[n];
+  }
+
+  boolean fold(Range r) {
+    // Slot the partial sum by worker index: the final reduction below
+    // runs in index order, so the checksum does not depend on which
+    // worker merged first.
+    slices[r.index] = r.sum;
+    merged = merged + 1;
+    return merged == expected;
+  }
+
+  double total() {
+    double t = 0.0;
+    for (int i = 0; i < expected; i = i + 1) {
+      t = t + slices[i];
+    }
+    return t;
+  }
+}
+
+task startup(StartupObject s in initialstate) {
+  int workers = 4;
+  int per = 6;
+  if (s.args.length > 0) {
+    per = per + s.args[0].length();
+  }
+  for (int w = 0; w < workers; w = w + 1) {
+    Range r = new Range(w, w * per, per) { compute := true };
+  }
+  Collector c = new Collector(workers) { open := true };
+  taskexit(s: initialstate := false);
+}
+
+task computeRange(Range r in compute) {
+  r.computeSlice();
+  taskexit(r: compute := false, done := true);
+}
+
+task collect(Collector c in open, Range r in done) {
+  boolean all = c.fold(r);
+  if (all) {
+    System.printString("series checksum: ");
+    System.printDouble(c.total());
+    taskexit(c: open := false; r: done := false);
+  }
+  taskexit(r: done := false);
+}

@@ -1,0 +1,162 @@
+// Feature tracking (the vision pipeline of the paper's benchmark
+// suite): each Frame fans out into feature Patch objects linked back to
+// their frame by a tag instance, the gradient pass scores every patch,
+// and the accumulate task uses the tag constraint to fold each patch
+// into exactly the frame that spawned it. Per-frame motion scores are
+// slotted by frame index and reported in index order.
+//
+//   bamboo tracking.bb --run --cores=8
+
+tagtype framelink;
+
+class Patch {
+  flag raw;
+  flag scored;
+  int index;
+  int n;
+  int[] pixels;
+  int score;
+
+  Patch(int idx, int size, int seed) {
+    index = idx;
+    n = size;
+    pixels = new int[size];
+    for (int i = 0; i < size; i = i + 1) {
+      pixels[i] = (seed + i * i * 7) - ((seed + i * i * 7) / 256) * 256;
+    }
+    score = 0;
+  }
+
+  void gradient() {
+    for (int i = 0; i + 1 < n; i = i + 1) {
+      score = score + Math.abs(pixels[i + 1] - pixels[i]);
+    }
+    Bamboo.charge(n * 3);
+  }
+}
+
+class Frame {
+  flag open;
+  flag summed;
+  int index;
+  String label;
+  int expected;
+  int psize;
+  int folded;
+  int motion;
+
+  Frame(int idx, String name, int patches, int size) {
+    index = idx;
+    label = name;
+    expected = patches;
+    psize = size;
+    folded = 0;
+    motion = 0;
+  }
+
+  boolean fold(Patch p) {
+    motion = motion + p.score;
+    folded = folded + 1;
+    return folded == expected;
+  }
+
+  // Checksum the label so the string builtins feed the printed result:
+  // sum of character codes, plus a marker when this is the key frame.
+  int labelChecksum() {
+    int sum = 0;
+    for (int i = 0; i < label.length(); i = i + 1) {
+      sum = sum + label.charAt(i);
+    }
+    if (label.equals("key")) {
+      sum = sum + 10000;
+    }
+    return sum;
+  }
+}
+
+class Tracker {
+  flag waiting;
+  int expected;
+  int merged;
+  int[] motions;
+  int[] labels;
+
+  Tracker(int frames) {
+    expected = frames;
+    merged = 0;
+    motions = new int[frames];
+    labels = new int[frames];
+  }
+
+  boolean fold(Frame f) {
+    motions[f.index] = f.motion;
+    labels[f.index] = f.labelChecksum();
+    merged = merged + 1;
+    return merged == expected;
+  }
+
+  void report() {
+    System.printString("tracking motion:");
+    for (int i = 0; i < expected; i = i + 1) {
+      System.printString(" ");
+      System.printInt(motions[i]);
+      System.printString("/");
+      System.printInt(labels[i]);
+    }
+  }
+}
+
+task startup(StartupObject s in initialstate) {
+  int frames = 3;
+  int patches = 4;
+  int size = 64;
+  if (s.args.length > 0) {
+    size = size * s.args[0].length();
+  }
+  // Frame names come from a packed string; the key frame is the one
+  // whose token reads "key".
+  String names = "key pan tilt";
+  int cursor = 0;
+  for (int f = 0; f < frames; f = f + 1) {
+    int stop = names.indexOf(" ", cursor);
+    if (stop < 0) {
+      stop = names.length();
+    }
+    String name = names.substring(cursor, stop);
+    cursor = stop + 1;
+    Frame fr = new Frame(f, name, patches, size) { open := true };
+  }
+  Tracker tr = new Tracker(frames) { waiting := true };
+  taskexit(s: initialstate := false);
+}
+
+task spawnPatches(Frame f in open and !summed) {
+  tag t = new tag(framelink);
+  for (int p = 0; p < f.expected; p = p + 1) {
+    Patch pt = new Patch(p, f.psize, f.index * 100 + p * 17) { raw := true, add t };
+  }
+  taskexit(f: summed := true, add t);
+}
+
+task gradient(Patch p in raw) {
+  p.gradient();
+  taskexit(p: raw := false, scored := true);
+}
+
+task accumulate(Frame f in open with framelink t,
+                Patch p in scored with framelink t) {
+  boolean all = f.fold(p);
+  if (all) {
+    taskexit(f: open := false, clear t; p: scored := false, clear t);
+  }
+  taskexit(p: scored := false, clear t);
+}
+
+task report(Tracker tr in waiting, Frame f in !open and summed) {
+  boolean all = tr.fold(f);
+  if (all) {
+    tr.report();
+    taskexit(tr: waiting := false; f: summed := false);
+  }
+  taskexit(f: summed := false);
+}

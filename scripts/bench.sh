@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates the committed VM benchmark baseline (BENCH_vm.json): builds
+# the tree and wall-times every DSL example app on the 1-core tile
+# machine under both execution modes. The JSON lands in the repo root;
+# commit it when the speedups change for a legitimate reason (the tier-1
+# gate compares the interp/vm speedup RATIO against this file, so the
+# baseline does not need to be regenerated for host-speed changes).
+#
+#   scripts/bench.sh            # refresh BENCH_vm.json in place
+#   scripts/bench.sh --reps=9   # more repetitions (best-of-N)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+REPS_FLAG="${1:---reps=5}"
+
+cmake -B build -S .
+cmake --build build -j"${JOBS}" --target fig_vm
+
+./build/bench/fig_vm "${REPS_FLAG}" > BENCH_vm.json
+echo "wrote $(pwd)/BENCH_vm.json"

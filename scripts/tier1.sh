@@ -7,7 +7,9 @@
 # path) rebuilt and re-run under ThreadSanitizer so data races are caught
 # automatically. An engine-core stage additionally runs the cross-engine
 # differential suite plus a clang-format check over src/exec (skipped
-# when clang-format is not installed).
+# when clang-format is not installed). A VM stage pins --exec-mode
+# equivalence, --dump-bytecode determinism, and the interp-vs-VM speedup
+# against the committed BENCH_vm.json baseline (>10% regression fails).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -113,23 +115,68 @@ else
   echo "clang-format not installed; skipping src/exec format check"
 fi
 
-echo "== tier-1: ASan+UBSan stage (resilience + runtime + checkpoint suites) =="
+echo "== tier-1: VM stage (exec-mode diff + bytecode dump + bench gate) =="
+# The bytecode VM must be observationally identical to the interpreter
+# (the full differential matrix runs in ctest above; re-pin it here),
+# the CLI must produce byte-identical output under both --exec-mode
+# values on the tile and thread engines, --dump-bytecode must be
+# deterministic, and the VM's speedup over the interpreter must not
+# regress by more than 10% against the committed BENCH_vm.json baseline
+# (the gate compares the speedup RATIO, so host speed cancels out).
+(cd build && ctest --output-on-failure -j"${JOBS}" -R 'Vm')
+for ENGINE in tile thread; do
+  ./build/src/driver/bamboo "${KW}" --cores=8 --arg='the quick brown fox the lazy dog' \
+    --engine="${ENGINE}" --exec-mode=interp > "${TRACE_DIR}/xmode-i.txt" 2> /dev/null
+  ./build/src/driver/bamboo "${KW}" --cores=8 --arg='the quick brown fox the lazy dog' \
+    --engine="${ENGINE}" --exec-mode=vm > "${TRACE_DIR}/xmode-v.txt" 2> /dev/null
+  cmp "${TRACE_DIR}/xmode-i.txt" "${TRACE_DIR}/xmode-v.txt" \
+    || { echo "--exec-mode output differs on engine ${ENGINE}" >&2; exit 1; }
+done
+./build/src/driver/bamboo "${KW}" --dump-bytecode > "${TRACE_DIR}/bc1.txt"
+./build/src/driver/bamboo "${KW}" --dump-bytecode > "${TRACE_DIR}/bc2.txt"
+cmp "${TRACE_DIR}/bc1.txt" "${TRACE_DIR}/bc2.txt" \
+  || { echo "--dump-bytecode is not deterministic" >&2; exit 1; }
+grep -q 'fn 0:' "${TRACE_DIR}/bc1.txt" \
+  || { echo "--dump-bytecode printed no functions" >&2; exit 1; }
+cmake --build build -j"${JOBS}" --target fig_vm
+./build/bench/fig_vm --reps=5 > "${TRACE_DIR}/bench_vm.json" 2> /dev/null
+python3 - BENCH_vm.json "${TRACE_DIR}/bench_vm.json" <<'PYEOF'
+import json, sys
+base = {a["name"]: a for a in json.load(open(sys.argv[1]))["apps"]}
+cur = {a["name"]: a for a in json.load(open(sys.argv[2]))["apps"]}
+assert set(base) == set(cur), "benchmark app set changed; rerun scripts/bench.sh"
+bad = []
+for name, b in base.items():
+    c = cur[name]
+    assert c["cycles"] == b["cycles"], (
+        "%s: cycle total changed (%d -> %d); the cost model moved, "
+        "rerun scripts/bench.sh" % (name, b["cycles"], c["cycles"]))
+    if c["speedup"] < b["speedup"] * 0.9:
+        bad.append("%s: speedup %.2fx -> %.2fx" % (name, b["speedup"], c["speedup"]))
+if bad:
+    sys.exit("VM throughput regressed >10%% vs BENCH_vm.json:\n  " + "\n  ".join(bad))
+print("VM bench gate OK: " + ", ".join(
+    "%s %.2fx" % (n, cur[n]["speedup"]) for n in sorted(cur)))
+PYEOF
+
+echo "== tier-1: ASan+UBSan stage (resilience + runtime + checkpoint + VM suites) =="
 cmake -B build-asan -S . -DBAMBOO_SANITIZE=address,undefined
 cmake --build build-asan -j"${JOBS}" --target test_resilience test_runtime \
-  test_checkpoint
+  test_checkpoint test_vm test_vm_diff
 (cd build-asan && ctest --output-on-failure -j"${JOBS}" \
-  -R 'Resilience|FaultPlan|FaultInjector|Recovery|Routing|Runtime|TileExecutor|Checkpoint|HeapSnapshot|Watchdog' \
+  -R 'Resilience|FaultPlan|FaultInjector|Recovery|Routing|Runtime|TileExecutor|Checkpoint|HeapSnapshot|Watchdog|Vm' \
   -E 'ChaosMatrix')
 
 echo "== tier-1: ThreadSanitizer stage (ThreadPool + parallel DSA + executors) =="
 cmake -B build-tsan -S . -DBAMBOO_SANITIZE=thread
 cmake --build build-tsan -j"${JOBS}" --target test_support test_synthesis \
-  test_runtime test_threadexec test_resilience
+  test_runtime test_threadexec test_resilience test_vm_diff
 # ChaosMatrix is correctness-heavy but single-threaded per engine run;
 # exclude it under TSan to keep the stage fast. ThreadFaultTest is the
-# part that exercises injection under real races.
+# part that exercises injection under real races; VmDiff's thread-engine
+# and --jobs synthesis cases cover --exec-mode=vm under the same races.
 (cd build-tsan && ctest --output-on-failure -j"${JOBS}" \
-  -R 'ThreadPool|Dsa|ThreadExecutor|TileExecutor|TraceTest|ThreadFaultTest|FaultInjector' \
+  -R 'ThreadPool|Dsa|ThreadExecutor|TileExecutor|TraceTest|ThreadFaultTest|FaultInjector|VmDiff' \
   -E 'ChaosMatrix')
 
 echo "tier-1 OK"

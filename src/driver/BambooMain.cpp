@@ -26,11 +26,13 @@
 #include "runtime/ThreadExecutor.h"
 #include "schedsim/SchedSim.h"
 #include "support/Trace.h"
+#include "vm/Vm.h"
 
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 
@@ -41,6 +43,11 @@ namespace {
 /// Which engine --run executes on (engine choice used to be implicit:
 /// always the tile machine).
 enum class EngineKind { Tile, Sim, Thread };
+
+/// How task bodies execute: the tree-walking interpreter or the bytecode
+/// VM. Both run through the same BoundProgram seam and are required to be
+/// observationally identical; the VM is the default because it is faster.
+enum class ExecMode { Interp, Vm };
 
 void usage(std::FILE *Out) {
   std::fprintf(
@@ -97,6 +104,11 @@ void usage(std::FILE *Out) {
       "                    written by --checkpoint-dir; the program,\n"
       "                    seed, args and layout must match (exit 4 on\n"
       "                    mismatch or a corrupt file)\n"
+      "  --exec-mode=MODE  how task bodies execute: 'vm' (default)\n"
+      "                    compiles them to register bytecode run by a\n"
+      "                    threaded-code VM; 'interp' walks the AST. The\n"
+      "                    two modes produce identical output, cycle\n"
+      "                    counts, traces and checkpoints\n"
       "  --watchdog-cycles=N\n"
       "                    abort when virtual time advances N cycles\n"
       "                    with no dispatch or completion, printing a\n"
@@ -107,6 +119,8 @@ void usage(std::FILE *Out) {
       "  --dump-taskflow   print the task flow graph (DOT)\n"
       "  --dump-locks      print the lock plans\n"
       "  --dump-layout     print the synthesized layout\n"
+      "  --dump-bytecode   print the VM bytecode disassembly (implies\n"
+      "                    --exec-mode=vm)\n"
       "  --emit-c          print generated C code\n"
       "  --help            print this help\n");
 }
@@ -127,6 +141,7 @@ int main(int Argc, char **Argv) {
   int Cores = 62;
   int Jobs = 1;
   EngineKind Engine = EngineKind::Tile;
+  ExecMode Mode = ExecMode::Vm;
   uint64_t Seed = 1;
   uint64_t FaultSeed = 1;
   bool Recovery = true;
@@ -141,7 +156,7 @@ int main(int Argc, char **Argv) {
   bool Metrics = false;
   bool DumpIr = false, DumpAstg = false, DumpCstg = false,
        DumpTaskflow = false, DumpLocks = false, DumpLayout = false,
-       EmitCCode = false, Run = false;
+       DumpBytecode = false, EmitCCode = false, Run = false;
 
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -167,6 +182,20 @@ int main(int Argc, char **Argv) {
             "bamboo: --engine expects 'tile', 'sim' or 'thread', got "
             "'%s'\n",
             Name.c_str());
+        return 2;
+      }
+    }
+    else if (Arg.rfind("--exec-mode=", 0) == 0) {
+      std::string Name = Arg.substr(12);
+      if (Name == "interp")
+        Mode = ExecMode::Interp;
+      else if (Name == "vm")
+        Mode = ExecMode::Vm;
+      else {
+        std::fprintf(stderr,
+                     "bamboo: --exec-mode expects 'interp' or 'vm', got "
+                     "'%s'\n",
+                     Name.c_str());
         return 2;
       }
     }
@@ -228,6 +257,8 @@ int main(int Argc, char **Argv) {
       DumpLocks = true;
     else if (Arg == "--dump-layout")
       DumpLayout = true;
+    else if (Arg == "--dump-bytecode")
+      DumpBytecode = true;
     else if (Arg == "--emit-c")
       EmitCCode = true;
     else {
@@ -242,7 +273,7 @@ int main(int Argc, char **Argv) {
       !RestorePath.empty() || WatchdogCycles > 0)
     Run = true;
   if (!DumpIr && !DumpAstg && !DumpCstg && !DumpTaskflow && !DumpLocks &&
-      !DumpLayout && !EmitCCode)
+      !DumpLayout && !DumpBytecode && !EmitCCode)
     Run = true;
 
   resilience::Checkpoint RestoreCkpt;
@@ -310,10 +341,26 @@ int main(int Argc, char **Argv) {
     }
     std::printf("%s", C->c_str());
   }
+  if (!Run && !DumpLayout && !DumpBytecode)
+    return 0;
+
+  std::unique_ptr<interp::DslProgram> IP;
+  if (Mode == ExecMode::Vm || DumpBytecode) {
+    auto VP = std::make_unique<vm::VmProgram>(std::move(*CM));
+    if (DumpBytecode) {
+      if (VP->usesBytecode())
+        std::printf("%s", vm::disassemble(VP->chunk()).c_str());
+      else
+        std::printf("; bytecode unavailable: a body exceeds the format "
+                    "limits, interpreter fallback active\n");
+    }
+    IP = std::move(VP);
+  } else {
+    IP = std::make_unique<interp::InterpProgram>(std::move(*CM));
+  }
   if (!Run && !DumpLayout)
     return 0;
 
-  interp::InterpProgram IP(std::move(*CM));
   driver::PipelineOptions Opts;
   Opts.Target = machine::MachineConfig::tilePro64();
   Opts.Target.NumCores = Cores;
@@ -321,10 +368,10 @@ int main(int Argc, char **Argv) {
   Opts.Dsa.Jobs = Jobs;
   Opts.Exec.Args = Args;
   Opts.Exec.Seed = Seed;
-  driver::PipelineResult R = driver::runPipeline(IP.bound(), Opts);
+  driver::PipelineResult R = driver::runPipeline(IP->bound(), Opts);
 
   if (DumpLayout)
-    std::printf("%s", R.BestLayout.str(IP.bound().program()).c_str());
+    std::printf("%s", R.BestLayout.str(IP->bound().program()).c_str());
   if (Run) {
     // The pipeline ran the program for profiling and measurement; re-run
     // the chosen layout once for clean program output (and, when
@@ -379,7 +426,7 @@ int main(int Argc, char **Argv) {
       SimOpts.Restore = Opts.Exec.Restore;
       SimOpts.WatchdogCycles = WatchdogCycles;
       schedsim::SimResult S = schedsim::simulateLayout(
-          IP.bound().program(), R.Graph, *R.Prof, IP.bound().hints(),
+          IP->bound().program(), R.Graph, *R.Prof, IP->bound().hints(),
           Opts.Target, R.BestLayout, SimOpts);
       if (!S.RestoreError.empty()) {
         std::fprintf(stderr, "bamboo: restore failed: %s\n",
@@ -419,9 +466,9 @@ int main(int Argc, char **Argv) {
       TOpts.OnCheckpoint = Opts.Exec.OnCheckpoint;
       TOpts.Restore = Opts.Exec.Restore;
       TOpts.WatchdogMs = static_cast<int64_t>(WatchdogCycles);
-      runtime::ThreadExecutor Exec(IP.bound(), R.Graph, R.BestLayout);
-      IP.clearOutput();
-      IP.clearError();
+      runtime::ThreadExecutor Exec(IP->bound(), R.Graph, R.BestLayout);
+      IP->clearOutput();
+      IP->clearError();
       runtime::ThreadExecResult TR = Exec.run(TOpts);
       if (!TR.RestoreError.empty()) {
         std::fprintf(stderr, "bamboo: restore failed: %s\n",
@@ -438,7 +485,7 @@ int main(int Argc, char **Argv) {
       if (!TR.CheckpointError.empty())
         std::fprintf(stderr, "bamboo: checkpoint failed: %s\n",
                      TR.CheckpointError.c_str());
-      std::printf("%s", IP.output().c_str());
+      std::printf("%s", IP->output().c_str());
       if (Faults)
         std::fprintf(stderr, "bamboo: %s%s\n", TR.Recovery.str().c_str(),
                      TR.Completed ? "" : " [RUN FAILED]");
@@ -447,7 +494,7 @@ int main(int Argc, char **Argv) {
           Cores, TR.WallSeconds,
           static_cast<unsigned long long>(TR.TaskInvocations));
     } else {
-      runtime::TileExecutor Exec(IP.bound(), R.Graph, Opts.Target,
+      runtime::TileExecutor Exec(IP->bound(), R.Graph, Opts.Target,
                                  R.BestLayout);
       // Under --recovery=restart a damaged run is retried from its most
       // recent checkpoint (or from the start if none was taken yet) with
@@ -457,8 +504,8 @@ int main(int Argc, char **Argv) {
       int Attempt = 0;
       runtime::ExecResult FinalRun;
       for (;;) {
-        IP.clearOutput();
-        IP.clearError();
+        IP->clearOutput();
+        IP->clearError();
         FinalRun = Exec.run(Opts.Exec);
         if (!FinalRun.RestoreError.empty()) {
           std::fprintf(stderr, "bamboo: restore failed: %s\n",
@@ -494,7 +541,7 @@ int main(int Argc, char **Argv) {
             Attempt, MaxRestarts);
         Trace.clear();
       }
-      std::printf("%s", IP.output().c_str());
+      std::printf("%s", IP->output().c_str());
       if (Faults)
         std::fprintf(stderr, "bamboo: %s%s\n",
                      FinalRun.Recovery.str().c_str(),
@@ -514,9 +561,9 @@ int main(int Argc, char **Argv) {
     if (Metrics)
       std::fprintf(stderr, "%s",
                    Trace.metrics().str(Trace.taskNames()).c_str());
-    if (IP.hadError())
+    if (IP->hadError())
       std::fprintf(stderr, "bamboo: runtime error: %s\n",
-                   IP.error().c_str());
+                   IP->error().c_str());
     std::fprintf(stderr,
                  "bamboo: 1-core %llu cycles; %d-core %llu cycles "
                  "(speedup %.2fx, %llu DSA evaluations, %.2fs synthesis)\n",
@@ -526,5 +573,5 @@ int main(int Argc, char **Argv) {
                  static_cast<unsigned long long>(R.DsaEvaluations),
                  R.DsaSeconds);
   }
-  return IP.hadError() ? 1 : 0;
+  return IP->hadError() ? 1 : 0;
 }

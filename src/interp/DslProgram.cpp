@@ -1,0 +1,80 @@
+//===- interp/DslProgram.cpp - Executable DSL program host ----------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/DslProgram.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace bamboo;
+using namespace bamboo::interp;
+using namespace bamboo::frontend;
+using namespace bamboo::frontend::ast;
+
+void DslProgram::appendOutput(const std::string &Text) {
+  std::lock_guard<std::mutex> Guard(IoMutex);
+  Output += Text;
+}
+
+void DslProgram::reportError(SourceLoc Loc, const std::string &Msg) {
+  std::lock_guard<std::mutex> Guard(IoMutex);
+  if (!Error.empty())
+    return; // Keep the first error.
+  Error = formatString("%d:%d: %s", Loc.Line, Loc.Col, Msg.c_str());
+}
+
+DslProgram::DslProgram(frontend::CompiledModule CM)
+    : Ast(std::move(CM.Ast)), BP(std::move(CM.Prog)) {
+  // Startup payload: an InterpObjectData for StartupObject whose `args`
+  // field (if declared) carries the run arguments.
+  const ClassDeclAst *Startup = Ast.findClass("StartupObject");
+  assert(Startup && "frontend always provides StartupObject");
+  BP.setStartupFactory(
+      [Startup](const std::vector<std::string> &Args)
+          -> std::unique_ptr<runtime::ObjectData> {
+        auto Data = std::make_unique<InterpObjectData>();
+        Data->Class = Startup;
+        for (const FieldDecl &Field : Startup->Fields)
+          Data->Fields.push_back(defaultValue(Field.Resolved));
+        int ArgsIdx = Startup->fieldIndex("args");
+        if (ArgsIdx >= 0) {
+          auto Arr = std::make_shared<ArrayValue>();
+          for (const std::string &A : Args)
+            Arr->Elems.emplace_back(A);
+          Data->Fields[static_cast<size_t>(ArgsIdx)] = std::move(Arr);
+        }
+        return Data;
+      });
+
+  // Checkpoint codec: class by name (resolved against this module's AST
+  // on load), then the field values. Identical in both execution modes,
+  // so snapshots restore across --exec-mode boundaries.
+  runtime::ObjectCodec Codec;
+  Codec.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
+                  runtime::CodecSaveCtx &Ctx) {
+    const auto &Data = static_cast<const InterpObjectData &>(D);
+    W.str(Data.Class ? Data.Class->Name : std::string());
+    W.u64(Data.Fields.size());
+    for (const Value &V : Data.Fields)
+      saveValue(V, W, Ctx);
+  };
+  Codec.Load = [this](resilience::ByteReader &R, runtime::CodecLoadCtx &Ctx)
+      -> std::unique_ptr<runtime::ObjectData> {
+    auto Data = std::make_unique<InterpObjectData>();
+    std::string ClassName = R.str();
+    if (!ClassName.empty()) {
+      Data->Class = Ast.findClass(ClassName);
+      if (!Data->Class)
+        return nullptr;
+    }
+    uint64_t N = R.u64();
+    for (uint64_t I = 0; I < N && R.ok(); ++I)
+      Data->Fields.push_back(loadValue(R, Ctx));
+    return R.ok() ? std::move(Data) : nullptr;
+  };
+  BP.registerCodec("interp", std::move(Codec));
+}

@@ -1,0 +1,76 @@
+//===- interp/DslProgram.h - Executable DSL program host --------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution-mode-independent half of a runnable DSL module: owns the
+/// annotated AST and the runtime::BoundProgram binding seam, accumulates
+/// program output and the first runtime error, and registers the startup
+/// factory plus the "interp" heap-payload checkpoint codec. The
+/// tree-walking InterpProgram (src/interp) and the bytecode VmProgram
+/// (src/vm) both derive from this, so the executors, the checkpoint
+/// subsystem, and the driver treat the two modes identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_INTERP_DSLPROGRAM_H
+#define BAMBOO_INTERP_DSLPROGRAM_H
+
+#include "frontend/Sema.h"
+#include "interp/Value.h"
+#include "runtime/BoundProgram.h"
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace bamboo::interp {
+
+/// A compiled DSL module bound to executable bodies, ready for execution.
+/// Subclasses bind every task in their constructor (interpreter closures
+/// or compiled bytecode). Owns the AST and accumulates program output.
+class DslProgram {
+public:
+  virtual ~DslProgram() = default;
+
+  DslProgram(const DslProgram &) = delete;
+  DslProgram &operator=(const DslProgram &) = delete;
+
+  runtime::BoundProgram &bound() { return BP; }
+  const runtime::BoundProgram &bound() const { return BP; }
+  const frontend::ast::Module &ast() const { return Ast; }
+
+  /// Text printed via System.print* so far.
+  const std::string &output() const { return Output; }
+  void clearOutput() { Output.clear(); }
+
+  /// First runtime error, if any ("null dereference at 12:3").
+  const std::string &error() const { return Error; }
+  bool hadError() const { return !Error.empty(); }
+  void clearError() { Error.clear(); }
+
+  void appendOutput(const std::string &Text);
+  void reportError(frontend::SourceLoc Loc, const std::string &Msg);
+
+protected:
+  /// Consumes \p CM; installs the startup factory and the "interp" codec.
+  /// Subclasses bind the task bodies.
+  explicit DslProgram(frontend::CompiledModule CM);
+
+  frontend::ast::Module Ast;
+  runtime::BoundProgram BP;
+
+private:
+  /// Guards Output/Error: task bodies print and trap concurrently when
+  /// the program runs on the host-thread engine. Readers (output(),
+  /// error()) are only called between runs, after workers have joined.
+  std::mutex IoMutex;
+  std::string Output;
+  std::string Error;
+};
+
+} // namespace bamboo::interp
+
+#endif // BAMBOO_INTERP_DSLPROGRAM_H

@@ -20,173 +20,6 @@ using namespace bamboo::interp;
 using namespace bamboo::frontend;
 using namespace bamboo::frontend::ast;
 
-namespace {
-
-struct ArrayValue;
-
-/// A runtime value of the interpreted language.
-using Value = std::variant<std::monostate, int64_t, double, bool,
-                           std::string, runtime::Object *,
-                           std::shared_ptr<ArrayValue>,
-                           runtime::TagInstance *>;
-
-struct ArrayValue {
-  std::vector<Value> Elems;
-};
-
-/// Field storage attached to runtime objects for interpreted classes.
-struct InterpObjectData : runtime::ObjectData {
-  const ClassDeclAst *Class = nullptr;
-  std::vector<Value> Fields;
-  const char *checkpointKey() const override { return "interp"; }
-};
-
-/// Checkpoint encoding of a Value: a tag byte equal to the variant index,
-/// then the payload. Objects and tag instances are encoded as heap ids
-/// (-1 for null); arrays by value with shared-structure preservation via
-/// the codec context, so aliased arrays stay aliased after a restore.
-void saveValue(const Value &V, resilience::ByteWriter &W,
-               runtime::CodecSaveCtx &Ctx) {
-  W.u8(static_cast<uint8_t>(V.index()));
-  switch (V.index()) {
-  case 0:
-    break;
-  case 1:
-    W.i64(std::get<int64_t>(V));
-    break;
-  case 2:
-    W.f64(std::get<double>(V));
-    break;
-  case 3:
-    W.u8(std::get<bool>(V) ? 1 : 0);
-    break;
-  case 4:
-    W.str(std::get<std::string>(V));
-    break;
-  case 5: {
-    const runtime::Object *Obj = std::get<runtime::Object *>(V);
-    W.i64(Obj ? static_cast<int64_t>(Obj->Id) : -1);
-    break;
-  }
-  case 6: {
-    const auto &Arr = std::get<std::shared_ptr<ArrayValue>>(V);
-    if (!Arr) {
-      W.u8(0);
-      break;
-    }
-    auto It = Ctx.SharedIds.find(Arr.get());
-    if (It != Ctx.SharedIds.end()) {
-      W.u8(1); // Back-reference to an already-written array.
-      W.u64(It->second);
-      break;
-    }
-    uint64_t Id = Ctx.NextSharedId++;
-    Ctx.SharedIds.emplace(Arr.get(), Id);
-    W.u8(2); // First occurrence: id then contents.
-    W.u64(Id);
-    W.u64(Arr->Elems.size());
-    for (const Value &E : Arr->Elems)
-      saveValue(E, W, Ctx);
-    break;
-  }
-  case 7: {
-    const runtime::TagInstance *TI = std::get<runtime::TagInstance *>(V);
-    W.i64(TI ? static_cast<int64_t>(TI->Id) : -1);
-    break;
-  }
-  default:
-    break;
-  }
-}
-
-Value loadValue(resilience::ByteReader &R, runtime::CodecLoadCtx &Ctx) {
-  switch (R.u8()) {
-  case 0:
-    return std::monostate{};
-  case 1:
-    return R.i64();
-  case 2:
-    return R.f64();
-  case 3:
-    return R.u8() != 0;
-  case 4:
-    return R.str();
-  case 5: {
-    int64_t Id = R.i64();
-    if (Id < 0)
-      return static_cast<runtime::Object *>(nullptr);
-    if (static_cast<uint64_t>(Id) >= Ctx.TheHeap->numObjects()) {
-      R.fail();
-      return std::monostate{};
-    }
-    return Ctx.TheHeap->objectAt(static_cast<size_t>(Id));
-  }
-  case 6: {
-    switch (R.u8()) {
-    case 0:
-      return std::shared_ptr<ArrayValue>();
-    case 1: {
-      auto It = Ctx.Shared.find(R.u64());
-      if (It == Ctx.Shared.end()) {
-        R.fail();
-        return std::monostate{};
-      }
-      return std::static_pointer_cast<ArrayValue>(It->second);
-    }
-    case 2: {
-      uint64_t Id = R.u64();
-      auto Arr = std::make_shared<ArrayValue>();
-      Ctx.Shared.emplace(Id, Arr);
-      uint64_t N = R.u64();
-      for (uint64_t I = 0; I < N && R.ok(); ++I)
-        Arr->Elems.push_back(loadValue(R, Ctx));
-      return Arr;
-    }
-    default:
-      R.fail();
-      return std::monostate{};
-    }
-  }
-  case 7: {
-    int64_t Id = R.i64();
-    if (Id < 0)
-      return static_cast<runtime::TagInstance *>(nullptr);
-    if (static_cast<uint64_t>(Id) >= Ctx.TheHeap->numTags()) {
-      R.fail();
-      return std::monostate{};
-    }
-    return Ctx.TheHeap->tagAt(static_cast<size_t>(Id));
-  }
-  default:
-    R.fail();
-    return std::monostate{};
-  }
-}
-
-Value defaultValue(const RType &Ty) {
-  if (Ty.isArray() || Ty.Base == BaseKind::Class ||
-      Ty.Base == BaseKind::Null)
-    return std::monostate{};
-  switch (Ty.Base) {
-  case BaseKind::Int:
-    return int64_t{0};
-  case BaseKind::Double:
-    return 0.0;
-  case BaseKind::Bool:
-    return false;
-  case BaseKind::String:
-    return std::string();
-  default:
-    return std::monostate{};
-  }
-}
-
-bool isNull(const Value &V) {
-  return std::holds_alternative<std::monostate>(V);
-}
-
-} // namespace
-
 namespace bamboo::interp {
 
 /// Walks annotated ASTs for one task invocation (and the methods it
@@ -194,8 +27,7 @@ namespace bamboo::interp {
 /// slot vectors.
 class Evaluator {
 public:
-  Evaluator(InterpProgram &IP, runtime::TaskContext &Ctx)
-      : IP(IP), Ctx(Ctx) {}
+  Evaluator(DslProgram &IP, runtime::TaskContext &Ctx) : IP(IP), Ctx(Ctx) {}
 
   void runTask(const TaskDeclAst &Task) {
     std::vector<Value> Slots(static_cast<size_t>(Task.NumSlots));
@@ -218,7 +50,7 @@ private:
 
   enum class Flow { Normal, Break, Continue, Return, Exit, Trap };
 
-  InterpProgram &IP;
+  DslProgram &IP;
   runtime::TaskContext &Ctx;
   machine::Cycles Ops = 0;
   Value ReturnValue;
@@ -230,19 +62,6 @@ private:
 
   InterpObjectData &dataOf(runtime::Object *Obj) {
     return Obj->dataAs<InterpObjectData>();
-  }
-
-  static double asDouble(const Value &V) {
-    if (const auto *I = std::get_if<int64_t>(&V))
-      return static_cast<double>(*I);
-    return std::get<double>(V);
-  }
-
-  static Value coerce(Value V, const RType &Target) {
-    if (Target.Base == BaseKind::Double && Target.Depth == 0)
-      if (const auto *I = std::get_if<int64_t>(&V))
-        return static_cast<double>(*I);
-    return V;
   }
 
   //===--------------------------------------------------------------------===//
@@ -456,13 +275,7 @@ private:
       Flow Fl = eval(F, U->Operand.get(), V);
       if (Fl != Flow::Normal)
         return Fl;
-      if (U->Op == UnaryOp::Not) {
-        Out = !std::get<bool>(V);
-      } else if (const auto *I = std::get_if<int64_t>(&V)) {
-        Out = -*I;
-      } else {
-        Out = -std::get<double>(V);
-      }
+      applyUnary(U->Op, V, Out);
       return Flow::Normal;
     }
     case ExprKind::Binary:
@@ -505,101 +318,9 @@ private:
     if (Fl != Flow::Normal)
       return Fl;
 
-    auto BothInts = [&]() {
-      return std::holds_alternative<int64_t>(L) &&
-             std::holds_alternative<int64_t>(R);
-    };
-
-    switch (B->Op) {
-    case BinaryOp::Add: {
-      if (std::holds_alternative<std::string>(L) ||
-          std::holds_alternative<std::string>(R)) {
-        auto Render = [](const Value &V) -> std::string {
-          if (const auto *S = std::get_if<std::string>(&V))
-            return *S;
-          if (const auto *I = std::get_if<int64_t>(&V))
-            return formatString("%lld", static_cast<long long>(*I));
-          if (const auto *D = std::get_if<double>(&V))
-            return formatString("%g", *D);
-          if (const auto *Bo = std::get_if<bool>(&V))
-            return *Bo ? "true" : "false";
-          return "null";
-        };
-        Out = Render(L) + Render(R);
-        return Flow::Normal;
-      }
-      if (BothInts())
-        Out = std::get<int64_t>(L) + std::get<int64_t>(R);
-      else
-        Out = asDouble(L) + asDouble(R);
-      return Flow::Normal;
-    }
-    case BinaryOp::Sub:
-      if (BothInts())
-        Out = std::get<int64_t>(L) - std::get<int64_t>(R);
-      else
-        Out = asDouble(L) - asDouble(R);
-      return Flow::Normal;
-    case BinaryOp::Mul:
-      if (BothInts())
-        Out = std::get<int64_t>(L) * std::get<int64_t>(R);
-      else
-        Out = asDouble(L) * asDouble(R);
-      return Flow::Normal;
-    case BinaryOp::Div:
-      if (BothInts()) {
-        if (std::get<int64_t>(R) == 0)
-          return trap(B->Loc, "division by zero");
-        Out = std::get<int64_t>(L) / std::get<int64_t>(R);
-      } else {
-        Out = asDouble(L) / asDouble(R);
-      }
-      return Flow::Normal;
-    case BinaryOp::Rem: {
-      int64_t Rv = std::get<int64_t>(R);
-      if (Rv == 0)
-        return trap(B->Loc, "remainder by zero");
-      Out = std::get<int64_t>(L) % Rv;
-      return Flow::Normal;
-    }
-    case BinaryOp::Lt:
-      Out = asDouble(L) < asDouble(R);
-      return Flow::Normal;
-    case BinaryOp::Le:
-      Out = asDouble(L) <= asDouble(R);
-      return Flow::Normal;
-    case BinaryOp::Gt:
-      Out = asDouble(L) > asDouble(R);
-      return Flow::Normal;
-    case BinaryOp::Ge:
-      Out = asDouble(L) >= asDouble(R);
-      return Flow::Normal;
-    case BinaryOp::Eq:
-    case BinaryOp::Ne: {
-      bool Equal;
-      if (std::holds_alternative<std::string>(L) &&
-          std::holds_alternative<std::string>(R)) {
-        Equal = std::get<std::string>(L) == std::get<std::string>(R);
-      } else if ((std::holds_alternative<int64_t>(L) ||
-                  std::holds_alternative<double>(L)) &&
-                 (std::holds_alternative<int64_t>(R) ||
-                  std::holds_alternative<double>(R))) {
-        Equal = asDouble(L) == asDouble(R);
-      } else if (std::holds_alternative<bool>(L) &&
-                 std::holds_alternative<bool>(R)) {
-        Equal = std::get<bool>(L) == std::get<bool>(R);
-      } else {
-        // Reference identity (null-aware).
-        Equal = L == R;
-      }
-      Out = B->Op == BinaryOp::Eq ? Equal : !Equal;
-      return Flow::Normal;
-    }
-    case BinaryOp::And:
-    case BinaryOp::Or:
-      break; // Handled above.
-    }
-    BAMBOO_UNREACHABLE("covered switch");
+    if (const char *Err = applyBinary(B->Op, L, R, Out))
+      return trap(B->Loc, Err);
+    return Flow::Normal;
   }
 
   Flow evalAssign(Frame &F, const AssignExpr *A, Value &Out) {
@@ -687,7 +408,7 @@ private:
 
   Flow evalNewObject(Frame &F, const NewObjectExpr *N, Value &Out) {
     const ClassDeclAst &Class =
-        IP.Ast.Classes[static_cast<size_t>(N->Class)];
+        IP.ast().Classes[static_cast<size_t>(N->Class)];
     auto Data = std::make_unique<InterpObjectData>();
     Data->Class = &Class;
     Data->Fields.reserve(Class.Fields.size());
@@ -763,7 +484,7 @@ private:
     }
 
     const ClassDeclAst &Class =
-        IP.Ast.Classes[static_cast<size_t>(C->TargetClass)];
+        IP.ast().Classes[static_cast<size_t>(C->TargetClass)];
     const MethodDecl &Method =
         Class.Methods[static_cast<size_t>(C->MethodIndex)];
     std::vector<Value> Args;
@@ -911,76 +632,19 @@ private:
 
 } // namespace bamboo::interp
 
-void InterpProgram::appendOutput(const std::string &Text) {
-  std::lock_guard<std::mutex> Guard(IoMutex);
-  Output += Text;
-}
-
-void InterpProgram::reportError(SourceLoc Loc, const std::string &Msg) {
-  std::lock_guard<std::mutex> Guard(IoMutex);
-  if (!Error.empty())
-    return; // Keep the first error.
-  Error = formatString("%d:%d: %s", Loc.Line, Loc.Col, Msg.c_str());
-}
-
-InterpProgram::InterpProgram(frontend::CompiledModule CM)
-    : Ast(std::move(CM.Ast)), BP(std::move(CM.Prog)) {
-  // Bind every task to an interpreter closure over its AST.
-  for (TaskDeclAst &Task : Ast.Tasks) {
+void interp::bindInterpreterTasks(DslProgram &P) {
+  for (const TaskDeclAst &Task : P.ast().Tasks) {
     if (Task.Id == ir::InvalidId)
       continue;
     const TaskDeclAst *TaskPtr = &Task;
-    BP.bind(Task.Id, [this, TaskPtr](runtime::TaskContext &Ctx) {
-      Evaluator E(*this, Ctx);
+    P.bound().bind(Task.Id, [&P, TaskPtr](runtime::TaskContext &Ctx) {
+      Evaluator E(P, Ctx);
       E.runTask(*TaskPtr);
     });
   }
+}
 
-  // Startup payload: an InterpObjectData for StartupObject whose `args`
-  // field (if declared) carries the run arguments.
-  const ClassDeclAst *Startup = Ast.findClass("StartupObject");
-  assert(Startup && "frontend always provides StartupObject");
-  BP.setStartupFactory(
-      [Startup](const std::vector<std::string> &Args)
-          -> std::unique_ptr<runtime::ObjectData> {
-        auto Data = std::make_unique<InterpObjectData>();
-        Data->Class = Startup;
-        for (const FieldDecl &Field : Startup->Fields)
-          Data->Fields.push_back(defaultValue(Field.Resolved));
-        int ArgsIdx = Startup->fieldIndex("args");
-        if (ArgsIdx >= 0) {
-          auto Arr = std::make_shared<ArrayValue>();
-          for (const std::string &A : Args)
-            Arr->Elems.emplace_back(A);
-          Data->Fields[static_cast<size_t>(ArgsIdx)] = std::move(Arr);
-        }
-        return Data;
-      });
-
-  // Checkpoint codec: class by name (resolved against this module's AST
-  // on load), then the field values.
-  runtime::ObjectCodec Codec;
-  Codec.Save = [](const runtime::ObjectData &D, resilience::ByteWriter &W,
-                  runtime::CodecSaveCtx &Ctx) {
-    const auto &Data = static_cast<const InterpObjectData &>(D);
-    W.str(Data.Class ? Data.Class->Name : std::string());
-    W.u64(Data.Fields.size());
-    for (const Value &V : Data.Fields)
-      saveValue(V, W, Ctx);
-  };
-  Codec.Load = [this](resilience::ByteReader &R, runtime::CodecLoadCtx &Ctx)
-      -> std::unique_ptr<runtime::ObjectData> {
-    auto Data = std::make_unique<InterpObjectData>();
-    std::string ClassName = R.str();
-    if (!ClassName.empty()) {
-      Data->Class = Ast.findClass(ClassName);
-      if (!Data->Class)
-        return nullptr;
-    }
-    uint64_t N = R.u64();
-    for (uint64_t I = 0; I < N && R.ok(); ++I)
-      Data->Fields.push_back(loadValue(R, Ctx));
-    return R.ok() ? std::move(Data) : nullptr;
-  };
-  BP.registerCodec("interp", std::move(Codec));
+InterpProgram::InterpProgram(frontend::CompiledModule CM)
+    : DslProgram(std::move(CM)) {
+  bindInterpreterTasks(*this);
 }

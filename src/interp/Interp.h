@@ -18,60 +18,32 @@
 /// out of bounds) are recorded on the InterpProgram and end the offending
 /// task body via its fall-through exit.
 ///
+/// The faster execution mode for the same programs is the bytecode VM in
+/// src/vm (vm::VmProgram); both derive from interp::DslProgram and agree
+/// on output, cycle counts, traps, and checkpoint bytes.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BAMBOO_INTERP_INTERP_H
 #define BAMBOO_INTERP_INTERP_H
 
-#include "frontend/Sema.h"
-#include "runtime/BoundProgram.h"
-
-#include <memory>
-#include <mutex>
-#include <string>
+#include "interp/DslProgram.h"
 
 namespace bamboo::interp {
 
 /// A compiled DSL module bound to interpreter bodies, ready for execution.
-/// Owns the AST the closures walk and accumulates program output.
-class InterpProgram {
+class InterpProgram : public DslProgram {
 public:
   /// Consumes \p CM and binds every task. Call
   /// analysis::analyzeDisjointness before this if lock plans should
   /// reflect the imperative code.
   explicit InterpProgram(frontend::CompiledModule CM);
-
-  InterpProgram(const InterpProgram &) = delete;
-  InterpProgram &operator=(const InterpProgram &) = delete;
-
-  runtime::BoundProgram &bound() { return BP; }
-  const runtime::BoundProgram &bound() const { return BP; }
-  const frontend::ast::Module &ast() const { return Ast; }
-
-  /// Text printed via System.print* so far.
-  const std::string &output() const { return Output; }
-  void clearOutput() { Output.clear(); }
-
-  /// First runtime error, if any ("null dereference at 12:3").
-  const std::string &error() const { return Error; }
-  bool hadError() const { return !Error.empty(); }
-  void clearError() { Error.clear(); }
-
-private:
-  friend class Evaluator;
-
-  frontend::ast::Module Ast;
-  runtime::BoundProgram BP;
-  /// Guards Output/Error: task bodies print and trap concurrently when
-  /// the program runs on the host-thread engine. Readers (output(),
-  /// error()) are only called between runs, after workers have joined.
-  std::mutex IoMutex;
-  std::string Output;
-  std::string Error;
-
-  void appendOutput(const std::string &Text);
-  void reportError(frontend::SourceLoc Loc, const std::string &Msg);
 };
+
+/// Binds every task of \p P to a tree-walking interpreter closure over its
+/// AST. Used by InterpProgram and as the VM's fallback when a body exceeds
+/// the bytecode format's limits.
+void bindInterpreterTasks(DslProgram &P);
 
 } // namespace bamboo::interp
 

@@ -1,0 +1,259 @@
+//===- interp/Value.cpp - Shared DSL runtime value model ------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Value.h"
+
+#include "support/Debug.h"
+#include "support/Format.h"
+
+using namespace bamboo;
+using namespace bamboo::interp;
+using namespace bamboo::frontend::ast;
+
+void interp::saveValue(const Value &V, resilience::ByteWriter &W,
+                       runtime::CodecSaveCtx &Ctx) {
+  W.u8(static_cast<uint8_t>(V.index()));
+  switch (V.index()) {
+  case 0:
+    break;
+  case 1:
+    W.i64(std::get<int64_t>(V));
+    break;
+  case 2:
+    W.f64(std::get<double>(V));
+    break;
+  case 3:
+    W.u8(std::get<bool>(V) ? 1 : 0);
+    break;
+  case 4:
+    W.str(std::get<std::string>(V));
+    break;
+  case 5: {
+    const runtime::Object *Obj = std::get<runtime::Object *>(V);
+    W.i64(Obj ? static_cast<int64_t>(Obj->Id) : -1);
+    break;
+  }
+  case 6: {
+    const auto &Arr = std::get<std::shared_ptr<ArrayValue>>(V);
+    if (!Arr) {
+      W.u8(0);
+      break;
+    }
+    auto It = Ctx.SharedIds.find(Arr.get());
+    if (It != Ctx.SharedIds.end()) {
+      W.u8(1); // Back-reference to an already-written array.
+      W.u64(It->second);
+      break;
+    }
+    uint64_t Id = Ctx.NextSharedId++;
+    Ctx.SharedIds.emplace(Arr.get(), Id);
+    W.u8(2); // First occurrence: id then contents.
+    W.u64(Id);
+    W.u64(Arr->Elems.size());
+    for (const Value &E : Arr->Elems)
+      saveValue(E, W, Ctx);
+    break;
+  }
+  case 7: {
+    const runtime::TagInstance *TI = std::get<runtime::TagInstance *>(V);
+    W.i64(TI ? static_cast<int64_t>(TI->Id) : -1);
+    break;
+  }
+  default:
+    break;
+  }
+}
+
+Value interp::loadValue(resilience::ByteReader &R,
+                        runtime::CodecLoadCtx &Ctx) {
+  switch (R.u8()) {
+  case 0:
+    return std::monostate{};
+  case 1:
+    return R.i64();
+  case 2:
+    return R.f64();
+  case 3:
+    return R.u8() != 0;
+  case 4:
+    return R.str();
+  case 5: {
+    int64_t Id = R.i64();
+    if (Id < 0)
+      return static_cast<runtime::Object *>(nullptr);
+    if (static_cast<uint64_t>(Id) >= Ctx.TheHeap->numObjects()) {
+      R.fail();
+      return std::monostate{};
+    }
+    return Ctx.TheHeap->objectAt(static_cast<size_t>(Id));
+  }
+  case 6: {
+    switch (R.u8()) {
+    case 0:
+      return std::shared_ptr<ArrayValue>();
+    case 1: {
+      auto It = Ctx.Shared.find(R.u64());
+      if (It == Ctx.Shared.end()) {
+        R.fail();
+        return std::monostate{};
+      }
+      return std::static_pointer_cast<ArrayValue>(It->second);
+    }
+    case 2: {
+      uint64_t Id = R.u64();
+      auto Arr = std::make_shared<ArrayValue>();
+      Ctx.Shared.emplace(Id, Arr);
+      uint64_t N = R.u64();
+      for (uint64_t I = 0; I < N && R.ok(); ++I)
+        Arr->Elems.push_back(loadValue(R, Ctx));
+      return Arr;
+    }
+    default:
+      R.fail();
+      return std::monostate{};
+    }
+  }
+  case 7: {
+    int64_t Id = R.i64();
+    if (Id < 0)
+      return static_cast<runtime::TagInstance *>(nullptr);
+    if (static_cast<uint64_t>(Id) >= Ctx.TheHeap->numTags()) {
+      R.fail();
+      return std::monostate{};
+    }
+    return Ctx.TheHeap->tagAt(static_cast<size_t>(Id));
+  }
+  default:
+    R.fail();
+    return std::monostate{};
+  }
+}
+
+Value interp::defaultValue(const RType &Ty) {
+  if (Ty.isArray() || Ty.Base == BaseKind::Class || Ty.Base == BaseKind::Null)
+    return std::monostate{};
+  switch (Ty.Base) {
+  case BaseKind::Int:
+    return int64_t{0};
+  case BaseKind::Double:
+    return 0.0;
+  case BaseKind::Bool:
+    return false;
+  case BaseKind::String:
+    return std::string();
+  default:
+    return std::monostate{};
+  }
+}
+
+const char *interp::applyBinary(BinaryOp Op, const Value &L, const Value &R,
+                                Value &Out) {
+  auto BothInts = [&]() {
+    return std::holds_alternative<int64_t>(L) &&
+           std::holds_alternative<int64_t>(R);
+  };
+
+  switch (Op) {
+  case BinaryOp::Add: {
+    if (std::holds_alternative<std::string>(L) ||
+        std::holds_alternative<std::string>(R)) {
+      auto Render = [](const Value &V) -> std::string {
+        if (const auto *S = std::get_if<std::string>(&V))
+          return *S;
+        if (const auto *I = std::get_if<int64_t>(&V))
+          return formatString("%lld", static_cast<long long>(*I));
+        if (const auto *D = std::get_if<double>(&V))
+          return formatString("%g", *D);
+        if (const auto *Bo = std::get_if<bool>(&V))
+          return *Bo ? "true" : "false";
+        return "null";
+      };
+      Out = Render(L) + Render(R);
+      return nullptr;
+    }
+    if (BothInts())
+      Out = std::get<int64_t>(L) + std::get<int64_t>(R);
+    else
+      Out = asDouble(L) + asDouble(R);
+    return nullptr;
+  }
+  case BinaryOp::Sub:
+    if (BothInts())
+      Out = std::get<int64_t>(L) - std::get<int64_t>(R);
+    else
+      Out = asDouble(L) - asDouble(R);
+    return nullptr;
+  case BinaryOp::Mul:
+    if (BothInts())
+      Out = std::get<int64_t>(L) * std::get<int64_t>(R);
+    else
+      Out = asDouble(L) * asDouble(R);
+    return nullptr;
+  case BinaryOp::Div:
+    if (BothInts()) {
+      if (std::get<int64_t>(R) == 0)
+        return "division by zero";
+      Out = std::get<int64_t>(L) / std::get<int64_t>(R);
+    } else {
+      Out = asDouble(L) / asDouble(R);
+    }
+    return nullptr;
+  case BinaryOp::Rem: {
+    int64_t Rv = std::get<int64_t>(R);
+    if (Rv == 0)
+      return "remainder by zero";
+    Out = std::get<int64_t>(L) % Rv;
+    return nullptr;
+  }
+  case BinaryOp::Lt:
+    Out = asDouble(L) < asDouble(R);
+    return nullptr;
+  case BinaryOp::Le:
+    Out = asDouble(L) <= asDouble(R);
+    return nullptr;
+  case BinaryOp::Gt:
+    Out = asDouble(L) > asDouble(R);
+    return nullptr;
+  case BinaryOp::Ge:
+    Out = asDouble(L) >= asDouble(R);
+    return nullptr;
+  case BinaryOp::Eq:
+  case BinaryOp::Ne: {
+    bool Equal;
+    if (std::holds_alternative<std::string>(L) &&
+        std::holds_alternative<std::string>(R)) {
+      Equal = std::get<std::string>(L) == std::get<std::string>(R);
+    } else if ((std::holds_alternative<int64_t>(L) ||
+                std::holds_alternative<double>(L)) &&
+               (std::holds_alternative<int64_t>(R) ||
+                std::holds_alternative<double>(R))) {
+      Equal = asDouble(L) == asDouble(R);
+    } else if (std::holds_alternative<bool>(L) &&
+               std::holds_alternative<bool>(R)) {
+      Equal = std::get<bool>(L) == std::get<bool>(R);
+    } else {
+      // Reference identity (null-aware).
+      Equal = L == R;
+    }
+    Out = Op == BinaryOp::Eq ? Equal : !Equal;
+    return nullptr;
+  }
+  case BinaryOp::And:
+  case BinaryOp::Or:
+    break; // Short-circuit; callers handle these.
+  }
+  BAMBOO_UNREACHABLE("covered switch");
+}
+
+void interp::applyUnary(UnaryOp Op, const Value &V, Value &Out) {
+  if (Op == UnaryOp::Not) {
+    Out = !std::get<bool>(V);
+  } else if (const auto *I = std::get_if<int64_t>(&V)) {
+    Out = -*I;
+  } else {
+    Out = -std::get<double>(V);
+  }
+}

@@ -1,0 +1,103 @@
+//===- interp/Value.h - Shared DSL runtime value model ----------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime value model of interpreted/compiled Bamboo-DSL code, shared
+/// by the tree-walking interpreter (src/interp) and the bytecode VM
+/// (src/vm). Both execution modes operate on the same Value variant, the
+/// same InterpObjectData heap payloads, and the same checkpoint codec, so
+/// a program state produced under one mode is indistinguishable — on the
+/// heap, in checksums, and in checkpoint bytes — from the other mode's.
+///
+/// The arithmetic/comparison helpers live here for the same reason: both
+/// engines must agree bit for bit on every operator corner case (string
+/// concatenation rendering, int/double promotion, division traps), so
+/// there is exactly one implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_INTERP_VALUE_H
+#define BAMBOO_INTERP_VALUE_H
+
+#include "frontend/Ast.h"
+#include "runtime/BoundProgram.h"
+#include "runtime/Object.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace bamboo::interp {
+
+struct ArrayValue;
+
+/// A runtime value of the DSL.
+using Value = std::variant<std::monostate, int64_t, double, bool,
+                           std::string, runtime::Object *,
+                           std::shared_ptr<ArrayValue>,
+                           runtime::TagInstance *>;
+
+struct ArrayValue {
+  std::vector<Value> Elems;
+};
+
+/// Field storage attached to runtime objects for DSL classes (both
+/// execution modes; checkpointKey stays "interp" so snapshots are
+/// mode-independent).
+struct InterpObjectData : runtime::ObjectData {
+  const frontend::ast::ClassDeclAst *Class = nullptr;
+  std::vector<Value> Fields;
+  const char *checkpointKey() const override { return "interp"; }
+};
+
+/// Checkpoint encoding of a Value: a tag byte equal to the variant index,
+/// then the payload. Objects and tag instances are encoded as heap ids
+/// (-1 for null); arrays by value with shared-structure preservation via
+/// the codec context, so aliased arrays stay aliased after a restore.
+void saveValue(const Value &V, resilience::ByteWriter &W,
+               runtime::CodecSaveCtx &Ctx);
+Value loadValue(resilience::ByteReader &R, runtime::CodecLoadCtx &Ctx);
+
+/// The default (zero) value of a declared type.
+Value defaultValue(const frontend::ast::RType &Ty);
+
+inline bool isNull(const Value &V) {
+  return std::holds_alternative<std::monostate>(V);
+}
+
+inline double asDouble(const Value &V) {
+  if (const auto *I = std::get_if<int64_t>(&V))
+    return static_cast<double>(*I);
+  return std::get<double>(V);
+}
+
+/// Widen \p V to double when \p Target is a scalar double (the only
+/// implicit conversion of the language). All store points (locals, fields,
+/// arguments, returns) funnel through this.
+inline Value coerce(Value V, const frontend::ast::RType &Target) {
+  if (Target.Base == frontend::ast::BaseKind::Double && Target.Depth == 0)
+    if (const auto *I = std::get_if<int64_t>(&V))
+      return static_cast<double>(*I);
+  return V;
+}
+
+/// Applies a non-short-circuit binary operator to \p L and \p R with the
+/// language's dynamic dispatch (string concatenation, int/double
+/// promotion, reference identity for ==/!=). Returns nullptr on success
+/// with the result in \p Out, or a static trap message ("division by
+/// zero", "remainder by zero") the caller wraps with its source location.
+/// And/Or are short-circuit and must be handled by the caller.
+const char *applyBinary(frontend::ast::BinaryOp Op, const Value &L,
+                        const Value &R, Value &Out);
+
+/// Applies a unary operator (Neg with int/double dispatch, Not).
+void applyUnary(frontend::ast::UnaryOp Op, const Value &V, Value &Out);
+
+} // namespace bamboo::interp
+
+#endif // BAMBOO_INTERP_VALUE_H

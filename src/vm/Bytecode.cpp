@@ -1,0 +1,226 @@
+//===- vm/Bytecode.cpp - Bytecode mnemonics and disassembler --------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Bytecode.h"
+
+#include "support/Format.h"
+
+using namespace bamboo;
+using namespace bamboo::vm;
+
+const char *vm::opName(Op O) {
+  static const char *const Names[] = {
+#define BAMBOO_VM_OP_NAME(Name) #Name,
+      BAMBOO_VM_OPCODES(BAMBOO_VM_OP_NAME)
+#undef BAMBOO_VM_OP_NAME
+  };
+  return Names[static_cast<uint8_t>(O)];
+}
+
+namespace {
+
+std::string escaped(const std::string &S, size_t MaxLen = 40) {
+  std::string Out;
+  for (char Ch : S) {
+    if (Out.size() >= MaxLen) {
+      Out += "...";
+      break;
+    }
+    switch (Ch) {
+    case '\n': Out += "\\n"; break;
+    case '\t': Out += "\\t"; break;
+    case '"': Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    default: Out += Ch; break;
+    }
+  }
+  return Out;
+}
+
+std::string typeName(const frontend::ast::RType &T) {
+  using frontend::ast::BaseKind;
+  std::string Base;
+  switch (T.Base) {
+  case BaseKind::Int: Base = "int"; break;
+  case BaseKind::Double: Base = "double"; break;
+  case BaseKind::Bool: Base = "bool"; break;
+  case BaseKind::String: Base = "string"; break;
+  case BaseKind::Class:
+    Base = formatString("class#%d", static_cast<int>(T.Cls));
+    break;
+  case BaseKind::Null: Base = "null"; break;
+  case BaseKind::Void: Base = "void"; break;
+  case BaseKind::Tag: Base = "tag"; break;
+  case BaseKind::Invalid: Base = "invalid"; break;
+  }
+  for (int I = 0; I < T.Depth; ++I)
+    Base += "[]";
+  return Base;
+}
+
+std::string operands(const Chunk &C, const Insn &I) {
+  auto R = [](uint16_t Reg) { return formatString("r%u", Reg); };
+  auto Trap = [&](uint16_t E) {
+    const TrapSite &S = C.Traps[E];
+    return formatString("trap@%d:%d \"%s\"", S.Loc.Line, S.Loc.Col,
+                        escaped(S.Msg).c_str());
+  };
+  switch (I.Opc) {
+  case Op::LoadInt:
+    return formatString("%s, %lld", R(I.A).c_str(),
+                        static_cast<long long>(C.Ints[I.B]));
+  case Op::LoadDouble:
+    return formatString("%s, %g", R(I.A).c_str(), C.Doubles[I.B]);
+  case Op::LoadStr:
+    return formatString("%s, \"%s\"", R(I.A).c_str(),
+                        escaped(C.Strings[I.B]).c_str());
+  case Op::LoadBool:
+    return formatString("%s, %s", R(I.A).c_str(), I.B ? "true" : "false");
+  case Op::LoadNull:
+    return R(I.A);
+  case Op::LoadDefault:
+    return formatString("%s, %s", R(I.A).c_str(),
+                        typeName(C.Types[I.B]).c_str());
+  case Op::Move:
+  case Op::Neg:
+  case Op::Not:
+  case Op::MSqrt: case Op::MAbs: case Op::MFabs: case Op::MSin:
+  case Op::MCos: case Op::MExp: case Op::MLog: case Op::MFloor:
+  case Op::StrLen:
+    return formatString("%s, %s", R(I.A).c_str(), R(I.B).c_str());
+  case Op::CoerceD:
+    return R(I.A);
+  case Op::LoadParam:
+    return formatString("%s, param%u", R(I.A).c_str(), I.B);
+  case Op::LoadTagVar:
+    return formatString("%s, \"%s\"", R(I.A).c_str(),
+                        escaped(C.Strings[I.B]).c_str());
+  case Op::NewTag:
+    return formatString("%s, tagtype%u, \"%s\"", R(I.A).c_str(), I.B,
+                        escaped(C.Strings[I.C]).c_str());
+  case Op::Charge:
+    return formatString("%u", I.B);
+  case Op::Jmp:
+    return formatString("-> %u", I.B);
+  case Op::JmpIfFalse:
+  case Op::JmpIfTrue:
+    return formatString("%s, -> %u", R(I.B).c_str(), I.C);
+  case Op::Add: case Op::Sub: case Op::Mul:
+  case Op::CmpLt: case Op::CmpLe: case Op::CmpGt: case Op::CmpGe:
+  case Op::CmpEq: case Op::CmpNe:
+  case Op::MPow: case Op::MMax: case Op::MMin:
+  case Op::StrEq:
+    return formatString("%s, %s, %s", R(I.A).c_str(), R(I.B).c_str(),
+                        R(I.C).c_str());
+  case Op::Div:
+  case Op::Rem:
+    return formatString("%s, %s, %s, %s", R(I.A).c_str(), R(I.B).c_str(),
+                        R(I.C).c_str(), Trap(I.E).c_str());
+  case Op::GetField:
+    return formatString("%s, %s.f%u, %s", R(I.A).c_str(), R(I.B).c_str(),
+                        I.C, Trap(I.E).c_str());
+  case Op::SetField:
+    return formatString("%s.f%u, %s, %s", R(I.B).c_str(), I.C,
+                        R(I.D).c_str(), Trap(I.E).c_str());
+  case Op::GetFieldSelf:
+    return formatString("%s, self.f%u", R(I.A).c_str(), I.C);
+  case Op::SetFieldSelf:
+    return formatString("self.f%u, %s", I.C, R(I.B).c_str());
+  case Op::ArrLen:
+    return formatString("%s, %s, %s", R(I.A).c_str(), R(I.B).c_str(),
+                        Trap(I.E).c_str());
+  case Op::IndexLoad:
+    return formatString("%s, %s[%s], %s", R(I.A).c_str(), R(I.B).c_str(),
+                        R(I.C).c_str(), Trap(I.E).c_str());
+  case Op::IndexStore:
+    return formatString("%s[%s], %s, %s", R(I.B).c_str(), R(I.C).c_str(),
+                        R(I.D).c_str(), Trap(I.E).c_str());
+  case Op::IndexStoreRaw:
+    return formatString("%s[%s], %s", R(I.B).c_str(), R(I.C).c_str(),
+                        R(I.D).c_str());
+  case Op::NewArr:
+    return formatString("%s, len=%s, elem=%s, %s", R(I.A).c_str(),
+                        R(I.B).c_str(), typeName(C.Types[I.C]).c_str(),
+                        Trap(I.E).c_str());
+  case Op::NewObj: {
+    const AllocInfo &AI = C.Allocs[I.B];
+    std::string Tags;
+    for (uint16_t T : AI.TagRegs)
+      Tags += formatString(" +r%u", T);
+    if (AI.Site != ir::InvalidId)
+      return formatString("%s, class#%d @site%d%s", R(I.A).c_str(),
+                          static_cast<int>(AI.Class),
+                          static_cast<int>(AI.Site), Tags.c_str());
+    return formatString("%s, class#%d (plain)", R(I.A).c_str(),
+                        static_cast<int>(AI.Class));
+  }
+  case Op::CheckNull:
+    return formatString("%s, %s", R(I.B).c_str(), Trap(I.E).c_str());
+  case Op::TrapNow:
+    return Trap(I.E);
+  case Op::Call: {
+    const CallSite &CS = C.Calls[I.B];
+    std::string Recv = CS.Recv == 0xFFFF ? "self" : R(CS.Recv);
+    std::string Dst =
+        CS.WriteDst ? formatString("%s = ", R(CS.Dst).c_str()) : "";
+    return formatString("%s%s (fn %d, recv=%s, args=r%u..%u)", Dst.c_str(),
+                        C.Fns[static_cast<size_t>(CS.Fn)].Name.c_str(),
+                        CS.Fn, Recv.c_str(), CS.ArgBase,
+                        CS.ArgBase + CS.NumArgs);
+  }
+  case Op::Ret:
+  case Op::RetVoid:
+  case Op::Halt:
+    return "";
+  case Op::RetVal:
+    return R(I.B);
+  case Op::Exit: {
+    const ExitInfo &EI = C.Exits[I.B];
+    std::string Tags;
+    for (const auto &[Name, Reg] : EI.Tags)
+      Tags += formatString(" %s=r%u", escaped(C.Strings[Name]).c_str(), Reg);
+    return formatString("exit%d%s", static_cast<int>(EI.Exit), Tags.c_str());
+  }
+  case Op::PrintStr:
+  case Op::PrintInt:
+  case Op::PrintDouble:
+  case Op::ChargeDyn:
+    return R(I.B);
+  case Op::Rand:
+    return formatString("%s, %s, %s", R(I.A).c_str(), R(I.B).c_str(),
+                        Trap(I.E).c_str());
+  case Op::StrCharAt:
+    return formatString("%s, %s[%s], %s", R(I.A).c_str(), R(I.B).c_str(),
+                        R(I.C).c_str(), Trap(I.E).c_str());
+  case Op::StrSubstr:
+    return formatString("%s, %s[%s..%s], %s", R(I.A).c_str(),
+                        R(I.B).c_str(), R(I.C).c_str(), R(I.D).c_str(),
+                        Trap(I.E).c_str());
+  case Op::StrIndexOf:
+    return formatString("%s, %s, %s, from %s", R(I.A).c_str(),
+                        R(I.B).c_str(), R(I.C).c_str(), R(I.D).c_str());
+  }
+  return "";
+}
+
+} // namespace
+
+std::string vm::disassemble(const Chunk &C) {
+  std::string Out;
+  for (size_t F = 0; F < C.Fns.size(); ++F) {
+    const CompiledFn &Fn = C.Fns[F];
+    Out += formatString("fn %zu: %s (regs=%u, params=%u)\n", F,
+                        Fn.Name.c_str(), Fn.NumRegs, Fn.NumParams);
+    for (size_t I = 0; I < Fn.Code.size(); ++I) {
+      const Insn &In = Fn.Code[I];
+      std::string Ops = operands(C, In);
+      Out += formatString("  %4zu  %-13s %s\n", I, opName(In.Opc),
+                          Ops.c_str());
+    }
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,192 @@
+//===- vm/Bytecode.h - Register bytecode for DSL task bodies ----*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compact register bytecode that DSL task bodies and methods are
+/// lowered into (see vm/Lower.h) and that the threaded-code VM executes
+/// (see vm/Vm.h). Instructions are fixed-width; every name, field index,
+/// allocation site, call target, and trap message is resolved at compile
+/// time into per-module pools, so the execution loop never touches the
+/// AST.
+///
+/// The bytecode is an execution format, not a semantic one: its contract
+/// is to reproduce the tree-walking interpreter bit for bit — same
+/// output, same virtual-cycle totals (Charge instructions replay the
+/// interpreter's one-cycle-per-expression metering), same trap messages
+/// at the same points, same heap-id and RNG consumption order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_VM_BYTECODE_H
+#define BAMBOO_VM_BYTECODE_H
+
+#include "frontend/Ast.h"
+#include "frontend/SourceLoc.h"
+#include "ir/Ids.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bamboo::vm {
+
+/// All opcodes, as an X-macro so the enum, the mnemonic table, and the
+/// computed-goto dispatch table are generated from one list and can never
+/// fall out of sync.
+///
+/// Operand conventions: `A` is the destination register (u8), `B`/`C`/`D`
+/// are source registers or pool indices (u16), and `E` is a trap-site
+/// index for instructions that can fail. `rX` denotes register X below.
+#define BAMBOO_VM_OPCODES(X)                                                   \
+  /* Constants and moves */                                                    \
+  X(LoadInt)       /* rA = Ints[B] */                                          \
+  X(LoadDouble)    /* rA = Doubles[B] */                                       \
+  X(LoadStr)       /* rA = Strings[B] */                                       \
+  X(LoadBool)      /* rA = (B != 0) */                                         \
+  X(LoadNull)      /* rA = null */                                             \
+  X(LoadDefault)   /* rA = defaultValue(Types[B]) */                           \
+  X(Move)          /* rA = rB */                                               \
+  X(CoerceD)       /* rA = double(rA) when rA holds an int */                  \
+  /* Task prologue */                                                          \
+  X(LoadParam)     /* rA = &Ctx.param(B) */                                    \
+  X(LoadTagVar)    /* rA = Ctx.tagVar(Strings[B]) */                           \
+  X(NewTag)        /* rA = Ctx.newTag(B); Ctx.bindTagVar(Strings[C], rA) */    \
+  /* Metering and control flow */                                              \
+  X(Charge)        /* Ops += B (replayed interpreter expression count) */      \
+  X(Jmp)           /* pc = B */                                                \
+  X(JmpIfFalse)    /* if (!rB) pc = C */                                       \
+  X(JmpIfTrue)     /* if (rB) pc = C */                                        \
+  /* Operators (rA = rB op rC; E traps Div/Rem) */                             \
+  X(Add) X(Sub) X(Mul) X(Div) X(Rem)                                           \
+  X(CmpLt) X(CmpLe) X(CmpGt) X(CmpGe) X(CmpEq) X(CmpNe)                        \
+  X(Neg)           /* rA = -rB (int/double dispatch) */                        \
+  X(Not)           /* rA = !rB */                                              \
+  /* Objects and arrays */                                                     \
+  X(GetField)      /* rA = field C of object rB; E: null read */               \
+  X(SetField)      /* field C of object rB = rD; E: null write */              \
+  X(GetFieldSelf)  /* rA = field C of self */                                  \
+  X(SetFieldSelf)  /* field C of self = rB */                                  \
+  X(ArrLen)        /* rA = length of array rB; E: null read */                 \
+  X(IndexLoad)     /* rA = rB[rC]; E: null / out of bounds */                  \
+  X(IndexStore)    /* rB[rC] = rD; E: null / out of bounds */                  \
+  X(IndexStoreRaw) /* rB[rC] = rD, unchecked (new-array fill) */               \
+  X(NewArr)        /* rA = new array, length rB, defaults Types[C]; E */       \
+  X(NewObj)        /* rA = allocate per Allocs[B] */                           \
+  X(CheckNull)     /* trap E when rB is null (call receivers) */               \
+  X(TrapNow)       /* unconditional trap E */                                  \
+  /* Calls and returns */                                                      \
+  X(Call)          /* call per Calls[B]; rA = coerced return value */          \
+  X(Ret)           /* pop frame, leave the return register untouched */        \
+  X(RetVoid)       /* return register = null; pop frame */                     \
+  X(RetVal)        /* return register = rB; pop frame */                       \
+  X(Halt)          /* end of task body */                                      \
+  X(Exit)          /* taskexit effects per Exits[B] */                         \
+  /* Builtins */                                                               \
+  X(PrintStr) X(PrintInt) X(PrintDouble) /* System.print*(rB) */               \
+  X(MSqrt) X(MAbs) X(MFabs) X(MSin) X(MCos) X(MExp) X(MLog)                    \
+  X(MFloor)        /* rA = f(rB) */                                            \
+  X(MPow) X(MMax) X(MMin) /* rA = f(rB, rC) */                                 \
+  X(ChargeDyn)     /* Ctx.charge(max(0, rB)) — Bamboo.charge */                \
+  X(Rand)          /* rA = Ctx.rng().nextBelow(rB); E: bound <= 0 */           \
+  X(StrLen)        /* rA = length of string rB */                              \
+  X(StrCharAt)     /* rA = char code of rB[rC]; E */                           \
+  X(StrSubstr)     /* rA = rB[rC..rD); E */                                    \
+  X(StrIndexOf)    /* rA = indexOf(rB, needle rC, from rD) */                  \
+  X(StrEq)         /* rA = (string rB == string rC) */
+
+enum class Op : uint8_t {
+#define BAMBOO_VM_OP_ENUM(Name) Name,
+  BAMBOO_VM_OPCODES(BAMBOO_VM_OP_ENUM)
+#undef BAMBOO_VM_OP_ENUM
+};
+
+/// Mnemonic of \p O, for the disassembler.
+const char *opName(Op O);
+
+/// One fixed-width instruction. See BAMBOO_VM_OPCODES for the operand
+/// conventions.
+struct Insn {
+  Op Opc;
+  uint8_t A = 0;
+  uint16_t B = 0;
+  uint16_t C = 0;
+  uint16_t D = 0;
+  uint16_t E = 0;
+};
+
+/// A compile-time-resolved trap point: the source location and the exact
+/// message(s) the interpreter would report there. Msg2 carries the second
+/// message of instructions with two failure modes (IndexStore: null write
+/// vs. store out of bounds).
+struct TrapSite {
+  frontend::SourceLoc Loc;
+  std::string Msg;
+  std::string Msg2;
+};
+
+/// A resolved call site. Args live in a contiguous caller register block.
+struct CallSite {
+  int32_t Fn = -1;        ///< Callee index in Chunk::Fns.
+  uint16_t Recv = 0xFFFF; ///< Receiver register; 0xFFFF = caller's self.
+  uint16_t ArgBase = 0;   ///< First argument register in the caller.
+  uint16_t NumArgs = 0;
+  uint16_t Trap = 0;      ///< Site for the recursion-depth trap.
+  uint8_t Dst = 0;        ///< Caller register receiving the return value.
+  bool WriteDst = true;   ///< False for constructor calls.
+};
+
+/// A resolved `new C(...)` allocation: CSTG site allocations carry the
+/// site id and the registers holding the tags to bind; plain helper
+/// allocations have Site == ir::InvalidId.
+struct AllocInfo {
+  ir::ClassId Class = ir::InvalidId;
+  ir::SiteId Site = ir::InvalidId;
+  std::vector<uint16_t> TagRegs;
+};
+
+/// A resolved `taskexit(...)`: the exit id plus the tag variables to
+/// re-bind for the exit's tag actions (name index into Strings, register
+/// holding the instance).
+struct ExitInfo {
+  ir::ExitId Exit = ir::InvalidId;
+  std::vector<std::pair<uint32_t, uint16_t>> Tags;
+};
+
+/// One compiled function: a task body or a class method.
+struct CompiledFn {
+  std::string Name;     ///< "taskname" or "Class.method", for diagnostics.
+  uint16_t NumRegs = 0; ///< Frame size (locals in the first slots).
+  uint16_t NumParams = 0;
+  std::vector<Insn> Code;
+};
+
+/// A lowered module: every function plus the shared constant pools.
+struct Chunk {
+  std::vector<int64_t> Ints;
+  std::vector<double> Doubles;
+  std::vector<std::string> Strings;
+  std::vector<frontend::ast::RType> Types;
+  std::vector<TrapSite> Traps;
+  std::vector<CallSite> Calls;
+  std::vector<AllocInfo> Allocs;
+  std::vector<ExitInfo> Exits;
+  std::vector<CompiledFn> Fns;
+
+  /// Function index per Module::Tasks entry (-1 when the task has no body
+  /// to run, i.e. Id == InvalidId).
+  std::vector<int32_t> TaskFns;
+  /// Function index per [class][method].
+  std::vector<std::vector<int32_t>> MethodFns;
+};
+
+/// Renders \p C as a deterministic, human-readable listing (one line per
+/// instruction, pool operands shown inline). Used by --dump-bytecode and
+/// compared against a golden file in the tests.
+std::string disassemble(const Chunk &C);
+
+} // namespace bamboo::vm
+
+#endif // BAMBOO_VM_BYTECODE_H

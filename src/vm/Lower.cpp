@@ -1,0 +1,954 @@
+//===- vm/Lower.cpp - AST to bytecode lowering ----------------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The lowering pass mirrors interp::Evaluator structurally: every eval*
+// case there has a lower* counterpart here that emits instructions in the
+// exact order the interpreter would evaluate, so side effects (prints,
+// allocations, RNG draws) and trap points line up one to one.
+//
+// Cost-model replay: the interpreter charges one cycle per expression node
+// *at node entry, before children*. Lowering therefore bumps a pending
+// counter when it starts a node and emits the accumulated count as a
+// single Charge instruction before anything that needs the meter to be
+// current: a potentially-trapping instruction, a branch or label (so each
+// control-flow path carries exactly its own nodes), a call, or the end of
+// the function. Loop scaffolding synthesized by lowering (multi-dim array
+// fill loops) contributes nothing to the meter, matching the interpreter,
+// where that iteration is native C++.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Lower.h"
+
+#include "support/Debug.h"
+
+#include <cstring>
+#include <map>
+#include <utility>
+
+using namespace bamboo;
+using namespace bamboo::vm;
+using namespace bamboo::frontend;
+using namespace bamboo::frontend::ast;
+
+namespace {
+
+/// Thrown when a body exceeds the bytecode format limits; lowerModule
+/// catches it and reports failure so the caller can fall back.
+struct LimitExceeded {};
+
+constexpr uint16_t MaxRegs = 250;
+constexpr size_t MaxCode = 60000;
+constexpr size_t MaxPool = 65000;
+constexpr uint16_t SelfRecv = 0xFFFF;
+
+class Lowerer {
+public:
+  Lowerer(const Module &M, Chunk &C) : M(M), C(C) {}
+
+  void run() {
+    // Pass 1: assign function indices so call sites can reference methods
+    // that appear later in the source.
+    C.MethodFns.resize(M.Classes.size());
+    for (size_t CI = 0; CI < M.Classes.size(); ++CI)
+      for (const MethodDecl &Mth : M.Classes[CI].Methods) {
+        C.MethodFns[CI].push_back(static_cast<int32_t>(C.Fns.size()));
+        CompiledFn F;
+        F.Name = M.Classes[CI].Name + "." + Mth.Name;
+        F.NumParams = static_cast<uint16_t>(Mth.Params.size());
+        C.Fns.push_back(std::move(F));
+      }
+    for (const TaskDeclAst &Task : M.Tasks) {
+      if (Task.Id == ir::InvalidId) {
+        C.TaskFns.push_back(-1);
+        continue;
+      }
+      C.TaskFns.push_back(static_cast<int32_t>(C.Fns.size()));
+      CompiledFn F;
+      F.Name = Task.Name;
+      C.Fns.push_back(std::move(F));
+    }
+
+    // Pass 2: lower the bodies.
+    size_t FnIdx = 0;
+    for (size_t CI = 0; CI < M.Classes.size(); ++CI)
+      for (const MethodDecl &Mth : M.Classes[CI].Methods)
+        lowerMethod(M.Classes[CI], Mth, C.Fns[FnIdx++]);
+    for (const TaskDeclAst &Task : M.Tasks) {
+      if (Task.Id == ir::InvalidId)
+        continue;
+      lowerTask(Task, C.Fns[FnIdx++]);
+    }
+  }
+
+private:
+  const Module &M;
+  Chunk &C;
+
+  // Per-function state.
+  CompiledFn *Fn = nullptr;
+  const ClassDeclAst *SelfClass = nullptr; // Null in task bodies.
+  bool InTask = false;
+  uint32_t Pending = 0; // Expression-node cycles not yet emitted.
+  uint16_t NumLocals = 0;
+  uint16_t NextTemp = 0;
+  uint16_t HighWater = 0;
+
+  /// Forward-jump bookkeeping: instruction index plus which operand field
+  /// holds the target (0 = B, 1 = C).
+  struct Label {
+    std::vector<std::pair<uint32_t, int>> Fixups;
+  };
+  struct LoopCtx {
+    Label *BreakTo;
+    Label *ContinueTo;
+  };
+  std::vector<LoopCtx> Loops;
+
+  /// Releases expression temporaries on scope exit.
+  struct RegScope {
+    Lowerer &L;
+    uint16_t Saved;
+    explicit RegScope(Lowerer &L) : L(L), Saved(L.NextTemp) {}
+    ~RegScope() { L.NextTemp = Saved; }
+  };
+
+  uint16_t allocTemp() {
+    if (NextTemp >= MaxRegs)
+      throw LimitExceeded{};
+    uint16_t R = NextTemp++;
+    if (NextTemp > HighWater)
+      HighWater = NextTemp;
+    return R;
+  }
+
+  /// Result register: the caller's hint when given, else a fresh temp
+  /// (allocated in the caller's scope, before operand temporaries).
+  uint16_t dstReg(int Hint) {
+    return Hint >= 0 ? static_cast<uint16_t>(Hint) : allocTemp();
+  }
+
+  //===------------------------------------------------------------------===//
+  // Emission
+  //===------------------------------------------------------------------===//
+
+  uint32_t emit(Op O, uint8_t A = 0, uint16_t B = 0, uint16_t C_ = 0,
+                uint16_t D = 0, uint16_t E = 0) {
+    if (Fn->Code.size() >= MaxCode)
+      throw LimitExceeded{};
+    Fn->Code.push_back(Insn{O, A, B, C_, D, E});
+    return static_cast<uint32_t>(Fn->Code.size() - 1);
+  }
+
+  void flushCharge() {
+    while (Pending > 0) {
+      uint32_t N = Pending > 65535 ? 65535 : Pending;
+      emit(Op::Charge, 0, static_cast<uint16_t>(N));
+      Pending -= N;
+    }
+  }
+
+  /// Binds \p L to the current position. Flushes first so every incoming
+  /// edge carries exactly its own path's cycles.
+  void bind(Label &L) {
+    flushCharge();
+    uint32_t Here = static_cast<uint32_t>(Fn->Code.size());
+    if (Here > 65535)
+      throw LimitExceeded{};
+    for (auto &[Idx, Field] : L.Fixups) {
+      if (Field == 0)
+        Fn->Code[Idx].B = static_cast<uint16_t>(Here);
+      else
+        Fn->Code[Idx].C = static_cast<uint16_t>(Here);
+    }
+    L.Fixups.clear();
+  }
+
+  void jmp(Label &L) {
+    flushCharge();
+    L.Fixups.emplace_back(emit(Op::Jmp), 0);
+  }
+  void jmpTo(uint32_t Target) {
+    flushCharge();
+    emit(Op::Jmp, 0, static_cast<uint16_t>(Target));
+  }
+  void jmpIfFalse(uint16_t Cond, Label &L) {
+    flushCharge();
+    L.Fixups.emplace_back(emit(Op::JmpIfFalse, 0, Cond), 1);
+  }
+  void jmpIfTrue(uint16_t Cond, Label &L) {
+    flushCharge();
+    L.Fixups.emplace_back(emit(Op::JmpIfTrue, 0, Cond), 1);
+  }
+
+  /// The flush-then-bind point for loop heads (backward jump targets).
+  uint32_t here() {
+    flushCharge();
+    uint32_t H = static_cast<uint32_t>(Fn->Code.size());
+    if (H > 65535)
+      throw LimitExceeded{};
+    return H;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Pools
+  //===------------------------------------------------------------------===//
+
+  template <typename V>
+  uint16_t poolIndex(std::vector<V> &Pool, const V &Val) {
+    for (size_t I = 0; I < Pool.size(); ++I)
+      if (Pool[I] == Val)
+        return static_cast<uint16_t>(I);
+    if (Pool.size() >= MaxPool)
+      throw LimitExceeded{};
+    Pool.push_back(Val);
+    return static_cast<uint16_t>(Pool.size() - 1);
+  }
+
+  uint16_t intIdx(int64_t V) { return poolIndex(C.Ints, V); }
+  uint16_t strIdx(const std::string &S) { return poolIndex(C.Strings, S); }
+  uint16_t typeIdx(const RType &T) { return poolIndex(C.Types, T); }
+  uint16_t doubleIdx(double V) {
+    // Compare by bit pattern so -0.0 and NaN payloads round-trip.
+    for (size_t I = 0; I < C.Doubles.size(); ++I)
+      if (std::memcmp(&C.Doubles[I], &V, sizeof(double)) == 0)
+        return static_cast<uint16_t>(I);
+    if (C.Doubles.size() >= MaxPool)
+      throw LimitExceeded{};
+    C.Doubles.push_back(V);
+    return static_cast<uint16_t>(C.Doubles.size() - 1);
+  }
+
+  uint16_t trapSite(SourceLoc Loc, std::string Msg, std::string Msg2 = "") {
+    for (size_t I = 0; I < C.Traps.size(); ++I)
+      if (C.Traps[I].Loc.Line == Loc.Line && C.Traps[I].Loc.Col == Loc.Col &&
+          C.Traps[I].Msg == Msg && C.Traps[I].Msg2 == Msg2)
+        return static_cast<uint16_t>(I);
+    if (C.Traps.size() >= MaxPool)
+      throw LimitExceeded{};
+    C.Traps.push_back(TrapSite{Loc, std::move(Msg), std::move(Msg2)});
+    return static_cast<uint16_t>(C.Traps.size() - 1);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Function frames
+  //===------------------------------------------------------------------===//
+
+  void beginFn(CompiledFn &F, uint16_t Locals, const ClassDeclAst *Cls,
+               bool Task) {
+    Fn = &F;
+    SelfClass = Cls;
+    InTask = Task;
+    Pending = 0;
+    NumLocals = Locals;
+    NextTemp = Locals;
+    HighWater = Locals;
+    Loops.clear();
+    if (Locals > MaxRegs)
+      throw LimitExceeded{};
+  }
+
+  void lowerTask(const TaskDeclAst &Task, CompiledFn &F) {
+    beginFn(F, static_cast<uint16_t>(Task.NumSlots), nullptr, /*Task=*/true);
+    // Prologue: parameter objects into their slots, then the tag
+    // constraint variables (mirrors Evaluator::runTask).
+    for (size_t P = 0; P < Task.Params.size(); ++P)
+      emit(Op::LoadParam, static_cast<uint8_t>(P),
+           static_cast<uint16_t>(P));
+    for (const TaskParamAst &Param : Task.Params)
+      for (const TagConstraintAst &TC : Param.Tags)
+        if (TC.Slot >= 0)
+          emit(Op::LoadTagVar, static_cast<uint8_t>(TC.Slot),
+               strIdx(TC.Var));
+    lowerStmt(Task.Body.get());
+    flushCharge();
+    emit(Op::Halt);
+    F.NumRegs = HighWater;
+  }
+
+  void lowerMethod(const ClassDeclAst &Cls, const MethodDecl &Mth,
+                   CompiledFn &F) {
+    beginFn(F, static_cast<uint16_t>(Mth.NumSlots), &Cls, /*Task=*/false);
+    lowerStmt(Mth.Body.get());
+    flushCharge();
+    emit(Op::Ret); // Fall off the end: leave the return register alone.
+    F.NumRegs = HighWater;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statements
+  //===------------------------------------------------------------------===//
+
+  void lowerStmt(const Stmt *S) {
+    if (!S)
+      return;
+    switch (S->K) {
+    case StmtKind::Block:
+      for (const StmtPtr &Child : static_cast<const BlockStmt *>(S)->Stmts)
+        lowerStmt(Child.get());
+      return;
+    case StmtKind::VarDecl: {
+      const auto *D = static_cast<const VarDeclStmt *>(S);
+      uint16_t Slot = static_cast<uint16_t>(D->Slot);
+      if (D->Init) {
+        RegScope Scope(*this);
+        lowerExpr(D->Init.get(), Slot);
+        if (isScalarDouble(D->Resolved))
+          emit(Op::CoerceD, static_cast<uint8_t>(Slot));
+      } else {
+        emit(Op::LoadDefault, static_cast<uint8_t>(Slot),
+             typeIdx(D->Resolved));
+      }
+      return;
+    }
+    case StmtKind::TagDecl: {
+      const auto *D = static_cast<const TagDeclStmt *>(S);
+      emit(Op::NewTag, static_cast<uint8_t>(D->Slot),
+           static_cast<uint16_t>(D->TagType), strIdx(D->Name));
+      return;
+    }
+    case StmtKind::Expr: {
+      RegScope Scope(*this);
+      lowerExpr(static_cast<const ExprStmt *>(S)->E.get());
+      return;
+    }
+    case StmtKind::If: {
+      const auto *I = static_cast<const IfStmt *>(S);
+      Label Else, End;
+      {
+        RegScope Scope(*this);
+        uint16_t Cond = lowerExpr(I->Cond.get(), -1, /*AllowAlias=*/true);
+        jmpIfFalse(Cond, Else);
+      }
+      lowerStmt(I->Then.get());
+      if (I->Else) {
+        jmp(End);
+        bind(Else);
+        lowerStmt(I->Else.get());
+        bind(End);
+      } else {
+        bind(Else);
+      }
+      return;
+    }
+    case StmtKind::While: {
+      const auto *W = static_cast<const WhileStmt *>(S);
+      Label End, HeadL;
+      uint32_t Head = here();
+      {
+        RegScope Scope(*this);
+        uint16_t Cond = lowerExpr(W->Cond.get(), -1, /*AllowAlias=*/true);
+        jmpIfFalse(Cond, End);
+      }
+      Loops.push_back(LoopCtx{&End, &HeadL});
+      lowerStmt(W->Body.get());
+      Loops.pop_back();
+      bind(HeadL); // `continue` lands here, then jumps back to the head.
+      jmpTo(Head);
+      bind(End);
+      return;
+    }
+    case StmtKind::For: {
+      const auto *Lp = static_cast<const ForStmt *>(S);
+      lowerStmt(Lp->Init.get());
+      Label End, Step;
+      uint32_t Head = here();
+      if (Lp->Cond) {
+        RegScope Scope(*this);
+        uint16_t Cond = lowerExpr(Lp->Cond.get(), -1, /*AllowAlias=*/true);
+        jmpIfFalse(Cond, End);
+      }
+      Loops.push_back(LoopCtx{&End, &Step});
+      lowerStmt(Lp->Body.get());
+      Loops.pop_back();
+      bind(Step);
+      if (Lp->Step) {
+        RegScope Scope(*this);
+        lowerExpr(Lp->Step.get());
+      }
+      jmpTo(Head);
+      bind(End);
+      return;
+    }
+    case StmtKind::Return: {
+      const auto *R = static_cast<const ReturnStmt *>(S);
+      if (R->Value) {
+        RegScope Scope(*this);
+        uint16_t V = lowerExpr(R->Value.get(), -1, /*AllowAlias=*/true);
+        flushCharge();
+        // In a task body a `return` just ends the invocation; the value
+        // (already evaluated for its effects and cycles) is discarded.
+        if (InTask)
+          emit(Op::Halt);
+        else
+          emit(Op::RetVal, 0, V);
+      } else {
+        flushCharge();
+        emit(InTask ? Op::Halt : Op::RetVoid);
+      }
+      return;
+    }
+    case StmtKind::Break:
+      jmp(*Loops.back().BreakTo);
+      return;
+    case StmtKind::Continue:
+      jmp(*Loops.back().ContinueTo);
+      return;
+    case StmtKind::TaskExit: {
+      const auto *T = static_cast<const TaskExitStmt *>(S);
+      ExitInfo EI;
+      EI.Exit = T->Exit;
+      for (const ExitParamAction &Action : T->Actions)
+        for (const ExitTagActionAst &TA : Action.Tags)
+          if (TA.Slot >= 0)
+            EI.Tags.emplace_back(strIdx(TA.TagVar),
+                                 static_cast<uint16_t>(TA.Slot));
+      if (C.Exits.size() >= MaxPool)
+        throw LimitExceeded{};
+      uint16_t Idx = static_cast<uint16_t>(C.Exits.size());
+      C.Exits.push_back(std::move(EI));
+      flushCharge();
+      emit(Op::Exit, 0, Idx);
+      // In a task the exit ends the invocation; inside a method the
+      // interpreter converts Flow::Exit to a normal call return (leaving
+      // the return register untouched) and the caller continues.
+      emit(InTask ? Op::Halt : Op::Ret);
+      return;
+    }
+    }
+    BAMBOO_UNREACHABLE("covered switch");
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expressions
+  //===------------------------------------------------------------------===//
+
+  static bool isScalarDouble(const RType &T) {
+    return T.Base == BaseKind::Double && T.Depth == 0;
+  }
+
+  /// True when evaluating \p E can write a local slot (only assignments
+  /// do; method calls touch callee frames, self fields, and the heap, but
+  /// never the current frame's locals). Used to decide whether an earlier
+  /// operand may alias a local register instead of being copied.
+  static bool writesLocals(const Expr *E) {
+    if (!E)
+      return false;
+    switch (E->K) {
+    case ExprKind::Assign:
+      return true;
+    case ExprKind::IntLit:
+    case ExprKind::DoubleLit:
+    case ExprKind::BoolLit:
+    case ExprKind::StringLit:
+    case ExprKind::NullLit:
+    case ExprKind::VarRef:
+      return false;
+    case ExprKind::FieldAccess:
+      return writesLocals(static_cast<const FieldAccessExpr *>(E)->Base.get());
+    case ExprKind::Index: {
+      const auto *I = static_cast<const IndexExpr *>(E);
+      return writesLocals(I->Base.get()) || writesLocals(I->Index.get());
+    }
+    case ExprKind::Call: {
+      const auto *Cl = static_cast<const CallExpr *>(E);
+      if (writesLocals(Cl->Base.get()))
+        return true;
+      for (const ExprPtr &A : Cl->Args)
+        if (writesLocals(A.get()))
+          return true;
+      return false;
+    }
+    case ExprKind::NewObject: {
+      const auto *N = static_cast<const NewObjectExpr *>(E);
+      for (const ExprPtr &A : N->Args)
+        if (writesLocals(A.get()))
+          return true;
+      return false;
+    }
+    case ExprKind::NewArray: {
+      const auto *N = static_cast<const NewArrayExpr *>(E);
+      for (const ExprPtr &D : N->Dims)
+        if (writesLocals(D.get()))
+          return true;
+      return false;
+    }
+    case ExprKind::Unary:
+      return writesLocals(static_cast<const UnaryExpr *>(E)->Operand.get());
+    case ExprKind::Binary: {
+      const auto *B = static_cast<const BinaryExpr *>(E);
+      return writesLocals(B->Lhs.get()) || writesLocals(B->Rhs.get());
+    }
+    }
+    return true;
+  }
+
+  /// Lowers \p E; returns the register holding the result. With \p Hint
+  /// >= 0 the result is materialized into that register. With
+  /// \p AllowAlias, a local-variable reference may return its slot
+  /// register directly (no copy) — only legal when nothing between this
+  /// operand's evaluation and its use can write locals.
+  uint16_t lowerExpr(const Expr *E, int Hint = -1, bool AllowAlias = false) {
+    ++Pending; // One virtual cycle per expression node, parent first.
+    switch (E->K) {
+    case ExprKind::IntLit: {
+      uint16_t Dst = dstReg(Hint);
+      emit(Op::LoadInt, static_cast<uint8_t>(Dst),
+           intIdx(static_cast<const IntLitExpr *>(E)->Value));
+      return Dst;
+    }
+    case ExprKind::DoubleLit: {
+      uint16_t Dst = dstReg(Hint);
+      emit(Op::LoadDouble, static_cast<uint8_t>(Dst),
+           doubleIdx(static_cast<const DoubleLitExpr *>(E)->Value));
+      return Dst;
+    }
+    case ExprKind::BoolLit: {
+      uint16_t Dst = dstReg(Hint);
+      emit(Op::LoadBool, static_cast<uint8_t>(Dst),
+           static_cast<const BoolLitExpr *>(E)->Value ? 1 : 0);
+      return Dst;
+    }
+    case ExprKind::StringLit: {
+      uint16_t Dst = dstReg(Hint);
+      emit(Op::LoadStr, static_cast<uint8_t>(Dst),
+           strIdx(static_cast<const StringLitExpr *>(E)->Value));
+      return Dst;
+    }
+    case ExprKind::NullLit: {
+      uint16_t Dst = dstReg(Hint);
+      emit(Op::LoadNull, static_cast<uint8_t>(Dst));
+      return Dst;
+    }
+    case ExprKind::VarRef:
+      return lowerVarRef(static_cast<const VarRefExpr *>(E), Hint,
+                         AllowAlias);
+    case ExprKind::FieldAccess:
+      return lowerFieldAccess(static_cast<const FieldAccessExpr *>(E), Hint);
+    case ExprKind::Index:
+      return lowerIndex(static_cast<const IndexExpr *>(E), Hint);
+    case ExprKind::Call:
+      return lowerCall(static_cast<const CallExpr *>(E), Hint);
+    case ExprKind::NewObject:
+      return lowerNewObject(static_cast<const NewObjectExpr *>(E), Hint);
+    case ExprKind::NewArray: {
+      const auto *N = static_cast<const NewArrayExpr *>(E);
+      uint16_t Dst = dstReg(Hint);
+      RegScope Scope(*this);
+      lowerNewArrayDim(N, 0, Dst);
+      return Dst;
+    }
+    case ExprKind::Unary: {
+      const auto *U = static_cast<const UnaryExpr *>(E);
+      uint16_t Dst = dstReg(Hint);
+      RegScope Scope(*this);
+      uint16_t Src = lowerExpr(U->Operand.get(), -1, /*AllowAlias=*/true);
+      emit(U->Op == UnaryOp::Not ? Op::Not : Op::Neg,
+           static_cast<uint8_t>(Dst), Src);
+      return Dst;
+    }
+    case ExprKind::Binary:
+      return lowerBinary(static_cast<const BinaryExpr *>(E), Hint);
+    case ExprKind::Assign:
+      return lowerAssign(static_cast<const AssignExpr *>(E), Hint);
+    }
+    BAMBOO_UNREACHABLE("covered switch");
+  }
+
+  uint16_t lowerVarRef(const VarRefExpr *V, int Hint, bool AllowAlias) {
+    if (V->Bind == VarRefExpr::Binding::LocalSlot) {
+      uint16_t Slot = static_cast<uint16_t>(V->Slot);
+      if (Hint >= 0) {
+        if (static_cast<uint16_t>(Hint) != Slot)
+          emit(Op::Move, static_cast<uint8_t>(Hint), Slot);
+        return static_cast<uint16_t>(Hint);
+      }
+      if (AllowAlias)
+        return Slot;
+      uint16_t Dst = allocTemp();
+      emit(Op::Move, static_cast<uint8_t>(Dst), Slot);
+      return Dst;
+    }
+    if (V->Bind == VarRefExpr::Binding::SelfField) {
+      uint16_t Dst = dstReg(Hint);
+      emit(Op::GetFieldSelf, static_cast<uint8_t>(Dst), 0,
+           static_cast<uint16_t>(V->FieldIndex));
+      return Dst;
+    }
+    // Namespace/unresolved names trap like the interpreter.
+    uint16_t Dst = dstReg(Hint);
+    flushCharge();
+    emit(Op::TrapNow, 0, 0, 0, 0,
+         trapSite(V->Loc, "unbound variable " + V->Name));
+    return Dst;
+  }
+
+  uint16_t lowerFieldAccess(const FieldAccessExpr *FA, int Hint) {
+    uint16_t Dst = dstReg(Hint);
+    RegScope Scope(*this);
+    uint16_t Base = lowerExpr(FA->Base.get(), -1, /*AllowAlias=*/true);
+    flushCharge();
+    if (FA->IsArrayLength)
+      emit(Op::ArrLen, static_cast<uint8_t>(Dst), Base, 0, 0,
+           trapSite(FA->Loc, "null dereference reading length"));
+    else
+      emit(Op::GetField, static_cast<uint8_t>(Dst), Base,
+           static_cast<uint16_t>(FA->FieldIndex), 0,
+           trapSite(FA->Loc, "null dereference reading field " + FA->Field));
+    return Dst;
+  }
+
+  uint16_t lowerIndex(const IndexExpr *I, int Hint) {
+    uint16_t Dst = dstReg(Hint);
+    RegScope Scope(*this);
+    uint16_t Base = lowerExpr(I->Base.get(), -1,
+                              !writesLocals(I->Index.get()));
+    uint16_t Idx = lowerExpr(I->Index.get(), -1, /*AllowAlias=*/true);
+    flushCharge();
+    emit(Op::IndexLoad, static_cast<uint8_t>(Dst), Base, Idx, 0,
+         trapSite(I->Loc, "null dereference indexing array"));
+    return Dst;
+  }
+
+  uint16_t lowerBinary(const BinaryExpr *B, int Hint) {
+    if (B->Op == BinaryOp::And || B->Op == BinaryOp::Or) {
+      // Short-circuit: the node's cycle and the LHS always happen; the
+      // RHS only on the fall-through path, so its Charge lands there.
+      uint16_t Dst = dstReg(Hint);
+      Label End;
+      {
+        RegScope Scope(*this);
+        lowerExpr(B->Lhs.get(), Dst);
+      }
+      if (B->Op == BinaryOp::And)
+        jmpIfFalse(Dst, End);
+      else
+        jmpIfTrue(Dst, End);
+      {
+        RegScope Scope(*this);
+        lowerExpr(B->Rhs.get(), Dst);
+      }
+      bind(End);
+      return Dst;
+    }
+
+    uint16_t Dst = dstReg(Hint);
+    RegScope Scope(*this);
+    uint16_t L = lowerExpr(B->Lhs.get(), -1, !writesLocals(B->Rhs.get()));
+    uint16_t R = lowerExpr(B->Rhs.get(), -1, /*AllowAlias=*/true);
+
+    Op O = Op::Add;
+    uint16_t Trap = 0;
+    switch (B->Op) {
+    case BinaryOp::Add: O = Op::Add; break;
+    case BinaryOp::Sub: O = Op::Sub; break;
+    case BinaryOp::Mul: O = Op::Mul; break;
+    case BinaryOp::Div:
+      O = Op::Div;
+      Trap = trapSite(B->Loc, "division by zero");
+      flushCharge();
+      break;
+    case BinaryOp::Rem:
+      O = Op::Rem;
+      Trap = trapSite(B->Loc, "remainder by zero");
+      flushCharge();
+      break;
+    case BinaryOp::Lt: O = Op::CmpLt; break;
+    case BinaryOp::Le: O = Op::CmpLe; break;
+    case BinaryOp::Gt: O = Op::CmpGt; break;
+    case BinaryOp::Ge: O = Op::CmpGe; break;
+    case BinaryOp::Eq: O = Op::CmpEq; break;
+    case BinaryOp::Ne: O = Op::CmpNe; break;
+    case BinaryOp::And:
+    case BinaryOp::Or:
+      BAMBOO_UNREACHABLE("handled above");
+    }
+    emit(O, static_cast<uint8_t>(Dst), L, R, 0, Trap);
+    return Dst;
+  }
+
+  uint16_t lowerAssign(const AssignExpr *A, int Hint) {
+    // The interpreter evaluates the value before resolving the target,
+    // coerces it to the target's static type, and yields it as the
+    // expression result. The result register must be the pre-store
+    // temporary, not the stored-to slot, so a later sibling assignment to
+    // the same variable cannot retroactively change this value.
+    uint16_t V = dstReg(Hint);
+    {
+      RegScope Scope(*this);
+      lowerExpr(A->Value.get(), V);
+    }
+    if (isScalarDouble(A->Target->Ty))
+      emit(Op::CoerceD, static_cast<uint8_t>(V));
+
+    switch (A->Target->K) {
+    case ExprKind::VarRef: {
+      const auto *T = static_cast<const VarRefExpr *>(A->Target.get());
+      if (T->Bind == VarRefExpr::Binding::LocalSlot)
+        emit(Op::Move, static_cast<uint8_t>(T->Slot), V);
+      else if (T->Bind == VarRefExpr::Binding::SelfField)
+        emit(Op::SetFieldSelf, 0, V, static_cast<uint16_t>(T->FieldIndex));
+      else {
+        flushCharge();
+        emit(Op::TrapNow, 0, 0, 0, 0,
+             trapSite(A->Loc, "invalid assignment target"));
+      }
+      return V;
+    }
+    case ExprKind::FieldAccess: {
+      const auto *T = static_cast<const FieldAccessExpr *>(A->Target.get());
+      RegScope Scope(*this);
+      uint16_t Base = lowerExpr(T->Base.get(), -1, /*AllowAlias=*/true);
+      flushCharge();
+      emit(Op::SetField, 0, Base, static_cast<uint16_t>(T->FieldIndex), V,
+           trapSite(T->Loc, "null dereference writing field " + T->Field));
+      return V;
+    }
+    case ExprKind::Index: {
+      const auto *T = static_cast<const IndexExpr *>(A->Target.get());
+      RegScope Scope(*this);
+      uint16_t Base = lowerExpr(T->Base.get(), -1,
+                                !writesLocals(T->Index.get()));
+      uint16_t Idx = lowerExpr(T->Index.get(), -1, /*AllowAlias=*/true);
+      flushCharge();
+      emit(Op::IndexStore, 0, Base, Idx, V,
+           trapSite(T->Loc, "null dereference writing array element",
+                    "array store out of bounds"));
+      return V;
+    }
+    default:
+      flushCharge();
+      emit(Op::TrapNow, 0, 0, 0, 0,
+           trapSite(A->Loc, "invalid assignment target"));
+      return V;
+    }
+  }
+
+  /// One dimension of a `new T[d0][d1]...`: evaluate this dimension's
+  /// extent, allocate, and for inner dimensions fill each element by
+  /// re-running the next level — including re-evaluating its extent
+  /// expression per element, exactly like the interpreter's recursion.
+  /// The fill loop's own control flow is lowering scaffolding and charges
+  /// nothing.
+  void lowerNewArrayDim(const NewArrayExpr *N, size_t Dim, uint16_t Dst) {
+    RegScope Scope(*this);
+    uint16_t Len = lowerExpr(N->Dims[Dim].get(), -1, /*AllowAlias=*/true);
+    RType El = N->Ty;
+    El.Depth -= static_cast<int>(Dim) + 1;
+    flushCharge();
+    emit(Op::NewArr, static_cast<uint8_t>(Dst), Len, typeIdx(El), 0,
+         trapSite(N->Loc, "negative array length"));
+    if (Dim + 1 >= N->Dims.size())
+      return;
+
+    // for (i = 0; i < len; ++i) dst[i] = <next dimension>;
+    uint16_t Idx = allocTemp();
+    uint16_t One = allocTemp();
+    uint16_t Cond = allocTemp();
+    uint16_t Elem = allocTemp();
+    emit(Op::LoadInt, static_cast<uint8_t>(Idx), intIdx(0));
+    emit(Op::LoadInt, static_cast<uint8_t>(One), intIdx(1));
+    Label End;
+    uint32_t Head = here();
+    emit(Op::CmpLt, static_cast<uint8_t>(Cond), Idx, Len);
+    jmpIfFalse(Cond, End);
+    lowerNewArrayDim(N, Dim + 1, Elem);
+    flushCharge();
+    emit(Op::IndexStoreRaw, 0, Dst, Idx, Elem);
+    emit(Op::Add, static_cast<uint8_t>(Idx), Idx, One);
+    jmpTo(Head);
+    bind(End);
+  }
+
+  uint16_t lowerNewObject(const NewObjectExpr *N, int Hint) {
+    uint16_t Dst = dstReg(Hint);
+    RegScope Scope(*this);
+
+    AllocInfo AI;
+    AI.Class = N->Class;
+    AI.Site = N->Site;
+    if (N->Site != ir::InvalidId)
+      for (const TagInit &TI : N->Tags)
+        if (TI.Slot >= 0)
+          AI.TagRegs.push_back(static_cast<uint16_t>(TI.Slot));
+    if (C.Allocs.size() >= MaxPool)
+      throw LimitExceeded{};
+    uint16_t AllocIdx = static_cast<uint16_t>(C.Allocs.size());
+    C.Allocs.push_back(std::move(AI));
+    // Allocation happens before constructor-argument evaluation (heap-id
+    // order matches the interpreter).
+    emit(Op::NewObj, static_cast<uint8_t>(Dst), AllocIdx);
+
+    if (N->CtorIndex >= 0) {
+      const ClassDeclAst &Cls = M.Classes[static_cast<size_t>(N->Class)];
+      const MethodDecl &Ctor =
+          Cls.Methods[static_cast<size_t>(N->CtorIndex)];
+      uint16_t ArgBase = lowerArgs(N->Args, Ctor);
+      CallSite CS;
+      CS.Fn = C.MethodFns[static_cast<size_t>(N->Class)]
+                         [static_cast<size_t>(N->CtorIndex)];
+      CS.Recv = Dst;
+      CS.ArgBase = ArgBase;
+      CS.NumArgs = static_cast<uint16_t>(N->Args.size());
+      CS.Trap = trapSite(N->Loc, "method recursion too deep");
+      CS.WriteDst = false;
+      emitCall(CS, /*Dst=*/0);
+    }
+    return Dst;
+  }
+
+  /// Evaluates call arguments into a fresh contiguous register block,
+  /// coercing each to its parameter's static type, and returns the base.
+  uint16_t lowerArgs(const std::vector<ExprPtr> &Args,
+                     const MethodDecl &Callee) {
+    uint16_t ArgBase = NextTemp;
+    for (size_t I = 0; I < Args.size(); ++I)
+      allocTemp();
+    for (size_t I = 0; I < Args.size(); ++I) {
+      uint16_t R = static_cast<uint16_t>(ArgBase + I);
+      RegScope Scope(*this);
+      lowerExpr(Args[I].get(), R);
+      if (isScalarDouble(Callee.Params[I].Resolved))
+        emit(Op::CoerceD, static_cast<uint8_t>(R));
+    }
+    return ArgBase;
+  }
+
+  void emitCall(CallSite CS, uint16_t Dst) {
+    CS.Dst = static_cast<uint8_t>(Dst);
+    if (C.Calls.size() >= MaxPool)
+      throw LimitExceeded{};
+    uint16_t Idx = static_cast<uint16_t>(C.Calls.size());
+    C.Calls.push_back(CS);
+    flushCharge();
+    emit(Op::Call, static_cast<uint8_t>(Dst), Idx);
+  }
+
+  uint16_t lowerCall(const CallExpr *Cl, int Hint) {
+    if (Cl->Builtin != BuiltinId::None)
+      return lowerBuiltin(Cl, Hint);
+
+    uint16_t Dst = dstReg(Hint);
+    const ClassDeclAst &Cls =
+        M.Classes[static_cast<size_t>(Cl->TargetClass)];
+    const MethodDecl &Mth =
+        Cls.Methods[static_cast<size_t>(Cl->MethodIndex)];
+    {
+      RegScope Scope(*this);
+      uint16_t Recv = SelfRecv;
+      if (Cl->Base) {
+        Recv = allocTemp();
+        lowerExpr(Cl->Base.get(), Recv);
+        flushCharge();
+        emit(Op::CheckNull, 0, Recv, 0, 0,
+             trapSite(Cl->Loc, "null dereference calling " + Cl->Method));
+      }
+      uint16_t ArgBase = lowerArgs(Cl->Args, Mth);
+      CallSite CS;
+      CS.Fn = C.MethodFns[static_cast<size_t>(Cl->TargetClass)]
+                         [static_cast<size_t>(Cl->MethodIndex)];
+      CS.Recv = Recv;
+      CS.ArgBase = ArgBase;
+      CS.NumArgs = static_cast<uint16_t>(Cl->Args.size());
+      CS.Trap = trapSite(Cl->Loc, "method recursion too deep");
+      emitCall(CS, Dst);
+    }
+    if (isScalarDouble(Mth.ResolvedReturn))
+      emit(Op::CoerceD, static_cast<uint8_t>(Dst));
+    return Dst;
+  }
+
+  uint16_t lowerBuiltin(const CallExpr *Cl, int Hint) {
+    uint16_t Dst = dstReg(Hint);
+    RegScope Scope(*this);
+
+    // String builtins evaluate their receiver; namespace receivers
+    // (System/Math/Bamboo) are not evaluated, matching the interpreter.
+    uint16_t Base = 0;
+    if (Cl->Base && Cl->Builtin >= BuiltinId::StringLength)
+      Base = lowerExpr(Cl->Base.get(), -1, /*AllowAlias=*/true);
+
+    std::vector<uint16_t> Args;
+    for (const ExprPtr &A : Cl->Args)
+      Args.push_back(lowerExpr(A.get(), -1, /*AllowAlias=*/true));
+
+    uint8_t D = static_cast<uint8_t>(Dst);
+    switch (Cl->Builtin) {
+    case BuiltinId::SystemPrintString:
+      emit(Op::PrintStr, 0, Args[0]);
+      emit(Op::LoadNull, D);
+      return Dst;
+    case BuiltinId::SystemPrintInt:
+      emit(Op::PrintInt, 0, Args[0]);
+      emit(Op::LoadNull, D);
+      return Dst;
+    case BuiltinId::SystemPrintDouble:
+      emit(Op::PrintDouble, 0, Args[0]);
+      emit(Op::LoadNull, D);
+      return Dst;
+    case BuiltinId::MathSqrt: emit(Op::MSqrt, D, Args[0]); return Dst;
+    case BuiltinId::MathAbs: emit(Op::MAbs, D, Args[0]); return Dst;
+    case BuiltinId::MathFabs: emit(Op::MFabs, D, Args[0]); return Dst;
+    case BuiltinId::MathSin: emit(Op::MSin, D, Args[0]); return Dst;
+    case BuiltinId::MathCos: emit(Op::MCos, D, Args[0]); return Dst;
+    case BuiltinId::MathExp: emit(Op::MExp, D, Args[0]); return Dst;
+    case BuiltinId::MathLog: emit(Op::MLog, D, Args[0]); return Dst;
+    case BuiltinId::MathFloor: emit(Op::MFloor, D, Args[0]); return Dst;
+    case BuiltinId::MathPow:
+      emit(Op::MPow, D, Args[0], Args[1]);
+      return Dst;
+    case BuiltinId::MathMax:
+      emit(Op::MMax, D, Args[0], Args[1]);
+      return Dst;
+    case BuiltinId::MathMin:
+      emit(Op::MMin, D, Args[0], Args[1]);
+      return Dst;
+    case BuiltinId::BambooCharge:
+      emit(Op::ChargeDyn, 0, Args[0]);
+      emit(Op::LoadNull, D);
+      return Dst;
+    case BuiltinId::BambooRand:
+      flushCharge();
+      emit(Op::Rand, D, Args[0], 0, 0,
+           trapSite(Cl->Loc, "Bamboo.rand requires a positive bound"));
+      return Dst;
+    case BuiltinId::StringLength:
+      emit(Op::StrLen, D, Base);
+      return Dst;
+    case BuiltinId::StringCharAt:
+      flushCharge();
+      emit(Op::StrCharAt, D, Base, Args[0], 0,
+           trapSite(Cl->Loc, "charAt index out of bounds"));
+      return Dst;
+    case BuiltinId::StringSubstring:
+      flushCharge();
+      emit(Op::StrSubstr, D, Base, Args[0], Args[1],
+           trapSite(Cl->Loc, "substring bounds invalid"));
+      return Dst;
+    case BuiltinId::StringIndexOf:
+      emit(Op::StrIndexOf, D, Base, Args[0], Args[1]);
+      return Dst;
+    case BuiltinId::StringEquals:
+      emit(Op::StrEq, D, Base, Args[0]);
+      return Dst;
+    case BuiltinId::None:
+      break;
+    }
+    BAMBOO_UNREACHABLE("not a builtin");
+  }
+};
+
+} // namespace
+
+bool vm::lowerModule(const Module &M, Chunk &C) {
+  try {
+    Lowerer(M, C).run();
+    return true;
+  } catch (const LimitExceeded &) {
+    C = Chunk();
+    return false;
+  }
+}

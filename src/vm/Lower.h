@@ -1,0 +1,36 @@
+//===- vm/Lower.h - AST to bytecode lowering --------------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles the annotated task-body and method ASTs of a checked module
+/// into vm::Chunk bytecode. Lowering resolves every name to a register,
+/// pool index, or call-site record, and replays the interpreter's cost
+/// model statically: each expression node contributes one virtual cycle,
+/// accumulated at compile time into block-granular Charge instructions
+/// that are flushed before every trap point, branch, and call so the
+/// metered total agrees with the interpreter at every place execution can
+/// stop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_VM_LOWER_H
+#define BAMBOO_VM_LOWER_H
+
+#include "frontend/Ast.h"
+#include "vm/Bytecode.h"
+
+namespace bamboo::vm {
+
+/// Lowers every task body and class method of \p M into \p C. Returns
+/// false when some body exceeds the bytecode format's limits (more than
+/// ~250 live registers, 60k instructions, or 64k pool entries); callers
+/// then fall back to the tree-walking interpreter for the whole module so
+/// the two execution modes never mix within one program.
+bool lowerModule(const frontend::ast::Module &M, Chunk &C);
+
+} // namespace bamboo::vm
+
+#endif // BAMBOO_VM_LOWER_H

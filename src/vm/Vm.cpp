@@ -1,0 +1,582 @@
+//===- vm/Vm.cpp - Threaded-code VM for DSL task bodies -------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Dispatch uses GNU labels-as-values (computed goto) when available so
+// each handler jumps directly to the next one — the branch predictor sees
+// one indirect branch per handler instead of a shared switch dispatch —
+// and falls back to a plain switch loop elsewhere.
+//
+// Semantics notes (all mirroring interp::Evaluator):
+//  - Ops accumulates Charge instructions and is handed to
+//    Ctx.charge() exactly once when the invocation ends — including when
+//    it ends on a trap — so virtual-cycle totals agree with the
+//    interpreter at every truncation point.
+//  - RV (the return register) is reset when a call is entered, written by
+//    return statements, and deliberately *not* cleared when a method
+//    falls off its end or exits via taskexit, reproducing the
+//    interpreter's leftover-return-value behavior.
+//  - Register frames are carved from one contiguous stack; callee frames
+//    start zeroed (null), parameters are copied in from the caller's
+//    contiguous argument block.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Vm.h"
+
+#include "runtime/TaskContext.h"
+#include "support/Debug.h"
+#include "support/Format.h"
+#include "vm/Lower.h"
+
+#include <cmath>
+#include <memory>
+#include <variant>
+
+using namespace bamboo;
+using namespace bamboo::vm;
+using namespace bamboo::interp;
+using namespace bamboo::frontend::ast;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define BAMBOO_VM_THREADED 1
+#endif
+
+namespace {
+
+void runFn(VmProgram &P, uint32_t FnIdx, runtime::TaskContext &Ctx) {
+  const Chunk &C = P.chunk();
+  const CompiledFn *Fn = &C.Fns[FnIdx];
+  const Insn *Code = Fn->Code.data();
+  uint32_t PC = 0;
+  uint32_t Base = 0;
+  runtime::Object *Self = nullptr;
+  machine::Cycles Ops = 0;
+  Value RV;
+
+  /// Suspended caller frames.
+  struct Fr {
+    const CompiledFn *Fn;
+    uint32_t RetPC;
+    uint32_t Base;
+    runtime::Object *Self;
+    uint8_t RetDst;
+    bool WriteDst;
+  };
+  std::vector<Fr> Stack;
+  std::vector<Value> Regs(Fn->NumRegs);
+
+  const Insn *I = nullptr;
+  uint16_t Ti = 0;              // Trap site of the pending trap.
+  const std::string *TM = nullptr; // Message override (Msg2 / formatted).
+  std::string Dyn;              // Storage for formatted trap messages.
+
+#define VREG(R) Regs[Base + (R)]
+
+#ifdef BAMBOO_VM_THREADED
+  static const void *const JumpTable[] = {
+#define BAMBOO_VM_OP_LABEL(Name) &&L_##Name,
+      BAMBOO_VM_OPCODES(BAMBOO_VM_OP_LABEL)
+#undef BAMBOO_VM_OP_LABEL
+  };
+#define VM_CASE(Name) L_##Name:
+#define VM_NEXT                                                               \
+  do {                                                                        \
+    I = &Code[PC++];                                                          \
+    goto *JumpTable[static_cast<uint8_t>(I->Opc)];                            \
+  } while (0)
+  VM_NEXT;
+#else
+#define VM_CASE(Name) case Op::Name:
+#define VM_NEXT goto dispatch
+dispatch:
+  I = &Code[PC++];
+  switch (I->Opc) {
+#endif
+
+  VM_CASE(LoadInt) { VREG(I->A) = C.Ints[I->B]; VM_NEXT; }
+  VM_CASE(LoadDouble) { VREG(I->A) = C.Doubles[I->B]; VM_NEXT; }
+  VM_CASE(LoadStr) { VREG(I->A) = C.Strings[I->B]; VM_NEXT; }
+  VM_CASE(LoadBool) { VREG(I->A) = (I->B != 0); VM_NEXT; }
+  VM_CASE(LoadNull) { VREG(I->A) = std::monostate{}; VM_NEXT; }
+  VM_CASE(LoadDefault) { VREG(I->A) = defaultValue(C.Types[I->B]); VM_NEXT; }
+  VM_CASE(Move) {
+    Value V = VREG(I->B);
+    VREG(I->A) = std::move(V);
+    VM_NEXT;
+  }
+  VM_CASE(CoerceD) {
+    if (const auto *IV = std::get_if<int64_t>(&VREG(I->A)))
+      VREG(I->A) = static_cast<double>(*IV);
+    VM_NEXT;
+  }
+
+  VM_CASE(LoadParam) { VREG(I->A) = &Ctx.param(I->B); VM_NEXT; }
+  VM_CASE(LoadTagVar) { VREG(I->A) = Ctx.tagVar(C.Strings[I->B]); VM_NEXT; }
+  VM_CASE(NewTag) {
+    runtime::TagInstance *Inst =
+        Ctx.newTag(static_cast<ir::TagTypeId>(I->B));
+    VREG(I->A) = Inst;
+    Ctx.bindTagVar(C.Strings[I->C], Inst);
+    VM_NEXT;
+  }
+
+  VM_CASE(Charge) { Ops += I->B; VM_NEXT; }
+  VM_CASE(Jmp) { PC = I->B; VM_NEXT; }
+  VM_CASE(JmpIfFalse) {
+    if (!std::get<bool>(VREG(I->B)))
+      PC = I->C;
+    VM_NEXT;
+  }
+  VM_CASE(JmpIfTrue) {
+    if (std::get<bool>(VREG(I->B)))
+      PC = I->C;
+    VM_NEXT;
+  }
+
+  VM_CASE(Add) {
+    const Value &L = VREG(I->B), &R = VREG(I->C);
+    if (const auto *LI = std::get_if<int64_t>(&L))
+      if (const auto *RI = std::get_if<int64_t>(&R)) {
+        VREG(I->A) = *LI + *RI;
+        VM_NEXT;
+      }
+    Value Out;
+    applyBinary(BinaryOp::Add, L, R, Out); // Add never traps.
+    VREG(I->A) = std::move(Out);
+    VM_NEXT;
+  }
+  VM_CASE(Sub) {
+    const Value &L = VREG(I->B), &R = VREG(I->C);
+    if (const auto *LI = std::get_if<int64_t>(&L))
+      if (const auto *RI = std::get_if<int64_t>(&R)) {
+        VREG(I->A) = *LI - *RI;
+        VM_NEXT;
+      }
+    VREG(I->A) = asDouble(L) - asDouble(R);
+    VM_NEXT;
+  }
+  VM_CASE(Mul) {
+    const Value &L = VREG(I->B), &R = VREG(I->C);
+    if (const auto *LI = std::get_if<int64_t>(&L))
+      if (const auto *RI = std::get_if<int64_t>(&R)) {
+        VREG(I->A) = *LI * *RI;
+        VM_NEXT;
+      }
+    VREG(I->A) = asDouble(L) * asDouble(R);
+    VM_NEXT;
+  }
+  VM_CASE(Div) {
+    Value Out;
+    if (const char *Err =
+            applyBinary(BinaryOp::Div, VREG(I->B), VREG(I->C), Out)) {
+      Ti = I->E;
+      Dyn = Err;
+      TM = &Dyn;
+      goto do_trap;
+    }
+    VREG(I->A) = std::move(Out);
+    VM_NEXT;
+  }
+  VM_CASE(Rem) {
+    Value Out;
+    if (const char *Err =
+            applyBinary(BinaryOp::Rem, VREG(I->B), VREG(I->C), Out)) {
+      Ti = I->E;
+      Dyn = Err;
+      TM = &Dyn;
+      goto do_trap;
+    }
+    VREG(I->A) = std::move(Out);
+    VM_NEXT;
+  }
+#define BAMBOO_VM_CMP(Name, OpEnum, CxxOp)                                    \
+  VM_CASE(Name) {                                                             \
+    const Value &L = VREG(I->B), &R = VREG(I->C);                             \
+    if (const auto *LI = std::get_if<int64_t>(&L))                            \
+      if (const auto *RI = std::get_if<int64_t>(&R)) {                        \
+        /* The interpreter compares numerics as doubles. */                   \
+        VREG(I->A) = static_cast<double>(*LI) CxxOp                           \
+            static_cast<double>(*RI);                                         \
+        VM_NEXT;                                                              \
+      }                                                                       \
+    Value Out;                                                                \
+    applyBinary(BinaryOp::OpEnum, L, R, Out);                                 \
+    VREG(I->A) = std::move(Out);                                              \
+    VM_NEXT;                                                                  \
+  }
+  BAMBOO_VM_CMP(CmpLt, Lt, <)
+  BAMBOO_VM_CMP(CmpLe, Le, <=)
+  BAMBOO_VM_CMP(CmpGt, Gt, >)
+  BAMBOO_VM_CMP(CmpGe, Ge, >=)
+  BAMBOO_VM_CMP(CmpEq, Eq, ==)
+  BAMBOO_VM_CMP(CmpNe, Ne, !=)
+#undef BAMBOO_VM_CMP
+  VM_CASE(Neg) {
+    const Value &V = VREG(I->B);
+    if (const auto *IV = std::get_if<int64_t>(&V))
+      VREG(I->A) = -*IV;
+    else
+      VREG(I->A) = -std::get<double>(V);
+    VM_NEXT;
+  }
+  VM_CASE(Not) {
+    VREG(I->A) = !std::get<bool>(VREG(I->B));
+    VM_NEXT;
+  }
+
+  VM_CASE(GetField) {
+    const Value &B = VREG(I->B);
+    if (isNull(B)) {
+      Ti = I->E;
+      TM = nullptr;
+      goto do_trap;
+    }
+    Value V = std::get<runtime::Object *>(B)
+                  ->dataAs<InterpObjectData>()
+                  .Fields[I->C];
+    VREG(I->A) = std::move(V);
+    VM_NEXT;
+  }
+  VM_CASE(SetField) {
+    const Value &B = VREG(I->B);
+    if (isNull(B)) {
+      Ti = I->E;
+      TM = nullptr;
+      goto do_trap;
+    }
+    std::get<runtime::Object *>(B)->dataAs<InterpObjectData>().Fields[I->C] =
+        VREG(I->D);
+    VM_NEXT;
+  }
+  VM_CASE(GetFieldSelf) {
+    Value V = Self->dataAs<InterpObjectData>().Fields[I->C];
+    VREG(I->A) = std::move(V);
+    VM_NEXT;
+  }
+  VM_CASE(SetFieldSelf) {
+    Self->dataAs<InterpObjectData>().Fields[I->C] = VREG(I->B);
+    VM_NEXT;
+  }
+  VM_CASE(ArrLen) {
+    const Value &B = VREG(I->B);
+    if (isNull(B)) {
+      Ti = I->E;
+      TM = nullptr;
+      goto do_trap;
+    }
+    int64_t Len = static_cast<int64_t>(
+        std::get<std::shared_ptr<ArrayValue>>(B)->Elems.size());
+    VREG(I->A) = Len;
+    VM_NEXT;
+  }
+  VM_CASE(IndexLoad) {
+    const Value &B = VREG(I->B);
+    if (isNull(B)) {
+      Ti = I->E;
+      TM = nullptr;
+      goto do_trap;
+    }
+    auto &Arr = *std::get<std::shared_ptr<ArrayValue>>(B);
+    int64_t N = std::get<int64_t>(VREG(I->C));
+    if (N < 0 || static_cast<size_t>(N) >= Arr.Elems.size()) {
+      Ti = I->E;
+      Dyn = formatString("array index %lld out of bounds for length %zu",
+                         static_cast<long long>(N), Arr.Elems.size());
+      TM = &Dyn;
+      goto do_trap;
+    }
+    Value V = Arr.Elems[static_cast<size_t>(N)];
+    VREG(I->A) = std::move(V);
+    VM_NEXT;
+  }
+  VM_CASE(IndexStore) {
+    const Value &B = VREG(I->B);
+    if (isNull(B)) {
+      Ti = I->E;
+      TM = nullptr;
+      goto do_trap;
+    }
+    auto &Arr = *std::get<std::shared_ptr<ArrayValue>>(B);
+    int64_t N = std::get<int64_t>(VREG(I->C));
+    if (N < 0 || static_cast<size_t>(N) >= Arr.Elems.size()) {
+      Ti = I->E;
+      TM = &C.Traps[I->E].Msg2; // "array store out of bounds"
+      goto do_trap;
+    }
+    Arr.Elems[static_cast<size_t>(N)] = VREG(I->D);
+    VM_NEXT;
+  }
+  VM_CASE(IndexStoreRaw) {
+    auto &Arr = *std::get<std::shared_ptr<ArrayValue>>(VREG(I->B));
+    Arr.Elems[static_cast<size_t>(std::get<int64_t>(VREG(I->C)))] =
+        VREG(I->D);
+    VM_NEXT;
+  }
+  VM_CASE(NewArr) {
+    int64_t Len = std::get<int64_t>(VREG(I->B));
+    if (Len < 0) {
+      Ti = I->E;
+      TM = nullptr;
+      goto do_trap;
+    }
+    auto Arr = std::make_shared<ArrayValue>();
+    Arr->Elems.resize(static_cast<size_t>(Len));
+    Value D = defaultValue(C.Types[I->C]);
+    if (!std::holds_alternative<std::monostate>(D))
+      for (Value &E : Arr->Elems)
+        E = D;
+    VREG(I->A) = std::move(Arr);
+    VM_NEXT;
+  }
+  VM_CASE(NewObj) {
+    const AllocInfo &AI = C.Allocs[I->B];
+    const ClassDeclAst &Cls =
+        P.ast().Classes[static_cast<size_t>(AI.Class)];
+    auto Data = std::make_unique<InterpObjectData>();
+    Data->Class = &Cls;
+    Data->Fields.reserve(Cls.Fields.size());
+    for (const FieldDecl &Field : Cls.Fields)
+      Data->Fields.push_back(defaultValue(Field.Resolved));
+    runtime::Object *Obj;
+    if (AI.Site != ir::InvalidId) {
+      std::vector<runtime::TagInstance *> Tags;
+      for (uint16_t TR : AI.TagRegs)
+        Tags.push_back(std::get<runtime::TagInstance *>(VREG(TR)));
+      Obj = Ctx.allocate(AI.Site, std::move(Data), Tags);
+    } else {
+      Obj = Ctx.heap().allocate(AI.Class, /*Flags=*/0, std::move(Data));
+    }
+    VREG(I->A) = Obj;
+    VM_NEXT;
+  }
+  VM_CASE(CheckNull) {
+    if (isNull(VREG(I->B))) {
+      Ti = I->E;
+      TM = nullptr;
+      goto do_trap;
+    }
+    VM_NEXT;
+  }
+  VM_CASE(TrapNow) {
+    Ti = I->E;
+    TM = nullptr;
+    goto do_trap;
+  }
+
+  VM_CASE(Call) {
+    const CallSite &CS = C.Calls[I->B];
+    if (Stack.size() > 256) {
+      Ti = CS.Trap;
+      TM = nullptr;
+      goto do_trap;
+    }
+    runtime::Object *Recv =
+        CS.Recv == 0xFFFF ? Self
+                          : std::get<runtime::Object *>(VREG(CS.Recv));
+    const CompiledFn *Callee = &C.Fns[static_cast<size_t>(CS.Fn)];
+    uint32_t NewBase = Base + Fn->NumRegs;
+    if (Regs.size() < NewBase + Callee->NumRegs)
+      Regs.resize(NewBase + Callee->NumRegs);
+    for (uint32_t R = NewBase + CS.NumArgs; R < NewBase + Callee->NumRegs;
+         ++R)
+      Regs[R] = std::monostate{};
+    for (uint16_t A = 0; A < CS.NumArgs; ++A) {
+      Value V = Regs[Base + CS.ArgBase + A];
+      Regs[NewBase + A] = std::move(V);
+    }
+    Stack.push_back(Fr{Fn, PC, Base, Self, CS.Dst, CS.WriteDst});
+    RV = std::monostate{}; // Reset on call entry, like the interpreter.
+    Fn = Callee;
+    Code = Fn->Code.data();
+    PC = 0;
+    Base = NewBase;
+    Self = Recv;
+    VM_NEXT;
+  }
+  VM_CASE(RetVal) {
+    RV = VREG(I->B);
+    goto do_ret;
+  }
+  VM_CASE(RetVoid) {
+    RV = std::monostate{};
+    goto do_ret;
+  }
+  VM_CASE(Ret) {
+  do_ret: {
+    Fr F = Stack.back();
+    Stack.pop_back();
+    if (F.WriteDst)
+      Regs[F.Base + F.RetDst] = RV; // Copy: RV stays live (leftovers).
+    Fn = F.Fn;
+    Code = Fn->Code.data();
+    PC = F.RetPC;
+    Base = F.Base;
+    Self = F.Self;
+    VM_NEXT;
+  }
+  }
+  VM_CASE(Halt) {
+    Ctx.charge(Ops);
+    return;
+  }
+  VM_CASE(Exit) {
+    const ExitInfo &EI = C.Exits[I->B];
+    Ctx.exitWith(EI.Exit);
+    for (const auto &[Name, Reg] : EI.Tags)
+      Ctx.bindTagVar(C.Strings[Name],
+                     std::get<runtime::TagInstance *>(VREG(Reg)));
+    VM_NEXT;
+  }
+
+  VM_CASE(PrintStr) {
+    P.appendOutput(std::get<std::string>(VREG(I->B)));
+    VM_NEXT;
+  }
+  VM_CASE(PrintInt) {
+    P.appendOutput(formatString(
+        "%lld", static_cast<long long>(std::get<int64_t>(VREG(I->B)))));
+    VM_NEXT;
+  }
+  VM_CASE(PrintDouble) {
+    P.appendOutput(formatString("%g", asDouble(VREG(I->B))));
+    VM_NEXT;
+  }
+  VM_CASE(MSqrt) { VREG(I->A) = std::sqrt(asDouble(VREG(I->B))); VM_NEXT; }
+  VM_CASE(MAbs) {
+    const Value &V = VREG(I->B);
+    if (const auto *IV = std::get_if<int64_t>(&V))
+      VREG(I->A) = *IV < 0 ? -*IV : *IV;
+    else
+      VREG(I->A) = std::fabs(asDouble(V));
+    VM_NEXT;
+  }
+  VM_CASE(MFabs) { VREG(I->A) = std::fabs(asDouble(VREG(I->B))); VM_NEXT; }
+  VM_CASE(MSin) { VREG(I->A) = std::sin(asDouble(VREG(I->B))); VM_NEXT; }
+  VM_CASE(MCos) { VREG(I->A) = std::cos(asDouble(VREG(I->B))); VM_NEXT; }
+  VM_CASE(MExp) { VREG(I->A) = std::exp(asDouble(VREG(I->B))); VM_NEXT; }
+  VM_CASE(MLog) { VREG(I->A) = std::log(asDouble(VREG(I->B))); VM_NEXT; }
+  VM_CASE(MFloor) { VREG(I->A) = std::floor(asDouble(VREG(I->B))); VM_NEXT; }
+  VM_CASE(MPow) {
+    VREG(I->A) = std::pow(asDouble(VREG(I->B)), asDouble(VREG(I->C)));
+    VM_NEXT;
+  }
+  VM_CASE(MMax) {
+    VREG(I->A) = std::fmax(asDouble(VREG(I->B)), asDouble(VREG(I->C)));
+    VM_NEXT;
+  }
+  VM_CASE(MMin) {
+    VREG(I->A) = std::fmin(asDouble(VREG(I->B)), asDouble(VREG(I->C)));
+    VM_NEXT;
+  }
+  VM_CASE(ChargeDyn) {
+    Ctx.charge(static_cast<machine::Cycles>(
+        std::max<int64_t>(0, std::get<int64_t>(VREG(I->B)))));
+    VM_NEXT;
+  }
+  VM_CASE(Rand) {
+    int64_t Bound = std::get<int64_t>(VREG(I->B));
+    if (Bound <= 0) {
+      Ti = I->E;
+      TM = nullptr;
+      goto do_trap;
+    }
+    VREG(I->A) = static_cast<int64_t>(
+        Ctx.rng().nextBelow(static_cast<uint64_t>(Bound)));
+    VM_NEXT;
+  }
+  VM_CASE(StrLen) {
+    int64_t Len =
+        static_cast<int64_t>(std::get<std::string>(VREG(I->B)).size());
+    VREG(I->A) = Len;
+    VM_NEXT;
+  }
+  VM_CASE(StrCharAt) {
+    const std::string &S = std::get<std::string>(VREG(I->B));
+    int64_t N = std::get<int64_t>(VREG(I->C));
+    if (N < 0 || static_cast<size_t>(N) >= S.size()) {
+      Ti = I->E;
+      TM = nullptr;
+      goto do_trap;
+    }
+    int64_t Code_ = static_cast<int64_t>(
+        static_cast<unsigned char>(S[static_cast<size_t>(N)]));
+    VREG(I->A) = Code_;
+    VM_NEXT;
+  }
+  VM_CASE(StrSubstr) {
+    const std::string &S = std::get<std::string>(VREG(I->B));
+    int64_t Lo = std::get<int64_t>(VREG(I->C));
+    int64_t Hi = std::get<int64_t>(VREG(I->D));
+    if (Lo < 0 || Hi < Lo || static_cast<size_t>(Hi) > S.size()) {
+      Ti = I->E;
+      TM = nullptr;
+      goto do_trap;
+    }
+    Value V =
+        S.substr(static_cast<size_t>(Lo), static_cast<size_t>(Hi - Lo));
+    VREG(I->A) = std::move(V);
+    VM_NEXT;
+  }
+  VM_CASE(StrIndexOf) {
+    const std::string &S = std::get<std::string>(VREG(I->B));
+    const std::string &Needle = std::get<std::string>(VREG(I->C));
+    int64_t From = std::get<int64_t>(VREG(I->D));
+    if (From < 0)
+      From = 0;
+    int64_t Res;
+    if (static_cast<size_t>(From) > S.size()) {
+      Res = -1;
+    } else {
+      size_t Pos = S.find(Needle, static_cast<size_t>(From));
+      Res = Pos == std::string::npos ? -1 : static_cast<int64_t>(Pos);
+    }
+    VREG(I->A) = Res;
+    VM_NEXT;
+  }
+  VM_CASE(StrEq) {
+    bool Eq = std::get<std::string>(VREG(I->B)) ==
+              std::get<std::string>(VREG(I->C));
+    VREG(I->A) = Eq;
+    VM_NEXT;
+  }
+
+#ifndef BAMBOO_VM_THREADED
+  }
+  BAMBOO_UNREACHABLE("bad opcode");
+#endif
+
+do_trap: {
+  const TrapSite &S = C.Traps[Ti];
+  P.reportError(S.Loc, TM ? *TM : S.Msg);
+  Ctx.charge(Ops);
+  return;
+}
+
+#undef VREG
+#undef VM_CASE
+#undef VM_NEXT
+}
+
+} // namespace
+
+VmProgram::VmProgram(frontend::CompiledModule CM)
+    : DslProgram(std::move(CM)) {
+  if (!lowerModule(Ast, C)) {
+    // Some body exceeded the bytecode format limits; run the whole module
+    // under the interpreter so the two modes never mix in one program.
+    Fallback = true;
+    interp::bindInterpreterTasks(*this);
+    return;
+  }
+  for (size_t T = 0; T < Ast.Tasks.size(); ++T) {
+    if (Ast.Tasks[T].Id == ir::InvalidId)
+      continue;
+    uint32_t FnIdx = static_cast<uint32_t>(C.TaskFns[T]);
+    BP.bind(Ast.Tasks[T].Id, [this, FnIdx](runtime::TaskContext &Ctx) {
+      runFn(*this, FnIdx, Ctx);
+    });
+  }
+}

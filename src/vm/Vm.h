@@ -1,0 +1,53 @@
+//===- vm/Vm.h - Threaded-code VM for DSL task bodies -----------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fast execution mode for Bamboo-DSL programs: task bodies are
+/// compiled to register bytecode (vm/Lower.h) and executed by a
+/// computed-goto threaded dispatch loop. A VmProgram plugs into exactly
+/// the same runtime::BoundProgram seam as interp::InterpProgram — same
+/// heap objects (InterpObjectData, checkpoint key "interp"), same CSTG
+/// dispatch and lock plans, same cycle metering, same runtime-error
+/// semantics — so executors, checkpoints, and fault injection cannot tell
+/// the two modes apart. The differential tests assert byte-identical
+/// output, cycle totals, and traces.
+///
+/// Bodies that exceed the bytecode format's limits fall back to the
+/// tree-walking interpreter for the whole module (see usesBytecode()).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_VM_VM_H
+#define BAMBOO_VM_VM_H
+
+#include "interp/Interp.h"
+#include "vm/Bytecode.h"
+
+namespace bamboo::vm {
+
+/// A compiled DSL module bound to bytecode bodies, ready for execution.
+class VmProgram : public interp::DslProgram {
+public:
+  /// Consumes \p CM, lowers every task body and method to bytecode, and
+  /// binds the tasks. Call analysis::analyzeDisjointness before this if
+  /// lock plans should reflect the imperative code.
+  explicit VmProgram(frontend::CompiledModule CM);
+
+  /// The lowered module (empty when the interpreter fallback is active).
+  const Chunk &chunk() const { return C; }
+
+  /// False when lowering hit a format limit and the tasks were bound to
+  /// interpreter closures instead.
+  bool usesBytecode() const { return !Fallback; }
+
+private:
+  Chunk C;
+  bool Fallback = false;
+};
+
+} // namespace bamboo::vm
+
+#endif // BAMBOO_VM_VM_H

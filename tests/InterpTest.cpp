@@ -19,6 +19,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+
 using namespace bamboo;
 using namespace bamboo::interp;
 using namespace bamboo::machine;
@@ -224,6 +226,87 @@ task crash(C c in f) {
   EXPECT_TRUE(IP->hadError());
   EXPECT_NE(IP->error().find("out of bounds"), std::string::npos);
   EXPECT_FALSE(R.Completed);
+}
+
+namespace {
+
+/// Runs a one-shot trapping task body and returns the reported error.
+/// The trap skips the taskexit, so the flag stays set and the task
+/// re-fires until the MaxEvents cut-off.
+std::string trapError(const std::string &Body) {
+  std::string Src = R"(
+class Victim {
+  flag go;
+  int f;
+  int[] data;
+  Victim() { data = new int[2]; f = 0; }
+  int method() { return f + 1; }
+}
+task startup(StartupObject s in initialstate) {
+  Victim v = new Victim() { go := true };
+  taskexit(s: initialstate := false);
+}
+task crash(Victim v in go) {
+)" + Body + R"(
+  taskexit(v: go := false);
+}
+)";
+  auto IP = makeInterp(Src.c_str());
+  analysis::Cstg G = analysis::buildCstg(IP->bound().program());
+  MachineConfig M = MachineConfig::singleCore();
+  Layout L = Layout::allOnOneCore(IP->bound().program());
+  TileExecutor Exec(IP->bound(), G, M, L);
+  ExecOptions Opts;
+  Opts.MaxEvents = 2000;
+  Exec.run(Opts);
+  return IP->error();
+}
+
+} // namespace
+
+TEST(InterpErrorTest, NullFieldDereference) {
+  EXPECT_NE(trapError("Victim w; int x = w.f;")
+                .find("null dereference reading field f"),
+            std::string::npos);
+  EXPECT_NE(trapError("Victim w; w.f = 3;")
+                .find("null dereference writing field f"),
+            std::string::npos);
+  EXPECT_NE(trapError("Victim w; int x = w.method();")
+                .find("null dereference calling method"),
+            std::string::npos);
+}
+
+TEST(InterpErrorTest, DivisionAndRemainderByZero) {
+  EXPECT_NE(trapError("int z = 0; int x = 1 / z;").find("division by zero"),
+            std::string::npos);
+  EXPECT_NE(trapError("int z = 0; int x = 1 % z;").find("remainder by zero"),
+            std::string::npos);
+}
+
+TEST(InterpErrorTest, ArrayBounds) {
+  EXPECT_NE(trapError("int x = v.data[5];")
+                .find("array index 5 out of bounds for length 2"),
+            std::string::npos);
+  EXPECT_NE(trapError("int x = v.data[0 - 1];").find("out of bounds"),
+            std::string::npos);
+  EXPECT_NE(trapError("v.data[9] = 1;").find("out of bounds"),
+            std::string::npos);
+  EXPECT_NE(trapError("int[] a = new int[0 - 2];")
+                .find("negative array length"),
+            std::string::npos);
+}
+
+TEST(InterpErrorTest, ErrorCarriesSourceLocation) {
+  // The trapping expression sits at a known position inside the
+  // generated source: the error is "line:col: message".
+  std::string Err = trapError("int x = v.data[5];");
+  ASSERT_FALSE(Err.empty());
+  EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(Err[0]))) << Err;
+  size_t FirstColon = Err.find(':');
+  ASSERT_NE(FirstColon, std::string::npos);
+  EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(Err[FirstColon + 1])))
+      << Err;
+  EXPECT_NE(Err.find(": array index"), std::string::npos) << Err;
 }
 
 TEST(InterpExecTest, WhileLoopAndArithmetic) {

@@ -1,0 +1,276 @@
+//===- tests/VmDiffTest.cpp - Interpreter-vs-VM differential tests ---------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bytecode VM (src/vm) must be observationally identical to the
+/// tree-walking interpreter: byte-identical program output, identical
+/// cycle totals, identical dispatch traces — on every engine, under
+/// synthesis with worker threads, under fault injection, and across
+/// checkpoint/restore (including restoring an interpreter-written
+/// snapshot under the VM and vice versa; both modes share the "interp"
+/// heap codec, so snapshots are interchangeable by construction).
+///
+/// Every DSL example app runs through every comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Disjoint.h"
+#include "driver/Pipeline.h"
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+#include "resilience/Checkpoint.h"
+#include "resilience/FaultPlan.h"
+#include "runtime/ThreadExecutor.h"
+#include "schedsim/SchedSim.h"
+#include "support/Trace.h"
+#include "vm/Vm.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace bamboo;
+using namespace bamboo::machine;
+using namespace bamboo::runtime;
+
+namespace {
+
+struct DiffApp {
+  const char *File;
+  const char *Arg; // nullptr when the app takes no argument
+};
+
+const DiffApp Apps[] = {
+    {"series.bb", nullptr},        {"montecarlo.bb", nullptr},
+    {"kmeans.bb", nullptr},        {"filterbank.bb", nullptr},
+    {"fractal.bb", nullptr},       {"tracking.bb", nullptr},
+    {"keywordcount.bb", "the quick the lazy dog the"},
+};
+
+std::string readApp(const std::string &File) {
+  std::ifstream In(std::string(BAMBOO_DSL_DIR) + "/" + File);
+  EXPECT_TRUE(In.good()) << "cannot open " << File;
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+/// Compiles \p File into an interpreter-bound (Vm=false) or
+/// bytecode-bound (Vm=true) program.
+std::unique_ptr<interp::DslProgram> makeProgram(const std::string &File,
+                                                bool Vm) {
+  frontend::DiagnosticEngine Diags;
+  auto CM = frontend::compileString(readApp(File), File, Diags);
+  if (!CM) {
+    ADD_FAILURE() << Diags.render(File);
+    abort();
+  }
+  analysis::analyzeDisjointness(*CM);
+  if (!Vm)
+    return std::make_unique<interp::InterpProgram>(std::move(*CM));
+  auto P = std::make_unique<vm::VmProgram>(std::move(*CM));
+  EXPECT_TRUE(P->usesBytecode()) << File << " fell back to the interpreter";
+  return P;
+}
+
+std::vector<std::string> argsFor(const DiffApp &A) {
+  std::vector<std::string> Args;
+  if (A.Arg)
+    Args.push_back(A.Arg);
+  return Args;
+}
+
+struct TileOutcome {
+  std::string Output;
+  std::string Error;
+  uint64_t Cycles = 0;
+  uint64_t Invocations = 0;
+  std::unique_ptr<support::Trace> Trace = std::make_unique<support::Trace>();
+  bool Completed = false;
+};
+
+TileOutcome runTile(interp::DslProgram &P, const std::vector<std::string> &Args,
+                    ExecOptions Opts = {}) {
+  analysis::Cstg G = analysis::buildCstg(P.bound().program());
+  TileExecutor Exec(P.bound(), G, MachineConfig::singleCore(),
+                    Layout::allOnOneCore(P.bound().program()));
+  TileOutcome O;
+  Opts.Args = Args;
+  Opts.Trace = O.Trace.get();
+  ExecResult R = Exec.run(Opts);
+  O.Output = P.output();
+  O.Error = P.error();
+  O.Cycles = R.TotalCycles;
+  O.Invocations = R.TaskInvocations;
+  O.Completed = R.Completed;
+  return O;
+}
+
+class VmDiffTest : public ::testing::TestWithParam<DiffApp> {};
+
+} // namespace
+
+/// Single-core tile machine: output, cycles, invocations and the full
+/// dispatch order must be byte-identical.
+TEST_P(VmDiffTest, TileSingleCoreIdentical) {
+  auto Args = argsFor(GetParam());
+  auto IP = makeProgram(GetParam().File, /*Vm=*/false);
+  auto VP = makeProgram(GetParam().File, /*Vm=*/true);
+  TileOutcome A = runTile(*IP, Args);
+  TileOutcome B = runTile(*VP, Args);
+  ASSERT_TRUE(A.Completed);
+  ASSERT_TRUE(B.Completed);
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.Error, B.Error);
+  EXPECT_EQ(A.Cycles, B.Cycles);
+  EXPECT_EQ(A.Invocations, B.Invocations);
+  support::TraceDiff D = support::diffTaskOrder(*A.Trace, *B.Trace);
+  EXPECT_TRUE(D.Identical)
+      << GetParam().File << ": diverged after " << D.CommonPrefix << " of "
+      << D.CountA << "/" << D.CountB << " dispatches";
+}
+
+/// The scheduling simulator replays a profile; profiles collected under
+/// the two modes must drive it to the same estimate.
+TEST_P(VmDiffTest, SimReplayIdentical) {
+  auto Args = argsFor(GetParam());
+  auto IP = makeProgram(GetParam().File, /*Vm=*/false);
+  auto VP = makeProgram(GetParam().File, /*Vm=*/true);
+  schedsim::SimResult Res[2];
+  interp::DslProgram *Ps[2] = {IP.get(), VP.get()};
+  for (int I = 0; I < 2; ++I) {
+    interp::DslProgram &P = *Ps[I];
+    analysis::Cstg G = analysis::buildCstg(P.bound().program());
+    ExecOptions Opts;
+    Opts.Args = Args;
+    profile::Profile Prof = driver::profileOneCore(P.bound(), G, Opts);
+    Res[I] = schedsim::simulateLayout(
+        P.bound().program(), G, Prof, P.bound().hints(),
+        MachineConfig::singleCore(),
+        Layout::allOnOneCore(P.bound().program()), {});
+    ASSERT_TRUE(Res[I].Terminated) << GetParam().File;
+  }
+  EXPECT_EQ(Res[0].EstimatedCycles, Res[1].EstimatedCycles);
+  EXPECT_EQ(Res[0].Invocations, Res[1].Invocations);
+}
+
+/// Host-thread engine, one worker: same invocations, same output.
+TEST_P(VmDiffTest, ThreadEngineIdentical) {
+  auto Args = argsFor(GetParam());
+  auto IP = makeProgram(GetParam().File, /*Vm=*/false);
+  auto VP = makeProgram(GetParam().File, /*Vm=*/true);
+  uint64_t Invs[2];
+  std::string Outs[2];
+  interp::DslProgram *Ps[2] = {IP.get(), VP.get()};
+  for (int I = 0; I < 2; ++I) {
+    interp::DslProgram &P = *Ps[I];
+    analysis::Cstg G = analysis::buildCstg(P.bound().program());
+    ThreadExecutor Exec(P.bound(), G,
+                        Layout::allOnOneCore(P.bound().program()));
+    ThreadExecOptions Opts;
+    Opts.Args = Args;
+    ThreadExecResult R = Exec.run(Opts);
+    ASSERT_TRUE(R.Completed) << GetParam().File;
+    Invs[I] = R.TaskInvocations;
+    Outs[I] = P.output();
+  }
+  EXPECT_EQ(Invs[0], Invs[1]);
+  EXPECT_EQ(Outs[0], Outs[1]);
+}
+
+/// Full synthesis pipeline with worker threads (--jobs), then fault
+/// injection on the synthesized layout: every reported number must
+/// match between the modes.
+TEST_P(VmDiffTest, SynthesisAndFaultsIdentical) {
+  auto Args = argsFor(GetParam());
+  auto IP = makeProgram(GetParam().File, /*Vm=*/false);
+  auto VP = makeProgram(GetParam().File, /*Vm=*/true);
+
+  std::string FErr;
+  auto Faults = resilience::FaultPlan::parse("drop~0.2,dup~0.1", FErr);
+  ASSERT_TRUE(Faults.has_value()) << FErr;
+
+  driver::PipelineResult Rs[2];
+  std::string FaultOut[2];
+  uint64_t FaultCycles[2];
+  interp::DslProgram *Ps[2] = {IP.get(), VP.get()};
+  for (int I = 0; I < 2; ++I) {
+    interp::DslProgram &P = *Ps[I];
+    driver::PipelineOptions Opts;
+    Opts.Target = MachineConfig::tilePro64();
+    Opts.Target.NumCores = 4;
+    Opts.Dsa.Jobs = 2; // exercise the threaded candidate evaluation
+    Opts.Exec.Args = Args;
+    Rs[I] = driver::runPipeline(P.bound(), Opts);
+
+    // Re-run the synthesized layout with injected faults and recovery.
+    P.clearOutput();
+    P.clearError();
+    TileExecutor Exec(P.bound(), Rs[I].Graph, Opts.Target, Rs[I].BestLayout);
+    ExecOptions FOpts;
+    FOpts.Args = Args;
+    FOpts.Faults = &*Faults;
+    FOpts.FaultSeed = 7;
+    FOpts.Recovery = true;
+    ExecResult FR = Exec.run(FOpts);
+    ASSERT_TRUE(FR.Completed) << GetParam().File << " under faults";
+    FaultOut[I] = P.output();
+    FaultCycles[I] = FR.TotalCycles;
+  }
+  EXPECT_EQ(Rs[0].Real1Core, Rs[1].Real1Core);
+  EXPECT_EQ(Rs[0].RealNCore, Rs[1].RealNCore);
+  EXPECT_EQ(Rs[0].EstimatedNCore, Rs[1].EstimatedNCore);
+  EXPECT_EQ(Rs[0].DsaEvaluations, Rs[1].DsaEvaluations);
+  EXPECT_EQ(FaultOut[0], FaultOut[1]);
+  EXPECT_EQ(FaultCycles[0], FaultCycles[1]);
+}
+
+/// Checkpoints written under one mode restore under the other: the heap
+/// codec is shared, so a snapshot must be mode-agnostic. Both crossings
+/// are checked against the uninterrupted baseline.
+TEST_P(VmDiffTest, CheckpointRestoreCrossMode) {
+  auto Args = argsFor(GetParam());
+  auto Base = makeProgram(GetParam().File, /*Vm=*/false);
+  TileOutcome Baseline = runTile(*Base, Args);
+  ASSERT_TRUE(Baseline.Completed);
+
+  for (int WriterVm = 0; WriterVm < 2; ++WriterVm) {
+    auto Writer = makeProgram(GetParam().File, WriterVm == 1);
+    std::vector<resilience::Checkpoint> Ckpts;
+    ExecOptions COpts;
+    COpts.CheckpointEvery = Baseline.Cycles / 3 + 1;
+    COpts.OnCheckpoint = [&](const resilience::Checkpoint &C) {
+      Ckpts.push_back(C);
+    };
+    TileOutcome W = runTile(*Writer, Args, COpts);
+    ASSERT_TRUE(W.Completed);
+    EXPECT_EQ(W.Output, Baseline.Output)
+        << "checkpointing perturbed the run (writer vm=" << WriterVm << ")";
+    EXPECT_EQ(W.Cycles, Baseline.Cycles);
+    ASSERT_FALSE(Ckpts.empty());
+
+    // Restore the mid-run snapshot under the opposite mode.
+    auto Reader = makeProgram(GetParam().File, WriterVm == 0);
+    ExecOptions ROpts;
+    ROpts.Restore = &Ckpts[Ckpts.size() / 2];
+    TileOutcome R = runTile(*Reader, Args, ROpts);
+    ASSERT_TRUE(R.Completed)
+        << GetParam().File << " restore (writer vm=" << WriterVm << ")";
+    EXPECT_EQ(R.Error, "");
+    EXPECT_EQ(R.Output, Baseline.Output)
+        << GetParam().File << " cross-mode restore diverged (writer vm="
+        << WriterVm << ")";
+    EXPECT_EQ(R.Cycles, Baseline.Cycles);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDslApps, VmDiffTest, ::testing::ValuesIn(Apps),
+    [](const ::testing::TestParamInfo<DiffApp> &Info) {
+      std::string Name = Info.param.File;
+      return Name.substr(0, Name.find('.'));
+    });

@@ -1,0 +1,405 @@
+//===- tests/VmTest.cpp - Bytecode VM unit and parity tests ----------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Focused tests for src/vm: runtime-error strings (including source
+/// locations) must match the interpreter byte for byte, the cost model
+/// (one virtual cycle per evaluated expression plus explicit
+/// Bamboo.charge) must agree on every engine, the disassembly is
+/// deterministic and matches a golden file, and bodies that exceed the
+/// bytecode format limits fall back to the interpreter while computing
+/// the same results.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Disjoint.h"
+#include "driver/Pipeline.h"
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+#include "runtime/ThreadExecutor.h"
+#include "schedsim/SchedSim.h"
+#include "vm/Vm.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+using namespace bamboo;
+using namespace bamboo::machine;
+using namespace bamboo::runtime;
+
+namespace {
+
+std::unique_ptr<frontend::CompiledModule> compile(const std::string &Src) {
+  frontend::DiagnosticEngine Diags;
+  auto CM = frontend::compileString(Src, "test", Diags);
+  if (!CM) {
+    ADD_FAILURE() << Diags.render("test");
+    abort();
+  }
+  analysis::analyzeDisjointness(*CM);
+  return std::make_unique<frontend::CompiledModule>(std::move(*CM));
+}
+
+std::unique_ptr<interp::DslProgram> makeProgram(const std::string &Src,
+                                                bool Vm) {
+  auto CM = compile(Src);
+  if (!Vm)
+    return std::make_unique<interp::InterpProgram>(std::move(*CM));
+  return std::make_unique<vm::VmProgram>(std::move(*CM));
+}
+
+struct Outcome {
+  std::string Output;
+  std::string Error;
+  uint64_t Cycles = 0;
+  uint64_t Invocations = 0;
+  bool Completed = false;
+};
+
+Outcome runTile(interp::DslProgram &P, ExecOptions Opts = {}) {
+  analysis::Cstg G = analysis::buildCstg(P.bound().program());
+  TileExecutor Exec(P.bound(), G, MachineConfig::singleCore(),
+                    Layout::allOnOneCore(P.bound().program()));
+  ExecResult R = Exec.run(Opts);
+  return {P.output(), P.error(), R.TotalCycles, R.TaskInvocations,
+          R.Completed};
+}
+
+/// Wraps a trapping statement sequence into a one-shot task. The trap
+/// skips the taskexit, so the fall-through exit leaves the flag set and
+/// the task re-fires: the run is cut off by MaxEvents, identically in
+/// both modes.
+std::string trapProgram(const std::string &Body) {
+  return R"(
+class Victim {
+  flag go;
+  int f;
+  int[] data;
+  Victim() { data = new int[2]; f = 0; }
+  int method() { return f + 1; }
+  int recurse(int n) { return recurse(n + 1); }
+}
+task startup(StartupObject s in initialstate) {
+  Victim v = new Victim() { go := true };
+  taskexit(s: initialstate := false);
+}
+task crash(Victim v in go) {
+)" + Body + R"(
+  taskexit(v: go := false);
+}
+)";
+}
+
+struct TrapCase {
+  const char *Name;
+  const char *Body;
+  const char *ExpectSubstr;
+};
+
+const TrapCase TrapCases[] = {
+    {"NullFieldRead", "Victim w; int x = w.f;",
+     "null dereference reading field f"},
+    {"NullFieldWrite", "Victim w; w.f = 1;",
+     "null dereference writing field f"},
+    {"NullMethodCall", "Victim w; int x = w.method();",
+     "null dereference calling method"},
+    {"NullArrayLength", "int[] a; int x = a.length;",
+     "null dereference reading length"},
+    {"NullArrayIndex", "int[] a; int x = a[0];",
+     "null dereference indexing array"},
+    {"ArrayReadOutOfBounds", "int x = v.data[5];",
+     "array index 5 out of bounds for length 2"},
+    {"ArrayStoreOutOfBounds", "v.data[7] = 1;", "out of bounds"},
+    {"DivisionByZero", "int z = 0; int x = v.f / z;", "division by zero"},
+    {"RemainderByZero", "int z = 0; int x = v.f % z;", "remainder by zero"},
+    {"NegativeArrayLength", "int[] a = new int[0 - 3];",
+     "negative array length"},
+    {"CharAtOutOfBounds", "String s = \"ab\"; int c = s.charAt(9);",
+     "charAt index out of bounds"},
+    {"SubstringInvalid", "String s = \"ab\"; String t = s.substring(1, 9);",
+     "substring bounds invalid"},
+    {"RandNonPositive", "int r = Bamboo.rand(0);",
+     "Bamboo.rand requires a positive bound"},
+    {"RecursionTooDeep", "int x = v.recurse(0);",
+     "method recursion too deep"},
+};
+
+class VmErrorParityTest : public ::testing::TestWithParam<TrapCase> {};
+
+} // namespace
+
+TEST_P(VmErrorParityTest, ErrorStringsIdentical) {
+  std::string Src = trapProgram(GetParam().Body);
+  auto IP = makeProgram(Src, /*Vm=*/false);
+  auto VP = makeProgram(Src, /*Vm=*/true);
+  ASSERT_TRUE(static_cast<vm::VmProgram &>(*VP).usesBytecode());
+  ExecOptions Opts;
+  Opts.MaxEvents = 2000;
+  Outcome A = runTile(*IP, Opts);
+  Outcome B = runTile(*VP, Opts);
+  ASSERT_FALSE(A.Error.empty()) << "interpreter did not trap";
+  ASSERT_FALSE(B.Error.empty()) << "VM did not trap";
+  EXPECT_EQ(A.Error, B.Error);
+  EXPECT_NE(A.Error.find(GetParam().ExpectSubstr), std::string::npos)
+      << A.Error;
+  // The error is prefixed with its source location, "line:col: ...".
+  EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(A.Error[0])))
+      << A.Error;
+  EXPECT_NE(A.Error.find(": "), std::string::npos);
+  // A trapped body still charges the cycles it consumed before the
+  // trap, so the cut-off runs must meter identically too.
+  EXPECT_EQ(A.Cycles, B.Cycles);
+  EXPECT_EQ(A.Invocations, B.Invocations);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTraps, VmErrorParityTest,
+                         ::testing::ValuesIn(TrapCases),
+                         [](const ::testing::TestParamInfo<TrapCase> &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+namespace {
+
+/// One task body touching every expression form the lowering handles:
+/// literals of every type, unary and binary operators (both numeric
+/// promotions), short-circuit evaluation down both paths, comparisons
+/// and equality over ints, doubles, booleans, strings and references,
+/// local/field/array reads and writes, multi-dimensional arrays, object
+/// construction with constructor arguments, method calls (including
+/// recursion), every Math/String/System builtin, Bamboo.rand, and
+/// explicit Bamboo.charge.
+const char *OmnibusSource = R"(
+class Pair {
+  flag go;
+  int a;
+  double b;
+  Pair(int x, double y) { a = x; b = y; }
+  int sum(int n) {
+    if (n <= 0) { return a; }
+    return sum(n - 1) + 1;
+  }
+  double lift() { return b * 2.0; }
+}
+class Omni {
+  flag go;
+  int count;
+  int[][] grid;
+  Omni() { count = 0; grid = new int[3][4]; }
+  boolean bump() { count = count + 1; return count > 100; }
+}
+task startup(StartupObject s in initialstate) {
+  Omni o = new Omni() { go := true };
+  Pair p = new Pair(7, 1.5) { go := true };
+  taskexit(s: initialstate := false);
+}
+task exercise(Omni o in go, Pair p in go) {
+  int i = 42;
+  double d = 2.5;
+  boolean t = true;
+  String str = "omnibus";
+  Pair none;
+  int neg = -i;
+  boolean inv = !t;
+  double promoted = i + d * 2.0 - 1.0 / d;
+  int imath = (i * 3 - 4) / 5 + i % 7;
+  boolean cmps = i < 50 && d >= 2.5 || i == 42 && !(d != 2.5);
+  boolean sc1 = t || o.bump();
+  boolean sc2 = inv && o.bump();
+  boolean eqs = str == "omnibus";
+  boolean eqr = none == null;
+  boolean eqb = t != inv;
+  o.grid[1][2] = i;
+  o.grid[2][3] = o.grid[1][2] + 1;
+  int flat = 0;
+  for (int r = 0; r < 3; r = r + 1) {
+    for (int c = 0; c < 4; c = c + 1) {
+      if (c == 3) { continue; }
+      if (r == 2 && c == 2) { break; }
+      flat = flat + o.grid[r][c];
+    }
+  }
+  int calls = p.sum(5) + p.a;
+  double lifted = p.lift();
+  double m = Math.sqrt(16.0) + Math.abs(0 - 3) + Math.fabs(0.0 - 1.5)
+           + Math.sin(0.5) + Math.cos(0.5) + Math.exp(1.0) + Math.log(2.0)
+           + Math.floor(2.9) + Math.pow(2.0, 5.0)
+           + Math.max(1.0, 2.0) + Math.min(3, 4);
+  int sl = str.length() + str.charAt(0) + str.indexOf("bus", 0);
+  String sub = str.substring(1, 4);
+  boolean seq = sub.equals("mni");
+  int r1 = Bamboo.rand(10);
+  Bamboo.charge(12345);
+  int tally = neg + imath + flat + calls + sl + r1;
+  if (cmps && sc1 && !sc2 && eqs && eqr && eqb && seq) {
+    System.printString("omni " + tally + " " + (promoted + lifted + m));
+    System.printInt(o.count);
+    System.printDouble(d);
+  }
+  while (o.bump()) { break; }
+  taskexit(o: go := false; p: go := false);
+}
+)";
+
+} // namespace
+
+/// The cost model — one virtual cycle per evaluated expression plus
+/// explicit charges — must agree between the modes on all three
+/// engines, over a body exercising every expression form.
+TEST(VmCostModelTest, OmnibusCyclesIdenticalOnAllEngines) {
+  auto IP = makeProgram(OmnibusSource, /*Vm=*/false);
+  auto VP = makeProgram(OmnibusSource, /*Vm=*/true);
+  ASSERT_TRUE(static_cast<vm::VmProgram &>(*VP).usesBytecode());
+
+  // Tile: total cycles and output.
+  Outcome A = runTile(*IP);
+  Outcome B = runTile(*VP);
+  ASSERT_TRUE(A.Completed);
+  ASSERT_TRUE(B.Completed);
+  EXPECT_EQ(A.Error, "");
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.Error, B.Error);
+  EXPECT_EQ(A.Cycles, B.Cycles);
+  EXPECT_GT(A.Cycles, 12345u) << "explicit charge missing from the total";
+
+  // Sim: estimated cycles from a profile collected under each mode.
+  uint64_t Est[2];
+  interp::DslProgram *Ps[2] = {IP.get(), VP.get()};
+  for (int I = 0; I < 2; ++I) {
+    interp::DslProgram &P = *Ps[I];
+    P.clearOutput();
+    analysis::Cstg G = analysis::buildCstg(P.bound().program());
+    profile::Profile Prof = driver::profileOneCore(P.bound(), G, {});
+    schedsim::SimResult S = schedsim::simulateLayout(
+        P.bound().program(), G, Prof, P.bound().hints(),
+        MachineConfig::singleCore(),
+        Layout::allOnOneCore(P.bound().program()), {});
+    ASSERT_TRUE(S.Terminated);
+    Est[I] = S.EstimatedCycles;
+  }
+  EXPECT_EQ(Est[0], Est[1]);
+
+  // Thread: no virtual clock, but identical dispatch and output.
+  std::string Outs[2];
+  for (int I = 0; I < 2; ++I) {
+    interp::DslProgram &P = *Ps[I];
+    P.clearOutput();
+    analysis::Cstg G = analysis::buildCstg(P.bound().program());
+    ThreadExecutor Exec(P.bound(), G,
+                        Layout::allOnOneCore(P.bound().program()));
+    ThreadExecResult R = Exec.run({});
+    ASSERT_TRUE(R.Completed);
+    Outs[I] = P.output();
+  }
+  EXPECT_EQ(Outs[0], Outs[1]);
+}
+
+/// Bamboo.charge(n) adds exactly n cycles in both modes: running the
+/// same body with a larger charge shifts both totals by the same delta.
+TEST(VmCostModelTest, ExplicitChargeDeltaIdentical) {
+  auto Prog = [](int Charge) {
+    std::ostringstream Os;
+    Os << R"(
+class W {
+  flag go;
+  W() { }
+}
+task startup(StartupObject s in initialstate) {
+  W w = new W() { go := true };
+  taskexit(s: initialstate := false);
+}
+task run(W w in go) {
+  Bamboo.charge()" << Charge << R"();
+  taskexit(w: go := false);
+}
+)";
+    return Os.str();
+  };
+  for (bool Vm : {false, true}) {
+    auto Small = makeProgram(Prog(1000), Vm);
+    auto Large = makeProgram(Prog(51000), Vm);
+    Outcome S = runTile(*Small);
+    Outcome L = runTile(*Large);
+    ASSERT_TRUE(S.Completed);
+    ASSERT_TRUE(L.Completed);
+    EXPECT_EQ(L.Cycles - S.Cycles, 50000u) << "vm=" << Vm;
+  }
+}
+
+namespace {
+
+std::string readFileOrEmpty(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In.good())
+    return "";
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+} // namespace
+
+/// The disassembly is deterministic and matches the checked-in golden
+/// file (regenerate with `bamboo examples/dsl/keywordcount.bb
+/// --dump-bytecode`).
+TEST(VmBytecodeTest, DisassemblyMatchesGolden) {
+  std::string Src =
+      readFileOrEmpty(std::string(BAMBOO_DSL_DIR) + "/keywordcount.bb");
+  ASSERT_FALSE(Src.empty());
+  auto VP1 = makeProgram(Src, /*Vm=*/true);
+  auto VP2 = makeProgram(Src, /*Vm=*/true);
+  auto &V1 = static_cast<vm::VmProgram &>(*VP1);
+  auto &V2 = static_cast<vm::VmProgram &>(*VP2);
+  ASSERT_TRUE(V1.usesBytecode());
+  std::string Dis = vm::disassemble(V1.chunk());
+  EXPECT_EQ(Dis, vm::disassemble(V2.chunk())) << "disassembly not stable";
+  std::string Golden = readFileOrEmpty(std::string(BAMBOO_GOLDEN_DIR) +
+                                       "/keywordcount.bytecode");
+  ASSERT_FALSE(Golden.empty())
+      << "missing golden file tests/golden/keywordcount.bytecode";
+  EXPECT_EQ(Dis, Golden);
+}
+
+/// A body needing more than the format's 250 registers cannot be
+/// lowered: the whole module falls back to interpreter closures and
+/// still computes the same answer.
+TEST(VmBytecodeTest, OverLimitBodyFallsBackToInterpreter) {
+  // Right-nested sum: each nesting level holds a live temporary, so 300
+  // levels exceed the register file.
+  std::ostringstream Expr;
+  for (int I = 0; I < 300; ++I)
+    Expr << "(1 + ";
+  Expr << "1";
+  for (int I = 0; I < 300; ++I)
+    Expr << ")";
+  std::string Src = R"(
+class W {
+  flag go;
+  W() { }
+}
+task startup(StartupObject s in initialstate) {
+  W w = new W() { go := true };
+  taskexit(s: initialstate := false);
+}
+task run(W w in go) {
+  int big = )" + Expr.str() + R"(;
+  System.printString("big=" + big);
+  taskexit(w: go := false);
+}
+)";
+  auto IP = makeProgram(Src, /*Vm=*/false);
+  auto VP = makeProgram(Src, /*Vm=*/true);
+  EXPECT_FALSE(static_cast<vm::VmProgram &>(*VP).usesBytecode());
+  Outcome A = runTile(*IP);
+  Outcome B = runTile(*VP);
+  ASSERT_TRUE(A.Completed);
+  ASSERT_TRUE(B.Completed);
+  EXPECT_EQ(A.Output, "big=301");
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.Cycles, B.Cycles);
+}
