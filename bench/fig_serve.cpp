@@ -1,0 +1,261 @@
+//===- bench/fig_serve.cpp - Job-server sustained-throughput bench --------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Open-loop load generator for `bamboo serve`: starts an in-process
+/// server over the example apps, fires a seeded mix of requests across
+/// several connections without waiting for responses, and reports
+/// sustained requests/second plus client-side p50/p99 latency — once
+/// per setting of the worker batching knob (how many queued jobs one
+/// worker claims and app-sorts per pass).
+///
+/// Prints a human-readable table to stderr and a JSON document to
+/// stdout; scripts/bench.sh redirects stdout to BENCH_serve.json, which
+/// is committed as the regression baseline for the tier-1 serve gate.
+/// The per-batch cycle totals are deterministic for a given --seed (the
+/// request mix and each response's virtual-cycle count are both
+/// seeded), so the gate can check them exactly; wall-clock figures are
+/// gated leniently.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "serve/Client.h"
+#include "serve/Json.h"
+#include "serve/Server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace bamboo;
+using namespace bamboo::bench;
+using namespace bamboo::serve;
+
+namespace {
+
+/// One request template in the seeded mix. All tile-engine so every
+/// request executes real task bodies.
+struct Mix {
+  const char *Name;
+  const char *Body; ///< Request JSON minus the id field.
+};
+
+const Mix MixSpecs[] = {
+    {"series/vm", "\"app\":\"series\",\"size\":8,\"cores\":4"},
+    {"montecarlo/vm", "\"app\":\"montecarlo\",\"size\":8,\"cores\":4"},
+    {"kmeans/vm", "\"app\":\"kmeans\",\"size\":8,\"cores\":4"},
+    {"series/interp",
+     "\"app\":\"series\",\"size\":8,\"cores\":4,\"exec_mode\":\"interp\""},
+};
+constexpr size_t NumMixes = sizeof(MixSpecs) / sizeof(MixSpecs[0]);
+
+struct BatchResult {
+  int Batch = 0;
+  double ReqPerSec = 0.0;
+  double P50Ms = 0.0;
+  double P99Ms = 0.0;
+  uint64_t TotalCycles = 0;
+  uint64_t SynthRuns = 0;
+  bool AllOk = true;
+};
+
+double percentile(std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t Idx = static_cast<size_t>(P * static_cast<double>(Sorted.size()));
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+/// Runs one open-loop phase against a fresh server with the given batch
+/// knob. Requests per connection are fired back to back (open loop); a
+/// receiver per connection matches responses to send times by id.
+BatchResult runBatch(int Batch, int Workers, int Conns, int Requests,
+                     uint64_t Seed) {
+  BatchResult Out;
+  Out.Batch = Batch;
+
+  ServerOptions SO;
+  SO.AppsDir = BAMBOO_DSL_DIR;
+  SO.Workers = Workers;
+  SO.Batch = Batch;
+  SO.QueueLimit = static_cast<size_t>(Requests) + 16;
+  Server Srv(SO);
+  if (std::string Err = Srv.start(); !Err.empty()) {
+    std::fprintf(stderr, "fig_serve: %s\n", Err.c_str());
+    std::exit(1);
+  }
+
+  // Seeded request mix, decided up front so every batch setting (and
+  // the tier-1 gate's re-run) executes the identical workload.
+  std::vector<size_t> MixOf(static_cast<size_t>(Requests));
+  uint64_t X = Seed * 6364136223846793005ULL + 1442695040888963407ULL;
+  for (int I = 0; I < Requests; ++I) {
+    X = X * 6364136223846793005ULL + 1442695040888963407ULL;
+    MixOf[static_cast<size_t>(I)] = (X >> 33) % NumMixes;
+  }
+
+  // Warm the synthesis cache (one request per mix) so the measured
+  // phase prices request handling and batching, not first-touch DSA.
+  {
+    Client Warm;
+    std::string Err;
+    if (!Warm.connectTo(Srv.port(), Err)) {
+      std::fprintf(stderr, "fig_serve: %s\n", Err.c_str());
+      std::exit(1);
+    }
+    for (size_t M = 0; M < NumMixes; ++M) {
+      std::string Line;
+      if (!Warm.sendLine(formatString("{\"id\":%zu,%s}", M,
+                                      MixSpecs[M].Body)) ||
+          !Warm.recvLine(Line)) {
+        std::fprintf(stderr, "fig_serve: warm-up request failed\n");
+        std::exit(1);
+      }
+    }
+  }
+
+  // Ids are globally unique; connection C sends ids C, C+Conns, ...
+  std::vector<Client> Clients(static_cast<size_t>(Conns));
+  for (int C = 0; C < Conns; ++C) {
+    std::string Err;
+    if (!Clients[static_cast<size_t>(C)].connectTo(Srv.port(), Err)) {
+      std::fprintf(stderr, "fig_serve: %s\n", Err.c_str());
+      std::exit(1);
+    }
+  }
+
+  using Clock = std::chrono::steady_clock;
+  std::vector<Clock::time_point> SendTime(static_cast<size_t>(Requests));
+  std::vector<double> LatencyMs(static_cast<size_t>(Requests), 0.0);
+  std::atomic<uint64_t> Cycles{0};
+  std::atomic<int> Failures{0};
+
+  auto T0 = Clock::now();
+  std::vector<std::thread> Threads;
+  for (int C = 0; C < Conns; ++C)
+    Threads.emplace_back([&, C] {
+      Client &Cl = Clients[static_cast<size_t>(C)];
+      // Open loop: fire every request immediately, then collect. The
+      // receiver runs concurrently so responses never back up the
+      // server's write path.
+      int Mine = 0;
+      std::thread Sender([&] {
+        for (int Id = C; Id < Requests; Id += Conns) {
+          SendTime[static_cast<size_t>(Id)] = Clock::now();
+          if (!Cl.sendLine(formatString(
+                  "{\"id\":%d,%s}", Id,
+                  MixSpecs[MixOf[static_cast<size_t>(Id)]].Body)))
+            Failures.fetch_add(1);
+        }
+      });
+      for (int Id = C; Id < Requests; Id += Conns)
+        ++Mine;
+      for (int N = 0; N < Mine; ++N) {
+        std::string Line;
+        if (!Cl.recvLine(Line)) {
+          Failures.fetch_add(1);
+          continue;
+        }
+        Json R;
+        std::string Err;
+        const Json *Ok;
+        const Json *Id;
+        const Json *Cyc;
+        if (!Json::parse(Line, R, Err) ||
+            !(Ok = R.find("ok")) || !Ok->isBool() || !Ok->boolean() ||
+            !(Id = R.find("id")) || !Id->isUInt() ||
+            !(Cyc = R.find("cycles")) || !Cyc->isUInt() ||
+            Id->uint() >= static_cast<uint64_t>(Requests)) {
+          Failures.fetch_add(1);
+          continue;
+        }
+        size_t Slot = static_cast<size_t>(Id->uint());
+        LatencyMs[Slot] = std::chrono::duration<double, std::milli>(
+                              Clock::now() - SendTime[Slot])
+                              .count();
+        Cycles.fetch_add(Cyc->uint());
+      }
+      Sender.join();
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  double WallSec =
+      std::chrono::duration<double>(Clock::now() - T0).count();
+
+  ServerStats St = Srv.stats();
+  Srv.shutdown();
+
+  Out.AllOk = Failures.load() == 0;
+  Out.ReqPerSec = static_cast<double>(Requests) / WallSec;
+  Out.TotalCycles = Cycles.load();
+  Out.SynthRuns = St.SynthRuns;
+  std::vector<double> Sorted = LatencyMs;
+  std::sort(Sorted.begin(), Sorted.end());
+  Out.P50Ms = percentile(Sorted, 0.50);
+  Out.P99Ms = percentile(Sorted, 0.99);
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  int Requests = static_cast<int>(flagValue(Argc, Argv, "requests", 48));
+  int Conns = static_cast<int>(flagValue(Argc, Argv, "conns", 4));
+  int Workers = static_cast<int>(flagValue(Argc, Argv, "workers", 3));
+  uint64_t Seed =
+      static_cast<uint64_t>(flagValue(Argc, Argv, "seed", 1));
+
+  const int Batches[] = {1, 4, 16};
+  std::vector<BatchResult> Results;
+  for (int B : Batches)
+    Results.push_back(runBatch(B, Workers, Conns, Requests, Seed));
+
+  std::vector<std::vector<std::string>> Rows;
+  Rows.push_back({"Batch", "req/s", "p50 ms", "p99 ms", "cycles", "synth"});
+  std::string Json = "{\n  \"schema\": \"bamboo-serve-bench-1\",\n";
+  Json += formatString("  \"requests\": %d,\n  \"conns\": %d,\n"
+                       "  \"workers\": %d,\n  \"seed\": %llu,\n"
+                       "  \"batches\": [\n",
+                       Requests, Conns, Workers,
+                       static_cast<unsigned long long>(Seed));
+  bool AllOk = true;
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const BatchResult &R = Results[I];
+    AllOk = AllOk && R.AllOk;
+    Rows.push_back({formatString("%d", R.Batch),
+                    formatString("%.1f", R.ReqPerSec),
+                    formatString("%.2f", R.P50Ms),
+                    formatString("%.2f", R.P99Ms),
+                    formatString("%llu", static_cast<unsigned long long>(
+                                             R.TotalCycles)),
+                    formatString("%llu", static_cast<unsigned long long>(
+                                             R.SynthRuns))});
+    Json += formatString(
+        "    {\"batch\": %d, \"req_per_sec\": %.2f, \"p50_ms\": %.3f, "
+        "\"p99_ms\": %.3f, \"total_cycles\": %llu, \"synth_runs\": %llu, "
+        "\"all_ok\": %s}%s\n",
+        R.Batch, R.ReqPerSec, R.P50Ms, R.P99Ms,
+        static_cast<unsigned long long>(R.TotalCycles),
+        static_cast<unsigned long long>(R.SynthRuns),
+        R.AllOk ? "true" : "false",
+        I + 1 < Results.size() ? "," : "");
+  }
+  Json += "  ]\n}\n";
+
+  std::fprintf(stderr,
+               "bamboo serve sustained throughput (%d requests, %d conns, "
+               "%d workers, open loop)\n\n",
+               Requests, Conns, Workers);
+  std::fprintf(stderr, "%s\n", renderTable(Rows).c_str());
+  std::printf("%s", Json.c_str());
+  return AllOk ? 0 : 1;
+}

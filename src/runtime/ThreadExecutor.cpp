@@ -614,7 +614,8 @@ ThreadExecResult ThreadExecutor::run(const ThreadExecOptions &Opts) {
           NextCkpt += Opts.CheckpointEveryInvocations;
         State.Pause.resumeAll();
         return Err.empty();
-      });
+      },
+      Opts.Stop);
   for (std::thread &T : Threads)
     T.join();
   auto T1 = std::chrono::steady_clock::now();
@@ -622,6 +623,7 @@ ThreadExecResult ThreadExecutor::run(const ThreadExecOptions &Opts) {
   ThreadExecResult Result;
   Result.CheckpointsWritten = Mon.CheckpointsWritten;
   Result.CheckpointError = Mon.CheckpointError;
+  Result.Interrupted = Mon.StopObserved;
   if (Mon.WatchdogTripped) {
     Result.WatchdogFired = true;
     Result.WatchdogDump =
@@ -656,7 +658,7 @@ ThreadExecResult ThreadExecutor::run(const ThreadExecOptions &Opts) {
   // snapshot always force a failed report.
   Result.Completed =
       State.Outstanding.load(std::memory_order_acquire) == 0 &&
-      !R.damaged() && !Result.WatchdogFired &&
+      !R.damaged() && !Result.WatchdogFired && !Result.Interrupted &&
       Result.CheckpointError.empty();
   return Result;
 }

@@ -88,6 +88,10 @@ struct ThreadExecOptions {
   /// ThreadExecResult::WatchdogFired and a diagnostic dump (distinct from
   /// TimeoutMs, which bounds the *total* wall time). 0 disables.
   int64_t WatchdogMs = 0;
+  /// When non-null, polled by the monitor loop; once it reads true the
+  /// run winds down cleanly (Completed=false,
+  /// ThreadExecResult::Interrupted). Not owned; must outlive run().
+  const std::atomic<bool> *Stop = nullptr;
 };
 
 struct ThreadExecResult {
@@ -112,6 +116,8 @@ struct ThreadExecResult {
   std::string RestoreError;
   /// Non-empty when taking a requested snapshot failed.
   std::string CheckpointError;
+  /// The run aborted because ThreadExecOptions::Stop was raised.
+  bool Interrupted = false;
 };
 
 /// Executes \p BP under \p L with one worker thread per core.

@@ -269,8 +269,15 @@ ExecResult TileExecutor::run(const ExecOptions &Options) {
         Result.WatchdogFired = true;
         Result.WatchdogDump = watchdogDump(Now);
       },
-      [&] { return ++Events <= Options.MaxEvents; }, [] { return true; },
-      Aborted);
+      [&] {
+        if (Options.Stop &&
+            Options.Stop->load(std::memory_order_acquire)) {
+          Result.Interrupted = true;
+          return false;
+        }
+        return ++Events <= Options.MaxEvents;
+      },
+      [] { return true; }, Aborted);
   return finishRun(LastTime, Aborted);
 }
 

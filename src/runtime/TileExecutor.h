@@ -49,6 +49,7 @@
 #include "support/Trace.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -107,6 +108,12 @@ struct ExecOptions {
   /// ExecResult::WatchdogFired and a diagnostic dump instead of spinning
   /// to MaxEvents. 0 disables.
   machine::Cycles WatchdogCycles = 0;
+  /// When non-null, polled at every event boundary; once it reads true
+  /// the run aborts cleanly (Completed=false, ExecResult::Interrupted).
+  /// The driver wires support::stopFlag() here so SIGINT/SIGTERM stop at
+  /// a quiescent point where trace and checkpoints are still coherent.
+  /// Not owned; must outlive run().
+  const std::atomic<bool> *Stop = nullptr;
 };
 
 /// Result of one execution.
@@ -145,6 +152,9 @@ struct ExecResult {
   /// Non-empty when taking a requested snapshot failed (e.g. a payload
   /// with no registered codec); the run aborted at the failed boundary.
   std::string CheckpointError;
+  /// The run aborted because ExecOptions::Stop was raised (signal
+  /// delivery or server drain), not because it ran out of work.
+  bool Interrupted = false;
 };
 
 namespace tile_detail {

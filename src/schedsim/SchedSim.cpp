@@ -938,7 +938,13 @@ SimResult Simulator::run() {
         Result.WatchdogFired = true;
         Result.WatchdogDump = watchdogDump(Now);
       },
-      [] { return true; },
+      [&] {
+        if (Opts.Stop && Opts.Stop->load(std::memory_order_acquire)) {
+          Result.Interrupted = true;
+          return false;
+        }
+        return true;
+      },
       [&] { return Result.Invocations < Opts.MaxInvocations; }, CutOff);
 
   Result.EstimatedCycles = LastTime;

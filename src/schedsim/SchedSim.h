@@ -38,6 +38,7 @@
 #include "resilience/Recovery.h"
 #include "support/Trace.h"
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -80,6 +81,10 @@ struct SimOptions {
   /// when virtual time advances more than this many cycles past the last
   /// dispatch or completion. 0 disables.
   machine::Cycles WatchdogCycles = 0;
+  /// When non-null, polled at every event boundary; once it reads true
+  /// the simulation aborts cleanly (Terminated=false,
+  /// SimResult::Interrupted). Not owned; must outlive simulateLayout().
+  const std::atomic<bool> *Stop = nullptr;
 };
 
 /// One simulated task invocation in the trace. This is the shared
@@ -111,6 +116,8 @@ struct SimResult {
   std::string RestoreError;
   /// Non-empty when taking a requested snapshot failed.
   std::string CheckpointError;
+  /// The simulation aborted because SimOptions::Stop was raised.
+  bool Interrupted = false;
 };
 
 /// Simulates \p L under \p Prof. \p Hints selects per-task or per-object

@@ -1,0 +1,113 @@
+//===- serve/Client.cpp - Blocking line client for the job server ---------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+
+#include "support/Format.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace bamboo;
+using namespace bamboo::serve;
+
+Client::~Client() { close(); }
+
+Client::Client(Client &&Other) noexcept
+    : Fd(Other.Fd), Buffer(std::move(Other.Buffer)) {
+  Other.Fd = -1;
+}
+
+Client &Client::operator=(Client &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = Other.Fd;
+    Buffer = std::move(Other.Buffer);
+    Other.Fd = -1;
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  Buffer.clear();
+}
+
+bool Client::connectTo(uint16_t Port, std::string &Error) {
+  close();
+  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = formatString("socket: %s", std::strerror(errno));
+    return false;
+  }
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  while (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                   sizeof(Addr)) != 0) {
+    if (errno == EINTR)
+      continue;
+    Error = formatString("connect to 127.0.0.1:%u: %s",
+                                  static_cast<unsigned>(Port),
+                                  std::strerror(errno));
+    close();
+    return false;
+  }
+  // Requests are single small lines; latency matters more than batching.
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return true;
+}
+
+bool Client::sendLine(const std::string &Line) {
+  if (Fd < 0)
+    return false;
+  std::string Wire = Line + "\n";
+  size_t Sent = 0;
+  while (Sent < Wire.size()) {
+    ssize_t N = ::send(Fd, Wire.data() + Sent, Wire.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool Client::recvLine(std::string &Line) {
+  if (Fd < 0)
+    return false;
+  for (;;) {
+    size_t Nl = Buffer.find('\n');
+    if (Nl != std::string::npos) {
+      Line = Buffer.substr(0, Nl);
+      Buffer.erase(0, Nl + 1);
+      return true;
+    }
+    char Chunk[4096];
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false; // Peer closed with no complete line pending.
+    Buffer.append(Chunk, static_cast<size_t>(N));
+  }
+}

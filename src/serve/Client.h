@@ -1,0 +1,52 @@
+//===- serve/Client.h - Blocking line client for the job server -*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal blocking client for the serve protocol: connect, send a
+/// line, receive a line. Shared by the ServeTest suite and the
+/// fig_serve load generator so both speak the wire format through one
+/// implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_SERVE_CLIENT_H
+#define BAMBOO_SERVE_CLIENT_H
+
+#include <cstdint>
+#include <string>
+
+namespace bamboo::serve {
+
+/// One TCP connection to a job server. Methods return false on any
+/// socket error (including orderly close with no pending line).
+class Client {
+public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+  Client(Client &&Other) noexcept;
+  Client &operator=(Client &&Other) noexcept;
+
+  /// Connects to 127.0.0.1:\p Port (the server is loopback-only).
+  bool connectTo(uint16_t Port, std::string &Error);
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+  /// Sends \p Line plus the terminating newline.
+  bool sendLine(const std::string &Line);
+  /// Receives the next newline-terminated line (newline stripped).
+  bool recvLine(std::string &Line);
+
+private:
+  int Fd = -1;
+  std::string Buffer;
+};
+
+} // namespace bamboo::serve
+
+#endif // BAMBOO_SERVE_CLIENT_H

@@ -1,0 +1,450 @@
+//===- serve/Json.cpp - Minimal JSON for the serve protocol ---------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Json.h"
+
+#include "support/Format.h"
+
+#include <cmath>
+#include <cstdlib>
+
+using namespace bamboo;
+using namespace bamboo::serve;
+
+Json::Json(int N) {
+  if (N >= 0) {
+    K = Kind::UInt;
+    UIntV = static_cast<uint64_t>(N);
+  } else {
+    K = Kind::Double;
+    DoubleV = N;
+  }
+}
+
+Json::Json(JsonArray A)
+    : K(Kind::Array), ArrayV(std::make_shared<JsonArray>(std::move(A))) {}
+
+Json::Json(JsonObject O)
+    : K(Kind::Object), ObjectV(std::make_shared<JsonObject>(std::move(O))) {}
+
+const Json *Json::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[K2, V] : *ObjectV)
+    if (K2 == Key)
+      return &V;
+  return nullptr;
+}
+
+std::string Json::quote(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatString("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+std::string Json::dump() const {
+  switch (K) {
+  case Kind::Null:
+    return "null";
+  case Kind::Bool:
+    return BoolV ? "true" : "false";
+  case Kind::UInt:
+    return formatString("%llu",
+                                 static_cast<unsigned long long>(UIntV));
+  case Kind::Double: {
+    // %.17g round-trips doubles; integral values print without exponent
+    // where possible so output stays readable.
+    std::string S = formatString("%.17g", DoubleV);
+    return S;
+  }
+  case Kind::String:
+    return quote(StringV);
+  case Kind::Array: {
+    std::string Out = "[";
+    for (size_t I = 0; I < ArrayV->size(); ++I) {
+      if (I)
+        Out += ',';
+      Out += (*ArrayV)[I].dump();
+    }
+    Out += ']';
+    return Out;
+  }
+  case Kind::Object: {
+    std::string Out = "{";
+    for (size_t I = 0; I < ObjectV->size(); ++I) {
+      if (I)
+        Out += ',';
+      Out += quote((*ObjectV)[I].first);
+      Out += ':';
+      Out += (*ObjectV)[I].second.dump();
+    }
+    Out += '}';
+    return Out;
+  }
+  }
+  return "null";
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Text) : Text(Text) {}
+
+  bool parse(Json &Out, std::string &Error) {
+    skipWs();
+    if (!value(Out, Error))
+      return false;
+    skipWs();
+    if (Pos != Text.size()) {
+      Error = formatString("trailing characters at offset %zu", Pos);
+      return false;
+    }
+    return true;
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+  // Nesting bound: protocol documents are flat; a deep bomb must not
+  // blow the stack.
+  int Depth = 0;
+  static constexpr int MaxDepth = 32;
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool fail(std::string &Error, const std::string &What) {
+    Error = formatString("%s at offset %zu", What.c_str(), Pos);
+    return false;
+  }
+
+  bool literal(const char *Word, std::string &Error) {
+    size_t Len = std::char_traits<char>::length(Word);
+    if (Text.compare(Pos, Len, Word) != 0)
+      return fail(Error, "invalid literal");
+    Pos += Len;
+    return true;
+  }
+
+  bool value(Json &Out, std::string &Error) {
+    if (++Depth > MaxDepth)
+      return fail(Error, "nesting too deep");
+    bool Ok = valueInner(Out, Error);
+    --Depth;
+    return Ok;
+  }
+
+  bool valueInner(Json &Out, std::string &Error) {
+    if (Pos >= Text.size())
+      return fail(Error, "unexpected end of input");
+    char C = Text[Pos];
+    switch (C) {
+    case 'n':
+      if (!literal("null", Error))
+        return false;
+      Out = Json();
+      return true;
+    case 't':
+      if (!literal("true", Error))
+        return false;
+      Out = Json(true);
+      return true;
+    case 'f':
+      if (!literal("false", Error))
+        return false;
+      Out = Json(false);
+      return true;
+    case '"': {
+      std::string S;
+      if (!string(S, Error))
+        return false;
+      Out = Json(std::move(S));
+      return true;
+    }
+    case '[':
+      return array(Out, Error);
+    case '{':
+      return object(Out, Error);
+    default:
+      if (C == '-' || (C >= '0' && C <= '9'))
+        return number(Out, Error);
+      return fail(Error, "unexpected character");
+    }
+  }
+
+  bool hex4(uint32_t &Out, std::string &Error) {
+    Out = 0;
+    for (int I = 0; I < 4; ++I) {
+      if (Pos >= Text.size())
+        return fail(Error, "truncated \\u escape");
+      char C = Text[Pos++];
+      uint32_t D;
+      if (C >= '0' && C <= '9')
+        D = static_cast<uint32_t>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        D = static_cast<uint32_t>(C - 'a') + 10;
+      else if (C >= 'A' && C <= 'F')
+        D = static_cast<uint32_t>(C - 'A') + 10;
+      else
+        return fail(Error, "bad \\u escape digit");
+      Out = Out * 16 + D;
+    }
+    return true;
+  }
+
+  bool string(std::string &Out, std::string &Error) {
+    ++Pos; // Opening quote.
+    Out.clear();
+    while (true) {
+      if (Pos >= Text.size())
+        return fail(Error, "unterminated string");
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail(Error, "control character in string");
+      if (C != '\\') {
+        Out += C;
+        ++Pos;
+        continue;
+      }
+      ++Pos;
+      if (Pos >= Text.size())
+        return fail(Error, "truncated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        uint32_t Cp;
+        if (!hex4(Cp, Error))
+          return false;
+        // Surrogate pair.
+        if (Cp >= 0xD800 && Cp <= 0xDBFF) {
+          if (Pos + 1 >= Text.size() || Text[Pos] != '\\' ||
+              Text[Pos + 1] != 'u')
+            return fail(Error, "unpaired surrogate");
+          Pos += 2;
+          uint32_t Lo;
+          if (!hex4(Lo, Error))
+            return false;
+          if (Lo < 0xDC00 || Lo > 0xDFFF)
+            return fail(Error, "bad low surrogate");
+          Cp = 0x10000 + ((Cp - 0xD800) << 10) + (Lo - 0xDC00);
+        } else if (Cp >= 0xDC00 && Cp <= 0xDFFF) {
+          return fail(Error, "unpaired surrogate");
+        }
+        // UTF-8 encode.
+        if (Cp < 0x80) {
+          Out += static_cast<char>(Cp);
+        } else if (Cp < 0x800) {
+          Out += static_cast<char>(0xC0 | (Cp >> 6));
+          Out += static_cast<char>(0x80 | (Cp & 0x3F));
+        } else if (Cp < 0x10000) {
+          Out += static_cast<char>(0xE0 | (Cp >> 12));
+          Out += static_cast<char>(0x80 | ((Cp >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Cp & 0x3F));
+        } else {
+          Out += static_cast<char>(0xF0 | (Cp >> 18));
+          Out += static_cast<char>(0x80 | ((Cp >> 12) & 0x3F));
+          Out += static_cast<char>(0x80 | ((Cp >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Cp & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail(Error, "unknown escape");
+      }
+    }
+  }
+
+  bool number(Json &Out, std::string &Error) {
+    size_t Start = Pos;
+    bool Negative = false;
+    if (Text[Pos] == '-') {
+      Negative = true;
+      ++Pos;
+    }
+    if (Pos >= Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+      return fail(Error, "malformed number");
+    // No leading zeros (JSON).
+    if (Text[Pos] == '0' && Pos + 1 < Text.size() && Text[Pos + 1] >= '0' &&
+        Text[Pos + 1] <= '9')
+      return fail(Error, "leading zero in number");
+    bool Integral = true;
+    bool Overflow = false;
+    uint64_t IntVal = 0;
+    while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9') {
+      uint64_t D = static_cast<uint64_t>(Text[Pos] - '0');
+      if (IntVal > (UINT64_MAX - D) / 10)
+        Overflow = true;
+      else
+        IntVal = IntVal * 10 + D;
+      ++Pos;
+    }
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      Integral = false;
+      ++Pos;
+      if (Pos >= Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+        return fail(Error, "malformed fraction");
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      Integral = false;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (Pos >= Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+        return fail(Error, "malformed exponent");
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    if (Integral && !Negative && !Overflow) {
+      Out = Json(IntVal);
+      return true;
+    }
+    Out = Json(std::strtod(Text.substr(Start, Pos - Start).c_str(), nullptr));
+    return true;
+  }
+
+  bool array(Json &Out, std::string &Error) {
+    ++Pos; // '['
+    JsonArray Items;
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      Out = Json(std::move(Items));
+      return true;
+    }
+    while (true) {
+      Json V;
+      skipWs();
+      if (!value(V, Error))
+        return false;
+      Items.push_back(std::move(V));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail(Error, "unterminated array");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == ']') {
+        ++Pos;
+        Out = Json(std::move(Items));
+        return true;
+      }
+      return fail(Error, "expected ',' or ']'");
+    }
+  }
+
+  bool object(Json &Out, std::string &Error) {
+    ++Pos; // '{'
+    JsonObject Fields;
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      Out = Json(std::move(Fields));
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail(Error, "expected object key");
+      std::string Key;
+      if (!string(Key, Error))
+        return false;
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != ':')
+        return fail(Error, "expected ':'");
+      ++Pos;
+      skipWs();
+      Json V;
+      if (!value(V, Error))
+        return false;
+      Fields.emplace_back(std::move(Key), std::move(V));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail(Error, "unterminated object");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == '}') {
+        ++Pos;
+        Out = Json(std::move(Fields));
+        return true;
+      }
+      return fail(Error, "expected ',' or '}'");
+    }
+  }
+};
+
+} // namespace
+
+bool Json::parse(const std::string &Text, Json &Out, std::string &Error) {
+  return Parser(Text).parse(Out, Error);
+}

@@ -1,0 +1,104 @@
+//===- serve/Json.h - Minimal JSON for the serve protocol -------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small JSON value type plus parser and serializer, sized for the
+/// job-server's line-delimited protocol. Deliberately minimal rather
+/// than general:
+///
+///   - integers that fit uint64_t are kept exact (seeds and request ids
+///     must round-trip without floating-point loss);
+///   - objects preserve insertion order, so serialization is
+///     deterministic and responses diff cleanly in tests;
+///   - the parser rejects trailing garbage, making "one line = one
+///     document" enforceable at the protocol layer.
+///
+/// No dependencies beyond the standard library; the trace exporter keeps
+/// its own hand-rolled emitter (it predates this and is hot-path).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_SERVE_JSON_H
+#define BAMBOO_SERVE_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bamboo::serve {
+
+class Json;
+
+/// Insertion-ordered key/value list (objects are tiny; linear lookup).
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+using JsonArray = std::vector<Json>;
+
+class Json {
+public:
+  enum class Kind : uint8_t { Null, Bool, UInt, Double, String, Array, Object };
+
+  Json() : K(Kind::Null) {}
+  Json(std::nullptr_t) : K(Kind::Null) {}
+  Json(bool B) : K(Kind::Bool), BoolV(B) {}
+  Json(uint64_t N) : K(Kind::UInt), UIntV(N) {}
+  Json(int N);
+  Json(double D) : K(Kind::Double), DoubleV(D) {}
+  Json(std::string S) : K(Kind::String), StringV(std::move(S)) {}
+  Json(const char *S) : K(Kind::String), StringV(S) {}
+  Json(JsonArray A);
+  Json(JsonObject O);
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  /// True for any number; isUInt() additionally means the exact-integer
+  /// representation is available.
+  bool isNumber() const { return K == Kind::UInt || K == Kind::Double; }
+  bool isUInt() const { return K == Kind::UInt; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool boolean() const { return BoolV; }
+  uint64_t uint() const { return UIntV; }
+  double number() const {
+    return K == Kind::UInt ? static_cast<double>(UIntV) : DoubleV;
+  }
+  const std::string &str() const { return StringV; }
+  const JsonArray &array() const { return *ArrayV; }
+  const JsonObject &object() const { return *ObjectV; }
+
+  /// Object field lookup; null when absent or not an object.
+  const Json *find(const std::string &Key) const;
+
+  /// Compact, deterministic serialization (no whitespace; object fields
+  /// in insertion order; strings escaped to pure-ASCII JSON).
+  std::string dump() const;
+
+  /// Parses exactly one JSON document spanning all of \p Text (trailing
+  /// whitespace allowed, anything else is an error). Returns false and
+  /// fills \p Error on malformed input.
+  static bool parse(const std::string &Text, Json &Out, std::string &Error);
+
+  /// Escapes \p S into a double-quoted JSON string literal.
+  static std::string quote(const std::string &S);
+
+private:
+  Kind K;
+  bool BoolV = false;
+  uint64_t UIntV = 0;
+  double DoubleV = 0.0;
+  std::string StringV;
+  // Indirection keeps Json movable while recursive.
+  std::shared_ptr<JsonArray> ArrayV;
+  std::shared_ptr<JsonObject> ObjectV;
+};
+
+} // namespace bamboo::serve
+
+#endif // BAMBOO_SERVE_JSON_H

@@ -1,0 +1,230 @@
+//===- serve/Protocol.cpp - Job-server request/response protocol ----------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+#include "resilience/Checkpoint.h"
+#include "support/Format.h"
+
+using namespace bamboo;
+using namespace bamboo::serve;
+
+const char *serve::engineName(EngineKind E) {
+  switch (E) {
+  case EngineKind::Tile:
+    return "tile";
+  case EngineKind::Sim:
+    return "sim";
+  case EngineKind::Thread:
+    return "thread";
+  }
+  return "tile";
+}
+
+const char *serve::execModeName(ExecMode M) {
+  return M == ExecMode::Vm ? "vm" : "interp";
+}
+
+std::string serve::sizeArg(uint64_t N) {
+  std::string Out;
+  Out.reserve(N);
+  for (uint64_t I = 0; I < N; ++I)
+    Out += static_cast<char>('1' + (I % 9));
+  return Out;
+}
+
+namespace {
+
+/// Protocol bounds. Requests outside these are configuration mistakes or
+/// hostile input, never legitimate jobs.
+constexpr uint64_t MaxSize = 4096;
+constexpr uint64_t MaxArgs = 16;
+constexpr uint64_t MaxArgLen = 65536;
+constexpr int MaxCores = 4096;
+
+bool expectUInt(const Json &V, const char *Field, uint64_t &Out,
+                std::string &Error) {
+  if (!V.isUInt()) {
+    Error = formatString(
+        "field '%s' must be a non-negative integer", Field);
+    return false;
+  }
+  Out = V.uint();
+  return true;
+}
+
+} // namespace
+
+bool serve::parseRequest(const std::string &Line, Request &Out,
+                         std::string &Error, bool &HaveId, uint64_t &Id) {
+  HaveId = false;
+  Id = 0;
+  Json Doc;
+  if (!Json::parse(Line, Doc, Error)) {
+    Error = "malformed JSON: " + Error;
+    return false;
+  }
+  if (!Doc.isObject()) {
+    Error = "request must be a JSON object";
+    return false;
+  }
+  // Recover the id first so even a rejected request can be correlated.
+  if (const Json *IdV = Doc.find("id"); IdV && IdV->isUInt()) {
+    HaveId = true;
+    Id = IdV->uint();
+  }
+
+  Request R;
+  bool SawId = false, SawSize = false, SawArgs = false;
+  uint64_t Size = 0;
+  for (const auto &[Key, V] : Doc.object()) {
+    if (Key == "id") {
+      if (!expectUInt(V, "id", R.Id, Error))
+        return false;
+      SawId = true;
+    } else if (Key == "app") {
+      if (!V.isString() || V.str().empty()) {
+        Error = "field 'app' must be a non-empty string";
+        return false;
+      }
+      R.App = V.str();
+    } else if (Key == "size") {
+      if (!expectUInt(V, "size", Size, Error))
+        return false;
+      if (Size == 0 || Size > MaxSize) {
+        Error = formatString("field 'size' must be in [1, %llu]",
+                                      static_cast<unsigned long long>(MaxSize));
+        return false;
+      }
+      SawSize = true;
+    } else if (Key == "args") {
+      if (!V.isArray()) {
+        Error = "field 'args' must be an array of strings";
+        return false;
+      }
+      if (V.array().size() > MaxArgs) {
+        Error = formatString("too many args (max %llu)",
+                                      static_cast<unsigned long long>(MaxArgs));
+        return false;
+      }
+      for (const Json &A : V.array()) {
+        if (!A.isString()) {
+          Error = "field 'args' must be an array of strings";
+          return false;
+        }
+        if (A.str().size() > MaxArgLen) {
+          Error = "argument too long";
+          return false;
+        }
+        R.Args.push_back(A.str());
+      }
+      SawArgs = true;
+    } else if (Key == "seed") {
+      if (!expectUInt(V, "seed", R.Seed, Error))
+        return false;
+    } else if (Key == "cores") {
+      uint64_t Cores = 0;
+      if (!expectUInt(V, "cores", Cores, Error))
+        return false;
+      if (Cores == 0 || Cores > static_cast<uint64_t>(MaxCores)) {
+        Error = formatString("field 'cores' must be in [1, %d]",
+                                      MaxCores);
+        return false;
+      }
+      R.Cores = static_cast<int>(Cores);
+    } else if (Key == "engine") {
+      if (!V.isString()) {
+        Error = "field 'engine' must be a string";
+        return false;
+      }
+      if (V.str() == "tile")
+        R.Engine = EngineKind::Tile;
+      else if (V.str() == "sim")
+        R.Engine = EngineKind::Sim;
+      else if (V.str() == "thread")
+        R.Engine = EngineKind::Thread;
+      else {
+        Error = formatString(
+            "field 'engine' expects 'tile', 'sim' or 'thread', got '%s'",
+            V.str().c_str());
+        return false;
+      }
+    } else if (Key == "exec_mode") {
+      if (!V.isString()) {
+        Error = "field 'exec_mode' must be a string";
+        return false;
+      }
+      if (V.str() == "vm")
+        R.Mode = ExecMode::Vm;
+      else if (V.str() == "interp")
+        R.Mode = ExecMode::Interp;
+      else {
+        Error = formatString(
+            "field 'exec_mode' expects 'vm' or 'interp', got '%s'",
+            V.str().c_str());
+        return false;
+      }
+    } else {
+      // Unknown fields are rejected like unknown CLI flags: a typo must
+      // not silently fall back to a default.
+      Error = formatString("unknown field '%s'", Key.c_str());
+      return false;
+    }
+  }
+  if (!SawId) {
+    Error = "missing required field 'id'";
+    return false;
+  }
+  if (R.App.empty()) {
+    Error = "missing required field 'app'";
+    return false;
+  }
+  if (SawSize && SawArgs) {
+    Error = "fields 'size' and 'args' are mutually exclusive";
+    return false;
+  }
+  if (SawSize)
+    R.Args = {sizeArg(Size)};
+  Out = std::move(R);
+  return true;
+}
+
+std::string serve::successLine(const Request &R, const ExecReport &E,
+                               uint64_t LatencyUs, int Worker,
+                               bool SynthCached) {
+  uint32_t Crc = resilience::crc32(E.Output.data(), E.Output.size());
+  JsonObject O;
+  O.emplace_back("id", Json(R.Id));
+  O.emplace_back("ok", Json(true));
+  O.emplace_back("app", Json(R.App));
+  O.emplace_back("engine", Json(engineName(R.Engine)));
+  O.emplace_back("exec_mode", Json(execModeName(R.Mode)));
+  O.emplace_back("cores", Json(R.Cores));
+  O.emplace_back("seed", Json(R.Seed));
+  O.emplace_back("checksum", Json(formatString("%08x", Crc)));
+  O.emplace_back("cycles", Json(E.Cycles));
+  O.emplace_back("invocations", Json(E.Invocations));
+  O.emplace_back("output", Json(E.Output));
+  O.emplace_back("latency_us", Json(LatencyUs));
+  O.emplace_back("worker", Json(Worker));
+  O.emplace_back("synth_cached", Json(SynthCached));
+  return Json(std::move(O)).dump();
+}
+
+std::string serve::errorLine(bool HaveId, uint64_t Id,
+                             const std::string &Code,
+                             const std::string &Error, int64_t RetryAfterMs) {
+  JsonObject O;
+  if (HaveId)
+    O.emplace_back("id", Json(Id));
+  O.emplace_back("ok", Json(false));
+  O.emplace_back("code", Json(Code));
+  O.emplace_back("error", Json(Error));
+  if (RetryAfterMs >= 0)
+    O.emplace_back("retry_after_ms",
+                   Json(static_cast<uint64_t>(RetryAfterMs)));
+  return Json(std::move(O)).dump();
+}

@@ -1,0 +1,110 @@
+//===- serve/Protocol.h - Job-server request/response protocol --*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `bamboo serve` wire protocol: line-delimited JSON over TCP, one
+/// request per line, one response line per request. A request names a
+/// resident app plus the same knobs the one-shot CLI takes — responses
+/// are required to be byte-identical to what `bamboo <app>.bb` would
+/// print for the same (app, args, seed, cores, engine, exec-mode).
+///
+/// Request:
+///
+///   {"id":1,"app":"series","size":8,"seed":1,"cores":4,
+///    "engine":"tile","exec_mode":"vm"}
+///
+///   - `id` (required): caller-chosen uint64, echoed in the response.
+///   - `app` (required): basename of a .bb file the server loaded.
+///   - `size` or `args`: `size` N expands to the single argument
+///     "12345678…" (N digits, cycling 1-9) that the size-scaled apps
+///     take; `args` passes explicit strings. At most one of the two.
+///   - `seed`, `cores`, `engine`, `exec_mode`: optional, defaulting to
+///     1 / 62 / "tile" / "vm" — the CLI defaults.
+///
+/// Validation is strict in the same way the CLI flag parser is: unknown
+/// fields, wrong types, and out-of-range numbers are rejected with a
+/// `bad-request` error rather than guessed at.
+///
+/// Success response (field order fixed):
+///
+///   {"id":1,"ok":true,"app":"series","engine":"tile","exec_mode":"vm",
+///    "cores":4,"seed":1,"checksum":"ab12cd34","cycles":123,
+///    "invocations":45,"output":"…","latency_us":678,"worker":0,
+///    "synth_cached":true}
+///
+///   `checksum` is the zlib-compatible CRC-32 of `output`; `cycles` is
+///   virtual cycles (tile/sim; 0 for the wall-clock thread engine).
+///
+/// Error response:
+///
+///   {"id":1,"ok":false,"code":"bad-request","error":"…"}
+///
+///   Codes: `bad-request`, `queue-full`, `draining`, `runtime-error`,
+///   `internal`. `queue-full` and `draining` carry `retry_after_ms`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_SERVE_PROTOCOL_H
+#define BAMBOO_SERVE_PROTOCOL_H
+
+#include "serve/Json.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bamboo::serve {
+
+/// Engine names mirror the CLI's --engine values.
+enum class EngineKind : uint8_t { Tile, Sim, Thread };
+/// Exec-mode names mirror the CLI's --exec-mode values.
+enum class ExecMode : uint8_t { Vm, Interp };
+
+const char *engineName(EngineKind E);
+const char *execModeName(ExecMode M);
+
+/// A validated job request.
+struct Request {
+  uint64_t Id = 0;
+  std::string App;
+  std::vector<std::string> Args;
+  uint64_t Seed = 1;
+  int Cores = 62;
+  EngineKind Engine = EngineKind::Tile;
+  ExecMode Mode = ExecMode::Vm;
+};
+
+/// The argument string `size` N expands to: N digits cycling '1'..'9'
+/// (so 8 -> "12345678", matching the bench suite's canonical workload).
+std::string sizeArg(uint64_t N);
+
+/// Parses and validates one request line. On failure returns false and
+/// fills \p Error with a message suitable for a bad-request response.
+/// \p HaveId is set as soon as an id could be recovered, so the error
+/// response can still echo it.
+bool parseRequest(const std::string &Line, Request &Out, std::string &Error,
+                  bool &HaveId, uint64_t &Id);
+
+/// What one executed request reports back (the transport-independent
+/// half; the server adds latency/worker/cache fields it owns).
+struct ExecReport {
+  std::string Output;
+  uint64_t Cycles = 0;
+  uint64_t Invocations = 0;
+};
+
+/// Renders the success response line (no trailing newline).
+std::string successLine(const Request &R, const ExecReport &E,
+                        uint64_t LatencyUs, int Worker, bool SynthCached);
+
+/// Renders an error response line (no trailing newline). \p RetryAfterMs
+/// < 0 omits the retry_after_ms field.
+std::string errorLine(bool HaveId, uint64_t Id, const std::string &Code,
+                      const std::string &Error, int64_t RetryAfterMs = -1);
+
+} // namespace bamboo::serve
+
+#endif // BAMBOO_SERVE_PROTOCOL_H

@@ -1,0 +1,656 @@
+//===- serve/Server.cpp - Resident job server -----------------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "analysis/Disjoint.h"
+#include "driver/Pipeline.h"
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+#include "runtime/ThreadExecutor.h"
+#include "schedsim/SchedSim.h"
+#include "support/Format.h"
+#include "vm/Vm.h"
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sstream>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace bamboo;
+using namespace bamboo::serve;
+
+//===----------------------------------------------------------------------===//
+// Internal structures
+//===----------------------------------------------------------------------===//
+
+/// One client connection. Workers and the reader share it, so writes are
+/// serialized by WriteM and liveness is an atomic.
+struct Server::Conn {
+  int Fd = -1;
+  std::mutex WriteM;
+  std::atomic<bool> Closed{false};
+};
+
+/// One admitted request, bound to the connection awaiting its response.
+struct Server::Job {
+  Request Req;
+  std::shared_ptr<Conn> C;
+  /// When the reader admitted the request; reported latency spans from
+  /// here to the response write, so queue wait is included.
+  std::chrono::steady_clock::time_point Admitted;
+};
+
+/// One synthesis cache slot. The first worker to need a key computes it;
+/// concurrent requesters block on Cv. Entries are immutable once Ready.
+struct Server::SynthEntry {
+  std::mutex M;
+  std::condition_variable Cv;
+  bool Ready = false;
+  bool Computing = false;
+  std::string Error; ///< Non-empty when the pipeline failed.
+  std::shared_ptr<const driver::PipelineResult> Result;
+};
+
+/// Worker-resident state: one compiled DslProgram per (app, exec-mode),
+/// created on first use and kept warm for the server's lifetime.
+struct Server::WorkerState {
+  std::map<std::string, std::unique_ptr<interp::DslProgram>> Programs;
+};
+
+namespace {
+
+std::string programKey(const std::string &App, ExecMode Mode) {
+  return App + "|" + execModeName(Mode);
+}
+
+std::string synthKey(const Request &R) {
+  std::string Key = R.App;
+  Key += '|';
+  Key += execModeName(R.Mode);
+  Key += formatString("|c%d|s%llu", R.Cores,
+                               static_cast<unsigned long long>(R.Seed));
+  for (const std::string &A : R.Args) {
+    Key += '|';
+    Key += A;
+  }
+  return Key;
+}
+
+/// Compiles \p Source into a mode-appropriate resident program. Returns
+/// null and fills \p Error on compile failure (shipped apps compile; this
+/// guards a corrupted apps directory).
+std::unique_ptr<interp::DslProgram>
+makeProgram(const std::string &Source, const std::string &Name, ExecMode Mode,
+            std::string &Error) {
+  frontend::DiagnosticEngine Diags;
+  auto CM = frontend::compileString(Source, Name, Diags);
+  if (!CM) {
+    Error = "compile failed: " + Diags.render(Name);
+    return nullptr;
+  }
+  analysis::analyzeDisjointness(*CM);
+  if (Mode == ExecMode::Vm)
+    return std::make_unique<vm::VmProgram>(std::move(*CM));
+  return std::make_unique<interp::InterpProgram>(std::move(*CM));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+Server::Server(ServerOptions O) : Opts(std::move(O)) {
+  if (Opts.Workers < 1)
+    Opts.Workers = 1;
+  if (Opts.Batch < 1)
+    Opts.Batch = 1;
+  if (Opts.QueueLimit < 1)
+    Opts.QueueLimit = 1;
+}
+
+Server::~Server() { shutdown(); }
+
+uint64_t Server::nowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - StartTime)
+          .count());
+}
+
+std::string Server::start() {
+  StartTime = std::chrono::steady_clock::now();
+
+  // Load every .bb source in the apps directory.
+  std::error_code Ec;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(Opts.AppsDir, Ec)) {
+    if (!Entry.is_regular_file() || Entry.path().extension() != ".bb")
+      continue;
+    std::ifstream In(Entry.path());
+    if (!In)
+      return formatString("cannot read %s",
+                                   Entry.path().c_str());
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    Apps[Entry.path().stem().string()] = Buf.str();
+  }
+  if (Ec)
+    return formatString("cannot scan apps dir '%s': %s",
+                                 Opts.AppsDir.c_str(),
+                                 Ec.message().c_str());
+  if (Apps.empty())
+    return formatString("no .bb apps found in '%s'",
+                                 Opts.AppsDir.c_str());
+
+  // Bind loopback-only: the server executes arbitrary resident programs
+  // and must not be reachable off-host.
+  ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return formatString("socket: %s", std::strerror(errno));
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Opts.Port);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) != 0) {
+    std::string Err = formatString("bind port %u: %s",
+                                            static_cast<unsigned>(Opts.Port),
+                                            std::strerror(errno));
+    ::close(ListenFd);
+    ListenFd = -1;
+    return Err;
+  }
+  if (::listen(ListenFd, 64) != 0) {
+    std::string Err =
+        formatString("listen: %s", std::strerror(errno));
+    ::close(ListenFd);
+    ListenFd = -1;
+    return Err;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) !=
+      0) {
+    std::string Err =
+        formatString("getsockname: %s", std::strerror(errno));
+    ::close(ListenFd);
+    ListenFd = -1;
+    return Err;
+  }
+  BoundPort = ntohs(Addr.sin_port);
+
+  if (!Opts.PortFile.empty()) {
+    // Write-then-rename so a polling script never reads a partial file.
+    std::string Tmp = Opts.PortFile + ".tmp";
+    {
+      std::ofstream Out(Tmp, std::ios::trunc);
+      if (!Out) {
+        ::close(ListenFd);
+        ListenFd = -1;
+        return formatString("cannot write port file '%s'",
+                                     Tmp.c_str());
+      }
+      Out << BoundPort << "\n";
+    }
+    if (std::rename(Tmp.c_str(), Opts.PortFile.c_str()) != 0) {
+      std::remove(Tmp.c_str());
+      ::close(ListenFd);
+      ListenFd = -1;
+      return formatString("cannot move port file into place at "
+                                   "'%s'",
+                                   Opts.PortFile.c_str());
+    }
+  }
+
+  Workers.reserve(static_cast<size_t>(Opts.Workers));
+  for (int W = 0; W < Opts.Workers; ++W)
+    Workers.emplace_back([this, W] { workerLoop(W); });
+  Acceptor = std::thread([this] { acceptorLoop(); });
+  Started = true;
+  return {};
+}
+
+std::vector<std::string> Server::appNames() const {
+  std::vector<std::string> Names;
+  Names.reserve(Apps.size());
+  for (const auto &[Name, Src] : Apps)
+    Names.push_back(Name);
+  return Names;
+}
+
+void Server::beginDrain() {
+  std::lock_guard<std::mutex> L(QueueM);
+  Draining.store(true, std::memory_order_release);
+  QueueCv.notify_all();
+}
+
+void Server::waitUntilDrained() {
+  std::unique_lock<std::mutex> L(QueueM);
+  DrainedCv.wait(L, [this] {
+    if (!Queue.empty())
+      return false;
+    std::lock_guard<std::mutex> S(StatsM);
+    return Stats.Completed == Stats.Accepted;
+  });
+}
+
+void Server::shutdown() {
+  if (!Started || ShutdownDone)
+    return;
+  ShutdownDone = true;
+  beginDrain();
+  waitUntilDrained();
+  {
+    std::lock_guard<std::mutex> L(QueueM);
+    Stopping.store(true, std::memory_order_release);
+    QueueCv.notify_all();
+  }
+  // Unblock the acceptor, then the readers (shutdown() forces blocked
+  // recv/accept to return; close happens after the join).
+  if (ListenFd >= 0)
+    ::shutdown(ListenFd, SHUT_RDWR);
+  if (Acceptor.joinable())
+    Acceptor.join();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  // Half-close the read side first and join the readers: recv keeps
+  // returning data already buffered by the kernel, so every line a
+  // client managed to send gets an explicit response (a `draining`
+  // rejection by now) before the socket goes away. Leaving bytes unread
+  // at close() would RST the connection and could destroy responses
+  // still in flight to the client.
+  {
+    std::lock_guard<std::mutex> L(ConnsM);
+    for (auto &C : Conns)
+      if (!C->Closed.load(std::memory_order_acquire))
+        ::shutdown(C->Fd, SHUT_RD);
+  }
+  for (std::thread &T : Readers)
+    if (T.joinable())
+      T.join();
+  {
+    std::lock_guard<std::mutex> L(ConnsM);
+    for (auto &C : Conns)
+      if (!C->Closed.exchange(true))
+        ::shutdown(C->Fd, SHUT_WR);
+  }
+  for (std::thread &T : Workers)
+    if (T.joinable())
+      T.join();
+  {
+    std::lock_guard<std::mutex> L(ConnsM);
+    for (auto &C : Conns)
+      if (C->Fd >= 0) {
+        ::close(C->Fd);
+        C->Fd = -1;
+      }
+    Conns.clear();
+  }
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> L(StatsM);
+  return Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// Acceptor and readers
+//===----------------------------------------------------------------------===//
+
+void Server::acceptorLoop() {
+  for (;;) {
+    if (Stopping.load(std::memory_order_acquire))
+      return;
+    pollfd P = {};
+    P.fd = ListenFd;
+    P.events = POLLIN;
+    int N = ::poll(&P, 1, 100);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return;
+    }
+    if (N == 0)
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED)
+        continue;
+      return; // Listen socket shut down.
+    }
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    auto C = std::make_shared<Conn>();
+    C->Fd = Fd;
+    {
+      std::lock_guard<std::mutex> S(StatsM);
+      ++Stats.Connections;
+    }
+    std::lock_guard<std::mutex> L(ConnsM);
+    Conns.push_back(C);
+    Readers.emplace_back([this, C] { readerLoop(C); });
+  }
+}
+
+void Server::readerLoop(std::shared_ptr<Conn> C) {
+  std::string Buffer;
+  char Chunk[4096];
+  for (;;) {
+    size_t Nl;
+    while ((Nl = Buffer.find('\n')) != std::string::npos) {
+      std::string Line = Buffer.substr(0, Nl);
+      Buffer.erase(0, Nl + 1);
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      if (Line.empty())
+        continue;
+      handleLine(C, Line);
+    }
+    if (C->Closed.load(std::memory_order_acquire))
+      return;
+    ssize_t N = ::recv(C->Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return;
+    }
+    if (N == 0)
+      return; // Client closed.
+    Buffer.append(Chunk, static_cast<size_t>(N));
+  }
+}
+
+bool Server::writeLine(Conn &C, const std::string &Line) {
+  if (C.Closed.load(std::memory_order_acquire))
+    return false;
+  std::string Wire = Line + "\n";
+  std::lock_guard<std::mutex> L(C.WriteM);
+  size_t Sent = 0;
+  while (Sent < Wire.size()) {
+    ssize_t N = ::send(C.Fd, Wire.data() + Sent, Wire.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      C.Closed.store(true, std::memory_order_release);
+      return false;
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+void Server::handleLine(const std::shared_ptr<Conn> &C,
+                        const std::string &Line) {
+  Request Req;
+  std::string Error;
+  bool HaveId = false;
+  uint64_t Id = 0;
+  if (!parseRequest(Line, Req, Error, HaveId, Id)) {
+    {
+      std::lock_guard<std::mutex> S(StatsM);
+      ++Stats.BadRequests;
+    }
+    writeLine(*C, errorLine(HaveId, Id, "bad-request", Error));
+    return;
+  }
+  if (Apps.find(Req.App) == Apps.end()) {
+    {
+      std::lock_guard<std::mutex> S(StatsM);
+      ++Stats.BadRequests;
+    }
+    writeLine(*C, errorLine(true, Req.Id, "bad-request",
+                            formatString(
+                                "unknown app '%s'", Req.App.c_str())));
+    return;
+  }
+
+  // Admission. The draining/stopping check and the enqueue share QueueM
+  // with beginDrain(), so an accepted request is always drained and a
+  // rejected one never sits in a dead queue.
+  enum class Reject { None, Draining, QueueFull } Why = Reject::None;
+  {
+    std::lock_guard<std::mutex> L(QueueM);
+    if (Draining.load(std::memory_order_acquire) ||
+        Stopping.load(std::memory_order_acquire)) {
+      Why = Reject::Draining;
+      std::lock_guard<std::mutex> S(StatsM);
+      ++Stats.DrainingRejects;
+    } else if (Queue.size() >= Opts.QueueLimit) {
+      Why = Reject::QueueFull;
+      std::lock_guard<std::mutex> S(StatsM);
+      ++Stats.QueueFullRejects;
+    } else {
+      Job J;
+      J.Req = Req;
+      J.C = C;
+      J.Admitted = std::chrono::steady_clock::now();
+      Queue.push_back(std::move(J));
+      {
+        std::lock_guard<std::mutex> S(StatsM);
+        ++Stats.Accepted;
+      }
+      QueueCv.notify_one();
+      return;
+    }
+  }
+  if (Why == Reject::Draining)
+    writeLine(*C, errorLine(true, Req.Id, "draining",
+                            "server is draining; retry against a fresh "
+                            "instance",
+                            Opts.RetryAfterMs));
+  else
+    writeLine(*C, errorLine(true, Req.Id, "queue-full",
+                            "admission queue is full",
+                            Opts.RetryAfterMs));
+}
+
+//===----------------------------------------------------------------------===//
+// Workers
+//===----------------------------------------------------------------------===//
+
+void Server::workerLoop(int WorkerIdx) {
+  WorkerState WS;
+  for (;;) {
+    std::vector<Job> Claimed;
+    {
+      std::unique_lock<std::mutex> L(QueueM);
+      QueueCv.wait(L, [this] {
+        return !Queue.empty() || Stopping.load(std::memory_order_acquire);
+      });
+      if (Queue.empty()) {
+        if (Stopping.load(std::memory_order_acquire))
+          return;
+        continue;
+      }
+      size_t Take = std::min(Queue.size(),
+                             static_cast<size_t>(Opts.Batch));
+      for (size_t I = 0; I < Take; ++I) {
+        Claimed.push_back(std::move(Queue.front()));
+        Queue.pop_front();
+      }
+    }
+    // Group same-program jobs so they hit this worker's warm instance
+    // back to back; stable sort keeps arrival order within a group.
+    std::stable_sort(Claimed.begin(), Claimed.end(),
+                     [](const Job &A, const Job &B) {
+                       if (A.Req.App != B.Req.App)
+                         return A.Req.App < B.Req.App;
+                       return static_cast<int>(A.Req.Mode) <
+                              static_cast<int>(B.Req.Mode);
+                     });
+    for (Job &J : Claimed) {
+      executeJob(WS, WorkerIdx, J);
+      // Completion is published under QueueM so waitUntilDrained()'s
+      // predicate check cannot miss the wakeup.
+      {
+        std::lock_guard<std::mutex> L(QueueM);
+        {
+          std::lock_guard<std::mutex> S(StatsM);
+          ++Stats.Completed;
+        }
+        DrainedCv.notify_all();
+      }
+    }
+  }
+}
+
+std::shared_ptr<const driver::PipelineResult>
+Server::getSynthesis(WorkerState &WS, const Job &J, interp::DslProgram &IP,
+                     bool &WasCached, std::string &Error) {
+  (void)WS;
+  std::string Key = synthKey(J.Req);
+  std::shared_ptr<SynthEntry> E;
+  {
+    std::lock_guard<std::mutex> L(SynthM);
+    auto &Slot = SynthCache[Key];
+    if (!Slot)
+      Slot = std::make_shared<SynthEntry>();
+    E = Slot;
+  }
+  std::unique_lock<std::mutex> L(E->M);
+  if (E->Ready) {
+    WasCached = true;
+    Error = E->Error;
+    return E->Result;
+  }
+  WasCached = false;
+  if (E->Computing) {
+    // Another worker is synthesizing this key; ride its result.
+    E->Cv.wait(L, [&] { return E->Ready; });
+    Error = E->Error;
+    return E->Result;
+  }
+  E->Computing = true;
+  L.unlock();
+
+  driver::PipelineOptions PO;
+  PO.Target = machine::MachineConfig::tilePro64();
+  PO.Target.NumCores = J.Req.Cores;
+  PO.Dsa.Seed = J.Req.Seed;
+  PO.Dsa.Jobs = Opts.Jobs;
+  PO.Exec.Args = J.Req.Args;
+  PO.Exec.Seed = J.Req.Seed;
+  auto Result = std::make_shared<driver::PipelineResult>(
+      driver::runPipeline(IP.bound(), PO));
+  {
+    std::lock_guard<std::mutex> S(StatsM);
+    ++Stats.SynthRuns;
+  }
+
+  L.lock();
+  if (!Result->Prof)
+    E->Error = "synthesis produced no profile";
+  E->Result = std::move(Result);
+  E->Ready = true;
+  E->Cv.notify_all();
+  Error = E->Error;
+  return E->Result;
+}
+
+void Server::executeJob(WorkerState &WS, int WorkerIdx, Job &J) {
+  const Request &Req = J.Req;
+  if (Opts.Trace)
+    Opts.Trace->requestBegin(nowUs(), WorkerIdx,
+                             static_cast<int64_t>(Req.Id));
+  bool Ok = false;
+  auto Finish = [&](const std::string &Line) {
+    writeLine(*J.C, Line);
+    if (Opts.Trace)
+      Opts.Trace->requestEnd(nowUs(), WorkerIdx,
+                             static_cast<int64_t>(Req.Id), Ok);
+  };
+
+  // Resolve (or build) this worker's resident program for (app, mode).
+  std::string PKey = programKey(Req.App, Req.Mode);
+  auto It = WS.Programs.find(PKey);
+  if (It == WS.Programs.end()) {
+    std::string Error;
+    auto IP = makeProgram(Apps.at(Req.App), Req.App + ".bb", Req.Mode,
+                          Error);
+    if (!IP) {
+      Finish(errorLine(true, Req.Id, "internal", Error));
+      return;
+    }
+    It = WS.Programs.emplace(PKey, std::move(IP)).first;
+  }
+  interp::DslProgram &IP = *It->second;
+
+  bool WasCached = false;
+  std::string SynthError;
+  auto R = getSynthesis(WS, J, IP, WasCached, SynthError);
+  if (!R || !SynthError.empty()) {
+    Finish(errorLine(true, Req.Id, "internal",
+                     SynthError.empty() ? "synthesis failed" : SynthError));
+    return;
+  }
+
+  // The final run mirrors the one-shot CLI exactly: clear accumulated
+  // output, execute the chosen engine over the synthesized layout, and
+  // report what the CLI would have printed to stdout.
+  machine::MachineConfig Target = machine::MachineConfig::tilePro64();
+  Target.NumCores = Req.Cores;
+  // Clear accumulated state up front: the resident program carries
+  // output/error from synthesis profiling runs and earlier requests.
+  IP.clearOutput();
+  IP.clearError();
+  ExecReport Rep;
+  if (Req.Engine == EngineKind::Sim) {
+    // Token-level replay: scheduling behavior only, no program output —
+    // same as the CLI, whose stdout is empty under --engine=sim.
+    schedsim::SimOptions SO;
+    schedsim::SimResult S = schedsim::simulateLayout(
+        IP.bound().program(), R->Graph, *R->Prof, IP.bound().hints(),
+        Target, R->BestLayout, SO);
+    Rep.Cycles = S.EstimatedCycles;
+    Rep.Invocations = S.Invocations;
+  } else if (Req.Engine == EngineKind::Thread) {
+    runtime::ThreadExecOptions TO;
+    TO.Args = Req.Args;
+    TO.Seed = Req.Seed;
+    runtime::ThreadExecutor Exec(IP.bound(), R->Graph, R->BestLayout);
+    runtime::ThreadExecResult TR = Exec.run(TO);
+    Rep.Output = IP.output();
+    Rep.Invocations = TR.TaskInvocations;
+    // The host engine has wall time, not virtual cycles.
+    Rep.Cycles = 0;
+  } else {
+    runtime::TileExecutor Exec(IP.bound(), R->Graph, Target,
+                               R->BestLayout);
+    runtime::ExecOptions EO;
+    EO.Args = Req.Args;
+    EO.Seed = Req.Seed;
+    runtime::ExecResult FR = Exec.run(EO);
+    Rep.Output = IP.output();
+    Rep.Cycles = FR.TotalCycles;
+    Rep.Invocations = FR.TaskInvocations;
+  }
+
+  if (IP.hadError()) {
+    Finish(errorLine(true, Req.Id, "runtime-error", IP.error()));
+    return;
+  }
+  uint64_t LatencyUs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - J.Admitted)
+          .count());
+  Ok = true;
+  Finish(successLine(Req, Rep, LatencyUs, WorkerIdx, WasCached));
+}

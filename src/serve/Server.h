@@ -1,0 +1,196 @@
+//===- serve/Server.h - Resident job server ---------------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `bamboo serve` engine room: a loopback TCP server that keeps
+/// every DSL app in a directory resident — compiled once per worker,
+/// synthesized once per (app, cores, seed, args) across all workers —
+/// and serves execution requests without paying re-synthesis.
+///
+/// Architecture (DESIGN.md §3h):
+///
+///   acceptor thread ── accepts connections, one reader thread each
+///   reader threads ─── parse/validate lines, admit into the queue
+///   admission queue ── bounded FIFO; over-limit and draining requests
+///                      are rejected with retry-after errors
+///   worker pool ────── N resident workers; each claims up to Batch
+///                      jobs per queue pass (sorted so same-program
+///                      jobs run back to back against a warm cache),
+///                      executes them on its own DslProgram instances,
+///                      and writes responses
+///
+/// Per-request execution replays exactly the one-shot CLI's final-run
+/// path (clear output, run the chosen engine over the synthesized
+/// layout, collect output), so a response's output and checksum are
+/// byte-identical to `bamboo <app>.bb` with the same flags. Synthesis
+/// results (CSTG, profile, layout) are value types holding dense ids,
+/// so one shared cache entry serves every worker's separately-compiled
+/// copy of the same program.
+///
+/// Graceful drain: beginDrain() stops admitting (clients get
+/// `draining` + retry_after_ms), lets in-flight and queued jobs finish,
+/// and waitUntilDrained() returns once every accepted request has been
+/// answered — SIGTERM loses no accepted work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_SERVE_SERVER_H
+#define BAMBOO_SERVE_SERVER_H
+
+#include "serve/Protocol.h"
+#include "support/Trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace bamboo::interp {
+class DslProgram;
+}
+namespace bamboo::driver {
+struct PipelineResult;
+}
+
+namespace bamboo::serve {
+
+struct ServerOptions {
+  /// TCP port to bind on loopback; 0 picks an ephemeral port (read it
+  /// back via port()).
+  uint16_t Port = 0;
+  /// When non-empty, the bound port is written here (atomically, so a
+  /// poller never reads a partial file). This is how scripts discover
+  /// an ephemeral port without a race.
+  std::string PortFile;
+  /// Resident worker count.
+  int Workers = 2;
+  /// DSA synthesis threads per synthesis run (the CLI's --jobs).
+  int Jobs = 1;
+  /// Max jobs one worker claims per queue pass. Claimed jobs are sorted
+  /// by (app, exec-mode) so a mixed batch runs same-program jobs back to
+  /// back; the knob is benchmarked in bench/fig_serve.
+  int Batch = 4;
+  /// Admission-queue bound; requests beyond it get `queue-full`.
+  size_t QueueLimit = 256;
+  /// Directory of .bb sources to keep resident (each basename becomes a
+  /// requestable app).
+  std::string AppsDir;
+  /// retry_after_ms hint attached to queue-full/draining rejections.
+  int RetryAfterMs = 200;
+  /// Optional request-span recorder (support::Trace RequestBegin/End;
+  /// timestamps are microseconds since server start).
+  support::Trace *Trace = nullptr;
+};
+
+/// Monotonic counters; all totals since start().
+struct ServerStats {
+  uint64_t Accepted = 0;   ///< Requests admitted into the queue.
+  uint64_t Completed = 0;  ///< Responses written for admitted requests.
+  uint64_t BadRequests = 0;
+  uint64_t QueueFullRejects = 0;
+  uint64_t DrainingRejects = 0;
+  uint64_t SynthRuns = 0;  ///< Pipeline syntheses actually executed.
+  uint64_t Connections = 0;
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions Opts);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Loads apps, binds, and launches the acceptor and worker pool.
+  /// Returns an error message, or empty on success.
+  std::string start();
+
+  /// The bound port (valid after start()).
+  uint16_t port() const { return BoundPort; }
+  /// Number of resident apps (valid after start()).
+  size_t appCount() const { return Apps.size(); }
+  /// Resident app names, sorted.
+  std::vector<std::string> appNames() const;
+
+  /// Stops admitting requests; already-accepted requests keep running.
+  void beginDrain();
+  /// Blocks until every accepted request has been answered. Only
+  /// meaningful after beginDrain() (otherwise new work keeps arriving).
+  void waitUntilDrained();
+  /// Full stop: drains implicitly if not already draining, closes all
+  /// connections, joins every thread. Idempotent.
+  void shutdown();
+
+  ServerStats stats() const;
+
+private:
+  struct Conn;
+  struct Job;
+  struct SynthEntry;
+  struct WorkerState;
+
+  ServerOptions Opts;
+  uint16_t BoundPort = 0;
+  int ListenFd = -1;
+  std::chrono::steady_clock::time_point StartTime;
+
+  /// App name -> source text, loaded once at start().
+  std::map<std::string, std::string> Apps;
+
+  // Admission queue. Draining/Stopping are written under QueueM so the
+  // reject-vs-enqueue decision is race-free, and read as atomics on fast
+  // paths.
+  mutable std::mutex QueueM;
+  std::condition_variable QueueCv;   ///< Workers: work available / stop.
+  std::condition_variable DrainedCv; ///< Drain waiters: all answered.
+  std::deque<Job> Queue;
+  std::atomic<bool> Draining{false};
+  std::atomic<bool> Stopping{false};
+  bool Started = false;
+  bool ShutdownDone = false;
+
+  // Connections and their reader threads.
+  std::mutex ConnsM;
+  std::vector<std::shared_ptr<Conn>> Conns;
+  std::vector<std::thread> Readers;
+
+  std::thread Acceptor;
+  std::vector<std::thread> Workers;
+
+  // Shared synthesis cache: (app, mode, cores, seed, args) -> entry.
+  std::mutex SynthM;
+  std::map<std::string, std::shared_ptr<SynthEntry>> SynthCache;
+
+  mutable std::mutex StatsM;
+  ServerStats Stats;
+
+  uint64_t nowUs() const;
+
+  void acceptorLoop();
+  void readerLoop(std::shared_ptr<Conn> C);
+  void workerLoop(int WorkerIdx);
+  /// Handles one parsed line from \p C: validate, admit or reject.
+  void handleLine(const std::shared_ptr<Conn> &C, const std::string &Line);
+  void executeJob(WorkerState &WS, int WorkerIdx, Job &J);
+  /// Looks up or computes the synthesis for \p J using \p WS's program.
+  /// Returns null and fills \p Error on pipeline failure; \p WasCached
+  /// reports whether the entry was already complete at lookup.
+  std::shared_ptr<const driver::PipelineResult>
+  getSynthesis(WorkerState &WS, const Job &J, interp::DslProgram &IP,
+               bool &WasCached, std::string &Error);
+  static bool writeLine(Conn &C, const std::string &Line);
+};
+
+} // namespace bamboo::serve
+
+#endif // BAMBOO_SERVE_SERVER_H

@@ -1,0 +1,41 @@
+//===- support/Parse.cpp - Strict numeric parsing -------------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Parse.h"
+
+namespace bamboo::support {
+
+bool parseU64(const std::string &Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  uint64_t Value = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    uint64_t Digit = static_cast<uint64_t>(C - '0');
+    if (Value > (UINT64_MAX - Digit) / 10)
+      return false; // Overflow.
+    Value = Value * 10 + Digit;
+  }
+  Out = Value;
+  return true;
+}
+
+bool parseBoundedInt(const std::string &Text, int64_t Min, int64_t Max,
+                     int64_t &Out) {
+  uint64_t Value = 0;
+  if (!parseU64(Text, Value))
+    return false;
+  if (Value > static_cast<uint64_t>(INT64_MAX))
+    return false;
+  int64_t Signed = static_cast<int64_t>(Value);
+  if (Signed < Min || Signed > Max)
+    return false;
+  Out = Signed;
+  return true;
+}
+
+} // namespace bamboo::support

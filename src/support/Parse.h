@@ -1,0 +1,35 @@
+//===- support/Parse.h - Strict numeric parsing -----------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checked decimal parsing for everything that crosses a trust boundary:
+/// CLI flag values and serve-protocol fields. Unlike atoi/strtoull, these
+/// reject empty strings, signs, leading/trailing junk ("12x", " 3"), and
+/// overflow, so a typo is a hard error instead of a silent zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_SUPPORT_PARSE_H
+#define BAMBOO_SUPPORT_PARSE_H
+
+#include <cstdint>
+#include <string>
+
+namespace bamboo::support {
+
+/// Parses \p Text as a non-negative decimal integer. The entire string
+/// must be digits (no sign, whitespace, hex, or exponent) and the value
+/// must fit uint64_t. Returns false otherwise, leaving \p Out untouched.
+bool parseU64(const std::string &Text, uint64_t &Out);
+
+/// Same, additionally requiring Min <= value <= Max. Negative numbers are
+/// rejected by construction (a leading '-' is not a digit).
+bool parseBoundedInt(const std::string &Text, int64_t Min, int64_t Max,
+                     int64_t &Out);
+
+} // namespace bamboo::support
+
+#endif // BAMBOO_SUPPORT_PARSE_H

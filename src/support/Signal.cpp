@@ -1,0 +1,49 @@
+//===- support/Signal.cpp - Process-wide stop request ---------------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Signal.h"
+
+#include <csignal>
+
+namespace bamboo::support {
+
+namespace {
+
+std::atomic<bool> StopFlag{false};
+std::atomic<int> StopSig{0};
+
+void onStopSignal(int Sig) {
+  // Async-signal-safe: store only. Everything else happens on the
+  // polling side (engine loops, the serve drain monitor).
+  StopSig.store(Sig, std::memory_order_relaxed);
+  StopFlag.store(true, std::memory_order_release);
+}
+
+} // namespace
+
+void installStopHandlers() {
+  struct sigaction SA = {};
+  SA.sa_handler = onStopSignal;
+  sigemptyset(&SA.sa_mask);
+  // No SA_RESTART: a server blocked in accept/poll should see EINTR and
+  // notice the flag promptly.
+  SA.sa_flags = 0;
+  sigaction(SIGINT, &SA, nullptr);
+  sigaction(SIGTERM, &SA, nullptr);
+}
+
+const std::atomic<bool> *stopFlag() { return &StopFlag; }
+
+bool stopRequested() { return StopFlag.load(std::memory_order_acquire); }
+
+int stopSignal() { return StopSig.load(std::memory_order_relaxed); }
+
+void clearStopRequest() {
+  StopSig.store(0, std::memory_order_relaxed);
+  StopFlag.store(false, std::memory_order_release);
+}
+
+} // namespace bamboo::support

@@ -1,0 +1,43 @@
+//===- support/Signal.h - Process-wide stop request -------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One process-wide, async-signal-safe stop flag shared by every
+/// long-running mode of the driver: a one-shot run polls it from the
+/// engine event loop so SIGINT/SIGTERM abort at a clean event boundary
+/// (trace and checkpoints can still be flushed), and `bamboo serve` polls
+/// it to trigger a graceful drain. The handler only sets an atomic; all
+/// real work happens on the polling side.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_SUPPORT_SIGNAL_H
+#define BAMBOO_SUPPORT_SIGNAL_H
+
+#include <atomic>
+
+namespace bamboo::support {
+
+/// Installs SIGINT and SIGTERM handlers that set the stop flag. Safe to
+/// call more than once. The handlers are one-shot in spirit: the flag
+/// stays set until clearStopRequest().
+void installStopHandlers();
+
+/// The flag the engines poll (wire into ExecOptions::Stop and friends).
+const std::atomic<bool> *stopFlag();
+
+/// True once SIGINT or SIGTERM has been received.
+bool stopRequested();
+
+/// The signal number that set the flag (0 if none yet).
+int stopSignal();
+
+/// Resets the flag (tests; a server re-arming after a handled drain).
+void clearStopRequest();
+
+} // namespace bamboo::support
+
+#endif // BAMBOO_SUPPORT_SIGNAL_H

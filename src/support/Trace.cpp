@@ -154,6 +154,26 @@ void Trace::resume(uint64_t Time) {
   record(E);
 }
 
+void Trace::requestBegin(uint64_t Time, int Worker, int64_t RequestId) {
+  TraceEvent E;
+  E.Kind = TraceEventKind::RequestBegin;
+  E.Time = Time;
+  E.Core = Worker;
+  E.Object = RequestId;
+  record(E);
+}
+
+void Trace::requestEnd(uint64_t Time, int Worker, int64_t RequestId,
+                       bool Ok) {
+  TraceEvent E;
+  E.Kind = TraceEventKind::RequestEnd;
+  E.Time = Time;
+  E.Core = Worker;
+  E.Object = RequestId;
+  E.Aux = Ok ? 1 : 0;
+  record(E);
+}
+
 //===----------------------------------------------------------------------===//
 // Chrome trace export
 //===----------------------------------------------------------------------===//
@@ -306,6 +326,21 @@ std::string Trace::toChromeJson() const {
                           "\"ts\":%llu,\"args\":{}}",
                           Tid, Ts);
       break;
+    case TraceEventKind::RequestBegin:
+      Out += formatString("{\"name\":\"request %lld\",\"cat\":\"serve\","
+                          "\"ph\":\"B\",\"pid\":0,\"tid\":%d,\"ts\":%llu,"
+                          "\"args\":{\"req\":%lld}}",
+                          static_cast<long long>(E.Object), Tid, Ts,
+                          static_cast<long long>(E.Object));
+      break;
+    case TraceEventKind::RequestEnd:
+      Out += formatString("{\"name\":\"request %lld\",\"cat\":\"serve\","
+                          "\"ph\":\"E\",\"pid\":0,\"tid\":%d,\"ts\":%llu,"
+                          "\"args\":{\"req\":%lld,\"ok\":%llu}}",
+                          static_cast<long long>(E.Object), Tid, Ts,
+                          static_cast<long long>(E.Object),
+                          static_cast<unsigned long long>(E.Aux));
+      break;
     }
   }
   Out += "],\"displayTimeUnit\":\"ms\"}\n";
@@ -372,6 +407,13 @@ uint64_t TraceMetrics::totalFailovers() const {
                          });
 }
 
+uint64_t TraceMetrics::totalRequests() const {
+  return std::accumulate(Cores.begin(), Cores.end(), uint64_t{0},
+                         [](uint64_t S, const CoreMetrics &C) {
+                           return S + C.Requests;
+                         });
+}
+
 double TraceMetrics::busyFraction() const {
   if (TotalTicks == 0 || Cores.empty())
     return 0.0;
@@ -412,6 +454,10 @@ TraceMetrics::str(const std::vector<std::string> &TaskNames) const {
         static_cast<unsigned long long>(totalFaults()),
         static_cast<unsigned long long>(totalRetransmits()),
         static_cast<unsigned long long>(totalFailovers()));
+  // Likewise, only serve-mode traces report request spans.
+  if (totalRequests() > 0)
+    Out += formatString("serve: %llu requests\n",
+                        static_cast<unsigned long long>(totalRequests()));
   std::vector<std::vector<std::string>> Rows;
   Rows.push_back({"core", "busy%", "tasks", "sends", "delivers", "retries",
                   "maxqueue", "bytes", "hops"});
@@ -533,6 +579,11 @@ TraceMetrics Trace::metrics() const {
       ++CM.Failovers;
       break;
     case TraceEventKind::Resume:
+      break;
+    case TraceEventKind::RequestBegin:
+      ++CM.Requests;
+      break;
+    case TraceEventKind::RequestEnd:
       break;
     }
   }

@@ -89,6 +89,11 @@ enum class TraceEventKind : uint8_t {
   /// stripping this one event (it has no counterpart in an uninterrupted
   /// run).
   Resume,
+  /// Serve vocabulary (src/serve): the span a worker spends executing one
+  /// job-server request. Core holds the worker index, Object the request
+  /// id, and Aux (on RequestEnd) whether the request succeeded.
+  RequestBegin,
+  RequestEnd,
 };
 
 /// One recorded event. Fixed-size POD so recording is a vector push.
@@ -124,6 +129,7 @@ struct CoreMetrics {
   uint64_t Faults = 0;
   uint64_t Retransmits = 0;
   uint64_t Failovers = 0;
+  uint64_t Requests = 0; ///< Serve-mode request spans (core = worker).
 };
 
 /// Per-task rollup over one trace.
@@ -146,6 +152,7 @@ struct TraceMetrics {
   uint64_t totalFaults() const;
   uint64_t totalRetransmits() const;
   uint64_t totalFailovers() const;
+  uint64_t totalRequests() const;
   /// Busy fraction of (TotalTicks * cores), in [0, 1].
   double busyFraction() const;
   /// Failed acquisition sweeps per dispatch attempt:
@@ -219,6 +226,12 @@ public:
   /// Records the resume marker of a run restored from a checkpoint taken
   /// at virtual time \p Time. Exactly one per restored run, first event.
   void resume(uint64_t Time);
+  /// Records serve-mode worker \p Worker starting request \p RequestId.
+  /// Timestamps are microseconds since server start (wall clock — the
+  /// serve layer has no virtual time).
+  void requestBegin(uint64_t Time, int Worker, int64_t RequestId);
+  /// Records the matching end; \p Ok is whether execution succeeded.
+  void requestEnd(uint64_t Time, int Worker, int64_t RequestId, bool Ok);
 
   /// Snapshot of the recorded events, in recording order.
   const std::vector<TraceEvent> &events() const { return Events; }

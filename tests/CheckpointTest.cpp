@@ -37,8 +37,12 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <sys/wait.h>
+#include <unistd.h>
 
 using namespace bamboo;
 using namespace bamboo::machine;
@@ -659,4 +663,55 @@ TEST(WatchdogTest, ThreadStallAbortsWellBeforeTheTimeout) {
   EXPECT_NE(R.WatchdogDump.find("WATCHDOG"), std::string::npos);
   EXPECT_LT(R.WallSeconds, 15.0)
       << "watchdog must abort long before the run timeout";
+}
+
+//===----------------------------------------------------------------------===//
+// saveFile atomicity under SIGKILL
+//===----------------------------------------------------------------------===//
+
+TEST(CheckpointAtomicityTest, KillMidWriteNeverCorruptsTheFile) {
+  // saveFile writes to Path+".tmp" and renames into place, so a process
+  // SIGKILLed at ANY instant leaves the canonical path holding either
+  // the previous complete checkpoint or the new complete one — never a
+  // truncated hybrid. A child overwrites the same path in a tight loop
+  // while the parent kills it at varying offsets into the write; the
+  // survivor file must always load cleanly.
+  std::string Path = ::testing::TempDir() + "/atomic_" +
+                     std::to_string(::getpid()) + ".ckpt";
+
+  Checkpoint Seed;
+  Seed.Program = "atomicity";
+  Seed.LayoutKey = "k";
+  Seed.NumCores = 4;
+  // A body big enough that a write spans many syscalls/pages: the kill
+  // lands mid-write with overwhelming probability.
+  Seed.Body.assign(6u << 20, '\x5a');
+  ASSERT_EQ(Seed.saveFile(Path), "");
+
+  for (int Round = 0; Round < 4; ++Round) {
+    pid_t Child = ::fork();
+    ASSERT_GE(Child, 0);
+    if (Child == 0) {
+      Checkpoint C = Seed;
+      for (uint64_t I = 1;; ++I) {
+        C.Cycle = I;
+        if (!C.saveFile(Path).empty())
+          ::_exit(1);
+      }
+    }
+    // Vary the kill point so different rounds land in different write
+    // phases (open, mid-write, flush, rename).
+    ::usleep(3000 + 9000 * Round);
+    ASSERT_EQ(::kill(Child, SIGKILL), 0);
+    ASSERT_EQ(::waitpid(Child, nullptr, 0), Child);
+
+    Checkpoint Loaded;
+    EXPECT_EQ(Checkpoint::loadFile(Path, Loaded), "")
+        << "round " << Round << ": canonical file must stay loadable";
+    EXPECT_EQ(Loaded.Program, "atomicity");
+    EXPECT_EQ(Loaded.Body.size(), Seed.Body.size())
+        << "round " << Round << ": body must be one complete version";
+  }
+  std::remove(Path.c_str());
+  std::remove((Path + ".tmp").c_str());
 }

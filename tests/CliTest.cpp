@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -349,6 +350,89 @@ TEST(CliTest, RestoreErrorsExitWithCode4) {
   (void)Out;
   (void)Out2;
   (void)Out3;
+}
+
+TEST(CliTest, GarbageNumericFlagsExitWithCode2) {
+  // Every numeric flag goes through the checked parser: junk, empty,
+  // signs, trailing characters, out-of-range, and overflow all exit 2
+  // (usage error) instead of being silently strtoull'd to zero.
+  std::string Kw = keywordFile();
+  for (const char *Flag :
+       {"--cores=abc", "--cores=", "--cores=-3", "--cores=4x", "--cores=0",
+        "--cores=5000", "--seed=1e6", "--seed=18446744073709551616",
+        "--jobs=nope", "--fault-seed=0x10", "--checkpoint-every=ten",
+        "--watchdog-cycles=-1"}) {
+    auto [Status, Out] = runBamboo(Kw + " --run " + Flag);
+    EXPECT_EQ(exitCode(Status), 2) << Flag;
+    (void)Out;
+  }
+}
+
+TEST(CliTest, ServeGarbageFlagsExitWithCode2) {
+  for (const char *Args :
+       {"serve --port=notaport", "serve --port=70000", "serve --workers=0",
+        "serve --batch=-2", "serve --queue-limit=abc", "serve --jobs=1x",
+        "serve --no-such-flag"}) {
+    auto [Status, Out] = runBamboo(Args);
+    EXPECT_EQ(exitCode(Status), 2) << Args;
+    (void)Out;
+  }
+}
+
+TEST(CliTest, HelpDocumentsServeAndExitCodes) {
+  auto [Status, Out] = runBamboo("--help");
+  EXPECT_EQ(exitCode(Status), 0);
+  EXPECT_NE(Out.find("bamboo serve"), std::string::npos);
+  for (const char *Line :
+       {"exit codes:", "2 usage error", "3 watchdog abort",
+        "4 restore failure", "5 interrupted by signal"})
+    EXPECT_NE(Out.find(Line), std::string::npos) << Line;
+}
+
+TEST(CliTest, ServeHelpListsEveryServeFlag) {
+  auto [Status, Out] = runBamboo("serve --help");
+  EXPECT_EQ(exitCode(Status), 0);
+  for (const char *Flag :
+       {"--apps-dir=", "--port=", "--port-file=", "--workers=", "--jobs=",
+        "--batch=", "--queue-limit=", "--trace=", "--metrics", "--help"})
+    EXPECT_NE(Out.find(Flag), std::string::npos) << Flag;
+}
+
+TEST(CliTest, SigintExitsWithCode5AfterFlushingTrace) {
+  // A long run interrupted by SIGINT must flush --trace and exit with
+  // the documented code 5 instead of dying with the default disposition.
+  std::string Arg;
+  for (int I = 0; I < 400; ++I)
+    Arg += "123456789"; // Big enough that the run far outlives the kill.
+  std::string TracePath = tempPath("cli_int_trace_" +
+                                   std::to_string(::getpid()) + ".json");
+  // series scales its workload by argument length; this arg keeps it
+  // busy for seconds, so the kill below always lands mid-run.
+  std::string Src = std::string(BAMBOO_DSL_DIR) + "/series.bb";
+
+  pid_t Child = ::fork();
+  ASSERT_GE(Child, 0);
+  if (Child == 0) {
+    // Quiet the child; the parent only checks the exit code and trace.
+    ::freopen("/dev/null", "w", stdout);
+    ::freopen("/dev/null", "w", stderr);
+    std::string ArgFlag = "--arg=" + Arg;
+    std::string TraceFlag = "--trace=" + TracePath;
+    ::execl(BAMBOO_BIN, BAMBOO_BIN, Src.c_str(), "--run", "--cores=8",
+            ArgFlag.c_str(), TraceFlag.c_str(),
+            static_cast<char *>(nullptr));
+    ::_exit(127);
+  }
+  ::usleep(150 * 1000);
+  ASSERT_EQ(::kill(Child, SIGINT), 0);
+  int Status = 0;
+  ASSERT_EQ(::waitpid(Child, &Status, 0), Child);
+  ASSERT_TRUE(WIFEXITED(Status)) << "driver must catch SIGINT";
+  EXPECT_EQ(WEXITSTATUS(Status), 5);
+  // The trace file was still written on the way out.
+  std::string Json = readFile(TracePath);
+  EXPECT_EQ(Json.rfind("{\"traceEvents\":[", 0), 0u)
+      << "interrupted run must flush the trace";
 }
 
 TEST(CliTest, DumpLayoutSynthesizes) {
