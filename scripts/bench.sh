@@ -5,13 +5,17 @@
 #                     on the 1-core tile machine (fig_vm)
 #   BENCH_serve.json  `bamboo serve` sustained throughput + p50/p99
 #                     latency across the worker batching knob (fig_serve)
+#   BENCH_sched.json  scheduling-policy matrix: cycle-accounted makespan
+#                     and steal counts per app x policy on the 8-core
+#                     tile machine (fig_sched)
 #
 # The JSON lands in the repo root; commit it when the numbers change for
-# a legitimate reason. The tier-1 gates are host-robust: both check
-# their deterministic fields (virtual cycle totals, synthesis-run
-# counts) exactly and the wall-clock figures only leniently — the VM
-# speedup may not fall below half its baseline (1.5x floor), serve
-# throughput not below a quarter of its.
+# a legitimate reason. The tier-1 gates are host-robust: each checks
+# its deterministic fields (virtual cycle totals, steal counts,
+# synthesis-run counts) exactly and the wall-clock figures only
+# leniently — the VM speedup may not fall below half its baseline
+# (1.5x floor), serve throughput not below a quarter of its; the sched
+# matrix has no wall gate at all.
 #
 #   scripts/bench.sh            # refresh both baselines in place
 #   scripts/bench.sh --reps=9   # more fig_vm repetitions (best-of-N)
@@ -22,10 +26,13 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 REPS_FLAG="${1:---reps=5}"
 
 cmake -B build -S .
-cmake --build build -j"${JOBS}" --target fig_vm fig_serve
+cmake --build build -j"${JOBS}" --target fig_vm fig_serve fig_sched
 
 ./build/bench/fig_vm "${REPS_FLAG}" > BENCH_vm.json
 echo "wrote $(pwd)/BENCH_vm.json"
 
 ./build/bench/fig_serve --requests=48 --conns=4 --workers=3 > BENCH_serve.json
 echo "wrote $(pwd)/BENCH_serve.json"
+
+./build/bench/fig_sched --reps=3 > BENCH_sched.json
+echo "wrote $(pwd)/BENCH_sched.json"

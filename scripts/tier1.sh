@@ -14,6 +14,10 @@
 # A serve stage pins the resident job server: responses byte-identical
 # to the one-shot CLI over real TCP, a graceful SIGTERM drain, and the
 # BENCH_serve.json baseline (cycle totals exact, wall clock lenient).
+# A sched stage pins the scheduling policies: per-policy byte
+# determinism across synthesis --jobs, rr as the exact default, checked
+# --sched parsing, and the BENCH_sched.json policy matrix (cycles and
+# steal counts exact, including the ws/dep-beats-rr headline).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -248,6 +252,67 @@ print("serve bench gate OK: " + ", ".join(
     "batch %d %.0f req/s" % (n, cb[n]["req_per_sec"]) for n in sorted(cb)))
 PYEOF
 
+echo "== tier-1: sched stage (policy determinism + bench gate) =="
+# The scheduling policies (DESIGN.md §3i) must be byte-deterministic:
+# for every policy the CLI output and trace cannot depend on synthesis
+# --jobs, the default must be exactly rr, and a bad --sched value is a
+# usage error (exit 2). The committed BENCH_sched.json baseline is
+# gated exactly on the virtual-cycle and steal counts (both fully
+# deterministic); it also re-asserts the headline — at least one app
+# where ws or dep beats rr on cycles — because fig_sched exits nonzero
+# without one.
+(cd build && ctest --output-on-failure -j"${JOBS}" -R 'SchedPolicy|SchedField|SchedulerState|ParsesTheSchedField|BadSched')
+./build/src/driver/bamboo "${KW}" --cores=8 --arg='the quick brown fox the lazy dog' \
+  > "${TRACE_DIR}/sched-default.txt" 2> /dev/null
+for POL in rr ws locality dep; do
+  ./build/src/driver/bamboo "${KW}" --cores=8 --arg='the quick brown fox the lazy dog' \
+    --sched="${POL}" --jobs=1 --trace="${TRACE_DIR}/sched-${POL}-j1.json" \
+    > "${TRACE_DIR}/sched-${POL}-j1.txt" 2> /dev/null
+  ./build/src/driver/bamboo "${KW}" --cores=8 --arg='the quick brown fox the lazy dog' \
+    --sched="${POL}" --jobs=3 --trace="${TRACE_DIR}/sched-${POL}-j2.json" \
+    > "${TRACE_DIR}/sched-${POL}-j2.txt" 2> /dev/null
+  cmp "${TRACE_DIR}/sched-${POL}-j1.txt" "${TRACE_DIR}/sched-${POL}-j2.txt" \
+    || { echo "--sched=${POL} output differs across --jobs values" >&2; exit 1; }
+  cmp "${TRACE_DIR}/sched-${POL}-j1.json" "${TRACE_DIR}/sched-${POL}-j2.json" \
+    || { echo "--sched=${POL} trace differs across --jobs values" >&2; exit 1; }
+  grep -q 'total=2' "${TRACE_DIR}/sched-${POL}-j1.txt" \
+    || { echo "--sched=${POL} produced the wrong answer" >&2; exit 1; }
+done
+cmp "${TRACE_DIR}/sched-default.txt" "${TRACE_DIR}/sched-rr-j1.txt" \
+  || { echo "the default policy is not rr" >&2; exit 1; }
+if ./build/src/driver/bamboo "${KW}" --arg=x --sched=random > /dev/null 2> "${TRACE_DIR}/sched-bad.txt"; then
+  echo "--sched=random must be a usage error" >&2; exit 1
+fi
+grep -q "sched expects" "${TRACE_DIR}/sched-bad.txt" \
+  || { echo "--sched error did not list the allowed policies" >&2; exit 1; }
+cmake --build build -j"${JOBS}" --target fig_sched
+./build/bench/fig_sched --reps=2 > "${TRACE_DIR}/bench_sched.json" 2> /dev/null
+python3 - BENCH_sched.json "${TRACE_DIR}/bench_sched.json" <<'PYEOF'
+import json, sys
+base = json.load(open(sys.argv[1]))
+cur = json.load(open(sys.argv[2]))
+assert cur["schema"] == base["schema"] == "bamboo-sched-bench-1"
+assert cur["cores"] == base["cores"], \
+    "bench core count changed; rerun scripts/bench.sh"
+bapps = {a["name"]: a for a in base["apps"]}
+capps = {a["name"]: a for a in cur["apps"]}
+assert set(bapps) == set(capps), "bench app set changed; rerun scripts/bench.sh"
+for name, b in bapps.items():
+    bp = {p["policy"]: p for p in b["policies"]}
+    cp = {p["policy"]: p for p in capps[name]["policies"]}
+    assert set(bp) == set(cp) == {"rr", "ws", "locality", "dep"}
+    for pol, pb in bp.items():
+        pc = cp[pol]
+        for key in ("cycles", "invocations", "steals"):
+            assert pc[key] == pb[key], (
+                "%s/%s: %s changed (%d -> %d); the policy moved, rerun "
+                "scripts/bench.sh" % (name, pol, key, pb[key], pc[key]))
+assert cur["apps_with_non_rr_win"] >= 1, \
+    "no app where ws or dep beats rr on cycles"
+print("sched bench gate OK: %d/%d apps with a non-rr win"
+      % (cur["apps_with_non_rr_win"], len(capps)))
+PYEOF
+
 echo "== tier-1: ASan+UBSan stage (resilience + runtime + checkpoint + VM suites) =="
 cmake -B build-asan -S . -DBAMBOO_SANITIZE=address,undefined
 cmake --build build-asan -j"${JOBS}" --target test_resilience test_runtime \
@@ -259,13 +324,16 @@ cmake --build build-asan -j"${JOBS}" --target test_resilience test_runtime \
 echo "== tier-1: ThreadSanitizer stage (ThreadPool + parallel DSA + executors) =="
 cmake -B build-tsan -S . -DBAMBOO_SANITIZE=thread
 cmake --build build-tsan -j"${JOBS}" --target test_support test_synthesis \
-  test_runtime test_threadexec test_resilience test_vm_diff test_serve
+  test_runtime test_threadexec test_resilience test_vm_diff test_serve \
+  test_engine_diff
 # ChaosMatrix is correctness-heavy but single-threaded per engine run;
 # exclude it under TSan to keep the stage fast. ThreadFaultTest is the
 # part that exercises injection under real races; VmDiff's thread-engine
 # and --jobs synthesis cases cover --exec-mode=vm under the same races.
+# SchedPolicy runs every scheduling policy through the thread engine's
+# per-worker counter buckets, the spot a shared scheduler would race.
 (cd build-tsan && ctest --output-on-failure -j"${JOBS}" \
-  -R 'ThreadPool|Dsa|ThreadExecutor|TileExecutor|TraceTest|ThreadFaultTest|FaultInjector|VmDiff|ServeTest' \
+  -R 'ThreadPool|Dsa|ThreadExecutor|TileExecutor|TraceTest|ThreadFaultTest|FaultInjector|VmDiff|ServeTest|SchedPolicy' \
   -E 'ChaosMatrix')
 
 echo "tier-1 OK"

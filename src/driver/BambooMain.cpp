@@ -24,6 +24,7 @@
 #include "resilience/Checkpoint.h"
 #include "resilience/FaultPlan.h"
 #include "runtime/ThreadExecutor.h"
+#include "sched/Scheduler.h"
 #include "schedsim/SchedSim.h"
 #include "serve/Server.h"
 #include "support/Parse.h"
@@ -77,6 +78,17 @@ void usage(std::FILE *Out) {
       "                    count and --watchdog-cycles is read as\n"
       "                    milliseconds). --recovery=restart restarts\n"
       "                    apply to the tile engine\n"
+      "  --sched=NAME      scheduling policy for the final run (synthesis\n"
+      "                    always measures under rr): 'rr' (default)\n"
+      "                    round-robin distribution, bit-identical to the\n"
+      "                    historical scheduler; 'ws' adds deterministic\n"
+      "                    work stealing with a seed-keyed victim order;\n"
+      "                    'locality' steals from the nearest loaded core\n"
+      "                    first (mesh hop distance); 'dep' places each\n"
+      "                    send on the nearest hosting instance (Myrmics-\n"
+      "                    style dependency-driven placement, no\n"
+      "                    stealing). Every policy is byte-deterministic\n"
+      "                    for a given program, seed and core count\n"
       "  --trace=FILE      record the final run's execution trace as\n"
       "                    Chrome trace-format JSON (about:tracing /\n"
       "                    Perfetto); deterministic for a given program,\n"
@@ -305,6 +317,7 @@ int main(int Argc, char **Argv) {
   int Cores = 62;
   int Jobs = 1;
   EngineKind Engine = EngineKind::Tile;
+  sched::Policy SchedPolicy = sched::Policy::Rr;
   ExecMode Mode = ExecMode::Vm;
   uint64_t Seed = 1;
   uint64_t FaultSeed = 1;
@@ -351,6 +364,13 @@ int main(int Argc, char **Argv) {
             "bamboo: --engine expects 'tile', 'sim' or 'thread', got "
             "'%s'\n",
             Name.c_str());
+        return 2;
+      }
+    } else if (Arg.rfind("--sched=", 0) == 0) {
+      std::string Name = Arg.substr(8);
+      if (!sched::parsePolicy(Name, SchedPolicy)) {
+        std::fprintf(stderr, "bamboo: --sched expects %s, got '%s'\n",
+                     sched::policyChoices(), Name.c_str());
         return 2;
       }
     }
@@ -563,6 +583,9 @@ int main(int Argc, char **Argv) {
     // run then stops at its first event boundary).
     Opts.Exec.Stop = support::stopFlag();
     bool Interrupted = false;
+    // Like faults, the scheduling policy applies only to this final run:
+    // the synthesis search above always measures under rr.
+    Opts.Exec.Sched = SchedPolicy;
     // Faults perturb only this final run; the synthesis search above
     // measured the fault-free machine.
     if (Faults) {
@@ -601,6 +624,7 @@ int main(int Argc, char **Argv) {
       // reproduces scheduling behavior (cycles, trace, faults), not
       // program output.
       schedsim::SimOptions SimOpts;
+      SimOpts.Sched = SchedPolicy;
       SimOpts.Trace = Opts.Exec.Trace;
       SimOpts.Faults = Opts.Exec.Faults;
       SimOpts.FaultSeed = FaultSeed;
@@ -642,6 +666,7 @@ int main(int Argc, char **Argv) {
       runtime::ThreadExecOptions TOpts;
       TOpts.Args = Args;
       TOpts.Seed = Seed;
+      TOpts.Sched = SchedPolicy;
       TOpts.Trace = Opts.Exec.Trace;
       TOpts.Faults = Opts.Exec.Faults;
       TOpts.FaultSeed = FaultSeed;

@@ -277,32 +277,10 @@ std::string loadParamSets(resilience::ByteReader &R,
   return {};
 }
 
-/// Round-robin distribution counters, keyed by (sender core, dest task).
-inline void
-saveRoundRobinCounters(resilience::ByteWriter &W,
-                       const std::map<std::pair<int, ir::TaskId>, size_t> &RR) {
-  W.u64(RR.size());
-  for (const auto &[Key, Val] : RR) {
-    W.i32(Key.first);
-    W.i32(Key.second);
-    W.u64(Val);
-  }
-}
-
-inline std::string
-loadRoundRobinCounters(resilience::ByteReader &R, size_t BodySize,
-                       std::map<std::pair<int, ir::TaskId>, size_t> &RR) {
-  uint64_t NumRR = R.u64();
-  if (!R.ok() || NumRR > BodySize)
-    return "checkpoint: truncated body (round-robin counters)";
-  for (uint64_t I = 0; I < NumRR; ++I) {
-    int CoreKey = R.i32();
-    ir::TaskId Task = R.i32();
-    uint64_t Val = R.u64();
-    RR[{CoreKey, Task}] = static_cast<size_t>(Val);
-  }
-  return {};
-}
+// Round-robin distribution counters moved into the scheduler subsystem:
+// sched::Scheduler::save/load write the same byte format (plus the policy
+// tag) for the discrete-event engines, saveBucket/loadBucket the host
+// engine's per-core flavour.
 
 /// The pending event queue in deterministic (Time, Seq) order: the
 /// priority_queue is copyable (payloads are ids and raw pointers), so a

@@ -35,11 +35,13 @@
 #include "resilience/FaultPlan.h"
 #include "resilience/Recovery.h"
 #include "runtime/RoutingTable.h"
+#include "sched/Scheduler.h"
 #include "support/Trace.h"
 
 #include <algorithm>
 #include <cstdint>
-#include <map>
+#include <deque>
+#include <memory>
 #include <queue>
 #include <string>
 #include <utility>
@@ -86,9 +88,11 @@ protected:
   std::vector<InstanceState> Instances;
   EventQueue Queue;
   uint64_t NextSeq = 0;
-  /// Round-robin distribution counters, keyed by (sender core, dest
-  /// task) and seeded with the sender core — see routeItem().
-  std::map<std::pair<int, ir::TaskId>, size_t> RoundRobin;
+  /// This run's scheduling policy (src/sched): instance selection for
+  /// distributed routing (owning the dense distribution counters that
+  /// replaced the old (sender, task)-keyed map), victim selection for
+  /// stealing policies, and failover placement.
+  std::unique_ptr<sched::Scheduler> Sched;
 
   // Per-run resilience state.
   resilience::FaultInjector Injector;
@@ -116,7 +120,9 @@ protected:
   /// recovery report).
   void beginRun(const resilience::FaultPlan *Faults, uint64_t FaultSeed,
                 bool Recovery, support::Trace *Trace,
-                resilience::RecoveryReport *Report) {
+                resilience::RecoveryReport *Report,
+                sched::Policy SchedPolicy = sched::Policy::Rr,
+                uint64_t SchedSeed = 0) {
     TraceP = Trace;
     RecoveryOn = Recovery;
     Rep = Report;
@@ -126,7 +132,6 @@ protected:
     for (size_t I = 0; I < L.Instances.size(); ++I)
       Instances[I].ParamSets.resize(
           Prog.taskOf(L.Instances[I].Task).Params.size());
-    RoundRobin.clear();
     NextSeq = 0;
     while (!Queue.empty())
       Queue.pop();
@@ -136,6 +141,9 @@ protected:
     InstanceCore.clear();
     for (const machine::TaskInstance &Inst : L.Instances)
       InstanceCore.push_back(Inst.Core);
+    Sched = sched::makeScheduler(SchedPolicy, SchedSeed);
+    Sched->beginRun(L.NumCores, Prog.tasks().size(), &InstanceCore,
+                    [this](int A, int B) { return Machine.hopDistance(A, B); });
     StallEnd.assign(static_cast<size_t>(L.NumCores), 0);
     LockEnd.assign(static_cast<size_t>(L.NumCores), 0);
     LastProgress = 0;
@@ -181,6 +189,25 @@ protected:
     push(std::move(Done));
   }
 
+  /// Whether an invocation identical to \p Inv (same instance, same
+  /// parameter combination) is already queued on *any* core. This is the
+  /// stealing-aware flavour of matchParamCombos's single-queue dedupe: a
+  /// stolen invocation sits on the thief's queue, invisible to its home
+  /// core's queue scan.
+  bool invocationPendingAnywhere(const Invocation &Inv) const {
+    for (const CoreState &C : Cores)
+      for (const Invocation &Pending : C.Ready)
+        if (Pending.InstanceIdx == Inv.InstanceIdx &&
+            Pending.Params.size() == Inv.Params.size() &&
+            std::equal(Pending.Params.begin(), Pending.Params.end(),
+                       Inv.Params.begin(),
+                       [](const Item &A, const Item &B) {
+                         return Traits::same(A, B);
+                       }))
+          return true;
+    return false;
+  }
+
   /// Enumerates the invocations newly enabled by \p It arriving for
   /// (\p InstanceIdx, \p Param) and appends them to the core's ready
   /// queue (see matchParamCombos for the \p DedupeReady contract).
@@ -193,17 +220,37 @@ protected:
     Invocation Partial;
     Partial.Task = TaskId;
     Partial.InstanceIdx = InstanceIdx;
+    auto Admits = [this](const ir::TaskParam &P, const Item &Candidate) {
+      return derived().admits(P, Candidate);
+    };
+    auto Bind = [this](const ir::TaskParam &P, const Item &Candidate,
+                       Invocation &Pt) {
+      return derived().bindTags(P, Candidate, Pt);
+    };
+    auto Same = [](const Item &A, const Item &B) {
+      return Traits::same(A, B);
+    };
+    if (DedupeReady && Sched->stealing()) {
+      // Under a stealing policy a pending duplicate may sit on another
+      // core's queue, so enumerate into a scratch queue and dedupe
+      // against every queue before enqueueing for real.
+      std::deque<Invocation> Fresh;
+      matchParamCombos(Task, 0, Partial, Param, It,
+                       Instances[static_cast<size_t>(InstanceIdx)].ParamSets,
+                       Fresh, /*DedupeReady=*/false, Admits, Bind, Same,
+                       [] {});
+      for (Invocation &Inv : Fresh)
+        if (!invocationPendingAnywhere(Inv)) {
+          derived().onReadyEnqueued();
+          Cores[static_cast<size_t>(Core)].Ready.push_back(std::move(Inv));
+        }
+      return;
+    }
     matchParamCombos(
         Task, 0, Partial, Param, It,
         Instances[static_cast<size_t>(InstanceIdx)].ParamSets,
-        Cores[static_cast<size_t>(Core)].Ready, DedupeReady,
-        [this](const ir::TaskParam &P, const Item &Candidate) {
-          return derived().admits(P, Candidate);
-        },
-        [this](const ir::TaskParam &P, const Item &Candidate,
-               Invocation &Pt) { return derived().bindTags(P, Candidate, Pt); },
-        [](const Item &A, const Item &B) { return Traits::same(A, B); },
-        [this] { derived().onReadyEnqueued(); });
+        Cores[static_cast<size_t>(Core)].Ready, DedupeReady, Admits, Bind,
+        Same, [this] { derived().onReadyEnqueued(); });
   }
 
   /// Delivers \p E into its target instance's parameter set, redirecting
@@ -254,6 +301,7 @@ protected:
                          /*DedupeReady=*/Known);
     if (!Cores[static_cast<size_t>(E.Core)].Executing)
       derived().deliverKick(E.Core, E.Time);
+    wakeStealersIfSurplus(E.Core, E.Time);
   }
 
   /// Resolves the injected fate of one cross-core transfer analytically
@@ -330,19 +378,18 @@ protected:
       switch (Dest.Kind) {
       case runtime::DistributionKind::Single:
         break;
-      case runtime::DistributionKind::RoundRobin: {
-        // Per-sender counters, seeded with the sender core: senders start
-        // their round-robin walk at "their own" replica, so concurrent
-        // producers spread over all instances instead of all hammering
-        // instance 0 (and a core whose own replica hosts the next task
-        // tends to keep the object local — the data locality rule).
-        auto [It, Inserted] = RoundRobin.try_emplace(
-            {FromCore, Dest.Task},
-            FromCore >= 0 ? static_cast<size_t>(FromCore) : 0);
-        Pick = It->second++ % Dest.Instances.size();
-        (void)Inserted;
+      case runtime::DistributionKind::RoundRobin:
+        // Distributed placement is the scheduler's call. The default rr
+        // policy keeps the historical per-sender counters, seeded with
+        // the sender core: senders start their round-robin walk at
+        // "their own" replica, so concurrent producers spread over all
+        // instances instead of all hammering instance 0 (and a core
+        // whose own replica hosts the next task tends to keep the
+        // object local — the data locality rule).
+        Pick = Sched->pickInstance(
+            Dest, FromCore, FromCore >= 0 ? static_cast<size_t>(FromCore) : 0,
+            FromCore);
         break;
-      }
       case runtime::DistributionKind::TagHash:
         Pick = derived().tagHashPick(Rt, Dest);
         break;
@@ -445,13 +492,15 @@ protected:
     if (Alive.empty())
       return; // Every core failed: nothing left to migrate to.
 
-    // Migrate this core's placed instances round-robin over the
-    // candidates (their parameter sets travel with the InstanceState).
+    // Migrate this core's placed instances over the candidates; the
+    // scheduler picks each target (rr/ws walk the failover order
+    // round-robin, the locality-aware policies prefer the nearest
+    // survivors). Parameter sets travel with the InstanceState.
     size_t Next = 0;
     for (size_t I = 0; I < InstanceCore.size(); ++I) {
       if (InstanceCore[I] != CoreIdx)
         continue;
-      int NewCore = Alive[Next++ % Alive.size()];
+      int NewCore = Sched->chooseFailover(Alive, Next++, CoreIdx);
       InstanceCore[I] = NewCore;
       ++Rep->InstancesMigrated;
       if (TraceP)
@@ -484,6 +533,50 @@ protected:
       if (!Cores[C].Executing && !Cores[C].Ready.empty())
         pushWake(static_cast<int>(C), Time);
     }
+  }
+
+  /// With a stealing policy, gives every idle empty core a chance to
+  /// steal once \p HomeCore holds queued surplus (two or more ready
+  /// invocations — stealing the only one would merely relocate the
+  /// victim's own next dispatch). A no-op under rr/dep, so their event
+  /// sequences are untouched.
+  void wakeStealersIfSurplus(int HomeCore, machine::Cycles Time) {
+    if (!Sched->stealing() ||
+        Cores[static_cast<size_t>(HomeCore)].Ready.size() < 2)
+      return;
+    for (size_t C = 0; C < Cores.size(); ++C) {
+      if (static_cast<int>(C) == HomeCore || Cores[C].Executing ||
+          !Cores[C].Ready.empty() || !CoreAlive[C])
+        continue;
+      pushWake(static_cast<int>(C), Time);
+    }
+  }
+
+  /// Steal attempt for \p Thief, called by the engine when the thief's
+  /// ready queue is empty. With a stealing policy and a willing victim,
+  /// moves the newest queued invocation to the thief and schedules the
+  /// thief's wake after the transfer latency. Returns true when a steal
+  /// happened.
+  bool trySteal(int Thief, machine::Cycles Now) {
+    if (!Sched->stealing() || !CoreAlive[static_cast<size_t>(Thief)])
+      return false;
+    int Victim = Sched->chooseVictim(Thief, CoreAlive, [this](int C) {
+      return Cores[static_cast<size_t>(C)].Ready.size();
+    });
+    if (Victim < 0)
+      return false;
+    CoreState &V = Cores[static_cast<size_t>(Victim)];
+    Invocation Inv = std::move(V.Ready.back());
+    V.Ready.pop_back();
+    machine::Cycles Hop =
+        Machine.SendOverhead + Machine.transferLatency(Victim, Thief);
+    Sched->noteSteal();
+    if (TraceP)
+      TraceP->steal(Now, Thief, Victim, Inv.Task,
+                    static_cast<uint32_t>(Machine.hopDistance(Victim, Thief)));
+    Cores[static_cast<size_t>(Thief)].Ready.push_back(std::move(Inv));
+    pushWake(Thief, Now + Hop);
+    return true;
   }
 
   /// The engine-invariant main loop: drains the event queue in

@@ -26,7 +26,6 @@
 #include <cassert>
 #include <chrono>
 #include <deque>
-#include <map>
 #include <mutex>
 #include <thread>
 
@@ -58,13 +57,17 @@ struct ThreadExecutor::Impl {
     std::deque<Delivery> Inbox;
     // Owned exclusively by the core's worker thread.
     std::deque<Invocation> Ready;
-    std::map<ir::TaskId, size_t> RoundRobin;
     /// End timestamp (ns) of the last completed invocation, for idle-span
     /// tracing. Owned by the core's worker thread.
     uint64_t LastEnd = 0;
   };
 
   std::vector<Core> Cores;
+  /// Placement policy (src/sched). Round-robin counters are bucketed by
+  /// the *sending* core, so each worker only ever touches its own rows —
+  /// no synchronization needed (the boot send, bucket 0, happens before
+  /// workers start).
+  std::unique_ptr<sched::Scheduler> Sched;
   /// One parameter-set table per placed instance (touched only by the
   /// hosting core's thread).
   std::vector<exec::EngineInstanceState<Object *>> InstanceSets;
@@ -126,11 +129,12 @@ struct ThreadExecutor::Impl {
       case DistributionKind::Single:
         break;
       case DistributionKind::RoundRobin: {
-        Core &From = Cores[static_cast<size_t>(FromCore >= 0 ? FromCore : 0)];
-        auto [It, Inserted] = From.RoundRobin.try_emplace(
-            Dest.Task, FromCore >= 0 ? static_cast<size_t>(FromCore) : 0);
-        (void)Inserted;
-        Pick = It->second++ % Dest.Instances.size();
+        // Bucket by the sending core (boot shares core 0's bucket),
+        // matching the historical per-core counter maps bit-for-bit
+        // under rr.
+        int Bucket = FromCore >= 0 ? FromCore : 0;
+        Pick = Sched->pickInstance(Dest, Bucket,
+                                   static_cast<size_t>(Bucket), FromCore);
         break;
       }
       case DistributionKind::TagHash: {
@@ -401,12 +405,10 @@ struct ThreadExecutor::Impl {
     exec::saveResilienceState(W, CoreAlive, InstanceCore, {}, {});
 
     W.u64(Cores.size());
-    for (Core &C2 : Cores) {
-      W.u64(C2.RoundRobin.size());
-      for (const auto &[Task, Val] : C2.RoundRobin) {
-        W.i32(Task);
-        W.u64(Val);
-      }
+    for (size_t CoreIdx = 0; CoreIdx < Cores.size(); ++CoreIdx) {
+      Core &C2 = Cores[CoreIdx];
+      // Same bytes the historical per-core counter map produced.
+      Sched->saveBucket(W, static_cast<int>(CoreIdx));
       W.u64(C2.Inbox.size());
       for (const Delivery &D : C2.Inbox) {
         W.u64(D.Obj->Id);
@@ -421,6 +423,8 @@ struct ThreadExecutor::Impl {
     exec::saveParamSets<Object *>(
         W, InstanceSets,
         [](resilience::ByteWriter &W2, Object *Obj) { W2.u64(Obj->Id); });
+
+    Sched->savePolicyState(W);
 
     C.Body = W.take();
     Out = std::move(C);
@@ -466,15 +470,11 @@ struct ThreadExecutor::Impl {
     uint64_t NumCoreStates = R.u64();
     if (!R.ok() || NumCoreStates != Cores.size())
       return "checkpoint: truncated body (core states)";
-    for (Core &C2 : Cores) {
-      uint64_t NumRR = R.u64();
-      if (!R.ok() || NumRR > Prog.tasks().size())
-        return "checkpoint: truncated body (round-robin counters)";
-      for (uint64_t I = 0; I < NumRR; ++I) {
-        ir::TaskId Task = R.i32();
-        uint64_t Val = R.u64();
-        C2.RoundRobin[Task] = static_cast<size_t>(Val);
-      }
+    for (size_t CoreIdx = 0; CoreIdx < Cores.size(); ++CoreIdx) {
+      Core &C2 = Cores[CoreIdx];
+      if (std::string Err = Sched->loadBucket(R, static_cast<int>(CoreIdx));
+          !Err.empty())
+        return Err;
       uint64_t NumInbox = R.u64();
       if (!R.ok() || NumInbox > C.Body.size())
         return "checkpoint: truncated body (inboxes)";
@@ -513,6 +513,8 @@ struct ThreadExecutor::Impl {
               return {};
             });
         !Err.empty())
+      return Err;
+    if (std::string Err = Sched->loadPolicyState(R); !Err.empty())
       return Err;
     return exec::finishBody(R);
   }
@@ -561,6 +563,13 @@ ThreadExecResult ThreadExecutor::run(const ThreadExecOptions &Opts) {
   State.InstanceCore.resize(L.Instances.size());
   for (size_t I = 0; I < L.Instances.size(); ++I)
     State.InstanceCore[I] = L.Instances[I].Core;
+  // The host has no mesh: "distance" for locality/dep placement is the
+  // linear core-index gap. InstanceCore is passed by pointer, so failover
+  // re-homing below is visible to the policy.
+  State.Sched = sched::makeScheduler(Opts.Sched, Opts.Seed);
+  State.Sched->beginRun(L.NumCores, BP.program().tasks().size(),
+                        &State.InstanceCore,
+                        [](int A, int B) { return A < B ? B - A : A - B; });
   if (Opts.Restore) {
     // Resuming: CoreAlive / InstanceCore / inboxes / ready queues /
     // counters all come from the snapshot (scheduled core failures were

@@ -32,6 +32,7 @@
 #include "resilience/Recovery.h"
 #include "runtime/BoundProgram.h"
 #include "runtime/RoutingTable.h"
+#include "sched/Scheduler.h"
 #include "support/Trace.h"
 
 #include <atomic>
@@ -45,6 +46,13 @@ namespace bamboo::runtime {
 struct ThreadExecOptions {
   std::vector<std::string> Args;
   uint64_t Seed = 1;
+  /// Scheduling policy (src/sched); rr reproduces the historical host
+  /// executor bit-for-bit. The host engine never steals (workers pull
+  /// from their own queues only), so stealing policies affect placement
+  /// only: ws and locality degrade to round-robin placement, while dep
+  /// places each send on the nearest hosting instance (distance is the
+  /// linear core-index gap — the host has no mesh).
+  sched::Policy Sched = sched::Policy::Rr;
   /// Give up (Completed=false) after this many milliseconds.
   int64_t TimeoutMs = 30000;
   /// When non-null, workers record the shared event vocabulary (task

@@ -46,8 +46,13 @@ void TileExecutor::tryStart(int CoreIdx, Cycles Now) {
     return; // Fail-stop: a dead core never dispatches again.
   if (Core.Executing)
     return;
-  if (Core.Ready.empty())
+  if (Core.Ready.empty()) {
+    // Nothing local: a stealing policy may pull queued work from a
+    // loaded victim (the stolen invocation dispatches at the wake the
+    // steal schedules, after the transfer latency).
+    trySteal(CoreIdx, Now);
     return;
+  }
   if (Injector.active()) {
     // A stall window means the core dispatches nothing until it ends.
     if (Cycles Stall = armStallWindow(CoreIdx, Now); Now < Stall) {
@@ -209,7 +214,7 @@ ExecResult TileExecutor::run(const ExecOptions &Options) {
   InFlights.clear();
   FreeFlightSlots.clear();
   beginRun(Options.Faults, Options.FaultSeed, Options.Recovery,
-           Options.Trace, &Result.Recovery);
+           Options.Trace, &Result.Recovery, Options.Sched, Options.Seed);
   if (Options.CollectProfile)
     Result.CollectedProfile.emplace(Prog);
 
@@ -302,6 +307,7 @@ ExecResult &TileExecutor::finishRun(Cycles LastTime, bool Aborted) {
   if (Result.Recovery.damaged())
     Result.Completed = false;
   Result.TotalCycles = LastTime;
+  Result.Steals = Sched->steals();
   Result.CoreBusy.clear();
   for (const CoreState &Core : Cores)
     Result.CoreBusy.push_back(Core.BusyTotal);
@@ -358,7 +364,7 @@ std::string TileExecutor::makeCheckpoint(Cycles AtCycle,
       W, Instances,
       [](ByteWriter &BW, Object *Obj) { BW.u64(Obj->Id); });
 
-  exec::saveRoundRobinCounters(W, RoundRobin);
+  Sched->save(W);
 
   // The body already ran at dispatch time; an occupied slot only needs
   // the post-body context (charged cycles, chosen exit, new objects, tag
@@ -459,9 +465,7 @@ std::string TileExecutor::restoreFrom(const resilience::Checkpoint &C,
       !Err.empty())
     return Err;
 
-  if (std::string Err =
-          exec::loadRoundRobinCounters(R, C.Body.size(), RoundRobin);
-      !Err.empty())
+  if (std::string Err = Sched->load(R, C.Body.size()); !Err.empty())
     return Err;
 
   if (std::string Err = exec::loadFlightSlots(

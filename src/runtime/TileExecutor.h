@@ -46,6 +46,7 @@
 #include "runtime/BoundProgram.h"
 #include "runtime/RoutingTable.h"
 #include "runtime/TaskContext.h"
+#include "sched/Scheduler.h"
 #include "support/Trace.h"
 
 #include <algorithm>
@@ -63,6 +64,11 @@ namespace bamboo::runtime {
 struct ExecOptions {
   std::vector<std::string> Args;
   uint64_t Seed = 1;
+  /// Scheduling policy (src/sched): rr reproduces the historical
+  /// behavior bit-for-bit; ws/locality add deterministic stealing; dep
+  /// places along CSTG edges. Seed for the ws victim permutation comes
+  /// from Seed above.
+  sched::Policy Sched = sched::Policy::Rr;
   /// Attach a profile collector.
   bool CollectProfile = false;
   /// Safety valve: abort the run (Completed=false) after this many events.
@@ -131,6 +137,9 @@ struct ExecResult {
   /// definition every engine reports, so fig07/fig09 compare like with
   /// like.
   uint64_t LockRetries = 0;
+  /// Invocations moved between cores by a stealing scheduler (always 0
+  /// under rr/dep).
+  uint64_t Steals = 0;
   /// Busy cycles per core (for utilization reporting). Populated for
   /// aborted (MaxEvents) runs too.
   std::vector<machine::Cycles> CoreBusy;

@@ -1,0 +1,349 @@
+//===- sched/Scheduler.cpp - Pluggable deterministic schedulers -----------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/Scheduler.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <climits>
+
+namespace bamboo::sched {
+
+const char *policyName(Policy P) {
+  switch (P) {
+  case Policy::Rr:
+    return "rr";
+  case Policy::Ws:
+    return "ws";
+  case Policy::Locality:
+    return "locality";
+  case Policy::Dep:
+    return "dep";
+  }
+  return "?";
+}
+
+bool parsePolicy(const std::string &Name, Policy &Out) {
+  if (Name == "rr")
+    Out = Policy::Rr;
+  else if (Name == "ws")
+    Out = Policy::Ws;
+  else if (Name == "locality")
+    Out = Policy::Locality;
+  else if (Name == "dep")
+    Out = Policy::Dep;
+  else
+    return false;
+  return true;
+}
+
+Scheduler::~Scheduler() = default;
+
+void Scheduler::beginRun(int Cores, size_t Tasks,
+                         const std::vector<int> *Homes, HopFn HopDistance) {
+  NumCores = Cores;
+  NumTasks = Tasks;
+  InstanceCore = Homes;
+  Hop = std::move(HopDistance);
+  StealCount = 0;
+  Counters.assign((size_t(NumCores) + 1) * NumTasks, Untouched);
+  VictimOrder.clear();
+  buildVictimOrders();
+}
+
+uint64_t &Scheduler::counter(int BucketCore, int Task, size_t SeedValue) {
+  assert(BucketCore >= -1 && BucketCore < NumCores && "sender out of range");
+  assert(Task >= 0 && size_t(Task) < NumTasks && "task out of range");
+  uint64_t &Slot = Counters[(size_t(BucketCore) + 1) * NumTasks + size_t(Task)];
+  if (Slot == Untouched)
+    Slot = SeedValue;
+  return Slot;
+}
+
+size_t Scheduler::pickRoundRobin(const runtime::RouteDest &Dest,
+                                 int BucketCore, size_t SeedValue) {
+  // The historical walk: seed on first use, return pre-increment modulo.
+  uint64_t &C = counter(BucketCore, Dest.Task, SeedValue);
+  size_t Pick = size_t(C % uint64_t(Dest.Instances.size()));
+  ++C;
+  return Pick;
+}
+
+size_t Scheduler::pickInstance(const runtime::RouteDest &Dest, int BucketCore,
+                               size_t SeedValue, int FromCore) {
+  if (Dest.Instances.size() < 2)
+    return 0;
+  return pickImpl(Dest, BucketCore, SeedValue, FromCore);
+}
+
+size_t Scheduler::pickImpl(const runtime::RouteDest &Dest, int BucketCore,
+                           size_t SeedValue, int /*FromCore*/) {
+  return pickRoundRobin(Dest, BucketCore, SeedValue);
+}
+
+int Scheduler::chooseVictim(int Thief, const std::vector<char> &CoreAlive,
+                            const DepthFn &QueueDepth) const {
+  if (Thief < 0 || size_t(Thief) >= VictimOrder.size())
+    return -1;
+  for (int Victim : VictimOrder[size_t(Thief)]) {
+    if (size_t(Victim) < CoreAlive.size() && !CoreAlive[size_t(Victim)])
+      continue;
+    if (QueueDepth(Victim) >= 2)
+      return Victim;
+  }
+  return -1;
+}
+
+int Scheduler::chooseFailover(const std::vector<int> &Alive, size_t Ordinal,
+                              int /*DeadCore*/) const {
+  // The historical migration walk: round-robin over the failover order.
+  return Alive[Ordinal % Alive.size()];
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint chunks
+//===----------------------------------------------------------------------===//
+
+void Scheduler::save(resilience::ByteWriter &W) const {
+  // Pre-subsystem format: entry count, then (sender, task, value) triples
+  // in (sender, task) lexicographic order starting at the -1 boot bucket.
+  uint64_t Seeded = 0;
+  for (uint64_t Slot : Counters)
+    Seeded += Slot != Untouched;
+  W.u64(Seeded);
+  for (size_t Row = 0; Row <= size_t(NumCores); ++Row)
+    for (size_t Task = 0; Task < NumTasks; ++Task) {
+      uint64_t Slot = Counters[Row * NumTasks + Task];
+      if (Slot == Untouched)
+        continue;
+      W.i32(int32_t(Row) - 1);
+      W.i32(int32_t(Task));
+      W.u64(Slot);
+    }
+  savePolicyState(W);
+}
+
+std::string Scheduler::load(resilience::ByteReader &R, size_t BodySize) {
+  std::fill(Counters.begin(), Counters.end(), Untouched);
+  uint64_t Seeded = R.u64();
+  if (!R.ok() || Seeded > BodySize)
+    return "checkpoint: truncated body (round-robin counters)";
+  for (uint64_t I = 0; I < Seeded; ++I) {
+    int32_t Sender = R.i32();
+    int32_t Task = R.i32();
+    uint64_t Value = R.u64();
+    if (!R.ok())
+      return "checkpoint: truncated body (round-robin counters)";
+    if (Sender < -1 || Sender >= NumCores || Task < 0 ||
+        size_t(Task) >= NumTasks)
+      return "checkpoint: round-robin counter out of range";
+    Counters[(size_t(Sender) + 1) * NumTasks + size_t(Task)] = Value;
+  }
+  return loadPolicyState(R);
+}
+
+void Scheduler::saveBucket(resilience::ByteWriter &W, int BucketCore) const {
+  // The host engine's historical per-core format: count, then
+  // (task, value) pairs in ascending task order.
+  const uint64_t *Row = &Counters[(size_t(BucketCore) + 1) * NumTasks];
+  uint64_t Seeded = 0;
+  for (size_t Task = 0; Task < NumTasks; ++Task)
+    Seeded += Row[Task] != Untouched;
+  W.u64(Seeded);
+  for (size_t Task = 0; Task < NumTasks; ++Task) {
+    if (Row[Task] == Untouched)
+      continue;
+    W.i32(int32_t(Task));
+    W.u64(Row[Task]);
+  }
+}
+
+std::string Scheduler::loadBucket(resilience::ByteReader &R, int BucketCore) {
+  uint64_t *Row = &Counters[(size_t(BucketCore) + 1) * NumTasks];
+  std::fill(Row, Row + NumTasks, Untouched);
+  uint64_t Seeded = R.u64();
+  if (!R.ok() || Seeded > NumTasks)
+    return "checkpoint: truncated body (round-robin counters)";
+  for (uint64_t I = 0; I < Seeded; ++I) {
+    int32_t Task = R.i32();
+    uint64_t Value = R.u64();
+    if (!R.ok())
+      return "checkpoint: truncated body (round-robin counters)";
+    if (Task < 0 || size_t(Task) >= NumTasks)
+      return "checkpoint: round-robin counter out of range";
+    Row[Task] = Value;
+  }
+  return "";
+}
+
+void Scheduler::savePolicyState(resilience::ByteWriter &W) const {
+  W.u8(uint8_t(Pol));
+  W.u64(StealCount);
+}
+
+std::string Scheduler::loadPolicyState(resilience::ByteReader &R) {
+  uint8_t Tag = R.u8();
+  uint64_t Steals = R.u64();
+  if (!R.ok())
+    return "checkpoint: truncated body (scheduler state)";
+  if (Tag > uint8_t(Policy::Dep))
+    return formatString("checkpoint: unknown scheduler policy %u",
+                                 unsigned(Tag));
+  if (Tag != uint8_t(Pol))
+    return formatString(
+        "checkpoint: scheduler-policy mismatch (checkpoint '%s', run '%s')",
+        policyName(Policy(Tag)), name());
+  StealCount = Steals;
+  return "";
+}
+
+//===----------------------------------------------------------------------===//
+// Policies
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// splitmix64: the same mixer resilience uses for fault draws; here it
+/// keys ws's per-thief victim permutation off (seed, thief, victim).
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+/// The paper's scheduler, unchanged; exists so rr runs still pay the
+/// virtual-call seam the others do (fairness in bench comparisons).
+class RrScheduler : public Scheduler {
+public:
+  explicit RrScheduler(uint64_t Seed) : Scheduler(Policy::Rr, Seed) {}
+};
+
+class WsScheduler : public Scheduler {
+public:
+  explicit WsScheduler(uint64_t Seed) : Scheduler(Policy::Ws, Seed) {}
+
+  bool stealing() const override { return true; }
+
+private:
+  void buildVictimOrders() override {
+    VictimOrder.assign(size_t(NumCores), {});
+    for (int Thief = 0; Thief < NumCores; ++Thief) {
+      std::vector<int> &Order = VictimOrder[size_t(Thief)];
+      for (int Victim = 0; Victim < NumCores; ++Victim)
+        if (Victim != Thief)
+          Order.push_back(Victim);
+      std::sort(Order.begin(), Order.end(), [&](int A, int B) {
+        uint64_t Ka = mix64(Seed ^ mix64(uint64_t(Thief) << 32 | uint64_t(A)));
+        uint64_t Kb = mix64(Seed ^ mix64(uint64_t(Thief) << 32 | uint64_t(B)));
+        return Ka != Kb ? Ka < Kb : A < B;
+      });
+    }
+  }
+};
+
+class LocalityScheduler : public Scheduler {
+public:
+  explicit LocalityScheduler(uint64_t Seed)
+      : Scheduler(Policy::Locality, Seed) {}
+
+  bool stealing() const override { return true; }
+
+  int chooseFailover(const std::vector<int> &Alive, size_t Ordinal,
+                     int DeadCore) const override {
+    return nearestFailover(*this, Alive, Ordinal, DeadCore);
+  }
+
+  /// Migrate to the nearest surviving candidates, round-robin among the
+  /// minimal-distance subset so replicas still spread.
+  static int nearestFailover(const Scheduler &S, const std::vector<int> &Alive,
+                             size_t Ordinal, int DeadCore) {
+    if (!S.hop() || Alive.size() < 2)
+      return Alive[Ordinal % Alive.size()];
+    int Best = INT_MAX;
+    for (int Core : Alive)
+      Best = std::min(Best, S.hop()(DeadCore, Core));
+    std::vector<int> Nearest;
+    for (int Core : Alive)
+      if (S.hop()(DeadCore, Core) == Best)
+        Nearest.push_back(Core);
+    return Nearest[Ordinal % Nearest.size()];
+  }
+
+private:
+  void buildVictimOrders() override {
+    VictimOrder.assign(size_t(NumCores), {});
+    for (int Thief = 0; Thief < NumCores; ++Thief) {
+      std::vector<int> &Order = VictimOrder[size_t(Thief)];
+      for (int Victim = 0; Victim < NumCores; ++Victim)
+        if (Victim != Thief)
+          Order.push_back(Victim);
+      std::sort(Order.begin(), Order.end(), [&](int A, int B) {
+        int Ha = Hop ? Hop(Thief, A) : 0;
+        int Hb = Hop ? Hop(Thief, B) : 0;
+        return Ha != Hb ? Ha < Hb : A < B;
+      });
+    }
+  }
+};
+
+class DepScheduler : public Scheduler {
+public:
+  explicit DepScheduler(uint64_t Seed) : Scheduler(Policy::Dep, Seed) {}
+
+  int chooseFailover(const std::vector<int> &Alive, size_t Ordinal,
+                     int DeadCore) const override {
+    return LocalityScheduler::nearestFailover(*this, Alive, Ordinal, DeadCore);
+  }
+
+private:
+  /// Follow the CSTG edge: among the destination task's instances, pick
+  /// the one homed nearest the producing core, breaking ties with the
+  /// sender's round-robin counter so equidistant replicas still share
+  /// load. Boot injections (no producing core) fall back to rr.
+  size_t pickImpl(const runtime::RouteDest &Dest, int BucketCore,
+                  size_t SeedValue, int FromCore) override {
+    if (FromCore < 0 || !InstanceCore || !Hop)
+      return pickRoundRobin(Dest, BucketCore, SeedValue);
+    int Best = INT_MAX;
+    for (const auto &[InstanceIdx, Within] : Dest.Instances) {
+      (void)Within;
+      Best = std::min(Best,
+                      Hop(FromCore, (*InstanceCore)[size_t(InstanceIdx)]));
+    }
+    std::vector<size_t> Nearest;
+    for (size_t I = 0; I < Dest.Instances.size(); ++I)
+      if (Hop(FromCore,
+              (*InstanceCore)[size_t(Dest.Instances[I].first)]) == Best)
+        Nearest.push_back(I);
+    if (Nearest.size() == 1)
+      return Nearest[0];
+    uint64_t &C = counter(BucketCore, Dest.Task, SeedValue);
+    size_t Pick = Nearest[size_t(C % uint64_t(Nearest.size()))];
+    ++C;
+    return Pick;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Scheduler> makeScheduler(Policy P, uint64_t Seed) {
+  switch (P) {
+  case Policy::Rr:
+    return std::make_unique<RrScheduler>(Seed);
+  case Policy::Ws:
+    return std::make_unique<WsScheduler>(Seed);
+  case Policy::Locality:
+    return std::make_unique<LocalityScheduler>(Seed);
+  case Policy::Dep:
+    return std::make_unique<DepScheduler>(Seed);
+  }
+  return std::make_unique<RrScheduler>(Seed);
+}
+
+} // namespace bamboo::sched

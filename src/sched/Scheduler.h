@@ -1,0 +1,195 @@
+//===- sched/Scheduler.h - Pluggable deterministic schedulers ---*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scheduling-policy seam of the engine layer (DESIGN.md §3i). The
+/// paper's runtime hard-codes one placement rule — per-sender round-robin
+/// over a task's replicated instances — and no load balancing at all.
+/// This subsystem turns both decisions into a policy object every engine
+/// consults, so alternative strategies from the manycore literature
+/// (Myrmics-style dependency-aware placement, deterministic
+/// work-stealing) can be raced head-to-head on identical programs:
+///
+///   rr        the paper's behavior, extracted verbatim: per-sender
+///             counters seeded with the sender core. Bit-identical to the
+///             pre-subsystem engines, including checkpoint counter bytes.
+///   ws        rr placement plus deterministic work-stealing: an idle
+///             core steals the newest queued invocation from the first
+///             victim (in a seeded per-thief permutation) holding two or
+///             more ready invocations.
+///   locality  rr placement plus stealing with victims visited in
+///             ascending RoutingTable/mesh hop distance, so stolen work
+///             travels the fewest hops.
+///   dep       dependency-driven placement: the routed object follows
+///             its CSTG edge to the consumer instance whose current home
+///             is nearest the producing core (round-robin among ties);
+///             no stealing.
+///
+/// Every policy is deterministic by construction: decisions are pure
+/// functions of (policy, seed, topology, queue state), never of wall
+/// clock or host scheduling, so each policy's runs are byte-reproducible
+/// across --jobs, under --faults, and across checkpoint restore. The
+/// scheduler's state (distribution counters, steal count) is a checkpoint
+/// chunk: save/load keep the pre-subsystem round-robin byte format and
+/// append a policy tag that restores validate.
+///
+/// One scheduler instance serves one run. The discrete-event engines own
+/// it through exec::EngineCore; the host-thread engine constructs its own
+/// (placement decisions only — its worker-owned queues cannot be stolen
+/// from without races, so ws/locality degrade to rr placement there).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_SCHED_SCHEDULER_H
+#define BAMBOO_SCHED_SCHEDULER_H
+
+#include "resilience/Checkpoint.h"
+#include "runtime/RoutingTable.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bamboo::sched {
+
+/// The selectable policies, in --sched spelling order. The numeric values
+/// are part of the checkpoint scheduler chunk — do not reorder.
+enum class Policy : uint8_t {
+  Rr = 0,
+  Ws = 1,
+  Locality = 2,
+  Dep = 3,
+};
+
+/// The --sched / serve-protocol spelling ("rr", "ws", "locality", "dep").
+const char *policyName(Policy P);
+
+/// Parses a --sched spelling; returns false on an unknown name.
+bool parsePolicy(const std::string &Name, Policy &Out);
+
+/// The allowed-set wording every rejection message shares (CLI usage
+/// errors, serve protocol errors, --help).
+inline const char *policyChoices() { return "'rr', 'ws', 'locality' or 'dep'"; }
+
+/// One run's scheduling policy: instance selection for distributed
+/// routing, victim selection for idle-core stealing, and failover
+/// placement after a permanent core failure. See the file comment for
+/// the four implementations; construct with makeScheduler().
+class Scheduler {
+public:
+  /// Core-distance metric supplied by the engine (mesh Manhattan hops for
+  /// the virtual machines, linear index distance for the host engine).
+  using HopFn = std::function<int(int, int)>;
+  /// Ready-queue depth of a core, for victim selection.
+  using DepthFn = std::function<size_t(int)>;
+
+  virtual ~Scheduler();
+
+  Policy policy() const { return Pol; }
+  const char *name() const { return policyName(Pol); }
+  const HopFn &hop() const { return Hop; }
+
+  /// Invocations stolen so far this run (checkpointed).
+  uint64_t steals() const { return StealCount; }
+  void noteSteal() { ++StealCount; }
+
+  /// Resets per-run state and binds the run's topology. \p InstanceCore
+  /// (not owned; must outlive the run) is the live instance→core map the
+  /// engine rewrites on failover, so placement always sees current homes.
+  void beginRun(int NumCores, size_t NumTasks,
+                const std::vector<int> *InstanceCore, HopFn Hop);
+
+  /// Picks an entry of \p Dest.Instances for a routee produced on
+  /// \p FromCore (-1 for the boot injection). \p BucketCore keys the
+  /// distribution counter and \p SeedValue seeds a fresh one — the
+  /// engines' historical clamping of the boot sender differs (the
+  /// discrete-event engines keep a dedicated -1 bucket, the host engine
+  /// folds boot into core 0), so both are caller-supplied.
+  size_t pickInstance(const runtime::RouteDest &Dest, int BucketCore,
+                      size_t SeedValue, int FromCore);
+
+  /// Whether this policy moves queued work between cores at all; engines
+  /// skip the steal path (and its wake traffic) entirely when false.
+  virtual bool stealing() const { return false; }
+
+  /// Picks a victim for idle \p Thief: the first core in the policy's
+  /// victim order that is alive and holds at least two ready invocations
+  /// (never the last — stealing must not just relocate the victim's own
+  /// next dispatch). Returns -1 when nothing is stealable.
+  int chooseVictim(int Thief, const std::vector<char> &CoreAlive,
+                   const DepthFn &QueueDepth) const;
+
+  /// Placement of the \p Ordinal-th instance migrating off failed core
+  /// \p DeadCore, over the engine's \p Alive candidate list (failover
+  /// order, never empty). The rr policy reproduces the historical
+  /// round-robin walk bit-for-bit.
+  virtual int chooseFailover(const std::vector<int> &Alive, size_t Ordinal,
+                             int DeadCore) const;
+
+  //===------------------------------------------------------------------===//
+  // Checkpoint chunks
+  //===------------------------------------------------------------------===//
+
+  /// The discrete-event engines' scheduler chunk: the distribution
+  /// counters in the exact pre-subsystem round-robin byte format,
+  /// followed by the policy tag and steal count.
+  void save(resilience::ByteWriter &W) const;
+  std::string load(resilience::ByteReader &R, size_t BodySize);
+
+  /// The host engine's per-core counter rows, in its historical per-core
+  /// byte format (task-keyed; one bucket per call).
+  void saveBucket(resilience::ByteWriter &W, int BucketCore) const;
+  std::string loadBucket(resilience::ByteReader &R, int BucketCore);
+
+  /// The policy tag + steal count alone (the host engine appends this
+  /// once after its per-core rows).
+  void savePolicyState(resilience::ByteWriter &W) const;
+  std::string loadPolicyState(resilience::ByteReader &R);
+
+protected:
+  Scheduler(Policy P, uint64_t Seed) : Pol(P), Seed(Seed) {}
+
+  /// Policy-specific instance selection; the base implements the rr walk.
+  virtual size_t pickImpl(const runtime::RouteDest &Dest, int BucketCore,
+                          size_t SeedValue, int FromCore);
+
+  /// Fills VictimOrder for stealing policies; no-op otherwise.
+  virtual void buildVictimOrders() {}
+
+  /// The dense distribution-counter table replacing the historical
+  /// std::map<(sender, task), counter>: row BucketCore+1 (row 0 is the
+  /// boot sender -1), column TaskId, Untouched marking never-seeded
+  /// slots. Iterating rows then columns reproduces the map's
+  /// lexicographic (sender, task) order, which keeps the checkpoint
+  /// chunk byte-identical.
+  uint64_t &counter(int BucketCore, int Task, size_t SeedValue);
+  size_t pickRoundRobin(const runtime::RouteDest &Dest, int BucketCore,
+                        size_t SeedValue);
+
+  static constexpr uint64_t Untouched = ~uint64_t{0};
+
+  Policy Pol;
+  uint64_t Seed = 0;
+  int NumCores = 0;
+  size_t NumTasks = 0;
+  const std::vector<int> *InstanceCore = nullptr;
+  HopFn Hop;
+  uint64_t StealCount = 0;
+  std::vector<uint64_t> Counters;
+  /// Per-thief victim visit order (stealing policies only).
+  std::vector<std::vector<int>> VictimOrder;
+};
+
+/// Constructs the policy's scheduler. \p Seed feeds ws's victim
+/// permutation (the engines pass their run seed; the profile-driven
+/// simulator, which has none, passes 0).
+std::unique_ptr<Scheduler> makeScheduler(Policy P, uint64_t Seed);
+
+} // namespace bamboo::sched
+
+#endif // BAMBOO_SCHED_SCHEDULER_H

@@ -383,8 +383,13 @@ void Simulator::tryStart(int CoreIdx, Cycles Now) {
     return; // Fail-stop: dead cores never dispatch.
   if (Core.Executing)
     return;
-  if (Core.Ready.empty())
+  if (Core.Ready.empty()) {
+    // Nothing local: a stealing policy may pull queued work from a
+    // loaded victim (the stolen invocation dispatches at the wake the
+    // steal schedules, after the transfer latency).
+    trySteal(CoreIdx, Now);
     return;
+  }
   if (Injector.active()) {
     Cycles Stall = armStallWindow(CoreIdx, Now);
     // The simulator's lock sweeps never fail (busy tokens requeue before
@@ -618,7 +623,7 @@ std::string Simulator::makeCheckpoint(Cycles AtCycle, Cycles LastTime,
         saveArrival(A, BW);
       });
 
-  exec::saveRoundRobinCounters(W, RoundRobin);
+  Sched->save(W);
 
   W.u64(TaskExitCounts.size());
   for (const std::vector<uint64_t> &Counts : TaskExitCounts) {
@@ -774,9 +779,7 @@ std::string Simulator::restoreFrom(const resilience::Checkpoint &C,
       !Err.empty())
     return Err;
 
-  if (std::string Err =
-          exec::loadRoundRobinCounters(R, C.Body.size(), RoundRobin);
-      !Err.empty())
+  if (std::string Err = Sched->load(R, C.Body.size()); !Err.empty())
     return Err;
 
   uint64_t NumTEC = R.u64();
@@ -886,7 +889,7 @@ std::string Simulator::watchdogDump(Cycles Now) const {
 SimResult Simulator::run() {
   Result = SimResult();
   beginRun(Opts.Faults, Opts.FaultSeed, Opts.Recovery, Opts.Trace,
-           &Result.Recovery);
+           &Result.Recovery, Opts.Sched, /*SchedSeed=*/0);
   TaskExitCounts.resize(Prog.tasks().size());
   for (size_t T = 0; T < Prog.tasks().size(); ++T)
     TaskExitCounts[T].assign(Prog.tasks()[T].Exits.size(), 0);
@@ -948,6 +951,7 @@ SimResult Simulator::run() {
       [&] { return Result.Invocations < Opts.MaxInvocations; }, CutOff);
 
   Result.EstimatedCycles = LastTime;
+  Result.Steals = Sched->steals();
   Result.Terminated = !CutOff;
   // Lost or blackholed tokens (recovery off) mean the simulated
   // application did not actually finish: the queues drained because work

@@ -36,6 +36,7 @@
 #include "resilience/Checkpoint.h"
 #include "resilience/FaultPlan.h"
 #include "resilience/Recovery.h"
+#include "sched/Scheduler.h"
 #include "support/Trace.h"
 
 #include <atomic>
@@ -49,6 +50,10 @@ namespace bamboo::schedsim {
 struct SimOptions {
   /// Record the execution trace (needed by the critical path analysis).
   bool RecordTrace = false;
+  /// Scheduling policy (src/sched); rr reproduces the historical
+  /// simulator bit-for-bit. The simulator has no run seed, so the ws
+  /// victim permutation is keyed off seed 0 — still fully deterministic.
+  sched::Policy Sched = sched::Policy::Rr;
   /// Safety cap on simulated task invocations; exceeding it marks the
   /// result non-terminated and reports useful-work fraction instead.
   uint64_t MaxInvocations = 2'000'000;
@@ -97,6 +102,9 @@ struct SimResult {
   machine::Cycles EstimatedCycles = 0;
   bool Terminated = false;
   uint64_t Invocations = 0;
+  /// Token invocations moved between cores by a stealing scheduler
+  /// (always 0 under rr/dep).
+  uint64_t Steals = 0;
   /// Busy cycles per core.
   std::vector<machine::Cycles> CoreBusy;
   /// Fraction of core-cycles doing task work (reported for runs cut off

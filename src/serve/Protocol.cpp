@@ -152,6 +152,16 @@ bool serve::parseRequest(const std::string &Line, Request &Out,
             V.str().c_str());
         return false;
       }
+    } else if (Key == "sched") {
+      if (!V.isString()) {
+        Error = "field 'sched' must be a string";
+        return false;
+      }
+      if (!sched::parsePolicy(V.str(), R.Sched)) {
+        Error = formatString("field 'sched' expects %s, got '%s'",
+                             sched::policyChoices(), V.str().c_str());
+        return false;
+      }
     } else if (Key == "exec_mode") {
       if (!V.isString()) {
         Error = "field 'exec_mode' must be a string";

@@ -23,6 +23,10 @@
 ///     take; `args` passes explicit strings. At most one of the two.
 ///   - `seed`, `cores`, `engine`, `exec_mode`: optional, defaulting to
 ///     1 / 62 / "tile" / "vm" — the CLI defaults.
+///   - `sched` (optional): scheduling policy for the run, mirroring the
+///     CLI's --sched values "rr" (default), "ws", "locality", "dep".
+///     Like the CLI, synthesis always measures under rr; the policy
+///     applies to the final (reported) run only.
 ///
 /// Validation is strict in the same way the CLI flag parser is: unknown
 /// fields, wrong types, and out-of-range numbers are rejected with a
@@ -50,6 +54,7 @@
 #ifndef BAMBOO_SERVE_PROTOCOL_H
 #define BAMBOO_SERVE_PROTOCOL_H
 
+#include "sched/Scheduler.h"
 #include "serve/Json.h"
 
 #include <cstdint>
@@ -74,6 +79,7 @@ struct Request {
   uint64_t Seed = 1;
   int Cores = 62;
   EngineKind Engine = EngineKind::Tile;
+  sched::Policy Sched = sched::Policy::Rr;
   ExecMode Mode = ExecMode::Vm;
 };
 

@@ -616,6 +616,7 @@ void Server::executeJob(WorkerState &WS, int WorkerIdx, Job &J) {
     // Token-level replay: scheduling behavior only, no program output —
     // same as the CLI, whose stdout is empty under --engine=sim.
     schedsim::SimOptions SO;
+    SO.Sched = Req.Sched;
     schedsim::SimResult S = schedsim::simulateLayout(
         IP.bound().program(), R->Graph, *R->Prof, IP.bound().hints(),
         Target, R->BestLayout, SO);
@@ -625,6 +626,7 @@ void Server::executeJob(WorkerState &WS, int WorkerIdx, Job &J) {
     runtime::ThreadExecOptions TO;
     TO.Args = Req.Args;
     TO.Seed = Req.Seed;
+    TO.Sched = Req.Sched;
     runtime::ThreadExecutor Exec(IP.bound(), R->Graph, R->BestLayout);
     runtime::ThreadExecResult TR = Exec.run(TO);
     Rep.Output = IP.output();
@@ -637,6 +639,7 @@ void Server::executeJob(WorkerState &WS, int WorkerIdx, Job &J) {
     runtime::ExecOptions EO;
     EO.Args = Req.Args;
     EO.Seed = Req.Seed;
+    EO.Sched = Req.Sched;
     runtime::ExecResult FR = Exec.run(EO);
     Rep.Output = IP.output();
     Rep.Cycles = FR.TotalCycles;

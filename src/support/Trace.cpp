@@ -174,6 +174,18 @@ void Trace::requestEnd(uint64_t Time, int Worker, int64_t RequestId,
   record(E);
 }
 
+void Trace::steal(uint64_t Time, int Thief, int Victim, int Task,
+                  uint32_t Hops) {
+  TraceEvent E;
+  E.Kind = TraceEventKind::Steal;
+  E.Time = Time;
+  E.Core = Thief;
+  E.Peer = Victim;
+  E.Task = Task;
+  E.Hops = Hops;
+  record(E);
+}
+
 //===----------------------------------------------------------------------===//
 // Chrome trace export
 //===----------------------------------------------------------------------===//
@@ -341,6 +353,13 @@ std::string Trace::toChromeJson() const {
                           static_cast<long long>(E.Object),
                           static_cast<unsigned long long>(E.Aux));
       break;
+    case TraceEventKind::Steal:
+      Out += formatString("{\"name\":\"steal %s\",\"cat\":\"sched\","
+                          "\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,"
+                          "\"ts\":%llu,\"args\":{\"from\":%d,\"hops\":%u}}",
+                          taskName(Names, E.Task).c_str(), Tid, Ts, E.Peer,
+                          E.Hops);
+      break;
     }
   }
   Out += "],\"displayTimeUnit\":\"ms\"}\n";
@@ -414,6 +433,13 @@ uint64_t TraceMetrics::totalRequests() const {
                          });
 }
 
+uint64_t TraceMetrics::totalSteals() const {
+  return std::accumulate(Cores.begin(), Cores.end(), uint64_t{0},
+                         [](uint64_t S, const CoreMetrics &C) {
+                           return S + C.Steals;
+                         });
+}
+
 double TraceMetrics::busyFraction() const {
   if (TotalTicks == 0 || Cores.empty())
     return 0.0;
@@ -458,6 +484,10 @@ TraceMetrics::str(const std::vector<std::string> &TaskNames) const {
   if (totalRequests() > 0)
     Out += formatString("serve: %llu requests\n",
                         static_cast<unsigned long long>(totalRequests()));
+  // And only stealing schedulers report steals, so rr output is unchanged.
+  if (totalSteals() > 0)
+    Out += formatString("sched: %llu steals\n",
+                        static_cast<unsigned long long>(totalSteals()));
   std::vector<std::vector<std::string>> Rows;
   Rows.push_back({"core", "busy%", "tasks", "sends", "delivers", "retries",
                   "maxqueue", "bytes", "hops"});
@@ -584,6 +614,9 @@ TraceMetrics Trace::metrics() const {
       ++CM.Requests;
       break;
     case TraceEventKind::RequestEnd:
+      break;
+    case TraceEventKind::Steal:
+      ++CM.Steals;
       break;
     }
   }

@@ -94,6 +94,11 @@ enum class TraceEventKind : uint8_t {
   /// id, and Aux (on RequestEnd) whether the request succeeded.
   RequestBegin,
   RequestEnd,
+  /// Scheduler vocabulary (src/sched): a stealing policy moving a queued
+  /// invocation from an overloaded victim core to an idle thief. Core
+  /// holds the thief, Peer the victim, Task the stolen task, Hops the
+  /// mesh distance the invocation traveled.
+  Steal,
 };
 
 /// One recorded event. Fixed-size POD so recording is a vector push.
@@ -130,6 +135,7 @@ struct CoreMetrics {
   uint64_t Retransmits = 0;
   uint64_t Failovers = 0;
   uint64_t Requests = 0; ///< Serve-mode request spans (core = worker).
+  uint64_t Steals = 0;   ///< Invocations this core stole (core = thief).
 };
 
 /// Per-task rollup over one trace.
@@ -153,6 +159,7 @@ struct TraceMetrics {
   uint64_t totalRetransmits() const;
   uint64_t totalFailovers() const;
   uint64_t totalRequests() const;
+  uint64_t totalSteals() const;
   /// Busy fraction of (TotalTicks * cores), in [0, 1].
   double busyFraction() const;
   /// Failed acquisition sweeps per dispatch attempt:
@@ -232,6 +239,9 @@ public:
   void requestBegin(uint64_t Time, int Worker, int64_t RequestId);
   /// Records the matching end; \p Ok is whether execution succeeded.
   void requestEnd(uint64_t Time, int Worker, int64_t RequestId, bool Ok);
+  /// Records a stealing scheduler moving a queued invocation of \p Task
+  /// from \p Victim to idle \p Thief over \p Hops mesh hops.
+  void steal(uint64_t Time, int Thief, int Victim, int Task, uint32_t Hops);
 
   /// Snapshot of the recorded events, in recording order.
   const std::vector<TraceEvent> &events() const { return Events; }

@@ -37,6 +37,8 @@ const char *kindName(TraceEventKind K) {
     return "failover";
   case TraceEventKind::Resume:
     return "resume";
+  case TraceEventKind::Steal:
+    return "steal";
   }
   return "?";
 }

@@ -371,6 +371,54 @@ TEST(TileCheckpointTest, RestoredTraceIsTheBaselineSuffixPlusResumeMark) {
   }
 }
 
+TEST(TileCheckpointTest, SchedulerStateRoundTripsMidSteal) {
+  // Work stealing moves invocations between cores and counts each move;
+  // the scheduler chunk (round-robin counters + policy tag + steal
+  // count) must restore exactly so the continuation reproduces the
+  // baseline's remaining steals — total steal count over baseline and
+  // restored run must agree.
+  PipelineHarness H;
+  ExecOptions Opts;
+  Opts.Sched = sched::Policy::Ws;
+  TileExecutor Base(H.BP, H.G, H.M, H.L);
+  ExecResult B = Base.run(Opts);
+  ASSERT_TRUE(B.Completed);
+  ASSERT_GT(B.Steals, 0u) << "workload never stole; the case pins nothing";
+  std::string BaseFp = heapFingerprint(Base.heap(), H.BP);
+
+  std::vector<Checkpoint> Ckpts;
+  Opts.CheckpointEvery = B.TotalCycles / 4 + 1;
+  Opts.OnCheckpoint = [&](const Checkpoint &C) { Ckpts.push_back(C); };
+  TileExecutor Ckptd(H.BP, H.G, H.M, H.L);
+  ExecResult CR = Ckptd.run(Opts);
+  ASSERT_TRUE(CR.Completed);
+  EXPECT_EQ(CR.TotalCycles, B.TotalCycles);
+  EXPECT_EQ(CR.Steals, B.Steals) << "checkpointing perturbed stealing";
+  ASSERT_GE(Ckpts.size(), 2u);
+
+  ExecOptions ROpts;
+  ROpts.Sched = sched::Policy::Ws;
+  ROpts.Restore = &Ckpts[Ckpts.size() / 2];
+  TileExecutor Restored(H.BP, H.G, H.M, H.L);
+  ExecResult RR = Restored.run(ROpts);
+  ASSERT_TRUE(RR.RestoreError.empty()) << RR.RestoreError;
+  ASSERT_TRUE(RR.Completed);
+  EXPECT_EQ(RR.TotalCycles, B.TotalCycles);
+  EXPECT_EQ(RR.Steals, B.Steals)
+      << "steal counter did not round-trip through the scheduler chunk";
+  EXPECT_EQ(heapFingerprint(Restored.heap(), H.BP), BaseFp);
+
+  // A snapshot names its policy; restoring under another one is an
+  // identity mismatch, not a silent policy switch.
+  ExecOptions MOpts;
+  MOpts.Sched = sched::Policy::Locality;
+  MOpts.Restore = &Ckpts.front();
+  TileExecutor Mismatch(H.BP, H.G, H.M, H.L);
+  ExecResult MR = Mismatch.run(MOpts);
+  EXPECT_EQ(MR.RestoreError, "checkpoint: scheduler-policy mismatch "
+                             "(checkpoint 'ws', run 'locality')");
+}
+
 TEST(TileCheckpointTest, RestoreValidatesRunIdentity) {
   PipelineHarness H;
   std::vector<Checkpoint> Ckpts;

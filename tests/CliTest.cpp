@@ -166,7 +166,8 @@ TEST(CliTest, HelpListsEveryParsedFlag) {
   // missing here is the documentation drift this test pins down.
   for (const char *Flag :
        {"--run", "--cores=", "--arg=", "--seed=", "--jobs=", "--engine=",
-        "--trace=", "--metrics", "--faults=", "--fault-seed=", "--recovery=",
+        "--sched=", "--trace=", "--metrics", "--faults=", "--fault-seed=",
+        "--recovery=",
         "--checkpoint-every=", "--checkpoint-dir=", "--restore=",
         "--watchdog-cycles=", "--dump-ir", "--dump-astg", "--dump-cstg",
         "--dump-taskflow", "--dump-locks", "--dump-layout", "--emit-c",
@@ -203,6 +204,30 @@ TEST(CliTest, EngineSelection) {
 TEST(CliTest, BadEngineIsRejected) {
   auto [Status, Out] = runBamboo(keywordFile() + " --run --engine=warp");
   EXPECT_NE(Status, 0);
+  (void)Out;
+}
+
+TEST(CliTest, SchedPolicySelection) {
+  // Every policy runs the program to the same answer; the flag only
+  // changes placement and stealing.
+  for (const char *Pol : {"rr", "ws", "locality", "dep"}) {
+    auto [Status, Out] =
+        runBamboo(keywordFile() + " --run --cores=4 --arg='the cat the "
+                                  "dog' --sched=" +
+                  Pol);
+    EXPECT_EQ(Status, 0) << Pol;
+    EXPECT_NE(Out.find("total=2"), std::string::npos) << Pol;
+  }
+}
+
+TEST(CliTest, BadSchedIsAUsageErrorListingTheChoices) {
+  auto [Status, Out] =
+      runBamboo(keywordFile() + " --run --sched=random");
+  EXPECT_NE(Status, 0);
+  std::string Err = readFile(capturePath("stderr"));
+  EXPECT_NE(Err.find("--sched expects 'rr', 'ws', 'locality' or 'dep'"),
+            std::string::npos)
+      << Err;
   (void)Out;
 }
 

@@ -19,6 +19,7 @@
 #include "apps/App.h"
 #include "driver/Pipeline.h"
 #include "runtime/ThreadExecutor.h"
+#include "sched/Scheduler.h"
 #include "schedsim/SchedSim.h"
 #include "support/Trace.h"
 
@@ -99,4 +100,90 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<DiffCase> &Info) {
       return std::string(Info.param.App) + "_seed" +
              std::to_string(Info.param.Seed);
+    });
+
+//===----------------------------------------------------------------------===//
+// Scheduling-policy axis: every policy must be byte-deterministic on the
+// discrete-event engines and land on the same application state (the
+// policy may change *where* work runs, never *what* it computes).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class SchedPolicyDiffTest
+    : public ::testing::TestWithParam<std::tuple<const char *, sched::Policy>> {
+};
+
+} // namespace
+
+TEST_P(SchedPolicyDiffTest, DeterministicAndStateAgreesWithBaseline) {
+  auto A = makeApp(std::get<0>(GetParam()));
+  ASSERT_NE(A, nullptr);
+  sched::Policy Pol = std::get<1>(GetParam());
+  BoundProgram BP = A->makeBound(1);
+  ASSERT_TRUE(BP.fullyBound());
+  uint64_t Baseline = A->runBaseline(1).Checksum;
+
+  // A synthesized multi-core layout: placement actually has round-robin
+  // destinations to pick among and loaded cores to steal from.
+  driver::PipelineOptions PO;
+  PO.Target = MachineConfig::tilePro64();
+  PO.Target.NumCores = 4;
+  driver::PipelineResult R = driver::runPipeline(BP, PO);
+
+  // Tile engine, twice: byte-determinism of the full outcome, including
+  // the steal count the policy produced.
+  ExecResult Tile[2];
+  for (int I = 0; I < 2; ++I) {
+    TileExecutor Exec(BP, R.Graph, PO.Target, R.BestLayout);
+    ExecOptions O;
+    O.Sched = Pol;
+    Tile[I] = Exec.run(O);
+    ASSERT_TRUE(Tile[I].Completed) << A->name();
+    EXPECT_EQ(A->checksumFromHeap(Exec.heap()), Baseline)
+        << A->name() << " under " << sched::policyName(Pol);
+  }
+  EXPECT_EQ(Tile[0].TotalCycles, Tile[1].TotalCycles);
+  EXPECT_EQ(Tile[0].TaskInvocations, Tile[1].TaskInvocations);
+  EXPECT_EQ(Tile[0].Steals, Tile[1].Steals);
+  if (Pol == sched::Policy::Rr || Pol == sched::Policy::Dep)
+    EXPECT_EQ(Tile[0].Steals, 0u) << "non-stealing policy stole";
+
+  // Simulator, twice: same determinism contract on the replay.
+  ExecOptions ProfOpts;
+  profile::Profile Prof = driver::profileOneCore(BP, R.Graph, ProfOpts);
+  schedsim::SimResult Sim[2];
+  for (int I = 0; I < 2; ++I) {
+    schedsim::SimOptions SO;
+    SO.Sched = Pol;
+    Sim[I] = schedsim::simulateLayout(BP.program(), R.Graph, Prof,
+                                      BP.hints(), PO.Target, R.BestLayout,
+                                      SO);
+    ASSERT_TRUE(Sim[I].Terminated) << A->name();
+  }
+  EXPECT_EQ(Sim[0].EstimatedCycles, Sim[1].EstimatedCycles);
+  EXPECT_EQ(Sim[0].Invocations, Sim[1].Invocations);
+  EXPECT_EQ(Sim[0].Steals, Sim[1].Steals);
+
+  // Host threads: the schedule is whatever the host produced, but the
+  // final application state must still be the baseline's.
+  ThreadExecutor Thread(BP, R.Graph, R.BestLayout);
+  ThreadExecOptions TO;
+  TO.Sched = Pol;
+  ThreadExecResult TR = Thread.run(TO);
+  ASSERT_TRUE(TR.Completed) << A->name();
+  EXPECT_EQ(A->checksumFromHeap(Thread.heap()), Baseline)
+      << A->name() << " on threads under " << sched::policyName(Pol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAppsAllPolicies, SchedPolicyDiffTest,
+    ::testing::Combine(
+        ::testing::Values("Tracking", "KMeans", "MonteCarlo", "FilterBank",
+                          "Fractal", "Series"),
+        ::testing::Values(sched::Policy::Rr, sched::Policy::Ws,
+                          sched::Policy::Locality, sched::Policy::Dep)),
+    [](const ::testing::TestParamInfo<SchedPolicyDiffTest::ParamType> &I) {
+      return std::string(std::get<0>(I.param)) + "_" +
+             sched::policyName(std::get<1>(I.param));
     });

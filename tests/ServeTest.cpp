@@ -25,6 +25,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "resilience/Checkpoint.h"
+#include "sched/Scheduler.h"
 #include "serve/Client.h"
 #include "serve/Json.h"
 #include "serve/Protocol.h"
@@ -180,6 +181,34 @@ TEST(ServeProtocolTest, ParsesAFullRequest) {
   EXPECT_EQ(R.Cores, 8);
   EXPECT_EQ(R.Engine, EngineKind::Sim);
   EXPECT_EQ(R.Mode, ExecMode::Interp);
+  EXPECT_EQ(R.Sched, sched::Policy::Rr) << "sched must default to rr";
+}
+
+TEST(ServeProtocolTest, ParsesTheSchedField) {
+  Request R;
+  std::string Error;
+  bool HaveId = false;
+  uint64_t Id = 0;
+  const std::pair<const char *, sched::Policy> Cases[] = {
+      {"rr", sched::Policy::Rr},
+      {"ws", sched::Policy::Ws},
+      {"locality", sched::Policy::Locality},
+      {"dep", sched::Policy::Dep},
+  };
+  for (const auto &[Name, Want] : Cases) {
+    ASSERT_TRUE(parseRequest(std::string("{\"id\":1,\"app\":\"series\","
+                                         "\"sched\":\"") +
+                                 Name + "\"}",
+                             R, Error, HaveId, Id))
+        << Error;
+    EXPECT_EQ(R.Sched, Want) << Name;
+  }
+  EXPECT_FALSE(parseRequest("{\"id\":1,\"app\":\"series\","
+                            "\"sched\":\"random\"}",
+                            R, Error, HaveId, Id));
+  EXPECT_NE(Error.find("'rr', 'ws', 'locality' or 'dep'"),
+            std::string::npos)
+      << Error;
 }
 
 TEST(ServeProtocolTest, RejectsInvalidRequests) {
@@ -275,6 +304,35 @@ TEST(ServeTest, ResponseIsByteIdenticalToTheCli) {
     std::snprintf(Expect, sizeof(Expect), "%08x", Crc);
     EXPECT_EQ(strField(R, "checksum"), Expect);
   }
+}
+
+TEST(ServeTest, SchedFieldSelectsThePolicyAndMatchesTheCli) {
+  ServeFixture F;
+  // Same app, two policies: same program output (the answer is
+  // schedule-independent), and the ws response is byte-identical to the
+  // CLI run with --sched=ws.
+  Json Rr = rpc(F.Conn, "{\"id\":1,\"app\":\"fractal\","
+                        "\"args\":[\"12345678\"],\"cores\":4,"
+                        "\"sched\":\"rr\"}");
+  ASSERT_TRUE(boolField(Rr, "ok")) << strField(Rr, "error");
+  Json Ws = rpc(F.Conn, "{\"id\":2,\"app\":\"fractal\","
+                        "\"args\":[\"12345678\"],\"cores\":4,"
+                        "\"sched\":\"ws\"}");
+  ASSERT_TRUE(boolField(Ws, "ok")) << strField(Ws, "error");
+  EXPECT_EQ(strField(Ws, "output"), strField(Rr, "output"));
+  EXPECT_EQ(strField(Ws, "checksum"), strField(Rr, "checksum"));
+
+  auto [Status, CliOut] =
+      runBamboo(std::string(BAMBOO_DSL_DIR) +
+                "/fractal.bb --cores=4 --arg=12345678 --sched=ws");
+  ASSERT_EQ(Status, 0);
+  EXPECT_EQ(strField(Ws, "output"), CliOut);
+
+  // Bad policy names are rejected like any other invalid field.
+  Json Bad = rpc(F.Conn, "{\"id\":3,\"app\":\"fractal\","
+                         "\"args\":[\"12345678\"],\"sched\":\"warp\"}");
+  EXPECT_FALSE(boolField(Bad, "ok"));
+  EXPECT_EQ(strField(Bad, "code"), "bad-request");
 }
 
 TEST(ServeTest, SynthesisIsCachedAcrossRequestsAndConnections) {

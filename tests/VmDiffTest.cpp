@@ -24,6 +24,7 @@
 #include "resilience/Checkpoint.h"
 #include "resilience/FaultPlan.h"
 #include "runtime/ThreadExecutor.h"
+#include "sched/Scheduler.h"
 #include "schedsim/SchedSim.h"
 #include "support/Trace.h"
 #include "vm/Vm.h"
@@ -265,6 +266,106 @@ TEST_P(VmDiffTest, CheckpointRestoreCrossMode) {
         << GetParam().File << " cross-mode restore diverged (writer vm="
         << WriterVm << ")";
     EXPECT_EQ(R.Cycles, Baseline.Cycles);
+  }
+}
+
+/// Scheduling-policy axis: for every policy, the tile engine must produce
+/// byte-identical output, cycles and steal counts whether the bodies run
+/// under the interpreter or the VM, and whether synthesis used 1 or 2
+/// worker threads (--jobs must never leak into the run). The simulator
+/// must be run-to-run deterministic per policy on the same layout.
+TEST_P(VmDiffTest, SchedPoliciesIdenticalAcrossModesAndJobs) {
+  auto Args = argsFor(GetParam());
+
+  // Three independently synthesized pipelines; synthesis itself always
+  // measures under rr, so all three must choose identical layouts.
+  struct Variant {
+    std::unique_ptr<interp::DslProgram> P;
+    driver::PipelineResult R;
+  };
+  Variant Vars[3];
+  const bool VariantVm[3] = {false, true, true};
+  const int VariantJobs[3] = {1, 1, 2};
+  for (int I = 0; I < 3; ++I) {
+    Vars[I].P = makeProgram(GetParam().File, VariantVm[I]);
+    driver::PipelineOptions Opts;
+    Opts.Target = MachineConfig::tilePro64();
+    Opts.Target.NumCores = 4;
+    Opts.Dsa.Jobs = VariantJobs[I];
+    Opts.Exec.Args = Args;
+    Vars[I].R = driver::runPipeline(Vars[I].P->bound(), Opts);
+  }
+
+  MachineConfig Target = MachineConfig::tilePro64();
+  Target.NumCores = 4;
+  for (sched::Policy Pol :
+       {sched::Policy::Rr, sched::Policy::Ws, sched::Policy::Locality,
+        sched::Policy::Dep}) {
+    std::string Outs[3];
+    uint64_t Cycles[3], Steals[3];
+    for (int I = 0; I < 3; ++I) {
+      interp::DslProgram &P = *Vars[I].P;
+      P.clearOutput();
+      P.clearError();
+      TileExecutor Exec(P.bound(), Vars[I].R.Graph, Target,
+                        Vars[I].R.BestLayout);
+      ExecOptions O;
+      O.Args = Args;
+      O.Sched = Pol;
+      ExecResult R = Exec.run(O);
+      ASSERT_TRUE(R.Completed)
+          << GetParam().File << " under " << sched::policyName(Pol);
+      Outs[I] = P.output();
+      Cycles[I] = R.TotalCycles;
+      Steals[I] = R.Steals;
+    }
+    for (int I = 1; I < 3; ++I) {
+      EXPECT_EQ(Outs[0], Outs[I])
+          << GetParam().File << " " << sched::policyName(Pol)
+          << ": variant " << I << " diverged";
+      EXPECT_EQ(Cycles[0], Cycles[I]) << sched::policyName(Pol);
+      EXPECT_EQ(Steals[0], Steals[I]) << sched::policyName(Pol);
+    }
+
+    // Simulator replay: run-to-run deterministic per policy.
+    interp::DslProgram &P = *Vars[1].P;
+    ExecOptions ProfOpts;
+    ProfOpts.Args = Args;
+    profile::Profile Prof =
+        driver::profileOneCore(P.bound(), Vars[1].R.Graph, ProfOpts);
+    schedsim::SimResult Sim[2];
+    for (int I = 0; I < 2; ++I) {
+      schedsim::SimOptions SO;
+      SO.Sched = Pol;
+      Sim[I] = schedsim::simulateLayout(P.bound().program(), Vars[1].R.Graph,
+                                        Prof, P.bound().hints(), Target,
+                                        Vars[1].R.BestLayout, SO);
+      ASSERT_TRUE(Sim[I].Terminated) << GetParam().File;
+    }
+    EXPECT_EQ(Sim[0].EstimatedCycles, Sim[1].EstimatedCycles)
+        << sched::policyName(Pol);
+    EXPECT_EQ(Sim[0].Steals, Sim[1].Steals) << sched::policyName(Pol);
+
+    // Host-thread engine, one worker (deterministic output): the policy
+    // must not change what a single-worker run prints.
+    std::string ThreadOuts[2];
+    for (int I = 0; I < 2; ++I) {
+      interp::DslProgram &TP = *Vars[I].P;
+      TP.clearOutput();
+      TP.clearError();
+      analysis::Cstg G = analysis::buildCstg(TP.bound().program());
+      ThreadExecutor Exec(TP.bound(), G,
+                          Layout::allOnOneCore(TP.bound().program()));
+      ThreadExecOptions TO;
+      TO.Args = Args;
+      TO.Sched = Pol;
+      ThreadExecResult TR = Exec.run(TO);
+      ASSERT_TRUE(TR.Completed) << GetParam().File;
+      ThreadOuts[I] = TP.output();
+    }
+    EXPECT_EQ(ThreadOuts[0], ThreadOuts[1])
+        << GetParam().File << " thread engine under "
+        << sched::policyName(Pol);
   }
 }
 
