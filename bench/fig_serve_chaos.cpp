@@ -1,0 +1,359 @@
+//===- bench/fig_serve_chaos.cpp - Job-server chaos sweep -----------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chaos harness for `bamboo serve`: sweeps fault kind x rate, each cell
+/// a fresh in-process server with that FaultPlan threaded into every
+/// worker engine, and fires a seeded request mix at it. The claim under
+/// measurement is the supervision contract: every request is answered
+/// exactly once — a success whose checksum matches the fault-free
+/// reference, or a typed supervision error — never a hang, never a
+/// dropped line, with bounded client-side p99.
+///
+/// Prints a human-readable table to stderr and a JSON document to
+/// stdout; scripts/bench.sh redirects stdout to BENCH_serve_chaos.json,
+/// the committed baseline for the tier-1 supervision gate. Outcome
+/// counts and the per-cell digest are deterministic for a fixed
+/// (--seed, request mix): each job's fault stream is a pure function of
+/// (chaos seed, request id), independent of worker assignment, so the
+/// gate checks them exactly (wall-clock latency is gated leniently).
+/// Quarantine is disabled so repeated poison keys cannot make one
+/// cell's admission outcome depend on another job's timing.
+///
+/// Exits nonzero if any cell breaks the contract, so the sweep is a
+/// pass/fail chaos test as well as a figure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "resilience/Checkpoint.h"
+#include "resilience/FaultPlan.h"
+#include "serve/Client.h"
+#include "serve/Json.h"
+#include "serve/Server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace bamboo;
+using namespace bamboo::bench;
+using namespace bamboo::serve;
+
+namespace {
+
+/// The request mix. All tile-engine so every request executes real task
+/// bodies under injected faults.
+struct Mix {
+  const char *Name;
+  const char *Body; ///< Request JSON minus the id field.
+};
+
+const Mix MixSpecs[] = {
+    {"series", "\"app\":\"series\",\"size\":8,\"cores\":4"},
+    {"montecarlo", "\"app\":\"montecarlo\",\"size\":8,\"cores\":4"},
+};
+constexpr size_t NumMixes = sizeof(MixSpecs) / sizeof(MixSpecs[0]);
+
+/// One (kind, rate) cell of the sweep.
+struct Cell {
+  const char *Kind;
+  double Rate;
+};
+
+const Cell Cells[] = {
+    {"drop", 0.05}, {"drop", 0.2}, {"dup", 0.05},
+    {"dup", 0.2},   {"stall", 0.05}, {"stall", 0.2},
+};
+
+struct CellResult {
+  std::string Spec;
+  int Answered = 0;
+  int OkCount = 0;
+  int Exhausted = 0;
+  int RetriedJobs = 0; ///< Ok responses that needed at least one retry.
+  uint64_t Retries = 0;
+  uint64_t Hung = 0;
+  int Violations = 0; ///< Lost lines, bad checksums, untyped errors.
+  double P50Ms = 0.0;
+  double P99Ms = 0.0;
+  uint64_t Digest = 0;
+};
+
+double percentile(std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t Idx = static_cast<size_t>(P * static_cast<double>(Sorted.size()));
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+uint64_t fnv1a(const std::string &Text) {
+  uint64_t H = 14695981039346656037ULL;
+  for (unsigned char C : Text) {
+    H ^= C;
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+/// Fault-free reference checksum per mix, captured once from a chaos-less
+/// server so cell verification has ground truth.
+std::vector<std::string> referenceChecksums(int Workers) {
+  ServerOptions SO;
+  SO.AppsDir = BAMBOO_DSL_DIR;
+  SO.Workers = Workers;
+  Server Srv(SO);
+  if (std::string Err = Srv.start(); !Err.empty()) {
+    std::fprintf(stderr, "fig_serve_chaos: %s\n", Err.c_str());
+    std::exit(1);
+  }
+  Client C;
+  std::string Err;
+  if (!C.connectTo(Srv.port(), Err)) {
+    std::fprintf(stderr, "fig_serve_chaos: %s\n", Err.c_str());
+    std::exit(1);
+  }
+  std::vector<std::string> Sums(NumMixes);
+  for (size_t M = 0; M < NumMixes; ++M) {
+    std::string Line;
+    if (!C.sendLine(formatString("{\"id\":%zu,%s}", M, MixSpecs[M].Body)) ||
+        !C.recvLine(Line)) {
+      std::fprintf(stderr, "fig_serve_chaos: reference request failed\n");
+      std::exit(1);
+    }
+    Json R;
+    std::string PErr;
+    const Json *Ok;
+    const Json *Sum;
+    if (!Json::parse(Line, R, PErr) || !(Ok = R.find("ok")) ||
+        !Ok->isBool() || !Ok->boolean() || !(Sum = R.find("checksum")) ||
+        !Sum->isString()) {
+      std::fprintf(stderr, "fig_serve_chaos: bad reference response\n");
+      std::exit(1);
+    }
+    Sums[M] = Sum->str();
+  }
+  return Sums;
+}
+
+CellResult runCell(const Cell &C, int Workers, int Conns, int Requests,
+                   uint64_t Seed,
+                   const std::vector<std::string> &RefSums) {
+  CellResult Out;
+  Out.Spec = formatString("%s~%.2f", C.Kind, C.Rate);
+
+  std::string PlanError;
+  auto Plan = resilience::FaultPlan::parse(Out.Spec, PlanError);
+  if (!Plan) {
+    std::fprintf(stderr, "fig_serve_chaos: %s: %s\n", Out.Spec.c_str(),
+                 PlanError.c_str());
+    std::exit(1);
+  }
+
+  ServerOptions SO;
+  SO.AppsDir = BAMBOO_DSL_DIR;
+  SO.Workers = Workers;
+  SO.QueueLimit = static_cast<size_t>(Requests) + 16;
+  SO.Chaos = &*Plan;
+  SO.ChaosSeed = Seed;
+  SO.MaxRetries = 3;
+  SO.CheckpointEvery = 200;
+  SO.QuarantineMs = 0; // Deterministic outcome counts under shared keys.
+  Server Srv(SO);
+  if (std::string Err = Srv.start(); !Err.empty()) {
+    std::fprintf(stderr, "fig_serve_chaos: %s\n", Err.c_str());
+    std::exit(1);
+  }
+
+  // Seeded mix, decided up front: cell outcomes depend only on
+  // (chaos spec, chaos seed, request id, mix), never on timing.
+  std::vector<size_t> MixOf(static_cast<size_t>(Requests));
+  uint64_t X = Seed * 6364136223846793005ULL + 1442695040888963407ULL;
+  for (int I = 0; I < Requests; ++I) {
+    X = X * 6364136223846793005ULL + 1442695040888963407ULL;
+    MixOf[static_cast<size_t>(I)] = (X >> 33) % NumMixes;
+  }
+
+  using Clock = std::chrono::steady_clock;
+  std::vector<Clock::time_point> SendTime(static_cast<size_t>(Requests));
+  std::vector<double> LatencyMs(static_cast<size_t>(Requests), 0.0);
+  // Deterministic per-request outcome line, keyed by id, digested after
+  // the run. Latency never enters the digest.
+  std::vector<std::string> Outcome(static_cast<size_t>(Requests));
+  std::mutex M;
+
+  std::vector<std::thread> Threads;
+  for (int Conn = 0; Conn < Conns; ++Conn)
+    Threads.emplace_back([&, Conn] {
+      Client Cl;
+      std::string Err;
+      if (!Cl.connectTo(Srv.port(), Err)) {
+        std::lock_guard<std::mutex> L(M);
+        Out.Violations += 100;
+        return;
+      }
+      Cl.setRecvTimeoutMs(120'000);
+      int Mine = 0;
+      for (int Id = Conn; Id < Requests; Id += Conns) {
+        SendTime[static_cast<size_t>(Id)] = Clock::now();
+        if (!Cl.sendLine(formatString(
+                "{\"id\":%d,%s}", Id,
+                MixSpecs[MixOf[static_cast<size_t>(Id)]].Body))) {
+          std::lock_guard<std::mutex> L(M);
+          ++Out.Violations;
+        } else {
+          ++Mine;
+        }
+      }
+      for (int N = 0; N < Mine; ++N) {
+        std::string Line;
+        if (!Cl.recvLine(Line)) {
+          // A lost line or closed socket is exactly the contract break
+          // this harness exists to catch.
+          std::lock_guard<std::mutex> L(M);
+          ++Out.Violations;
+          return;
+        }
+        Json R;
+        std::string PErr;
+        const Json *Ok;
+        const Json *Id;
+        if (!Json::parse(Line, R, PErr) || !(Ok = R.find("ok")) ||
+            !Ok->isBool() || !(Id = R.find("id")) || !Id->isUInt() ||
+            Id->uint() >= static_cast<uint64_t>(Requests)) {
+          std::lock_guard<std::mutex> L(M);
+          ++Out.Violations;
+          continue;
+        }
+        size_t Slot = static_cast<size_t>(Id->uint());
+        LatencyMs[Slot] = std::chrono::duration<double, std::milli>(
+                              Clock::now() - SendTime[Slot])
+                              .count();
+        std::lock_guard<std::mutex> L(M);
+        ++Out.Answered;
+        if (Ok->boolean()) {
+          ++Out.OkCount;
+          const Json *Sum = R.find("checksum");
+          const Json *Retries = R.find("retries");
+          uint64_t Tries = Retries && Retries->isUInt() ? Retries->uint() : 0;
+          if (Tries > 0)
+            ++Out.RetriedJobs;
+          if (!Sum || !Sum->isString() ||
+              Sum->str() != RefSums[MixOf[Slot]]) {
+            ++Out.Violations; // Completed with a damaged answer.
+            Outcome[Slot] = "corrupt";
+          } else {
+            Outcome[Slot] =
+                formatString("ok:%s:r%llu", Sum->str().c_str(),
+                             static_cast<unsigned long long>(Tries));
+          }
+        } else {
+          const Json *Code = R.find("code");
+          std::string CodeStr =
+              Code && Code->isString() ? Code->str() : "?";
+          if (CodeStr != "retries-exhausted" && CodeStr != "hung" &&
+              CodeStr != "deadline-exceeded") {
+            ++Out.Violations; // Untyped or admission-level failure.
+            Outcome[Slot] = "untyped:" + CodeStr;
+          } else {
+            if (CodeStr == "retries-exhausted")
+              ++Out.Exhausted;
+            const Json *Att = R.find("attempts");
+            Outcome[Slot] = formatString(
+                "%s:a%llu", CodeStr.c_str(),
+                static_cast<unsigned long long>(
+                    Att && Att->isUInt() ? Att->uint() : 0));
+          }
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  ServerStats St = Srv.stats();
+  Srv.shutdown();
+  Out.Retries = St.Retries;
+  Out.Hung = St.Hung;
+
+  std::string Canon;
+  for (int I = 0; I < Requests; ++I)
+    Canon += formatString("%d=%s\n", I,
+                          Outcome[static_cast<size_t>(I)].c_str());
+  Out.Digest = fnv1a(Canon);
+
+  std::vector<double> Sorted = LatencyMs;
+  std::sort(Sorted.begin(), Sorted.end());
+  Out.P50Ms = percentile(Sorted, 0.50);
+  Out.P99Ms = percentile(Sorted, 0.99);
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  int Requests = static_cast<int>(flagValue(Argc, Argv, "requests", 24));
+  int Conns = static_cast<int>(flagValue(Argc, Argv, "conns", 3));
+  int Workers = static_cast<int>(flagValue(Argc, Argv, "workers", 3));
+  uint64_t Seed = static_cast<uint64_t>(flagValue(Argc, Argv, "seed", 1));
+
+  std::vector<std::string> RefSums = referenceChecksums(Workers);
+
+  std::vector<CellResult> Results;
+  for (const Cell &C : Cells)
+    Results.push_back(runCell(C, Workers, Conns, Requests, Seed, RefSums));
+
+  std::vector<std::vector<std::string>> Rows;
+  Rows.push_back({"Faults", "answered", "ok", "retried", "exhausted",
+                  "p99 ms", "digest"});
+  std::string Json = "{\n  \"schema\": \"bamboo-serve-chaos-1\",\n";
+  Json += formatString("  \"requests\": %d,\n  \"conns\": %d,\n"
+                       "  \"workers\": %d,\n  \"seed\": %llu,\n"
+                       "  \"cells\": [\n",
+                       Requests, Conns, Workers,
+                       static_cast<unsigned long long>(Seed));
+  bool AllOk = true;
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const CellResult &R = Results[I];
+    // The headline contract: every request answered, every answer a
+    // verified success or a typed supervision error.
+    double Contract =
+        R.Violations == 0 && R.Answered == Requests ? 1.0 : 0.0;
+    AllOk = AllOk && Contract == 1.0;
+    Rows.push_back(
+        {R.Spec, formatString("%d/%d", R.Answered, Requests),
+         formatString("%d", R.OkCount), formatString("%d", R.RetriedJobs),
+         formatString("%d", R.Exhausted), formatString("%.2f", R.P99Ms),
+         formatString("%016llx",
+                      static_cast<unsigned long long>(R.Digest))});
+    Json += formatString(
+        "    {\"faults\": \"%s\", \"answered\": %d, \"ok\": %d, "
+        "\"retried_jobs\": %d, \"exhausted\": %d, \"retries\": %llu, "
+        "\"hung\": %llu, \"completion_or_typed\": %.1f, "
+        "\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"digest\": \"%016llx\"}%s\n",
+        R.Spec.c_str(), R.Answered, R.OkCount, R.RetriedJobs, R.Exhausted,
+        static_cast<unsigned long long>(R.Retries),
+        static_cast<unsigned long long>(R.Hung), Contract, R.P50Ms,
+        R.P99Ms, static_cast<unsigned long long>(R.Digest),
+        I + 1 < Results.size() ? "," : "");
+  }
+  Json += "  ]\n}\n";
+
+  std::fprintf(stderr,
+               "bamboo serve chaos sweep (%d requests/cell, %d conns, "
+               "%d workers, chaos seed %llu, quarantine off)\n\n",
+               Requests, Conns, Workers,
+               static_cast<unsigned long long>(Seed));
+  std::fprintf(stderr, "%s\n", renderTable(Rows).c_str());
+  std::printf("%s", Json.c_str());
+  return AllOk ? 0 : 1;
+}

@@ -5,6 +5,11 @@
 #                     on the 1-core tile machine (fig_vm)
 #   BENCH_serve.json  `bamboo serve` sustained throughput + p50/p99
 #                     latency across the worker batching knob (fig_serve)
+#   BENCH_serve_chaos.json
+#                     `bamboo serve` supervision sweep: fault kind x rate
+#                     with per-cell outcome counts, completion-or-typed
+#                     contract, and the deterministic outcome digest
+#                     (fig_serve_chaos)
 #   BENCH_sched.json  scheduling-policy matrix: cycle-accounted makespan
 #                     and steal counts per app x policy on the 8-core
 #                     tile machine (fig_sched)
@@ -26,13 +31,16 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 REPS_FLAG="${1:---reps=5}"
 
 cmake -B build -S .
-cmake --build build -j"${JOBS}" --target fig_vm fig_serve fig_sched
+cmake --build build -j"${JOBS}" --target fig_vm fig_serve fig_serve_chaos fig_sched
 
 ./build/bench/fig_vm "${REPS_FLAG}" > BENCH_vm.json
 echo "wrote $(pwd)/BENCH_vm.json"
 
 ./build/bench/fig_serve --requests=48 --conns=4 --workers=3 > BENCH_serve.json
 echo "wrote $(pwd)/BENCH_serve.json"
+
+./build/bench/fig_serve_chaos --requests=24 --conns=3 --workers=3 > BENCH_serve_chaos.json
+echo "wrote $(pwd)/BENCH_serve_chaos.json"
 
 ./build/bench/fig_sched --reps=3 > BENCH_sched.json
 echo "wrote $(pwd)/BENCH_sched.json"

@@ -18,6 +18,11 @@
 # determinism across synthesis --jobs, rr as the exact default, checked
 # --sched parsing, and the BENCH_sched.json policy matrix (cycles and
 # steal counts exact, including the ws/dep-beats-rr headline).
+# A supervision stage pins the serve job-supervision layer: chaos
+# outcome digests byte-identical across --workers, the live
+# retry/quarantine/health path over TCP, and the BENCH_serve_chaos.json
+# contract gate (every request answered with a verified success or a
+# typed error; p99 bounded).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -252,6 +257,99 @@ print("serve bench gate OK: " + ", ".join(
     "batch %d %.0f req/s" % (n, cb[n]["req_per_sec"]) for n in sorted(cb)))
 PYEOF
 
+echo "== tier-1: supervision stage (chaos byte-identity + quarantine e2e + chaos bench gate) =="
+# The job-supervision layer (DESIGN.md §3j) must be deterministic and
+# honest: a chaos sweep's per-request outcomes are a pure function of
+# (chaos spec, chaos seed, request id) — so the outcome digests must be
+# byte-identical across worker counts — and the live subprocess must
+# retry, exhaust, quarantine, and answer health probes over real TCP.
+# The committed BENCH_serve_chaos.json is gated exactly on the
+# deterministic fields (answered, ok, exhausted, retries, digest, the
+# completion-or-typed contract) and leniently on wall-clock p99.
+cmake --build build -j"${JOBS}" --target fig_serve_chaos
+./build/bench/fig_serve_chaos --workers=1 > "${TRACE_DIR}/chaos_w1.json" 2> /dev/null
+./build/bench/fig_serve_chaos --workers=4 > "${TRACE_DIR}/chaos_w4.json" 2> /dev/null
+python3 - "${TRACE_DIR}/chaos_w1.json" "${TRACE_DIR}/chaos_w4.json" <<'PYEOF'
+import json, sys
+w1 = json.load(open(sys.argv[1]))["cells"]
+w4 = json.load(open(sys.argv[2]))["cells"]
+assert len(w1) == len(w4)
+for a, b in zip(w1, w4):
+    assert a["faults"] == b["faults"]
+    assert a["digest"] == b["digest"], (
+        "%s: chaos outcomes differ across --workers (%s vs %s); the "
+        "per-job fault seed leaked worker state" %
+        (a["faults"], a["digest"], b["digest"]))
+print("chaos byte-identity OK: %d cells identical across workers" % len(w1))
+PYEOF
+CHAOS_PORT_FILE="${TRACE_DIR}/chaos_serve.port"
+CHAOS_LOG="${TRACE_DIR}/chaos_serve.err"
+./build/src/driver/bamboo serve --port=0 --port-file="${CHAOS_PORT_FILE}" \
+  --workers=2 --apps-dir=examples/dsl --chaos=drop~1 --max-retries=1 \
+  --quarantine-ms=60000 2> "${CHAOS_LOG}" &
+CHAOS_PID=$!
+for _ in $(seq 1 100); do [ -s "${CHAOS_PORT_FILE}" ] && break; sleep 0.1; done
+[ -s "${CHAOS_PORT_FILE}" ] || { echo "chaos serve never wrote its port file" >&2; exit 1; }
+python3 - "${CHAOS_PORT_FILE}" <<'PYEOF'
+import json, socket, sys
+port = int(open(sys.argv[1]).read().strip())
+s = socket.create_connection(("127.0.0.1", port))
+f = s.makefile("rw")
+def rpc(obj):
+    f.write(json.dumps(obj) + "\n"); f.flush()
+    return json.loads(f.readline())
+# drop~1 kills every attempt: the retry budget burns, the key poisons.
+r = rpc({"id": 1, "app": "series", "size": 8, "cores": 4})
+assert not r["ok"] and r["code"] == "retries-exhausted", r
+assert r["attempts"] == 2, r
+# The identical key is now rejected at admission with a backoff hint.
+r2 = rpc({"id": 2, "app": "series", "size": 8, "cores": 4})
+assert not r2["ok"] and r2["code"] == "quarantined", r2
+assert r2["retry_after_ms"] > 0, r2
+# Health probes answer inline and see the quarantine entry.
+h = rpc({"id": 3, "kind": "health"})
+assert h["ok"] and h["kind"] == "health", h
+assert h["quarantine_size"] == 1 and h["quarantined_rejects"] == 1, h
+assert len(h["workers"]) == 2, h
+s.close()
+print("quarantine e2e OK: exhaust -> quarantined -> health sees both")
+PYEOF
+kill -TERM "${CHAOS_PID}"
+wait "${CHAOS_PID}" || { echo "chaos serve did not exit 0 after SIGTERM" >&2; exit 1; }
+grep -q 'supervision:' "${CHAOS_LOG}" \
+  || { echo "chaos serve printed no supervision rollup" >&2; exit 1; }
+./build/bench/fig_serve_chaos --requests=24 --conns=3 --workers=3 \
+  > "${TRACE_DIR}/bench_serve_chaos.json" 2> /dev/null
+python3 - BENCH_serve_chaos.json "${TRACE_DIR}/bench_serve_chaos.json" <<'PYEOF'
+import json, sys
+base = json.load(open(sys.argv[1]))
+cur = json.load(open(sys.argv[2]))
+assert cur["schema"] == base["schema"] == "bamboo-serve-chaos-1"
+assert (cur["requests"], cur["seed"]) == (base["requests"], base["seed"]), \
+    "bench parameters changed; rerun scripts/bench.sh"
+bc = {c["faults"]: c for c in base["cells"]}
+cc = {c["faults"]: c for c in cur["cells"]}
+assert set(bc) == set(cc), "chaos cell sweep changed; rerun scripts/bench.sh"
+for spec, b in bc.items():
+    c = cc[spec]
+    assert c["answered"] == cur["requests"], \
+        "%s: %d of %d requests answered" % (spec, c["answered"], cur["requests"])
+    assert c["completion_or_typed"] == 1.0, \
+        "%s: contract broken (lost line, bad checksum, or untyped error)" % spec
+    for key in ("ok", "exhausted", "retried_jobs", "retries", "hung", "digest"):
+        assert c[key] == b[key], (
+            "%s: %s changed (%s -> %s); chaos outcomes are deterministic, "
+            "rerun scripts/bench.sh if the supervision policy moved"
+            % (spec, key, b[key], c[key]))
+    # Wall-clock gate, deliberately lenient: p99 must stay bounded (no
+    # hidden hang), not exact.
+    bound = max(b["p99_ms"] * 20.0, 2000.0)
+    assert c["p99_ms"] < bound, \
+        "%s: p99 %.1f ms exceeds bound %.1f ms" % (spec, c["p99_ms"], bound)
+print("serve chaos gate OK: " + ", ".join(
+    "%s ok=%d ex=%d" % (s, cc[s]["ok"], cc[s]["exhausted"]) for s in sorted(cc)))
+PYEOF
+
 echo "== tier-1: sched stage (policy determinism + bench gate) =="
 # The scheduling policies (DESIGN.md §3i) must be byte-deterministic:
 # for every policy the CLI output and trace cannot depend on synthesis
@@ -332,8 +430,12 @@ cmake --build build-tsan -j"${JOBS}" --target test_support test_synthesis \
 # and --jobs synthesis cases cover --exec-mode=vm under the same races.
 # SchedPolicy runs every scheduling policy through the thread engine's
 # per-worker counter buckets, the spot a shared scheduler would race.
+# ServeTest now includes the supervision suites (deadline cancel, hung
+# watchdog, retry/quarantine, health, the chaos drain) — the supervisor
+# thread, worker slots, and quarantine map are exactly the shared state
+# TSan should watch. The heavy ChaosMatrix soak stays excluded.
 (cd build-tsan && ctest --output-on-failure -j"${JOBS}" \
-  -R 'ThreadPool|Dsa|ThreadExecutor|TileExecutor|TraceTest|ThreadFaultTest|FaultInjector|VmDiff|ServeTest|SchedPolicy' \
+  -R 'ThreadPool|Dsa|ThreadExecutor|TileExecutor|TraceTest|ThreadFaultTest|FaultInjector|VmDiff|ServeTest|ServeProtocol|SchedPolicy' \
   -E 'ChaosMatrix')
 
 echo "tier-1 OK"

@@ -165,6 +165,34 @@ void serveUsage(std::FILE *Out) {
       "  --trace=FILE      record request spans as Chrome trace JSON,\n"
       "                    written after drain\n"
       "  --metrics         print the request rollup on exit\n"
+      "  --chaos=SPEC      inject faults into every worker engine (same\n"
+      "                    grammar as the one-shot --faults). Failed runs\n"
+      "                    are retried from their last in-memory\n"
+      "                    checkpoint with a bumped fault seed; each\n"
+      "                    job's seed is a pure function of (chaos seed,\n"
+      "                    request id), so outcomes are byte-reproducible\n"
+      "                    across --workers\n"
+      "  --chaos-seed=N    base seed for chaos fault draws (default 1)\n"
+      "  --watchdog-cycles=N\n"
+      "                    per-job engine watchdog: abort a run whose\n"
+      "                    clock advances N cycles (ms on the thread\n"
+      "                    engine) with no progress and answer it 'hung'\n"
+      "                    (default 50000000); 0 disables\n"
+      "  --checkpoint-every=N\n"
+      "                    in-memory snapshot cadence for chaos retries,\n"
+      "                    cycles (tile/sim) or invocations (thread)\n"
+      "                    (default 10000); only active under --chaos\n"
+      "  --max-retries=N   default per-job retry budget when a request\n"
+      "                    does not carry max_retries (default 2, max 8)\n"
+      "  --quarantine-ms=N how long an (app, args, seed) key that burned\n"
+      "                    every retry stays quarantined; repeat requests\n"
+      "                    are rejected with 'quarantined' (default\n"
+      "                    5000); 0 disables\n"
+      "  --default-deadline-ms=N\n"
+      "                    deadline applied to requests that carry no\n"
+      "                    deadline_ms; over-deadline jobs are cancelled\n"
+      "                    and answered 'deadline-exceeded' (default 0:\n"
+      "                    no deadline)\n"
       "  --help            print this help\n"
       "protocol: one JSON request per line, one JSON response line per\n"
       "request (see README 'bamboo serve'). SIGINT/SIGTERM drain\n"
@@ -209,6 +237,9 @@ int runServe(int Argc, char **Argv) {
   SO.AppsDir = "examples/dsl";
   std::string TracePath;
   bool Metrics = false;
+  // Owns the parsed --chaos plan; ServerOptions::Chaos is a non-owning
+  // pointer that must outlive the server.
+  resilience::FaultPlan ChaosPlan;
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--help") {
@@ -242,7 +273,46 @@ int runServe(int Argc, char **Argv) {
       TracePath = Arg.substr(8);
     else if (Arg == "--metrics")
       Metrics = true;
-    else {
+    else if (Arg.rfind("--chaos=", 0) == 0) {
+      std::string Error;
+      auto Plan = resilience::FaultPlan::parse(Arg.substr(8), Error);
+      if (!Plan) {
+        std::fprintf(stderr, "bamboo: --chaos: %s\n", Error.c_str());
+        return 2;
+      }
+      ChaosPlan = *Plan;
+      if (!ChaosPlan.empty())
+        SO.Chaos = &ChaosPlan;
+    } else if (Arg.rfind("--chaos-seed=", 0) == 0) {
+      if (!checkedU64(Arg, 13, "--chaos-seed", SO.ChaosSeed))
+        return 2;
+    } else if (Arg.rfind("--watchdog-cycles=", 0) == 0) {
+      if (!checkedU64(Arg, 18, "--watchdog-cycles", SO.WatchdogCycles))
+        return 2;
+    } else if (Arg.rfind("--checkpoint-every=", 0) == 0) {
+      if (!checkedU64(Arg, 19, "--checkpoint-every", SO.CheckpointEvery))
+        return 2;
+    } else if (Arg.rfind("--max-retries=", 0) == 0) {
+      if (!checkedInt(Arg, 14, "--max-retries", 0,
+                      static_cast<int64_t>(serve::MaxRetryLimit),
+                      SO.MaxRetries))
+        return 2;
+    } else if (Arg.rfind("--quarantine-ms=", 0) == 0) {
+      if (!checkedInt(Arg, 16, "--quarantine-ms", 0, 86'400'000,
+                      SO.QuarantineMs))
+        return 2;
+    } else if (Arg.rfind("--default-deadline-ms=", 0) == 0) {
+      uint64_t Ms = 0;
+      if (!checkedU64(Arg, 22, "--default-deadline-ms", Ms))
+        return 2;
+      if (Ms > serve::MaxDeadlineMs) {
+        std::fprintf(stderr,
+                     "bamboo: --default-deadline-ms must be at most %llu\n",
+                     static_cast<unsigned long long>(serve::MaxDeadlineMs));
+        return 2;
+      }
+      SO.DefaultDeadlineMs = Ms;
+    } else {
       std::fprintf(stderr, "unknown option %s\n", Arg.c_str());
       serveUsage(stderr);
       return 2;
@@ -264,6 +334,12 @@ int runServe(int Argc, char **Argv) {
                "batch %d, queue %zu)\n",
                Srv.appCount(), static_cast<unsigned>(Srv.port()),
                SO.Workers, SO.Batch, SO.QueueLimit);
+  if (SO.Chaos)
+    std::fprintf(stderr,
+                 "bamboo: chaos enabled: %s (seed %llu, max %d retries)\n",
+                 SO.Chaos->str().c_str(),
+                 static_cast<unsigned long long>(SO.ChaosSeed),
+                 SO.MaxRetries);
 
   // The handlers only raise the flag; the drain below is the real work.
   while (!support::stopRequested())
@@ -296,6 +372,17 @@ int runServe(int Argc, char **Argv) {
                static_cast<unsigned long long>(St.QueueFullRejects +
                                                St.DrainingRejects),
                static_cast<unsigned long long>(St.BadRequests));
+  if (St.Retries + St.TimedOut + St.Hung + St.Quarantined +
+          St.QuarantinedRejects >
+      0)
+    std::fprintf(stderr,
+                 "bamboo: supervision: %llu retries, %llu timed out, "
+                 "%llu hung, %llu quarantined (%llu rejects)\n",
+                 static_cast<unsigned long long>(St.Retries),
+                 static_cast<unsigned long long>(St.TimedOut),
+                 static_cast<unsigned long long>(St.Hung),
+                 static_cast<unsigned long long>(St.Quarantined),
+                 static_cast<unsigned long long>(St.QuarantinedRejects));
   return 0;
 }
 

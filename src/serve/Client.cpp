@@ -10,9 +10,11 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -22,7 +24,9 @@ using namespace bamboo::serve;
 Client::~Client() { close(); }
 
 Client::Client(Client &&Other) noexcept
-    : Fd(Other.Fd), Buffer(std::move(Other.Buffer)) {
+    : Fd(Other.Fd), RecvTimeoutMs(Other.RecvTimeoutMs),
+      Buffer(std::move(Other.Buffer)),
+      LastError(std::move(Other.LastError)) {
   Other.Fd = -1;
 }
 
@@ -30,7 +34,9 @@ Client &Client::operator=(Client &&Other) noexcept {
   if (this != &Other) {
     close();
     Fd = Other.Fd;
+    RecvTimeoutMs = Other.RecvTimeoutMs;
     Buffer = std::move(Other.Buffer);
+    LastError = std::move(Other.LastError);
     Other.Fd = -1;
   }
   return *this;
@@ -46,9 +52,11 @@ void Client::close() {
 
 bool Client::connectTo(uint16_t Port, std::string &Error) {
   close();
+  LastError.clear();
   Fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (Fd < 0) {
     Error = formatString("socket: %s", std::strerror(errno));
+    LastError = Error;
     return false;
   }
   sockaddr_in Addr = {};
@@ -62,6 +70,7 @@ bool Client::connectTo(uint16_t Port, std::string &Error) {
     Error = formatString("connect to 127.0.0.1:%u: %s",
                                   static_cast<unsigned>(Port),
                                   std::strerror(errno));
+    LastError = Error;
     close();
     return false;
   }
@@ -90,24 +99,58 @@ bool Client::sendLine(const std::string &Line) {
 }
 
 bool Client::recvLine(std::string &Line) {
-  if (Fd < 0)
+  if (Fd < 0) {
+    LastError = "not connected";
     return false;
+  }
+  // The deadline spans the whole line, not each chunk: a server trickling
+  // bytes cannot stretch one recvLine() past the configured budget.
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(RecvTimeoutMs);
   for (;;) {
     size_t Nl = Buffer.find('\n');
     if (Nl != std::string::npos) {
       Line = Buffer.substr(0, Nl);
       Buffer.erase(0, Nl + 1);
+      LastError.clear();
       return true;
+    }
+    if (RecvTimeoutMs > 0) {
+      auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      Deadline - std::chrono::steady_clock::now())
+                      .count();
+      if (Left <= 0) {
+        LastError = formatString(
+            "recv timed out after %d ms waiting for a response line",
+            RecvTimeoutMs);
+        return false;
+      }
+      pollfd P = {};
+      P.fd = Fd;
+      P.events = POLLIN;
+      int R = ::poll(&P, 1, static_cast<int>(Left));
+      if (R < 0) {
+        if (errno == EINTR)
+          continue;
+        LastError = formatString("poll: %s", std::strerror(errno));
+        return false;
+      }
+      if (R == 0)
+        continue; // Re-checks the deadline, then reports the timeout.
     }
     char Chunk[4096];
     ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
     if (N < 0) {
       if (errno == EINTR)
         continue;
+      LastError = formatString("recv: %s", std::strerror(errno));
       return false;
     }
-    if (N == 0)
-      return false; // Peer closed with no complete line pending.
+    if (N == 0) {
+      // Peer closed with no complete line pending.
+      LastError = "server closed the connection";
+      return false;
+    }
     Buffer.append(Chunk, static_cast<size_t>(N));
   }
 }

@@ -37,14 +37,28 @@ public:
   bool connected() const { return Fd >= 0; }
   void close();
 
+  /// Bounds how long recvLine() waits for the next byte. A wedged server
+  /// then fails the caller with a clear lastError() instead of hanging a
+  /// test run forever. <= 0 waits indefinitely (the pre-timeout
+  /// behavior); the default is deliberately generous so a cold synthesis
+  /// under a sanitizer does not trip it.
+  void setRecvTimeoutMs(int Ms) { RecvTimeoutMs = Ms; }
+  int recvTimeoutMs() const { return RecvTimeoutMs; }
+
   /// Sends \p Line plus the terminating newline.
   bool sendLine(const std::string &Line);
   /// Receives the next newline-terminated line (newline stripped).
+  /// On failure lastError() says why (timeout, peer close, errno).
   bool recvLine(std::string &Line);
+
+  /// Why the last recvLine()/connectTo() failed; empty after success.
+  const std::string &lastError() const { return LastError; }
 
 private:
   int Fd = -1;
+  int RecvTimeoutMs = 15000;
   std::string Buffer;
+  std::string LastError;
 };
 
 } // namespace bamboo::serve

@@ -8,6 +8,7 @@
 
 #include "resilience/Checkpoint.h"
 #include "support/Format.h"
+#include "support/Parse.h"
 
 using namespace bamboo;
 using namespace bamboo::serve;
@@ -56,6 +57,37 @@ bool expectUInt(const Json &V, const char *Field, uint64_t &Out,
   return true;
 }
 
+/// The supervision fields (deadline_ms, max_retries) additionally accept
+/// a decimal string, routed through support::Parse so the hostile-numeric
+/// rules the CLI enforces ("12x", " 3", signs, overflow) apply on the
+/// wire too. Negative JSON numbers never satisfy isUInt, so they land in
+/// the error path by construction.
+bool expectBoundedU64(const Json &V, const char *Field, uint64_t Max,
+                      uint64_t &Out, std::string &Error) {
+  uint64_t Val = 0;
+  if (V.isUInt()) {
+    Val = V.uint();
+  } else if (V.isString()) {
+    if (!support::parseU64(V.str(), Val)) {
+      Error = formatString(
+          "field '%s' must be a non-negative decimal integer, got '%s'",
+          Field, V.str().c_str());
+      return false;
+    }
+  } else {
+    Error = formatString("field '%s' must be a non-negative integer",
+                         Field);
+    return false;
+  }
+  if (Val > Max) {
+    Error = formatString("field '%s' must be at most %llu", Field,
+                         static_cast<unsigned long long>(Max));
+    return false;
+  }
+  Out = Val;
+  return true;
+}
+
 } // namespace
 
 bool serve::parseRequest(const std::string &Line, Request &Out,
@@ -78,10 +110,35 @@ bool serve::parseRequest(const std::string &Line, Request &Out,
   }
 
   Request R;
+  // Resolve the request kind up front: a health probe takes only id (and
+  // kind itself), so the field loop can reject run-only fields for it.
+  if (const Json *KindV = Doc.find("kind")) {
+    if (!KindV->isString()) {
+      Error = "field 'kind' must be a string";
+      return false;
+    }
+    if (KindV->str() == "run")
+      R.Kind = RequestKind::Run;
+    else if (KindV->str() == "health")
+      R.Kind = RequestKind::Health;
+    else {
+      Error = formatString("field 'kind' expects 'run' or 'health', "
+                           "got '%s'",
+                           KindV->str().c_str());
+      return false;
+    }
+  }
   bool SawId = false, SawSize = false, SawArgs = false;
   uint64_t Size = 0;
   for (const auto &[Key, V] : Doc.object()) {
-    if (Key == "id") {
+    if (R.Kind == RequestKind::Health && Key != "id" && Key != "kind") {
+      Error = formatString(
+          "field '%s' is not valid for kind 'health'", Key.c_str());
+      return false;
+    }
+    if (Key == "kind") {
+      // Validated above.
+    } else if (Key == "id") {
       if (!expectUInt(V, "id", R.Id, Error))
         return false;
       SawId = true;
@@ -162,6 +219,16 @@ bool serve::parseRequest(const std::string &Line, Request &Out,
                              sched::policyChoices(), V.str().c_str());
         return false;
       }
+    } else if (Key == "deadline_ms") {
+      if (!expectBoundedU64(V, "deadline_ms", MaxDeadlineMs, R.DeadlineMs,
+                            Error))
+        return false;
+    } else if (Key == "max_retries") {
+      uint64_t Retries = 0;
+      if (!expectBoundedU64(V, "max_retries", MaxRetryLimit, Retries,
+                            Error))
+        return false;
+      R.MaxRetries = static_cast<int>(Retries);
     } else if (Key == "exec_mode") {
       if (!V.isString()) {
         Error = "field 'exec_mode' must be a string";
@@ -188,6 +255,10 @@ bool serve::parseRequest(const std::string &Line, Request &Out,
     Error = "missing required field 'id'";
     return false;
   }
+  if (R.Kind == RequestKind::Health) {
+    Out = std::move(R);
+    return true;
+  }
   if (R.App.empty()) {
     Error = "missing required field 'app'";
     return false;
@@ -204,7 +275,7 @@ bool serve::parseRequest(const std::string &Line, Request &Out,
 
 std::string serve::successLine(const Request &R, const ExecReport &E,
                                uint64_t LatencyUs, int Worker,
-                               bool SynthCached) {
+                               bool SynthCached, uint64_t Retries) {
   uint32_t Crc = resilience::crc32(E.Output.data(), E.Output.size());
   JsonObject O;
   O.emplace_back("id", Json(R.Id));
@@ -221,12 +292,15 @@ std::string serve::successLine(const Request &R, const ExecReport &E,
   O.emplace_back("latency_us", Json(LatencyUs));
   O.emplace_back("worker", Json(Worker));
   O.emplace_back("synth_cached", Json(SynthCached));
+  if (Retries > 0)
+    O.emplace_back("retries", Json(Retries));
   return Json(std::move(O)).dump();
 }
 
 std::string serve::errorLine(bool HaveId, uint64_t Id,
                              const std::string &Code,
-                             const std::string &Error, int64_t RetryAfterMs) {
+                             const std::string &Error, int64_t RetryAfterMs,
+                             const std::string &Report, int64_t Attempts) {
   JsonObject O;
   if (HaveId)
     O.emplace_back("id", Json(Id));
@@ -236,5 +310,38 @@ std::string serve::errorLine(bool HaveId, uint64_t Id,
   if (RetryAfterMs >= 0)
     O.emplace_back("retry_after_ms",
                    Json(static_cast<uint64_t>(RetryAfterMs)));
+  if (!Report.empty())
+    O.emplace_back("report", Json(Report));
+  if (Attempts >= 0)
+    O.emplace_back("attempts", Json(static_cast<uint64_t>(Attempts)));
+  return Json(std::move(O)).dump();
+}
+
+std::string serve::healthLine(uint64_t Id, const HealthReport &H) {
+  JsonArray Workers;
+  for (const WorkerHealth &W : H.Workers) {
+    JsonObject O;
+    O.emplace_back("busy", Json(W.Busy));
+    O.emplace_back("request", W.RequestId < 0
+                                  ? Json(-1)
+                                  : Json(static_cast<uint64_t>(W.RequestId)));
+    O.emplace_back("completed", Json(W.Completed));
+    Workers.push_back(Json(std::move(O)));
+  }
+  JsonObject O;
+  O.emplace_back("id", Json(Id));
+  O.emplace_back("ok", Json(true));
+  O.emplace_back("kind", Json("health"));
+  O.emplace_back("workers", Json(std::move(Workers)));
+  O.emplace_back("queue_depth", Json(H.QueueDepth));
+  O.emplace_back("queue_limit", Json(H.QueueLimit));
+  O.emplace_back("quarantine_size", Json(H.QuarantineSize));
+  O.emplace_back("draining", Json(H.Draining));
+  O.emplace_back("accepted", Json(H.Accepted));
+  O.emplace_back("completed", Json(H.Completed));
+  O.emplace_back("retries", Json(H.Retries));
+  O.emplace_back("timeouts", Json(H.Timeouts));
+  O.emplace_back("hung", Json(H.Hung));
+  O.emplace_back("quarantined_rejects", Json(H.QuarantinedRejects));
   return Json(std::move(O)).dump();
 }

@@ -27,6 +27,17 @@
 ///     CLI's --sched values "rr" (default), "ws", "locality", "dep".
 ///     Like the CLI, synthesis always measures under rr; the policy
 ///     applies to the final (reported) run only.
+///   - `deadline_ms` (optional): wall-clock budget from admission; an
+///     over-deadline job is cancelled and answered `deadline-exceeded`.
+///     0 (the default) means no deadline. Accepts a JSON integer or a
+///     decimal string; both go through support::Parse's strict rules.
+///   - `max_retries` (optional): in-server re-runs granted to a job that
+///     fails under `--chaos` before it is quarantined; defaults to the
+///     server's --max-retries. Same numeric rules as deadline_ms.
+///   - `kind` (optional): "run" (default) executes the app; "health"
+///     takes only `id` and is answered inline by the reader thread with
+///     per-worker liveness, queue depth, and quarantine size — it works
+///     even while every worker is busy or the server is draining.
 ///
 /// Validation is strict in the same way the CLI flag parser is: unknown
 /// fields, wrong types, and out-of-range numbers are rejected with a
@@ -47,7 +58,12 @@
 ///   {"id":1,"ok":false,"code":"bad-request","error":"…"}
 ///
 ///   Codes: `bad-request`, `queue-full`, `draining`, `runtime-error`,
-///   `internal`. `queue-full` and `draining` carry `retry_after_ms`.
+///   `internal`, plus the supervision codes `deadline-exceeded`, `hung`,
+///   `retries-exhausted`, and `quarantined`. `queue-full`, `draining`,
+///   and `quarantined` carry `retry_after_ms` (scaled by current queue
+///   depth); `deadline-exceeded` and `hung` carry a `report` field with
+///   the supervisor's WatchdogReport text; `retries-exhausted` carries
+///   `attempts`.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -67,13 +83,21 @@ namespace bamboo::serve {
 enum class EngineKind : uint8_t { Tile, Sim, Thread };
 /// Exec-mode names mirror the CLI's --exec-mode values.
 enum class ExecMode : uint8_t { Vm, Interp };
+/// Request kinds: execute an app, or answer a health probe inline.
+enum class RequestKind : uint8_t { Run, Health };
 
 const char *engineName(EngineKind E);
 const char *execModeName(ExecMode M);
 
+/// Protocol bounds for the supervision fields. A deadline above an hour
+/// or more than 8 re-runs is a configuration mistake, never a real job.
+constexpr uint64_t MaxDeadlineMs = 3'600'000;
+constexpr uint64_t MaxRetryLimit = 8;
+
 /// A validated job request.
 struct Request {
   uint64_t Id = 0;
+  RequestKind Kind = RequestKind::Run;
   std::string App;
   std::vector<std::string> Args;
   uint64_t Seed = 1;
@@ -81,6 +105,10 @@ struct Request {
   EngineKind Engine = EngineKind::Tile;
   sched::Policy Sched = sched::Policy::Rr;
   ExecMode Mode = ExecMode::Vm;
+  /// Wall-clock budget in ms from admission; 0 = no deadline.
+  uint64_t DeadlineMs = 0;
+  /// Supervised re-runs granted under faults; -1 = server default.
+  int MaxRetries = -1;
 };
 
 /// The argument string `size` N expands to: N digits cycling '1'..'9'
@@ -102,14 +130,51 @@ struct ExecReport {
   uint64_t Invocations = 0;
 };
 
-/// Renders the success response line (no trailing newline).
+/// Renders the success response line (no trailing newline). \p Retries
+/// appends a trailing `retries` field when > 0 (a job that needed
+/// supervision re-runs), so fault-free responses are byte-identical to
+/// earlier releases.
 std::string successLine(const Request &R, const ExecReport &E,
-                        uint64_t LatencyUs, int Worker, bool SynthCached);
+                        uint64_t LatencyUs, int Worker, bool SynthCached,
+                        uint64_t Retries = 0);
 
 /// Renders an error response line (no trailing newline). \p RetryAfterMs
-/// < 0 omits the retry_after_ms field.
+/// < 0 omits the retry_after_ms field; an empty \p Report omits the
+/// report field (deadline-exceeded/hung attach their WatchdogReport
+/// here); \p Attempts < 0 omits the attempts field (retries-exhausted
+/// reports how many runs were burned).
 std::string errorLine(bool HaveId, uint64_t Id, const std::string &Code,
-                      const std::string &Error, int64_t RetryAfterMs = -1);
+                      const std::string &Error, int64_t RetryAfterMs = -1,
+                      const std::string &Report = std::string(),
+                      int64_t Attempts = -1);
+
+/// One worker's slice of a health response.
+struct WorkerHealth {
+  bool Busy = false;
+  /// Request id the worker is executing; -1 when idle.
+  int64_t RequestId = -1;
+  /// Jobs this worker has finished since start().
+  uint64_t Completed = 0;
+};
+
+/// What a `health` request reports. Assembled by the server from live
+/// state; rendered here so the wire format stays in one file.
+struct HealthReport {
+  std::vector<WorkerHealth> Workers;
+  uint64_t QueueDepth = 0;
+  uint64_t QueueLimit = 0;
+  uint64_t QuarantineSize = 0;
+  bool Draining = false;
+  uint64_t Accepted = 0;
+  uint64_t Completed = 0;
+  uint64_t Retries = 0;
+  uint64_t Timeouts = 0;
+  uint64_t Hung = 0;
+  uint64_t QuarantinedRejects = 0;
+};
+
+/// Renders the health response line (no trailing newline).
+std::string healthLine(uint64_t Id, const HealthReport &H);
 
 } // namespace bamboo::serve
 

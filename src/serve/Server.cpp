@@ -10,9 +10,12 @@
 #include "driver/Pipeline.h"
 #include "frontend/Frontend.h"
 #include "interp/Interp.h"
+#include "resilience/Checkpoint.h"
+#include "resilience/FaultPlan.h"
 #include "runtime/ThreadExecutor.h"
 #include "schedsim/SchedSim.h"
 #include "support/Format.h"
+#include "support/Watchdog.h"
 #include "vm/Vm.h"
 
 #include <algorithm>
@@ -70,6 +73,21 @@ struct Server::WorkerState {
   std::map<std::string, std::unique_ptr<interp::DslProgram>> Programs;
 };
 
+/// One worker's supervision slot. The worker publishes what it is
+/// running (and until when) under M; the supervisor thread scans the
+/// slots and raises Cancel — also under M, so a cancel can never leak
+/// onto the next job. The engines poll Cancel lock-free through their
+/// Stop hook.
+struct Server::WorkerSlot {
+  std::mutex M;
+  bool Busy = false;
+  uint64_t ReqId = 0;
+  bool HasDeadline = false;
+  std::chrono::steady_clock::time_point Deadline;
+  uint64_t Done = 0; ///< Jobs finished by this worker (health report).
+  std::atomic<bool> Cancel{false};
+};
+
 namespace {
 
 std::string programKey(const std::string &App, ExecMode Mode) {
@@ -87,6 +105,34 @@ std::string synthKey(const Request &R) {
     Key += A;
   }
   return Key;
+}
+
+/// Quarantine key: the (app, args, seed) identity of a poison request.
+/// Narrower than synthKey on purpose — the same inputs are poison no
+/// matter which engine, mode, or core count runs them.
+std::string quarantineKey(const Request &R) {
+  std::string Key = R.App;
+  Key += formatString("|s%llu", static_cast<unsigned long long>(R.Seed));
+  for (const std::string &A : R.Args) {
+    Key += '\x1f';
+    Key += A;
+  }
+  return Key;
+}
+
+/// Per-job chaos fault seed: a splitmix64 finalizer over (base seed,
+/// request id). A pure function of the request, never of worker or
+/// batch assignment, so a chaos run's outcomes are byte-reproducible
+/// across --workers/--jobs. Retries bump the result by the attempt
+/// number, mirroring the CLI's --recovery=restart.
+uint64_t jobFaultSeed(uint64_t ChaosSeed, uint64_t ReqId) {
+  uint64_t X = ChaosSeed ^ (ReqId + 0x9E3779B97F4A7C15ULL);
+  X ^= X >> 30;
+  X *= 0xBF58476D1CE4E5B9ULL;
+  X ^= X >> 27;
+  X *= 0x94D049BB133111EBULL;
+  X ^= X >> 31;
+  return X;
 }
 
 /// Compiles \p Source into a mode-appropriate resident program. Returns
@@ -120,6 +166,12 @@ Server::Server(ServerOptions O) : Opts(std::move(O)) {
     Opts.Batch = 1;
   if (Opts.QueueLimit < 1)
     Opts.QueueLimit = 1;
+  if (Opts.MaxRetries < 0)
+    Opts.MaxRetries = 0;
+  if (Opts.MaxRetries > static_cast<int>(MaxRetryLimit))
+    Opts.MaxRetries = static_cast<int>(MaxRetryLimit);
+  if (Opts.Chaos && Opts.Chaos->empty())
+    Opts.Chaos = nullptr;
 }
 
 Server::~Server() { shutdown(); }
@@ -217,9 +269,13 @@ std::string Server::start() {
     }
   }
 
+  Slots.clear();
+  for (int W = 0; W < Opts.Workers; ++W)
+    Slots.push_back(std::make_unique<WorkerSlot>());
   Workers.reserve(static_cast<size_t>(Opts.Workers));
   for (int W = 0; W < Opts.Workers; ++W)
     Workers.emplace_back([this, W] { workerLoop(W); });
+  Supervisor = std::thread([this] { supervisorLoop(); });
   Acceptor = std::thread([this] { acceptorLoop(); });
   Started = true;
   return {};
@@ -294,6 +350,8 @@ void Server::shutdown() {
   for (std::thread &T : Workers)
     if (T.joinable())
       T.join();
+  if (Supervisor.joinable())
+    Supervisor.join();
   {
     std::lock_guard<std::mutex> L(ConnsM);
     for (auto &C : Conns)
@@ -303,6 +361,77 @@ void Server::shutdown() {
       }
     Conns.clear();
   }
+}
+
+void Server::supervisorLoop() {
+  // 5 ms scan granularity bounds how late a deadline can fire; the
+  // engines notice the raised flag at their next event boundary.
+  while (!Stopping.load(std::memory_order_acquire)) {
+    auto Now = std::chrono::steady_clock::now();
+    for (auto &S : Slots) {
+      std::lock_guard<std::mutex> L(S->M);
+      if (S->Busy && S->HasDeadline && Now >= S->Deadline)
+        S->Cancel.store(true, std::memory_order_release);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+int Server::scaledRetryAfterMs(size_t QueueDepth) const {
+  long long Base = Opts.RetryAfterMs < 0 ? 0 : Opts.RetryAfterMs;
+  long long Hint = Base * (1 + static_cast<long long>(QueueDepth));
+  return static_cast<int>(std::min(Hint, 60'000LL));
+}
+
+int64_t Server::quarantineRemainingMs(const std::string &Key) {
+  std::lock_guard<std::mutex> L(QuarM);
+  auto It = Quarantine.find(Key);
+  if (It == Quarantine.end())
+    return -1;
+  auto Now = std::chrono::steady_clock::now();
+  if (Now >= It->second) {
+    Quarantine.erase(It);
+    return -1;
+  }
+  return std::chrono::duration_cast<std::chrono::milliseconds>(It->second -
+                                                               Now)
+      .count();
+}
+
+HealthReport Server::health() const {
+  HealthReport H;
+  for (const auto &S : Slots) {
+    std::lock_guard<std::mutex> L(S->M);
+    WorkerHealth W;
+    W.Busy = S->Busy;
+    W.RequestId = S->Busy ? static_cast<int64_t>(S->ReqId) : -1;
+    W.Completed = S->Done;
+    H.Workers.push_back(W);
+  }
+  {
+    std::lock_guard<std::mutex> L(QueueM);
+    H.QueueDepth = Queue.size();
+    H.Draining = Draining.load(std::memory_order_acquire) ||
+                 Stopping.load(std::memory_order_acquire);
+  }
+  H.QueueLimit = Opts.QueueLimit;
+  {
+    auto Now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> L(QuarM);
+    for (const auto &[Key, Until] : Quarantine)
+      if (Until > Now)
+        ++H.QuarantineSize;
+  }
+  {
+    std::lock_guard<std::mutex> L(StatsM);
+    H.Accepted = Stats.Accepted;
+    H.Completed = Stats.Completed;
+    H.Retries = Stats.Retries;
+    H.Timeouts = Stats.TimedOut;
+    H.Hung = Stats.Hung;
+    H.QuarantinedRejects = Stats.QuarantinedRejects;
+  }
+  return H;
 }
 
 ServerStats Server::stats() const {
@@ -411,6 +540,17 @@ void Server::handleLine(const std::shared_ptr<Conn> &C,
     writeLine(*C, errorLine(HaveId, Id, "bad-request", Error));
     return;
   }
+  // Health probes are answered inline on the reader thread: they must
+  // work while every worker is wedged mid-job and while draining —
+  // that is exactly when a load generator needs them.
+  if (Req.Kind == RequestKind::Health) {
+    {
+      std::lock_guard<std::mutex> S(StatsM);
+      ++Stats.HealthRequests;
+    }
+    writeLine(*C, healthLine(Req.Id, health()));
+    return;
+  }
   if (Apps.find(Req.App) == Apps.end()) {
     {
       std::lock_guard<std::mutex> S(StatsM);
@@ -422,12 +562,36 @@ void Server::handleLine(const std::shared_ptr<Conn> &C,
     return;
   }
 
+  // Poison keys are refused before they can burn another worker. The
+  // hint tells the client when the quarantine lapses (or to back off
+  // for the queue to clear, whichever is longer).
+  if (int64_t QuarMs = quarantineRemainingMs(quarantineKey(Req));
+      QuarMs >= 0) {
+    size_t Depth;
+    {
+      std::lock_guard<std::mutex> L(QueueM);
+      Depth = Queue.size();
+    }
+    {
+      std::lock_guard<std::mutex> S(StatsM);
+      ++Stats.QuarantinedRejects;
+    }
+    writeLine(*C, errorLine(true, Req.Id, "quarantined",
+                            "request key is quarantined after repeated "
+                            "failures",
+                            std::max<int64_t>(
+                                QuarMs, scaledRetryAfterMs(Depth))));
+    return;
+  }
+
   // Admission. The draining/stopping check and the enqueue share QueueM
   // with beginDrain(), so an accepted request is always drained and a
   // rejected one never sits in a dead queue.
   enum class Reject { None, Draining, QueueFull } Why = Reject::None;
+  size_t Depth = 0;
   {
     std::lock_guard<std::mutex> L(QueueM);
+    Depth = Queue.size();
     if (Draining.load(std::memory_order_acquire) ||
         Stopping.load(std::memory_order_acquire)) {
       Why = Reject::Draining;
@@ -455,11 +619,11 @@ void Server::handleLine(const std::shared_ptr<Conn> &C,
     writeLine(*C, errorLine(true, Req.Id, "draining",
                             "server is draining; retry against a fresh "
                             "instance",
-                            Opts.RetryAfterMs));
+                            scaledRetryAfterMs(Depth)));
   else
     writeLine(*C, errorLine(true, Req.Id, "queue-full",
                             "admission queue is full",
-                            Opts.RetryAfterMs));
+                            scaledRetryAfterMs(Depth)));
 }
 
 //===----------------------------------------------------------------------===//
@@ -567,15 +731,85 @@ Server::getSynthesis(WorkerState &WS, const Job &J, interp::DslProgram &IP,
 
 void Server::executeJob(WorkerState &WS, int WorkerIdx, Job &J) {
   const Request &Req = J.Req;
+  WorkerSlot &Slot = *Slots[static_cast<size_t>(WorkerIdx)];
   if (Opts.Trace)
     Opts.Trace->requestBegin(nowUs(), WorkerIdx,
                              static_cast<int64_t>(Req.Id));
   bool Ok = false;
   auto Finish = [&](const std::string &Line) {
+    {
+      std::lock_guard<std::mutex> L(Slot.M);
+      Slot.Busy = false;
+      Slot.HasDeadline = false;
+      ++Slot.Done;
+    }
     writeLine(*J.C, Line);
     if (Opts.Trace)
       Opts.Trace->requestEnd(nowUs(), WorkerIdx,
                              static_cast<int64_t>(Req.Id), Ok);
+  };
+
+  // Supervision parameters. The deadline is measured from admission, so
+  // queue wait and synthesis count against the budget — a client asking
+  // for 100 ms gets an answer near 100 ms, not 100 ms of pure engine
+  // time after an unbounded wait.
+  uint64_t DeadlineMs =
+      Req.DeadlineMs > 0 ? Req.DeadlineMs : Opts.DefaultDeadlineMs;
+  auto DeadlineAt = J.Admitted + std::chrono::milliseconds(DeadlineMs);
+  int MaxRetries = Req.MaxRetries >= 0
+                       ? std::min(Req.MaxRetries,
+                                  static_cast<int>(MaxRetryLimit))
+                       : Opts.MaxRetries;
+
+  // Register with the supervisor before any heavy work; it raises
+  // Slot.Cancel (the engines' Stop hook) once the deadline passes.
+  {
+    std::lock_guard<std::mutex> L(Slot.M);
+    Slot.Busy = true;
+    Slot.ReqId = Req.Id;
+    Slot.HasDeadline = DeadlineMs > 0;
+    Slot.Deadline = DeadlineAt;
+    Slot.Cancel.store(false, std::memory_order_release);
+  }
+
+  auto ElapsedMs = [&J] {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - J.Admitted)
+            .count());
+  };
+  auto PastDeadline = [&] {
+    return DeadlineMs > 0 && std::chrono::steady_clock::now() >= DeadlineAt;
+  };
+  // The deadline report reuses the engines' WatchdogReport format so
+  // every supervision dump reads the same way.
+  auto DeadlineReport = [&] {
+    support::WatchdogReport R("serve", ElapsedMs(), 0, DeadlineMs, "ms");
+    R.section("job");
+    R.line(formatString("request %llu: app '%s', engine %s, worker %d",
+                        static_cast<unsigned long long>(Req.Id),
+                        Req.App.c_str(), engineName(Req.Engine),
+                        WorkerIdx));
+    return R.str();
+  };
+  auto FinishTimeout = [&](bool Hung, const std::string &Report) {
+    {
+      std::lock_guard<std::mutex> S(StatsM);
+      if (Hung)
+        ++Stats.Hung;
+      else
+        ++Stats.TimedOut;
+    }
+    if (Opts.Trace)
+      Opts.Trace->jobTimeout(nowUs(), WorkerIdx,
+                             static_cast<int64_t>(Req.Id), Hung);
+    Finish(errorLine(
+        true, Req.Id, Hung ? "hung" : "deadline-exceeded",
+        Hung ? "engine watchdog fired: no scheduler progress"
+             : formatString("deadline of %llu ms exceeded after %llu ms",
+                            static_cast<unsigned long long>(DeadlineMs),
+                            static_cast<unsigned long long>(ElapsedMs())),
+        -1, Report));
   };
 
   // Resolve (or build) this worker's resident program for (app, mode).
@@ -602,58 +836,201 @@ void Server::executeJob(WorkerState &WS, int WorkerIdx, Job &J) {
     return;
   }
 
-  // The final run mirrors the one-shot CLI exactly: clear accumulated
-  // output, execute the chosen engine over the synthesized layout, and
-  // report what the CLI would have printed to stdout.
+  // The final run mirrors the one-shot CLI's final-run path, wrapped in
+  // the supervision loop: cancel hooks and watchdog on every attempt,
+  // chaos faults with a per-request seed, and retry-from-checkpoint (the
+  // CLI's --recovery=restart machinery) for damaged runs.
   machine::MachineConfig Target = machine::MachineConfig::tilePro64();
   Target.NumCores = Req.Cores;
-  // Clear accumulated state up front: the resident program carries
-  // output/error from synthesis profiling runs and earlier requests.
-  IP.clearOutput();
-  IP.clearError();
-  ExecReport Rep;
-  if (Req.Engine == EngineKind::Sim) {
-    // Token-level replay: scheduling behavior only, no program output —
-    // same as the CLI, whose stdout is empty under --engine=sim.
-    schedsim::SimOptions SO;
-    SO.Sched = Req.Sched;
-    schedsim::SimResult S = schedsim::simulateLayout(
-        IP.bound().program(), R->Graph, *R->Prof, IP.bound().hints(),
-        Target, R->BestLayout, SO);
-    Rep.Cycles = S.EstimatedCycles;
-    Rep.Invocations = S.Invocations;
-  } else if (Req.Engine == EngineKind::Thread) {
-    runtime::ThreadExecOptions TO;
-    TO.Args = Req.Args;
-    TO.Seed = Req.Seed;
-    TO.Sched = Req.Sched;
-    runtime::ThreadExecutor Exec(IP.bound(), R->Graph, R->BestLayout);
-    runtime::ThreadExecResult TR = Exec.run(TO);
-    Rep.Output = IP.output();
-    Rep.Invocations = TR.TaskInvocations;
-    // The host engine has wall time, not virtual cycles.
-    Rep.Cycles = 0;
-  } else {
-    runtime::TileExecutor Exec(IP.bound(), R->Graph, Target,
-                               R->BestLayout);
-    runtime::ExecOptions EO;
-    EO.Args = Req.Args;
-    EO.Seed = Req.Seed;
-    EO.Sched = Req.Sched;
-    runtime::ExecResult FR = Exec.run(EO);
-    Rep.Output = IP.output();
-    Rep.Cycles = FR.TotalCycles;
-    Rep.Invocations = FR.TaskInvocations;
-  }
+  const resilience::FaultPlan *Chaos = Opts.Chaos;
+  uint64_t BaseFaultSeed =
+      Chaos ? jobFaultSeed(Opts.ChaosSeed, Req.Id) : 0;
+  resilience::Checkpoint LastCkpt;
+  bool HaveCkpt = false;
+  auto KeepCleanCkpt = [&](const resilience::Checkpoint &Ck) {
+    if (!Ck.Tainted) {
+      LastCkpt = Ck;
+      HaveCkpt = true;
+    }
+  };
 
-  if (IP.hadError()) {
-    Finish(errorLine(true, Req.Id, "runtime-error", IP.error()));
+  for (int Attempt = 0;; ++Attempt) {
+    if (PastDeadline()) {
+      FinishTimeout(false, DeadlineReport());
+      return;
+    }
+    // Clear accumulated state before every attempt: the resident program
+    // carries output/error from synthesis profiling runs, earlier
+    // requests, and the attempt that just failed.
+    IP.clearOutput();
+    IP.clearError();
+    ExecReport Rep;
+    bool Completed = false, WatchdogFired = false, Interrupted = false;
+    std::string WatchdogDump, RestoreError;
+
+    if (Req.Engine == EngineKind::Sim) {
+      // Token-level replay: scheduling behavior only, no program output —
+      // same as the CLI, whose stdout is empty under --engine=sim.
+      schedsim::SimOptions SO;
+      SO.Sched = Req.Sched;
+      SO.Stop = &Slot.Cancel;
+      SO.WatchdogCycles = Opts.WatchdogCycles;
+      if (Chaos) {
+        SO.Faults = Chaos;
+        SO.FaultSeed = BaseFaultSeed + static_cast<uint64_t>(Attempt);
+        SO.Recovery = false;
+        SO.CheckpointEvery = Opts.CheckpointEvery;
+        SO.OnCheckpoint = KeepCleanCkpt;
+        if (Attempt > 0 && HaveCkpt)
+          SO.Restore = &LastCkpt;
+      }
+      schedsim::SimResult S = schedsim::simulateLayout(
+          IP.bound().program(), R->Graph, *R->Prof, IP.bound().hints(),
+          Target, R->BestLayout, SO);
+      Rep.Cycles = S.EstimatedCycles;
+      Rep.Invocations = S.Invocations;
+      Completed = S.Terminated;
+      WatchdogFired = S.WatchdogFired;
+      WatchdogDump = std::move(S.WatchdogDump);
+      Interrupted = S.Interrupted;
+      RestoreError = std::move(S.RestoreError);
+    } else if (Req.Engine == EngineKind::Thread) {
+      runtime::ThreadExecOptions TO;
+      TO.Args = Req.Args;
+      TO.Seed = Req.Seed;
+      TO.Sched = Req.Sched;
+      TO.Stop = &Slot.Cancel;
+      // The host engine has no virtual clock; it reads the same knob as
+      // milliseconds (the CLI's --watchdog-cycles pun) and checkpoints
+      // by invocation count.
+      TO.WatchdogMs = static_cast<int64_t>(Opts.WatchdogCycles);
+      if (Chaos) {
+        TO.Faults = Chaos;
+        TO.FaultSeed = BaseFaultSeed + static_cast<uint64_t>(Attempt);
+        TO.Recovery = false;
+        TO.CheckpointEveryInvocations = Opts.CheckpointEvery;
+        TO.OnCheckpoint = KeepCleanCkpt;
+        if (Attempt > 0 && HaveCkpt)
+          TO.Restore = &LastCkpt;
+      }
+      runtime::ThreadExecutor Exec(IP.bound(), R->Graph, R->BestLayout);
+      runtime::ThreadExecResult TR = Exec.run(TO);
+      Rep.Output = IP.output();
+      Rep.Invocations = TR.TaskInvocations;
+      // The host engine has wall time, not virtual cycles.
+      Rep.Cycles = 0;
+      Completed = TR.Completed;
+      WatchdogFired = TR.WatchdogFired;
+      WatchdogDump = std::move(TR.WatchdogDump);
+      Interrupted = TR.Interrupted;
+      RestoreError = std::move(TR.RestoreError);
+    } else {
+      runtime::TileExecutor Exec(IP.bound(), R->Graph, Target,
+                                 R->BestLayout);
+      runtime::ExecOptions EO;
+      EO.Args = Req.Args;
+      EO.Seed = Req.Seed;
+      EO.Sched = Req.Sched;
+      EO.Stop = &Slot.Cancel;
+      EO.WatchdogCycles = Opts.WatchdogCycles;
+      if (Chaos) {
+        EO.Faults = Chaos;
+        EO.FaultSeed = BaseFaultSeed + static_cast<uint64_t>(Attempt);
+        EO.Recovery = false;
+        EO.CheckpointEvery = Opts.CheckpointEvery;
+        EO.OnCheckpoint = KeepCleanCkpt;
+        if (Attempt > 0 && HaveCkpt)
+          EO.Restore = &LastCkpt;
+      }
+      runtime::ExecResult FR = Exec.run(EO);
+      Rep.Output = IP.output();
+      Rep.Cycles = FR.TotalCycles;
+      Rep.Invocations = FR.TaskInvocations;
+      Completed = FR.Completed;
+      WatchdogFired = FR.WatchdogFired;
+      WatchdogDump = std::move(FR.WatchdogDump);
+      Interrupted = FR.Interrupted;
+      RestoreError = std::move(FR.RestoreError);
+    }
+
+    if (!RestoreError.empty()) {
+      // In-memory snapshots come from the same program and layout, so
+      // this is a server bug, not a client mistake.
+      Finish(errorLine(true, Req.Id, "internal",
+                       "checkpoint restore failed: " + RestoreError));
+      return;
+    }
+    if (WatchdogFired) {
+      // Cap the attached dump: it is a diagnostic aid, not a payload.
+      if (WatchdogDump.size() > 4000) {
+        WatchdogDump.resize(4000);
+        WatchdogDump += "\n[truncated]";
+      }
+      FinishTimeout(true, WatchdogDump);
+      return;
+    }
+    if (Interrupted) {
+      // The only Stop source for a serve job is the supervisor's
+      // deadline cancel (drain never cancels running jobs).
+      FinishTimeout(false, DeadlineReport());
+      return;
+    }
+    if (IP.hadError()) {
+      // A DSL runtime error is deterministic program behavior, not fault
+      // damage: retrying would burn workers to reach the same state.
+      Finish(errorLine(true, Req.Id, "runtime-error", IP.error()));
+      return;
+    }
+    if (Completed) {
+      uint64_t LatencyUs = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - J.Admitted)
+              .count());
+      Ok = true;
+      Finish(successLine(Req, Rep, LatencyUs, WorkerIdx, WasCached,
+                         static_cast<uint64_t>(Attempt)));
+      return;
+    }
+
+    // Damaged run (raw chaos faults, or an event-cap abort). Re-run from
+    // the last clean checkpoint with a bumped fault seed, like the CLI's
+    // --recovery=restart, until the request's retry budget is gone.
+    if (Attempt < MaxRetries) {
+      {
+        std::lock_guard<std::mutex> S(StatsM);
+        ++Stats.Retries;
+      }
+      if (Opts.Trace)
+        Opts.Trace->jobRetry(nowUs(), WorkerIdx,
+                             static_cast<int64_t>(Req.Id),
+                             static_cast<uint64_t>(Attempt) + 1);
+      continue;
+    }
+    if (Opts.QuarantineMs > 0) {
+      {
+        std::lock_guard<std::mutex> L(QuarM);
+        Quarantine[quarantineKey(Req)] =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(Opts.QuarantineMs);
+      }
+      {
+        std::lock_guard<std::mutex> S(StatsM);
+        ++Stats.Quarantined;
+      }
+      if (Opts.Trace)
+        Opts.Trace->jobQuarantine(nowUs(), WorkerIdx,
+                                  static_cast<int64_t>(Req.Id));
+    }
+    {
+      std::lock_guard<std::mutex> S(StatsM);
+      ++Stats.RetriesExhausted;
+    }
+    Finish(errorLine(
+        true, Req.Id, "retries-exhausted",
+        formatString("run did not complete after %d attempt(s)%s",
+                     Attempt + 1,
+                     Chaos ? " under injected faults" : ""),
+        -1, std::string(), Attempt + 1));
     return;
   }
-  uint64_t LatencyUs = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - J.Admitted)
-          .count());
-  Ok = true;
-  Finish(successLine(Req, Rep, LatencyUs, WorkerIdx, WasCached));
 }

@@ -35,6 +35,18 @@
 /// and waitUntilDrained() returns once every accepted request has been
 /// answered — SIGTERM loses no accepted work.
 ///
+/// Supervision (DESIGN.md §3j): every running job sits in a per-worker
+/// slot a dedicated supervisor thread scans; a job past its wall-clock
+/// deadline is cancelled through the engines' Stop hook and answered
+/// `deadline-exceeded`, a job whose engine watchdog fires is answered
+/// `hung` (both with the WatchdogReport attached), a job that fails
+/// under --chaos is re-run from its last in-memory checkpoint with a
+/// bumped fault seed up to max_retries times, and a job that exhausts
+/// its retries quarantines its (app, args, seed) key so repeat poison
+/// requests are rejected at admission with `quarantined`. The per-job
+/// fault seed is a pure function of (chaos seed, request id), so a
+/// chaos run's outcomes are byte-reproducible across --workers/--jobs.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BAMBOO_SERVE_SERVER_H
@@ -61,6 +73,9 @@ class DslProgram;
 namespace bamboo::driver {
 struct PipelineResult;
 }
+namespace bamboo::resilience {
+struct FaultPlan;
+}
 
 namespace bamboo::serve {
 
@@ -85,11 +100,44 @@ struct ServerOptions {
   /// Directory of .bb sources to keep resident (each basename becomes a
   /// requestable app).
   std::string AppsDir;
-  /// retry_after_ms hint attached to queue-full/draining rejections.
+  /// Base retry_after_ms hint attached to queue-full/draining/quarantined
+  /// rejections. The wire hint scales with the current queue depth:
+  /// base * (1 + depth), capped at 60 s — a client probing a loaded
+  /// server is told to back off longer than one probing an idle one.
   int RetryAfterMs = 200;
   /// Optional request-span recorder (support::Trace RequestBegin/End;
   /// timestamps are microseconds since server start).
   support::Trace *Trace = nullptr;
+
+  // Supervision knobs (DESIGN.md §3j).
+
+  /// Fault plan threaded into every worker engine (the CLI's --chaos).
+  /// Not owned; must outlive the server. Null serves fault-free.
+  const resilience::FaultPlan *Chaos = nullptr;
+  /// Base seed for chaos fault draws. Each job draws from a splitmix64
+  /// mix of (ChaosSeed, request id), bumped by the attempt number on
+  /// retries — independent of worker assignment and batching.
+  uint64_t ChaosSeed = 1;
+  /// Per-job engine watchdog: abort a run whose clock advances this far
+  /// past the last dispatch/completion and answer it `hung`. Virtual
+  /// cycles for tile/sim; the wall-clock thread engine reads the same
+  /// number as milliseconds (the CLI's --watchdog-cycles pun). 0 off.
+  /// The default clears the longest single-task gap of the biggest
+  /// admissible job (size 4096) with an order-of-magnitude margin.
+  uint64_t WatchdogCycles = 50'000'000;
+  /// In-memory checkpoint cadence for supervised retries (cycles for
+  /// tile/sim, invocations for thread). Only active under --chaos; a
+  /// fault-free server never pays snapshot overhead.
+  uint64_t CheckpointEvery = 10'000;
+  /// Default and cap for per-request max_retries (requests may ask for
+  /// fewer; asking for more than MaxRetryLimit is a bad-request).
+  int MaxRetries = 2;
+  /// How long an exhausted (app, args, seed) key stays quarantined.
+  /// <= 0 disables quarantine (bench/fig_serve_chaos does this so
+  /// per-cell outcome counts stay deterministic under shared keys).
+  int QuarantineMs = 5000;
+  /// Deadline applied to requests that carry none; 0 = no deadline.
+  uint64_t DefaultDeadlineMs = 0;
 };
 
 /// Monotonic counters; all totals since start().
@@ -101,6 +149,14 @@ struct ServerStats {
   uint64_t DrainingRejects = 0;
   uint64_t SynthRuns = 0;  ///< Pipeline syntheses actually executed.
   uint64_t Connections = 0;
+  // Supervision counters.
+  uint64_t Retries = 0;            ///< Supervised re-runs across all jobs.
+  uint64_t TimedOut = 0;           ///< Jobs cancelled past their deadline.
+  uint64_t Hung = 0;               ///< Jobs aborted by the engine watchdog.
+  uint64_t RetriesExhausted = 0;   ///< Jobs that burned every re-run.
+  uint64_t Quarantined = 0;        ///< Keys put into quarantine.
+  uint64_t QuarantinedRejects = 0; ///< Admissions refused on a poison key.
+  uint64_t HealthRequests = 0;     ///< Health probes answered inline.
 };
 
 class Server {
@@ -133,11 +189,20 @@ public:
 
   ServerStats stats() const;
 
+  /// The depth-scaled retry_after_ms hint: base * (1 + depth), capped at
+  /// 60 s. Monotone nondecreasing in \p QueueDepth (pinned by a test).
+  int scaledRetryAfterMs(size_t QueueDepth) const;
+
+  /// Assembles a health report from live state (also answers the wire
+  /// `health` request kind).
+  HealthReport health() const;
+
 private:
   struct Conn;
   struct Job;
   struct SynthEntry;
   struct WorkerState;
+  struct WorkerSlot;
 
   ServerOptions Opts;
   uint16_t BoundPort = 0;
@@ -167,6 +232,13 @@ private:
   std::thread Acceptor;
   std::vector<std::thread> Workers;
 
+  // Supervision: one slot per worker, scanned by the supervisor thread;
+  // quarantined request keys with their expiry.
+  std::vector<std::unique_ptr<WorkerSlot>> Slots;
+  std::thread Supervisor;
+  mutable std::mutex QuarM;
+  std::map<std::string, std::chrono::steady_clock::time_point> Quarantine;
+
   // Shared synthesis cache: (app, mode, cores, seed, args) -> entry.
   std::mutex SynthM;
   std::map<std::string, std::shared_ptr<SynthEntry>> SynthCache;
@@ -179,6 +251,12 @@ private:
   void acceptorLoop();
   void readerLoop(std::shared_ptr<Conn> C);
   void workerLoop(int WorkerIdx);
+  /// Scans the worker slots every few ms and raises the per-job cancel
+  /// flag of any running job past its deadline.
+  void supervisorLoop();
+  /// Ms until \p Key leaves quarantine, or -1 when not quarantined
+  /// (expired entries are erased on the way).
+  int64_t quarantineRemainingMs(const std::string &Key);
   /// Handles one parsed line from \p C: validate, admit or reject.
   void handleLine(const std::shared_ptr<Conn> &C, const std::string &Line);
   void executeJob(WorkerState &WS, int WorkerIdx, Job &J);

@@ -186,6 +186,37 @@ void Trace::steal(uint64_t Time, int Thief, int Victim, int Task,
   record(E);
 }
 
+void Trace::jobRetry(uint64_t Time, int Worker, int64_t RequestId,
+                     uint64_t Attempt) {
+  TraceEvent E;
+  E.Kind = TraceEventKind::JobRetry;
+  E.Time = Time;
+  E.Core = Worker;
+  E.Object = RequestId;
+  E.Aux = Attempt;
+  record(E);
+}
+
+void Trace::jobTimeout(uint64_t Time, int Worker, int64_t RequestId,
+                       bool Hung) {
+  TraceEvent E;
+  E.Kind = TraceEventKind::JobTimeout;
+  E.Time = Time;
+  E.Core = Worker;
+  E.Object = RequestId;
+  E.Aux = Hung ? 1 : 0;
+  record(E);
+}
+
+void Trace::jobQuarantine(uint64_t Time, int Worker, int64_t RequestId) {
+  TraceEvent E;
+  E.Kind = TraceEventKind::JobQuarantine;
+  E.Time = Time;
+  E.Core = Worker;
+  E.Object = RequestId;
+  record(E);
+}
+
 //===----------------------------------------------------------------------===//
 // Chrome trace export
 //===----------------------------------------------------------------------===//
@@ -360,6 +391,30 @@ std::string Trace::toChromeJson() const {
                           taskName(Names, E.Task).c_str(), Tid, Ts, E.Peer,
                           E.Hops);
       break;
+    case TraceEventKind::JobRetry:
+      Out += formatString("{\"name\":\"retry %lld\",\"cat\":\"serve\","
+                          "\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,"
+                          "\"ts\":%llu,\"args\":{\"req\":%lld,"
+                          "\"attempt\":%llu}}",
+                          static_cast<long long>(E.Object), Tid, Ts,
+                          static_cast<long long>(E.Object),
+                          static_cast<unsigned long long>(E.Aux));
+      break;
+    case TraceEventKind::JobTimeout:
+      Out += formatString("{\"name\":\"%s %lld\",\"cat\":\"serve\","
+                          "\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,"
+                          "\"ts\":%llu,\"args\":{\"req\":%lld}}",
+                          E.Aux ? "hung" : "deadline",
+                          static_cast<long long>(E.Object), Tid, Ts,
+                          static_cast<long long>(E.Object));
+      break;
+    case TraceEventKind::JobQuarantine:
+      Out += formatString("{\"name\":\"quarantine %lld\",\"cat\":\"serve\","
+                          "\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,"
+                          "\"ts\":%llu,\"args\":{\"req\":%lld}}",
+                          static_cast<long long>(E.Object), Tid, Ts,
+                          static_cast<long long>(E.Object));
+      break;
     }
   }
   Out += "],\"displayTimeUnit\":\"ms\"}\n";
@@ -440,6 +495,27 @@ uint64_t TraceMetrics::totalSteals() const {
                          });
 }
 
+uint64_t TraceMetrics::totalJobRetries() const {
+  return std::accumulate(Cores.begin(), Cores.end(), uint64_t{0},
+                         [](uint64_t S, const CoreMetrics &C) {
+                           return S + C.JobRetries;
+                         });
+}
+
+uint64_t TraceMetrics::totalJobTimeouts() const {
+  return std::accumulate(Cores.begin(), Cores.end(), uint64_t{0},
+                         [](uint64_t S, const CoreMetrics &C) {
+                           return S + C.JobTimeouts;
+                         });
+}
+
+uint64_t TraceMetrics::totalJobQuarantines() const {
+  return std::accumulate(Cores.begin(), Cores.end(), uint64_t{0},
+                         [](uint64_t S, const CoreMetrics &C) {
+                           return S + C.JobQuarantines;
+                         });
+}
+
 double TraceMetrics::busyFraction() const {
   if (TotalTicks == 0 || Cores.empty())
     return 0.0;
@@ -484,6 +560,14 @@ TraceMetrics::str(const std::vector<std::string> &TaskNames) const {
   if (totalRequests() > 0)
     Out += formatString("serve: %llu requests\n",
                         static_cast<unsigned long long>(totalRequests()));
+  // Supervision events only appear on chaos/deadline-bearing serve runs,
+  // so unsupervised serve output stays byte-identical.
+  if (totalJobRetries() + totalJobTimeouts() + totalJobQuarantines() > 0)
+    Out += formatString(
+        "supervision: %llu retries, %llu timeouts, %llu quarantines\n",
+        static_cast<unsigned long long>(totalJobRetries()),
+        static_cast<unsigned long long>(totalJobTimeouts()),
+        static_cast<unsigned long long>(totalJobQuarantines()));
   // And only stealing schedulers report steals, so rr output is unchanged.
   if (totalSteals() > 0)
     Out += formatString("sched: %llu steals\n",
@@ -617,6 +701,15 @@ TraceMetrics Trace::metrics() const {
       break;
     case TraceEventKind::Steal:
       ++CM.Steals;
+      break;
+    case TraceEventKind::JobRetry:
+      ++CM.JobRetries;
+      break;
+    case TraceEventKind::JobTimeout:
+      ++CM.JobTimeouts;
+      break;
+    case TraceEventKind::JobQuarantine:
+      ++CM.JobQuarantines;
       break;
     }
   }

@@ -99,6 +99,14 @@ enum class TraceEventKind : uint8_t {
   /// holds the thief, Peer the victim, Task the stolen task, Hops the
   /// mesh distance the invocation traveled.
   Steal,
+  /// Supervision vocabulary (src/serve): a job being re-run after a
+  /// faulted attempt (Aux = attempt number), a job cancelled by the
+  /// supervisor (Aux = 0 for a missed deadline, 1 for a hung engine),
+  /// and a poison request key entering quarantine. Core holds the
+  /// worker, Object the request id, as for RequestBegin/End.
+  JobRetry,
+  JobTimeout,
+  JobQuarantine,
 };
 
 /// One recorded event. Fixed-size POD so recording is a vector push.
@@ -136,6 +144,9 @@ struct CoreMetrics {
   uint64_t Failovers = 0;
   uint64_t Requests = 0; ///< Serve-mode request spans (core = worker).
   uint64_t Steals = 0;   ///< Invocations this core stole (core = thief).
+  uint64_t JobRetries = 0;     ///< Supervised re-runs (core = worker).
+  uint64_t JobTimeouts = 0;    ///< Deadline/hang cancellations.
+  uint64_t JobQuarantines = 0; ///< Poison keys quarantined.
 };
 
 /// Per-task rollup over one trace.
@@ -160,6 +171,9 @@ struct TraceMetrics {
   uint64_t totalFailovers() const;
   uint64_t totalRequests() const;
   uint64_t totalSteals() const;
+  uint64_t totalJobRetries() const;
+  uint64_t totalJobTimeouts() const;
+  uint64_t totalJobQuarantines() const;
   /// Busy fraction of (TotalTicks * cores), in [0, 1].
   double busyFraction() const;
   /// Failed acquisition sweeps per dispatch attempt:
@@ -242,6 +256,16 @@ public:
   /// Records a stealing scheduler moving a queued invocation of \p Task
   /// from \p Victim to idle \p Thief over \p Hops mesh hops.
   void steal(uint64_t Time, int Thief, int Victim, int Task, uint32_t Hops);
+  /// Records supervised re-run number \p Attempt (1-based) of request
+  /// \p RequestId on serve worker \p Worker.
+  void jobRetry(uint64_t Time, int Worker, int64_t RequestId,
+                uint64_t Attempt);
+  /// Records the supervisor cancelling request \p RequestId; \p Hung
+  /// distinguishes a stalled engine (watchdog) from a missed deadline.
+  void jobTimeout(uint64_t Time, int Worker, int64_t RequestId, bool Hung);
+  /// Records request \p RequestId's (app, args, seed) key entering
+  /// quarantine after exhausting its retries.
+  void jobQuarantine(uint64_t Time, int Worker, int64_t RequestId);
 
   /// Snapshot of the recorded events, in recording order.
   const std::vector<TraceEvent> &events() const { return Events; }

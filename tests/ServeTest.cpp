@@ -25,6 +25,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "resilience/Checkpoint.h"
+#include "resilience/FaultPlan.h"
 #include "sched/Scheduler.h"
 #include "serve/Client.h"
 #include "serve/Json.h"
@@ -34,13 +35,16 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <netinet/in.h>
 #include <sstream>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <thread>
 #include <unistd.h>
@@ -232,6 +236,73 @@ TEST(ServeProtocolTest, RejectsInvalidRequests) {
            "[1,2,3]",                                    // not an object
        })
     EXPECT_FALSE(parseRequest(Bad, R, Error, HaveId, Id)) << Bad;
+
+  // The supervision fields route through support::Parse, so every
+  // hostile-numeric shape the CLI rejects is rejected on the wire too:
+  // trailing garbage, embedded whitespace, signs, floats, overflow, and
+  // values past the protocol bound. Negative JSON numbers parse as
+  // doubles and fail the integer check by construction.
+  for (const char *Bad : {
+           "{\"id\":1,\"app\":\"a\",\"deadline_ms\":\"12x\"}",
+           "{\"id\":1,\"app\":\"a\",\"deadline_ms\":\" 3\"}",
+           "{\"id\":1,\"app\":\"a\",\"deadline_ms\":\"+3\"}",
+           "{\"id\":1,\"app\":\"a\",\"deadline_ms\":\"-3\"}",
+           "{\"id\":1,\"app\":\"a\",\"deadline_ms\":\"\"}",
+           "{\"id\":1,\"app\":\"a\",\"deadline_ms\":-3}",
+           "{\"id\":1,\"app\":\"a\",\"deadline_ms\":2.5}",
+           "{\"id\":1,\"app\":\"a\",\"deadline_ms\":true}",
+           "{\"id\":1,\"app\":\"a\","
+           "\"deadline_ms\":\"18446744073709551616\"}",  // 2^64: overflow
+           "{\"id\":1,\"app\":\"a\",\"deadline_ms\":3600001}", // > 1 hour
+           "{\"id\":1,\"app\":\"a\",\"max_retries\":9}", // > MaxRetryLimit
+           "{\"id\":1,\"app\":\"a\",\"max_retries\":\"2 \"}",
+           "{\"id\":1,\"app\":\"a\",\"max_retries\":\"0x2\"}",
+           "{\"id\":1,\"app\":\"a\",\"max_retries\":-1}",
+           "{\"id\":1,\"kind\":\"health\",\"app\":\"a\"}", // run-only field
+           "{\"id\":1,\"kind\":\"health\",\"size\":4}",
+           "{\"id\":1,\"app\":\"a\",\"kind\":\"bogus\"}",
+           "{\"id\":1,\"app\":\"a\",\"kind\":7}",
+       })
+    EXPECT_FALSE(parseRequest(Bad, R, Error, HaveId, Id)) << Bad;
+}
+
+TEST(ServeProtocolTest, ParsesSupervisionFieldsAndHealthKind) {
+  Request R;
+  std::string Error;
+  bool HaveId = false;
+  uint64_t Id = 0;
+  // Defaults: no deadline, server-side retry budget, kind run.
+  ASSERT_TRUE(parseRequest("{\"id\":1,\"app\":\"series\"}", R, Error,
+                           HaveId, Id))
+      << Error;
+  EXPECT_EQ(R.Kind, RequestKind::Run);
+  EXPECT_EQ(R.DeadlineMs, 0u);
+  EXPECT_EQ(R.MaxRetries, -1) << "-1 means 'use the server default'";
+
+  // JSON integer and decimal-string forms are equivalent.
+  ASSERT_TRUE(parseRequest("{\"id\":2,\"app\":\"series\","
+                           "\"deadline_ms\":250,\"max_retries\":3}",
+                           R, Error, HaveId, Id))
+      << Error;
+  EXPECT_EQ(R.DeadlineMs, 250u);
+  EXPECT_EQ(R.MaxRetries, 3);
+  ASSERT_TRUE(parseRequest("{\"id\":3,\"app\":\"series\","
+                           "\"deadline_ms\":\"250\",\"max_retries\":\"0\"}",
+                           R, Error, HaveId, Id))
+      << Error;
+  EXPECT_EQ(R.DeadlineMs, 250u);
+  EXPECT_EQ(R.MaxRetries, 0) << "an explicit 0 disables retries";
+
+  // A health probe needs no app; extra run fields are rejected above.
+  ASSERT_TRUE(parseRequest("{\"id\":4,\"kind\":\"health\"}", R, Error,
+                           HaveId, Id))
+      << Error;
+  EXPECT_EQ(R.Kind, RequestKind::Health);
+  // An explicit kind of run behaves exactly like no kind at all.
+  ASSERT_TRUE(parseRequest("{\"id\":5,\"kind\":\"run\",\"app\":\"x\"}", R,
+                           Error, HaveId, Id))
+      << Error;
+  EXPECT_EQ(R.Kind, RequestKind::Run);
 }
 
 TEST(ServeProtocolTest, KeepsTheIdWhenTheRestIsInvalid) {
@@ -466,7 +537,14 @@ TEST(ServeTest, QueueFullRejectsCarryRetryAfter) {
       ++OkCount;
     } else {
       EXPECT_EQ(strField(R, "code"), "queue-full");
-      EXPECT_EQ(uintField(R, "retry_after_ms"), 77u);
+      // The hint scales with queue depth: base * (1 + depth). The depth
+      // at rejection time is scheduling-dependent, so assert the shape
+      // rather than one value: a positive multiple of the base, within
+      // the cap.
+      uint64_t Hint = uintField(R, "retry_after_ms");
+      EXPECT_GE(Hint, 77u);
+      EXPECT_EQ(Hint % 77u, 0u) << Hint;
+      EXPECT_LE(Hint, 60'000u);
       EXPECT_GE(uintField(R, "id"), 2u)
           << "the first request met an empty queue and must be admitted";
       ++FullCount;
@@ -543,6 +621,359 @@ TEST(ServeTest, TraceRecordsRequestSpans) {
 }
 
 //===----------------------------------------------------------------------===//
+// Supervision: deadlines, hang recovery, retry/quarantine, health
+//===----------------------------------------------------------------------===//
+
+TEST(ServeTest, RetryAfterHintIsMonotoneInQueueDepth) {
+  // The satellite contract: the hint a rejected client gets never
+  // shrinks as the queue deepens, and it saturates at the 60 s cap
+  // instead of overflowing. scaledRetryAfterMs only reads options, so
+  // an unstarted server suffices.
+  ServerOptions SO;
+  SO.RetryAfterMs = 77;
+  Server Srv(SO);
+  int Prev = 0;
+  for (size_t Depth : {0u, 1u, 2u, 3u, 10u, 100u, 778u, 779u, 100000u}) {
+    int Hint = Srv.scaledRetryAfterMs(Depth);
+    EXPECT_GE(Hint, Prev) << "depth " << Depth;
+    EXPECT_GE(Hint, SO.RetryAfterMs);
+    EXPECT_LE(Hint, 60'000);
+    Prev = Hint;
+  }
+  EXPECT_EQ(Srv.scaledRetryAfterMs(0), 77);
+  EXPECT_EQ(Srv.scaledRetryAfterMs(2), 77 * 3);
+  EXPECT_EQ(Srv.scaledRetryAfterMs(100000), 60'000) << "must cap, not wrap";
+}
+
+TEST(ServeTest, ClientRecvTimeoutFailsInsteadOfHangingForever) {
+  // A listening socket that never answers: accept happens in the kernel
+  // backlog, so connect succeeds, but no response line ever arrives. The
+  // configured timeout must turn that into a clean failure with a
+  // diagnostic, not an eternal hang.
+  int ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(ListenFd, 0);
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+                   sizeof(Addr)),
+            0);
+  ASSERT_EQ(::listen(ListenFd, 4), 0);
+  socklen_t Len = sizeof(Addr);
+  ASSERT_EQ(::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+                          &Len),
+            0);
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connectTo(ntohs(Addr.sin_port), Err)) << Err;
+  EXPECT_EQ(C.recvTimeoutMs(), 15000) << "generous default for cold runs";
+  C.setRecvTimeoutMs(100);
+  ASSERT_TRUE(C.sendLine("{\"id\":1,\"kind\":\"health\"}"));
+  auto Before = std::chrono::steady_clock::now();
+  std::string Line;
+  EXPECT_FALSE(C.recvLine(Line));
+  auto Waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - Before)
+                    .count();
+  EXPECT_GE(Waited, 90) << "must not give up early (poll ms rounding)";
+  EXPECT_LT(Waited, 5000) << "must give up near the configured budget";
+  EXPECT_NE(C.lastError().find("timed out"), std::string::npos)
+      << C.lastError();
+  ::close(ListenFd);
+}
+
+TEST(ServeTest, DeadlineExceededJobsAreCancelledWithAReport) {
+  ServeFixture F;
+
+  // A 1 ms budget on a job whose synthesis alone takes several ms: the
+  // supervisor (or the pre-attempt deadline check) must cancel it and
+  // answer deadline-exceeded with the WatchdogReport-format diagnostic.
+  Json R = rpc(F.Conn, "{\"id\":1,\"app\":\"series\",\"size\":1024,"
+                       "\"cores\":4,\"deadline_ms\":1}");
+  EXPECT_FALSE(boolField(R, "ok"));
+  EXPECT_EQ(strField(R, "code"), "deadline-exceeded");
+  EXPECT_NE(strField(R, "error").find("deadline of 1 ms"),
+            std::string::npos);
+  std::string Report = strField(R, "report");
+  EXPECT_NE(Report.find("serve"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("request 1"), std::string::npos) << Report;
+
+  // A generous budget on the same job sails through, with no retries
+  // field on the fault-free success line.
+  Json R2 = rpc(F.Conn, "{\"id\":2,\"app\":\"series\",\"size\":1024,"
+                        "\"cores\":4,\"deadline_ms\":3600000}");
+  EXPECT_TRUE(boolField(R2, "ok")) << strField(R2, "error");
+  EXPECT_EQ(R2.find("retries"), nullptr);
+
+  waitForCompleted(*F.Srv, 1);
+  ServerStats St = F.Srv->stats();
+  EXPECT_EQ(St.TimedOut, 1u);
+  EXPECT_EQ(St.Hung, 0u);
+}
+
+TEST(ServeTest, HungEnginesAreKilledByTheWatchdog) {
+  // lock~1 with recovery off livelocks the engine deterministically
+  // (every lock sweep faults and retries forever) — the per-job watchdog
+  // must abort it and answer `hung` with the engine's diagnostic dump.
+  std::string PlanError;
+  auto Plan = resilience::FaultPlan::parse("lock~1", PlanError);
+  ASSERT_TRUE(Plan) << PlanError;
+  ServerOptions SO;
+  SO.Workers = 1;
+  SO.Chaos = &*Plan;
+  SO.WatchdogCycles = 50000;
+  SO.QuarantineMs = 0;
+  ServeFixture F(SO);
+
+  Json R = rpc(F.Conn, "{\"id\":1,\"app\":\"series\",\"size\":8,"
+                       "\"cores\":4}");
+  EXPECT_FALSE(boolField(R, "ok"));
+  EXPECT_EQ(strField(R, "code"), "hung");
+  EXPECT_NE(strField(R, "report").find("WATCHDOG"), std::string::npos)
+      << strField(R, "report");
+
+  waitForCompleted(*F.Srv, 1);
+  EXPECT_GE(F.Srv->stats().Hung, 1u);
+}
+
+TEST(ServeTest, ExhaustedRetriesQuarantineThePoisonKey) {
+  // drop~1 with recovery off kills every attempt outright, so the job
+  // deterministically burns its whole retry budget, reports
+  // retries-exhausted with the attempt count, and poisons its
+  // (app, args, seed) key: the identical request is then rejected at
+  // admission with `quarantined` + retry_after_ms, while a different
+  // args key is still admitted.
+  std::string PlanError;
+  auto Plan = resilience::FaultPlan::parse("drop~1", PlanError);
+  ASSERT_TRUE(Plan) << PlanError;
+  ServerOptions SO;
+  SO.Workers = 1;
+  SO.Chaos = &*Plan;
+  SO.MaxRetries = 1;
+  SO.QuarantineMs = 60'000;
+  ServeFixture F(SO);
+
+  Json R = rpc(F.Conn, "{\"id\":1,\"app\":\"series\",\"size\":8,"
+                       "\"cores\":4}");
+  EXPECT_FALSE(boolField(R, "ok"));
+  EXPECT_EQ(strField(R, "code"), "retries-exhausted");
+  EXPECT_EQ(uintField(R, "attempts"), 2u) << "initial run + 1 retry";
+
+  Json R2 = rpc(F.Conn, "{\"id\":2,\"app\":\"series\",\"size\":8,"
+                        "\"cores\":4}");
+  EXPECT_FALSE(boolField(R2, "ok"));
+  EXPECT_EQ(strField(R2, "code"), "quarantined");
+  EXPECT_GT(uintField(R2, "retry_after_ms"), 0u);
+
+  // Quarantine keys on (app, args, seed) — not cores/engine — so a
+  // different size is a different key and still reaches a worker.
+  Json R3 = rpc(F.Conn, "{\"id\":3,\"app\":\"series\",\"size\":9,"
+                        "\"cores\":4}");
+  EXPECT_EQ(strField(R3, "code"), "retries-exhausted")
+      << "a fresh key must be admitted (and then fail on its own)";
+
+  waitForCompleted(*F.Srv, 2);
+  ServerStats St = F.Srv->stats();
+  EXPECT_EQ(St.Retries, 2u);
+  EXPECT_EQ(St.RetriesExhausted, 2u);
+  EXPECT_EQ(St.Quarantined, 2u);
+  EXPECT_EQ(St.QuarantinedRejects, 1u);
+}
+
+TEST(ServeTest, QuarantineExpiresAndReadmitsTheKey) {
+  std::string PlanError;
+  auto Plan = resilience::FaultPlan::parse("drop~1", PlanError);
+  ASSERT_TRUE(Plan) << PlanError;
+  ServerOptions SO;
+  SO.Workers = 1;
+  SO.Chaos = &*Plan;
+  SO.MaxRetries = 0;
+  SO.QuarantineMs = 50;
+  ServeFixture F(SO);
+
+  Json R = rpc(F.Conn, "{\"id\":1,\"app\":\"series\",\"size\":8,"
+                       "\"cores\":4}");
+  EXPECT_EQ(strField(R, "code"), "retries-exhausted");
+  EXPECT_EQ(uintField(R, "attempts"), 1u) << "max_retries=0: one attempt";
+
+  // After the quarantine window the key is admitted again — and fails
+  // again, proving it reached a worker rather than the reject path.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  Json R2 = rpc(F.Conn, "{\"id\":2,\"app\":\"series\",\"size\":8,"
+                        "\"cores\":4}");
+  EXPECT_EQ(strField(R2, "code"), "retries-exhausted");
+  EXPECT_EQ(F.Srv->stats().QuarantinedRejects, 0u);
+}
+
+TEST(ServeTest, ChaosRetriesConvergeFromCheckpoints) {
+  // Seeded rate faults: each attempt draws from a bumped fault seed, so
+  // a damaged run converges after a retry or two exactly like the CLI's
+  // --recovery=restart. Outcomes are a pure function of (chaos seed,
+  // request id), so this test is deterministic end to end. The invariant
+  // asserted: every response is ok or retries-exhausted, every ok
+  // response matches the fault-free CLI answer byte for byte, and the
+  // batch sees at least one converged job and at least one retry.
+  std::string PlanError;
+  auto Plan = resilience::FaultPlan::parse("drop~0.4", PlanError);
+  ASSERT_TRUE(Plan) << PlanError;
+  ServerOptions SO;
+  SO.Workers = 2;
+  SO.Chaos = &*Plan;
+  SO.ChaosSeed = 3;
+  SO.MaxRetries = 8;
+  SO.CheckpointEvery = 200;
+  SO.QuarantineMs = 0;
+  ServeFixture F(SO);
+
+  auto [Status, CliOut] = runBamboo(std::string(BAMBOO_DSL_DIR) +
+                                    "/series.bb --cores=4 --arg=12345678");
+  ASSERT_EQ(Status, 0);
+
+  int OkCount = 0, RetriedCount = 0;
+  for (int Id = 1; Id <= 8; ++Id) {
+    Json R = rpc(F.Conn, "{\"id\":" + std::to_string(Id) +
+                             ",\"app\":\"series\",\"size\":8,"
+                             "\"cores\":4}");
+    if (boolField(R, "ok")) {
+      ++OkCount;
+      EXPECT_EQ(strField(R, "output"), CliOut)
+          << "a recovered run must converge to the fault-free answer";
+      if (R.find("retries"))
+        ++RetriedCount;
+    } else {
+      EXPECT_EQ(strField(R, "code"), "retries-exhausted");
+    }
+  }
+  EXPECT_GE(OkCount, 1);
+  EXPECT_GE(RetriedCount, 1)
+      << "with drop~0.4 some job must need a supervised retry";
+  EXPECT_GE(F.Srv->stats().Retries, 1u);
+}
+
+TEST(ServeTest, HealthProbesReportLiveServerState) {
+  ServerOptions SO;
+  SO.Workers = 2;
+  SO.QueueLimit = 33;
+  ServeFixture F(SO);
+
+  Json H = rpc(F.Conn, "{\"id\":7,\"kind\":\"health\"}");
+  EXPECT_TRUE(boolField(H, "ok"));
+  EXPECT_EQ(uintField(H, "id"), 7u);
+  EXPECT_EQ(strField(H, "kind"), "health");
+  const Json *Workers = H.find("workers");
+  ASSERT_TRUE(Workers && Workers->isArray());
+  ASSERT_EQ(Workers->array().size(), 2u);
+  for (const Json &W : Workers->array())
+    EXPECT_FALSE(boolField(W, "busy"));
+  EXPECT_EQ(uintField(H, "queue_depth"), 0u);
+  EXPECT_EQ(uintField(H, "queue_limit"), 33u);
+  EXPECT_EQ(uintField(H, "quarantine_size"), 0u);
+  EXPECT_FALSE(boolField(H, "draining"));
+  EXPECT_EQ(uintField(H, "completed"), 0u);
+
+  // Run one job; the counters move.
+  Json R = rpc(F.Conn, "{\"id\":8,\"app\":\"series\",\"size\":6,"
+                       "\"cores\":4}");
+  ASSERT_TRUE(boolField(R, "ok")) << strField(R, "error");
+  waitForCompleted(*F.Srv, 1);
+  Json H2 = rpc(F.Conn, "{\"id\":9,\"kind\":\"health\"}");
+  EXPECT_EQ(uintField(H2, "accepted"), 1u);
+  EXPECT_EQ(uintField(H2, "completed"), 1u);
+
+  // Health is answered inline on the reader thread, so it still works
+  // while the server refuses new jobs during a drain.
+  F.Srv->beginDrain();
+  Json H3 = rpc(F.Conn, "{\"id\":10,\"kind\":\"health\"}");
+  EXPECT_TRUE(boolField(H3, "ok"));
+  EXPECT_TRUE(boolField(H3, "draining"));
+  EXPECT_EQ(F.Srv->stats().HealthRequests, 3u);
+}
+
+TEST(ServeTest, ChaosMatrixEveryRequestGetsExactlyOneResponse) {
+  // The tentpole robustness claim: under fault injection across apps,
+  // rates and engines, every accepted request gets exactly one response
+  // — a correct-checksum success or a typed error — never a hang and
+  // never a closed socket. Quarantine stays on to cover its admission
+  // path; outcome counts are asserted as invariants, not exact values.
+  struct Cell {
+    const char *Rate;
+    uint64_t Seed;
+  };
+  const std::vector<Cell> Cells = {
+      {"drop~0.02", 1}, {"drop~0.4", 7}, {"dup~0.1,delay~0.1", 11}};
+  for (const Cell &C : Cells) {
+    std::string PlanError;
+    auto Plan = resilience::FaultPlan::parse(C.Rate, PlanError);
+    ASSERT_TRUE(Plan) << PlanError;
+    ServerOptions SO;
+    SO.Workers = 2;
+    SO.Chaos = &*Plan;
+    SO.ChaosSeed = C.Seed;
+    SO.MaxRetries = 3;
+    SO.CheckpointEvery = 200;
+    ServeFixture F(SO);
+
+    const char *Apps[] = {"series", "montecarlo"};
+    constexpr int PerApp = 6;
+    std::atomic<int> Responses{0}, Violations{0};
+    std::vector<std::thread> Threads;
+    for (const char *App : Apps)
+      Threads.emplace_back([&, App] {
+        Client Conn;
+        std::string Err;
+        if (!Conn.connectTo(F.Srv->port(), Err)) {
+          Violations.fetch_add(100);
+          return;
+        }
+        Conn.setRecvTimeoutMs(60'000);
+        for (int N = 1; N <= PerApp; ++N) {
+          if (!Conn.sendLine("{\"id\":" + std::to_string(N) +
+                             ",\"app\":\"" + App +
+                             "\",\"size\":8,\"cores\":4}")) {
+            Violations.fetch_add(1);
+            return;
+          }
+        }
+        for (int N = 1; N <= PerApp; ++N) {
+          std::string Line;
+          if (!Conn.recvLine(Line)) {
+            // A lost response or closed socket is the exact failure
+            // this harness exists to catch.
+            Violations.fetch_add(1);
+            return;
+          }
+          Responses.fetch_add(1);
+          Json R = mustParse(Line);
+          const Json *Ok = R.find("ok");
+          if (!Ok || !Ok->isBool()) {
+            Violations.fetch_add(1);
+            continue;
+          }
+          if (Ok->boolean()) {
+            // Output and checksum must agree even after retries.
+            std::string Output = strField(R, "output");
+            uint32_t Crc = resilience::crc32(Output.data(), Output.size());
+            char Expect[16];
+            std::snprintf(Expect, sizeof(Expect), "%08x", Crc);
+            if (strField(R, "checksum") != Expect)
+              Violations.fetch_add(1);
+          } else {
+            std::string Code = strField(R, "code");
+            if (Code != "retries-exhausted" && Code != "quarantined" &&
+                Code != "hung" && Code != "deadline-exceeded")
+              Violations.fetch_add(1);
+          }
+        }
+      });
+    for (auto &T : Threads)
+      T.join();
+    EXPECT_EQ(Responses.load(), 2 * PerApp) << C.Rate;
+    EXPECT_EQ(Violations.load(), 0) << C.Rate;
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // The subprocess: SIGTERM drain
 //===----------------------------------------------------------------------===//
 
@@ -600,6 +1031,69 @@ TEST(ServeTest, SubprocessDrainsGracefullyOnSigterm) {
     }
   }
   EXPECT_EQ(OkCount + DrainingCount, N);
+
+  int Status = 0;
+  ASSERT_EQ(::waitpid(Child, &Status, 0), Child);
+  ASSERT_TRUE(WIFEXITED(Status)) << "server must exit, not die of SIGTERM";
+  EXPECT_EQ(WEXITSTATUS(Status), 0);
+}
+
+TEST(ServeTest, SubprocessSigtermMidChaosRetriesStillAnswersEverything) {
+  // SIGTERM while jobs are failing and retrying under --chaos: the drain
+  // must still answer every line sent before the signal — a success, a
+  // supervision error, or a draining rejection — and exit 0. A job
+  // mid-retry-loop must finish its loop, not be dropped on the floor.
+  std::string PortFile =
+      tempPath("serve_chaos_port_" + std::to_string(::getpid()));
+  std::remove(PortFile.c_str());
+
+  pid_t Child = ::fork();
+  ASSERT_GE(Child, 0);
+  if (Child == 0) {
+    std::string PortArg = "--port-file=" + PortFile;
+    std::string AppsArg = std::string("--apps-dir=") + BAMBOO_DSL_DIR;
+    ::execl(BAMBOO_BIN, BAMBOO_BIN, "serve", "--port=0", PortArg.c_str(),
+            AppsArg.c_str(), "--workers=2", "--chaos=drop~0.4",
+            "--chaos-seed=3", "--max-retries=6", "--checkpoint-every=200",
+            "--quarantine-ms=0", static_cast<char *>(nullptr));
+    ::_exit(127);
+  }
+
+  std::string PortText;
+  for (int Spins = 0; Spins < 5000 && PortText.empty(); ++Spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    PortText = readFile(PortFile);
+  }
+  ASSERT_FALSE(PortText.empty()) << "server never wrote the port file";
+  uint16_t Port = static_cast<uint16_t>(std::stoi(PortText));
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connectTo(Port, Err)) << Err;
+  C.setRecvTimeoutMs(60'000);
+
+  constexpr int N = 8;
+  for (int I = 1; I <= N; ++I)
+    ASSERT_TRUE(C.sendLine("{\"id\":" + std::to_string(I) +
+                           ",\"app\":\"series\",\"size\":8,\"cores\":4}"));
+  // Give the first jobs a beat to enter their retry loops, then signal.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_EQ(::kill(Child, SIGTERM), 0);
+
+  int Answered = 0;
+  for (int I = 1; I <= N; ++I) {
+    std::string Line;
+    ASSERT_TRUE(C.recvLine(Line))
+        << "response " << I << " lost mid-chaos drain: " << C.lastError();
+    Json R = mustParse(Line);
+    ++Answered;
+    if (!boolField(R, "ok")) {
+      std::string Code = strField(R, "code");
+      EXPECT_TRUE(Code == "draining" || Code == "retries-exhausted")
+          << Code;
+    }
+  }
+  EXPECT_EQ(Answered, N);
 
   int Status = 0;
   ASSERT_EQ(::waitpid(Child, &Status, 0), Child);
