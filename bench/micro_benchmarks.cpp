@@ -20,6 +20,7 @@
 #include "driver/Pipeline.h"
 #include "frontend/Frontend.h"
 #include "interp/Interp.h"
+#include "machine/Topology.h"
 #include "synthesis/MappingSearch.h"
 
 #include <benchmark/benchmark.h>
@@ -160,5 +161,43 @@ static void BM_MappingEnumeration(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_MappingEnumeration);
+
+/// transferLatency on a hierarchical machine must be O(1) per query —
+/// precomputed per-core locations, no tree walk. The benchmark sweeps
+/// machine width (62-core flat up to 4096-core 4x16x64); a flat
+/// time-per-query across the range is the O(1) evidence.
+static void BM_TransferLatency(benchmark::State &State) {
+  machine::MachineConfig M;
+  switch (State.range(0)) {
+  case 0:
+    M = machine::MachineConfig::tilePro64();
+    break;
+  case 1: {
+    std::string Err;
+    M = machine::MachineConfig::hierarchical(
+        machine::Topology::parse("4x4x64", Err));
+    break;
+  }
+  default: {
+    std::string Err;
+    M = machine::MachineConfig::hierarchical(
+        machine::Topology::parse("4x16x64", Err));
+    break;
+  }
+  }
+  // A fixed pseudo-random probe pattern covering near and far core pairs.
+  uint64_t X = 0x9e3779b97f4a7c15ull;
+  machine::Cycles Sum = 0;
+  for (auto _ : State) {
+    X ^= X << 13;
+    X ^= X >> 7;
+    X ^= X << 17;
+    int From = static_cast<int>(X % static_cast<uint64_t>(M.NumCores));
+    int To = static_cast<int>((X >> 32) % static_cast<uint64_t>(M.NumCores));
+    Sum += M.transferLatency(From, To);
+    benchmark::DoNotOptimize(Sum);
+  }
+}
+BENCHMARK(BM_TransferLatency)->DenseRange(0, 2);
 
 BENCHMARK_MAIN();

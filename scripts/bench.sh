@@ -13,6 +13,9 @@
 #   BENCH_sched.json  scheduling-policy matrix: cycle-accounted makespan
 #                     and steal counts per app x policy on the 8-core
 #                     tile machine (fig_sched)
+#   BENCH_scale.json  engine events/sec vs machine width: Tracking on the
+#                     flat 62-core mesh and hierarchical topologies up to
+#                     4x16x64 = 4096 cores (fig_scale)
 #
 # The JSON lands in the repo root; commit it when the numbers change for
 # a legitimate reason. The tier-1 gates are host-robust: each checks
@@ -31,7 +34,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 REPS_FLAG="${1:---reps=5}"
 
 cmake -B build -S .
-cmake --build build -j"${JOBS}" --target fig_vm fig_serve fig_serve_chaos fig_sched
+cmake --build build -j"${JOBS}" --target fig_vm fig_serve fig_serve_chaos fig_sched fig_scale
 
 ./build/bench/fig_vm "${REPS_FLAG}" > BENCH_vm.json
 echo "wrote $(pwd)/BENCH_vm.json"
@@ -44,3 +47,6 @@ echo "wrote $(pwd)/BENCH_serve_chaos.json"
 
 ./build/bench/fig_sched --reps=3 > BENCH_sched.json
 echo "wrote $(pwd)/BENCH_sched.json"
+
+./build/bench/fig_scale --reps=5 > BENCH_scale.json
+echo "wrote $(pwd)/BENCH_scale.json"

@@ -21,6 +21,7 @@
 #include "driver/Pipeline.h"
 #include "frontend/Frontend.h"
 #include "interp/Interp.h"
+#include "machine/Topology.h"
 #include "resilience/Checkpoint.h"
 #include "resilience/FaultPlan.h"
 #include "runtime/ThreadExecutor.h"
@@ -62,7 +63,16 @@ void usage(std::FILE *Out) {
       "       bamboo serve [serve options]   (resident job server; see\n"
       "                                       'bamboo serve --help')\n"
       "  --run             synthesize a layout and execute (default)\n"
-      "  --cores=N         target core count (default 62)\n"
+      "  --cores=N         target core count (default 62, max 1048576)\n"
+      "  --topology=SPEC   hierarchical machine shape\n"
+      "                    CHIPSxCLUSTERSxCORES[:chipHop,clusterHop,\n"
+      "                    meshHop], e.g. 4x4x64 or 4x4x64:200,24,8.\n"
+      "                    Cores form per-cluster meshes; cluster and\n"
+      "                    chip crossings cost extra per-level hop\n"
+      "                    latency. Sets the core count to the topology\n"
+      "                    total; --cores, if also given, must agree.\n"
+      "                    1x1xN is cycle-identical to the default flat\n"
+      "                    mesh\n"
       "  --arg=S           program argument (repeatable)\n"
       "  --seed=N          synthesis and execution seed (default 1)\n"
       "  --jobs=N          worker threads for synthesis candidate\n"
@@ -162,6 +172,11 @@ void serveUsage(std::FILE *Out) {
       "                    grouped by app for warm reuse (default 4)\n"
       "  --queue-limit=N   admission queue bound; beyond it requests\n"
       "                    get a queue-full error (default 256)\n"
+      "  --topology=SPEC   hierarchical machine shape (same grammar as\n"
+      "                    the one-shot --topology). Requests whose\n"
+      "                    'cores' equals the topology total run on the\n"
+      "                    hierarchical machine; any other core count\n"
+      "                    runs the flat mesh as before\n"
       "  --trace=FILE      record request spans as Chrome trace JSON,\n"
       "                    written after drain\n"
       "  --metrics         print the request rollup on exit\n"
@@ -269,6 +284,13 @@ int runServe(int Argc, char **Argv) {
       if (!checkedInt(Arg, 14, "--queue-limit", 1, 1 << 20, Limit))
         return 2;
       SO.QueueLimit = static_cast<size_t>(Limit);
+    } else if (Arg.rfind("--topology=", 0) == 0) {
+      std::string Err;
+      SO.Topo = machine::Topology::parse(Arg.substr(11), Err);
+      if (!SO.Topo) {
+        std::fprintf(stderr, "bamboo: %s\n", Err.c_str());
+        return 2;
+      }
     } else if (Arg.rfind("--trace=", 0) == 0)
       TracePath = Arg.substr(8);
     else if (Arg == "--metrics")
@@ -334,6 +356,10 @@ int runServe(int Argc, char **Argv) {
                "batch %d, queue %zu)\n",
                Srv.appCount(), static_cast<unsigned>(Srv.port()),
                SO.Workers, SO.Batch, SO.QueueLimit);
+  if (SO.Topo)
+    std::fprintf(stderr,
+                 "bamboo: topology %s active for %d-core requests\n",
+                 SO.Topo->spec().c_str(), SO.Topo->totalCores());
   if (SO.Chaos)
     std::fprintf(stderr,
                  "bamboo: chaos enabled: %s (seed %llu, max %d retries)\n",
@@ -402,6 +428,8 @@ int main(int Argc, char **Argv) {
   }
   std::string SourcePath = Argv[1];
   int Cores = 62;
+  bool CoresSet = false;
+  std::shared_ptr<const machine::Topology> Topo;
   int Jobs = 1;
   EngineKind Engine = EngineKind::Tile;
   sched::Policy SchedPolicy = sched::Policy::Rr;
@@ -427,8 +455,17 @@ int main(int Argc, char **Argv) {
     // Numeric flags all go through the checked parser: "--cores=abc" and
     // "--seed=12x" are hard usage errors (exit 2), never a silent 0.
     if (Arg.rfind("--cores=", 0) == 0) {
-      if (!checkedInt(Arg, 8, "--cores", 1, 4096, Cores))
+      if (!checkedInt(Arg, 8, "--cores", 1, machine::Topology::MaxTotalCores,
+                      Cores))
         return 2;
+      CoresSet = true;
+    } else if (Arg.rfind("--topology=", 0) == 0) {
+      std::string Err;
+      Topo = machine::Topology::parse(Arg.substr(11), Err);
+      if (!Topo) {
+        std::fprintf(stderr, "bamboo: %s\n", Err.c_str());
+        return 2;
+      }
     } else if (Arg.rfind("--arg=", 0) == 0)
       Args.push_back(Arg.substr(6));
     else if (Arg.rfind("--seed=", 0) == 0) {
@@ -546,6 +583,18 @@ int main(int Argc, char **Argv) {
       return 2;
     }
   }
+  if (Topo) {
+    // --topology defines the machine width; an explicit --cores may
+    // restate it but never contradict it.
+    if (CoresSet && Cores != Topo->totalCores()) {
+      std::fprintf(stderr,
+                   "bamboo: --cores=%d contradicts --topology=%s, which "
+                   "has %d cores; drop --cores or make them agree\n",
+                   Cores, Topo->spec().c_str(), Topo->totalCores());
+      return 2;
+    }
+    Cores = Topo->totalCores();
+  }
   // --trace/--metrics/--faults and the checkpoint/watchdog flags observe
   // or perturb an execution, so they imply --run.
   if (!TracePath.empty() || Metrics || Faults || CheckpointEvery > 0 ||
@@ -641,7 +690,8 @@ int main(int Argc, char **Argv) {
     return 0;
 
   driver::PipelineOptions Opts;
-  Opts.Target = machine::MachineConfig::tilePro64();
+  Opts.Target = Topo ? machine::MachineConfig::hierarchical(Topo)
+                     : machine::MachineConfig::tilePro64();
   Opts.Target.NumCores = Cores;
   Opts.Dsa.Seed = Seed;
   Opts.Dsa.Jobs = Jobs;

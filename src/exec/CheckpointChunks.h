@@ -59,6 +59,10 @@ struct RunIdentity {
   uint64_t Seed = 1;
   const std::vector<std::string> *Args = nullptr;
   const resilience::FaultPlan *Faults = nullptr;
+  /// Canonical topology spec of the restoring machine ("" = flat mesh).
+  /// Distances and transfer latencies differ per topology, so resuming a
+  /// snapshot onto a different shape would silently diverge.
+  std::string Topology;
 };
 
 /// Identity validation shared by all three engines: a checkpoint resumes
@@ -82,6 +86,11 @@ inline std::string validateRunIdentity(const resilience::Checkpoint &C,
     return formatString(
         "checkpoint: core-count mismatch (checkpoint %llu, layout %d)",
         static_cast<unsigned long long>(C.NumCores), L.NumCores);
+  if (C.Topology != Id.Topology)
+    return formatString(
+        "checkpoint: topology mismatch (checkpoint '%s', run '%s')",
+        C.Topology.empty() ? "flat" : C.Topology.c_str(),
+        Id.Topology.empty() ? "flat" : Id.Topology.c_str());
   if (C.LayoutKey != L.isoKey(Prog))
     return Id.LayoutMismatch;
   if (Id.CheckSeedArgs) {
@@ -108,7 +117,8 @@ inline resilience::Checkpoint makeCheckpointHeader(
     resilience::EngineKind Engine, const ir::Program &Prog,
     const machine::Layout &L, uint64_t Seed, uint64_t FaultSeed,
     bool Recovery, const resilience::FaultPlan *Faults,
-    const std::vector<std::string> &Args, uint64_t Cycle, bool Tainted) {
+    const std::vector<std::string> &Args, uint64_t Cycle, bool Tainted,
+    const std::string &Topology = std::string()) {
   resilience::Checkpoint C;
   C.Engine = Engine;
   C.Program = Prog.name();
@@ -119,6 +129,7 @@ inline resilience::Checkpoint makeCheckpointHeader(
   C.Args = Args;
   C.LayoutKey = L.isoKey(Prog);
   C.NumCores = static_cast<uint64_t>(L.NumCores);
+  C.Topology = Topology;
   C.Cycle = Cycle;
   C.Tainted = Tainted;
   return C;

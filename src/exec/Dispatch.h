@@ -26,6 +26,7 @@
 #include "ir/Program.h"
 #include "runtime/Object.h"
 #include "runtime/RoutingTable.h"
+#include "support/CoreSet.h"
 #include "support/Trace.h"
 #include "support/Watchdog.h"
 
@@ -239,6 +240,23 @@ inline std::vector<int> failoverTargets(const runtime::RoutingTable &Routes,
     for (int C = 0; C < NumCores; ++C)
       if (CoreAlive[static_cast<size_t>(C)])
         Alive.push_back(C);
+  return Alive;
+}
+
+/// Index-set flavour for the discrete-event engines: the whole-machine
+/// fallback walks the alive-core index (ascending, same order as the
+/// full scan) instead of probing every core id.
+inline std::vector<int> failoverTargets(const runtime::RoutingTable &Routes,
+                                        const std::vector<char> &CoreAlive,
+                                        const support::CoreSet &AliveCores,
+                                        int DeadCore) {
+  std::vector<int> Alive;
+  for (int C : Routes.failoverOrder(DeadCore))
+    if (CoreAlive[static_cast<size_t>(C)])
+      Alive.push_back(C);
+  if (Alive.empty())
+    for (int C = AliveCores.first(); C >= 0; C = AliveCores.next(C))
+      Alive.push_back(C);
   return Alive;
 }
 

@@ -36,6 +36,7 @@
 #include "resilience/Recovery.h"
 #include "runtime/RoutingTable.h"
 #include "sched/Scheduler.h"
+#include "support/CoreSet.h"
 #include "support/Trace.h"
 
 #include <algorithm>
@@ -110,6 +111,50 @@ protected:
   std::vector<machine::Cycles> StallEnd;
   std::vector<machine::Cycles> LockEnd;
 
+  // Core-state indices, the O(active work) replacements for the engine's
+  // historical full-core scans (wake probing, steal-victim surveys,
+  // duplicate-invocation checks): each set holds exactly the cores
+  // satisfying one predicate over (Executing, ready depth, liveness).
+  // Sized once per run; maintained by noteCoreState() at every site that
+  // changes a core's predicate inputs — EngineCore's own mutations sync
+  // here, the derived engines sync their dispatch/completion paths. Wake
+  // loops iterate them in ascending core id, which preserves the full
+  // scans' event-seq order bit for bit.
+  support::CoreSet ReadyCores;     ///< Ready queue nonempty.
+  support::CoreSet IdleReady;      ///< !Executing, ready work queued.
+  support::CoreSet IdleEmptyAlive; ///< !Executing, empty queue, alive.
+  support::CoreSet LoadedCores;    ///< Two or more ready (steal-eligible).
+  support::CoreSet ExecCores;      ///< Executing a task body.
+  support::CoreSet AliveCores;     ///< Not permanently failed.
+
+  /// Recomputes every index's membership for core \p C from its current
+  /// state. Call after any change to the core's Executing flag, ready
+  /// queue, or liveness.
+  void noteCoreState(int C) {
+    const CoreState &S = Cores[static_cast<size_t>(C)];
+    bool Alive = CoreAlive[static_cast<size_t>(C)] != 0;
+    size_t Depth = S.Ready.size();
+    ReadyCores.set(C, Depth > 0);
+    IdleReady.set(C, !S.Executing && Depth > 0);
+    IdleEmptyAlive.set(C, !S.Executing && Depth == 0 && Alive);
+    LoadedCores.set(C, Depth >= 2);
+    ExecCores.set(C, S.Executing);
+    AliveCores.set(C, Alive);
+  }
+
+  /// Rebuilds every core index from scratch (run start and checkpoint
+  /// restore — the one place an O(cores) pass is inherent).
+  void rebuildCoreIndices() {
+    ReadyCores.reset(L.NumCores);
+    IdleReady.reset(L.NumCores);
+    IdleEmptyAlive.reset(L.NumCores);
+    LoadedCores.reset(L.NumCores);
+    ExecCores.reset(L.NumCores);
+    AliveCores.reset(L.NumCores);
+    for (int C = 0; C < L.NumCores; ++C)
+      noteCoreState(C);
+  }
+
   // Per-run policy bindings (set by beginRun).
   support::Trace *TraceP = nullptr;
   bool RecoveryOn = true;
@@ -147,6 +192,7 @@ protected:
     StallEnd.assign(static_cast<size_t>(L.NumCores), 0);
     LockEnd.assign(static_cast<size_t>(L.NumCores), 0);
     LastProgress = 0;
+    rebuildCoreIndices();
   }
 
   /// Announces the program's task names to the trace recorder.
@@ -195,8 +241,10 @@ protected:
   /// stolen invocation sits on the thief's queue, invisible to its home
   /// core's queue scan.
   bool invocationPendingAnywhere(const Invocation &Inv) const {
-    for (const CoreState &C : Cores)
-      for (const Invocation &Pending : C.Ready)
+    // Only cores with queued work can hold a duplicate; the ReadyCores
+    // index skips the (typically vast) idle remainder.
+    for (int C = ReadyCores.first(); C >= 0; C = ReadyCores.next(C))
+      for (const Invocation &Pending : Cores[static_cast<size_t>(C)].Ready)
         if (Pending.InstanceIdx == Inv.InstanceIdx &&
             Pending.Params.size() == Inv.Params.size() &&
             std::equal(Pending.Params.begin(), Pending.Params.end(),
@@ -244,6 +292,7 @@ protected:
           derived().onReadyEnqueued();
           Cores[static_cast<size_t>(Core)].Ready.push_back(std::move(Inv));
         }
+      noteCoreState(Core);
       return;
     }
     matchParamCombos(
@@ -251,6 +300,7 @@ protected:
         Instances[static_cast<size_t>(InstanceIdx)].ParamSets,
         Cores[static_cast<size_t>(Core)].Ready, DedupeReady, Admits, Bind,
         Same, [this] { derived().onReadyEnqueued(); });
+    noteCoreState(Core);
   }
 
   /// Delivers \p E into its target instance's parameter set, redirecting
@@ -475,6 +525,7 @@ protected:
     if (!CoreAlive[static_cast<size_t>(CoreIdx)])
       return; // Already dead (duplicate schedule entry).
     CoreAlive[static_cast<size_t>(CoreIdx)] = 0;
+    noteCoreState(CoreIdx);
     ++Rep->CoreFails;
     if (TraceP)
       TraceP->faultInject(
@@ -488,7 +539,7 @@ protected:
       return; // Queued work strands; deliveries blackhole; run wedges.
 
     std::vector<int> Alive =
-        failoverTargets(Routes, CoreAlive, L.NumCores, CoreIdx);
+        failoverTargets(Routes, CoreAlive, AliveCores, CoreIdx);
     if (Alive.empty())
       return; // Every core failed: nothing left to migrate to.
 
@@ -519,19 +570,22 @@ protected:
       Rep->AddedCycles += Hop;
       ++Rep->RedispatchedInvocations;
       Cores[static_cast<size_t>(NewCore)].Ready.push_back(std::move(Inv));
+      noteCoreState(NewCore);
       pushWake(NewCore, Now + Hop);
     }
+    noteCoreState(CoreIdx);
   }
 
   /// Lock releases may unblock other cores' queued invocations: wake
   /// every idle core with pending work (except \p ExceptCore, which the
-  /// completion path retries directly).
+  /// completion path retries directly). The IdleReady index makes this
+  /// O(cores with queued work), not O(cores); ascending iteration keeps
+  /// the historical full scan's wake order.
   void wakeOtherCores(int ExceptCore, machine::Cycles Time) {
-    for (size_t C = 0; C < Cores.size(); ++C) {
-      if (static_cast<int>(C) == ExceptCore)
+    for (int C = IdleReady.first(); C >= 0; C = IdleReady.next(C)) {
+      if (C == ExceptCore)
         continue;
-      if (!Cores[C].Executing && !Cores[C].Ready.empty())
-        pushWake(static_cast<int>(C), Time);
+      pushWake(C, Time);
     }
   }
 
@@ -544,11 +598,11 @@ protected:
     if (!Sched->stealing() ||
         Cores[static_cast<size_t>(HomeCore)].Ready.size() < 2)
       return;
-    for (size_t C = 0; C < Cores.size(); ++C) {
-      if (static_cast<int>(C) == HomeCore || Cores[C].Executing ||
-          !Cores[C].Ready.empty() || !CoreAlive[C])
+    for (int C = IdleEmptyAlive.first(); C >= 0;
+         C = IdleEmptyAlive.next(C)) {
+      if (C == HomeCore)
         continue;
-      pushWake(static_cast<int>(C), Time);
+      pushWake(C, Time);
     }
   }
 
@@ -560,14 +614,13 @@ protected:
   bool trySteal(int Thief, machine::Cycles Now) {
     if (!Sched->stealing() || !CoreAlive[static_cast<size_t>(Thief)])
       return false;
-    int Victim = Sched->chooseVictim(Thief, CoreAlive, [this](int C) {
-      return Cores[static_cast<size_t>(C)].Ready.size();
-    });
+    int Victim = Sched->chooseVictim(Thief, CoreAlive, LoadedCores);
     if (Victim < 0)
       return false;
     CoreState &V = Cores[static_cast<size_t>(Victim)];
     Invocation Inv = std::move(V.Ready.back());
     V.Ready.pop_back();
+    noteCoreState(Victim);
     machine::Cycles Hop =
         Machine.SendOverhead + Machine.transferLatency(Victim, Thief);
     Sched->noteSteal();
@@ -575,6 +628,7 @@ protected:
       TraceP->steal(Now, Thief, Victim, Inv.Task,
                     static_cast<uint32_t>(Machine.hopDistance(Victim, Thief)));
     Cores[static_cast<size_t>(Thief)].Ready.push_back(std::move(Inv));
+    noteCoreState(Thief);
     pushWake(Thief, Now + Hop);
     return true;
   }

@@ -6,6 +6,8 @@
 
 #include "machine/MachineConfig.h"
 
+#include "machine/Topology.h"
+
 #include <cassert>
 #include <cmath>
 #include <cstdlib>
@@ -13,6 +15,8 @@
 using namespace bamboo::machine;
 
 int MachineConfig::meshWidth() const {
+  if (Topo)
+    return Topo->localMeshWidth();
   if (MeshWidth > 0)
     return MeshWidth;
   int W = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(NumCores))));
@@ -22,6 +26,8 @@ int MachineConfig::meshWidth() const {
 int MachineConfig::hopDistance(int CoreA, int CoreB) const {
   assert(CoreA >= 0 && CoreA < NumCores && "core out of range");
   assert(CoreB >= 0 && CoreB < NumCores && "core out of range");
+  if (Topo)
+    return Topo->hopDistance(CoreA, CoreB);
   int W = meshWidth();
   int Ax = CoreA % W, Ay = CoreA / W;
   int Bx = CoreB % W, By = CoreB / W;
@@ -31,8 +37,14 @@ int MachineConfig::hopDistance(int CoreA, int CoreB) const {
 Cycles MachineConfig::transferLatency(int FromCore, int ToCore) const {
   if (FromCore == ToCore)
     return 0;
+  if (Topo)
+    return MsgBaseLatency + Topo->transferExtra(FromCore, ToCore);
   return MsgBaseLatency +
          MsgPerHop * static_cast<Cycles>(hopDistance(FromCore, ToCore));
+}
+
+std::string MachineConfig::topologySpec() const {
+  return Topo ? Topo->spec() : std::string();
 }
 
 MachineConfig MachineConfig::singleCore() {
@@ -45,5 +57,15 @@ MachineConfig MachineConfig::tilePro64() {
   MachineConfig C;
   C.NumCores = 62;
   C.MeshWidth = 8;
+  return C;
+}
+
+MachineConfig MachineConfig::hierarchical(
+    std::shared_ptr<const Topology> Topo) {
+  assert(Topo && "hierarchical() needs a topology");
+  MachineConfig C = tilePro64();
+  C.NumCores = Topo->totalCores();
+  C.MeshWidth = 0;
+  C.Topo = std::move(Topo);
   return C;
 }

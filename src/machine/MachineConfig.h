@@ -27,11 +27,15 @@
 #define BAMBOO_MACHINE_MACHINECONFIG_H
 
 #include <cstdint>
+#include <memory>
+#include <string>
 
 namespace bamboo::machine {
 
 /// Virtual cycle count.
 using Cycles = uint64_t;
+
+class Topology;
 
 /// Static description of the target processor.
 struct MachineConfig {
@@ -82,15 +86,28 @@ struct MachineConfig {
   /// (Section 5.2).
   double LoadSlowdown = 0.06;
 
-  /// Returns the effective mesh width.
+  /// Hierarchical machine shape (chips x clusters x cores, per-level hop
+  /// latencies — see machine/Topology.h). Null means the historical flat
+  /// mesh: every default run keeps the exact pre-topology distance and
+  /// latency code paths. When set, NumCores must equal the topology's
+  /// total core count, and hopDistance/transferLatency delegate to it.
+  std::shared_ptr<const Topology> Topo;
+
+  /// Returns the effective mesh width (the per-cluster mesh width when a
+  /// topology is attached).
   int meshWidth() const;
 
-  /// Manhattan distance between two cores in the mesh.
+  /// Manhattan distance between two cores: flat-mesh Manhattan distance,
+  /// or the topology's per-level distance when one is attached.
   int hopDistance(int CoreA, int CoreB) const;
 
   /// Transfer latency for one object between cores (zero for the same
   /// core: objects stay in the core's local memory).
   Cycles transferLatency(int FromCore, int ToCore) const;
+
+  /// The attached topology's canonical spec, or "" for the flat mesh.
+  /// Part of checkpoint run identity.
+  std::string topologySpec() const;
 
   /// A machine with a single core and no network (used for profiling runs
   /// and 1-core measurements).
@@ -98,6 +115,10 @@ struct MachineConfig {
 
   /// The evaluation machine of the paper: 62 usable cores on an 8x8 mesh.
   static MachineConfig tilePro64();
+
+  /// A tilePro64-derived machine reshaped to \p Topo (NumCores adopts the
+  /// topology's total core count).
+  static MachineConfig hierarchical(std::shared_ptr<const Topology> Topo);
 };
 
 } // namespace bamboo::machine

@@ -1,0 +1,109 @@
+//===- machine/Topology.cpp - Hierarchical machine topology ---------------===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/Topology.h"
+
+#include "support/Format.h"
+
+#include <cmath>
+
+using namespace bamboo;
+using namespace bamboo::machine;
+
+Topology::Topology(int Chips, int ClustersPerChip, int CoresPerCluster,
+                   Cycles ChipHop, Cycles ClusterHop, Cycles MeshHop)
+    : NumChips(Chips), ClustersPer(ClustersPerChip), CoresPer(CoresPerCluster),
+      Total(Chips * ClustersPerChip * CoresPerCluster),
+      ChipHopLat(ChipHop), ClusterHopLat(ClusterHop), MeshHopLat(MeshHop) {
+  assert(Chips >= 1 && ClustersPerChip >= 1 && CoresPerCluster >= 1 &&
+         "every topology level needs at least one element");
+  assert(Total <= MaxTotalCores && "topology exceeds the core ceiling");
+  MeshW = static_cast<int>(
+      std::ceil(std::sqrt(static_cast<double>(CoresPer))));
+  if (MeshW < 1)
+    MeshW = 1;
+  Locs.resize(static_cast<size_t>(Total));
+  int Core = 0;
+  for (int Chip = 0; Chip < NumChips; ++Chip)
+    for (int Cluster = 0; Cluster < ClustersPer; ++Cluster)
+      for (int Local = 0; Local < CoresPer; ++Local, ++Core) {
+        CoreLoc &Loc = Locs[static_cast<size_t>(Core)];
+        Loc.Chip = Chip;
+        Loc.Cluster = Cluster;
+        Loc.X = Local % MeshW;
+        Loc.Y = Local / MeshW;
+      }
+}
+
+std::string Topology::spec() const {
+  return formatString("%dx%dx%d:%llu,%llu,%llu", NumChips, ClustersPer,
+                      CoresPer, static_cast<unsigned long long>(ChipHopLat),
+                      static_cast<unsigned long long>(ClusterHopLat),
+                      static_cast<unsigned long long>(MeshHopLat));
+}
+
+std::shared_ptr<const Topology> Topology::parse(const std::string &Spec,
+                                                std::string &Err) {
+  // CHIPSxCLUSTERSxCORES[:chipHop,clusterHop,meshHop]
+  const char *Usage =
+      "expected CHIPSxCLUSTERSxCORES[:chipHop,clusterHop,meshHop], "
+      "e.g. 4x4x64 or 4x4x64:200,24,8";
+  auto Fail = [&](const std::string &Why) -> std::shared_ptr<const Topology> {
+    Err = formatString("bad topology '%s': %s (%s)", Spec.c_str(),
+                       Why.c_str(), Usage);
+    return nullptr;
+  };
+
+  std::string Dims = Spec;
+  std::string Hops;
+  if (size_t Colon = Spec.find(':'); Colon != std::string::npos) {
+    Dims = Spec.substr(0, Colon);
+    Hops = Spec.substr(Colon + 1);
+  }
+
+  auto parseFields = [](const std::string &S, char Sep,
+                        std::vector<unsigned long long> &Out) -> bool {
+    size_t Pos = 0;
+    while (true) {
+      size_t End = S.find(Sep, Pos);
+      std::string Field =
+          S.substr(Pos, End == std::string::npos ? End : End - Pos);
+      if (Field.empty() ||
+          Field.find_first_not_of("0123456789") != std::string::npos ||
+          Field.size() > 9)
+        return false;
+      Out.push_back(std::stoull(Field));
+      if (End == std::string::npos)
+        return true;
+      Pos = End + 1;
+    }
+  };
+
+  std::vector<unsigned long long> D;
+  if (!parseFields(Dims, 'x', D) || D.size() != 3)
+    return Fail("need exactly three 'x'-separated level sizes");
+  if (D[0] < 1 || D[1] < 1 || D[2] < 1)
+    return Fail("every level size must be at least 1");
+  unsigned long long Total = D[0] * D[1] * D[2];
+  if (Total > static_cast<unsigned long long>(MaxTotalCores))
+    return Fail(formatString("%llu total cores exceeds the %d-core ceiling",
+                             Total, MaxTotalCores));
+
+  Cycles ChipHop = DefaultChipHop;
+  Cycles ClusterHop = DefaultClusterHop;
+  Cycles MeshHop = DefaultMeshHop;
+  if (!Hops.empty()) {
+    std::vector<unsigned long long> H;
+    if (!parseFields(Hops, ',', H) || H.size() != 3)
+      return Fail("need exactly three comma-separated hop latencies");
+    ChipHop = H[0];
+    ClusterHop = H[1];
+    MeshHop = H[2];
+  }
+  return std::make_shared<const Topology>(
+      static_cast<int>(D[0]), static_cast<int>(D[1]), static_cast<int>(D[2]),
+      ChipHop, ClusterHop, MeshHop);
+}

@@ -1,0 +1,142 @@
+//===- machine/Topology.h - Hierarchical machine topology -------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hierarchical generalization of the flat TILEPro64 mesh: a machine
+/// is CHIPS x CLUSTERS x CORES — some number of chips, each holding
+/// clusters of mesh-connected cores. Cores are numbered contiguously:
+/// core ids [0, CoresPerCluster) are cluster 0 of chip 0, the next
+/// CoresPerCluster ids are cluster 1, and so on, clusters filling chips
+/// in order. Within a cluster the cores form a near-square mesh exactly
+/// like the flat machine (width = ceil(sqrt(CoresPerCluster))).
+///
+/// Distances decompose per level — local mesh hops, cluster crossings,
+/// chip crossings — and each level carries its own per-hop latency, so a
+/// cross-chip transfer is much more expensive than a neighbour hop
+/// (MuchiSim-style per-level interconnect costs). The degenerate 1x1xN
+/// topology reproduces the flat machine's hop distances and, with the
+/// default per-hop latencies, its transfer latencies bit-for-bit.
+///
+/// Every core's (chip, cluster, x, y) coordinate is precomputed once at
+/// construction, so the hot send-path queries — hopDistance and the
+/// transfer-latency component beyond the base — are O(1) table lookups
+/// with no per-call division chains.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_MACHINE_TOPOLOGY_H
+#define BAMBOO_MACHINE_TOPOLOGY_H
+
+#include "machine/MachineConfig.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bamboo::machine {
+
+/// A chips-of-clusters-of-cores machine shape with per-level hop
+/// latencies. Immutable after construction; engines share one instance
+/// through MachineConfig's shared_ptr.
+class Topology {
+public:
+  /// Default per-level hop latencies for specs that omit them. The mesh
+  /// hop matches MachineConfig::MsgPerHop so 1x1xN is latency-identical
+  /// to the flat machine; cluster crossings cost a few mesh hops, chip
+  /// crossings a SERDES-scale multiple.
+  static constexpr Cycles DefaultChipHop = 200;
+  static constexpr Cycles DefaultClusterHop = 24;
+  static constexpr Cycles DefaultMeshHop = 8;
+
+  /// Largest accepted total core count (matches the driver's --cores
+  /// ceiling; keeps the per-core coordinate table allocation sane).
+  static constexpr int MaxTotalCores = 1 << 20;
+
+  Topology(int Chips, int ClustersPerChip, int CoresPerCluster,
+           Cycles ChipHop = DefaultChipHop,
+           Cycles ClusterHop = DefaultClusterHop,
+           Cycles MeshHop = DefaultMeshHop);
+
+  /// Parses "CHIPSxCLUSTERSxCORES[:chipHop,clusterHop,meshHop]" (e.g.
+  /// "4x4x64" or "4x4x64:200,24,8"). On failure returns nullptr and sets
+  /// \p Err.
+  static std::shared_ptr<const Topology> parse(const std::string &Spec,
+                                               std::string &Err);
+
+  int chips() const { return NumChips; }
+  int clustersPerChip() const { return ClustersPer; }
+  int coresPerCluster() const { return CoresPer; }
+  int totalCores() const { return Total; }
+  Cycles chipHop() const { return ChipHopLat; }
+  Cycles clusterHop() const { return ClusterHopLat; }
+  Cycles meshHop() const { return MeshHopLat; }
+
+  /// Width of the per-cluster mesh (ceil(sqrt(CoresPerCluster))).
+  int localMeshWidth() const { return MeshW; }
+
+  /// Global cluster index of a core, in [0, chips * clustersPerChip).
+  int clusterOf(int Core) const {
+    return Locs[static_cast<size_t>(Core)].Chip * ClustersPer +
+           Locs[static_cast<size_t>(Core)].Cluster;
+  }
+  int chipOf(int Core) const {
+    return Locs[static_cast<size_t>(Core)].Chip;
+  }
+
+  /// Per-level Manhattan distance: local mesh hops within the cluster
+  /// grid plus one hop per cluster crossed plus one per chip crossed.
+  /// Symmetric; zero only for A == B or same-coordinate cores. For 1x1xN
+  /// this is exactly the flat machine's mesh Manhattan distance.
+  int hopDistance(int CoreA, int CoreB) const {
+    const CoreLoc &A = Locs[static_cast<size_t>(CoreA)];
+    const CoreLoc &B = Locs[static_cast<size_t>(CoreB)];
+    return absDiff(A.Chip, B.Chip) + absDiff(A.Cluster, B.Cluster) +
+           absDiff(A.X, B.X) + absDiff(A.Y, B.Y);
+  }
+
+  /// The distance-dependent transfer-latency component (the caller adds
+  /// the base latency): per-level hop counts weighted by the per-level
+  /// hop latencies. O(1) — pure table lookups and multiplies.
+  Cycles transferExtra(int CoreA, int CoreB) const {
+    const CoreLoc &A = Locs[static_cast<size_t>(CoreA)];
+    const CoreLoc &B = Locs[static_cast<size_t>(CoreB)];
+    return ChipHopLat * static_cast<Cycles>(absDiff(A.Chip, B.Chip)) +
+           ClusterHopLat * static_cast<Cycles>(absDiff(A.Cluster, B.Cluster)) +
+           MeshHopLat *
+               static_cast<Cycles>(absDiff(A.X, B.X) + absDiff(A.Y, B.Y));
+  }
+
+  /// Canonical spec string, always in the full
+  /// "CxKxN:chipHop,clusterHop,meshHop" form. Part of checkpoint identity
+  /// (exec::RunIdentity): equal specs mean equal machines.
+  std::string spec() const;
+
+private:
+  struct CoreLoc {
+    int32_t Chip = 0;
+    int32_t Cluster = 0; ///< Cluster index within the chip.
+    int32_t X = 0;       ///< Column in the cluster mesh.
+    int32_t Y = 0;       ///< Row in the cluster mesh.
+  };
+
+  static int absDiff(int32_t A, int32_t B) { return A < B ? B - A : A - B; }
+
+  int NumChips;
+  int ClustersPer;
+  int CoresPer;
+  int Total;
+  int MeshW;
+  Cycles ChipHopLat;
+  Cycles ClusterHopLat;
+  Cycles MeshHopLat;
+  /// Precomputed per-core coordinates (the div/mod chains paid once).
+  std::vector<CoreLoc> Locs;
+};
+
+} // namespace bamboo::machine
+
+#endif // BAMBOO_MACHINE_TOPOLOGY_H

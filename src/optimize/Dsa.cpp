@@ -295,6 +295,10 @@ DsaResult bamboo::optimize::runDsa(
     // The round-robin spread realizes the parallelization rules' intent
     // (one replica per core) and anchors the otherwise random seed pool.
     CollectLayout(synthesis::spreadLayout(Plan, Machine.NumCores));
+    // On a hierarchical machine, also seed the cluster-aware spread; the
+    // dedupe in Collect drops it when it coincides with the flat spread.
+    if (Machine.Topo)
+      CollectLayout(synthesis::clusteredSpreadLayout(Plan, Machine));
     for (synthesis::KeyedLayout &KL : synthesis::randomKeyedLayouts(
              Plan, Prog, Machine.NumCores, Opts.InitialCandidates, R))
       Collect(std::move(KL));

@@ -54,7 +54,9 @@ const char *engineKindName(EngineKind K) {
 std::string Checkpoint::serialize() const {
   ByteWriter W;
   W.u64(Magic);
-  W.u32(FormatVersion);
+  // Flat-machine snapshots stay version-1 byte streams; only a
+  // hierarchical topology opts the file into the v2 header section.
+  W.u32(Topology.empty() ? FormatVersion : FormatVersionTopology);
   W.u32(static_cast<uint32_t>(Engine));
   W.str(Program);
   W.u64(Seed);
@@ -66,6 +68,8 @@ std::string Checkpoint::serialize() const {
     W.str(A);
   W.str(LayoutKey);
   W.u64(NumCores);
+  if (!Topology.empty())
+    W.str(Topology);
   W.u64(Cycle);
   W.str(Body);
   std::string Out = W.take();
@@ -86,11 +90,11 @@ std::string Checkpoint::deserialize(const std::string &Bytes, Checkpoint &Out) {
   if (Probe.u64() != Magic)
     return "checkpoint: bad magic (not a Bamboo checkpoint file)";
   uint32_t Version = Probe.u32();
-  if (Version != FormatVersion)
+  if (Version != FormatVersion && Version != FormatVersionTopology)
     return formatString(
         "checkpoint: unsupported format version %u (this build reads "
-        "version %u)",
-        Version, FormatVersion);
+        "versions %u and %u)",
+        Version, FormatVersion, FormatVersionTopology);
   std::string Payload = Bytes.substr(0, Bytes.size() - 4);
   uint32_t Stored = 0;
   for (int I = 0; I < 4; ++I)
@@ -124,6 +128,8 @@ std::string Checkpoint::deserialize(const std::string &Bytes, Checkpoint &Out) {
     C.Args.push_back(R.str());
   C.LayoutKey = R.str();
   C.NumCores = R.u64();
+  if (Version >= FormatVersionTopology)
+    C.Topology = R.str();
   C.Cycle = R.u64();
   C.Body = R.str();
   if (!R.ok())

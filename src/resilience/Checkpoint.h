@@ -155,9 +155,17 @@ enum class EngineKind : uint32_t {
 const char *engineKindName(EngineKind K);
 
 /// One snapshot: the identity header plus an engine-opaque body.
+///
+/// Wire versioning: version 1 is the flat-machine format. Version 2
+/// appends the machine-topology spec after NumCores; a flat-machine
+/// snapshot (empty Topology) still serializes as version-1 bytes, so
+/// every historical checkpoint byte stream is preserved exactly and old
+/// v1 files keep loading. Only hierarchical-topology runs emit v2.
 struct Checkpoint {
   static constexpr uint64_t Magic = 0x54504B434F424D42ULL; // "BMBOCKPT"
   static constexpr uint32_t FormatVersion = 1;
+  /// The topology-bearing format; readable alongside version 1.
+  static constexpr uint32_t FormatVersionTopology = 2;
 
   EngineKind Engine = EngineKind::Tile;
   std::string Program;     ///< Program name (ir::Program::name()).
@@ -168,6 +176,10 @@ struct Checkpoint {
   std::vector<std::string> Args; ///< Program arguments.
   std::string LayoutKey;   ///< Layout fingerprint (Layout::isoKey).
   uint64_t NumCores = 0;   ///< Machine width the layout targets.
+  /// Canonical machine-topology spec (machine::Topology::spec()), or ""
+  /// for the flat mesh. Run identity: a restore under a different
+  /// topology is rejected.
+  std::string Topology;
   uint64_t Cycle = 0;      ///< Virtual cycle the snapshot was taken at.
   std::string Body;        ///< Engine-opaque serialized state.
 

@@ -122,10 +122,9 @@ void TileExecutor::tryStart(int CoreIdx, Cycles Now) {
     // currently busy (see MachineConfig::LoadSlowdown).
     Cycles Charged = Ctx->chargedCycles();
     if (Machine.LoadSlowdown > 0.0 && Cores.size() > 1) {
-      int OthersBusy = 0;
-      for (const CoreState &Other : Cores)
-        OthersBusy += Other.Executing ? 1 : 0;
-      double Fraction = static_cast<double>(OthersBusy) /
+      // This core is not Executing yet, so the index's population is
+      // exactly the historical "count every other busy core" scan.
+      double Fraction = static_cast<double>(ExecCores.size()) /
                         static_cast<double>(Cores.size() - 1);
       Charged = static_cast<Cycles>(
           static_cast<double>(Charged) *
@@ -149,8 +148,10 @@ void TileExecutor::tryStart(int CoreIdx, Cycles Now) {
     int FlightIdx = exec::allocFlightSlot(
         InFlights, FreeFlightSlots, InFlight{std::move(Inv), std::move(Ctx)});
     pushCompletion(CoreIdx, Core.BusyUntil, FlightIdx);
+    noteCoreState(CoreIdx);
     return;
   }
+  noteCoreState(CoreIdx); // Stale drops / lock requeues changed the queue.
 }
 
 void TileExecutor::complete(const Event &E) {
@@ -182,6 +183,7 @@ void TileExecutor::complete(const Event &E) {
     Obj->unlock();
   Cores[static_cast<size_t>(E.Core)].Executing = false;
   Cores[static_cast<size_t>(E.Core)].LastEnd = E.Time;
+  noteCoreState(E.Core);
   LastProgress = std::max(LastProgress, E.Time); // Watchdog: real progress.
   if (Opts->Trace)
     Opts->Trace->taskEnd(E.Time, E.Core, Flight.Inv.Task,
@@ -283,6 +285,7 @@ ExecResult TileExecutor::run(const ExecOptions &Options) {
         return ++Events <= Options.MaxEvents;
       },
       [] { return true; }, Aborted);
+  Result.EventsProcessed = Events;
   return finishRun(LastTime, Aborted);
 }
 
@@ -330,7 +333,8 @@ std::string TileExecutor::makeCheckpoint(Cycles AtCycle,
   resilience::Checkpoint C = exec::makeCheckpointHeader(
       resilience::EngineKind::Tile, Prog, L, Opts->Seed, Opts->FaultSeed,
       Opts->Recovery, Opts->Faults, Opts->Args, AtCycle,
-      !Opts->Recovery && Result.Recovery.totalInjected() > 0);
+      !Opts->Recovery && Result.Recovery.totalInjected() > 0,
+      Machine.topologySpec());
 
   ByteWriter W;
   CodecSaveCtx Ctx;
@@ -409,6 +413,7 @@ std::string TileExecutor::restoreFrom(const resilience::Checkpoint &C,
   Id.Seed = Opts->Seed;
   Id.Args = &Opts->Args;
   Id.Faults = Opts->Faults;
+  Id.Topology = Machine.topologySpec();
   if (std::string Err = exec::validateRunIdentity(C, Prog, L, Id);
       !Err.empty())
     return Err;
@@ -451,6 +456,7 @@ std::string TileExecutor::restoreFrom(const resilience::Checkpoint &C,
           });
       !Err.empty())
     return Err;
+  rebuildCoreIndices();
 
   if (std::string Err = exec::loadParamSets<Object *>(
           R, Instances, TheHeap.numObjects(),

@@ -127,6 +127,11 @@ struct ExecResult {
   machine::Cycles TotalCycles = 0;
   bool Completed = false;
   uint64_t TaskInvocations = 0;
+  /// Discrete events the engine loop handled (deliveries, completions,
+  /// wakes, faults). Together with wall time this is the engine-throughput
+  /// metric bench/fig_scale reports: a per-cycle cost independent of
+  /// machine width shows up as a flat events/sec curve.
+  uint64_t EventsProcessed = 0;
   uint64_t ObjectsAllocated = 0;
   uint64_t MessagesSent = 0;
   /// Total mesh hops traversed by the messages in MessagesSent (the

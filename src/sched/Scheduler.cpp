@@ -52,8 +52,6 @@ void Scheduler::beginRun(int Cores, size_t Tasks,
   Hop = std::move(HopDistance);
   StealCount = 0;
   Counters.assign((size_t(NumCores) + 1) * NumTasks, Untouched);
-  VictimOrder.clear();
-  buildVictimOrders();
 }
 
 uint64_t &Scheduler::counter(int BucketCore, int Task, size_t SeedValue) {
@@ -87,16 +85,29 @@ size_t Scheduler::pickImpl(const runtime::RouteDest &Dest, int BucketCore,
 }
 
 int Scheduler::chooseVictim(int Thief, const std::vector<char> &CoreAlive,
-                            const DepthFn &QueueDepth) const {
-  if (Thief < 0 || size_t(Thief) >= VictimOrder.size())
+                            const support::CoreSet &Loaded) const {
+  if (!stealing() || Thief < 0 || Thief >= NumCores)
     return -1;
-  for (int Victim : VictimOrder[size_t(Thief)]) {
-    if (size_t(Victim) < CoreAlive.size() && !CoreAlive[size_t(Victim)])
+  // The candidate minimizing (victimKey, id) is exactly the first hit of
+  // the historical walk over the per-thief victim order sorted by that
+  // same pair — but visiting only the loaded cores.
+  int Best = -1;
+  uint64_t BestKey = 0;
+  for (int Victim = Loaded.first(); Victim >= 0; Victim = Loaded.next(Victim)) {
+    if (Victim == Thief ||
+        (size_t(Victim) < CoreAlive.size() && !CoreAlive[size_t(Victim)]))
       continue;
-    if (QueueDepth(Victim) >= 2)
-      return Victim;
+    uint64_t Key = victimKey(Thief, Victim);
+    if (Best < 0 || Key < BestKey) {
+      Best = Victim;
+      BestKey = Key;
+    }
   }
-  return -1;
+  return Best;
+}
+
+uint64_t Scheduler::victimKey(int /*Thief*/, int /*Victim*/) const {
+  return 0; // Non-stealing policies never reach chooseVictim's scan.
 }
 
 int Scheduler::chooseFailover(const std::vector<int> &Alive, size_t Ordinal,
@@ -231,19 +242,10 @@ public:
   bool stealing() const override { return true; }
 
 private:
-  void buildVictimOrders() override {
-    VictimOrder.assign(size_t(NumCores), {});
-    for (int Thief = 0; Thief < NumCores; ++Thief) {
-      std::vector<int> &Order = VictimOrder[size_t(Thief)];
-      for (int Victim = 0; Victim < NumCores; ++Victim)
-        if (Victim != Thief)
-          Order.push_back(Victim);
-      std::sort(Order.begin(), Order.end(), [&](int A, int B) {
-        uint64_t Ka = mix64(Seed ^ mix64(uint64_t(Thief) << 32 | uint64_t(A)));
-        uint64_t Kb = mix64(Seed ^ mix64(uint64_t(Thief) << 32 | uint64_t(B)));
-        return Ka != Kb ? Ka < Kb : A < B;
-      });
-    }
+  /// The seeded per-thief victim permutation, as a rank: the historical
+  /// order lists were these keys sorted ascending.
+  uint64_t victimKey(int Thief, int Victim) const override {
+    return mix64(Seed ^ mix64(uint64_t(Thief) << 32 | uint64_t(Victim)));
   }
 };
 
@@ -276,19 +278,13 @@ public:
   }
 
 private:
-  void buildVictimOrders() override {
-    VictimOrder.assign(size_t(NumCores), {});
-    for (int Thief = 0; Thief < NumCores; ++Thief) {
-      std::vector<int> &Order = VictimOrder[size_t(Thief)];
-      for (int Victim = 0; Victim < NumCores; ++Victim)
-        if (Victim != Thief)
-          Order.push_back(Victim);
-      std::sort(Order.begin(), Order.end(), [&](int A, int B) {
-        int Ha = Hop ? Hop(Thief, A) : 0;
-        int Hb = Hop ? Hop(Thief, B) : 0;
-        return Ha != Hb ? Ha < Hb : A < B;
-      });
-    }
+  /// Hop distance as the rank: nearest victims first (lowest core id
+  /// among equidistant ones). Under a hierarchical topology the hop
+  /// metric already folds in cluster and chip crossings, so this
+  /// naturally steals within the thief's cluster before reaching across
+  /// clusters, and across clusters before crossing chips.
+  uint64_t victimKey(int Thief, int Victim) const override {
+    return Hop ? uint64_t(Hop(Thief, Victim)) : 0;
   }
 };
 

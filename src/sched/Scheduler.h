@@ -48,6 +48,7 @@
 
 #include "resilience/Checkpoint.h"
 #include "runtime/RoutingTable.h"
+#include "support/CoreSet.h"
 
 #include <cstdint>
 #include <functional>
@@ -83,10 +84,9 @@ inline const char *policyChoices() { return "'rr', 'ws', 'locality' or 'dep'"; }
 class Scheduler {
 public:
   /// Core-distance metric supplied by the engine (mesh Manhattan hops for
-  /// the virtual machines, linear index distance for the host engine).
+  /// the virtual machines — per-level hierarchical hops when a topology
+  /// is attached — linear index distance for the host engine).
   using HopFn = std::function<int(int, int)>;
-  /// Ready-queue depth of a core, for victim selection.
-  using DepthFn = std::function<size_t(int)>;
 
   virtual ~Scheduler();
 
@@ -117,12 +117,16 @@ public:
   /// skip the steal path (and its wake traffic) entirely when false.
   virtual bool stealing() const { return false; }
 
-  /// Picks a victim for idle \p Thief: the first core in the policy's
-  /// victim order that is alive and holds at least two ready invocations
-  /// (never the last — stealing must not just relocate the victim's own
-  /// next dispatch). Returns -1 when nothing is stealable.
+  /// Picks a victim for idle \p Thief: among \p Loaded (the engine's
+  /// index of cores holding at least two ready invocations — never fewer:
+  /// stealing the last would merely relocate the victim's own next
+  /// dispatch), the alive core minimizing (victimKey, core id). This is
+  /// the same core the historical per-thief sorted victim walk found, at
+  /// O(loaded cores) per probe instead of O(all cores) — idle probes on a
+  /// mostly-idle machine no longer pay for its size. Returns -1 when
+  /// nothing is stealable.
   int chooseVictim(int Thief, const std::vector<char> &CoreAlive,
-                   const DepthFn &QueueDepth) const;
+                   const support::CoreSet &Loaded) const;
 
   /// Placement of the \p Ordinal-th instance migrating off failed core
   /// \p DeadCore, over the engine's \p Alive candidate list (failover
@@ -158,8 +162,14 @@ protected:
   virtual size_t pickImpl(const runtime::RouteDest &Dest, int BucketCore,
                           size_t SeedValue, int FromCore);
 
-  /// Fills VictimOrder for stealing policies; no-op otherwise.
-  virtual void buildVictimOrders() {}
+  /// Victim preference rank for stealing policies: chooseVictim returns
+  /// the candidate with the smallest (victimKey, id) pair, reproducing
+  /// "first match in the policy's sorted victim order" without ever
+  /// materializing the per-thief O(cores^2) order lists. ws keys on a
+  /// seeded hash, locality on hop distance (hierarchy-aware when the
+  /// machine has a topology: within-cluster victims rank before
+  /// cross-cluster, cross-cluster before cross-chip).
+  virtual uint64_t victimKey(int Thief, int Victim) const;
 
   /// The dense distribution-counter table replacing the historical
   /// std::map<(sender, task), counter>: row BucketCore+1 (row 0 is the
@@ -181,8 +191,6 @@ protected:
   HopFn Hop;
   uint64_t StealCount = 0;
   std::vector<uint64_t> Counters;
-  /// Per-thief victim visit order (stealing policies only).
-  std::vector<std::vector<int>> VictimOrder;
 };
 
 /// Constructs the policy's scheduler. \p Seed feeds ws's victim

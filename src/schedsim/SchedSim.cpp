@@ -19,6 +19,7 @@
 #include "exec/EngineCore.h"
 #include "resilience/FaultInjector.h"
 #include "runtime/RoutingTable.h"
+#include "support/Arena.h"
 #include "support/Debug.h"
 #include "support/Format.h"
 #include "support/Watchdog.h"
@@ -113,7 +114,13 @@ private:
     std::map<ir::TagTypeId, uint64_t> FreshTags;
   };
 
-  std::vector<std::unique_ptr<Token>> Tokens;
+  /// Token storage: tokens are created at routing rate, referenced by raw
+  /// pointer from queues, parameter sets, and flight slots, and live to
+  /// the end of the run — an arena allocation profile. The pool gives
+  /// stable addresses without a per-token heap round-trip; Tokens is the
+  /// id-ordered index the checkpoint codec and watchdog walk.
+  support::ObjectPool<Token> TokenPool;
+  std::vector<Token *> Tokens;
   uint64_t NextTokenId = 0;
   uint64_t NextTagId = 1;
   std::vector<Flight> Flights;
@@ -128,12 +135,12 @@ private:
   SimResult Result;
 
   Token *makeToken(ir::ClassId Class, analysis::AbstractState State) {
-    auto T = std::make_unique<Token>();
+    Token *T = TokenPool.create();
     T->Id = NextTokenId++;
     T->Class = Class;
     T->State = std::move(State);
-    Tokens.push_back(std::move(T));
-    return Tokens.back().get();
+    Tokens.push_back(T);
+    return T;
   }
 
   //===--------------------------------------------------------------------===//
@@ -321,7 +328,7 @@ private:
     if (!R.ok() || Id < -1 ||
         (Id >= 0 && static_cast<uint64_t>(Id) >= Tokens.size()))
       return "checkpoint: arrival references an unknown token";
-    A.Tok = Id >= 0 ? Tokens[static_cast<size_t>(Id)].get() : nullptr;
+    A.Tok = Id >= 0 ? Tokens[static_cast<size_t>(Id)] : nullptr;
     return {};
   }
 
@@ -475,8 +482,10 @@ void Simulator::tryStart(int CoreIdx, Cycles Now) {
 
     int FlightIdx = exec::allocFlightSlot(Flights, FreeFlights, std::move(F));
     pushCompletion(CoreIdx, Now + Duration, FlightIdx);
+    noteCoreState(CoreIdx);
     return;
   }
+  noteCoreState(CoreIdx); // Stale drops / busy requeues changed the queue.
 }
 
 void Simulator::complete(const Event &E) {
@@ -512,6 +521,7 @@ void Simulator::complete(const Event &E) {
   }
   Cores[static_cast<size_t>(E.Core)].Executing = false;
   Cores[static_cast<size_t>(E.Core)].LastEnd = E.Time;
+  noteCoreState(E.Core);
   LastProgress = std::max(LastProgress, E.Time);
   if (Opts.Trace)
     Opts.Trace->taskEnd(E.Time, E.Core, F.Inv.Task, F.Exit);
@@ -564,7 +574,8 @@ std::string Simulator::makeCheckpoint(Cycles AtCycle, Cycles LastTime,
   resilience::Checkpoint C = exec::makeCheckpointHeader(
       resilience::EngineKind::Sched, Prog, L, /*Seed=*/0, Opts.FaultSeed,
       Opts.Recovery, Opts.Faults, /*Args=*/{}, AtCycle,
-      !Opts.Recovery && Result.Recovery.totalInjected() > 0);
+      !Opts.Recovery && Result.Recovery.totalInjected() > 0,
+      Machine.topologySpec());
 
   resilience::ByteWriter W;
   W.u64(Tokens.size());
@@ -682,6 +693,7 @@ std::string Simulator::restoreFrom(const resilience::Checkpoint &C,
   // resume of the same program/layout is legitimate.
   Id.CheckSeedArgs = false;
   Id.Faults = Opts.Faults;
+  Id.Topology = Machine.topologySpec();
   if (std::string Err = exec::validateRunIdentity(C, Prog, L, Id);
       !Err.empty())
     return Err;
@@ -766,6 +778,7 @@ std::string Simulator::restoreFrom(const resilience::Checkpoint &C,
           });
       !Err.empty())
     return Err;
+  rebuildCoreIndices();
 
   if (std::string Err = exec::loadParamSets<Arrival>(
           R, Instances, Tokens.size() * 4 + 64,

@@ -44,7 +44,9 @@ namespace {
 constexpr uint64_t MaxSize = 4096;
 constexpr uint64_t MaxArgs = 16;
 constexpr uint64_t MaxArgLen = 65536;
-constexpr int MaxCores = 4096;
+// Matches the one-shot driver's --cores ceiling (Topology::MaxTotalCores)
+// so a hierarchical server can be asked for its full machine width.
+constexpr int MaxCores = 1 << 20;
 
 bool expectUInt(const Json &V, const char *Field, uint64_t &Out,
                 std::string &Error) {

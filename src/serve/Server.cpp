@@ -10,6 +10,7 @@
 #include "driver/Pipeline.h"
 #include "frontend/Frontend.h"
 #include "interp/Interp.h"
+#include "machine/Topology.h"
 #include "resilience/Checkpoint.h"
 #include "resilience/FaultPlan.h"
 #include "runtime/ThreadExecutor.h"
@@ -94,17 +95,30 @@ std::string programKey(const std::string &App, ExecMode Mode) {
   return App + "|" + execModeName(Mode);
 }
 
-std::string synthKey(const Request &R) {
+std::string synthKey(const Request &R, const machine::Topology *Topo) {
   std::string Key = R.App;
   Key += '|';
   Key += execModeName(R.Mode);
   Key += formatString("|c%d|s%llu", R.Cores,
                                static_cast<unsigned long long>(R.Seed));
+  // Only topology-applied requests carry the shape in their key, so every
+  // flat request hits exactly the cache slot it always did.
+  if (Topo)
+    Key += "|t" + Topo->spec();
   for (const std::string &A : R.Args) {
     Key += '|';
     Key += A;
   }
   return Key;
+}
+
+/// The server-wide topology, when it applies to this request: the
+/// request must ask for exactly the topology's core count (any other
+/// width runs the historical flat mesh).
+const machine::Topology *
+appliedTopology(const std::shared_ptr<const machine::Topology> &Topo,
+                const Request &R) {
+  return Topo && Topo->totalCores() == R.Cores ? Topo.get() : nullptr;
 }
 
 /// Quarantine key: the (app, args, seed) identity of a poison request.
@@ -680,7 +694,7 @@ std::shared_ptr<const driver::PipelineResult>
 Server::getSynthesis(WorkerState &WS, const Job &J, interp::DslProgram &IP,
                      bool &WasCached, std::string &Error) {
   (void)WS;
-  std::string Key = synthKey(J.Req);
+  std::string Key = synthKey(J.Req, appliedTopology(Opts.Topo, J.Req));
   std::shared_ptr<SynthEntry> E;
   {
     std::lock_guard<std::mutex> L(SynthM);
@@ -706,7 +720,9 @@ Server::getSynthesis(WorkerState &WS, const Job &J, interp::DslProgram &IP,
   L.unlock();
 
   driver::PipelineOptions PO;
-  PO.Target = machine::MachineConfig::tilePro64();
+  PO.Target = appliedTopology(Opts.Topo, J.Req)
+                  ? machine::MachineConfig::hierarchical(Opts.Topo)
+                  : machine::MachineConfig::tilePro64();
   PO.Target.NumCores = J.Req.Cores;
   PO.Dsa.Seed = J.Req.Seed;
   PO.Dsa.Jobs = Opts.Jobs;
@@ -840,7 +856,10 @@ void Server::executeJob(WorkerState &WS, int WorkerIdx, Job &J) {
   // the supervision loop: cancel hooks and watchdog on every attempt,
   // chaos faults with a per-request seed, and retry-from-checkpoint (the
   // CLI's --recovery=restart machinery) for damaged runs.
-  machine::MachineConfig Target = machine::MachineConfig::tilePro64();
+  machine::MachineConfig Target =
+      appliedTopology(Opts.Topo, Req)
+          ? machine::MachineConfig::hierarchical(Opts.Topo)
+          : machine::MachineConfig::tilePro64();
   Target.NumCores = Req.Cores;
   const resilience::FaultPlan *Chaos = Opts.Chaos;
   uint64_t BaseFaultSeed =

@@ -70,6 +70,9 @@
 namespace bamboo::interp {
 class DslProgram;
 }
+namespace bamboo::machine {
+class Topology;
+}
 namespace bamboo::driver {
 struct PipelineResult;
 }
@@ -108,6 +111,11 @@ struct ServerOptions {
   /// Optional request-span recorder (support::Trace RequestBegin/End;
   /// timestamps are microseconds since server start).
   support::Trace *Trace = nullptr;
+  /// Optional hierarchical machine shape (the CLI's --topology). A
+  /// request whose core count equals the topology total runs on the
+  /// hierarchical machine; any other core count runs the flat mesh, so
+  /// pre-topology clients see identical behavior.
+  std::shared_ptr<const machine::Topology> Topo;
 
   // Supervision knobs (DESIGN.md §3j).
 

@@ -1,0 +1,98 @@
+//===- support/Arena.h - Chunked object pool --------------------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A chunked arena for objects with run lifetime: allocation appends into
+/// geometrically growing chunks (addresses stay stable forever — a chunk
+/// is never reallocated), and everything is destroyed together when the
+/// pool is cleared or destroyed. The scheduling simulator's in-flight
+/// tokens live here: they are created at a high rate on the send path,
+/// referenced by raw pointer from queues and flight slots, and never
+/// individually freed — exactly the allocation profile a per-object
+/// unique_ptr heap round-trip wastes time on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_SUPPORT_ARENA_H
+#define BAMBOO_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace bamboo::support {
+
+/// Arena of Ts. create() placement-constructs into the current chunk;
+/// clear() destroys every object and releases all chunks. No per-object
+/// deallocation.
+template <typename T> class ObjectPool {
+public:
+  ObjectPool() = default;
+  ObjectPool(const ObjectPool &) = delete;
+  ObjectPool &operator=(const ObjectPool &) = delete;
+  ~ObjectPool() { clear(); }
+
+  /// Constructs a T in the pool and returns its stable address.
+  template <typename... ArgTs> T *create(ArgTs &&...Args) {
+    if (FillCount == ChunkCap || Chunks.empty())
+      grow();
+    T *Slot = Chunks.back().get() + FillCount;
+    ::new (static_cast<void *>(Slot)) T(std::forward<ArgTs>(Args)...);
+    ++FillCount;
+    ++Live;
+    return Slot;
+  }
+
+  /// Number of live objects.
+  size_t size() const { return Live; }
+
+  /// Destroys every object and releases the chunks.
+  void clear() {
+    for (size_t I = 0; I < Chunks.size(); ++I) {
+      size_t InChunk = I + 1 == Chunks.size() ? FillCount : capOf(I);
+      T *Base = Chunks[I].get();
+      for (size_t J = 0; J < InChunk; ++J)
+        Base[J].~T();
+    }
+    Chunks.clear();
+    ChunkCap = 0;
+    FillCount = 0;
+    Live = 0;
+  }
+
+private:
+  /// Chunk I holds FirstChunkCap << min(I, GrowthCeiling) objects.
+  static constexpr size_t FirstChunkCap = 64;
+  static constexpr size_t GrowthCeiling = 6; // Cap chunk size at 4096 objects.
+
+  static size_t capOf(size_t ChunkIdx) {
+    size_t Shift = ChunkIdx < GrowthCeiling ? ChunkIdx : GrowthCeiling;
+    return FirstChunkCap << Shift;
+  }
+
+  void grow() {
+    ChunkCap = capOf(Chunks.size());
+    Chunks.push_back(std::unique_ptr<T[], RawDeleter>(static_cast<T *>(
+        ::operator new(ChunkCap * sizeof(T), std::align_val_t(alignof(T))))));
+    FillCount = 0;
+  }
+
+  struct RawDeleter {
+    void operator()(T *P) const {
+      ::operator delete(static_cast<void *>(P), std::align_val_t(alignof(T)));
+    }
+  };
+
+  std::vector<std::unique_ptr<T[], RawDeleter>> Chunks;
+  size_t ChunkCap = 0;   ///< Capacity of the newest chunk.
+  size_t FillCount = 0;  ///< Constructed objects in the newest chunk.
+  size_t Live = 0;
+};
+
+} // namespace bamboo::support
+
+#endif // BAMBOO_SUPPORT_ARENA_H

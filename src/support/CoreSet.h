@@ -1,0 +1,146 @@
+//===- support/CoreSet.h - Dense integer set over core ids ------*- C++ -*-===//
+//
+// Part of the Bamboo reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A two-level bitmap set over a fixed universe [0, N) of core ids. The
+/// engine cores keep one of these per interesting predicate (idle, ready
+/// work queued, steal-eligible, ...) so the per-event bookkeeping that
+/// used to scan every core — wake probing, steal-victim surveys, failover
+/// target searches — walks only the members.
+///
+/// Operations: O(1) insert/erase/contains/size; first()/next() ascending
+/// iteration at one popcount-guided word probe per 64-id block, with a
+/// summary bitmap skipping empty blocks. Ascending order matters: the
+/// engines' wake loops must visit cores in increasing id order to keep
+/// event sequence numbers — and therefore entire runs — byte-identical
+/// to the historical full scans.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BAMBOO_SUPPORT_CORESET_H
+#define BAMBOO_SUPPORT_CORESET_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace bamboo::support {
+
+/// Set of integers in [0, universe). Membership is a two-level bitmap:
+/// one bit per id, plus a summary bit per 64-id word so iteration skips
+/// empty regions without touching them.
+class CoreSet {
+public:
+  CoreSet() = default;
+
+  /// Resets to an empty set over [0, \p Universe).
+  void reset(int Universe) {
+    assert(Universe >= 0 && "negative universe");
+    N = Universe;
+    Words.assign((static_cast<size_t>(N) + 63) / 64, 0);
+    Summary.assign((Words.size() + 63) / 64, 0);
+    Count = 0;
+  }
+
+  int universe() const { return N; }
+  int size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  bool contains(int Id) const {
+    assert(Id >= 0 && Id < N && "id out of universe");
+    return (Words[static_cast<size_t>(Id) / 64] >> (Id % 64)) & 1u;
+  }
+
+  /// Inserts \p Id; no-op if already present.
+  void insert(int Id) {
+    assert(Id >= 0 && Id < N && "id out of universe");
+    uint64_t &W = Words[static_cast<size_t>(Id) / 64];
+    uint64_t Bit = uint64_t(1) << (Id % 64);
+    if (W & Bit)
+      return;
+    W |= Bit;
+    Summary[static_cast<size_t>(Id) / 64 / 64] |=
+        uint64_t(1) << ((static_cast<size_t>(Id) / 64) % 64);
+    ++Count;
+  }
+
+  /// Erases \p Id; no-op if absent.
+  void erase(int Id) {
+    assert(Id >= 0 && Id < N && "id out of universe");
+    size_t WordIdx = static_cast<size_t>(Id) / 64;
+    uint64_t &W = Words[WordIdx];
+    uint64_t Bit = uint64_t(1) << (Id % 64);
+    if (!(W & Bit))
+      return;
+    W &= ~Bit;
+    if (W == 0)
+      Summary[WordIdx / 64] &= ~(uint64_t(1) << (WordIdx % 64));
+    --Count;
+  }
+
+  /// Adds or removes \p Id according to \p Member.
+  void set(int Id, bool Member) {
+    if (Member)
+      insert(Id);
+    else
+      erase(Id);
+  }
+
+  /// Smallest member, or -1 when empty.
+  int first() const { return scanFrom(0); }
+
+  /// Smallest member strictly greater than \p Id, or -1. Together with
+  /// first() this iterates in ascending order:
+  ///   for (int C = S.first(); C >= 0; C = S.next(C)) ...
+  int next(int Id) const {
+    assert(Id >= 0 && "next() takes a current member or probe point");
+    if (Id + 1 >= N)
+      return -1;
+    return scanFrom(Id + 1);
+  }
+
+private:
+  /// Smallest member >= From, or -1.
+  int scanFrom(int From) const {
+    if (Count == 0 || From >= N)
+      return -1;
+    size_t WordIdx = static_cast<size_t>(From) / 64;
+    // Tail of the starting word.
+    uint64_t W = Words[WordIdx] & (~uint64_t(0) << (From % 64));
+    if (W)
+      return static_cast<int>(WordIdx * 64) + ctz(W);
+    // Summary-guided scan of later words.
+    size_t SumIdx = WordIdx / 64;
+    uint64_t S = Summary[SumIdx] &
+                 ((WordIdx % 64) == 63 ? 0
+                                       : (~uint64_t(0) << (WordIdx % 64 + 1)));
+    while (true) {
+      while (S) {
+        size_t Probe = SumIdx * 64 + static_cast<size_t>(ctz(S));
+        if (Words[Probe])
+          return static_cast<int>(Probe * 64) + ctz(Words[Probe]);
+        S &= S - 1;
+      }
+      if (++SumIdx >= Summary.size())
+        return -1;
+      S = Summary[SumIdx];
+    }
+  }
+
+  static int ctz(uint64_t V) {
+    assert(V != 0 && "ctz of zero");
+    return __builtin_ctzll(V);
+  }
+
+  int N = 0;
+  int Count = 0;
+  std::vector<uint64_t> Words;   ///< Membership, bit per id.
+  std::vector<uint64_t> Summary; ///< Bit per Words entry that is nonzero.
+};
+
+} // namespace bamboo::support
+
+#endif // BAMBOO_SUPPORT_CORESET_H

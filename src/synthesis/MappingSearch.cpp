@@ -6,6 +6,9 @@
 
 #include "synthesis/MappingSearch.h"
 
+#include "machine/MachineConfig.h"
+#include "machine/Topology.h"
+
 #include <algorithm>
 #include <cassert>
 #include <set>
@@ -103,6 +106,35 @@ Layout bamboo::synthesis::spreadLayout(const GroupPlan &Plan, int NumCores) {
   for (size_t I = 0; I < N; ++I)
     CoreOf[I] = static_cast<int>(I % static_cast<size_t>(NumCores));
   return Plan.materialize(CoreOf, NumCores);
+}
+
+Layout bamboo::synthesis::clusteredSpreadLayout(const GroupPlan &Plan,
+                                                const MachineConfig &M) {
+  if (!M.Topo)
+    return spreadLayout(Plan, M.NumCores);
+  const Topology &T = *M.Topo;
+  size_t N = Plan.instances().size();
+  int Clusters = T.chips() * T.clustersPerChip();
+  int Per = T.coresPerCluster();
+  // Core-major: fill each cluster before touching the next (identical to
+  // the flat spread, since core ids are cluster-contiguous).
+  std::vector<int> Major(N), Interleaved(N);
+  for (size_t I = 0; I < N; ++I) {
+    Major[I] = static_cast<int>(I % static_cast<size_t>(M.NumCores));
+    int Cl = static_cast<int>(I % static_cast<size_t>(Clusters));
+    int Slot = static_cast<int>((I / static_cast<size_t>(Clusters)) %
+                                static_cast<size_t>(Per));
+    Interleaved[I] = Cl * Per + Slot;
+  }
+  auto Cost = [&](const std::vector<int> &CoreOf) {
+    uint64_t Sum = 0;
+    for (size_t I = 1; I < CoreOf.size(); ++I)
+      Sum += static_cast<uint64_t>(M.hopDistance(CoreOf[I - 1], CoreOf[I]));
+    return Sum;
+  };
+  const std::vector<int> &Best =
+      Cost(Major) <= Cost(Interleaved) ? Major : Interleaved;
+  return Plan.materialize(Best, M.NumCores);
 }
 
 std::vector<Layout>

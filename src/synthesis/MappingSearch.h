@@ -24,6 +24,10 @@
 
 #include <vector>
 
+namespace bamboo::machine {
+struct MachineConfig;
+}
+
 namespace bamboo::synthesis {
 
 struct SearchOptions {
@@ -50,6 +54,18 @@ machine::Layout randomLayout(const GroupPlan &Plan, int NumCores, Rng &R);
 /// i mod NumCores. This realizes the intent of the parallelization rules
 /// (each replica on its own core) and seeds the annealing search.
 machine::Layout spreadLayout(const GroupPlan &Plan, int NumCores);
+
+/// A hierarchy-aware spread for machines with an attached Topology
+/// (machine/Topology.h). Builds two candidates — the core-major spread
+/// (replica i on core i mod N, filling each cluster before the next) and
+/// a cluster-interleaved spread (replicas cycle across clusters first,
+/// then across slots within a cluster) — and returns whichever has the
+/// smaller summed hop distance between consecutive plan instances.
+/// Instance order places replicas of one group adjacently, so the sum is
+/// a cheap proxy for how much cross-cluster traffic the layout's hottest
+/// edges pay. Falls back to spreadLayout when \p M has no topology.
+machine::Layout clusteredSpreadLayout(const GroupPlan &Plan,
+                                      const machine::MachineConfig &M);
 
 /// \p N random canonical mappings, de-duplicated by isomorphism key.
 std::vector<machine::Layout> randomLayouts(const GroupPlan &Plan,

@@ -26,6 +26,7 @@
 #include "apps/App.h"
 #include "driver/Pipeline.h"
 #include "machine/MachineConfig.h"
+#include "machine/Topology.h"
 #include "resilience/Checkpoint.h"
 #include "resilience/FaultPlan.h"
 #include "runtime/HeapSnapshot.h"
@@ -164,6 +165,48 @@ TEST(CheckpointContainerTest, GoldenFixtureIsByteStable) {
       << "serializer no longer reproduces the v1 wire format";
 }
 
+TEST(CheckpointContainerTest, TopologySectionIsV2AndFlatStaysV1) {
+  // The version split is the back-compat contract: a flat-machine
+  // snapshot (empty Topology) must serialize to the exact v1 bytes old
+  // readers understand; only hierarchical runs opt into v2.
+  Checkpoint Flat;
+  Flat.Program = "p";
+  Flat.Body = "some-body";
+  std::string FlatBytes = Flat.serialize();
+  EXPECT_EQ(FlatBytes[8], 1) << "flat snapshots must stay version 1";
+
+  Checkpoint Hier = Flat;
+  Hier.Topology = "4x4x64:200,24,8";
+  std::string HierBytes = Hier.serialize();
+  EXPECT_EQ(HierBytes[8], 2) << "topology snapshots must be version 2";
+
+  Checkpoint Out;
+  ASSERT_EQ(Checkpoint::deserialize(HierBytes, Out), "");
+  EXPECT_EQ(Out.Topology, "4x4x64:200,24,8");
+  EXPECT_EQ(Out.serialize(), HierBytes);
+
+  ASSERT_EQ(Checkpoint::deserialize(FlatBytes, Out), "");
+  EXPECT_EQ(Out.Topology, "");
+  EXPECT_EQ(Out.serialize(), FlatBytes);
+}
+
+TEST(CheckpointContainerTest, ExecutorV1GoldenStillLoads) {
+  // A real pre-topology executor snapshot (committed when every machine
+  // was a flat mesh) must keep loading unchanged: version 1, empty
+  // Topology, and serialize() must reproduce its bytes exactly.
+  std::string Path =
+      std::string(BAMBOO_GOLDEN_DIR) + "/flat/keywordcount.c8.ckpt-600";
+  Checkpoint C;
+  ASSERT_EQ(Checkpoint::loadFile(Path, C), "");
+  EXPECT_EQ(C.Engine, EngineKind::Tile);
+  EXPECT_EQ(C.Program, "examples/dsl/keywordcount.bb");
+  EXPECT_EQ(C.NumCores, 8u);
+  EXPECT_EQ(C.Cycle, 600u);
+  EXPECT_EQ(C.Topology, "");
+  EXPECT_EQ(C.serialize(), readFile(Path))
+      << "serializer no longer reproduces the flat v1 executor snapshot";
+}
+
 TEST(CheckpointContainerTest, RejectsTamperedCorruptedAndTruncatedFiles) {
   Checkpoint C;
   C.Program = "p";
@@ -185,9 +228,10 @@ TEST(CheckpointContainerTest, RejectsTamperedCorruptedAndTruncatedFiles) {
   // Trailing garbage is not silently ignored.
   EXPECT_NE(Checkpoint::deserialize(Good + "x", Out), "");
 
-  // Wrong version specifically reports a version error.
+  // Wrong version specifically reports a version error (3 is the first
+  // unassigned version now that 2 carries the topology section).
   std::string Versioned = Good;
-  Versioned[8] = 2; // version u32 follows the 8-byte magic
+  Versioned[8] = 3; // version u32 follows the 8-byte magic
   std::string Err = Checkpoint::deserialize(Versioned, Out);
   EXPECT_NE(Err.find("version"), std::string::npos) << Err;
 
@@ -471,6 +515,54 @@ TEST(TileCheckpointTest, RestoreValidatesRunIdentity) {
   RR = Corrupt.run(BadOpts);
   EXPECT_FALSE(RR.Completed);
   EXPECT_FALSE(RR.RestoreError.empty());
+}
+
+TEST(TileCheckpointTest, RestoreRejectsTopologyMismatch) {
+  // Same core count, different machine shape: distances and transfer
+  // latencies differ, so resuming across shapes would silently diverge.
+  // The rejection message is pinned — serve and the CLI surface it.
+  PipelineHarness H;
+  std::string Err;
+  auto Topo = machine::Topology::parse("1x2x4", Err);
+  ASSERT_NE(Topo, nullptr) << Err;
+  MachineConfig Hier = MachineConfig::hierarchical(Topo);
+  ASSERT_EQ(Hier.NumCores, 8);
+
+  // Checkpoint a hierarchical run.
+  std::vector<Checkpoint> Ckpts;
+  ExecOptions Opts;
+  Opts.CheckpointEvery = 500;
+  Opts.OnCheckpoint = [&](const Checkpoint &C) { Ckpts.push_back(C); };
+  TileExecutor Exec(H.BP, H.G, Hier, H.L);
+  ASSERT_TRUE(Exec.run(Opts).Completed);
+  ASSERT_FALSE(Ckpts.empty());
+  EXPECT_EQ(Ckpts.front().Topology, "1x2x4:200,24,8");
+
+  // Hierarchical snapshot into a flat machine of the same width.
+  ExecOptions ROpts;
+  ROpts.Restore = &Ckpts.front();
+  TileExecutor Flat(H.BP, H.G, H.M, H.L);
+  ExecResult RR = Flat.run(ROpts);
+  EXPECT_FALSE(RR.Completed);
+  EXPECT_EQ(RR.RestoreError, "checkpoint: topology mismatch (checkpoint "
+                             "'1x2x4:200,24,8', run 'flat')");
+
+  // And the reverse: a flat snapshot does not resume on a hierarchy.
+  std::vector<Checkpoint> FlatCkpts;
+  ExecOptions FOpts;
+  FOpts.CheckpointEvery = 500;
+  FOpts.OnCheckpoint = [&](const Checkpoint &C) { FlatCkpts.push_back(C); };
+  TileExecutor FlatRun(H.BP, H.G, H.M, H.L);
+  ASSERT_TRUE(FlatRun.run(FOpts).Completed);
+  ASSERT_FALSE(FlatCkpts.empty());
+  EXPECT_EQ(FlatCkpts.front().Topology, "");
+  ExecOptions R2;
+  R2.Restore = &FlatCkpts.front();
+  TileExecutor Hier2(H.BP, H.G, Hier, H.L);
+  RR = Hier2.run(R2);
+  EXPECT_FALSE(RR.Completed);
+  EXPECT_EQ(RR.RestoreError, "checkpoint: topology mismatch (checkpoint "
+                             "'flat', run '1x2x4:200,24,8')");
 }
 
 //===----------------------------------------------------------------------===//

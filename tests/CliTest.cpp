@@ -384,9 +384,11 @@ TEST(CliTest, GarbageNumericFlagsExitWithCode2) {
   std::string Kw = keywordFile();
   for (const char *Flag :
        {"--cores=abc", "--cores=", "--cores=-3", "--cores=4x", "--cores=0",
-        "--cores=5000", "--seed=1e6", "--seed=18446744073709551616",
+        "--cores=1048577", "--seed=1e6", "--seed=18446744073709551616",
         "--jobs=nope", "--fault-seed=0x10", "--checkpoint-every=ten",
-        "--watchdog-cycles=-1"}) {
+        "--watchdog-cycles=-1", "--topology=", "--topology=4x4",
+        "--topology=0x4x64", "--topology=4x4x64:1,2",
+        "--topology=2048x2048x2048"}) {
     auto [Status, Out] = runBamboo(Kw + " --run " + Flag);
     EXPECT_EQ(exitCode(Status), 2) << Flag;
     (void)Out;

@@ -18,6 +18,7 @@
 
 #include "apps/App.h"
 #include "driver/Pipeline.h"
+#include "machine/Topology.h"
 #include "runtime/ThreadExecutor.h"
 #include "sched/Scheduler.h"
 #include "schedsim/SchedSim.h"
@@ -187,3 +188,130 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(std::get<0>(I.param)) + "_" +
              sched::policyName(std::get<1>(I.param));
     });
+
+//===----------------------------------------------------------------------===//
+// Topology axis: the hierarchical machine runs all three engines with the
+// same determinism and state contracts as the flat mesh, the synthesis
+// result is independent of --jobs, and the degenerate 1x1xN topology is
+// cycle-identical to the flat machine it generalizes.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class TopologyDiffTest
+    : public ::testing::TestWithParam<std::tuple<const char *, sched::Policy>> {
+};
+
+MachineConfig hierMachine(const char *Spec) {
+  std::string Err;
+  auto T = Topology::parse(Spec, Err);
+  EXPECT_NE(T, nullptr) << Spec << ": " << Err;
+  return MachineConfig::hierarchical(T);
+}
+
+} // namespace
+
+TEST_P(TopologyDiffTest, HierarchicalMachineKeepsEngineContracts) {
+  auto A = makeApp(std::get<0>(GetParam()));
+  ASSERT_NE(A, nullptr);
+  sched::Policy Pol = std::get<1>(GetParam());
+  BoundProgram BP = A->makeBound(1);
+  ASSERT_TRUE(BP.fullyBound());
+  uint64_t Baseline = A->runBaseline(1).Checksum;
+
+  // Synthesize for a 2-cluster hierarchical machine, once per DSA worker
+  // count: the layout search is documented independent of --jobs, so the
+  // resulting executions must be identical.
+  MachineConfig Hier = hierMachine("1x2x4");
+  ASSERT_EQ(Hier.NumCores, 8);
+  driver::PipelineResult Synth[2];
+  machine::Cycles TileCycles[2] = {0, 0};
+  for (int JobsIdx = 0; JobsIdx < 2; ++JobsIdx) {
+    driver::PipelineOptions PO;
+    PO.Target = Hier;
+    PO.Dsa.Jobs = JobsIdx == 0 ? 1 : 3;
+    PO.SkipRealRun = true;
+    Synth[JobsIdx] = driver::runPipeline(BP, PO);
+
+    // Tile engine, twice: byte-determinism on the hierarchy.
+    ExecResult Tile[2];
+    for (int I = 0; I < 2; ++I) {
+      TileExecutor Exec(BP, Synth[JobsIdx].Graph, Hier,
+                        Synth[JobsIdx].BestLayout);
+      ExecOptions O;
+      O.Sched = Pol;
+      Tile[I] = Exec.run(O);
+      ASSERT_TRUE(Tile[I].Completed) << A->name();
+      EXPECT_EQ(A->checksumFromHeap(Exec.heap()), Baseline)
+          << A->name() << " under " << sched::policyName(Pol);
+    }
+    EXPECT_EQ(Tile[0].TotalCycles, Tile[1].TotalCycles);
+    EXPECT_EQ(Tile[0].TaskInvocations, Tile[1].TaskInvocations);
+    EXPECT_EQ(Tile[0].Steals, Tile[1].Steals);
+    TileCycles[JobsIdx] = Tile[0].TotalCycles;
+
+    // Simulator on the hierarchy: deterministic replay.
+    profile::Profile Prof =
+        driver::profileOneCore(BP, Synth[JobsIdx].Graph, ExecOptions{});
+    schedsim::SimResult Sim[2];
+    for (int I = 0; I < 2; ++I) {
+      schedsim::SimOptions SO;
+      SO.Sched = Pol;
+      Sim[I] = schedsim::simulateLayout(BP.program(), Synth[JobsIdx].Graph,
+                                        Prof, BP.hints(), Hier,
+                                        Synth[JobsIdx].BestLayout, SO);
+      ASSERT_TRUE(Sim[I].Terminated) << A->name();
+    }
+    EXPECT_EQ(Sim[0].EstimatedCycles, Sim[1].EstimatedCycles);
+    EXPECT_EQ(Sim[0].Invocations, Sim[1].Invocations);
+
+    // Host threads on the hierarchical layout: same final state.
+    ThreadExecutor Thread(BP, Synth[JobsIdx].Graph, Synth[JobsIdx].BestLayout);
+    ThreadExecOptions TO;
+    TO.Sched = Pol;
+    ThreadExecResult TR = Thread.run(TO);
+    ASSERT_TRUE(TR.Completed) << A->name();
+    EXPECT_EQ(A->checksumFromHeap(Thread.heap()), Baseline) << A->name();
+  }
+  EXPECT_EQ(Synth[0].EstimatedNCore, Synth[1].EstimatedNCore)
+      << "DSA result depends on --jobs";
+  EXPECT_EQ(TileCycles[0], TileCycles[1])
+      << "synthesized execution depends on --jobs";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HierApps, TopologyDiffTest,
+    ::testing::Combine(::testing::Values("Tracking", "MonteCarlo", "Series"),
+                       ::testing::Values(sched::Policy::Rr, sched::Policy::Ws,
+                                         sched::Policy::Locality,
+                                         sched::Policy::Dep)),
+    [](const ::testing::TestParamInfo<TopologyDiffTest::ParamType> &I) {
+      return std::string(std::get<0>(I.param)) + "_" +
+             sched::policyName(std::get<1>(I.param));
+    });
+
+TEST(TopologyDiffTest, Degenerate1x1xNIsCycleIdenticalToFlat) {
+  // 1x1x62 with the default hop latencies must reproduce the flat
+  // TILEPro64 machine's virtual time bit-for-bit — same synthesis, same
+  // cycles, same steals. 62 is the one width where the identity is exact:
+  // the flat config pins an 8-wide mesh (the TILEPro geometry) while a
+  // topology packs its cluster into a ceil(sqrt(N))-wide square, and the
+  // two agree exactly when ceil(sqrt(N)) == 8.
+  for (const char *Name : {"Tracking", "KMeans", "Series"}) {
+    auto A = makeApp(Name);
+    ASSERT_NE(A, nullptr);
+    BoundProgram BP = A->makeBound(1);
+
+    driver::PipelineOptions Flat;
+    Flat.Target = MachineConfig::tilePro64();
+    driver::PipelineResult FR = driver::runPipeline(BP, Flat);
+
+    driver::PipelineOptions Deg;
+    Deg.Target = hierMachine("1x1x62");
+    driver::PipelineResult DR = driver::runPipeline(BP, Deg);
+
+    EXPECT_EQ(DR.EstimatedNCore, FR.EstimatedNCore) << Name;
+    EXPECT_EQ(DR.RealNCore, FR.RealNCore) << Name;
+    EXPECT_EQ(DR.DsaEvaluations, FR.DsaEvaluations) << Name;
+  }
+}

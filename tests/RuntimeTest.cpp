@@ -8,6 +8,7 @@
 #include "ir/ProgramBuilder.h"
 #include "machine/Layout.h"
 #include "machine/MachineConfig.h"
+#include "machine/Topology.h"
 #include "runtime/TaskContext.h"
 #include "runtime/TileExecutor.h"
 #include "support/Trace.h"
@@ -45,6 +46,91 @@ TEST(MachineConfigTest, DerivedMeshWidth) {
   EXPECT_EQ(M.meshWidth(), 4);
   M.NumCores = 1;
   EXPECT_EQ(M.meshWidth(), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Topology
+//===----------------------------------------------------------------------===//
+
+TEST(TopologyTest, ParseAndCanonicalSpec) {
+  std::string Err;
+  auto T = Topology::parse("4x4x64", Err);
+  ASSERT_NE(T, nullptr) << Err;
+  EXPECT_EQ(T->chips(), 4);
+  EXPECT_EQ(T->clustersPerChip(), 4);
+  EXPECT_EQ(T->coresPerCluster(), 64);
+  EXPECT_EQ(T->totalCores(), 1024);
+  EXPECT_EQ(T->spec(), "4x4x64:200,24,8");
+
+  auto Custom = Topology::parse("2x3x16:500,50,4", Err);
+  ASSERT_NE(Custom, nullptr) << Err;
+  EXPECT_EQ(Custom->chipHop(), 500u);
+  EXPECT_EQ(Custom->clusterHop(), 50u);
+  EXPECT_EQ(Custom->meshHop(), 4u);
+  EXPECT_EQ(Custom->spec(), "2x3x16:500,50,4");
+
+  for (const char *Bad :
+       {"", "4x4", "0x4x64", "4x4x64:1,2", "4x4x64:1,2,3,4", "axbxc",
+        "4x4x64:one,2,3", "2048x2048x2048"}) {
+    Err.clear();
+    EXPECT_EQ(Topology::parse(Bad, Err), nullptr) << Bad;
+    EXPECT_FALSE(Err.empty()) << Bad;
+  }
+}
+
+TEST(TopologyTest, HopDistanceIsSymmetricAndLevelAware) {
+  std::string Err;
+  auto T = Topology::parse("2x2x16", Err);
+  ASSERT_NE(T, nullptr) << Err;
+  ASSERT_EQ(T->totalCores(), 64);
+  // Core numbering is cluster-contiguous: [0,16) cluster 0 of chip 0,
+  // [16,32) cluster 1, [32,48) cluster 0 of chip 1, ...
+  EXPECT_EQ(T->chipOf(0), 0);
+  EXPECT_EQ(T->chipOf(31), 0);
+  EXPECT_EQ(T->chipOf(32), 1);
+  EXPECT_EQ(T->clusterOf(0), 0);
+  EXPECT_EQ(T->clusterOf(15), 0);
+  EXPECT_EQ(T->clusterOf(16), 1);
+  EXPECT_EQ(T->clusterOf(32), 2);
+
+  for (int A : {0, 5, 17, 33, 63})
+    for (int B : {0, 5, 17, 33, 63}) {
+      EXPECT_EQ(T->hopDistance(A, B), T->hopDistance(B, A));
+      EXPECT_EQ(T->transferExtra(A, B), T->transferExtra(B, A));
+      if (A == B)
+        EXPECT_EQ(T->hopDistance(A, B), 0);
+    }
+
+  // Same cluster: pure local mesh distance on a 4-wide grid.
+  EXPECT_EQ(T->hopDistance(0, 5), 2);
+  // Adjacent cluster, same in-cluster coordinate: one cluster crossing.
+  EXPECT_EQ(T->hopDistance(0, 16), 1);
+  EXPECT_EQ(T->transferExtra(0, 16), T->clusterHop());
+  // Other chip, same coordinates otherwise: one chip crossing.
+  EXPECT_EQ(T->hopDistance(0, 32), 1);
+  EXPECT_EQ(T->transferExtra(0, 32), T->chipHop());
+  // Chip crossings dominate cluster crossings dominate mesh hops.
+  EXPECT_GT(T->transferExtra(0, 32), T->transferExtra(0, 16));
+  EXPECT_GT(T->transferExtra(0, 16), T->transferExtra(0, 1));
+}
+
+TEST(TopologyTest, Degenerate1x1xNMatchesFlatMesh) {
+  std::string Err;
+  auto T = Topology::parse("1x1x62", Err);
+  ASSERT_NE(T, nullptr) << Err;
+  MachineConfig Flat = MachineConfig::tilePro64();
+  MachineConfig Hier = MachineConfig::hierarchical(T);
+  ASSERT_EQ(Hier.NumCores, Flat.NumCores);
+  EXPECT_EQ(Hier.meshWidth(), Flat.meshWidth());
+  EXPECT_EQ(Hier.topologySpec(), "1x1x62:200,24,8");
+  EXPECT_EQ(Flat.topologySpec(), "");
+  for (int A = 0; A < Flat.NumCores; ++A)
+    for (int B = 0; B < Flat.NumCores; ++B) {
+      EXPECT_EQ(Hier.hopDistance(A, B), Flat.hopDistance(A, B))
+          << A << "->" << B;
+      EXPECT_EQ(Hier.transferLatency(A, B), Flat.transferLatency(A, B))
+          << A << "->" << B;
+    }
 }
 
 //===----------------------------------------------------------------------===//

@@ -24,6 +24,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "machine/Topology.h"
 #include "resilience/Checkpoint.h"
 #include "resilience/FaultPlan.h"
 #include "sched/Scheduler.h"
@@ -404,6 +405,37 @@ TEST(ServeTest, SchedFieldSelectsThePolicyAndMatchesTheCli) {
                          "\"args\":[\"12345678\"],\"sched\":\"warp\"}");
   EXPECT_FALSE(boolField(Bad, "ok"));
   EXPECT_EQ(strField(Bad, "code"), "bad-request");
+}
+
+TEST(ServeTest, ServerTopologyAppliesOnlyToMatchingWidths) {
+  // A server started with --topology=1x2x4 runs 8-core requests on the
+  // hierarchical machine (byte-identical to the one-shot CLI with the
+  // same flag) while any other width keeps the historical flat mesh, so
+  // pre-topology clients see identical behavior.
+  ServerOptions SO;
+  std::string TopoErr;
+  SO.Topo = machine::Topology::parse("1x2x4", TopoErr);
+  ASSERT_NE(SO.Topo, nullptr) << TopoErr;
+  ServeFixture F(SO);
+
+  Json Hier = rpc(F.Conn, "{\"id\":1,\"app\":\"series\","
+                          "\"args\":[\"123456\"],\"cores\":8}");
+  ASSERT_TRUE(boolField(Hier, "ok")) << strField(Hier, "error");
+  auto [HierStatus, HierCli] = runBamboo(
+      std::string(BAMBOO_DSL_DIR) +
+      "/series.bb --topology=1x2x4 --arg=123456 --seed=1");
+  ASSERT_EQ(HierStatus, 0);
+  EXPECT_EQ(strField(Hier, "output"), HierCli)
+      << "serve must replay the CLI hierarchical final-run path";
+
+  Json Flat = rpc(F.Conn, "{\"id\":2,\"app\":\"series\","
+                          "\"args\":[\"123456\"],\"cores\":4}");
+  ASSERT_TRUE(boolField(Flat, "ok")) << strField(Flat, "error");
+  auto [FlatStatus, FlatCli] = runBamboo(
+      std::string(BAMBOO_DSL_DIR) + "/series.bb --cores=4 --arg=123456");
+  ASSERT_EQ(FlatStatus, 0);
+  EXPECT_EQ(strField(Flat, "output"), FlatCli)
+      << "non-matching widths must keep the flat machine";
 }
 
 TEST(ServeTest, SynthesisIsCachedAcrossRequestsAndConnections) {
